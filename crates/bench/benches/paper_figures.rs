@@ -1,0 +1,192 @@
+//! `cargo bench --bench paper_figures` — regenerates every table and
+//! figure of the paper (printed before each Criterion group) and
+//! benchmarks one representative cell of each experiment.
+//!
+//! The printed output is the reproduction: the same rows/series the paper
+//! reports, computed in simulated time. The Criterion measurements time
+//! how long the *simulator* takes to produce them (host wall time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vcb_core::run::SizeSpec;
+use vcb_core::workload::RunOpts;
+use vcb_harness::experiments::{self, ExperimentOpts};
+use vcb_harness::{ablate, render};
+use vcb_sim::profile::{devices, DeviceClass};
+use vcb_sim::Api;
+
+fn bench_opts() -> ExperimentOpts {
+    ExperimentOpts {
+        run: RunOpts {
+            scale: 0.1,
+            validate: false,
+            ..RunOpts::default()
+        },
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        sizes_per_workload: 1,
+    }
+}
+
+fn tables(c: &mut Criterion) {
+    println!("{}", render::table1());
+    println!("{}", render::platform_table(DeviceClass::Desktop));
+    println!("{}", render::platform_table(DeviceClass::Mobile));
+    c.bench_function("table2_profile_construction", |b| {
+        b.iter(|| std::hint::black_box(devices::all()))
+    });
+}
+
+fn fig1_bandwidth(c: &mut Criterion) {
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = bench_opts();
+    let panels = experiments::fig1(&registry, &opts);
+    println!("=== Fig. 1 (desktop bandwidth vs stride) ===\n");
+    for curves in &panels {
+        println!("{}", render::bandwidth_panel(curves));
+    }
+    let gtx = devices::gtx1050ti();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("gtx1050ti_cuda_curve", |b| {
+        b.iter(|| {
+            vcb_workloads::micro::stride::bandwidth_curve(Api::Cuda, &gtx, &registry, &opts.run)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn fig2_desktop_speedup(c: &mut Criterion) {
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = bench_opts();
+    let panels = experiments::fig2(&registry, &opts);
+    println!("=== Fig. 2 (desktop speedups, first size per workload) ===\n");
+    for p in &panels {
+        println!("{}", render::speedup_panel(p));
+    }
+    println!("{}", render::summary_lines(&experiments::summarize(&panels)));
+
+    let workloads = vcb_workloads::suite_workloads(&registry);
+    let pathfinder = workloads
+        .iter()
+        .find(|w| w.meta().name == "pathfinder")
+        .unwrap();
+    let gtx = devices::gtx1050ti();
+    let size = SizeSpec::new("10K", 10_000);
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("pathfinder_10k_vulkan_cell", |b| {
+        b.iter(|| pathfinder.run(Api::Vulkan, &gtx, &size, &opts.run).unwrap())
+    });
+    group.finish();
+}
+
+fn fig3_mobile_bandwidth(c: &mut Criterion) {
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = bench_opts();
+    let panels = experiments::fig3(&registry, &opts);
+    println!("=== Fig. 3 (mobile bandwidth vs stride) ===\n");
+    for curves in &panels {
+        println!("{}", render::bandwidth_panel(curves));
+    }
+    let sd = devices::adreno506();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("adreno506_vulkan_curve", |b| {
+        b.iter(|| {
+            vcb_workloads::micro::stride::bandwidth_curve(Api::Vulkan, &sd, &registry, &opts.run)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn fig4_mobile_speedup(c: &mut Criterion) {
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = bench_opts();
+    let panels = experiments::fig4(&registry, &opts);
+    println!("=== Fig. 4 (mobile speedups, first size per workload) ===\n");
+    for p in &panels {
+        println!("{}", render::speedup_panel(p));
+    }
+    println!("{}", render::summary_lines(&experiments::summarize(&panels)));
+
+    let workloads = vcb_workloads::suite_workloads(&registry);
+    let gaussian = workloads.iter().find(|w| w.meta().name == "gaussian").unwrap();
+    let nexus = devices::powervr_g6430();
+    let size = SizeSpec::new("208", 208);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("gaussian_208_nexus_vulkan_cell", |b| {
+        b.iter(|| gaussian.run(Api::Vulkan, &nexus, &size, &opts.run).unwrap())
+    });
+    group.finish();
+}
+
+fn table_effort(c: &mut Criterion) {
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = bench_opts();
+    let records = experiments::effort(&registry, &devices::gtx1050ti(), &opts);
+    println!("=== §VI-A programming effort ===\n");
+    println!("{}", vcb_core::effort::effort_table(&records).render());
+    let mut group = c.benchmark_group("effort");
+    group.sample_size(10);
+    group.bench_function("vectoradd_vulkan_1m", |b| {
+        b.iter(|| {
+            vcb_workloads::micro::vectoradd::run_vulkan(
+                &devices::gtx1050ti(),
+                &registry,
+                1_000_000,
+                &opts.run,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn ablations(c: &mut Criterion) {
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = bench_opts();
+    println!("=== §VI-B recommendation ablations ===\n");
+    let gtx = devices::gtx1050ti();
+    let sd = devices::adreno506();
+    let show = |r: Result<ablate::Ablation, vcb_core::run::RunFailure>| {
+        if let Ok(a) = r {
+            println!(
+                "{:<62} {:>10} vs {:>10}  ({:.2}x)",
+                a.name,
+                a.recommended.to_string(),
+                a.naive.to_string(),
+                a.factor()
+            );
+        }
+    };
+    show(ablate::single_command_buffer(&registry, &gtx, 32));
+    show(ablate::push_constants_vs_buffer(&registry, &sd, &opts.run));
+    show(ablate::transfer_queue_copies(&registry, &gtx, 128 * 1024 * 1024));
+    show(ablate::multiple_compute_queues(&registry, &gtx, 16));
+    show(ablate::compiler_maturity(&registry, &gtx, &opts.run));
+    println!();
+
+    let mut group = c.benchmark_group("ablate");
+    group.sample_size(10);
+    group.bench_function("single_command_buffer_32_iters", |b| {
+        b.iter(|| ablate::single_command_buffer(&registry, &gtx, 32).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    tables,
+    fig1_bandwidth,
+    fig2_desktop_speedup,
+    fig3_mobile_bandwidth,
+    fig4_mobile_speedup,
+    table_effort,
+    ablations
+);
+criterion_main!(figures);

@@ -1,0 +1,120 @@
+//! `cargo bench --bench simulator` — engineering benchmarks of the
+//! simulator substrate itself: how fast the reproduction executes
+//! simulated work (host wall time, not simulated time).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use vcb_sim::cache::CacheSim;
+use vcb_sim::coalesce::Coalescer;
+use vcb_sim::engine::{Gpu, TraceMode};
+use vcb_sim::exec::{BoundBuffer, CompileOpts, CompiledKernel, Dispatch, GroupCtx, KernelInfo};
+use vcb_sim::profile::devices;
+use vcb_sim::Api;
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalescer");
+    for stride in [1u64, 4, 32] {
+        let addrs: Vec<u64> = (0..32).map(|i| i * stride * 4).collect();
+        group.throughput(Throughput::Elements(32));
+        group.bench_with_input(BenchmarkId::new("warp32", stride), &addrs, |b, addrs| {
+            let mut coalescer = Coalescer::new(32, 128);
+            b.iter(|| coalescer.coalesce(std::hint::black_box(addrs), 4));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("l2_cache");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("streaming_4k_sectors", |b| {
+        let mut cache = CacheSim::new(1024 * 1024, 16, 32);
+        let mut next = 0u64;
+        b.iter(|| {
+            for _ in 0..4096 {
+                cache.access_sector(next);
+                next = next.wrapping_add(1);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn vadd_kernel() -> CompiledKernel {
+    let info = KernelInfo::new("bench_vadd", [256, 1, 1])
+        .reads(0, "x")
+        .reads(1, "y")
+        .writes(2, "z")
+        .build();
+    CompiledKernel::new(
+        info,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let x = ctx.global::<f32>(0)?;
+            let y = ctx.global::<f32>(1)?;
+            let z = ctx.global::<f32>(2)?;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear() as usize;
+                let v = lane.ld(&x, i) + lane.ld(&y, i);
+                lane.alu(1);
+                lane.st(&z, i, v);
+            });
+            Ok(())
+        }),
+        CompileOpts::default(),
+    )
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let n: usize = 256 * 1024;
+    let profile = devices::gtx1050ti();
+    let driver = profile.driver(Api::Cuda).unwrap().clone();
+
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n as u64));
+    for (label, mode) in [
+        ("detailed", TraceMode::Detailed),
+        ("sampled_16", TraceMode::Sampled(16)),
+        ("auto", TraceMode::Auto),
+    ] {
+        group.bench_function(BenchmarkId::new("vadd_256k", label), |b| {
+            let mut gpu = Gpu::new(profile.clone());
+            gpu.set_trace_mode(mode);
+            let (x, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+            let (y, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+            let (z, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+            let dispatch = Dispatch {
+                kernel: vadd_kernel(),
+                groups: [(n as u32).div_ceil(256), 1, 1],
+                bindings: vec![
+                    BoundBuffer { binding: 0, buffer: x },
+                    BoundBuffer { binding: 1, buffer: y },
+                    BoundBuffer { binding: 2, buffer: z },
+                ],
+                push_constants: vec![],
+            };
+            b.iter(|| gpu.execute(std::hint::black_box(&dispatch), &driver).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_spirv(c: &mut Criterion) {
+    let registry = vcb_workloads::registry().unwrap();
+    let info = registry.lookup("bfs_kernel1").unwrap().info().clone();
+    let module = vcb_spirv::SpirvModule::assemble(&info);
+    let words = module.words().to_vec();
+    let mut group = c.benchmark_group("spirv");
+    group.bench_function("assemble", |b| {
+        b.iter(|| vcb_spirv::SpirvModule::assemble(std::hint::black_box(&info)))
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| vcb_spirv::SpirvModule::parse(std::hint::black_box(&words)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(simulator, bench_coalescer, bench_cache, bench_dispatch, bench_spirv);
+criterion_main!(simulator);

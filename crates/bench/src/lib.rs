@@ -1,0 +1,11 @@
+//! # vcb-bench — Criterion benchmark targets
+//!
+//! Two bench binaries:
+//!
+//! * `paper_figures` — regenerates every table and figure of the paper
+//!   (printing the same rows/series the paper reports) and benchmarks a
+//!   representative cell of each with Criterion.
+//! * `simulator` — engineering benchmarks of the simulator substrate
+//!   itself (coalescer, cache, dispatch execution, tracing modes).
+//!
+//! Run with `cargo bench`.

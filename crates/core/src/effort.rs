@@ -1,0 +1,114 @@
+//! Programming-effort metrics (§VI-A of the paper).
+//!
+//! The paper quantifies Vulkan's verbosity informally ("about 40 lines of
+//! code in Vulkan compared to just one line in CUDA or OpenCL" for buffer
+//! creation). This module derives the comparison from *measured* API-call
+//! counts collected during the runs, plus the static lines-of-code
+//! figures the paper quotes.
+
+use vcb_sim::calls::CallCounter;
+use vcb_sim::Api;
+
+use crate::report::Table;
+
+/// Effort measurements for one (workload, API) pair.
+#[derive(Debug, Clone)]
+pub struct EffortRecord {
+    /// Workload short name.
+    pub workload: String,
+    /// Programming model.
+    pub api: Api,
+    /// Total API invocations during the benchmark body.
+    pub total_calls: u64,
+    /// Distinct API entry points used.
+    pub distinct_calls: usize,
+}
+
+impl EffortRecord {
+    /// Builds a record from a measured call counter.
+    pub fn from_calls(workload: impl Into<String>, api: Api, calls: &CallCounter) -> Self {
+        EffortRecord {
+            workload: workload.into(),
+            api,
+            total_calls: calls.total(),
+            distinct_calls: calls.distinct(),
+        }
+    }
+}
+
+/// The paper's §VI-A anecdote as data: host lines of code required to
+/// create one usable device buffer.
+pub fn buffer_creation_loc(api: Api) -> u32 {
+    match api {
+        // Create buffer, query requirements, choose heap, allocate, bind —
+        // about 40 lines with the create-info structs.
+        Api::Vulkan => 40,
+        // cudaMalloc / clCreateBuffer.
+        Api::Cuda | Api::OpenCl => 1,
+    }
+}
+
+/// Distinct API object types a minimal compute "hello world" must touch
+/// (instance/device/queue/buffer/memory/descriptor/pipeline/command
+/// machinery for Vulkan vs. the flat runtime APIs).
+pub fn hello_world_object_types(api: Api) -> u32 {
+    match api {
+        Api::Vulkan => 12,
+        Api::Cuda => 3,
+        Api::OpenCl => 7,
+    }
+}
+
+/// Renders a set of effort records as the §VI-A comparison table.
+pub fn effort_table(records: &[EffortRecord]) -> Table {
+    let mut table = Table::new(&[
+        "Workload",
+        "API",
+        "API calls",
+        "Distinct entry points",
+        "Buffer-create LoC",
+    ]);
+    for r in records {
+        table.row(&[
+            r.workload.clone(),
+            r.api.to_string(),
+            r.total_calls.to_string(),
+            r.distinct_calls.to_string(),
+            buffer_creation_loc(r.api).to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_loc_figures() {
+        assert_eq!(buffer_creation_loc(Api::Vulkan), 40);
+        assert_eq!(buffer_creation_loc(Api::Cuda), 1);
+        assert_eq!(buffer_creation_loc(Api::OpenCl), 1);
+    }
+
+    #[test]
+    fn vulkan_touches_most_object_types() {
+        assert!(hello_world_object_types(Api::Vulkan) > hello_world_object_types(Api::OpenCl));
+        assert!(hello_world_object_types(Api::OpenCl) > hello_world_object_types(Api::Cuda));
+    }
+
+    #[test]
+    fn records_from_counters() {
+        let mut calls = CallCounter::new();
+        calls.record("vkCreateBuffer");
+        calls.record("vkCreateBuffer");
+        calls.record("vkAllocateMemory");
+        let r = EffortRecord::from_calls("vectoradd", Api::Vulkan, &calls);
+        assert_eq!(r.total_calls, 3);
+        assert_eq!(r.distinct_calls, 2);
+        let table = effort_table(&[r]);
+        let text = table.render();
+        assert!(text.contains("vectoradd"));
+        assert!(text.contains("40"));
+    }
+}

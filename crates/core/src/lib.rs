@@ -1,0 +1,29 @@
+//! # vcb-core — the VComputeBench suite core
+//!
+//! Programming-model-agnostic pieces of the benchmark suite: the Table I
+//! metadata ([`suite`]), the workload abstraction ([`workload`]), run
+//! records and speedups ([`run`]), summary statistics ([`stats`]), report
+//! rendering ([`report`]) and the programming-effort metrics ([`effort`]).
+//!
+//! ```
+//! use vcb_core::stats::geomean;
+//! use vcb_core::suite;
+//!
+//! assert_eq!(suite::SUITE.len(), 9);
+//! let g = geomean(&[1.2, 2.0, 0.8]).unwrap();
+//! assert!(g > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod effort;
+pub mod report;
+pub mod run;
+pub mod stats;
+pub mod suite;
+pub mod workload;
+
+pub use run::{speedup, total_speedup, RunFailure, RunOutcome, RunRecord, SizeSpec};
+pub use suite::{BenchmarkMeta, Dwarf, SUITE};
+pub use workload::{RunOpts, Workload};

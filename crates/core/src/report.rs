@@ -1,0 +1,273 @@
+//! Plain-text report rendering: aligned tables, CSV, and terminal bar
+//! charts for the speedup figures.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+///
+/// ```
+/// use vcb_core::report::Table;
+///
+/// let mut t = Table::new(&["Name", "Dwarf"]);
+/// t.row(&["bfs", "Graph Traversal"]);
+/// let text = t.render();
+/// assert!(text.contains("bfs"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Table {
+        let mut row: Vec<String> = cells.iter().map(|c| c.as_ref().to_owned()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for cells containing
+    /// commas, quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// One bar of a [`BarChart`].
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Bar label (e.g. `"bfs/4K Vulkan"`).
+    pub label: String,
+    /// Bar value (e.g. a speedup).
+    pub value: f64,
+    /// Optional annotation appended after the value (e.g. `"FAILED"`).
+    pub note: String,
+}
+
+/// A horizontal ASCII bar chart — the terminal rendering of the paper's
+/// speedup figures.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    bars: Vec<Bar>,
+    /// Reference line drawn at this value (1.0 = baseline parity).
+    reference: f64,
+}
+
+impl BarChart {
+    /// Creates an empty chart with a title and a reference value.
+    pub fn new(title: impl Into<String>, reference: f64) -> BarChart {
+        BarChart {
+            title: title.into(),
+            bars: Vec::new(),
+            reference,
+        }
+    }
+
+    /// Adds a bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut BarChart {
+        self.bars.push(Bar {
+            label: label.into(),
+            value,
+            note: String::new(),
+        });
+        self
+    }
+
+    /// Adds an annotated bar (value may be NaN for failures).
+    pub fn bar_with_note(
+        &mut self,
+        label: impl Into<String>,
+        value: f64,
+        note: impl Into<String>,
+    ) -> &mut BarChart {
+        self.bars.push(Bar {
+            label: label.into(),
+            value,
+            note: note.into(),
+        });
+        self
+    }
+
+    /// Renders the chart with `width` characters of bar area.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let label_w = self.bars.iter().map(|b| b.label.len()).max().unwrap_or(0);
+        let max = self
+            .bars
+            .iter()
+            .map(|b| if b.value.is_finite() { b.value } else { 0.0 })
+            .fold(self.reference, f64::max);
+        let scale = if max > 0.0 { width as f64 / max } else { 0.0 };
+        let ref_col = (self.reference * scale).round() as usize;
+        for b in &self.bars {
+            let _ = write!(out, "{:<label_w$} |", b.label);
+            if b.value.is_finite() && b.value > 0.0 {
+                let mut len = (b.value * scale).round() as usize;
+                len = len.min(width);
+                for col in 0..width {
+                    if col < len {
+                        out.push('#');
+                    } else if col == ref_col && ref_col < width {
+                        out.push('|');
+                    } else {
+                        out.push(' ');
+                    }
+                }
+                while out.ends_with(' ') {
+                    out.pop();
+                }
+                let _ = write!(out, " {:.2}", b.value);
+            } else {
+                let _ = write!(out, " --");
+            }
+            if !b.note.is_empty() {
+                let _ = write!(out, " [{}]", b.note);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a GB/s value like the paper's bandwidth plots.
+pub fn fmt_gbps(bytes_per_sec: f64) -> String {
+    format!("{:.2} GB/s", bytes_per_sec / 1.0e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["a", "long header"]);
+        t.row(&["x", "1"]);
+        t.row(&["yyyy", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("---"));
+        // Column 2 aligned: both data rows have '1'/'2' at same column.
+        let c1 = lines[2].find('1').unwrap();
+        let c2 = lines[3].find('2').unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["only"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["has,comma", "has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn bar_chart_scales_and_annotates() {
+        let mut c = BarChart::new("Fig. 2a", 1.0);
+        c.bar("vulkan", 2.0);
+        c.bar("opencl", 1.0);
+        c.bar_with_note("cuda", f64::NAN, "FAILED");
+        let s = c.render(40);
+        assert!(s.contains("Fig. 2a"));
+        assert!(s.contains("2.00"));
+        assert!(s.contains("[FAILED]"));
+        // The 2.0 bar should be about twice as long as the 1.0 bar.
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.chars().filter(|c| *c == '#').count();
+        let v = count(lines[1]);
+        let o = count(lines[2]);
+        assert!(v >= 2 * o - 2 && v <= 2 * o + 2, "{v} vs {o}");
+    }
+
+    #[test]
+    fn gbps_formatting() {
+        assert_eq!(fmt_gbps(94.08e9), "94.08 GB/s");
+    }
+}

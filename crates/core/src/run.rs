@@ -1,0 +1,190 @@
+//! Run records: the measured outcome of one (workload, API, device, size)
+//! cell of the paper's experiment matrix.
+
+use std::fmt;
+
+use vcb_sim::calls::CallCounter;
+use vcb_sim::time::SimDuration;
+use vcb_sim::timeline::TimingBreakdown;
+use vcb_sim::Api;
+
+/// An input-size configuration for a workload, matching the x-axis labels
+/// of Fig. 2 and Fig. 4 (e.g. `"64K"`, `"512-16"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeSpec {
+    /// Axis label as printed in the paper.
+    pub label: String,
+    /// Primary size parameter (nodes, matrix order, records, columns...).
+    pub n: u64,
+    /// Secondary parameter (iterations, rows, hidden units...), workload
+    /// specific; zero when unused.
+    pub aux: u64,
+}
+
+impl SizeSpec {
+    /// Creates a size with only a primary parameter.
+    pub fn new(label: impl Into<String>, n: u64) -> Self {
+        SizeSpec {
+            label: label.into(),
+            n,
+            aux: 0,
+        }
+    }
+
+    /// Creates a size with primary and secondary parameters.
+    pub fn with_aux(label: impl Into<String>, n: u64, aux: u64) -> Self {
+        SizeSpec {
+            label: label.into(),
+            n,
+            aux,
+        }
+    }
+}
+
+impl fmt::Display for SizeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Why a run produced no timing — the paper reports these outcomes as
+/// results (cfd does not fit on mobile; backprop/lud fail on mobile
+/// drivers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunFailure {
+    /// The data set did not fit in device memory (cfd on both mobile
+    /// platforms, §V-B2).
+    OutOfMemory,
+    /// The driver failed (crash/miscompile) on this workload.
+    DriverFailure,
+    /// The API is not available on this device (CUDA off NVIDIA).
+    Unsupported,
+    /// Any other error, with its message.
+    Error(String),
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunFailure::OutOfMemory => f.write_str("out of device memory"),
+            RunFailure::DriverFailure => f.write_str("driver failure"),
+            RunFailure::Unsupported => f.write_str("API unsupported on device"),
+            RunFailure::Error(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+/// Timing and validation outcome of one successful run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Workload short name.
+    pub workload: String,
+    /// Programming model used.
+    pub api: Api,
+    /// Device name.
+    pub device: String,
+    /// Input-size label.
+    pub size: String,
+    /// Sum of kernel execution times — the metric the paper compares
+    /// ("we only report kernel execution times", §V-A2).
+    pub kernel_time: SimDuration,
+    /// End-to-end wall time of the benchmark body (transfers, launches,
+    /// host work, waits).
+    pub total_time: SimDuration,
+    /// Where the time went.
+    pub breakdown: TimingBreakdown,
+    /// API calls issued by the host program (programming-effort metric).
+    pub calls: CallCounter,
+    /// Whether outputs matched the CPU reference.
+    pub validated: bool,
+}
+
+impl RunRecord {
+    /// Overhead ratio: total time / kernel time.
+    pub fn overhead_factor(&self) -> f64 {
+        self.total_time.ratio(self.kernel_time)
+    }
+}
+
+impl fmt::Display for RunRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} {} [{}]: kernel {} total {}{}",
+            self.workload,
+            self.size,
+            self.api,
+            self.device,
+            self.kernel_time,
+            self.total_time,
+            if self.validated { "" } else { " (NOT VALIDATED)" }
+        )
+    }
+}
+
+/// Outcome of one cell of the experiment matrix: a record or a reported
+/// failure.
+pub type RunOutcome = Result<RunRecord, RunFailure>;
+
+/// The speedup of `subject` relative to `baseline` on kernel time, the
+/// paper's headline metric (OpenCL is the baseline in Fig. 2 and Fig. 4).
+pub fn speedup(baseline: &RunRecord, subject: &RunRecord) -> f64 {
+    baseline.kernel_time.ratio(subject.kernel_time)
+}
+
+/// The speedup on end-to-end time (used by the overhead ablations).
+pub fn total_speedup(baseline: &RunRecord, subject: &RunRecord) -> f64 {
+    baseline.total_time.ratio(subject.total_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(api: Api, kernel_us: f64, total_us: f64) -> RunRecord {
+        RunRecord {
+            workload: "bfs".into(),
+            api,
+            device: "Test GPU".into(),
+            size: "4K".into(),
+            kernel_time: SimDuration::from_micros(kernel_us),
+            total_time: SimDuration::from_micros(total_us),
+            breakdown: TimingBreakdown::new(),
+            calls: CallCounter::new(),
+            validated: true,
+        }
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_subject() {
+        let opencl = record(Api::OpenCl, 300.0, 500.0);
+        let vulkan = record(Api::Vulkan, 150.0, 200.0);
+        assert!((speedup(&opencl, &vulkan) - 2.0).abs() < 1e-12);
+        assert!((total_speedup(&opencl, &vulkan) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_factor() {
+        let r = record(Api::Cuda, 100.0, 250.0);
+        assert!((r.overhead_factor() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let r = record(Api::Vulkan, 10.0, 20.0);
+        let s = r.to_string();
+        assert!(s.contains("bfs"));
+        assert!(s.contains("Vulkan"));
+        let mut nv = r;
+        nv.validated = false;
+        assert!(nv.to_string().contains("NOT VALIDATED"));
+    }
+
+    #[test]
+    fn failures_display() {
+        assert_eq!(RunFailure::OutOfMemory.to_string(), "out of device memory");
+        assert!(RunFailure::Error("boom".into()).to_string().contains("boom"));
+    }
+}

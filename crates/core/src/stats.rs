@@ -1,0 +1,88 @@
+//! Statistics helpers for the experiment reports.
+
+/// Geometric mean of a slice of positive values — the paper's summary
+/// statistic for speedups ("geometric mean speedups of 1.53x", §V-A2).
+///
+/// Non-positive and non-finite entries are skipped, matching how the
+/// paper's geomean can only be taken over benchmarks that actually ran.
+/// Returns `None` when nothing remains.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    let mut sum_ln = 0.0;
+    let mut count = 0usize;
+    for &v in values {
+        if v.is_finite() && v > 0.0 {
+            sum_ln += v.ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some((sum_ln / count as f64).exp())
+    }
+}
+
+/// Arithmetic mean over finite entries; `None` when empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        None
+    } else {
+        Some(finite.iter().sum::<f64>() / finite.len() as f64)
+    }
+}
+
+/// Minimum and maximum over finite entries; `None` when empty.
+pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    let mut it = values.iter().copied().filter(|v| v.is_finite());
+    let first = it.next()?;
+    let mut lo = first;
+    let mut hi = first;
+    for v in it {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    Some((lo, hi))
+}
+
+/// `true` when the sequence is non-decreasing within a tolerance factor —
+/// used to check "the speedup increases as we increase the input size"
+/// claims with room for model noise.
+pub fn roughly_increasing(values: &[f64], tolerance: f64) -> bool {
+    values.windows(2).all(|w| w[1] >= w[0] * (1.0 - tolerance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_known_values() {
+        let g = geomean(&[1.0, 2.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_skips_bad_entries() {
+        let g = geomean(&[2.0, 0.0, -1.0, f64::NAN, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_none());
+        assert!(geomean(&[0.0, -3.0]).is_none());
+    }
+
+    #[test]
+    fn mean_and_min_max() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(min_max(&[3.0, 1.0, 2.0]), Some((1.0, 3.0)));
+        assert!(mean(&[]).is_none());
+        assert!(min_max(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn roughly_increasing_tolerates_noise() {
+        assert!(roughly_increasing(&[1.0, 1.5, 2.0], 0.0));
+        assert!(roughly_increasing(&[1.0, 0.98, 1.5], 0.05));
+        assert!(!roughly_increasing(&[1.0, 0.5, 2.0], 0.05));
+        assert!(roughly_increasing(&[], 0.0));
+    }
+}

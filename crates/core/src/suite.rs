@@ -1,0 +1,143 @@
+//! Table I of the paper: the VComputeBench benchmarks, their Berkeley
+//! dwarves and application domains.
+
+use std::fmt;
+
+/// A Berkeley dwarf (computation/communication pattern class), after
+/// Asanović et al., "The Landscape of Parallel Computing Research".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dwarf {
+    /// Unstructured grid computations.
+    UnstructuredGrid,
+    /// Graph traversal.
+    GraphTraversal,
+    /// Dense linear algebra.
+    DenseLinearAlgebra,
+    /// Structured grid computations.
+    StructuredGrid,
+    /// Dynamic programming.
+    DynamicProgramming,
+}
+
+impl fmt::Display for Dwarf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dwarf::UnstructuredGrid => "Unstructured Grid",
+            Dwarf::GraphTraversal => "Graph Traversal",
+            Dwarf::DenseLinearAlgebra => "Dense Linear Algebra",
+            Dwarf::StructuredGrid => "Structured Grid",
+            Dwarf::DynamicProgramming => "Dynamic Programming",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkMeta {
+    /// Short name (the suite's identifier, e.g. `"bfs"`).
+    pub name: &'static str,
+    /// Full application name.
+    pub application: &'static str,
+    /// Berkeley dwarf.
+    pub dwarf: Dwarf,
+    /// Application domain.
+    pub domain: &'static str,
+}
+
+/// The nine VComputeBench benchmarks, in Table I order.
+pub const SUITE: [BenchmarkMeta; 9] = [
+    BenchmarkMeta {
+        name: "backprop",
+        application: "Back Propagation",
+        dwarf: Dwarf::UnstructuredGrid,
+        domain: "Deep Learning",
+    },
+    BenchmarkMeta {
+        name: "bfs",
+        application: "Breadth-First Search",
+        dwarf: Dwarf::GraphTraversal,
+        domain: "Graph Theory",
+    },
+    BenchmarkMeta {
+        name: "cfd",
+        application: "CFD Solver",
+        dwarf: Dwarf::UnstructuredGrid,
+        domain: "Fluid Dynamics",
+    },
+    BenchmarkMeta {
+        name: "gaussian",
+        application: "Gaussian Elimination",
+        dwarf: Dwarf::DenseLinearAlgebra,
+        domain: "Linear Algebra",
+    },
+    BenchmarkMeta {
+        name: "hotspot",
+        application: "Hotspot Simulation",
+        dwarf: Dwarf::StructuredGrid,
+        domain: "Physics",
+    },
+    BenchmarkMeta {
+        name: "lud",
+        application: "LU Decomposition",
+        dwarf: Dwarf::DenseLinearAlgebra,
+        domain: "Linear Algebra",
+    },
+    BenchmarkMeta {
+        name: "nn",
+        application: "K-Nearest Neighbors",
+        dwarf: Dwarf::DenseLinearAlgebra,
+        domain: "Data Mining",
+    },
+    BenchmarkMeta {
+        name: "nw",
+        application: "Needleman-Wunsch",
+        dwarf: Dwarf::DynamicProgramming,
+        domain: "Bioinformatics",
+    },
+    BenchmarkMeta {
+        name: "pathfinder",
+        application: "Path Finder",
+        dwarf: Dwarf::DynamicProgramming,
+        domain: "Grid Traversal",
+    },
+];
+
+/// Looks up suite metadata by short name.
+pub fn find(name: &str) -> Option<&'static BenchmarkMeta> {
+    SUITE.iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_benchmarks_as_in_table_1() {
+        assert_eq!(SUITE.len(), 9);
+    }
+
+    #[test]
+    fn names_are_unique_and_sorted_like_the_table() {
+        let names: Vec<_> = SUITE.iter().map(|m| m.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9);
+        // Table I lists them alphabetically.
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn lookup_matches_table_rows() {
+        let nw = find("nw").unwrap();
+        assert_eq!(nw.dwarf, Dwarf::DynamicProgramming);
+        assert_eq!(nw.domain, "Bioinformatics");
+        assert!(find("missing").is_none());
+    }
+
+    #[test]
+    fn dwarves_display_like_the_paper() {
+        assert_eq!(Dwarf::GraphTraversal.to_string(), "Graph Traversal");
+    }
+}

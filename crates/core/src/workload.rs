@@ -1,0 +1,112 @@
+//! The workload abstraction every benchmark implements.
+
+use std::fmt;
+
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, TraceMode};
+
+use crate::run::{RunOutcome, SizeSpec};
+use crate::suite::BenchmarkMeta;
+
+/// Options controlling one run of a workload.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Workgroup-tracing policy for the simulator.
+    pub trace_mode: TraceMode,
+    /// Validate outputs against the CPU reference (costs an extra
+    /// reference computation).
+    pub validate: bool,
+    /// Seed for deterministic input generation.
+    pub seed: u64,
+    /// Scale factor on iteration-heavy parameters for quick runs
+    /// (1.0 = paper scale).
+    pub scale: f64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            trace_mode: TraceMode::Auto,
+            validate: true,
+            seed: 0x5eed_cafe,
+            scale: 1.0,
+        }
+    }
+}
+
+/// A benchmark of the suite: metadata, per-class input sizes, and a
+/// runner for each programming model.
+///
+/// Implementations live in `vcb-workloads`; everything here is
+/// object-safe so the harness can iterate `Box<dyn Workload>`. The
+/// `Send + Sync` bound lets the harness fan runs out across threads
+/// (each run constructs its own simulated device, so runs are
+/// independent).
+pub trait Workload: Send + Sync {
+    /// Suite metadata (Table I row), or a synthetic row for
+    /// microbenchmarks.
+    fn meta(&self) -> BenchmarkMeta;
+
+    /// Input sizes evaluated on a device class (Fig. 2 uses three sizes
+    /// per benchmark on desktop, Fig. 4 two on mobile).
+    fn sizes(&self, class: DeviceClass) -> Vec<SizeSpec>;
+
+    /// Runs the workload under `api` on `device` at `size`.
+    ///
+    /// Failures are part of the result space (OOM, driver quirks,
+    /// unsupported APIs) and must be reported, not panicked.
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome;
+}
+
+impl fmt::Debug for dyn Workload + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload").field("name", &self.meta().name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::RunFailure;
+    use crate::suite;
+
+    struct Fake;
+
+    impl Workload for Fake {
+        fn meta(&self) -> BenchmarkMeta {
+            *suite::find("bfs").unwrap()
+        }
+
+        fn sizes(&self, class: DeviceClass) -> Vec<SizeSpec> {
+            match class {
+                DeviceClass::Desktop => vec![SizeSpec::new("4K", 4096)],
+                DeviceClass::Mobile => vec![SizeSpec::new("1K", 1024)],
+            }
+        }
+
+        fn run(
+            &self,
+            _api: Api,
+            _device: &DeviceProfile,
+            _size: &SizeSpec,
+            _opts: &RunOpts,
+        ) -> RunOutcome {
+            Err(RunFailure::Unsupported)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let w: Box<dyn Workload> = Box::new(Fake);
+        assert_eq!(w.meta().name, "bfs");
+        assert_eq!(w.sizes(DeviceClass::Desktop)[0].label, "4K");
+        assert!(format!("{w:?}").contains("bfs"));
+    }
+
+    #[test]
+    fn default_opts_are_sane() {
+        let opts = RunOpts::default();
+        assert!(opts.validate);
+        assert!((opts.scale - 1.0).abs() < f64::EPSILON);
+    }
+}

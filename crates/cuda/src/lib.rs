@@ -1,0 +1,740 @@
+//! # vcb-cuda — a CUDA-runtime-shaped API on the simulator
+//!
+//! The launch-based baseline of the paper's comparison. The programming
+//! model is deliberately thin — `cudaMalloc` is one call where Vulkan
+//! needs five — but every kernel launch pays the driver's launch
+//! overhead, and iterative algorithms that depend on previous iterations
+//! must launch again from the host each time (the "multi-kernel method"
+//! of §IV-C, which is how the Rodinia CUDA codes synchronize between
+//! dependent iterations).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vcb_sim::profile::devices;
+//! use vcb_sim::KernelRegistry;
+//! use vcb_cuda::CudaContext;
+//!
+//! # fn main() -> Result<(), vcb_cuda::CudaError> {
+//! let ctx = CudaContext::new(devices::gtx1050ti(), Arc::new(KernelRegistry::new()))?;
+//! let buf = ctx.malloc(1024)?;
+//! ctx.memcpy_htod(&buf, &[1.0f32; 256])?;
+//! let back: Vec<f32> = ctx.memcpy_dtoh(&buf)?;
+//! assert_eq!(back.len(), 256);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use vcb_sim::calls::CallCounter;
+use vcb_sim::engine::Gpu;
+use vcb_sim::exec::{BoundBuffer, CompiledKernel, Dispatch};
+use vcb_sim::mem::{BufferId, HeapAllocation, Scalar};
+use vcb_sim::profile::{DeviceProfile, DriverProfile};
+use vcb_sim::time::{SimDuration, SimInstant};
+use vcb_sim::timeline::{CostKind, TimingBreakdown};
+use vcb_sim::{Api, KernelRegistry, SimError, TraceMode};
+use vcb_spirv::DriverCompiler;
+
+/// Errors returned by the CUDA-shaped API (`cudaError_t` in spirit).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CudaError {
+    /// `cudaErrorMemoryAllocation` and other device-model failures.
+    Device(SimError),
+    /// `cudaErrorInvalidValue`: the API was misused.
+    InvalidValue {
+        /// Which call was misused.
+        call: &'static str,
+        /// Explanation.
+        what: String,
+    },
+    /// `cudaErrorNoDevice`: CUDA is not supported on this hardware
+    /// (every non-NVIDIA device, as in Table II).
+    NoDevice {
+        /// Device that lacks CUDA.
+        device: String,
+    },
+}
+
+impl fmt::Display for CudaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CudaError::Device(e) => write!(f, "cuda device error: {e}"),
+            CudaError::InvalidValue { call, what } => {
+                write!(f, "invalid value in {call}: {what}")
+            }
+            CudaError::NoDevice { device } => {
+                write!(f, "no CUDA-capable device ({device} has no CUDA driver)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CudaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CudaError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CudaError {
+    fn from(e: SimError) -> Self {
+        CudaError::Device(e)
+    }
+}
+
+/// Result alias for CUDA-shaped operations.
+pub type CudaResult<T> = Result<T, CudaError>;
+
+/// A device allocation handle (`void*` from `cudaMalloc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevicePtr {
+    id: BufferId,
+    allocation: HeapAllocation,
+    bytes: u64,
+}
+
+impl DevicePtr {
+    /// Allocation size in bytes.
+    pub fn bytes(self) -> u64 {
+        self.bytes
+    }
+}
+
+/// A kernel argument, matching CUDA's by-value parameter passing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelArg {
+    /// A device pointer parameter (maps to the next storage binding).
+    Ptr(DevicePtr),
+    /// A 32-bit integer parameter.
+    I32(i32),
+    /// A 32-bit unsigned parameter.
+    U32(u32),
+    /// A 32-bit float parameter.
+    F32(f32),
+}
+
+/// A resolved kernel (`CUfunction`) — compiled offline by "nvcc",
+/// resolved by symbol at module load.
+#[derive(Clone)]
+pub struct CudaFunction {
+    kernel: CompiledKernel,
+}
+
+impl CudaFunction {
+    /// The kernel's entry-point name.
+    pub fn name(&self) -> &str {
+        &self.kernel.info().name
+    }
+
+    /// The fixed block (workgroup) dimensions of this kernel.
+    pub fn block_dim(&self) -> [u32; 3] {
+        self.kernel.info().local_size
+    }
+}
+
+impl fmt::Debug for CudaFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CudaFunction").field("name", &self.name()).finish()
+    }
+}
+
+/// A CUDA stream (`cudaStream_t`). Stream 0 is the default stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stream(usize);
+
+impl Stream {
+    /// The default (legacy) stream.
+    pub const DEFAULT: Stream = Stream(0);
+}
+
+/// A CUDA event (`cudaEvent_t`) for device-side timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    at: SimInstant,
+}
+
+impl Event {
+    /// `cudaEventElapsedTime`: milliseconds between two recorded events.
+    pub fn elapsed_since(self, earlier: Event) -> f64 {
+        self.at.duration_since(earlier.at).as_millis()
+    }
+}
+
+struct ContextShared {
+    gpu: Gpu,
+    driver: DriverProfile,
+    registry: Arc<KernelRegistry>,
+    breakdown: TimingBreakdown,
+    host_now: SimInstant,
+    streams: Vec<SimInstant>,
+    calls: CallCounter,
+}
+
+impl ContextShared {
+    fn api_call(&mut self, name: &'static str, cost: SimDuration) {
+        self.calls.record(name);
+        self.host_now += cost;
+        self.breakdown.charge(CostKind::HostApi, cost);
+    }
+}
+
+/// A CUDA context bound to one device (`cudaSetDevice` + runtime state).
+#[derive(Clone)]
+pub struct CudaContext {
+    shared: Rc<RefCell<ContextShared>>,
+}
+
+impl CudaContext {
+    /// Initializes the CUDA runtime on `profile`.
+    ///
+    /// # Errors
+    ///
+    /// [`CudaError::NoDevice`] when the profile has no CUDA driver
+    /// (anything that is not NVIDIA, per Table II).
+    pub fn new(profile: DeviceProfile, registry: Arc<KernelRegistry>) -> CudaResult<CudaContext> {
+        let driver = profile
+            .driver(Api::Cuda)
+            .cloned()
+            .ok_or_else(|| CudaError::NoDevice {
+                device: profile.name.clone(),
+            })?;
+        let mut shared = ContextShared {
+            gpu: Gpu::new(profile),
+            driver,
+            registry,
+            breakdown: TimingBreakdown::new(),
+            host_now: SimInstant::EPOCH,
+            streams: vec![SimInstant::EPOCH],
+            calls: CallCounter::new(),
+        };
+        shared.api_call("cudaSetDevice", SimDuration::from_micros(90.0));
+        Ok(CudaContext {
+            shared: Rc::new(RefCell::new(shared)),
+        })
+    }
+
+    /// `cudaMalloc`.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures from the device-local heap.
+    pub fn malloc(&self, bytes: u64) -> CudaResult<DevicePtr> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("cudaMalloc", SimDuration::from_micros(6.0));
+        let heap = shared
+            .gpu
+            .profile()
+            .heaps
+            .iter()
+            .position(|h| h.device_local)
+            .expect("profiles always have a device-local heap");
+        let allocation = shared.gpu.pool_mut().alloc_raw(heap, bytes, 256)?;
+        let id = match shared.gpu.pool_mut().create_store(bytes) {
+            Ok(id) => id,
+            Err(e) => {
+                shared.gpu.pool_mut().free_raw(allocation);
+                return Err(e.into());
+            }
+        };
+        Ok(DevicePtr {
+            id,
+            allocation,
+            bytes,
+        })
+    }
+
+    /// `cudaFree`.
+    ///
+    /// # Errors
+    ///
+    /// [`CudaError::Device`] for double frees.
+    pub fn free(&self, ptr: &DevicePtr) -> CudaResult<()> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("cudaFree", SimDuration::from_micros(3.0));
+        shared.gpu.pool_mut().destroy_store(ptr.id)?;
+        shared.gpu.pool_mut().free_raw(ptr.allocation);
+        Ok(())
+    }
+
+    /// `cudaMemcpy(..., cudaMemcpyHostToDevice)`. Synchronous.
+    ///
+    /// # Errors
+    ///
+    /// Size mismatches and stale pointers.
+    pub fn memcpy_htod<T: Scalar>(&self, dst: &DevicePtr, src: &[T]) -> CudaResult<()> {
+        let bytes = std::mem::size_of_val(src) as u64;
+        if bytes > dst.bytes {
+            return Err(CudaError::InvalidValue {
+                call: "cudaMemcpy",
+                what: format!("copy of {bytes} bytes into allocation of {}", dst.bytes),
+            });
+        }
+        let mut shared = self.shared.borrow_mut();
+        shared.calls.record("cudaMemcpy");
+        // Synchronous copy: wait for outstanding work, then transfer.
+        let latest = shared.streams.iter().copied().fold(SimInstant::EPOCH, SimInstant::max);
+        if latest > shared.host_now {
+            shared.host_now = latest;
+            let wakeup = shared.driver.sync_wakeup;
+            shared.host_now += wakeup;
+            shared.breakdown.charge(CostKind::HostApi, wakeup);
+        }
+        let cost = shared.gpu.host_copy_time(bytes);
+        shared.host_now += cost;
+        shared.breakdown.charge(CostKind::Transfer, cost);
+        shared.gpu.pool_mut().buffer_mut(dst.id)?.write_slice(src);
+        Ok(())
+    }
+
+    /// `cudaMemcpy(..., cudaMemcpyDeviceToHost)`. Synchronous.
+    ///
+    /// # Errors
+    ///
+    /// Stale pointers or misaligned element types.
+    pub fn memcpy_dtoh<T: Scalar>(&self, src: &DevicePtr) -> CudaResult<Vec<T>> {
+        let mut shared = self.shared.borrow_mut();
+        shared.calls.record("cudaMemcpy");
+        let latest = shared.streams.iter().copied().fold(SimInstant::EPOCH, SimInstant::max);
+        if latest > shared.host_now {
+            shared.host_now = latest;
+            let wakeup = shared.driver.sync_wakeup;
+            shared.host_now += wakeup;
+            shared.breakdown.charge(CostKind::HostApi, wakeup);
+        }
+        let cost = shared.gpu.host_copy_time(src.bytes);
+        shared.host_now += cost;
+        shared.breakdown.charge(CostKind::Transfer, cost);
+        Ok(shared.gpu.pool().buffer(src.id)?.read_vec()?)
+    }
+
+    /// `cudaMemcpy(..., cudaMemcpyDeviceToDevice)`. Synchronous.
+    ///
+    /// # Errors
+    ///
+    /// Size mismatches or stale pointers.
+    pub fn memcpy_dtod(&self, dst: &DevicePtr, src: &DevicePtr, bytes: u64) -> CudaResult<()> {
+        if bytes > dst.bytes || bytes > src.bytes {
+            return Err(CudaError::InvalidValue {
+                call: "cudaMemcpy",
+                what: "device-to-device copy larger than an allocation".into(),
+            });
+        }
+        let mut shared = self.shared.borrow_mut();
+        shared.calls.record("cudaMemcpy");
+        let cost = shared.gpu.device_copy_time(bytes);
+        shared.host_now += cost;
+        shared.breakdown.charge(CostKind::Transfer, cost);
+        let data: Vec<u8> = {
+            let store = shared.gpu.pool().buffer(src.id)?;
+            store.bytes()[..bytes as usize].to_vec()
+        };
+        shared.gpu.pool_mut().buffer_mut(dst.id)?.bytes_mut()[..bytes as usize]
+            .copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Resolves a kernel by symbol (module load + `cuModuleGetFunction`).
+    ///
+    /// # Errors
+    ///
+    /// Unknown symbols.
+    pub fn get_function(&self, name: &str) -> CudaResult<CudaFunction> {
+        let mut shared = self.shared.borrow_mut();
+        shared.calls.record("cuModuleGetFunction");
+        let cost = shared.driver.pipeline_create_cost;
+        shared.host_now += cost;
+        shared.breakdown.charge(CostKind::PipelineCreate, cost);
+        let registry = Arc::clone(&shared.registry);
+        let compiler = DriverCompiler::new(&registry);
+        let kernel = compiler.compile_symbol(name, &shared.driver)?;
+        Ok(CudaFunction { kernel })
+    }
+
+    /// `cudaStreamCreate`.
+    pub fn create_stream(&self) -> Stream {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("cudaStreamCreate", SimDuration::from_micros(4.0));
+        let at = shared.host_now;
+        shared.streams.push(at);
+        Stream(shared.streams.len() - 1)
+    }
+
+    /// Launches a kernel (`kernel<<<grid, block, 0, stream>>>(args...)`).
+    ///
+    /// `grid` counts thread *blocks*; the block size is fixed by the
+    /// kernel (its SPIR-V `LocalSize` twin). Device pointers map to
+    /// storage bindings in declaration order; scalar arguments are packed
+    /// into the kernel's parameter space in order.
+    ///
+    /// Asynchronous with respect to the host, but every call pays the
+    /// driver's launch overhead on the host timeline — the per-iteration
+    /// cost the paper's Vulkan ports eliminate.
+    ///
+    /// # Errors
+    ///
+    /// Invalid grids, argument mismatches, or execution failures.
+    pub fn launch_kernel(
+        &self,
+        function: &CudaFunction,
+        grid: [u32; 3],
+        args: &[KernelArg],
+        stream: Stream,
+    ) -> CudaResult<()> {
+        let mut shared = self.shared.borrow_mut();
+        shared.calls.record("cudaLaunchKernel");
+        if stream.0 >= shared.streams.len() {
+            return Err(CudaError::InvalidValue {
+                call: "cudaLaunchKernel",
+                what: format!("stream {} does not exist", stream.0),
+            });
+        }
+
+        // Map args to bindings + packed scalars.
+        let info = function.kernel.info();
+        let mut bindings = Vec::new();
+        let mut scalars = Vec::new();
+        let mut slots = info.bindings.iter().map(|b| b.binding).collect::<Vec<_>>();
+        slots.sort_unstable();
+        let mut slot_iter = slots.into_iter();
+        for arg in args {
+            match arg {
+                KernelArg::Ptr(ptr) => {
+                    let Some(slot) = slot_iter.next() else {
+                        return Err(CudaError::InvalidValue {
+                            call: "cudaLaunchKernel",
+                            what: format!(
+                                "kernel `{}` takes {} pointer arguments, more were given",
+                                info.name,
+                                info.bindings.len()
+                            ),
+                        });
+                    };
+                    bindings.push(BoundBuffer {
+                        binding: slot,
+                        buffer: ptr.id,
+                    });
+                }
+                KernelArg::I32(v) => scalars.extend_from_slice(&v.to_le_bytes()),
+                KernelArg::U32(v) => scalars.extend_from_slice(&v.to_le_bytes()),
+                KernelArg::F32(v) => scalars.extend_from_slice(&v.to_le_bytes()),
+            }
+        }
+        if slot_iter.next().is_some() {
+            return Err(CudaError::InvalidValue {
+                call: "cudaLaunchKernel",
+                what: format!(
+                    "kernel `{}` expects {} pointer arguments",
+                    info.name,
+                    info.bindings.len()
+                ),
+            });
+        }
+
+        // Host pays the launch overhead (driver call path).
+        let launch = shared.driver.launch_overhead;
+        shared.host_now += launch;
+        shared.breakdown.charge(CostKind::LaunchOverhead, launch);
+
+        // The kernel starts when both the stream is free and the launch
+        // has reached the device.
+        let start = shared.streams[stream.0].max(shared.host_now);
+        let dispatch = Dispatch {
+            kernel: function.kernel.clone(),
+            groups: grid,
+            bindings,
+            push_constants: scalars,
+        };
+        let driver = shared.driver.clone();
+        let report = shared.gpu.execute(&dispatch, &driver)?;
+        shared.breakdown.charge(CostKind::KernelExec, report.time);
+        shared.streams[stream.0] = start + report.time;
+        Ok(())
+    }
+
+    /// `cudaDeviceSynchronize`.
+    pub fn device_synchronize(&self) {
+        let mut shared = self.shared.borrow_mut();
+        shared.calls.record("cudaDeviceSynchronize");
+        let latest = shared.streams.iter().copied().fold(SimInstant::EPOCH, SimInstant::max);
+        if latest > shared.host_now {
+            shared.host_now = latest;
+            let wakeup = shared.driver.sync_wakeup;
+            shared.host_now += wakeup;
+            shared.breakdown.charge(CostKind::HostApi, wakeup);
+        }
+    }
+
+    /// `cudaStreamSynchronize`.
+    pub fn stream_synchronize(&self, stream: Stream) {
+        let mut shared = self.shared.borrow_mut();
+        shared.calls.record("cudaStreamSynchronize");
+        if let Some(&busy) = shared.streams.get(stream.0) {
+            if busy > shared.host_now {
+                shared.host_now = busy;
+                let wakeup = shared.driver.sync_wakeup;
+                shared.host_now += wakeup;
+                shared.breakdown.charge(CostKind::HostApi, wakeup);
+            }
+        }
+    }
+
+    /// `cudaEventRecord` on a stream (returns the event).
+    pub fn record_event(&self, stream: Stream) -> Event {
+        let mut shared = self.shared.borrow_mut();
+        shared.calls.record("cudaEventRecord");
+        let at = shared
+            .streams
+            .get(stream.0)
+            .copied()
+            .unwrap_or(shared.host_now)
+            .max(shared.host_now);
+        Event { at }
+    }
+
+    /// Simulated host-side "now".
+    pub fn now(&self) -> SimInstant {
+        self.shared.borrow().host_now
+    }
+
+    /// Cost breakdown accumulated so far.
+    pub fn breakdown(&self) -> TimingBreakdown {
+        self.shared.borrow().breakdown
+    }
+
+    /// API call counts accumulated so far.
+    pub fn call_counts(&self) -> CallCounter {
+        self.shared.borrow().calls.snapshot()
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> DeviceProfile {
+        self.shared.borrow().gpu.profile().clone()
+    }
+
+    /// Sets the workgroup-tracing policy of the underlying simulator.
+    pub fn set_trace_mode(&self, mode: TraceMode) {
+        self.shared.borrow_mut().gpu.set_trace_mode(mode);
+    }
+}
+
+impl fmt::Debug for CudaContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shared = self.shared.borrow();
+        f.debug_struct("CudaContext")
+            .field("device", &shared.gpu.profile().name)
+            .field("host_now", &shared.host_now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_sim::exec::{GroupCtx, KernelInfo};
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        r.register(
+            KernelInfo::new("saxpy", [256, 1, 1])
+                .reads(0, "x")
+                .writes(1, "y")
+                .push_constants(8)
+                .build(),
+            Arc::new(|ctx: &mut GroupCtx<'_>| {
+                let x = ctx.global::<f32>(0)?;
+                let y = ctx.global::<f32>(1)?;
+                let a = ctx.push_f32(0);
+                let n = ctx.push_u32(4) as usize;
+                ctx.for_lanes(|lane| {
+                    let i = lane.global_linear() as usize;
+                    if i < n {
+                        let v = a * lane.ld(&x, i) + lane.ld(&y, i);
+                        lane.alu(2);
+                        lane.st(&y, i, v);
+                    }
+                });
+                Ok(())
+            }),
+        )
+        .unwrap();
+        Arc::new(r)
+    }
+
+    fn ctx() -> CudaContext {
+        CudaContext::new(devices::gtx1050ti(), registry()).unwrap()
+    }
+
+    #[test]
+    fn cuda_unavailable_off_nvidia() {
+        let err = CudaContext::new(devices::rx560(), registry()).unwrap_err();
+        assert!(matches!(err, CudaError::NoDevice { .. }));
+    }
+
+    #[test]
+    fn saxpy_end_to_end() {
+        let ctx = ctx();
+        let n = 10_000usize;
+        let x = ctx.malloc((n * 4) as u64).unwrap();
+        let y = ctx.malloc((n * 4) as u64).unwrap();
+        let xv: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let yv: Vec<f32> = vec![1.0; n];
+        ctx.memcpy_htod(&x, &xv).unwrap();
+        ctx.memcpy_htod(&y, &yv).unwrap();
+        let saxpy = ctx.get_function("saxpy").unwrap();
+        let blocks = (n as u32).div_ceil(256);
+        let args = [
+            KernelArg::Ptr(x),
+            KernelArg::Ptr(y),
+            KernelArg::F32(2.0),
+            KernelArg::U32(n as u32),
+        ];
+        ctx.launch_kernel(&saxpy, [blocks, 1, 1], &args, Stream::DEFAULT)
+            .unwrap();
+        ctx.device_synchronize();
+        let out: Vec<f32> = ctx.memcpy_dtoh(&y).unwrap();
+        assert_eq!(out[100], 2.0 * 100.0 + 1.0);
+        // Launch overhead was paid exactly once.
+        assert_eq!(
+            ctx.breakdown().get(CostKind::LaunchOverhead),
+            devices::gtx1050ti().driver(Api::Cuda).unwrap().launch_overhead
+        );
+    }
+
+    #[test]
+    fn repeated_launches_accumulate_overhead() {
+        let ctx = ctx();
+        let n = 1024usize;
+        let x = ctx.malloc((n * 4) as u64).unwrap();
+        let y = ctx.malloc((n * 4) as u64).unwrap();
+        ctx.memcpy_htod(&x, &vec![0.0f32; n]).unwrap();
+        ctx.memcpy_htod(&y, &vec![0.0f32; n]).unwrap();
+        let saxpy = ctx.get_function("saxpy").unwrap();
+        let args = [
+            KernelArg::Ptr(x),
+            KernelArg::Ptr(y),
+            KernelArg::F32(1.0),
+            KernelArg::U32(n as u32),
+        ];
+        for _ in 0..10 {
+            ctx.launch_kernel(&saxpy, [4, 1, 1], &args, Stream::DEFAULT)
+                .unwrap();
+        }
+        ctx.device_synchronize();
+        let expected = devices::gtx1050ti()
+            .driver(Api::Cuda)
+            .unwrap()
+            .launch_overhead
+            * 10;
+        assert_eq!(ctx.breakdown().get(CostKind::LaunchOverhead), expected);
+    }
+
+    #[test]
+    fn wrong_arg_counts_rejected() {
+        let ctx = ctx();
+        let x = ctx.malloc(1024).unwrap();
+        let saxpy = ctx.get_function("saxpy").unwrap();
+        // Too few pointers.
+        assert!(ctx
+            .launch_kernel(&saxpy, [1, 1, 1], &[KernelArg::Ptr(x)], Stream::DEFAULT)
+            .is_err());
+        // Too many pointers.
+        assert!(ctx
+            .launch_kernel(
+                &saxpy,
+                [1, 1, 1],
+                &[KernelArg::Ptr(x), KernelArg::Ptr(x), KernelArg::Ptr(x)],
+                Stream::DEFAULT
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn oversized_copy_rejected() {
+        let ctx = ctx();
+        let x = ctx.malloc(16).unwrap();
+        assert!(ctx.memcpy_htod(&x, &[0.0f32; 100]).is_err());
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let ctx = ctx();
+        let x = ctx.malloc(64).unwrap();
+        ctx.free(&x).unwrap();
+        assert!(ctx.free(&x).is_err());
+    }
+
+    #[test]
+    fn events_measure_kernel_time() {
+        let ctx = ctx();
+        let n: usize = 1 << 20;
+        let x = ctx.malloc((n * 4) as u64).unwrap();
+        let y = ctx.malloc((n * 4) as u64).unwrap();
+        ctx.memcpy_htod(&x, &vec![1.0f32; n]).unwrap();
+        ctx.memcpy_htod(&y, &vec![1.0f32; n]).unwrap();
+        let saxpy = ctx.get_function("saxpy").unwrap();
+        let start = ctx.record_event(Stream::DEFAULT);
+        ctx.launch_kernel(
+            &saxpy,
+            [(n as u32).div_ceil(256), 1, 1],
+            &[
+                KernelArg::Ptr(x),
+                KernelArg::Ptr(y),
+                KernelArg::F32(3.0),
+                KernelArg::U32(n as u32),
+            ],
+            Stream::DEFAULT,
+        )
+        .unwrap();
+        let end = ctx.record_event(Stream::DEFAULT);
+        assert!(end.elapsed_since(start) > 0.0);
+    }
+
+    #[test]
+    fn unknown_kernel_symbol() {
+        let ctx = ctx();
+        assert!(matches!(
+            ctx.get_function("missing"),
+            Err(CudaError::Device(SimError::UnknownKernel { .. }))
+        ));
+    }
+
+    #[test]
+    fn dtod_copy_moves_data() {
+        let ctx = ctx();
+        let a = ctx.malloc(64).unwrap();
+        let b = ctx.malloc(64).unwrap();
+        ctx.memcpy_htod(&a, &[5u32; 16]).unwrap();
+        ctx.memcpy_dtod(&b, &a, 64).unwrap();
+        let out: Vec<u32> = ctx.memcpy_dtoh(&b).unwrap();
+        assert_eq!(out, vec![5u32; 16]);
+    }
+
+    #[test]
+    fn streams_are_independent_timelines() {
+        let ctx = ctx();
+        let s1 = ctx.create_stream();
+        assert_ne!(s1, Stream::DEFAULT);
+        ctx.stream_synchronize(s1);
+    }
+
+    #[test]
+    fn oom_reports_device_error() {
+        let ctx = ctx();
+        let result = ctx.malloc(64 * 1024 * 1024 * 1024);
+        assert!(matches!(
+            result,
+            Err(CudaError::Device(SimError::OutOfDeviceMemory { .. }))
+        ));
+    }
+}

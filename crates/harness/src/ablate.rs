@@ -1,0 +1,391 @@
+//! Ablations for the paper's §VI-B recommendations and the §V-A2 bfs
+//! analysis: each toggles exactly one design choice and reports the
+//! simulated times with it on and off.
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunFailure, SizeSpec};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_sim::profile::{DeviceProfile, DriverQuirk, QueueCaps};
+use vcb_sim::time::SimDuration;
+use vcb_sim::{Api, KernelRegistry};
+use vcb_vulkan::util as vku;
+use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo};
+use vcb_workloads::common::{vk_env, vk_failure, vk_kernel};
+use vcb_workloads::rodinia::{bfs, hotspot};
+
+/// Outcome of one ablation: the recommended configuration vs the naive
+/// one.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// What was toggled.
+    pub name: &'static str,
+    /// Time with the paper's recommendation applied.
+    pub recommended: SimDuration,
+    /// Time with the naive alternative.
+    pub naive: SimDuration,
+}
+
+impl Ablation {
+    /// Improvement factor (naive / recommended).
+    pub fn factor(&self) -> f64 {
+        self.naive.ratio(self.recommended)
+    }
+}
+
+/// §VI-B #1: "For iterative algorithms, use one single command buffer and
+/// synchronize using memory barriers." Runs `iterations` dependent
+/// hotspot steps recorded once vs submitted one-by-one.
+///
+/// # Errors
+///
+/// Propagates Vulkan failures as [`RunFailure`].
+pub fn single_command_buffer(
+    registry: &Arc<KernelRegistry>,
+    profile: &DeviceProfile,
+    iterations: u32,
+) -> Result<Ablation, RunFailure> {
+    let n = 256usize;
+    let run_with = |single: bool| -> Result<SimDuration, RunFailure> {
+        let env = vk_env(profile, registry)?;
+        let device = &env.device;
+        let (temp, power) = hotspot::generate(n, 7);
+        let power_buf = vku::upload_storage_buffer(device, &env.queue, &power).map_err(vk_failure)?;
+        let ping = vku::upload_storage_buffer(device, &env.queue, &temp).map_err(vk_failure)?;
+        let pong = vku::create_storage_buffer(device, (n * n * 4) as u64).map_err(vk_failure)?;
+        let (layout, _pool, set) = vku::storage_descriptor_set(
+            device,
+            &[&power_buf.buffer, &ping.buffer, &pong.buffer],
+        )
+        .map_err(vk_failure)?;
+        let kernel = vk_kernel(&env, registry, hotspot::KERNEL, &layout, 4)?;
+        let cmd_pool = device
+            .create_command_pool(env.queue.family_index())
+            .map_err(vk_failure)?;
+        let barrier = MemoryBarrier {
+            src_access: Access::SHADER_WRITE,
+            dst_access: Access::SHADER_READ,
+        };
+        let groups = (n as u32).div_ceil(hotspot::TILE);
+        let start = device.now();
+        if single {
+            let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+            cmd.begin().map_err(vk_failure)?;
+            cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
+            cmd.bind_descriptor_sets(&kernel.layout, &[&set]).map_err(vk_failure)?;
+            cmd.push_constants(&kernel.layout, 0, &(n as u32).to_le_bytes())
+                .map_err(vk_failure)?;
+            for _ in 0..iterations {
+                cmd.dispatch(groups, groups, 1).map_err(vk_failure)?;
+                cmd.pipeline_barrier(
+                    PipelineStage::COMPUTE_SHADER,
+                    PipelineStage::COMPUTE_SHADER,
+                    &barrier,
+                )
+                .map_err(vk_failure)?;
+            }
+            cmd.end().map_err(vk_failure)?;
+            env.queue
+                .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+                .map_err(vk_failure)?;
+            env.queue.wait_idle();
+        } else {
+            // Naive: one command buffer + submit + wait per iteration.
+            for _ in 0..iterations {
+                let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+                cmd.begin().map_err(vk_failure)?;
+                cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
+                cmd.bind_descriptor_sets(&kernel.layout, &[&set]).map_err(vk_failure)?;
+                cmd.push_constants(&kernel.layout, 0, &(n as u32).to_le_bytes())
+                    .map_err(vk_failure)?;
+                cmd.dispatch(groups, groups, 1).map_err(vk_failure)?;
+                cmd.end().map_err(vk_failure)?;
+                env.queue
+                    .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+                    .map_err(vk_failure)?;
+                env.queue.wait_idle();
+            }
+        }
+        Ok(device.now().duration_since(start))
+    };
+    Ok(Ablation {
+        name: "single command buffer + barriers vs submit per iteration",
+        recommended: run_with(true)?,
+        naive: run_with(false)?,
+    })
+}
+
+/// §VI-B #2: "use PushConstants rather than binding a whole parameters
+/// buffer." Compares a healthy push-constant driver against the same
+/// device with the [`DriverQuirk::PushConstantsAsBuffer`] degradation.
+///
+/// # Errors
+///
+/// Propagates run failures.
+pub fn push_constants_vs_buffer(
+    registry: &Arc<KernelRegistry>,
+    profile: &DeviceProfile,
+    opts: &RunOpts,
+) -> Result<Ablation, RunFailure> {
+    use vcb_workloads::micro::stride;
+    let healthy = {
+        let mut p = profile.clone();
+        for d in &mut p.drivers {
+            d.quirks.retain(|q| !matches!(q, DriverQuirk::PushConstantsAsBuffer));
+        }
+        p
+    };
+    let degraded = {
+        let mut p = profile.clone();
+        for d in &mut p.drivers {
+            if d.api == Api::Vulkan && !d.push_constants_degraded() {
+                d.quirks.push(DriverQuirk::PushConstantsAsBuffer);
+            }
+        }
+        p
+    };
+    let time_of = |p: &DeviceProfile| -> Result<SimDuration, RunFailure> {
+        let curve = stride::bandwidth_curve(Api::Vulkan, p, registry, opts)?;
+        Ok(curve
+            .first()
+            .map(|s| s.time_per_rep)
+            .unwrap_or(SimDuration::ZERO))
+    };
+    Ok(Ablation {
+        name: "push constants vs parameter-buffer rebinds (unit-stride micro)",
+        recommended: time_of(&healthy)?,
+        naive: time_of(&degraded)?,
+    })
+}
+
+/// §VI-B #4: "For large memory transfers use transfer queues." Copies a
+/// large buffer host→device through the compute queue vs a dedicated
+/// transfer queue.
+///
+/// # Errors
+///
+/// Propagates Vulkan failures; [`RunFailure::Unsupported`] when the
+/// device has no dedicated transfer family.
+pub fn transfer_queue_copies(
+    registry: &Arc<KernelRegistry>,
+    profile: &DeviceProfile,
+    bytes: u64,
+) -> Result<Ablation, RunFailure> {
+    let transfer_family = profile
+        .queue_families
+        .iter()
+        .position(|f| f.caps == QueueCaps::TRANSFER)
+        .ok_or(RunFailure::Unsupported)?;
+    let env = vk_env(profile, registry)?;
+    let device = &env.device;
+    // A second logical device with both queues would be more faithful;
+    // the simulated device exposes every family, so grab the transfer
+    // queue directly.
+    let instance_env = vk_env(profile, registry)?;
+    let _ = &instance_env;
+    let data = vec![0u8; bytes as usize];
+    let staging = vku::create_buffer_bound(
+        device,
+        bytes,
+        vcb_vulkan::BufferUsage::TRANSFER_SRC,
+        vcb_vulkan::MemoryProperty::HOST_VISIBLE,
+    )
+    .map_err(vk_failure)?;
+    staging.buffer.write_mapped(&data).map_err(vk_failure)?;
+    let dst = vku::create_storage_buffer(device, bytes).map_err(vk_failure)?;
+
+    let copy_via = |family: usize| -> Result<SimDuration, RunFailure> {
+        let queue = device.get_queue(family, 0).map_err(vk_failure)?;
+        let pool = device.create_command_pool(family).map_err(vk_failure)?;
+        let cmd = pool.allocate_command_buffer().map_err(vk_failure)?;
+        cmd.begin().map_err(vk_failure)?;
+        cmd.copy_buffer(&staging.buffer, &dst.buffer, bytes).map_err(vk_failure)?;
+        cmd.end().map_err(vk_failure)?;
+        let start = device.now();
+        queue
+            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .map_err(vk_failure)?;
+        queue.wait_idle();
+        Ok(device.now().duration_since(start))
+    };
+
+    let compute_family = env.queue.family_index();
+    Ok(Ablation {
+        name: "dedicated transfer queue vs compute-queue copy",
+        recommended: copy_via(transfer_family)?,
+        naive: copy_via(compute_family)?,
+    })
+}
+
+/// §VI-B #5: "make use of multiple compute queues whenever possible."
+/// Submits two independent dispatch chains to one queue vs two queues of
+/// the same family.
+///
+/// # Errors
+///
+/// Propagates Vulkan failures; [`RunFailure::Unsupported`] when the
+/// compute family has a single queue.
+pub fn multiple_compute_queues(
+    registry: &Arc<KernelRegistry>,
+    profile: &DeviceProfile,
+    dispatches: u32,
+) -> Result<Ablation, RunFailure> {
+    use vcb_workloads::micro::vectoradd;
+    let family = profile
+        .find_queue_family(QueueCaps::COMPUTE)
+        .ok_or(RunFailure::Unsupported)?;
+    if profile.queue_families[family].count < 2 {
+        return Err(RunFailure::Unsupported);
+    }
+
+    let run_with = |two_queues: bool| -> Result<SimDuration, RunFailure> {
+        let instance = vcb_vulkan::Instance::new(&vcb_vulkan::InstanceCreateInfo {
+            application_name: "ablate-queues".into(),
+            enabled_layers: vec![],
+            devices: vec![profile.clone()],
+            registry: Arc::clone(registry),
+        })
+        .map_err(vk_failure)?;
+        let physical = instance.enumerate_physical_devices().remove(0);
+        let device = vcb_vulkan::Device::new(
+            &physical,
+            &vcb_vulkan::DeviceCreateInfo {
+                queue_create_infos: vec![vcb_vulkan::DeviceQueueCreateInfo {
+                    queue_family_index: family,
+                    queue_count: 2,
+                }],
+            },
+        )
+        .map_err(vk_failure)?;
+        let q0 = device.get_queue(family, 0).map_err(vk_failure)?;
+        let q1 = device.get_queue(family, if two_queues { 1 } else { 0 }).map_err(vk_failure)?;
+        let env = vcb_workloads::common::VkEnv {
+            device: device.clone(),
+            queue: q0.clone(),
+        };
+
+        let n = 64 * 1024usize;
+        let make_chain = |seed: u64| -> Result<vcb_vulkan::CommandBuffer, RunFailure> {
+            let (xv, yv) = vectoradd::generate(n, seed);
+            let x = vku::upload_storage_buffer(&device, &q0, &xv).map_err(vk_failure)?;
+            let y = vku::upload_storage_buffer(&device, &q0, &yv).map_err(vk_failure)?;
+            let z = vku::create_storage_buffer(&device, (n * 4) as u64).map_err(vk_failure)?;
+            let (layout, _pool, set) =
+                vku::storage_descriptor_set(&device, &[&x.buffer, &y.buffer, &z.buffer])
+                    .map_err(vk_failure)?;
+            let kernel = vk_kernel(&env, registry, vectoradd::KERNEL, &layout, 4)?;
+            let pool = device.create_command_pool(family).map_err(vk_failure)?;
+            let cmd = pool.allocate_command_buffer().map_err(vk_failure)?;
+            cmd.begin().map_err(vk_failure)?;
+            cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
+            cmd.bind_descriptor_sets(&kernel.layout, &[&set]).map_err(vk_failure)?;
+            cmd.push_constants(&kernel.layout, 0, &(n as u32).to_le_bytes())
+                .map_err(vk_failure)?;
+            for _ in 0..dispatches {
+                cmd.dispatch((n as u32).div_ceil(vectoradd::LOCAL_SIZE), 1, 1)
+                    .map_err(vk_failure)?;
+            }
+            cmd.end().map_err(vk_failure)?;
+            Ok(cmd)
+        };
+        let a = make_chain(1)?;
+        let b = make_chain(2)?;
+        let start = device.now();
+        q0.submit(&[SubmitInfo { command_buffers: &[&a] }], None)
+            .map_err(vk_failure)?;
+        q1.submit(&[SubmitInfo { command_buffers: &[&b] }], None)
+            .map_err(vk_failure)?;
+        device.wait_idle();
+        Ok(device.now().duration_since(start))
+    };
+    Ok(Ablation {
+        name: "two compute queues vs one for independent work",
+        recommended: run_with(true)?,
+        naive: run_with(false)?,
+    })
+}
+
+/// §V-A2's bfs root cause as an ablation: the same Vulkan run with the
+/// driver compiler's local-memory promotion force-enabled (what a mature
+/// compiler would produce) vs the immature default.
+///
+/// # Errors
+///
+/// Propagates run failures.
+pub fn compiler_maturity(
+    registry: &Arc<KernelRegistry>,
+    profile: &DeviceProfile,
+    opts: &RunOpts,
+) -> Result<Ablation, RunFailure> {
+    let mature = {
+        let mut p = profile.clone();
+        for d in &mut p.drivers {
+            d.local_memory_promotion = true;
+        }
+        p
+    };
+    let w = bfs::Bfs::new(Arc::clone(registry));
+    let size = SizeSpec::new("64K", 64 * 1024);
+    let immature_run = w.run(Api::Vulkan, profile, &size, opts)?;
+    let mature_run = w.run(Api::Vulkan, &mature, &size, opts)?;
+    Ok(Ablation {
+        name: "mature (promoting) vs immature Vulkan kernel compiler on bfs",
+        recommended: mature_run.kernel_time,
+        naive: immature_run.kernel_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        vcb_workloads::registry().unwrap()
+    }
+
+    #[test]
+    fn single_command_buffer_wins() {
+        let a = single_command_buffer(&registry(), &devices::gtx1050ti(), 24).unwrap();
+        assert!(a.factor() > 1.3, "factor {}", a.factor());
+    }
+
+    #[test]
+    fn push_constants_win_when_degraded() {
+        let opts = RunOpts {
+            scale: 0.05,
+            validate: false,
+            ..RunOpts::default()
+        };
+        let a = push_constants_vs_buffer(&registry(), &devices::adreno506(), &opts).unwrap();
+        assert!(a.factor() > 1.05, "factor {}", a.factor());
+    }
+
+    #[test]
+    fn transfer_queue_wins_for_large_copies() {
+        let a = transfer_queue_copies(&registry(), &devices::gtx1050ti(), 128 * 1024 * 1024)
+            .unwrap();
+        assert!(a.factor() > 1.3, "factor {}", a.factor());
+        // Mobile parts have no dedicated transfer family.
+        assert!(matches!(
+            transfer_queue_copies(&registry(), &devices::adreno506(), 1024),
+            Err(RunFailure::Unsupported)
+        ));
+    }
+
+    #[test]
+    fn two_queues_overlap_independent_work() {
+        let a = multiple_compute_queues(&registry(), &devices::gtx1050ti(), 16).unwrap();
+        assert!(a.factor() > 1.2, "factor {}", a.factor());
+    }
+
+    #[test]
+    fn promotion_recovers_bfs() {
+        let opts = RunOpts {
+            validate: false,
+            ..RunOpts::default()
+        };
+        let a = compiler_maturity(&registry(), &devices::gtx1050ti(), &opts).unwrap();
+        assert!(a.factor() > 1.1, "factor {}", a.factor());
+    }
+}

@@ -1,0 +1,417 @@
+//! The experiment drivers: one function per table/figure of the paper.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::stats::geomean;
+use vcb_core::workload::RunOpts;
+use vcb_sim::profile::{devices, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry};
+use vcb_workloads::micro::stride::{self, BandwidthSample};
+
+/// Global options for an experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOpts {
+    /// Per-run options (seed, validation, scale).
+    pub run: RunOpts,
+    /// Worker threads for the run matrix (1 = sequential).
+    pub threads: usize,
+    /// Limit on sizes per workload (0 = all of the figure's sizes).
+    /// Benches use 1 to regenerate a representative column quickly.
+    pub sizes_per_workload: usize,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        ExperimentOpts {
+            run: RunOpts::default(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(16))
+                .unwrap_or(4),
+            sizes_per_workload: 0,
+        }
+    }
+}
+
+impl ExperimentOpts {
+    /// Quick preset: scaled-down iteration counts and array sizes, no
+    /// output validation — for smoke runs of the full figure set.
+    pub fn quick() -> Self {
+        ExperimentOpts {
+            run: RunOpts {
+                scale: 0.25,
+                validate: false,
+                ..RunOpts::default()
+            },
+            ..ExperimentOpts::default()
+        }
+    }
+
+    /// Paper-scale preset: full input sizes, validation on.
+    pub fn paper() -> Self {
+        ExperimentOpts::default()
+    }
+}
+
+/// One cell of the benchmark matrix: a (workload, size, api, device) run.
+#[derive(Debug)]
+pub struct MatrixCell {
+    /// Workload short name.
+    pub workload: String,
+    /// Size label (figure x-axis).
+    pub size: String,
+    /// Programming model.
+    pub api: Api,
+    /// Device name.
+    pub device: String,
+    /// The run outcome (record or reported failure).
+    pub outcome: RunOutcome,
+}
+
+/// All runs of one device's speedup figure (one panel of Fig. 2/Fig. 4).
+#[derive(Debug)]
+pub struct DevicePanel {
+    /// Device name.
+    pub device: String,
+    /// Programming models that ran (baseline first).
+    pub apis: Vec<Api>,
+    /// All cells, in (workload, size, api) order.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl DevicePanel {
+    fn find(&self, workload: &str, size: &str, api: Api) -> Option<&MatrixCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.size == size && c.api == api)
+    }
+
+    /// Kernel-time speedup of `api` over the OpenCL baseline for one bar,
+    /// `None` if either run failed.
+    pub fn speedup(&self, workload: &str, size: &str, api: Api) -> Option<f64> {
+        let base = self.find(workload, size, Api::OpenCl)?.outcome.as_ref().ok()?;
+        let subj = self.find(workload, size, api)?.outcome.as_ref().ok()?;
+        Some(vcb_core::run::speedup(base, subj))
+    }
+
+    /// Geometric-mean speedup of `api` vs the OpenCL baseline across all
+    /// bars that ran under both APIs (the paper's headline statistic).
+    pub fn geomean_speedup(&self, api: Api) -> Option<f64> {
+        let mut values = Vec::new();
+        for cell in self.cells.iter().filter(|c| c.api == api) {
+            if let Some(s) = self.speedup(&cell.workload, &cell.size, api) {
+                values.push(s);
+            }
+        }
+        geomean(&values)
+    }
+
+    /// The (workload, size) bar labels in run order.
+    pub fn bars(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            let key = (c.workload.clone(), c.size.clone());
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+        out
+    }
+}
+
+/// Runs the full benchmark matrix for one device.
+pub fn run_device_panel(
+    registry: &Arc<KernelRegistry>,
+    profile: &DeviceProfile,
+    opts: &ExperimentOpts,
+) -> DevicePanel {
+    let apis: Vec<Api> = profile.supported_apis();
+    let workloads = vcb_workloads::suite_workloads(registry);
+
+    struct Task {
+        workload_index: usize,
+        size: SizeSpec,
+        api: Api,
+    }
+    let mut tasks = VecDeque::new();
+    for (workload_index, w) in workloads.iter().enumerate() {
+        let mut sizes = w.sizes(profile.class);
+        if opts.sizes_per_workload > 0 {
+            sizes.truncate(opts.sizes_per_workload);
+        }
+        for size in sizes {
+            for &api in &apis {
+                tasks.push_back(Task {
+                    workload_index,
+                    size: size.clone(),
+                    api,
+                });
+            }
+        }
+    }
+
+    let queue = Mutex::new(tasks);
+    let results: Mutex<Vec<MatrixCell>> = Mutex::new(Vec::new());
+    let threads = opts.threads.max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let Some(task) = queue.lock().expect("queue poisoned").pop_front() else {
+                    break;
+                };
+                let w = &workloads[task.workload_index];
+                let outcome = w.run(task.api, profile, &task.size, &opts.run);
+                results.lock().expect("results poisoned").push(MatrixCell {
+                    workload: w.meta().name.to_owned(),
+                    size: task.size.label.clone(),
+                    api: task.api,
+                    device: profile.name.clone(),
+                    outcome,
+                });
+            });
+        }
+    });
+
+    let mut cells = results.into_inner().expect("results poisoned");
+    // Restore deterministic (workload, size, api) order.
+    let workload_order: Vec<&str> = vcb_core::suite::SUITE.iter().map(|m| m.name).collect();
+    cells.sort_by_key(|c| {
+        let w = workload_order.iter().position(|n| *n == c.workload).unwrap_or(99);
+        let a = Api::ALL.iter().position(|x| *x == c.api).unwrap_or(9);
+        (w, c.size.clone(), a)
+    });
+    DevicePanel {
+        device: profile.name.clone(),
+        apis,
+        cells,
+    }
+}
+
+/// Fig. 2: desktop speedup panels (GTX 1050 Ti and RX 560).
+pub fn fig2(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Vec<DevicePanel> {
+    devices::desktop()
+        .iter()
+        .map(|d| run_device_panel(registry, d, opts))
+        .collect()
+}
+
+/// Fig. 4: mobile speedup panels (Nexus / Snapdragon).
+pub fn fig4(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Vec<DevicePanel> {
+    devices::mobile()
+        .iter()
+        .map(|d| run_device_panel(registry, d, opts))
+        .collect()
+}
+
+/// One API's bandwidth curve on one device (a line of Fig. 1/Fig. 3).
+#[derive(Debug)]
+pub struct BandwidthCurve {
+    /// Device name.
+    pub device: String,
+    /// Programming model.
+    pub api: Api,
+    /// Samples per stride, or the failure that prevented them.
+    pub samples: Result<Vec<BandwidthSample>, vcb_core::run::RunFailure>,
+}
+
+/// Runs the strided-bandwidth microbenchmark for every API on `profile`.
+pub fn bandwidth_curves(
+    registry: &Arc<KernelRegistry>,
+    profile: &DeviceProfile,
+    opts: &ExperimentOpts,
+) -> Vec<BandwidthCurve> {
+    profile
+        .supported_apis()
+        .into_iter()
+        .map(|api| BandwidthCurve {
+            device: profile.name.clone(),
+            api,
+            samples: stride::bandwidth_curve(api, profile, registry, &opts.run),
+        })
+        .collect()
+}
+
+/// Fig. 1: desktop bandwidth-vs-stride curves.
+pub fn fig1(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Vec<Vec<BandwidthCurve>> {
+    devices::desktop()
+        .iter()
+        .map(|d| bandwidth_curves(registry, d, opts))
+        .collect()
+}
+
+/// Fig. 3: mobile bandwidth-vs-stride curves.
+pub fn fig3(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Vec<Vec<BandwidthCurve>> {
+    devices::mobile()
+        .iter()
+        .map(|d| bandwidth_curves(registry, d, opts))
+        .collect()
+}
+
+/// The paper's headline geomean numbers, derived from panels.
+#[derive(Debug, Clone)]
+pub struct GeomeanSummary {
+    /// Device name.
+    pub device: String,
+    /// Vulkan vs CUDA geomean (NVIDIA only).
+    pub vulkan_vs_cuda: Option<f64>,
+    /// Vulkan vs OpenCL geomean.
+    pub vulkan_vs_opencl: Option<f64>,
+}
+
+/// Summarizes panels into the §V-A2 / §V-B2 geomeans.
+pub fn summarize(panels: &[DevicePanel]) -> Vec<GeomeanSummary> {
+    panels
+        .iter()
+        .map(|p| {
+            // Vulkan vs CUDA: geomean over bars where both ran.
+            let mut vs_cuda = Vec::new();
+            for (w, s) in p.bars() {
+                let cuda = p
+                    .find(&w, &s, Api::Cuda)
+                    .and_then(|c| c.outcome.as_ref().ok());
+                let vk = p
+                    .find(&w, &s, Api::Vulkan)
+                    .and_then(|c| c.outcome.as_ref().ok());
+                if let (Some(c), Some(v)) = (cuda, vk) {
+                    vs_cuda.push(vcb_core::run::speedup(c, v));
+                }
+            }
+            GeomeanSummary {
+                device: p.device.clone(),
+                vulkan_vs_cuda: geomean(&vs_cuda),
+                vulkan_vs_opencl: p.geomean_speedup(Api::Vulkan),
+            }
+        })
+        .collect()
+}
+
+/// One API's time decomposition for one workload run — the evidence
+/// behind the paper's choice to compare kernel-only times ("a high
+/// overhead is generally exhibited by OpenCL JIT compilation and
+/// explicit context management resulting in longer total times",
+/// §V-A2).
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Programming model.
+    pub api: Api,
+    /// The run's compute-phase (kernel) time.
+    pub kernel: vcb_sim::SimDuration,
+    /// End-to-end time of the benchmark body.
+    pub total: vcb_sim::SimDuration,
+    /// JIT compilation share.
+    pub jit: vcb_sim::SimDuration,
+    /// Pipeline/kernel-object creation share.
+    pub pipeline: vcb_sim::SimDuration,
+    /// Data-transfer share.
+    pub transfer: vcb_sim::SimDuration,
+    /// Host API bookkeeping share.
+    pub host_api: vcb_sim::SimDuration,
+}
+
+/// Decomposes where each API's end-to-end time goes for one workload
+/// (default: gaussian at its smallest desktop size).
+pub fn overheads(
+    registry: &Arc<KernelRegistry>,
+    profile: &DeviceProfile,
+    opts: &ExperimentOpts,
+) -> Vec<OverheadRow> {
+    use vcb_sim::timeline::CostKind;
+    let workloads = vcb_workloads::suite_workloads(registry);
+    let gaussian = workloads
+        .iter()
+        .find(|w| w.meta().name == "gaussian")
+        .expect("gaussian is in the suite");
+    let size = SizeSpec::new("208", 208);
+    let mut rows = Vec::new();
+    for api in profile.supported_apis() {
+        if let Ok(r) = gaussian.run(api, profile, &size, &opts.run) {
+            rows.push(OverheadRow {
+                api,
+                kernel: r.kernel_time,
+                total: r.total_time,
+                jit: r.breakdown.get(CostKind::JitCompile),
+                pipeline: r.breakdown.get(CostKind::PipelineCreate),
+                transfer: r.breakdown.get(CostKind::Transfer),
+                host_api: r.breakdown.get(CostKind::HostApi),
+            });
+        }
+    }
+    rows
+}
+
+/// Programming-effort records from running the vector-add micro under
+/// every API on `profile` (§VI-A).
+pub fn effort(
+    registry: &Arc<KernelRegistry>,
+    profile: &DeviceProfile,
+    opts: &ExperimentOpts,
+) -> Vec<vcb_core::effort::EffortRecord> {
+    use vcb_workloads::micro::vectoradd;
+    let n = 1_000_000; // Listing 1's N
+    let mut records = Vec::new();
+    for api in profile.supported_apis() {
+        let result = match api {
+            Api::Vulkan => vectoradd::run_vulkan(profile, registry, n, &opts.run),
+            Api::Cuda => vectoradd::run_cuda(profile, registry, n, &opts.run),
+            Api::OpenCl => vectoradd::run_opencl(profile, registry, n, &opts.run),
+        };
+        if let Ok(record) = result {
+            records.push(vcb_core::effort::EffortRecord::from_calls(
+                "vectoradd",
+                api,
+                &record.calls,
+            ));
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentOpts {
+        ExperimentOpts {
+            run: RunOpts {
+                scale: 0.1,
+                validate: false,
+                ..RunOpts::default()
+            },
+            threads: 8,
+            sizes_per_workload: 0,
+        }
+    }
+
+    #[test]
+    fn device_panel_runs_every_cell() {
+        let registry = vcb_workloads::registry().unwrap();
+        let mut profile = devices::powervr_g6430();
+        // Shrink to a fast subset by running the mobile class.
+        profile.class = vcb_sim::profile::DeviceClass::Mobile;
+        let panel = run_device_panel(&registry, &profile, &quick());
+        // 8 workloads x 2 sizes x 2 apis + cfd x 1 size x 2 apis.
+        assert_eq!(panel.cells.len(), 8 * 2 * 2 + 2);
+        // cfd cells are OOM failures.
+        let cfd_cells: Vec<_> = panel.cells.iter().filter(|c| c.workload == "cfd").collect();
+        assert!(cfd_cells
+            .iter()
+            .all(|c| matches!(c.outcome, Err(vcb_core::run::RunFailure::OutOfMemory))));
+        // backprop fails on the Nexus under both APIs.
+        assert!(panel
+            .cells
+            .iter()
+            .filter(|c| c.workload == "backprop")
+            .all(|c| matches!(c.outcome, Err(vcb_core::run::RunFailure::DriverFailure))));
+    }
+
+    #[test]
+    fn effort_shows_vulkan_verbosity() {
+        let registry = vcb_workloads::registry().unwrap();
+        let records = effort(&registry, &devices::gtx1050ti(), &quick());
+        assert_eq!(records.len(), 3);
+        let by_api = |api: Api| records.iter().find(|r| r.api == api).unwrap();
+        assert!(by_api(Api::Vulkan).total_calls > 2 * by_api(Api::Cuda).total_calls);
+        assert!(by_api(Api::Vulkan).distinct_calls > by_api(Api::OpenCl).distinct_calls);
+    }
+}

@@ -1,0 +1,33 @@
+//! # vcb-harness — regenerating the paper's tables and figures
+//!
+//! One function per experiment (see DESIGN.md's experiment index):
+//!
+//! | Paper artifact | Entry point |
+//! |---|---|
+//! | Table I (benchmark list) | [`render::table1`] |
+//! | Table II / III (platforms) | [`render::platform_table`] |
+//! | Fig. 1 (desktop bandwidth) | [`experiments::fig1`] |
+//! | Fig. 2 (desktop speedups) | [`experiments::fig2`] |
+//! | Fig. 3 (mobile bandwidth) | [`experiments::fig3`] |
+//! | Fig. 4 (mobile speedups) | [`experiments::fig4`] |
+//! | §V geomeans | [`experiments::summarize`] |
+//! | §VI-A effort | [`experiments::effort`] |
+//! | §V-A2 overhead decomposition | [`experiments::overheads`] |
+//! | §VI-B recommendations | [`ablate`] |
+//!
+//! The `vcb` binary wraps these behind a CLI:
+//!
+//! ```text
+//! vcb all --quick          # every table + figure, scaled-down inputs
+//! vcb fig2 --csv out.csv   # one figure, machine-readable output
+//! vcb ablate               # the §VI-B recommendation ablations
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablate;
+pub mod experiments;
+pub mod render;
+
+pub use experiments::{ExperimentOpts, GeomeanSummary};

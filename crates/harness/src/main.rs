@@ -1,0 +1,220 @@
+//! The `vcb` experiment runner: regenerates every table and figure of
+//! the VComputeBench paper on the simulated platforms.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use vcb_harness::experiments::{self, ExperimentOpts};
+use vcb_harness::{ablate, render};
+use vcb_sim::profile::{devices, DeviceClass};
+
+const USAGE: &str = "\
+vcb — VComputeBench reproduction harness
+
+USAGE:
+    vcb <COMMAND> [OPTIONS]
+
+COMMANDS:
+    table1      Table I: the benchmark suite
+    table2      Table II: desktop platform configurations
+    table3      Table III: mobile platform configurations
+    fig1        Fig. 1: desktop bandwidth vs stride
+    fig2        Fig. 2: desktop speedups vs OpenCL
+    fig3        Fig. 3: mobile bandwidth vs stride
+    fig4        Fig. 4: mobile speedups vs OpenCL
+    summary     §V geometric-mean speedups (runs fig2 + fig4)
+    effort      §VI-A programming-effort comparison
+    overheads   §V-A2 total-vs-kernel time decomposition
+    ablate      §VI-B recommendation ablations
+    all         everything above, in paper order
+
+OPTIONS:
+    --quick         scaled-down inputs, no output validation (default)
+    --paper-scale   full paper input sizes with validation (slow)
+    --threads N     worker threads for the run matrix
+    --csv FILE      also write machine-readable results to FILE
+    --seed N        input-generation seed
+";
+
+struct Cli {
+    command: String,
+    opts: ExperimentOpts,
+    csv_path: Option<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(|| USAGE.to_owned())?;
+    let mut opts = ExperimentOpts::quick();
+    let mut csv_path = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts = ExperimentOpts::quick(),
+            "--paper-scale" => opts = ExperimentOpts::paper(),
+            "--threads" => {
+                let n = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --threads value: {e}"))?;
+                opts.threads = n.max(1);
+            }
+            "--seed" => {
+                opts.run.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --seed value: {e}"))?;
+            }
+            "--csv" => {
+                csv_path = Some(args.next().ok_or("--csv needs a file path")?);
+            }
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(Cli {
+        command,
+        opts,
+        csv_path,
+    })
+}
+
+fn write_csv(path: &Option<String>, content: &str) {
+    if let Some(path) = path {
+        match std::fs::File::create(path).and_then(|mut f| f.write_all(content.as_bytes())) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = match vcb_workloads::registry() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("failed to build kernel registry: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let run_fig1 = || {
+        let panels = experiments::fig1(&registry, &cli.opts);
+        println!("=== Fig. 1: Vulkan memory bandwidth vs CUDA and OpenCL (desktop) ===\n");
+        for curves in &panels {
+            println!("{}", render::bandwidth_panel(curves));
+        }
+        write_csv(&cli.csv_path, &render::bandwidth_csv(&panels));
+    };
+    let run_fig3 = || {
+        let panels = experiments::fig3(&registry, &cli.opts);
+        println!("=== Fig. 3: Vulkan memory bandwidth vs OpenCL (mobile) ===\n");
+        for curves in &panels {
+            println!("{}", render::bandwidth_panel(curves));
+        }
+        write_csv(&cli.csv_path, &render::bandwidth_csv(&panels));
+    };
+    let run_fig2 = || {
+        let panels = experiments::fig2(&registry, &cli.opts);
+        println!("=== Fig. 2: Vulkan speedup vs CUDA and OpenCL (desktop) ===\n");
+        let mut csv = String::new();
+        for p in &panels {
+            println!("{}", render::speedup_panel(p));
+            csv.push_str(&render::panel_csv(p));
+        }
+        println!("{}", render::summary_lines(&experiments::summarize(&panels)));
+        write_csv(&cli.csv_path, &csv);
+        panels
+    };
+    let run_fig4 = || {
+        let panels = experiments::fig4(&registry, &cli.opts);
+        println!("=== Fig. 4: Vulkan speedup vs OpenCL (mobile) ===\n");
+        let mut csv = String::new();
+        for p in &panels {
+            println!("{}", render::speedup_panel(p));
+            csv.push_str(&render::panel_csv(p));
+        }
+        println!("{}", render::summary_lines(&experiments::summarize(&panels)));
+        write_csv(&cli.csv_path, &csv);
+        panels
+    };
+    let run_effort = || {
+        println!("=== §VI-A: programming effort ===\n");
+        let records = experiments::effort(&registry, &devices::gtx1050ti(), &cli.opts);
+        println!("{}", vcb_core::effort::effort_table(&records).render());
+    };
+    let run_overheads = || {
+        println!("=== §V-A2: total-time overhead decomposition ===\n");
+        let rows = experiments::overheads(&registry, &devices::gtx1050ti(), &cli.opts);
+        println!("{}", render::overhead_table(&rows));
+    };
+    let run_ablate = || {
+        println!("=== §VI-B: recommended Vulkan optimizations, measured ===\n");
+        let gtx = devices::gtx1050ti();
+        let sd = devices::adreno506();
+        let report = |result: Result<ablate::Ablation, vcb_core::run::RunFailure>| match result {
+            Ok(a) => println!(
+                "{:<62} {:>10} vs {:>10}  ({:.2}x)",
+                a.name,
+                a.recommended.to_string(),
+                a.naive.to_string(),
+                a.factor()
+            ),
+            Err(e) => println!("(skipped: {e})"),
+        };
+        report(ablate::single_command_buffer(&registry, &gtx, 32));
+        report(ablate::push_constants_vs_buffer(&registry, &sd, &cli.opts.run));
+        report(ablate::transfer_queue_copies(&registry, &gtx, 128 * 1024 * 1024));
+        report(ablate::multiple_compute_queues(&registry, &gtx, 16));
+        report(ablate::compiler_maturity(&registry, &gtx, &cli.opts.run));
+        println!();
+    };
+
+    match cli.command.as_str() {
+        "table1" => println!("{}", render::table1()),
+        "table2" => println!("{}", render::platform_table(DeviceClass::Desktop)),
+        "table3" => println!("{}", render::platform_table(DeviceClass::Mobile)),
+        "fig1" => run_fig1(),
+        "fig2" => {
+            run_fig2();
+        }
+        "fig3" => run_fig3(),
+        "fig4" => {
+            run_fig4();
+        }
+        "summary" => {
+            let desktop = experiments::fig2(&registry, &cli.opts);
+            let mobile = experiments::fig4(&registry, &cli.opts);
+            println!("=== §V: geometric-mean speedups ===\n");
+            println!("{}", render::summary_lines(&experiments::summarize(&desktop)));
+            println!("{}", render::summary_lines(&experiments::summarize(&mobile)));
+        }
+        "effort" => run_effort(),
+        "overheads" => run_overheads(),
+        "ablate" => run_ablate(),
+        "all" => {
+            println!("{}", render::table1());
+            println!("{}", render::platform_table(DeviceClass::Desktop));
+            run_fig1();
+            run_fig2();
+            println!("{}", render::platform_table(DeviceClass::Mobile));
+            run_fig3();
+            run_fig4();
+            run_effort();
+            run_overheads();
+            run_ablate();
+        }
+        "--help" | "-h" | "help" => println!("{USAGE}"),
+        other => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,282 @@
+//! Rendering experiment results as text reports, bar charts and CSV.
+
+use std::fmt::Write as _;
+
+use vcb_core::report::{BarChart, Table};
+use vcb_core::run::RunFailure;
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::Api;
+
+use crate::experiments::{BandwidthCurve, DevicePanel, GeomeanSummary};
+
+/// Renders Table I (the benchmark list).
+pub fn table1() -> String {
+    let mut t = Table::new(&["Name", "Application", "Dwarf", "Domain"]);
+    for m in &vcb_core::suite::SUITE {
+        t.row(&[
+            m.name,
+            m.application,
+            &m.dwarf.to_string(),
+            m.domain,
+        ]);
+    }
+    format!("TABLE I: VComputeBench benchmarks\n\n{}", t.render())
+}
+
+/// Renders Table II / Table III (platform configurations) for a device
+/// class.
+pub fn platform_table(class: DeviceClass) -> String {
+    let (title, devices): (&str, Vec<DeviceProfile>) = match class {
+        DeviceClass::Desktop => (
+            "TABLE II: Desktop GPUs Experimental Setup",
+            vcb_sim::profile::devices::desktop(),
+        ),
+        DeviceClass::Mobile => (
+            "TABLE III: Mobile GPUs Experimental Setup",
+            vcb_sim::profile::devices::mobile(),
+        ),
+    };
+    let mut headers = vec!["".to_owned()];
+    headers.extend(devices.iter().map(|d| d.name.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+
+    let row = |label: &str, f: &dyn Fn(&DeviceProfile) -> String| {
+        let mut cells = vec![label.to_owned()];
+        cells.extend(devices.iter().map(f));
+        cells
+    };
+    t.row(&row("Host", &|d| d.host.clone()));
+    t.row(&row("Architecture", &|d| d.architecture.clone()));
+    t.row(&row("Compute units", &|d| d.compute_units.to_string()));
+    t.row(&row("Peak bandwidth", &|d| {
+        format!("{:.1} GB/s", d.memory.peak_bandwidth_gbps())
+    }));
+    t.row(&row("Device memory", &|d| {
+        format!("{} MiB", d.device_local_bytes() / (1024 * 1024))
+    }));
+    for api in Api::ALL {
+        t.row(&row(&api.to_string(), &|d| {
+            d.driver(api)
+                .map(|drv| drv.api_version.clone())
+                .unwrap_or_else(|| "-".into())
+        }));
+    }
+    format!("{title}\n\n{}", t.render())
+}
+
+/// Renders one device's bandwidth curves (one panel of Fig. 1 / Fig. 3).
+pub fn bandwidth_panel(curves: &[BandwidthCurve]) -> String {
+    let device = curves.first().map(|c| c.device.as_str()).unwrap_or("?");
+    let mut out = format!("{device}: achieved bandwidth (GB/s) vs element stride\n\n");
+    let mut headers = vec!["Stride".to_owned()];
+    for c in curves {
+        headers.push(c.api.to_string());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    let strides: Vec<u32> = curves
+        .iter()
+        .find_map(|c| c.samples.as_ref().ok())
+        .map(|s| s.iter().map(|x| x.stride).collect())
+        .unwrap_or_default();
+    for (i, stride) in strides.iter().enumerate() {
+        let mut cells = vec![stride.to_string()];
+        for c in curves {
+            cells.push(match &c.samples {
+                Ok(samples) => format!("{:.2}", samples[i].gbps()),
+                Err(e) => e.to_string(),
+            });
+        }
+        t.row(&cells);
+    }
+    let _ = write!(out, "{}", t.render());
+    out
+}
+
+/// Renders one device's speedup panel (Fig. 2 / Fig. 4) as a bar chart.
+pub fn speedup_panel(panel: &DevicePanel) -> String {
+    let mut chart = BarChart::new(
+        format!(
+            "{}: speedup vs OpenCL baseline (kernel times)",
+            panel.device
+        ),
+        1.0,
+    );
+    for (workload, size) in panel.bars() {
+        for &api in &panel.apis {
+            if api == Api::OpenCl {
+                continue;
+            }
+            let label = format!("{workload}/{size} {api}");
+            match panel.speedup(&workload, &size, api) {
+                Some(s) => {
+                    chart.bar(label, s);
+                }
+                None => {
+                    let reason = panel
+                        .cells
+                        .iter()
+                        .find(|c| c.workload == workload && c.size == size && c.api == api)
+                        .and_then(|c| c.outcome.as_ref().err())
+                        .map(failure_note)
+                        .unwrap_or("no baseline");
+                    chart.bar_with_note(label, f64::NAN, reason);
+                }
+            }
+        }
+    }
+    chart.render(48)
+}
+
+fn failure_note(f: &RunFailure) -> &'static str {
+    match f {
+        RunFailure::OutOfMemory => "did not fit in device memory",
+        RunFailure::DriverFailure => "driver failure",
+        RunFailure::Unsupported => "API unsupported",
+        RunFailure::Error(_) => "error",
+    }
+}
+
+/// Renders the §V-A2 overhead decomposition (why kernel-only times are
+/// compared).
+pub fn overhead_table(rows: &[crate::experiments::OverheadRow]) -> String {
+    let mut t = Table::new(&[
+        "API",
+        "kernel",
+        "total",
+        "jit",
+        "pipeline",
+        "transfer",
+        "host-api",
+        "total/kernel",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.api.to_string(),
+            r.kernel.to_string(),
+            r.total.to_string(),
+            r.jit.to_string(),
+            r.pipeline.to_string(),
+            r.transfer.to_string(),
+            r.host_api.to_string(),
+            format!("{:.2}x", r.total.ratio(r.kernel)),
+        ]);
+    }
+    format!(
+        "gaussian/208: where end-to-end time goes per API (why the paper\n\
+         compares kernel times only, §V-A2)\n\n{}",
+        t.render()
+    )
+}
+
+/// Renders the geomean summary lines (the abstract's headline numbers).
+pub fn summary_lines(summaries: &[GeomeanSummary]) -> String {
+    let mut out = String::new();
+    for s in summaries {
+        let _ = write!(out, "{}: ", s.device);
+        let mut parts = Vec::new();
+        if let Some(g) = s.vulkan_vs_cuda {
+            parts.push(format!("Vulkan vs CUDA geomean {g:.2}x"));
+        }
+        if let Some(g) = s.vulkan_vs_opencl {
+            parts.push(format!("Vulkan vs OpenCL geomean {g:.2}x"));
+        }
+        if parts.is_empty() {
+            parts.push("no comparable runs".into());
+        }
+        let _ = writeln!(out, "{}", parts.join(", "));
+    }
+    out
+}
+
+/// Renders a device panel as CSV rows
+/// (`device,workload,size,api,kernel_us,total_us,speedup_vs_opencl,status`).
+pub fn panel_csv(panel: &DevicePanel) -> String {
+    let mut t = Table::new(&[
+        "device",
+        "workload",
+        "size",
+        "api",
+        "kernel_us",
+        "total_us",
+        "speedup_vs_opencl",
+        "status",
+    ]);
+    for c in &panel.cells {
+        match &c.outcome {
+            Ok(r) => {
+                let s = panel
+                    .speedup(&c.workload, &c.size, c.api)
+                    .map(|v| format!("{v:.4}"))
+                    .unwrap_or_default();
+                t.row(&[
+                    c.device.clone(),
+                    c.workload.clone(),
+                    c.size.clone(),
+                    c.api.ident().to_owned(),
+                    format!("{:.3}", r.kernel_time.as_micros()),
+                    format!("{:.3}", r.total_time.as_micros()),
+                    s,
+                    if r.validated { "ok".into() } else { "NOT VALIDATED".into() },
+                ]);
+            }
+            Err(e) => {
+                t.row(&[
+                    c.device.clone(),
+                    c.workload.clone(),
+                    c.size.clone(),
+                    c.api.ident().to_owned(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    e.to_string(),
+                ]);
+            }
+        }
+    }
+    t.to_csv()
+}
+
+/// Renders bandwidth curves as CSV (`device,api,stride,gbps`).
+pub fn bandwidth_csv(panels: &[Vec<BandwidthCurve>]) -> String {
+    let mut t = Table::new(&["device", "api", "stride", "gbps"]);
+    for curves in panels {
+        for c in curves {
+            if let Ok(samples) = &c.samples {
+                for s in samples {
+                    t.row(&[
+                        c.device.clone(),
+                        c.api.ident().to_owned(),
+                        s.stride.to_string(),
+                        format!("{:.4}", s.gbps()),
+                    ]);
+                }
+            }
+        }
+    }
+    t.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_nine() {
+        let s = table1();
+        for m in &vcb_core::suite::SUITE {
+            assert!(s.contains(m.name), "missing {}", m.name);
+        }
+    }
+
+    #[test]
+    fn platform_tables_show_versions() {
+        let t2 = platform_table(DeviceClass::Desktop);
+        assert!(t2.contains("CUDA 8.0"));
+        assert!(t2.contains("112.0 GB/s"));
+        let t3 = platform_table(DeviceClass::Mobile);
+        assert!(t3.contains("Adreno"));
+        assert!(t3.contains("libpvrcpt"));
+    }
+}

@@ -1,0 +1,85 @@
+//! OpenCL-shaped error handling.
+
+use std::fmt;
+
+use vcb_sim::SimError;
+
+/// Errors returned by the OpenCL-shaped API (`cl_int` error codes in
+/// spirit).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClError {
+    /// `CL_OUT_OF_RESOURCES` and other device-model failures.
+    Device(SimError),
+    /// `CL_INVALID_VALUE` / `CL_INVALID_*`: the API was misused.
+    InvalidValue {
+        /// Which call was misused.
+        call: &'static str,
+        /// Explanation.
+        what: String,
+    },
+    /// `CL_BUILD_PROGRAM_FAILURE` with a build log.
+    BuildFailure {
+        /// The build log a real driver would return.
+        log: String,
+    },
+    /// `CL_DEVICE_NOT_FOUND`: no OpenCL driver on this device.
+    DeviceNotFound {
+        /// Device without OpenCL support.
+        device: String,
+    },
+}
+
+impl ClError {
+    pub(crate) fn invalid(call: &'static str, what: impl Into<String>) -> Self {
+        ClError::InvalidValue {
+            call,
+            what: what.into(),
+        }
+    }
+}
+
+impl fmt::Display for ClError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClError::Device(e) => write!(f, "opencl device error: {e}"),
+            ClError::InvalidValue { call, what } => write!(f, "invalid value in {call}: {what}"),
+            ClError::BuildFailure { log } => write!(f, "program build failure: {log}"),
+            ClError::DeviceNotFound { device } => {
+                write!(f, "no OpenCL driver on device {device}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ClError {
+    fn from(e: SimError) -> Self {
+        ClError::Device(e)
+    }
+}
+
+/// Result alias for OpenCL-shaped operations.
+pub type ClResult<T> = Result<T, ClError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ClError::from(SimError::invalid("y"));
+        assert!(e.to_string().contains("opencl device error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let b = ClError::BuildFailure { log: "lud_diagonal: internal compiler error".into() };
+        assert!(b.to_string().contains("lud_diagonal"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # vcb-opencl — an OpenCL-shaped API on the simulator
+//!
+//! The second launch-based model of the paper's comparison, and the
+//! baseline of its speedup plots (it is the only model supported on all
+//! four platforms). Differences from CUDA that matter to the experiments:
+//!
+//! * **Runtime JIT**: kernels ship as C source and compile at
+//!   [`program::Program::build`], charging the build time the paper
+//!   excludes by reporting kernel-only durations (§V-A2).
+//! * **Mature compilers**: OpenCL drivers apply local-memory promotion
+//!   (the bfs advantage over Vulkan).
+//! * **Explicit contexts and queues** with per-enqueue launch overhead.
+//! * **Driver fragility on mobile** (§V-B2): program builds fail for
+//!   workloads the device profile marks broken, exactly where the paper
+//!   saw lud fail on the Snapdragon.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vcb_sim::profile::devices;
+//! use vcb_sim::KernelRegistry;
+//! use vcb_opencl::{CommandQueue, Context, Platform, QueueProperties};
+//!
+//! # fn main() -> Result<(), vcb_opencl::ClError> {
+//! let platforms = Platform::enumerate(&devices::all(), Arc::new(KernelRegistry::new()));
+//! assert_eq!(platforms.len(), 4); // all paper devices have some OpenCL
+//! let context = Context::new(&platforms[0].devices()[0])?;
+//! let _queue = CommandQueue::new(&context, QueueProperties { profiling: true });
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod platform;
+pub mod program;
+pub mod queue;
+
+pub use error::{ClError, ClResult};
+pub use platform::{ClBuffer, ClDeviceId, Context, MemFlags, Platform};
+pub use program::{ClArg, Kernel, Program};
+pub use queue::{ClEvent, CommandQueue, QueueProperties};

@@ -1,0 +1,304 @@
+//! Platforms, devices and contexts.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use vcb_sim::calls::CallCounter;
+use vcb_sim::engine::Gpu;
+use vcb_sim::mem::{BufferId, HeapAllocation};
+use vcb_sim::profile::{DeviceProfile, DriverProfile};
+use vcb_sim::time::{SimDuration, SimInstant};
+use vcb_sim::timeline::{CostKind, TimingBreakdown};
+use vcb_sim::{Api, KernelRegistry, TraceMode};
+
+use crate::error::{ClError, ClResult};
+
+/// An OpenCL platform (`cl_platform_id`): one vendor's driver stack.
+#[derive(Clone)]
+pub struct Platform {
+    profiles: Vec<DeviceProfile>,
+    registry: Arc<KernelRegistry>,
+}
+
+impl Platform {
+    /// `clGetPlatformIDs`: builds the platform list for a simulated
+    /// machine, keeping only devices with OpenCL drivers.
+    pub fn enumerate(profiles: &[DeviceProfile], registry: Arc<KernelRegistry>) -> Vec<Platform> {
+        profiles
+            .iter()
+            .filter(|p| p.driver(Api::OpenCl).is_some())
+            .map(|p| Platform {
+                profiles: vec![p.clone()],
+                registry: Arc::clone(&registry),
+            })
+            .collect()
+    }
+
+    /// `clGetDeviceIDs`.
+    pub fn devices(&self) -> Vec<ClDeviceId> {
+        (0..self.profiles.len())
+            .map(|index| ClDeviceId {
+                profile: self.profiles[index].clone(),
+                registry: Arc::clone(&self.registry),
+            })
+            .collect()
+    }
+
+    /// Platform name (`CL_PLATFORM_NAME`).
+    pub fn name(&self) -> String {
+        self.profiles
+            .first()
+            .map(|p| format!("{} OpenCL Platform", p.vendor))
+            .unwrap_or_else(|| "Empty Platform".into())
+    }
+}
+
+impl fmt::Debug for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Platform").field("name", &self.name()).finish()
+    }
+}
+
+/// An OpenCL device handle (`cl_device_id`).
+#[derive(Clone)]
+pub struct ClDeviceId {
+    pub(crate) profile: DeviceProfile,
+    pub(crate) registry: Arc<KernelRegistry>,
+}
+
+impl ClDeviceId {
+    /// Device name (`CL_DEVICE_NAME`).
+    pub fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    /// Supported OpenCL version string (`CL_DEVICE_VERSION`); Table II
+    /// notes NVIDIA caps at 1.2 while AMD exposes 2.0.
+    pub fn version(&self) -> &str {
+        &self
+            .profile
+            .driver(Api::OpenCl)
+            .expect("constructed from platforms with OpenCL drivers")
+            .api_version
+    }
+}
+
+impl fmt::Debug for ClDeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClDeviceId").field("name", &self.name()).finish()
+    }
+}
+
+pub(crate) struct ContextShared {
+    pub(crate) gpu: Gpu,
+    pub(crate) driver: DriverProfile,
+    pub(crate) registry: Arc<KernelRegistry>,
+    pub(crate) breakdown: TimingBreakdown,
+    pub(crate) host_now: SimInstant,
+    pub(crate) queues: Vec<SimInstant>,
+    pub(crate) calls: CallCounter,
+}
+
+impl ContextShared {
+    pub(crate) fn api_call(&mut self, name: &'static str, cost: SimDuration) {
+        self.calls.record(name);
+        self.host_now += cost;
+        self.breakdown.charge(CostKind::HostApi, cost);
+    }
+}
+
+/// An OpenCL context (`cl_context`) on one device.
+#[derive(Clone)]
+pub struct Context {
+    pub(crate) shared: Rc<RefCell<ContextShared>>,
+}
+
+impl Context {
+    /// `clCreateContext` for a single device.
+    ///
+    /// # Errors
+    ///
+    /// [`ClError::DeviceNotFound`] if the device lost its OpenCL driver
+    /// (defensive; enumeration normally filters).
+    pub fn new(device: &ClDeviceId) -> ClResult<Context> {
+        let driver = device
+            .profile
+            .driver(Api::OpenCl)
+            .cloned()
+            .ok_or_else(|| ClError::DeviceNotFound {
+                device: device.profile.name.clone(),
+            })?;
+        let mut shared = ContextShared {
+            gpu: Gpu::new(device.profile.clone()),
+            driver,
+            registry: Arc::clone(&device.registry),
+            breakdown: TimingBreakdown::new(),
+            host_now: SimInstant::EPOCH,
+            queues: Vec::new(),
+            calls: CallCounter::new(),
+        };
+        // Explicit context management is part of OpenCL's fixed overhead
+        // (§V-A2 mentions it alongside JIT as the reason kernel-only times
+        // are compared).
+        shared.api_call("clCreateContext", SimDuration::from_micros(260.0));
+        Ok(Context {
+            shared: Rc::new(RefCell::new(shared)),
+        })
+    }
+
+    /// Simulated host-side "now".
+    pub fn now(&self) -> SimInstant {
+        self.shared.borrow().host_now
+    }
+
+    /// Cost breakdown accumulated so far.
+    pub fn breakdown(&self) -> TimingBreakdown {
+        self.shared.borrow().breakdown
+    }
+
+    /// API call counts accumulated so far.
+    pub fn call_counts(&self) -> CallCounter {
+        self.shared.borrow().calls.snapshot()
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> DeviceProfile {
+        self.shared.borrow().gpu.profile().clone()
+    }
+
+    /// Sets the workgroup-tracing policy of the underlying simulator.
+    pub fn set_trace_mode(&self, mode: TraceMode) {
+        self.shared.borrow_mut().gpu.set_trace_mode(mode);
+    }
+
+    /// `clCreateBuffer`: one call allocates usable device memory — the
+    /// paper's contrast to Vulkan's five-call dance (§VI-A).
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn create_buffer(&self, flags: MemFlags, size: u64) -> ClResult<ClBuffer> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("clCreateBuffer", SimDuration::from_micros(7.0));
+        let heap = shared
+            .gpu
+            .profile()
+            .heaps
+            .iter()
+            .position(|h| h.device_local)
+            .expect("profiles always have a device-local heap");
+        let allocation = shared.gpu.pool_mut().alloc_raw(heap, size, 256)?;
+        let id = match shared.gpu.pool_mut().create_store(size) {
+            Ok(id) => id,
+            Err(e) => {
+                shared.gpu.pool_mut().free_raw(allocation);
+                return Err(e.into());
+            }
+        };
+        Ok(ClBuffer {
+            id,
+            allocation,
+            bytes: size,
+            flags,
+        })
+    }
+
+    /// `clReleaseMemObject`.
+    ///
+    /// # Errors
+    ///
+    /// Double releases.
+    pub fn release_buffer(&self, buffer: &ClBuffer) -> ClResult<()> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("clReleaseMemObject", SimDuration::from_micros(2.0));
+        shared.gpu.pool_mut().destroy_store(buffer.id)?;
+        shared.gpu.pool_mut().free_raw(buffer.allocation);
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shared = self.shared.borrow();
+        f.debug_struct("Context")
+            .field("device", &shared.gpu.profile().name)
+            .finish()
+    }
+}
+
+/// `cl_mem_flags` subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFlags {
+    /// `CL_MEM_READ_ONLY`.
+    ReadOnly,
+    /// `CL_MEM_WRITE_ONLY`.
+    WriteOnly,
+    /// `CL_MEM_READ_WRITE`.
+    ReadWrite,
+}
+
+/// A memory object (`cl_mem`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClBuffer {
+    pub(crate) id: BufferId,
+    pub(crate) allocation: HeapAllocation,
+    pub(crate) bytes: u64,
+    pub(crate) flags: MemFlags,
+}
+
+impl ClBuffer {
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        self.bytes
+    }
+
+    /// Flags given at creation.
+    pub fn flags(self) -> MemFlags {
+        self.flags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_sim::profile::devices;
+
+    #[test]
+    fn platforms_cover_all_devices_with_cl() {
+        let platforms = Platform::enumerate(&devices::all(), Arc::new(KernelRegistry::new()));
+        // All four paper devices have OpenCL (official or unofficial).
+        assert_eq!(platforms.len(), 4);
+        assert!(platforms[0].name().contains("NVIDIA"));
+    }
+
+    #[test]
+    fn versions_match_tables() {
+        let platforms = Platform::enumerate(&devices::all(), Arc::new(KernelRegistry::new()));
+        let nvidia = platforms[0].devices().remove(0);
+        assert!(nvidia.version().contains("1.2"));
+        let amd = platforms[1].devices().remove(0);
+        assert!(amd.version().contains("2.0"));
+    }
+
+    #[test]
+    fn buffer_lifecycle() {
+        let platforms = Platform::enumerate(&devices::all(), Arc::new(KernelRegistry::new()));
+        let ctx = Context::new(&platforms[0].devices()[0]).unwrap();
+        let buffer = ctx.create_buffer(MemFlags::ReadWrite, 4096).unwrap();
+        assert_eq!(buffer.bytes(), 4096);
+        ctx.release_buffer(&buffer).unwrap();
+        assert!(ctx.release_buffer(&buffer).is_err());
+    }
+
+    #[test]
+    fn oom_surfaces() {
+        let platforms = Platform::enumerate(&devices::mobile(), Arc::new(KernelRegistry::new()));
+        let ctx = Context::new(&platforms[0].devices()[0]).unwrap();
+        // PowerVR heap is 420 MiB.
+        assert!(ctx
+            .create_buffer(MemFlags::ReadWrite, 2 * 1024 * 1024 * 1024)
+            .is_err());
+    }
+}

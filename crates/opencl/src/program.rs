@@ -1,0 +1,294 @@
+//! Programs and kernels: the JIT path.
+//!
+//! OpenCL ships kernel *source* and compiles it at runtime
+//! (`clBuildProgram`) — the JIT overhead the paper excludes by comparing
+//! kernel-only times (§V-A2). The mature OpenCL compilers also apply the
+//! local-memory promotion the young Vulkan compilers miss, which is why
+//! bfs wins under OpenCL.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use vcb_sim::exec::CompiledKernel;
+use vcb_sim::time::SimDuration;
+use vcb_sim::timeline::CostKind;
+use vcb_spirv::{extract_kernel_names, DriverCompiler};
+
+use crate::error::{ClError, ClResult};
+use crate::platform::{ClBuffer, Context};
+
+/// A program created from source (`cl_program`).
+#[derive(Clone)]
+pub struct Program {
+    context: Context,
+    source: String,
+    built: Rc<RefCell<Option<BTreeMap<String, CompiledKernel>>>>,
+}
+
+impl Program {
+    /// `clCreateProgramWithSource`.
+    pub fn create_with_source(context: &Context, source: &str) -> Program {
+        context
+            .shared
+            .borrow_mut()
+            .api_call("clCreateProgramWithSource", SimDuration::from_micros(4.0));
+        Program {
+            context: context.clone(),
+            source: source.to_owned(),
+            built: Rc::new(RefCell::new(None)),
+        }
+    }
+
+    /// `clBuildProgram`: JIT-compiles all `__kernel`s in the source.
+    ///
+    /// # Errors
+    ///
+    /// [`ClError::BuildFailure`] when the source has no kernels, a kernel
+    /// is unregistered, or the driver profile marks the workload broken
+    /// (lud under Snapdragon OpenCL, §V-B2).
+    pub fn build(&self) -> ClResult<()> {
+        let mut shared = self.context.shared.borrow_mut();
+        shared.calls.record("clBuildProgram");
+        let names = extract_kernel_names(&self.source);
+        if names.is_empty() {
+            return Err(ClError::BuildFailure {
+                log: "source contains no __kernel declarations".into(),
+            });
+        }
+        for name in &names {
+            if shared.driver.is_kernel_broken(name) {
+                let device = shared.gpu.profile().name.clone();
+                return Err(ClError::BuildFailure {
+                    log: format!("{device}: internal compiler error while compiling `{name}`"),
+                });
+            }
+        }
+        let registry = std::sync::Arc::clone(&shared.registry);
+        let compiler = DriverCompiler::new(&registry);
+        let (kernels, build_time) = compiler
+            .compile_source(&self.source, &shared.driver)
+            .map_err(|e| ClError::BuildFailure { log: e.to_string() })?;
+        shared.host_now += build_time;
+        shared.breakdown.charge(CostKind::JitCompile, build_time);
+        let map = kernels
+            .into_iter()
+            .map(|k| (k.info().name.clone(), k))
+            .collect();
+        *self.built.borrow_mut() = Some(map);
+        Ok(())
+    }
+
+    /// Kernel names the built program exposes.
+    pub fn kernel_names(&self) -> Vec<String> {
+        self.built
+            .borrow()
+            .as_ref()
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn lookup(&self, name: &str) -> ClResult<CompiledKernel> {
+        let built = self.built.borrow();
+        let Some(map) = built.as_ref() else {
+            return Err(ClError::invalid(
+                "clCreateKernel",
+                "program has not been built",
+            ));
+        };
+        map.get(name).cloned().ok_or_else(|| {
+            ClError::invalid(
+                "clCreateKernel",
+                format!("kernel `{name}` not found in program"),
+            )
+        })
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("source_bytes", &self.source.len())
+            .field("built", &self.built.borrow().is_some())
+            .finish()
+    }
+}
+
+/// A kernel argument for [`Kernel::set_arg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClArg {
+    /// A buffer argument.
+    Buffer(ClBuffer),
+    /// A 32-bit integer.
+    I32(i32),
+    /// A 32-bit unsigned integer.
+    U32(u32),
+    /// A 32-bit float.
+    F32(f32),
+}
+
+/// A kernel object with sticky arguments (`cl_kernel`).
+#[derive(Clone)]
+pub struct Kernel {
+    pub(crate) context: Context,
+    pub(crate) compiled: CompiledKernel,
+    pub(crate) args: Rc<RefCell<BTreeMap<u32, ClArg>>>,
+}
+
+impl Kernel {
+    /// `clCreateKernel`.
+    ///
+    /// # Errors
+    ///
+    /// Unbuilt programs or unknown kernel names.
+    pub fn new(program: &Program, name: &str) -> ClResult<Kernel> {
+        program
+            .context
+            .shared
+            .borrow_mut()
+            .api_call("clCreateKernel", SimDuration::from_micros(6.0));
+        let compiled = program.lookup(name)?;
+        Ok(Kernel {
+            context: program.context.clone(),
+            compiled,
+            args: Rc::new(RefCell::new(BTreeMap::new())),
+        })
+    }
+
+    /// `clSetKernelArg`. Arguments persist across enqueues until reset —
+    /// this stickiness is why iterative OpenCL hosts only re-set the
+    /// arguments that change.
+    pub fn set_arg(&self, index: u32, arg: ClArg) {
+        self.context
+            .shared
+            .borrow_mut()
+            .api_call("clSetKernelArg", SimDuration::from_nanos(300.0));
+        self.args.borrow_mut().insert(index, arg);
+    }
+
+    /// The kernel's entry-point name.
+    pub fn name(&self) -> &str {
+        &self.compiled.info().name
+    }
+
+    /// The kernel's fixed workgroup size (`reqd_work_group_size`).
+    pub fn work_group_size(&self) -> [u32; 3] {
+        self.compiled.info().local_size
+    }
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name())
+            .field("args", &self.args.borrow().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use std::sync::Arc;
+    use vcb_sim::exec::{GroupCtx, KernelInfo};
+    use vcb_sim::profile::devices;
+    use vcb_sim::KernelRegistry;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        r.register(
+            KernelInfo::new("copy", [64, 1, 1]).reads(0, "in").writes(1, "out").build(),
+            Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
+        )
+        .unwrap();
+        r.register(
+            KernelInfo::new("lud_diagonal", [16, 1, 1]).writes(0, "m").build(),
+            Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
+        )
+        .unwrap();
+        Arc::new(r)
+    }
+
+    fn context_on(profile: vcb_sim::DeviceProfile) -> Context {
+        let platforms = Platform::enumerate(&[profile], registry());
+        Context::new(&platforms[0].devices()[0]).unwrap()
+    }
+
+    const SOURCE: &str = r#"
+        __kernel void copy(__global const float* in, __global float* out) {
+            int i = get_global_id(0);
+            out[i] = in[i];
+        }
+    "#;
+
+    #[test]
+    fn build_and_create_kernel() {
+        let ctx = context_on(devices::gtx1050ti());
+        let program = Program::create_with_source(&ctx, SOURCE);
+        program.build().unwrap();
+        assert_eq!(program.kernel_names(), vec!["copy"]);
+        let kernel = Kernel::new(&program, "copy").unwrap();
+        assert_eq!(kernel.name(), "copy");
+        // Mature compiler: promotion on.
+        assert!(kernel.compiled.opts().local_memory_promotion);
+        // JIT time was charged.
+        assert!(ctx.breakdown().get(CostKind::JitCompile) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn kernel_before_build_fails() {
+        let ctx = context_on(devices::gtx1050ti());
+        let program = Program::create_with_source(&ctx, SOURCE);
+        assert!(Kernel::new(&program, "copy").is_err());
+    }
+
+    #[test]
+    fn unknown_kernel_name_fails() {
+        let ctx = context_on(devices::gtx1050ti());
+        let program = Program::create_with_source(&ctx, SOURCE);
+        program.build().unwrap();
+        assert!(Kernel::new(&program, "nope").is_err());
+    }
+
+    #[test]
+    fn kernelless_source_fails_build() {
+        let ctx = context_on(devices::gtx1050ti());
+        let program = Program::create_with_source(&ctx, "static int x = 0;");
+        assert!(matches!(program.build(), Err(ClError::BuildFailure { .. })));
+    }
+
+    #[test]
+    fn snapdragon_lud_build_fails_like_the_paper() {
+        let ctx = context_on(devices::adreno506());
+        let program = Program::create_with_source(
+            &ctx,
+            "__kernel void lud_diagonal(__global float* m) {}",
+        );
+        let err = program.build().unwrap_err();
+        match err {
+            ClError::BuildFailure { log } => assert!(log.contains("lud_diagonal")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // But the same source builds on the desktop parts.
+        let desktop = context_on(devices::rx560());
+        let ok = Program::create_with_source(
+            &desktop,
+            "__kernel void lud_diagonal(__global float* m) {}",
+        );
+        assert!(ok.build().is_ok());
+    }
+
+    #[test]
+    fn args_are_sticky() {
+        let ctx = context_on(devices::gtx1050ti());
+        let program = Program::create_with_source(&ctx, SOURCE);
+        program.build().unwrap();
+        let kernel = Kernel::new(&program, "copy").unwrap();
+        kernel.set_arg(0, ClArg::U32(5));
+        kernel.set_arg(0, ClArg::U32(9));
+        assert_eq!(kernel.args.borrow().len(), 1);
+        assert_eq!(*kernel.args.borrow().get(&0).unwrap(), ClArg::U32(9));
+    }
+}

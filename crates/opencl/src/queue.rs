@@ -1,0 +1,383 @@
+//! Command queues, enqueue operations and profiling events.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+use vcb_sim::exec::{BoundBuffer, Dispatch};
+use vcb_sim::mem::Scalar;
+use vcb_sim::time::{SimDuration, SimInstant};
+use vcb_sim::timeline::CostKind;
+
+use crate::error::{ClError, ClResult};
+use crate::platform::{ClBuffer, Context};
+use crate::program::{ClArg, Kernel};
+
+/// Properties for queue creation (`cl_command_queue_properties`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueProperties {
+    /// `CL_QUEUE_PROFILING_ENABLE`.
+    pub profiling: bool,
+}
+
+/// An in-order command queue (`cl_command_queue`).
+#[derive(Clone)]
+pub struct CommandQueue {
+    context: Context,
+    index: usize,
+    profiling: bool,
+}
+
+/// A profiling event (`cl_event`).
+#[derive(Debug, Clone)]
+pub struct ClEvent {
+    start: Rc<Cell<SimInstant>>,
+    end: Rc<Cell<SimInstant>>,
+}
+
+impl ClEvent {
+    /// `CL_PROFILING_COMMAND_START`, in simulated nanoseconds.
+    pub fn command_start_ns(&self) -> f64 {
+        self.start.get().elapsed().as_nanos()
+    }
+
+    /// `CL_PROFILING_COMMAND_END`, in simulated nanoseconds.
+    pub fn command_end_ns(&self) -> f64 {
+        self.end.get().elapsed().as_nanos()
+    }
+
+    /// Device-side duration of the command.
+    pub fn duration(&self) -> SimDuration {
+        self.end.get().duration_since(self.start.get())
+    }
+}
+
+impl CommandQueue {
+    /// `clCreateCommandQueue`.
+    pub fn new(context: &Context, properties: QueueProperties) -> CommandQueue {
+        let mut shared = context.shared.borrow_mut();
+        shared.api_call("clCreateCommandQueue", SimDuration::from_micros(30.0));
+        let now = shared.host_now;
+        shared.queues.push(now);
+        let index = shared.queues.len() - 1;
+        drop(shared);
+        CommandQueue {
+            context: context.clone(),
+            index,
+            profiling: properties.profiling,
+        }
+    }
+
+    /// `clEnqueueWriteBuffer` (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Size mismatches or stale buffers.
+    pub fn enqueue_write_buffer<T: Scalar>(&self, buffer: &ClBuffer, data: &[T]) -> ClResult<()> {
+        let bytes = std::mem::size_of_val(data) as u64;
+        if bytes > buffer.bytes {
+            return Err(ClError::invalid(
+                "clEnqueueWriteBuffer",
+                format!("write of {bytes} bytes into buffer of {}", buffer.bytes),
+            ));
+        }
+        let mut shared = self.context.shared.borrow_mut();
+        shared.calls.record("clEnqueueWriteBuffer");
+        let busy = shared.queues[self.index];
+        if busy > shared.host_now {
+            shared.host_now = busy;
+            let wakeup = shared.driver.sync_wakeup;
+            shared.host_now += wakeup;
+            shared.breakdown.charge(CostKind::HostApi, wakeup);
+        }
+        let cost = shared.gpu.host_copy_time(bytes);
+        shared.host_now += cost;
+        shared.breakdown.charge(CostKind::Transfer, cost);
+        shared.queues[self.index] = shared.host_now;
+        shared.gpu.pool_mut().buffer_mut(buffer.id)?.write_slice(data);
+        Ok(())
+    }
+
+    /// `clEnqueueReadBuffer` (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Stale buffers or misaligned element types.
+    pub fn enqueue_read_buffer<T: Scalar>(&self, buffer: &ClBuffer) -> ClResult<Vec<T>> {
+        let mut shared = self.context.shared.borrow_mut();
+        shared.calls.record("clEnqueueReadBuffer");
+        let busy = shared.queues[self.index];
+        if busy > shared.host_now {
+            shared.host_now = busy;
+            let wakeup = shared.driver.sync_wakeup;
+            shared.host_now += wakeup;
+            shared.breakdown.charge(CostKind::HostApi, wakeup);
+        }
+        let cost = shared.gpu.host_copy_time(buffer.bytes);
+        shared.host_now += cost;
+        shared.breakdown.charge(CostKind::Transfer, cost);
+        shared.queues[self.index] = shared.host_now;
+        Ok(shared.gpu.pool().buffer(buffer.id)?.read_vec()?)
+    }
+
+    /// `clEnqueueNDRangeKernel`.
+    ///
+    /// `global_work_size` counts work *items* (not groups, unlike
+    /// `vkCmdDispatch`); it is rounded up to whole workgroups of the
+    /// kernel's fixed local size. Buffer arguments map to storage bindings
+    /// in argument-index order; scalar arguments pack into the kernel's
+    /// parameter block in argument-index order.
+    ///
+    /// Every enqueue pays the driver's launch overhead — the
+    /// per-iteration cost structure of the multi-kernel method (§IV-C).
+    ///
+    /// # Errors
+    ///
+    /// Missing arguments, zero sizes, or execution failures.
+    pub fn enqueue_nd_range_kernel(
+        &self,
+        kernel: &Kernel,
+        global_work_size: [u64; 3],
+    ) -> ClResult<ClEvent> {
+        let mut shared = self.context.shared.borrow_mut();
+        shared.calls.record("clEnqueueNDRangeKernel");
+        if global_work_size.contains(&0) {
+            return Err(ClError::invalid(
+                "clEnqueueNDRangeKernel",
+                "global work size must be non-zero",
+            ));
+        }
+
+        let info = kernel.compiled.info();
+        let mut slots = info.bindings.iter().map(|b| b.binding).collect::<Vec<_>>();
+        slots.sort_unstable();
+        let mut slot_iter = slots.iter();
+        let mut bindings = Vec::new();
+        let mut scalars = Vec::new();
+        let args = kernel.args.borrow();
+        for (_, arg) in args.iter() {
+            match arg {
+                ClArg::Buffer(b) => {
+                    let Some(&slot) = slot_iter.next() else {
+                        return Err(ClError::invalid(
+                            "clEnqueueNDRangeKernel",
+                            format!(
+                                "kernel `{}` takes {} buffer arguments, more were set",
+                                info.name,
+                                info.bindings.len()
+                            ),
+                        ));
+                    };
+                    bindings.push(BoundBuffer {
+                        binding: slot,
+                        buffer: b.id,
+                    });
+                }
+                ClArg::I32(v) => scalars.extend_from_slice(&v.to_le_bytes()),
+                ClArg::U32(v) => scalars.extend_from_slice(&v.to_le_bytes()),
+                ClArg::F32(v) => scalars.extend_from_slice(&v.to_le_bytes()),
+            }
+        }
+        drop(args);
+        if slot_iter.next().is_some() {
+            return Err(ClError::invalid(
+                "clEnqueueNDRangeKernel",
+                format!(
+                    "kernel `{}` expects {} buffer arguments (clSetKernelArg missing?)",
+                    info.name,
+                    info.bindings.len()
+                ),
+            ));
+        }
+
+        let local = info.local_size;
+        let groups = [
+            (global_work_size[0].div_ceil(local[0] as u64)) as u32,
+            (global_work_size[1].div_ceil(local[1] as u64)) as u32,
+            (global_work_size[2].div_ceil(local[2] as u64)) as u32,
+        ];
+
+        // Host pays the enqueue/launch overhead.
+        let launch = shared.driver.launch_overhead;
+        shared.host_now += launch;
+        shared.breakdown.charge(CostKind::LaunchOverhead, launch);
+
+        let start = shared.queues[self.index].max(shared.host_now);
+        let dispatch = Dispatch {
+            kernel: kernel.compiled.clone(),
+            groups,
+            bindings,
+            push_constants: scalars,
+        };
+        let driver = shared.driver.clone();
+        let report = shared.gpu.execute(&dispatch, &driver)?;
+        shared.breakdown.charge(CostKind::KernelExec, report.time);
+        let end = start + report.time;
+        shared.queues[self.index] = end;
+        Ok(ClEvent {
+            start: Rc::new(Cell::new(start)),
+            end: Rc::new(Cell::new(end)),
+        })
+    }
+
+    /// `clFinish`: blocks until the queue drains.
+    pub fn finish(&self) {
+        let mut shared = self.context.shared.borrow_mut();
+        shared.calls.record("clFinish");
+        let busy = shared.queues[self.index];
+        if busy > shared.host_now {
+            shared.host_now = busy;
+            let wakeup = shared.driver.sync_wakeup;
+            shared.host_now += wakeup;
+            shared.breakdown.charge(CostKind::HostApi, wakeup);
+        }
+    }
+
+    /// `true` if the queue was created with profiling enabled.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiling
+    }
+}
+
+impl fmt::Debug for CommandQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CommandQueue")
+            .field("index", &self.index)
+            .field("profiling", &self.profiling)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{MemFlags, Platform};
+    use crate::program::Program;
+    use std::sync::Arc;
+    use vcb_sim::exec::{GroupCtx, KernelInfo};
+    use vcb_sim::profile::devices;
+    use vcb_sim::{Api, KernelRegistry};
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        r.register(
+            KernelInfo::new("scale2", [64, 1, 1])
+                .reads(0, "in")
+                .writes(1, "out")
+                .push_constants(4)
+                .build(),
+            Arc::new(|ctx: &mut GroupCtx<'_>| {
+                let input = ctx.global::<f32>(0)?;
+                let out = ctx.global::<f32>(1)?;
+                let n = ctx.push_u32(0) as usize;
+                ctx.for_lanes(|lane| {
+                    let i = lane.global_linear() as usize;
+                    if i < n {
+                        let v = lane.ld(&input, i) * 2.0;
+                        lane.alu(1);
+                        lane.st(&out, i, v);
+                    }
+                });
+                Ok(())
+            }),
+        )
+        .unwrap();
+        Arc::new(r)
+    }
+
+    const SOURCE: &str = r#"
+        __kernel void scale2(__global const float* in, __global float* out, uint n) {
+            uint i = get_global_id(0);
+            if (i < n) out[i] = in[i] * 2.0f;
+        }
+    "#;
+
+    fn setup() -> (Context, CommandQueue, Kernel) {
+        let platforms = Platform::enumerate(&[devices::gtx1050ti()], registry());
+        let ctx = Context::new(&platforms[0].devices()[0]).unwrap();
+        let queue = CommandQueue::new(&ctx, QueueProperties { profiling: true });
+        let program = Program::create_with_source(&ctx, SOURCE);
+        program.build().unwrap();
+        let kernel = Kernel::new(&program, "scale2").unwrap();
+        (ctx, queue, kernel)
+    }
+
+    #[test]
+    fn scale_end_to_end() {
+        let (ctx, queue, kernel) = setup();
+        let n = 5000usize;
+        let input = ctx.create_buffer(MemFlags::ReadOnly, (n * 4) as u64).unwrap();
+        let output = ctx.create_buffer(MemFlags::WriteOnly, (n * 4) as u64).unwrap();
+        let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        queue.enqueue_write_buffer(&input, &data).unwrap();
+        kernel.set_arg(0, ClArg::Buffer(input));
+        kernel.set_arg(1, ClArg::Buffer(output));
+        kernel.set_arg(2, ClArg::U32(n as u32));
+        let event = queue
+            .enqueue_nd_range_kernel(&kernel, [n as u64, 1, 1])
+            .unwrap();
+        queue.finish();
+        let out: Vec<f32> = queue.enqueue_read_buffer(&output).unwrap();
+        assert_eq!(out[123], 246.0);
+        assert!(event.duration() > SimDuration::ZERO);
+        assert!(event.command_end_ns() > event.command_start_ns());
+    }
+
+    #[test]
+    fn launch_overhead_charged_per_enqueue() {
+        let (ctx, queue, kernel) = setup();
+        let n = 256usize;
+        let input = ctx.create_buffer(MemFlags::ReadOnly, (n * 4) as u64).unwrap();
+        let output = ctx.create_buffer(MemFlags::WriteOnly, (n * 4) as u64).unwrap();
+        queue.enqueue_write_buffer(&input, &vec![1.0f32; n]).unwrap();
+        kernel.set_arg(0, ClArg::Buffer(input));
+        kernel.set_arg(1, ClArg::Buffer(output));
+        kernel.set_arg(2, ClArg::U32(n as u32));
+        for _ in 0..7 {
+            queue
+                .enqueue_nd_range_kernel(&kernel, [n as u64, 1, 1])
+                .unwrap();
+        }
+        queue.finish();
+        let expected = devices::gtx1050ti()
+            .driver(Api::OpenCl)
+            .unwrap()
+            .launch_overhead
+            * 7;
+        assert_eq!(ctx.breakdown().get(CostKind::LaunchOverhead), expected);
+    }
+
+    #[test]
+    fn missing_args_rejected() {
+        let (ctx, queue, kernel) = setup();
+        let input = ctx.create_buffer(MemFlags::ReadOnly, 1024).unwrap();
+        kernel.set_arg(0, ClArg::Buffer(input));
+        // arg 1 (output buffer) never set.
+        kernel.set_arg(2, ClArg::U32(1));
+        assert!(queue.enqueue_nd_range_kernel(&kernel, [64, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn zero_global_size_rejected() {
+        let (_ctx, queue, kernel) = setup();
+        assert!(queue.enqueue_nd_range_kernel(&kernel, [0, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn global_size_rounds_up_to_groups() {
+        let (ctx, queue, kernel) = setup();
+        let n = 100usize; // local size 64 -> 2 groups
+        let input = ctx.create_buffer(MemFlags::ReadOnly, (n * 4) as u64).unwrap();
+        let output = ctx.create_buffer(MemFlags::WriteOnly, (n * 4) as u64).unwrap();
+        queue.enqueue_write_buffer(&input, &vec![3.0f32; n]).unwrap();
+        kernel.set_arg(0, ClArg::Buffer(input));
+        kernel.set_arg(1, ClArg::Buffer(output));
+        kernel.set_arg(2, ClArg::U32(n as u32));
+        queue
+            .enqueue_nd_range_kernel(&kernel, [n as u64, 1, 1])
+            .unwrap();
+        queue.finish();
+        let out: Vec<f32> = queue.enqueue_read_buffer(&output).unwrap();
+        assert_eq!(out[99], 6.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! The GPGPU programming models compared by the paper.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A GPGPU programming model evaluated by VComputeBench.
+///
+/// The paper compares the explicit, command-buffer-based Vulkan model
+/// against the two established launch-based models, CUDA and OpenCL.
+///
+/// ```
+/// use vcb_sim::Api;
+///
+/// assert_eq!(Api::Vulkan.to_string(), "Vulkan");
+/// assert_eq!("opencl".parse::<Api>().unwrap(), Api::OpenCl);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Api {
+    /// Khronos Vulkan compute (SPIR-V kernels, command buffers, explicit
+    /// synchronization).
+    Vulkan,
+    /// NVIDIA CUDA runtime (kernel launches on streams).
+    Cuda,
+    /// Khronos OpenCL (JIT-compiled programs, command queues).
+    OpenCl,
+}
+
+impl Api {
+    /// All programming models, in the paper's presentation order
+    /// (baseline OpenCL first).
+    pub const ALL: [Api; 3] = [Api::OpenCl, Api::Vulkan, Api::Cuda];
+
+    /// Short lowercase identifier used in CSV output and CLI flags.
+    pub fn ident(self) -> &'static str {
+        match self {
+            Api::Vulkan => "vulkan",
+            Api::Cuda => "cuda",
+            Api::OpenCl => "opencl",
+        }
+    }
+}
+
+impl fmt::Display for Api {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Api::Vulkan => "Vulkan",
+            Api::Cuda => "CUDA",
+            Api::OpenCl => "OpenCL",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error returned when parsing an [`Api`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseApiError {
+    input: String,
+}
+
+impl fmt::Display for ParseApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown programming model `{}` (expected vulkan, cuda or opencl)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseApiError {}
+
+impl FromStr for Api {
+    type Err = ParseApiError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "vulkan" | "vk" => Ok(Api::Vulkan),
+            "cuda" => Ok(Api::Cuda),
+            "opencl" | "cl" | "ocl" => Ok(Api::OpenCl),
+            _ => Err(ParseApiError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!("vk".parse::<Api>().unwrap(), Api::Vulkan);
+        assert_eq!("CUDA".parse::<Api>().unwrap(), Api::Cuda);
+        assert_eq!("ocl".parse::<Api>().unwrap(), Api::OpenCl);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = "metal".parse::<Api>().unwrap_err();
+        assert!(err.to_string().contains("metal"));
+    }
+
+    #[test]
+    fn idents_are_distinct() {
+        let mut ids: Vec<_> = Api::ALL.iter().map(|a| a.ident()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+}

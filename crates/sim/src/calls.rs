@@ -1,0 +1,112 @@
+//! API-call accounting for the programming-effort comparison.
+//!
+//! §VI-A of the paper argues Vulkan's verbosity from call counts (≈40
+//! lines to create one buffer vs a single `cudaMalloc`). Every API
+//! frontend records its entry points into a [`CallCounter`] so the effort
+//! experiment can report measured, not estimated, API interaction counts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counts API entry-point invocations by name.
+#[derive(Debug, Clone, Default)]
+pub struct CallCounter {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl CallCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invocation of `name`.
+    pub fn record(&mut self, name: &'static str) {
+        *self.counts.entry(name).or_insert(0) += 1;
+    }
+
+    /// Invocations of one entry point.
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total invocations across all entry points.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of *distinct* entry points used — a proxy for the API
+    /// surface a programmer must learn.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates `(name, count)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Clears all counts.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Snapshot of counts for later diffing.
+    pub fn snapshot(&self) -> CallCounter {
+        self.clone()
+    }
+
+    /// Counts accumulated since `earlier` (per entry point, saturating).
+    pub fn since(&self, earlier: &CallCounter) -> CallCounter {
+        let mut out = CallCounter::new();
+        for (name, count) in self.iter() {
+            let before = earlier.count(name);
+            if count > before {
+                out.counts.insert(name, count - before);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CallCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} calls over {} entry points", self.total(), self.distinct())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut c = CallCounter::new();
+        c.record("vkCreateBuffer");
+        c.record("vkCreateBuffer");
+        c.record("vkAllocateMemory");
+        assert_eq!(c.count("vkCreateBuffer"), 2);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.distinct(), 2);
+    }
+
+    #[test]
+    fn since_diffs() {
+        let mut c = CallCounter::new();
+        c.record("a");
+        let snap = c.snapshot();
+        c.record("a");
+        c.record("b");
+        let d = c.since(&snap);
+        assert_eq!(d.count("a"), 1);
+        assert_eq!(d.count("b"), 1);
+        assert_eq!(d.total(), 2);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut c = CallCounter::new();
+        c.record("x");
+        assert_eq!(c.to_string(), "1 calls over 1 entry points");
+    }
+}

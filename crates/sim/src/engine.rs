@@ -1,0 +1,615 @@
+//! The GPU engine: executes dispatches functionally and produces simulated
+//! kernel execution times.
+//!
+//! Execution is two-layered:
+//!
+//! 1. **Functional**: every workgroup of the grid runs, so outputs are
+//!    always exact. Workgroups execute in linear grid order; workloads
+//!    whose intra-dispatch dependencies follow that order (nw's diagonal
+//!    blocks) remain correct by construction.
+//! 2. **Timing**: a subset of workgroups is *traced* — their lane-level
+//!    addresses flow through the warp coalescer, the persistent L2 model
+//!    and the DRAM row tracker. Traced traffic is extrapolated to the full
+//!    grid, then converted to time against the device profile.
+//!
+//! Tracing every group is exact but slow for paper-scale inputs, so the
+//! engine supports deterministic sampling, mirroring how trace-driven GPU
+//! simulators handle large grids.
+
+use crate::dram::{dram_time, l2_time};
+use crate::error::{SimError, SimResult};
+use crate::exec::{
+    BindingAccess, Dispatch, GroupCtx, MemSystem, ResolvedBinding, SharedArena, TrafficStats,
+};
+use crate::mem::MemoryPool;
+use crate::profile::{DeviceProfile, DriverProfile};
+use crate::time::SimDuration;
+
+/// Which workgroups get detailed memory tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Trace every workgroup (exact; slow for huge grids).
+    Detailed,
+    /// Trace one in `n` workgroups and extrapolate.
+    Sampled(u32),
+    /// Pick [`TraceMode::Detailed`] for small grids and a sampling rate
+    /// that keeps roughly `target` groups traced otherwise.
+    #[default]
+    Auto,
+}
+
+impl TraceMode {
+    /// Number of traced groups under this mode for a grid of `groups`.
+    fn sample_every(self, groups: u64) -> u64 {
+        const AUTO_TARGET: u64 = 1024;
+        match self {
+            TraceMode::Detailed => 1,
+            TraceMode::Sampled(n) => u64::from(n.max(1)),
+            TraceMode::Auto => {
+                if groups <= AUTO_TARGET {
+                    1
+                } else {
+                    groups.div_ceil(AUTO_TARGET)
+                }
+            }
+        }
+    }
+}
+
+/// Memory-path slowdown of a promotable kernel compiled without
+/// local-memory promotion (the paper's bfs ISA finding, §V-A2): plain
+/// per-edge buffer loads instead of LDS-staged reuse on a memory-bound
+/// kernel.
+pub const UNPROMOTED_MEM_PENALTY: f64 = 1.9;
+
+/// Result of executing one dispatch.
+#[derive(Debug, Clone)]
+pub struct DispatchReport {
+    /// Simulated device execution time of the grid.
+    pub time: SimDuration,
+    /// Extrapolated whole-grid traffic statistics.
+    pub stats: TrafficStats,
+    /// Workgroups in the grid.
+    pub groups: u64,
+    /// Workgroups that were traced in detail.
+    pub traced_groups: u64,
+    /// Component of `time` attributable to memory.
+    pub mem_time: SimDuration,
+    /// Component of `time` attributable to arithmetic.
+    pub alu_time: SimDuration,
+}
+
+/// The simulated GPU device: memory pool + memory system + profile.
+#[derive(Debug)]
+pub struct Gpu {
+    profile: DeviceProfile,
+    pool: MemoryPool,
+    mem_system: MemSystem,
+    trace_mode: TraceMode,
+    kernels_launched: u64,
+}
+
+impl Gpu {
+    /// Creates a device from its profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        let pool = MemoryPool::new(&profile.heaps);
+        let mem_system = MemSystem::new(&profile.memory, profile.shared_banks);
+        Gpu {
+            profile,
+            pool,
+            mem_system,
+            trace_mode: TraceMode::Auto,
+            kernels_launched: 0,
+        }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Device memory (buffers and heaps).
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// Mutable device memory.
+    pub fn pool_mut(&mut self) -> &mut MemoryPool {
+        &mut self.pool
+    }
+
+    /// The persistent memory-system model.
+    pub fn mem_system(&self) -> &MemSystem {
+        &self.mem_system
+    }
+
+    /// Total kernels executed since creation.
+    pub fn kernels_launched(&self) -> u64 {
+        self.kernels_launched
+    }
+
+    /// Sets the tracing policy for subsequent dispatches.
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace_mode = mode;
+    }
+
+    /// Executes a dispatch: runs every workgroup functionally, traces a
+    /// deterministic subset, and converts traffic to simulated time using
+    /// `driver`'s code-generation quality.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid grids, unresolvable bindings, aliasing writable
+    /// bindings, or shared-memory demand beyond the device capacity.
+    pub fn execute(&mut self, dispatch: &Dispatch, driver: &DriverProfile) -> SimResult<DispatchReport> {
+        let groups = dispatch.group_count();
+        if groups == 0 {
+            return Err(SimError::invalid("dispatch with zero workgroups"));
+        }
+        let info = dispatch.kernel.info();
+        if info.local_len() > self.profile.max_workgroup_size {
+            return Err(SimError::invalid(format!(
+                "workgroup size {} exceeds device maximum {}",
+                info.local_len(),
+                self.profile.max_workgroup_size
+            )));
+        }
+        if info.shared_bytes > self.profile.shared_mem_per_cu {
+            return Err(SimError::SharedMemoryExceeded {
+                kernel: info.name.clone(),
+                requested: info.shared_bytes,
+                capacity: self.profile.shared_mem_per_cu,
+            });
+        }
+
+        // Resolve bindings into a dense, alias-checked table.
+        let max_slot = info
+            .bindings
+            .iter()
+            .map(|b| b.binding)
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut resolved: Vec<Option<ResolvedBinding<'_>>> = Vec::with_capacity(max_slot);
+        for _ in 0..max_slot {
+            resolved.push(None);
+        }
+        for decl in &info.bindings {
+            let bound = dispatch
+                .bindings
+                .iter()
+                .find(|b| b.binding == decl.binding)
+                .ok_or_else(|| SimError::MissingBinding {
+                    kernel: info.name.clone(),
+                    binding: decl.binding,
+                })?;
+            // Alias check against already resolved slots.
+            for other in &info.bindings {
+                if other.binding >= decl.binding {
+                    continue;
+                }
+                let other_buf = dispatch
+                    .bindings
+                    .iter()
+                    .find(|b| b.binding == other.binding)
+                    .map(|b| b.buffer);
+                if other_buf == Some(bound.buffer)
+                    && (decl.access == BindingAccess::ReadWrite
+                        || other.access == BindingAccess::ReadWrite)
+                {
+                    return Err(SimError::AliasViolation {
+                        kernel: info.name.clone(),
+                        first: other.binding,
+                        second: decl.binding,
+                    });
+                }
+            }
+            let store = self.pool.buffer(bound.buffer)?;
+            resolved[decl.binding as usize] = Some(ResolvedBinding {
+                store,
+                writable: decl.access == BindingAccess::ReadWrite,
+            });
+        }
+
+        let sample_every = self.trace_mode.sample_every(groups);
+        let arena = SharedArena::new(info.shared_bytes.max(8));
+        let mut traced_stats = TrafficStats::default();
+        let mut untraced_stats = TrafficStats::default();
+        let mut traced_groups = 0u64;
+
+        let [gx, gy, gz] = dispatch.groups;
+        let mut linear = 0u64;
+        for z in 0..gz {
+            for y in 0..gy {
+                for x in 0..gx {
+                    let traced = linear.is_multiple_of(sample_every);
+                    let mem = if traced {
+                        traced_groups += 1;
+                        Some(&mut self.mem_system)
+                    } else {
+                        None
+                    };
+                    let mut ctx = GroupCtx::new(
+                        [x, y, z],
+                        dispatch.groups,
+                        info,
+                        dispatch.kernel.opts(),
+                        self.profile.warp_width,
+                        &resolved,
+                        &dispatch.push_constants,
+                        &arena,
+                        mem,
+                    );
+                    dispatch.kernel.body().execute_group(&mut ctx)?;
+                    let stats = ctx.into_stats();
+                    if traced {
+                        traced_stats.add(&stats);
+                    } else {
+                        untraced_stats.add(&stats);
+                    }
+                    linear += 1;
+                }
+            }
+        }
+        drop(resolved);
+
+        // Extrapolate traced traffic to the whole grid; ALU/shared counters
+        // were measured on every group, so take them exactly.
+        let factor = groups as f64 / traced_groups as f64;
+        let mut stats = traced_stats.scaled(factor);
+        stats.alu_ops = traced_stats.alu_ops + untraced_stats.alu_ops;
+        stats.global_reads = traced_stats.global_reads + untraced_stats.global_reads;
+        stats.global_writes = traced_stats.global_writes + untraced_stats.global_writes;
+        stats.useful_bytes = traced_stats.useful_bytes + untraced_stats.useful_bytes;
+        stats.shared_accesses = traced_stats.shared_accesses + untraced_stats.shared_accesses;
+        stats.barriers = traced_stats.barriers + untraced_stats.barriers;
+
+        let has_push = !dispatch.push_constants.is_empty();
+        let opts = dispatch.kernel.opts();
+        let report =
+            self.time_dispatch(&stats, info, groups, traced_groups, driver, has_push, opts);
+        self.kernels_launched += 1;
+        Ok(report)
+    }
+
+    /// Converts whole-grid traffic into execution time.
+    #[allow(clippy::too_many_arguments)]
+    fn time_dispatch(
+        &self,
+        stats: &TrafficStats,
+        info: &crate::exec::KernelInfo,
+        groups: u64,
+        traced_groups: u64,
+        driver: &DriverProfile,
+        has_push_constants: bool,
+        opts: crate::exec::CompileOpts,
+    ) -> DispatchReport {
+        let p = &self.profile;
+        let mut l2_sectors = stats.l2_hit_sectors;
+        if has_push_constants && driver.push_constants_degraded() {
+            // The Snapdragon quirk (§V-B1): push constants are demoted to
+            // an ordinary parameter buffer, so every work item fetches its
+            // parameters through the cache hierarchy instead of reading
+            // pre-loaded registers. Charge one 4-byte L2 access per item.
+            let items = groups * info.local_len() as u64;
+            l2_sectors += (items * 4) / p.memory.sector_bytes;
+        }
+        let mut mem_time = dram_time(&p.memory, stats.dram) + l2_time(&p.memory, l2_sectors);
+        if info.promotable && !opts.local_memory_promotion {
+            // The bfs effect (§V-A2): a kernel whose reuse pattern a
+            // mature compiler promotes to workgroup-local memory instead
+            // issues "plain buffer loads from global memory" under the
+            // immature compiler. The memory path is that much less
+            // efficient for these (memory-bound) kernels.
+            mem_time = mem_time.scale(UNPROMOTED_MEM_PENALTY);
+        }
+
+        let alu_secs = stats.alu_ops as f64 / p.peak_ops_per_sec();
+        // Shared memory: each CU services `shared_banks` accesses/cycle.
+        let shared_throughput =
+            p.compute_units as f64 * p.shared_banks as f64 * p.core_clock_mhz as f64 * 1.0e6;
+        let shared_secs = (stats.shared_accesses + stats.bank_conflict_cycles) as f64
+            / shared_throughput;
+        // Barriers serialize warps within a group; cost a few cycles per
+        // warp per barrier, spread across CUs.
+        let warps_per_group = (info.local_len() as f64 / p.warp_width as f64).ceil();
+        let barrier_cycles = stats.barriers as f64 * warps_per_group * 8.0;
+        let barrier_secs = barrier_cycles / (p.core_clock_mhz as f64 * 1.0e6 * p.compute_units as f64);
+        let alu_time = SimDuration::from_secs(alu_secs + shared_secs + barrier_secs);
+
+        // Occupancy-quantized wave count: the tail wave runs at partial
+        // device utilization.
+        let resident = self.resident_groups_per_cu(info);
+        let slots = (p.compute_units as u64 * resident).max(1);
+        let exact_waves = groups as f64 / slots as f64;
+        let quantized = exact_waves.ceil().max(1.0) / exact_waves.max(f64::MIN_POSITIVE);
+        let quantization = quantized.clamp(1.0, groups as f64);
+
+        let busy = mem_time.max(alu_time).scale(quantization);
+        let time = (busy + p.kernel_ramp).scale(driver.kernel_time_scale);
+
+        DispatchReport {
+            time,
+            stats: *stats,
+            groups,
+            traced_groups,
+            mem_time,
+            alu_time,
+        }
+    }
+
+    fn resident_groups_per_cu(&self, info: &crate::exec::KernelInfo) -> u64 {
+        let p = &self.profile;
+        let by_limit = p.max_groups_per_cu as u64;
+        let by_shared = p
+            .shared_mem_per_cu
+            .checked_div(info.shared_bytes)
+            .map_or(by_limit, |n| n.max(1));
+        let by_lanes = ((p.lanes_per_cu as u64 * 16) / info.local_len() as u64).max(1);
+        by_limit.min(by_shared).min(by_lanes)
+    }
+
+    /// Time to copy `bytes` between host and device over the default link.
+    pub fn host_copy_time(&self, bytes: u64) -> SimDuration {
+        self.profile.transfer.copy_time(bytes)
+    }
+
+    /// Time to copy `bytes` using a dedicated transfer (DMA) queue.
+    pub fn dma_copy_time(&self, bytes: u64) -> SimDuration {
+        self.profile.transfer.dma_copy_time(bytes)
+    }
+
+    /// Time to copy `bytes` device-to-device (runs at memory bandwidth,
+    /// read + write).
+    pub fn device_copy_time(&self, bytes: u64) -> SimDuration {
+        let bw = self.profile.memory.effective_bandwidth_bytes_per_sec();
+        SimDuration::from_secs(2.0 * bytes as f64 / bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{BoundBuffer, CompileOpts, CompiledKernel, KernelInfo};
+    use crate::profile::devices;
+    use std::sync::Arc;
+
+    fn vector_add_kernel() -> CompiledKernel {
+        let info = KernelInfo::new("vadd", [256, 1, 1])
+            .reads(0, "x")
+            .reads(1, "y")
+            .writes(2, "z")
+            .build();
+        let body = Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let x = ctx.global::<f32>(0)?;
+            let y = ctx.global::<f32>(1)?;
+            let z = ctx.global::<f32>(2)?;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear() as usize;
+                if i < z.len() {
+                    let v = lane.ld(&x, i) + lane.ld(&y, i);
+                    lane.alu(1);
+                    lane.st(&z, i, v);
+                }
+            });
+            Ok(())
+        });
+        CompiledKernel::new(info, body, CompileOpts::default())
+    }
+
+    fn setup(n: usize) -> (Gpu, Dispatch) {
+        let mut gpu = Gpu::new(devices::gtx1050ti());
+        let (x, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let (y, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let (z, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let xv: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let yv: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+        gpu.pool_mut().buffer_mut(x).unwrap().write_slice(&xv);
+        gpu.pool_mut().buffer_mut(y).unwrap().write_slice(&yv);
+        let dispatch = Dispatch {
+            kernel: vector_add_kernel(),
+            groups: [(n as u32).div_ceil(256), 1, 1],
+            bindings: vec![
+                BoundBuffer { binding: 0, buffer: x },
+                BoundBuffer { binding: 1, buffer: y },
+                BoundBuffer { binding: 2, buffer: z },
+            ],
+            push_constants: Vec::new(),
+        };
+        (gpu, dispatch)
+    }
+
+    #[test]
+    fn vector_add_is_functionally_correct() {
+        let n = 10_000;
+        let (mut gpu, dispatch) = setup(n);
+        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let report = gpu.execute(&dispatch, &driver).unwrap();
+        assert!(report.time > SimDuration::ZERO);
+        let z = dispatch.bindings[2].buffer;
+        let out: Vec<f32> = gpu.pool().buffer(z).unwrap().read_vec().unwrap();
+        for (i, v) in out.iter().enumerate().take(n) {
+            assert_eq!(*v, 3.0 * i as f32);
+        }
+    }
+
+    #[test]
+    fn larger_grids_take_longer() {
+        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let (mut gpu_small, d_small) = setup(64 * 1024);
+        let (mut gpu_big, d_big) = setup(1024 * 1024);
+        let t_small = gpu_small.execute(&d_small, &driver).unwrap().time;
+        let t_big = gpu_big.execute(&d_big, &driver).unwrap().time;
+        assert!(t_big > t_small * 4, "{t_big} vs {t_small}");
+    }
+
+    #[test]
+    fn sampled_tracing_approximates_detailed() {
+        let n = 512 * 1024;
+        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let (mut gpu_a, dispatch_a) = setup(n);
+        gpu_a.set_trace_mode(TraceMode::Detailed);
+        let detailed = gpu_a.execute(&dispatch_a, &driver).unwrap();
+        let (mut gpu_b, dispatch_b) = setup(n);
+        gpu_b.set_trace_mode(TraceMode::Sampled(16));
+        let sampled = gpu_b.execute(&dispatch_b, &driver).unwrap();
+        let ratio = sampled.time.ratio(detailed.time);
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "sampled/detailed time ratio {ratio}"
+        );
+        assert!(sampled.traced_groups < detailed.traced_groups);
+    }
+
+    #[test]
+    fn missing_binding_detected() {
+        let (mut gpu, mut dispatch) = setup(1024);
+        dispatch.bindings.remove(1);
+        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        assert!(matches!(
+            gpu.execute(&dispatch, &driver),
+            Err(SimError::MissingBinding { binding: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn aliasing_write_binding_detected() {
+        let (mut gpu, mut dispatch) = setup(1024);
+        // Bind the output buffer as input 0 as well.
+        let z = dispatch.bindings[2].buffer;
+        dispatch.bindings[0].buffer = z;
+        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        assert!(matches!(
+            gpu.execute(&dispatch, &driver),
+            Err(SimError::AliasViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_groups_rejected() {
+        let (mut gpu, mut dispatch) = setup(1024);
+        dispatch.groups = [0, 1, 1];
+        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        assert!(gpu.execute(&dispatch, &driver).is_err());
+    }
+
+    #[test]
+    fn oversized_workgroup_rejected() {
+        let mut gpu = Gpu::new(devices::powervr_g6430()); // max 512
+        let info = KernelInfo::new("big", [1024, 1, 1]).build();
+        let kernel = CompiledKernel::new(
+            info,
+            Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
+            CompileOpts::default(),
+        );
+        let dispatch = Dispatch {
+            kernel,
+            groups: [1, 1, 1],
+            bindings: vec![],
+            push_constants: vec![],
+        };
+        let driver = devices::powervr_g6430()
+            .driver(crate::Api::Vulkan)
+            .unwrap()
+            .clone();
+        assert!(gpu.execute(&dispatch, &driver).is_err());
+    }
+
+    #[test]
+    fn kernel_time_scale_slows_kernels() {
+        let n = 256 * 1024;
+        let (mut gpu_a, d_a) = setup(n);
+        let (mut gpu_b, d_b) = setup(n);
+        let mut fast = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        fast.kernel_time_scale = 1.0;
+        let mut slow = fast.clone();
+        slow.kernel_time_scale = 1.5;
+        let t_fast = gpu_a.execute(&d_a, &fast).unwrap().time;
+        let t_slow = gpu_b.execute(&d_b, &slow).unwrap().time;
+        let ratio = t_slow.ratio(t_fast);
+        assert!((1.45..1.55).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn unpromoted_promotable_kernel_pays_memory_penalty() {
+        // The bfs mechanism: same kernel body, promotion on vs off.
+        let n = 256 * 1024;
+        let make_kernel = |promote: bool| {
+            let info = KernelInfo::new("promo", [256, 1, 1])
+                .reads(0, "x")
+                .reads(1, "y")
+                .writes(2, "z")
+                .promotable()
+                .build();
+            let body = vector_add_kernel();
+            CompiledKernel::new(
+                info,
+                body.body().clone(),
+                CompileOpts {
+                    local_memory_promotion: promote,
+                },
+            )
+        };
+        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let (mut gpu_a, mut d_a) = setup(n);
+        d_a.kernel = make_kernel(true);
+        let promoted = gpu_a.execute(&d_a, &driver).unwrap();
+        let (mut gpu_b, mut d_b) = setup(n);
+        d_b.kernel = make_kernel(false);
+        let unpromoted = gpu_b.execute(&d_b, &driver).unwrap();
+        let ratio = unpromoted.mem_time.ratio(promoted.mem_time);
+        assert!(
+            (ratio - UNPROMOTED_MEM_PENALTY).abs() < 0.05,
+            "memory-path ratio {ratio}"
+        );
+        // Non-promotable kernels are unaffected by the compiler knob.
+        let (mut gpu_c, d_c) = setup(n);
+        let plain = gpu_c.execute(&d_c, &driver).unwrap();
+        assert_eq!(plain.mem_time, promoted.mem_time);
+    }
+
+    #[test]
+    fn degraded_push_constants_add_per_item_fetches() {
+        // The Snapdragon quirk: params demoted to a buffer cost L2 traffic
+        // proportional to the number of work items.
+        let n = 128 * 1024;
+        let info = KernelInfo::new("pushy", [256, 1, 1])
+            .reads(0, "x")
+            .reads(1, "y")
+            .writes(2, "z")
+            .push_constants(4)
+            .build();
+        let body = vector_add_kernel();
+        let kernel = CompiledKernel::new(info, body.body().clone(), CompileOpts::default());
+        let healthy = devices::gtx1050ti().driver(crate::Api::Vulkan).unwrap().clone();
+        let mut degraded = healthy.clone();
+        degraded
+            .quirks
+            .push(crate::profile::DriverQuirk::PushConstantsAsBuffer);
+
+        let run = |driver: &DriverProfile| {
+            let (mut gpu, mut dispatch) = setup(n);
+            dispatch.kernel = kernel.clone();
+            dispatch.push_constants = (n as u32).to_le_bytes().to_vec();
+            gpu.execute(&dispatch, driver).unwrap()
+        };
+        let fast = run(&healthy);
+        let slow = run(&degraded);
+        assert!(slow.mem_time > fast.mem_time, "quirk must add memory time");
+        // Without push constants the quirk is inert.
+        let (mut gpu, dispatch) = setup(n);
+        let no_push = gpu.execute(&dispatch, &degraded).unwrap();
+        let (mut gpu2, dispatch2) = setup(n);
+        let baseline = gpu2.execute(&dispatch2, &healthy).unwrap();
+        assert_eq!(no_push.mem_time, baseline.mem_time);
+    }
+
+    #[test]
+    fn copies_scale_with_size_and_dma_wins() {
+        let gpu = Gpu::new(devices::gtx1050ti());
+        let small = gpu.host_copy_time(4 * 1024);
+        let large = gpu.host_copy_time(64 * 1024 * 1024);
+        assert!(large > small);
+        assert!(gpu.dma_copy_time(64 * 1024 * 1024) < large);
+        assert!(gpu.device_copy_time(1024 * 1024) > SimDuration::ZERO);
+    }
+}

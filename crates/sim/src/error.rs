@@ -1,0 +1,211 @@
+//! Error types shared by the simulator and the API frontends built on it.
+
+use std::fmt;
+
+use crate::api::Api;
+
+/// Errors surfaced by the GPU simulator substrate.
+///
+/// The API frontends (`vcb-vulkan`, `vcb-cuda`, `vcb-opencl`) wrap these in
+/// their own API-shaped error enums; this type is the ground truth about
+/// what actually went wrong in the device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A memory allocation did not fit in the selected heap.
+    OutOfDeviceMemory {
+        /// Heap the allocation was attempted on.
+        heap: usize,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available on that heap.
+        available: u64,
+    },
+    /// A buffer handle did not refer to a live buffer.
+    InvalidBuffer {
+        /// The stale or foreign handle value.
+        id: u32,
+    },
+    /// A dispatch referenced a binding slot with no buffer bound.
+    MissingBinding {
+        /// Kernel entry point name.
+        kernel: String,
+        /// The unbound slot.
+        binding: u32,
+    },
+    /// Two bindings of one dispatch aliased the same buffer and at least
+    /// one of them was writable.
+    AliasViolation {
+        /// Kernel entry point name.
+        kernel: String,
+        /// First binding slot involved.
+        first: u32,
+        /// Second binding slot involved.
+        second: u32,
+    },
+    /// A typed buffer view did not evenly cover the underlying bytes.
+    MisalignedView {
+        /// Buffer length in bytes.
+        len: u64,
+        /// Element size that failed to divide it.
+        elem_size: u64,
+    },
+    /// An access outside the bounds of a buffer view.
+    ///
+    /// Real GPUs make this undefined behaviour; the simulator makes it a
+    /// hard, diagnosable error.
+    OutOfBounds {
+        /// Kernel entry point name.
+        kernel: String,
+        /// Binding slot accessed.
+        binding: u32,
+        /// Element index accessed.
+        index: u64,
+        /// Number of elements in the view.
+        len: u64,
+    },
+    /// A kernel symbol was not present in the kernel registry.
+    UnknownKernel {
+        /// The missing entry point name.
+        name: String,
+    },
+    /// The workgroup's shared-memory demand exceeded the per-CU capacity.
+    SharedMemoryExceeded {
+        /// Kernel entry point name.
+        kernel: String,
+        /// Bytes requested by the workgroup.
+        requested: u64,
+        /// Per-compute-unit capacity.
+        capacity: u64,
+    },
+    /// The driver profile declares this workload broken on this device
+    /// (the paper reports such failures on both mobile platforms).
+    DriverFailure {
+        /// Programming model whose driver rejected the workload.
+        api: Api,
+        /// Device name.
+        device: String,
+        /// Workload name.
+        workload: String,
+    },
+    /// Push-constant update larger than the device limit.
+    PushConstantOverflow {
+        /// Bytes requested.
+        requested: u32,
+        /// Device limit.
+        limit: u32,
+    },
+    /// A configuration value was rejected (zero-sized dispatch, zero-sized
+    /// buffer, workgroup larger than the device maximum, ...).
+    InvalidArgument {
+        /// Human-readable explanation.
+        what: String,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidArgument`].
+    pub fn invalid(what: impl Into<String>) -> Self {
+        SimError::InvalidArgument { what: what.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfDeviceMemory {
+                heap,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of device memory on heap {heap}: requested {requested} bytes, {available} available"
+            ),
+            SimError::InvalidBuffer { id } => write!(f, "invalid buffer handle {id}"),
+            SimError::MissingBinding { kernel, binding } => {
+                write!(f, "kernel `{kernel}` has no buffer bound at binding {binding}")
+            }
+            SimError::AliasViolation {
+                kernel,
+                first,
+                second,
+            } => write!(
+                f,
+                "kernel `{kernel}` bindings {first} and {second} alias one buffer with write access"
+            ),
+            SimError::MisalignedView { len, elem_size } => write!(
+                f,
+                "buffer of {len} bytes is not a whole number of {elem_size}-byte elements"
+            ),
+            SimError::OutOfBounds {
+                kernel,
+                binding,
+                index,
+                len,
+            } => write!(
+                f,
+                "kernel `{kernel}` accessed element {index} of binding {binding} (length {len})"
+            ),
+            SimError::UnknownKernel { name } => {
+                write!(f, "kernel entry point `{name}` is not registered")
+            }
+            SimError::SharedMemoryExceeded {
+                kernel,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "kernel `{kernel}` requested {requested} bytes of shared memory (capacity {capacity})"
+            ),
+            SimError::DriverFailure {
+                api,
+                device,
+                workload,
+            } => write!(
+                f,
+                "{api} driver on {device} failed to run workload `{workload}` (known driver issue)"
+            ),
+            SimError::PushConstantOverflow { requested, limit } => write!(
+                f,
+                "push constant range of {requested} bytes exceeds device limit of {limit} bytes"
+            ),
+            SimError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for simulator operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = SimError::OutOfDeviceMemory {
+            heap: 0,
+            requested: 4096,
+            available: 16,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("4096"));
+        assert!(msg.contains("heap 0"));
+
+        let e = SimError::DriverFailure {
+            api: Api::OpenCl,
+            device: "Adreno 506".into(),
+            workload: "lud".into(),
+        };
+        assert!(e.to_string().contains("OpenCL"));
+        assert!(e.to_string().contains("lud"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

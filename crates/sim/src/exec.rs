@@ -1,0 +1,1305 @@
+//! Kernel execution: workgroup contexts, lanes, buffer views, shared
+//! memory and memory-traffic tracing.
+//!
+//! Kernels are written once, in Rust, at *workgroup granularity*: the body
+//! receives a [`GroupCtx`] and iterates its work items with
+//! [`GroupCtx::for_lanes`], exactly like a GLSL compute shader body with an
+//! outer loop made explicit. Between `for_lanes` sections,
+//! [`GroupCtx::barrier`] plays the role of `barrier()`/`memoryBarrierShared()`.
+//! All three API frontends (Vulkan, CUDA, OpenCL) execute the *same* body,
+//! which is how the paper keeps algorithm and programming model separate.
+//!
+//! Every lane-level access both performs the functional load/store and, in
+//! traced groups, records its device address. Addresses are merged by the
+//! warp coalescer, filtered through the L2 model and turned into DRAM
+//! traffic — the raw material of the timing model.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::cache::{CacheOutcome, CacheSim};
+use crate::coalesce::{strided_sectors, Coalescer};
+use crate::dram::{DramTraffic, RowTracker};
+use crate::error::{SimError, SimResult};
+use crate::mem::{BufferId, BufferStore, Scalar};
+
+/// How a kernel may touch a storage-buffer binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BindingAccess {
+    /// The kernel only reads this binding.
+    ReadOnly,
+    /// The kernel may read and write this binding.
+    ReadWrite,
+}
+
+/// A storage-buffer slot declared by a kernel (mirrors a SPIR-V
+/// `Binding` decoration on a storage buffer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingDecl {
+    /// Binding slot number.
+    pub binding: u32,
+    /// Declared access mode.
+    pub access: BindingAccess,
+    /// Human-readable name for diagnostics.
+    pub name: &'static str,
+}
+
+/// Static description of a compute kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelInfo {
+    /// Entry-point symbol (also the registry key).
+    pub name: String,
+    /// Local workgroup size, as a SPIR-V `LocalSize` execution mode.
+    pub local_size: [u32; 3],
+    /// Declared storage-buffer bindings.
+    pub bindings: Vec<BindingDecl>,
+    /// Bytes of push constants the kernel consumes.
+    pub push_constant_bytes: u32,
+    /// Workgroup-local (shared) memory demand in bytes.
+    pub shared_bytes: u64,
+    /// Whether the kernel contains a data-reuse pattern that a *mature*
+    /// driver compiler promotes to workgroup-local memory automatically
+    /// (the bfs effect of §V-A2). Bodies of such kernels must honour
+    /// [`CompileOpts::local_memory_promotion`].
+    pub promotable: bool,
+    /// Rough static source size in bytes, used by the OpenCL JIT cost
+    /// model.
+    pub source_bytes: u64,
+}
+
+impl KernelInfo {
+    /// Starts building a kernel description with required fields.
+    #[allow(clippy::new_ret_no_self)] // `new` opens the builder, per C-BUILDER
+    pub fn new(name: impl Into<String>, local_size: [u32; 3]) -> KernelInfoBuilder {
+        KernelInfoBuilder {
+            info: KernelInfo {
+                name: name.into(),
+                local_size,
+                bindings: Vec::new(),
+                push_constant_bytes: 0,
+                shared_bytes: 0,
+                promotable: false,
+                source_bytes: 1024,
+            },
+        }
+    }
+
+    /// Work items per workgroup.
+    pub fn local_len(&self) -> u32 {
+        self.local_size[0] * self.local_size[1] * self.local_size[2]
+    }
+
+    /// Looks up a binding declaration by slot.
+    pub fn binding(&self, slot: u32) -> Option<&BindingDecl> {
+        self.bindings.iter().find(|b| b.binding == slot)
+    }
+}
+
+/// Builder for [`KernelInfo`] (kernels have many optional attributes).
+#[derive(Debug, Clone)]
+pub struct KernelInfoBuilder {
+    info: KernelInfo,
+}
+
+impl KernelInfoBuilder {
+    /// Declares a read-only storage buffer binding.
+    pub fn reads(mut self, binding: u32, name: &'static str) -> Self {
+        self.info.bindings.push(BindingDecl {
+            binding,
+            access: BindingAccess::ReadOnly,
+            name,
+        });
+        self
+    }
+
+    /// Declares a read-write storage buffer binding.
+    pub fn writes(mut self, binding: u32, name: &'static str) -> Self {
+        self.info.bindings.push(BindingDecl {
+            binding,
+            access: BindingAccess::ReadWrite,
+            name,
+        });
+        self
+    }
+
+    /// Declares push-constant usage of `bytes`.
+    pub fn push_constants(mut self, bytes: u32) -> Self {
+        self.info.push_constant_bytes = bytes;
+        self
+    }
+
+    /// Declares `bytes` of workgroup shared memory.
+    pub fn shared_memory(mut self, bytes: u64) -> Self {
+        self.info.shared_bytes = bytes;
+        self
+    }
+
+    /// Marks the kernel as containing a promotable reuse pattern.
+    pub fn promotable(mut self) -> Self {
+        self.info.promotable = true;
+        self
+    }
+
+    /// Sets the nominal kernel source size (JIT cost model input).
+    pub fn source_bytes(mut self, bytes: u64) -> Self {
+        self.info.source_bytes = bytes;
+        self
+    }
+
+    /// Finishes the description.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero local size or duplicate binding slots — these are
+    /// programming errors in kernel definitions, not runtime conditions.
+    pub fn build(self) -> KernelInfo {
+        let info = self.info;
+        assert!(info.local_len() > 0, "kernel {} has zero local size", info.name);
+        for (i, a) in info.bindings.iter().enumerate() {
+            for b in &info.bindings[i + 1..] {
+                assert_ne!(
+                    a.binding, b.binding,
+                    "kernel {} declares binding {} twice",
+                    info.name, a.binding
+                );
+            }
+        }
+        info
+    }
+}
+
+/// The executable body of a kernel.
+///
+/// Implementations must be deterministic and must not retain state across
+/// workgroups (each group may be replayed or sampled independently).
+pub trait KernelBody: Send + Sync {
+    /// Executes one workgroup.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed dispatches (missing bindings, type
+    /// mismatches). Data-dependent failures should panic — on a real GPU
+    /// they would be undefined behaviour, and a loud deterministic panic is
+    /// the most debuggable translation.
+    fn execute_group(&self, ctx: &mut GroupCtx<'_>) -> SimResult<()>;
+}
+
+impl<F> KernelBody for F
+where
+    F: Fn(&mut GroupCtx<'_>) -> SimResult<()> + Send + Sync,
+{
+    fn execute_group(&self, ctx: &mut GroupCtx<'_>) -> SimResult<()> {
+        self(ctx)
+    }
+}
+
+/// Options chosen by a driver's kernel compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileOpts {
+    /// Promote flagged reuse patterns into workgroup-local memory.
+    pub local_memory_promotion: bool,
+}
+
+/// A kernel after driver compilation: body + metadata + codegen options.
+#[derive(Clone)]
+pub struct CompiledKernel {
+    info: Arc<KernelInfo>,
+    body: Arc<dyn KernelBody>,
+    opts: CompileOpts,
+}
+
+impl CompiledKernel {
+    /// Bundles a body with its metadata under given compile options.
+    pub fn new(info: KernelInfo, body: Arc<dyn KernelBody>, opts: CompileOpts) -> Self {
+        CompiledKernel {
+            info: Arc::new(info),
+            body,
+            opts,
+        }
+    }
+
+    /// Kernel metadata.
+    pub fn info(&self) -> &KernelInfo {
+        &self.info
+    }
+
+    /// Compile options baked into this binary.
+    pub fn opts(&self) -> CompileOpts {
+        self.opts
+    }
+
+    /// The executable body.
+    pub fn body(&self) -> &Arc<dyn KernelBody> {
+        &self.body
+    }
+}
+
+impl fmt::Debug for CompiledKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledKernel")
+            .field("name", &self.info.name)
+            .field("local_size", &self.info.local_size)
+            .field("opts", &self.opts)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A buffer bound to a binding slot for one dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundBuffer {
+    /// Binding slot.
+    pub binding: u32,
+    /// The buffer.
+    pub buffer: BufferId,
+}
+
+/// A fully specified dispatch: kernel, grid, bindings and push constants.
+#[derive(Debug, Clone)]
+pub struct Dispatch {
+    /// The compiled kernel to run.
+    pub kernel: CompiledKernel,
+    /// Number of workgroups in X, Y, Z (the `vkCmdDispatch` arguments).
+    pub groups: [u32; 3],
+    /// Buffer bindings.
+    pub bindings: Vec<BoundBuffer>,
+    /// Push-constant bytes (may be empty).
+    pub push_constants: Vec<u8>,
+}
+
+impl Dispatch {
+    /// Total workgroups in the grid.
+    pub fn group_count(&self) -> u64 {
+        self.groups[0] as u64 * self.groups[1] as u64 * self.groups[2] as u64
+    }
+}
+
+/// A typed, read-capable view of a storage buffer binding.
+///
+/// Cheap to copy; holds no borrow of the [`GroupCtx`], so views can be
+/// created once and used inside [`GroupCtx::for_lanes`] closures.
+#[derive(Clone, Copy)]
+pub struct GlobalView<'a, T: Scalar> {
+    cells: &'a [Cell<T>],
+    base_addr: u64,
+    binding: u32,
+    kernel: &'a str,
+    writable: bool,
+}
+
+impl<'a, T: Scalar> GlobalView<'a, T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the view has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Device byte address of element `idx`.
+    pub fn addr_of(&self, idx: usize) -> u64 {
+        self.base_addr + (idx * std::mem::size_of::<T>()) as u64
+    }
+
+    #[inline]
+    fn cell(&self, idx: usize) -> &Cell<T> {
+        match self.cells.get(idx) {
+            Some(c) => c,
+            None => panic!(
+                "kernel `{}` accessed element {} of binding {} (length {})",
+                self.kernel,
+                idx,
+                self.binding,
+                self.cells.len()
+            ),
+        }
+    }
+}
+
+impl<T: Scalar + fmt::Debug> fmt::Debug for GlobalView<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GlobalView")
+            .field("binding", &self.binding)
+            .field("len", &self.cells.len())
+            .field("writable", &self.writable)
+            .finish()
+    }
+}
+
+/// A workgroup-shared (local memory) array of `T`.
+///
+/// Like [`GlobalView`], copies freely and holds no `GroupCtx` borrow.
+#[derive(Clone, Copy)]
+pub struct SharedArray<'a, T: Scalar> {
+    cells: &'a [Cell<T>],
+    /// Byte offset inside the workgroup's shared segment, for bank math.
+    base_offset: u32,
+}
+
+impl<'a, T: Scalar> SharedArray<'a, T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Unrecorded read (free in the timing model; use for setup code).
+    pub fn peek(&self, idx: usize) -> T {
+        self.cells[idx].get()
+    }
+
+    /// Unrecorded write.
+    pub fn poke(&self, idx: usize, value: T) {
+        self.cells[idx].set(value);
+    }
+}
+
+impl<T: Scalar + fmt::Debug> fmt::Debug for SharedArray<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedArray").field("len", &self.cells.len()).finish()
+    }
+}
+
+/// Backing storage for workgroup shared memory, reused across groups.
+#[derive(Debug)]
+pub struct SharedArena {
+    words: Vec<u64>,
+    cursor: Cell<usize>, // byte cursor
+}
+
+impl SharedArena {
+    /// Creates an arena of `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        SharedArena {
+            words: vec![0; (capacity_bytes as usize).div_ceil(8)],
+            cursor: Cell::new(0),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        (self.words.len() * 8) as u64
+    }
+
+    fn reset(&self) {
+        self.cursor.set(0);
+    }
+
+    fn alloc<T: Scalar>(&self, len: usize) -> Option<(&[Cell<T>], u32)> {
+        let elem = std::mem::size_of::<T>();
+        let start = self.cursor.get().div_ceil(elem) * elem;
+        let bytes = len * elem;
+        if start + bytes > self.words.len() * 8 {
+            return None;
+        }
+        self.cursor.set(start + bytes);
+        let ptr = self.words.as_ptr() as *const u8;
+        // SAFETY: range checked above; base is 8-byte aligned and `start`
+        // is a multiple of size_of::<T>() (≤ 8, power of two), so the cast
+        // pointer is aligned; Cell<T> is layout-compatible with T; the
+        // arena is only accessed through Cells for the group's lifetime.
+        let slice = unsafe {
+            std::slice::from_raw_parts(ptr.add(start) as *const Cell<T>, len)
+        };
+        Some((slice, start as u32))
+    }
+}
+
+/// A binding resolved to concrete storage for one dispatch.
+pub(crate) struct ResolvedBinding<'a> {
+    pub(crate) store: &'a BufferStore,
+    pub(crate) writable: bool,
+}
+
+/// Per-dispatch traffic counters, extrapolated by the engine when groups
+/// are sampled.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrafficStats {
+    /// Scalar arithmetic operations executed by lanes.
+    pub alu_ops: u64,
+    /// Lane-level global reads.
+    pub global_reads: u64,
+    /// Lane-level global writes.
+    pub global_writes: u64,
+    /// Bytes the lanes asked for (useful bytes).
+    pub useful_bytes: u64,
+    /// Sectors that hit in L2.
+    pub l2_hit_sectors: u64,
+    /// DRAM traffic after L2 filtering.
+    pub dram: DramTraffic,
+    /// Shared-memory lane accesses.
+    pub shared_accesses: u64,
+    /// Extra shared-memory cycles lost to bank conflicts.
+    pub bank_conflict_cycles: u64,
+    /// Workgroup barriers executed.
+    pub barriers: u64,
+}
+
+impl TrafficStats {
+    /// Accumulates `other` into `self`.
+    pub fn add(&mut self, other: &TrafficStats) {
+        self.alu_ops += other.alu_ops;
+        self.global_reads += other.global_reads;
+        self.global_writes += other.global_writes;
+        self.useful_bytes += other.useful_bytes;
+        self.l2_hit_sectors += other.l2_hit_sectors;
+        self.dram.add(other.dram);
+        self.shared_accesses += other.shared_accesses;
+        self.bank_conflict_cycles += other.bank_conflict_cycles;
+        self.barriers += other.barriers;
+    }
+
+    /// Scales all counters by `factor` (sampling extrapolation).
+    pub fn scaled(&self, factor: f64) -> TrafficStats {
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        TrafficStats {
+            alu_ops: s(self.alu_ops),
+            global_reads: s(self.global_reads),
+            global_writes: s(self.global_writes),
+            useful_bytes: s(self.useful_bytes),
+            l2_hit_sectors: s(self.l2_hit_sectors),
+            dram: DramTraffic {
+                sectors: s(self.dram.sectors),
+                row_misses: s(self.dram.row_misses),
+            },
+            shared_accesses: s(self.shared_accesses),
+            bank_conflict_cycles: s(self.bank_conflict_cycles),
+            barriers: s(self.barriers),
+        }
+    }
+}
+
+/// Memory-system state threaded through traced groups (owned by the
+/// engine, persistent across dispatches so caches stay warm).
+pub struct MemSystem {
+    pub(crate) l2: CacheSim,
+    pub(crate) rows: RowTracker,
+    pub(crate) sector_bytes: u64,
+    pub(crate) shared_banks: u32,
+}
+
+impl MemSystem {
+    /// Builds the memory system for a device's memory profile.
+    pub fn new(mem: &crate::profile::MemoryProfile, shared_banks: u32) -> Self {
+        MemSystem {
+            l2: CacheSim::new(mem.l2_bytes, mem.l2_ways, mem.sector_bytes),
+            rows: RowTracker::new(mem.row_bytes),
+            sector_bytes: mem.sector_bytes,
+            shared_banks,
+        }
+    }
+
+    /// The L2 model (exposed for inspection in tests and reports).
+    pub fn l2(&self) -> &CacheSim {
+        &self.l2
+    }
+
+    fn access_sectors(&mut self, sectors: &[u64], stats: &mut TrafficStats) {
+        for &sector in sectors {
+            match self.l2.access_sector(sector) {
+                CacheOutcome::Hit => stats.l2_hit_sectors += 1,
+                CacheOutcome::Miss => {
+                    stats.dram.sectors += 1;
+                    if self.rows.observe(sector * self.sector_bytes) {
+                        stats.dram.row_misses += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MemSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemSystem")
+            .field("l2_stats", &self.l2.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug, Default)]
+struct WarpBuf {
+    /// (sequence-within-lane, address, access bytes) for global accesses.
+    global: Vec<(u32, u64, u8)>,
+    /// (sequence-within-lane, shared byte offset) for shared accesses.
+    shared: Vec<(u32, u32)>,
+}
+
+/// Tracing state for one traced workgroup.
+pub(crate) struct TraceState<'m> {
+    warp: WarpBuf,
+    coalescer: Coalescer,
+    mem: &'m mut MemSystem,
+    scratch_addrs: Vec<u64>,
+}
+
+/// Context for executing one workgroup.
+pub struct GroupCtx<'a> {
+    group_id: [u32; 3],
+    num_groups: [u32; 3],
+    info: &'a KernelInfo,
+    opts: CompileOpts,
+    warp_width: u32,
+    resolved: &'a [Option<ResolvedBinding<'a>>],
+    push: &'a [u8],
+    shared: &'a SharedArena,
+    stats: TrafficStats,
+    trace: Option<TraceState<'a>>,
+}
+
+impl<'a> GroupCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        group_id: [u32; 3],
+        num_groups: [u32; 3],
+        info: &'a KernelInfo,
+        opts: CompileOpts,
+        warp_width: u32,
+        resolved: &'a [Option<ResolvedBinding<'a>>],
+        push: &'a [u8],
+        shared: &'a SharedArena,
+        mem: Option<&'a mut MemSystem>,
+    ) -> Self {
+        shared.reset();
+        GroupCtx {
+            group_id,
+            num_groups,
+            info,
+            opts,
+            warp_width,
+            resolved,
+            push,
+            shared,
+            stats: TrafficStats::default(),
+            trace: mem.map(|m| TraceState {
+                warp: WarpBuf::default(),
+                coalescer: Coalescer::new(m.sector_bytes, m.sector_bytes * 4),
+                mem: m,
+                scratch_addrs: Vec::with_capacity(64),
+            }),
+        }
+    }
+
+    pub(crate) fn into_stats(self) -> TrafficStats {
+        self.stats
+    }
+
+    /// This workgroup's ID along dimension `d` (0..3).
+    pub fn group_id(&self, d: usize) -> u32 {
+        self.group_id[d]
+    }
+
+    /// Grid size along dimension `d`.
+    pub fn num_groups(&self, d: usize) -> u32 {
+        self.num_groups[d]
+    }
+
+    /// Local workgroup size along dimension `d`.
+    pub fn local_size(&self, d: usize) -> u32 {
+        self.info.local_size[d]
+    }
+
+    /// Total work items in this group.
+    pub fn local_len(&self) -> u32 {
+        self.info.local_len()
+    }
+
+    /// Compile options the driver chose for this kernel.
+    pub fn opts(&self) -> CompileOpts {
+        self.opts
+    }
+
+    /// Reads a push constant at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds of the pushed data — mirroring
+    /// the validation-layer error a real Vulkan app would get.
+    pub fn push_u32(&self, offset: usize) -> u32 {
+        let b: [u8; 4] = self.push[offset..offset + 4]
+            .try_into()
+            .expect("push constant range");
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads an `f32` push constant at byte `offset`.
+    pub fn push_f32(&self, offset: usize) -> f32 {
+        f32::from_bits(self.push_u32(offset))
+    }
+
+    /// Resolves a binding slot into a typed view.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MissingBinding`] if nothing is bound at `slot`;
+    /// [`SimError::MisalignedView`] if the buffer size is not a multiple of
+    /// the element size.
+    pub fn global<T: Scalar>(&self, slot: u32) -> SimResult<GlobalView<'a, T>> {
+        let resolved = self
+            .resolved
+            .get(slot as usize)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| SimError::MissingBinding {
+                kernel: self.info.name.clone(),
+                binding: slot,
+            })?;
+        Ok(GlobalView {
+            cells: resolved.store.cells::<T>()?,
+            base_addr: resolved.store.device_addr(),
+            binding: slot,
+            kernel: name_of(self.info),
+            writable: resolved.writable,
+        })
+    }
+
+    /// Allocates a shared (workgroup-local) array of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SharedMemoryExceeded`] if the group's declared shared
+    /// budget is exhausted.
+    pub fn shared_array<T: Scalar>(&self, len: usize) -> SimResult<SharedArray<'a, T>> {
+        match self.shared.alloc::<T>(len) {
+            Some((cells, base_offset)) => Ok(SharedArray { cells, base_offset }),
+            None => Err(SimError::SharedMemoryExceeded {
+                kernel: self.info.name.clone(),
+                requested: (len * std::mem::size_of::<T>()) as u64,
+                capacity: self.shared.capacity(),
+            }),
+        }
+    }
+
+    /// Executes `f` for every work item of the group, warp by warp, and
+    /// coalesces the recorded traffic after each warp.
+    pub fn for_lanes<F: FnMut(&mut Lane<'_>)>(&mut self, mut f: F) {
+        let total = self.local_len();
+        let ww = self.warp_width;
+        let mut lid = 0u32;
+        while lid < total {
+            let warp_end = (lid + ww).min(total);
+            for l in lid..warp_end {
+                let mut lane = Lane {
+                    linear: l,
+                    local_size: self.info.local_size,
+                    group_id: self.group_id,
+                    seq: 0,
+                    alu: 0,
+                    reads: 0,
+                    writes: 0,
+                    useful: 0,
+                    shared_acc: 0,
+                    buf: self.trace.as_mut().map(|t| &mut t.warp),
+                };
+                f(&mut lane);
+                self.stats.alu_ops += lane.alu;
+                self.stats.global_reads += lane.reads;
+                self.stats.global_writes += lane.writes;
+                self.stats.useful_bytes += lane.useful;
+                self.stats.shared_accesses += lane.shared_acc;
+            }
+            self.flush_warp();
+            lid = warp_end;
+        }
+    }
+
+    fn flush_warp(&mut self) {
+        let Some(trace) = self.trace.as_mut() else {
+            return;
+        };
+        if !trace.warp.global.is_empty() {
+            trace.warp.global.sort_unstable();
+            let mut i = 0;
+            let entries = std::mem::take(&mut trace.warp.global);
+            while i < entries.len() {
+                let seq = entries[i].0;
+                let size = entries[i].2;
+                trace.scratch_addrs.clear();
+                while i < entries.len() && entries[i].0 == seq {
+                    trace.scratch_addrs.push(entries[i].1);
+                    i += 1;
+                }
+                let result = trace.coalescer.coalesce(&trace.scratch_addrs, size as u32);
+                let _ = result;
+                let sectors: Vec<u64> = trace.coalescer.last_sectors().to_vec();
+                trace.mem.access_sectors(&sectors, &mut self.stats);
+            }
+            trace.warp.global = entries;
+            trace.warp.global.clear();
+        }
+        if !trace.warp.shared.is_empty() {
+            trace.warp.shared.sort_unstable();
+            let banks = trace.mem.shared_banks.max(1);
+            let mut counts = vec![0u32; banks as usize];
+            let entries = std::mem::take(&mut trace.warp.shared);
+            let mut i = 0;
+            while i < entries.len() {
+                let seq = entries[i].0;
+                counts.fill(0);
+                while i < entries.len() && entries[i].0 == seq {
+                    let bank = (entries[i].1 / 4) % banks;
+                    counts[bank as usize] += 1;
+                    i += 1;
+                }
+                let worst = *counts.iter().max().unwrap_or(&0);
+                if worst > 1 {
+                    self.stats.bank_conflict_cycles += (worst - 1) as u64;
+                }
+            }
+            trace.warp.shared = entries;
+            trace.warp.shared.clear();
+        }
+    }
+
+    /// Workgroup barrier: synchronizes phases of the kernel.
+    ///
+    /// Functionally a no-op (lanes already ran to completion in program
+    /// order); in the timing model it costs a drain/re-issue per group.
+    pub fn barrier(&mut self) {
+        self.stats.barriers += 1;
+    }
+
+    /// Records an *analytic* strided global access pattern instead of
+    /// per-lane tracing — the escape hatch for dense inner loops where
+    /// per-access tracing would dominate simulation time.
+    ///
+    /// `count` accesses of `T`-size each, starting at element `start` of
+    /// `view`, with a stride of `stride_elems` elements. The functional
+    /// reads/writes still go through the view; this call only accounts the
+    /// traffic.
+    pub fn bulk_access<T: Scalar>(
+        &mut self,
+        view: &GlobalView<'_, T>,
+        start: usize,
+        count: u64,
+        stride_elems: u64,
+        write: bool,
+    ) {
+        let elem = std::mem::size_of::<T>() as u64;
+        if write {
+            self.stats.global_writes += count;
+        } else {
+            self.stats.global_reads += count;
+        }
+        self.stats.useful_bytes += count * elem;
+        let Some(trace) = self.trace.as_mut() else {
+            return;
+        };
+        let sector = trace.mem.sector_bytes;
+        let base = view.addr_of(start);
+        let n_sectors = strided_sectors(count, elem, stride_elems * elem, sector);
+        let span = if count == 0 {
+            0
+        } else {
+            (count - 1) * stride_elems * elem + elem
+        };
+        // Touch evenly spaced representative sectors across the span.
+        let step = if n_sectors == 0 {
+            1
+        } else {
+            (span.div_ceil(sector)).max(1).div_ceil(n_sectors).max(1)
+        };
+        let mut touched = 0;
+        let mut s = base / sector;
+        let last = (base + span.max(1) - 1) / sector;
+        while touched < n_sectors && s <= last {
+            match trace.mem.l2.access_sector(s) {
+                CacheOutcome::Hit => self.stats.l2_hit_sectors += 1,
+                CacheOutcome::Miss => {
+                    self.stats.dram.sectors += 1;
+                    if trace.mem.rows.observe(s * sector) {
+                        self.stats.dram.row_misses += 1;
+                    }
+                }
+            }
+            s += step;
+            touched += 1;
+        }
+    }
+
+    /// Adds `ops` arithmetic operations on behalf of the whole group
+    /// (bulk accounting companion to [`GroupCtx::bulk_access`]).
+    pub fn bulk_alu(&mut self, ops: u64) {
+        self.stats.alu_ops += ops;
+    }
+}
+
+impl fmt::Debug for GroupCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupCtx")
+            .field("kernel", &self.info.name)
+            .field("group_id", &self.group_id)
+            .field("traced", &self.trace.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+fn name_of(info: &KernelInfo) -> &str {
+    &info.name
+}
+
+/// One work item inside a [`GroupCtx::for_lanes`] iteration.
+pub struct Lane<'w> {
+    linear: u32,
+    local_size: [u32; 3],
+    group_id: [u32; 3],
+    seq: u32,
+    alu: u64,
+    reads: u64,
+    writes: u64,
+    useful: u64,
+    shared_acc: u64,
+    buf: Option<&'w mut WarpBuf>,
+}
+
+impl Lane<'_> {
+    /// Linear local invocation index.
+    pub fn local_linear(&self) -> u32 {
+        self.linear
+    }
+
+    /// Local invocation ID along dimension `d`.
+    pub fn local_id(&self, d: usize) -> u32 {
+        let [lx, ly, _lz] = self.local_size;
+        match d {
+            0 => self.linear % lx,
+            1 => (self.linear / lx) % ly,
+            _ => self.linear / (lx * ly),
+        }
+    }
+
+    /// Global invocation ID along dimension `d` (the SPIR-V
+    /// `GlobalInvocationId` builtin).
+    pub fn global_id(&self, d: usize) -> u32 {
+        self.group_id[d] * self.local_size[d] + self.local_id(d)
+    }
+
+    /// Linear global invocation index for 1-D dispatches.
+    pub fn global_linear(&self) -> u64 {
+        self.group_id[0] as u64 * self.local_size[0] as u64 * self.local_size[1] as u64
+            + self.linear as u64
+    }
+
+    /// Loads `view[idx]`, recording the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of bounds (deterministic stand-in for GPU
+    /// undefined behaviour).
+    #[inline]
+    pub fn ld<T: Scalar>(&mut self, view: &GlobalView<'_, T>, idx: usize) -> T {
+        let c = view.cell(idx);
+        self.record_global(view.addr_of(idx), std::mem::size_of::<T>() as u8, false);
+        c.get()
+    }
+
+    /// Stores `value` to `view[idx]`, recording the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of bounds, or when storing through a
+    /// read-only binding (the simulator's stand-in for a validation-layer
+    /// error).
+    #[inline]
+    pub fn st<T: Scalar>(&mut self, view: &GlobalView<'_, T>, idx: usize, value: T) {
+        assert!(
+            view.writable,
+            "kernel `{}` stored to read-only binding {}",
+            view.kernel, view.binding
+        );
+        let c = view.cell(idx);
+        self.record_global(view.addr_of(idx), std::mem::size_of::<T>() as u8, true);
+        c.set(value);
+    }
+
+    /// Reads shared memory, recording the access for bank-conflict math.
+    #[inline]
+    pub fn lds<T: Scalar>(&mut self, arr: &SharedArray<'_, T>, idx: usize) -> T {
+        self.record_shared(arr.base_offset + (idx * std::mem::size_of::<T>()) as u32);
+        arr.cells[idx].get()
+    }
+
+    /// Writes shared memory, recording the access.
+    #[inline]
+    pub fn sts<T: Scalar>(&mut self, arr: &SharedArray<'_, T>, idx: usize, value: T) {
+        self.record_shared(arr.base_offset + (idx * std::mem::size_of::<T>()) as u32);
+        arr.cells[idx].set(value);
+    }
+
+    /// Accounts `ops` scalar ALU operations for this lane.
+    #[inline]
+    pub fn alu(&mut self, ops: u32) {
+        self.alu += ops as u64;
+    }
+
+    #[inline]
+    fn record_global(&mut self, addr: u64, size: u8, write: bool) {
+        if write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        self.useful += size as u64;
+        let seq = self.seq;
+        self.seq += 1;
+        if let Some(buf) = self.buf.as_deref_mut() {
+            buf.global.push((seq, addr, size));
+        }
+    }
+
+    #[inline]
+    fn record_shared(&mut self, offset: u32) {
+        self.shared_acc += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        if let Some(buf) = self.buf.as_deref_mut() {
+            buf.shared.push((seq, offset));
+        }
+    }
+}
+
+impl fmt::Debug for Lane<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lane").field("linear", &self.linear).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemoryPool;
+    use crate::profile::{devices, HeapProfile};
+
+    fn pool() -> MemoryPool {
+        MemoryPool::new(&[HeapProfile {
+            size: 1 << 24,
+            device_local: true,
+            host_visible: true,
+        }])
+    }
+
+    fn run_one_group<F>(
+        pool: &MemoryPool,
+        ids: &[(BufferId, bool)],
+        info: &KernelInfo,
+        mem: Option<&mut MemSystem>,
+        f: F,
+    ) -> TrafficStats
+    where
+        F: Fn(&mut GroupCtx<'_>) -> SimResult<()>,
+    {
+        let resolved: Vec<Option<ResolvedBinding<'_>>> = ids
+            .iter()
+            .map(|&(id, writable)| {
+                Some(ResolvedBinding {
+                    store: pool.buffer(id).unwrap(),
+                    writable,
+                })
+            })
+            .collect();
+        let arena = SharedArena::new(info.shared_bytes.max(1024));
+        let mut ctx = GroupCtx::new(
+            [0, 0, 0],
+            [1, 1, 1],
+            info,
+            CompileOpts::default(),
+            32,
+            &resolved,
+            &[],
+            &arena,
+            mem,
+        );
+        f(&mut ctx).unwrap();
+        ctx.into_stats()
+    }
+
+    #[test]
+    fn lanes_compute_and_record() {
+        let mut p = pool();
+        let (a, _) = p.create_buffer(0, 256 * 4).unwrap();
+        let (b, _) = p.create_buffer(0, 256 * 4).unwrap();
+        let data: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        p.buffer_mut(a).unwrap().write_slice(&data);
+
+        let info = KernelInfo::new("double", [256, 1, 1])
+            .reads(0, "a")
+            .writes(1, "b")
+            .build();
+        let mut mem = MemSystem::new(&devices::gtx1050ti().memory, 32);
+        let stats = run_one_group(&p, &[(a, false), (b, true)], &info, Some(&mut mem), |ctx| {
+            let x = ctx.global::<f32>(0)?;
+            let y = ctx.global::<f32>(1)?;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_id(0) as usize;
+                let v = lane.ld(&x, i);
+                lane.alu(1);
+                lane.st(&y, i, v * 2.0);
+            });
+            Ok(())
+        });
+
+        let out: Vec<f32> = p.buffer(b).unwrap().read_vec().unwrap();
+        assert_eq!(out[10], 20.0);
+        assert_eq!(stats.global_reads, 256);
+        assert_eq!(stats.global_writes, 256);
+        assert_eq!(stats.alu_ops, 256);
+        // 256 f32 reads + 256 f32 writes = 2 KiB = 64 sectors, cold cache.
+        assert_eq!(stats.dram.sectors + stats.l2_hit_sectors, 64);
+    }
+
+    #[test]
+    fn strided_access_amplifies_traffic() {
+        let mut p = pool();
+        let n = 4096usize;
+        let (a, _) = p.create_buffer(0, (n * 8 * 4) as u64).unwrap();
+        let info = KernelInfo::new("stride", [256, 1, 1]).reads(0, "a").build();
+
+        let mut traffic = Vec::new();
+        for stride in [1usize, 8] {
+            let mut mem = MemSystem::new(&devices::gtx1050ti().memory, 32);
+            let stats = run_one_group(&p, &[(a, false)], &info, Some(&mut mem), |ctx| {
+                let x = ctx.global::<f32>(0)?;
+                ctx.for_lanes(|lane| {
+                    let i = lane.global_id(0) as usize;
+                    let _ = lane.ld(&x, (i * stride) % (n * 8));
+                });
+                Ok(())
+            });
+            traffic.push(stats.dram.sectors);
+        }
+        assert!(
+            traffic[1] >= traffic[0] * 6,
+            "stride-8 traffic {} vs unit {}",
+            traffic[1],
+            traffic[0]
+        );
+    }
+
+    #[test]
+    fn second_pass_hits_l2() {
+        let mut p = pool();
+        let (a, _) = p.create_buffer(0, 1024 * 4).unwrap();
+        let info = KernelInfo::new("reread", [256, 1, 1]).reads(0, "a").build();
+        let mut mem = MemSystem::new(&devices::gtx1050ti().memory, 32);
+        let body = |ctx: &mut GroupCtx<'_>| {
+            let x = ctx.global::<f32>(0)?;
+            ctx.for_lanes(|lane| {
+                let _ = lane.ld(&x, lane.global_id(0) as usize);
+            });
+            Ok(())
+        };
+        let first = run_one_group(&p, &[(a, false)], &info, Some(&mut mem), body);
+        let second = run_one_group(&p, &[(a, false)], &info, Some(&mut mem), body);
+        assert!(first.dram.sectors > 0);
+        assert_eq!(second.dram.sectors, 0, "1 KiB working set must stay in L2");
+        assert!(second.l2_hit_sectors > 0);
+    }
+
+    #[test]
+    fn shared_memory_roundtrip_and_conflicts() {
+        let p = pool();
+        let info = KernelInfo::new("smem", [64, 1, 1])
+            .shared_memory(64 * 4)
+            .build();
+        let mut mem = MemSystem::new(&devices::gtx1050ti().memory, 32);
+        let stats = run_one_group(&p, &[], &info, Some(&mut mem), |ctx| {
+            let tile = ctx.shared_array::<f32>(64)?;
+            ctx.for_lanes(|lane| {
+                let l = lane.local_linear() as usize;
+                lane.sts(&tile, l, l as f32);
+            });
+            ctx.barrier();
+            // Stride-32 reads: every lane hits bank (l*32)%32 == 0 -> full conflict.
+            let conflict_tile = ctx.shared_array::<f32>(1)?; // placeholder, not used
+            let _ = conflict_tile;
+            ctx.for_lanes(|lane| {
+                let l = lane.local_linear() as usize;
+                let v = lane.lds(&tile, (l * 32) % 64);
+                lane.alu((v >= 0.0) as u32);
+            });
+            Ok(())
+        });
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.shared_accesses, 128);
+        assert!(stats.bank_conflict_cycles > 0, "strided smem must conflict");
+    }
+
+    #[test]
+    fn out_of_bounds_load_panics() {
+        let mut p = pool();
+        let (a, _) = p.create_buffer(0, 16).unwrap();
+        let info = KernelInfo::new("oob", [1, 1, 1]).reads(0, "a").build();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one_group(&p, &[(a, false)], &info, None, |ctx| {
+                let x = ctx.global::<f32>(0)?;
+                ctx.for_lanes(|lane| {
+                    let _ = lane.ld(&x, 100);
+                });
+                Ok(())
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn store_to_readonly_binding_panics() {
+        let mut p = pool();
+        let (a, _) = p.create_buffer(0, 16).unwrap();
+        let info = KernelInfo::new("ro", [1, 1, 1]).reads(0, "a").build();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one_group(&p, &[(a, false)], &info, None, |ctx| {
+                let x = ctx.global::<f32>(0)?;
+                ctx.for_lanes(|lane| {
+                    lane.st(&x, 0, 1.0);
+                });
+                Ok(())
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn missing_binding_is_an_error() {
+        let p = pool();
+        let info = KernelInfo::new("nobind", [1, 1, 1]).build();
+        let resolved: Vec<Option<ResolvedBinding<'_>>> = vec![None];
+        let arena = SharedArena::new(16);
+        let ctx = GroupCtx::new(
+            [0, 0, 0],
+            [1, 1, 1],
+            &info,
+            CompileOpts::default(),
+            32,
+            &resolved,
+            &[],
+            &arena,
+            None,
+        );
+        let _ = &p;
+        assert!(matches!(
+            ctx.global::<f32>(0),
+            Err(SimError::MissingBinding { .. })
+        ));
+        assert!(matches!(
+            ctx.global::<f32>(7),
+            Err(SimError::MissingBinding { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_overflow_is_an_error() {
+        let p = pool();
+        let info = KernelInfo::new("big_smem", [1, 1, 1]).shared_memory(64).build();
+        let _ = &p;
+        let resolved: Vec<Option<ResolvedBinding<'_>>> = Vec::new();
+        let arena = SharedArena::new(64);
+        let ctx = GroupCtx::new(
+            [0, 0, 0],
+            [1, 1, 1],
+            &info,
+            CompileOpts::default(),
+            32,
+            &resolved,
+            &[],
+            &arena,
+            None,
+        );
+        assert!(ctx.shared_array::<f32>(8).is_ok());
+        assert!(matches!(
+            ctx.shared_array::<f32>(16),
+            Err(SimError::SharedMemoryExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn bulk_access_accounts_analytically() {
+        let mut p = pool();
+        let n = 1 << 16;
+        let (a, _) = p.create_buffer(0, n * 4).unwrap();
+        let info = KernelInfo::new("bulk", [1, 1, 1]).reads(0, "a").build();
+        let mut mem = MemSystem::new(&devices::gtx1050ti().memory, 32);
+        let stats = run_one_group(&p, &[(a, false)], &info, Some(&mut mem), |ctx| {
+            let x = ctx.global::<f32>(0)?;
+            ctx.bulk_access(&x, 0, n / 4, 1, false);
+            ctx.bulk_alu(1000);
+            Ok(())
+        });
+        assert_eq!(stats.global_reads, n / 4);
+        assert_eq!(stats.alu_ops, 1000);
+        // (n/4) f32 elements unit stride = n bytes = n/32 sectors.
+        let expect = (n * 4 / 4) / 32;
+        let total = stats.dram.sectors + stats.l2_hit_sectors;
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn push_constants_read_back() {
+        let p = pool();
+        let info = KernelInfo::new("push", [1, 1, 1]).push_constants(8).build();
+        let _ = &p;
+        let resolved: Vec<Option<ResolvedBinding<'_>>> = Vec::new();
+        let arena = SharedArena::new(16);
+        let mut push = Vec::new();
+        push.extend_from_slice(&42u32.to_le_bytes());
+        push.extend_from_slice(&1.5f32.to_bits().to_le_bytes());
+        let ctx = GroupCtx::new(
+            [0, 0, 0],
+            [1, 1, 1],
+            &info,
+            CompileOpts::default(),
+            32,
+            &resolved,
+            &push,
+            &arena,
+            None,
+        );
+        assert_eq!(ctx.push_u32(0), 42);
+        assert_eq!(ctx.push_f32(4), 1.5);
+    }
+
+    #[test]
+    fn lane_ids_are_consistent_in_2d() {
+        let p = pool();
+        let info = KernelInfo::new("ids", [4, 4, 1]).build();
+        let _ = &p;
+        let resolved: Vec<Option<ResolvedBinding<'_>>> = Vec::new();
+        let arena = SharedArena::new(16);
+        let mut ctx = GroupCtx::new(
+            [2, 3, 0],
+            [4, 4, 1],
+            &info,
+            CompileOpts::default(),
+            32,
+            &resolved,
+            &[],
+            &arena,
+            None,
+        );
+        let seen = Cell::new(0u32);
+        ctx.for_lanes(|lane| {
+            let lx = lane.local_id(0);
+            let ly = lane.local_id(1);
+            assert_eq!(ly * 4 + lx, lane.local_linear());
+            assert_eq!(lane.global_id(0), 2 * 4 + lx);
+            assert_eq!(lane.global_id(1), 3 * 4 + ly);
+            seen.set(seen.get() + 1);
+        });
+        assert_eq!(seen.get(), 16);
+    }
+
+    #[test]
+    fn kernel_info_builder_rejects_duplicates() {
+        let result = std::panic::catch_unwind(|| {
+            KernelInfo::new("dup", [1, 1, 1])
+                .reads(0, "a")
+                .writes(0, "b")
+                .build()
+        });
+        assert!(result.is_err());
+    }
+}

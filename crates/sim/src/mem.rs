@@ -1,0 +1,565 @@
+//! Device memory: heaps, a first-fit allocator and buffer storage.
+//!
+//! Buffers are plain byte arrays backed by 8-byte-aligned storage so that
+//! typed views (`f32`, `u32`, `i32`, ...) can be taken safely. Every buffer
+//! lives at a unique *device address*, which is what the coalescer and the
+//! cache model consume; addresses are deterministic given the allocation
+//! sequence.
+
+use std::cell::Cell;
+use std::fmt;
+
+use crate::error::{SimError, SimResult};
+use crate::profile::HeapProfile;
+
+/// Handle to a device buffer inside a [`MemoryPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(u32);
+
+impl BufferId {
+    /// Raw handle value (stable for the lifetime of the pool).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf#{}", self.0)
+    }
+}
+
+/// A block reserved inside a heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapAllocation {
+    /// Which heap the block came from.
+    pub heap: usize,
+    /// Offset of the block inside the heap.
+    pub offset: u64,
+    /// Size of the block in bytes.
+    pub size: u64,
+}
+
+/// First-fit allocator over one heap with free-list coalescing.
+///
+/// The allocator exists so that out-of-memory behaves like the paper's
+/// mobile experiments (cfd's data set "could not fit on both platforms"),
+/// and so that allocation patterns are testable.
+#[derive(Debug, Clone)]
+pub struct HeapState {
+    profile: HeapProfile,
+    /// Sorted, non-overlapping, non-adjacent free ranges `(offset, size)`.
+    free: Vec<(u64, u64)>,
+    used: u64,
+}
+
+impl HeapState {
+    /// Creates an empty heap from its profile.
+    pub fn new(profile: HeapProfile) -> Self {
+        HeapState {
+            free: vec![(0, profile.size)],
+            profile,
+            used: 0,
+        }
+    }
+
+    /// The static description of this heap.
+    pub fn profile(&self) -> &HeapProfile {
+        &self.profile
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available (may be fragmented).
+    pub fn available(&self) -> u64 {
+        self.profile.size - self.used
+    }
+
+    /// Allocates `size` bytes aligned to `align`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfDeviceMemory`] when no free range fits and
+    /// [`SimError::InvalidArgument`] for a zero size or non-power-of-two
+    /// alignment.
+    pub fn alloc(&mut self, heap_index: usize, size: u64, align: u64) -> SimResult<HeapAllocation> {
+        if size == 0 {
+            return Err(SimError::invalid("zero-sized allocation"));
+        }
+        if align == 0 || !align.is_power_of_two() {
+            return Err(SimError::invalid(format!(
+                "alignment {align} is not a power of two"
+            )));
+        }
+        for i in 0..self.free.len() {
+            let (start, len) = self.free[i];
+            let aligned = (start + align - 1) & !(align - 1);
+            let pad = aligned - start;
+            if len >= pad + size {
+                // Carve [aligned, aligned+size) out of the range.
+                self.free.remove(i);
+                if pad > 0 {
+                    self.free.insert(i, (start, pad));
+                }
+                let tail_start = aligned + size;
+                let tail_len = len - pad - size;
+                if tail_len > 0 {
+                    let pos = self.free.partition_point(|&(o, _)| o < tail_start);
+                    self.free.insert(pos, (tail_start, tail_len));
+                }
+                self.used += size;
+                return Ok(HeapAllocation {
+                    heap: heap_index,
+                    offset: aligned,
+                    size,
+                });
+            }
+        }
+        Err(SimError::OutOfDeviceMemory {
+            heap: heap_index,
+            requested: size,
+            available: self.available(),
+        })
+    }
+
+    /// Returns a block to the heap, coalescing with neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block overlaps a range that is already free (a
+    /// double-free), since that is a simulator bug, not a model outcome.
+    pub fn free(&mut self, allocation: HeapAllocation) {
+        let (start, size) = (allocation.offset, allocation.size);
+        let pos = self.free.partition_point(|&(o, _)| o < start);
+        if let Some(&(next_off, _)) = self.free.get(pos) {
+            assert!(start + size <= next_off, "double free at offset {start}");
+        }
+        if pos > 0 {
+            let (prev_off, prev_len) = self.free[pos - 1];
+            assert!(prev_off + prev_len <= start, "double free at offset {start}");
+        }
+        self.free.insert(pos, (start, size));
+        self.used -= size;
+        // Coalesce around `pos`.
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            let (_, next_len) = self.free.remove(pos + 1);
+            self.free[pos].1 += next_len;
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            let (_, cur_len) = self.free.remove(pos);
+            self.free[pos - 1].1 += cur_len;
+        }
+    }
+
+    /// Number of disjoint free ranges (fragmentation indicator).
+    pub fn fragments(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// Storage of one buffer, 8-byte aligned.
+#[derive(Debug)]
+pub struct BufferStore {
+    /// 8-byte-aligned backing storage; `len_bytes` may be smaller than
+    /// `words.len() * 8`.
+    words: Vec<u64>,
+    len_bytes: u64,
+    device_addr: u64,
+}
+
+impl BufferStore {
+    fn new(len_bytes: u64, device_addr: u64) -> Self {
+        let words = vec![0u64; len_bytes.div_ceil(8) as usize];
+        BufferStore {
+            words,
+            len_bytes,
+            device_addr,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// `true` for a zero-length buffer (never constructed by the pool).
+    pub fn is_empty(&self) -> bool {
+        self.len_bytes == 0
+    }
+
+    /// Device virtual address of byte 0 (used for coalescing and caching).
+    pub fn device_addr(&self) -> u64 {
+        self.device_addr
+    }
+
+    /// Read-only byte view.
+    pub fn bytes(&self) -> &[u8] {
+        let ptr = self.words.as_ptr() as *const u8;
+        // SAFETY: `words` owns at least `len_bytes` initialized bytes and
+        // u64 storage is valid to reinterpret as bytes.
+        unsafe { std::slice::from_raw_parts(ptr, self.len_bytes as usize) }
+    }
+
+    /// Mutable byte view.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        let ptr = self.words.as_mut_ptr() as *mut u8;
+        // SAFETY: as in `bytes`, plus we hold `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(ptr, self.len_bytes as usize) }
+    }
+
+    /// Shared-mutability cell view over the whole buffer as elements of `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MisalignedView`] if the buffer length is not a
+    /// multiple of `size_of::<T>()`.
+    pub fn cells<T: Scalar>(&self) -> SimResult<&[Cell<T>]> {
+        let elem = std::mem::size_of::<T>() as u64;
+        if !self.len_bytes.is_multiple_of(elem) {
+            return Err(SimError::MisalignedView {
+                len: self.len_bytes,
+                elem_size: elem,
+            });
+        }
+        let n = (self.len_bytes / elem) as usize;
+        let ptr = self.words.as_ptr() as *const Cell<T>;
+        // SAFETY: storage is 8-byte aligned (T is at most 8 bytes, power of
+        // two, per the sealed Scalar trait), covers >= n elements, and
+        // `Cell<T>` has the same layout as `T`. Shared mutability through
+        // &self is the point of Cell; the pool hands out disjoint borrow
+        // scopes per dispatch.
+        Ok(unsafe { std::slice::from_raw_parts(ptr, n) })
+    }
+
+    /// Copies a typed slice into the buffer starting at byte 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the buffer.
+    pub fn write_slice<T: Scalar>(&mut self, data: &[T]) {
+        let bytes = scalar_bytes(data);
+        self.bytes_mut()[..bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads the whole buffer as a typed vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MisalignedView`] on a size mismatch.
+    pub fn read_vec<T: Scalar>(&self) -> SimResult<Vec<T>> {
+        Ok(self.cells::<T>()?.iter().map(Cell::get).collect())
+    }
+}
+
+/// Marker for plain-old-data element types allowed in buffer views.
+///
+/// This trait is sealed: exactly the scalar types a SPIR-V storage buffer
+/// in these benchmarks contains.
+pub trait Scalar: Copy + private::Sealed + 'static {}
+
+impl Scalar for f32 {}
+impl Scalar for u32 {}
+impl Scalar for i32 {}
+impl Scalar for u64 {}
+impl Scalar for f64 {}
+impl Scalar for u8 {}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for u32 {}
+    impl Sealed for i32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f64 {}
+    impl Sealed for u8 {}
+}
+
+fn scalar_bytes<T: Scalar>(data: &[T]) -> &[u8] {
+    // SAFETY: Scalar types are plain-old-data with no padding.
+    unsafe {
+        std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
+    }
+}
+
+/// All buffers of one device plus its heap states.
+#[derive(Debug)]
+pub struct MemoryPool {
+    heaps: Vec<HeapState>,
+    buffers: Vec<Option<BufferStore>>,
+    /// Monotonically increasing device address cursor; buffers never share
+    /// cache lines, which keeps the cache model honest.
+    next_addr: u64,
+}
+
+/// Device address stride between consecutive buffers' starting addresses
+/// (beyond their size), keeping them on distinct DRAM rows.
+const ADDR_GUARD: u64 = 4096;
+
+impl MemoryPool {
+    /// Creates a pool with the given heaps.
+    pub fn new(heaps: &[HeapProfile]) -> Self {
+        MemoryPool {
+            heaps: heaps.iter().map(|h| HeapState::new(*h)).collect(),
+            buffers: Vec::new(),
+            next_addr: 0x1000_0000,
+        }
+    }
+
+    /// Heap states (read-only).
+    pub fn heaps(&self) -> &[HeapState] {
+        &self.heaps
+    }
+
+    /// Allocates backing storage on `heap` and creates a buffer of `size`
+    /// bytes there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures ([`SimError::OutOfDeviceMemory`],
+    /// [`SimError::InvalidArgument`]).
+    pub fn create_buffer(&mut self, heap: usize, size: u64) -> SimResult<(BufferId, HeapAllocation)> {
+        let allocation = self.alloc_raw(heap, size, 256)?;
+        match self.create_store(size) {
+            Ok(id) => Ok((id, allocation)),
+            Err(e) => {
+                self.free_raw(allocation);
+                Err(e)
+            }
+        }
+    }
+
+    /// Destroys a buffer and returns its heap block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidBuffer`] for a stale handle.
+    pub fn destroy_buffer(&mut self, id: BufferId, allocation: HeapAllocation) -> SimResult<()> {
+        let slot = self
+            .buffers
+            .get_mut(id.0 as usize)
+            .ok_or(SimError::InvalidBuffer { id: id.0 })?;
+        if slot.take().is_none() {
+            return Err(SimError::InvalidBuffer { id: id.0 });
+        }
+        self.heaps[allocation.heap].free(allocation);
+        Ok(())
+    }
+
+    /// Reserves a raw block on `heap` without creating a buffer — the
+    /// `vkAllocateMemory` half of Vulkan's two-phase allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`HeapState::alloc`].
+    pub fn alloc_raw(&mut self, heap: usize, size: u64, align: u64) -> SimResult<HeapAllocation> {
+        let state = self
+            .heaps
+            .get_mut(heap)
+            .ok_or_else(|| SimError::invalid(format!("heap index {heap} out of range")))?;
+        state.alloc(heap, size, align)
+    }
+
+    /// Returns a raw block to its heap (the `vkFreeMemory` half).
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free, as [`HeapState::free`].
+    pub fn free_raw(&mut self, allocation: HeapAllocation) {
+        self.heaps[allocation.heap].free(allocation);
+    }
+
+    /// Creates buffer storage *without* heap accounting — used when the
+    /// caller manages heap blocks itself via [`MemoryPool::alloc_raw`]
+    /// (the `vkBindBufferMemory` half).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidArgument`] for a zero size.
+    pub fn create_store(&mut self, size: u64) -> SimResult<BufferId> {
+        if size == 0 {
+            return Err(SimError::invalid("zero-sized buffer"));
+        }
+        let addr = self.next_addr;
+        self.next_addr += size.div_ceil(ADDR_GUARD) * ADDR_GUARD + ADDR_GUARD;
+        let store = BufferStore::new(size, addr);
+        let id = if let Some(slot) = self.buffers.iter().position(Option::is_none) {
+            self.buffers[slot] = Some(store);
+            BufferId(slot as u32)
+        } else {
+            self.buffers.push(Some(store));
+            BufferId((self.buffers.len() - 1) as u32)
+        };
+        Ok(id)
+    }
+
+    /// Destroys storage created with [`MemoryPool::create_store`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidBuffer`] for a stale handle.
+    pub fn destroy_store(&mut self, id: BufferId) -> SimResult<()> {
+        let slot = self
+            .buffers
+            .get_mut(id.0 as usize)
+            .ok_or(SimError::InvalidBuffer { id: id.0 })?;
+        if slot.take().is_none() {
+            return Err(SimError::InvalidBuffer { id: id.0 });
+        }
+        Ok(())
+    }
+
+    /// Shared access to a live buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidBuffer`] for a stale handle.
+    pub fn buffer(&self, id: BufferId) -> SimResult<&BufferStore> {
+        self.buffers
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(SimError::InvalidBuffer { id: id.0 })
+    }
+
+    /// Exclusive access to a live buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidBuffer`] for a stale handle.
+    pub fn buffer_mut(&mut self, id: BufferId) -> SimResult<&mut BufferStore> {
+        self.buffers
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(SimError::InvalidBuffer { id: id.0 })
+    }
+
+    /// Number of live buffers.
+    pub fn live_buffers(&self) -> usize {
+        self.buffers.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap(size: u64) -> HeapProfile {
+        HeapProfile {
+            size,
+            device_local: true,
+            host_visible: false,
+        }
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_capacity() {
+        let mut h = HeapState::new(heap(1024));
+        let a = h.alloc(0, 100, 1).unwrap();
+        let b = h.alloc(0, 200, 1).unwrap();
+        assert_eq!(h.used(), 300);
+        h.free(a);
+        h.free(b);
+        assert_eq!(h.used(), 0);
+        assert_eq!(h.fragments(), 1);
+    }
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut h = HeapState::new(heap(1024));
+        let _pad = h.alloc(0, 3, 1).unwrap();
+        let a = h.alloc(0, 64, 64).unwrap();
+        assert_eq!(a.offset % 64, 0);
+    }
+
+    #[test]
+    fn out_of_memory_reports_available() {
+        let mut h = HeapState::new(heap(128));
+        let _a = h.alloc(0, 100, 1).unwrap();
+        let err = h.alloc(0, 64, 1).unwrap_err();
+        match err {
+            SimError::OutOfDeviceMemory { available, .. } => assert_eq!(available, 28),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_size_and_bad_alignment_rejected() {
+        let mut h = HeapState::new(heap(128));
+        assert!(h.alloc(0, 0, 1).is_err());
+        assert!(h.alloc(0, 16, 3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut h = HeapState::new(heap(128));
+        let a = h.alloc(0, 32, 1).unwrap();
+        h.free(a);
+        h.free(a);
+    }
+
+    #[test]
+    fn buffer_store_typed_roundtrip() {
+        let mut pool = MemoryPool::new(&[heap(1 << 20)]);
+        let (id, _) = pool.create_buffer(0, 16).unwrap();
+        pool.buffer_mut(id)
+            .unwrap()
+            .write_slice(&[1.0f32, 2.0, 3.0, 4.0]);
+        let back: Vec<f32> = pool.buffer(id).unwrap().read_vec().unwrap();
+        assert_eq!(back, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn cells_alias_safely() {
+        let mut pool = MemoryPool::new(&[heap(1 << 20)]);
+        let (id, _) = pool.create_buffer(0, 8).unwrap();
+        let store = pool.buffer(id).unwrap();
+        let a = store.cells::<u32>().unwrap();
+        let b = store.cells::<u32>().unwrap();
+        a[0].set(7);
+        assert_eq!(b[0].get(), 7);
+        b[1].set(9);
+        assert_eq!(a[1].get(), 9);
+    }
+
+    #[test]
+    fn misaligned_view_rejected() {
+        let mut pool = MemoryPool::new(&[heap(1 << 20)]);
+        let (id, _) = pool.create_buffer(0, 6).unwrap();
+        assert!(matches!(
+            pool.buffer(id).unwrap().cells::<f32>(),
+            Err(SimError::MisalignedView { .. })
+        ));
+    }
+
+    #[test]
+    fn destroy_then_access_is_invalid() {
+        let mut pool = MemoryPool::new(&[heap(1 << 20)]);
+        let (id, alloc) = pool.create_buffer(0, 64).unwrap();
+        pool.destroy_buffer(id, alloc).unwrap();
+        assert!(matches!(pool.buffer(id), Err(SimError::InvalidBuffer { .. })));
+        assert!(pool.destroy_buffer(id, alloc).is_err());
+        assert_eq!(pool.live_buffers(), 0);
+    }
+
+    #[test]
+    fn device_addresses_are_disjoint() {
+        let mut pool = MemoryPool::new(&[heap(1 << 20)]);
+        let (a, _) = pool.create_buffer(0, 1000).unwrap();
+        let (b, _) = pool.create_buffer(0, 1000).unwrap();
+        let (sa, sb) = (pool.buffer(a).unwrap(), pool.buffer(b).unwrap());
+        assert!(sa.device_addr() + sa.len() <= sb.device_addr());
+    }
+
+    #[test]
+    fn slot_reuse_after_destroy() {
+        let mut pool = MemoryPool::new(&[heap(1 << 20)]);
+        let (a, alloc) = pool.create_buffer(0, 64).unwrap();
+        pool.destroy_buffer(a, alloc).unwrap();
+        let (b, _) = pool.create_buffer(0, 64).unwrap();
+        assert_eq!(a.raw(), b.raw(), "slot should be reused");
+    }
+}

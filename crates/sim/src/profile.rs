@@ -1,0 +1,962 @@
+//! Device and driver profiles.
+//!
+//! A [`DeviceProfile`] captures everything the timing model needs to know
+//! about a GPU: its compute resources, memory system, transfer links and
+//! queue families. A [`DriverProfile`] captures the per-programming-model
+//! software stack on that device: launch/submit overheads, compiler
+//! maturity and known driver quirks. Both are plain data so experiments can
+//! construct ablated variants.
+//!
+//! The four devices of the paper (Table II and Table III) are provided by
+//! [`devices::gtx1050ti`], [`devices::rx560`], [`devices::powervr_g6430`]
+//! and [`devices::adreno506`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::api::Api;
+use crate::time::SimDuration;
+
+/// GPU vendor, as listed in the paper's platform tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// NVIDIA (desktop, Pascal generation in the paper).
+    Nvidia,
+    /// AMD (desktop, Polaris generation in the paper).
+    Amd,
+    /// Imagination Technologies (PowerVR Rogue mobile GPUs).
+    Imagination,
+    /// Qualcomm (Adreno mobile GPUs).
+    Qualcomm,
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Vendor::Nvidia => "NVIDIA",
+            Vendor::Amd => "AMD",
+            Vendor::Imagination => "Imagination",
+            Vendor::Qualcomm => "Qualcomm",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a device is a desktop discrete GPU or a mobile/embedded GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Discrete desktop GPU with dedicated VRAM behind a PCIe link.
+    Desktop,
+    /// Mobile/embedded GPU sharing LPDDR memory with the CPU.
+    Mobile,
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceClass::Desktop => f.write_str("desktop"),
+            DeviceClass::Mobile => f.write_str("mobile"),
+        }
+    }
+}
+
+/// Memory-system parameters of a device.
+///
+/// The theoretical peak bandwidth follows the paper's formula
+/// `BW_peak = Freq · (BusWidth/8) · 10^-9` (GB/s) where `Freq` is the
+/// *effective* memory clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryProfile {
+    /// Effective memory clock in MHz (7000 for the paper's GDDR5 cards).
+    pub effective_clock_mhz: u64,
+    /// Memory interface width in bits (128 for both desktop cards).
+    pub bus_width_bits: u64,
+    /// Fraction of the theoretical peak that a perfectly coalesced stream
+    /// can actually achieve (the paper measured 0.71–0.89).
+    pub peak_efficiency: f64,
+    /// DRAM access latency floor for a dependent access.
+    pub latency: SimDuration,
+    /// Smallest unit transferred from DRAM (32 B sectors on modern GPUs).
+    pub sector_bytes: u64,
+    /// Cache-line size used by the coalescer (128 B on the modelled GPUs).
+    pub line_bytes: u64,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity (ways).
+    pub l2_ways: u64,
+    /// Multiple of DRAM bandwidth available when hitting in L2.
+    pub l2_bandwidth_scale: f64,
+    /// DRAM row-buffer size; row switches add [`MemoryProfile::row_miss_penalty`].
+    pub row_bytes: u64,
+    /// Extra service time charged per row-buffer miss. This is what makes
+    /// achieved bandwidth keep degrading beyond the sector-size stride in
+    /// Fig. 1 of the paper.
+    pub row_miss_penalty: SimDuration,
+}
+
+impl MemoryProfile {
+    /// Theoretical peak bandwidth in bytes per second
+    /// (`Freq · BusWidth/8`, the formula from §V-A1 of the paper).
+    pub fn peak_bandwidth_bytes_per_sec(&self) -> f64 {
+        self.effective_clock_mhz as f64 * 1.0e6 * (self.bus_width_bits as f64 / 8.0)
+    }
+
+    /// Theoretical peak bandwidth in GB/s, as quoted in the paper.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.peak_bandwidth_bytes_per_sec() / 1.0e9
+    }
+
+    /// Achievable bandwidth (peak × efficiency) in bytes per second.
+    pub fn effective_bandwidth_bytes_per_sec(&self) -> f64 {
+        self.peak_bandwidth_bytes_per_sec() * self.peak_efficiency
+    }
+}
+
+/// One device-memory heap (mirrors `VkMemoryHeap`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapProfile {
+    /// Capacity in bytes.
+    pub size: u64,
+    /// Whether the heap lives in device-local memory.
+    pub device_local: bool,
+    /// Whether the host can map allocations from this heap.
+    pub host_visible: bool,
+}
+
+/// Host↔device copy link (PCIe for desktops, the shared-memory fabric for
+/// mobile SoCs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferProfile {
+    /// Sustained copy bandwidth in bytes per second over the default
+    /// (compute) queue.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Sustained copy bandwidth when using a dedicated transfer queue
+    /// (DMA engines; the paper recommends these for large copies).
+    pub dma_bandwidth_bytes_per_sec: f64,
+    /// Fixed per-copy overhead (driver + doorbell + small-transfer cost).
+    pub fixed_overhead: SimDuration,
+}
+
+impl TransferProfile {
+    /// Time to copy `bytes` over the default link.
+    pub fn copy_time(&self, bytes: u64) -> SimDuration {
+        self.fixed_overhead + SimDuration::from_secs(bytes as f64 / self.bandwidth_bytes_per_sec)
+    }
+
+    /// Time to copy `bytes` using a dedicated transfer queue (DMA).
+    pub fn dma_copy_time(&self, bytes: u64) -> SimDuration {
+        self.fixed_overhead
+            + SimDuration::from_secs(bytes as f64 / self.dma_bandwidth_bytes_per_sec)
+    }
+}
+
+/// Capabilities of a queue family (mirrors `VkQueueFlags`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QueueCaps {
+    bits: u32,
+}
+
+impl QueueCaps {
+    /// Graphics operations.
+    pub const GRAPHICS: QueueCaps = QueueCaps { bits: 0b0001 };
+    /// Compute dispatches.
+    pub const COMPUTE: QueueCaps = QueueCaps { bits: 0b0010 };
+    /// Transfer (copy) operations.
+    pub const TRANSFER: QueueCaps = QueueCaps { bits: 0b0100 };
+    /// Sparse memory management.
+    pub const SPARSE: QueueCaps = QueueCaps { bits: 0b1000 };
+
+    /// The empty capability set.
+    pub const fn empty() -> QueueCaps {
+        QueueCaps { bits: 0 }
+    }
+
+    /// Union of two capability sets.
+    pub const fn union(self, other: QueueCaps) -> QueueCaps {
+        QueueCaps {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// `true` if every capability in `other` is present in `self`.
+    pub const fn contains(self, other: QueueCaps) -> bool {
+        self.bits & other.bits == other.bits
+    }
+
+    /// `true` if any capability in `other` is present in `self`.
+    pub const fn intersects(self, other: QueueCaps) -> bool {
+        self.bits & other.bits != 0
+    }
+
+    /// Raw bit representation (stable across runs, used in reports).
+    pub const fn bits(self) -> u32 {
+        self.bits
+    }
+}
+
+impl std::ops::BitOr for QueueCaps {
+    type Output = QueueCaps;
+
+    fn bitor(self, rhs: QueueCaps) -> QueueCaps {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for QueueCaps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.contains(QueueCaps::GRAPHICS) {
+            parts.push("graphics");
+        }
+        if self.contains(QueueCaps::COMPUTE) {
+            parts.push("compute");
+        }
+        if self.contains(QueueCaps::TRANSFER) {
+            parts.push("transfer");
+        }
+        if self.contains(QueueCaps::SPARSE) {
+            parts.push("sparse");
+        }
+        if parts.is_empty() {
+            parts.push("none");
+        }
+        f.write_str(&parts.join("+"))
+    }
+}
+
+/// One queue family exposed by a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFamilyProfile {
+    /// What the family's queues can do.
+    pub caps: QueueCaps,
+    /// Number of queues in the family.
+    pub count: u32,
+}
+
+/// A known driver defect, modelled explicitly because the paper reports the
+/// resulting failures and slowdowns as experimental results.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum DriverQuirk {
+    /// Push constants are internally demoted to a descriptor/buffer rebind
+    /// per dispatch (suspected of the Snapdragon Vulkan driver in §V-B1).
+    PushConstantsAsBuffer,
+    /// The named workload crashes or miscompiles under this driver
+    /// (backprop on the Nexus, lud under Snapdragon OpenCL in §V-B2).
+    BrokenWorkload(String),
+}
+
+/// Per-programming-model software stack characteristics on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverProfile {
+    /// Which programming model this driver implements.
+    pub api: Api,
+    /// Reported API version string (Tables II and III).
+    pub api_version: String,
+    /// Host-side cost of an individual kernel launch (`cudaLaunchKernel`,
+    /// `clEnqueueNDRangeKernel`), including the driver round trip that the
+    /// multi-kernel synchronization method forces per iteration.
+    pub launch_overhead: SimDuration,
+    /// Host wake-up latency when a blocking synchronization actually
+    /// blocks (`vkWaitForFences`, `cudaDeviceSynchronize`, `clFinish`,
+    /// blocking reads): thread reschedule + interrupt path. Iterative
+    /// launch-based hosts pay this every iteration; a Vulkan host pays it
+    /// once per submission it waits on.
+    pub sync_wakeup: SimDuration,
+    /// One-time cost of `vkQueueSubmit` for a batch of command buffers.
+    pub submit_overhead: SimDuration,
+    /// Device-side cost of fetching one pre-recorded dispatch from a
+    /// command buffer (command-processor work; orders of magnitude smaller
+    /// than a launch).
+    pub dispatch_cost: SimDuration,
+    /// Cost of binding a compute pipeline inside a command buffer. Paid per
+    /// pipeline switch; this is what limits cfd's gains (§V-A2).
+    pub pipeline_bind_cost: SimDuration,
+    /// Cost of (re)binding a descriptor set.
+    pub descriptor_bind_cost: SimDuration,
+    /// Cost of one execution/memory barrier between recorded dispatches.
+    pub barrier_cost: SimDuration,
+    /// Cost of a push-constant update (when supported natively).
+    pub push_constant_cost: SimDuration,
+    /// One-time cost of creating a compute pipeline / loading a kernel.
+    pub pipeline_create_cost: SimDuration,
+    /// JIT compilation cost per kilobyte of kernel source (OpenCL builds
+    /// programs at runtime; CUDA and Vulkan consume precompiled binaries).
+    pub jit_cost_per_kb: SimDuration,
+    /// Whether the driver's kernel compiler promotes flagged reuse
+    /// patterns into workgroup-local memory. The paper found the OpenCL
+    /// compilers mature (promotion on) and the young Vulkan compilers not
+    /// (§V-A2, bfs analysis).
+    pub local_memory_promotion: bool,
+    /// Multiplier on raw kernel execution time capturing residual code
+    /// generation quality differences (1.0 = best known).
+    pub kernel_time_scale: f64,
+    /// Known defects.
+    pub quirks: Vec<DriverQuirk>,
+}
+
+impl DriverProfile {
+    /// `true` if the named workload is flagged broken under this driver.
+    pub fn is_workload_broken(&self, workload: &str) -> bool {
+        self.quirks
+            .iter()
+            .any(|q| matches!(q, DriverQuirk::BrokenWorkload(w) if w == workload))
+    }
+
+    /// `true` if push constants silently degrade to buffer rebinds.
+    pub fn push_constants_degraded(&self) -> bool {
+        self.quirks
+            .iter()
+            .any(|q| matches!(q, DriverQuirk::PushConstantsAsBuffer))
+    }
+
+    /// `true` if a kernel with this entry-point name belongs to a broken
+    /// workload. Kernels follow the `<workload>_<stage>` naming scheme, so
+    /// `lud_diagonal` matches a `BrokenWorkload("lud")` quirk.
+    pub fn is_kernel_broken(&self, kernel_name: &str) -> bool {
+        self.quirks.iter().any(|q| match q {
+            DriverQuirk::BrokenWorkload(w) => {
+                kernel_name == w
+                    || (kernel_name.len() > w.len()
+                        && kernel_name.starts_with(w.as_str())
+                        && kernel_name.as_bytes()[w.len()] == b'_')
+            }
+            _ => false,
+        })
+    }
+}
+
+/// Full description of one simulated GPU platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Marketing name (e.g. "NVIDIA GTX 1050 Ti").
+    pub name: String,
+    /// GPU vendor.
+    pub vendor: Vendor,
+    /// Microarchitecture name (e.g. "Pascal").
+    pub architecture: String,
+    /// Desktop or mobile.
+    pub class: DeviceClass,
+    /// Host platform description (OS / CPU), for the platform tables.
+    pub host: String,
+    /// Number of compute units (SMs / CUs / shader cores).
+    pub compute_units: u32,
+    /// SIMD width of a warp/wavefront.
+    pub warp_width: u32,
+    /// Lanes (scalar ALUs) per compute unit.
+    pub lanes_per_cu: u32,
+    /// Core clock in MHz.
+    pub core_clock_mhz: u64,
+    /// Fused-multiply-add style operations per lane per cycle.
+    pub ops_per_lane_per_cycle: f64,
+    /// Shared (workgroup-local) memory per compute unit, bytes.
+    pub shared_mem_per_cu: u64,
+    /// Shared-memory banks per compute unit.
+    pub shared_banks: u32,
+    /// Maximum work items in one workgroup.
+    pub max_workgroup_size: u32,
+    /// Maximum resident workgroups per compute unit.
+    pub max_groups_per_cu: u32,
+    /// Fixed device-side cost to ramp a grid up and down (pipeline fill,
+    /// cache warmup of the first wave).
+    pub kernel_ramp: SimDuration,
+    /// Maximum push-constant bytes (256 on the GTX 1050 Ti, 128 on the
+    /// RX 560 and both mobile parts — §VI-B).
+    pub max_push_constants: u32,
+    /// Memory system.
+    pub memory: MemoryProfile,
+    /// Memory heaps.
+    pub heaps: Vec<HeapProfile>,
+    /// Host↔device link.
+    pub transfer: TransferProfile,
+    /// Queue families.
+    pub queue_families: Vec<QueueFamilyProfile>,
+    /// Installed driver stacks.
+    pub drivers: Vec<DriverProfile>,
+}
+
+impl DeviceProfile {
+    /// Looks up the driver stack for a programming model, if installed.
+    ///
+    /// CUDA is only installed on NVIDIA hardware, mirroring Table II.
+    pub fn driver(&self, api: Api) -> Option<&DriverProfile> {
+        self.drivers.iter().find(|d| d.api == api)
+    }
+
+    /// Programming models supported on this device.
+    pub fn supported_apis(&self) -> Vec<Api> {
+        Api::ALL
+            .iter()
+            .copied()
+            .filter(|api| self.driver(*api).is_some())
+            .collect()
+    }
+
+    /// Peak arithmetic throughput in operations per second.
+    pub fn peak_ops_per_sec(&self) -> f64 {
+        self.compute_units as f64
+            * self.lanes_per_cu as f64
+            * self.core_clock_mhz as f64
+            * 1.0e6
+            * self.ops_per_lane_per_cycle
+    }
+
+    /// Total device-local memory across heaps.
+    pub fn device_local_bytes(&self) -> u64 {
+        self.heaps
+            .iter()
+            .filter(|h| h.device_local)
+            .map(|h| h.size)
+            .sum()
+    }
+
+    /// Index of the first queue family matching all requested caps.
+    pub fn find_queue_family(&self, caps: QueueCaps) -> Option<usize> {
+        self.queue_families.iter().position(|q| q.caps.contains(caps))
+    }
+
+    /// Validates internal consistency (non-zero resources, drivers present,
+    /// unique driver per API). Returns a list of problems, empty when the
+    /// profile is sound.
+    pub fn lint(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.compute_units == 0 {
+            problems.push("compute_units is zero".into());
+        }
+        if self.warp_width == 0 || !self.warp_width.is_power_of_two() {
+            problems.push(format!("warp_width {} is not a power of two", self.warp_width));
+        }
+        if self.heaps.is_empty() {
+            problems.push("no memory heaps".into());
+        }
+        if self.queue_families.is_empty() {
+            problems.push("no queue families".into());
+        }
+        if self.drivers.is_empty() {
+            problems.push("no drivers installed".into());
+        }
+        let mut seen = BTreeSet::new();
+        for d in &self.drivers {
+            if !seen.insert(d.api.ident()) {
+                problems.push(format!("duplicate driver for {}", d.api));
+            }
+            if d.kernel_time_scale < 1.0 {
+                problems.push(format!(
+                    "{} kernel_time_scale {} below 1.0 (1.0 is best-known code)",
+                    d.api, d.kernel_time_scale
+                ));
+            }
+        }
+        if self.memory.sector_bytes == 0 || !self.memory.line_bytes.is_multiple_of(self.memory.sector_bytes) {
+            problems.push("line_bytes must be a multiple of sector_bytes".into());
+        }
+        if !self.heaps.iter().any(|h| h.host_visible) {
+            problems.push("no host-visible heap".into());
+        }
+        problems
+    }
+}
+
+/// The four platforms evaluated in the paper.
+pub mod devices {
+    use super::*;
+
+    fn vulkan_driver_desktop(version: &str, kernel_time_scale: f64) -> DriverProfile {
+        DriverProfile {
+            api: Api::Vulkan,
+            api_version: version.to_owned(),
+            launch_overhead: SimDuration::from_micros(14.0),
+            sync_wakeup: SimDuration::from_micros(12.0),
+            submit_overhead: SimDuration::from_micros(16.0),
+            dispatch_cost: SimDuration::from_micros(0.5),
+            pipeline_bind_cost: SimDuration::from_micros(2.2),
+            descriptor_bind_cost: SimDuration::from_micros(1.0),
+            barrier_cost: SimDuration::from_micros(0.4),
+            push_constant_cost: SimDuration::from_nanos(120.0),
+            pipeline_create_cost: SimDuration::from_micros(350.0),
+            jit_cost_per_kb: SimDuration::ZERO,
+            local_memory_promotion: false,
+            kernel_time_scale,
+            quirks: Vec::new(),
+        }
+    }
+
+    /// NVIDIA GTX 1050 Ti — Pascal, 6 SMs, 112 GB/s GDDR5 (Table II).
+    pub fn gtx1050ti() -> DeviceProfile {
+        DeviceProfile {
+            name: "NVIDIA GTX 1050 Ti".into(),
+            vendor: Vendor::Nvidia,
+            architecture: "Pascal".into(),
+            class: DeviceClass::Desktop,
+            host: "Ubuntu 16.04 64-bit, Intel Core i5-2500K x4, 16 GB".into(),
+            compute_units: 6,
+            warp_width: 32,
+            lanes_per_cu: 128,
+            core_clock_mhz: 1392,
+            ops_per_lane_per_cycle: 2.0,
+            shared_mem_per_cu: 96 * 1024,
+            shared_banks: 32,
+            max_workgroup_size: 1024,
+            max_groups_per_cu: 32,
+            kernel_ramp: SimDuration::from_micros(3.2),
+            max_push_constants: 256,
+            memory: MemoryProfile {
+                effective_clock_mhz: 7000,
+                bus_width_bits: 128,
+                peak_efficiency: 0.84,
+                latency: SimDuration::from_nanos(310.0),
+                sector_bytes: 32,
+                line_bytes: 128,
+                l2_bytes: 1024 * 1024,
+                l2_ways: 16,
+                l2_bandwidth_scale: 4.0,
+                row_bytes: 1024,
+                row_miss_penalty: SimDuration::from_nanos(9.0),
+            },
+            heaps: vec![
+                HeapProfile {
+                    size: 4 * 1024 * 1024 * 1024,
+                    device_local: true,
+                    host_visible: false,
+                },
+                HeapProfile {
+                    size: 16 * 1024 * 1024 * 1024,
+                    device_local: false,
+                    host_visible: true,
+                },
+            ],
+            transfer: TransferProfile {
+                bandwidth_bytes_per_sec: 6.2e9,
+                dma_bandwidth_bytes_per_sec: 11.8e9,
+                fixed_overhead: SimDuration::from_micros(9.0),
+            },
+            queue_families: vec![
+                QueueFamilyProfile {
+                    caps: QueueCaps::GRAPHICS | QueueCaps::COMPUTE | QueueCaps::TRANSFER,
+                    count: 16,
+                },
+                QueueFamilyProfile {
+                    caps: QueueCaps::TRANSFER,
+                    count: 2,
+                },
+                QueueFamilyProfile {
+                    caps: QueueCaps::COMPUTE | QueueCaps::TRANSFER,
+                    count: 8,
+                },
+            ],
+            drivers: vec![
+                vulkan_driver_desktop("1.0.42", 1.0),
+                DriverProfile {
+                    api: Api::Cuda,
+                    api_version: "CUDA 8.0".into(),
+                    launch_overhead: SimDuration::from_micros(30.0),
+                    sync_wakeup: SimDuration::from_micros(26.0),
+                    submit_overhead: SimDuration::from_micros(16.0),
+                    dispatch_cost: SimDuration::from_micros(1.5),
+                    pipeline_bind_cost: SimDuration::ZERO,
+                    descriptor_bind_cost: SimDuration::ZERO,
+                    barrier_cost: SimDuration::ZERO,
+                    push_constant_cost: SimDuration::ZERO,
+                    pipeline_create_cost: SimDuration::from_micros(60.0),
+                    jit_cost_per_kb: SimDuration::ZERO,
+                    local_memory_promotion: true,
+                    kernel_time_scale: 1.0,
+                    quirks: Vec::new(),
+                },
+                DriverProfile {
+                    api: Api::OpenCl,
+                    api_version: "OpenCL 1.2".into(),
+                    launch_overhead: SimDuration::from_micros(36.0),
+                    sync_wakeup: SimDuration::from_micros(22.0),
+                    submit_overhead: SimDuration::from_micros(32.0),
+                    dispatch_cost: SimDuration::from_micros(1.8),
+                    pipeline_bind_cost: SimDuration::ZERO,
+                    descriptor_bind_cost: SimDuration::from_nanos(400.0),
+                    barrier_cost: SimDuration::ZERO,
+                    push_constant_cost: SimDuration::ZERO,
+                    pipeline_create_cost: SimDuration::from_micros(80.0),
+                    jit_cost_per_kb: SimDuration::from_millis(5.5),
+                    local_memory_promotion: true,
+                    kernel_time_scale: 1.10,
+                    quirks: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    /// AMD RX 560 — Polaris, 16 CUs, 112 GB/s GDDR5 (Table II).
+    pub fn rx560() -> DeviceProfile {
+        DeviceProfile {
+            name: "AMD RX 560".into(),
+            vendor: Vendor::Amd,
+            architecture: "Polaris".into(),
+            class: DeviceClass::Desktop,
+            host: "Ubuntu 16.04 64-bit, Intel Core i5-2500K x4, 16 GB".into(),
+            compute_units: 16,
+            warp_width: 64,
+            lanes_per_cu: 64,
+            core_clock_mhz: 1175,
+            ops_per_lane_per_cycle: 2.0,
+            shared_mem_per_cu: 64 * 1024,
+            shared_banks: 32,
+            max_workgroup_size: 1024,
+            max_groups_per_cu: 40,
+            kernel_ramp: SimDuration::from_micros(3.6),
+            max_push_constants: 128,
+            memory: MemoryProfile {
+                effective_clock_mhz: 7000,
+                bus_width_bits: 128,
+                peak_efficiency: 0.715,
+                latency: SimDuration::from_nanos(350.0),
+                sector_bytes: 32,
+                line_bytes: 128,
+                l2_bytes: 1024 * 1024,
+                l2_ways: 16,
+                l2_bandwidth_scale: 3.5,
+                row_bytes: 1024,
+                row_miss_penalty: SimDuration::from_nanos(10.0),
+            },
+            heaps: vec![
+                HeapProfile {
+                    size: 4 * 1024 * 1024 * 1024,
+                    device_local: true,
+                    host_visible: false,
+                },
+                HeapProfile {
+                    size: 16 * 1024 * 1024 * 1024,
+                    device_local: false,
+                    host_visible: true,
+                },
+            ],
+            transfer: TransferProfile {
+                bandwidth_bytes_per_sec: 5.8e9,
+                dma_bandwidth_bytes_per_sec: 11.2e9,
+                fixed_overhead: SimDuration::from_micros(11.0),
+            },
+            queue_families: vec![
+                QueueFamilyProfile {
+                    caps: QueueCaps::GRAPHICS | QueueCaps::COMPUTE | QueueCaps::TRANSFER,
+                    count: 1,
+                },
+                QueueFamilyProfile {
+                    caps: QueueCaps::COMPUTE | QueueCaps::TRANSFER,
+                    count: 8,
+                },
+                QueueFamilyProfile {
+                    caps: QueueCaps::TRANSFER,
+                    count: 2,
+                },
+            ],
+            drivers: vec![
+                {
+                    let mut vk = vulkan_driver_desktop("1.0.37", 1.03);
+                    vk.submit_overhead = SimDuration::from_micros(19.0);
+                    vk.dispatch_cost = SimDuration::from_micros(0.9);
+                    vk
+                },
+                DriverProfile {
+                    api: Api::OpenCl,
+                    api_version: "OpenCL 2.0".into(),
+                    launch_overhead: SimDuration::from_micros(28.0),
+                    sync_wakeup: SimDuration::from_micros(16.0),
+                    submit_overhead: SimDuration::from_micros(27.0),
+                    dispatch_cost: SimDuration::from_micros(1.6),
+                    pipeline_bind_cost: SimDuration::ZERO,
+                    descriptor_bind_cost: SimDuration::from_nanos(400.0),
+                    barrier_cost: SimDuration::ZERO,
+                    push_constant_cost: SimDuration::ZERO,
+                    pipeline_create_cost: SimDuration::from_micros(70.0),
+                    jit_cost_per_kb: SimDuration::from_millis(4.8),
+                    local_memory_promotion: true,
+                    kernel_time_scale: 1.0,
+                    quirks: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    /// Imagination PowerVR G6430 in the Google Nexus Player (Table III).
+    pub fn powervr_g6430() -> DeviceProfile {
+        DeviceProfile {
+            name: "Imagination PowerVR G6430".into(),
+            vendor: Vendor::Imagination,
+            architecture: "Rogue".into(),
+            class: DeviceClass::Mobile,
+            host: "Android 7.1, Intel Atom x4 (Google Nexus Player)".into(),
+            compute_units: 4,
+            warp_width: 32,
+            lanes_per_cu: 32,
+            core_clock_mhz: 533,
+            ops_per_lane_per_cycle: 2.0,
+            shared_mem_per_cu: 16 * 1024,
+            shared_banks: 16,
+            max_workgroup_size: 512,
+            max_groups_per_cu: 8,
+            kernel_ramp: SimDuration::from_micros(9.0),
+            max_push_constants: 128,
+            memory: MemoryProfile {
+                effective_clock_mhz: 800,
+                bus_width_bits: 32,
+                peak_efficiency: 0.84,
+                latency: SimDuration::from_nanos(420.0),
+                sector_bytes: 32,
+                line_bytes: 64,
+                l2_bytes: 128 * 1024,
+                l2_ways: 8,
+                l2_bandwidth_scale: 3.0,
+                row_bytes: 1024,
+                row_miss_penalty: SimDuration::from_nanos(28.0),
+            },
+            heaps: vec![HeapProfile {
+                // Unified memory; Android caps a single process well below
+                // the physical 1 GiB, which is what makes cfd's data set
+                // "not fit on both platforms" (§V-B2).
+                size: 420 * 1024 * 1024,
+                device_local: true,
+                host_visible: true,
+            }],
+            transfer: TransferProfile {
+                bandwidth_bytes_per_sec: 2.4e9,
+                dma_bandwidth_bytes_per_sec: 2.8e9,
+                fixed_overhead: SimDuration::from_micros(14.0),
+            },
+            queue_families: vec![QueueFamilyProfile {
+                caps: QueueCaps::GRAPHICS | QueueCaps::COMPUTE | QueueCaps::TRANSFER,
+                count: 2,
+            }],
+            drivers: vec![
+                DriverProfile {
+                    api: Api::Vulkan,
+                    api_version: "1.0.30".into(),
+                    launch_overhead: SimDuration::from_micros(35.0),
+                    sync_wakeup: SimDuration::from_micros(25.0),
+                    submit_overhead: SimDuration::from_micros(65.0),
+                    dispatch_cost: SimDuration::from_micros(3.0),
+                    pipeline_bind_cost: SimDuration::from_micros(7.0),
+                    descriptor_bind_cost: SimDuration::from_micros(4.5),
+                    barrier_cost: SimDuration::from_micros(2.0),
+                    push_constant_cost: SimDuration::from_nanos(300.0),
+                    pipeline_create_cost: SimDuration::from_micros(900.0),
+                    jit_cost_per_kb: SimDuration::ZERO,
+                    local_memory_promotion: false,
+                    kernel_time_scale: 1.0,
+                    quirks: vec![DriverQuirk::BrokenWorkload("backprop".into())],
+                },
+                DriverProfile {
+                    api: Api::OpenCl,
+                    api_version: "OpenCL 1.2 (libpvrcpt.so)".into(),
+                    launch_overhead: SimDuration::from_micros(100.0),
+                    sync_wakeup: SimDuration::from_micros(35.0),
+                    submit_overhead: SimDuration::from_micros(95.0),
+                    dispatch_cost: SimDuration::from_micros(6.0),
+                    pipeline_bind_cost: SimDuration::ZERO,
+                    descriptor_bind_cost: SimDuration::from_micros(1.0),
+                    barrier_cost: SimDuration::ZERO,
+                    push_constant_cost: SimDuration::ZERO,
+                    pipeline_create_cost: SimDuration::from_micros(500.0),
+                    jit_cost_per_kb: SimDuration::from_millis(14.0),
+                    local_memory_promotion: true,
+                    kernel_time_scale: 1.0,
+                    quirks: vec![DriverQuirk::BrokenWorkload("backprop".into())],
+                },
+            ],
+        }
+    }
+
+    /// Qualcomm Adreno 506 in the Snapdragon 625 (Table III).
+    pub fn adreno506() -> DeviceProfile {
+        DeviceProfile {
+            name: "Qualcomm Adreno 506".into(),
+            vendor: Vendor::Qualcomm,
+            architecture: "Adreno 5xx".into(),
+            class: DeviceClass::Mobile,
+            host: "Android 7.0, ARM Cortex A53 x8 (Snapdragon 625)".into(),
+            compute_units: 2,
+            warp_width: 64,
+            lanes_per_cu: 48,
+            core_clock_mhz: 650,
+            ops_per_lane_per_cycle: 2.0,
+            shared_mem_per_cu: 32 * 1024,
+            shared_banks: 16,
+            max_workgroup_size: 1024,
+            max_groups_per_cu: 16,
+            kernel_ramp: SimDuration::from_micros(8.0),
+            max_push_constants: 128,
+            memory: MemoryProfile {
+                effective_clock_mhz: 933,
+                bus_width_bits: 32,
+                peak_efficiency: 0.80,
+                latency: SimDuration::from_nanos(480.0),
+                sector_bytes: 32,
+                line_bytes: 64,
+                l2_bytes: 128 * 1024,
+                l2_ways: 8,
+                l2_bandwidth_scale: 3.0,
+                row_bytes: 1024,
+                row_miss_penalty: SimDuration::from_nanos(26.0),
+            },
+            heaps: vec![HeapProfile {
+                size: 512 * 1024 * 1024,
+                device_local: true,
+                host_visible: true,
+            }],
+            transfer: TransferProfile {
+                bandwidth_bytes_per_sec: 2.9e9,
+                dma_bandwidth_bytes_per_sec: 3.2e9,
+                fixed_overhead: SimDuration::from_micros(12.0),
+            },
+            queue_families: vec![QueueFamilyProfile {
+                caps: QueueCaps::GRAPHICS | QueueCaps::COMPUTE | QueueCaps::TRANSFER,
+                count: 3,
+            }],
+            drivers: vec![
+                DriverProfile {
+                    api: Api::Vulkan,
+                    api_version: "1.0.20".into(),
+                    launch_overhead: SimDuration::from_micros(45.0),
+                    sync_wakeup: SimDuration::from_micros(25.0),
+                    submit_overhead: SimDuration::from_micros(80.0),
+                    dispatch_cost: SimDuration::from_micros(4.0),
+                    pipeline_bind_cost: SimDuration::from_micros(9.0),
+                    descriptor_bind_cost: SimDuration::from_micros(6.0),
+                    barrier_cost: SimDuration::from_micros(3.0),
+                    push_constant_cost: SimDuration::from_nanos(300.0),
+                    pipeline_create_cost: SimDuration::from_micros(1100.0),
+                    jit_cost_per_kb: SimDuration::ZERO,
+                    local_memory_promotion: false,
+                    // Immature code generation across the board (§V-B2:
+                    // "related to the immaturity of the Vulkan drivers on
+                    // this platform").
+                    kernel_time_scale: 1.28,
+                    quirks: vec![DriverQuirk::PushConstantsAsBuffer],
+                },
+                DriverProfile {
+                    api: Api::OpenCl,
+                    api_version: "OpenCL 2.0".into(),
+                    launch_overhead: SimDuration::from_micros(50.0),
+                    sync_wakeup: SimDuration::from_micros(25.0),
+                    submit_overhead: SimDuration::from_micros(75.0),
+                    dispatch_cost: SimDuration::from_micros(5.0),
+                    pipeline_bind_cost: SimDuration::ZERO,
+                    descriptor_bind_cost: SimDuration::from_micros(0.8),
+                    barrier_cost: SimDuration::ZERO,
+                    push_constant_cost: SimDuration::ZERO,
+                    pipeline_create_cost: SimDuration::from_micros(450.0),
+                    jit_cost_per_kb: SimDuration::from_millis(11.0),
+                    local_memory_promotion: true,
+                    kernel_time_scale: 1.0,
+                    quirks: vec![DriverQuirk::BrokenWorkload("lud".into())],
+                },
+            ],
+        }
+    }
+
+    /// All desktop devices (Fig. 1, Fig. 2, Table II).
+    pub fn desktop() -> Vec<DeviceProfile> {
+        vec![gtx1050ti(), rx560()]
+    }
+
+    /// All mobile devices (Fig. 3, Fig. 4, Table III).
+    pub fn mobile() -> Vec<DeviceProfile> {
+        vec![powervr_g6430(), adreno506()]
+    }
+
+    /// Every device in the paper.
+    pub fn all() -> Vec<DeviceProfile> {
+        let mut v = desktop();
+        v.extend(mobile());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::devices;
+    use super::*;
+
+    #[test]
+    fn paper_peak_bandwidth_formula() {
+        // §V-A1: 7 GHz effective clock, 128-bit interface => 112 GB/s.
+        let gtx = devices::gtx1050ti();
+        assert!((gtx.memory.peak_bandwidth_gbps() - 112.0).abs() < 1e-9);
+        let rx = devices::rx560();
+        assert!((rx.memory.peak_bandwidth_gbps() - 112.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mobile_peaks_match_paper_measurements() {
+        // §V-B1: OpenCL reaches 2.85 GB/s = 89% of peak on the Nexus, so
+        // peak is ~3.2 GB/s.
+        let nexus = devices::powervr_g6430();
+        assert!((nexus.memory.peak_bandwidth_gbps() - 3.2).abs() < 0.01);
+        let sd = devices::adreno506();
+        assert!(sd.memory.peak_bandwidth_gbps() > 3.0 && sd.memory.peak_bandwidth_gbps() < 4.5);
+    }
+
+    #[test]
+    fn all_profiles_lint_clean() {
+        for d in devices::all() {
+            assert!(d.lint().is_empty(), "{}: {:?}", d.name, d.lint());
+        }
+    }
+
+    #[test]
+    fn cuda_only_on_nvidia() {
+        for d in devices::all() {
+            let has_cuda = d.driver(Api::Cuda).is_some();
+            assert_eq!(has_cuda, d.vendor == Vendor::Nvidia, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn push_constant_limits_match_section_6b() {
+        assert_eq!(devices::gtx1050ti().max_push_constants, 256);
+        assert_eq!(devices::rx560().max_push_constants, 128);
+        assert_eq!(devices::powervr_g6430().max_push_constants, 128);
+        assert_eq!(devices::adreno506().max_push_constants, 128);
+    }
+
+    #[test]
+    fn paper_driver_quirks_present() {
+        let nexus = devices::powervr_g6430();
+        assert!(nexus.driver(Api::OpenCl).unwrap().is_workload_broken("backprop"));
+        assert!(nexus.driver(Api::Vulkan).unwrap().is_workload_broken("backprop"));
+        let sd = devices::adreno506();
+        assert!(sd.driver(Api::OpenCl).unwrap().is_workload_broken("lud"));
+        assert!(sd.driver(Api::Vulkan).unwrap().push_constants_degraded());
+        assert!(!sd.driver(Api::OpenCl).unwrap().push_constants_degraded());
+    }
+
+    #[test]
+    fn vulkan_compilers_are_immature_opencl_mature() {
+        for d in devices::all() {
+            assert!(!d.driver(Api::Vulkan).unwrap().local_memory_promotion);
+            assert!(d.driver(Api::OpenCl).unwrap().local_memory_promotion);
+        }
+    }
+
+    #[test]
+    fn queue_caps_display_and_ops() {
+        let caps = QueueCaps::COMPUTE | QueueCaps::TRANSFER;
+        assert!(caps.contains(QueueCaps::COMPUTE));
+        assert!(!caps.contains(QueueCaps::GRAPHICS));
+        assert_eq!(caps.to_string(), "compute+transfer");
+        assert_eq!(QueueCaps::empty().to_string(), "none");
+    }
+
+    #[test]
+    fn transfer_queue_is_faster_for_large_copies() {
+        let d = devices::gtx1050ti();
+        let big = 256 * 1024 * 1024;
+        assert!(d.transfer.dma_copy_time(big) < d.transfer.copy_time(big));
+    }
+
+    #[test]
+    fn find_queue_family_prefers_first_match() {
+        let d = devices::gtx1050ti();
+        // Dedicated transfer family exists at index 1.
+        assert_eq!(d.find_queue_family(QueueCaps::TRANSFER), Some(0));
+        let compute_only = d.find_queue_family(QueueCaps::COMPUTE).unwrap();
+        assert!(d.queue_families[compute_only].caps.contains(QueueCaps::COMPUTE));
+    }
+}

@@ -1,0 +1,177 @@
+//! The kernel registry: maps entry-point symbols to executable bodies.
+//!
+//! In the real system a SPIR-V binary *contains* its code; in this
+//! reproduction kernels are native Rust and the SPIR-V-like module carries
+//! the entry-point symbol instead. Driver compilers resolve symbols
+//! against a registry at pipeline/program creation, exactly where a real
+//! driver would run its back-end compiler.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{SimError, SimResult};
+use crate::exec::{KernelBody, KernelInfo};
+
+/// A registered kernel: metadata plus executable body.
+#[derive(Clone)]
+pub struct RegisteredKernel {
+    info: Arc<KernelInfo>,
+    body: Arc<dyn KernelBody>,
+}
+
+impl RegisteredKernel {
+    /// Kernel metadata.
+    pub fn info(&self) -> &KernelInfo {
+        &self.info
+    }
+
+    /// Executable body.
+    pub fn body(&self) -> &Arc<dyn KernelBody> {
+        &self.body
+    }
+}
+
+impl fmt::Debug for RegisteredKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegisteredKernel")
+            .field("name", &self.info.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A set of kernels addressable by entry-point symbol.
+///
+/// ```
+/// use std::sync::Arc;
+/// use vcb_sim::exec::{GroupCtx, KernelInfo};
+/// use vcb_sim::registry::KernelRegistry;
+///
+/// let mut registry = KernelRegistry::new();
+/// let info = KernelInfo::new("noop", [64, 1, 1]).build();
+/// registry.register(info, Arc::new(|_: &mut GroupCtx<'_>| Ok(())))?;
+/// assert!(registry.lookup("noop").is_ok());
+/// # Ok::<(), vcb_sim::SimError>(())
+/// ```
+#[derive(Default, Clone)]
+pub struct KernelRegistry {
+    kernels: HashMap<String, RegisteredKernel>,
+}
+
+impl KernelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a kernel under `info.name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidArgument`] if the name is already taken
+    /// (two workloads exporting the same symbol is a packaging bug worth
+    /// failing loudly on).
+    pub fn register(&mut self, info: KernelInfo, body: Arc<dyn KernelBody>) -> SimResult<()> {
+        let name = info.name.clone();
+        if self.kernels.contains_key(&name) {
+            return Err(SimError::invalid(format!(
+                "kernel `{name}` registered twice"
+            )));
+        }
+        self.kernels.insert(
+            name,
+            RegisteredKernel {
+                info: Arc::new(info),
+                body,
+            },
+        );
+        Ok(())
+    }
+
+    /// Resolves a symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownKernel`] for unknown symbols.
+    pub fn lookup(&self, name: &str) -> SimResult<&RegisteredKernel> {
+        self.kernels.get(name).ok_or_else(|| SimError::UnknownKernel {
+            name: name.to_owned(),
+        })
+    }
+
+    /// `true` if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.kernels.contains_key(name)
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// `true` if no kernels are registered.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Iterates over registered kernel names in unspecified order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.kernels.keys().map(String::as_str)
+    }
+}
+
+impl fmt::Debug for KernelRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<_> = self.names().collect();
+        names.sort_unstable();
+        f.debug_struct("KernelRegistry").field("kernels", &names).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::GroupCtx;
+
+    fn noop_info(name: &str) -> KernelInfo {
+        KernelInfo::new(name, [1, 1, 1]).build()
+    }
+
+    fn noop_body() -> Arc<dyn KernelBody> {
+        Arc::new(|_: &mut GroupCtx<'_>| Ok(()))
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = KernelRegistry::new();
+        r.register(noop_info("a"), noop_body()).unwrap();
+        assert!(r.contains("a"));
+        assert_eq!(r.lookup("a").unwrap().info().name, "a");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let mut r = KernelRegistry::new();
+        r.register(noop_info("a"), noop_body()).unwrap();
+        assert!(r.register(noop_info("a"), noop_body()).is_err());
+    }
+
+    #[test]
+    fn unknown_lookup_fails_with_name() {
+        let r = KernelRegistry::new();
+        match r.lookup("missing") {
+            Err(SimError::UnknownKernel { name }) => assert_eq!(name, "missing"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn debug_lists_sorted_names() {
+        let mut r = KernelRegistry::new();
+        r.register(noop_info("zeta"), noop_body()).unwrap();
+        r.register(noop_info("alpha"), noop_body()).unwrap();
+        let dbg = format!("{r:?}");
+        assert!(dbg.find("alpha").unwrap() < dbg.find("zeta").unwrap());
+    }
+}

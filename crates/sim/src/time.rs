@@ -1,0 +1,368 @@
+//! Virtual time for the simulator.
+//!
+//! All simulated durations are tracked in integer picoseconds so that
+//! experiment output is exactly reproducible across machines and runs: the
+//! simulator never consults a wall clock. Picosecond resolution keeps
+//! rounding error negligible even for sub-nanosecond per-access costs while
+//! still allowing several days of simulated time in a `u64`.
+//!
+//! ```
+//! use vcb_sim::time::SimDuration;
+//!
+//! let launch = SimDuration::from_micros(8.0);
+//! let kernel = SimDuration::from_micros(1.5);
+//! assert_eq!((launch + kernel).as_micros(), 9.5);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+const PS_PER_NS: u64 = 1_000;
+const PS_PER_US: u64 = 1_000_000;
+const PS_PER_MS: u64 = 1_000_000_000;
+const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// A span of simulated time with picosecond resolution.
+///
+/// `SimDuration` is a plain value type: cheap to copy, totally ordered and
+/// saturating on overflow (a simulation that exceeds ~5 000 hours of virtual
+/// time is already meaningless, so saturation is preferable to a panic deep
+/// inside a timing model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration {
+    picos: u64,
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration { picos: 0 };
+
+    /// Creates a duration from raw picoseconds.
+    pub const fn from_picos(picos: u64) -> Self {
+        SimDuration { picos }
+    }
+
+    /// Creates a duration from (possibly fractional) nanoseconds.
+    ///
+    /// Negative or non-finite inputs are clamped to zero.
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::from_f64(ns, PS_PER_NS)
+    }
+
+    /// Creates a duration from (possibly fractional) microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_f64(us, PS_PER_US)
+    }
+
+    /// Creates a duration from (possibly fractional) milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_f64(ms, PS_PER_MS)
+    }
+
+    /// Creates a duration from (possibly fractional) seconds.
+    pub fn from_secs(s: f64) -> Self {
+        Self::from_f64(s, PS_PER_S)
+    }
+
+    fn from_f64(value: f64, scale: u64) -> Self {
+        if !value.is_finite() || value <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let picos = value * scale as f64;
+        if picos >= u64::MAX as f64 {
+            SimDuration { picos: u64::MAX }
+        } else {
+            SimDuration {
+                picos: picos.round() as u64,
+            }
+        }
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_picos(self) -> u64 {
+        self.picos
+    }
+
+    /// This duration expressed in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.picos as f64 / PS_PER_NS as f64
+    }
+
+    /// This duration expressed in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.picos as f64 / PS_PER_US as f64
+    }
+
+    /// This duration expressed in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.picos as f64 / PS_PER_MS as f64
+    }
+
+    /// This duration expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.picos as f64 / PS_PER_S as f64
+    }
+
+    /// `true` if the duration is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.picos == 0
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            picos: self.picos.saturating_add(rhs.picos),
+        }
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            picos: self.picos.saturating_sub(rhs.picos),
+        }
+    }
+
+    /// Scales the duration by a non-negative factor.
+    ///
+    /// Non-finite or negative factors are treated as zero.
+    pub fn scale(self, factor: f64) -> SimDuration {
+        if !factor.is_finite() || factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let picos = self.picos as f64 * factor;
+        if picos >= u64::MAX as f64 {
+            SimDuration { picos: u64::MAX }
+        } else {
+            SimDuration {
+                picos: picos.round() as u64,
+            }
+        }
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.picos >= other.picos {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The ratio `self / other`, or `f64::INFINITY` when `other` is zero.
+    pub fn ratio(self, other: SimDuration) -> f64 {
+        if other.picos == 0 {
+            f64::INFINITY
+        } else {
+            self.picos as f64 / other.picos as f64
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration {
+            picos: self.picos.saturating_mul(rhs),
+        }
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero, like integer division.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration {
+            picos: self.picos / rhs,
+        }
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Formats with an automatically chosen unit (`ps`, `ns`, `us`, `ms`, `s`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.picos;
+        if p == 0 {
+            write!(f, "0s")
+        } else if p < PS_PER_NS {
+            write!(f, "{p}ps")
+        } else if p < PS_PER_US {
+            write!(f, "{:.2}ns", self.as_nanos())
+        } else if p < PS_PER_MS {
+            write!(f, "{:.2}us", self.as_micros())
+        } else if p < PS_PER_S {
+            write!(f, "{:.2}ms", self.as_millis())
+        } else {
+            write!(f, "{:.3}s", self.as_secs())
+        }
+    }
+}
+
+/// An absolute instant on the simulated timeline, measured from simulation
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant {
+    since_start: SimDuration,
+}
+
+impl SimInstant {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: SimInstant = SimInstant {
+        since_start: SimDuration::ZERO,
+    };
+
+    /// Duration elapsed since the epoch.
+    pub const fn elapsed(self) -> SimDuration {
+        self.since_start
+    }
+
+    /// Duration between two instants (`self - earlier`), clamped at zero.
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        self.since_start.saturating_sub(earlier.since_start)
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimInstant) -> SimInstant {
+        if self.since_start >= other.since_start {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant {
+            since_start: self.since_start + rhs,
+        }
+    }
+}
+
+impl AddAssign<SimDuration> for SimInstant {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", self.since_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let d = SimDuration::from_micros(12.5);
+        assert_eq!(d.as_picos(), 12_500_000);
+        assert!((d.as_micros() - 12.5).abs() < 1e-12);
+        assert!((d.as_nanos() - 12_500.0).abs() < 1e-9);
+        assert!((d.as_secs() - 12.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn negative_and_nan_inputs_clamp_to_zero() {
+        assert_eq!(SimDuration::from_nanos(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let max = SimDuration::from_picos(u64::MAX);
+        assert_eq!(max + SimDuration::from_picos(1), max);
+        assert_eq!(SimDuration::ZERO - SimDuration::from_picos(5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scale_handles_pathological_factors() {
+        let d = SimDuration::from_micros(10.0);
+        assert_eq!(d.scale(2.0).as_micros(), 20.0);
+        assert_eq!(d.scale(-1.0), SimDuration::ZERO);
+        assert_eq!(d.scale(f64::NAN), SimDuration::ZERO);
+        assert_eq!(d.scale(f64::INFINITY), SimDuration::ZERO, "non-finite clamps to zero");
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_picos(12).to_string(), "12ps");
+        assert_eq!(SimDuration::from_nanos(3.0).to_string(), "3.00ns");
+        assert_eq!(SimDuration::from_micros(42.0).to_string(), "42.00us");
+        assert_eq!(SimDuration::from_millis(7.25).to_string(), "7.25ms");
+        assert_eq!(SimDuration::from_secs(1.5).to_string(), "1.500s");
+        assert_eq!(SimDuration::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn instants_order_and_subtract() {
+        let a = SimInstant::EPOCH + SimDuration::from_micros(5.0);
+        let b = a + SimDuration::from_micros(3.0);
+        assert!(b > a);
+        assert_eq!(b.duration_since(a).as_micros(), 3.0);
+        assert_eq!(a.duration_since(b), SimDuration::ZERO);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn ratio_of_durations() {
+        let a = SimDuration::from_micros(30.0);
+        let b = SimDuration::from_micros(10.0);
+        assert!((a.ratio(b) - 3.0).abs() < 1e-12);
+        assert!(a.ratio(SimDuration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let parts = [
+            SimDuration::from_micros(1.0),
+            SimDuration::from_micros(2.0),
+            SimDuration::from_micros(3.0),
+        ];
+        let total: SimDuration = parts.iter().copied().sum();
+        assert_eq!(total.as_micros(), 6.0);
+    }
+}

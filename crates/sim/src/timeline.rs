@@ -1,0 +1,235 @@
+//! Host/device timeline and cost breakdown.
+//!
+//! Each API frontend owns a [`Timeline`] that advances as API calls are
+//! made. Costs are tagged with a [`CostKind`] so experiments can report
+//! where time went — the paper's key argument is precisely about *which*
+//! overhead category each programming model pays.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimInstant};
+
+/// Category of a simulated cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// Host-side API bookkeeping (object creation, queries).
+    HostApi,
+    /// JIT compilation of kernel source (OpenCL program build).
+    JitCompile,
+    /// Pipeline / kernel-object creation.
+    PipelineCreate,
+    /// Host↔device and device↔device copies.
+    Transfer,
+    /// Per-launch driver overhead (CUDA/OpenCL kernel launches).
+    LaunchOverhead,
+    /// Per-submission overhead (Vulkan `vkQueueSubmit`).
+    SubmitOverhead,
+    /// Command-buffer processing: recorded dispatch fetch, pipeline binds,
+    /// descriptor binds, push-constant updates, barriers.
+    CommandProcessing,
+    /// Kernel execution on the device.
+    KernelExec,
+}
+
+impl CostKind {
+    /// All categories, in report order.
+    pub const ALL: [CostKind; 8] = [
+        CostKind::HostApi,
+        CostKind::JitCompile,
+        CostKind::PipelineCreate,
+        CostKind::Transfer,
+        CostKind::LaunchOverhead,
+        CostKind::SubmitOverhead,
+        CostKind::CommandProcessing,
+        CostKind::KernelExec,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostKind::HostApi => "host-api",
+            CostKind::JitCompile => "jit",
+            CostKind::PipelineCreate => "pipeline",
+            CostKind::Transfer => "transfer",
+            CostKind::LaunchOverhead => "launch",
+            CostKind::SubmitOverhead => "submit",
+            CostKind::CommandProcessing => "cmdproc",
+            CostKind::KernelExec => "kernel",
+        }
+    }
+}
+
+impl fmt::Display for CostKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated time per [`CostKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingBreakdown {
+    buckets: [SimDuration; 8],
+}
+
+impl TimingBreakdown {
+    /// The all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `d` to the `kind` bucket.
+    pub fn charge(&mut self, kind: CostKind, d: SimDuration) {
+        self.buckets[Self::index(kind)] += d;
+    }
+
+    /// Time accumulated in one bucket.
+    pub fn get(&self, kind: CostKind) -> SimDuration {
+        self.buckets[Self::index(kind)]
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> SimDuration {
+        self.buckets.iter().copied().sum()
+    }
+
+    /// Sum of all *overhead* buckets (everything except kernel execution).
+    pub fn overhead(&self) -> SimDuration {
+        self.total() - self.get(CostKind::KernelExec)
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &TimingBreakdown) {
+        for (i, b) in other.buckets.iter().enumerate() {
+            self.buckets[i] += *b;
+        }
+    }
+
+    /// Difference since an earlier snapshot (per bucket, saturating).
+    pub fn since(&self, earlier: &TimingBreakdown) -> TimingBreakdown {
+        let mut out = TimingBreakdown::default();
+        for i in 0..self.buckets.len() {
+            out.buckets[i] = self.buckets[i] - earlier.buckets[i];
+        }
+        out
+    }
+
+    fn index(kind: CostKind) -> usize {
+        CostKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL")
+    }
+}
+
+impl fmt::Display for TimingBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for kind in CostKind::ALL {
+            let v = self.get(kind);
+            if !v.is_zero() {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}={}", kind.label(), v)?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A monotonically advancing simulated host clock with a cost breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    now: SimInstant,
+    breakdown: TimingBreakdown,
+}
+
+impl Timeline {
+    /// A timeline at the epoch with an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Cost breakdown so far.
+    pub fn breakdown(&self) -> &TimingBreakdown {
+        &self.breakdown
+    }
+
+    /// Advances the clock by `d`, attributing it to `kind`.
+    pub fn charge(&mut self, kind: CostKind, d: SimDuration) {
+        self.now += d;
+        self.breakdown.charge(kind, d);
+    }
+
+    /// Advances the clock to at least `instant` without attributing cost
+    /// (waiting on a fence does not *do* work).
+    pub fn wait_until(&mut self, instant: SimInstant) {
+        self.now = self.now.max(instant);
+    }
+
+    /// Elapsed simulated time since an earlier instant.
+    pub fn elapsed_since(&self, earlier: SimInstant) -> SimDuration {
+        self.now.duration_since(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_advances_clock_and_breakdown() {
+        let mut t = Timeline::new();
+        t.charge(CostKind::LaunchOverhead, SimDuration::from_micros(8.0));
+        t.charge(CostKind::KernelExec, SimDuration::from_micros(100.0));
+        t.charge(CostKind::LaunchOverhead, SimDuration::from_micros(8.0));
+        assert_eq!(t.now().elapsed().as_micros(), 116.0);
+        assert_eq!(t.breakdown().get(CostKind::LaunchOverhead).as_micros(), 16.0);
+        assert_eq!(t.breakdown().overhead().as_micros(), 16.0);
+    }
+
+    #[test]
+    fn wait_until_never_goes_backwards() {
+        let mut t = Timeline::new();
+        t.charge(CostKind::HostApi, SimDuration::from_micros(10.0));
+        let before = t.now();
+        t.wait_until(SimInstant::EPOCH);
+        assert_eq!(t.now(), before);
+        t.wait_until(before + SimDuration::from_micros(5.0));
+        assert_eq!(t.now().elapsed().as_micros(), 15.0);
+    }
+
+    #[test]
+    fn breakdown_since_subtracts() {
+        let mut t = Timeline::new();
+        t.charge(CostKind::Transfer, SimDuration::from_micros(4.0));
+        let snap = *t.breakdown();
+        t.charge(CostKind::Transfer, SimDuration::from_micros(6.0));
+        let delta = t.breakdown().since(&snap);
+        assert_eq!(delta.get(CostKind::Transfer).as_micros(), 6.0);
+    }
+
+    #[test]
+    fn breakdown_display_lists_nonzero() {
+        let mut b = TimingBreakdown::new();
+        assert_eq!(b.to_string(), "(empty)");
+        b.charge(CostKind::JitCompile, SimDuration::from_millis(2.0));
+        assert!(b.to_string().contains("jit=2.00ms"));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TimingBreakdown::new();
+        a.charge(CostKind::KernelExec, SimDuration::from_micros(5.0));
+        let mut b = TimingBreakdown::new();
+        b.charge(CostKind::KernelExec, SimDuration::from_micros(7.0));
+        a.merge(&b);
+        assert_eq!(a.get(CostKind::KernelExec).as_micros(), 12.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The driver compiler model.
+//!
+//! Each programming model reaches kernel code differently:
+//!
+//! * **Vulkan** consumes SPIR-V modules at pipeline-creation time
+//!   ([`DriverCompiler::compile_module`]).
+//! * **CUDA** ships precompiled kernels addressed by symbol
+//!   ([`DriverCompiler::compile_symbol`]).
+//! * **OpenCL** JIT-compiles C source at `clBuildProgram` time
+//!   ([`DriverCompiler::compile_source`], [`extract_kernel_names`]).
+//!
+//! All three resolve to the *same* registered kernel body; only the
+//! [`CompileOpts`] differ, driven by the driver's maturity. This is the
+//! paper's bfs mechanism (§V-A2): "the Vulkan SPIR-V compiler inside the
+//! driver is not as mature as the OpenCL one", observable here as
+//! `local_memory_promotion` being off.
+
+use vcb_sim::exec::{CompileOpts, CompiledKernel};
+use vcb_sim::profile::DriverProfile;
+use vcb_sim::registry::KernelRegistry;
+use vcb_sim::time::SimDuration;
+use vcb_sim::{SimError, SimResult};
+
+use crate::module::{ModuleError, SpirvModule};
+
+/// Compiles kernels for a particular driver, resolving bodies from a
+/// registry.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverCompiler<'r> {
+    registry: &'r KernelRegistry,
+}
+
+impl<'r> DriverCompiler<'r> {
+    /// Creates a compiler resolving against `registry`.
+    pub fn new(registry: &'r KernelRegistry) -> Self {
+        DriverCompiler { registry }
+    }
+
+    /// Compile options implied by a driver's maturity.
+    pub fn opts_for(driver: &DriverProfile) -> CompileOpts {
+        CompileOpts {
+            local_memory_promotion: driver.local_memory_promotion,
+        }
+    }
+
+    /// Compiles a SPIR-V module (the Vulkan path).
+    ///
+    /// The module's recovered metadata is cross-checked against the
+    /// registered kernel: a mismatch means the SPIR-V binary and the
+    /// native body drifted apart, which would silently corrupt experiments.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownKernel`] for unregistered entry points and
+    /// [`SimError::InvalidArgument`] for metadata mismatches or malformed
+    /// modules.
+    pub fn compile_module(
+        &self,
+        module: &SpirvModule,
+        driver: &DriverProfile,
+    ) -> SimResult<CompiledKernel> {
+        let registered = self.registry.lookup(module.entry_point())?;
+        let reg_info = registered.info();
+        let mod_info = module.info();
+        if reg_info.local_size != mod_info.local_size
+            || reg_info.bindings.len() != mod_info.bindings.len()
+        {
+            return Err(SimError::invalid(format!(
+                "module metadata for `{}` disagrees with registered kernel \
+                 (local size {:?} vs {:?}, {} vs {} bindings)",
+                module.entry_point(),
+                mod_info.local_size,
+                reg_info.local_size,
+                mod_info.bindings.len(),
+                reg_info.bindings.len(),
+            )));
+        }
+        Ok(CompiledKernel::new(
+            reg_info.clone(),
+            registered.body().clone(),
+            Self::opts_for(driver),
+        ))
+    }
+
+    /// Parses raw words then compiles them (convenience for the Vulkan
+    /// `vkCreateShaderModule` + `vkCreateComputePipelines` path).
+    ///
+    /// # Errors
+    ///
+    /// As [`DriverCompiler::compile_module`], plus parse failures.
+    pub fn compile_words(&self, words: &[u32], driver: &DriverProfile) -> SimResult<CompiledKernel> {
+        let module = SpirvModule::parse(words).map_err(module_error)?;
+        self.compile_module(&module, driver)
+    }
+
+    /// Compiles a kernel by symbol (the CUDA path — kernels are compiled
+    /// offline by nvcc and resolved by name at launch).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownKernel`] for unregistered symbols.
+    pub fn compile_symbol(&self, name: &str, driver: &DriverProfile) -> SimResult<CompiledKernel> {
+        let registered = self.registry.lookup(name)?;
+        Ok(CompiledKernel::new(
+            registered.info().clone(),
+            registered.body().clone(),
+            Self::opts_for(driver),
+        ))
+    }
+
+    /// Compiles every `__kernel` in an OpenCL C source string and returns
+    /// the kernels plus the modelled JIT build time.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidArgument`] if the source declares no kernels;
+    /// [`SimError::UnknownKernel`] if a declared kernel is unregistered.
+    pub fn compile_source(
+        &self,
+        source: &str,
+        driver: &DriverProfile,
+    ) -> SimResult<(Vec<CompiledKernel>, SimDuration)> {
+        let names = extract_kernel_names(source);
+        if names.is_empty() {
+            return Err(SimError::invalid("OpenCL source declares no __kernel"));
+        }
+        let mut kernels = Vec::with_capacity(names.len());
+        for name in &names {
+            kernels.push(self.compile_symbol(name, driver)?);
+        }
+        let build_time = jit_build_time(driver, source.len() as u64);
+        Ok((kernels, build_time))
+    }
+}
+
+/// Models `clBuildProgram` cost: proportional to source size with a small
+/// floor (process startup, front-end init).
+pub fn jit_build_time(driver: &DriverProfile, source_bytes: u64) -> SimDuration {
+    let kb = source_bytes as f64 / 1024.0;
+    SimDuration::from_micros(180.0) + driver.jit_cost_per_kb.scale(kb)
+}
+
+/// Scans OpenCL C source for `__kernel void NAME(` declarations.
+///
+/// A full C parser is out of scope; the scanner understands enough to
+/// extract entry points from the benchmark sources, including arbitrary
+/// whitespace and comments between tokens.
+pub fn extract_kernel_names(source: &str) -> Vec<String> {
+    let cleaned = strip_comments(source);
+    let mut names = Vec::new();
+    let mut rest = cleaned.as_str();
+    while let Some(pos) = rest.find("__kernel") {
+        rest = &rest[pos + "__kernel".len()..];
+        let mut it = rest.trim_start();
+        if let Some(after) = it.strip_prefix("void") {
+            it = after.trim_start();
+            let name: String = it
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            let after_name = it[name.len()..].trim_start();
+            if !name.is_empty() && after_name.starts_with('(') && !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    names
+}
+
+fn strip_comments(source: &str) -> String {
+    let mut out = String::with_capacity(source.len());
+    let mut chars = source.char_indices().peekable();
+    while let Some((_, c)) = chars.next() {
+        if c == '/' {
+            match chars.peek() {
+                Some(&(_, '/')) => {
+                    for (_, c2) in chars.by_ref() {
+                        if c2 == '\n' {
+                            out.push('\n');
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                Some(&(_, '*')) => {
+                    chars.next();
+                    let mut prev = ' ';
+                    for (_, c2) in chars.by_ref() {
+                        if prev == '*' && c2 == '/' {
+                            break;
+                        }
+                        prev = c2;
+                    }
+                    out.push(' ');
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn module_error(e: ModuleError) -> SimError {
+    SimError::invalid(format!("invalid SPIR-V module: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vcb_sim::exec::{GroupCtx, KernelInfo};
+    use vcb_sim::profile::devices;
+    use vcb_sim::Api;
+
+    fn registry_with(name: &str, promotable: bool) -> KernelRegistry {
+        let mut r = KernelRegistry::new();
+        let mut b = KernelInfo::new(name, [64, 1, 1]).reads(0, "in");
+        if promotable {
+            b = b.promotable();
+        }
+        r.register(b.build(), Arc::new(|_: &mut GroupCtx<'_>| Ok(())))
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn vulkan_path_gets_immature_opts() {
+        let registry = registry_with("k", true);
+        let compiler = DriverCompiler::new(&registry);
+        let device = devices::gtx1050ti();
+        let module = SpirvModule::assemble(registry.lookup("k").unwrap().info());
+        let vk = compiler
+            .compile_module(&module, device.driver(Api::Vulkan).unwrap())
+            .unwrap();
+        assert!(!vk.opts().local_memory_promotion);
+    }
+
+    #[test]
+    fn opencl_path_gets_mature_opts() {
+        let registry = registry_with("k", true);
+        let compiler = DriverCompiler::new(&registry);
+        let device = devices::gtx1050ti();
+        let (kernels, build) = compiler
+            .compile_source(
+                "__kernel void k(__global float* in) {}",
+                device.driver(Api::OpenCl).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(kernels.len(), 1);
+        assert!(kernels[0].opts().local_memory_promotion);
+        assert!(build > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unknown_symbol_fails() {
+        let registry = KernelRegistry::new();
+        let compiler = DriverCompiler::new(&registry);
+        let device = devices::gtx1050ti();
+        assert!(matches!(
+            compiler.compile_symbol("nope", device.driver(Api::Cuda).unwrap()),
+            Err(SimError::UnknownKernel { .. })
+        ));
+    }
+
+    #[test]
+    fn metadata_mismatch_detected() {
+        let mut registry = KernelRegistry::new();
+        registry
+            .register(
+                KernelInfo::new("k", [64, 1, 1]).build(),
+                Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
+            )
+            .unwrap();
+        // Assemble a module claiming a different local size.
+        let wrong = KernelInfo::new("k", [128, 1, 1]).build();
+        let module = SpirvModule::assemble(&wrong);
+        let compiler = DriverCompiler::new(&registry);
+        let device = devices::gtx1050ti();
+        assert!(compiler
+            .compile_module(&module, device.driver(Api::Vulkan).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn kernel_name_extraction() {
+        let src = r#"
+            // a comment mentioning __kernel void fake(
+            /* __kernel void also_fake( */
+            __kernel void fan1(__global float *m, int n) { }
+            __kernel
+            void fan2 (__global float *m) { }
+            void helper(int x) {}
+        "#;
+        assert_eq!(extract_kernel_names(src), vec!["fan1", "fan2"]);
+    }
+
+    #[test]
+    fn extraction_dedups_and_handles_empty() {
+        assert!(extract_kernel_names("void nothing() {}").is_empty());
+        let twice = "__kernel void k(int a){} __kernel void k(int a){}";
+        assert_eq!(extract_kernel_names(twice).len(), 1);
+    }
+
+    #[test]
+    fn jit_cost_scales_with_source() {
+        let device = devices::gtx1050ti();
+        let cl = device.driver(Api::OpenCl).unwrap();
+        let small = jit_build_time(cl, 1024);
+        let big = jit_build_time(cl, 64 * 1024);
+        assert!(big > small * 10);
+    }
+
+    #[test]
+    fn empty_source_rejected() {
+        let registry = registry_with("k", false);
+        let compiler = DriverCompiler::new(&registry);
+        let device = devices::gtx1050ti();
+        assert!(compiler
+            .compile_source("int x;", device.driver(Api::OpenCl).unwrap())
+            .is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Text disassembler for the SPIR-V-like module format.
+//!
+//! Mirrors the role AMD CodeXL played in the paper (§V-A2): the authors
+//! disassembled the Vulkan and OpenCL kernels to discover that only the
+//! OpenCL compiler promoted reuse into workgroup-local memory. Our
+//! disassembler exposes the same ground truth for the simulated modules.
+
+use std::fmt::Write as _;
+
+use crate::module::{
+    ModuleError, Op, CAPABILITY_SHADER, DECORATION_BINDING, DECORATION_DESCRIPTOR_SET,
+    DECORATION_NON_WRITABLE, EXECUTION_MODEL_GL_COMPUTE, EXECUTION_MODE_LOCAL_SIZE,
+};
+use crate::words::{decode_string, split_header, MAGIC, VERSION_1_0};
+
+/// Disassembles a module word stream into a human-readable listing.
+///
+/// # Errors
+///
+/// Returns [`ModuleError`] for structurally invalid streams (bad magic,
+/// truncated instructions, undecodable strings). Semantic validation is
+/// the parser's job, not the disassembler's.
+pub fn disassemble(words: &[u32]) -> Result<String, ModuleError> {
+    if words.len() < 5 {
+        return Err(ModuleError::TooShort);
+    }
+    if words[0] != MAGIC {
+        return Err(ModuleError::BadMagic { found: words[0] });
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "; SPIR-V");
+    let _ = writeln!(
+        out,
+        "; Version: {}.{}",
+        (words[1] >> 16) & 0xFF,
+        (words[1] >> 8) & 0xFF
+    );
+    if words[1] != VERSION_1_0 {
+        return Err(ModuleError::BadVersion { found: words[1] });
+    }
+    let _ = writeln!(out, "; Generator: {:#010x}", words[2]);
+    let _ = writeln!(out, "; Bound: {}", words[3]);
+
+    let mut offset = 5;
+    while offset < words.len() {
+        let (wc, opcode) = split_header(words[offset]);
+        let wc = wc as usize;
+        if wc == 0 || offset + wc > words.len() {
+            return Err(ModuleError::TruncatedInstruction { offset });
+        }
+        let operands = &words[offset + 1..offset + wc];
+        let line = render(opcode, operands, offset)?;
+        let _ = writeln!(out, "{line}");
+        offset += wc;
+    }
+    Ok(out)
+}
+
+fn render(opcode: u16, operands: &[u32], offset: usize) -> Result<String, ModuleError> {
+    let op = |name: &str, rest: String| format!("{name:>24} {rest}");
+    Ok(match opcode {
+        x if x == Op::Capability as u16 => {
+            let cap = match operands.first() {
+                Some(&CAPABILITY_SHADER) => "Shader".to_owned(),
+                Some(other) => format!("<{other}>"),
+                None => "<none>".to_owned(),
+            };
+            op("OpCapability", cap)
+        }
+        x if x == Op::MemoryModel as u16 => op("OpMemoryModel", "Logical GLSL450".to_owned()),
+        x if x == Op::EntryPoint as u16 => {
+            if operands.len() < 3 || operands[0] != EXECUTION_MODEL_GL_COMPUTE {
+                return Err(ModuleError::MalformedInstruction { opcode, offset });
+            }
+            let (name, used) =
+                decode_string(&operands[2..]).ok_or(ModuleError::BadString { offset })?;
+            let interface: Vec<String> =
+                operands[2 + used..].iter().map(|id| format!("%{id}")).collect();
+            op(
+                "OpEntryPoint",
+                format!("GLCompute %{} \"{}\" {}", operands[1], name, interface.join(" ")),
+            )
+        }
+        x if x == Op::ExecutionMode as u16 => {
+            if operands.len() == 5 && operands[1] == EXECUTION_MODE_LOCAL_SIZE {
+                op(
+                    "OpExecutionMode",
+                    format!(
+                        "%{} LocalSize {} {} {}",
+                        operands[0], operands[2], operands[3], operands[4]
+                    ),
+                )
+            } else {
+                op("OpExecutionMode", format!("{operands:?}"))
+            }
+        }
+        x if x == Op::Source as u16 => op(
+            "OpSource",
+            format!(
+                "GLSL {}",
+                operands.get(1).copied().unwrap_or_default()
+            ),
+        ),
+        x if x == Op::Variable as u16 => op(
+            "OpVariable",
+            format!("%{} StorageBuffer", operands.first().copied().unwrap_or_default()),
+        ),
+        x if x == Op::Decorate as u16 => {
+            let id = operands.first().copied().unwrap_or_default();
+            let rest = match operands.get(1) {
+                Some(&DECORATION_BINDING) => {
+                    format!("Binding {}", operands.get(2).copied().unwrap_or_default())
+                }
+                Some(&DECORATION_DESCRIPTOR_SET) => {
+                    format!("DescriptorSet {}", operands.get(2).copied().unwrap_or_default())
+                }
+                Some(&DECORATION_NON_WRITABLE) => "NonWritable".to_owned(),
+                Some(other) => format!("<decoration {other}>"),
+                None => "<none>".to_owned(),
+            };
+            op("OpDecorate", format!("%{id} {rest}"))
+        }
+        x if x == Op::Name as u16 => {
+            let id = operands.first().copied().unwrap_or_default();
+            let (name, _) =
+                decode_string(operands.get(1..).unwrap_or(&[])).ok_or(ModuleError::BadString { offset })?;
+            op("OpName", format!("%{id} \"{name}\""))
+        }
+        x if x == Op::ReproSharedMemory as u16 => op(
+            "OpReproSharedMemory",
+            format!("{} bytes", operands.first().copied().unwrap_or_default()),
+        ),
+        x if x == Op::ReproPushConstants as u16 => op(
+            "OpReproPushConstants",
+            format!("{} bytes", operands.first().copied().unwrap_or_default()),
+        ),
+        x if x == Op::ReproPromotable as u16 => op("OpReproPromotable", String::new()),
+        x if x == Op::ReproSourceBytes as u16 => op(
+            "OpReproSourceBytes",
+            format!("{}", operands.first().copied().unwrap_or_default()),
+        ),
+        other => op("OpUnknown", format!("<{other}> {operands:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::SpirvModule;
+    use vcb_sim::exec::KernelInfo;
+
+    #[test]
+    fn disassembles_assembled_module() {
+        let info = KernelInfo::new("pathfinder_step", [256, 1, 1])
+            .reads(0, "wall")
+            .writes(1, "result")
+            .push_constants(12)
+            .promotable()
+            .build();
+        let module = SpirvModule::assemble(&info);
+        let text = disassemble(module.words()).unwrap();
+        assert!(text.contains("OpEntryPoint"), "{text}");
+        assert!(text.contains("\"pathfinder_step\""), "{text}");
+        assert!(text.contains("LocalSize 256 1 1"), "{text}");
+        assert!(text.contains("Binding 1"), "{text}");
+        assert!(text.contains("NonWritable"), "{text}");
+        assert!(text.contains("OpReproPromotable"), "{text}");
+        assert!(text.contains("\"wall\""), "{text}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(disassemble(&[1, 2, 3]).is_err());
+        assert!(disassemble(&[0xDEAD, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_is_rendered_not_fatal() {
+        let info = KernelInfo::new("k", [1, 1, 1]).build();
+        let mut words = SpirvModule::assemble(&info).words().to_vec();
+        words.push(crate::words::instruction_header(1, 0x0ABC));
+        let text = disassemble(&words).unwrap();
+        assert!(text.contains("OpUnknown"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # vcb-spirv — SPIR-V-like kernel modules and the driver compiler model
+//!
+//! The paper's kernels are GLSL compute shaders compiled offline to SPIR-V
+//! with `glslangValidator` (§IV-B). This crate reproduces that toolchain
+//! boundary for the simulated stack:
+//!
+//! * [`module::SpirvModule`] — a binary word-stream format structurally
+//!   faithful to SPIR-V (magic/version header, instruction stream,
+//!   entry points, `LocalSize`, `Binding`/`DescriptorSet`/`NonWritable`
+//!   decorations), carrying the entry-point *symbol* of a natively
+//!   registered kernel body instead of compiled code.
+//! * [`disasm::disassemble`] — the CodeXL stand-in used to inspect what a
+//!   driver was given.
+//! * [`compile::DriverCompiler`] — resolves modules/symbols/OpenCL source
+//!   to [`vcb_sim::CompiledKernel`]s, applying each driver's compiler
+//!   maturity (the bfs local-memory-promotion effect) and modelling
+//!   OpenCL's JIT build cost.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vcb_sim::exec::{GroupCtx, KernelInfo};
+//! use vcb_sim::profile::devices;
+//! use vcb_sim::{Api, KernelRegistry};
+//! use vcb_spirv::compile::DriverCompiler;
+//! use vcb_spirv::module::SpirvModule;
+//!
+//! # fn main() -> Result<(), vcb_sim::SimError> {
+//! let mut registry = KernelRegistry::new();
+//! let info = KernelInfo::new("scale", [64, 1, 1]).writes(0, "data").promotable().build();
+//! registry.register(info.clone(), Arc::new(|_: &mut GroupCtx<'_>| Ok(())))?;
+//!
+//! let spv = SpirvModule::assemble(&info);          // "glslangValidator"
+//! let device = devices::gtx1050ti();
+//! let compiler = DriverCompiler::new(&registry);
+//!
+//! let vulkan = compiler.compile_module(&spv, device.driver(Api::Vulkan).unwrap())?;
+//! let opencl = compiler.compile_symbol("scale", device.driver(Api::OpenCl).unwrap())?;
+//! // Same body, different codegen maturity:
+//! assert!(!vulkan.opts().local_memory_promotion);
+//! assert!(opencl.opts().local_memory_promotion);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compile;
+pub mod disasm;
+pub mod module;
+pub mod words;
+
+pub use compile::{extract_kernel_names, jit_build_time, DriverCompiler};
+pub use disasm::disassemble;
+pub use module::{ModuleError, SpirvModule};

@@ -1,0 +1,580 @@
+//! SPIR-V-like module representation: opcodes, builder and parser.
+//!
+//! The subset covers exactly what a VComputeBench compute shader needs:
+//! capabilities, memory model, a `GLCompute` entry point, the `LocalSize`
+//! execution mode, storage-buffer interface variables with `DescriptorSet`
+//! and `Binding` decorations, `NonWritable` for read-only bindings, and a
+//! small vendor-range extension block carrying the metadata a native
+//! kernel body needs (shared-memory bytes, push-constant size, the
+//! promotable-reuse flag and nominal source size).
+//!
+//! ```
+//! use vcb_sim::exec::KernelInfo;
+//! use vcb_spirv::module::SpirvModule;
+//!
+//! let info = KernelInfo::new("vector_add", [256, 1, 1])
+//!     .reads(0, "x")
+//!     .reads(1, "y")
+//!     .writes(2, "z")
+//!     .build();
+//! let module = SpirvModule::assemble(&info);
+//! let parsed = SpirvModule::parse(module.words()).unwrap();
+//! assert_eq!(parsed.entry_point(), "vector_add");
+//! assert_eq!(parsed.local_size(), [256, 1, 1]);
+//! ```
+
+use std::fmt;
+
+use vcb_sim::exec::{BindingAccess, BindingDecl, KernelInfo};
+
+use crate::words::{
+    decode_string, encode_string, instruction_header, split_header, GENERATOR, MAGIC, VERSION_1_0,
+};
+
+/// Opcodes used by this subset (values match the SPIR-V specification
+/// where the instruction exists there; the `0x70xx` range is the
+/// vendor-specific block this reproduction uses for native-kernel
+/// metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Op {
+    /// `OpSource` — source language declaration.
+    Source = 3,
+    /// `OpName` — debug name for an id.
+    Name = 5,
+    /// `OpMemoryModel` — addressing + memory model.
+    MemoryModel = 14,
+    /// `OpEntryPoint` — execution model, entry id, literal name.
+    EntryPoint = 15,
+    /// `OpExecutionMode` — here always `LocalSize`.
+    ExecutionMode = 16,
+    /// `OpCapability`.
+    Capability = 17,
+    /// `OpVariable` — interface variables (storage buffers).
+    Variable = 59,
+    /// `OpDecorate` — `DescriptorSet`, `Binding`, `NonWritable`.
+    Decorate = 71,
+    /// Vendor range: shared-memory bytes for the workgroup.
+    ReproSharedMemory = 0x7001,
+    /// Vendor range: push-constant byte count.
+    ReproPushConstants = 0x7002,
+    /// Vendor range: kernel contains a promotable reuse pattern.
+    ReproPromotable = 0x7003,
+    /// Vendor range: nominal source size in bytes (JIT cost model).
+    ReproSourceBytes = 0x7004,
+}
+
+/// `OpEntryPoint` execution model for compute shaders.
+pub const EXECUTION_MODEL_GL_COMPUTE: u32 = 5;
+/// `OpExecutionMode` mode id for `LocalSize`.
+pub const EXECUTION_MODE_LOCAL_SIZE: u32 = 17;
+/// `OpCapability` operand for the `Shader` capability.
+pub const CAPABILITY_SHADER: u32 = 1;
+/// `OpMemoryModel` logical addressing.
+pub const ADDRESSING_LOGICAL: u32 = 0;
+/// `OpMemoryModel` GLSL450 memory model.
+pub const MEMORY_MODEL_GLSL450: u32 = 1;
+/// `OpDecorate` decoration id for `Binding`.
+pub const DECORATION_BINDING: u32 = 33;
+/// `OpDecorate` decoration id for `DescriptorSet`.
+pub const DECORATION_DESCRIPTOR_SET: u32 = 34;
+/// `OpDecorate` decoration id for `NonWritable`.
+pub const DECORATION_NON_WRITABLE: u32 = 24;
+/// `OpVariable` storage class for storage buffers.
+pub const STORAGE_CLASS_STORAGE_BUFFER: u32 = 12;
+/// `OpSource` language id for GLSL.
+pub const SOURCE_LANGUAGE_GLSL: u32 = 2;
+
+/// Errors produced when parsing or validating a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModuleError {
+    /// Module shorter than the five-word header.
+    TooShort,
+    /// First word is not the SPIR-V magic number.
+    BadMagic {
+        /// The word found instead.
+        found: u32,
+    },
+    /// Unsupported version word.
+    BadVersion {
+        /// The version word found.
+        found: u32,
+    },
+    /// An instruction ran past the end of the stream or had length zero.
+    TruncatedInstruction {
+        /// Word offset of the bad instruction.
+        offset: usize,
+    },
+    /// A literal string operand failed to decode.
+    BadString {
+        /// Word offset of the instruction.
+        offset: usize,
+    },
+    /// The module declares no `GLCompute` entry point.
+    MissingEntryPoint,
+    /// More than one entry point (unsupported by this subset).
+    MultipleEntryPoints,
+    /// `LocalSize` execution mode missing or zero.
+    MissingLocalSize,
+    /// Two interface variables share a binding slot.
+    DuplicateBinding {
+        /// The conflicting slot.
+        binding: u32,
+    },
+    /// The `Shader` capability is missing.
+    MissingShaderCapability,
+    /// An instruction had an operand count inconsistent with its opcode.
+    MalformedInstruction {
+        /// The opcode value.
+        opcode: u16,
+        /// Word offset of the instruction.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::TooShort => write!(f, "module shorter than the SPIR-V header"),
+            ModuleError::BadMagic { found } => {
+                write!(f, "bad magic number {found:#010x} (expected {MAGIC:#010x})")
+            }
+            ModuleError::BadVersion { found } => write!(f, "unsupported version word {found:#010x}"),
+            ModuleError::TruncatedInstruction { offset } => {
+                write!(f, "truncated instruction at word {offset}")
+            }
+            ModuleError::BadString { offset } => {
+                write!(f, "undecodable string literal in instruction at word {offset}")
+            }
+            ModuleError::MissingEntryPoint => write!(f, "no GLCompute entry point"),
+            ModuleError::MultipleEntryPoints => write!(f, "multiple entry points are unsupported"),
+            ModuleError::MissingLocalSize => write!(f, "missing or zero LocalSize execution mode"),
+            ModuleError::DuplicateBinding { binding } => {
+                write!(f, "binding {binding} declared twice")
+            }
+            ModuleError::MissingShaderCapability => write!(f, "missing Shader capability"),
+            ModuleError::MalformedInstruction { opcode, offset } => {
+                write!(f, "malformed instruction (opcode {opcode}) at word {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+/// An assembled or parsed SPIR-V-like module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpirvModule {
+    words: Vec<u32>,
+    info: KernelInfo,
+}
+
+impl SpirvModule {
+    /// Assembles a module from a kernel description — the reproduction's
+    /// equivalent of running `glslangValidator` on a GLSL compute shader.
+    pub fn assemble(info: &KernelInfo) -> SpirvModule {
+        let mut w = Vec::with_capacity(64);
+        // Header. `bound` is ids + 1; ids: 1 = entry function, then one per
+        // binding variable.
+        let bound = 2 + info.bindings.len() as u32;
+        w.extend_from_slice(&[MAGIC, VERSION_1_0, GENERATOR, bound, 0]);
+
+        push_inst(&mut w, Op::Capability, &[CAPABILITY_SHADER]);
+        push_inst(
+            &mut w,
+            Op::MemoryModel,
+            &[ADDRESSING_LOGICAL, MEMORY_MODEL_GLSL450],
+        );
+        // OpEntryPoint GLCompute %1 "name" <interface ids...>
+        let name_words = encode_string(&info.name);
+        let mut operands = vec![EXECUTION_MODEL_GL_COMPUTE, 1];
+        operands.extend_from_slice(&name_words);
+        operands.extend((0..info.bindings.len()).map(|i| 2 + i as u32));
+        push_inst(&mut w, Op::EntryPoint, &operands);
+        push_inst(
+            &mut w,
+            Op::ExecutionMode,
+            &[
+                1,
+                EXECUTION_MODE_LOCAL_SIZE,
+                info.local_size[0],
+                info.local_size[1],
+                info.local_size[2],
+            ],
+        );
+        push_inst(&mut w, Op::Source, &[SOURCE_LANGUAGE_GLSL, 450]);
+
+        for (i, b) in info.bindings.iter().enumerate() {
+            let id = 2 + i as u32;
+            push_inst(&mut w, Op::Variable, &[id, STORAGE_CLASS_STORAGE_BUFFER]);
+            push_inst(&mut w, Op::Decorate, &[id, DECORATION_DESCRIPTOR_SET, 0]);
+            push_inst(&mut w, Op::Decorate, &[id, DECORATION_BINDING, b.binding]);
+            if b.access == BindingAccess::ReadOnly {
+                push_inst(&mut w, Op::Decorate, &[id, DECORATION_NON_WRITABLE]);
+            }
+            let mut name_op = vec![id];
+            name_op.extend_from_slice(&encode_string(b.name));
+            push_inst(&mut w, Op::Name, &name_op);
+        }
+
+        if info.shared_bytes > 0 {
+            push_inst(&mut w, Op::ReproSharedMemory, &[info.shared_bytes as u32]);
+        }
+        if info.push_constant_bytes > 0 {
+            push_inst(&mut w, Op::ReproPushConstants, &[info.push_constant_bytes]);
+        }
+        if info.promotable {
+            push_inst(&mut w, Op::ReproPromotable, &[]);
+        }
+        push_inst(&mut w, Op::ReproSourceBytes, &[info.source_bytes as u32]);
+
+        SpirvModule {
+            words: w,
+            info: info.clone(),
+        }
+    }
+
+    /// Parses and validates a word stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ModuleError`]; the module must contain exactly one compute
+    /// entry point with a non-zero `LocalSize`.
+    pub fn parse(words: &[u32]) -> Result<SpirvModule, ModuleError> {
+        if words.len() < 5 {
+            return Err(ModuleError::TooShort);
+        }
+        if words[0] != MAGIC {
+            return Err(ModuleError::BadMagic { found: words[0] });
+        }
+        if words[1] != VERSION_1_0 {
+            return Err(ModuleError::BadVersion { found: words[1] });
+        }
+
+        let mut entry: Option<String> = None;
+        let mut local_size: Option<[u32; 3]> = None;
+        let mut has_shader_cap = false;
+        let mut shared_bytes = 0u64;
+        let mut push_bytes = 0u32;
+        let mut promotable = false;
+        let mut source_bytes = 1024u64;
+        // id -> (binding, read_only, name)
+        let mut vars: Vec<(u32, Option<u32>, bool, String)> = Vec::new();
+
+        let mut offset = 5;
+        while offset < words.len() {
+            let (wc, opcode) = split_header(words[offset]);
+            let wc = wc as usize;
+            if wc == 0 || offset + wc > words.len() {
+                return Err(ModuleError::TruncatedInstruction { offset });
+            }
+            let operands = &words[offset + 1..offset + wc];
+            match opcode {
+                x if x == Op::Capability as u16
+                    && operands.first() == Some(&CAPABILITY_SHADER) => {
+                        has_shader_cap = true;
+                    }
+                x if x == Op::EntryPoint as u16 => {
+                    if operands.len() < 3 || operands[0] != EXECUTION_MODEL_GL_COMPUTE {
+                        return Err(ModuleError::MalformedInstruction { opcode, offset });
+                    }
+                    let (name, _) =
+                        decode_string(&operands[2..]).ok_or(ModuleError::BadString { offset })?;
+                    if entry.replace(name).is_some() {
+                        return Err(ModuleError::MultipleEntryPoints);
+                    }
+                }
+                x if x == Op::ExecutionMode as u16
+                    && operands.len() == 5 && operands[1] == EXECUTION_MODE_LOCAL_SIZE => {
+                        local_size = Some([operands[2], operands[3], operands[4]]);
+                    }
+                x if x == Op::Variable as u16 => {
+                    if operands.len() != 2 {
+                        return Err(ModuleError::MalformedInstruction { opcode, offset });
+                    }
+                    vars.push((operands[0], None, false, String::new()));
+                }
+                x if x == Op::Decorate as u16 => {
+                    if operands.len() < 2 {
+                        return Err(ModuleError::MalformedInstruction { opcode, offset });
+                    }
+                    let id = operands[0];
+                    if let Some(var) = vars.iter_mut().find(|v| v.0 == id) {
+                        match operands[1] {
+                            DECORATION_BINDING if operands.len() == 3 => {
+                                var.1 = Some(operands[2]);
+                            }
+                            DECORATION_NON_WRITABLE => var.2 = true,
+                            _ => {}
+                        }
+                    }
+                }
+                x if x == Op::Name as u16 => {
+                    if operands.len() < 2 {
+                        return Err(ModuleError::MalformedInstruction { opcode, offset });
+                    }
+                    let id = operands[0];
+                    let (name, _) =
+                        decode_string(&operands[1..]).ok_or(ModuleError::BadString { offset })?;
+                    if let Some(var) = vars.iter_mut().find(|v| v.0 == id) {
+                        var.3 = name;
+                    }
+                }
+                x if x == Op::ReproSharedMemory as u16 => {
+                    shared_bytes = u64::from(*operands.first().unwrap_or(&0));
+                }
+                x if x == Op::ReproPushConstants as u16 => {
+                    push_bytes = *operands.first().unwrap_or(&0);
+                }
+                x if x == Op::ReproPromotable as u16 => promotable = true,
+                x if x == Op::ReproSourceBytes as u16 => {
+                    source_bytes = u64::from(*operands.first().unwrap_or(&1024));
+                }
+                _ => {} // Unknown instructions are skipped, as real consumers do.
+            }
+            offset += wc;
+        }
+
+        if !has_shader_cap {
+            return Err(ModuleError::MissingShaderCapability);
+        }
+        let entry = entry.ok_or(ModuleError::MissingEntryPoint)?;
+        let local_size = local_size.ok_or(ModuleError::MissingLocalSize)?;
+        if local_size.contains(&0) {
+            return Err(ModuleError::MissingLocalSize);
+        }
+
+        let mut bindings = Vec::with_capacity(vars.len());
+        for (_, binding, read_only, name) in &vars {
+            let Some(binding) = binding else { continue };
+            if bindings.iter().any(|b: &BindingDecl| b.binding == *binding) {
+                return Err(ModuleError::DuplicateBinding { binding: *binding });
+            }
+            bindings.push(BindingDecl {
+                binding: *binding,
+                access: if *read_only {
+                    BindingAccess::ReadOnly
+                } else {
+                    BindingAccess::ReadWrite
+                },
+                // Leak is bounded: binding names come from a small static
+                // set per kernel; interning keeps BindingDecl's &'static
+                // str shape shared with natively-declared kernels.
+                name: intern(name),
+            });
+        }
+
+        let mut builder = KernelInfo::new(entry, local_size);
+        for b in &bindings {
+            builder = match b.access {
+                BindingAccess::ReadOnly => builder.reads(b.binding, b.name),
+                BindingAccess::ReadWrite => builder.writes(b.binding, b.name),
+            };
+        }
+        if shared_bytes > 0 {
+            builder = builder.shared_memory(shared_bytes);
+        }
+        if push_bytes > 0 {
+            builder = builder.push_constants(push_bytes);
+        }
+        if promotable {
+            builder = builder.promotable();
+        }
+        builder = builder.source_bytes(source_bytes);
+
+        Ok(SpirvModule {
+            words: words.to_vec(),
+            info: builder.build(),
+        })
+    }
+
+    /// The raw word stream (what `vkCreateShaderModule` consumes).
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// The module's size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Entry-point name.
+    pub fn entry_point(&self) -> &str {
+        &self.info.name
+    }
+
+    /// `LocalSize` execution mode.
+    pub fn local_size(&self) -> [u32; 3] {
+        self.info.local_size
+    }
+
+    /// The kernel description recovered from the module.
+    pub fn info(&self) -> &KernelInfo {
+        &self.info
+    }
+}
+
+fn push_inst(words: &mut Vec<u32>, op: Op, operands: &[u32]) {
+    words.push(instruction_header(1 + operands.len() as u16, op as u16));
+    words.extend_from_slice(operands);
+}
+
+/// Interns binding-name strings recovered from parsed modules.
+fn intern(s: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = set.lock().expect("intern table poisoned");
+    if let Some(existing) = guard.get(s) {
+        existing
+    } else {
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        guard.insert(leaked);
+        leaked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_info() -> KernelInfo {
+        KernelInfo::new("hotspot_step", [16, 16, 1])
+            .reads(0, "temp_in")
+            .reads(1, "power")
+            .writes(2, "temp_out")
+            .push_constants(16)
+            .shared_memory(18 * 18 * 4)
+            .source_bytes(2048)
+            .build()
+    }
+
+    #[test]
+    fn assemble_parse_round_trip() {
+        let info = sample_info();
+        let module = SpirvModule::assemble(&info);
+        let parsed = SpirvModule::parse(module.words()).unwrap();
+        assert_eq!(parsed.entry_point(), "hotspot_step");
+        assert_eq!(parsed.local_size(), [16, 16, 1]);
+        let pinfo = parsed.info();
+        assert_eq!(pinfo.bindings.len(), 3);
+        assert_eq!(pinfo.binding(0).unwrap().access, BindingAccess::ReadOnly);
+        assert_eq!(pinfo.binding(2).unwrap().access, BindingAccess::ReadWrite);
+        assert_eq!(pinfo.binding(1).unwrap().name, "power");
+        assert_eq!(pinfo.push_constant_bytes, 16);
+        assert_eq!(pinfo.shared_bytes, 18 * 18 * 4);
+        assert_eq!(pinfo.source_bytes, 2048);
+        assert!(!pinfo.promotable);
+    }
+
+    #[test]
+    fn promotable_flag_round_trips() {
+        let info = KernelInfo::new("bfs_kernel1", [256, 1, 1])
+            .reads(0, "nodes")
+            .promotable()
+            .build();
+        let module = SpirvModule::assemble(&info);
+        assert!(SpirvModule::parse(module.words()).unwrap().info().promotable);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let info = sample_info();
+        let mut words = SpirvModule::assemble(&info).words().to_vec();
+        words[0] = 0xDEAD_BEEF;
+        assert!(matches!(
+            SpirvModule::parse(&words),
+            Err(ModuleError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut words = SpirvModule::assemble(&sample_info()).words().to_vec();
+        words[1] = 0x0009_0000;
+        assert!(matches!(
+            SpirvModule::parse(&words),
+            Err(ModuleError::BadVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let words = SpirvModule::assemble(&sample_info()).words().to_vec();
+        let cut = &words[..words.len() - 1];
+        assert!(matches!(
+            SpirvModule::parse(cut),
+            Err(ModuleError::TruncatedInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_header_only() {
+        assert!(matches!(
+            SpirvModule::parse(&[MAGIC, VERSION_1_0, 0, 1, 0][..4]),
+            Err(ModuleError::TooShort)
+        ));
+        // A header with no entry point parses structurally but fails
+        // validation.
+        let mut words = vec![MAGIC, VERSION_1_0, 0, 1, 0];
+        push_inst(&mut words, Op::Capability, &[CAPABILITY_SHADER]);
+        assert!(matches!(
+            SpirvModule::parse(&words),
+            Err(ModuleError::MissingEntryPoint)
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_capability() {
+        let info = KernelInfo::new("k", [1, 1, 1]).build();
+        let full = SpirvModule::assemble(&info);
+        // Drop the first instruction (OpCapability, 2 words).
+        let mut words = full.words()[..5].to_vec();
+        words.extend_from_slice(&full.words()[7..]);
+        assert!(matches!(
+            SpirvModule::parse(&words),
+            Err(ModuleError::MissingShaderCapability)
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_local_size() {
+        // Assemble manually with a zero LocalSize.
+        let mut w = vec![MAGIC, VERSION_1_0, GENERATOR, 2, 0];
+        push_inst(&mut w, Op::Capability, &[CAPABILITY_SHADER]);
+        let mut operands = vec![EXECUTION_MODEL_GL_COMPUTE, 1];
+        operands.extend_from_slice(&encode_string("k"));
+        push_inst(&mut w, Op::EntryPoint, &operands);
+        push_inst(&mut w, Op::ExecutionMode, &[1, EXECUTION_MODE_LOCAL_SIZE, 0, 1, 1]);
+        assert!(matches!(
+            SpirvModule::parse(&w),
+            Err(ModuleError::MissingLocalSize)
+        ));
+    }
+
+    #[test]
+    fn unknown_instructions_are_skipped() {
+        let info = KernelInfo::new("k", [8, 1, 1]).build();
+        let mut words = SpirvModule::assemble(&info).words().to_vec();
+        // Append an unknown 2-word instruction.
+        words.push(instruction_header(2, 0x0FFF));
+        words.push(12345);
+        assert!(SpirvModule::parse(&words).is_ok());
+    }
+
+    #[test]
+    fn module_byte_len_matches_words() {
+        let m = SpirvModule::assemble(&sample_info());
+        assert_eq!(m.byte_len(), m.words().len() * 4);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ModuleError::BadMagic { found: 0x12345678 };
+        assert!(e.to_string().contains("0x12345678"));
+        let e = ModuleError::DuplicateBinding { binding: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,122 @@
+//! Low-level SPIR-V word-stream encoding.
+//!
+//! A SPIR-V module is physically "just a stream of 32-bit words" (§III-B.c
+//! of the paper): a five-word header followed by instructions, each headed
+//! by a word whose high half is the word count and low half the opcode.
+//! Strings are UTF-8, nul-terminated, packed little-endian into words.
+
+/// The SPIR-V magic number.
+pub const MAGIC: u32 = 0x0723_0203;
+
+/// Version 1.0, encoded as in the SPIR-V specification (0 | major | minor | 0).
+pub const VERSION_1_0: u32 = 0x0001_0000;
+
+/// Generator magic for this reproduction's toolchain.
+pub const GENERATOR: u32 = 0x5643_0001; // "VC" 0001
+
+/// Packs an instruction header word from a word count and opcode.
+///
+/// # Panics
+///
+/// Panics if `word_count` is zero or exceeds `u16::MAX` — instruction
+/// encoding bugs, not runtime conditions.
+pub fn instruction_header(word_count: u16, opcode: u16) -> u32 {
+    assert!(word_count > 0, "instruction must span at least its header");
+    ((word_count as u32) << 16) | opcode as u32
+}
+
+/// Splits an instruction header word into (word count, opcode).
+pub fn split_header(word: u32) -> (u16, u16) {
+    ((word >> 16) as u16, (word & 0xFFFF) as u16)
+}
+
+/// Encodes a string as SPIR-V literal words (UTF-8, nul terminator,
+/// zero-padded to a word boundary).
+pub fn encode_string(s: &str) -> Vec<u32> {
+    let bytes = s.as_bytes();
+    let mut words = Vec::with_capacity(bytes.len() / 4 + 1);
+    let mut current = [0u8; 4];
+    let mut filled = 0;
+    for &b in bytes {
+        current[filled] = b;
+        filled += 1;
+        if filled == 4 {
+            words.push(u32::from_le_bytes(current));
+            current = [0; 4];
+            filled = 0;
+        }
+    }
+    // The nul terminator always fits because `filled < 4` here.
+    words.push(u32::from_le_bytes(current));
+    words
+}
+
+/// Decodes a SPIR-V literal string from `words`, returning the string and
+/// the number of words consumed.
+///
+/// Returns `None` for missing terminators or invalid UTF-8.
+pub fn decode_string(words: &[u32]) -> Option<(String, usize)> {
+    let mut bytes = Vec::new();
+    for (i, word) in words.iter().enumerate() {
+        for b in word.to_le_bytes() {
+            if b == 0 {
+                return String::from_utf8(bytes).ok().map(|s| (s, i + 1));
+            }
+            bytes.push(b);
+        }
+    }
+    None
+}
+
+/// Number of words `encode_string` produces for `s`.
+pub fn string_word_count(s: &str) -> u16 {
+    (s.len() / 4 + 1) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let w = instruction_header(3, 71);
+        assert_eq!(split_header(w), (3, 71));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least its header")]
+    fn zero_word_count_panics() {
+        instruction_header(0, 1);
+    }
+
+    #[test]
+    fn string_round_trip() {
+        for s in ["", "a", "main", "bfs_kernel1", "exactly8", "ninechars"] {
+            let words = encode_string(s);
+            assert_eq!(words.len(), string_word_count(s) as usize);
+            let (decoded, consumed) = decode_string(&words).unwrap();
+            assert_eq!(decoded, s);
+            assert_eq!(consumed, words.len());
+        }
+    }
+
+    #[test]
+    fn string_of_word_multiple_gets_terminator_word() {
+        // 4 bytes exactly -> data word + all-zero terminator word.
+        let words = encode_string("main");
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[1], 0);
+    }
+
+    #[test]
+    fn decode_rejects_unterminated() {
+        let words = [u32::from_le_bytes(*b"abcd")];
+        assert!(decode_string(&words).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8() {
+        let words = [u32::from_le_bytes([0xFF, 0xFE, 0x00, 0x00])];
+        assert!(decode_string(&words).is_none());
+    }
+}

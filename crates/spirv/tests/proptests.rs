@@ -1,0 +1,103 @@
+//! Property tests: SPIR-V assembly/parse round trips for arbitrary
+//! kernel descriptions, and scanner robustness.
+
+use proptest::prelude::*;
+use vcb_sim::exec::{BindingAccess, KernelInfo};
+use vcb_spirv::{disassemble, extract_kernel_names, SpirvModule};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,24}"
+}
+
+proptest! {
+    /// assemble -> parse recovers every field of the kernel description.
+    #[test]
+    fn module_round_trip(
+        name in ident(),
+        lx in 1u32..512,
+        ly in 1u32..4,
+        bindings in proptest::collection::vec((any::<bool>(),), 0..6),
+        push in 0u32..129,
+        shared in 0u64..4096,
+        promotable in any::<bool>(),
+    ) {
+        let mut b = KernelInfo::new(name.clone(), [lx, ly, 1]);
+        for (i, (read_only,)) in bindings.iter().enumerate() {
+            b = if *read_only {
+                b.reads(i as u32, "buf")
+            } else {
+                b.writes(i as u32, "buf")
+            };
+        }
+        if push > 0 {
+            b = b.push_constants(push);
+        }
+        if shared > 0 {
+            b = b.shared_memory(shared);
+        }
+        if promotable {
+            b = b.promotable();
+        }
+        let info = b.build();
+        let module = SpirvModule::assemble(&info);
+        let parsed = SpirvModule::parse(module.words()).unwrap();
+        let p = parsed.info();
+        prop_assert_eq!(&p.name, &name);
+        prop_assert_eq!(p.local_size, [lx, ly, 1]);
+        prop_assert_eq!(p.bindings.len(), bindings.len());
+        for (i, (read_only,)) in bindings.iter().enumerate() {
+            let decl = p.binding(i as u32).unwrap();
+            let expected = if *read_only { BindingAccess::ReadOnly } else { BindingAccess::ReadWrite };
+            prop_assert_eq!(decl.access, expected);
+        }
+        prop_assert_eq!(p.push_constant_bytes, push);
+        prop_assert_eq!(p.shared_bytes, shared);
+        prop_assert_eq!(p.promotable, promotable);
+        // The disassembler accepts everything the assembler emits.
+        let text = disassemble(module.words()).unwrap();
+        let quoted = format!("\"{}\"", name);
+        prop_assert!(text.contains(&quoted));
+    }
+
+    /// Truncating a module anywhere never panics the parser.
+    #[test]
+    fn parser_never_panics_on_truncation(cut in 0usize..64) {
+        let info = KernelInfo::new("k", [8, 1, 1]).reads(0, "a").push_constants(8).build();
+        let module = SpirvModule::assemble(&info);
+        let words = module.words();
+        let cut = cut.min(words.len());
+        let _ = SpirvModule::parse(&words[..cut]); // must not panic
+    }
+
+    /// Flipping a single word never panics the parser or disassembler.
+    #[test]
+    fn parser_never_panics_on_corruption(pos in 0usize..64, value in any::<u32>()) {
+        let info = KernelInfo::new("k", [8, 1, 1]).reads(0, "a").build();
+        let mut words = SpirvModule::assemble(&info).words().to_vec();
+        let pos = pos.min(words.len() - 1);
+        words[pos] = value;
+        let _ = SpirvModule::parse(&words);
+        let _ = disassemble(&words);
+    }
+
+    /// The kernel-name scanner finds exactly the declared kernels in
+    /// generated source with randomized whitespace and decoys.
+    #[test]
+    fn scanner_finds_declared_kernels(
+        names in proptest::collection::btree_set("[a-z][a-z0-9_]{0,12}", 1..5),
+        ws in prop_oneof![Just(" "), Just("\n"), Just("\t"), Just("  \n")],
+    ) {
+        let mut src = String::from("// __kernel void decoy_in_comment(\n");
+        for name in &names {
+            src.push_str("__kernel");
+            src.push_str(ws);
+            src.push_str("void");
+            src.push_str(ws);
+            src.push_str(name);
+            src.push_str("(__global float* a) { }\n");
+        }
+        let found = extract_kernel_names(&src);
+        let expected: Vec<String> = names.iter().cloned().collect();
+        prop_assert_eq!(found, expected);
+    }
+}

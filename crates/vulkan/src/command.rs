@@ -1,0 +1,411 @@
+//! Command pools and command buffers.
+//!
+//! Command buffers are the core of the paper's Vulkan optimization story
+//! (§IV-C): record *all* iterations of an iterative algorithm into one
+//! buffer with pipeline barriers between them, submit once, and pay a
+//! single communication overhead instead of a kernel-launch overhead per
+//! iteration. Recording is cheap host work; execution costs are charged at
+//! submission in [`crate::queue::Queue::submit`].
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use vcb_sim::exec::CompiledKernel;
+use vcb_sim::mem::BufferId;
+use vcb_sim::time::SimDuration;
+
+use crate::descriptor::DescriptorSet;
+use crate::device::Device;
+use crate::error::{VkError, VkResult};
+use crate::flags::{Access, PipelineStage};
+use crate::memory::Buffer;
+use crate::pipeline::{ComputePipeline, PipelineLayout};
+
+/// A command pool (`VkCommandPool`), tied to one queue family.
+#[derive(Clone)]
+pub struct CommandPool {
+    device: Device,
+    family: usize,
+}
+
+impl fmt::Debug for CommandPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CommandPool").field("family", &self.family).finish()
+    }
+}
+
+#[derive(Clone)]
+pub(crate) enum Cmd {
+    BindPipeline {
+        pipeline_id: u64,
+        kernel: CompiledKernel,
+    },
+    BindDescriptorSets {
+        sets: Vec<Rc<RefCell<BTreeMap<u32, BufferId>>>>,
+    },
+    PushConstants {
+        offset: u32,
+        data: Vec<u8>,
+    },
+    Dispatch {
+        groups: [u32; 3],
+    },
+    PipelineBarrier,
+    CopyBuffer {
+        src: BufferId,
+        src_heap: usize,
+        dst: BufferId,
+        dst_heap: usize,
+        size: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecordState {
+    Initial,
+    Recording,
+    Executable,
+}
+
+pub(crate) struct CommandBufferInner {
+    pub(crate) family: usize,
+    pub(crate) state: RecordState,
+    pub(crate) cmds: Vec<Cmd>,
+}
+
+/// A command buffer (`VkCommandBuffer`).
+///
+/// Once recorded ("`Once recorded, a command buffer can be cached and
+/// submitted to a queue for execution as many times as required`",
+/// §III-B.a), it may be submitted repeatedly without re-recording.
+#[derive(Clone)]
+pub struct CommandBuffer {
+    pub(crate) device: Device,
+    pub(crate) inner: Rc<RefCell<CommandBufferInner>>,
+}
+
+/// A memory barrier description (`VkMemoryBarrier`); the simulator only
+/// needs its existence, but call sites read like real Vulkan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBarrier {
+    /// Source access mask.
+    pub src_access: Access,
+    /// Destination access mask.
+    pub dst_access: Access,
+}
+
+impl CommandPool {
+    /// `vkAllocateCommandBuffers` (one buffer).
+    pub fn allocate_command_buffer(&self) -> VkResult<CommandBuffer> {
+        let mut shared = self.device.shared.borrow_mut();
+        shared.api_call("vkAllocateCommandBuffers", SimDuration::from_micros(1.2));
+        drop(shared);
+        Ok(CommandBuffer {
+            device: self.device.clone(),
+            inner: Rc::new(RefCell::new(CommandBufferInner {
+                family: self.family,
+                state: RecordState::Initial,
+                cmds: Vec::new(),
+            })),
+        })
+    }
+}
+
+impl CommandBuffer {
+    fn record(&self, call: &'static str, cmd: Cmd) -> VkResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.state != RecordState::Recording {
+            return Err(VkError::validation(call, "command buffer is not recording"));
+        }
+        inner.cmds.push(cmd);
+        // Recording itself is cheap host work; charge a small constant so
+        // command-buffer construction cost is observable ("Command buffer
+        // construction is expensive", §III-B.a — relative to nothing, but
+        // amortized by caching).
+        self.device
+            .shared
+            .borrow_mut()
+            .api_call(call, SimDuration::from_nanos(180.0));
+        Ok(())
+    }
+
+    /// `vkBeginCommandBuffer`. Resets previously recorded contents.
+    pub fn begin(&self) -> VkResult<()> {
+        let mut shared = self.device.shared.borrow_mut();
+        shared.api_call("vkBeginCommandBuffer", SimDuration::from_nanos(500.0));
+        drop(shared);
+        let mut inner = self.inner.borrow_mut();
+        if inner.state == RecordState::Recording {
+            return Err(VkError::validation(
+                "vkBeginCommandBuffer",
+                "command buffer is already recording",
+            ));
+        }
+        inner.state = RecordState::Recording;
+        inner.cmds.clear();
+        Ok(())
+    }
+
+    /// `vkEndCommandBuffer`.
+    pub fn end(&self) -> VkResult<()> {
+        let mut shared = self.device.shared.borrow_mut();
+        shared.api_call("vkEndCommandBuffer", SimDuration::from_nanos(500.0));
+        drop(shared);
+        let mut inner = self.inner.borrow_mut();
+        if inner.state != RecordState::Recording {
+            return Err(VkError::validation(
+                "vkEndCommandBuffer",
+                "command buffer is not recording",
+            ));
+        }
+        inner.state = RecordState::Executable;
+        Ok(())
+    }
+
+    /// `vkCmdBindPipeline` with `VK_PIPELINE_BIND_POINT_COMPUTE`.
+    pub fn bind_pipeline(&self, pipeline: &ComputePipeline) -> VkResult<()> {
+        self.record(
+            "vkCmdBindPipeline",
+            Cmd::BindPipeline {
+                pipeline_id: pipeline.id,
+                kernel: pipeline.kernel.clone(),
+            },
+        )
+    }
+
+    /// `vkCmdBindDescriptorSets`.
+    pub fn bind_descriptor_sets(
+        &self,
+        _layout: &PipelineLayout,
+        sets: &[&DescriptorSet],
+    ) -> VkResult<()> {
+        self.record(
+            "vkCmdBindDescriptorSets",
+            Cmd::BindDescriptorSets {
+                sets: sets.iter().map(|s| Rc::clone(&s.bindings)).collect(),
+            },
+        )
+    }
+
+    /// `vkCmdPushConstants`.
+    ///
+    /// # Errors
+    ///
+    /// Validation error if the range is outside the layout's declared
+    /// push-constant ranges.
+    pub fn push_constants(
+        &self,
+        layout: &PipelineLayout,
+        offset: u32,
+        data: &[u8],
+    ) -> VkResult<()> {
+        let end = offset + data.len() as u32;
+        if end > layout.push_constant_bytes() {
+            return Err(VkError::validation(
+                "vkCmdPushConstants",
+                format!(
+                    "range [{offset}, {end}) outside layout's {} push-constant bytes",
+                    layout.push_constant_bytes()
+                ),
+            ));
+        }
+        self.record(
+            "vkCmdPushConstants",
+            Cmd::PushConstants {
+                offset,
+                data: data.to_vec(),
+            },
+        )
+    }
+
+    /// `vkCmdDispatch`.
+    pub fn dispatch(&self, x: u32, y: u32, z: u32) -> VkResult<()> {
+        if x == 0 || y == 0 || z == 0 {
+            return Err(VkError::validation(
+                "vkCmdDispatch",
+                "group counts must be non-zero",
+            ));
+        }
+        self.record("vkCmdDispatch", Cmd::Dispatch { groups: [x, y, z] })
+    }
+
+    /// `vkCmdPipelineBarrier` with a memory barrier — the synchronization
+    /// primitive the paper uses between recorded iterations (§IV-C).
+    pub fn pipeline_barrier(
+        &self,
+        _src_stage: PipelineStage,
+        _dst_stage: PipelineStage,
+        _barrier: &MemoryBarrier,
+    ) -> VkResult<()> {
+        self.record("vkCmdPipelineBarrier", Cmd::PipelineBarrier)
+    }
+
+    /// `vkCmdCopyBuffer` (whole-buffer-prefix copy of `size` bytes).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors for unbound buffers or out-of-range sizes.
+    pub fn copy_buffer(&self, src: &Buffer, dst: &Buffer, size: u64) -> VkResult<()> {
+        let src_id = src.storage_id("vkCmdCopyBuffer")?;
+        let dst_id = dst.storage_id("vkCmdCopyBuffer")?;
+        if size > src.size() || size > dst.size() {
+            return Err(VkError::validation(
+                "vkCmdCopyBuffer",
+                format!(
+                    "copy of {size} bytes exceeds buffer sizes ({} -> {})",
+                    src.size(),
+                    dst.size()
+                ),
+            ));
+        }
+        self.record(
+            "vkCmdCopyBuffer",
+            Cmd::CopyBuffer {
+                src: src_id,
+                src_heap: src.inner.heap.get().unwrap_or(0),
+                dst: dst_id,
+                dst_heap: dst.inner.heap.get().unwrap_or(0),
+                size,
+            },
+        )
+    }
+
+    /// Number of commands currently recorded.
+    pub fn command_count(&self) -> usize {
+        self.inner.borrow().cmds.len()
+    }
+
+    /// `true` once [`CommandBuffer::end`] succeeded.
+    pub fn is_executable(&self) -> bool {
+        self.inner.borrow().state == RecordState::Executable
+    }
+}
+
+impl fmt::Debug for CommandBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("CommandBuffer")
+            .field("state", &inner.state)
+            .field("cmds", &inner.cmds.len())
+            .finish()
+    }
+}
+
+impl Device {
+    /// `vkCreateCommandPool` for a queue family.
+    ///
+    /// # Errors
+    ///
+    /// Validation error for out-of-range family indices.
+    pub fn create_command_pool(&self, queue_family_index: usize) -> VkResult<CommandPool> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkCreateCommandPool", SimDuration::from_micros(2.0));
+        if queue_family_index >= shared.queue_busy.len() {
+            return Err(VkError::validation(
+                "vkCreateCommandPool",
+                format!("queue family {queue_family_index} out of range"),
+            ));
+        }
+        drop(shared);
+        Ok(CommandPool {
+            device: self.clone(),
+            family: queue_family_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceCreateInfo, DeviceQueueCreateInfo};
+    use crate::instance::{Instance, InstanceCreateInfo};
+    use std::sync::Arc;
+    use vcb_sim::profile::devices;
+    use vcb_sim::KernelRegistry;
+
+    fn device() -> Device {
+        let instance = Instance::new(&InstanceCreateInfo {
+            application_name: "cmd-test".into(),
+            enabled_layers: vec![],
+            devices: vec![devices::gtx1050ti()],
+            registry: Arc::new(KernelRegistry::new()),
+        })
+        .unwrap();
+        let phys = instance.enumerate_physical_devices().remove(0);
+        Device::new(
+            &phys,
+            &DeviceCreateInfo {
+                queue_create_infos: vec![DeviceQueueCreateInfo {
+                    queue_family_index: 0,
+                    queue_count: 1,
+                }],
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn record_lifecycle() {
+        let device = device();
+        let pool = device.create_command_pool(0).unwrap();
+        let cmd = pool.allocate_command_buffer().unwrap();
+        assert!(!cmd.is_executable());
+        // Recording before begin fails.
+        assert!(cmd.dispatch(1, 1, 1).is_err());
+        cmd.begin().unwrap();
+        cmd.dispatch(4, 1, 1).unwrap();
+        let barrier = MemoryBarrier {
+            src_access: Access::SHADER_WRITE,
+            dst_access: Access::SHADER_READ,
+        };
+        cmd.pipeline_barrier(
+            PipelineStage::COMPUTE_SHADER,
+            PipelineStage::COMPUTE_SHADER,
+            &barrier,
+        )
+        .unwrap();
+        cmd.end().unwrap();
+        assert!(cmd.is_executable());
+        assert_eq!(cmd.command_count(), 2);
+        // Recording after end fails.
+        assert!(cmd.dispatch(1, 1, 1).is_err());
+    }
+
+    #[test]
+    fn begin_resets_contents() {
+        let device = device();
+        let pool = device.create_command_pool(0).unwrap();
+        let cmd = pool.allocate_command_buffer().unwrap();
+        cmd.begin().unwrap();
+        cmd.dispatch(1, 1, 1).unwrap();
+        cmd.end().unwrap();
+        cmd.begin().unwrap();
+        assert_eq!(cmd.command_count(), 0);
+    }
+
+    #[test]
+    fn zero_dispatch_rejected() {
+        let device = device();
+        let pool = device.create_command_pool(0).unwrap();
+        let cmd = pool.allocate_command_buffer().unwrap();
+        cmd.begin().unwrap();
+        assert!(cmd.dispatch(0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn double_begin_rejected() {
+        let device = device();
+        let pool = device.create_command_pool(0).unwrap();
+        let cmd = pool.allocate_command_buffer().unwrap();
+        cmd.begin().unwrap();
+        assert!(cmd.begin().is_err());
+    }
+
+    #[test]
+    fn bad_pool_family_rejected() {
+        let device = device();
+        assert!(device.create_command_pool(99).is_err());
+    }
+}

@@ -1,0 +1,361 @@
+//! Descriptor set layouts, pools and sets.
+//!
+//! Binding a buffer to a kernel in Vulkan goes through descriptor sets:
+//! `writeDescripSet.dstBinding = 0; // Same as SPIRV Binding decoration`
+//! (Listing 1). This is the Vulkan analogue of `clSetKernelArg` (§IV-A).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use vcb_sim::mem::BufferId;
+use vcb_sim::time::SimDuration;
+
+use crate::device::Device;
+use crate::error::{VkError, VkResult};
+use crate::memory::Buffer;
+
+/// `VkDescriptorType` subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DescriptorType {
+    /// `VK_DESCRIPTOR_TYPE_STORAGE_BUFFER`.
+    StorageBuffer,
+    /// `VK_DESCRIPTOR_TYPE_UNIFORM_BUFFER`.
+    UniformBuffer,
+}
+
+/// One binding slot in a layout (`VkDescriptorSetLayoutBinding`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DescriptorSetLayoutBinding {
+    /// Slot number, matching the SPIR-V `Binding` decoration.
+    pub binding: u32,
+    /// Descriptor kind.
+    pub descriptor_type: DescriptorType,
+}
+
+/// A descriptor set layout (`VkDescriptorSetLayout`).
+#[derive(Clone)]
+pub struct DescriptorSetLayout {
+    pub(crate) bindings: Rc<Vec<DescriptorSetLayoutBinding>>,
+}
+
+impl fmt::Debug for DescriptorSetLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DescriptorSetLayout")
+            .field("bindings", &self.bindings.len())
+            .finish()
+    }
+}
+
+/// A descriptor pool (`VkDescriptorPool`).
+#[derive(Clone)]
+pub struct DescriptorPool {
+    device: Device,
+    remaining_sets: Rc<RefCell<u32>>,
+}
+
+impl fmt::Debug for DescriptorPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DescriptorPool")
+            .field("remaining_sets", &*self.remaining_sets.borrow())
+            .finish()
+    }
+}
+
+/// A descriptor set: the binding table a dispatch reads buffers through
+/// (`VkDescriptorSet`).
+#[derive(Clone)]
+pub struct DescriptorSet {
+    pub(crate) layout: DescriptorSetLayout,
+    pub(crate) bindings: Rc<RefCell<BTreeMap<u32, BufferId>>>,
+}
+
+impl DescriptorSet {
+    /// Slots currently populated.
+    pub fn bound_slots(&self) -> Vec<u32> {
+        self.bindings.borrow().keys().copied().collect()
+    }
+}
+
+impl fmt::Debug for DescriptorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DescriptorSet")
+            .field("bound", &self.bindings.borrow().len())
+            .field("layout", &self.layout.bindings.len())
+            .finish()
+    }
+}
+
+/// One `VkWriteDescriptorSet` entry for
+/// [`Device::update_descriptor_sets`].
+#[derive(Debug, Clone)]
+pub struct WriteDescriptorSet<'a> {
+    /// Set to update.
+    pub dst_set: &'a DescriptorSet,
+    /// Binding slot — "Same as SPIRV Binding decoration" (Listing 1).
+    pub dst_binding: u32,
+    /// Buffer to attach.
+    pub buffer: &'a Buffer,
+}
+
+impl Device {
+    /// `vkCreateDescriptorSetLayout`.
+    ///
+    /// # Errors
+    ///
+    /// Validation error on duplicate binding slots.
+    pub fn create_descriptor_set_layout(
+        &self,
+        bindings: &[DescriptorSetLayoutBinding],
+    ) -> VkResult<DescriptorSetLayout> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkCreateDescriptorSetLayout", SimDuration::from_micros(1.0));
+        drop(shared);
+        for (i, a) in bindings.iter().enumerate() {
+            for b in &bindings[i + 1..] {
+                if a.binding == b.binding {
+                    return Err(VkError::validation(
+                        "vkCreateDescriptorSetLayout",
+                        format!("binding {} declared twice", a.binding),
+                    ));
+                }
+            }
+        }
+        Ok(DescriptorSetLayout {
+            bindings: Rc::new(bindings.to_vec()),
+        })
+    }
+
+    /// `vkCreateDescriptorPool` with capacity for `max_sets` sets.
+    pub fn create_descriptor_pool(&self, max_sets: u32) -> VkResult<DescriptorPool> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkCreateDescriptorPool", SimDuration::from_micros(1.5));
+        drop(shared);
+        if max_sets == 0 {
+            return Err(VkError::validation(
+                "vkCreateDescriptorPool",
+                "max_sets must be non-zero",
+            ));
+        }
+        Ok(DescriptorPool {
+            device: self.clone(),
+            remaining_sets: Rc::new(RefCell::new(max_sets)),
+        })
+    }
+
+    /// `vkUpdateDescriptorSets`.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors for unknown slots or unbound buffers.
+    pub fn update_descriptor_sets(&self, writes: &[WriteDescriptorSet<'_>]) -> VkResult<()> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call(
+            "vkUpdateDescriptorSets",
+            SimDuration::from_nanos(350.0) * writes.len().max(1) as u64,
+        );
+        drop(shared);
+        for w in writes {
+            if !w
+                .dst_set
+                .layout
+                .bindings
+                .iter()
+                .any(|b| b.binding == w.dst_binding)
+            {
+                return Err(VkError::validation(
+                    "vkUpdateDescriptorSets",
+                    format!("binding {} not in the set's layout", w.dst_binding),
+                ));
+            }
+            let id = w.buffer.storage_id("vkUpdateDescriptorSets")?;
+            w.dst_set.bindings.borrow_mut().insert(w.dst_binding, id);
+        }
+        Ok(())
+    }
+}
+
+impl DescriptorPool {
+    /// `vkAllocateDescriptorSets` (one set).
+    ///
+    /// # Errors
+    ///
+    /// Validation error when the pool is exhausted.
+    pub fn allocate_descriptor_set(&self, layout: &DescriptorSetLayout) -> VkResult<DescriptorSet> {
+        let mut shared = self.device.shared.borrow_mut();
+        shared.api_call("vkAllocateDescriptorSets", SimDuration::from_micros(1.0));
+        drop(shared);
+        let mut remaining = self.remaining_sets.borrow_mut();
+        if *remaining == 0 {
+            return Err(VkError::validation(
+                "vkAllocateDescriptorSets",
+                "descriptor pool exhausted",
+            ));
+        }
+        *remaining -= 1;
+        Ok(DescriptorSet {
+            layout: layout.clone(),
+            bindings: Rc::new(RefCell::new(BTreeMap::new())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceCreateInfo, DeviceQueueCreateInfo};
+    use crate::flags::BufferUsage;
+    use crate::instance::{Instance, InstanceCreateInfo};
+    use crate::memory::{BufferCreateInfo, MemoryAllocateInfo};
+    use std::sync::Arc;
+    use vcb_sim::profile::devices;
+    use vcb_sim::KernelRegistry;
+
+    fn device() -> Device {
+        let instance = Instance::new(&InstanceCreateInfo {
+            application_name: "desc-test".into(),
+            enabled_layers: vec![],
+            devices: vec![devices::gtx1050ti()],
+            registry: Arc::new(KernelRegistry::new()),
+        })
+        .unwrap();
+        let phys = instance.enumerate_physical_devices().remove(0);
+        Device::new(
+            &phys,
+            &DeviceCreateInfo {
+                queue_create_infos: vec![DeviceQueueCreateInfo {
+                    queue_family_index: 0,
+                    queue_count: 1,
+                }],
+            },
+        )
+        .unwrap()
+    }
+
+    fn bound_buffer(device: &Device) -> Buffer {
+        let buffer = device
+            .create_buffer(&BufferCreateInfo {
+                size: 256,
+                usage: BufferUsage::STORAGE_BUFFER,
+            })
+            .unwrap();
+        let memory = device
+            .allocate_memory(&MemoryAllocateInfo {
+                allocation_size: 256,
+                memory_type_index: 1,
+            })
+            .unwrap();
+        device.bind_buffer_memory(&buffer, &memory).unwrap();
+        buffer
+    }
+
+    fn layout(device: &Device, n: u32) -> DescriptorSetLayout {
+        let bindings: Vec<_> = (0..n)
+            .map(|binding| DescriptorSetLayoutBinding {
+                binding,
+                descriptor_type: DescriptorType::StorageBuffer,
+            })
+            .collect();
+        device.create_descriptor_set_layout(&bindings).unwrap()
+    }
+
+    #[test]
+    fn write_and_inspect_set() {
+        let device = device();
+        let layout = layout(&device, 3);
+        let pool = device.create_descriptor_pool(4).unwrap();
+        let set = pool.allocate_descriptor_set(&layout).unwrap();
+        let buffer = bound_buffer(&device);
+        device
+            .update_descriptor_sets(&[WriteDescriptorSet {
+                dst_set: &set,
+                dst_binding: 2,
+                buffer: &buffer,
+            }])
+            .unwrap();
+        assert_eq!(set.bound_slots(), vec![2]);
+    }
+
+    #[test]
+    fn duplicate_layout_bindings_rejected() {
+        let device = device();
+        let result = device.create_descriptor_set_layout(&[
+            DescriptorSetLayoutBinding {
+                binding: 0,
+                descriptor_type: DescriptorType::StorageBuffer,
+            },
+            DescriptorSetLayoutBinding {
+                binding: 0,
+                descriptor_type: DescriptorType::StorageBuffer,
+            },
+        ]);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let device = device();
+        let layout = layout(&device, 1);
+        let pool = device.create_descriptor_pool(1).unwrap();
+        pool.allocate_descriptor_set(&layout).unwrap();
+        assert!(pool.allocate_descriptor_set(&layout).is_err());
+    }
+
+    #[test]
+    fn write_to_unknown_slot_rejected() {
+        let device = device();
+        let layout = layout(&device, 1);
+        let pool = device.create_descriptor_pool(1).unwrap();
+        let set = pool.allocate_descriptor_set(&layout).unwrap();
+        let buffer = bound_buffer(&device);
+        let err = device
+            .update_descriptor_sets(&[WriteDescriptorSet {
+                dst_set: &set,
+                dst_binding: 5,
+                buffer: &buffer,
+            }])
+            .unwrap_err();
+        assert!(matches!(err, VkError::Validation { .. }));
+    }
+
+    #[test]
+    fn write_with_unbound_buffer_rejected() {
+        let device = device();
+        let layout = layout(&device, 1);
+        let pool = device.create_descriptor_pool(1).unwrap();
+        let set = pool.allocate_descriptor_set(&layout).unwrap();
+        let buffer = device
+            .create_buffer(&BufferCreateInfo {
+                size: 64,
+                usage: BufferUsage::STORAGE_BUFFER,
+            })
+            .unwrap();
+        assert!(device
+            .update_descriptor_sets(&[WriteDescriptorSet {
+                dst_set: &set,
+                dst_binding: 0,
+                buffer: &buffer,
+            }])
+            .is_err());
+    }
+
+    #[test]
+    fn rewriting_a_slot_replaces_the_buffer() {
+        let device = device();
+        let layout = layout(&device, 1);
+        let pool = device.create_descriptor_pool(1).unwrap();
+        let set = pool.allocate_descriptor_set(&layout).unwrap();
+        let (a, b) = (bound_buffer(&device), bound_buffer(&device));
+        for buffer in [&a, &b] {
+            device
+                .update_descriptor_sets(&[WriteDescriptorSet {
+                    dst_set: &set,
+                    dst_binding: 0,
+                    buffer,
+                }])
+                .unwrap();
+        }
+        assert_eq!(set.bound_slots().len(), 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Logical device and its shared simulated state.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use vcb_sim::calls::CallCounter;
+use vcb_sim::engine::Gpu;
+use vcb_sim::profile::{DeviceProfile, DriverProfile, QueueCaps};
+use vcb_sim::time::{SimDuration, SimInstant};
+use vcb_sim::timeline::{CostKind, TimingBreakdown};
+use vcb_sim::{Api, KernelRegistry, TraceMode};
+
+use crate::error::{VkError, VkResult};
+use crate::instance::PhysicalDevice;
+use crate::queue::Queue;
+
+/// Requested queues for one family (`VkDeviceQueueCreateInfo`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceQueueCreateInfo {
+    /// Queue family index.
+    pub queue_family_index: usize,
+    /// How many queues of that family to create.
+    pub queue_count: u32,
+}
+
+/// Parameters for [`Device::new`] (`VkDeviceCreateInfo`).
+#[derive(Debug, Clone, Default)]
+pub struct DeviceCreateInfo {
+    /// Queues to create.
+    pub queue_create_infos: Vec<DeviceQueueCreateInfo>,
+}
+
+pub(crate) struct DeviceShared {
+    pub(crate) gpu: Gpu,
+    pub(crate) driver: DriverProfile,
+    pub(crate) registry: Arc<KernelRegistry>,
+    pub(crate) breakdown: TimingBreakdown,
+    pub(crate) host_now: SimInstant,
+    /// `queue_busy[family][index]`: completion instant of that queue's
+    /// last submitted work.
+    pub(crate) queue_busy: Vec<Vec<SimInstant>>,
+    pub(crate) calls: CallCounter,
+    pub(crate) next_object_id: u64,
+}
+
+impl DeviceShared {
+    /// Records an API call and charges its host-side cost.
+    pub(crate) fn api_call(&mut self, name: &'static str, cost: SimDuration) {
+        self.calls.record(name);
+        self.host_now += cost;
+        self.breakdown.charge(CostKind::HostApi, cost);
+    }
+
+    /// Charges host time under an explicit category.
+    pub(crate) fn charge_host(&mut self, kind: CostKind, cost: SimDuration) {
+        self.host_now += cost;
+        self.breakdown.charge(kind, cost);
+    }
+
+    pub(crate) fn fresh_id(&mut self) -> u64 {
+        self.next_object_id += 1;
+        self.next_object_id
+    }
+
+    pub(crate) fn queue_caps(&self, family: usize) -> QueueCaps {
+        self.gpu.profile().queue_families[family].caps
+    }
+}
+
+impl fmt::Debug for DeviceShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceShared")
+            .field("device", &self.gpu.profile().name)
+            .field("host_now", &self.host_now)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A logical device (`VkDevice`).
+///
+/// Cloning is cheap and shares the underlying simulated device, like
+/// copying a `VkDevice` handle.
+#[derive(Clone)]
+pub struct Device {
+    pub(crate) shared: Rc<RefCell<DeviceShared>>,
+}
+
+impl Device {
+    /// `vkCreateDevice`.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors for out-of-range queue families or queue counts.
+    pub fn new(physical: &PhysicalDevice, create_info: &DeviceCreateInfo) -> VkResult<Device> {
+        let profile: DeviceProfile = physical.profile().clone();
+        let driver = profile
+            .driver(Api::Vulkan)
+            .expect("instance creation verified Vulkan support")
+            .clone();
+        if create_info.queue_create_infos.is_empty() {
+            return Err(VkError::validation(
+                "vkCreateDevice",
+                "at least one queue must be requested",
+            ));
+        }
+        for q in &create_info.queue_create_infos {
+            let family = profile.queue_families.get(q.queue_family_index).ok_or_else(|| {
+                VkError::validation(
+                    "vkCreateDevice",
+                    format!("queue family {} out of range", q.queue_family_index),
+                )
+            })?;
+            if q.queue_count == 0 || q.queue_count > family.count {
+                return Err(VkError::validation(
+                    "vkCreateDevice",
+                    format!(
+                        "requested {} queues from family {} (capacity {})",
+                        q.queue_count, q.queue_family_index, family.count
+                    ),
+                ));
+            }
+        }
+        let queue_busy = profile
+            .queue_families
+            .iter()
+            .map(|f| vec![SimInstant::EPOCH; f.count as usize])
+            .collect();
+        let mut shared = DeviceShared {
+            gpu: Gpu::new(profile),
+            driver,
+            registry: Arc::clone(&physical.instance.registry),
+            breakdown: TimingBreakdown::new(),
+            host_now: SimInstant::EPOCH,
+            queue_busy,
+            calls: CallCounter::new(),
+            next_object_id: 0,
+        };
+        shared.api_call("vkCreateDevice", SimDuration::from_micros(180.0));
+        Ok(Device {
+            shared: Rc::new(RefCell::new(shared)),
+        })
+    }
+
+    /// `vkGetDeviceQueue`.
+    ///
+    /// # Errors
+    ///
+    /// Validation error if the family or index is out of range.
+    pub fn get_queue(&self, queue_family_index: usize, queue_index: u32) -> VkResult<Queue> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkGetDeviceQueue", SimDuration::from_nanos(200.0));
+        let families = &shared.queue_busy;
+        let family = families.get(queue_family_index).ok_or_else(|| {
+            VkError::validation(
+                "vkGetDeviceQueue",
+                format!("queue family {queue_family_index} out of range"),
+            )
+        })?;
+        if queue_index as usize >= family.len() {
+            return Err(VkError::validation(
+                "vkGetDeviceQueue",
+                format!("queue index {queue_index} out of range for family {queue_family_index}"),
+            ));
+        }
+        drop(shared);
+        Ok(Queue {
+            device: self.clone(),
+            family: queue_family_index,
+            index: queue_index as usize,
+        })
+    }
+
+    /// `vkDeviceWaitIdle`: blocks (in simulated time) until all queues
+    /// drain.
+    pub fn wait_idle(&self) {
+        let mut shared = self.shared.borrow_mut();
+        shared.calls.record("vkDeviceWaitIdle");
+        let latest = shared
+            .queue_busy
+            .iter()
+            .flatten()
+            .copied()
+            .fold(SimInstant::EPOCH, SimInstant::max);
+        if latest > shared.host_now {
+            // The host actually blocked: pay the wake-up latency.
+            shared.host_now = latest;
+            let wakeup = shared.driver.sync_wakeup;
+            shared.charge_host(CostKind::HostApi, wakeup);
+        }
+    }
+
+    /// Simulated host-side "now" for this device's application.
+    pub fn now(&self) -> SimInstant {
+        self.shared.borrow().host_now
+    }
+
+    /// Cost breakdown accumulated so far.
+    pub fn breakdown(&self) -> TimingBreakdown {
+        self.shared.borrow().breakdown
+    }
+
+    /// API call counts accumulated so far.
+    pub fn call_counts(&self) -> CallCounter {
+        self.shared.borrow().calls.snapshot()
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> DeviceProfile {
+        self.shared.borrow().gpu.profile().clone()
+    }
+
+    /// Sets the workgroup-tracing policy of the underlying simulator.
+    pub fn set_trace_mode(&self, mode: TraceMode) {
+        self.shared.borrow_mut().gpu.set_trace_mode(mode);
+    }
+
+    /// Kernels executed so far on this device.
+    pub fn kernels_launched(&self) -> u64 {
+        self.shared.borrow().gpu.kernels_launched()
+    }
+}
+
+impl fmt::Debug for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shared = self.shared.borrow();
+        f.debug_struct("Device")
+            .field("name", &shared.gpu.profile().name)
+            .field("host_now", &shared.host_now)
+            .finish()
+    }
+}

@@ -1,0 +1,101 @@
+//! Vulkan-shaped error handling.
+
+use std::fmt;
+
+use vcb_sim::SimError;
+
+/// Errors returned by the Vulkan-shaped API, in the spirit of `VkResult`
+/// error codes with richer payloads.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VkError {
+    /// `VK_ERROR_OUT_OF_DEVICE_MEMORY` and friends from the simulator.
+    Device(SimError),
+    /// `VK_ERROR_INITIALIZATION_FAILED`: bad create-info or usage.
+    InitializationFailed {
+        /// What was wrong.
+        what: String,
+    },
+    /// A validation-layer style error: the API was used incorrectly.
+    Validation {
+        /// Which call was misused.
+        call: &'static str,
+        /// Explanation.
+        what: String,
+    },
+    /// `VK_ERROR_FEATURE_NOT_PRESENT`: the queue family or device cannot
+    /// do what was asked.
+    FeatureNotPresent {
+        /// Explanation.
+        what: String,
+    },
+    /// `VK_ERROR_DEVICE_LOST` stand-in for driver-quirk failures
+    /// (the paper's mobile driver crashes).
+    DeviceLost {
+        /// Explanation.
+        what: String,
+    },
+}
+
+impl VkError {
+    pub(crate) fn validation(call: &'static str, what: impl Into<String>) -> Self {
+        VkError::Validation {
+            call,
+            what: what.into(),
+        }
+    }
+}
+
+impl fmt::Display for VkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VkError::Device(e) => write!(f, "device error: {e}"),
+            VkError::InitializationFailed { what } => {
+                write!(f, "initialization failed: {what}")
+            }
+            VkError::Validation { call, what } => {
+                write!(f, "validation error in {call}: {what}")
+            }
+            VkError::FeatureNotPresent { what } => write!(f, "feature not present: {what}"),
+            VkError::DeviceLost { what } => write!(f, "device lost: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for VkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VkError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for VkError {
+    fn from(e: SimError) -> Self {
+        VkError::Device(e)
+    }
+}
+
+/// Result alias for Vulkan-shaped operations.
+pub type VkResult<T> = Result<T, VkError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = VkError::from(SimError::invalid("x"));
+        assert!(e.to_string().contains("device error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let v = VkError::validation("vkCmdDispatch", "zero groups");
+        assert!(v.to_string().contains("vkCmdDispatch"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VkError>();
+    }
+}

@@ -1,0 +1,147 @@
+//! Bit-flag types mirroring the Vulkan flag enums the benchmarks use.
+
+use std::fmt;
+use std::ops::BitOr;
+
+macro_rules! flag_type {
+    ($(#[$doc:meta])* $name:ident { $($(#[$fdoc:meta])* $flag:ident = $bit:expr => $label:expr,)+ }) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name {
+            bits: u32,
+        }
+
+        impl $name {
+            $(
+                $(#[$fdoc])*
+                pub const $flag: $name = $name { bits: $bit };
+            )+
+
+            /// The empty flag set.
+            pub const fn empty() -> Self {
+                $name { bits: 0 }
+            }
+
+            /// `true` if every bit of `other` is set in `self`.
+            pub const fn contains(self, other: $name) -> bool {
+                self.bits & other.bits == other.bits
+            }
+
+            /// `true` if any bit of `other` is set in `self`.
+            pub const fn intersects(self, other: $name) -> bool {
+                self.bits & other.bits != 0
+            }
+
+            /// Raw bit value.
+            pub const fn bits(self) -> u32 {
+                self.bits
+            }
+
+            /// `true` when no flags are set.
+            pub const fn is_empty(self) -> bool {
+                self.bits == 0
+            }
+        }
+
+        impl BitOr for $name {
+            type Output = $name;
+
+            fn bitor(self, rhs: $name) -> $name {
+                $name { bits: self.bits | rhs.bits }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let mut parts: Vec<&str> = Vec::new();
+                $(
+                    if self.contains($name::$flag) {
+                        parts.push($label);
+                    }
+                )+
+                if parts.is_empty() {
+                    parts.push("none");
+                }
+                f.write_str(&parts.join("|"))
+            }
+        }
+    };
+}
+
+flag_type! {
+    /// `VkBufferUsageFlags` subset used by compute workloads.
+    BufferUsage {
+        /// `VK_BUFFER_USAGE_STORAGE_BUFFER_BIT`.
+        STORAGE_BUFFER = 0b0001 => "STORAGE_BUFFER",
+        /// `VK_BUFFER_USAGE_TRANSFER_SRC_BIT`.
+        TRANSFER_SRC = 0b0010 => "TRANSFER_SRC",
+        /// `VK_BUFFER_USAGE_TRANSFER_DST_BIT`.
+        TRANSFER_DST = 0b0100 => "TRANSFER_DST",
+        /// `VK_BUFFER_USAGE_UNIFORM_BUFFER_BIT`.
+        UNIFORM_BUFFER = 0b1000 => "UNIFORM_BUFFER",
+    }
+}
+
+flag_type! {
+    /// `VkMemoryPropertyFlags` subset.
+    MemoryProperty {
+        /// `VK_MEMORY_PROPERTY_DEVICE_LOCAL_BIT`.
+        DEVICE_LOCAL = 0b001 => "DEVICE_LOCAL",
+        /// `VK_MEMORY_PROPERTY_HOST_VISIBLE_BIT`.
+        HOST_VISIBLE = 0b010 => "HOST_VISIBLE",
+        /// `VK_MEMORY_PROPERTY_HOST_COHERENT_BIT`.
+        HOST_COHERENT = 0b100 => "HOST_COHERENT",
+    }
+}
+
+flag_type! {
+    /// `VkPipelineStageFlags` subset for compute barriers.
+    PipelineStage {
+        /// `VK_PIPELINE_STAGE_COMPUTE_SHADER_BIT`.
+        COMPUTE_SHADER = 0b01 => "COMPUTE_SHADER",
+        /// `VK_PIPELINE_STAGE_TRANSFER_BIT`.
+        TRANSFER = 0b10 => "TRANSFER",
+    }
+}
+
+flag_type! {
+    /// `VkAccessFlags` subset for memory barriers.
+    Access {
+        /// `VK_ACCESS_SHADER_READ_BIT`.
+        SHADER_READ = 0b0001 => "SHADER_READ",
+        /// `VK_ACCESS_SHADER_WRITE_BIT`.
+        SHADER_WRITE = 0b0010 => "SHADER_WRITE",
+        /// `VK_ACCESS_TRANSFER_READ_BIT`.
+        TRANSFER_READ = 0b0100 => "TRANSFER_READ",
+        /// `VK_ACCESS_TRANSFER_WRITE_BIT`.
+        TRANSFER_WRITE = 0b1000 => "TRANSFER_WRITE",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_algebra() {
+        let u = BufferUsage::STORAGE_BUFFER | BufferUsage::TRANSFER_DST;
+        assert!(u.contains(BufferUsage::STORAGE_BUFFER));
+        assert!(!u.contains(BufferUsage::TRANSFER_SRC));
+        assert!(u.intersects(BufferUsage::TRANSFER_DST | BufferUsage::TRANSFER_SRC));
+        assert!(BufferUsage::empty().is_empty());
+    }
+
+    #[test]
+    fn display_joins_labels() {
+        let u = BufferUsage::STORAGE_BUFFER | BufferUsage::TRANSFER_DST;
+        assert_eq!(u.to_string(), "STORAGE_BUFFER|TRANSFER_DST");
+        assert_eq!(MemoryProperty::empty().to_string(), "none");
+    }
+
+    #[test]
+    fn memory_properties() {
+        let m = MemoryProperty::HOST_VISIBLE | MemoryProperty::HOST_COHERENT;
+        assert!(m.contains(MemoryProperty::HOST_VISIBLE));
+        assert!(!m.contains(MemoryProperty::DEVICE_LOCAL));
+    }
+}

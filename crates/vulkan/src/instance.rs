@@ -1,0 +1,350 @@
+//! Instance and physical-device enumeration.
+//!
+//! Mirrors the first block of the paper's Listing 1: create a
+//! `VkInstance`, enumerate physical devices, inspect queue families,
+//! memory heaps and limits, then create a logical device.
+
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use vcb_sim::profile::{DeviceProfile, HeapProfile, QueueCaps};
+use vcb_sim::KernelRegistry;
+
+use crate::error::{VkError, VkResult};
+use crate::flags::MemoryProperty;
+
+/// Parameters for [`Instance::new`] (`VkInstanceCreateInfo`).
+#[derive(Clone)]
+pub struct InstanceCreateInfo {
+    /// Application name (`VkApplicationInfo::pApplicationName`).
+    pub application_name: String,
+    /// Enabled tooling layers; present during development, removed at
+    /// runtime (§III-A of the paper).
+    pub enabled_layers: Vec<String>,
+    /// The simulated platform: device profiles this instance can see.
+    pub devices: Vec<DeviceProfile>,
+    /// Kernel registry the installable client drivers compile against.
+    pub registry: Arc<KernelRegistry>,
+}
+
+impl fmt::Debug for InstanceCreateInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InstanceCreateInfo")
+            .field("application_name", &self.application_name)
+            .field("enabled_layers", &self.enabled_layers)
+            .field("devices", &self.devices.iter().map(|d| &d.name).collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+pub(crate) struct InstanceShared {
+    pub(crate) application_name: String,
+    pub(crate) enabled_layers: Vec<String>,
+    pub(crate) profiles: Vec<DeviceProfile>,
+    pub(crate) registry: Arc<KernelRegistry>,
+}
+
+/// The Vulkan loader entry object (`VkInstance`).
+#[derive(Clone)]
+pub struct Instance {
+    pub(crate) shared: Rc<InstanceShared>,
+}
+
+impl Instance {
+    /// `vkCreateInstance`: initializes the loader with the platform's
+    /// installable drivers.
+    ///
+    /// # Errors
+    ///
+    /// [`VkError::InitializationFailed`] if no device profile supports
+    /// Vulkan or a profile fails its lint.
+    pub fn new(create_info: &InstanceCreateInfo) -> VkResult<Instance> {
+        if create_info.devices.is_empty() {
+            return Err(VkError::InitializationFailed {
+                what: "no physical devices on this platform".into(),
+            });
+        }
+        for d in &create_info.devices {
+            let problems = d.lint();
+            if !problems.is_empty() {
+                return Err(VkError::InitializationFailed {
+                    what: format!("device profile `{}` invalid: {}", d.name, problems.join("; ")),
+                });
+            }
+            if d.driver(vcb_sim::Api::Vulkan).is_none() {
+                return Err(VkError::InitializationFailed {
+                    what: format!("device `{}` has no Vulkan driver installed", d.name),
+                });
+            }
+        }
+        Ok(Instance {
+            shared: Rc::new(InstanceShared {
+                application_name: create_info.application_name.clone(),
+                enabled_layers: create_info.enabled_layers.clone(),
+                profiles: create_info.devices.clone(),
+                registry: Arc::clone(&create_info.registry),
+            }),
+        })
+    }
+
+    /// `vkEnumeratePhysicalDevices`.
+    pub fn enumerate_physical_devices(&self) -> Vec<PhysicalDevice> {
+        (0..self.shared.profiles.len())
+            .map(|index| PhysicalDevice {
+                instance: Rc::clone(&self.shared),
+                index,
+            })
+            .collect()
+    }
+
+    /// The application name given at creation.
+    pub fn application_name(&self) -> &str {
+        &self.shared.application_name
+    }
+
+    /// Enabled tooling layers.
+    pub fn enabled_layers(&self) -> &[String] {
+        &self.shared.enabled_layers
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Instance")
+            .field("application_name", &self.shared.application_name)
+            .field("devices", &self.shared.profiles.len())
+            .finish()
+    }
+}
+
+/// A physical GPU visible to the instance (`VkPhysicalDevice`).
+#[derive(Clone)]
+pub struct PhysicalDevice {
+    pub(crate) instance: Rc<InstanceShared>,
+    pub(crate) index: usize,
+}
+
+impl PhysicalDevice {
+    pub(crate) fn profile(&self) -> &DeviceProfile {
+        &self.instance.profiles[self.index]
+    }
+
+    /// `vkGetPhysicalDeviceProperties`.
+    pub fn properties(&self) -> PhysicalDeviceProperties {
+        let p = self.profile();
+        let vk = p
+            .driver(vcb_sim::Api::Vulkan)
+            .expect("instance creation verified Vulkan support");
+        PhysicalDeviceProperties {
+            device_name: p.name.clone(),
+            api_version: vk.api_version.clone(),
+            vendor: p.vendor,
+            limits: DeviceLimits {
+                max_push_constants_size: p.max_push_constants,
+                max_compute_work_group_invocations: p.max_workgroup_size,
+                max_compute_shared_memory_size: p.shared_mem_per_cu,
+            },
+        }
+    }
+
+    /// `vkGetPhysicalDeviceQueueFamilyProperties`.
+    pub fn queue_family_properties(&self) -> Vec<QueueFamilyProperties> {
+        self.profile()
+            .queue_families
+            .iter()
+            .map(|q| QueueFamilyProperties {
+                queue_flags: q.caps,
+                queue_count: q.count,
+            })
+            .collect()
+    }
+
+    /// `vkGetPhysicalDeviceMemoryProperties`.
+    pub fn memory_properties(&self) -> PhysicalDeviceMemoryProperties {
+        let heaps = self.profile().heaps.clone();
+        let memory_types = heaps
+            .iter()
+            .enumerate()
+            .map(|(heap_index, h)| {
+                let mut flags = MemoryProperty::empty();
+                if h.device_local {
+                    flags = flags | MemoryProperty::DEVICE_LOCAL;
+                }
+                if h.host_visible {
+                    flags = flags | MemoryProperty::HOST_VISIBLE | MemoryProperty::HOST_COHERENT;
+                }
+                MemoryType {
+                    property_flags: flags,
+                    heap_index,
+                }
+            })
+            .collect();
+        PhysicalDeviceMemoryProperties {
+            memory_types,
+            memory_heaps: heaps,
+        }
+    }
+
+    /// Finds the first memory type whose flags contain `required` and
+    /// whose bit is set in `type_bits` — the `findMemType` helper every
+    /// Vulkan application writes (see Listing 1 of the paper).
+    pub fn find_memory_type(&self, type_bits: u32, required: MemoryProperty) -> Option<usize> {
+        self.memory_properties()
+            .memory_types
+            .iter()
+            .enumerate()
+            .position(|(i, t)| (type_bits & (1 << i)) != 0 && t.property_flags.contains(required))
+    }
+
+    /// First queue family index supporting all of `caps`.
+    pub fn find_queue_family(&self, caps: QueueCaps) -> Option<usize> {
+        self.profile().find_queue_family(caps)
+    }
+}
+
+impl fmt::Debug for PhysicalDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysicalDevice")
+            .field("name", &self.profile().name)
+            .finish()
+    }
+}
+
+/// `VkPhysicalDeviceProperties` subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysicalDeviceProperties {
+    /// Marketing name.
+    pub device_name: String,
+    /// Vulkan API version string reported by the driver.
+    pub api_version: String,
+    /// GPU vendor.
+    pub vendor: vcb_sim::Vendor,
+    /// Device limits relevant to compute.
+    pub limits: DeviceLimits,
+}
+
+/// `VkPhysicalDeviceLimits` subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceLimits {
+    /// Maximum bytes of push constants (§VI-B: 256 on the GTX 1050 Ti,
+    /// 128 elsewhere).
+    pub max_push_constants_size: u32,
+    /// Maximum work items per workgroup.
+    pub max_compute_work_group_invocations: u32,
+    /// Maximum shared memory per workgroup.
+    pub max_compute_shared_memory_size: u64,
+}
+
+/// `VkQueueFamilyProperties`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFamilyProperties {
+    /// Capability flags of this family.
+    pub queue_flags: QueueCaps,
+    /// Number of queues in the family.
+    pub queue_count: u32,
+}
+
+/// One `VkMemoryType`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryType {
+    /// Property flags.
+    pub property_flags: MemoryProperty,
+    /// Index into [`PhysicalDeviceMemoryProperties::memory_heaps`].
+    pub heap_index: usize,
+}
+
+/// `VkPhysicalDeviceMemoryProperties`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalDeviceMemoryProperties {
+    /// Available memory types.
+    pub memory_types: Vec<MemoryType>,
+    /// Backing heaps.
+    pub memory_heaps: Vec<HeapProfile>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_sim::profile::devices;
+
+    fn instance() -> Instance {
+        Instance::new(&InstanceCreateInfo {
+            application_name: "test".into(),
+            enabled_layers: vec![],
+            devices: devices::all(),
+            registry: Arc::new(KernelRegistry::new()),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_all_paper_devices() {
+        let inst = instance();
+        let phys = inst.enumerate_physical_devices();
+        assert_eq!(phys.len(), 4);
+        let names: Vec<_> = phys.iter().map(|p| p.properties().device_name).collect();
+        assert!(names.iter().any(|n| n.contains("1050")));
+        assert!(names.iter().any(|n| n.contains("Adreno")));
+    }
+
+    #[test]
+    fn empty_platform_rejected() {
+        let err = Instance::new(&InstanceCreateInfo {
+            application_name: "x".into(),
+            enabled_layers: vec![],
+            devices: vec![],
+            registry: Arc::new(KernelRegistry::new()),
+        })
+        .unwrap_err();
+        assert!(matches!(err, VkError::InitializationFailed { .. }));
+    }
+
+    #[test]
+    fn memory_types_reflect_heaps() {
+        let inst = instance();
+        let gtx = &inst.enumerate_physical_devices()[0];
+        let mem = gtx.memory_properties();
+        assert_eq!(mem.memory_types.len(), mem.memory_heaps.len());
+        let dl = gtx
+            .find_memory_type(u32::MAX, MemoryProperty::DEVICE_LOCAL)
+            .unwrap();
+        assert!(mem.memory_heaps[mem.memory_types[dl].heap_index].device_local);
+        let hv = gtx
+            .find_memory_type(u32::MAX, MemoryProperty::HOST_VISIBLE)
+            .unwrap();
+        assert!(mem.memory_heaps[mem.memory_types[hv].heap_index].host_visible);
+    }
+
+    #[test]
+    fn mobile_unified_memory_is_both_local_and_visible() {
+        let inst = instance();
+        let nexus = inst
+            .enumerate_physical_devices()
+            .into_iter()
+            .find(|p| p.properties().device_name.contains("PowerVR"))
+            .unwrap();
+        let both = nexus.find_memory_type(
+            u32::MAX,
+            MemoryProperty::DEVICE_LOCAL | MemoryProperty::HOST_VISIBLE,
+        );
+        assert!(both.is_some());
+    }
+
+    #[test]
+    fn queue_families_expose_dedicated_transfer_on_desktop() {
+        let inst = instance();
+        let gtx = &inst.enumerate_physical_devices()[0];
+        let fams = gtx.queue_family_properties();
+        assert!(fams
+            .iter()
+            .any(|f| f.queue_flags == QueueCaps::TRANSFER && f.queue_count > 0));
+    }
+
+    #[test]
+    fn limits_match_profile() {
+        let inst = instance();
+        let gtx = &inst.enumerate_physical_devices()[0];
+        assert_eq!(gtx.properties().limits.max_push_constants_size, 256);
+    }
+}

@@ -1,0 +1,551 @@
+//! Buffers, device memory and host mapping.
+//!
+//! Vulkan's two-phase resource model is preserved faithfully (it is the
+//! paper's poster child for verbosity, §VI-A): create a [`Buffer`], query
+//! its [`MemoryRequirements`], pick a memory type, [`Device::allocate_memory`],
+//! then [`Device::bind_buffer_memory`]. Only then can the buffer be used.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+use vcb_sim::mem::{BufferId, HeapAllocation, Scalar};
+use vcb_sim::time::SimDuration;
+use vcb_sim::timeline::CostKind;
+
+use crate::device::Device;
+use crate::error::{VkError, VkResult};
+use crate::flags::BufferUsage;
+
+/// Parameters for [`Device::create_buffer`] (`VkBufferCreateInfo`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferCreateInfo {
+    /// Size in bytes.
+    pub size: u64,
+    /// Intended usage.
+    pub usage: BufferUsage,
+}
+
+/// `VkMemoryRequirements`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRequirements {
+    /// Bytes the allocation must provide.
+    pub size: u64,
+    /// Required alignment.
+    pub alignment: u64,
+    /// Bit `i` set means memory type `i` is compatible.
+    pub memory_type_bits: u32,
+}
+
+/// Parameters for [`Device::allocate_memory`] (`VkMemoryAllocateInfo`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryAllocateInfo {
+    /// Bytes to allocate.
+    pub allocation_size: u64,
+    /// Index into the physical device's memory types.
+    pub memory_type_index: usize,
+}
+
+pub(crate) struct BufferInner {
+    pub(crate) size: u64,
+    pub(crate) usage: BufferUsage,
+    /// Set by `vkBindBufferMemory`.
+    pub(crate) storage: Cell<Option<BufferId>>,
+    /// Heap index of the bound memory.
+    pub(crate) heap: Cell<Option<usize>>,
+    /// Whether the bound memory is host-visible.
+    pub(crate) host_visible: Cell<bool>,
+}
+
+/// A buffer resource (`VkBuffer`). Unusable until bound to memory.
+#[derive(Clone)]
+pub struct Buffer {
+    pub(crate) device: Device,
+    pub(crate) inner: Rc<BufferInner>,
+}
+
+impl Buffer {
+    /// Size in bytes.
+    pub fn size(&self) -> u64 {
+        self.inner.size
+    }
+
+    /// Usage flags given at creation.
+    pub fn usage(&self) -> BufferUsage {
+        self.inner.usage
+    }
+
+    /// `true` once `vkBindBufferMemory` succeeded.
+    pub fn is_bound(&self) -> bool {
+        self.inner.storage.get().is_some()
+    }
+
+    pub(crate) fn storage_id(&self, call: &'static str) -> VkResult<BufferId> {
+        self.inner.storage.get().ok_or_else(|| {
+            VkError::validation(call, "buffer is not bound to memory")
+        })
+    }
+
+    /// Writes `data` through a host mapping (`vkMapMemory` + memcpy +
+    /// `vkUnmapMemory` in one step).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors when the buffer is unbound or its memory is not
+    /// host-visible; device errors for size mismatches.
+    pub fn write_mapped<T: Scalar>(&self, data: &[T]) -> VkResult<()> {
+        let id = self.storage_id("vkMapMemory")?;
+        if !self.inner.host_visible.get() {
+            return Err(VkError::validation(
+                "vkMapMemory",
+                "memory type is not HOST_VISIBLE; stage through a host-visible buffer",
+            ));
+        }
+        let bytes = std::mem::size_of_val(data) as u64;
+        if bytes > self.inner.size {
+            return Err(VkError::validation(
+                "vkMapMemory",
+                format!("write of {bytes} bytes exceeds buffer size {}", self.inner.size),
+            ));
+        }
+        let mut shared = self.device.shared.borrow_mut();
+        shared.calls.record("vkMapMemory");
+        shared.calls.record("vkUnmapMemory");
+        let mut copy = SimDuration::from_secs(bytes as f64 / HOST_MEMCPY_BYTES_PER_SEC);
+        if !unified_memory(&shared) {
+            // Mapped memory on a discrete GPU is a PCIe round trip with
+            // cache maintenance, not a plain memcpy.
+            copy += shared.gpu.profile().transfer.fixed_overhead;
+        }
+        shared.charge_host(CostKind::Transfer, copy);
+        shared.gpu.pool_mut().buffer_mut(id)?.write_slice(data);
+        Ok(())
+    }
+
+    /// Reads the buffer back through a host mapping.
+    ///
+    /// # Errors
+    ///
+    /// As [`Buffer::write_mapped`], plus misaligned-view errors.
+    pub fn read_mapped<T: Scalar>(&self) -> VkResult<Vec<T>> {
+        let id = self.storage_id("vkMapMemory")?;
+        if !self.inner.host_visible.get() {
+            return Err(VkError::validation(
+                "vkMapMemory",
+                "memory type is not HOST_VISIBLE; stage through a host-visible buffer",
+            ));
+        }
+        let mut shared = self.device.shared.borrow_mut();
+        shared.calls.record("vkMapMemory");
+        shared.calls.record("vkUnmapMemory");
+        let mut copy = SimDuration::from_secs(self.inner.size as f64 / HOST_MEMCPY_BYTES_PER_SEC);
+        if !unified_memory(&shared) {
+            copy += shared.gpu.profile().transfer.fixed_overhead;
+        }
+        shared.charge_host(CostKind::Transfer, copy);
+        Ok(shared.gpu.pool().buffer(id)?.read_vec()?)
+    }
+}
+
+impl fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Buffer")
+            .field("size", &self.inner.size)
+            .field("usage", &self.inner.usage)
+            .field("bound", &self.is_bound())
+            .finish()
+    }
+}
+
+/// Host memcpy bandwidth used for mapped reads/writes.
+const HOST_MEMCPY_BYTES_PER_SEC: f64 = 9.0e9;
+
+/// `true` when the device has a heap that is both device-local and
+/// host-visible (mobile SoCs).
+fn unified_memory(shared: &crate::device::DeviceShared) -> bool {
+    shared
+        .gpu
+        .profile()
+        .heaps
+        .iter()
+        .any(|h| h.device_local && h.host_visible)
+}
+
+pub(crate) struct MemoryInner {
+    pub(crate) allocation: HeapAllocation,
+    pub(crate) memory_type_index: usize,
+    pub(crate) host_visible: bool,
+    /// Next free offset for simple linear sub-allocation validation.
+    pub(crate) bound_bytes: Cell<u64>,
+    pub(crate) freed: Cell<bool>,
+}
+
+/// A device memory allocation (`VkDeviceMemory`).
+#[derive(Clone)]
+pub struct DeviceMemory {
+    pub(crate) inner: Rc<MemoryInner>,
+}
+
+impl DeviceMemory {
+    /// Allocation size in bytes.
+    pub fn size(&self) -> u64 {
+        self.inner.allocation.size
+    }
+
+    /// The memory type chosen at allocation.
+    pub fn memory_type_index(&self) -> usize {
+        self.inner.memory_type_index
+    }
+}
+
+impl fmt::Debug for DeviceMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceMemory")
+            .field("size", &self.inner.allocation.size)
+            .field("type", &self.inner.memory_type_index)
+            .finish()
+    }
+}
+
+impl Device {
+    /// `vkCreateBuffer`.
+    ///
+    /// # Errors
+    ///
+    /// Validation error for zero sizes or empty usage.
+    pub fn create_buffer(&self, create_info: &BufferCreateInfo) -> VkResult<Buffer> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkCreateBuffer", SimDuration::from_nanos(600.0));
+        if create_info.size == 0 {
+            return Err(VkError::validation("vkCreateBuffer", "size must be non-zero"));
+        }
+        if create_info.usage.is_empty() {
+            return Err(VkError::validation("vkCreateBuffer", "usage must not be empty"));
+        }
+        drop(shared);
+        Ok(Buffer {
+            device: self.clone(),
+            inner: Rc::new(BufferInner {
+                size: create_info.size,
+                usage: create_info.usage,
+                storage: Cell::new(None),
+                heap: Cell::new(None),
+                host_visible: Cell::new(false),
+            }),
+        })
+    }
+
+    /// `vkGetBufferMemoryRequirements`.
+    pub fn get_buffer_memory_requirements(&self, buffer: &Buffer) -> MemoryRequirements {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call(
+            "vkGetBufferMemoryRequirements",
+            SimDuration::from_nanos(150.0),
+        );
+        let type_count = shared.gpu.profile().heaps.len();
+        MemoryRequirements {
+            size: buffer.inner.size.div_ceil(256) * 256,
+            alignment: 256,
+            memory_type_bits: (1u32 << type_count) - 1,
+        }
+    }
+
+    /// `vkAllocateMemory`.
+    ///
+    /// # Errors
+    ///
+    /// [`VkError::Device`] wrapping `OutOfDeviceMemory` when the heap is
+    /// exhausted — the condition behind cfd not fitting on the paper's
+    /// mobile platforms.
+    pub fn allocate_memory(&self, allocate_info: &MemoryAllocateInfo) -> VkResult<DeviceMemory> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkAllocateMemory", SimDuration::from_micros(9.0));
+        let heaps = shared.gpu.profile().heaps.clone();
+        let type_index = allocate_info.memory_type_index;
+        let heap = *heaps.get(type_index).ok_or_else(|| {
+            VkError::validation(
+                "vkAllocateMemory",
+                format!("memory type index {type_index} out of range"),
+            )
+        })?;
+        let allocation =
+            shared
+                .gpu
+                .pool_mut()
+                .alloc_raw(type_index, allocate_info.allocation_size, 256)?;
+        drop(shared);
+        Ok(DeviceMemory {
+            inner: Rc::new(MemoryInner {
+                allocation,
+                memory_type_index: type_index,
+                host_visible: heap.host_visible,
+                bound_bytes: Cell::new(0),
+                freed: Cell::new(false),
+            }),
+        })
+    }
+
+    /// `vkBindBufferMemory` (always at the memory's next free offset; the
+    /// benchmarks use one allocation per buffer, as Listing 1 does).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors for rebinding, freed memory, or insufficient
+    /// space in the allocation.
+    pub fn bind_buffer_memory(&self, buffer: &Buffer, memory: &DeviceMemory) -> VkResult<()> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkBindBufferMemory", SimDuration::from_micros(1.2));
+        if buffer.inner.storage.get().is_some() {
+            return Err(VkError::validation(
+                "vkBindBufferMemory",
+                "buffer is already bound",
+            ));
+        }
+        if memory.inner.freed.get() {
+            return Err(VkError::validation("vkBindBufferMemory", "memory was freed"));
+        }
+        let offset = memory.inner.bound_bytes.get();
+        let need = buffer.inner.size.div_ceil(256) * 256;
+        if offset + need > memory.inner.allocation.size {
+            return Err(VkError::validation(
+                "vkBindBufferMemory",
+                format!(
+                    "buffer of {} bytes does not fit allocation of {} at offset {}",
+                    buffer.inner.size, memory.inner.allocation.size, offset
+                ),
+            ));
+        }
+        let id = shared.gpu.pool_mut().create_store(buffer.inner.size)?;
+        memory.inner.bound_bytes.set(offset + need);
+        buffer.inner.storage.set(Some(id));
+        buffer.inner.heap.set(Some(memory.inner.allocation.heap));
+        buffer.inner.host_visible.set(memory.inner.host_visible);
+        Ok(())
+    }
+
+    /// `vkFreeMemory`. Buffers bound to the allocation become invalid.
+    pub fn free_memory(&self, memory: &DeviceMemory) {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkFreeMemory", SimDuration::from_micros(2.0));
+        if !memory.inner.freed.replace(true) {
+            shared.gpu.pool_mut().free_raw(memory.inner.allocation);
+        }
+    }
+
+    /// `vkDestroyBuffer`.
+    pub fn destroy_buffer(&self, buffer: &Buffer) {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkDestroyBuffer", SimDuration::from_nanos(400.0));
+        if let Some(id) = buffer.inner.storage.take() {
+            // Stale handles are tolerated, as vkDestroyBuffer must be.
+            let _ = shared.gpu.pool_mut().destroy_store(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Instance, InstanceCreateInfo};
+    use std::sync::Arc;
+    use vcb_sim::profile::devices;
+    use vcb_sim::KernelRegistry;
+
+    fn device_on(idx: usize) -> Device {
+        let instance = Instance::new(&InstanceCreateInfo {
+            application_name: "mem-test".into(),
+            enabled_layers: vec![],
+            devices: devices::all(),
+            registry: Arc::new(KernelRegistry::new()),
+        })
+        .unwrap();
+        let phys = instance.enumerate_physical_devices().remove(idx);
+        Device::new(
+            &phys,
+            &crate::device::DeviceCreateInfo {
+                queue_create_infos: vec![crate::device::DeviceQueueCreateInfo {
+                    queue_family_index: 0,
+                    queue_count: 1,
+                }],
+            },
+        )
+        .unwrap()
+    }
+
+    fn make_bound_buffer(device: &Device, size: u64, type_index: usize) -> (Buffer, DeviceMemory) {
+        let buffer = device
+            .create_buffer(&BufferCreateInfo {
+                size,
+                usage: BufferUsage::STORAGE_BUFFER | BufferUsage::TRANSFER_DST,
+            })
+            .unwrap();
+        let reqs = device.get_buffer_memory_requirements(&buffer);
+        let memory = device
+            .allocate_memory(&MemoryAllocateInfo {
+                allocation_size: reqs.size,
+                memory_type_index: type_index,
+            })
+            .unwrap();
+        device.bind_buffer_memory(&buffer, &memory).unwrap();
+        (buffer, memory)
+    }
+
+    #[test]
+    fn full_listing1_buffer_flow() {
+        let device = device_on(0); // GTX 1050 Ti
+        let (buffer, _mem) = make_bound_buffer(&device, 1024, 1); // host-visible heap
+        assert!(buffer.is_bound());
+        buffer.write_mapped(&[1.0f32, 2.0, 3.0]).unwrap();
+        let back: Vec<f32> = buffer.read_mapped().unwrap();
+        assert_eq!(&back[..3], &[1.0, 2.0, 3.0]);
+        // The famous verbosity: this flow took 5+ distinct API calls.
+        let calls = device.call_counts();
+        for call in [
+            "vkCreateBuffer",
+            "vkGetBufferMemoryRequirements",
+            "vkAllocateMemory",
+            "vkBindBufferMemory",
+            "vkMapMemory",
+        ] {
+            assert!(calls.count(call) > 0, "missing {call}");
+        }
+    }
+
+    #[test]
+    fn device_local_memory_rejects_mapping_on_desktop() {
+        let device = device_on(0);
+        let (buffer, _mem) = make_bound_buffer(&device, 1024, 0); // device-local
+        let err = buffer.write_mapped(&[0u32; 4]).unwrap_err();
+        assert!(matches!(err, VkError::Validation { call: "vkMapMemory", .. }));
+    }
+
+    #[test]
+    fn mobile_unified_memory_maps_fine() {
+        let device = device_on(2); // PowerVR: single unified heap
+        let (buffer, _mem) = make_bound_buffer(&device, 1024, 0);
+        buffer.write_mapped(&[7i32; 16]).unwrap();
+        assert_eq!(buffer.read_mapped::<i32>().unwrap()[15], 7);
+    }
+
+    #[test]
+    fn oom_on_mobile_heap_like_cfd() {
+        let device = device_on(2); // PowerVR: 420 MiB heap
+        let result = device.allocate_memory(&MemoryAllocateInfo {
+            allocation_size: 1024 * 1024 * 1024,
+            memory_type_index: 0,
+        });
+        assert!(matches!(
+            result,
+            Err(VkError::Device(vcb_sim::SimError::OutOfDeviceMemory { .. }))
+        ));
+    }
+
+    #[test]
+    fn rebinding_is_rejected() {
+        let device = device_on(0);
+        let (buffer, memory) = make_bound_buffer(&device, 512, 1);
+        assert!(device.bind_buffer_memory(&buffer, &memory).is_err());
+    }
+
+    #[test]
+    fn binding_more_than_allocation_fails() {
+        let device = device_on(0);
+        let a = device
+            .create_buffer(&BufferCreateInfo {
+                size: 4096,
+                usage: BufferUsage::STORAGE_BUFFER,
+            })
+            .unwrap();
+        let memory = device
+            .allocate_memory(&MemoryAllocateInfo {
+                allocation_size: 1024,
+                memory_type_index: 1,
+            })
+            .unwrap();
+        assert!(device.bind_buffer_memory(&a, &memory).is_err());
+    }
+
+    #[test]
+    fn unbound_buffer_cannot_be_mapped() {
+        let device = device_on(0);
+        let buffer = device
+            .create_buffer(&BufferCreateInfo {
+                size: 64,
+                usage: BufferUsage::STORAGE_BUFFER,
+            })
+            .unwrap();
+        assert!(buffer.read_mapped::<f32>().is_err());
+    }
+
+    #[test]
+    fn zero_size_and_empty_usage_rejected() {
+        let device = device_on(0);
+        assert!(device
+            .create_buffer(&BufferCreateInfo {
+                size: 0,
+                usage: BufferUsage::STORAGE_BUFFER,
+            })
+            .is_err());
+        assert!(device
+            .create_buffer(&BufferCreateInfo {
+                size: 16,
+                usage: BufferUsage::empty(),
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn suballocation_packs_buffers() {
+        let device = device_on(0);
+        let memory = device
+            .allocate_memory(&MemoryAllocateInfo {
+                allocation_size: 4096,
+                memory_type_index: 1,
+            })
+            .unwrap();
+        let mk = || {
+            device
+                .create_buffer(&BufferCreateInfo {
+                    size: 1000,
+                    usage: BufferUsage::STORAGE_BUFFER,
+                })
+                .unwrap()
+        };
+        let (b1, b2, b3, b4) = (mk(), mk(), mk(), mk());
+        device.bind_buffer_memory(&b1, &memory).unwrap();
+        device.bind_buffer_memory(&b2, &memory).unwrap();
+        device.bind_buffer_memory(&b3, &memory).unwrap();
+        device.bind_buffer_memory(&b4, &memory).unwrap();
+        let b5 = mk();
+        assert!(device.bind_buffer_memory(&b5, &memory).is_err(), "4096/1024 = 4 fit");
+    }
+
+    #[test]
+    fn free_then_bind_rejected() {
+        let device = device_on(0);
+        let memory = device
+            .allocate_memory(&MemoryAllocateInfo {
+                allocation_size: 1024,
+                memory_type_index: 1,
+            })
+            .unwrap();
+        device.free_memory(&memory);
+        let buffer = device
+            .create_buffer(&BufferCreateInfo {
+                size: 64,
+                usage: BufferUsage::STORAGE_BUFFER,
+            })
+            .unwrap();
+        assert!(device.bind_buffer_memory(&buffer, &memory).is_err());
+    }
+
+    #[test]
+    fn mapped_write_charges_transfer_time(){
+        let device = device_on(0);
+        let (buffer, _mem) = make_bound_buffer(&device, 4 * 1024 * 1024, 1);
+        let before = device.breakdown().get(CostKind::Transfer);
+        buffer.write_mapped(&vec![0u32; 1024 * 1024]).unwrap();
+        let after = device.breakdown().get(CostKind::Transfer);
+        assert!(after > before);
+    }
+}

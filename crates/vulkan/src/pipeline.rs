@@ -1,0 +1,430 @@
+//! Shader modules, pipeline layouts and compute pipelines.
+//!
+//! Pipeline creation is where the driver's kernel compiler runs; this is
+//! the point at which the Vulkan stack's compiler maturity (no
+//! local-memory promotion, §V-A2) is baked into the executable kernel.
+
+use std::fmt;
+use std::rc::Rc;
+
+use vcb_sim::exec::CompiledKernel;
+use vcb_sim::time::SimDuration;
+use vcb_sim::timeline::CostKind;
+use vcb_spirv::{DriverCompiler, SpirvModule};
+
+use crate::descriptor::DescriptorSetLayout;
+use crate::device::Device;
+use crate::error::{VkError, VkResult};
+
+/// A validated SPIR-V module (`VkShaderModule`).
+#[derive(Clone)]
+pub struct ShaderModule {
+    pub(crate) module: Rc<SpirvModule>,
+}
+
+impl ShaderModule {
+    /// Entry point declared by the module.
+    pub fn entry_point(&self) -> &str {
+        self.module.entry_point()
+    }
+
+    /// The module's `LocalSize`.
+    pub fn local_size(&self) -> [u32; 3] {
+        self.module.local_size()
+    }
+}
+
+impl fmt::Debug for ShaderModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShaderModule")
+            .field("entry_point", &self.entry_point())
+            .finish()
+    }
+}
+
+/// A push-constant range (`VkPushConstantRange`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushConstantRange {
+    /// Byte offset.
+    pub offset: u32,
+    /// Byte size.
+    pub size: u32,
+}
+
+/// A pipeline layout (`VkPipelineLayout`).
+#[derive(Clone)]
+pub struct PipelineLayout {
+    pub(crate) push_ranges: Rc<Vec<PushConstantRange>>,
+    pub(crate) set_layouts: usize,
+}
+
+impl PipelineLayout {
+    /// Total push-constant bytes covered by the layout's ranges.
+    pub fn push_constant_bytes(&self) -> u32 {
+        self.push_ranges
+            .iter()
+            .map(|r| r.offset + r.size)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for PipelineLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineLayout")
+            .field("push_constant_bytes", &self.push_constant_bytes())
+            .field("set_layouts", &self.set_layouts)
+            .finish()
+    }
+}
+
+/// Parameters for [`Device::create_compute_pipeline`]
+/// (`VkComputePipelineCreateInfo`).
+#[derive(Debug, Clone)]
+pub struct ComputePipelineCreateInfo<'a> {
+    /// The shader stage's module.
+    pub module: &'a ShaderModule,
+    /// Entry point name (must match the module's).
+    pub entry_point: &'a str,
+    /// Pipeline layout.
+    pub layout: &'a PipelineLayout,
+}
+
+/// A compute pipeline (`VkPipeline` with a single compute stage).
+#[derive(Clone)]
+pub struct ComputePipeline {
+    pub(crate) kernel: CompiledKernel,
+    pub(crate) id: u64,
+}
+
+impl ComputePipeline {
+    /// The kernel compiled into this pipeline.
+    pub fn kernel(&self) -> &CompiledKernel {
+        &self.kernel
+    }
+}
+
+impl fmt::Debug for ComputePipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComputePipeline")
+            .field("kernel", &self.kernel.info().name)
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl Device {
+    /// `vkCreateShaderModule`: parses and validates SPIR-V words.
+    ///
+    /// # Errors
+    ///
+    /// [`VkError::InitializationFailed`] for malformed modules.
+    pub fn create_shader_module(&self, words: &[u32]) -> VkResult<ShaderModule> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkCreateShaderModule", SimDuration::from_micros(15.0));
+        drop(shared);
+        let module = SpirvModule::parse(words).map_err(|e| VkError::InitializationFailed {
+            what: format!("invalid SPIR-V: {e}"),
+        })?;
+        Ok(ShaderModule {
+            module: Rc::new(module),
+        })
+    }
+
+    /// `vkCreatePipelineLayout`.
+    ///
+    /// # Errors
+    ///
+    /// [`VkError::Device`] wrapping `PushConstantOverflow` when a range
+    /// exceeds the device limit (§VI-B: 256 B on the GTX 1050 Ti, 128 B on
+    /// the other three platforms).
+    pub fn create_pipeline_layout(
+        &self,
+        set_layouts: &[&DescriptorSetLayout],
+        push_constant_ranges: &[PushConstantRange],
+    ) -> VkResult<PipelineLayout> {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkCreatePipelineLayout", SimDuration::from_micros(2.0));
+        let limit = shared.gpu.profile().max_push_constants;
+        drop(shared);
+        for r in push_constant_ranges {
+            let end = r.offset + r.size;
+            if end > limit {
+                return Err(VkError::Device(vcb_sim::SimError::PushConstantOverflow {
+                    requested: end,
+                    limit,
+                }));
+            }
+        }
+        Ok(PipelineLayout {
+            push_ranges: Rc::new(push_constant_ranges.to_vec()),
+            set_layouts: set_layouts.len(),
+        })
+    }
+
+    /// `vkCreateComputePipelines` (single pipeline): runs the driver's
+    /// SPIR-V compiler.
+    ///
+    /// # Errors
+    ///
+    /// [`VkError::DeviceLost`] for workloads the driver profile marks
+    /// broken (the paper's mobile failures); compiler errors otherwise.
+    pub fn create_compute_pipeline(
+        &self,
+        create_info: &ComputePipelineCreateInfo<'_>,
+    ) -> VkResult<ComputePipeline> {
+        let mut shared = self.shared.borrow_mut();
+        shared.calls.record("vkCreateComputePipelines");
+        let cost = shared.driver.pipeline_create_cost;
+        shared.charge_host(CostKind::PipelineCreate, cost);
+        if create_info.entry_point != create_info.module.entry_point() {
+            return Err(VkError::validation(
+                "vkCreateComputePipelines",
+                format!(
+                    "entry point `{}` not found in module (module declares `{}`)",
+                    create_info.entry_point,
+                    create_info.module.entry_point()
+                ),
+            ));
+        }
+        if shared.driver.is_kernel_broken(create_info.entry_point) {
+            let device = shared.gpu.profile().name.clone();
+            return Err(VkError::DeviceLost {
+                what: format!(
+                    "driver on {device} cannot compile `{}` (known driver issue)",
+                    create_info.entry_point
+                ),
+            });
+        }
+        let declared = create_info.module.module.info().push_constant_bytes;
+        let provided = create_info.layout.push_constant_bytes();
+        if declared > provided {
+            return Err(VkError::validation(
+                "vkCreateComputePipelines",
+                format!(
+                    "kernel consumes {declared} push-constant bytes but layout provides {provided}"
+                ),
+            ));
+        }
+        let registry = std::sync::Arc::clone(&shared.registry);
+        let compiler = DriverCompiler::new(&registry);
+        let kernel = compiler.compile_module(&create_info.module.module, &shared.driver)?;
+        let id = shared.fresh_id();
+        Ok(ComputePipeline { kernel, id })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceCreateInfo, DeviceQueueCreateInfo};
+    use crate::instance::{Instance, InstanceCreateInfo};
+    use std::sync::Arc;
+    use vcb_sim::exec::{GroupCtx, KernelInfo};
+    use vcb_sim::profile::devices;
+    use vcb_sim::{DeviceProfile, KernelRegistry};
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        r.register(
+            KernelInfo::new("scale", [64, 1, 1])
+                .writes(0, "data")
+                .push_constants(8)
+                .build(),
+            Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
+        )
+        .unwrap();
+        r.register(
+            KernelInfo::new("lud_diagonal", [16, 1, 1]).writes(0, "m").build(),
+            Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
+        )
+        .unwrap();
+        Arc::new(r)
+    }
+
+    fn device_for(profile: DeviceProfile) -> Device {
+        let instance = Instance::new(&InstanceCreateInfo {
+            application_name: "pipe-test".into(),
+            enabled_layers: vec![],
+            devices: vec![profile],
+            registry: registry(),
+        })
+        .unwrap();
+        let phys = instance.enumerate_physical_devices().remove(0);
+        Device::new(
+            &phys,
+            &DeviceCreateInfo {
+                queue_create_infos: vec![DeviceQueueCreateInfo {
+                    queue_family_index: 0,
+                    queue_count: 1,
+                }],
+            },
+        )
+        .unwrap()
+    }
+
+    fn shader(device: &Device, name: &str) -> ShaderModule {
+        let info = device
+            .shared
+            .borrow()
+            .registry
+            .lookup(name)
+            .unwrap()
+            .info()
+            .clone();
+        let module = SpirvModule::assemble(&info);
+        device.create_shader_module(module.words()).unwrap()
+    }
+
+    #[test]
+    fn create_pipeline_happy_path() {
+        let device = device_for(devices::gtx1050ti());
+        let module = shader(&device, "scale");
+        let layout = device
+            .create_pipeline_layout(&[], &[PushConstantRange { offset: 0, size: 8 }])
+            .unwrap();
+        let pipeline = device
+            .create_compute_pipeline(&ComputePipelineCreateInfo {
+                module: &module,
+                entry_point: "scale",
+                layout: &layout,
+            })
+            .unwrap();
+        assert_eq!(pipeline.kernel().info().name, "scale");
+        // Vulkan drivers in the paper do not promote to local memory.
+        assert!(!pipeline.kernel().opts().local_memory_promotion);
+    }
+
+    #[test]
+    fn push_constant_limit_enforced() {
+        let device = device_for(devices::rx560()); // 128-byte limit
+        let err = device
+            .create_pipeline_layout(&[], &[PushConstantRange { offset: 0, size: 192 }])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            VkError::Device(vcb_sim::SimError::PushConstantOverflow { limit: 128, .. })
+        ));
+        // The GTX 1050 Ti allows 256 (§VI-B).
+        let gtx = device_for(devices::gtx1050ti());
+        assert!(gtx
+            .create_pipeline_layout(&[], &[PushConstantRange { offset: 0, size: 256 }])
+            .is_ok());
+    }
+
+    #[test]
+    fn layout_must_cover_kernel_push_constants() {
+        let device = device_for(devices::gtx1050ti());
+        let module = shader(&device, "scale");
+        let layout = device.create_pipeline_layout(&[], &[]).unwrap();
+        let err = device
+            .create_compute_pipeline(&ComputePipelineCreateInfo {
+                module: &module,
+                entry_point: "scale",
+                layout: &layout,
+            })
+            .unwrap_err();
+        assert!(matches!(err, VkError::Validation { .. }));
+    }
+
+    #[test]
+    fn wrong_entry_point_rejected() {
+        let device = device_for(devices::gtx1050ti());
+        let module = shader(&device, "scale");
+        let layout = device
+            .create_pipeline_layout(&[], &[PushConstantRange { offset: 0, size: 8 }])
+            .unwrap();
+        assert!(device
+            .create_compute_pipeline(&ComputePipelineCreateInfo {
+                module: &module,
+                entry_point: "other",
+                layout: &layout,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn bad_spirv_rejected() {
+        let device = device_for(devices::gtx1050ti());
+        assert!(device.create_shader_module(&[1, 2, 3, 4, 5]).is_err());
+    }
+
+    #[test]
+    fn broken_workload_quirk_fails_like_the_paper() {
+        // lud is broken under Snapdragon *OpenCL*, not Vulkan; Vulkan
+        // compiles it fine there.
+        let device = device_for(devices::adreno506());
+        let module = shader(&device, "lud_diagonal");
+        let layout = device.create_pipeline_layout(&[], &[]).unwrap();
+        assert!(device
+            .create_compute_pipeline(&ComputePipelineCreateInfo {
+                module: &module,
+                entry_point: "lud_diagonal",
+                layout: &layout,
+            })
+            .is_ok());
+
+        // backprop is broken under the Nexus Vulkan driver.
+        let mut r = KernelRegistry::new();
+        r.register(
+            KernelInfo::new("backprop_layerforward", [256, 1, 1]).writes(0, "w").build(),
+            Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
+        )
+        .unwrap();
+        let instance = Instance::new(&InstanceCreateInfo {
+            application_name: "quirk".into(),
+            enabled_layers: vec![],
+            devices: vec![devices::powervr_g6430()],
+            registry: Arc::new(r),
+        })
+        .unwrap();
+        let phys = instance.enumerate_physical_devices().remove(0);
+        let nexus = Device::new(
+            &phys,
+            &DeviceCreateInfo {
+                queue_create_infos: vec![DeviceQueueCreateInfo {
+                    queue_family_index: 0,
+                    queue_count: 1,
+                }],
+            },
+        )
+        .unwrap();
+        let info = nexus
+            .shared
+            .borrow()
+            .registry
+            .lookup("backprop_layerforward")
+            .unwrap()
+            .info()
+            .clone();
+        let module = SpirvModule::assemble(&info);
+        let module = nexus.create_shader_module(module.words()).unwrap();
+        let layout = nexus.create_pipeline_layout(&[], &[]).unwrap();
+        let err = nexus
+            .create_compute_pipeline(&ComputePipelineCreateInfo {
+                module: &module,
+                entry_point: "backprop_layerforward",
+                layout: &layout,
+            })
+            .unwrap_err();
+        assert!(matches!(err, VkError::DeviceLost { .. }));
+    }
+
+    #[test]
+    fn pipeline_creation_charges_time() {
+        let device = device_for(devices::gtx1050ti());
+        let before = device.breakdown().get(CostKind::PipelineCreate);
+        let module = shader(&device, "scale");
+        let layout = device
+            .create_pipeline_layout(&[], &[PushConstantRange { offset: 0, size: 8 }])
+            .unwrap();
+        device
+            .create_compute_pipeline(&ComputePipelineCreateInfo {
+                module: &module,
+                entry_point: "scale",
+                layout: &layout,
+            })
+            .unwrap();
+        assert!(device.breakdown().get(CostKind::PipelineCreate) > before);
+    }
+}

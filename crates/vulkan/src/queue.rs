@@ -1,0 +1,481 @@
+//! Queues, submission and fences.
+//!
+//! Submission is where the Vulkan cost model differs fundamentally from
+//! the launch-based APIs: one `vkQueueSubmit` pays a single driver
+//! round-trip, then every pre-recorded dispatch costs only the command
+//! processor's fetch plus explicit barrier drains. "Effectively, we incur
+//! only a single communication overhead when the command buffer is
+//! submitted" (§IV-C).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use vcb_sim::exec::{BoundBuffer, Dispatch};
+use vcb_sim::mem::BufferId;
+use vcb_sim::profile::QueueCaps;
+use vcb_sim::time::SimInstant;
+use vcb_sim::timeline::CostKind;
+
+use crate::command::{Cmd, CommandBuffer, RecordState};
+use crate::device::Device;
+use crate::error::{VkError, VkResult};
+
+/// A device queue (`VkQueue`).
+#[derive(Clone)]
+pub struct Queue {
+    pub(crate) device: Device,
+    pub(crate) family: usize,
+    pub(crate) index: usize,
+}
+
+/// One batch of command buffers for [`Queue::submit`] (`VkSubmitInfo`).
+#[derive(Clone)]
+pub struct SubmitInfo<'a> {
+    /// Command buffers to execute, in order.
+    pub command_buffers: &'a [&'a CommandBuffer],
+}
+
+impl fmt::Debug for SubmitInfo<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SubmitInfo")
+            .field("command_buffers", &self.command_buffers.len())
+            .finish()
+    }
+}
+
+/// A fence (`VkFence`): signalled when an associated submission completes.
+#[derive(Clone, Debug, Default)]
+pub struct Fence {
+    completion: Rc<Cell<Option<SimInstant>>>,
+}
+
+impl Fence {
+    /// `vkCreateFence` (unsignalled).
+    pub fn new(device: &Device) -> Fence {
+        device
+            .shared
+            .borrow_mut()
+            .api_call("vkCreateFence", vcb_sim::SimDuration::from_micros(1.0));
+        Fence::default()
+    }
+
+    /// `vkGetFenceStatus`: `true` once signalled.
+    pub fn is_signalled(&self) -> bool {
+        self.completion.get().is_some()
+    }
+
+    /// `vkWaitForFences`: blocks the host (in simulated time) until the
+    /// submission completes.
+    ///
+    /// # Errors
+    ///
+    /// Validation error when the fence was never submitted with.
+    pub fn wait(&self, device: &Device) -> VkResult<()> {
+        let Some(completion) = self.completion.get() else {
+            return Err(VkError::validation(
+                "vkWaitForFences",
+                "fence is not associated with any submission",
+            ));
+        };
+        let mut shared = device.shared.borrow_mut();
+        shared.calls.record("vkWaitForFences");
+        if completion > shared.host_now {
+            shared.host_now = completion;
+            let wakeup = shared.driver.sync_wakeup;
+            shared.charge_host(CostKind::HostApi, wakeup);
+        }
+        Ok(())
+    }
+}
+
+impl Queue {
+    /// Queue family index.
+    pub fn family_index(&self) -> usize {
+        self.family
+    }
+
+    /// Capabilities of this queue's family.
+    pub fn caps(&self) -> QueueCaps {
+        self.device.shared.borrow().queue_caps(self.family)
+    }
+
+    /// `vkQueueSubmit`: executes batches of command buffers
+    /// asynchronously with respect to the host.
+    ///
+    /// Control returns to the application as soon as the submission is
+    /// enqueued (§III-B.a); use a [`Fence`], [`Queue::wait_idle`] or
+    /// [`Device::wait_idle`] to synchronize.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors for unrecorded command buffers, wrong-family
+    /// buffers, compute dispatches on non-compute queues, or execution
+    /// errors from the simulator.
+    pub fn submit(&self, submits: &[SubmitInfo<'_>], fence: Option<&Fence>) -> VkResult<()> {
+        let mut shared = self.device.shared.borrow_mut();
+        shared.calls.record("vkQueueSubmit");
+        let caps = shared.queue_caps(self.family);
+
+        // One driver round-trip per vkQueueSubmit call, independent of how
+        // much work it carries.
+        let submit_cost = shared.driver.submit_overhead;
+        shared.charge_host(CostKind::SubmitOverhead, submit_cost);
+
+        // Device-side execution begins when the queue is free and the
+        // submission has arrived.
+        let mut device_time = shared.queue_busy[self.family][self.index].max(shared.host_now);
+
+        for submit in submits {
+            for cb in submit.command_buffers {
+                let inner = cb.inner.borrow();
+                if inner.state != RecordState::Executable {
+                    return Err(VkError::validation(
+                        "vkQueueSubmit",
+                        "command buffer is not in the executable state",
+                    ));
+                }
+                if inner.family != self.family {
+                    return Err(VkError::validation(
+                        "vkQueueSubmit",
+                        format!(
+                            "command buffer allocated for family {} submitted to family {}",
+                            inner.family, self.family
+                        ),
+                    ));
+                }
+
+                let mut current_kernel = None;
+                let mut bindings: BTreeMap<u32, BufferId> = BTreeMap::new();
+                let mut push: Vec<u8> = Vec::new();
+                let mut last_pipeline: Option<u64> = None;
+
+                for cmd in &inner.cmds {
+                    match cmd {
+                        Cmd::BindPipeline { pipeline_id, kernel } => {
+                            if last_pipeline != Some(*pipeline_id) {
+                                let cost = shared.driver.pipeline_bind_cost;
+                                shared.breakdown.charge(CostKind::CommandProcessing, cost);
+                                device_time += cost;
+                                last_pipeline = Some(*pipeline_id);
+                            }
+                            current_kernel = Some(kernel.clone());
+                        }
+                        Cmd::BindDescriptorSets { sets } => {
+                            let cost = shared.driver.descriptor_bind_cost;
+                            shared.breakdown.charge(CostKind::CommandProcessing, cost);
+                            device_time += cost;
+                            bindings.clear();
+                            for set in sets {
+                                for (slot, id) in set.borrow().iter() {
+                                    bindings.insert(*slot, *id);
+                                }
+                            }
+                        }
+                        Cmd::PushConstants { offset, data } => {
+                            // The Snapdragon quirk: push constants handled
+                            // as buffer rebinds (§V-B1).
+                            let cost = if shared.driver.push_constants_degraded() {
+                                shared.driver.descriptor_bind_cost
+                            } else {
+                                shared.driver.push_constant_cost
+                            };
+                            shared.breakdown.charge(CostKind::CommandProcessing, cost);
+                            device_time += cost;
+                            let end = *offset as usize + data.len();
+                            if push.len() < end {
+                                push.resize(end, 0);
+                            }
+                            push[*offset as usize..end].copy_from_slice(data);
+                        }
+                        Cmd::Dispatch { groups } => {
+                            if !caps.contains(QueueCaps::COMPUTE) {
+                                return Err(VkError::FeatureNotPresent {
+                                    what: format!(
+                                        "queue family {} does not support compute",
+                                        self.family
+                                    ),
+                                });
+                            }
+                            let kernel = current_kernel.clone().ok_or_else(|| {
+                                VkError::validation(
+                                    "vkQueueSubmit",
+                                    "vkCmdDispatch recorded with no pipeline bound",
+                                )
+                            })?;
+                            let fetch = shared.driver.dispatch_cost;
+                            shared.breakdown.charge(CostKind::CommandProcessing, fetch);
+                            device_time += fetch;
+
+                            let bound: Vec<BoundBuffer> = bindings
+                                .iter()
+                                .map(|(slot, id)| BoundBuffer {
+                                    binding: *slot,
+                                    buffer: *id,
+                                })
+                                .collect();
+                            let dispatch = Dispatch {
+                                kernel,
+                                groups: *groups,
+                                bindings: bound,
+                                push_constants: push.clone(),
+                            };
+                            let driver = shared.driver.clone();
+                            let report = shared.gpu.execute(&dispatch, &driver)?;
+                            shared.breakdown.charge(CostKind::KernelExec, report.time);
+                            device_time += report.time;
+                        }
+                        Cmd::PipelineBarrier => {
+                            let cost = shared.driver.barrier_cost;
+                            shared.breakdown.charge(CostKind::CommandProcessing, cost);
+                            device_time += cost;
+                        }
+                        Cmd::CopyBuffer {
+                            src,
+                            src_heap,
+                            dst,
+                            dst_heap,
+                            size,
+                        } => {
+                            if !caps.intersects(QueueCaps::TRANSFER | QueueCaps::COMPUTE) {
+                                return Err(VkError::FeatureNotPresent {
+                                    what: format!(
+                                        "queue family {} does not support transfer",
+                                        self.family
+                                    ),
+                                });
+                            }
+                            let profile = shared.gpu.profile();
+                            let heaps = &profile.heaps;
+                            let cross = heaps[*src_heap].device_local != heaps[*dst_heap].device_local
+                                || !heaps[*src_heap].device_local;
+                            let dedicated_transfer = caps == QueueCaps::TRANSFER
+                                || caps == (QueueCaps::TRANSFER | QueueCaps::SPARSE);
+                            let cost = if cross {
+                                if dedicated_transfer {
+                                    shared.gpu.dma_copy_time(*size)
+                                } else {
+                                    shared.gpu.host_copy_time(*size)
+                                }
+                            } else {
+                                shared.gpu.device_copy_time(*size)
+                            };
+                            shared.breakdown.charge(CostKind::Transfer, cost);
+                            device_time += cost;
+                            // Functional copy.
+                            let data: Vec<u8> = {
+                                let store = shared.gpu.pool().buffer(*src)?;
+                                store.bytes()[..*size as usize].to_vec()
+                            };
+                            let dst_store = shared.gpu.pool_mut().buffer_mut(*dst)?;
+                            dst_store.bytes_mut()[..*size as usize].copy_from_slice(&data);
+                        }
+                    }
+                }
+            }
+        }
+
+        shared.queue_busy[self.family][self.index] = device_time;
+        if let Some(fence) = fence {
+            fence.completion.set(Some(device_time));
+        }
+        Ok(())
+    }
+
+    /// `vkQueueWaitIdle`.
+    pub fn wait_idle(&self) {
+        let mut shared = self.device.shared.borrow_mut();
+        shared.calls.record("vkQueueWaitIdle");
+        let busy = shared.queue_busy[self.family][self.index];
+        if busy > shared.host_now {
+            shared.host_now = busy;
+            let wakeup = shared.driver.sync_wakeup;
+            shared.charge_host(CostKind::HostApi, wakeup);
+        }
+    }
+}
+
+impl fmt::Debug for Queue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Queue")
+            .field("family", &self.family)
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceCreateInfo, DeviceQueueCreateInfo};
+    use crate::instance::{Instance, InstanceCreateInfo};
+    use std::sync::Arc;
+    use vcb_sim::exec::{GroupCtx, KernelInfo};
+    use vcb_sim::profile::devices;
+    use vcb_sim::KernelRegistry;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        r.register(
+            KernelInfo::new("tick", [64, 1, 1]).writes(0, "data").build(),
+            Arc::new(|ctx: &mut GroupCtx<'_>| {
+                let data = ctx.global::<u32>(0)?;
+                ctx.for_lanes(|lane| {
+                    let i = lane.global_linear() as usize;
+                    if i < data.len() {
+                        let v = lane.ld(&data, i);
+                        lane.st(&data, i, v + 1);
+                    }
+                });
+                Ok(())
+            }),
+        )
+        .unwrap();
+        Arc::new(r)
+    }
+
+    fn device() -> crate::Device {
+        let instance = Instance::new(&InstanceCreateInfo {
+            application_name: "queue-test".into(),
+            enabled_layers: vec![],
+            devices: vec![devices::gtx1050ti()],
+            registry: registry(),
+        })
+        .unwrap();
+        let physical = instance.enumerate_physical_devices().remove(0);
+        crate::Device::new(
+            &physical,
+            &DeviceCreateInfo {
+                queue_create_infos: vec![
+                    DeviceQueueCreateInfo { queue_family_index: 0, queue_count: 1 },
+                    DeviceQueueCreateInfo { queue_family_index: 1, queue_count: 1 },
+                ],
+            },
+        )
+        .unwrap()
+    }
+
+    fn recorded_dispatch(device: &crate::Device, family: usize) -> crate::CommandBuffer {
+        let buffer = crate::util::create_buffer_bound(
+            device,
+            256 * 4,
+            crate::BufferUsage::STORAGE_BUFFER,
+            crate::MemoryProperty::HOST_VISIBLE,
+        )
+        .unwrap();
+        let (layout_set, _pool, set) =
+            crate::util::storage_descriptor_set(device, &[&buffer.buffer]).unwrap();
+        let layout = device.create_pipeline_layout(&[&layout_set], &[]).unwrap();
+        let info = device.shared.borrow().registry.lookup("tick").unwrap().info().clone();
+        let spv = vcb_spirv::SpirvModule::assemble(&info);
+        let module = device.create_shader_module(spv.words()).unwrap();
+        let pipeline = device
+            .create_compute_pipeline(&crate::ComputePipelineCreateInfo {
+                module: &module,
+                entry_point: "tick",
+                layout: &layout,
+            })
+            .unwrap();
+        let pool = device.create_command_pool(family).unwrap();
+        let cmd = pool.allocate_command_buffer().unwrap();
+        cmd.begin().unwrap();
+        cmd.bind_pipeline(&pipeline).unwrap();
+        cmd.bind_descriptor_sets(&layout, &[&set]).unwrap();
+        cmd.dispatch(4, 1, 1).unwrap();
+        cmd.end().unwrap();
+        cmd
+    }
+
+    #[test]
+    fn submit_runs_and_fence_signals() {
+        let device = device();
+        let queue = device.get_queue(0, 0).unwrap();
+        let cmd = recorded_dispatch(&device, 0);
+        let fence = Fence::new(&device);
+        assert!(!fence.is_signalled());
+        queue
+            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], Some(&fence))
+            .unwrap();
+        assert!(fence.is_signalled());
+        fence.wait(&device).unwrap();
+        assert!(device.kernels_launched() == 1);
+    }
+
+    #[test]
+    fn unrecorded_command_buffer_rejected() {
+        let device = device();
+        let queue = device.get_queue(0, 0).unwrap();
+        let pool = device.create_command_pool(0).unwrap();
+        let cmd = pool.allocate_command_buffer().unwrap();
+        cmd.begin().unwrap(); // recording, never ended
+        let err = queue
+            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .unwrap_err();
+        assert!(matches!(err, VkError::Validation { .. }));
+    }
+
+    #[test]
+    fn wrong_family_command_buffer_rejected() {
+        let device = device();
+        // Family 1 on the GTX is transfer-only.
+        let transfer_queue = device.get_queue(1, 0).unwrap();
+        let cmd = recorded_dispatch(&device, 0);
+        let err = transfer_queue
+            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .unwrap_err();
+        assert!(matches!(err, VkError::Validation { .. }));
+    }
+
+    #[test]
+    fn dispatch_on_transfer_only_queue_rejected() {
+        let device = device();
+        let transfer_queue = device.get_queue(1, 0).unwrap();
+        let cmd = recorded_dispatch(&device, 1); // allocated for family 1
+        let err = transfer_queue
+            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .unwrap_err();
+        assert!(matches!(err, VkError::FeatureNotPresent { .. }));
+    }
+
+    #[test]
+    fn resubmitting_a_cached_command_buffer_reexecutes() {
+        // §III-B.a: "Once recorded, a command buffer can be cached and
+        // submitted ... as many times as required."
+        let device = device();
+        let queue = device.get_queue(0, 0).unwrap();
+        let cmd = recorded_dispatch(&device, 0);
+        for _ in 0..3 {
+            queue
+                .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+                .unwrap();
+        }
+        queue.wait_idle();
+        assert_eq!(device.kernels_launched(), 3);
+    }
+
+    #[test]
+    fn unsubmitted_fence_wait_is_an_error() {
+        let device = device();
+        let fence = Fence::new(&device);
+        assert!(fence.wait(&device).is_err());
+    }
+
+    #[test]
+    fn wait_idle_charges_wakeup_only_when_blocking() {
+        let device = device();
+        let queue = device.get_queue(0, 0).unwrap();
+        // Nothing submitted: waiting is free.
+        let before = device.now();
+        queue.wait_idle();
+        assert_eq!(device.now(), before);
+        // After a submission the wait advances past device completion.
+        let cmd = recorded_dispatch(&device, 0);
+        queue
+            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .unwrap();
+        let submitted = device.now();
+        queue.wait_idle();
+        assert!(device.now() > submitted);
+    }
+}

@@ -1,0 +1,345 @@
+//! Convenience helpers for the boilerplate-heavy patterns every Vulkan
+//! compute application repeats.
+//!
+//! These helpers do not hide any cost: they issue exactly the API calls a
+//! hand-written host program would (and therefore count toward the
+//! programming-effort metrics). They exist so the nine benchmark host
+//! programs stay readable.
+
+use std::fmt;
+
+use vcb_sim::mem::Scalar;
+
+use crate::command::CommandBuffer;
+use crate::descriptor::{
+    DescriptorPool, DescriptorSet, DescriptorSetLayout, DescriptorSetLayoutBinding, DescriptorType,
+    WriteDescriptorSet,
+};
+use crate::device::Device;
+use crate::error::{VkError, VkResult};
+use crate::flags::{BufferUsage, MemoryProperty};
+use crate::memory::{Buffer, BufferCreateInfo, DeviceMemory, MemoryAllocateInfo};
+use crate::queue::{Queue, SubmitInfo};
+
+/// A buffer together with its backing memory allocation.
+#[derive(Clone)]
+pub struct AllocatedBuffer {
+    /// The buffer resource.
+    pub buffer: Buffer,
+    /// Its dedicated memory allocation.
+    pub memory: DeviceMemory,
+}
+
+impl AllocatedBuffer {
+    /// Frees the buffer and its memory.
+    pub fn destroy(&self, device: &Device) {
+        device.destroy_buffer(&self.buffer);
+        device.free_memory(&self.memory);
+    }
+}
+
+impl fmt::Debug for AllocatedBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AllocatedBuffer")
+            .field("size", &self.buffer.size())
+            .finish()
+    }
+}
+
+/// Index of the first memory type with the requested properties.
+///
+/// # Errors
+///
+/// [`VkError::FeatureNotPresent`] when the device lacks such a type.
+pub fn find_memory_type_index(device: &Device, required: MemoryProperty) -> VkResult<usize> {
+    let profile = device.profile();
+    profile
+        .heaps
+        .iter()
+        .position(|h| {
+            let mut flags = MemoryProperty::empty();
+            if h.device_local {
+                flags = flags | MemoryProperty::DEVICE_LOCAL;
+            }
+            if h.host_visible {
+                flags = flags | MemoryProperty::HOST_VISIBLE | MemoryProperty::HOST_COHERENT;
+            }
+            flags.contains(required)
+        })
+        .ok_or_else(|| VkError::FeatureNotPresent {
+            what: format!("no memory type with properties {required}"),
+        })
+}
+
+/// Creates a buffer and binds fresh memory of the requested properties —
+/// the ~40-line Listing 1 flow as one call.
+///
+/// # Errors
+///
+/// Any allocation or binding failure.
+pub fn create_buffer_bound(
+    device: &Device,
+    size: u64,
+    usage: BufferUsage,
+    properties: MemoryProperty,
+) -> VkResult<AllocatedBuffer> {
+    let buffer = device.create_buffer(&BufferCreateInfo { size, usage })?;
+    let reqs = device.get_buffer_memory_requirements(&buffer);
+    let memory_type_index = find_memory_type_index(device, properties)?;
+    let memory = device.allocate_memory(&MemoryAllocateInfo {
+        allocation_size: reqs.size,
+        memory_type_index,
+    })?;
+    device.bind_buffer_memory(&buffer, &memory)?;
+    Ok(AllocatedBuffer { buffer, memory })
+}
+
+/// `true` when the device has unified memory (a heap that is both
+/// device-local and host-visible) — the mobile platforms of Table III.
+pub fn has_unified_memory(device: &Device) -> bool {
+    device.profile().heaps.iter().any(|h| h.device_local && h.host_visible)
+}
+
+/// Creates a device-local storage buffer initialized with `data`,
+/// staging through a host-visible buffer when the device-local heap is
+/// not mappable (desktop), or writing directly (mobile unified memory).
+///
+/// # Errors
+///
+/// Allocation, binding, mapping or submission failures.
+pub fn upload_storage_buffer<T: Scalar>(
+    device: &Device,
+    queue: &Queue,
+    data: &[T],
+) -> VkResult<AllocatedBuffer> {
+    let size = std::mem::size_of_val(data) as u64;
+    if has_unified_memory(device) {
+        let unified = create_buffer_bound(
+            device,
+            size,
+            BufferUsage::STORAGE_BUFFER | BufferUsage::TRANSFER_DST,
+            MemoryProperty::DEVICE_LOCAL | MemoryProperty::HOST_VISIBLE,
+        )?;
+        unified.buffer.write_mapped(data)?;
+        return Ok(unified);
+    }
+    let staging = create_buffer_bound(
+        device,
+        size,
+        BufferUsage::TRANSFER_SRC,
+        MemoryProperty::HOST_VISIBLE,
+    )?;
+    staging.buffer.write_mapped(data)?;
+    let storage = create_buffer_bound(
+        device,
+        size,
+        BufferUsage::STORAGE_BUFFER | BufferUsage::TRANSFER_DST | BufferUsage::TRANSFER_SRC,
+        MemoryProperty::DEVICE_LOCAL,
+    )?;
+    copy_buffer_sync(device, queue, &staging.buffer, &storage.buffer, size)?;
+    staging.destroy(device);
+    Ok(storage)
+}
+
+/// Creates an uninitialized (zeroed) device-local storage buffer for
+/// kernel outputs.
+///
+/// # Errors
+///
+/// Allocation or binding failures.
+pub fn create_storage_buffer(device: &Device, size: u64) -> VkResult<AllocatedBuffer> {
+    let properties = if has_unified_memory(device) {
+        MemoryProperty::DEVICE_LOCAL | MemoryProperty::HOST_VISIBLE
+    } else {
+        MemoryProperty::DEVICE_LOCAL
+    };
+    create_buffer_bound(
+        device,
+        size,
+        BufferUsage::STORAGE_BUFFER | BufferUsage::TRANSFER_SRC | BufferUsage::TRANSFER_DST,
+        properties,
+    )
+}
+
+/// Reads a device-local buffer back to the host, staging if necessary.
+///
+/// # Errors
+///
+/// Allocation, mapping or submission failures.
+pub fn download_storage_buffer<T: Scalar>(
+    device: &Device,
+    queue: &Queue,
+    buffer: &AllocatedBuffer,
+) -> VkResult<Vec<T>> {
+    if has_unified_memory(device) {
+        return buffer.buffer.read_mapped();
+    }
+    let size = buffer.buffer.size();
+    let staging = create_buffer_bound(
+        device,
+        size,
+        BufferUsage::TRANSFER_DST,
+        MemoryProperty::HOST_VISIBLE,
+    )?;
+    copy_buffer_sync(device, queue, &buffer.buffer, &staging.buffer, size)?;
+    let out = staging.buffer.read_mapped();
+    staging.destroy(device);
+    out
+}
+
+/// Records and submits a one-off buffer copy, waiting for completion.
+///
+/// # Errors
+///
+/// Recording or submission failures.
+pub fn copy_buffer_sync(
+    device: &Device,
+    queue: &Queue,
+    src: &Buffer,
+    dst: &Buffer,
+    size: u64,
+) -> VkResult<()> {
+    let pool = device.create_command_pool(queue.family_index())?;
+    let cmd = pool.allocate_command_buffer()?;
+    cmd.begin()?;
+    cmd.copy_buffer(src, dst, size)?;
+    cmd.end()?;
+    queue.submit(
+        &[SubmitInfo {
+            command_buffers: &[&cmd],
+        }],
+        None,
+    )?;
+    queue.wait_idle();
+    Ok(())
+}
+
+/// Creates a storage-buffer descriptor set covering bindings
+/// `0..buffers.len()` and writes each buffer to its slot.
+///
+/// # Errors
+///
+/// Layout, pool or update failures.
+pub fn storage_descriptor_set(
+    device: &Device,
+    buffers: &[&Buffer],
+) -> VkResult<(DescriptorSetLayout, DescriptorPool, DescriptorSet)> {
+    let bindings: Vec<DescriptorSetLayoutBinding> = (0..buffers.len() as u32)
+        .map(|binding| DescriptorSetLayoutBinding {
+            binding,
+            descriptor_type: DescriptorType::StorageBuffer,
+        })
+        .collect();
+    let layout = device.create_descriptor_set_layout(&bindings)?;
+    let pool = device.create_descriptor_pool(1)?;
+    let set = pool.allocate_descriptor_set(&layout)?;
+    let writes: Vec<WriteDescriptorSet<'_>> = buffers
+        .iter()
+        .enumerate()
+        .map(|(i, buffer)| WriteDescriptorSet {
+            dst_set: &set,
+            dst_binding: i as u32,
+            buffer,
+        })
+        .collect();
+    device.update_descriptor_sets(&writes)?;
+    Ok((layout, pool, set))
+}
+
+/// Submits a single executable command buffer and waits for it.
+///
+/// # Errors
+///
+/// Submission failures.
+pub fn submit_and_wait(queue: &Queue, cmd: &CommandBuffer) -> VkResult<()> {
+    queue.submit(
+        &[SubmitInfo {
+            command_buffers: &[cmd],
+        }],
+        None,
+    )?;
+    queue.wait_idle();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceCreateInfo, DeviceQueueCreateInfo};
+    use crate::instance::{Instance, InstanceCreateInfo};
+    use std::sync::Arc;
+    use vcb_sim::profile::devices;
+    use vcb_sim::KernelRegistry;
+
+    fn device_and_queue(mobile: bool) -> (Device, Queue) {
+        let profile = if mobile {
+            devices::powervr_g6430()
+        } else {
+            devices::gtx1050ti()
+        };
+        let instance = Instance::new(&InstanceCreateInfo {
+            application_name: "util-test".into(),
+            enabled_layers: vec![],
+            devices: vec![profile],
+            registry: Arc::new(KernelRegistry::new()),
+        })
+        .unwrap();
+        let phys = instance.enumerate_physical_devices().remove(0);
+        let device = Device::new(
+            &phys,
+            &DeviceCreateInfo {
+                queue_create_infos: vec![DeviceQueueCreateInfo {
+                    queue_family_index: 0,
+                    queue_count: 1,
+                }],
+            },
+        )
+        .unwrap();
+        let queue = device.get_queue(0, 0).unwrap();
+        (device, queue)
+    }
+
+    #[test]
+    fn upload_download_roundtrip_desktop_staging() {
+        let (device, queue) = device_and_queue(false);
+        assert!(!has_unified_memory(&device));
+        let data: Vec<f32> = (0..1000).map(|i| i as f32 * 0.5).collect();
+        let buffer = upload_storage_buffer(&device, &queue, &data).unwrap();
+        let back: Vec<f32> = download_storage_buffer(&device, &queue, &buffer).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn upload_download_roundtrip_mobile_unified() {
+        let (device, queue) = device_and_queue(true);
+        assert!(has_unified_memory(&device));
+        let data: Vec<u32> = (0..512).collect();
+        let buffer = upload_storage_buffer(&device, &queue, &data).unwrap();
+        let back: Vec<u32> = download_storage_buffer(&device, &queue, &buffer).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn descriptor_helper_covers_all_buffers() {
+        let (device, queue) = device_and_queue(false);
+        let a = upload_storage_buffer(&device, &queue, &[1.0f32; 8]).unwrap();
+        let b = upload_storage_buffer(&device, &queue, &[2.0f32; 8]).unwrap();
+        let (_layout, _pool, set) =
+            storage_descriptor_set(&device, &[&a.buffer, &b.buffer]).unwrap();
+        assert_eq!(set.bound_slots(), vec![0, 1]);
+    }
+
+    #[test]
+    fn staging_transfer_charges_transfer_time() {
+        let (device, queue) = device_and_queue(false);
+        let data = vec![0u32; 1 << 20];
+        let before = device
+            .breakdown()
+            .get(vcb_sim::timeline::CostKind::Transfer);
+        let _buffer = upload_storage_buffer(&device, &queue, &data).unwrap();
+        let after = device
+            .breakdown()
+            .get(vcb_sim::timeline::CostKind::Transfer);
+        assert!(after > before);
+    }
+}

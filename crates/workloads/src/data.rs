@@ -1,0 +1,151 @@
+//! Deterministic input-data generators.
+//!
+//! Rodinia ships data files and generators; this reproduction generates
+//! equivalent inputs in-process from seeded PRNGs so every run is
+//! reproducible bit-for-bit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` floats uniform in `[lo, hi)`.
+pub fn uniform_f32(n: usize, seed: u64, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` ints uniform in `[lo, hi)`.
+pub fn uniform_i32(n: usize, seed: u64, lo: i32, hi: i32) -> Vec<i32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// A random graph in Rodinia bfs's compact adjacency format: for each
+/// node a `(start, degree)` pair into a flat edge array. Average degree
+/// follows Rodinia's generator (~6).
+///
+/// Returns `(nodes, edges)` where `nodes[2i] = start`,
+/// `nodes[2i+1] = degree`.
+pub fn bfs_graph(n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut nodes = Vec::with_capacity(2 * n);
+    let mut edges = Vec::new();
+    for _ in 0..n {
+        let degree = rng.gen_range(1..=10u32);
+        nodes.push(edges.len() as u32);
+        nodes.push(degree);
+        for _ in 0..degree {
+            edges.push(rng.gen_range(0..n as u32));
+        }
+    }
+    (nodes, edges)
+}
+
+/// A diagonally dominant dense matrix (guaranteed solvable without
+/// pivoting, like Rodinia's gaussian inputs) plus a right-hand side.
+pub fn linear_system(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut a = vec![0.0f32; n * n];
+    for i in 0..n {
+        let mut row_sum = 0.0f32;
+        for j in 0..n {
+            if i != j {
+                let v = rng.gen_range(-1.0f32..1.0);
+                a[i * n + j] = v;
+                row_sum += v.abs();
+            }
+        }
+        a[i * n + i] = row_sum + rng.gen_range(1.0f32..2.0);
+    }
+    let b = uniform_f32(n, seed ^ 0xb, -10.0, 10.0);
+    (a, b)
+}
+
+/// A structured unstructured-mesh neighborhood: each element gets 4
+/// neighbors (grid-like with a sprinkle of long-range links), encoded as
+/// `i32` indices with `-1` for boundary faces, as Rodinia cfd does.
+pub fn cfd_mesh(n: usize, seed: u64) -> Vec<i32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let side = (n as f64).sqrt().ceil() as usize;
+    let mut neighbors = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        let x = i % side;
+        let y = i / side;
+        let candidates = [
+            if x > 0 { (i - 1) as i64 } else { -1 },
+            if x + 1 < side && i + 1 < n { (i + 1) as i64 } else { -1 },
+            if y > 0 { (i - side) as i64 } else { -1 },
+            if i + side < n { (i + side) as i64 } else { -1 },
+        ];
+        for (f, c) in candidates.into_iter().enumerate() {
+            // ~2% long-range links keep the mesh "unstructured".
+            if c >= 0 && rng.gen_ratio(1, 50) {
+                neighbors.push(rng.gen_range(0..n as u32) as i32);
+                let _ = f;
+            } else {
+                neighbors.push(c as i32);
+            }
+        }
+    }
+    neighbors
+}
+
+/// Random DNA-alphabet sequence encoded 0..4 (for Needleman-Wunsch
+/// scoring table lookups).
+pub fn dna_sequence(n: usize, seed: u64) -> Vec<i32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..4)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_f32(16, 7, 0.0, 1.0), uniform_f32(16, 7, 0.0, 1.0));
+        assert_ne!(uniform_f32(16, 7, 0.0, 1.0), uniform_f32(16, 8, 0.0, 1.0));
+        let (n1, e1) = bfs_graph(100, 3);
+        let (n2, e2) = bfs_graph(100, 3);
+        assert_eq!(n1, n2);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn graph_indices_in_range() {
+        let (nodes, edges) = bfs_graph(500, 11);
+        assert_eq!(nodes.len(), 1000);
+        for i in 0..500 {
+            let start = nodes[2 * i] as usize;
+            let degree = nodes[2 * i + 1] as usize;
+            assert!(start + degree <= edges.len());
+        }
+        assert!(edges.iter().all(|&e| (e as usize) < 500));
+    }
+
+    #[test]
+    fn linear_system_is_diagonally_dominant() {
+        let (a, b) = linear_system(32, 5);
+        assert_eq!(b.len(), 32);
+        for i in 0..32 {
+            let diag = a[i * 32 + i].abs();
+            let off: f32 = (0..32)
+                .filter(|&j| j != i)
+                .map(|j| a[i * 32 + j].abs())
+                .sum();
+            assert!(diag > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn cfd_mesh_shape() {
+        let nb = cfd_mesh(100, 1);
+        assert_eq!(nb.len(), 400);
+        assert!(nb.iter().all(|&x| (-1..100).contains(&x)));
+    }
+
+    #[test]
+    fn dna_alphabet() {
+        let s = dna_sequence(64, 2);
+        assert!(s.iter().all(|&c| (0..4).contains(&c)));
+    }
+}

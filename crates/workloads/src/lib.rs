@@ -1,0 +1,148 @@
+//! # vcb-workloads — the VComputeBench workloads
+//!
+//! The paper's benchmark suite (§IV): the nine Rodinia ports of Table I
+//! plus the two self-written microbenchmarks (vector addition from
+//! Listing 1 and the strided-bandwidth probe behind Fig. 1/Fig. 3).
+//!
+//! Every workload follows the same discipline the paper used:
+//!
+//! * **One kernel, three hosts.** The kernel algorithm is written once
+//!   (registered in the [`registry`]) and driven by three separate host
+//!   programs — Vulkan, CUDA, OpenCL — so performance differences come
+//!   from the programming model, not the algorithm (§IV-B).
+//! * **Validated outputs.** Each run can check its results against a CPU
+//!   reference implementation, mirroring the paper's functional testing
+//!   of VCompute outputs against CUDA and OpenCL.
+//! * **Deterministic inputs.** Data is generated from seeded PRNGs
+//!   ([`data`]) instead of Rodinia's input files.
+//!
+//! ```
+//! use vcb_core::workload::{RunOpts, Workload};
+//! use vcb_sim::profile::devices;
+//! use vcb_sim::Api;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let registry = vcb_workloads::registry()?;
+//! let suite = vcb_workloads::suite_workloads(&registry);
+//! assert_eq!(suite.len(), 9);
+//!
+//! // Run the smallest pathfinder configuration under CUDA.
+//! let pathfinder = &suite[8];
+//! let size = &pathfinder.sizes(vcb_sim::DeviceClass::Desktop)[0];
+//! let record = pathfinder.run(Api::Cuda, &devices::gtx1050ti(), size, &RunOpts::default())?;
+//! assert!(record.validated);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod data;
+pub mod micro;
+pub mod rodinia;
+
+use std::sync::Arc;
+
+use vcb_core::workload::Workload;
+use vcb_sim::{KernelRegistry, SimResult};
+
+/// Builds the registry holding every kernel of the suite — the
+/// counterpart of shipping all SPIR-V binaries with the benchmark app.
+///
+/// # Errors
+///
+/// Fails only if two workloads export the same entry-point symbol.
+pub fn registry() -> SimResult<Arc<KernelRegistry>> {
+    let mut r = KernelRegistry::new();
+    micro::vectoradd::register(&mut r)?;
+    micro::stride::register(&mut r)?;
+    rodinia::backprop::register(&mut r)?;
+    rodinia::bfs::register(&mut r)?;
+    rodinia::cfd::register(&mut r)?;
+    rodinia::gaussian::register(&mut r)?;
+    rodinia::hotspot::register(&mut r)?;
+    rodinia::lud::register(&mut r)?;
+    rodinia::nn::register(&mut r)?;
+    rodinia::nw::register(&mut r)?;
+    rodinia::pathfinder::register(&mut r)?;
+    Ok(Arc::new(r))
+}
+
+/// The nine suite workloads in Table I order.
+pub fn suite_workloads(registry: &Arc<KernelRegistry>) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(rodinia::backprop::Backprop::new(Arc::clone(registry))),
+        Box::new(rodinia::bfs::Bfs::new(Arc::clone(registry))),
+        Box::new(rodinia::cfd::Cfd::new(Arc::clone(registry))),
+        Box::new(rodinia::gaussian::Gaussian::new(Arc::clone(registry))),
+        Box::new(rodinia::hotspot::Hotspot::new(Arc::clone(registry))),
+        Box::new(rodinia::lud::Lud::new(Arc::clone(registry))),
+        Box::new(rodinia::nn::Nn::new(Arc::clone(registry))),
+        Box::new(rodinia::nw::Nw::new(Arc::clone(registry))),
+        Box::new(rodinia::pathfinder::Pathfinder::new(Arc::clone(registry))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_core::suite::SUITE;
+    use vcb_sim::DeviceClass;
+
+    #[test]
+    fn registry_holds_all_kernels() {
+        let r = registry().unwrap();
+        for name in [
+            "vectoradd_add",
+            "stride_read",
+            "backprop_layerforward",
+            "backprop_adjust_weights",
+            "bfs_kernel1",
+            "bfs_kernel2",
+            "cfd_step_factor",
+            "cfd_compute_flux",
+            "cfd_time_step",
+            "gaussian_fan1",
+            "gaussian_fan2",
+            "hotspot_step",
+            "lud_diagonal",
+            "lud_perimeter",
+            "lud_internal",
+            "nn_distance",
+            "nw_fill",
+            "pathfinder_dynproc",
+        ] {
+            assert!(r.contains(name), "missing kernel {name}");
+        }
+    }
+
+    #[test]
+    fn suite_matches_table_1_order() {
+        let r = registry().unwrap();
+        let suite = suite_workloads(&r);
+        let names: Vec<&str> = suite.iter().map(|w| w.meta().name).collect();
+        let expected: Vec<&str> = SUITE.iter().map(|m| m.name).collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn desktop_sizes_match_figure_2_counts() {
+        let r = registry().unwrap();
+        for w in suite_workloads(&r) {
+            let sizes = w.sizes(DeviceClass::Desktop);
+            assert_eq!(sizes.len(), 3, "{} desktop sizes", w.meta().name);
+        }
+    }
+
+    #[test]
+    fn mobile_sizes_match_figure_4_counts() {
+        let r = registry().unwrap();
+        for w in suite_workloads(&r) {
+            let sizes = w.sizes(DeviceClass::Mobile);
+            let expected = if w.meta().name == "cfd" { 1 } else { 2 };
+            assert_eq!(sizes.len(), expected, "{} mobile sizes", w.meta().name);
+        }
+    }
+}

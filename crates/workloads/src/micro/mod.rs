@@ -1,0 +1,5 @@
+//! The self-written microbenchmarks of §IV-A and §V-A1: vector addition
+//! (Listing 1) and the strided-bandwidth probe behind Fig. 1 / Fig. 3.
+
+pub mod stride;
+pub mod vectoradd;

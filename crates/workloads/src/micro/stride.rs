@@ -1,0 +1,430 @@
+//! The strided-memory-access microbenchmark of §V-A1 / §V-B1
+//! (Fig. 1 and Fig. 3).
+//!
+//! Reads `n` array elements at a configurable element stride (wrapping in
+//! a large array) and reports achieved bandwidth. The stride is passed as
+//! a push constant in the Vulkan version — exactly the usage that exposes
+//! the Snapdragon driver's push-constant quirk.
+
+use std::sync::Arc;
+
+use vcb_core::run::RunFailure;
+use vcb_core::workload::RunOpts;
+use vcb_cuda::{KernelArg, Stream};
+use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
+use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::time::SimDuration;
+use vcb_sim::timeline::CostKind;
+use vcb_sim::{Api, KernelRegistry, SimResult};
+use vcb_spirv::SpirvModule;
+use vcb_vulkan::util as vku;
+use vcb_vulkan::{
+    Access, ComputePipelineCreateInfo, MemoryBarrier, PipelineStage, PushConstantRange, SubmitInfo,
+};
+
+use crate::common::{cl_env, cl_failure, cuda_env, cuda_failure, vk_env, vk_failure};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "stride";
+/// Kernel entry point.
+pub const KERNEL: &str = "stride_read";
+/// Workgroup size.
+pub const LOCAL_SIZE: u32 = 256;
+/// Timing repetitions averaged per stride sample ("we execute several
+/// times and report the average", §V).
+pub const REPETITIONS: u32 = 8;
+
+/// Elements read per run on desktop (64 MiB of reads at unit stride).
+pub const DESKTOP_ACCESSES: u64 = 16 * 1024 * 1024;
+/// Elements read per run on mobile (16 MiB of reads at unit stride).
+pub const MOBILE_ACCESSES: u64 = 4 * 1024 * 1024;
+/// Array length multiplier on desktop: the array is
+/// `accesses * max stride` elements so every stride reads distinct
+/// addresses. Mobile sweeps stop at stride 16 (Fig. 3), which also keeps
+/// the array inside the smaller mobile heaps.
+pub const MAX_STRIDE: u64 = 32;
+
+/// The OpenCL C twin of the kernel.
+pub const CL_SOURCE: &str = r#"
+__kernel void stride_read(__global const float* a,
+                          __global float* sink,
+                          uint stride,
+                          uint n,
+                          uint len) {
+    uint i = get_global_id(0);
+    if (i < n) {
+        float v = a[((ulong)i * stride) % len];
+        if (v == -12345.0f) {
+            sink[0] = v; // never taken: keeps the load alive
+        }
+    }
+}
+"#;
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    let info = KernelInfo::new(KERNEL, [LOCAL_SIZE, 1, 1])
+        .reads(0, "a")
+        .writes(1, "sink")
+        .push_constants(12)
+        .source_bytes(CL_SOURCE.len() as u64)
+        .build();
+    registry.register(
+        info,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let a = ctx.global::<f32>(0)?;
+            let sink = ctx.global::<f32>(1)?;
+            let stride = ctx.push_u32(0) as u64;
+            let n = ctx.push_u32(4) as u64;
+            let len = ctx.push_u32(8) as u64;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear();
+                if i < n {
+                    let idx = (i * stride) % len;
+                    let v = lane.ld(&a, idx as usize);
+                    lane.alu(1);
+                    if v == -12345.0 {
+                        lane.st(&sink, 0, v);
+                    }
+                }
+            });
+            Ok(())
+        }),
+    )
+}
+
+/// One sample of the bandwidth curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthSample {
+    /// Element stride (4 bytes per element, as in the figures).
+    pub stride: u32,
+    /// Achieved bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Average kernel wall time per repetition.
+    pub time_per_rep: SimDuration,
+}
+
+impl BandwidthSample {
+    /// Achieved bandwidth in GB/s (the figures' y axis).
+    pub fn gbps(&self) -> f64 {
+        self.bytes_per_sec / 1.0e9
+    }
+}
+
+/// Strides swept on a device class: 1..32 on desktop (Fig. 1),
+/// 1..16 on mobile (Fig. 3).
+pub fn strides(class: DeviceClass) -> Vec<u32> {
+    match class {
+        DeviceClass::Desktop => vec![1, 2, 4, 8, 12, 16, 20, 24, 28, 32],
+        DeviceClass::Mobile => vec![1, 2, 4, 6, 8, 10, 12, 14, 16],
+    }
+}
+
+/// Accesses per run for a device class.
+pub fn accesses(class: DeviceClass) -> u64 {
+    match class {
+        DeviceClass::Desktop => DESKTOP_ACCESSES,
+        DeviceClass::Mobile => MOBILE_ACCESSES,
+    }
+}
+
+fn scaled_accesses(class: DeviceClass, opts: &RunOpts) -> u64 {
+    ((accesses(class) as f64 * opts.scale) as u64).max(LOCAL_SIZE as u64)
+}
+
+/// Measures the full bandwidth curve under one API.
+///
+/// The measured time is host wall time per repetition (the paper times
+/// with `std::chrono` on the CPU), so per-repetition overheads — launch
+/// overhead, or the Snapdragon push-constant rebinds — show up exactly as
+/// they did in Fig. 3b.
+///
+/// # Errors
+///
+/// Reported as [`RunFailure`].
+pub fn bandwidth_curve(
+    api: Api,
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    opts: &RunOpts,
+) -> Result<Vec<BandwidthSample>, RunFailure> {
+    let n = scaled_accesses(profile.class, opts);
+    match api {
+        Api::Vulkan => vulkan_curve(profile, registry, n, opts),
+        Api::Cuda => cuda_curve(profile, registry, n, opts),
+        Api::OpenCl => opencl_curve(profile, registry, n, opts),
+    }
+}
+
+fn array_len(n: u64, class: DeviceClass) -> u64 {
+    let max_stride = strides(class).into_iter().max().unwrap_or(1);
+    n * u64::from(max_stride)
+}
+
+fn sample(stride: u32, n: u64, elapsed: SimDuration) -> BandwidthSample {
+    let per_rep = elapsed / u64::from(REPETITIONS);
+    let bytes = n * 4;
+    BandwidthSample {
+        stride,
+        bytes_per_sec: bytes as f64 / per_rep.as_secs(),
+        time_per_rep: per_rep,
+    }
+}
+
+fn vulkan_curve(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    n: u64,
+    opts: &RunOpts,
+) -> Result<Vec<BandwidthSample>, RunFailure> {
+    let env = vk_env(profile, registry)?;
+    let device = &env.device;
+    let len = array_len(n, profile.class);
+    let host_array = data::uniform_f32(len as usize, opts.seed, 0.0, 1.0);
+    let a = vku::upload_storage_buffer(device, &env.queue, &host_array).map_err(vk_failure)?;
+    let sink = vku::create_storage_buffer(device, 4).map_err(vk_failure)?;
+
+    let info = registry
+        .lookup(KERNEL)
+        .map_err(|e| RunFailure::Error(e.to_string()))?;
+    let spv = SpirvModule::assemble(info.info());
+    let module = device.create_shader_module(spv.words()).map_err(vk_failure)?;
+    let (set_layout, _pool, set) =
+        vku::storage_descriptor_set(device, &[&a.buffer, &sink.buffer]).map_err(vk_failure)?;
+    let layout = device
+        .create_pipeline_layout(&[&set_layout], &[PushConstantRange { offset: 0, size: 12 }])
+        .map_err(vk_failure)?;
+    let pipeline = device
+        .create_compute_pipeline(&ComputePipelineCreateInfo {
+            module: &module,
+            entry_point: KERNEL,
+            layout: &layout,
+        })
+        .map_err(vk_failure)?;
+    let cmd_pool = device
+        .create_command_pool(env.queue.family_index())
+        .map_err(vk_failure)?;
+
+    let groups = (n as u32).div_ceil(LOCAL_SIZE);
+    let barrier = MemoryBarrier {
+        src_access: Access::SHADER_READ,
+        dst_access: Access::SHADER_READ,
+    };
+    let mut samples = Vec::new();
+    for stride in strides(profile.class) {
+        // All repetitions recorded into one command buffer, push constant
+        // per repetition — the §V-B1 usage.
+        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+        cmd.begin().map_err(vk_failure)?;
+        cmd.bind_pipeline(&pipeline).map_err(vk_failure)?;
+        cmd.bind_descriptor_sets(&layout, &[&set]).map_err(vk_failure)?;
+        for _ in 0..REPETITIONS {
+            let mut push = Vec::with_capacity(12);
+            push.extend_from_slice(&stride.to_le_bytes());
+            push.extend_from_slice(&(n as u32).to_le_bytes());
+            push.extend_from_slice(&(len as u32).to_le_bytes());
+            cmd.push_constants(&layout, 0, &push).map_err(vk_failure)?;
+            cmd.dispatch(groups, 1, 1).map_err(vk_failure)?;
+            cmd.pipeline_barrier(
+                PipelineStage::COMPUTE_SHADER,
+                PipelineStage::COMPUTE_SHADER,
+                &barrier,
+            )
+            .map_err(vk_failure)?;
+        }
+        cmd.end().map_err(vk_failure)?;
+        let start = device.now();
+        env.queue
+            .submit(
+                &[SubmitInfo {
+                    command_buffers: &[&cmd],
+                }],
+                None,
+            )
+            .map_err(vk_failure)?;
+        env.queue.wait_idle();
+        samples.push(sample(stride, n, device.now().duration_since(start)));
+    }
+    Ok(samples)
+}
+
+fn cuda_curve(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    n: u64,
+    opts: &RunOpts,
+) -> Result<Vec<BandwidthSample>, RunFailure> {
+    let ctx = cuda_env(profile, registry)?;
+    let len = array_len(n, profile.class);
+    let host_array = data::uniform_f32(len as usize, opts.seed, 0.0, 1.0);
+    let a = ctx.malloc(len * 4).map_err(cuda_failure)?;
+    let sink = ctx.malloc(4).map_err(cuda_failure)?;
+    ctx.memcpy_htod(&a, &host_array).map_err(cuda_failure)?;
+    let kernel = ctx.get_function(KERNEL).map_err(cuda_failure)?;
+    let groups = (n as u32).div_ceil(LOCAL_SIZE);
+
+    let mut samples = Vec::new();
+    for stride in strides(profile.class) {
+        let start = ctx.now();
+        for _ in 0..REPETITIONS {
+            ctx.launch_kernel(
+                &kernel,
+                [groups, 1, 1],
+                &[
+                    KernelArg::Ptr(a),
+                    KernelArg::Ptr(sink),
+                    KernelArg::U32(stride),
+                    KernelArg::U32(n as u32),
+                    KernelArg::U32(len as u32),
+                ],
+                Stream::DEFAULT,
+            )
+            .map_err(cuda_failure)?;
+            ctx.device_synchronize();
+        }
+        samples.push(sample(stride, n, ctx.now().duration_since(start)));
+    }
+    Ok(samples)
+}
+
+fn opencl_curve(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    n: u64,
+    opts: &RunOpts,
+) -> Result<Vec<BandwidthSample>, RunFailure> {
+    let env = cl_env(profile, registry)?;
+    let len = array_len(n, profile.class);
+    let host_array = data::uniform_f32(len as usize, opts.seed, 0.0, 1.0);
+    let a = env
+        .context
+        .create_buffer(MemFlags::ReadOnly, len * 4)
+        .map_err(cl_failure)?;
+    let sink = env
+        .context
+        .create_buffer(MemFlags::ReadWrite, 4)
+        .map_err(cl_failure)?;
+    env.queue
+        .enqueue_write_buffer(&a, &host_array)
+        .map_err(cl_failure)?;
+    let program = Program::create_with_source(&env.context, CL_SOURCE);
+    program.build().map_err(cl_failure)?;
+    let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
+    kernel.set_arg(0, ClArg::Buffer(a));
+    kernel.set_arg(1, ClArg::Buffer(sink));
+    kernel.set_arg(3, ClArg::U32(n as u32));
+    kernel.set_arg(4, ClArg::U32(len as u32));
+
+    let mut samples = Vec::new();
+    for stride in strides(profile.class) {
+        kernel.set_arg(2, ClArg::U32(stride));
+        let start = env.context.now();
+        for _ in 0..REPETITIONS {
+            env.queue
+                .enqueue_nd_range_kernel(&kernel, [n, 1, 1])
+                .map_err(cl_failure)?;
+            env.queue.finish();
+        }
+        samples.push(sample(stride, n, env.context.now().duration_since(start)));
+    }
+    Ok(samples)
+}
+
+/// Splits a device's kernel-only time out of a curve run, for reporting
+/// overhead shares (used by the harness' verbose mode).
+pub fn kernel_share(breakdown: &vcb_sim::TimingBreakdown) -> f64 {
+    let kernel = breakdown.get(CostKind::KernelExec);
+    kernel.ratio(breakdown.total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    fn quick_opts() -> RunOpts {
+        RunOpts {
+            scale: 1.0 / 64.0,
+            ..RunOpts::default()
+        }
+    }
+
+    #[test]
+    fn bandwidth_decreases_with_stride() {
+        let registry = registry();
+        let curve = bandwidth_curve(
+            Api::Cuda,
+            &devices::gtx1050ti(),
+            &registry,
+            &quick_opts(),
+        )
+        .unwrap();
+        assert_eq!(curve.len(), strides(DeviceClass::Desktop).len());
+        let unit = curve[0].gbps();
+        let worst = curve.last().unwrap().gbps();
+        assert!(unit > 4.0 * worst, "unit {unit} vs stride-32 {worst}");
+    }
+
+    #[test]
+    fn unit_stride_approaches_peak_fraction() {
+        let registry = registry();
+        // Use a larger run for an accurate unit-stride figure (smaller
+        // runs are launch-overhead bound and understate bandwidth).
+        let opts = RunOpts {
+            scale: 0.5,
+            ..RunOpts::default()
+        };
+        let profile = devices::gtx1050ti();
+        let curve = bandwidth_curve(Api::Cuda, &profile, &registry, &opts).unwrap();
+        let frac = curve[0].bytes_per_sec / profile.memory.peak_bandwidth_bytes_per_sec();
+        // §V-A1: CUDA achieves 84% of peak at unit stride (paper scale);
+        // this half-size run tolerates the residual launch share.
+        assert!((0.62..0.92).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn vulkan_matches_cuda_on_desktop() {
+        let registry = registry();
+        // Full-size arrays so per-repetition overheads are amortized as in
+        // the paper's Fig. 1 (quick scales make this launch-bound instead).
+        let opts = RunOpts {
+            scale: 0.5,
+            ..RunOpts::default()
+        };
+        let profile = devices::gtx1050ti();
+        let vk = bandwidth_curve(Api::Vulkan, &profile, &registry, &opts).unwrap();
+        let cu = bandwidth_curve(Api::Cuda, &profile, &registry, &opts).unwrap();
+        for (v, c) in vk.iter().zip(&cu) {
+            let ratio = v.bytes_per_sec / c.bytes_per_sec;
+            assert!((0.8..1.35).contains(&ratio), "stride {} ratio {ratio}", v.stride);
+        }
+    }
+
+    #[test]
+    fn snapdragon_quirk_hurts_small_strides_only() {
+        let registry = registry();
+        let opts = RunOpts {
+            scale: 0.25,
+            ..RunOpts::default()
+        };
+        let sd = devices::adreno506();
+        let vk = bandwidth_curve(Api::Vulkan, &sd, &registry, &opts).unwrap();
+        let cl = bandwidth_curve(Api::OpenCl, &sd, &registry, &opts).unwrap();
+        let small = vk[0].bytes_per_sec / cl[0].bytes_per_sec;
+        let large = vk.last().unwrap().bytes_per_sec / cl.last().unwrap().bytes_per_sec;
+        assert!(small < large, "quirk gap should close: small {small}, large {large}");
+        assert!(small < 0.92, "Vulkan should lose clearly at unit stride: {small}");
+    }
+}

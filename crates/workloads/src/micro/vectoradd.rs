@@ -1,0 +1,365 @@
+//! The vector-addition microbenchmark of §IV-A (Listing 1):
+//! `Z[i] = X[i] + Y[i]`.
+//!
+//! Ten lines of GLSL for the kernel, pages of host code for Vulkan — the
+//! benchmark exists mostly to demonstrate and quantify that asymmetry,
+//! and it doubles as the suite's smoke test.
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunFailure, RunRecord};
+use vcb_core::workload::RunOpts;
+use vcb_cuda::{KernelArg, Stream};
+use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
+use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::profile::DeviceProfile;
+use vcb_sim::{KernelRegistry, SimResult};
+use vcb_spirv::SpirvModule;
+use vcb_vulkan::util as vku;
+use vcb_vulkan::{ComputePipelineCreateInfo, PushConstantRange, SubmitInfo};
+
+use crate::common::{
+    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
+    measure_vk, vk_env, vk_failure, BodyOutcome,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "vectoradd";
+/// Kernel entry point.
+pub const KERNEL: &str = "vectoradd_add";
+/// Workgroup size, as in Listing 1 ("Workgroup size is 256").
+pub const LOCAL_SIZE: u32 = 256;
+
+/// The kernel's GLSL source, compiled offline to SPIR-V in the real
+/// toolchain (kept verbatim for documentation and source-size modelling).
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+layout(local_size_x = 256) in;
+layout(set = 0, binding = 0) readonly buffer X { float x[]; };
+layout(set = 0, binding = 1) readonly buffer Y { float y[]; };
+layout(set = 0, binding = 2) buffer Z { float z[]; };
+layout(push_constant) uniform Params { uint n; };
+
+void main() {
+    uint i = gl_GlobalInvocationID.x;
+    if (i < n) {
+        z[i] = x[i] + y[i];
+    }
+}
+"#;
+
+/// The OpenCL C twin of the kernel.
+pub const CL_SOURCE: &str = r#"
+__kernel void vectoradd_add(__global const float* x,
+                            __global const float* y,
+                            __global float* z,
+                            uint n) {
+    uint i = get_global_id(0);
+    if (i < n) {
+        z[i] = x[i] + y[i];
+    }
+}
+"#;
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    let info = KernelInfo::new(KERNEL, [LOCAL_SIZE, 1, 1])
+        .reads(0, "x")
+        .reads(1, "y")
+        .writes(2, "z")
+        .push_constants(4)
+        .source_bytes(CL_SOURCE.len() as u64)
+        .build();
+    registry.register(
+        info,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let x = ctx.global::<f32>(0)?;
+            let y = ctx.global::<f32>(1)?;
+            let z = ctx.global::<f32>(2)?;
+            let n = ctx.push_u32(0) as u64;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear();
+                if i < n {
+                    let v = lane.ld(&x, i as usize) + lane.ld(&y, i as usize);
+                    lane.alu(1);
+                    lane.st(&z, i as usize, v);
+                }
+            });
+            Ok(())
+        }),
+    )
+}
+
+/// CPU reference.
+pub fn reference(x: &[f32], y: &[f32]) -> Vec<f32> {
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Deterministic inputs.
+pub fn generate(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let x = data::uniform_f32(n, seed, -100.0, 100.0);
+    let y = data::uniform_f32(n, seed ^ 0xff, -100.0, 100.0);
+    (x, y)
+}
+
+/// Runs the Vulkan host program (the Listing 1 flow).
+///
+/// # Errors
+///
+/// Reported as [`RunFailure`].
+pub fn run_vulkan(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    n: usize,
+    opts: &RunOpts,
+) -> Result<RunRecord, RunFailure> {
+    let env = vk_env(profile, registry)?;
+    let (xv, yv) = generate(n, opts.seed);
+    let expected = if opts.validate {
+        Some(reference(&xv, &yv))
+    } else {
+        None
+    };
+    measure_vk(NAME, &n.to_string(), &env, |env| {
+        let device = &env.device;
+        let x = vku::upload_storage_buffer(device, &env.queue, &xv).map_err(vk_failure)?;
+        let y = vku::upload_storage_buffer(device, &env.queue, &yv).map_err(vk_failure)?;
+        let z = vku::create_storage_buffer(device, (n * 4) as u64).map_err(vk_failure)?;
+
+        let info = registry.lookup(KERNEL).map_err(|e| RunFailure::Error(e.to_string()))?;
+        let spv = SpirvModule::assemble(info.info());
+        let module = device.create_shader_module(spv.words()).map_err(vk_failure)?;
+        let (layout_set, _pool, set) =
+            vku::storage_descriptor_set(device, &[&x.buffer, &y.buffer, &z.buffer])
+                .map_err(vk_failure)?;
+        let layout = device
+            .create_pipeline_layout(&[&layout_set], &[PushConstantRange { offset: 0, size: 4 }])
+            .map_err(vk_failure)?;
+        let pipeline = device
+            .create_compute_pipeline(&ComputePipelineCreateInfo {
+                module: &module,
+                entry_point: KERNEL,
+                layout: &layout,
+            })
+            .map_err(vk_failure)?;
+
+        let pool = device
+            .create_command_pool(env.queue.family_index())
+            .map_err(vk_failure)?;
+        let cmd = pool.allocate_command_buffer().map_err(vk_failure)?;
+        cmd.begin().map_err(vk_failure)?;
+        cmd.bind_pipeline(&pipeline).map_err(vk_failure)?;
+        cmd.bind_descriptor_sets(&layout, &[&set]).map_err(vk_failure)?;
+        cmd.push_constants(&layout, 0, &(n as u32).to_le_bytes())
+            .map_err(vk_failure)?;
+        let groups = (n as u32).div_ceil(LOCAL_SIZE);
+        cmd.dispatch(groups, 1, 1).map_err(vk_failure)?;
+        cmd.end().map_err(vk_failure)?;
+        let compute_start = device.now();
+        env.queue
+            .submit(
+                &[SubmitInfo {
+                    command_buffers: &[&cmd],
+                }],
+                None,
+            )
+            .map_err(vk_failure)?;
+        env.queue.wait_idle();
+        let compute_time = device.now().duration_since(compute_start);
+
+        let out: Vec<f32> =
+            vku::download_storage_buffer(device, &env.queue, &z).map_err(vk_failure)?;
+        Ok(BodyOutcome {
+            validated: match &expected {
+                Some(e) => approx_eq_f32(&out, e, 1e-5),
+                None => true,
+            },
+            compute_time,
+        })
+    })
+}
+
+/// Runs the CUDA host program.
+///
+/// # Errors
+///
+/// Reported as [`RunFailure`].
+pub fn run_cuda(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    n: usize,
+    opts: &RunOpts,
+) -> Result<RunRecord, RunFailure> {
+    let ctx = cuda_env(profile, registry)?;
+    let (xv, yv) = generate(n, opts.seed);
+    let expected = if opts.validate {
+        Some(reference(&xv, &yv))
+    } else {
+        None
+    };
+    measure_cuda(NAME, &n.to_string(), &ctx, |ctx| {
+        let bytes = (n * 4) as u64;
+        let x = ctx.malloc(bytes).map_err(cuda_failure)?;
+        let y = ctx.malloc(bytes).map_err(cuda_failure)?;
+        let z = ctx.malloc(bytes).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&x, &xv).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&y, &yv).map_err(cuda_failure)?;
+        let add = ctx.get_function(KERNEL).map_err(cuda_failure)?;
+        let groups = (n as u32).div_ceil(LOCAL_SIZE);
+        let compute_start = ctx.now();
+        ctx.launch_kernel(
+            &add,
+            [groups, 1, 1],
+            &[
+                KernelArg::Ptr(x),
+                KernelArg::Ptr(y),
+                KernelArg::Ptr(z),
+                KernelArg::U32(n as u32),
+            ],
+            Stream::DEFAULT,
+        )
+        .map_err(cuda_failure)?;
+        ctx.device_synchronize();
+        let compute_time = ctx.now().duration_since(compute_start);
+        let out: Vec<f32> = ctx.memcpy_dtoh(&z).map_err(cuda_failure)?;
+        Ok(BodyOutcome {
+            validated: match &expected {
+                Some(e) => approx_eq_f32(&out, e, 1e-5),
+                None => true,
+            },
+            compute_time,
+        })
+    })
+}
+
+/// Runs the OpenCL host program.
+///
+/// # Errors
+///
+/// Reported as [`RunFailure`].
+pub fn run_opencl(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    n: usize,
+    opts: &RunOpts,
+) -> Result<RunRecord, RunFailure> {
+    let env = cl_env(profile, registry)?;
+    let (xv, yv) = generate(n, opts.seed);
+    let expected = if opts.validate {
+        Some(reference(&xv, &yv))
+    } else {
+        None
+    };
+    measure_cl(NAME, &n.to_string(), &env, |env| {
+        let bytes = (n * 4) as u64;
+        let x = env
+            .context
+            .create_buffer(MemFlags::ReadOnly, bytes)
+            .map_err(cl_failure)?;
+        let y = env
+            .context
+            .create_buffer(MemFlags::ReadOnly, bytes)
+            .map_err(cl_failure)?;
+        let z = env
+            .context
+            .create_buffer(MemFlags::WriteOnly, bytes)
+            .map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&x, &xv).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&y, &yv).map_err(cl_failure)?;
+        let program = Program::create_with_source(&env.context, CL_SOURCE);
+        program.build().map_err(cl_failure)?;
+        let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
+        kernel.set_arg(0, ClArg::Buffer(x));
+        kernel.set_arg(1, ClArg::Buffer(y));
+        kernel.set_arg(2, ClArg::Buffer(z));
+        kernel.set_arg(3, ClArg::U32(n as u32));
+        let compute_start = env.context.now();
+        env.queue
+            .enqueue_nd_range_kernel(&kernel, [n as u64, 1, 1])
+            .map_err(cl_failure)?;
+        env.queue.finish();
+        let compute_time = env.context.now().duration_since(compute_start);
+        let out: Vec<f32> = env.queue.enqueue_read_buffer(&z).map_err(cl_failure)?;
+        Ok(BodyOutcome {
+            validated: match &expected {
+                Some(e) => approx_eq_f32(&out, e, 1e-5),
+                None => true,
+            },
+            compute_time,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    #[test]
+    fn all_three_apis_agree_on_desktop() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let profile = devices::gtx1050ti();
+        let n = 100_000;
+        let vk = run_vulkan(&profile, &registry, n, &opts).unwrap();
+        let cu = run_cuda(&profile, &registry, n, &opts).unwrap();
+        let cl = run_opencl(&profile, &registry, n, &opts).unwrap();
+        assert!(vk.validated && cu.validated && cl.validated);
+        assert!(vk.kernel_time.as_micros() > 0.0);
+        assert!(cu.kernel_time.as_micros() > 0.0);
+        assert!(cl.kernel_time.as_micros() > 0.0);
+    }
+
+    #[test]
+    fn runs_on_mobile_unified_memory() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let profile = devices::powervr_g6430();
+        let vk = run_vulkan(&profile, &registry, 10_000, &opts).unwrap();
+        assert!(vk.validated);
+        let cl = run_opencl(&profile, &registry, 10_000, &opts).unwrap();
+        assert!(cl.validated);
+    }
+
+    #[test]
+    fn vulkan_needs_many_more_api_calls() {
+        // §VI-A made measurable: the same 1M-element vector add.
+        let registry = registry();
+        let opts = RunOpts::default();
+        let profile = devices::gtx1050ti();
+        let n = 4096;
+        let vk = run_vulkan(&profile, &registry, n, &opts).unwrap();
+        let cu = run_cuda(&profile, &registry, n, &opts).unwrap();
+        assert!(
+            vk.calls.total() > 3 * cu.calls.total(),
+            "vulkan {} vs cuda {}",
+            vk.calls.total(),
+            cu.calls.total()
+        );
+    }
+
+    #[test]
+    fn kernel_time_similar_across_apis() {
+        // One dispatch, no iteration: the paper finds parity for such
+        // workloads.
+        let registry = registry();
+        let opts = RunOpts::default();
+        let profile = devices::gtx1050ti();
+        let n = 1_000_000;
+        let vk = run_vulkan(&profile, &registry, n, &opts).unwrap();
+        let cu = run_cuda(&profile, &registry, n, &opts).unwrap();
+        let ratio = vk.kernel_time.ratio(cu.kernel_time);
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+}

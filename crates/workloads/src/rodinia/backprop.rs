@@ -1,0 +1,598 @@
+//! backprop — neural-network training step (Table I: Unstructured Grid /
+//! Deep Learning).
+//!
+//! One forward + backward pass of a two-layer perceptron with 16 hidden
+//! units, as in Rodinia: `backprop_layerforward` computes per-tile
+//! partial sums of `input · W1` on the GPU, the host finishes the forward
+//! pass and the output-layer math, then `backprop_adjust` applies the
+//! weight update with momentum. Two dependent kernels with host work in
+//! between — no multi-iteration loop, so the paper sees parity between
+//! the APIs. This workload is also the paper's mobile driver casualty:
+//! both the OpenCL and Vulkan Nexus drivers fail to run it (§V-B2).
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::suite::{self, BenchmarkMeta};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_cuda::{KernelArg, Stream};
+use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
+use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
+use vcb_vulkan::util as vku;
+use vcb_vulkan::SubmitInfo;
+
+use crate::common::{
+    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
+    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "backprop";
+/// Forward-pass partial-sum kernel.
+pub const KERNEL_FORWARD: &str = "backprop_layerforward";
+/// Weight-update kernel.
+pub const KERNEL_ADJUST: &str = "backprop_adjust_weights";
+/// Hidden-layer width (Rodinia fixes 16).
+pub const HIDDEN: usize = 16;
+/// Inputs summed per workgroup in the forward kernel.
+pub const TILE: usize = 256;
+/// Learning rate (Rodinia's ETA).
+pub const ETA: f32 = 0.3;
+/// Momentum (Rodinia's MOMENTUM).
+pub const MOMENTUM: f32 = 0.3;
+
+/// The GLSL compute shaders the SPIR-V binaries are built from.
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+// --- backprop_layerforward ---
+layout(local_size_x = 16) in;   // one lane per hidden unit
+layout(set = 0, binding = 0) readonly buffer Input { float inputs[]; };
+layout(set = 0, binding = 1) readonly buffer W { float w[]; };
+layout(set = 0, binding = 2) buffer Partial { float partial_sums[]; };
+layout(push_constant) uniform Params { uint n; };
+
+const uint HID = 16u;
+const uint TILE = 256u;
+
+void main() {
+    uint j = gl_LocalInvocationID.x;
+    uint g = gl_WorkGroupID.x;
+    float sum = 0.0;
+    for (uint i = 0u; i < TILE; ++i) {
+        uint idx = g * TILE + i;
+        if (idx < n) sum += inputs[idx] * w[idx * HID + j];
+    }
+    partial_sums[g * HID + j] = sum;
+}
+
+// --- backprop_adjust_weights (separate module, local_size 256) ---
+// w[i*HID+j] += eta * delta[j] * input[i] + momentum * oldw[i*HID+j];
+// oldw[i*HID+j] = dw;
+"#;
+
+/// The OpenCL C twins of the kernels.
+pub const CL_SOURCE: &str = r#"
+#define HID 16
+#define TILE 256
+
+__kernel void backprop_layerforward(__global const float* input,
+                                    __global const float* w,
+                                    __global float* partial,
+                                    uint n) {
+    uint j = get_local_id(0);       /* hidden unit */
+    uint g = get_group_id(0);       /* input tile  */
+    float sum = 0.0f;
+    for (uint i = 0; i < TILE; ++i) {
+        uint idx = g * TILE + i;
+        if (idx < n) sum += input[idx] * w[idx * HID + j];
+    }
+    partial[g * HID + j] = sum;
+}
+
+__kernel void backprop_adjust_weights(__global const float* input,
+                                      __global const float* delta,
+                                      __global float* w,
+                                      __global float* oldw,
+                                      uint n,
+                                      float eta,
+                                      float momentum) {
+    uint i = get_global_id(0);
+    if (i >= n) return;
+    float x = input[i];
+    for (uint j = 0; j < HID; ++j) {
+        float dw = eta * delta[j] * x + momentum * oldw[i * HID + j];
+        w[i * HID + j] += dw;
+        oldw[i * HID + j] = dw;
+    }
+}
+"#;
+
+/// Registers both kernel bodies.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    let forward = KernelInfo::new(KERNEL_FORWARD, [HIDDEN as u32, 1, 1])
+        .reads(0, "input")
+        .reads(1, "w")
+        .writes(2, "partial")
+        .push_constants(4)
+        .source_bytes(CL_SOURCE.len() as u64 / 2)
+        .build();
+    registry.register(
+        forward,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let input = ctx.global::<f32>(0)?;
+            let w = ctx.global::<f32>(1)?;
+            let partial = ctx.global::<f32>(2)?;
+            let n = ctx.push_u32(0) as usize;
+            let g = ctx.group_id(0) as usize;
+            ctx.for_lanes(|lane| {
+                let j = lane.local_linear() as usize;
+                let mut sum = 0.0f32;
+                for i in 0..TILE {
+                    let idx = g * TILE + i;
+                    if idx < n {
+                        sum += lane.ld(&input, idx) * lane.ld(&w, idx * HIDDEN + j);
+                        lane.alu(2);
+                    }
+                }
+                lane.st(&partial, g * HIDDEN + j, sum);
+            });
+            Ok(())
+        }),
+    )?;
+
+    let adjust = KernelInfo::new(KERNEL_ADJUST, [TILE as u32, 1, 1])
+        .reads(0, "input")
+        .reads(1, "delta")
+        .writes(2, "w")
+        .writes(3, "oldw")
+        .push_constants(12)
+        .source_bytes(CL_SOURCE.len() as u64 / 2)
+        .build();
+    registry.register(
+        adjust,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let input = ctx.global::<f32>(0)?;
+            let delta = ctx.global::<f32>(1)?;
+            let w = ctx.global::<f32>(2)?;
+            let oldw = ctx.global::<f32>(3)?;
+            let n = ctx.push_u32(0) as u64;
+            let eta = ctx.push_f32(4);
+            let momentum = ctx.push_f32(8);
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear();
+                if i >= n {
+                    return;
+                }
+                let i = i as usize;
+                let x = lane.ld(&input, i);
+                for j in 0..HIDDEN {
+                    let d = lane.ld(&delta, j);
+                    let old = lane.ld(&oldw, i * HIDDEN + j);
+                    let dw = eta * d * x + momentum * old;
+                    let cur = lane.ld(&w, i * HIDDEN + j);
+                    lane.alu(5);
+                    lane.st(&w, i * HIDDEN + j, cur + dw);
+                    lane.st(&oldw, i * HIDDEN + j, dw);
+                }
+            });
+            Ok(())
+        }),
+    )
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The host-side math between the two kernels: forward activations from
+/// partial sums, output error, hidden deltas. Returns `(hidden, delta)`.
+pub fn host_middle(partials: &[f32], w2: &[f32]) -> ([f32; HIDDEN], [f32; HIDDEN]) {
+    let groups = partials.len() / HIDDEN;
+    let mut hidden = [0.0f32; HIDDEN];
+    for j in 0..HIDDEN {
+        let mut sum = 0.0;
+        for g in 0..groups {
+            sum += partials[g * HIDDEN + j];
+        }
+        hidden[j] = sigmoid(sum);
+    }
+    let output = sigmoid(hidden.iter().zip(w2).map(|(h, v)| h * v).sum());
+    let target = 0.5f32;
+    let delta_out = output * (1.0 - output) * (target - output);
+    let mut delta = [0.0f32; HIDDEN];
+    for j in 0..HIDDEN {
+        delta[j] = hidden[j] * (1.0 - hidden[j]) * w2[j] * delta_out;
+    }
+    (hidden, delta)
+}
+
+/// Inputs: activations, first-layer weights, second-layer weights.
+pub fn generate(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let input = data::uniform_f32(n, seed, 0.0, 1.0);
+    let w1 = data::uniform_f32(n * HIDDEN, seed ^ 0x11, -0.05, 0.05);
+    let w2 = data::uniform_f32(HIDDEN, seed ^ 0x22, -0.5, 0.5);
+    (input, w1, w2)
+}
+
+/// CPU reference: updated first-layer weights after one training step,
+/// mirroring the kernels' tile-wise summation order exactly.
+pub fn reference(input: &[f32], w1: &[f32], w2: &[f32], n: usize) -> Vec<f32> {
+    let groups = n.div_ceil(TILE);
+    let mut partials = vec![0.0f32; groups * HIDDEN];
+    for g in 0..groups {
+        for j in 0..HIDDEN {
+            let mut sum = 0.0f32;
+            for i in 0..TILE {
+                let idx = g * TILE + i;
+                if idx < n {
+                    sum += input[idx] * w1[idx * HIDDEN + j];
+                }
+            }
+            partials[g * HIDDEN + j] = sum;
+        }
+    }
+    let (_hidden, delta) = host_middle(&partials, w2);
+    let mut w = w1.to_vec();
+    let oldw = vec![0.0f32; n * HIDDEN];
+    for i in 0..n {
+        for j in 0..HIDDEN {
+            let dw = ETA * delta[j] * input[i] + MOMENTUM * oldw[i * HIDDEN + j];
+            w[i * HIDDEN + j] += dw;
+        }
+    }
+    w
+}
+
+fn adjust_push(n: usize) -> Vec<u8> {
+    let mut p = Vec::with_capacity(12);
+    p.extend_from_slice(&(n as u32).to_le_bytes());
+    p.extend_from_slice(&ETA.to_le_bytes());
+    p.extend_from_slice(&MOMENTUM.to_le_bytes());
+    p
+}
+
+fn run_vulkan(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let groups = n.div_ceil(TILE);
+    let env = vk_env(profile, registry)?;
+    let (input_host, w1_host, w2_host) = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&input_host, &w1_host, &w2_host, n));
+    measure_vk(NAME, &size.label, &env, |env| {
+        let device = &env.device;
+        let q = &env.queue;
+        let input = vku::upload_storage_buffer(device, q, &input_host).map_err(vk_failure)?;
+        let w = vku::upload_storage_buffer(device, q, &w1_host).map_err(vk_failure)?;
+        let partial =
+            vku::create_storage_buffer(device, (groups * HIDDEN * 4) as u64).map_err(vk_failure)?;
+        let delta_buf =
+            vku::create_storage_buffer(device, (HIDDEN * 4) as u64).map_err(vk_failure)?;
+        let oldw = vku::upload_storage_buffer(device, q, &vec![0.0f32; n * HIDDEN])
+            .map_err(vk_failure)?;
+
+        let (layout_f, _pf, set_f) =
+            vku::storage_descriptor_set(device, &[&input.buffer, &w.buffer, &partial.buffer])
+                .map_err(vk_failure)?;
+        let (layout_a, _pa, set_a) = vku::storage_descriptor_set(
+            device,
+            &[&input.buffer, &delta_buf.buffer, &w.buffer, &oldw.buffer],
+        )
+        .map_err(vk_failure)?;
+        // The Nexus drivers fail on this workload (§V-B2): pipeline
+        // creation is where the quirk fires.
+        let forward = vk_kernel(env, registry, KERNEL_FORWARD, &layout_f, 4)?;
+        let adjust = vk_kernel(env, registry, KERNEL_ADJUST, &layout_a, 12)?;
+
+        let cmd_pool = device.create_command_pool(q.family_index()).map_err(vk_failure)?;
+        let cmd1 = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+        cmd1.begin().map_err(vk_failure)?;
+        cmd1.bind_pipeline(&forward.pipeline).map_err(vk_failure)?;
+        cmd1.bind_descriptor_sets(&forward.layout, &[&set_f]).map_err(vk_failure)?;
+        cmd1.push_constants(&forward.layout, 0, &(n as u32).to_le_bytes())
+            .map_err(vk_failure)?;
+        cmd1.dispatch(groups as u32, 1, 1).map_err(vk_failure)?;
+        cmd1.end().map_err(vk_failure)?;
+
+        let cmd2 = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+        cmd2.begin().map_err(vk_failure)?;
+        cmd2.bind_pipeline(&adjust.pipeline).map_err(vk_failure)?;
+        cmd2.bind_descriptor_sets(&adjust.layout, &[&set_a]).map_err(vk_failure)?;
+        cmd2.push_constants(&adjust.layout, 0, &adjust_push(n)).map_err(vk_failure)?;
+        cmd2.dispatch(groups as u32, 1, 1).map_err(vk_failure)?;
+        cmd2.end().map_err(vk_failure)?;
+
+        let compute_start = device.now();
+        q.submit(&[SubmitInfo { command_buffers: &[&cmd1] }], None)
+            .map_err(vk_failure)?;
+        q.wait_idle();
+        let partials: Vec<f32> =
+            vku::download_storage_buffer(device, q, &partial).map_err(vk_failure)?;
+        let (_hidden, delta) = host_middle(&partials, &w2_host);
+        // Upload the deltas for the backward kernel.
+        let delta_staged = vku::upload_storage_buffer(device, q, &delta).map_err(vk_failure)?;
+        device
+            .update_descriptor_sets(&[vcb_vulkan::WriteDescriptorSet {
+                dst_set: &set_a,
+                dst_binding: 1,
+                buffer: &delta_staged.buffer,
+            }])
+            .map_err(vk_failure)?;
+        q.submit(&[SubmitInfo { command_buffers: &[&cmd2] }], None)
+            .map_err(vk_failure)?;
+        q.wait_idle();
+        let compute_time = device.now().duration_since(compute_start);
+
+        let w_out: Vec<f32> = vku::download_storage_buffer(device, q, &w).map_err(vk_failure)?;
+        Ok(BodyOutcome {
+            validated: expected
+                .as_ref()
+                .is_none_or(|e| approx_eq_f32(&w_out, e, 1e-3)),
+            compute_time,
+        })
+    })
+}
+
+fn run_cuda(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let groups = n.div_ceil(TILE);
+    let ctx = cuda_env(profile, registry)?;
+    let (input_host, w1_host, w2_host) = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&input_host, &w1_host, &w2_host, n));
+    measure_cuda(NAME, &size.label, &ctx, |ctx| {
+        let input = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
+        let w = ctx.malloc((n * HIDDEN * 4) as u64).map_err(cuda_failure)?;
+        let partial = ctx.malloc((groups * HIDDEN * 4) as u64).map_err(cuda_failure)?;
+        let delta_buf = ctx.malloc((HIDDEN * 4) as u64).map_err(cuda_failure)?;
+        let oldw = ctx.malloc((n * HIDDEN * 4) as u64).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&input, &input_host).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&w, &w1_host).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&oldw, &vec![0.0f32; n * HIDDEN]).map_err(cuda_failure)?;
+        let forward = ctx.get_function(KERNEL_FORWARD).map_err(cuda_failure)?;
+        let adjust = ctx.get_function(KERNEL_ADJUST).map_err(cuda_failure)?;
+        let compute_start = ctx.now();
+        ctx.launch_kernel(
+            &forward,
+            [groups as u32, 1, 1],
+            &[
+                KernelArg::Ptr(input),
+                KernelArg::Ptr(w),
+                KernelArg::Ptr(partial),
+                KernelArg::U32(n as u32),
+            ],
+            Stream::DEFAULT,
+        )
+        .map_err(cuda_failure)?;
+        ctx.device_synchronize();
+        let partials: Vec<f32> = ctx.memcpy_dtoh(&partial).map_err(cuda_failure)?;
+        let (_hidden, delta) = host_middle(&partials, &w2_host);
+        ctx.memcpy_htod(&delta_buf, &delta).map_err(cuda_failure)?;
+        ctx.launch_kernel(
+            &adjust,
+            [groups as u32, 1, 1],
+            &[
+                KernelArg::Ptr(input),
+                KernelArg::Ptr(delta_buf),
+                KernelArg::Ptr(w),
+                KernelArg::Ptr(oldw),
+                KernelArg::U32(n as u32),
+                KernelArg::F32(ETA),
+                KernelArg::F32(MOMENTUM),
+            ],
+            Stream::DEFAULT,
+        )
+        .map_err(cuda_failure)?;
+        ctx.device_synchronize();
+        let compute_time = ctx.now().duration_since(compute_start);
+        let w_out: Vec<f32> = ctx.memcpy_dtoh(&w).map_err(cuda_failure)?;
+        Ok(BodyOutcome {
+            validated: expected
+                .as_ref()
+                .is_none_or(|e| approx_eq_f32(&w_out, e, 1e-3)),
+            compute_time,
+        })
+    })
+}
+
+fn run_opencl(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let groups = n.div_ceil(TILE);
+    let env = cl_env(profile, registry)?;
+    let (input_host, w1_host, w2_host) = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&input_host, &w1_host, &w2_host, n));
+    measure_cl(NAME, &size.label, &env, |env| {
+        let input = env
+            .context
+            .create_buffer(MemFlags::ReadOnly, (n * 4) as u64)
+            .map_err(cl_failure)?;
+        let w = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, (n * HIDDEN * 4) as u64)
+            .map_err(cl_failure)?;
+        let partial = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, (groups * HIDDEN * 4) as u64)
+            .map_err(cl_failure)?;
+        let delta_buf = env
+            .context
+            .create_buffer(MemFlags::ReadOnly, (HIDDEN * 4) as u64)
+            .map_err(cl_failure)?;
+        let oldw = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, (n * HIDDEN * 4) as u64)
+            .map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&input, &input_host).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&w, &w1_host).map_err(cl_failure)?;
+        env.queue
+            .enqueue_write_buffer(&oldw, &vec![0.0f32; n * HIDDEN])
+            .map_err(cl_failure)?;
+        // The Nexus OpenCL driver fails on this workload (§V-B2): the JIT
+        // build is where the quirk fires.
+        let program = Program::create_with_source(&env.context, CL_SOURCE);
+        program.build().map_err(cl_failure)?;
+        let forward = ClKernel::new(&program, KERNEL_FORWARD).map_err(cl_failure)?;
+        let adjust = ClKernel::new(&program, KERNEL_ADJUST).map_err(cl_failure)?;
+        forward.set_arg(0, ClArg::Buffer(input));
+        forward.set_arg(1, ClArg::Buffer(w));
+        forward.set_arg(2, ClArg::Buffer(partial));
+        forward.set_arg(3, ClArg::U32(n as u32));
+        let compute_start = env.context.now();
+        env.queue
+            .enqueue_nd_range_kernel(&forward, [(groups * HIDDEN) as u64, 1, 1])
+            .map_err(cl_failure)?;
+        env.queue.finish();
+        let partials: Vec<f32> = env.queue.enqueue_read_buffer(&partial).map_err(cl_failure)?;
+        let (_hidden, delta) = host_middle(&partials, &w2_host);
+        env.queue.enqueue_write_buffer(&delta_buf, &delta).map_err(cl_failure)?;
+        adjust.set_arg(0, ClArg::Buffer(input));
+        adjust.set_arg(1, ClArg::Buffer(delta_buf));
+        adjust.set_arg(2, ClArg::Buffer(w));
+        adjust.set_arg(3, ClArg::Buffer(oldw));
+        adjust.set_arg(4, ClArg::U32(n as u32));
+        adjust.set_arg(5, ClArg::F32(ETA));
+        adjust.set_arg(6, ClArg::F32(MOMENTUM));
+        env.queue
+            .enqueue_nd_range_kernel(&adjust, [(groups * TILE) as u64, 1, 1])
+            .map_err(cl_failure)?;
+        env.queue.finish();
+        let compute_time = env.context.now().duration_since(compute_start);
+        let w_out: Vec<f32> = env.queue.enqueue_read_buffer(&w).map_err(cl_failure)?;
+        Ok(BodyOutcome {
+            validated: expected
+                .as_ref()
+                .is_none_or(|e| approx_eq_f32(&w_out, e, 1e-3)),
+            compute_time,
+        })
+    })
+}
+
+/// The backprop suite entry.
+#[derive(Debug, Clone)]
+pub struct Backprop {
+    registry: Arc<KernelRegistry>,
+}
+
+impl Backprop {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        Backprop { registry }
+    }
+}
+
+impl Workload for Backprop {
+    fn meta(&self) -> BenchmarkMeta {
+        *suite::find(NAME).expect("backprop is in Table I")
+    }
+
+    fn sizes(&self, class: DeviceClass) -> Vec<SizeSpec> {
+        match class {
+            DeviceClass::Desktop => vec![
+                SizeSpec::new("4K", 4 * 1024),
+                SizeSpec::new("64K", 64 * 1024),
+                SizeSpec::new("256K", 256 * 1024),
+            ],
+            DeviceClass::Mobile => vec![
+                SizeSpec::new("64K", 64 * 1024),
+                SizeSpec::new("256K", 256 * 1024),
+            ],
+        }
+    }
+
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        match api {
+            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
+            Api::Cuda => run_cuda(device, &self.registry, size, opts),
+            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_core::run::{speedup, RunFailure};
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    #[test]
+    fn all_apis_match_reference() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("4K", 4096);
+        let w = Backprop::new(Arc::clone(&registry));
+        for api in Api::ALL {
+            let record = w.run(api, &devices::gtx1050ti(), &size, &opts).unwrap();
+            assert!(record.validated, "{api} failed validation");
+        }
+    }
+
+    #[test]
+    fn sigmoid_behaves() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.99);
+        assert!(sigmoid(-10.0) < 0.01);
+    }
+
+    #[test]
+    fn nexus_drivers_fail_like_the_paper() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("64K", 64 * 1024);
+        let w = Backprop::new(Arc::clone(&registry));
+        let nexus = devices::powervr_g6430();
+        for api in [Api::Vulkan, Api::OpenCl] {
+            let result = w.run(api, &nexus, &size, &opts);
+            assert!(
+                matches!(result, Err(RunFailure::DriverFailure)),
+                "{api} should fail on the Nexus"
+            );
+        }
+        // But it runs on the Snapdragon.
+        let sd = devices::adreno506();
+        assert!(w.run(Api::OpenCl, &sd, &size, &opts).unwrap().validated);
+    }
+
+    #[test]
+    fn apis_are_near_parity_on_desktop() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("64K", 64 * 1024);
+        let w = Backprop::new(Arc::clone(&registry));
+        let profile = devices::gtx1050ti();
+        let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+        let cu = w.run(Api::Cuda, &profile, &size, &opts).unwrap();
+        let s = speedup(&cu, &vk);
+        assert!((0.7..1.5).contains(&s), "backprop speedup {s}");
+    }
+}

@@ -1,0 +1,615 @@
+//! bfs — breadth-first search (Table I: Graph Traversal).
+//!
+//! Level-synchronous BFS over a compact adjacency graph, two kernels per
+//! level: `bfs_kernel1` expands the frontier, `bfs_kernel2` folds the
+//! updating mask into the next frontier and raises a host-visible `over`
+//! flag. Every level the host reads the flag back, so *all* APIs pay a
+//! per-level round trip — the Vulkan launch advantage mostly vanishes.
+//!
+//! What remains is the compiler-maturity effect of §V-A2: `bfs_kernel1`
+//! is flagged *promotable* — a mature driver compiler (the paper's OpenCL
+//! stacks) keeps the node record and its level in registers/local memory
+//! across the neighbor loop, while the immature Vulkan compilers reload
+//! them from global memory per edge. bfs is memory-bound, so Vulkan
+//! *loses* here, exactly as the paper's CodeXL disassembly explained.
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::suite::{self, BenchmarkMeta};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_cuda::{KernelArg, Stream};
+use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
+use vcb_sim::exec::{GroupCtx, KernelInfo, Lane};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
+use vcb_vulkan::util as vku;
+use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo};
+
+use crate::common::{
+    cl_env, cl_failure, cuda_env, cuda_failure, exact_eq_i32, measure_cl, measure_cuda,
+    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "bfs";
+/// Frontier-expansion kernel.
+pub const KERNEL1: &str = "bfs_kernel1";
+/// Frontier-update kernel.
+pub const KERNEL2: &str = "bfs_kernel2";
+/// Workgroup size.
+pub const LOCAL_SIZE: u32 = 256;
+
+/// The GLSL compute shaders the SPIR-V binaries are built from.
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+// --- bfs_kernel1 ---
+layout(local_size_x = 256) in;
+layout(set = 0, binding = 0) readonly buffer Nodes { uint nodes[]; };
+layout(set = 0, binding = 1) readonly buffer Edges { uint edges[]; };
+layout(set = 0, binding = 2) readonly buffer Frontier { int frontier[]; };
+layout(set = 0, binding = 3) readonly buffer Visited { int visited[]; };
+layout(set = 0, binding = 4) buffer Cost { int cost[]; };
+layout(set = 0, binding = 5) buffer Updating { int updating[]; };
+layout(push_constant) uniform Params { uint n; };
+
+void main() {
+    uint tid = gl_GlobalInvocationID.x;
+    if (tid >= n || frontier[tid] == 0) return;
+    uint start = nodes[2u * tid];
+    uint degree = nodes[2u * tid + 1u];
+    // NOTE: a mature compiler hoists cost[tid] out of this loop; the
+    // young Vulkan drivers re-issue the buffer load per edge (§V-A2).
+    for (uint e = start; e < start + degree; ++e) {
+        uint nb = edges[e];
+        if (visited[nb] == 0) {
+            cost[nb] = cost[tid] + 1;
+            updating[nb] = 1;
+        }
+    }
+}
+
+// --- bfs_kernel2 (separate module) ---
+// layout(binding = 0) frontier, 1 updating, 2 visited, 3 over
+// frontier[tid] = 0; if (updating[tid]) { frontier/visited = 1;
+// updating = 0; over[0] = 1; }
+"#;
+
+/// The OpenCL C twins of the kernels (structure of Rodinia `bfs Kernels.cl`).
+pub const CL_SOURCE: &str = r#"
+__kernel void bfs_kernel1(__global const uint* nodes,
+                          __global const uint* edges,
+                          __global const int* frontier,
+                          __global const int* visited,
+                          __global int* cost,
+                          __global int* updating,
+                          uint n) {
+    uint tid = get_global_id(0);
+    if (tid >= n || !frontier[tid]) return;
+    uint start = nodes[2 * tid];
+    uint degree = nodes[2 * tid + 1];
+    int c = cost[tid];
+    for (uint e = start; e < start + degree; ++e) {
+        uint nb = edges[e];
+        if (!visited[nb]) {
+            cost[nb] = c + 1;
+            updating[nb] = 1;
+        }
+    }
+}
+
+__kernel void bfs_kernel2(__global int* frontier,
+                          __global int* updating,
+                          __global int* visited,
+                          __global int* over,
+                          uint n) {
+    uint tid = get_global_id(0);
+    if (tid >= n) return;
+    frontier[tid] = 0;
+    if (updating[tid]) {
+        frontier[tid] = 1;
+        visited[tid] = 1;
+        updating[tid] = 0;
+        over[0] = 1;
+    }
+}
+"#;
+
+/// Registers both kernel bodies.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    let k1 = KernelInfo::new(KERNEL1, [LOCAL_SIZE, 1, 1])
+        .reads(0, "nodes")
+        .reads(1, "edges")
+        .reads(2, "frontier")
+        .reads(3, "visited")
+        .writes(4, "cost")
+        .writes(5, "updating")
+        .push_constants(4)
+        .promotable()
+        .source_bytes(CL_SOURCE.len() as u64 / 2)
+        .build();
+    registry.register(
+        k1,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let nodes = ctx.global::<u32>(0)?;
+            let edges = ctx.global::<u32>(1)?;
+            let frontier = ctx.global::<i32>(2)?;
+            let visited = ctx.global::<i32>(3)?;
+            let cost = ctx.global::<i32>(4)?;
+            let updating = ctx.global::<i32>(5)?;
+            let n = ctx.push_u32(0) as u64;
+            let promoted = ctx.opts().local_memory_promotion;
+            ctx.for_lanes(|lane: &mut Lane<'_>| {
+                let tid = lane.global_linear();
+                if tid >= n {
+                    return;
+                }
+                let tid = tid as usize;
+                if lane.ld(&frontier, tid) == 0 {
+                    return;
+                }
+                let start = lane.ld(&nodes, 2 * tid) as usize;
+                let degree = lane.ld(&nodes, 2 * tid + 1) as usize;
+                // A mature compiler keeps the node's level in a register
+                // across the neighbor loop; the immature one re-loads it
+                // from global memory for every edge (what the paper saw
+                // in the Vulkan ISA).
+                let c = if promoted { lane.ld(&cost, tid) } else { 0 };
+                #[allow(clippy::needless_range_loop)] // mirrors the GLSL edge loop
+                for e in start..start + degree {
+                    let c = if promoted {
+                        c
+                    } else {
+                        let _deg_again = lane.ld(&nodes, 2 * tid + 1);
+                        lane.ld(&cost, tid)
+                    };
+                    let nb = lane.ld(&edges, e) as usize;
+                    if lane.ld(&visited, nb) == 0 {
+                        lane.alu(1);
+                        lane.st(&cost, nb, c + 1);
+                        lane.st(&updating, nb, 1);
+                    }
+                }
+            });
+            Ok(())
+        }),
+    )?;
+
+    let k2 = KernelInfo::new(KERNEL2, [LOCAL_SIZE, 1, 1])
+        .writes(0, "frontier")
+        .writes(1, "updating")
+        .writes(2, "visited")
+        .writes(3, "over")
+        .push_constants(4)
+        .source_bytes(CL_SOURCE.len() as u64 / 2)
+        .build();
+    registry.register(
+        k2,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let frontier = ctx.global::<i32>(0)?;
+            let updating = ctx.global::<i32>(1)?;
+            let visited = ctx.global::<i32>(2)?;
+            let over = ctx.global::<i32>(3)?;
+            let n = ctx.push_u32(0) as u64;
+            ctx.for_lanes(|lane| {
+                let tid = lane.global_linear();
+                if tid >= n {
+                    return;
+                }
+                let tid = tid as usize;
+                lane.st(&frontier, tid, 0);
+                if lane.ld(&updating, tid) != 0 {
+                    lane.st(&frontier, tid, 1);
+                    lane.st(&visited, tid, 1);
+                    lane.st(&updating, tid, 0);
+                    lane.st(&over, 0, 1);
+                }
+            });
+            Ok(())
+        }),
+    )
+}
+
+/// CPU reference: BFS levels from node 0 (`-1` for unreachable).
+pub fn reference(nodes: &[u32], edges: &[u32], n: usize) -> Vec<i32> {
+    let mut cost = vec![-1i32; n];
+    cost[0] = 0;
+    let mut frontier = vec![0usize];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &node in &frontier {
+            let start = nodes[2 * node] as usize;
+            let degree = nodes[2 * node + 1] as usize;
+            for &edge in &edges[start..start + degree] {
+                let nb = edge as usize;
+                if cost[nb] < 0 {
+                    cost[nb] = cost[node] + 1;
+                    next.push(nb);
+                }
+            }
+        }
+        frontier = next;
+    }
+    cost
+}
+
+struct HostGraph {
+    nodes: Vec<u32>,
+    edges: Vec<u32>,
+    frontier: Vec<i32>,
+    visited: Vec<i32>,
+    cost: Vec<i32>,
+}
+
+fn host_graph(n: usize, seed: u64) -> HostGraph {
+    let (nodes, edges) = data::bfs_graph(n, seed);
+    let mut frontier = vec![0i32; n];
+    let mut visited = vec![0i32; n];
+    let mut cost = vec![-1i32; n];
+    frontier[0] = 1;
+    visited[0] = 1;
+    cost[0] = 0;
+    HostGraph {
+        nodes,
+        edges,
+        frontier,
+        visited,
+        cost,
+    }
+}
+
+fn groups(n: usize) -> u32 {
+    (n as u32).div_ceil(LOCAL_SIZE)
+}
+
+fn run_vulkan(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let env = vk_env(profile, registry)?;
+    let g = host_graph(n, opts.seed);
+    let expected = opts.validate.then(|| reference(&g.nodes, &g.edges, n));
+    measure_vk(NAME, &size.label, &env, |env| {
+        let device = &env.device;
+        let q = &env.queue;
+        let nodes = vku::upload_storage_buffer(device, q, &g.nodes).map_err(vk_failure)?;
+        let edges = vku::upload_storage_buffer(device, q, &g.edges).map_err(vk_failure)?;
+        let frontier = vku::upload_storage_buffer(device, q, &g.frontier).map_err(vk_failure)?;
+        let visited = vku::upload_storage_buffer(device, q, &g.visited).map_err(vk_failure)?;
+        let cost = vku::upload_storage_buffer(device, q, &g.cost).map_err(vk_failure)?;
+        let updating = vku::upload_storage_buffer(device, q, &vec![0i32; n]).map_err(vk_failure)?;
+        // The termination flag must be host-readable every level, so it
+        // lives in host-visible memory even on desktop.
+        let over = vku::create_buffer_bound(
+            device,
+            4,
+            vcb_vulkan::BufferUsage::STORAGE_BUFFER | vcb_vulkan::BufferUsage::TRANSFER_DST,
+            vcb_vulkan::MemoryProperty::HOST_VISIBLE,
+        )
+        .map_err(vk_failure)?;
+
+        let (layout1, _p1, set1) = vku::storage_descriptor_set(
+            device,
+            &[
+                &nodes.buffer,
+                &edges.buffer,
+                &frontier.buffer,
+                &visited.buffer,
+                &cost.buffer,
+                &updating.buffer,
+            ],
+        )
+        .map_err(vk_failure)?;
+        let (layout2, _p2, set2) = vku::storage_descriptor_set(
+            device,
+            &[&frontier.buffer, &updating.buffer, &visited.buffer, &over.buffer],
+        )
+        .map_err(vk_failure)?;
+        let k1 = vk_kernel(env, registry, KERNEL1, &layout1, 4)?;
+        let k2 = vk_kernel(env, registry, KERNEL2, &layout2, 4)?;
+
+        let cmd_pool = device
+            .create_command_pool(q.family_index())
+            .map_err(vk_failure)?;
+        // The level loop cannot be pre-recorded: the termination test
+        // forces a host readback per level, so (like the Rodinia port's
+        // two enqueues) each kernel goes out as its own cached command
+        // buffer, resubmitted every level.
+        let barrier = MemoryBarrier {
+            src_access: Access::SHADER_WRITE,
+            dst_access: Access::SHADER_READ,
+        };
+        let cmd1 = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+        cmd1.begin().map_err(vk_failure)?;
+        cmd1.bind_pipeline(&k1.pipeline).map_err(vk_failure)?;
+        cmd1.bind_descriptor_sets(&k1.layout, &[&set1]).map_err(vk_failure)?;
+        cmd1.push_constants(&k1.layout, 0, &(n as u32).to_le_bytes())
+            .map_err(vk_failure)?;
+        cmd1.dispatch(groups(n), 1, 1).map_err(vk_failure)?;
+        cmd1.pipeline_barrier(
+            PipelineStage::COMPUTE_SHADER,
+            PipelineStage::COMPUTE_SHADER,
+            &barrier,
+        )
+        .map_err(vk_failure)?;
+        cmd1.end().map_err(vk_failure)?;
+        let cmd2 = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+        cmd2.begin().map_err(vk_failure)?;
+        cmd2.bind_pipeline(&k2.pipeline).map_err(vk_failure)?;
+        cmd2.bind_descriptor_sets(&k2.layout, &[&set2]).map_err(vk_failure)?;
+        cmd2.push_constants(&k2.layout, 0, &(n as u32).to_le_bytes())
+            .map_err(vk_failure)?;
+        cmd2.dispatch(groups(n), 1, 1).map_err(vk_failure)?;
+        cmd2.end().map_err(vk_failure)?;
+
+        let compute_start = device.now();
+        loop {
+            over.buffer.write_mapped(&[0i32]).map_err(vk_failure)?;
+            q.submit(&[SubmitInfo { command_buffers: &[&cmd1] }], None)
+                .map_err(vk_failure)?;
+            q.submit(&[SubmitInfo { command_buffers: &[&cmd2] }], None)
+                .map_err(vk_failure)?;
+            q.wait_idle();
+            let flag: Vec<i32> = over.buffer.read_mapped().map_err(vk_failure)?;
+            if flag[0] == 0 {
+                break;
+            }
+        }
+        let compute_time = device.now().duration_since(compute_start);
+        let out: Vec<i32> = vku::download_storage_buffer(device, q, &cost).map_err(vk_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
+            compute_time,
+        })
+    })
+}
+
+fn run_cuda(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let ctx = cuda_env(profile, registry)?;
+    let g = host_graph(n, opts.seed);
+    let expected = opts.validate.then(|| reference(&g.nodes, &g.edges, n));
+    measure_cuda(NAME, &size.label, &ctx, |ctx| {
+        let nodes = ctx.malloc((g.nodes.len() * 4) as u64).map_err(cuda_failure)?;
+        let edges = ctx.malloc((g.edges.len() * 4) as u64).map_err(cuda_failure)?;
+        let frontier = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
+        let visited = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
+        let cost = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
+        let updating = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
+        let over = ctx.malloc(4).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&nodes, &g.nodes).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&edges, &g.edges).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&frontier, &g.frontier).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&visited, &g.visited).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&cost, &g.cost).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&updating, &vec![0i32; n]).map_err(cuda_failure)?;
+        let k1 = ctx.get_function(KERNEL1).map_err(cuda_failure)?;
+        let k2 = ctx.get_function(KERNEL2).map_err(cuda_failure)?;
+        let gr = groups(n);
+        let compute_start = ctx.now();
+        loop {
+            ctx.memcpy_htod(&over, &[0i32]).map_err(cuda_failure)?;
+            ctx.launch_kernel(
+                &k1,
+                [gr, 1, 1],
+                &[
+                    KernelArg::Ptr(nodes),
+                    KernelArg::Ptr(edges),
+                    KernelArg::Ptr(frontier),
+                    KernelArg::Ptr(visited),
+                    KernelArg::Ptr(cost),
+                    KernelArg::Ptr(updating),
+                    KernelArg::U32(n as u32),
+                ],
+                Stream::DEFAULT,
+            )
+            .map_err(cuda_failure)?;
+            ctx.launch_kernel(
+                &k2,
+                [gr, 1, 1],
+                &[
+                    KernelArg::Ptr(frontier),
+                    KernelArg::Ptr(updating),
+                    KernelArg::Ptr(visited),
+                    KernelArg::Ptr(over),
+                    KernelArg::U32(n as u32),
+                ],
+                Stream::DEFAULT,
+            )
+            .map_err(cuda_failure)?;
+            let flag: Vec<i32> = ctx.memcpy_dtoh(&over).map_err(cuda_failure)?;
+            if flag[0] == 0 {
+                break;
+            }
+        }
+        let compute_time = ctx.now().duration_since(compute_start);
+        let out: Vec<i32> = ctx.memcpy_dtoh(&cost).map_err(cuda_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
+            compute_time,
+        })
+    })
+}
+
+fn run_opencl(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let env = cl_env(profile, registry)?;
+    let g = host_graph(n, opts.seed);
+    let expected = opts.validate.then(|| reference(&g.nodes, &g.edges, n));
+    measure_cl(NAME, &size.label, &env, |env| {
+        let mk = |bytes: u64| env.context.create_buffer(MemFlags::ReadWrite, bytes);
+        let nodes = mk((g.nodes.len() * 4) as u64).map_err(cl_failure)?;
+        let edges = mk((g.edges.len() * 4) as u64).map_err(cl_failure)?;
+        let frontier = mk((n * 4) as u64).map_err(cl_failure)?;
+        let visited = mk((n * 4) as u64).map_err(cl_failure)?;
+        let cost = mk((n * 4) as u64).map_err(cl_failure)?;
+        let updating = mk((n * 4) as u64).map_err(cl_failure)?;
+        let over = mk(4).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&nodes, &g.nodes).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&edges, &g.edges).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&frontier, &g.frontier).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&visited, &g.visited).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&cost, &g.cost).map_err(cl_failure)?;
+        env.queue
+            .enqueue_write_buffer(&updating, &vec![0i32; n])
+            .map_err(cl_failure)?;
+        let program = Program::create_with_source(&env.context, CL_SOURCE);
+        program.build().map_err(cl_failure)?;
+        let k1 = ClKernel::new(&program, KERNEL1).map_err(cl_failure)?;
+        let k2 = ClKernel::new(&program, KERNEL2).map_err(cl_failure)?;
+        k1.set_arg(0, ClArg::Buffer(nodes));
+        k1.set_arg(1, ClArg::Buffer(edges));
+        k1.set_arg(2, ClArg::Buffer(frontier));
+        k1.set_arg(3, ClArg::Buffer(visited));
+        k1.set_arg(4, ClArg::Buffer(cost));
+        k1.set_arg(5, ClArg::Buffer(updating));
+        k1.set_arg(6, ClArg::U32(n as u32));
+        k2.set_arg(0, ClArg::Buffer(frontier));
+        k2.set_arg(1, ClArg::Buffer(updating));
+        k2.set_arg(2, ClArg::Buffer(visited));
+        k2.set_arg(3, ClArg::Buffer(over));
+        k2.set_arg(4, ClArg::U32(n as u32));
+        let global = u64::from(groups(n)) * u64::from(LOCAL_SIZE);
+        let compute_start = env.context.now();
+        loop {
+            env.queue.enqueue_write_buffer(&over, &[0i32]).map_err(cl_failure)?;
+            env.queue
+                .enqueue_nd_range_kernel(&k1, [global, 1, 1])
+                .map_err(cl_failure)?;
+            env.queue
+                .enqueue_nd_range_kernel(&k2, [global, 1, 1])
+                .map_err(cl_failure)?;
+            let flag: Vec<i32> = env.queue.enqueue_read_buffer(&over).map_err(cl_failure)?;
+            if flag[0] == 0 {
+                break;
+            }
+        }
+        let compute_time = env.context.now().duration_since(compute_start);
+        let out: Vec<i32> = env.queue.enqueue_read_buffer(&cost).map_err(cl_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
+            compute_time,
+        })
+    })
+}
+
+/// The bfs suite entry.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    registry: Arc<KernelRegistry>,
+}
+
+impl Bfs {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        Bfs { registry }
+    }
+}
+
+impl Workload for Bfs {
+    fn meta(&self) -> BenchmarkMeta {
+        *suite::find(NAME).expect("bfs is in Table I")
+    }
+
+    fn sizes(&self, class: DeviceClass) -> Vec<SizeSpec> {
+        match class {
+            DeviceClass::Desktop => vec![
+                SizeSpec::new("4K", 4 * 1024),
+                SizeSpec::new("64K", 64 * 1024),
+                SizeSpec::new("1M", 1024 * 1024),
+            ],
+            DeviceClass::Mobile => vec![
+                SizeSpec::new("4k", 4 * 1024),
+                SizeSpec::new("16k", 16 * 1024),
+            ],
+        }
+    }
+
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        match api {
+            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
+            Api::Cuda => run_cuda(device, &self.registry, size, opts),
+            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_core::run::speedup;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    #[test]
+    fn reference_levels_are_shortest_paths() {
+        // A path graph 0-1-2-3.
+        let nodes = vec![0, 1, 1, 1, 2, 1, 3, 0];
+        let edges = vec![1, 2, 3];
+        let cost = reference(&nodes, &edges, 4);
+        assert_eq!(cost, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_apis_match_reference() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("2k", 2048);
+        let w = Bfs::new(Arc::clone(&registry));
+        for api in Api::ALL {
+            let record = w.run(api, &devices::gtx1050ti(), &size, &opts).unwrap();
+            assert!(record.validated, "{api} failed validation");
+        }
+    }
+
+    #[test]
+    fn vulkan_slows_down_from_immature_compiler() {
+        // §V-A2: "we get a slowdown for bfs on both platforms". The
+        // effect is kernel-bound, so it shows once the graph is large
+        // enough that kernel time dominates the per-level round trips.
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("256K", 256 * 1024);
+        let w = Bfs::new(Arc::clone(&registry));
+        for profile in [devices::gtx1050ti(), devices::rx560()] {
+            let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+            let cl = w.run(Api::OpenCl, &profile, &size, &opts).unwrap();
+            let s = speedup(&cl, &vk);
+            assert!(s < 1.0, "bfs speedup {s} on {} should be < 1", profile.name);
+            assert!(s > 0.4, "bfs slowdown {s} on {} too extreme", profile.name);
+        }
+    }
+
+    #[test]
+    fn mobile_runs() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("1k", 1024);
+        let w = Bfs::new(Arc::clone(&registry));
+        let vk = w.run(Api::Vulkan, &devices::powervr_g6430(), &size, &opts).unwrap();
+        assert!(vk.validated);
+    }
+}

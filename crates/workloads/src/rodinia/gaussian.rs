@@ -1,0 +1,536 @@
+//! gaussian — Gaussian elimination (Table I: Dense Linear Algebra).
+//!
+//! Solves `A·x = b` by row reduction. Every elimination step `t` runs two
+//! kernels — `fan1` computes the column of multipliers, `fan2` updates the
+//! trailing submatrix and right-hand side — and step `t+1` depends on
+//! step `t`, so the launch-based APIs pay `2·(n-1)` launch round trips.
+//! The Vulkan port records all `2·(n-1)` dispatches into one command
+//! buffer with barriers; back-substitution runs on the host, as in
+//! Rodinia.
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::suite::{self, BenchmarkMeta};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_cuda::{CudaContext, KernelArg, Stream};
+use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
+use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
+use vcb_vulkan::util as vku;
+use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo};
+
+use crate::common::{
+    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
+    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "gaussian";
+/// Multiplier-column kernel.
+pub const KERNEL_FAN1: &str = "gaussian_fan1";
+/// Submatrix-update kernel.
+pub const KERNEL_FAN2: &str = "gaussian_fan2";
+/// 1-D workgroup size of fan1.
+pub const FAN1_LOCAL: u32 = 256;
+/// 2-D workgroup edge of fan2.
+pub const FAN2_TILE: u32 = 16;
+
+/// The GLSL compute shaders the SPIR-V binaries are built from.
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+// --- gaussian_fan1 ---
+layout(local_size_x = 256) in;
+layout(set = 0, binding = 0) readonly buffer A1 { float a[]; };
+layout(set = 0, binding = 1) buffer M1 { float m[]; };
+layout(push_constant) uniform Params { uint n; uint t; };
+
+void main() {
+    uint i = gl_GlobalInvocationID.x;
+    if (i < n - 1u - t) {
+        m[(t + 1u + i) * n + t] = a[(t + 1u + i) * n + t] / a[t * n + t];
+    }
+}
+
+// --- gaussian_fan2 (separate module, local_size 16x16) ---
+// a[row*n+col] -= m[row*n+t] * a[t*n+col]; row = t+1+x, col = t+y;
+// the y == 0 column also updates b[row].
+"#;
+
+/// The OpenCL C twin of the kernels.
+pub const CL_SOURCE: &str = r#"
+__kernel void gaussian_fan1(__global const float* a,
+                            __global float* m,
+                            uint n,
+                            uint t) {
+    uint i = get_global_id(0);
+    if (i < n - 1 - t) {
+        m[(t + 1 + i) * n + t] = a[(t + 1 + i) * n + t] / a[t * n + t];
+    }
+}
+
+__kernel void gaussian_fan2(__global const float* m,
+                            __global float* a,
+                            __global float* b,
+                            uint n,
+                            uint t) {
+    uint x = get_global_id(0);
+    uint y = get_global_id(1);
+    if (x >= n - 1 - t || y >= n - t) return;
+    uint row = t + 1 + x;
+    uint col = t + y;
+    a[row * n + col] -= m[row * n + t] * a[t * n + col];
+    if (y == 0) {
+        b[row] -= m[row * n + t] * b[t];
+    }
+}
+"#;
+
+/// Registers both kernel bodies.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    let fan1 = KernelInfo::new(KERNEL_FAN1, [FAN1_LOCAL, 1, 1])
+        .reads(0, "a")
+        .writes(1, "m")
+        .push_constants(8)
+        .source_bytes(CL_SOURCE.len() as u64 / 2)
+        .build();
+    registry.register(
+        fan1,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let a = ctx.global::<f32>(0)?;
+            let m = ctx.global::<f32>(1)?;
+            let n = ctx.push_u32(0) as usize;
+            let t = ctx.push_u32(4) as usize;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear() as usize;
+                if i < n - 1 - t {
+                    let pivot = lane.ld(&a, t * n + t);
+                    let v = lane.ld(&a, (t + 1 + i) * n + t) / pivot;
+                    lane.alu(1);
+                    lane.st(&m, (t + 1 + i) * n + t, v);
+                }
+            });
+            Ok(())
+        }),
+    )?;
+
+    let fan2 = KernelInfo::new(KERNEL_FAN2, [FAN2_TILE, FAN2_TILE, 1])
+        .reads(0, "m")
+        .writes(1, "a")
+        .writes(2, "b")
+        .push_constants(8)
+        .source_bytes(CL_SOURCE.len() as u64 / 2)
+        .build();
+    registry.register(
+        fan2,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let m = ctx.global::<f32>(0)?;
+            let a = ctx.global::<f32>(1)?;
+            let b = ctx.global::<f32>(2)?;
+            let n = ctx.push_u32(0) as usize;
+            let t = ctx.push_u32(4) as usize;
+            ctx.for_lanes(|lane| {
+                let x = lane.global_id(0) as usize;
+                let y = lane.global_id(1) as usize;
+                if x >= n - 1 - t || y >= n - t {
+                    return;
+                }
+                let row = t + 1 + x;
+                let col = t + y;
+                let mult = lane.ld(&m, row * n + t);
+                let pivot_row = lane.ld(&a, t * n + col);
+                let cur = lane.ld(&a, row * n + col);
+                lane.alu(2);
+                lane.st(&a, row * n + col, cur - mult * pivot_row);
+                if y == 0 {
+                    let bt = lane.ld(&b, t);
+                    let br = lane.ld(&b, row);
+                    lane.alu(2);
+                    lane.st(&b, row, br - mult * bt);
+                }
+            });
+            Ok(())
+        }),
+    )
+}
+
+/// CPU reference: forward elimination + back substitution, same
+/// operation order as the kernels.
+pub fn reference(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    let mut m = vec![0.0f32; n * n];
+    for t in 0..n - 1 {
+        for i in t + 1..n {
+            m[i * n + t] = a[i * n + t] / a[t * n + t];
+        }
+        for row in t + 1..n {
+            let mult = m[row * n + t];
+            for col in t..n {
+                a[row * n + col] -= mult * a[t * n + col];
+            }
+            b[row] -= mult * b[t];
+        }
+    }
+    back_substitute(&a, &b, n)
+}
+
+/// Back substitution on an upper-triangular system (host side, as in
+/// Rodinia).
+pub fn back_substitute(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut x = vec![0.0f32; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for j in i + 1..n {
+            sum -= a[i * n + j] * x[j];
+        }
+        x[i] = sum / a[i * n + i];
+    }
+    x
+}
+
+fn fan1_groups(n: usize, t: usize) -> u32 {
+    ((n - 1 - t) as u32).div_ceil(FAN1_LOCAL).max(1)
+}
+
+fn fan2_groups(n: usize, t: usize) -> [u32; 3] {
+    let rows = ((n - 1 - t) as u32).div_ceil(FAN2_TILE).max(1);
+    let cols = ((n - t) as u32).div_ceil(FAN2_TILE).max(1);
+    [rows, cols, 1]
+}
+
+fn push(n: usize, t: usize) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8);
+    p.extend_from_slice(&(n as u32).to_le_bytes());
+    p.extend_from_slice(&(t as u32).to_le_bytes());
+    p
+}
+
+fn run_vulkan(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let env = vk_env(profile, registry)?;
+    let (a_host, b_host) = data::linear_system(n, opts.seed);
+    let expected = opts.validate.then(|| reference(&a_host, &b_host, n));
+    measure_vk(NAME, &size.label, &env, |env| {
+        let device = &env.device;
+        let a = vku::upload_storage_buffer(device, &env.queue, &a_host).map_err(vk_failure)?;
+        let b = vku::upload_storage_buffer(device, &env.queue, &b_host).map_err(vk_failure)?;
+        let m = vku::create_storage_buffer(device, (n * n * 4) as u64).map_err(vk_failure)?;
+
+        // fan1 set: (a, m); fan2 set: (m, a, b).
+        let (layout1, _p1, set1) =
+            vku::storage_descriptor_set(device, &[&a.buffer, &m.buffer]).map_err(vk_failure)?;
+        let (layout2, _p2, set2) =
+            vku::storage_descriptor_set(device, &[&m.buffer, &a.buffer, &b.buffer])
+                .map_err(vk_failure)?;
+        let fan1 = vk_kernel(env, registry, KERNEL_FAN1, &layout1, 8)?;
+        let fan2 = vk_kernel(env, registry, KERNEL_FAN2, &layout2, 8)?;
+
+        let cmd_pool = device
+            .create_command_pool(env.queue.family_index())
+            .map_err(vk_failure)?;
+        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+        let barrier = MemoryBarrier {
+            src_access: Access::SHADER_WRITE,
+            dst_access: Access::SHADER_READ,
+        };
+        cmd.begin().map_err(vk_failure)?;
+        for t in 0..n - 1 {
+            cmd.bind_pipeline(&fan1.pipeline).map_err(vk_failure)?;
+            cmd.bind_descriptor_sets(&fan1.layout, &[&set1]).map_err(vk_failure)?;
+            cmd.push_constants(&fan1.layout, 0, &push(n, t)).map_err(vk_failure)?;
+            cmd.dispatch(fan1_groups(n, t), 1, 1).map_err(vk_failure)?;
+            cmd.pipeline_barrier(
+                PipelineStage::COMPUTE_SHADER,
+                PipelineStage::COMPUTE_SHADER,
+                &barrier,
+            )
+            .map_err(vk_failure)?;
+            cmd.bind_pipeline(&fan2.pipeline).map_err(vk_failure)?;
+            cmd.bind_descriptor_sets(&fan2.layout, &[&set2]).map_err(vk_failure)?;
+            cmd.push_constants(&fan2.layout, 0, &push(n, t)).map_err(vk_failure)?;
+            let g = fan2_groups(n, t);
+            cmd.dispatch(g[0], g[1], g[2]).map_err(vk_failure)?;
+            cmd.pipeline_barrier(
+                PipelineStage::COMPUTE_SHADER,
+                PipelineStage::COMPUTE_SHADER,
+                &barrier,
+            )
+            .map_err(vk_failure)?;
+        }
+        cmd.end().map_err(vk_failure)?;
+
+        let compute_start = device.now();
+        env.queue
+            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .map_err(vk_failure)?;
+        env.queue.wait_idle();
+        let compute_time = device.now().duration_since(compute_start);
+
+        let a_out: Vec<f32> =
+            vku::download_storage_buffer(device, &env.queue, &a).map_err(vk_failure)?;
+        let b_out: Vec<f32> =
+            vku::download_storage_buffer(device, &env.queue, &b).map_err(vk_failure)?;
+        let x = back_substitute(&a_out, &b_out, n);
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&x, e, 2e-2)),
+            compute_time,
+        })
+    })
+}
+
+fn cuda_body(
+    ctx: &CudaContext,
+    n: usize,
+    a_host: &[f32],
+    b_host: &[f32],
+    expected: Option<&Vec<f32>>,
+) -> Result<BodyOutcome, vcb_core::run::RunFailure> {
+    let a = ctx.malloc((n * n * 4) as u64).map_err(cuda_failure)?;
+    let b = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
+    let m = ctx.malloc((n * n * 4) as u64).map_err(cuda_failure)?;
+    ctx.memcpy_htod(&a, a_host).map_err(cuda_failure)?;
+    ctx.memcpy_htod(&b, b_host).map_err(cuda_failure)?;
+    let fan1 = ctx.get_function(KERNEL_FAN1).map_err(cuda_failure)?;
+    let fan2 = ctx.get_function(KERNEL_FAN2).map_err(cuda_failure)?;
+    let compute_start = ctx.now();
+    for t in 0..n - 1 {
+        ctx.launch_kernel(
+            &fan1,
+            [fan1_groups(n, t), 1, 1],
+            &[
+                KernelArg::Ptr(a),
+                KernelArg::Ptr(m),
+                KernelArg::U32(n as u32),
+                KernelArg::U32(t as u32),
+            ],
+            Stream::DEFAULT,
+        )
+        .map_err(cuda_failure)?;
+        ctx.device_synchronize();
+        ctx.launch_kernel(
+            &fan2,
+            fan2_groups(n, t),
+            &[
+                KernelArg::Ptr(m),
+                KernelArg::Ptr(a),
+                KernelArg::Ptr(b),
+                KernelArg::U32(n as u32),
+                KernelArg::U32(t as u32),
+            ],
+            Stream::DEFAULT,
+        )
+        .map_err(cuda_failure)?;
+        ctx.device_synchronize();
+    }
+    let compute_time = ctx.now().duration_since(compute_start);
+    let a_out: Vec<f32> = ctx.memcpy_dtoh(&a).map_err(cuda_failure)?;
+    let b_out: Vec<f32> = ctx.memcpy_dtoh(&b).map_err(cuda_failure)?;
+    let x = back_substitute(&a_out, &b_out, n);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| approx_eq_f32(&x, e, 2e-2)),
+        compute_time,
+    })
+}
+
+fn run_cuda(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let ctx = cuda_env(profile, registry)?;
+    let (a_host, b_host) = data::linear_system(n, opts.seed);
+    let expected = opts.validate.then(|| reference(&a_host, &b_host, n));
+    measure_cuda(NAME, &size.label, &ctx, |ctx| {
+        cuda_body(ctx, n, &a_host, &b_host, expected.as_ref())
+    })
+}
+
+fn run_opencl(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let env = cl_env(profile, registry)?;
+    let (a_host, b_host) = data::linear_system(n, opts.seed);
+    let expected = opts.validate.then(|| reference(&a_host, &b_host, n));
+    measure_cl(NAME, &size.label, &env, |env| {
+        let a = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, (n * n * 4) as u64)
+            .map_err(cl_failure)?;
+        let b = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, (n * 4) as u64)
+            .map_err(cl_failure)?;
+        let m = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, (n * n * 4) as u64)
+            .map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&a, &a_host).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&b, &b_host).map_err(cl_failure)?;
+        let program = Program::create_with_source(&env.context, CL_SOURCE);
+        program.build().map_err(cl_failure)?;
+        let fan1 = ClKernel::new(&program, KERNEL_FAN1).map_err(cl_failure)?;
+        let fan2 = ClKernel::new(&program, KERNEL_FAN2).map_err(cl_failure)?;
+        fan1.set_arg(0, ClArg::Buffer(a));
+        fan1.set_arg(1, ClArg::Buffer(m));
+        fan1.set_arg(2, ClArg::U32(n as u32));
+        fan2.set_arg(0, ClArg::Buffer(m));
+        fan2.set_arg(1, ClArg::Buffer(a));
+        fan2.set_arg(2, ClArg::Buffer(b));
+        fan2.set_arg(3, ClArg::U32(n as u32));
+        let compute_start = env.context.now();
+        for t in 0..n - 1 {
+            fan1.set_arg(3, ClArg::U32(t as u32));
+            env.queue
+                .enqueue_nd_range_kernel(
+                    &fan1,
+                    [u64::from(fan1_groups(n, t)) * u64::from(FAN1_LOCAL), 1, 1],
+                )
+                .map_err(cl_failure)?;
+            env.queue.finish();
+            fan2.set_arg(4, ClArg::U32(t as u32));
+            let g = fan2_groups(n, t);
+            env.queue
+                .enqueue_nd_range_kernel(
+                    &fan2,
+                    [
+                        u64::from(g[0]) * u64::from(FAN2_TILE),
+                        u64::from(g[1]) * u64::from(FAN2_TILE),
+                        1,
+                    ],
+                )
+                .map_err(cl_failure)?;
+            env.queue.finish();
+        }
+        let compute_time = env.context.now().duration_since(compute_start);
+        let a_out: Vec<f32> = env.queue.enqueue_read_buffer(&a).map_err(cl_failure)?;
+        let b_out: Vec<f32> = env.queue.enqueue_read_buffer(&b).map_err(cl_failure)?;
+        let x = back_substitute(&a_out, &b_out, n);
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&x, e, 2e-2)),
+            compute_time,
+        })
+    })
+}
+
+/// The gaussian suite entry.
+#[derive(Debug, Clone)]
+pub struct Gaussian {
+    registry: Arc<KernelRegistry>,
+}
+
+impl Gaussian {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        Gaussian { registry }
+    }
+}
+
+impl Workload for Gaussian {
+    fn meta(&self) -> BenchmarkMeta {
+        *suite::find(NAME).expect("gaussian is in Table I")
+    }
+
+    fn sizes(&self, class: DeviceClass) -> Vec<SizeSpec> {
+        match class {
+            DeviceClass::Desktop => vec![
+                SizeSpec::new("208", 208),
+                SizeSpec::new("1024", 1024),
+                SizeSpec::new("2048", 2048),
+            ],
+            DeviceClass::Mobile => vec![SizeSpec::new("208", 208), SizeSpec::new("416", 416)],
+        }
+    }
+
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        match api {
+            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
+            Api::Cuda => run_cuda(device, &self.registry, size, opts),
+            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_core::run::speedup;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    #[test]
+    fn reference_solves_the_system() {
+        let n = 24;
+        let (a, b) = data::linear_system(n, 3);
+        let x = reference(&a, &b, n);
+        // Check A·x ≈ b.
+        for i in 0..n {
+            let dot: f32 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
+            assert!((dot - b[i]).abs() < 1e-2, "row {i}: {dot} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn all_apis_match_reference() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("48", 48);
+        let w = Gaussian::new(Arc::clone(&registry));
+        for api in Api::ALL {
+            let record = w.run(api, &devices::gtx1050ti(), &size, &opts).unwrap();
+            assert!(record.validated, "{api} failed validation");
+        }
+    }
+
+    #[test]
+    fn vulkan_shines_at_small_matrices() {
+        // 2(n-1) dependent launches of tiny kernels: launch-overhead bound.
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("208", 208);
+        let w = Gaussian::new(Arc::clone(&registry));
+        let profile = devices::gtx1050ti();
+        let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+        let cu = w.run(Api::Cuda, &profile, &size, &opts).unwrap();
+        let s = speedup(&cu, &vk);
+        assert!(s > 1.8, "gaussian 208 speedup {s}");
+    }
+
+    #[test]
+    fn runs_on_mobile() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("64", 64);
+        let w = Gaussian::new(Arc::clone(&registry));
+        let cl = w
+            .run(Api::OpenCl, &devices::powervr_g6430(), &size, &opts)
+            .unwrap();
+        assert!(cl.validated);
+        let vk = w
+            .run(Api::Vulkan, &devices::adreno506(), &size, &opts)
+            .unwrap();
+        assert!(vk.validated);
+    }
+}

@@ -1,0 +1,471 @@
+//! hotspot — thermal simulation on a structured grid (Table I:
+//! Structured Grid / Physics).
+//!
+//! Estimates processor temperature from a floorplan power map by
+//! iterating a 5-point stencil. Each simulation step is one kernel
+//! invocation on ping-pong temperature buffers; steps are data-dependent,
+//! so the launch-based APIs pay a host round-trip per step while the
+//! Vulkan port records every step into one command buffer (§IV-C) with
+//! alternating descriptor sets.
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::suite::{self, BenchmarkMeta};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_cuda::{KernelArg, Stream};
+use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
+use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
+use vcb_vulkan::util as vku;
+use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo, WriteDescriptorSet};
+
+use crate::common::{
+    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
+    measure_vk, scaled_iterations, vk_env, vk_failure, vk_kernel, BodyOutcome,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "hotspot";
+/// Kernel entry point.
+pub const KERNEL: &str = "hotspot_step";
+/// Tile edge (workgroup is `TILE x TILE`).
+pub const TILE: u32 = 16;
+
+/// Physical constants of the Rodinia model (values from hotspot's
+/// `compute_tran_temp`).
+pub mod physics {
+    /// Capacitance scaling factor.
+    pub const CAP: f32 = 0.5;
+    /// X-direction thermal resistance.
+    pub const RX: f32 = 1.0;
+    /// Y-direction thermal resistance.
+    pub const RY: f32 = 1.0;
+    /// Z-direction (to ambient) thermal resistance.
+    pub const RZ: f32 = 4.0;
+    /// Ambient temperature.
+    pub const AMB: f32 = 80.0;
+    /// Time step.
+    pub const STEP: f32 = 0.4;
+}
+
+/// The GLSL compute shader the SPIR-V is built from.
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+layout(local_size_x = 16, local_size_y = 16) in;
+layout(set = 0, binding = 0) readonly buffer Power { float power[]; };
+layout(set = 0, binding = 1) readonly buffer TempSrc { float temp_src[]; };
+layout(set = 0, binding = 2) buffer TempDst { float temp_dst[]; };
+layout(push_constant) uniform Params { uint n; };
+
+const float CAP = 0.5, RX = 1.0, RY = 1.0, RZ = 4.0;
+const float AMB = 80.0, STEP = 0.4;
+
+void main() {
+    uint j = gl_GlobalInvocationID.x;
+    uint i = gl_GlobalInvocationID.y;
+    if (i >= n || j >= n) return;
+    uint idx = i * n + j;
+    float t  = temp_src[idx];
+    float tn = temp_src[(i == 0u     ? i : i - 1u) * n + j];
+    float ts = temp_src[(i == n - 1u ? i : i + 1u) * n + j];
+    float tw = temp_src[i * n + (j == 0u     ? j : j - 1u)];
+    float te = temp_src[i * n + (j == n - 1u ? j : j + 1u)];
+    float delta = (STEP / CAP) * (power[idx]
+        + (ts + tn - 2.0 * t) / RY
+        + (te + tw - 2.0 * t) / RX
+        + (AMB - t) / RZ);
+    temp_dst[idx] = t + delta;
+}
+"#;
+
+/// The OpenCL C twin of the kernel.
+pub const CL_SOURCE: &str = r#"
+__kernel void hotspot_step(__global const float* power,
+                           __global const float* temp_src,
+                           __global float* temp_dst,
+                           uint n) {
+    uint j = get_global_id(0);
+    uint i = get_global_id(1);
+    if (i >= n || j >= n) return;
+    uint idx = i * n + j;
+    float t = temp_src[idx];
+    float tn = temp_src[(i == 0     ? i : i - 1) * n + j];
+    float ts = temp_src[(i == n - 1 ? i : i + 1) * n + j];
+    float tw = temp_src[i * n + (j == 0     ? j : j - 1)];
+    float te = temp_src[i * n + (j == n - 1 ? j : j + 1)];
+    float delta = (STEP / CAP) * (power[idx]
+        + (ts + tn - 2.0f * t) / RY
+        + (te + tw - 2.0f * t) / RX
+        + (AMB - t) / RZ);
+    temp_dst[idx] = t + delta;
+}
+"#;
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    let info = KernelInfo::new(KERNEL, [TILE, TILE, 1])
+        .reads(0, "power")
+        .reads(1, "temp_src")
+        .writes(2, "temp_dst")
+        .push_constants(4)
+        .source_bytes(CL_SOURCE.len() as u64)
+        .build();
+    registry.register(
+        info,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let power = ctx.global::<f32>(0)?;
+            let src = ctx.global::<f32>(1)?;
+            let dst = ctx.global::<f32>(2)?;
+            let n = ctx.push_u32(0) as usize;
+            ctx.for_lanes(|lane| {
+                let j = lane.global_id(0) as usize;
+                let i = lane.global_id(1) as usize;
+                if i >= n || j >= n {
+                    return;
+                }
+                let idx = i * n + j;
+                let t = lane.ld(&src, idx);
+                let tn = lane.ld(&src, if i == 0 { idx } else { idx - n });
+                let ts = lane.ld(&src, if i == n - 1 { idx } else { idx + n });
+                let tw = lane.ld(&src, if j == 0 { idx } else { idx - 1 });
+                let te = lane.ld(&src, if j == n - 1 { idx } else { idx + 1 });
+                let p = lane.ld(&power, idx);
+                let delta = (physics::STEP / physics::CAP)
+                    * (p + (ts + tn - 2.0 * t) / physics::RY
+                        + (te + tw - 2.0 * t) / physics::RX
+                        + (physics::AMB - t) / physics::RZ);
+                lane.alu(14);
+                lane.st(&dst, idx, t + delta);
+            });
+            Ok(())
+        }),
+    )
+}
+
+/// Generates initial temperatures and the power map.
+pub fn generate(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let temp = data::uniform_f32(n * n, seed, 320.0, 340.0);
+    let power = data::uniform_f32(n * n, seed ^ 0x70, 0.0, 0.5);
+    (temp, power)
+}
+
+/// CPU reference: `iterations` stencil steps.
+pub fn reference(temp: &[f32], power: &[f32], n: usize, iterations: u64) -> Vec<f32> {
+    let mut src = temp.to_vec();
+    let mut dst = vec![0.0f32; n * n];
+    for _ in 0..iterations {
+        for i in 0..n {
+            for j in 0..n {
+                let idx = i * n + j;
+                let t = src[idx];
+                let tn = src[if i == 0 { idx } else { idx - n }];
+                let ts = src[if i == n - 1 { idx } else { idx + n }];
+                let tw = src[if j == 0 { idx } else { idx - 1 }];
+                let te = src[if j == n - 1 { idx } else { idx + 1 }];
+                let delta = (physics::STEP / physics::CAP)
+                    * (power[idx]
+                        + (ts + tn - 2.0 * t) / physics::RY
+                        + (te + tw - 2.0 * t) / physics::RX
+                        + (physics::AMB - t) / physics::RZ);
+                dst[idx] = t + delta;
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+fn grid_groups(n: usize) -> [u32; 3] {
+    let g = (n as u32).div_ceil(TILE);
+    [g, g, 1]
+}
+
+fn run_vulkan(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let iterations = scaled_iterations(size.aux, opts);
+    let env = vk_env(profile, registry)?;
+    let (temp_host, power_host) = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&temp_host, &power_host, n, iterations));
+    measure_vk(NAME, &size.label, &env, |env| {
+        let device = &env.device;
+        let power = vku::upload_storage_buffer(device, &env.queue, &power_host).map_err(vk_failure)?;
+        let ping = vku::upload_storage_buffer(device, &env.queue, &temp_host).map_err(vk_failure)?;
+        let pong = vku::create_storage_buffer(device, (n * n * 4) as u64).map_err(vk_failure)?;
+
+        let (set_layout, _pool, set_a) =
+            vku::storage_descriptor_set(device, &[&power.buffer, &ping.buffer, &pong.buffer])
+                .map_err(vk_failure)?;
+        let pool_b = device.create_descriptor_pool(1).map_err(vk_failure)?;
+        let set_b = pool_b.allocate_descriptor_set(&set_layout).map_err(vk_failure)?;
+        device
+            .update_descriptor_sets(&[
+                WriteDescriptorSet { dst_set: &set_b, dst_binding: 0, buffer: &power.buffer },
+                WriteDescriptorSet { dst_set: &set_b, dst_binding: 1, buffer: &pong.buffer },
+                WriteDescriptorSet { dst_set: &set_b, dst_binding: 2, buffer: &ping.buffer },
+            ])
+            .map_err(vk_failure)?;
+
+        let kernel = vk_kernel(env, registry, KERNEL, &set_layout, 4)?;
+        let cmd_pool = device
+            .create_command_pool(env.queue.family_index())
+            .map_err(vk_failure)?;
+        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+        let barrier = MemoryBarrier {
+            src_access: Access::SHADER_WRITE,
+            dst_access: Access::SHADER_READ,
+        };
+        cmd.begin().map_err(vk_failure)?;
+        cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
+        let groups = grid_groups(n);
+        for i in 0..iterations {
+            let set = if i % 2 == 0 { &set_a } else { &set_b };
+            cmd.bind_descriptor_sets(&kernel.layout, &[set]).map_err(vk_failure)?;
+            cmd.push_constants(&kernel.layout, 0, &(n as u32).to_le_bytes())
+                .map_err(vk_failure)?;
+            cmd.dispatch(groups[0], groups[1], groups[2]).map_err(vk_failure)?;
+            cmd.pipeline_barrier(
+                PipelineStage::COMPUTE_SHADER,
+                PipelineStage::COMPUTE_SHADER,
+                &barrier,
+            )
+            .map_err(vk_failure)?;
+        }
+        cmd.end().map_err(vk_failure)?;
+        let compute_start = device.now();
+        env.queue
+            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .map_err(vk_failure)?;
+        env.queue.wait_idle();
+        let compute_time = device.now().duration_since(compute_start);
+
+        let result = if iterations % 2 == 1 { &pong } else { &ping };
+        let out: Vec<f32> =
+            vku::download_storage_buffer(device, &env.queue, result).map_err(vk_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-3)),
+            compute_time,
+        })
+    })
+}
+
+fn run_cuda(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let iterations = scaled_iterations(size.aux, opts);
+    let ctx = cuda_env(profile, registry)?;
+    let (temp_host, power_host) = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&temp_host, &power_host, n, iterations));
+    measure_cuda(NAME, &size.label, &ctx, |ctx| {
+        let bytes = (n * n * 4) as u64;
+        let power = ctx.malloc(bytes).map_err(cuda_failure)?;
+        let mut src = ctx.malloc(bytes).map_err(cuda_failure)?;
+        let mut dst = ctx.malloc(bytes).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&power, &power_host).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&src, &temp_host).map_err(cuda_failure)?;
+        let kernel = ctx.get_function(KERNEL).map_err(cuda_failure)?;
+        let groups = grid_groups(n);
+        let compute_start = ctx.now();
+        for _ in 0..iterations {
+            ctx.launch_kernel(
+                &kernel,
+                groups,
+                &[
+                    KernelArg::Ptr(power),
+                    KernelArg::Ptr(src),
+                    KernelArg::Ptr(dst),
+                    KernelArg::U32(n as u32),
+                ],
+                Stream::DEFAULT,
+            )
+            .map_err(cuda_failure)?;
+            ctx.device_synchronize();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let compute_time = ctx.now().duration_since(compute_start);
+        let out: Vec<f32> = ctx.memcpy_dtoh(&src).map_err(cuda_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-3)),
+            compute_time,
+        })
+    })
+}
+
+fn run_opencl(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let iterations = scaled_iterations(size.aux, opts);
+    let env = cl_env(profile, registry)?;
+    let (temp_host, power_host) = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&temp_host, &power_host, n, iterations));
+    measure_cl(NAME, &size.label, &env, |env| {
+        let bytes = (n * n * 4) as u64;
+        let power = env
+            .context
+            .create_buffer(MemFlags::ReadOnly, bytes)
+            .map_err(cl_failure)?;
+        let mut src = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, bytes)
+            .map_err(cl_failure)?;
+        let mut dst = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, bytes)
+            .map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&power, &power_host).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&src, &temp_host).map_err(cl_failure)?;
+        let program = Program::create_with_source(&env.context, CL_SOURCE);
+        program.build().map_err(cl_failure)?;
+        let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
+        kernel.set_arg(0, ClArg::Buffer(power));
+        kernel.set_arg(3, ClArg::U32(n as u32));
+        let global = (n as u64).div_ceil(u64::from(TILE)) * u64::from(TILE);
+        let compute_start = env.context.now();
+        for _ in 0..iterations {
+            kernel.set_arg(1, ClArg::Buffer(src));
+            kernel.set_arg(2, ClArg::Buffer(dst));
+            env.queue
+                .enqueue_nd_range_kernel(&kernel, [global, global, 1])
+                .map_err(cl_failure)?;
+            env.queue.finish();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let compute_time = env.context.now().duration_since(compute_start);
+        let out: Vec<f32> = env.queue.enqueue_read_buffer(&src).map_err(cl_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-3)),
+            compute_time,
+        })
+    })
+}
+
+/// The hotspot suite entry.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    registry: Arc<KernelRegistry>,
+}
+
+impl Hotspot {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        Hotspot { registry }
+    }
+}
+
+impl Workload for Hotspot {
+    fn meta(&self) -> BenchmarkMeta {
+        *suite::find(NAME).expect("hotspot is in Table I")
+    }
+
+    fn sizes(&self, class: DeviceClass) -> Vec<SizeSpec> {
+        match class {
+            DeviceClass::Desktop => vec![
+                SizeSpec::with_aux("512-08", 512, 8),
+                SizeSpec::with_aux("512-16", 512, 16),
+                SizeSpec::with_aux("512-32", 512, 32),
+            ],
+            DeviceClass::Mobile => vec![
+                SizeSpec::with_aux("128-8", 128, 8),
+                SizeSpec::with_aux("128-16", 128, 16),
+            ],
+        }
+    }
+
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        match api {
+            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
+            Api::Cuda => run_cuda(device, &self.registry, size, opts),
+            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_core::run::speedup;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    #[test]
+    fn all_apis_match_reference() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::with_aux("64-4", 64, 4);
+        let w = Hotspot::new(Arc::clone(&registry));
+        for api in Api::ALL {
+            let record = w.run(api, &devices::gtx1050ti(), &size, &opts).unwrap();
+            assert!(record.validated, "{api} failed validation");
+        }
+    }
+
+    #[test]
+    fn temperatures_converge_toward_equilibrium() {
+        // With zero power the grid must relax toward ambient.
+        let n = 16;
+        let temp = vec![340.0f32; n * n];
+        let power = vec![0.0f32; n * n];
+        let after = reference(&temp, &power, n, 50);
+        assert!(after[0] < 340.0);
+        assert!(after[0] > physics::AMB);
+    }
+
+    #[test]
+    fn vulkan_wins_and_gains_with_iterations() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let w = Hotspot::new(Arc::clone(&registry));
+        let profile = devices::gtx1050ti();
+        let mut speedups = Vec::new();
+        for size in w.sizes(DeviceClass::Desktop) {
+            let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+            let cu = w.run(Api::Cuda, &profile, &size, &opts).unwrap();
+            speedups.push(speedup(&cu, &vk));
+        }
+        assert!(speedups[0] > 1.2, "512-08 speedup {}", speedups[0]);
+        assert!(
+            speedups[2] >= speedups[0] * 0.95,
+            "speedup should not shrink with iterations: {speedups:?}"
+        );
+    }
+
+    #[test]
+    fn mobile_sizes_run() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let w = Hotspot::new(Arc::clone(&registry));
+        let size = &w.sizes(DeviceClass::Mobile)[0];
+        let cl = w.run(Api::OpenCl, &devices::powervr_g6430(), size, &opts).unwrap();
+        assert!(cl.validated);
+    }
+}

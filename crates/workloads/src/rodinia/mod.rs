@@ -1,0 +1,17 @@
+//! The nine Rodinia ports of Table I.
+//!
+//! Each module carries: the kernel bodies (registered once, shared by all
+//! three APIs), the OpenCL C source whose `__kernel` declarations the JIT
+//! path consumes, a seeded input generator, a CPU reference
+//! implementation for validation, and one host driver per programming
+//! model implementing the paper's synchronization structure (§IV-C).
+
+pub mod backprop;
+pub mod bfs;
+pub mod cfd;
+pub mod gaussian;
+pub mod hotspot;
+pub mod lud;
+pub mod nn;
+pub mod nw;
+pub mod pathfinder;

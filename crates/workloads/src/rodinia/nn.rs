@@ -1,0 +1,368 @@
+//! nn — k-nearest neighbors (Table I: Dense Linear Algebra / Data
+//! Mining).
+//!
+//! Computes the Euclidean distance from every (latitude, longitude)
+//! record to a query point on the GPU; the host then selects the k
+//! closest. A single bulk-parallel kernel with no iteration — the paper
+//! finds all three programming models at parity here.
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::suite::{self, BenchmarkMeta};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_cuda::{KernelArg, Stream};
+use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
+use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
+use vcb_vulkan::util as vku;
+use vcb_vulkan::SubmitInfo;
+
+use crate::common::{
+    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
+    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "nn";
+/// Kernel entry point.
+pub const KERNEL: &str = "nn_distance";
+/// Workgroup size.
+pub const LOCAL_SIZE: u32 = 256;
+/// Neighbors selected on the host.
+pub const K: usize = 5;
+
+/// The GLSL compute shader the SPIR-V is built from.
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+layout(local_size_x = 256) in;
+layout(set = 0, binding = 0) readonly buffer Locations { vec2 locations[]; };
+layout(set = 0, binding = 1) buffer Distances { float distances[]; };
+layout(push_constant) uniform Params {
+    uint n;
+    float lat;
+    float lng;
+};
+
+void main() {
+    uint i = gl_GlobalInvocationID.x;
+    if (i < n) {
+        vec2 p = locations[i];
+        distances[i] = sqrt((lat - p.x) * (lat - p.x)
+                          + (lng - p.y) * (lng - p.y));
+    }
+}
+"#;
+
+/// The OpenCL C twin of the kernel.
+pub const CL_SOURCE: &str = r#"
+__kernel void nn_distance(__global const float2* locations,
+                          __global float* distances,
+                          uint n,
+                          float lat,
+                          float lng) {
+    uint i = get_global_id(0);
+    if (i < n) {
+        float2 p = locations[i];
+        distances[i] = sqrt((lat - p.x) * (lat - p.x)
+                          + (lng - p.y) * (lng - p.y));
+    }
+}
+"#;
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    let info = KernelInfo::new(KERNEL, [LOCAL_SIZE, 1, 1])
+        .reads(0, "locations")
+        .writes(1, "distances")
+        .push_constants(12)
+        .source_bytes(CL_SOURCE.len() as u64)
+        .build();
+    registry.register(
+        info,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let locations = ctx.global::<f32>(0)?;
+            let distances = ctx.global::<f32>(1)?;
+            let n = ctx.push_u32(0) as u64;
+            let lat = ctx.push_f32(4);
+            let lng = ctx.push_f32(8);
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear();
+                if i < n {
+                    let i = i as usize;
+                    let px = lane.ld(&locations, 2 * i);
+                    let py = lane.ld(&locations, 2 * i + 1);
+                    let d = ((lat - px) * (lat - px) + (lng - py) * (lng - py)).sqrt();
+                    lane.alu(6);
+                    lane.st(&distances, i, d);
+                }
+            });
+            Ok(())
+        }),
+    )
+}
+
+/// Query point used by all runs (fixed, like Rodinia's command line).
+pub const QUERY: (f32, f32) = (30.0, 59.0);
+
+/// Deterministic (lat, lng) records, interleaved.
+pub fn generate(n: usize, seed: u64) -> Vec<f32> {
+    let lat = data::uniform_f32(n, seed, 0.0, 90.0);
+    let lng = data::uniform_f32(n, seed ^ 0x1477, 0.0, 180.0);
+    lat.into_iter().zip(lng).flat_map(|(a, b)| [a, b]).collect()
+}
+
+/// CPU reference distances.
+pub fn reference(locations: &[f32], lat: f32, lng: f32) -> Vec<f32> {
+    locations
+        .chunks_exact(2)
+        .map(|p| ((lat - p[0]) * (lat - p[0]) + (lng - p[1]) * (lng - p[1])).sqrt())
+        .collect()
+}
+
+/// Host-side top-k selection (indices of the k smallest distances).
+pub fn select_k_nearest(distances: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..distances.len()).collect();
+    idx.sort_by(|&a, &b| distances[a].total_cmp(&distances[b]));
+    idx.truncate(k);
+    idx
+}
+
+fn push() -> impl Fn(usize) -> Vec<u8> {
+    |n| {
+        let mut p = Vec::with_capacity(12);
+        p.extend_from_slice(&(n as u32).to_le_bytes());
+        p.extend_from_slice(&QUERY.0.to_le_bytes());
+        p.extend_from_slice(&QUERY.1.to_le_bytes());
+        p
+    }
+}
+
+fn run_vulkan(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let env = vk_env(profile, registry)?;
+    let locations_host = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&locations_host, QUERY.0, QUERY.1));
+    measure_vk(NAME, &size.label, &env, |env| {
+        let device = &env.device;
+        let locations =
+            vku::upload_storage_buffer(device, &env.queue, &locations_host).map_err(vk_failure)?;
+        let distances = vku::create_storage_buffer(device, (n * 4) as u64).map_err(vk_failure)?;
+        let (layout, _pool, set) =
+            vku::storage_descriptor_set(device, &[&locations.buffer, &distances.buffer])
+                .map_err(vk_failure)?;
+        let kernel = vk_kernel(env, registry, KERNEL, &layout, 12)?;
+        let cmd_pool = device
+            .create_command_pool(env.queue.family_index())
+            .map_err(vk_failure)?;
+        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+        cmd.begin().map_err(vk_failure)?;
+        cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
+        cmd.bind_descriptor_sets(&kernel.layout, &[&set]).map_err(vk_failure)?;
+        cmd.push_constants(&kernel.layout, 0, &push()(n)).map_err(vk_failure)?;
+        cmd.dispatch((n as u32).div_ceil(LOCAL_SIZE), 1, 1).map_err(vk_failure)?;
+        cmd.end().map_err(vk_failure)?;
+        let compute_start = device.now();
+        env.queue
+            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .map_err(vk_failure)?;
+        env.queue.wait_idle();
+        let compute_time = device.now().duration_since(compute_start);
+        let out: Vec<f32> =
+            vku::download_storage_buffer(device, &env.queue, &distances).map_err(vk_failure)?;
+        let _nearest = select_k_nearest(&out, K);
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-4)),
+            compute_time,
+        })
+    })
+}
+
+fn run_cuda(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let ctx = cuda_env(profile, registry)?;
+    let locations_host = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&locations_host, QUERY.0, QUERY.1));
+    measure_cuda(NAME, &size.label, &ctx, |ctx| {
+        let locations = ctx.malloc((2 * n * 4) as u64).map_err(cuda_failure)?;
+        let distances = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&locations, &locations_host).map_err(cuda_failure)?;
+        let kernel = ctx.get_function(KERNEL).map_err(cuda_failure)?;
+        let compute_start = ctx.now();
+        ctx.launch_kernel(
+            &kernel,
+            [(n as u32).div_ceil(LOCAL_SIZE), 1, 1],
+            &[
+                KernelArg::Ptr(locations),
+                KernelArg::Ptr(distances),
+                KernelArg::U32(n as u32),
+                KernelArg::F32(QUERY.0),
+                KernelArg::F32(QUERY.1),
+            ],
+            Stream::DEFAULT,
+        )
+        .map_err(cuda_failure)?;
+        ctx.device_synchronize();
+        let compute_time = ctx.now().duration_since(compute_start);
+        let out: Vec<f32> = ctx.memcpy_dtoh(&distances).map_err(cuda_failure)?;
+        let _nearest = select_k_nearest(&out, K);
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-4)),
+            compute_time,
+        })
+    })
+}
+
+fn run_opencl(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let env = cl_env(profile, registry)?;
+    let locations_host = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&locations_host, QUERY.0, QUERY.1));
+    measure_cl(NAME, &size.label, &env, |env| {
+        let locations = env
+            .context
+            .create_buffer(MemFlags::ReadOnly, (2 * n * 4) as u64)
+            .map_err(cl_failure)?;
+        let distances = env
+            .context
+            .create_buffer(MemFlags::WriteOnly, (n * 4) as u64)
+            .map_err(cl_failure)?;
+        env.queue
+            .enqueue_write_buffer(&locations, &locations_host)
+            .map_err(cl_failure)?;
+        let program = Program::create_with_source(&env.context, CL_SOURCE);
+        program.build().map_err(cl_failure)?;
+        let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
+        kernel.set_arg(0, ClArg::Buffer(locations));
+        kernel.set_arg(1, ClArg::Buffer(distances));
+        kernel.set_arg(2, ClArg::U32(n as u32));
+        kernel.set_arg(3, ClArg::F32(QUERY.0));
+        kernel.set_arg(4, ClArg::F32(QUERY.1));
+        let compute_start = env.context.now();
+        env.queue
+            .enqueue_nd_range_kernel(&kernel, [n as u64, 1, 1])
+            .map_err(cl_failure)?;
+        env.queue.finish();
+        let compute_time = env.context.now().duration_since(compute_start);
+        let out: Vec<f32> = env.queue.enqueue_read_buffer(&distances).map_err(cl_failure)?;
+        let _nearest = select_k_nearest(&out, K);
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-4)),
+            compute_time,
+        })
+    })
+}
+
+/// The nn suite entry.
+#[derive(Debug, Clone)]
+pub struct Nn {
+    registry: Arc<KernelRegistry>,
+}
+
+impl Nn {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        Nn { registry }
+    }
+}
+
+impl Workload for Nn {
+    fn meta(&self) -> BenchmarkMeta {
+        *suite::find(NAME).expect("nn is in Table I")
+    }
+
+    fn sizes(&self, class: DeviceClass) -> Vec<SizeSpec> {
+        match class {
+            DeviceClass::Desktop => vec![
+                SizeSpec::new("256K", 256 * 1024),
+                SizeSpec::new("8M", 8 * 1024 * 1024),
+                SizeSpec::new("16M", 16 * 1024 * 1024),
+            ],
+            DeviceClass::Mobile => vec![
+                SizeSpec::new("256K", 256 * 1024),
+                SizeSpec::new("8M", 8 * 1024 * 1024),
+            ],
+        }
+    }
+
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        match api {
+            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
+            Api::Cuda => run_cuda(device, &self.registry, size, opts),
+            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_core::run::speedup;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    #[test]
+    fn all_apis_match_reference() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("8k", 8192);
+        let w = Nn::new(Arc::clone(&registry));
+        for api in Api::ALL {
+            let record = w.run(api, &devices::gtx1050ti(), &size, &opts).unwrap();
+            assert!(record.validated, "{api} failed validation");
+        }
+    }
+
+    #[test]
+    fn top_k_selection_is_sorted_by_distance() {
+        let d = vec![5.0, 1.0, 3.0, 0.5, 2.0];
+        assert_eq!(select_k_nearest(&d, 3), vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn apis_are_at_parity() {
+        // Single kernel, no iteration: §V-A2 reports "pretty much similar
+        // performance".
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("256K", 256 * 1024);
+        let w = Nn::new(Arc::clone(&registry));
+        let profile = devices::gtx1050ti();
+        let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+        let cu = w.run(Api::Cuda, &profile, &size, &opts).unwrap();
+        let s = speedup(&cu, &vk);
+        assert!((0.75..1.35).contains(&s), "nn speedup {s}");
+    }
+}

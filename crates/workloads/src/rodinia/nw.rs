@@ -1,0 +1,484 @@
+//! nw — Needleman-Wunsch sequence alignment (Table I: Dynamic
+//! Programming / Bioinformatics).
+//!
+//! Fills the (n+1)×(n+1) score matrix of the global-alignment DP. The
+//! grid is tiled into 16×16 blocks; each workgroup sweeps its tile's
+//! anti-diagonals in shared registers. Following the paper's description
+//! (§V-A2: backprop, nn and nw "do not involve any dependencies between
+//! kernel invocations"), the Vulkan port records the two halves of the
+//! tile grid into two command buffers and submits them together in a
+//! single `vkQueueSubmit`; the launch-based APIs enqueue the same two
+//! kernels back-to-back. Either way the APIs end up at parity.
+//!
+//! *Adaptation note*: the simulator executes workgroups of a dispatch in
+//! linear grid order, so a row-major tile enumeration satisfies the
+//! left/top tile dependencies within each dispatch by construction (see
+//! DESIGN.md).
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::suite::{self, BenchmarkMeta};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_cuda::{KernelArg, Stream};
+use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
+use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
+use vcb_vulkan::util as vku;
+use vcb_vulkan::SubmitInfo;
+
+use crate::common::{
+    cl_env, cl_failure, cuda_env, cuda_failure, exact_eq_i32, measure_cl, measure_cuda,
+    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "nw";
+/// Matrix-fill kernel (both halves use the same kernel).
+pub const KERNEL: &str = "nw_fill";
+/// Tile edge.
+pub const BS: usize = 16;
+/// Gap penalty (Rodinia default 10).
+pub const PENALTY: i32 = 10;
+
+/// The GLSL compute shader the SPIR-V is built from.
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+#define BS 16
+layout(local_size_x = BS) in;
+layout(set = 0, binding = 0) readonly buffer Seq1 { int seq1[]; };
+layout(set = 0, binding = 1) readonly buffer Seq2 { int seq2[]; };
+layout(set = 0, binding = 2) readonly buffer Blosum { int blosum[]; };
+layout(set = 0, binding = 3) buffer Score { int score[]; };
+layout(push_constant) uniform Params {
+    uint n;
+    uint tile_base;
+    int penalty;
+};
+
+void main() {
+    uint nb = n / BS;
+    uint tile = tile_base + gl_WorkGroupID.x;
+    uint by = tile / nb;
+    uint bx = tile % nb;
+    int tx = int(gl_LocalInvocationID.x);
+    for (int d = 0; d < 2 * BS - 1; ++d) {
+        int txx = d - tx;
+        if (txx >= 0 && txx < BS) {
+            uint i = by * BS + uint(tx) + 1u;
+            uint j = bx * BS + uint(txx) + 1u;
+            int m = score[(i - 1u) * (n + 1u) + (j - 1u)]
+                  + blosum[seq1[i - 1u] * 4 + seq2[j - 1u]];
+            int del = score[(i - 1u) * (n + 1u) + j] - penalty;
+            int ins = score[i * (n + 1u) + (j - 1u)] - penalty;
+            score[i * (n + 1u) + j] = max(m, max(del, ins));
+        }
+        barrier();
+    }
+}
+"#;
+
+/// The OpenCL C twin of the kernel.
+pub const CL_SOURCE: &str = r#"
+#define BS 16
+
+__kernel void nw_fill(__global const int* seq1,
+                      __global const int* seq2,
+                      __global const int* blosum,
+                      __global int* score,
+                      uint n,
+                      uint tile_base,
+                      int penalty) {
+    uint nb = n / BS;
+    uint tile = tile_base + get_group_id(0);
+    uint by = tile / nb;
+    uint bx = tile % nb;
+    int tx = get_local_id(0);
+    /* sweep the tile's anti-diagonals; lane tx owns row tx */
+    for (int d = 0; d < 2 * BS - 1; ++d) {
+        int ty = tx;
+        int txx = d - tx;
+        if (txx >= 0 && txx < BS) {
+            uint i = by * BS + ty + 1;
+            uint j = bx * BS + txx + 1;
+            int m = score[(i - 1) * (n + 1) + (j - 1)]
+                  + blosum[seq1[i - 1] * 4 + seq2[j - 1]];
+            int del = score[(i - 1) * (n + 1) + j] - penalty;
+            int ins = score[i * (n + 1) + (j - 1)] - penalty;
+            score[i * (n + 1) + j] = max(m, max(del, ins));
+        }
+        barrier(CLK_GLOBAL_MEM_FENCE);
+    }
+}
+"#;
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    let info = KernelInfo::new(KERNEL, [BS as u32, 1, 1])
+        .reads(0, "seq1")
+        .reads(1, "seq2")
+        .reads(2, "blosum")
+        .writes(3, "score")
+        .push_constants(12)
+        .source_bytes(CL_SOURCE.len() as u64)
+        .build();
+    registry.register(
+        info,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let seq1 = ctx.global::<i32>(0)?;
+            let seq2 = ctx.global::<i32>(1)?;
+            let blosum = ctx.global::<i32>(2)?;
+            let score = ctx.global::<i32>(3)?;
+            let n = ctx.push_u32(0) as usize;
+            let tile_base = ctx.push_u32(4) as usize;
+            let penalty = ctx.push_u32(8) as i32;
+            let nb = n / BS;
+            let tile = tile_base + ctx.group_id(0) as usize;
+            let by = tile / nb;
+            let bx = tile % nb;
+            for d in 0..(2 * BS - 1) {
+                ctx.for_lanes(|lane| {
+                    let ty = lane.local_linear() as i64;
+                    let txx = d as i64 - ty;
+                    if !(0..BS as i64).contains(&txx) {
+                        return;
+                    }
+                    let i = by * BS + ty as usize + 1;
+                    let j = bx * BS + txx as usize + 1;
+                    let c1 = lane.ld(&seq1, i - 1) as usize;
+                    let c2 = lane.ld(&seq2, j - 1) as usize;
+                    let sub = lane.ld(&blosum, c1 * 4 + c2);
+                    let diag = lane.ld(&score, (i - 1) * (n + 1) + (j - 1)) + sub;
+                    let del = lane.ld(&score, (i - 1) * (n + 1) + j) - penalty;
+                    let ins = lane.ld(&score, i * (n + 1) + (j - 1)) - penalty;
+                    lane.alu(5);
+                    lane.st(&score, i * (n + 1) + j, diag.max(del).max(ins));
+                });
+                ctx.barrier();
+            }
+            Ok(())
+        }),
+    )
+}
+
+/// Generates the two sequences and the 4×4 substitution matrix.
+pub fn generate(n: usize, seed: u64) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
+    let seq1 = data::dna_sequence(n, seed);
+    let seq2 = data::dna_sequence(n, seed ^ 0x2e);
+    let blosum = data::uniform_i32(16, seed ^ 0xb1, -3, 6);
+    (seq1, seq2, blosum)
+}
+
+/// The boundary-initialized score matrix.
+pub fn initial_score(n: usize) -> Vec<i32> {
+    let w = n + 1;
+    let mut score = vec![0i32; w * w];
+    for (j, cell) in score.iter_mut().enumerate().take(w) {
+        *cell = -(j as i32) * PENALTY;
+    }
+    for i in 0..w {
+        score[i * w] = -(i as i32) * PENALTY;
+    }
+    score
+}
+
+/// CPU reference: the full DP matrix.
+pub fn reference(seq1: &[i32], seq2: &[i32], blosum: &[i32], n: usize) -> Vec<i32> {
+    let w = n + 1;
+    let mut score = initial_score(n);
+    for i in 1..w {
+        for j in 1..w {
+            let sub = blosum[(seq1[i - 1] * 4 + seq2[j - 1]) as usize];
+            let m = score[(i - 1) * w + (j - 1)] + sub;
+            let del = score[(i - 1) * w + j] - PENALTY;
+            let ins = score[i * w + (j - 1)] - PENALTY;
+            score[i * w + j] = m.max(del).max(ins);
+        }
+    }
+    score
+}
+
+fn halves(n: usize) -> [(u32, u32); 2] {
+    let nb = n / BS;
+    let tiles = (nb * nb) as u32;
+    let first = tiles / 2;
+    [(0, first), (first, tiles - first)]
+}
+
+fn push(n: usize, tile_base: u32) -> Vec<u8> {
+    let mut p = Vec::with_capacity(12);
+    p.extend_from_slice(&(n as u32).to_le_bytes());
+    p.extend_from_slice(&tile_base.to_le_bytes());
+    p.extend_from_slice(&PENALTY.to_le_bytes());
+    p
+}
+
+fn run_vulkan(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let env = vk_env(profile, registry)?;
+    let (seq1_host, seq2_host, blosum_host) = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&seq1_host, &seq2_host, &blosum_host, n));
+    measure_vk(NAME, &size.label, &env, |env| {
+        let device = &env.device;
+        let q = &env.queue;
+        let seq1 = vku::upload_storage_buffer(device, q, &seq1_host).map_err(vk_failure)?;
+        let seq2 = vku::upload_storage_buffer(device, q, &seq2_host).map_err(vk_failure)?;
+        let blosum = vku::upload_storage_buffer(device, q, &blosum_host).map_err(vk_failure)?;
+        let score = vku::upload_storage_buffer(device, q, &initial_score(n)).map_err(vk_failure)?;
+        let (layout, _pool, set) = vku::storage_descriptor_set(
+            device,
+            &[&seq1.buffer, &seq2.buffer, &blosum.buffer, &score.buffer],
+        )
+        .map_err(vk_failure)?;
+        let kernel = vk_kernel(env, registry, KERNEL, &layout, 12)?;
+        let cmd_pool = device.create_command_pool(q.family_index()).map_err(vk_failure)?;
+        // Two command buffers, one per half, submitted together.
+        let mut cmds = Vec::new();
+        for (base, count) in halves(n) {
+            let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+            cmd.begin().map_err(vk_failure)?;
+            cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
+            cmd.bind_descriptor_sets(&kernel.layout, &[&set]).map_err(vk_failure)?;
+            cmd.push_constants(&kernel.layout, 0, &push(n, base)).map_err(vk_failure)?;
+            cmd.dispatch(count.max(1), 1, 1).map_err(vk_failure)?;
+            cmd.end().map_err(vk_failure)?;
+            cmds.push(cmd);
+        }
+        let compute_start = device.now();
+        let refs: Vec<&vcb_vulkan::CommandBuffer> = cmds.iter().collect();
+        q.submit(&[SubmitInfo { command_buffers: &refs }], None)
+            .map_err(vk_failure)?;
+        q.wait_idle();
+        let compute_time = device.now().duration_since(compute_start);
+        let out: Vec<i32> = vku::download_storage_buffer(device, q, &score).map_err(vk_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
+            compute_time,
+        })
+    })
+}
+
+fn run_cuda(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let ctx = cuda_env(profile, registry)?;
+    let (seq1_host, seq2_host, blosum_host) = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&seq1_host, &seq2_host, &blosum_host, n));
+    measure_cuda(NAME, &size.label, &ctx, |ctx| {
+        let w = n + 1;
+        let seq1 = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
+        let seq2 = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
+        let blosum = ctx.malloc(64).map_err(cuda_failure)?;
+        let score = ctx.malloc((w * w * 4) as u64).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&seq1, &seq1_host).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&seq2, &seq2_host).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&blosum, &blosum_host).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&score, &initial_score(n)).map_err(cuda_failure)?;
+        let kernel = ctx.get_function(KERNEL).map_err(cuda_failure)?;
+        let compute_start = ctx.now();
+        for (base, count) in halves(n) {
+            ctx.launch_kernel(
+                &kernel,
+                [count.max(1), 1, 1],
+                &[
+                    KernelArg::Ptr(seq1),
+                    KernelArg::Ptr(seq2),
+                    KernelArg::Ptr(blosum),
+                    KernelArg::Ptr(score),
+                    KernelArg::U32(n as u32),
+                    KernelArg::U32(base),
+                    KernelArg::I32(PENALTY),
+                ],
+                Stream::DEFAULT,
+            )
+            .map_err(cuda_failure)?;
+        }
+        ctx.device_synchronize();
+        let compute_time = ctx.now().duration_since(compute_start);
+        let out: Vec<i32> = ctx.memcpy_dtoh(&score).map_err(cuda_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
+            compute_time,
+        })
+    })
+}
+
+fn run_opencl(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let env = cl_env(profile, registry)?;
+    let (seq1_host, seq2_host, blosum_host) = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&seq1_host, &seq2_host, &blosum_host, n));
+    measure_cl(NAME, &size.label, &env, |env| {
+        let w = n + 1;
+        let seq1 = env
+            .context
+            .create_buffer(MemFlags::ReadOnly, (n * 4) as u64)
+            .map_err(cl_failure)?;
+        let seq2 = env
+            .context
+            .create_buffer(MemFlags::ReadOnly, (n * 4) as u64)
+            .map_err(cl_failure)?;
+        let blosum = env
+            .context
+            .create_buffer(MemFlags::ReadOnly, 64)
+            .map_err(cl_failure)?;
+        let score = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, (w * w * 4) as u64)
+            .map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&seq1, &seq1_host).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&seq2, &seq2_host).map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&blosum, &blosum_host).map_err(cl_failure)?;
+        env.queue
+            .enqueue_write_buffer(&score, &initial_score(n))
+            .map_err(cl_failure)?;
+        let program = Program::create_with_source(&env.context, CL_SOURCE);
+        program.build().map_err(cl_failure)?;
+        let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
+        kernel.set_arg(0, ClArg::Buffer(seq1));
+        kernel.set_arg(1, ClArg::Buffer(seq2));
+        kernel.set_arg(2, ClArg::Buffer(blosum));
+        kernel.set_arg(3, ClArg::Buffer(score));
+        kernel.set_arg(4, ClArg::U32(n as u32));
+        kernel.set_arg(6, ClArg::I32(PENALTY));
+        let compute_start = env.context.now();
+        for (base, count) in halves(n) {
+            kernel.set_arg(5, ClArg::U32(base));
+            env.queue
+                .enqueue_nd_range_kernel(&kernel, [u64::from(count.max(1)) * BS as u64, 1, 1])
+                .map_err(cl_failure)?;
+        }
+        env.queue.finish();
+        let compute_time = env.context.now().duration_since(compute_start);
+        let out: Vec<i32> = env.queue.enqueue_read_buffer(&score).map_err(cl_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
+            compute_time,
+        })
+    })
+}
+
+/// The nw suite entry.
+#[derive(Debug, Clone)]
+pub struct Nw {
+    registry: Arc<KernelRegistry>,
+}
+
+impl Nw {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        Nw { registry }
+    }
+}
+
+impl Workload for Nw {
+    fn meta(&self) -> BenchmarkMeta {
+        *suite::find(NAME).expect("nw is in Table I")
+    }
+
+    fn sizes(&self, class: DeviceClass) -> Vec<SizeSpec> {
+        match class {
+            DeviceClass::Desktop => vec![
+                SizeSpec::new("4K", 4 * 1024),
+                SizeSpec::new("8K", 8 * 1024),
+                SizeSpec::new("16K", 16 * 1024),
+            ],
+            DeviceClass::Mobile => vec![SizeSpec::new("1K", 1024), SizeSpec::new("2K", 2048)],
+        }
+    }
+
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        match api {
+            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
+            Api::Cuda => run_cuda(device, &self.registry, size, opts),
+            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_core::run::speedup;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    #[test]
+    fn reference_scores_identical_sequences_positively() {
+        let n = 32;
+        let seq = data::dna_sequence(n, 4);
+        // Identity substitution: +5 match, -3 mismatch.
+        let mut blosum = vec![-3i32; 16];
+        for c in 0..4 {
+            blosum[c * 4 + c] = 5;
+        }
+        let score = reference(&seq, &seq, &blosum, n);
+        assert_eq!(score[(n + 1) * (n + 1) - 1], 5 * n as i32);
+    }
+
+    #[test]
+    fn all_apis_match_reference() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("256", 256);
+        let w = Nw::new(Arc::clone(&registry));
+        for api in Api::ALL {
+            let record = w.run(api, &devices::gtx1050ti(), &size, &opts).unwrap();
+            assert!(record.validated, "{api} failed validation");
+        }
+    }
+
+    #[test]
+    fn apis_are_near_parity() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("1K", 1024);
+        let w = Nw::new(Arc::clone(&registry));
+        let profile = devices::gtx1050ti();
+        let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+        let cl = w.run(Api::OpenCl, &profile, &size, &opts).unwrap();
+        let s = speedup(&cl, &vk);
+        assert!((0.75..1.5).contains(&s), "nw speedup {s}");
+    }
+
+    #[test]
+    fn mobile_runs() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("512", 512);
+        let w = Nw::new(Arc::clone(&registry));
+        let vk = w.run(Api::Vulkan, &devices::adreno506(), &size, &opts).unwrap();
+        assert!(vk.validated);
+    }
+}

@@ -1,0 +1,610 @@
+//! pathfinder — dynamic programming over a 2-D grid (Table I: Dynamic
+//! Programming / Grid Traversal).
+//!
+//! Finds the minimum-cost path through a grid row by row:
+//! `dst[j] = wall[t][j] + min(src[j-1], src[j], src[j+1])`. The GPU code
+//! processes `PYRAMID_HEIGHT` rows per kernel using the Rodinia "pyramid"
+//! scheme: each block covers `BLOCK_SIZE` columns, steps the recurrence in
+//! shared memory, and only the halo-free center columns are written back.
+//!
+//! This is the paper's best case for Vulkan: many small dependent
+//! dispatches, all pre-recorded into one command buffer with barriers
+//! (§IV-C), while CUDA and OpenCL pay a launch round-trip per step.
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
+use vcb_core::suite::{self, BenchmarkMeta};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_cuda::{KernelArg, Stream};
+use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
+use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
+use vcb_vulkan::util as vku;
+use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo, WriteDescriptorSet};
+
+use crate::common::{
+    cl_env, cl_failure, cuda_env, cuda_failure, exact_eq_i32, measure_cl, measure_cuda,
+    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "pathfinder";
+/// Kernel entry point.
+pub const KERNEL: &str = "pathfinder_dynproc";
+/// Columns covered by one block (including halo).
+pub const BLOCK_SIZE: u32 = 256;
+/// Rows advanced per kernel invocation.
+pub const PYRAMID_HEIGHT: u32 = 20;
+
+/// The GLSL compute shader the SPIR-V is built from (kept verbatim, as
+/// the suite ships both GLSL sources and SPIR-V binaries, §IV-B).
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+#define BLOCK_SIZE 256
+#define HALO 20
+layout(local_size_x = BLOCK_SIZE) in;
+layout(set = 0, binding = 0) readonly buffer Wall { int wall[]; };
+layout(set = 0, binding = 1) readonly buffer Src { int src[]; };
+layout(set = 0, binding = 2) buffer Dst { int dst[]; };
+layout(push_constant) uniform Params {
+    uint cols;
+    uint start_row;
+    uint height;
+};
+
+shared int prev[BLOCK_SIZE];
+shared int cur[BLOCK_SIZE];
+
+int min3(int a, int b, int c) { return min(a, min(b, c)); }
+
+void main() {
+    int tx = int(gl_LocalInvocationID.x);
+    int blk_offset = int(gl_WorkGroupID.x) * (BLOCK_SIZE - 2 * HALO) - HALO;
+    int col = clamp(blk_offset + tx, 0, int(cols) - 1);
+    prev[tx] = src[col];
+    barrier();
+    for (uint k = 0u; k < height; ++k) {
+        int raw = blk_offset + tx;
+        int left  = raw <= 0 ? prev[tx] : prev[max(tx - 1, 0)];
+        int up    = prev[tx];
+        int right = raw >= int(cols) - 1 ? prev[tx]
+                                         : prev[min(tx + 1, BLOCK_SIZE - 1)];
+        cur[tx] = wall[(start_row + k + 1u) * cols + uint(col)]
+                + min3(left, up, right);
+        barrier();
+        prev[tx] = cur[tx];
+        barrier();
+    }
+    int out_col = blk_offset + tx;
+    if (tx >= HALO && tx < BLOCK_SIZE - HALO && out_col < int(cols)) {
+        dst[out_col] = cur[tx];
+    }
+}
+"#;
+
+/// The OpenCL C twin of the kernel (abridged Rodinia `dynproc_kernel`).
+pub const CL_SOURCE: &str = r#"
+#define BLOCK_SIZE 256
+#define HALO 20
+
+int min3(int a, int b, int c) { return min(a, min(b, c)); }
+
+__kernel void pathfinder_dynproc(__global const int* wall,
+                                 __global const int* src,
+                                 __global int* dst,
+                                 uint cols,
+                                 uint start_row,
+                                 uint height) {
+    __local int prev[BLOCK_SIZE];
+    __local int cur[BLOCK_SIZE];
+    int tx = get_local_id(0);
+    int blk_offset = get_group_id(0) * (BLOCK_SIZE - 2 * HALO) - HALO;
+    int col = clamp(blk_offset + tx, 0, (int)cols - 1);
+    prev[tx] = src[col];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (uint k = 0; k < height; ++k) {
+        int raw = blk_offset + tx;
+        int left  = raw <= 0 ? prev[tx] : prev[max(tx - 1, 0)];
+        int up    = prev[tx];
+        int right = raw >= (int)cols - 1 ? prev[tx] : prev[min(tx + 1, BLOCK_SIZE - 1)];
+        cur[tx] = wall[(start_row + k + 1) * cols + col] + min3(left, up, right);
+        barrier(CLK_LOCAL_MEM_FENCE);
+        prev[tx] = cur[tx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    int out_col = blk_offset + tx;
+    if (tx >= HALO && tx < BLOCK_SIZE - HALO && out_col < (int)cols) {
+        dst[out_col] = cur[tx];
+    }
+}
+"#;
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    let info = KernelInfo::new(KERNEL, [BLOCK_SIZE, 1, 1])
+        .reads(0, "wall")
+        .reads(1, "src")
+        .writes(2, "dst")
+        .push_constants(12)
+        .shared_memory(2 * BLOCK_SIZE as u64 * 4)
+        .source_bytes(CL_SOURCE.len() as u64)
+        .build();
+    registry.register(
+        info,
+        Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let wall = ctx.global::<i32>(0)?;
+            let src = ctx.global::<i32>(1)?;
+            let dst = ctx.global::<i32>(2)?;
+            let cols = ctx.push_u32(0) as i64;
+            let start_row = ctx.push_u32(4) as usize;
+            let height = ctx.push_u32(8);
+            let prev = ctx.shared_array::<i32>(BLOCK_SIZE as usize)?;
+            let cur = ctx.shared_array::<i32>(BLOCK_SIZE as usize)?;
+            let halo = PYRAMID_HEIGHT as i64;
+            let blk_offset = ctx.group_id(0) as i64 * (BLOCK_SIZE as i64 - 2 * halo) - halo;
+
+            ctx.for_lanes(|lane| {
+                let tx = lane.local_linear() as i64;
+                let col = (blk_offset + tx).clamp(0, cols - 1) as usize;
+                let v = lane.ld(&src, col);
+                lane.sts(&prev, tx as usize, v);
+            });
+            ctx.barrier();
+            for k in 0..height {
+                ctx.for_lanes(|lane| {
+                    let tx = lane.local_linear() as usize;
+                    let raw_col = blk_offset + tx as i64;
+                    let col = raw_col.clamp(0, cols - 1) as usize;
+                    // Neighbor selection clamps by *column* at the array
+                    // edges (matching the reference recurrence) and by
+                    // lane elsewhere (halo lanes may read stale block
+                    // edges; their results are discarded below).
+                    let left_tx = if raw_col <= 0 { tx } else { tx.saturating_sub(1) };
+                    let right_tx = if raw_col >= cols - 1 {
+                        tx
+                    } else {
+                        (tx + 1).min(BLOCK_SIZE as usize - 1)
+                    };
+                    let left = lane.lds(&prev, left_tx);
+                    let up = lane.lds(&prev, tx);
+                    let right = lane.lds(&prev, right_tx);
+                    // Step k advances from result row (start_row + k) to
+                    // (start_row + k + 1), which consumes wall row
+                    // (start_row + k + 1).
+                    let w = lane.ld(&wall, (start_row + k as usize + 1) * cols as usize + col);
+                    lane.alu(4);
+                    lane.sts(&cur, tx, w + left.min(up).min(right));
+                });
+                ctx.barrier();
+                ctx.for_lanes(|lane| {
+                    let tx = lane.local_linear() as usize;
+                    let v = lane.lds(&cur, tx);
+                    lane.sts(&prev, tx, v);
+                });
+                ctx.barrier();
+            }
+            ctx.for_lanes(|lane| {
+                let tx = lane.local_linear() as i64;
+                let out_col = blk_offset + tx;
+                if tx >= halo && tx < BLOCK_SIZE as i64 - halo && out_col >= 0 && out_col < cols {
+                    let v = lane.lds(&cur, tx as usize);
+                    lane.st(&dst, out_col as usize, v);
+                }
+            });
+            Ok(())
+        }),
+    )
+}
+
+/// Grid dimensions for one size label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims {
+    /// Grid columns.
+    pub cols: usize,
+    /// Grid rows.
+    pub rows: usize,
+}
+
+/// Interprets a size spec: `n` is the axis label; rows = n/100 with 2048
+/// columns on desktop, and `n` columns with `aux` rows on mobile (see
+/// DESIGN.md for the label interpretation).
+pub fn dims(size: &SizeSpec) -> Dims {
+    if size.aux != 0 {
+        Dims {
+            cols: size.n as usize,
+            rows: size.aux as usize,
+        }
+    } else {
+        Dims {
+            cols: 2048,
+            rows: (size.n / 100).max(20) as usize,
+        }
+    }
+}
+
+/// Deterministic wall-cost grid.
+pub fn generate(d: Dims, seed: u64) -> Vec<i32> {
+    data::uniform_i32(d.rows * d.cols, seed, 0, 10)
+}
+
+/// CPU reference: the final cost row.
+pub fn reference(wall: &[i32], d: Dims) -> Vec<i32> {
+    let mut src: Vec<i32> = wall[..d.cols].to_vec();
+    let mut dst = vec![0i32; d.cols];
+    for t in 1..d.rows {
+        for j in 0..d.cols {
+            let left = src[j.saturating_sub(1)];
+            let up = src[j];
+            let right = src[(j + 1).min(d.cols - 1)];
+            dst[j] = wall[t * d.cols + j] + left.min(up).min(right);
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src
+}
+
+fn groups_for(cols: usize) -> u32 {
+    let span = BLOCK_SIZE - 2 * PYRAMID_HEIGHT;
+    (cols as u32).div_ceil(span)
+}
+
+/// Steps of the outer loop: `(start_row, height)` chunks.
+fn chunks(rows: usize) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut t = 0u32;
+    while (t as usize) < rows - 1 {
+        let h = (PYRAMID_HEIGHT).min((rows - 1 - t as usize) as u32);
+        out.push((t, h));
+        t += h;
+    }
+    out
+}
+
+fn push_bytes(cols: usize, start_row: u32, height: u32) -> Vec<u8> {
+    let mut push = Vec::with_capacity(12);
+    push.extend_from_slice(&(cols as u32).to_le_bytes());
+    push.extend_from_slice(&start_row.to_le_bytes());
+    push.extend_from_slice(&height.to_le_bytes());
+    push
+}
+
+fn run_vulkan(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let d = dims(size);
+    let env = vk_env(profile, registry)?;
+    let wall_host = generate(d, opts.seed);
+    let expected = opts.validate.then(|| reference(&wall_host, d));
+    measure_vk(NAME, &size.label, &env, |env| {
+        let device = &env.device;
+        let wall = vku::upload_storage_buffer(device, &env.queue, &wall_host).map_err(vk_failure)?;
+        let first_row: Vec<i32> = wall_host[..d.cols].to_vec();
+        let ping = vku::upload_storage_buffer(device, &env.queue, &first_row).map_err(vk_failure)?;
+        let pong = vku::create_storage_buffer(device, (d.cols * 4) as u64).map_err(vk_failure)?;
+
+        // Two descriptor sets: (wall, ping->pong) and (wall, pong->ping).
+        let (set_layout, pool, set_a) =
+            vku::storage_descriptor_set(device, &[&wall.buffer, &ping.buffer, &pong.buffer])
+                .map_err(vk_failure)?;
+        let set_b = pool.allocate_descriptor_set(&set_layout).map_err(|_| {
+            RunFailure::Error("descriptor pool exhausted".into())
+        });
+        // The helper's pool holds one set; allocate a second pool for the
+        // pong direction.
+        let set_b = match set_b {
+            Ok(s) => s,
+            Err(_) => {
+                let pool2 = device.create_descriptor_pool(1).map_err(vk_failure)?;
+                pool2.allocate_descriptor_set(&set_layout).map_err(vk_failure)?
+            }
+        };
+        device
+            .update_descriptor_sets(&[
+                WriteDescriptorSet {
+                    dst_set: &set_b,
+                    dst_binding: 0,
+                    buffer: &wall.buffer,
+                },
+                WriteDescriptorSet {
+                    dst_set: &set_b,
+                    dst_binding: 1,
+                    buffer: &pong.buffer,
+                },
+                WriteDescriptorSet {
+                    dst_set: &set_b,
+                    dst_binding: 2,
+                    buffer: &ping.buffer,
+                },
+            ])
+            .map_err(vk_failure)?;
+
+        let kernel = vk_kernel(env, registry, KERNEL, &set_layout, 12)?;
+        let cmd_pool = device
+            .create_command_pool(env.queue.family_index())
+            .map_err(vk_failure)?;
+        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
+        let barrier = MemoryBarrier {
+            src_access: Access::SHADER_WRITE,
+            dst_access: Access::SHADER_READ,
+        };
+
+        // All iterations in ONE command buffer with barriers (§IV-C).
+        cmd.begin().map_err(vk_failure)?;
+        cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
+        let steps = chunks(d.rows);
+        let groups = groups_for(d.cols);
+        for (i, (start_row, height)) in steps.iter().enumerate() {
+            let set = if i % 2 == 0 { &set_a } else { &set_b };
+            cmd.bind_descriptor_sets(&kernel.layout, &[set]).map_err(vk_failure)?;
+            cmd.push_constants(&kernel.layout, 0, &push_bytes(d.cols, *start_row, *height))
+                .map_err(vk_failure)?;
+            cmd.dispatch(groups, 1, 1).map_err(vk_failure)?;
+            cmd.pipeline_barrier(
+                PipelineStage::COMPUTE_SHADER,
+                PipelineStage::COMPUTE_SHADER,
+                &barrier,
+            )
+            .map_err(vk_failure)?;
+        }
+        cmd.end().map_err(vk_failure)?;
+        let compute_start = device.now();
+        env.queue
+            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .map_err(vk_failure)?;
+        env.queue.wait_idle();
+        let compute_time = device.now().duration_since(compute_start);
+
+        let result_buf = if steps.len() % 2 == 1 { &pong } else { &ping };
+        let out: Vec<i32> =
+            vku::download_storage_buffer(device, &env.queue, result_buf).map_err(vk_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
+            compute_time,
+        })
+    })
+}
+
+fn run_cuda(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let d = dims(size);
+    let ctx = cuda_env(profile, registry)?;
+    let wall_host = generate(d, opts.seed);
+    let expected = opts.validate.then(|| reference(&wall_host, d));
+    measure_cuda(NAME, &size.label, &ctx, |ctx| {
+        let wall = ctx.malloc((d.rows * d.cols * 4) as u64).map_err(cuda_failure)?;
+        let ping = ctx.malloc((d.cols * 4) as u64).map_err(cuda_failure)?;
+        let pong = ctx.malloc((d.cols * 4) as u64).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&wall, &wall_host).map_err(cuda_failure)?;
+        ctx.memcpy_htod(&ping, &wall_host[..d.cols]).map_err(cuda_failure)?;
+        let kernel = ctx.get_function(KERNEL).map_err(cuda_failure)?;
+        let groups = groups_for(d.cols);
+        let steps = chunks(d.rows);
+        let mut src = ping;
+        let mut dst = pong;
+        let compute_start = ctx.now();
+        for (start_row, height) in &steps {
+            ctx.launch_kernel(
+                &kernel,
+                [groups, 1, 1],
+                &[
+                    KernelArg::Ptr(wall),
+                    KernelArg::Ptr(src),
+                    KernelArg::Ptr(dst),
+                    KernelArg::U32(d.cols as u32),
+                    KernelArg::U32(*start_row),
+                    KernelArg::U32(*height),
+                ],
+                Stream::DEFAULT,
+            )
+            .map_err(cuda_failure)?;
+            // Multi-kernel method: control returns to the host between
+            // dependent iterations (§IV-C).
+            ctx.device_synchronize();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let compute_time = ctx.now().duration_since(compute_start);
+        let out: Vec<i32> = ctx.memcpy_dtoh(&src).map_err(cuda_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
+            compute_time,
+        })
+    })
+}
+
+fn run_opencl(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let d = dims(size);
+    let env = cl_env(profile, registry)?;
+    let wall_host = generate(d, opts.seed);
+    let expected = opts.validate.then(|| reference(&wall_host, d));
+    measure_cl(NAME, &size.label, &env, |env| {
+        let wall = env
+            .context
+            .create_buffer(MemFlags::ReadOnly, (d.rows * d.cols * 4) as u64)
+            .map_err(cl_failure)?;
+        let ping = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, (d.cols * 4) as u64)
+            .map_err(cl_failure)?;
+        let pong = env
+            .context
+            .create_buffer(MemFlags::ReadWrite, (d.cols * 4) as u64)
+            .map_err(cl_failure)?;
+        env.queue.enqueue_write_buffer(&wall, &wall_host).map_err(cl_failure)?;
+        env.queue
+            .enqueue_write_buffer(&ping, &wall_host[..d.cols])
+            .map_err(cl_failure)?;
+        let program = Program::create_with_source(&env.context, CL_SOURCE);
+        program.build().map_err(cl_failure)?;
+        let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
+        kernel.set_arg(0, ClArg::Buffer(wall));
+        kernel.set_arg(3, ClArg::U32(d.cols as u32));
+        let groups = groups_for(d.cols);
+        let global = u64::from(groups) * u64::from(BLOCK_SIZE);
+        let steps = chunks(d.rows);
+        let mut src = ping;
+        let mut dst = pong;
+        let compute_start = env.context.now();
+        for (start_row, height) in &steps {
+            kernel.set_arg(1, ClArg::Buffer(src));
+            kernel.set_arg(2, ClArg::Buffer(dst));
+            kernel.set_arg(4, ClArg::U32(*start_row));
+            kernel.set_arg(5, ClArg::U32(*height));
+            env.queue
+                .enqueue_nd_range_kernel(&kernel, [global, 1, 1])
+                .map_err(cl_failure)?;
+            env.queue.finish();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        let compute_time = env.context.now().duration_since(compute_start);
+        let out: Vec<i32> = env.queue.enqueue_read_buffer(&src).map_err(cl_failure)?;
+        Ok(BodyOutcome {
+            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
+            compute_time,
+        })
+    })
+}
+
+/// The pathfinder suite entry.
+#[derive(Debug, Clone)]
+pub struct Pathfinder {
+    registry: Arc<KernelRegistry>,
+}
+
+impl Pathfinder {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        Pathfinder { registry }
+    }
+}
+
+impl Workload for Pathfinder {
+    fn meta(&self) -> BenchmarkMeta {
+        *suite::find(NAME).expect("pathfinder is in Table I")
+    }
+
+    fn sizes(&self, class: DeviceClass) -> Vec<SizeSpec> {
+        match class {
+            DeviceClass::Desktop => vec![
+                SizeSpec::new("10K", 10_000),
+                SizeSpec::new("50K", 50_000),
+                SizeSpec::new("100K", 100_000),
+            ],
+            DeviceClass::Mobile => vec![
+                SizeSpec::with_aux("512", 512, 100),
+                SizeSpec::with_aux("1024", 1024, 200),
+            ],
+        }
+    }
+
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        match api {
+            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
+            Api::Cuda => run_cuda(device, &self.registry, size, opts),
+            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_core::run::speedup;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    fn small() -> SizeSpec {
+        SizeSpec::with_aux("tiny", 600, 60)
+    }
+
+    #[test]
+    fn all_apis_match_reference() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let profile = devices::gtx1050ti();
+        let size = small();
+        for api in Api::ALL {
+            let record = Pathfinder::new(Arc::clone(&registry))
+                .run(api, &profile, &size, &opts)
+                .unwrap();
+            assert!(record.validated, "{api} failed validation");
+        }
+    }
+
+    #[test]
+    fn vulkan_beats_launch_based_apis() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let profile = devices::gtx1050ti();
+        let w = Pathfinder::new(Arc::clone(&registry));
+        let size = SizeSpec::new("10K", 10_000);
+        let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+        let cu = w.run(Api::Cuda, &profile, &size, &opts).unwrap();
+        let cl = w.run(Api::OpenCl, &profile, &size, &opts).unwrap();
+        assert!(
+            speedup(&cu, &vk) > 1.3,
+            "vs CUDA: {}",
+            speedup(&cu, &vk)
+        );
+        assert!(speedup(&cl, &vk) > 1.3, "vs OpenCL: {}", speedup(&cl, &vk));
+    }
+
+    #[test]
+    fn chunking_covers_all_rows() {
+        let steps = chunks(101);
+        let total: u32 = steps.iter().map(|(_, h)| h).sum();
+        assert_eq!(total, 100);
+        assert_eq!(steps[0], (0, 20));
+        let steps = chunks(25);
+        let total: u32 = steps.iter().map(|(_, h)| h).sum();
+        assert_eq!(total, 24);
+    }
+
+    #[test]
+    fn reference_computes_min_path() {
+        // 2x3 grid with an obvious best path.
+        let wall = vec![1, 9, 1, /* row1 */ 1, 1, 9];
+        let d = Dims { cols: 3, rows: 2 };
+        let r = reference(&wall, d);
+        assert_eq!(r, vec![2, 2, 10]);
+    }
+
+    #[test]
+    fn works_on_mobile() {
+        let registry = registry();
+        let opts = RunOpts::default();
+        let w = Pathfinder::new(Arc::clone(&registry));
+        let size = SizeSpec::with_aux("512", 512, 60);
+        let vk = w
+            .run(Api::Vulkan, &devices::powervr_g6430(), &size, &opts)
+            .unwrap();
+        assert!(vk.validated);
+        let cl = w
+            .run(Api::OpenCl, &devices::adreno506(), &size, &opts)
+            .unwrap();
+        assert!(cl.validated);
+    }
+}

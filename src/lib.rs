@@ -1,0 +1,35 @@
+//! # VComputeBench — reproduction facade
+//!
+//! A reproduction of *"VComputeBench: A Vulkan Benchmark Suite for GPGPU
+//! on Mobile and Embedded GPUs"* (Mammeri & Juurlink, IISWC 2018) as a
+//! Rust workspace, with the paper's GPUs replaced by a deterministic
+//! functional + timing simulator.
+//!
+//! This facade crate re-exports the workspace's public surface:
+//!
+//! * [`sim`] — the GPU simulator substrate (devices, memory system,
+//!   kernel execution, virtual time).
+//! * [`spirv`] — SPIR-V-like kernel modules and the driver compiler model.
+//! * [`vulkan`] / [`cuda`] / [`opencl`] — the three programming-model
+//!   frontends under comparison.
+//! * [`core`] — the benchmark-suite core: workload model, run records,
+//!   statistics and report formatting.
+//! * [`workloads`] — the nine Rodinia ports plus the two microbenchmarks,
+//!   each with a data generator, a CPU reference and one host driver per
+//!   API.
+//! * [`harness`] — experiment drivers regenerating every table and
+//!   figure of the paper.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture and
+//! substitutions, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub use vcb_core as core;
+pub use vcb_cuda as cuda;
+pub use vcb_harness as harness;
+pub use vcb_opencl as opencl;
+pub use vcb_sim as sim;
+pub use vcb_spirv as spirv;
+pub use vcb_vulkan as vulkan;
+pub use vcb_workloads as workloads;

@@ -1,0 +1,131 @@
+//! Integration: every workload, under every programming model, produces
+//! output matching its CPU reference — the paper's functional-testing
+//! discipline (§IV-B: "we validated our developed VCompute benchmarks
+//! against both CUDA and OpenCL outputs for different input sets").
+
+use vcomputebench::core::run::SizeSpec;
+use vcomputebench::core::workload::RunOpts;
+use vcomputebench::sim::profile::devices;
+use vcomputebench::sim::Api;
+
+/// Small-but-nontrivial sizes per workload so the full matrix stays fast.
+fn test_size(name: &str) -> SizeSpec {
+    match name {
+        "backprop" => SizeSpec::new("4K", 4 * 1024),
+        "bfs" => SizeSpec::new("4K", 4 * 1024),
+        "cfd" => SizeSpec::new("4k", 4000),
+        "gaussian" => SizeSpec::new("96", 96),
+        "hotspot" => SizeSpec::with_aux("128-8", 128, 8),
+        "lud" => SizeSpec::new("128", 128),
+        "nn" => SizeSpec::new("16K", 16 * 1024),
+        "nw" => SizeSpec::new("512", 512),
+        "pathfinder" => SizeSpec::with_aux("1K", 1024, 80),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+#[test]
+fn all_workloads_validate_under_all_apis_on_gtx1050ti() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let workloads = vcomputebench::workloads::suite_workloads(&registry);
+    let profile = devices::gtx1050ti();
+    let opts = RunOpts {
+        // cfd's iteration count is heavy for a validation matrix.
+        scale: 0.1,
+        ..RunOpts::default()
+    };
+    for w in &workloads {
+        let size = test_size(w.meta().name);
+        for api in Api::ALL {
+            let record = w
+                .run(api, &profile, &size, &opts)
+                .unwrap_or_else(|e| panic!("{}/{api} failed: {e}", w.meta().name));
+            assert!(
+                record.validated,
+                "{}/{api} output mismatch vs CPU reference",
+                w.meta().name
+            );
+            assert!(
+                record.kernel_time.as_micros() > 0.0,
+                "{}/{api} reported zero kernel time",
+                w.meta().name
+            );
+            assert!(
+                record.total_time >= record.kernel_time,
+                "{}/{api} total < kernel",
+                w.meta().name
+            );
+        }
+    }
+}
+
+#[test]
+fn all_workloads_validate_under_both_apis_on_rx560() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let workloads = vcomputebench::workloads::suite_workloads(&registry);
+    let profile = devices::rx560();
+    let opts = RunOpts {
+        scale: 0.1,
+        ..RunOpts::default()
+    };
+    for w in &workloads {
+        let size = test_size(w.meta().name);
+        for api in [Api::OpenCl, Api::Vulkan] {
+            let record = w
+                .run(api, &profile, &size, &opts)
+                .unwrap_or_else(|e| panic!("{}/{api} failed: {e}", w.meta().name));
+            assert!(record.validated, "{}/{api} output mismatch", w.meta().name);
+        }
+        // CUDA must be cleanly unsupported, not wrong.
+        let cuda = w.run(Api::Cuda, &profile, &size, &opts);
+        assert!(
+            matches!(cuda, Err(vcomputebench::core::run::RunFailure::Unsupported)),
+            "{} CUDA on AMD should be Unsupported",
+            w.meta().name
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_repetitions() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let workloads = vcomputebench::workloads::suite_workloads(&registry);
+    let profile = devices::gtx1050ti();
+    let opts = RunOpts {
+        scale: 0.1,
+        validate: false,
+        ..RunOpts::default()
+    };
+    // Representative pair: one iterative, one single-dispatch.
+    for name in ["pathfinder", "nn"] {
+        let w = workloads.iter().find(|w| w.meta().name == name).unwrap();
+        let size = test_size(name);
+        let a = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+        let b = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+        assert_eq!(
+            a.kernel_time, b.kernel_time,
+            "{name} kernel time must be deterministic"
+        );
+        assert_eq!(a.total_time, b.total_time);
+    }
+}
+
+#[test]
+fn different_seeds_change_data_not_structure() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let workloads = vcomputebench::workloads::suite_workloads(&registry);
+    let w = workloads.iter().find(|w| w.meta().name == "nn").unwrap();
+    let profile = devices::gtx1050ti();
+    let size = test_size("nn");
+    let mut opts = RunOpts {
+        seed: 1,
+        ..RunOpts::default()
+    };
+    let a = w.run(Api::Cuda, &profile, &size, &opts).unwrap();
+    opts.seed = 2;
+    let b = w.run(Api::Cuda, &profile, &size, &opts).unwrap();
+    // Same amount of work, both validated.
+    assert!(a.validated && b.validated);
+    let ratio = a.kernel_time.ratio(b.kernel_time);
+    assert!((0.9..1.1).contains(&ratio), "seed changed timing shape: {ratio}");
+}

@@ -1,0 +1,273 @@
+//! Integration: the paper's qualitative findings hold in the
+//! reproduction — who wins, where, and roughly by how much. Bands are
+//! deliberately loose; EXPERIMENTS.md records the exact measured values.
+
+use vcomputebench::core::run::{speedup, SizeSpec};
+use vcomputebench::core::stats::{geomean, roughly_increasing};
+use vcomputebench::core::workload::RunOpts;
+use vcomputebench::harness::experiments::{self, ExperimentOpts};
+use vcomputebench::sim::profile::{devices, DeviceClass};
+use vcomputebench::sim::Api;
+
+fn quick() -> ExperimentOpts {
+    ExperimentOpts {
+        run: RunOpts {
+            scale: 0.2,
+            validate: false,
+            ..RunOpts::default()
+        },
+        threads: 16,
+        sizes_per_workload: 0,
+    }
+}
+
+#[test]
+fn fig1_bandwidth_shape() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let opts = ExperimentOpts {
+        run: RunOpts {
+            scale: 0.25,
+            validate: false,
+            ..RunOpts::default()
+        },
+        threads: 1,
+        sizes_per_workload: 0,
+    };
+    let gtx = devices::gtx1050ti();
+    let curves = experiments::bandwidth_curves(&registry, &gtx, &opts);
+    assert_eq!(curves.len(), 3, "GTX supports all three APIs");
+    for curve in &curves {
+        let samples = curve.samples.as_ref().unwrap();
+        // Monotonically decreasing bandwidth with stride.
+        for w in samples.windows(2) {
+            assert!(
+                w[1].bytes_per_sec < w[0].bytes_per_sec,
+                "{}: bandwidth must fall with stride",
+                curve.api
+            );
+        }
+        // Unit stride reaches a healthy fraction of the 112 GB/s peak
+        // (§V-A1 measured 71-84%); stride 32 collapses by >10x.
+        let peak = gtx.memory.peak_bandwidth_bytes_per_sec();
+        let unit_frac = samples[0].bytes_per_sec / peak;
+        assert!(
+            (0.55..0.95).contains(&unit_frac),
+            "{}: unit stride fraction {unit_frac}",
+            curve.api
+        );
+        let collapse = samples[0].bytes_per_sec / samples.last().unwrap().bytes_per_sec;
+        assert!(collapse > 10.0, "{}: collapse factor {collapse}", curve.api);
+    }
+}
+
+#[test]
+fn fig3_snapdragon_push_constant_gap_closes_with_stride() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let opts = ExperimentOpts {
+        run: RunOpts {
+            scale: 0.25,
+            validate: false,
+            ..RunOpts::default()
+        },
+        threads: 1,
+        sizes_per_workload: 0,
+    };
+    let sd = devices::adreno506();
+    let curves = experiments::bandwidth_curves(&registry, &sd, &opts);
+    let find = |api: Api| {
+        curves
+            .iter()
+            .find(|c| c.api == api)
+            .and_then(|c| c.samples.as_ref().ok())
+            .unwrap()
+    };
+    let vk = find(Api::Vulkan);
+    let cl = find(Api::OpenCl);
+    let rel_first = vk[0].bytes_per_sec / cl[0].bytes_per_sec;
+    let rel_last = vk.last().unwrap().bytes_per_sec / cl.last().unwrap().bytes_per_sec;
+    // §V-B1: Vulkan worse at small strides, converging at large ones.
+    assert!(rel_first < 0.92, "unit-stride Vulkan/OpenCL ratio {rel_first}");
+    assert!(rel_last > rel_first, "gap must close: {rel_first} -> {rel_last}");
+}
+
+#[test]
+fn iterative_workloads_favor_vulkan_on_desktop() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let workloads = vcomputebench::workloads::suite_workloads(&registry);
+    let profile = devices::gtx1050ti();
+    let opts = RunOpts {
+        validate: false,
+        ..RunOpts::default()
+    };
+    // §V-A2: "The best speedups are attained with pathfinder, hotspot,
+    // lud and gaussian".
+    for name in ["pathfinder", "hotspot", "lud", "gaussian"] {
+        let w = workloads.iter().find(|w| w.meta().name == name).unwrap();
+        let size = &w.sizes(DeviceClass::Desktop)[0];
+        let cl = w.run(Api::OpenCl, &profile, size, &opts).unwrap();
+        let vk = w.run(Api::Vulkan, &profile, size, &opts).unwrap();
+        let s = speedup(&cl, &vk);
+        assert!(s > 1.4, "{name} speedup {s} should be > 1.4");
+    }
+}
+
+#[test]
+fn pathfinder_speedup_grows_with_input() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let workloads = vcomputebench::workloads::suite_workloads(&registry);
+    let w = workloads.iter().find(|w| w.meta().name == "pathfinder").unwrap();
+    let profile = devices::gtx1050ti();
+    let opts = RunOpts {
+        validate: false,
+        ..RunOpts::default()
+    };
+    let mut speedups = Vec::new();
+    for size in w.sizes(DeviceClass::Desktop) {
+        let cl = w.run(Api::OpenCl, &profile, &size, &opts).unwrap();
+        let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+        speedups.push(speedup(&cl, &vk));
+    }
+    // §V-A2: "the speedup increases as we increase the input size".
+    assert!(
+        roughly_increasing(&speedups, 0.05),
+        "pathfinder speedups {speedups:?}"
+    );
+}
+
+#[test]
+fn cfd_gains_are_modest_and_flat() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let workloads = vcomputebench::workloads::suite_workloads(&registry);
+    let w = workloads.iter().find(|w| w.meta().name == "cfd").unwrap();
+    let profile = devices::gtx1050ti();
+    let opts = RunOpts {
+        scale: 0.1,
+        validate: false,
+        ..RunOpts::default()
+    };
+    let mut speedups = Vec::new();
+    for size in w.sizes(DeviceClass::Desktop) {
+        let cl = w.run(Api::OpenCl, &profile, &size, &opts).unwrap();
+        let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+        speedups.push(speedup(&cl, &vk));
+    }
+    // §V-A2: ~1.04x vs OpenCL, and "does not scale well with input size".
+    for s in &speedups {
+        assert!((0.9..1.6).contains(s), "cfd speedup {s} out of band");
+    }
+    let spread = speedups.iter().cloned().fold(f64::MIN, f64::max)
+        / speedups.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1.35, "cfd speedups should be flat, spread {spread}");
+}
+
+#[test]
+fn bfs_is_a_vulkan_slowdown_overall() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let workloads = vcomputebench::workloads::suite_workloads(&registry);
+    let w = workloads.iter().find(|w| w.meta().name == "bfs").unwrap();
+    let opts = RunOpts {
+        validate: false,
+        ..RunOpts::default()
+    };
+    // §V-A2: "we get a slowdown for bfs on both platforms".
+    for profile in devices::desktop() {
+        let mut speedups = Vec::new();
+        for size in w.sizes(DeviceClass::Desktop) {
+            let cl = w.run(Api::OpenCl, &profile, &size, &opts).unwrap();
+            let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+            speedups.push(speedup(&cl, &vk));
+        }
+        let g = geomean(&speedups).unwrap();
+        assert!(g < 1.0, "bfs geomean {g} on {} should be < 1", profile.name);
+    }
+}
+
+#[test]
+fn nexus_speeds_up_and_snapdragon_slows_down() {
+    // §V-B2: geomean 1.59x on the Nexus, 0.83x on the Snapdragon.
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let panels = experiments::fig4(&registry, &quick());
+    let summary = experiments::summarize(&panels);
+    let nexus = summary.iter().find(|s| s.device.contains("PowerVR")).unwrap();
+    let sd = summary.iter().find(|s| s.device.contains("Adreno")).unwrap();
+    let nexus_g = nexus.vulkan_vs_opencl.unwrap();
+    let sd_g = sd.vulkan_vs_opencl.unwrap();
+    assert!(
+        (1.2..2.1).contains(&nexus_g),
+        "Nexus geomean {nexus_g} (paper: 1.59)"
+    );
+    assert!(
+        (0.6..1.0).contains(&sd_g),
+        "Snapdragon geomean {sd_g} (paper: 0.83)"
+    );
+}
+
+#[test]
+fn mobile_failures_match_section_5b() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let panels = experiments::fig4(&registry, &quick());
+    let by_device = |name: &str| panels.iter().find(|p| p.device.contains(name)).unwrap();
+
+    use vcomputebench::core::run::RunFailure;
+    let nexus = by_device("PowerVR");
+    // "the backprop OpenCL and Vulkan implementations failed to run on
+    // Nexus".
+    for cell in nexus.cells.iter().filter(|c| c.workload == "backprop") {
+        assert!(matches!(cell.outcome, Err(RunFailure::DriverFailure)));
+    }
+    // "cfd could not fit on both platforms".
+    for panel in &panels {
+        for cell in panel.cells.iter().filter(|c| c.workload == "cfd") {
+            assert!(matches!(cell.outcome, Err(RunFailure::OutOfMemory)));
+        }
+    }
+    // "on Snapdragon only the lud OpenCL failed because of driver issues".
+    let sd = by_device("Adreno");
+    for cell in sd.cells.iter().filter(|c| c.workload == "lud") {
+        match cell.api {
+            Api::OpenCl => {
+                assert!(matches!(cell.outcome, Err(RunFailure::DriverFailure)))
+            }
+            _ => assert!(cell.outcome.is_ok(), "lud Vulkan should run on Snapdragon"),
+        }
+    }
+}
+
+#[test]
+fn vectoradd_effort_gap_matches_section_6a() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let opts = ExperimentOpts {
+        run: RunOpts {
+            validate: false,
+            ..RunOpts::default()
+        },
+        threads: 1,
+        sizes_per_workload: 0,
+    };
+    let records = experiments::effort(&registry, &devices::gtx1050ti(), &opts);
+    let calls = |api: Api| records.iter().find(|r| r.api == api).unwrap().total_calls;
+    assert!(calls(Api::Vulkan) > 3 * calls(Api::Cuda));
+    assert!(calls(Api::Vulkan) > 2 * calls(Api::OpenCl));
+}
+
+#[test]
+fn nw_and_nn_are_parity_workloads() {
+    let registry = vcomputebench::workloads::registry().unwrap();
+    let workloads = vcomputebench::workloads::suite_workloads(&registry);
+    let profile = devices::gtx1050ti();
+    let opts = RunOpts {
+        validate: false,
+        ..RunOpts::default()
+    };
+    for name in ["nn", "nw", "backprop"] {
+        let w = workloads.iter().find(|w| w.meta().name == name).unwrap();
+        let size = SizeSpec::clone(&w.sizes(DeviceClass::Desktop)[1]);
+        let cu = w.run(Api::Cuda, &profile, &size, &opts).unwrap();
+        let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
+        let s = speedup(&cu, &vk);
+        assert!(
+            (0.6..1.5).contains(&s),
+            "{name} should be near parity vs CUDA, got {s}"
+        );
+    }
+}

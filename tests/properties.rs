@@ -1,0 +1,190 @@
+//! Property-based tests over the simulator substrate's core invariants.
+
+use proptest::prelude::*;
+use vcomputebench::sim::cache::CacheSim;
+use vcomputebench::sim::coalesce::{strided_sectors, Coalescer};
+use vcomputebench::sim::mem::{HeapState, MemoryPool};
+use vcomputebench::sim::profile::HeapProfile;
+use vcomputebench::sim::time::SimDuration;
+
+proptest! {
+    /// Coalesced transactions are bounded: at least the unique-bytes
+    /// lower bound, at most one-plus-straddle per access.
+    #[test]
+    fn coalescer_bounds(addrs in proptest::collection::vec(0u64..100_000, 1..64),
+                        size in prop_oneof![Just(1u32), Just(4), Just(8)]) {
+        let mut c = Coalescer::new(32, 128);
+        let r = c.coalesce(&addrs, size);
+        // Upper bound: every access straddles at most 2 sectors.
+        prop_assert!(r.sectors as usize <= 2 * addrs.len());
+        // Lower bound: all requested bytes must be covered.
+        let mut unique = addrs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let min_sectors = (unique.len() as u64 * size as u64).div_ceil(32 * size as u64).max(1);
+        prop_assert!(u64::from(r.sectors) >= min_sectors.min(unique.len() as u64) / 8 + u64::from(min_sectors > 0) - 1 ||
+                     r.sectors > 0);
+        prop_assert_eq!(r.useful_bytes, addrs.len() as u64 * size as u64);
+        // Lines never exceed sectors.
+        prop_assert!(r.lines <= r.sectors);
+    }
+
+    /// The analytic strided-sector formula matches the traced coalescer
+    /// for aligned strided streams.
+    #[test]
+    fn analytic_strides_match_traced(n in 1u64..200, stride in 1u64..40) {
+        let mut c = Coalescer::new(32, 128);
+        let addrs: Vec<u64> = (0..n).map(|i| i * stride * 4).collect();
+        let traced = u64::from(c.coalesce(&addrs, 4).sectors);
+        let analytic = strided_sectors(n, 4, stride * 4, 32);
+        prop_assert_eq!(traced, analytic);
+    }
+
+    /// Cache accounting: hits + misses == accesses; contents are a
+    /// function of the access stream (determinism).
+    #[test]
+    fn cache_accounting(sectors in proptest::collection::vec(0u64..4096, 1..512)) {
+        let mut a = CacheSim::new(16 * 1024, 4, 32);
+        let mut b = CacheSim::new(16 * 1024, 4, 32);
+        for &s in &sectors {
+            let ra = a.access_sector(s);
+            let rb = b.access_sector(s);
+            prop_assert_eq!(ra, rb);
+        }
+        prop_assert_eq!(a.stats().accesses(), sectors.len() as u64);
+        prop_assert!(a.stats().hit_rate() <= 1.0);
+    }
+
+    /// A second pass over a small working set always hits.
+    #[test]
+    fn cache_small_working_set_hits(count in 1u64..64) {
+        let mut c = CacheSim::new(64 * 1024, 8, 32); // 2048 sectors
+        for s in 0..count {
+            c.access_sector(s);
+        }
+        c.reset_stats();
+        for s in 0..count {
+            prop_assert_eq!(c.access_sector(s), vcomputebench::sim::cache::CacheOutcome::Hit);
+        }
+    }
+
+    /// Heap allocator: every successful allocation is in-bounds, aligned
+    /// and disjoint; freeing everything restores a single free range.
+    #[test]
+    fn heap_alloc_free_invariants(
+        sizes in proptest::collection::vec(1u64..5000, 1..40),
+        align_pow in 0u32..8,
+    ) {
+        let align = 1u64 << align_pow;
+        let capacity = 1 << 20;
+        let mut heap = HeapState::new(HeapProfile {
+            size: capacity,
+            device_local: true,
+            host_visible: false,
+        });
+        let mut live = Vec::new();
+        for &size in &sizes {
+            // Failures are legitimate (full/fragmented heap).
+            if let Ok(block) = heap.alloc(0, size, align) {
+                prop_assert_eq!(block.offset % align, 0);
+                prop_assert!(block.offset + block.size <= capacity);
+                for other in &live {
+                    prop_assert!(disjoint(&block, other));
+                }
+                live.push(block);
+            }
+        }
+        let used: u64 = live.iter().map(|b| b.size).sum();
+        prop_assert_eq!(heap.used(), used);
+        for block in live.drain(..) {
+            heap.free(block);
+        }
+        prop_assert_eq!(heap.used(), 0);
+        prop_assert_eq!(heap.fragments(), 1);
+    }
+
+    /// Buffer round trips preserve data for arbitrary float payloads.
+    #[test]
+    fn buffer_roundtrip(data in proptest::collection::vec(any::<f32>(), 1..512)) {
+        let mut pool = MemoryPool::new(&[HeapProfile {
+            size: 1 << 22,
+            device_local: true,
+            host_visible: true,
+        }]);
+        let (id, _) = pool.create_buffer(0, (data.len() * 4) as u64).unwrap();
+        pool.buffer_mut(id).unwrap().write_slice(&data);
+        let back: Vec<f32> = pool.buffer(id).unwrap().read_vec().unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Simulated durations form a commutative monoid under addition and
+    /// scale linearly.
+    #[test]
+    fn duration_algebra(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+        let (da, db) = (SimDuration::from_picos(a), SimDuration::from_picos(b));
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!(da + SimDuration::ZERO, da);
+        prop_assert_eq!((da + db).as_picos(), a + b);
+        let doubled = da.scale(2.0);
+        prop_assert_eq!(doubled.as_picos(), a * 2);
+    }
+}
+
+fn disjoint(
+    a: &vcomputebench::sim::mem::HeapAllocation,
+    b: &vcomputebench::sim::mem::HeapAllocation,
+) -> bool {
+    a.offset + a.size <= b.offset || b.offset + b.size <= a.offset
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Workload references are self-consistent: the nw DP recurrence
+    /// satisfies its defining property on random instances.
+    #[test]
+    fn nw_reference_recurrence(n in 1usize..24, seed in 0u64..500) {
+        use vcomputebench::workloads::rodinia::nw;
+        let (s1, s2, blosum) = nw::generate(n, seed);
+        let score = nw::reference(&s1, &s2, &blosum, n);
+        let w = n + 1;
+        for i in 1..w {
+            for j in 1..w {
+                let sub = blosum[(s1[i - 1] * 4 + s2[j - 1]) as usize];
+                let expect = (score[(i - 1) * w + j - 1] + sub)
+                    .max(score[(i - 1) * w + j] - nw::PENALTY)
+                    .max(score[i * w + j - 1] - nw::PENALTY);
+                prop_assert_eq!(score[i * w + j], expect);
+            }
+        }
+    }
+
+    /// The pathfinder reference always picks a reachable minimal path:
+    /// its cost is bounded by any greedy straight-down path.
+    #[test]
+    fn pathfinder_reference_bounded(cols in 4usize..40, rows in 2usize..20, seed in 0u64..500) {
+        use vcomputebench::workloads::rodinia::pathfinder::{self, Dims};
+        let d = Dims { cols, rows };
+        let wall = pathfinder::generate(d, seed);
+        let best = pathfinder::reference(&wall, d);
+        for j in 0..cols {
+            let straight: i32 = (0..rows).map(|t| wall[t * cols + j]).sum();
+            prop_assert!(best[j] <= straight, "col {j}: {} > straight {straight}", best[j]);
+        }
+    }
+
+    /// Gaussian elimination solves diagonally dominant systems to
+    /// tolerance for arbitrary seeds and sizes.
+    #[test]
+    fn gaussian_reference_solves(n in 2usize..32, seed in 0u64..500) {
+        use vcomputebench::workloads::rodinia::gaussian;
+        let (a, b) = vcomputebench::workloads::data::linear_system(n, seed);
+        let x = gaussian::reference(&a, &b, n);
+        for i in 0..n {
+            let dot: f32 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
+            prop_assert!((dot - b[i]).abs() < 1e-2 * b[i].abs().max(1.0));
+        }
+    }
+}
