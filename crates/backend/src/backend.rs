@@ -1,0 +1,409 @@
+//! The portable host-program layer: one [`ComputeBackend`] trait that
+//! every workload writes its host program against, with one
+//! implementation per programming model.
+//!
+//! ## Model
+//!
+//! The trait mirrors the *shape* shared by the paper's three host
+//! programs rather than any single API:
+//!
+//! * **Buffers** are created by [`upload`](ComputeBackend::upload) /
+//!   [`alloc`](ComputeBackend::alloc) (device-local, staged on desktop
+//!   Vulkan) or [`alloc_host`](ComputeBackend::alloc_host) (the
+//!   host-readable termination flags of bfs-style loops).
+//! * **Bind groups** name the buffers a kernel sees: a Vulkan descriptor
+//!   set, CUDA pointer arguments, sticky OpenCL buffer args.
+//! * **Sequences** are recorded dispatch chains. Vulkan records them into
+//!   command buffers (pre-recorded once, submitted in one
+//!   `vkQueueSubmit` — §IV-C); the launch-based APIs replay them as
+//!   per-dispatch launches when the sequence [`run`](ComputeBackend::run)s.
+//! * [`seq_dependency`](ComputeBackend::seq_dependency) is the
+//!   dependent-dispatch boundary: a pipeline barrier under Vulkan, the
+//!   multi-kernel host round trip (`cudaDeviceSynchronize` / `clFinish`)
+//!   under the launch-based APIs.
+//!   [`seq_barrier`](ComputeBackend::seq_barrier) is device-side ordering
+//!   only: a Vulkan barrier, nothing on an in-order stream/queue.
+//!
+//! Each lowering issues exactly the API calls the hand-written host
+//! drivers issued, so the per-API [`CallCounter`] totals behind the
+//! §VI-A effort table and the §V-A2 overhead decomposition are
+//! preserved (see `crates/workloads/tests/call_fidelity.rs` for the
+//! pinned totals and the two documented deviations).
+
+use vcb_core::run::{RunFailure, RunRecord};
+use vcb_sim::calls::CallCounter;
+use vcb_sim::mem::Scalar;
+use vcb_sim::time::{SimDuration, SimInstant};
+use vcb_sim::timeline::TimingBreakdown;
+use vcb_sim::Api;
+
+/// Result alias for backend operations.
+pub type BackendResult<T> = Result<T, RunFailure>;
+
+/// A device buffer owned by a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferHandle(pub(crate) usize);
+
+/// A compiled kernel / pipeline owned by a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelHandle(pub(crate) usize);
+
+/// A set of buffers bound to a kernel's slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BindGroupHandle(pub(crate) usize);
+
+/// A recorded dispatch sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqHandle(pub(crate) usize);
+
+/// How a buffer will be accessed — the `cl_mem_flags` the OpenCL host
+/// would pass; advisory for the other APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UsageHint {
+    /// Kernel-read-only input.
+    ReadOnly,
+    /// Kernel-write-only output.
+    WriteOnly,
+    /// Read-write working buffer.
+    ReadWrite,
+}
+
+/// The portable host-program surface: everything a workload needs to
+/// drive one run under any of the three programming models.
+///
+/// Object-safe so host programs take `&mut dyn ComputeBackend`.
+pub trait ComputeBackend {
+    /// The programming model this backend lowers onto.
+    fn api(&self) -> Api;
+
+    /// Device name (Table II/III row).
+    fn device_name(&self) -> String;
+
+    /// Simulated host-side "now" — host programs bracket their compute
+    /// phase with this, exactly like the paper's `std::chrono` timing.
+    fn now(&self) -> SimInstant;
+
+    /// API calls issued so far (the §VI-A effort metric).
+    fn call_counts(&self) -> CallCounter;
+
+    /// Cost breakdown accumulated so far (§V-A2 decomposition).
+    fn breakdown(&self) -> TimingBreakdown;
+
+    /// Device-level synchronization: `vkDeviceWaitIdle`,
+    /// `cudaDeviceSynchronize`, `clFinish`.
+    fn sync(&mut self);
+
+    /// Makes the workload's kernels available: a JIT build of the OpenCL
+    /// C source under OpenCL, a no-op for the binary-shipping APIs.
+    ///
+    /// # Errors
+    ///
+    /// [`RunFailure::DriverFailure`] when the device's JIT rejects the
+    /// workload (lud on the Snapdragon, §V-B2).
+    fn load_program(&mut self, cl_source: &str) -> BackendResult<()>;
+
+    /// Creates a device buffer initialized with `data` (staged through
+    /// host-visible memory on discrete-heap devices).
+    ///
+    /// # Errors
+    ///
+    /// Allocation or transfer failures.
+    fn upload(&mut self, data: &[u8], usage: UsageHint) -> BackendResult<BufferHandle>;
+
+    /// Creates an uninitialized device buffer for kernel outputs.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures ([`RunFailure::OutOfMemory`] included).
+    fn alloc(&mut self, bytes: u64, usage: UsageHint) -> BackendResult<BufferHandle>;
+
+    /// Creates a host-visible buffer for flags the host reads inside a
+    /// loop (the bfs `over` flag).
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    fn alloc_host(&mut self, bytes: u64) -> BackendResult<BufferHandle>;
+
+    /// Reads a whole device buffer back (staged when necessary).
+    ///
+    /// # Errors
+    ///
+    /// Transfer failures.
+    fn download(&mut self, buf: BufferHandle) -> BackendResult<Vec<u8>>;
+
+    /// Writes a host-visible buffer directly (mapped write under Vulkan).
+    ///
+    /// # Errors
+    ///
+    /// Transfer failures.
+    fn write_host(&mut self, buf: BufferHandle, data: &[u8]) -> BackendResult<()>;
+
+    /// Reads a host-visible buffer after draining outstanding work
+    /// (`vkQueueWaitIdle` + mapped read under Vulkan; the implicit sync
+    /// of a blocking `cudaMemcpy` / `clEnqueueReadBuffer` elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Transfer failures.
+    fn read_host(&mut self, buf: BufferHandle) -> BackendResult<Vec<u8>>;
+
+    /// Replaces a device buffer's contents mid-run. The launch-based
+    /// APIs write in place; Vulkan uploads a fresh staging-backed buffer
+    /// and rewrites every descriptor set referencing the handle (the
+    /// backprop delta-upload pattern).
+    ///
+    /// # Errors
+    ///
+    /// Allocation or transfer failures.
+    fn upload_into(&mut self, buf: BufferHandle, data: &[u8]) -> BackendResult<()>;
+
+    /// Binds `buffers` to kernel slots `0..buffers.len()`: a descriptor
+    /// set (layout + pool + set + writes) under Vulkan, remembered
+    /// pointer/buffer arguments elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Descriptor machinery failures.
+    fn bind_group(&mut self, buffers: &[BufferHandle]) -> BackendResult<BindGroupHandle>;
+
+    /// A second bind group over the same slot layout as `like` (the
+    /// ping-pong descriptor set of hotspot/pathfinder): a fresh pool +
+    /// set + writes under Vulkan, sharing `like`'s set layout.
+    ///
+    /// # Errors
+    ///
+    /// Descriptor machinery failures.
+    fn bind_group_like(
+        &mut self,
+        like: BindGroupHandle,
+        buffers: &[BufferHandle],
+    ) -> BackendResult<BindGroupHandle>;
+
+    /// Resolves a kernel: SPIR-V module + pipeline layout (from
+    /// `layout_of`'s set layout, `push_bytes` of push constants) +
+    /// compute pipeline under Vulkan; `cuModuleGetFunction` /
+    /// `clCreateKernel` elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Unknown symbols or pipeline failures ([`RunFailure::DriverFailure`]
+    /// for the paper's broken mobile workloads).
+    fn kernel(
+        &mut self,
+        name: &str,
+        layout_of: BindGroupHandle,
+        push_bytes: u32,
+    ) -> BackendResult<KernelHandle>;
+
+    /// Starts recording a sequence (allocates + begins a command buffer
+    /// under Vulkan, from one shared pool).
+    ///
+    /// # Errors
+    ///
+    /// Command-recording failures.
+    fn seq_begin(&mut self) -> BackendResult<SeqHandle>;
+
+    /// Selects the kernel for subsequent dispatches
+    /// (`vkCmdBindPipeline`).
+    ///
+    /// # Errors
+    ///
+    /// Invalid handles or recording failures.
+    fn seq_kernel(&mut self, seq: SeqHandle, kernel: KernelHandle) -> BackendResult<()>;
+
+    /// Selects the bind group for subsequent dispatches
+    /// (`vkCmdBindDescriptorSets`; arguments for the launch-based APIs).
+    ///
+    /// # Errors
+    ///
+    /// Invalid handles or recording failures.
+    fn seq_bind(&mut self, seq: SeqHandle, binds: BindGroupHandle) -> BackendResult<()>;
+
+    /// Sets the scalar parameters for subsequent dispatches, as little-
+    /// endian bytes (`vkCmdPushConstants`; packed kernel parameters for
+    /// the launch-based APIs, one 4-byte word per argument).
+    ///
+    /// # Errors
+    ///
+    /// Recording failures.
+    fn seq_push(&mut self, seq: SeqHandle, data: &[u8]) -> BackendResult<()>;
+
+    /// Records one dispatch of the selected kernel (`vkCmdDispatch`;
+    /// replayed as `cudaLaunchKernel` / `clEnqueueNDRangeKernel` with the
+    /// launch-based APIs' global size = groups × the kernel's fixed local
+    /// size).
+    ///
+    /// # Errors
+    ///
+    /// Recording failures.
+    fn seq_dispatch(&mut self, seq: SeqHandle, groups: [u32; 3]) -> BackendResult<()>;
+
+    /// Device-side write→read ordering: `vkCmdPipelineBarrier`; nothing
+    /// on an in-order CUDA stream / OpenCL queue.
+    ///
+    /// # Errors
+    ///
+    /// Recording failures.
+    fn seq_barrier(&mut self, seq: SeqHandle) -> BackendResult<()>;
+
+    /// Dependent-dispatch boundary (§IV-C): `vkCmdPipelineBarrier` inside
+    /// the pre-recorded command buffer under Vulkan, a host round trip
+    /// (`cudaDeviceSynchronize` / `clFinish`) when the launch-based APIs
+    /// replay the sequence — the multi-kernel method.
+    ///
+    /// # Errors
+    ///
+    /// Recording failures.
+    fn seq_dependency(&mut self, seq: SeqHandle) -> BackendResult<()>;
+
+    /// Ends the current command buffer and opens a fresh one within the
+    /// same sequence (nw records its two grid halves into two command
+    /// buffers submitted in a single `vkQueueSubmit`); nothing for the
+    /// launch-based APIs.
+    ///
+    /// # Errors
+    ///
+    /// Recording failures.
+    fn seq_split(&mut self, seq: SeqHandle) -> BackendResult<()>;
+
+    /// Finishes recording (`vkEndCommandBuffer`).
+    ///
+    /// # Errors
+    ///
+    /// Recording failures.
+    fn seq_end(&mut self, seq: SeqHandle) -> BackendResult<()>;
+
+    /// Executes a recorded sequence and waits for completion: one
+    /// `vkQueueSubmit` of every recorded command buffer + `vkQueueWaitIdle`
+    /// under Vulkan; a replay of the recorded launches under CUDA/OpenCL,
+    /// with a trailing sync when the sequence does not already end on a
+    /// [`seq_dependency`](Self::seq_dependency).
+    ///
+    /// Sequences stay valid and can be run again (the bfs level loop
+    /// resubmits its two cached command buffers every level).
+    ///
+    /// # Errors
+    ///
+    /// Submission or execution failures.
+    fn run(&mut self, seq: SeqHandle) -> BackendResult<()>;
+
+    /// Executes a recorded sequence without waiting: submit-only under
+    /// Vulkan, replay without a trailing sync elsewhere. Use
+    /// [`read_host`](Self::read_host) (or [`run`](Self::run)) to
+    /// synchronize.
+    ///
+    /// # Errors
+    ///
+    /// Submission or execution failures.
+    fn run_async(&mut self, seq: SeqHandle) -> BackendResult<()>;
+}
+
+impl std::fmt::Debug for dyn ComputeBackend + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComputeBackend")
+            .field("api", &self.api())
+            .field("device", &self.device_name())
+            .finish()
+    }
+}
+
+/// What a measured benchmark body reports back.
+///
+/// `compute_time` is the wall time of the *compute phase* — the host
+/// brackets its kernel loop with clock reads, which is exactly how the
+/// paper measures "kernel execution times" with `std::chrono` (§V): for
+/// the launch-based APIs it includes the per-iteration launch round trips
+/// that the multi-kernel method forces, and for Vulkan it includes the
+/// one submission overhead. Setup (JIT, context, pipelines) and data
+/// transfers stay outside.
+#[derive(Debug, Clone, Copy)]
+pub struct BodyOutcome {
+    /// Whether outputs matched the CPU reference.
+    pub validated: bool,
+    /// Wall time of the compute phase.
+    pub compute_time: SimDuration,
+}
+
+/// Runs `body` against a backend and captures the measurement deltas
+/// (API-call counts, cost breakdown, wall time) into a [`RunRecord`] —
+/// the one measurement wrapper that used to exist per API.
+///
+/// # Errors
+///
+/// Propagates body failures.
+pub fn measure(
+    workload: &str,
+    size: &str,
+    backend: &mut dyn ComputeBackend,
+    body: impl FnOnce(&mut dyn ComputeBackend) -> Result<BodyOutcome, RunFailure>,
+) -> Result<RunRecord, RunFailure> {
+    let calls_before = backend.call_counts();
+    let breakdown_before = backend.breakdown();
+    let start = backend.now();
+    let outcome = body(backend)?;
+    backend.sync();
+    let end = backend.now();
+    let breakdown = backend.breakdown().since(&breakdown_before);
+    Ok(RunRecord {
+        workload: workload.to_owned(),
+        api: backend.api(),
+        device: backend.device_name(),
+        size: size.to_owned(),
+        kernel_time: outcome.compute_time,
+        total_time: end.duration_since(start),
+        breakdown,
+        calls: backend.call_counts().since(&calls_before),
+        validated: outcome.validated,
+    })
+}
+
+/// Reinterprets a scalar slice as its raw bytes (the simulator stores
+/// buffer contents in native layout, so this is the exact image a typed
+/// upload would write).
+pub fn bytes_of<T: Scalar>(data: &[T]) -> &[u8] {
+    // SAFETY: `Scalar` is sealed to plain-old-data numeric types (f32,
+    // u32, i32, u64, f64, u8) with no padding or invalid bit patterns;
+    // u8 has alignment 1, and the length covers exactly the same memory.
+    unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data)) }
+}
+
+/// Decodes downloaded bytes as `f32`s (native layout).
+pub fn to_f32(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_ne_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Decodes downloaded bytes as `i32`s (native layout).
+pub fn to_i32(bytes: &[u8]) -> Vec<i32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_ne_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Decodes downloaded bytes as `u32`s (native layout).
+pub fn to_u32(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_ne_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_views_round_trip() {
+        let floats = [1.5f32, -2.25, 0.0, f32::INFINITY];
+        assert_eq!(to_f32(bytes_of(&floats)), floats);
+        let ints = [-3i32, 0, i32::MAX];
+        assert_eq!(to_i32(bytes_of(&ints)), ints);
+        let uints = [7u32, u32::MAX];
+        assert_eq!(to_u32(bytes_of(&uints)), uints);
+        assert_eq!(bytes_of(&[0x0403_0201u32]), 0x0403_0201u32.to_ne_bytes());
+    }
+}

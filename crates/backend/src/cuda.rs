@@ -1,0 +1,261 @@
+//! [`ComputeBackend`] lowered onto the CUDA-shaped frontend.
+//!
+//! Sequences record as plain op lists (recording costs no API calls) and
+//! replay as `cudaLaunchKernel` chains when run — with a
+//! `cudaDeviceSynchronize` at every [`seq_dependency`] boundary: the
+//! multi-kernel method of §IV-C, where control returns to the host
+//! between dependent iterations.
+//!
+//! [`seq_dependency`]: ComputeBackend::seq_dependency
+
+use std::sync::Arc;
+
+use vcb_core::run::RunFailure;
+use vcb_cuda::{CudaContext, CudaFunction, KernelArg, Stream};
+use vcb_sim::calls::CallCounter;
+use vcb_sim::profile::DeviceProfile;
+use vcb_sim::time::SimInstant;
+use vcb_sim::timeline::TimingBreakdown;
+use vcb_sim::{Api, KernelRegistry};
+
+use crate::backend::{
+    BackendResult, BindGroupHandle, BufferHandle, ComputeBackend, KernelHandle, SeqHandle,
+    UsageHint,
+};
+use crate::env::{cuda_env, cuda_failure};
+
+#[derive(Clone)]
+enum Op {
+    Kernel(KernelHandle),
+    Bind(BindGroupHandle),
+    Push(Vec<u8>),
+    Dispatch([u32; 3]),
+    Dependency,
+}
+
+/// The CUDA lowering of the portable host-program layer.
+pub struct CudaBackend {
+    ctx: CudaContext,
+    buffers: Vec<vcb_cuda::DevicePtr>,
+    bind_groups: Vec<Vec<BufferHandle>>,
+    kernels: Vec<CudaFunction>,
+    seqs: Vec<Vec<Op>>,
+}
+
+impl CudaBackend {
+    /// Initializes the CUDA runtime on `profile`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunFailure::Unsupported`] off NVIDIA hardware.
+    pub fn new(
+        profile: &DeviceProfile,
+        registry: &Arc<KernelRegistry>,
+    ) -> Result<CudaBackend, RunFailure> {
+        Ok(CudaBackend {
+            ctx: cuda_env(profile, registry)?,
+            buffers: Vec::new(),
+            bind_groups: Vec::new(),
+            kernels: Vec::new(),
+            seqs: Vec::new(),
+        })
+    }
+
+    fn replay(&self, seq: SeqHandle, wait_tail: bool) -> BackendResult<()> {
+        let mut kernel: Option<KernelHandle> = None;
+        let mut bind: Option<BindGroupHandle> = None;
+        let mut push: &[u8] = &[];
+        let mut synced = false;
+        for op in &self.seqs[seq.0] {
+            match op {
+                Op::Kernel(k) => kernel = Some(*k),
+                Op::Bind(bg) => bind = Some(*bg),
+                Op::Push(p) => push = p,
+                Op::Dispatch(groups) => {
+                    let k = kernel
+                        .ok_or_else(|| RunFailure::Error("dispatch before seq_kernel".into()))?;
+                    let bg =
+                        bind.ok_or_else(|| RunFailure::Error("dispatch before seq_bind".into()))?;
+                    let mut args: Vec<KernelArg> = self.bind_groups[bg.0]
+                        .iter()
+                        .map(|b| KernelArg::Ptr(self.buffers[b.0]))
+                        .collect();
+                    args.extend(
+                        push.chunks_exact(4)
+                            .map(|c| KernelArg::U32(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))),
+                    );
+                    self.ctx
+                        .launch_kernel(&self.kernels[k.0], *groups, &args, Stream::DEFAULT)
+                        .map_err(cuda_failure)?;
+                    synced = false;
+                }
+                Op::Dependency => {
+                    // Multi-kernel method: control returns to the host
+                    // between dependent iterations (§IV-C).
+                    self.ctx.device_synchronize();
+                    synced = true;
+                }
+            }
+        }
+        if wait_tail && !synced {
+            self.ctx.device_synchronize();
+        }
+        Ok(())
+    }
+}
+
+impl ComputeBackend for CudaBackend {
+    fn api(&self) -> Api {
+        Api::Cuda
+    }
+
+    fn device_name(&self) -> String {
+        self.ctx.profile().name
+    }
+
+    fn now(&self) -> SimInstant {
+        self.ctx.now()
+    }
+
+    fn call_counts(&self) -> CallCounter {
+        self.ctx.call_counts()
+    }
+
+    fn breakdown(&self) -> TimingBreakdown {
+        self.ctx.breakdown()
+    }
+
+    fn sync(&mut self) {
+        self.ctx.device_synchronize();
+    }
+
+    fn load_program(&mut self, _cl_source: &str) -> BackendResult<()> {
+        // CUDA ships compiled kernels; symbols resolve in `kernel()`.
+        Ok(())
+    }
+
+    fn upload(&mut self, data: &[u8], _usage: UsageHint) -> BackendResult<BufferHandle> {
+        let ptr = self.ctx.malloc(data.len() as u64).map_err(cuda_failure)?;
+        self.ctx.memcpy_htod(&ptr, data).map_err(cuda_failure)?;
+        self.buffers.push(ptr);
+        Ok(BufferHandle(self.buffers.len() - 1))
+    }
+
+    fn alloc(&mut self, bytes: u64, _usage: UsageHint) -> BackendResult<BufferHandle> {
+        let ptr = self.ctx.malloc(bytes).map_err(cuda_failure)?;
+        self.buffers.push(ptr);
+        Ok(BufferHandle(self.buffers.len() - 1))
+    }
+
+    fn alloc_host(&mut self, bytes: u64) -> BackendResult<BufferHandle> {
+        // CUDA's flat memory model: an ordinary device allocation; the
+        // blocking memcpys give the host its per-iteration view.
+        self.alloc(bytes, UsageHint::ReadWrite)
+    }
+
+    fn download(&mut self, buf: BufferHandle) -> BackendResult<Vec<u8>> {
+        self.ctx
+            .memcpy_dtoh(&self.buffers[buf.0])
+            .map_err(cuda_failure)
+    }
+
+    fn write_host(&mut self, buf: BufferHandle, data: &[u8]) -> BackendResult<()> {
+        self.ctx
+            .memcpy_htod(&self.buffers[buf.0], data)
+            .map_err(cuda_failure)
+    }
+
+    fn read_host(&mut self, buf: BufferHandle) -> BackendResult<Vec<u8>> {
+        // A blocking cudaMemcpy synchronizes implicitly.
+        self.download(buf)
+    }
+
+    fn upload_into(&mut self, buf: BufferHandle, data: &[u8]) -> BackendResult<()> {
+        self.write_host(buf, data)
+    }
+
+    fn bind_group(&mut self, buffers: &[BufferHandle]) -> BackendResult<BindGroupHandle> {
+        self.bind_groups.push(buffers.to_vec());
+        Ok(BindGroupHandle(self.bind_groups.len() - 1))
+    }
+
+    fn bind_group_like(
+        &mut self,
+        _like: BindGroupHandle,
+        buffers: &[BufferHandle],
+    ) -> BackendResult<BindGroupHandle> {
+        self.bind_group(buffers)
+    }
+
+    fn kernel(
+        &mut self,
+        name: &str,
+        _layout_of: BindGroupHandle,
+        _push_bytes: u32,
+    ) -> BackendResult<KernelHandle> {
+        let function = self.ctx.get_function(name).map_err(cuda_failure)?;
+        self.kernels.push(function);
+        Ok(KernelHandle(self.kernels.len() - 1))
+    }
+
+    fn seq_begin(&mut self) -> BackendResult<SeqHandle> {
+        self.seqs.push(Vec::new());
+        Ok(SeqHandle(self.seqs.len() - 1))
+    }
+
+    fn seq_kernel(&mut self, seq: SeqHandle, kernel: KernelHandle) -> BackendResult<()> {
+        self.seqs[seq.0].push(Op::Kernel(kernel));
+        Ok(())
+    }
+
+    fn seq_bind(&mut self, seq: SeqHandle, binds: BindGroupHandle) -> BackendResult<()> {
+        self.seqs[seq.0].push(Op::Bind(binds));
+        Ok(())
+    }
+
+    fn seq_push(&mut self, seq: SeqHandle, data: &[u8]) -> BackendResult<()> {
+        self.seqs[seq.0].push(Op::Push(data.to_vec()));
+        Ok(())
+    }
+
+    fn seq_dispatch(&mut self, seq: SeqHandle, groups: [u32; 3]) -> BackendResult<()> {
+        self.seqs[seq.0].push(Op::Dispatch(groups));
+        Ok(())
+    }
+
+    fn seq_barrier(&mut self, _seq: SeqHandle) -> BackendResult<()> {
+        // The default stream is in-order; device-side ordering is free.
+        Ok(())
+    }
+
+    fn seq_dependency(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.seqs[seq.0].push(Op::Dependency);
+        Ok(())
+    }
+
+    fn seq_split(&mut self, _seq: SeqHandle) -> BackendResult<()> {
+        // Command-buffer segmentation is a Vulkan notion.
+        Ok(())
+    }
+
+    fn seq_end(&mut self, _seq: SeqHandle) -> BackendResult<()> {
+        Ok(())
+    }
+
+    fn run(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.replay(seq, true)
+    }
+
+    fn run_async(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.replay(seq, false)
+    }
+}
+
+impl std::fmt::Debug for CudaBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CudaBackend")
+            .field("device", &self.ctx.profile().name)
+            .field("buffers", &self.buffers.len())
+            .finish()
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-API environment setup and error translation — the plumbing every
+//! host program needs before its first buffer, collapsed here from the
+//! per-workload drivers it used to be copied into.
+
+use std::sync::Arc;
+
+use vcb_core::run::RunFailure;
+use vcb_cuda::{CudaContext, CudaError};
+use vcb_opencl::{ClError, CommandQueue, Context, Platform, QueueProperties};
+use vcb_sim::profile::DeviceProfile;
+use vcb_sim::{KernelRegistry, SimError};
+use vcb_vulkan::{
+    Device, DeviceCreateInfo, DeviceQueueCreateInfo, Instance, InstanceCreateInfo, Queue, VkError,
+};
+
+/// A ready-to-use Vulkan environment (instance, device, compute queue).
+#[derive(Debug, Clone)]
+pub struct VkEnv {
+    /// The logical device.
+    pub device: Device,
+    /// A compute-capable queue.
+    pub queue: Queue,
+}
+
+/// Sets up Vulkan on `profile`.
+///
+/// # Errors
+///
+/// Propagates instance/device creation failures as [`RunFailure`].
+pub fn vk_env(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+) -> Result<VkEnv, RunFailure> {
+    let instance = Instance::new(&InstanceCreateInfo {
+        application_name: "vcomputebench".into(),
+        enabled_layers: Vec::new(),
+        devices: vec![profile.clone()],
+        registry: Arc::clone(registry),
+    })
+    .map_err(vk_failure)?;
+    let physical = instance.enumerate_physical_devices().remove(0);
+    let family = physical
+        .find_queue_family(vcb_sim::profile::QueueCaps::COMPUTE)
+        .ok_or_else(|| RunFailure::Error("no compute queue family".into()))?;
+    let device = Device::new(
+        &physical,
+        &DeviceCreateInfo {
+            queue_create_infos: vec![DeviceQueueCreateInfo {
+                queue_family_index: family,
+                queue_count: 1,
+            }],
+        },
+    )
+    .map_err(vk_failure)?;
+    device.set_trace_mode(vcb_sim::TraceMode::Auto);
+    let queue = device.get_queue(family, 0).map_err(vk_failure)?;
+    Ok(VkEnv { device, queue })
+}
+
+/// A ready-to-use OpenCL environment (context + profiling queue).
+#[derive(Debug, Clone)]
+pub struct ClEnv {
+    /// The context.
+    pub context: Context,
+    /// An in-order command queue with profiling enabled.
+    pub queue: CommandQueue,
+}
+
+/// Sets up OpenCL on `profile`.
+///
+/// # Errors
+///
+/// [`RunFailure::Unsupported`] when the device has no OpenCL driver.
+pub fn cl_env(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+) -> Result<ClEnv, RunFailure> {
+    let platforms = Platform::enumerate(std::slice::from_ref(profile), Arc::clone(registry));
+    let platform = platforms
+        .into_iter()
+        .next()
+        .ok_or(RunFailure::Unsupported)?;
+    let device = platform.devices().remove(0);
+    let context = Context::new(&device).map_err(cl_failure)?;
+    let queue = CommandQueue::new(&context, QueueProperties { profiling: true });
+    Ok(ClEnv { context, queue })
+}
+
+/// Sets up CUDA on `profile`.
+///
+/// # Errors
+///
+/// [`RunFailure::Unsupported`] off NVIDIA hardware.
+pub fn cuda_env(
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+) -> Result<CudaContext, RunFailure> {
+    match CudaContext::new(profile.clone(), Arc::clone(registry)) {
+        Ok(ctx) => Ok(ctx),
+        Err(CudaError::NoDevice { .. }) => Err(RunFailure::Unsupported),
+        Err(e) => Err(cuda_failure(e)),
+    }
+}
+
+/// Maps a Vulkan error to a run failure.
+pub fn vk_failure(e: VkError) -> RunFailure {
+    match e {
+        VkError::Device(SimError::OutOfDeviceMemory { .. }) => RunFailure::OutOfMemory,
+        VkError::DeviceLost { .. } => RunFailure::DriverFailure,
+        other => RunFailure::Error(other.to_string()),
+    }
+}
+
+/// Maps an OpenCL error to a run failure.
+pub fn cl_failure(e: ClError) -> RunFailure {
+    match e {
+        ClError::Device(SimError::OutOfDeviceMemory { .. }) => RunFailure::OutOfMemory,
+        ClError::BuildFailure { .. } => RunFailure::DriverFailure,
+        ClError::DeviceNotFound { .. } => RunFailure::Unsupported,
+        other => RunFailure::Error(other.to_string()),
+    }
+}
+
+/// Maps a CUDA error to a run failure.
+pub fn cuda_failure(e: CudaError) -> RunFailure {
+    match e {
+        CudaError::Device(SimError::OutOfDeviceMemory { .. }) => RunFailure::OutOfMemory,
+        CudaError::NoDevice { .. } => RunFailure::Unsupported,
+        other => RunFailure::Error(other.to_string()),
+    }
+}
+
+/// A compiled Vulkan compute pipeline with its layout.
+#[derive(Debug, Clone)]
+pub struct VkKernelBundle {
+    /// The pipeline.
+    pub pipeline: vcb_vulkan::ComputePipeline,
+    /// Its layout (needed for descriptor binds and push constants).
+    pub layout: vcb_vulkan::PipelineLayout,
+}
+
+/// Assembles the registered kernel's SPIR-V, creates the shader module,
+/// a pipeline layout with one descriptor-set layout and `push_bytes` of
+/// push constants, and compiles the pipeline — the boilerplate block of
+/// Listing 1.
+///
+/// # Errors
+///
+/// Reported as [`RunFailure`] (notably [`RunFailure::DriverFailure`] for
+/// the paper's broken mobile workloads).
+pub fn vk_kernel(
+    env: &VkEnv,
+    registry: &Arc<KernelRegistry>,
+    name: &str,
+    set_layout: &vcb_vulkan::DescriptorSetLayout,
+    push_bytes: u32,
+) -> Result<VkKernelBundle, RunFailure> {
+    let info = registry
+        .lookup(name)
+        .map_err(|e| RunFailure::Error(e.to_string()))?;
+    let spv = vcb_spirv::SpirvModule::assemble(info.info());
+    let module = env
+        .device
+        .create_shader_module(spv.words())
+        .map_err(vk_failure)?;
+    let ranges = if push_bytes > 0 {
+        vec![vcb_vulkan::PushConstantRange {
+            offset: 0,
+            size: push_bytes,
+        }]
+    } else {
+        Vec::new()
+    };
+    let layout = env
+        .device
+        .create_pipeline_layout(&[set_layout], &ranges)
+        .map_err(vk_failure)?;
+    let pipeline = env
+        .device
+        .create_compute_pipeline(&vcb_vulkan::ComputePipelineCreateInfo {
+            module: &module,
+            entry_point: name,
+            layout: &layout,
+        })
+        .map_err(vk_failure)?;
+    Ok(VkKernelBundle { pipeline, layout })
+}

@@ -1,0 +1,76 @@
+//! # vcb-backend — the portable host-program layer
+//!
+//! One [`ComputeBackend`] trait behind the three programming-model
+//! frontends, so each workload writes a *single* host program instead of
+//! three near-identical ~150-line drivers (the decoupling ALTIS and
+//! gSuite argue benchmark suites need to scale).
+//!
+//! * [`backend`] — the trait, handles, the generic [`measure`] wrapper
+//!   and byte-view helpers.
+//! * [`vulkan`] / [`cuda`] / [`opencl`] — the three lowerings. Each
+//!   issues exactly the API calls the hand-written drivers issued, so
+//!   call-count (§VI-A) and timing-breakdown (§V-A2) fidelity survive
+//!   the refactor.
+//! * [`env`] — per-API environment bring-up and error translation
+//!   (also used directly by the Vulkan-specific §VI-B ablations).
+//!
+//! ```
+//! use vcb_backend::{bytes_of, to_f32, UsageHint};
+//! use vcb_sim::profile::devices;
+//! use vcb_sim::Api;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), vcb_core::run::RunFailure> {
+//! let registry = Arc::new(vcb_sim::KernelRegistry::new());
+//! let mut b = vcb_backend::create(Api::Cuda, &devices::gtx1050ti(), &registry)?;
+//! let data = [1.0f32, 2.0, 3.0];
+//! let buf = b.upload(bytes_of(&data), UsageHint::ReadOnly)?;
+//! assert_eq!(to_f32(&b.download(buf)?), data);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod cuda;
+pub mod env;
+pub mod opencl;
+pub mod vulkan;
+
+use std::sync::Arc;
+
+use vcb_core::run::RunFailure;
+use vcb_sim::profile::DeviceProfile;
+use vcb_sim::{Api, KernelRegistry};
+
+pub use backend::{
+    bytes_of, measure, to_f32, to_i32, to_u32, BackendResult, BindGroupHandle, BodyOutcome,
+    BufferHandle, ComputeBackend, KernelHandle, SeqHandle, UsageHint,
+};
+pub use cuda::CudaBackend;
+pub use env::{
+    cl_env, cl_failure, cuda_env, cuda_failure, vk_env, vk_failure, vk_kernel, ClEnv, VkEnv,
+    VkKernelBundle,
+};
+pub use opencl::OpenClBackend;
+pub use vulkan::VulkanBackend;
+
+/// Creates the backend for `api` on `profile` — the entire per-API half
+/// of the old `Workload::run` dispatch.
+///
+/// # Errors
+///
+/// [`RunFailure::Unsupported`] when the device lacks the API's driver;
+/// environment bring-up failures otherwise.
+pub fn create(
+    api: Api,
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+) -> Result<Box<dyn ComputeBackend>, RunFailure> {
+    Ok(match api {
+        Api::Vulkan => Box::new(VulkanBackend::new(profile, registry)?),
+        Api::Cuda => Box::new(CudaBackend::new(profile, registry)?),
+        Api::OpenCl => Box::new(OpenClBackend::new(profile, registry)?),
+    })
+}

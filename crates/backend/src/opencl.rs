@@ -1,0 +1,367 @@
+//! [`ComputeBackend`] lowered onto the OpenCL-shaped frontend.
+//!
+//! Sequences record as op lists and replay as `clEnqueueNDRangeKernel`
+//! chains, with a `clFinish` at every [`seq_dependency`] boundary.
+//! `clSetKernelArg` is sticky, so the replay only re-sets the arguments
+//! whose values changed since the kernel's previous dispatch — the same
+//! discipline the hand-written iterative hosts used (set invariant args
+//! once before the loop, re-set the ping-pong/counter args inside it).
+//!
+//! [`seq_dependency`]: ComputeBackend::seq_dependency
+
+use std::sync::Arc;
+
+use vcb_core::run::RunFailure;
+use vcb_opencl::{ClArg, ClBuffer, Kernel, MemFlags, Program};
+use vcb_sim::calls::CallCounter;
+use vcb_sim::profile::DeviceProfile;
+use vcb_sim::time::SimInstant;
+use vcb_sim::timeline::TimingBreakdown;
+use vcb_sim::{Api, KernelRegistry};
+
+use crate::backend::{
+    BackendResult, BindGroupHandle, BufferHandle, ComputeBackend, KernelHandle, SeqHandle,
+    UsageHint,
+};
+use crate::env::{cl_env, cl_failure, ClEnv};
+
+#[derive(Clone)]
+enum Op {
+    Kernel(KernelHandle),
+    Bind(BindGroupHandle),
+    Push(Vec<u8>),
+    Dispatch([u32; 3]),
+    Dependency,
+}
+
+/// Shadow of one kernel's sticky argument state, for change detection.
+///
+/// A kernel's signature is fixed, so its buffer arity never changes
+/// between dispatches; `set_args` enforces that (otherwise positional
+/// word slots would shift and the diffing would set wrong arguments).
+#[derive(Default)]
+struct ArgShadow {
+    /// Buffer arity pinned by the first dispatch.
+    arity: Option<usize>,
+    buffers: Vec<Option<ClBuffer>>,
+    words: Vec<Option<u32>>,
+}
+
+struct ClKernelEntry {
+    kernel: Kernel,
+    shadow: ArgShadow,
+}
+
+/// The OpenCL lowering of the portable host-program layer.
+pub struct OpenClBackend {
+    env: ClEnv,
+    program: Option<Program>,
+    buffers: Vec<ClBuffer>,
+    bind_groups: Vec<Vec<BufferHandle>>,
+    kernels: Vec<ClKernelEntry>,
+    seqs: Vec<Vec<Op>>,
+}
+
+impl OpenClBackend {
+    /// Brings up platform/context/queue on `profile`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunFailure::Unsupported`] when the device has no OpenCL driver.
+    pub fn new(
+        profile: &DeviceProfile,
+        registry: &Arc<KernelRegistry>,
+    ) -> Result<OpenClBackend, RunFailure> {
+        Ok(OpenClBackend {
+            env: cl_env(profile, registry)?,
+            program: None,
+            buffers: Vec::new(),
+            bind_groups: Vec::new(),
+            kernels: Vec::new(),
+            seqs: Vec::new(),
+        })
+    }
+
+    fn flags(usage: UsageHint) -> MemFlags {
+        match usage {
+            UsageHint::ReadOnly => MemFlags::ReadOnly,
+            UsageHint::WriteOnly => MemFlags::WriteOnly,
+            UsageHint::ReadWrite => MemFlags::ReadWrite,
+        }
+    }
+
+    /// Sets exactly the arguments that differ from the kernel's sticky
+    /// state, then updates the shadow.
+    fn set_args(
+        &mut self,
+        k: KernelHandle,
+        bind: BindGroupHandle,
+        push: &[u8],
+    ) -> BackendResult<()> {
+        let buffers: Vec<ClBuffer> = self.bind_groups[bind.0]
+            .iter()
+            .map(|b| self.buffers[b.0])
+            .collect();
+        let words: Vec<u32> = push
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let entry = &mut self.kernels[k.0];
+        let arity = *entry.shadow.arity.get_or_insert(buffers.len());
+        if arity != buffers.len() {
+            return Err(RunFailure::Error(format!(
+                "kernel `{}` dispatched with {} buffers after {} (its signature is fixed)",
+                entry.kernel.name(),
+                buffers.len(),
+                arity
+            )));
+        }
+        // Only grow the shadows: sticky arguments keep their values even
+        // when a dispatch passes fewer push words than the previous one.
+        if entry.shadow.buffers.len() < buffers.len() {
+            entry.shadow.buffers.resize(buffers.len(), None);
+        }
+        if entry.shadow.words.len() < words.len() {
+            entry.shadow.words.resize(words.len(), None);
+        }
+        for (slot, buffer) in buffers.iter().enumerate() {
+            if entry.shadow.buffers[slot] != Some(*buffer) {
+                entry.kernel.set_arg(slot as u32, ClArg::Buffer(*buffer));
+                entry.shadow.buffers[slot] = Some(*buffer);
+            }
+        }
+        for (i, word) in words.iter().enumerate() {
+            if entry.shadow.words[i] != Some(*word) {
+                entry
+                    .kernel
+                    .set_arg((buffers.len() + i) as u32, ClArg::U32(*word));
+                entry.shadow.words[i] = Some(*word);
+            }
+        }
+        Ok(())
+    }
+
+    fn replay(&mut self, seq: SeqHandle, wait_tail: bool) -> BackendResult<()> {
+        // Take the op list out for the duration of the replay (set_args
+        // needs `&mut self`); restored below even on error.
+        let ops = std::mem::take(&mut self.seqs[seq.0]);
+        let result = self.replay_ops(&ops, wait_tail);
+        self.seqs[seq.0] = ops;
+        result
+    }
+
+    fn replay_ops(&mut self, ops: &[Op], wait_tail: bool) -> BackendResult<()> {
+        let mut kernel: Option<KernelHandle> = None;
+        let mut bind: Option<BindGroupHandle> = None;
+        let mut push: &[u8] = &[];
+        let mut synced = false;
+        for op in ops {
+            match op {
+                Op::Kernel(k) => kernel = Some(*k),
+                Op::Bind(bg) => bind = Some(*bg),
+                Op::Push(p) => push = p,
+                Op::Dispatch(groups) => {
+                    let k = kernel
+                        .ok_or_else(|| RunFailure::Error("dispatch before seq_kernel".into()))?;
+                    let bg =
+                        bind.ok_or_else(|| RunFailure::Error("dispatch before seq_bind".into()))?;
+                    self.set_args(k, bg, push)?;
+                    let local = self.kernels[k.0].kernel.work_group_size();
+                    let global = [
+                        u64::from(groups[0]) * u64::from(local[0]),
+                        u64::from(groups[1]) * u64::from(local[1]),
+                        u64::from(groups[2]) * u64::from(local[2]),
+                    ];
+                    self.env
+                        .queue
+                        .enqueue_nd_range_kernel(&self.kernels[k.0].kernel, global)
+                        .map_err(cl_failure)?;
+                    synced = false;
+                }
+                Op::Dependency => {
+                    self.env.queue.finish();
+                    synced = true;
+                }
+            }
+        }
+        if wait_tail && !synced {
+            self.env.queue.finish();
+        }
+        Ok(())
+    }
+}
+
+impl ComputeBackend for OpenClBackend {
+    fn api(&self) -> Api {
+        Api::OpenCl
+    }
+
+    fn device_name(&self) -> String {
+        self.env.context.profile().name
+    }
+
+    fn now(&self) -> SimInstant {
+        self.env.context.now()
+    }
+
+    fn call_counts(&self) -> CallCounter {
+        self.env.context.call_counts()
+    }
+
+    fn breakdown(&self) -> TimingBreakdown {
+        self.env.context.breakdown()
+    }
+
+    fn sync(&mut self) {
+        self.env.queue.finish();
+    }
+
+    fn load_program(&mut self, cl_source: &str) -> BackendResult<()> {
+        let program = Program::create_with_source(&self.env.context, cl_source);
+        program.build().map_err(cl_failure)?;
+        self.program = Some(program);
+        Ok(())
+    }
+
+    fn upload(&mut self, data: &[u8], usage: UsageHint) -> BackendResult<BufferHandle> {
+        let buffer = self
+            .env
+            .context
+            .create_buffer(Self::flags(usage), data.len() as u64)
+            .map_err(cl_failure)?;
+        self.env
+            .queue
+            .enqueue_write_buffer(&buffer, data)
+            .map_err(cl_failure)?;
+        self.buffers.push(buffer);
+        Ok(BufferHandle(self.buffers.len() - 1))
+    }
+
+    fn alloc(&mut self, bytes: u64, usage: UsageHint) -> BackendResult<BufferHandle> {
+        let buffer = self
+            .env
+            .context
+            .create_buffer(Self::flags(usage), bytes)
+            .map_err(cl_failure)?;
+        self.buffers.push(buffer);
+        Ok(BufferHandle(self.buffers.len() - 1))
+    }
+
+    fn alloc_host(&mut self, bytes: u64) -> BackendResult<BufferHandle> {
+        self.alloc(bytes, UsageHint::ReadWrite)
+    }
+
+    fn download(&mut self, buf: BufferHandle) -> BackendResult<Vec<u8>> {
+        self.env
+            .queue
+            .enqueue_read_buffer(&self.buffers[buf.0])
+            .map_err(cl_failure)
+    }
+
+    fn write_host(&mut self, buf: BufferHandle, data: &[u8]) -> BackendResult<()> {
+        self.env
+            .queue
+            .enqueue_write_buffer(&self.buffers[buf.0], data)
+            .map_err(cl_failure)
+    }
+
+    fn read_host(&mut self, buf: BufferHandle) -> BackendResult<Vec<u8>> {
+        // A blocking clEnqueueReadBuffer synchronizes implicitly.
+        self.download(buf)
+    }
+
+    fn upload_into(&mut self, buf: BufferHandle, data: &[u8]) -> BackendResult<()> {
+        self.write_host(buf, data)
+    }
+
+    fn bind_group(&mut self, buffers: &[BufferHandle]) -> BackendResult<BindGroupHandle> {
+        self.bind_groups.push(buffers.to_vec());
+        Ok(BindGroupHandle(self.bind_groups.len() - 1))
+    }
+
+    fn bind_group_like(
+        &mut self,
+        _like: BindGroupHandle,
+        buffers: &[BufferHandle],
+    ) -> BackendResult<BindGroupHandle> {
+        self.bind_group(buffers)
+    }
+
+    fn kernel(
+        &mut self,
+        name: &str,
+        _layout_of: BindGroupHandle,
+        _push_bytes: u32,
+    ) -> BackendResult<KernelHandle> {
+        let program = self
+            .program
+            .as_ref()
+            .ok_or_else(|| RunFailure::Error("kernel() before load_program()".into()))?;
+        let kernel = Kernel::new(program, name).map_err(cl_failure)?;
+        self.kernels.push(ClKernelEntry {
+            kernel,
+            shadow: ArgShadow::default(),
+        });
+        Ok(KernelHandle(self.kernels.len() - 1))
+    }
+
+    fn seq_begin(&mut self) -> BackendResult<SeqHandle> {
+        self.seqs.push(Vec::new());
+        Ok(SeqHandle(self.seqs.len() - 1))
+    }
+
+    fn seq_kernel(&mut self, seq: SeqHandle, kernel: KernelHandle) -> BackendResult<()> {
+        self.seqs[seq.0].push(Op::Kernel(kernel));
+        Ok(())
+    }
+
+    fn seq_bind(&mut self, seq: SeqHandle, binds: BindGroupHandle) -> BackendResult<()> {
+        self.seqs[seq.0].push(Op::Bind(binds));
+        Ok(())
+    }
+
+    fn seq_push(&mut self, seq: SeqHandle, data: &[u8]) -> BackendResult<()> {
+        self.seqs[seq.0].push(Op::Push(data.to_vec()));
+        Ok(())
+    }
+
+    fn seq_dispatch(&mut self, seq: SeqHandle, groups: [u32; 3]) -> BackendResult<()> {
+        self.seqs[seq.0].push(Op::Dispatch(groups));
+        Ok(())
+    }
+
+    fn seq_barrier(&mut self, _seq: SeqHandle) -> BackendResult<()> {
+        // In-order queue: device-side ordering is free.
+        Ok(())
+    }
+
+    fn seq_dependency(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.seqs[seq.0].push(Op::Dependency);
+        Ok(())
+    }
+
+    fn seq_split(&mut self, _seq: SeqHandle) -> BackendResult<()> {
+        Ok(())
+    }
+
+    fn seq_end(&mut self, _seq: SeqHandle) -> BackendResult<()> {
+        Ok(())
+    }
+
+    fn run(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.replay(seq, true)
+    }
+
+    fn run_async(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.replay(seq, false)
+    }
+}
+
+impl std::fmt::Debug for OpenClBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenClBackend")
+            .field("device", &self.env.context.profile().name)
+            .field("buffers", &self.buffers.len())
+            .finish()
+    }
+}

@@ -1,0 +1,378 @@
+//! [`ComputeBackend`] lowered onto the Vulkan-shaped frontend.
+//!
+//! Sequences record into real command buffers as the host program emits
+//! ops, so a dependent-dispatch chain becomes the §IV-C pattern: every
+//! dispatch pre-recorded into one command buffer with pipeline barriers,
+//! submitted in a single `vkQueueSubmit`.
+
+use std::sync::Arc;
+
+use vcb_core::run::RunFailure;
+use vcb_sim::calls::CallCounter;
+use vcb_sim::profile::DeviceProfile;
+use vcb_sim::time::SimInstant;
+use vcb_sim::timeline::TimingBreakdown;
+use vcb_sim::{Api, KernelRegistry};
+use vcb_vulkan::util as vku;
+use vcb_vulkan::{
+    Access, BufferUsage, CommandBuffer, CommandPool, DescriptorPool, DescriptorSet,
+    DescriptorSetLayout, MemoryBarrier, MemoryProperty, PipelineStage, SubmitInfo,
+    WriteDescriptorSet,
+};
+
+use crate::backend::{
+    BackendResult, BindGroupHandle, BufferHandle, ComputeBackend, KernelHandle, SeqHandle,
+    UsageHint,
+};
+use crate::env::{vk_env, vk_failure, vk_kernel, VkEnv, VkKernelBundle};
+
+struct VkBindGroup {
+    layout: DescriptorSetLayout,
+    _pool: DescriptorPool,
+    set: DescriptorSet,
+    buffers: Vec<BufferHandle>,
+}
+
+struct VkSeq {
+    /// One command buffer per segment; `seq_split` opens a new one.
+    segments: Vec<CommandBuffer>,
+    /// Pipeline layout of the kernel selected by the last `seq_kernel`
+    /// (descriptor binds and push constants need it).
+    current_kernel: Option<KernelHandle>,
+}
+
+/// The Vulkan lowering of the portable host-program layer.
+pub struct VulkanBackend {
+    env: VkEnv,
+    registry: Arc<KernelRegistry>,
+    cmd_pool: Option<CommandPool>,
+    buffers: Vec<vku::AllocatedBuffer>,
+    bind_groups: Vec<VkBindGroup>,
+    kernels: Vec<VkKernelBundle>,
+    seqs: Vec<VkSeq>,
+}
+
+impl VulkanBackend {
+    /// Brings up instance/device/queue on `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment failures.
+    pub fn new(
+        profile: &DeviceProfile,
+        registry: &Arc<KernelRegistry>,
+    ) -> Result<VulkanBackend, RunFailure> {
+        Ok(VulkanBackend {
+            env: vk_env(profile, registry)?,
+            registry: Arc::clone(registry),
+            cmd_pool: None,
+            buffers: Vec::new(),
+            bind_groups: Vec::new(),
+            kernels: Vec::new(),
+            seqs: Vec::new(),
+        })
+    }
+
+    /// The underlying environment (for Vulkan-specific ablations).
+    pub fn env(&self) -> &VkEnv {
+        &self.env
+    }
+
+    fn pool(&mut self) -> BackendResult<&CommandPool> {
+        if self.cmd_pool.is_none() {
+            let pool = self
+                .env
+                .device
+                .create_command_pool(self.env.queue.family_index())
+                .map_err(vk_failure)?;
+            self.cmd_pool = Some(pool);
+        }
+        Ok(self.cmd_pool.as_ref().expect("just created"))
+    }
+
+    fn buf(&self, b: BufferHandle) -> &vku::AllocatedBuffer {
+        &self.buffers[b.0]
+    }
+
+    fn cmd(&self, seq: SeqHandle) -> &CommandBuffer {
+        self.seqs[seq.0]
+            .segments
+            .last()
+            .expect("sequence has an open command buffer")
+    }
+
+    fn barrier(&self, seq: SeqHandle) -> BackendResult<()> {
+        self.cmd(seq)
+            .pipeline_barrier(
+                PipelineStage::COMPUTE_SHADER,
+                PipelineStage::COMPUTE_SHADER,
+                &MemoryBarrier {
+                    src_access: Access::SHADER_WRITE,
+                    dst_access: Access::SHADER_READ,
+                },
+            )
+            .map_err(vk_failure)
+    }
+
+    fn submit(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        let refs: Vec<&CommandBuffer> = self.seqs[seq.0].segments.iter().collect();
+        self.env
+            .queue
+            .submit(
+                &[SubmitInfo {
+                    command_buffers: &refs,
+                }],
+                None,
+            )
+            .map_err(vk_failure)
+    }
+}
+
+impl ComputeBackend for VulkanBackend {
+    fn api(&self) -> Api {
+        Api::Vulkan
+    }
+
+    fn device_name(&self) -> String {
+        self.env.device.profile().name
+    }
+
+    fn now(&self) -> SimInstant {
+        self.env.device.now()
+    }
+
+    fn call_counts(&self) -> CallCounter {
+        self.env.device.call_counts()
+    }
+
+    fn breakdown(&self) -> TimingBreakdown {
+        self.env.device.breakdown()
+    }
+
+    fn sync(&mut self) {
+        self.env.device.wait_idle();
+    }
+
+    fn load_program(&mut self, _cl_source: &str) -> BackendResult<()> {
+        // Vulkan ships SPIR-V binaries; kernels assemble per-pipeline in
+        // `kernel()`.
+        Ok(())
+    }
+
+    fn upload(&mut self, data: &[u8], _usage: UsageHint) -> BackendResult<BufferHandle> {
+        let buffer = vku::upload_storage_buffer(&self.env.device, &self.env.queue, data)
+            .map_err(vk_failure)?;
+        self.buffers.push(buffer);
+        Ok(BufferHandle(self.buffers.len() - 1))
+    }
+
+    fn alloc(&mut self, bytes: u64, _usage: UsageHint) -> BackendResult<BufferHandle> {
+        let buffer = vku::create_storage_buffer(&self.env.device, bytes).map_err(vk_failure)?;
+        self.buffers.push(buffer);
+        Ok(BufferHandle(self.buffers.len() - 1))
+    }
+
+    fn alloc_host(&mut self, bytes: u64) -> BackendResult<BufferHandle> {
+        // Host-readable every iteration, so host-visible even on desktop
+        // (the bfs termination flag).
+        let buffer = vku::create_buffer_bound(
+            &self.env.device,
+            bytes,
+            BufferUsage::STORAGE_BUFFER | BufferUsage::TRANSFER_DST,
+            MemoryProperty::HOST_VISIBLE,
+        )
+        .map_err(vk_failure)?;
+        self.buffers.push(buffer);
+        Ok(BufferHandle(self.buffers.len() - 1))
+    }
+
+    fn download(&mut self, buf: BufferHandle) -> BackendResult<Vec<u8>> {
+        vku::download_storage_buffer(&self.env.device, &self.env.queue, self.buf(buf))
+            .map_err(vk_failure)
+    }
+
+    fn write_host(&mut self, buf: BufferHandle, data: &[u8]) -> BackendResult<()> {
+        self.buf(buf).buffer.write_mapped(data).map_err(vk_failure)
+    }
+
+    fn read_host(&mut self, buf: BufferHandle) -> BackendResult<Vec<u8>> {
+        // Mapped memory is only coherent once the queue drains.
+        self.env.queue.wait_idle();
+        self.buf(buf).buffer.read_mapped().map_err(vk_failure)
+    }
+
+    fn upload_into(&mut self, buf: BufferHandle, data: &[u8]) -> BackendResult<()> {
+        // Device-local contents cannot be rewritten in place from the
+        // host: upload a fresh staged buffer and rewrite every descriptor
+        // slot that referenced the handle (the backprop delta pattern).
+        let fresh = vku::upload_storage_buffer(&self.env.device, &self.env.queue, data)
+            .map_err(vk_failure)?;
+        self.buffers[buf.0] = fresh;
+        let mut writes = Vec::new();
+        for bg in &self.bind_groups {
+            for (slot, handle) in bg.buffers.iter().enumerate() {
+                if *handle == buf {
+                    writes.push(WriteDescriptorSet {
+                        dst_set: &bg.set,
+                        dst_binding: slot as u32,
+                        buffer: &self.buffers[buf.0].buffer,
+                    });
+                }
+            }
+        }
+        if !writes.is_empty() {
+            self.env
+                .device
+                .update_descriptor_sets(&writes)
+                .map_err(vk_failure)?;
+        }
+        Ok(())
+    }
+
+    fn bind_group(&mut self, buffers: &[BufferHandle]) -> BackendResult<BindGroupHandle> {
+        let refs: Vec<&vcb_vulkan::Buffer> =
+            buffers.iter().map(|b| &self.buffers[b.0].buffer).collect();
+        let (layout, pool, set) =
+            vku::storage_descriptor_set(&self.env.device, &refs).map_err(vk_failure)?;
+        self.bind_groups.push(VkBindGroup {
+            layout,
+            _pool: pool,
+            set,
+            buffers: buffers.to_vec(),
+        });
+        Ok(BindGroupHandle(self.bind_groups.len() - 1))
+    }
+
+    fn bind_group_like(
+        &mut self,
+        like: BindGroupHandle,
+        buffers: &[BufferHandle],
+    ) -> BackendResult<BindGroupHandle> {
+        let layout = self.bind_groups[like.0].layout.clone();
+        let pool = self
+            .env
+            .device
+            .create_descriptor_pool(1)
+            .map_err(vk_failure)?;
+        let set = pool.allocate_descriptor_set(&layout).map_err(vk_failure)?;
+        let writes: Vec<WriteDescriptorSet<'_>> = buffers
+            .iter()
+            .enumerate()
+            .map(|(slot, b)| WriteDescriptorSet {
+                dst_set: &set,
+                dst_binding: slot as u32,
+                buffer: &self.buffers[b.0].buffer,
+            })
+            .collect();
+        self.env
+            .device
+            .update_descriptor_sets(&writes)
+            .map_err(vk_failure)?;
+        self.bind_groups.push(VkBindGroup {
+            layout,
+            _pool: pool,
+            set,
+            buffers: buffers.to_vec(),
+        });
+        Ok(BindGroupHandle(self.bind_groups.len() - 1))
+    }
+
+    fn kernel(
+        &mut self,
+        name: &str,
+        layout_of: BindGroupHandle,
+        push_bytes: u32,
+    ) -> BackendResult<KernelHandle> {
+        let layout = self.bind_groups[layout_of.0].layout.clone();
+        let bundle = vk_kernel(&self.env, &self.registry, name, &layout, push_bytes)?;
+        self.kernels.push(bundle);
+        Ok(KernelHandle(self.kernels.len() - 1))
+    }
+
+    fn seq_begin(&mut self) -> BackendResult<SeqHandle> {
+        let cmd = self.pool()?.allocate_command_buffer().map_err(vk_failure)?;
+        cmd.begin().map_err(vk_failure)?;
+        self.seqs.push(VkSeq {
+            segments: vec![cmd],
+            current_kernel: None,
+        });
+        Ok(SeqHandle(self.seqs.len() - 1))
+    }
+
+    fn seq_kernel(&mut self, seq: SeqHandle, kernel: KernelHandle) -> BackendResult<()> {
+        self.cmd(seq)
+            .bind_pipeline(&self.kernels[kernel.0].pipeline)
+            .map_err(vk_failure)?;
+        self.seqs[seq.0].current_kernel = Some(kernel);
+        Ok(())
+    }
+
+    fn seq_bind(&mut self, seq: SeqHandle, binds: BindGroupHandle) -> BackendResult<()> {
+        let kernel = self.seqs[seq.0]
+            .current_kernel
+            .ok_or_else(|| RunFailure::Error("seq_bind before seq_kernel".into()))?;
+        self.cmd(seq)
+            .bind_descriptor_sets(
+                &self.kernels[kernel.0].layout,
+                &[&self.bind_groups[binds.0].set],
+            )
+            .map_err(vk_failure)
+    }
+
+    fn seq_push(&mut self, seq: SeqHandle, data: &[u8]) -> BackendResult<()> {
+        let kernel = self.seqs[seq.0]
+            .current_kernel
+            .ok_or_else(|| RunFailure::Error("seq_push before seq_kernel".into()))?;
+        self.cmd(seq)
+            .push_constants(&self.kernels[kernel.0].layout, 0, data)
+            .map_err(vk_failure)
+    }
+
+    fn seq_dispatch(&mut self, seq: SeqHandle, groups: [u32; 3]) -> BackendResult<()> {
+        self.cmd(seq)
+            .dispatch(groups[0], groups[1], groups[2])
+            .map_err(vk_failure)
+    }
+
+    fn seq_barrier(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.barrier(seq)
+    }
+
+    fn seq_dependency(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        // §IV-C: the dependent-dispatch boundary is just a barrier in the
+        // pre-recorded command buffer — no host round trip.
+        self.barrier(seq)
+    }
+
+    fn seq_split(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.cmd(seq).end().map_err(vk_failure)?;
+        let cmd = self.pool()?.allocate_command_buffer().map_err(vk_failure)?;
+        cmd.begin().map_err(vk_failure)?;
+        self.seqs[seq.0].segments.push(cmd);
+        self.seqs[seq.0].current_kernel = None;
+        Ok(())
+    }
+
+    fn seq_end(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.cmd(seq).end().map_err(vk_failure)
+    }
+
+    fn run(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.submit(seq)?;
+        self.env.queue.wait_idle();
+        Ok(())
+    }
+
+    fn run_async(&mut self, seq: SeqHandle) -> BackendResult<()> {
+        self.submit(seq)
+    }
+}
+
+impl std::fmt::Debug for VulkanBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VulkanBackend")
+            .field("device", &self.env.device.profile().name)
+            .field("buffers", &self.buffers.len())
+            .finish()
+    }
+}

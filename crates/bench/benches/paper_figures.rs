@@ -1,13 +1,12 @@
 //! `cargo bench --bench paper_figures` — regenerates every table and
-//! figure of the paper (printed before each Criterion group) and
-//! benchmarks one representative cell of each experiment.
+//! figure of the paper (printed before each timed group) and benchmarks
+//! one representative cell of each experiment.
 //!
 //! The printed output is the reproduction: the same rows/series the paper
-//! reports, computed in simulated time. The Criterion measurements time
-//! how long the *simulator* takes to produce them (host wall time).
+//! reports, computed in simulated time. The timed measurements record how
+//! long the *simulator* takes to produce them (host wall time).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use vcb_bench::bench;
 use vcb_core::run::SizeSpec;
 use vcb_core::workload::RunOpts;
 use vcb_harness::experiments::{self, ExperimentOpts};
@@ -29,16 +28,16 @@ fn bench_opts() -> ExperimentOpts {
     }
 }
 
-fn tables(c: &mut Criterion) {
+fn tables() {
     println!("{}", render::table1());
     println!("{}", render::platform_table(DeviceClass::Desktop));
     println!("{}", render::platform_table(DeviceClass::Mobile));
-    c.bench_function("table2_profile_construction", |b| {
-        b.iter(|| std::hint::black_box(devices::all()))
+    bench("table2_profile_construction", 100, || {
+        std::hint::black_box(devices::all())
     });
 }
 
-fn fig1_bandwidth(c: &mut Criterion) {
+fn fig1_bandwidth() {
     let registry = vcb_workloads::registry().unwrap();
     let opts = bench_opts();
     let panels = experiments::fig1(&registry, &opts);
@@ -47,18 +46,13 @@ fn fig1_bandwidth(c: &mut Criterion) {
         println!("{}", render::bandwidth_panel(curves));
     }
     let gtx = devices::gtx1050ti();
-    let mut group = c.benchmark_group("fig1");
-    group.sample_size(10);
-    group.bench_function("gtx1050ti_cuda_curve", |b| {
-        b.iter(|| {
-            vcb_workloads::micro::stride::bandwidth_curve(Api::Cuda, &gtx, &registry, &opts.run)
-                .unwrap()
-        })
+    bench("fig1/gtx1050ti_cuda_curve", 10, || {
+        vcb_workloads::micro::stride::bandwidth_curve(Api::Cuda, &gtx, &registry, &opts.run)
+            .unwrap()
     });
-    group.finish();
 }
 
-fn fig2_desktop_speedup(c: &mut Criterion) {
+fn fig2_desktop_speedup() {
     let registry = vcb_workloads::registry().unwrap();
     let opts = bench_opts();
     let panels = experiments::fig2(&registry, &opts);
@@ -66,7 +60,10 @@ fn fig2_desktop_speedup(c: &mut Criterion) {
     for p in &panels {
         println!("{}", render::speedup_panel(p));
     }
-    println!("{}", render::summary_lines(&experiments::summarize(&panels)));
+    println!(
+        "{}",
+        render::summary_lines(&experiments::summarize(&panels))
+    );
 
     let workloads = vcb_workloads::suite_workloads(&registry);
     let pathfinder = workloads
@@ -75,15 +72,12 @@ fn fig2_desktop_speedup(c: &mut Criterion) {
         .unwrap();
     let gtx = devices::gtx1050ti();
     let size = SizeSpec::new("10K", 10_000);
-    let mut group = c.benchmark_group("fig2");
-    group.sample_size(10);
-    group.bench_function("pathfinder_10k_vulkan_cell", |b| {
-        b.iter(|| pathfinder.run(Api::Vulkan, &gtx, &size, &opts.run).unwrap())
+    bench("fig2/pathfinder_10k_vulkan_cell", 10, || {
+        pathfinder.run(Api::Vulkan, &gtx, &size, &opts.run).unwrap()
     });
-    group.finish();
 }
 
-fn fig3_mobile_bandwidth(c: &mut Criterion) {
+fn fig3_mobile_bandwidth() {
     let registry = vcb_workloads::registry().unwrap();
     let opts = bench_opts();
     let panels = experiments::fig3(&registry, &opts);
@@ -92,18 +86,13 @@ fn fig3_mobile_bandwidth(c: &mut Criterion) {
         println!("{}", render::bandwidth_panel(curves));
     }
     let sd = devices::adreno506();
-    let mut group = c.benchmark_group("fig3");
-    group.sample_size(10);
-    group.bench_function("adreno506_vulkan_curve", |b| {
-        b.iter(|| {
-            vcb_workloads::micro::stride::bandwidth_curve(Api::Vulkan, &sd, &registry, &opts.run)
-                .unwrap()
-        })
+    bench("fig3/adreno506_vulkan_curve", 10, || {
+        vcb_workloads::micro::stride::bandwidth_curve(Api::Vulkan, &sd, &registry, &opts.run)
+            .unwrap()
     });
-    group.finish();
 }
 
-fn fig4_mobile_speedup(c: &mut Criterion) {
+fn fig4_mobile_speedup() {
     let registry = vcb_workloads::registry().unwrap();
     let opts = bench_opts();
     let panels = experiments::fig4(&registry, &opts);
@@ -111,43 +100,39 @@ fn fig4_mobile_speedup(c: &mut Criterion) {
     for p in &panels {
         println!("{}", render::speedup_panel(p));
     }
-    println!("{}", render::summary_lines(&experiments::summarize(&panels)));
+    println!(
+        "{}",
+        render::summary_lines(&experiments::summarize(&panels))
+    );
 
     let workloads = vcb_workloads::suite_workloads(&registry);
-    let gaussian = workloads.iter().find(|w| w.meta().name == "gaussian").unwrap();
+    let gaussian = workloads
+        .iter()
+        .find(|w| w.meta().name == "gaussian")
+        .unwrap();
     let nexus = devices::powervr_g6430();
     let size = SizeSpec::new("208", 208);
-    let mut group = c.benchmark_group("fig4");
-    group.sample_size(10);
-    group.bench_function("gaussian_208_nexus_vulkan_cell", |b| {
-        b.iter(|| gaussian.run(Api::Vulkan, &nexus, &size, &opts.run).unwrap())
+    bench("fig4/gaussian_208_nexus_vulkan_cell", 10, || {
+        gaussian.run(Api::Vulkan, &nexus, &size, &opts.run).unwrap()
     });
-    group.finish();
 }
 
-fn table_effort(c: &mut Criterion) {
+fn table_effort() {
     let registry = vcb_workloads::registry().unwrap();
     let opts = bench_opts();
     let records = experiments::effort(&registry, &devices::gtx1050ti(), &opts);
     println!("=== §VI-A programming effort ===\n");
     println!("{}", vcb_core::effort::effort_table(&records).render());
-    let mut group = c.benchmark_group("effort");
-    group.sample_size(10);
-    group.bench_function("vectoradd_vulkan_1m", |b| {
-        b.iter(|| {
-            vcb_workloads::micro::vectoradd::run_vulkan(
-                &devices::gtx1050ti(),
-                &registry,
-                1_000_000,
-                &opts.run,
-            )
-            .unwrap()
-        })
+    let vadd = vcb_workloads::micro::vectoradd::VectorAdd::new(registry.clone());
+    let gtx = devices::gtx1050ti();
+    let size = SizeSpec::new("1M", 1_000_000);
+    bench("effort/vectoradd_vulkan_1m", 10, || {
+        use vcb_core::workload::Workload;
+        vadd.run(Api::Vulkan, &gtx, &size, &opts.run).unwrap()
     });
-    group.finish();
 }
 
-fn ablations(c: &mut Criterion) {
+fn ablations() {
     let registry = vcb_workloads::registry().unwrap();
     let opts = bench_opts();
     println!("=== §VI-B recommendation ablations ===\n");
@@ -166,27 +151,26 @@ fn ablations(c: &mut Criterion) {
     };
     show(ablate::single_command_buffer(&registry, &gtx, 32));
     show(ablate::push_constants_vs_buffer(&registry, &sd, &opts.run));
-    show(ablate::transfer_queue_copies(&registry, &gtx, 128 * 1024 * 1024));
+    show(ablate::transfer_queue_copies(
+        &registry,
+        &gtx,
+        128 * 1024 * 1024,
+    ));
     show(ablate::multiple_compute_queues(&registry, &gtx, 16));
     show(ablate::compiler_maturity(&registry, &gtx, &opts.run));
     println!();
 
-    let mut group = c.benchmark_group("ablate");
-    group.sample_size(10);
-    group.bench_function("single_command_buffer_32_iters", |b| {
-        b.iter(|| ablate::single_command_buffer(&registry, &gtx, 32).unwrap())
+    bench("ablate/single_command_buffer_32_iters", 10, || {
+        ablate::single_command_buffer(&registry, &gtx, 32).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(
-    figures,
-    tables,
-    fig1_bandwidth,
-    fig2_desktop_speedup,
-    fig3_mobile_bandwidth,
-    fig4_mobile_speedup,
-    table_effort,
-    ablations
-);
-criterion_main!(figures);
+fn main() {
+    tables();
+    fig1_bandwidth();
+    fig2_desktop_speedup();
+    fig3_mobile_bandwidth();
+    fig4_mobile_speedup();
+    table_effort();
+    ablations();
+}

@@ -4,8 +4,7 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use vcb_bench::bench;
 use vcb_sim::cache::CacheSim;
 use vcb_sim::coalesce::Coalescer;
 use vcb_sim::engine::{Gpu, TraceMode};
@@ -13,33 +12,25 @@ use vcb_sim::exec::{BoundBuffer, CompileOpts, CompiledKernel, Dispatch, GroupCtx
 use vcb_sim::profile::devices;
 use vcb_sim::Api;
 
-fn bench_coalescer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coalescer");
+fn bench_coalescer() {
     for stride in [1u64, 4, 32] {
         let addrs: Vec<u64> = (0..32).map(|i| i * stride * 4).collect();
-        group.throughput(Throughput::Elements(32));
-        group.bench_with_input(BenchmarkId::new("warp32", stride), &addrs, |b, addrs| {
-            let mut coalescer = Coalescer::new(32, 128);
-            b.iter(|| coalescer.coalesce(std::hint::black_box(addrs), 4));
+        let mut coalescer = Coalescer::new(32, 128);
+        bench(&format!("coalescer/warp32/{stride}"), 100, || {
+            coalescer.coalesce(std::hint::black_box(&addrs), 4)
         });
     }
-    group.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("l2_cache");
-    group.throughput(Throughput::Elements(4096));
-    group.bench_function("streaming_4k_sectors", |b| {
-        let mut cache = CacheSim::new(1024 * 1024, 16, 32);
-        let mut next = 0u64;
-        b.iter(|| {
-            for _ in 0..4096 {
-                cache.access_sector(next);
-                next = next.wrapping_add(1);
-            }
-        });
+fn bench_cache() {
+    let mut cache = CacheSim::new(1024 * 1024, 16, 32);
+    let mut next = 0u64;
+    bench("l2_cache/streaming_4k_sectors", 100, || {
+        for _ in 0..4096 {
+            cache.access_sector(next);
+            next = next.wrapping_add(1);
+        }
     });
-    group.finish();
 }
 
 fn vadd_kernel() -> CompiledKernel {
@@ -66,55 +57,63 @@ fn vadd_kernel() -> CompiledKernel {
     )
 }
 
-fn bench_dispatch(c: &mut Criterion) {
+fn bench_dispatch() {
     let n: usize = 256 * 1024;
     let profile = devices::gtx1050ti();
     let driver = profile.driver(Api::Cuda).unwrap().clone();
 
-    let mut group = c.benchmark_group("dispatch");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(n as u64));
     for (label, mode) in [
         ("detailed", TraceMode::Detailed),
         ("sampled_16", TraceMode::Sampled(16)),
         ("auto", TraceMode::Auto),
     ] {
-        group.bench_function(BenchmarkId::new("vadd_256k", label), |b| {
-            let mut gpu = Gpu::new(profile.clone());
-            gpu.set_trace_mode(mode);
-            let (x, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
-            let (y, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
-            let (z, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
-            let dispatch = Dispatch {
-                kernel: vadd_kernel(),
-                groups: [(n as u32).div_ceil(256), 1, 1],
-                bindings: vec![
-                    BoundBuffer { binding: 0, buffer: x },
-                    BoundBuffer { binding: 1, buffer: y },
-                    BoundBuffer { binding: 2, buffer: z },
-                ],
-                push_constants: vec![],
-            };
-            b.iter(|| gpu.execute(std::hint::black_box(&dispatch), &driver).unwrap());
+        let mut gpu = Gpu::new(profile.clone());
+        gpu.set_trace_mode(mode);
+        let (x, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let (y, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let (z, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let dispatch = Dispatch {
+            kernel: vadd_kernel(),
+            groups: [(n as u32).div_ceil(256), 1, 1],
+            bindings: vec![
+                BoundBuffer {
+                    binding: 0,
+                    buffer: x,
+                },
+                BoundBuffer {
+                    binding: 1,
+                    buffer: y,
+                },
+                BoundBuffer {
+                    binding: 2,
+                    buffer: z,
+                },
+            ],
+            push_constants: vec![],
+        };
+        bench(&format!("dispatch/vadd_256k/{label}"), 20, || {
+            gpu.execute(std::hint::black_box(&dispatch), &driver)
+                .unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_spirv(c: &mut Criterion) {
+fn bench_spirv() {
     let registry = vcb_workloads::registry().unwrap();
     let info = registry.lookup("bfs_kernel1").unwrap().info().clone();
     let module = vcb_spirv::SpirvModule::assemble(&info);
     let words = module.words().to_vec();
-    let mut group = c.benchmark_group("spirv");
-    group.bench_function("assemble", |b| {
-        b.iter(|| vcb_spirv::SpirvModule::assemble(std::hint::black_box(&info)))
+    bench("spirv/assemble", 100, || {
+        vcb_spirv::SpirvModule::assemble(std::hint::black_box(&info))
     });
-    group.bench_function("parse", |b| {
-        b.iter(|| vcb_spirv::SpirvModule::parse(std::hint::black_box(&words)).unwrap())
+    bench("spirv/parse", 100, || {
+        vcb_spirv::SpirvModule::parse(std::hint::black_box(&words)).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(simulator, bench_coalescer, bench_cache, bench_dispatch, bench_spirv);
-criterion_main!(simulator);
+fn main() {
+    bench_coalescer();
+    bench_cache();
+    bench_dispatch();
+    bench_spirv();
+}

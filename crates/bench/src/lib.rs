@@ -1,11 +1,34 @@
-//! # vcb-bench — Criterion benchmark targets
+//! # vcb-bench — benchmark targets
 //!
-//! Two bench binaries:
+//! Two bench binaries (plain `harness = false` mains; the container has
+//! no Criterion, so a minimal built-in timer stands in):
 //!
 //! * `paper_figures` — regenerates every table and figure of the paper
 //!   (printing the same rows/series the paper reports) and benchmarks a
-//!   representative cell of each with Criterion.
+//!   representative cell of each.
 //! * `simulator` — engineering benchmarks of the simulator substrate
 //!   itself (coalescer, cache, dispatch execution, tracing modes).
 //!
 //! Run with `cargo bench`.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Times `f` over `samples` timed runs (after one warm-up) and prints a
+/// Criterion-style one-liner with the median wall time per run.
+pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
+    let samples = samples.max(1);
+    std::hint::black_box(f());
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    println!("bench: {name:<44} median {median:>12} ns/iter  (min {lo}, max {hi}, n={samples})");
+}

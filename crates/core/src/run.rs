@@ -119,7 +119,11 @@ impl fmt::Display for RunRecord {
             self.device,
             self.kernel_time,
             self.total_time,
-            if self.validated { "" } else { " (NOT VALIDATED)" }
+            if self.validated {
+                ""
+            } else {
+                " (NOT VALIDATED)"
+            }
         )
     }
 }
@@ -185,6 +189,8 @@ mod tests {
     #[test]
     fn failures_display() {
         assert_eq!(RunFailure::OutOfMemory.to_string(), "out of device memory");
-        assert!(RunFailure::Error("boom".into()).to_string().contains("boom"));
+        assert!(RunFailure::Error("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

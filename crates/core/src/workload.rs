@@ -60,7 +60,9 @@ pub trait Workload: Send + Sync {
 
 impl fmt::Debug for dyn Workload + '_ {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Workload").field("name", &self.meta().name).finish()
+        f.debug_struct("Workload")
+            .field("name", &self.meta().name)
+            .finish()
     }
 }
 

@@ -144,7 +144,9 @@ impl CudaFunction {
 
 impl fmt::Debug for CudaFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CudaFunction").field("name", &self.name()).finish()
+        f.debug_struct("CudaFunction")
+            .field("name", &self.name())
+            .finish()
     }
 }
 
@@ -282,7 +284,11 @@ impl CudaContext {
         let mut shared = self.shared.borrow_mut();
         shared.calls.record("cudaMemcpy");
         // Synchronous copy: wait for outstanding work, then transfer.
-        let latest = shared.streams.iter().copied().fold(SimInstant::EPOCH, SimInstant::max);
+        let latest = shared
+            .streams
+            .iter()
+            .copied()
+            .fold(SimInstant::EPOCH, SimInstant::max);
         if latest > shared.host_now {
             shared.host_now = latest;
             let wakeup = shared.driver.sync_wakeup;
@@ -304,7 +310,11 @@ impl CudaContext {
     pub fn memcpy_dtoh<T: Scalar>(&self, src: &DevicePtr) -> CudaResult<Vec<T>> {
         let mut shared = self.shared.borrow_mut();
         shared.calls.record("cudaMemcpy");
-        let latest = shared.streams.iter().copied().fold(SimInstant::EPOCH, SimInstant::max);
+        let latest = shared
+            .streams
+            .iter()
+            .copied()
+            .fold(SimInstant::EPOCH, SimInstant::max);
         if latest > shared.host_now {
             shared.host_now = latest;
             let wakeup = shared.driver.sync_wakeup;
@@ -465,7 +475,11 @@ impl CudaContext {
     pub fn device_synchronize(&self) {
         let mut shared = self.shared.borrow_mut();
         shared.calls.record("cudaDeviceSynchronize");
-        let latest = shared.streams.iter().copied().fold(SimInstant::EPOCH, SimInstant::max);
+        let latest = shared
+            .streams
+            .iter()
+            .copied()
+            .fold(SimInstant::EPOCH, SimInstant::max);
         if latest > shared.host_now {
             shared.host_now = latest;
             let wakeup = shared.driver.sync_wakeup;
@@ -607,7 +621,10 @@ mod tests {
         // Launch overhead was paid exactly once.
         assert_eq!(
             ctx.breakdown().get(CostKind::LaunchOverhead),
-            devices::gtx1050ti().driver(Api::Cuda).unwrap().launch_overhead
+            devices::gtx1050ti()
+                .driver(Api::Cuda)
+                .unwrap()
+                .launch_overhead
         );
     }
 

@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use vcb_backend::{vk_env, vk_failure, vk_kernel};
 use vcb_core::run::{RunFailure, SizeSpec};
 use vcb_core::workload::{RunOpts, Workload};
 use vcb_sim::profile::{DeviceProfile, DriverQuirk, QueueCaps};
@@ -11,7 +12,6 @@ use vcb_sim::time::SimDuration;
 use vcb_sim::{Api, KernelRegistry};
 use vcb_vulkan::util as vku;
 use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo};
-use vcb_workloads::common::{vk_env, vk_failure, vk_kernel};
 use vcb_workloads::rodinia::{bfs, hotspot};
 
 /// Outcome of one ablation: the recommended configuration vs the naive
@@ -50,14 +50,13 @@ pub fn single_command_buffer(
         let env = vk_env(profile, registry)?;
         let device = &env.device;
         let (temp, power) = hotspot::generate(n, 7);
-        let power_buf = vku::upload_storage_buffer(device, &env.queue, &power).map_err(vk_failure)?;
+        let power_buf =
+            vku::upload_storage_buffer(device, &env.queue, &power).map_err(vk_failure)?;
         let ping = vku::upload_storage_buffer(device, &env.queue, &temp).map_err(vk_failure)?;
         let pong = vku::create_storage_buffer(device, (n * n * 4) as u64).map_err(vk_failure)?;
-        let (layout, _pool, set) = vku::storage_descriptor_set(
-            device,
-            &[&power_buf.buffer, &ping.buffer, &pong.buffer],
-        )
-        .map_err(vk_failure)?;
+        let (layout, _pool, set) =
+            vku::storage_descriptor_set(device, &[&power_buf.buffer, &ping.buffer, &pong.buffer])
+                .map_err(vk_failure)?;
         let kernel = vk_kernel(&env, registry, hotspot::KERNEL, &layout, 4)?;
         let cmd_pool = device
             .create_command_pool(env.queue.family_index())
@@ -72,7 +71,8 @@ pub fn single_command_buffer(
             let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
             cmd.begin().map_err(vk_failure)?;
             cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
-            cmd.bind_descriptor_sets(&kernel.layout, &[&set]).map_err(vk_failure)?;
+            cmd.bind_descriptor_sets(&kernel.layout, &[&set])
+                .map_err(vk_failure)?;
             cmd.push_constants(&kernel.layout, 0, &(n as u32).to_le_bytes())
                 .map_err(vk_failure)?;
             for _ in 0..iterations {
@@ -86,7 +86,12 @@ pub fn single_command_buffer(
             }
             cmd.end().map_err(vk_failure)?;
             env.queue
-                .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+                .submit(
+                    &[SubmitInfo {
+                        command_buffers: &[&cmd],
+                    }],
+                    None,
+                )
                 .map_err(vk_failure)?;
             env.queue.wait_idle();
         } else {
@@ -95,13 +100,19 @@ pub fn single_command_buffer(
                 let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
                 cmd.begin().map_err(vk_failure)?;
                 cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
-                cmd.bind_descriptor_sets(&kernel.layout, &[&set]).map_err(vk_failure)?;
+                cmd.bind_descriptor_sets(&kernel.layout, &[&set])
+                    .map_err(vk_failure)?;
                 cmd.push_constants(&kernel.layout, 0, &(n as u32).to_le_bytes())
                     .map_err(vk_failure)?;
                 cmd.dispatch(groups, groups, 1).map_err(vk_failure)?;
                 cmd.end().map_err(vk_failure)?;
                 env.queue
-                    .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+                    .submit(
+                        &[SubmitInfo {
+                            command_buffers: &[&cmd],
+                        }],
+                        None,
+                    )
                     .map_err(vk_failure)?;
                 env.queue.wait_idle();
             }
@@ -131,7 +142,8 @@ pub fn push_constants_vs_buffer(
     let healthy = {
         let mut p = profile.clone();
         for d in &mut p.drivers {
-            d.quirks.retain(|q| !matches!(q, DriverQuirk::PushConstantsAsBuffer));
+            d.quirks
+                .retain(|q| !matches!(q, DriverQuirk::PushConstantsAsBuffer));
         }
         p
     };
@@ -199,11 +211,17 @@ pub fn transfer_queue_copies(
         let pool = device.create_command_pool(family).map_err(vk_failure)?;
         let cmd = pool.allocate_command_buffer().map_err(vk_failure)?;
         cmd.begin().map_err(vk_failure)?;
-        cmd.copy_buffer(&staging.buffer, &dst.buffer, bytes).map_err(vk_failure)?;
+        cmd.copy_buffer(&staging.buffer, &dst.buffer, bytes)
+            .map_err(vk_failure)?;
         cmd.end().map_err(vk_failure)?;
         let start = device.now();
         queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .submit(
+                &[SubmitInfo {
+                    command_buffers: &[&cmd],
+                }],
+                None,
+            )
             .map_err(vk_failure)?;
         queue.wait_idle();
         Ok(device.now().duration_since(start))
@@ -258,8 +276,10 @@ pub fn multiple_compute_queues(
         )
         .map_err(vk_failure)?;
         let q0 = device.get_queue(family, 0).map_err(vk_failure)?;
-        let q1 = device.get_queue(family, if two_queues { 1 } else { 0 }).map_err(vk_failure)?;
-        let env = vcb_workloads::common::VkEnv {
+        let q1 = device
+            .get_queue(family, if two_queues { 1 } else { 0 })
+            .map_err(vk_failure)?;
+        let env = vcb_backend::VkEnv {
             device: device.clone(),
             queue: q0.clone(),
         };
@@ -278,7 +298,8 @@ pub fn multiple_compute_queues(
             let cmd = pool.allocate_command_buffer().map_err(vk_failure)?;
             cmd.begin().map_err(vk_failure)?;
             cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
-            cmd.bind_descriptor_sets(&kernel.layout, &[&set]).map_err(vk_failure)?;
+            cmd.bind_descriptor_sets(&kernel.layout, &[&set])
+                .map_err(vk_failure)?;
             cmd.push_constants(&kernel.layout, 0, &(n as u32).to_le_bytes())
                 .map_err(vk_failure)?;
             for _ in 0..dispatches {
@@ -291,10 +312,20 @@ pub fn multiple_compute_queues(
         let a = make_chain(1)?;
         let b = make_chain(2)?;
         let start = device.now();
-        q0.submit(&[SubmitInfo { command_buffers: &[&a] }], None)
-            .map_err(vk_failure)?;
-        q1.submit(&[SubmitInfo { command_buffers: &[&b] }], None)
-            .map_err(vk_failure)?;
+        q0.submit(
+            &[SubmitInfo {
+                command_buffers: &[&a],
+            }],
+            None,
+        )
+        .map_err(vk_failure)?;
+        q1.submit(
+            &[SubmitInfo {
+                command_buffers: &[&b],
+            }],
+            None,
+        )
+        .map_err(vk_failure)?;
         device.wait_idle();
         Ok(device.now().duration_since(start))
     };
@@ -363,8 +394,8 @@ mod tests {
 
     #[test]
     fn transfer_queue_wins_for_large_copies() {
-        let a = transfer_queue_copies(&registry(), &devices::gtx1050ti(), 128 * 1024 * 1024)
-            .unwrap();
+        let a =
+            transfer_queue_copies(&registry(), &devices::gtx1050ti(), 128 * 1024 * 1024).unwrap();
         assert!(a.factor() > 1.3, "factor {}", a.factor());
         // Mobile parts have no dedicated transfer family.
         assert!(matches!(

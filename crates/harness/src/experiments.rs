@@ -90,7 +90,11 @@ impl DevicePanel {
     /// Kernel-time speedup of `api` over the OpenCL baseline for one bar,
     /// `None` if either run failed.
     pub fn speedup(&self, workload: &str, size: &str, api: Api) -> Option<f64> {
-        let base = self.find(workload, size, Api::OpenCl)?.outcome.as_ref().ok()?;
+        let base = self
+            .find(workload, size, Api::OpenCl)?
+            .outcome
+            .as_ref()
+            .ok()?;
         let subj = self.find(workload, size, api)?.outcome.as_ref().ok()?;
         Some(vcb_core::run::speedup(base, subj))
     }
@@ -177,7 +181,10 @@ pub fn run_device_panel(
     // Restore deterministic (workload, size, api) order.
     let workload_order: Vec<&str> = vcb_core::suite::SUITE.iter().map(|m| m.name).collect();
     cells.sort_by_key(|c| {
-        let w = workload_order.iter().position(|n| *n == c.workload).unwrap_or(99);
+        let w = workload_order
+            .iter()
+            .position(|n| *n == c.workload)
+            .unwrap_or(99);
         let a = Api::ALL.iter().position(|x| *x == c.api).unwrap_or(9);
         (w, c.size.clone(), a)
     });
@@ -351,12 +358,9 @@ pub fn effort(
     let n = 1_000_000; // Listing 1's N
     let mut records = Vec::new();
     for api in profile.supported_apis() {
-        let result = match api {
-            Api::Vulkan => vectoradd::run_vulkan(profile, registry, n, &opts.run),
-            Api::Cuda => vectoradd::run_cuda(profile, registry, n, &opts.run),
-            Api::OpenCl => vectoradd::run_opencl(profile, registry, n, &opts.run),
-        };
-        if let Ok(record) = result {
+        // One host program, three backends: the portable layer preserves
+        // each API's call counts (see the backend fidelity tests).
+        if let Ok(record) = vectoradd::run(api, profile, registry, n, &opts.run) {
             records.push(vcb_core::effort::EffortRecord::from_calls(
                 "vectoradd",
                 api,

@@ -128,7 +128,10 @@ fn main() -> ExitCode {
             println!("{}", render::speedup_panel(p));
             csv.push_str(&render::panel_csv(p));
         }
-        println!("{}", render::summary_lines(&experiments::summarize(&panels)));
+        println!(
+            "{}",
+            render::summary_lines(&experiments::summarize(&panels))
+        );
         write_csv(&cli.csv_path, &csv);
         panels
     };
@@ -140,7 +143,10 @@ fn main() -> ExitCode {
             println!("{}", render::speedup_panel(p));
             csv.push_str(&render::panel_csv(p));
         }
-        println!("{}", render::summary_lines(&experiments::summarize(&panels)));
+        println!(
+            "{}",
+            render::summary_lines(&experiments::summarize(&panels))
+        );
         write_csv(&cli.csv_path, &csv);
         panels
     };
@@ -169,8 +175,16 @@ fn main() -> ExitCode {
             Err(e) => println!("(skipped: {e})"),
         };
         report(ablate::single_command_buffer(&registry, &gtx, 32));
-        report(ablate::push_constants_vs_buffer(&registry, &sd, &cli.opts.run));
-        report(ablate::transfer_queue_copies(&registry, &gtx, 128 * 1024 * 1024));
+        report(ablate::push_constants_vs_buffer(
+            &registry,
+            &sd,
+            &cli.opts.run,
+        ));
+        report(ablate::transfer_queue_copies(
+            &registry,
+            &gtx,
+            128 * 1024 * 1024,
+        ));
         report(ablate::multiple_compute_queues(&registry, &gtx, 16));
         report(ablate::compiler_maturity(&registry, &gtx, &cli.opts.run));
         println!();
@@ -192,8 +206,14 @@ fn main() -> ExitCode {
             let desktop = experiments::fig2(&registry, &cli.opts);
             let mobile = experiments::fig4(&registry, &cli.opts);
             println!("=== §V: geometric-mean speedups ===\n");
-            println!("{}", render::summary_lines(&experiments::summarize(&desktop)));
-            println!("{}", render::summary_lines(&experiments::summarize(&mobile)));
+            println!(
+                "{}",
+                render::summary_lines(&experiments::summarize(&desktop))
+            );
+            println!(
+                "{}",
+                render::summary_lines(&experiments::summarize(&mobile))
+            );
         }
         "effort" => run_effort(),
         "overheads" => run_overheads(),

@@ -13,12 +13,7 @@ use crate::experiments::{BandwidthCurve, DevicePanel, GeomeanSummary};
 pub fn table1() -> String {
     let mut t = Table::new(&["Name", "Application", "Dwarf", "Domain"]);
     for m in &vcb_core::suite::SUITE {
-        t.row(&[
-            m.name,
-            m.application,
-            &m.dwarf.to_string(),
-            m.domain,
-        ]);
+        t.row(&[m.name, m.application, &m.dwarf.to_string(), m.domain]);
     }
     format!("TABLE I: VComputeBench benchmarks\n\n{}", t.render())
 }
@@ -218,7 +213,11 @@ pub fn panel_csv(panel: &DevicePanel) -> String {
                     format!("{:.3}", r.kernel_time.as_micros()),
                     format!("{:.3}", r.total_time.as_micros()),
                     s,
-                    if r.validated { "ok".into() } else { "NOT VALIDATED".into() },
+                    if r.validated {
+                        "ok".into()
+                    } else {
+                        "NOT VALIDATED".into()
+                    },
                 ]);
             }
             Err(e) => {
@@ -261,6 +260,128 @@ pub fn bandwidth_csv(panels: &[Vec<BandwidthCurve>]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::{run_device_panel, ExperimentOpts};
+    use vcb_core::workload::RunOpts;
+    use vcb_sim::profile::devices;
+
+    /// Minimal RFC-4180 parser for the tests: splits one CSV line into
+    /// fields, honoring quoting and escaped quotes.
+    fn parse_csv_line(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' => quoted = true,
+                ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+                other => cur.push(other),
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+
+    fn quick() -> ExperimentOpts {
+        ExperimentOpts {
+            run: RunOpts {
+                scale: 0.1,
+                validate: false,
+                ..RunOpts::default()
+            },
+            threads: 8,
+            sizes_per_workload: 1,
+        }
+    }
+
+    #[test]
+    fn panel_csv_has_a_parseable_row_for_every_cell_including_failures() {
+        // The Nexus runs all nine workloads under two APIs; cfd reports
+        // out-of-memory and backprop a driver failure, so the panel has
+        // both success and failure cells.
+        let registry = vcb_workloads::registry().unwrap();
+        let panel = run_device_panel(&registry, &devices::powervr_g6430(), &quick());
+        assert!(!panel.cells.is_empty());
+        let csv = panel_csv(&panel);
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header + one row per matrix cell, none skipped.
+        assert_eq!(lines.len(), panel.cells.len() + 1);
+        let header = parse_csv_line(lines[0]);
+        assert_eq!(
+            header,
+            [
+                "device",
+                "workload",
+                "size",
+                "api",
+                "kernel_us",
+                "total_us",
+                "speedup_vs_opencl",
+                "status"
+            ]
+        );
+        let mut failures = 0;
+        for (line, cell) in lines[1..].iter().zip(&panel.cells) {
+            let fields = parse_csv_line(line);
+            assert_eq!(fields.len(), header.len(), "row `{line}`");
+            assert_eq!(fields[1], cell.workload);
+            assert_eq!(fields[2], cell.size);
+            match &cell.outcome {
+                Ok(_) => {
+                    // Numeric fields must parse.
+                    assert!(
+                        fields[4].parse::<f64>().is_ok(),
+                        "kernel_us `{}`",
+                        fields[4]
+                    );
+                    assert!(fields[5].parse::<f64>().is_ok(), "total_us `{}`", fields[5]);
+                    assert_eq!(fields[7], "ok");
+                }
+                Err(e) => {
+                    failures += 1;
+                    // Failure cells keep their row, with empty timings
+                    // and the failure text as status.
+                    assert!(fields[4].is_empty() && fields[5].is_empty());
+                    assert_eq!(fields[7], e.to_string());
+                }
+            }
+        }
+        assert!(
+            failures >= 3,
+            "expected cfd OOM + backprop driver failures, saw {failures}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_csv_rows_parse() {
+        let registry = vcb_workloads::registry().unwrap();
+        let opts = ExperimentOpts {
+            run: RunOpts {
+                scale: 0.02,
+                validate: false,
+                ..RunOpts::default()
+            },
+            ..quick()
+        };
+        let curves = crate::experiments::bandwidth_curves(&registry, &devices::adreno506(), &opts);
+        let csv = bandwidth_csv(&[curves]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines.len() > 1);
+        for line in &lines[1..] {
+            let fields = parse_csv_line(line);
+            assert_eq!(fields.len(), 4, "row `{line}`");
+            assert!(fields[2].parse::<u32>().is_ok());
+            assert!(fields[3].parse::<f64>().is_ok());
+        }
+    }
 
     #[test]
     fn table1_lists_all_nine() {

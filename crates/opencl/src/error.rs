@@ -79,7 +79,9 @@ mod tests {
         let e = ClError::from(SimError::invalid("y"));
         assert!(e.to_string().contains("opencl device error"));
         assert!(std::error::Error::source(&e).is_some());
-        let b = ClError::BuildFailure { log: "lud_diagonal: internal compiler error".into() };
+        let b = ClError::BuildFailure {
+            log: "lud_diagonal: internal compiler error".into(),
+        };
         assert!(b.to_string().contains("lud_diagonal"));
     }
 }

@@ -57,7 +57,9 @@ impl Platform {
 
 impl fmt::Debug for Platform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Platform").field("name", &self.name()).finish()
+        f.debug_struct("Platform")
+            .field("name", &self.name())
+            .finish()
     }
 }
 
@@ -87,7 +89,9 @@ impl ClDeviceId {
 
 impl fmt::Debug for ClDeviceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ClDeviceId").field("name", &self.name()).finish()
+        f.debug_struct("ClDeviceId")
+            .field("name", &self.name())
+            .finish()
     }
 }
 
@@ -123,13 +127,14 @@ impl Context {
     /// [`ClError::DeviceNotFound`] if the device lost its OpenCL driver
     /// (defensive; enumeration normally filters).
     pub fn new(device: &ClDeviceId) -> ClResult<Context> {
-        let driver = device
-            .profile
-            .driver(Api::OpenCl)
-            .cloned()
-            .ok_or_else(|| ClError::DeviceNotFound {
-                device: device.profile.name.clone(),
-            })?;
+        let driver =
+            device
+                .profile
+                .driver(Api::OpenCl)
+                .cloned()
+                .ok_or_else(|| ClError::DeviceNotFound {
+                    device: device.profile.name.clone(),
+                })?;
         let mut shared = ContextShared {
             gpu: Gpu::new(device.profile.clone()),
             driver,

@@ -199,12 +199,17 @@ mod tests {
     fn registry() -> Arc<KernelRegistry> {
         let mut r = KernelRegistry::new();
         r.register(
-            KernelInfo::new("copy", [64, 1, 1]).reads(0, "in").writes(1, "out").build(),
+            KernelInfo::new("copy", [64, 1, 1])
+                .reads(0, "in")
+                .writes(1, "out")
+                .build(),
             Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
         )
         .unwrap();
         r.register(
-            KernelInfo::new("lud_diagonal", [16, 1, 1]).writes(0, "m").build(),
+            KernelInfo::new("lud_diagonal", [16, 1, 1])
+                .writes(0, "m")
+                .build(),
             Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
         )
         .unwrap();
@@ -262,10 +267,8 @@ mod tests {
     #[test]
     fn snapdragon_lud_build_fails_like_the_paper() {
         let ctx = context_on(devices::adreno506());
-        let program = Program::create_with_source(
-            &ctx,
-            "__kernel void lud_diagonal(__global float* m) {}",
-        );
+        let program =
+            Program::create_with_source(&ctx, "__kernel void lud_diagonal(__global float* m) {}");
         let err = program.build().unwrap_err();
         match err {
             ClError::BuildFailure { log } => assert!(log.contains("lud_diagonal")),

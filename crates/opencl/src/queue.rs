@@ -94,7 +94,11 @@ impl CommandQueue {
         shared.host_now += cost;
         shared.breakdown.charge(CostKind::Transfer, cost);
         shared.queues[self.index] = shared.host_now;
-        shared.gpu.pool_mut().buffer_mut(buffer.id)?.write_slice(data);
+        shared
+            .gpu
+            .pool_mut()
+            .buffer_mut(buffer.id)?
+            .write_slice(data);
         Ok(())
     }
 
@@ -306,8 +310,12 @@ mod tests {
     fn scale_end_to_end() {
         let (ctx, queue, kernel) = setup();
         let n = 5000usize;
-        let input = ctx.create_buffer(MemFlags::ReadOnly, (n * 4) as u64).unwrap();
-        let output = ctx.create_buffer(MemFlags::WriteOnly, (n * 4) as u64).unwrap();
+        let input = ctx
+            .create_buffer(MemFlags::ReadOnly, (n * 4) as u64)
+            .unwrap();
+        let output = ctx
+            .create_buffer(MemFlags::WriteOnly, (n * 4) as u64)
+            .unwrap();
         let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
         queue.enqueue_write_buffer(&input, &data).unwrap();
         kernel.set_arg(0, ClArg::Buffer(input));
@@ -327,9 +335,15 @@ mod tests {
     fn launch_overhead_charged_per_enqueue() {
         let (ctx, queue, kernel) = setup();
         let n = 256usize;
-        let input = ctx.create_buffer(MemFlags::ReadOnly, (n * 4) as u64).unwrap();
-        let output = ctx.create_buffer(MemFlags::WriteOnly, (n * 4) as u64).unwrap();
-        queue.enqueue_write_buffer(&input, &vec![1.0f32; n]).unwrap();
+        let input = ctx
+            .create_buffer(MemFlags::ReadOnly, (n * 4) as u64)
+            .unwrap();
+        let output = ctx
+            .create_buffer(MemFlags::WriteOnly, (n * 4) as u64)
+            .unwrap();
+        queue
+            .enqueue_write_buffer(&input, &vec![1.0f32; n])
+            .unwrap();
         kernel.set_arg(0, ClArg::Buffer(input));
         kernel.set_arg(1, ClArg::Buffer(output));
         kernel.set_arg(2, ClArg::U32(n as u32));
@@ -367,9 +381,15 @@ mod tests {
     fn global_size_rounds_up_to_groups() {
         let (ctx, queue, kernel) = setup();
         let n = 100usize; // local size 64 -> 2 groups
-        let input = ctx.create_buffer(MemFlags::ReadOnly, (n * 4) as u64).unwrap();
-        let output = ctx.create_buffer(MemFlags::WriteOnly, (n * 4) as u64).unwrap();
-        queue.enqueue_write_buffer(&input, &vec![3.0f32; n]).unwrap();
+        let input = ctx
+            .create_buffer(MemFlags::ReadOnly, (n * 4) as u64)
+            .unwrap();
+        let output = ctx
+            .create_buffer(MemFlags::WriteOnly, (n * 4) as u64)
+            .unwrap();
+        queue
+            .enqueue_write_buffer(&input, &vec![3.0f32; n])
+            .unwrap();
         kernel.set_arg(0, ClArg::Buffer(input));
         kernel.set_arg(1, ClArg::Buffer(output));
         kernel.set_arg(2, ClArg::U32(n as u32));

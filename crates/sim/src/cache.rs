@@ -184,8 +184,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = CacheSim::new(1024, 4, 32); // 32 sectors capacity
-        // Stream 64 distinct sectors twice: second pass still misses (LRU
-        // streaming pattern).
+                                                // Stream 64 distinct sectors twice: second pass still misses
+                                                // (LRU streaming pattern).
         for _ in 0..2 {
             for s in 0..64 {
                 c.access_sector(s);

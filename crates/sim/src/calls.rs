@@ -71,7 +71,12 @@ impl CallCounter {
 
 impl fmt::Display for CallCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} calls over {} entry points", self.total(), self.distinct())
+        write!(
+            f,
+            "{} calls over {} entry points",
+            self.total(),
+            self.distinct()
+        )
     }
 }
 

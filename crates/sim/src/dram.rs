@@ -93,7 +93,8 @@ impl RowTracker {
         };
         // Amortized cleanup keeps the map bounded.
         if self.open_rows.len() > 4 * Self::WINDOW as usize {
-            self.open_rows.retain(|_, stamp| clock - *stamp <= Self::WINDOW);
+            self.open_rows
+                .retain(|_, stamp| clock - *stamp <= Self::WINDOW);
         }
         !hit
     }

@@ -141,7 +141,11 @@ impl Gpu {
     ///
     /// Fails on invalid grids, unresolvable bindings, aliasing writable
     /// bindings, or shared-memory demand beyond the device capacity.
-    pub fn execute(&mut self, dispatch: &Dispatch, driver: &DriverProfile) -> SimResult<DispatchReport> {
+    pub fn execute(
+        &mut self,
+        dispatch: &Dispatch,
+        driver: &DriverProfile,
+    ) -> SimResult<DispatchReport> {
         let groups = dispatch.group_count();
         if groups == 0 {
             return Err(SimError::invalid("dispatch with zero workgroups"));
@@ -307,13 +311,14 @@ impl Gpu {
         // Shared memory: each CU services `shared_banks` accesses/cycle.
         let shared_throughput =
             p.compute_units as f64 * p.shared_banks as f64 * p.core_clock_mhz as f64 * 1.0e6;
-        let shared_secs = (stats.shared_accesses + stats.bank_conflict_cycles) as f64
-            / shared_throughput;
+        let shared_secs =
+            (stats.shared_accesses + stats.bank_conflict_cycles) as f64 / shared_throughput;
         // Barriers serialize warps within a group; cost a few cycles per
         // warp per barrier, spread across CUs.
         let warps_per_group = (info.local_len() as f64 / p.warp_width as f64).ceil();
         let barrier_cycles = stats.barriers as f64 * warps_per_group * 8.0;
-        let barrier_secs = barrier_cycles / (p.core_clock_mhz as f64 * 1.0e6 * p.compute_units as f64);
+        let barrier_secs =
+            barrier_cycles / (p.core_clock_mhz as f64 * 1.0e6 * p.compute_units as f64);
         let alu_time = SimDuration::from_secs(alu_secs + shared_secs + barrier_secs);
 
         // Occupancy-quantized wave count: the tail wave runs at partial
@@ -409,9 +414,18 @@ mod tests {
             kernel: vector_add_kernel(),
             groups: [(n as u32).div_ceil(256), 1, 1],
             bindings: vec![
-                BoundBuffer { binding: 0, buffer: x },
-                BoundBuffer { binding: 1, buffer: y },
-                BoundBuffer { binding: 2, buffer: z },
+                BoundBuffer {
+                    binding: 0,
+                    buffer: x,
+                },
+                BoundBuffer {
+                    binding: 1,
+                    buffer: y,
+                },
+                BoundBuffer {
+                    binding: 2,
+                    buffer: z,
+                },
             ],
             push_constants: Vec::new(),
         };
@@ -422,7 +436,10 @@ mod tests {
     fn vector_add_is_functionally_correct() {
         let n = 10_000;
         let (mut gpu, dispatch) = setup(n);
-        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
         let report = gpu.execute(&dispatch, &driver).unwrap();
         assert!(report.time > SimDuration::ZERO);
         let z = dispatch.bindings[2].buffer;
@@ -434,7 +451,10 @@ mod tests {
 
     #[test]
     fn larger_grids_take_longer() {
-        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
         let (mut gpu_small, d_small) = setup(64 * 1024);
         let (mut gpu_big, d_big) = setup(1024 * 1024);
         let t_small = gpu_small.execute(&d_small, &driver).unwrap().time;
@@ -445,7 +465,10 @@ mod tests {
     #[test]
     fn sampled_tracing_approximates_detailed() {
         let n = 512 * 1024;
-        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
         let (mut gpu_a, dispatch_a) = setup(n);
         gpu_a.set_trace_mode(TraceMode::Detailed);
         let detailed = gpu_a.execute(&dispatch_a, &driver).unwrap();
@@ -461,10 +484,79 @@ mod tests {
     }
 
     #[test]
+    fn sample_every_clamps_sampled_zero() {
+        // Sampled(0) would trace nothing and divide by zero; it must
+        // behave like Detailed (trace every group).
+        assert_eq!(TraceMode::Sampled(0).sample_every(1_000_000), 1);
+        assert_eq!(TraceMode::Sampled(1).sample_every(1_000_000), 1);
+        assert_eq!(TraceMode::Sampled(16).sample_every(1_000_000), 16);
+    }
+
+    #[test]
+    fn sample_every_auto_keeps_traced_groups_bounded() {
+        // Auto is Detailed up to its target, then picks a rate that
+        // keeps roughly 1024 traced groups — never more than the target,
+        // never zero.
+        for groups in [1u64, 1023, 1024, 1025, 4096, 1 << 20, u64::MAX / 2] {
+            let every = TraceMode::Auto.sample_every(groups);
+            assert!(every >= 1, "groups={groups}");
+            let traced = groups.div_ceil(every);
+            assert!(traced <= 1024, "groups={groups}: traced {traced}");
+            if groups <= 1024 {
+                assert_eq!(every, 1, "small grids trace everything");
+            } else {
+                // The rate should not overshoot: halving it would trace
+                // more than the target again.
+                assert!(
+                    groups.div_ceil(every.saturating_sub(1).max(1)) > 1024 || every == 1,
+                    "groups={groups}: every {every} wastes sampling"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_zero_executes_like_detailed() {
+        let n = 64 * 1024;
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
+        let (mut gpu_a, dispatch_a) = setup(n);
+        gpu_a.set_trace_mode(TraceMode::Detailed);
+        let detailed = gpu_a.execute(&dispatch_a, &driver).unwrap();
+        let (mut gpu_b, dispatch_b) = setup(n);
+        gpu_b.set_trace_mode(TraceMode::Sampled(0));
+        let clamped = gpu_b.execute(&dispatch_b, &driver).unwrap();
+        assert_eq!(clamped.traced_groups, detailed.traced_groups);
+        assert_eq!(clamped.time, detailed.time);
+    }
+
+    #[test]
+    fn auto_traces_at_most_target_groups_end_to_end() {
+        let n = 1024 * 1024; // 4096 groups of 256
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
+        let (mut gpu, dispatch) = setup(n);
+        gpu.set_trace_mode(TraceMode::Auto);
+        let report = gpu.execute(&dispatch, &driver).unwrap();
+        assert!(
+            report.traced_groups <= 1024,
+            "auto traced {} groups",
+            report.traced_groups
+        );
+    }
+
+    #[test]
     fn missing_binding_detected() {
         let (mut gpu, mut dispatch) = setup(1024);
         dispatch.bindings.remove(1);
-        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
         assert!(matches!(
             gpu.execute(&dispatch, &driver),
             Err(SimError::MissingBinding { binding: 1, .. })
@@ -477,7 +569,10 @@ mod tests {
         // Bind the output buffer as input 0 as well.
         let z = dispatch.bindings[2].buffer;
         dispatch.bindings[0].buffer = z;
-        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
         assert!(matches!(
             gpu.execute(&dispatch, &driver),
             Err(SimError::AliasViolation { .. })
@@ -488,7 +583,10 @@ mod tests {
     fn zero_groups_rejected() {
         let (mut gpu, mut dispatch) = setup(1024);
         dispatch.groups = [0, 1, 1];
-        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
         assert!(gpu.execute(&dispatch, &driver).is_err());
     }
 
@@ -519,7 +617,10 @@ mod tests {
         let n = 256 * 1024;
         let (mut gpu_a, d_a) = setup(n);
         let (mut gpu_b, d_b) = setup(n);
-        let mut fast = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let mut fast = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
         fast.kernel_time_scale = 1.0;
         let mut slow = fast.clone();
         slow.kernel_time_scale = 1.5;
@@ -549,7 +650,10 @@ mod tests {
                 },
             )
         };
-        let driver = devices::gtx1050ti().driver(crate::Api::Cuda).unwrap().clone();
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
         let (mut gpu_a, mut d_a) = setup(n);
         d_a.kernel = make_kernel(true);
         let promoted = gpu_a.execute(&d_a, &driver).unwrap();
@@ -580,7 +684,10 @@ mod tests {
             .build();
         let body = vector_add_kernel();
         let kernel = CompiledKernel::new(info, body.body().clone(), CompileOpts::default());
-        let healthy = devices::gtx1050ti().driver(crate::Api::Vulkan).unwrap().clone();
+        let healthy = devices::gtx1050ti()
+            .driver(crate::Api::Vulkan)
+            .unwrap()
+            .clone();
         let mut degraded = healthy.clone();
         degraded
             .quirks

@@ -155,7 +155,11 @@ impl KernelInfoBuilder {
     /// programming errors in kernel definitions, not runtime conditions.
     pub fn build(self) -> KernelInfo {
         let info = self.info;
-        assert!(info.local_len() > 0, "kernel {} has zero local size", info.name);
+        assert!(
+            info.local_len() > 0,
+            "kernel {} has zero local size",
+            info.name
+        );
         for (i, a) in info.bindings.iter().enumerate() {
             for b in &info.bindings[i + 1..] {
                 assert_ne!(
@@ -362,7 +366,9 @@ impl<'a, T: Scalar> SharedArray<'a, T> {
 
 impl<T: Scalar + fmt::Debug> fmt::Debug for SharedArray<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SharedArray").field("len", &self.cells.len()).finish()
+        f.debug_struct("SharedArray")
+            .field("len", &self.cells.len())
+            .finish()
     }
 }
 
@@ -404,9 +410,7 @@ impl SharedArena {
         // is a multiple of size_of::<T>() (≤ 8, power of two), so the cast
         // pointer is aligned; Cell<T> is layout-compatible with T; the
         // arena is only accessed through Cells for the group's lifetime.
-        let slice = unsafe {
-            std::slice::from_raw_parts(ptr.add(start) as *const Cell<T>, len)
-        };
+        let slice = unsafe { std::slice::from_raw_parts(ptr.add(start) as *const Cell<T>, len) };
         Some((slice, start as u32))
     }
 }
@@ -965,7 +969,9 @@ impl Lane<'_> {
 
 impl fmt::Debug for Lane<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Lane").field("linear", &self.linear).finish()
+        f.debug_struct("Lane")
+            .field("linear", &self.linear)
+            .finish()
     }
 }
 
@@ -1194,7 +1200,9 @@ mod tests {
     #[test]
     fn shared_overflow_is_an_error() {
         let p = pool();
-        let info = KernelInfo::new("big_smem", [1, 1, 1]).shared_memory(64).build();
+        let info = KernelInfo::new("big_smem", [1, 1, 1])
+            .shared_memory(64)
+            .build();
         let _ = &p;
         let resolved: Vec<Option<ResolvedBinding<'_>>> = Vec::new();
         let arena = SharedArena::new(64);

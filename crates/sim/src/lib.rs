@@ -77,6 +77,7 @@ pub mod exec;
 pub mod mem;
 pub mod profile;
 pub mod registry;
+pub mod rng;
 pub mod time;
 pub mod timeline;
 
@@ -87,5 +88,6 @@ pub use error::{SimError, SimResult};
 pub use exec::{CompileOpts, CompiledKernel, Dispatch, GroupCtx, KernelBody, KernelInfo, Lane};
 pub use profile::{DeviceClass, DeviceProfile, DriverProfile, DriverQuirk, Vendor};
 pub use registry::KernelRegistry;
+pub use rng::SmallRng;
 pub use time::{SimDuration, SimInstant};
 pub use timeline::{CostKind, Timeline, TimingBreakdown};

@@ -139,7 +139,10 @@ impl HeapState {
         }
         if pos > 0 {
             let (prev_off, prev_len) = self.free[pos - 1];
-            assert!(prev_off + prev_len <= start, "double free at offset {start}");
+            assert!(
+                prev_off + prev_len <= start,
+                "double free at offset {start}"
+            );
         }
         self.free.insert(pos, (start, size));
         self.used -= size;
@@ -280,9 +283,7 @@ mod private {
 
 fn scalar_bytes<T: Scalar>(data: &[T]) -> &[u8] {
     // SAFETY: Scalar types are plain-old-data with no padding.
-    unsafe {
-        std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
-    }
+    unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data)) }
 }
 
 /// All buffers of one device plus its heap states.
@@ -321,7 +322,11 @@ impl MemoryPool {
     ///
     /// Propagates allocator failures ([`SimError::OutOfDeviceMemory`],
     /// [`SimError::InvalidArgument`]).
-    pub fn create_buffer(&mut self, heap: usize, size: u64) -> SimResult<(BufferId, HeapAllocation)> {
+    pub fn create_buffer(
+        &mut self,
+        heap: usize,
+        size: u64,
+    ) -> SimResult<(BufferId, HeapAllocation)> {
         let allocation = self.alloc_raw(heap, size, 256)?;
         match self.create_store(size) {
             Ok(id) => Ok((id, allocation)),
@@ -540,7 +545,10 @@ mod tests {
         let mut pool = MemoryPool::new(&[heap(1 << 20)]);
         let (id, alloc) = pool.create_buffer(0, 64).unwrap();
         pool.destroy_buffer(id, alloc).unwrap();
-        assert!(matches!(pool.buffer(id), Err(SimError::InvalidBuffer { .. })));
+        assert!(matches!(
+            pool.buffer(id),
+            Err(SimError::InvalidBuffer { .. })
+        ));
         assert!(pool.destroy_buffer(id, alloc).is_err());
         assert_eq!(pool.live_buffers(), 0);
     }

@@ -412,7 +412,9 @@ impl DeviceProfile {
 
     /// Index of the first queue family matching all requested caps.
     pub fn find_queue_family(&self, caps: QueueCaps) -> Option<usize> {
-        self.queue_families.iter().position(|q| q.caps.contains(caps))
+        self.queue_families
+            .iter()
+            .position(|q| q.caps.contains(caps))
     }
 
     /// Validates internal consistency (non-zero resources, drivers present,
@@ -424,7 +426,10 @@ impl DeviceProfile {
             problems.push("compute_units is zero".into());
         }
         if self.warp_width == 0 || !self.warp_width.is_power_of_two() {
-            problems.push(format!("warp_width {} is not a power of two", self.warp_width));
+            problems.push(format!(
+                "warp_width {} is not a power of two",
+                self.warp_width
+            ));
         }
         if self.heaps.is_empty() {
             problems.push("no memory heaps".into());
@@ -447,7 +452,12 @@ impl DeviceProfile {
                 ));
             }
         }
-        if self.memory.sector_bytes == 0 || !self.memory.line_bytes.is_multiple_of(self.memory.sector_bytes) {
+        if self.memory.sector_bytes == 0
+            || !self
+                .memory
+                .line_bytes
+                .is_multiple_of(self.memory.sector_bytes)
+        {
             problems.push("line_bytes must be a multiple of sector_bytes".into());
         }
         if !self.heaps.iter().any(|h| h.host_visible) {
@@ -919,8 +929,14 @@ mod tests {
     #[test]
     fn paper_driver_quirks_present() {
         let nexus = devices::powervr_g6430();
-        assert!(nexus.driver(Api::OpenCl).unwrap().is_workload_broken("backprop"));
-        assert!(nexus.driver(Api::Vulkan).unwrap().is_workload_broken("backprop"));
+        assert!(nexus
+            .driver(Api::OpenCl)
+            .unwrap()
+            .is_workload_broken("backprop"));
+        assert!(nexus
+            .driver(Api::Vulkan)
+            .unwrap()
+            .is_workload_broken("backprop"));
         let sd = devices::adreno506();
         assert!(sd.driver(Api::OpenCl).unwrap().is_workload_broken("lud"));
         assert!(sd.driver(Api::Vulkan).unwrap().push_constants_degraded());
@@ -957,6 +973,8 @@ mod tests {
         // Dedicated transfer family exists at index 1.
         assert_eq!(d.find_queue_family(QueueCaps::TRANSFER), Some(0));
         let compute_only = d.find_queue_family(QueueCaps::COMPUTE).unwrap();
-        assert!(d.queue_families[compute_only].caps.contains(QueueCaps::COMPUTE));
+        assert!(d.queue_families[compute_only]
+            .caps
+            .contains(QueueCaps::COMPUTE));
     }
 }

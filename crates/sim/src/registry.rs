@@ -94,9 +94,11 @@ impl KernelRegistry {
     ///
     /// Returns [`SimError::UnknownKernel`] for unknown symbols.
     pub fn lookup(&self, name: &str) -> SimResult<&RegisteredKernel> {
-        self.kernels.get(name).ok_or_else(|| SimError::UnknownKernel {
-            name: name.to_owned(),
-        })
+        self.kernels
+            .get(name)
+            .ok_or_else(|| SimError::UnknownKernel {
+                name: name.to_owned(),
+            })
     }
 
     /// `true` if `name` is registered.
@@ -124,7 +126,9 @@ impl fmt::Debug for KernelRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<_> = self.names().collect();
         names.sort_unstable();
-        f.debug_struct("KernelRegistry").field("kernels", &names).finish()
+        f.debug_struct("KernelRegistry")
+            .field("kernels", &names)
+            .finish()
     }
 }
 

@@ -308,14 +308,20 @@ mod tests {
     fn negative_and_nan_inputs_clamp_to_zero() {
         assert_eq!(SimDuration::from_nanos(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_millis(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn saturating_arithmetic() {
         let max = SimDuration::from_picos(u64::MAX);
         assert_eq!(max + SimDuration::from_picos(1), max);
-        assert_eq!(SimDuration::ZERO - SimDuration::from_picos(5), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::ZERO - SimDuration::from_picos(5),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -324,7 +330,11 @@ mod tests {
         assert_eq!(d.scale(2.0).as_micros(), 20.0);
         assert_eq!(d.scale(-1.0), SimDuration::ZERO);
         assert_eq!(d.scale(f64::NAN), SimDuration::ZERO);
-        assert_eq!(d.scale(f64::INFINITY), SimDuration::ZERO, "non-finite clamps to zero");
+        assert_eq!(
+            d.scale(f64::INFINITY),
+            SimDuration::ZERO,
+            "non-finite clamps to zero"
+        );
     }
 
     #[test]

@@ -114,7 +114,10 @@ impl TimingBreakdown {
     }
 
     fn index(kind: CostKind) -> usize {
-        CostKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL")
+        CostKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in ALL")
     }
 }
 
@@ -190,7 +193,10 @@ mod tests {
         t.charge(CostKind::KernelExec, SimDuration::from_micros(100.0));
         t.charge(CostKind::LaunchOverhead, SimDuration::from_micros(8.0));
         assert_eq!(t.now().elapsed().as_micros(), 116.0);
-        assert_eq!(t.breakdown().get(CostKind::LaunchOverhead).as_micros(), 16.0);
+        assert_eq!(
+            t.breakdown().get(CostKind::LaunchOverhead).as_micros(),
+            16.0
+        );
         assert_eq!(t.breakdown().overhead().as_micros(), 16.0);
     }
 

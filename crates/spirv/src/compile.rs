@@ -88,7 +88,11 @@ impl<'r> DriverCompiler<'r> {
     /// # Errors
     ///
     /// As [`DriverCompiler::compile_module`], plus parse failures.
-    pub fn compile_words(&self, words: &[u32], driver: &DriverProfile) -> SimResult<CompiledKernel> {
+    pub fn compile_words(
+        &self,
+        words: &[u32],
+        driver: &DriverProfile,
+    ) -> SimResult<CompiledKernel> {
         let module = SpirvModule::parse(words).map_err(module_error)?;
         self.compile_module(&module, driver)
     }

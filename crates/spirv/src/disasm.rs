@@ -74,11 +74,18 @@ fn render(opcode: u16, operands: &[u32], offset: usize) -> Result<String, Module
             }
             let (name, used) =
                 decode_string(&operands[2..]).ok_or(ModuleError::BadString { offset })?;
-            let interface: Vec<String> =
-                operands[2 + used..].iter().map(|id| format!("%{id}")).collect();
+            let interface: Vec<String> = operands[2 + used..]
+                .iter()
+                .map(|id| format!("%{id}"))
+                .collect();
             op(
                 "OpEntryPoint",
-                format!("GLCompute %{} \"{}\" {}", operands[1], name, interface.join(" ")),
+                format!(
+                    "GLCompute %{} \"{}\" {}",
+                    operands[1],
+                    name,
+                    interface.join(" ")
+                ),
             )
         }
         x if x == Op::ExecutionMode as u16 => {
@@ -96,14 +103,14 @@ fn render(opcode: u16, operands: &[u32], offset: usize) -> Result<String, Module
         }
         x if x == Op::Source as u16 => op(
             "OpSource",
-            format!(
-                "GLSL {}",
-                operands.get(1).copied().unwrap_or_default()
-            ),
+            format!("GLSL {}", operands.get(1).copied().unwrap_or_default()),
         ),
         x if x == Op::Variable as u16 => op(
             "OpVariable",
-            format!("%{} StorageBuffer", operands.first().copied().unwrap_or_default()),
+            format!(
+                "%{} StorageBuffer",
+                operands.first().copied().unwrap_or_default()
+            ),
         ),
         x if x == Op::Decorate as u16 => {
             let id = operands.first().copied().unwrap_or_default();
@@ -112,7 +119,10 @@ fn render(opcode: u16, operands: &[u32], offset: usize) -> Result<String, Module
                     format!("Binding {}", operands.get(2).copied().unwrap_or_default())
                 }
                 Some(&DECORATION_DESCRIPTOR_SET) => {
-                    format!("DescriptorSet {}", operands.get(2).copied().unwrap_or_default())
+                    format!(
+                        "DescriptorSet {}",
+                        operands.get(2).copied().unwrap_or_default()
+                    )
                 }
                 Some(&DECORATION_NON_WRITABLE) => "NonWritable".to_owned(),
                 Some(other) => format!("<decoration {other}>"),
@@ -122,8 +132,8 @@ fn render(opcode: u16, operands: &[u32], offset: usize) -> Result<String, Module
         }
         x if x == Op::Name as u16 => {
             let id = operands.first().copied().unwrap_or_default();
-            let (name, _) =
-                decode_string(operands.get(1..).unwrap_or(&[])).ok_or(ModuleError::BadString { offset })?;
+            let (name, _) = decode_string(operands.get(1..).unwrap_or(&[]))
+                .ok_or(ModuleError::BadString { offset })?;
             op("OpName", format!("%{id} \"{name}\""))
         }
         x if x == Op::ReproSharedMemory as u16 => op(

@@ -140,12 +140,17 @@ impl fmt::Display for ModuleError {
             ModuleError::BadMagic { found } => {
                 write!(f, "bad magic number {found:#010x} (expected {MAGIC:#010x})")
             }
-            ModuleError::BadVersion { found } => write!(f, "unsupported version word {found:#010x}"),
+            ModuleError::BadVersion { found } => {
+                write!(f, "unsupported version word {found:#010x}")
+            }
             ModuleError::TruncatedInstruction { offset } => {
                 write!(f, "truncated instruction at word {offset}")
             }
             ModuleError::BadString { offset } => {
-                write!(f, "undecodable string literal in instruction at word {offset}")
+                write!(
+                    f,
+                    "undecodable string literal in instruction at word {offset}"
+                )
             }
             ModuleError::MissingEntryPoint => write!(f, "no GLCompute entry point"),
             ModuleError::MultipleEntryPoints => write!(f, "multiple entry points are unsupported"),
@@ -155,7 +160,10 @@ impl fmt::Display for ModuleError {
             }
             ModuleError::MissingShaderCapability => write!(f, "missing Shader capability"),
             ModuleError::MalformedInstruction { opcode, offset } => {
-                write!(f, "malformed instruction (opcode {opcode}) at word {offset}")
+                write!(
+                    f,
+                    "malformed instruction (opcode {opcode}) at word {offset}"
+                )
             }
         }
     }
@@ -271,10 +279,9 @@ impl SpirvModule {
             }
             let operands = &words[offset + 1..offset + wc];
             match opcode {
-                x if x == Op::Capability as u16
-                    && operands.first() == Some(&CAPABILITY_SHADER) => {
-                        has_shader_cap = true;
-                    }
+                x if x == Op::Capability as u16 && operands.first() == Some(&CAPABILITY_SHADER) => {
+                    has_shader_cap = true;
+                }
                 x if x == Op::EntryPoint as u16 => {
                     if operands.len() < 3 || operands[0] != EXECUTION_MODEL_GL_COMPUTE {
                         return Err(ModuleError::MalformedInstruction { opcode, offset });
@@ -286,9 +293,11 @@ impl SpirvModule {
                     }
                 }
                 x if x == Op::ExecutionMode as u16
-                    && operands.len() == 5 && operands[1] == EXECUTION_MODE_LOCAL_SIZE => {
-                        local_size = Some([operands[2], operands[3], operands[4]]);
-                    }
+                    && operands.len() == 5
+                    && operands[1] == EXECUTION_MODE_LOCAL_SIZE =>
+                {
+                    local_size = Some([operands[2], operands[3], operands[4]]);
+                }
                 x if x == Op::Variable as u16 => {
                     if operands.len() != 2 {
                         return Err(ModuleError::MalformedInstruction { opcode, offset });
@@ -341,7 +350,14 @@ impl SpirvModule {
         }
         let entry = entry.ok_or(ModuleError::MissingEntryPoint)?;
         let local_size = local_size.ok_or(ModuleError::MissingLocalSize)?;
-        if local_size.contains(&0) {
+        // Corrupted modules can carry arbitrary sizes; reject anything
+        // whose work-item count is zero or overflows `u32` before the
+        // KernelInfo builder asserts on it.
+        let local_len = local_size
+            .iter()
+            .try_fold(1u32, |acc, &d| acc.checked_mul(d))
+            .unwrap_or(0);
+        if local_len == 0 {
             return Err(ModuleError::MissingLocalSize);
         }
 
@@ -476,7 +492,12 @@ mod tests {
             .promotable()
             .build();
         let module = SpirvModule::assemble(&info);
-        assert!(SpirvModule::parse(module.words()).unwrap().info().promotable);
+        assert!(
+            SpirvModule::parse(module.words())
+                .unwrap()
+                .info()
+                .promotable
+        );
     }
 
     #[test]
@@ -547,7 +568,11 @@ mod tests {
         let mut operands = vec![EXECUTION_MODEL_GL_COMPUTE, 1];
         operands.extend_from_slice(&encode_string("k"));
         push_inst(&mut w, Op::EntryPoint, &operands);
-        push_inst(&mut w, Op::ExecutionMode, &[1, EXECUTION_MODE_LOCAL_SIZE, 0, 1, 1]);
+        push_inst(
+            &mut w,
+            Op::ExecutionMode,
+            &[1, EXECUTION_MODE_LOCAL_SIZE, 0, 1, 1],
+        );
         assert!(matches!(
             SpirvModule::parse(&w),
             Err(ModuleError::MissingLocalSize)

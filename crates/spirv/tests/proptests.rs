@@ -1,28 +1,47 @@
-//! Property tests: SPIR-V assembly/parse round trips for arbitrary
+//! Property-style tests: SPIR-V assembly/parse round trips for arbitrary
 //! kernel descriptions, and scanner robustness.
+//!
+//! The container builds offline (no `proptest`), so each property runs
+//! over a seeded deterministic sweep of randomized cases instead of a
+//! shrinking search.
 
-use proptest::prelude::*;
 use vcb_sim::exec::{BindingAccess, KernelInfo};
 use vcb_spirv::{disassemble, extract_kernel_names, SpirvModule};
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,24}"
+use vcb_sim::rng::SmallRng;
+
+/// Random identifier `[a-z][a-z0-9_]{0,max_extra}`.
+fn ident(rng: &mut SmallRng, max_extra: u64) -> String {
+    let mut s = String::new();
+    s.push((b'a' + rng.gen_range_u64(0, 26) as u8) as char);
+    for _ in 0..rng.gen_range_u64(0, max_extra + 1) {
+        let c = match rng.gen_range_u64(0, 3) {
+            0 => (b'a' + rng.gen_range_u64(0, 26) as u8) as char,
+            1 => (b'0' + rng.gen_range_u64(0, 10) as u8) as char,
+            _ => '_',
+        };
+        s.push(c);
+    }
+    s
 }
 
-proptest! {
-    /// assemble -> parse recovers every field of the kernel description.
-    #[test]
-    fn module_round_trip(
-        name in ident(),
-        lx in 1u32..512,
-        ly in 1u32..4,
-        bindings in proptest::collection::vec((any::<bool>(),), 0..6),
-        push in 0u32..129,
-        shared in 0u64..4096,
-        promotable in any::<bool>(),
-    ) {
+/// assemble -> parse recovers every field of the kernel description.
+#[test]
+fn module_round_trip() {
+    for case in 0..200u64 {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let name = ident(&mut rng, 24);
+        let lx = 1 + rng.gen_range_u64(0, 511) as u32;
+        let ly = 1 + rng.gen_range_u64(0, 3) as u32;
+        let bindings: Vec<bool> = (0..rng.gen_range_u64(0, 6))
+            .map(|_| rng.gen_range_u64(0, 2) == 0)
+            .collect();
+        let push = rng.gen_range_u64(0, 129) as u32;
+        let shared = rng.gen_range_u64(0, 4096);
+        let promotable = rng.gen_range_u64(0, 2) == 0;
+
         let mut b = KernelInfo::new(name.clone(), [lx, ly, 1]);
-        for (i, (read_only,)) in bindings.iter().enumerate() {
+        for (i, read_only) in bindings.iter().enumerate() {
             b = if *read_only {
                 b.reads(i as u32, "buf")
             } else {
@@ -42,51 +61,68 @@ proptest! {
         let module = SpirvModule::assemble(&info);
         let parsed = SpirvModule::parse(module.words()).unwrap();
         let p = parsed.info();
-        prop_assert_eq!(&p.name, &name);
-        prop_assert_eq!(p.local_size, [lx, ly, 1]);
-        prop_assert_eq!(p.bindings.len(), bindings.len());
-        for (i, (read_only,)) in bindings.iter().enumerate() {
+        assert_eq!(&p.name, &name);
+        assert_eq!(p.local_size, [lx, ly, 1]);
+        assert_eq!(p.bindings.len(), bindings.len());
+        for (i, read_only) in bindings.iter().enumerate() {
             let decl = p.binding(i as u32).unwrap();
-            let expected = if *read_only { BindingAccess::ReadOnly } else { BindingAccess::ReadWrite };
-            prop_assert_eq!(decl.access, expected);
+            let expected = if *read_only {
+                BindingAccess::ReadOnly
+            } else {
+                BindingAccess::ReadWrite
+            };
+            assert_eq!(decl.access, expected);
         }
-        prop_assert_eq!(p.push_constant_bytes, push);
-        prop_assert_eq!(p.shared_bytes, shared);
-        prop_assert_eq!(p.promotable, promotable);
+        assert_eq!(p.push_constant_bytes, push);
+        assert_eq!(p.shared_bytes, shared);
+        assert_eq!(p.promotable, promotable);
         // The disassembler accepts everything the assembler emits.
         let text = disassemble(module.words()).unwrap();
         let quoted = format!("\"{}\"", name);
-        prop_assert!(text.contains(&quoted));
+        assert!(text.contains(&quoted), "case {case}");
     }
+}
 
-    /// Truncating a module anywhere never panics the parser.
-    #[test]
-    fn parser_never_panics_on_truncation(cut in 0usize..64) {
-        let info = KernelInfo::new("k", [8, 1, 1]).reads(0, "a").push_constants(8).build();
-        let module = SpirvModule::assemble(&info);
-        let words = module.words();
-        let cut = cut.min(words.len());
+/// Truncating a module anywhere never panics the parser.
+#[test]
+fn parser_never_panics_on_truncation() {
+    let info = KernelInfo::new("k", [8, 1, 1])
+        .reads(0, "a")
+        .push_constants(8)
+        .build();
+    let module = SpirvModule::assemble(&info);
+    let words = module.words();
+    for cut in 0..=words.len() {
         let _ = SpirvModule::parse(&words[..cut]); // must not panic
     }
+}
 
-    /// Flipping a single word never panics the parser or disassembler.
-    #[test]
-    fn parser_never_panics_on_corruption(pos in 0usize..64, value in any::<u32>()) {
-        let info = KernelInfo::new("k", [8, 1, 1]).reads(0, "a").build();
-        let mut words = SpirvModule::assemble(&info).words().to_vec();
-        let pos = pos.min(words.len() - 1);
-        words[pos] = value;
+/// Flipping a single word never panics the parser or disassembler.
+#[test]
+fn parser_never_panics_on_corruption() {
+    let info = KernelInfo::new("k", [8, 1, 1]).reads(0, "a").build();
+    let clean = SpirvModule::assemble(&info).words().to_vec();
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0xc044 ^ case);
+        let mut words = clean.clone();
+        let pos = rng.gen_range_u64(0, words.len() as u64) as usize;
+        words[pos] = rng.next_u64() as u32;
         let _ = SpirvModule::parse(&words);
         let _ = disassemble(&words);
     }
+}
 
-    /// The kernel-name scanner finds exactly the declared kernels in
-    /// generated source with randomized whitespace and decoys.
-    #[test]
-    fn scanner_finds_declared_kernels(
-        names in proptest::collection::btree_set("[a-z][a-z0-9_]{0,12}", 1..5),
-        ws in prop_oneof![Just(" "), Just("\n"), Just("\t"), Just("  \n")],
-    ) {
+/// The kernel-name scanner finds exactly the declared kernels in
+/// generated source with randomized whitespace and decoys.
+#[test]
+fn scanner_finds_declared_kernels() {
+    for case in 0..100u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5ca9 ^ case);
+        let mut names = std::collections::BTreeSet::new();
+        for _ in 0..(1 + rng.gen_range_u64(0, 4)) {
+            names.insert(ident(&mut rng, 12));
+        }
+        let ws = [" ", "\n", "\t", "  \n"][rng.gen_range_u64(0, 4) as usize];
         let mut src = String::from("// __kernel void decoy_in_comment(\n");
         for name in &names {
             src.push_str("__kernel");
@@ -98,6 +134,6 @@ proptest! {
         }
         let found = extract_kernel_names(&src);
         let expected: Vec<String> = names.iter().cloned().collect();
-        prop_assert_eq!(found, expected);
+        assert_eq!(found, expected, "case {case}");
     }
 }

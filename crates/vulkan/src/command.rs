@@ -32,7 +32,9 @@ pub struct CommandPool {
 
 impl fmt::Debug for CommandPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CommandPool").field("family", &self.family).finish()
+        f.debug_struct("CommandPool")
+            .field("family", &self.family)
+            .finish()
     }
 }
 

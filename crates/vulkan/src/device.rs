@@ -106,12 +106,15 @@ impl Device {
             ));
         }
         for q in &create_info.queue_create_infos {
-            let family = profile.queue_families.get(q.queue_family_index).ok_or_else(|| {
-                VkError::validation(
-                    "vkCreateDevice",
-                    format!("queue family {} out of range", q.queue_family_index),
-                )
-            })?;
+            let family = profile
+                .queue_families
+                .get(q.queue_family_index)
+                .ok_or_else(|| {
+                    VkError::validation(
+                        "vkCreateDevice",
+                        format!("queue family {} out of range", q.queue_family_index),
+                    )
+                })?;
             if q.queue_count == 0 || q.queue_count > family.count {
                 return Err(VkError::validation(
                     "vkCreateDevice",

@@ -33,7 +33,10 @@ impl fmt::Debug for InstanceCreateInfo {
         f.debug_struct("InstanceCreateInfo")
             .field("application_name", &self.application_name)
             .field("enabled_layers", &self.enabled_layers)
-            .field("devices", &self.devices.iter().map(|d| &d.name).collect::<Vec<_>>())
+            .field(
+                "devices",
+                &self.devices.iter().map(|d| &d.name).collect::<Vec<_>>(),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -69,7 +72,11 @@ impl Instance {
             let problems = d.lint();
             if !problems.is_empty() {
                 return Err(VkError::InitializationFailed {
-                    what: format!("device profile `{}` invalid: {}", d.name, problems.join("; ")),
+                    what: format!(
+                        "device profile `{}` invalid: {}",
+                        d.name,
+                        problems.join("; ")
+                    ),
                 });
             }
             if d.driver(vcb_sim::Api::Vulkan).is_none() {

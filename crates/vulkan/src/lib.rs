@@ -60,8 +60,8 @@ pub mod util;
 
 pub use command::{CommandBuffer, CommandPool, MemoryBarrier};
 pub use descriptor::{
-    DescriptorPool, DescriptorSet, DescriptorSetLayout, DescriptorSetLayoutBinding,
-    DescriptorType, WriteDescriptorSet,
+    DescriptorPool, DescriptorSet, DescriptorSetLayout, DescriptorSetLayoutBinding, DescriptorType,
+    WriteDescriptorSet,
 };
 pub use device::{Device, DeviceCreateInfo, DeviceQueueCreateInfo};
 pub use error::{VkError, VkResult};

@@ -81,9 +81,10 @@ impl Buffer {
     }
 
     pub(crate) fn storage_id(&self, call: &'static str) -> VkResult<BufferId> {
-        self.inner.storage.get().ok_or_else(|| {
-            VkError::validation(call, "buffer is not bound to memory")
-        })
+        self.inner
+            .storage
+            .get()
+            .ok_or_else(|| VkError::validation(call, "buffer is not bound to memory"))
     }
 
     /// Writes `data` through a host mapping (`vkMapMemory` + memcpy +
@@ -105,7 +106,10 @@ impl Buffer {
         if bytes > self.inner.size {
             return Err(VkError::validation(
                 "vkMapMemory",
-                format!("write of {bytes} bytes exceeds buffer size {}", self.inner.size),
+                format!(
+                    "write of {bytes} bytes exceeds buffer size {}",
+                    self.inner.size
+                ),
             ));
         }
         let mut shared = self.device.shared.borrow_mut();
@@ -217,10 +221,16 @@ impl Device {
         let mut shared = self.shared.borrow_mut();
         shared.api_call("vkCreateBuffer", SimDuration::from_nanos(600.0));
         if create_info.size == 0 {
-            return Err(VkError::validation("vkCreateBuffer", "size must be non-zero"));
+            return Err(VkError::validation(
+                "vkCreateBuffer",
+                "size must be non-zero",
+            ));
         }
         if create_info.usage.is_empty() {
-            return Err(VkError::validation("vkCreateBuffer", "usage must not be empty"));
+            return Err(VkError::validation(
+                "vkCreateBuffer",
+                "usage must not be empty",
+            ));
         }
         drop(shared);
         Ok(Buffer {
@@ -302,7 +312,10 @@ impl Device {
             ));
         }
         if memory.inner.freed.get() {
-            return Err(VkError::validation("vkBindBufferMemory", "memory was freed"));
+            return Err(VkError::validation(
+                "vkBindBufferMemory",
+                "memory was freed",
+            ));
         }
         let offset = memory.inner.bound_bytes.get();
         let need = buffer.inner.size.div_ceil(256) * 256;
@@ -416,7 +429,13 @@ mod tests {
         let device = device_on(0);
         let (buffer, _mem) = make_bound_buffer(&device, 1024, 0); // device-local
         let err = buffer.write_mapped(&[0u32; 4]).unwrap_err();
-        assert!(matches!(err, VkError::Validation { call: "vkMapMemory", .. }));
+        assert!(matches!(
+            err,
+            VkError::Validation {
+                call: "vkMapMemory",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -517,7 +536,10 @@ mod tests {
         device.bind_buffer_memory(&b3, &memory).unwrap();
         device.bind_buffer_memory(&b4, &memory).unwrap();
         let b5 = mk();
-        assert!(device.bind_buffer_memory(&b5, &memory).is_err(), "4096/1024 = 4 fit");
+        assert!(
+            device.bind_buffer_memory(&b5, &memory).is_err(),
+            "4096/1024 = 4 fit"
+        );
     }
 
     #[test]
@@ -540,7 +562,7 @@ mod tests {
     }
 
     #[test]
-    fn mapped_write_charges_transfer_time(){
+    fn mapped_write_charges_transfer_time() {
         let device = device_on(0);
         let (buffer, _mem) = make_bound_buffer(&device, 4 * 1024 * 1024, 1);
         let before = device.breakdown().get(CostKind::Transfer);

@@ -235,7 +235,9 @@ mod tests {
         )
         .unwrap();
         r.register(
-            KernelInfo::new("lud_diagonal", [16, 1, 1]).writes(0, "m").build(),
+            KernelInfo::new("lud_diagonal", [16, 1, 1])
+                .writes(0, "m")
+                .build(),
             Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
         )
         .unwrap();
@@ -299,7 +301,13 @@ mod tests {
     fn push_constant_limit_enforced() {
         let device = device_for(devices::rx560()); // 128-byte limit
         let err = device
-            .create_pipeline_layout(&[], &[PushConstantRange { offset: 0, size: 192 }])
+            .create_pipeline_layout(
+                &[],
+                &[PushConstantRange {
+                    offset: 0,
+                    size: 192,
+                }],
+            )
             .unwrap_err();
         assert!(matches!(
             err,
@@ -308,7 +316,13 @@ mod tests {
         // The GTX 1050 Ti allows 256 (§VI-B).
         let gtx = device_for(devices::gtx1050ti());
         assert!(gtx
-            .create_pipeline_layout(&[], &[PushConstantRange { offset: 0, size: 256 }])
+            .create_pipeline_layout(
+                &[],
+                &[PushConstantRange {
+                    offset: 0,
+                    size: 256
+                }]
+            )
             .is_ok());
     }
 
@@ -367,7 +381,9 @@ mod tests {
         // backprop is broken under the Nexus Vulkan driver.
         let mut r = KernelRegistry::new();
         r.register(
-            KernelInfo::new("backprop_layerforward", [256, 1, 1]).writes(0, "w").build(),
+            KernelInfo::new("backprop_layerforward", [256, 1, 1])
+                .writes(0, "w")
+                .build(),
             Arc::new(|_: &mut GroupCtx<'_>| Ok(())),
         )
         .unwrap();

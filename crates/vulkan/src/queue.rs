@@ -153,7 +153,10 @@ impl Queue {
 
                 for cmd in &inner.cmds {
                     match cmd {
-                        Cmd::BindPipeline { pipeline_id, kernel } => {
+                        Cmd::BindPipeline {
+                            pipeline_id,
+                            kernel,
+                        } => {
                             if last_pipeline != Some(*pipeline_id) {
                                 let cost = shared.driver.pipeline_bind_cost;
                                 shared.breakdown.charge(CostKind::CommandProcessing, cost);
@@ -248,7 +251,8 @@ impl Queue {
                             }
                             let profile = shared.gpu.profile();
                             let heaps = &profile.heaps;
-                            let cross = heaps[*src_heap].device_local != heaps[*dst_heap].device_local
+                            let cross = heaps[*src_heap].device_local
+                                != heaps[*dst_heap].device_local
                                 || !heaps[*src_heap].device_local;
                             let dedicated_transfer = caps == QueueCaps::TRANSFER
                                 || caps == (QueueCaps::TRANSFER | QueueCaps::SPARSE);
@@ -318,7 +322,9 @@ mod tests {
     fn registry() -> Arc<KernelRegistry> {
         let mut r = KernelRegistry::new();
         r.register(
-            KernelInfo::new("tick", [64, 1, 1]).writes(0, "data").build(),
+            KernelInfo::new("tick", [64, 1, 1])
+                .writes(0, "data")
+                .build(),
             Arc::new(|ctx: &mut GroupCtx<'_>| {
                 let data = ctx.global::<u32>(0)?;
                 ctx.for_lanes(|lane| {
@@ -348,8 +354,14 @@ mod tests {
             &physical,
             &DeviceCreateInfo {
                 queue_create_infos: vec![
-                    DeviceQueueCreateInfo { queue_family_index: 0, queue_count: 1 },
-                    DeviceQueueCreateInfo { queue_family_index: 1, queue_count: 1 },
+                    DeviceQueueCreateInfo {
+                        queue_family_index: 0,
+                        queue_count: 1,
+                    },
+                    DeviceQueueCreateInfo {
+                        queue_family_index: 1,
+                        queue_count: 1,
+                    },
                 ],
             },
         )
@@ -367,7 +379,14 @@ mod tests {
         let (layout_set, _pool, set) =
             crate::util::storage_descriptor_set(device, &[&buffer.buffer]).unwrap();
         let layout = device.create_pipeline_layout(&[&layout_set], &[]).unwrap();
-        let info = device.shared.borrow().registry.lookup("tick").unwrap().info().clone();
+        let info = device
+            .shared
+            .borrow()
+            .registry
+            .lookup("tick")
+            .unwrap()
+            .info()
+            .clone();
         let spv = vcb_spirv::SpirvModule::assemble(&info);
         let module = device.create_shader_module(spv.words()).unwrap();
         let pipeline = device
@@ -395,7 +414,12 @@ mod tests {
         let fence = Fence::new(&device);
         assert!(!fence.is_signalled());
         queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], Some(&fence))
+            .submit(
+                &[SubmitInfo {
+                    command_buffers: &[&cmd],
+                }],
+                Some(&fence),
+            )
             .unwrap();
         assert!(fence.is_signalled());
         fence.wait(&device).unwrap();
@@ -410,7 +434,12 @@ mod tests {
         let cmd = pool.allocate_command_buffer().unwrap();
         cmd.begin().unwrap(); // recording, never ended
         let err = queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .submit(
+                &[SubmitInfo {
+                    command_buffers: &[&cmd],
+                }],
+                None,
+            )
             .unwrap_err();
         assert!(matches!(err, VkError::Validation { .. }));
     }
@@ -422,7 +451,12 @@ mod tests {
         let transfer_queue = device.get_queue(1, 0).unwrap();
         let cmd = recorded_dispatch(&device, 0);
         let err = transfer_queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .submit(
+                &[SubmitInfo {
+                    command_buffers: &[&cmd],
+                }],
+                None,
+            )
             .unwrap_err();
         assert!(matches!(err, VkError::Validation { .. }));
     }
@@ -433,7 +467,12 @@ mod tests {
         let transfer_queue = device.get_queue(1, 0).unwrap();
         let cmd = recorded_dispatch(&device, 1); // allocated for family 1
         let err = transfer_queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .submit(
+                &[SubmitInfo {
+                    command_buffers: &[&cmd],
+                }],
+                None,
+            )
             .unwrap_err();
         assert!(matches!(err, VkError::FeatureNotPresent { .. }));
     }
@@ -447,7 +486,12 @@ mod tests {
         let cmd = recorded_dispatch(&device, 0);
         for _ in 0..3 {
             queue
-                .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+                .submit(
+                    &[SubmitInfo {
+                        command_buffers: &[&cmd],
+                    }],
+                    None,
+                )
                 .unwrap();
         }
         queue.wait_idle();
@@ -472,7 +516,12 @@ mod tests {
         // After a submission the wait advances past device completion.
         let cmd = recorded_dispatch(&device, 0);
         queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
+            .submit(
+                &[SubmitInfo {
+                    command_buffers: &[&cmd],
+                }],
+                None,
+            )
             .unwrap();
         let submitted = device.now();
         queue.wait_idle();

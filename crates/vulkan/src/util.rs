@@ -97,7 +97,11 @@ pub fn create_buffer_bound(
 /// `true` when the device has unified memory (a heap that is both
 /// device-local and host-visible) — the mobile platforms of Table III.
 pub fn has_unified_memory(device: &Device) -> bool {
-    device.profile().heaps.iter().any(|h| h.device_local && h.host_visible)
+    device
+        .profile()
+        .heaps
+        .iter()
+        .any(|h| h.device_local && h.host_visible)
 }
 
 /// Creates a device-local storage buffer initialized with `data`,

@@ -1,297 +1,16 @@
 //! Shared host-driver plumbing for the benchmark implementations.
 //!
-//! Each workload implements one host program per programming model. The
-//! helpers here set the environments up, measure a benchmark body
-//! (kernel-time and wall-time deltas, API-call deltas) and translate each
-//! API's error type into the suite's [`RunFailure`] vocabulary.
+//! Since the portable host-program layer (`vcb-backend`) absorbed the
+//! per-API environment setup, measurement and failure mapping, only the
+//! API-agnostic validation and scaling helpers remain here. The backend
+//! pieces are re-exported so workload host programs read from one place.
 
-use std::sync::Arc;
-
-use vcb_core::run::{RunFailure, RunRecord};
-use vcb_core::workload::RunOpts;
-use vcb_cuda::{CudaContext, CudaError};
-use vcb_opencl::{ClError, CommandQueue, Context, Platform, QueueProperties};
-use vcb_sim::profile::DeviceProfile;
-use vcb_sim::{Api, KernelRegistry, SimError};
-use vcb_vulkan::{
-    Device, DeviceCreateInfo, DeviceQueueCreateInfo, Instance, InstanceCreateInfo, Queue, VkError,
+pub use vcb_backend::{
+    bytes_of, measure, to_f32, to_i32, to_u32, BodyOutcome, BufferHandle, ComputeBackend,
+    SeqHandle, UsageHint,
 };
 
-/// A ready-to-use Vulkan environment (instance, device, compute queue).
-#[derive(Debug, Clone)]
-pub struct VkEnv {
-    /// The logical device.
-    pub device: Device,
-    /// A compute-capable queue.
-    pub queue: Queue,
-}
-
-/// Sets up Vulkan on `profile`.
-///
-/// # Errors
-///
-/// Propagates instance/device creation failures as [`RunFailure`].
-pub fn vk_env(profile: &DeviceProfile, registry: &Arc<KernelRegistry>) -> Result<VkEnv, RunFailure> {
-    let instance = Instance::new(&InstanceCreateInfo {
-        application_name: "vcomputebench".into(),
-        enabled_layers: Vec::new(),
-        devices: vec![profile.clone()],
-        registry: Arc::clone(registry),
-    })
-    .map_err(vk_failure)?;
-    let physical = instance.enumerate_physical_devices().remove(0);
-    let family = physical
-        .find_queue_family(vcb_sim::profile::QueueCaps::COMPUTE)
-        .ok_or_else(|| RunFailure::Error("no compute queue family".into()))?;
-    let device = Device::new(
-        &physical,
-        &DeviceCreateInfo {
-            queue_create_infos: vec![DeviceQueueCreateInfo {
-                queue_family_index: family,
-                queue_count: 1,
-            }],
-        },
-    )
-    .map_err(vk_failure)?;
-    device.set_trace_mode(vcb_sim::TraceMode::Auto);
-    let queue = device.get_queue(family, 0).map_err(vk_failure)?;
-    Ok(VkEnv { device, queue })
-}
-
-/// A ready-to-use OpenCL environment (context + profiling queue).
-#[derive(Debug, Clone)]
-pub struct ClEnv {
-    /// The context.
-    pub context: Context,
-    /// An in-order command queue with profiling enabled.
-    pub queue: CommandQueue,
-}
-
-/// Sets up OpenCL on `profile`.
-///
-/// # Errors
-///
-/// [`RunFailure::Unsupported`] when the device has no OpenCL driver.
-pub fn cl_env(profile: &DeviceProfile, registry: &Arc<KernelRegistry>) -> Result<ClEnv, RunFailure> {
-    let platforms = Platform::enumerate(std::slice::from_ref(profile), Arc::clone(registry));
-    let platform = platforms.into_iter().next().ok_or(RunFailure::Unsupported)?;
-    let device = platform.devices().remove(0);
-    let context = Context::new(&device).map_err(cl_failure)?;
-    let queue = CommandQueue::new(&context, QueueProperties { profiling: true });
-    Ok(ClEnv { context, queue })
-}
-
-/// Sets up CUDA on `profile`.
-///
-/// # Errors
-///
-/// [`RunFailure::Unsupported`] off NVIDIA hardware.
-pub fn cuda_env(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-) -> Result<CudaContext, RunFailure> {
-    match CudaContext::new(profile.clone(), Arc::clone(registry)) {
-        Ok(ctx) => Ok(ctx),
-        Err(CudaError::NoDevice { .. }) => Err(RunFailure::Unsupported),
-        Err(e) => Err(cuda_failure(e)),
-    }
-}
-
-/// Maps a Vulkan error to a run failure.
-pub fn vk_failure(e: VkError) -> RunFailure {
-    match e {
-        VkError::Device(SimError::OutOfDeviceMemory { .. }) => RunFailure::OutOfMemory,
-        VkError::DeviceLost { .. } => RunFailure::DriverFailure,
-        other => RunFailure::Error(other.to_string()),
-    }
-}
-
-/// Maps an OpenCL error to a run failure.
-pub fn cl_failure(e: ClError) -> RunFailure {
-    match e {
-        ClError::Device(SimError::OutOfDeviceMemory { .. }) => RunFailure::OutOfMemory,
-        ClError::BuildFailure { .. } => RunFailure::DriverFailure,
-        ClError::DeviceNotFound { .. } => RunFailure::Unsupported,
-        other => RunFailure::Error(other.to_string()),
-    }
-}
-
-/// Maps a CUDA error to a run failure.
-pub fn cuda_failure(e: CudaError) -> RunFailure {
-    match e {
-        CudaError::Device(SimError::OutOfDeviceMemory { .. }) => RunFailure::OutOfMemory,
-        CudaError::NoDevice { .. } => RunFailure::Unsupported,
-        other => RunFailure::Error(other.to_string()),
-    }
-}
-
-/// What a measured benchmark body reports back.
-///
-/// `compute_time` is the wall time of the *compute phase* — the host
-/// brackets its kernel loop with clock reads, which is exactly how the
-/// paper measures "kernel execution times" with `std::chrono` (§V): for
-/// the launch-based APIs it includes the per-iteration launch round trips
-/// that the multi-kernel method forces, and for Vulkan it includes the
-/// one submission overhead. Setup (JIT, context, pipelines) and data
-/// transfers stay outside.
-#[derive(Debug, Clone, Copy)]
-pub struct BodyOutcome {
-    /// Whether outputs matched the CPU reference.
-    pub validated: bool,
-    /// Wall time of the compute phase.
-    pub compute_time: vcb_sim::SimDuration,
-}
-
-/// Runs `body` on a Vulkan environment and captures the measurement
-/// deltas into a [`RunRecord`].
-///
-/// # Errors
-///
-/// Propagates body failures.
-pub fn measure_vk(
-    workload: &str,
-    size: &str,
-    env: &VkEnv,
-    body: impl FnOnce(&VkEnv) -> Result<BodyOutcome, RunFailure>,
-) -> Result<RunRecord, RunFailure> {
-    let calls_before = env.device.call_counts();
-    let breakdown_before = env.device.breakdown();
-    let start = env.device.now();
-    let outcome = body(env)?;
-    env.device.wait_idle();
-    let end = env.device.now();
-    let breakdown = env.device.breakdown().since(&breakdown_before);
-    Ok(RunRecord {
-        workload: workload.to_owned(),
-        api: Api::Vulkan,
-        device: env.device.profile().name,
-        size: size.to_owned(),
-        kernel_time: outcome.compute_time,
-        total_time: end.duration_since(start),
-        breakdown,
-        calls: env.device.call_counts().since(&calls_before),
-        validated: outcome.validated,
-    })
-}
-
-/// Runs `body` on a CUDA context and captures the measurement deltas.
-///
-/// # Errors
-///
-/// Propagates body failures.
-pub fn measure_cuda(
-    workload: &str,
-    size: &str,
-    ctx: &CudaContext,
-    body: impl FnOnce(&CudaContext) -> Result<BodyOutcome, RunFailure>,
-) -> Result<RunRecord, RunFailure> {
-    let calls_before = ctx.call_counts();
-    let breakdown_before = ctx.breakdown();
-    let start = ctx.now();
-    let outcome = body(ctx)?;
-    ctx.device_synchronize();
-    let end = ctx.now();
-    let breakdown = ctx.breakdown().since(&breakdown_before);
-    Ok(RunRecord {
-        workload: workload.to_owned(),
-        api: Api::Cuda,
-        device: ctx.profile().name,
-        size: size.to_owned(),
-        kernel_time: outcome.compute_time,
-        total_time: end.duration_since(start),
-        breakdown,
-        calls: ctx.call_counts().since(&calls_before),
-        validated: outcome.validated,
-    })
-}
-
-/// Runs `body` on an OpenCL environment and captures the measurement
-/// deltas.
-///
-/// # Errors
-///
-/// Propagates body failures.
-pub fn measure_cl(
-    workload: &str,
-    size: &str,
-    env: &ClEnv,
-    body: impl FnOnce(&ClEnv) -> Result<BodyOutcome, RunFailure>,
-) -> Result<RunRecord, RunFailure> {
-    let calls_before = env.context.call_counts();
-    let breakdown_before = env.context.breakdown();
-    let start = env.context.now();
-    let outcome = body(env)?;
-    env.queue.finish();
-    let end = env.context.now();
-    let breakdown = env.context.breakdown().since(&breakdown_before);
-    Ok(RunRecord {
-        workload: workload.to_owned(),
-        api: Api::OpenCl,
-        device: env.context.profile().name,
-        size: size.to_owned(),
-        kernel_time: outcome.compute_time,
-        total_time: end.duration_since(start),
-        breakdown,
-        calls: env.context.call_counts().since(&calls_before),
-        validated: outcome.validated,
-    })
-}
-
-/// A compiled Vulkan compute pipeline with its layout.
-#[derive(Debug, Clone)]
-pub struct VkKernelBundle {
-    /// The pipeline.
-    pub pipeline: vcb_vulkan::ComputePipeline,
-    /// Its layout (needed for descriptor binds and push constants).
-    pub layout: vcb_vulkan::PipelineLayout,
-}
-
-/// Assembles the registered kernel's SPIR-V, creates the shader module,
-/// a pipeline layout with one descriptor-set layout and `push_bytes` of
-/// push constants, and compiles the pipeline — the boilerplate block of
-/// Listing 1.
-///
-/// # Errors
-///
-/// Reported as [`RunFailure`] (notably [`RunFailure::DriverFailure`] for
-/// the paper's broken mobile workloads).
-pub fn vk_kernel(
-    env: &VkEnv,
-    registry: &Arc<KernelRegistry>,
-    name: &str,
-    set_layout: &vcb_vulkan::DescriptorSetLayout,
-    push_bytes: u32,
-) -> Result<VkKernelBundle, RunFailure> {
-    let info = registry
-        .lookup(name)
-        .map_err(|e| RunFailure::Error(e.to_string()))?;
-    let spv = vcb_spirv::SpirvModule::assemble(info.info());
-    let module = env
-        .device
-        .create_shader_module(spv.words())
-        .map_err(vk_failure)?;
-    let ranges = if push_bytes > 0 {
-        vec![vcb_vulkan::PushConstantRange {
-            offset: 0,
-            size: push_bytes,
-        }]
-    } else {
-        Vec::new()
-    };
-    let layout = env
-        .device
-        .create_pipeline_layout(&[set_layout], &ranges)
-        .map_err(vk_failure)?;
-    let pipeline = env
-        .device
-        .create_compute_pipeline(&vcb_vulkan::ComputePipelineCreateInfo {
-            module: &module,
-            entry_point: name,
-            layout: &layout,
-        })
-        .map_err(vk_failure)?;
-    Ok(VkKernelBundle { pipeline, layout })
-}
+use vcb_core::workload::RunOpts;
 
 /// Element-wise approximate equality for `f32` outputs, with a combined
 /// absolute/relative tolerance — the validation the paper performs
@@ -318,7 +37,11 @@ pub fn scaled_iterations(iterations: u64, opts: &RunOpts) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use vcb_backend::{cl_env, cuda_env, vk_env};
+    use vcb_core::run::RunFailure;
     use vcb_sim::profile::devices;
+    use vcb_sim::{Api, KernelRegistry};
 
     fn registry() -> Arc<KernelRegistry> {
         Arc::new(KernelRegistry::new())
@@ -342,18 +65,19 @@ mod tests {
     }
 
     #[test]
-    fn approx_eq_tolerates_rounding() {
-        let a = [1.0f32, 2.0, 3.0];
-        let b = [1.0f32, 2.0000005, 3.0];
-        assert!(approx_eq_f32(&a, &b, 1e-5));
-        assert!(!approx_eq_f32(&a, &[1.0, 2.5, 3.0], 1e-5));
-        assert!(!approx_eq_f32(&a, &b[..2], 1e-5));
+    fn backends_come_up_for_supported_apis() {
+        for profile in devices::all() {
+            for api in profile.supported_apis() {
+                let b = vcb_backend::create(api, &profile, &registry());
+                assert!(b.is_ok(), "{api} on {}", profile.name);
+            }
+        }
     }
 
     #[test]
-    fn measure_vk_captures_deltas() {
-        let env = vk_env(&devices::gtx1050ti(), &registry()).unwrap();
-        let record = measure_vk("fake", "1", &env, |_| {
+    fn measure_captures_deltas() {
+        let mut b = vcb_backend::create(Api::Vulkan, &devices::gtx1050ti(), &registry()).unwrap();
+        let record = measure("fake", "1", b.as_mut(), |_| {
             Ok(BodyOutcome {
                 validated: true,
                 compute_time: vcb_sim::SimDuration::ZERO,
@@ -361,8 +85,18 @@ mod tests {
         })
         .unwrap();
         assert_eq!(record.workload, "fake");
+        assert_eq!(record.api, Api::Vulkan);
         assert!(record.kernel_time.is_zero());
         assert!(record.validated);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, 2.0000005, 3.0];
+        assert!(approx_eq_f32(&a, &b, 1e-5));
+        assert!(!approx_eq_f32(&a, &[1.0, 2.5, 3.0], 1e-5));
+        assert!(!approx_eq_f32(&a, &b[..2], 1e-5));
     }
 
     #[test]

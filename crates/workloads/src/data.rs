@@ -4,19 +4,20 @@
 //! equivalent inputs in-process from seeded PRNGs so every run is
 //! reproducible bit-for-bit.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// The shared SplitMix64 generator (re-exported so existing
+/// `data::SmallRng` users keep working).
+pub use vcb_sim::rng::SmallRng;
 
 /// `n` floats uniform in `[lo, hi)`.
 pub fn uniform_f32(n: usize, seed: u64, lo: f32, hi: f32) -> Vec<f32> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    (0..n).map(|_| rng.gen_range_f32(lo, hi)).collect()
 }
 
 /// `n` ints uniform in `[lo, hi)`.
 pub fn uniform_i32(n: usize, seed: u64, lo: i32, hi: i32) -> Vec<i32> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    (0..n).map(|_| rng.gen_range_i32(lo, hi)).collect()
 }
 
 /// A random graph in Rodinia bfs's compact adjacency format: for each
@@ -30,11 +31,11 @@ pub fn bfs_graph(n: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
     let mut nodes = Vec::with_capacity(2 * n);
     let mut edges = Vec::new();
     for _ in 0..n {
-        let degree = rng.gen_range(1..=10u32);
+        let degree = rng.gen_range_u32(1, 11);
         nodes.push(edges.len() as u32);
         nodes.push(degree);
         for _ in 0..degree {
-            edges.push(rng.gen_range(0..n as u32));
+            edges.push(rng.gen_range_u32(0, n as u32));
         }
     }
     (nodes, edges)
@@ -49,12 +50,12 @@ pub fn linear_system(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
         let mut row_sum = 0.0f32;
         for j in 0..n {
             if i != j {
-                let v = rng.gen_range(-1.0f32..1.0);
+                let v = rng.gen_range_f32(-1.0, 1.0);
                 a[i * n + j] = v;
                 row_sum += v.abs();
             }
         }
-        a[i * n + i] = row_sum + rng.gen_range(1.0f32..2.0);
+        a[i * n + i] = row_sum + rng.gen_range_f32(1.0, 2.0);
     }
     let b = uniform_f32(n, seed ^ 0xb, -10.0, 10.0);
     (a, b)
@@ -72,14 +73,18 @@ pub fn cfd_mesh(n: usize, seed: u64) -> Vec<i32> {
         let y = i / side;
         let candidates = [
             if x > 0 { (i - 1) as i64 } else { -1 },
-            if x + 1 < side && i + 1 < n { (i + 1) as i64 } else { -1 },
+            if x + 1 < side && i + 1 < n {
+                (i + 1) as i64
+            } else {
+                -1
+            },
             if y > 0 { (i - side) as i64 } else { -1 },
             if i + side < n { (i + side) as i64 } else { -1 },
         ];
         for (f, c) in candidates.into_iter().enumerate() {
             // ~2% long-range links keep the mesh "unstructured".
             if c >= 0 && rng.gen_ratio(1, 50) {
-                neighbors.push(rng.gen_range(0..n as u32) as i32);
+                neighbors.push(rng.gen_range_u32(0, n as u32) as i32);
                 let _ = f;
             } else {
                 neighbors.push(c as i32);
@@ -93,7 +98,7 @@ pub fn cfd_mesh(n: usize, seed: u64) -> Vec<i32> {
 /// scoring table lookups).
 pub fn dna_sequence(n: usize, seed: u64) -> Vec<i32> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..4)).collect()
+    (0..n).map(|_| rng.gen_range_i32(0, 4)).collect()
 }
 
 #[cfg(test)]

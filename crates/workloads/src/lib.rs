@@ -6,10 +6,13 @@
 //!
 //! Every workload follows the same discipline the paper used:
 //!
-//! * **One kernel, three hosts.** The kernel algorithm is written once
-//!   (registered in the [`registry`]) and driven by three separate host
-//!   programs — Vulkan, CUDA, OpenCL — so performance differences come
-//!   from the programming model, not the algorithm (§IV-B).
+//! * **One kernel, one host program, three backends.** The kernel
+//!   algorithm is written once (registered in the [`registry`]) and
+//!   driven by a single portable host program per workload; the
+//!   `vcb-backend` layer lowers it onto Vulkan, CUDA and OpenCL with
+//!   exactly the API calls a hand-written host would issue, so
+//!   performance differences come from the programming model, not the
+//!   algorithm (§IV-B).
 //! * **Validated outputs.** Each run can check its results against a CPU
 //!   reference implementation, mirroring the paper's functional testing
 //!   of VCompute outputs against CUDA and OpenCL.

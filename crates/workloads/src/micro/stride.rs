@@ -10,20 +10,13 @@ use std::sync::Arc;
 
 use vcb_core::run::RunFailure;
 use vcb_core::workload::RunOpts;
-use vcb_cuda::{KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
 use vcb_sim::exec::{GroupCtx, KernelInfo};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::time::SimDuration;
 use vcb_sim::timeline::CostKind;
 use vcb_sim::{Api, KernelRegistry, SimResult};
-use vcb_spirv::SpirvModule;
-use vcb_vulkan::util as vku;
-use vcb_vulkan::{
-    Access, ComputePipelineCreateInfo, MemoryBarrier, PipelineStage, PushConstantRange, SubmitInfo,
-};
 
-use crate::common::{cl_env, cl_failure, cuda_env, cuda_failure, vk_env, vk_failure};
+use crate::common::{bytes_of, ComputeBackend, UsageHint};
 use crate::data;
 
 /// Workload name.
@@ -155,11 +148,8 @@ pub fn bandwidth_curve(
     opts: &RunOpts,
 ) -> Result<Vec<BandwidthSample>, RunFailure> {
     let n = scaled_accesses(profile.class, opts);
-    match api {
-        Api::Vulkan => vulkan_curve(profile, registry, n, opts),
-        Api::Cuda => cuda_curve(profile, registry, n, opts),
-        Api::OpenCl => opencl_curve(profile, registry, n, opts),
-    }
+    let mut b = vcb_backend::create(api, profile, registry)?;
+    curve_host_program(b.as_mut(), profile.class, n, opts)
 }
 
 fn array_len(n: u64, class: DeviceClass) -> u64 {
@@ -177,161 +167,44 @@ fn sample(stride: u32, n: u64, elapsed: SimDuration) -> BandwidthSample {
     }
 }
 
-fn vulkan_curve(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
+/// The one curve host program behind all three APIs: for every stride,
+/// `REPETITIONS` dependent dispatches recorded as one sequence (a single
+/// command buffer with per-repetition push constants under Vulkan — the
+/// §V-B1 usage that exposes the Snapdragon push-constant quirk) and run
+/// timed.
+fn curve_host_program(
+    b: &mut dyn ComputeBackend,
+    class: DeviceClass,
     n: u64,
     opts: &RunOpts,
 ) -> Result<Vec<BandwidthSample>, RunFailure> {
-    let env = vk_env(profile, registry)?;
-    let device = &env.device;
-    let len = array_len(n, profile.class);
+    let len = array_len(n, class);
     let host_array = data::uniform_f32(len as usize, opts.seed, 0.0, 1.0);
-    let a = vku::upload_storage_buffer(device, &env.queue, &host_array).map_err(vk_failure)?;
-    let sink = vku::create_storage_buffer(device, 4).map_err(vk_failure)?;
-
-    let info = registry
-        .lookup(KERNEL)
-        .map_err(|e| RunFailure::Error(e.to_string()))?;
-    let spv = SpirvModule::assemble(info.info());
-    let module = device.create_shader_module(spv.words()).map_err(vk_failure)?;
-    let (set_layout, _pool, set) =
-        vku::storage_descriptor_set(device, &[&a.buffer, &sink.buffer]).map_err(vk_failure)?;
-    let layout = device
-        .create_pipeline_layout(&[&set_layout], &[PushConstantRange { offset: 0, size: 12 }])
-        .map_err(vk_failure)?;
-    let pipeline = device
-        .create_compute_pipeline(&ComputePipelineCreateInfo {
-            module: &module,
-            entry_point: KERNEL,
-            layout: &layout,
-        })
-        .map_err(vk_failure)?;
-    let cmd_pool = device
-        .create_command_pool(env.queue.family_index())
-        .map_err(vk_failure)?;
+    let a = b.upload(bytes_of(&host_array), UsageHint::ReadOnly)?;
+    let sink = b.alloc(4, UsageHint::ReadWrite)?;
+    b.load_program(CL_SOURCE)?;
+    let bg = b.bind_group(&[a, sink])?;
+    let kernel = b.kernel(KERNEL, bg, 12)?;
 
     let groups = (n as u32).div_ceil(LOCAL_SIZE);
-    let barrier = MemoryBarrier {
-        src_access: Access::SHADER_READ,
-        dst_access: Access::SHADER_READ,
-    };
     let mut samples = Vec::new();
-    for stride in strides(profile.class) {
-        // All repetitions recorded into one command buffer, push constant
-        // per repetition — the §V-B1 usage.
-        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        cmd.begin().map_err(vk_failure)?;
-        cmd.bind_pipeline(&pipeline).map_err(vk_failure)?;
-        cmd.bind_descriptor_sets(&layout, &[&set]).map_err(vk_failure)?;
+    for stride in strides(class) {
+        let seq = b.seq_begin()?;
+        b.seq_kernel(seq, kernel)?;
+        b.seq_bind(seq, bg)?;
         for _ in 0..REPETITIONS {
             let mut push = Vec::with_capacity(12);
             push.extend_from_slice(&stride.to_le_bytes());
             push.extend_from_slice(&(n as u32).to_le_bytes());
             push.extend_from_slice(&(len as u32).to_le_bytes());
-            cmd.push_constants(&layout, 0, &push).map_err(vk_failure)?;
-            cmd.dispatch(groups, 1, 1).map_err(vk_failure)?;
-            cmd.pipeline_barrier(
-                PipelineStage::COMPUTE_SHADER,
-                PipelineStage::COMPUTE_SHADER,
-                &barrier,
-            )
-            .map_err(vk_failure)?;
+            b.seq_push(seq, &push)?;
+            b.seq_dispatch(seq, [groups, 1, 1])?;
+            b.seq_dependency(seq)?;
         }
-        cmd.end().map_err(vk_failure)?;
-        let start = device.now();
-        env.queue
-            .submit(
-                &[SubmitInfo {
-                    command_buffers: &[&cmd],
-                }],
-                None,
-            )
-            .map_err(vk_failure)?;
-        env.queue.wait_idle();
-        samples.push(sample(stride, n, device.now().duration_since(start)));
-    }
-    Ok(samples)
-}
-
-fn cuda_curve(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    n: u64,
-    opts: &RunOpts,
-) -> Result<Vec<BandwidthSample>, RunFailure> {
-    let ctx = cuda_env(profile, registry)?;
-    let len = array_len(n, profile.class);
-    let host_array = data::uniform_f32(len as usize, opts.seed, 0.0, 1.0);
-    let a = ctx.malloc(len * 4).map_err(cuda_failure)?;
-    let sink = ctx.malloc(4).map_err(cuda_failure)?;
-    ctx.memcpy_htod(&a, &host_array).map_err(cuda_failure)?;
-    let kernel = ctx.get_function(KERNEL).map_err(cuda_failure)?;
-    let groups = (n as u32).div_ceil(LOCAL_SIZE);
-
-    let mut samples = Vec::new();
-    for stride in strides(profile.class) {
-        let start = ctx.now();
-        for _ in 0..REPETITIONS {
-            ctx.launch_kernel(
-                &kernel,
-                [groups, 1, 1],
-                &[
-                    KernelArg::Ptr(a),
-                    KernelArg::Ptr(sink),
-                    KernelArg::U32(stride),
-                    KernelArg::U32(n as u32),
-                    KernelArg::U32(len as u32),
-                ],
-                Stream::DEFAULT,
-            )
-            .map_err(cuda_failure)?;
-            ctx.device_synchronize();
-        }
-        samples.push(sample(stride, n, ctx.now().duration_since(start)));
-    }
-    Ok(samples)
-}
-
-fn opencl_curve(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    n: u64,
-    opts: &RunOpts,
-) -> Result<Vec<BandwidthSample>, RunFailure> {
-    let env = cl_env(profile, registry)?;
-    let len = array_len(n, profile.class);
-    let host_array = data::uniform_f32(len as usize, opts.seed, 0.0, 1.0);
-    let a = env
-        .context
-        .create_buffer(MemFlags::ReadOnly, len * 4)
-        .map_err(cl_failure)?;
-    let sink = env
-        .context
-        .create_buffer(MemFlags::ReadWrite, 4)
-        .map_err(cl_failure)?;
-    env.queue
-        .enqueue_write_buffer(&a, &host_array)
-        .map_err(cl_failure)?;
-    let program = Program::create_with_source(&env.context, CL_SOURCE);
-    program.build().map_err(cl_failure)?;
-    let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
-    kernel.set_arg(0, ClArg::Buffer(a));
-    kernel.set_arg(1, ClArg::Buffer(sink));
-    kernel.set_arg(3, ClArg::U32(n as u32));
-    kernel.set_arg(4, ClArg::U32(len as u32));
-
-    let mut samples = Vec::new();
-    for stride in strides(profile.class) {
-        kernel.set_arg(2, ClArg::U32(stride));
-        let start = env.context.now();
-        for _ in 0..REPETITIONS {
-            env.queue
-                .enqueue_nd_range_kernel(&kernel, [n, 1, 1])
-                .map_err(cl_failure)?;
-            env.queue.finish();
-        }
-        samples.push(sample(stride, n, env.context.now().duration_since(start)));
+        b.seq_end(seq)?;
+        let start = b.now();
+        b.run(seq)?;
+        samples.push(sample(stride, n, b.now().duration_since(start)));
     }
     Ok(samples)
 }
@@ -364,13 +237,8 @@ mod tests {
     #[test]
     fn bandwidth_decreases_with_stride() {
         let registry = registry();
-        let curve = bandwidth_curve(
-            Api::Cuda,
-            &devices::gtx1050ti(),
-            &registry,
-            &quick_opts(),
-        )
-        .unwrap();
+        let curve =
+            bandwidth_curve(Api::Cuda, &devices::gtx1050ti(), &registry, &quick_opts()).unwrap();
         assert_eq!(curve.len(), strides(DeviceClass::Desktop).len());
         let unit = curve[0].gbps();
         let worst = curve.last().unwrap().gbps();
@@ -408,7 +276,11 @@ mod tests {
         let cu = bandwidth_curve(Api::Cuda, &profile, &registry, &opts).unwrap();
         for (v, c) in vk.iter().zip(&cu) {
             let ratio = v.bytes_per_sec / c.bytes_per_sec;
-            assert!((0.8..1.35).contains(&ratio), "stride {} ratio {ratio}", v.stride);
+            assert!(
+                (0.8..1.35).contains(&ratio),
+                "stride {} ratio {ratio}",
+                v.stride
+            );
         }
     }
 
@@ -424,7 +296,13 @@ mod tests {
         let cl = bandwidth_curve(Api::OpenCl, &sd, &registry, &opts).unwrap();
         let small = vk[0].bytes_per_sec / cl[0].bytes_per_sec;
         let large = vk.last().unwrap().bytes_per_sec / cl.last().unwrap().bytes_per_sec;
-        assert!(small < large, "quirk gap should close: small {small}, large {large}");
-        assert!(small < 0.92, "Vulkan should lose clearly at unit stride: {small}");
+        assert!(
+            small < large,
+            "quirk gap should close: small {small}, large {large}"
+        );
+        assert!(
+            small < 0.92,
+            "Vulkan should lose clearly at unit stride: {small}"
+        );
     }
 }

@@ -3,24 +3,21 @@
 //!
 //! Ten lines of GLSL for the kernel, pages of host code for Vulkan — the
 //! benchmark exists mostly to demonstrate and quantify that asymmetry,
-//! and it doubles as the suite's smoke test.
+//! and it doubles as the suite's smoke test. It is also the workload the
+//! §VI-A effort table counts API calls on, so its host program is the
+//! canonical single-dispatch flow through the portable backend layer.
 
 use std::sync::Arc;
 
-use vcb_core::run::{RunFailure, RunRecord};
-use vcb_core::workload::RunOpts;
-use vcb_cuda::{KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
+use vcb_core::run::{RunFailure, RunOutcome, RunRecord, SizeSpec};
+use vcb_core::suite::{BenchmarkMeta, Dwarf};
+use vcb_core::workload::{RunOpts, Workload};
 use vcb_sim::exec::{GroupCtx, KernelInfo};
-use vcb_sim::profile::DeviceProfile;
-use vcb_sim::{KernelRegistry, SimResult};
-use vcb_spirv::SpirvModule;
-use vcb_vulkan::util as vku;
-use vcb_vulkan::{ComputePipelineCreateInfo, PushConstantRange, SubmitInfo};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
 
 use crate::common::{
-    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
-    measure_vk, vk_env, vk_failure, BodyOutcome,
+    approx_eq_f32, bytes_of, measure, to_f32, BodyOutcome, ComputeBackend, UsageHint,
 };
 use crate::data;
 
@@ -107,192 +104,106 @@ pub fn generate(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
     (x, y)
 }
 
-/// Runs the Vulkan host program (the Listing 1 flow).
+/// The Listing 1 host program, written once against the portable
+/// backend: upload X and Y, allocate Z, compile the kernel, record one
+/// dispatch, run it timed, download and validate.
 ///
 /// # Errors
 ///
 /// Reported as [`RunFailure`].
-pub fn run_vulkan(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
+pub fn host_program(
+    b: &mut dyn ComputeBackend,
     n: usize,
-    opts: &RunOpts,
-) -> Result<RunRecord, RunFailure> {
-    let env = vk_env(profile, registry)?;
-    let (xv, yv) = generate(n, opts.seed);
-    let expected = if opts.validate {
-        Some(reference(&xv, &yv))
-    } else {
-        None
-    };
-    measure_vk(NAME, &n.to_string(), &env, |env| {
-        let device = &env.device;
-        let x = vku::upload_storage_buffer(device, &env.queue, &xv).map_err(vk_failure)?;
-        let y = vku::upload_storage_buffer(device, &env.queue, &yv).map_err(vk_failure)?;
-        let z = vku::create_storage_buffer(device, (n * 4) as u64).map_err(vk_failure)?;
+    xv: &[f32],
+    yv: &[f32],
+    expected: Option<&Vec<f32>>,
+) -> Result<BodyOutcome, RunFailure> {
+    let x = b.upload(bytes_of(xv), UsageHint::ReadOnly)?;
+    let y = b.upload(bytes_of(yv), UsageHint::ReadOnly)?;
+    let z = b.alloc((n * 4) as u64, UsageHint::WriteOnly)?;
+    b.load_program(CL_SOURCE)?;
+    let bg = b.bind_group(&[x, y, z])?;
+    let kernel = b.kernel(KERNEL, bg, 4)?;
 
-        let info = registry.lookup(KERNEL).map_err(|e| RunFailure::Error(e.to_string()))?;
-        let spv = SpirvModule::assemble(info.info());
-        let module = device.create_shader_module(spv.words()).map_err(vk_failure)?;
-        let (layout_set, _pool, set) =
-            vku::storage_descriptor_set(device, &[&x.buffer, &y.buffer, &z.buffer])
-                .map_err(vk_failure)?;
-        let layout = device
-            .create_pipeline_layout(&[&layout_set], &[PushConstantRange { offset: 0, size: 4 }])
-            .map_err(vk_failure)?;
-        let pipeline = device
-            .create_compute_pipeline(&ComputePipelineCreateInfo {
-                module: &module,
-                entry_point: KERNEL,
-                layout: &layout,
-            })
-            .map_err(vk_failure)?;
+    let seq = b.seq_begin()?;
+    b.seq_kernel(seq, kernel)?;
+    b.seq_bind(seq, bg)?;
+    b.seq_push(seq, &(n as u32).to_le_bytes())?;
+    b.seq_dispatch(seq, [(n as u32).div_ceil(LOCAL_SIZE), 1, 1])?;
+    b.seq_end(seq)?;
 
-        let pool = device
-            .create_command_pool(env.queue.family_index())
-            .map_err(vk_failure)?;
-        let cmd = pool.allocate_command_buffer().map_err(vk_failure)?;
-        cmd.begin().map_err(vk_failure)?;
-        cmd.bind_pipeline(&pipeline).map_err(vk_failure)?;
-        cmd.bind_descriptor_sets(&layout, &[&set]).map_err(vk_failure)?;
-        cmd.push_constants(&layout, 0, &(n as u32).to_le_bytes())
-            .map_err(vk_failure)?;
-        let groups = (n as u32).div_ceil(LOCAL_SIZE);
-        cmd.dispatch(groups, 1, 1).map_err(vk_failure)?;
-        cmd.end().map_err(vk_failure)?;
-        let compute_start = device.now();
-        env.queue
-            .submit(
-                &[SubmitInfo {
-                    command_buffers: &[&cmd],
-                }],
-                None,
-            )
-            .map_err(vk_failure)?;
-        env.queue.wait_idle();
-        let compute_time = device.now().duration_since(compute_start);
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
 
-        let out: Vec<f32> =
-            vku::download_storage_buffer(device, &env.queue, &z).map_err(vk_failure)?;
-        Ok(BodyOutcome {
-            validated: match &expected {
-                Some(e) => approx_eq_f32(&out, e, 1e-5),
-                None => true,
-            },
-            compute_time,
-        })
+    let out = to_f32(&b.download(z)?);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| approx_eq_f32(&out, e, 1e-5)),
+        compute_time,
     })
 }
 
-/// Runs the CUDA host program.
+/// Runs the workload under `api` at element count `n` (the §VI-A effort
+/// table uses this entry point directly with Listing 1's N = 1M).
 ///
 /// # Errors
 ///
 /// Reported as [`RunFailure`].
-pub fn run_cuda(
+pub fn run(
+    api: Api,
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
     n: usize,
     opts: &RunOpts,
 ) -> Result<RunRecord, RunFailure> {
-    let ctx = cuda_env(profile, registry)?;
+    let mut b = vcb_backend::create(api, profile, registry)?;
     let (xv, yv) = generate(n, opts.seed);
-    let expected = if opts.validate {
-        Some(reference(&xv, &yv))
-    } else {
-        None
-    };
-    measure_cuda(NAME, &n.to_string(), &ctx, |ctx| {
-        let bytes = (n * 4) as u64;
-        let x = ctx.malloc(bytes).map_err(cuda_failure)?;
-        let y = ctx.malloc(bytes).map_err(cuda_failure)?;
-        let z = ctx.malloc(bytes).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&x, &xv).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&y, &yv).map_err(cuda_failure)?;
-        let add = ctx.get_function(KERNEL).map_err(cuda_failure)?;
-        let groups = (n as u32).div_ceil(LOCAL_SIZE);
-        let compute_start = ctx.now();
-        ctx.launch_kernel(
-            &add,
-            [groups, 1, 1],
-            &[
-                KernelArg::Ptr(x),
-                KernelArg::Ptr(y),
-                KernelArg::Ptr(z),
-                KernelArg::U32(n as u32),
+    let expected = opts.validate.then(|| reference(&xv, &yv));
+    measure(NAME, &n.to_string(), b.as_mut(), |b| {
+        host_program(b, n, &xv, &yv, expected.as_ref())
+    })
+}
+
+/// The vectoradd micro as a suite workload (synthetic Table I row).
+#[derive(Debug, Clone)]
+pub struct VectorAdd {
+    registry: Arc<KernelRegistry>,
+}
+
+impl VectorAdd {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        VectorAdd { registry }
+    }
+}
+
+impl Workload for VectorAdd {
+    fn meta(&self) -> BenchmarkMeta {
+        BenchmarkMeta {
+            name: NAME,
+            application: "Vector Addition (Listing 1)",
+            dwarf: Dwarf::DenseLinearAlgebra,
+            domain: "Microbenchmark",
+        }
+    }
+
+    fn sizes(&self, class: DeviceClass) -> Vec<SizeSpec> {
+        match class {
+            DeviceClass::Desktop => vec![
+                SizeSpec::new("256K", 256 * 1024),
+                SizeSpec::new("1M", 1024 * 1024),
+                SizeSpec::new("4M", 4 * 1024 * 1024),
             ],
-            Stream::DEFAULT,
-        )
-        .map_err(cuda_failure)?;
-        ctx.device_synchronize();
-        let compute_time = ctx.now().duration_since(compute_start);
-        let out: Vec<f32> = ctx.memcpy_dtoh(&z).map_err(cuda_failure)?;
-        Ok(BodyOutcome {
-            validated: match &expected {
-                Some(e) => approx_eq_f32(&out, e, 1e-5),
-                None => true,
-            },
-            compute_time,
-        })
-    })
-}
+            DeviceClass::Mobile => vec![
+                SizeSpec::new("64K", 64 * 1024),
+                SizeSpec::new("256K", 256 * 1024),
+            ],
+        }
+    }
 
-/// Runs the OpenCL host program.
-///
-/// # Errors
-///
-/// Reported as [`RunFailure`].
-pub fn run_opencl(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    n: usize,
-    opts: &RunOpts,
-) -> Result<RunRecord, RunFailure> {
-    let env = cl_env(profile, registry)?;
-    let (xv, yv) = generate(n, opts.seed);
-    let expected = if opts.validate {
-        Some(reference(&xv, &yv))
-    } else {
-        None
-    };
-    measure_cl(NAME, &n.to_string(), &env, |env| {
-        let bytes = (n * 4) as u64;
-        let x = env
-            .context
-            .create_buffer(MemFlags::ReadOnly, bytes)
-            .map_err(cl_failure)?;
-        let y = env
-            .context
-            .create_buffer(MemFlags::ReadOnly, bytes)
-            .map_err(cl_failure)?;
-        let z = env
-            .context
-            .create_buffer(MemFlags::WriteOnly, bytes)
-            .map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&x, &xv).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&y, &yv).map_err(cl_failure)?;
-        let program = Program::create_with_source(&env.context, CL_SOURCE);
-        program.build().map_err(cl_failure)?;
-        let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
-        kernel.set_arg(0, ClArg::Buffer(x));
-        kernel.set_arg(1, ClArg::Buffer(y));
-        kernel.set_arg(2, ClArg::Buffer(z));
-        kernel.set_arg(3, ClArg::U32(n as u32));
-        let compute_start = env.context.now();
-        env.queue
-            .enqueue_nd_range_kernel(&kernel, [n as u64, 1, 1])
-            .map_err(cl_failure)?;
-        env.queue.finish();
-        let compute_time = env.context.now().duration_since(compute_start);
-        let out: Vec<f32> = env.queue.enqueue_read_buffer(&z).map_err(cl_failure)?;
-        Ok(BodyOutcome {
-            validated: match &expected {
-                Some(e) => approx_eq_f32(&out, e, 1e-5),
-                None => true,
-            },
-            compute_time,
-        })
-    })
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        run(api, device, &self.registry, size.n as usize, opts)
+    }
 }
 
 #[cfg(test)]
@@ -312,9 +223,9 @@ mod tests {
         let opts = RunOpts::default();
         let profile = devices::gtx1050ti();
         let n = 100_000;
-        let vk = run_vulkan(&profile, &registry, n, &opts).unwrap();
-        let cu = run_cuda(&profile, &registry, n, &opts).unwrap();
-        let cl = run_opencl(&profile, &registry, n, &opts).unwrap();
+        let vk = run(Api::Vulkan, &profile, &registry, n, &opts).unwrap();
+        let cu = run(Api::Cuda, &profile, &registry, n, &opts).unwrap();
+        let cl = run(Api::OpenCl, &profile, &registry, n, &opts).unwrap();
         assert!(vk.validated && cu.validated && cl.validated);
         assert!(vk.kernel_time.as_micros() > 0.0);
         assert!(cu.kernel_time.as_micros() > 0.0);
@@ -326,9 +237,9 @@ mod tests {
         let registry = registry();
         let opts = RunOpts::default();
         let profile = devices::powervr_g6430();
-        let vk = run_vulkan(&profile, &registry, 10_000, &opts).unwrap();
+        let vk = run(Api::Vulkan, &profile, &registry, 10_000, &opts).unwrap();
         assert!(vk.validated);
-        let cl = run_opencl(&profile, &registry, 10_000, &opts).unwrap();
+        let cl = run(Api::OpenCl, &profile, &registry, 10_000, &opts).unwrap();
         assert!(cl.validated);
     }
 
@@ -339,8 +250,8 @@ mod tests {
         let opts = RunOpts::default();
         let profile = devices::gtx1050ti();
         let n = 4096;
-        let vk = run_vulkan(&profile, &registry, n, &opts).unwrap();
-        let cu = run_cuda(&profile, &registry, n, &opts).unwrap();
+        let vk = run(Api::Vulkan, &profile, &registry, n, &opts).unwrap();
+        let cu = run(Api::Cuda, &profile, &registry, n, &opts).unwrap();
         assert!(
             vk.calls.total() > 3 * cu.calls.total(),
             "vulkan {} vs cuda {}",
@@ -357,9 +268,25 @@ mod tests {
         let opts = RunOpts::default();
         let profile = devices::gtx1050ti();
         let n = 1_000_000;
-        let vk = run_vulkan(&profile, &registry, n, &opts).unwrap();
-        let cu = run_cuda(&profile, &registry, n, &opts).unwrap();
+        let vk = run(Api::Vulkan, &profile, &registry, n, &opts).unwrap();
+        let cu = run(Api::Cuda, &profile, &registry, n, &opts).unwrap();
         let ratio = vk.kernel_time.ratio(cu.kernel_time);
         assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn workload_impl_runs_the_suite_sizes() {
+        let w = VectorAdd::new(registry());
+        assert_eq!(w.meta().name, NAME);
+        let size = &w.sizes(DeviceClass::Mobile)[0];
+        let record = w
+            .run(
+                Api::Vulkan,
+                &devices::adreno506(),
+                size,
+                &RunOpts::default(),
+            )
+            .unwrap();
+        assert!(record.validated);
     }
 }

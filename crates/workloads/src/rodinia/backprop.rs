@@ -12,20 +12,15 @@
 
 use std::sync::Arc;
 
-use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_cuda::{KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
 use vcb_sim::exec::{GroupCtx, KernelInfo};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
-use vcb_vulkan::util as vku;
-use vcb_vulkan::SubmitInfo;
 
 use crate::common::{
-    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
-    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+    approx_eq_f32, bytes_of, measure, to_f32, BodyOutcome, ComputeBackend, UsageHint,
 };
 use crate::data;
 
@@ -258,237 +253,77 @@ fn adjust_push(n: usize) -> Vec<u8> {
     p
 }
 
-fn run_vulkan(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
+/// The one host program behind all three APIs: forward partial sums on
+/// the GPU, the output-layer math on the host, then the weight update —
+/// two cached sequences with a mid-run delta upload between them
+/// (`upload_into` reproduces the Vulkan descriptor rewrite the original
+/// driver needed).
+fn host_program(
+    b: &mut dyn ComputeBackend,
+    n: usize,
+    input_host: &[f32],
+    w1_host: &[f32],
+    w2_host: &[f32],
+    expected: Option<&Vec<f32>>,
+) -> Result<BodyOutcome, RunFailure> {
     let groups = n.div_ceil(TILE);
-    let env = vk_env(profile, registry)?;
-    let (input_host, w1_host, w2_host) = generate(n, opts.seed);
-    let expected = opts
-        .validate
-        .then(|| reference(&input_host, &w1_host, &w2_host, n));
-    measure_vk(NAME, &size.label, &env, |env| {
-        let device = &env.device;
-        let q = &env.queue;
-        let input = vku::upload_storage_buffer(device, q, &input_host).map_err(vk_failure)?;
-        let w = vku::upload_storage_buffer(device, q, &w1_host).map_err(vk_failure)?;
-        let partial =
-            vku::create_storage_buffer(device, (groups * HIDDEN * 4) as u64).map_err(vk_failure)?;
-        let delta_buf =
-            vku::create_storage_buffer(device, (HIDDEN * 4) as u64).map_err(vk_failure)?;
-        let oldw = vku::upload_storage_buffer(device, q, &vec![0.0f32; n * HIDDEN])
-            .map_err(vk_failure)?;
+    let input = b.upload(bytes_of(input_host), UsageHint::ReadOnly)?;
+    let w = b.upload(bytes_of(w1_host), UsageHint::ReadWrite)?;
+    let partial = b.alloc((groups * HIDDEN * 4) as u64, UsageHint::ReadWrite)?;
+    let delta = b.alloc((HIDDEN * 4) as u64, UsageHint::ReadOnly)?;
+    let oldw = b.upload(bytes_of(&vec![0.0f32; n * HIDDEN]), UsageHint::ReadWrite)?;
+    // The Nexus drivers fail on this workload (§V-B2): the JIT build /
+    // pipeline creation below is where the quirk fires.
+    b.load_program(CL_SOURCE)?;
 
-        let (layout_f, _pf, set_f) =
-            vku::storage_descriptor_set(device, &[&input.buffer, &w.buffer, &partial.buffer])
-                .map_err(vk_failure)?;
-        let (layout_a, _pa, set_a) = vku::storage_descriptor_set(
-            device,
-            &[&input.buffer, &delta_buf.buffer, &w.buffer, &oldw.buffer],
-        )
-        .map_err(vk_failure)?;
-        // The Nexus drivers fail on this workload (§V-B2): pipeline
-        // creation is where the quirk fires.
-        let forward = vk_kernel(env, registry, KERNEL_FORWARD, &layout_f, 4)?;
-        let adjust = vk_kernel(env, registry, KERNEL_ADJUST, &layout_a, 12)?;
+    let bg_f = b.bind_group(&[input, w, partial])?;
+    let bg_a = b.bind_group(&[input, delta, w, oldw])?;
+    let forward = b.kernel(KERNEL_FORWARD, bg_f, 4)?;
+    let adjust = b.kernel(KERNEL_ADJUST, bg_a, 12)?;
 
-        let cmd_pool = device.create_command_pool(q.family_index()).map_err(vk_failure)?;
-        let cmd1 = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        cmd1.begin().map_err(vk_failure)?;
-        cmd1.bind_pipeline(&forward.pipeline).map_err(vk_failure)?;
-        cmd1.bind_descriptor_sets(&forward.layout, &[&set_f]).map_err(vk_failure)?;
-        cmd1.push_constants(&forward.layout, 0, &(n as u32).to_le_bytes())
-            .map_err(vk_failure)?;
-        cmd1.dispatch(groups as u32, 1, 1).map_err(vk_failure)?;
-        cmd1.end().map_err(vk_failure)?;
+    let s1 = b.seq_begin()?;
+    b.seq_kernel(s1, forward)?;
+    b.seq_bind(s1, bg_f)?;
+    b.seq_push(s1, &(n as u32).to_le_bytes())?;
+    b.seq_dispatch(s1, [groups as u32, 1, 1])?;
+    b.seq_end(s1)?;
+    let s2 = b.seq_begin()?;
+    b.seq_kernel(s2, adjust)?;
+    b.seq_bind(s2, bg_a)?;
+    b.seq_push(s2, &adjust_push(n))?;
+    b.seq_dispatch(s2, [groups as u32, 1, 1])?;
+    b.seq_end(s2)?;
 
-        let cmd2 = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        cmd2.begin().map_err(vk_failure)?;
-        cmd2.bind_pipeline(&adjust.pipeline).map_err(vk_failure)?;
-        cmd2.bind_descriptor_sets(&adjust.layout, &[&set_a]).map_err(vk_failure)?;
-        cmd2.push_constants(&adjust.layout, 0, &adjust_push(n)).map_err(vk_failure)?;
-        cmd2.dispatch(groups as u32, 1, 1).map_err(vk_failure)?;
-        cmd2.end().map_err(vk_failure)?;
+    let compute_start = b.now();
+    b.run(s1)?;
+    let partials = to_f32(&b.download(partial)?);
+    let (_hidden, delta_vals) = host_middle(&partials, w2_host);
+    b.upload_into(delta, bytes_of(&delta_vals))?;
+    b.run(s2)?;
+    let compute_time = b.now().duration_since(compute_start);
 
-        let compute_start = device.now();
-        q.submit(&[SubmitInfo { command_buffers: &[&cmd1] }], None)
-            .map_err(vk_failure)?;
-        q.wait_idle();
-        let partials: Vec<f32> =
-            vku::download_storage_buffer(device, q, &partial).map_err(vk_failure)?;
-        let (_hidden, delta) = host_middle(&partials, &w2_host);
-        // Upload the deltas for the backward kernel.
-        let delta_staged = vku::upload_storage_buffer(device, q, &delta).map_err(vk_failure)?;
-        device
-            .update_descriptor_sets(&[vcb_vulkan::WriteDescriptorSet {
-                dst_set: &set_a,
-                dst_binding: 1,
-                buffer: &delta_staged.buffer,
-            }])
-            .map_err(vk_failure)?;
-        q.submit(&[SubmitInfo { command_buffers: &[&cmd2] }], None)
-            .map_err(vk_failure)?;
-        q.wait_idle();
-        let compute_time = device.now().duration_since(compute_start);
-
-        let w_out: Vec<f32> = vku::download_storage_buffer(device, q, &w).map_err(vk_failure)?;
-        Ok(BodyOutcome {
-            validated: expected
-                .as_ref()
-                .is_none_or(|e| approx_eq_f32(&w_out, e, 1e-3)),
-            compute_time,
-        })
+    let w_out = to_f32(&b.download(w)?);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| approx_eq_f32(&w_out, e, 1e-3)),
+        compute_time,
     })
 }
 
-fn run_cuda(
+fn run(
+    api: Api,
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
     size: &SizeSpec,
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let groups = n.div_ceil(TILE);
-    let ctx = cuda_env(profile, registry)?;
+    let mut b = vcb_backend::create(api, profile, registry)?;
     let (input_host, w1_host, w2_host) = generate(n, opts.seed);
     let expected = opts
         .validate
         .then(|| reference(&input_host, &w1_host, &w2_host, n));
-    measure_cuda(NAME, &size.label, &ctx, |ctx| {
-        let input = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-        let w = ctx.malloc((n * HIDDEN * 4) as u64).map_err(cuda_failure)?;
-        let partial = ctx.malloc((groups * HIDDEN * 4) as u64).map_err(cuda_failure)?;
-        let delta_buf = ctx.malloc((HIDDEN * 4) as u64).map_err(cuda_failure)?;
-        let oldw = ctx.malloc((n * HIDDEN * 4) as u64).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&input, &input_host).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&w, &w1_host).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&oldw, &vec![0.0f32; n * HIDDEN]).map_err(cuda_failure)?;
-        let forward = ctx.get_function(KERNEL_FORWARD).map_err(cuda_failure)?;
-        let adjust = ctx.get_function(KERNEL_ADJUST).map_err(cuda_failure)?;
-        let compute_start = ctx.now();
-        ctx.launch_kernel(
-            &forward,
-            [groups as u32, 1, 1],
-            &[
-                KernelArg::Ptr(input),
-                KernelArg::Ptr(w),
-                KernelArg::Ptr(partial),
-                KernelArg::U32(n as u32),
-            ],
-            Stream::DEFAULT,
-        )
-        .map_err(cuda_failure)?;
-        ctx.device_synchronize();
-        let partials: Vec<f32> = ctx.memcpy_dtoh(&partial).map_err(cuda_failure)?;
-        let (_hidden, delta) = host_middle(&partials, &w2_host);
-        ctx.memcpy_htod(&delta_buf, &delta).map_err(cuda_failure)?;
-        ctx.launch_kernel(
-            &adjust,
-            [groups as u32, 1, 1],
-            &[
-                KernelArg::Ptr(input),
-                KernelArg::Ptr(delta_buf),
-                KernelArg::Ptr(w),
-                KernelArg::Ptr(oldw),
-                KernelArg::U32(n as u32),
-                KernelArg::F32(ETA),
-                KernelArg::F32(MOMENTUM),
-            ],
-            Stream::DEFAULT,
-        )
-        .map_err(cuda_failure)?;
-        ctx.device_synchronize();
-        let compute_time = ctx.now().duration_since(compute_start);
-        let w_out: Vec<f32> = ctx.memcpy_dtoh(&w).map_err(cuda_failure)?;
-        Ok(BodyOutcome {
-            validated: expected
-                .as_ref()
-                .is_none_or(|e| approx_eq_f32(&w_out, e, 1e-3)),
-            compute_time,
-        })
-    })
-}
-
-fn run_opencl(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let groups = n.div_ceil(TILE);
-    let env = cl_env(profile, registry)?;
-    let (input_host, w1_host, w2_host) = generate(n, opts.seed);
-    let expected = opts
-        .validate
-        .then(|| reference(&input_host, &w1_host, &w2_host, n));
-    measure_cl(NAME, &size.label, &env, |env| {
-        let input = env
-            .context
-            .create_buffer(MemFlags::ReadOnly, (n * 4) as u64)
-            .map_err(cl_failure)?;
-        let w = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, (n * HIDDEN * 4) as u64)
-            .map_err(cl_failure)?;
-        let partial = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, (groups * HIDDEN * 4) as u64)
-            .map_err(cl_failure)?;
-        let delta_buf = env
-            .context
-            .create_buffer(MemFlags::ReadOnly, (HIDDEN * 4) as u64)
-            .map_err(cl_failure)?;
-        let oldw = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, (n * HIDDEN * 4) as u64)
-            .map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&input, &input_host).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&w, &w1_host).map_err(cl_failure)?;
-        env.queue
-            .enqueue_write_buffer(&oldw, &vec![0.0f32; n * HIDDEN])
-            .map_err(cl_failure)?;
-        // The Nexus OpenCL driver fails on this workload (§V-B2): the JIT
-        // build is where the quirk fires.
-        let program = Program::create_with_source(&env.context, CL_SOURCE);
-        program.build().map_err(cl_failure)?;
-        let forward = ClKernel::new(&program, KERNEL_FORWARD).map_err(cl_failure)?;
-        let adjust = ClKernel::new(&program, KERNEL_ADJUST).map_err(cl_failure)?;
-        forward.set_arg(0, ClArg::Buffer(input));
-        forward.set_arg(1, ClArg::Buffer(w));
-        forward.set_arg(2, ClArg::Buffer(partial));
-        forward.set_arg(3, ClArg::U32(n as u32));
-        let compute_start = env.context.now();
-        env.queue
-            .enqueue_nd_range_kernel(&forward, [(groups * HIDDEN) as u64, 1, 1])
-            .map_err(cl_failure)?;
-        env.queue.finish();
-        let partials: Vec<f32> = env.queue.enqueue_read_buffer(&partial).map_err(cl_failure)?;
-        let (_hidden, delta) = host_middle(&partials, &w2_host);
-        env.queue.enqueue_write_buffer(&delta_buf, &delta).map_err(cl_failure)?;
-        adjust.set_arg(0, ClArg::Buffer(input));
-        adjust.set_arg(1, ClArg::Buffer(delta_buf));
-        adjust.set_arg(2, ClArg::Buffer(w));
-        adjust.set_arg(3, ClArg::Buffer(oldw));
-        adjust.set_arg(4, ClArg::U32(n as u32));
-        adjust.set_arg(5, ClArg::F32(ETA));
-        adjust.set_arg(6, ClArg::F32(MOMENTUM));
-        env.queue
-            .enqueue_nd_range_kernel(&adjust, [(groups * TILE) as u64, 1, 1])
-            .map_err(cl_failure)?;
-        env.queue.finish();
-        let compute_time = env.context.now().duration_since(compute_start);
-        let w_out: Vec<f32> = env.queue.enqueue_read_buffer(&w).map_err(cl_failure)?;
-        Ok(BodyOutcome {
-            validated: expected
-                .as_ref()
-                .is_none_or(|e| approx_eq_f32(&w_out, e, 1e-3)),
-            compute_time,
-        })
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, n, &input_host, &w1_host, &w2_host, expected.as_ref())
     })
 }
 
@@ -525,11 +360,7 @@ impl Workload for Backprop {
     }
 
     fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
-        match api {
-            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
-            Api::Cuda => run_cuda(device, &self.registry, size, opts),
-            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
-        }
+        run(api, device, &self.registry, size, opts)
     }
 }
 

@@ -15,20 +15,15 @@
 
 use std::sync::Arc;
 
-use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_cuda::{KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
 use vcb_sim::exec::{GroupCtx, KernelInfo, Lane};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
-use vcb_vulkan::util as vku;
-use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo};
 
 use crate::common::{
-    cl_env, cl_failure, cuda_env, cuda_failure, exact_eq_i32, measure_cl, measure_cuda,
-    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+    bytes_of, exact_eq_i32, measure, to_i32, BodyOutcome, ComputeBackend, UsageHint,
 };
 use crate::data;
 
@@ -267,247 +262,79 @@ fn groups(n: usize) -> u32 {
     (n as u32).div_ceil(LOCAL_SIZE)
 }
 
-fn run_vulkan(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let env = vk_env(profile, registry)?;
-    let g = host_graph(n, opts.seed);
-    let expected = opts.validate.then(|| reference(&g.nodes, &g.edges, n));
-    measure_vk(NAME, &size.label, &env, |env| {
-        let device = &env.device;
-        let q = &env.queue;
-        let nodes = vku::upload_storage_buffer(device, q, &g.nodes).map_err(vk_failure)?;
-        let edges = vku::upload_storage_buffer(device, q, &g.edges).map_err(vk_failure)?;
-        let frontier = vku::upload_storage_buffer(device, q, &g.frontier).map_err(vk_failure)?;
-        let visited = vku::upload_storage_buffer(device, q, &g.visited).map_err(vk_failure)?;
-        let cost = vku::upload_storage_buffer(device, q, &g.cost).map_err(vk_failure)?;
-        let updating = vku::upload_storage_buffer(device, q, &vec![0i32; n]).map_err(vk_failure)?;
-        // The termination flag must be host-readable every level, so it
-        // lives in host-visible memory even on desktop.
-        let over = vku::create_buffer_bound(
-            device,
-            4,
-            vcb_vulkan::BufferUsage::STORAGE_BUFFER | vcb_vulkan::BufferUsage::TRANSFER_DST,
-            vcb_vulkan::MemoryProperty::HOST_VISIBLE,
-        )
-        .map_err(vk_failure)?;
+/// The one host program behind all three APIs. The level loop cannot be
+/// pre-recorded: the termination test forces a host readback per level,
+/// so (like the Rodinia port's two enqueues) each kernel is its own
+/// cached sequence, re-run every level, with the `over` flag in a
+/// host-visible buffer the host rewrites and reads each level.
+fn host_program(
+    b: &mut dyn ComputeBackend,
+    n: usize,
+    g: &HostGraph,
+    expected: Option<&Vec<i32>>,
+) -> Result<BodyOutcome, RunFailure> {
+    let nodes = b.upload(bytes_of(&g.nodes), UsageHint::ReadWrite)?;
+    let edges = b.upload(bytes_of(&g.edges), UsageHint::ReadWrite)?;
+    let frontier = b.upload(bytes_of(&g.frontier), UsageHint::ReadWrite)?;
+    let visited = b.upload(bytes_of(&g.visited), UsageHint::ReadWrite)?;
+    let cost = b.upload(bytes_of(&g.cost), UsageHint::ReadWrite)?;
+    let updating = b.upload(bytes_of(&vec![0i32; n]), UsageHint::ReadWrite)?;
+    // The termination flag must be host-readable every level.
+    let over = b.alloc_host(4)?;
+    b.load_program(CL_SOURCE)?;
 
-        let (layout1, _p1, set1) = vku::storage_descriptor_set(
-            device,
-            &[
-                &nodes.buffer,
-                &edges.buffer,
-                &frontier.buffer,
-                &visited.buffer,
-                &cost.buffer,
-                &updating.buffer,
-            ],
-        )
-        .map_err(vk_failure)?;
-        let (layout2, _p2, set2) = vku::storage_descriptor_set(
-            device,
-            &[&frontier.buffer, &updating.buffer, &visited.buffer, &over.buffer],
-        )
-        .map_err(vk_failure)?;
-        let k1 = vk_kernel(env, registry, KERNEL1, &layout1, 4)?;
-        let k2 = vk_kernel(env, registry, KERNEL2, &layout2, 4)?;
+    let bg1 = b.bind_group(&[nodes, edges, frontier, visited, cost, updating])?;
+    let bg2 = b.bind_group(&[frontier, updating, visited, over])?;
+    let k1 = b.kernel(KERNEL1, bg1, 4)?;
+    let k2 = b.kernel(KERNEL2, bg2, 4)?;
 
-        let cmd_pool = device
-            .create_command_pool(q.family_index())
-            .map_err(vk_failure)?;
-        // The level loop cannot be pre-recorded: the termination test
-        // forces a host readback per level, so (like the Rodinia port's
-        // two enqueues) each kernel goes out as its own cached command
-        // buffer, resubmitted every level.
-        let barrier = MemoryBarrier {
-            src_access: Access::SHADER_WRITE,
-            dst_access: Access::SHADER_READ,
-        };
-        let cmd1 = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        cmd1.begin().map_err(vk_failure)?;
-        cmd1.bind_pipeline(&k1.pipeline).map_err(vk_failure)?;
-        cmd1.bind_descriptor_sets(&k1.layout, &[&set1]).map_err(vk_failure)?;
-        cmd1.push_constants(&k1.layout, 0, &(n as u32).to_le_bytes())
-            .map_err(vk_failure)?;
-        cmd1.dispatch(groups(n), 1, 1).map_err(vk_failure)?;
-        cmd1.pipeline_barrier(
-            PipelineStage::COMPUTE_SHADER,
-            PipelineStage::COMPUTE_SHADER,
-            &barrier,
-        )
-        .map_err(vk_failure)?;
-        cmd1.end().map_err(vk_failure)?;
-        let cmd2 = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        cmd2.begin().map_err(vk_failure)?;
-        cmd2.bind_pipeline(&k2.pipeline).map_err(vk_failure)?;
-        cmd2.bind_descriptor_sets(&k2.layout, &[&set2]).map_err(vk_failure)?;
-        cmd2.push_constants(&k2.layout, 0, &(n as u32).to_le_bytes())
-            .map_err(vk_failure)?;
-        cmd2.dispatch(groups(n), 1, 1).map_err(vk_failure)?;
-        cmd2.end().map_err(vk_failure)?;
+    let gr = [groups(n), 1, 1];
+    let s1 = b.seq_begin()?;
+    b.seq_kernel(s1, k1)?;
+    b.seq_bind(s1, bg1)?;
+    b.seq_push(s1, &(n as u32).to_le_bytes())?;
+    b.seq_dispatch(s1, gr)?;
+    b.seq_barrier(s1)?;
+    b.seq_end(s1)?;
+    let s2 = b.seq_begin()?;
+    b.seq_kernel(s2, k2)?;
+    b.seq_bind(s2, bg2)?;
+    b.seq_push(s2, &(n as u32).to_le_bytes())?;
+    b.seq_dispatch(s2, gr)?;
+    b.seq_end(s2)?;
 
-        let compute_start = device.now();
-        loop {
-            over.buffer.write_mapped(&[0i32]).map_err(vk_failure)?;
-            q.submit(&[SubmitInfo { command_buffers: &[&cmd1] }], None)
-                .map_err(vk_failure)?;
-            q.submit(&[SubmitInfo { command_buffers: &[&cmd2] }], None)
-                .map_err(vk_failure)?;
-            q.wait_idle();
-            let flag: Vec<i32> = over.buffer.read_mapped().map_err(vk_failure)?;
-            if flag[0] == 0 {
-                break;
-            }
+    let compute_start = b.now();
+    loop {
+        b.write_host(over, bytes_of(&[0i32]))?;
+        b.run_async(s1)?;
+        b.run_async(s2)?;
+        let flag = to_i32(&b.read_host(over)?);
+        if flag[0] == 0 {
+            break;
         }
-        let compute_time = device.now().duration_since(compute_start);
-        let out: Vec<i32> = vku::download_storage_buffer(device, q, &cost).map_err(vk_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
-            compute_time,
-        })
+    }
+    let compute_time = b.now().duration_since(compute_start);
+
+    let out = to_i32(&b.download(cost)?);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| exact_eq_i32(&out, e)),
+        compute_time,
     })
 }
 
-fn run_cuda(
+fn run(
+    api: Api,
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
     size: &SizeSpec,
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let ctx = cuda_env(profile, registry)?;
+    let mut b = vcb_backend::create(api, profile, registry)?;
     let g = host_graph(n, opts.seed);
     let expected = opts.validate.then(|| reference(&g.nodes, &g.edges, n));
-    measure_cuda(NAME, &size.label, &ctx, |ctx| {
-        let nodes = ctx.malloc((g.nodes.len() * 4) as u64).map_err(cuda_failure)?;
-        let edges = ctx.malloc((g.edges.len() * 4) as u64).map_err(cuda_failure)?;
-        let frontier = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-        let visited = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-        let cost = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-        let updating = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-        let over = ctx.malloc(4).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&nodes, &g.nodes).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&edges, &g.edges).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&frontier, &g.frontier).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&visited, &g.visited).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&cost, &g.cost).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&updating, &vec![0i32; n]).map_err(cuda_failure)?;
-        let k1 = ctx.get_function(KERNEL1).map_err(cuda_failure)?;
-        let k2 = ctx.get_function(KERNEL2).map_err(cuda_failure)?;
-        let gr = groups(n);
-        let compute_start = ctx.now();
-        loop {
-            ctx.memcpy_htod(&over, &[0i32]).map_err(cuda_failure)?;
-            ctx.launch_kernel(
-                &k1,
-                [gr, 1, 1],
-                &[
-                    KernelArg::Ptr(nodes),
-                    KernelArg::Ptr(edges),
-                    KernelArg::Ptr(frontier),
-                    KernelArg::Ptr(visited),
-                    KernelArg::Ptr(cost),
-                    KernelArg::Ptr(updating),
-                    KernelArg::U32(n as u32),
-                ],
-                Stream::DEFAULT,
-            )
-            .map_err(cuda_failure)?;
-            ctx.launch_kernel(
-                &k2,
-                [gr, 1, 1],
-                &[
-                    KernelArg::Ptr(frontier),
-                    KernelArg::Ptr(updating),
-                    KernelArg::Ptr(visited),
-                    KernelArg::Ptr(over),
-                    KernelArg::U32(n as u32),
-                ],
-                Stream::DEFAULT,
-            )
-            .map_err(cuda_failure)?;
-            let flag: Vec<i32> = ctx.memcpy_dtoh(&over).map_err(cuda_failure)?;
-            if flag[0] == 0 {
-                break;
-            }
-        }
-        let compute_time = ctx.now().duration_since(compute_start);
-        let out: Vec<i32> = ctx.memcpy_dtoh(&cost).map_err(cuda_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
-            compute_time,
-        })
-    })
-}
-
-fn run_opencl(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let env = cl_env(profile, registry)?;
-    let g = host_graph(n, opts.seed);
-    let expected = opts.validate.then(|| reference(&g.nodes, &g.edges, n));
-    measure_cl(NAME, &size.label, &env, |env| {
-        let mk = |bytes: u64| env.context.create_buffer(MemFlags::ReadWrite, bytes);
-        let nodes = mk((g.nodes.len() * 4) as u64).map_err(cl_failure)?;
-        let edges = mk((g.edges.len() * 4) as u64).map_err(cl_failure)?;
-        let frontier = mk((n * 4) as u64).map_err(cl_failure)?;
-        let visited = mk((n * 4) as u64).map_err(cl_failure)?;
-        let cost = mk((n * 4) as u64).map_err(cl_failure)?;
-        let updating = mk((n * 4) as u64).map_err(cl_failure)?;
-        let over = mk(4).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&nodes, &g.nodes).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&edges, &g.edges).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&frontier, &g.frontier).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&visited, &g.visited).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&cost, &g.cost).map_err(cl_failure)?;
-        env.queue
-            .enqueue_write_buffer(&updating, &vec![0i32; n])
-            .map_err(cl_failure)?;
-        let program = Program::create_with_source(&env.context, CL_SOURCE);
-        program.build().map_err(cl_failure)?;
-        let k1 = ClKernel::new(&program, KERNEL1).map_err(cl_failure)?;
-        let k2 = ClKernel::new(&program, KERNEL2).map_err(cl_failure)?;
-        k1.set_arg(0, ClArg::Buffer(nodes));
-        k1.set_arg(1, ClArg::Buffer(edges));
-        k1.set_arg(2, ClArg::Buffer(frontier));
-        k1.set_arg(3, ClArg::Buffer(visited));
-        k1.set_arg(4, ClArg::Buffer(cost));
-        k1.set_arg(5, ClArg::Buffer(updating));
-        k1.set_arg(6, ClArg::U32(n as u32));
-        k2.set_arg(0, ClArg::Buffer(frontier));
-        k2.set_arg(1, ClArg::Buffer(updating));
-        k2.set_arg(2, ClArg::Buffer(visited));
-        k2.set_arg(3, ClArg::Buffer(over));
-        k2.set_arg(4, ClArg::U32(n as u32));
-        let global = u64::from(groups(n)) * u64::from(LOCAL_SIZE);
-        let compute_start = env.context.now();
-        loop {
-            env.queue.enqueue_write_buffer(&over, &[0i32]).map_err(cl_failure)?;
-            env.queue
-                .enqueue_nd_range_kernel(&k1, [global, 1, 1])
-                .map_err(cl_failure)?;
-            env.queue
-                .enqueue_nd_range_kernel(&k2, [global, 1, 1])
-                .map_err(cl_failure)?;
-            let flag: Vec<i32> = env.queue.enqueue_read_buffer(&over).map_err(cl_failure)?;
-            if flag[0] == 0 {
-                break;
-            }
-        }
-        let compute_time = env.context.now().duration_since(compute_start);
-        let out: Vec<i32> = env.queue.enqueue_read_buffer(&cost).map_err(cl_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
-            compute_time,
-        })
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, n, &g, expected.as_ref())
     })
 }
 
@@ -544,11 +371,7 @@ impl Workload for Bfs {
     }
 
     fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
-        match api {
-            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
-            Api::Cuda => run_cuda(device, &self.registry, size, opts),
-            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
-        }
+        run(api, device, &self.registry, size, opts)
     }
 }
 
@@ -609,7 +432,9 @@ mod tests {
         let opts = RunOpts::default();
         let size = SizeSpec::new("1k", 1024);
         let w = Bfs::new(Arc::clone(&registry));
-        let vk = w.run(Api::Vulkan, &devices::powervr_g6430(), &size, &opts).unwrap();
+        let vk = w
+            .run(Api::Vulkan, &devices::powervr_g6430(), &size, &opts)
+            .unwrap();
         assert!(vk.validated);
     }
 }

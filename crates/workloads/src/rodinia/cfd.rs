@@ -20,17 +20,13 @@ use std::sync::Arc;
 use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_cuda::{KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
 use vcb_sim::exec::{GroupCtx, KernelInfo};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
-use vcb_vulkan::util as vku;
-use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo};
 
 use crate::common::{
-    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
-    measure_vk, scaled_iterations, vk_env, vk_failure, vk_kernel, BodyOutcome,
+    approx_eq_f32, bytes_of, measure, scaled_iterations, to_f32, BodyOutcome, ComputeBackend,
+    UsageHint,
 };
 use crate::data;
 
@@ -370,109 +366,70 @@ fn check_fits(profile: &DeviceProfile) -> Result<(), RunFailure> {
     Ok(())
 }
 
-fn run_vulkan(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    check_fits(profile)?;
-    let n = size.n as usize;
-    let iterations = scaled_iterations(ITERATIONS, opts);
-    let env = vk_env(profile, registry)?;
-    let input = generate(n, opts.seed);
-    let expected = opts.validate.then(|| reference(&input, n, iterations));
-    measure_vk(NAME, &size.label, &env, |env| {
-        let device = &env.device;
-        let q = &env.queue;
-        let var = vku::upload_storage_buffer(device, q, &input.var).map_err(vk_failure)?;
-        let areas = vku::upload_storage_buffer(device, q, &input.areas).map_err(vk_failure)?;
-        let neighbors =
-            vku::upload_storage_buffer(device, q, &input.neighbors).map_err(vk_failure)?;
-        let normals = vku::upload_storage_buffer(device, q, &input.normals).map_err(vk_failure)?;
-        let step = vku::create_storage_buffer(device, (n * 4) as u64).map_err(vk_failure)?;
-        let fluxes =
-            vku::create_storage_buffer(device, (NVAR * n * 4) as u64).map_err(vk_failure)?;
+/// The one host program behind all three APIs: `iterations` time steps
+/// of three dependent kernels over the mesh, recorded as one sequence.
+/// Three pipelines re-bound every iteration — "this overhead of binding
+/// compute pipelines plus the longer kernel computation times make the
+/// launch overhead savings not that significant" (§V-A2).
+fn host_program(
+    b: &mut dyn ComputeBackend,
+    n: usize,
+    iterations: u64,
+    input: &CfdInput,
+    expected: Option<&Vec<f32>>,
+) -> Result<BodyOutcome, RunFailure> {
+    let var = b.upload(bytes_of(&input.var), UsageHint::ReadWrite)?;
+    let areas = b.upload(bytes_of(&input.areas), UsageHint::ReadOnly)?;
+    let neighbors = b.upload(bytes_of(&input.neighbors), UsageHint::ReadOnly)?;
+    let normals = b.upload(bytes_of(&input.normals), UsageHint::ReadOnly)?;
+    let step = b.alloc((n * 4) as u64, UsageHint::ReadWrite)?;
+    let fluxes = b.alloc((NVAR * n * 4) as u64, UsageHint::ReadWrite)?;
+    b.load_program(CL_SOURCE)?;
 
-        let (layout_sf, _p1, set_sf) =
-            vku::storage_descriptor_set(device, &[&var.buffer, &areas.buffer, &step.buffer])
-                .map_err(vk_failure)?;
-        let (layout_fl, _p2, set_fl) = vku::storage_descriptor_set(
-            device,
-            &[&var.buffer, &neighbors.buffer, &normals.buffer, &fluxes.buffer],
-        )
-        .map_err(vk_failure)?;
-        let (layout_ts, _p3, set_ts) =
-            vku::storage_descriptor_set(device, &[&var.buffer, &fluxes.buffer, &step.buffer])
-                .map_err(vk_failure)?;
-        let k_sf = vk_kernel(env, registry, KERNEL_STEP_FACTOR, &layout_sf, 8)?;
-        let k_fl = vk_kernel(env, registry, KERNEL_FLUX, &layout_fl, 4)?;
-        let k_ts = vk_kernel(env, registry, KERNEL_TIME_STEP, &layout_ts, 4)?;
+    let bind_sf = b.bind_group(&[var, areas, step])?;
+    let bind_fl = b.bind_group(&[var, neighbors, normals, fluxes])?;
+    let bind_ts = b.bind_group(&[var, fluxes, step])?;
+    let k_sf = b.kernel(KERNEL_STEP_FACTOR, bind_sf, 8)?;
+    let k_fl = b.kernel(KERNEL_FLUX, bind_fl, 4)?;
+    let k_ts = b.kernel(KERNEL_TIME_STEP, bind_ts, 4)?;
 
-        let cmd_pool = device.create_command_pool(q.family_index()).map_err(vk_failure)?;
-        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        let barrier = MemoryBarrier {
-            src_access: Access::SHADER_WRITE,
-            dst_access: Access::SHADER_READ,
-        };
-        let g = groups(n);
-        let mut push_sf = Vec::with_capacity(8);
-        push_sf.extend_from_slice(&(n as u32).to_le_bytes());
-        push_sf.extend_from_slice(&CFL.to_le_bytes());
-        cmd.begin().map_err(vk_failure)?;
-        for _ in 0..iterations {
-            // Three pipelines re-bound every iteration: "This overhead of
-            // binding compute pipelines plus the longer kernel computation
-            // times make the launch overhead savings not that significant"
-            // (§V-A2).
-            cmd.bind_pipeline(&k_sf.pipeline).map_err(vk_failure)?;
-            cmd.bind_descriptor_sets(&k_sf.layout, &[&set_sf]).map_err(vk_failure)?;
-            cmd.push_constants(&k_sf.layout, 0, &push_sf).map_err(vk_failure)?;
-            cmd.dispatch(g, 1, 1).map_err(vk_failure)?;
-            cmd.pipeline_barrier(
-                PipelineStage::COMPUTE_SHADER,
-                PipelineStage::COMPUTE_SHADER,
-                &barrier,
-            )
-            .map_err(vk_failure)?;
-            cmd.bind_pipeline(&k_fl.pipeline).map_err(vk_failure)?;
-            cmd.bind_descriptor_sets(&k_fl.layout, &[&set_fl]).map_err(vk_failure)?;
-            cmd.push_constants(&k_fl.layout, 0, &(n as u32).to_le_bytes())
-                .map_err(vk_failure)?;
-            cmd.dispatch(g, 1, 1).map_err(vk_failure)?;
-            cmd.pipeline_barrier(
-                PipelineStage::COMPUTE_SHADER,
-                PipelineStage::COMPUTE_SHADER,
-                &barrier,
-            )
-            .map_err(vk_failure)?;
-            cmd.bind_pipeline(&k_ts.pipeline).map_err(vk_failure)?;
-            cmd.bind_descriptor_sets(&k_ts.layout, &[&set_ts]).map_err(vk_failure)?;
-            cmd.push_constants(&k_ts.layout, 0, &(n as u32).to_le_bytes())
-                .map_err(vk_failure)?;
-            cmd.dispatch(g, 1, 1).map_err(vk_failure)?;
-            cmd.pipeline_barrier(
-                PipelineStage::COMPUTE_SHADER,
-                PipelineStage::COMPUTE_SHADER,
-                &barrier,
-            )
-            .map_err(vk_failure)?;
-        }
-        cmd.end().map_err(vk_failure)?;
-        let compute_start = device.now();
-        q.submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
-            .map_err(vk_failure)?;
-        q.wait_idle();
-        let compute_time = device.now().duration_since(compute_start);
-        let out: Vec<f32> = vku::download_storage_buffer(device, q, &var).map_err(vk_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-2)),
-            compute_time,
-        })
+    let g = [groups(n), 1, 1];
+    let mut push_sf = Vec::with_capacity(8);
+    push_sf.extend_from_slice(&(n as u32).to_le_bytes());
+    push_sf.extend_from_slice(&CFL.to_le_bytes());
+    let seq = b.seq_begin()?;
+    for _ in 0..iterations {
+        b.seq_kernel(seq, k_sf)?;
+        b.seq_bind(seq, bind_sf)?;
+        b.seq_push(seq, &push_sf)?;
+        b.seq_dispatch(seq, g)?;
+        b.seq_dependency(seq)?;
+        b.seq_kernel(seq, k_fl)?;
+        b.seq_bind(seq, bind_fl)?;
+        b.seq_push(seq, &(n as u32).to_le_bytes())?;
+        b.seq_dispatch(seq, g)?;
+        b.seq_dependency(seq)?;
+        b.seq_kernel(seq, k_ts)?;
+        b.seq_bind(seq, bind_ts)?;
+        b.seq_push(seq, &(n as u32).to_le_bytes())?;
+        b.seq_dispatch(seq, g)?;
+        b.seq_dependency(seq)?;
+    }
+    b.seq_end(seq)?;
+
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
+
+    let out = to_f32(&b.download(var)?);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| approx_eq_f32(&out, e, 1e-2)),
+        compute_time,
     })
 }
 
-fn run_cuda(
+fn run(
+    api: Api,
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
     size: &SizeSpec,
@@ -481,146 +438,11 @@ fn run_cuda(
     check_fits(profile)?;
     let n = size.n as usize;
     let iterations = scaled_iterations(ITERATIONS, opts);
-    let ctx = cuda_env(profile, registry)?;
+    let mut b = vcb_backend::create(api, profile, registry)?;
     let input = generate(n, opts.seed);
     let expected = opts.validate.then(|| reference(&input, n, iterations));
-    measure_cuda(NAME, &size.label, &ctx, |ctx| {
-        let var = ctx.malloc((NVAR * n * 4) as u64).map_err(cuda_failure)?;
-        let areas = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-        let neighbors = ctx.malloc((NFACE * n * 4) as u64).map_err(cuda_failure)?;
-        let normals = ctx.malloc((NFACE * n * 12) as u64).map_err(cuda_failure)?;
-        let step = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-        let fluxes = ctx.malloc((NVAR * n * 4) as u64).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&var, &input.var).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&areas, &input.areas).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&neighbors, &input.neighbors).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&normals, &input.normals).map_err(cuda_failure)?;
-        let k_sf = ctx.get_function(KERNEL_STEP_FACTOR).map_err(cuda_failure)?;
-        let k_fl = ctx.get_function(KERNEL_FLUX).map_err(cuda_failure)?;
-        let k_ts = ctx.get_function(KERNEL_TIME_STEP).map_err(cuda_failure)?;
-        let g = groups(n);
-        let compute_start = ctx.now();
-        for _ in 0..iterations {
-            ctx.launch_kernel(
-                &k_sf,
-                [g, 1, 1],
-                &[
-                    KernelArg::Ptr(var),
-                    KernelArg::Ptr(areas),
-                    KernelArg::Ptr(step),
-                    KernelArg::U32(n as u32),
-                    KernelArg::F32(CFL),
-                ],
-                Stream::DEFAULT,
-            )
-            .map_err(cuda_failure)?;
-            ctx.device_synchronize();
-            ctx.launch_kernel(
-                &k_fl,
-                [g, 1, 1],
-                &[
-                    KernelArg::Ptr(var),
-                    KernelArg::Ptr(neighbors),
-                    KernelArg::Ptr(normals),
-                    KernelArg::Ptr(fluxes),
-                    KernelArg::U32(n as u32),
-                ],
-                Stream::DEFAULT,
-            )
-            .map_err(cuda_failure)?;
-            ctx.device_synchronize();
-            ctx.launch_kernel(
-                &k_ts,
-                [g, 1, 1],
-                &[
-                    KernelArg::Ptr(var),
-                    KernelArg::Ptr(fluxes),
-                    KernelArg::Ptr(step),
-                    KernelArg::U32(n as u32),
-                ],
-                Stream::DEFAULT,
-            )
-            .map_err(cuda_failure)?;
-            ctx.device_synchronize();
-        }
-        let compute_time = ctx.now().duration_since(compute_start);
-        let out: Vec<f32> = ctx.memcpy_dtoh(&var).map_err(cuda_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-2)),
-            compute_time,
-        })
-    })
-}
-
-fn run_opencl(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    check_fits(profile)?;
-    let n = size.n as usize;
-    let iterations = scaled_iterations(ITERATIONS, opts);
-    let env = cl_env(profile, registry)?;
-    let input = generate(n, opts.seed);
-    let expected = opts.validate.then(|| reference(&input, n, iterations));
-    measure_cl(NAME, &size.label, &env, |env| {
-        let mk = |flags, bytes: u64| env.context.create_buffer(flags, bytes);
-        let var = mk(MemFlags::ReadWrite, (NVAR * n * 4) as u64).map_err(cl_failure)?;
-        let areas = mk(MemFlags::ReadOnly, (n * 4) as u64).map_err(cl_failure)?;
-        let neighbors = mk(MemFlags::ReadOnly, (NFACE * n * 4) as u64).map_err(cl_failure)?;
-        let normals = mk(MemFlags::ReadOnly, (NFACE * n * 12) as u64).map_err(cl_failure)?;
-        let step = mk(MemFlags::ReadWrite, (n * 4) as u64).map_err(cl_failure)?;
-        let fluxes = mk(MemFlags::ReadWrite, (NVAR * n * 4) as u64).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&var, &input.var).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&areas, &input.areas).map_err(cl_failure)?;
-        env.queue
-            .enqueue_write_buffer(&neighbors, &input.neighbors)
-            .map_err(cl_failure)?;
-        env.queue
-            .enqueue_write_buffer(&normals, &input.normals)
-            .map_err(cl_failure)?;
-        let program = Program::create_with_source(&env.context, CL_SOURCE);
-        program.build().map_err(cl_failure)?;
-        let k_sf = ClKernel::new(&program, KERNEL_STEP_FACTOR).map_err(cl_failure)?;
-        let k_fl = ClKernel::new(&program, KERNEL_FLUX).map_err(cl_failure)?;
-        let k_ts = ClKernel::new(&program, KERNEL_TIME_STEP).map_err(cl_failure)?;
-        k_sf.set_arg(0, ClArg::Buffer(var));
-        k_sf.set_arg(1, ClArg::Buffer(areas));
-        k_sf.set_arg(2, ClArg::Buffer(step));
-        k_sf.set_arg(3, ClArg::U32(n as u32));
-        k_sf.set_arg(4, ClArg::F32(CFL));
-        k_fl.set_arg(0, ClArg::Buffer(var));
-        k_fl.set_arg(1, ClArg::Buffer(neighbors));
-        k_fl.set_arg(2, ClArg::Buffer(normals));
-        k_fl.set_arg(3, ClArg::Buffer(fluxes));
-        k_fl.set_arg(4, ClArg::U32(n as u32));
-        k_ts.set_arg(0, ClArg::Buffer(var));
-        k_ts.set_arg(1, ClArg::Buffer(fluxes));
-        k_ts.set_arg(2, ClArg::Buffer(step));
-        k_ts.set_arg(3, ClArg::U32(n as u32));
-        let global = u64::from(groups(n)) * u64::from(LOCAL_SIZE);
-        let compute_start = env.context.now();
-        for _ in 0..iterations {
-            env.queue
-                .enqueue_nd_range_kernel(&k_sf, [global, 1, 1])
-                .map_err(cl_failure)?;
-            env.queue.finish();
-            env.queue
-                .enqueue_nd_range_kernel(&k_fl, [global, 1, 1])
-                .map_err(cl_failure)?;
-            env.queue.finish();
-            env.queue
-                .enqueue_nd_range_kernel(&k_ts, [global, 1, 1])
-                .map_err(cl_failure)?;
-            env.queue.finish();
-        }
-        let compute_time = env.context.now().duration_since(compute_start);
-        let out: Vec<f32> = env.queue.enqueue_read_buffer(&var).map_err(cl_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-2)),
-            compute_time,
-        })
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, n, iterations, &input, expected.as_ref())
     })
 }
 
@@ -656,11 +478,7 @@ impl Workload for Cfd {
     }
 
     fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
-        match api {
-            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
-            Api::Cuda => run_cuda(device, &self.registry, size, opts),
-            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
-        }
+        run(api, device, &self.registry, size, opts)
     }
 }
 
@@ -697,7 +515,9 @@ mod tests {
         let size = SizeSpec::new("2k", 2000);
         let w = Cfd::new(Arc::clone(&registry));
         for api in Api::ALL {
-            let record = w.run(api, &devices::gtx1050ti(), &size, &quick_opts()).unwrap();
+            let record = w
+                .run(api, &devices::gtx1050ti(), &size, &quick_opts())
+                .unwrap();
             assert!(record.validated, "{api} failed validation");
         }
     }
@@ -709,7 +529,11 @@ mod tests {
         let w = Cfd::new(Arc::clone(&registry));
         for device in [devices::powervr_g6430(), devices::adreno506()] {
             let result = w.run(Api::OpenCl, &device, &size, &quick_opts());
-            assert!(matches!(result, Err(RunFailure::OutOfMemory)), "{}", device.name);
+            assert!(
+                matches!(result, Err(RunFailure::OutOfMemory)),
+                "{}",
+                device.name
+            );
         }
     }
 

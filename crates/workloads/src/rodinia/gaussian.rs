@@ -10,20 +10,15 @@
 
 use std::sync::Arc;
 
-use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_cuda::{CudaContext, KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
 use vcb_sim::exec::{GroupCtx, KernelInfo};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
-use vcb_vulkan::util as vku;
-use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo};
 
 use crate::common::{
-    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
-    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+    approx_eq_f32, bytes_of, measure, to_f32, BodyOutcome, ComputeBackend, UsageHint,
 };
 use crate::data;
 
@@ -212,131 +207,49 @@ fn push(n: usize, t: usize) -> Vec<u8> {
     p
 }
 
-fn run_vulkan(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let env = vk_env(profile, registry)?;
-    let (a_host, b_host) = data::linear_system(n, opts.seed);
-    let expected = opts.validate.then(|| reference(&a_host, &b_host, n));
-    measure_vk(NAME, &size.label, &env, |env| {
-        let device = &env.device;
-        let a = vku::upload_storage_buffer(device, &env.queue, &a_host).map_err(vk_failure)?;
-        let b = vku::upload_storage_buffer(device, &env.queue, &b_host).map_err(vk_failure)?;
-        let m = vku::create_storage_buffer(device, (n * n * 4) as u64).map_err(vk_failure)?;
-
-        // fan1 set: (a, m); fan2 set: (m, a, b).
-        let (layout1, _p1, set1) =
-            vku::storage_descriptor_set(device, &[&a.buffer, &m.buffer]).map_err(vk_failure)?;
-        let (layout2, _p2, set2) =
-            vku::storage_descriptor_set(device, &[&m.buffer, &a.buffer, &b.buffer])
-                .map_err(vk_failure)?;
-        let fan1 = vk_kernel(env, registry, KERNEL_FAN1, &layout1, 8)?;
-        let fan2 = vk_kernel(env, registry, KERNEL_FAN2, &layout2, 8)?;
-
-        let cmd_pool = device
-            .create_command_pool(env.queue.family_index())
-            .map_err(vk_failure)?;
-        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        let barrier = MemoryBarrier {
-            src_access: Access::SHADER_WRITE,
-            dst_access: Access::SHADER_READ,
-        };
-        cmd.begin().map_err(vk_failure)?;
-        for t in 0..n - 1 {
-            cmd.bind_pipeline(&fan1.pipeline).map_err(vk_failure)?;
-            cmd.bind_descriptor_sets(&fan1.layout, &[&set1]).map_err(vk_failure)?;
-            cmd.push_constants(&fan1.layout, 0, &push(n, t)).map_err(vk_failure)?;
-            cmd.dispatch(fan1_groups(n, t), 1, 1).map_err(vk_failure)?;
-            cmd.pipeline_barrier(
-                PipelineStage::COMPUTE_SHADER,
-                PipelineStage::COMPUTE_SHADER,
-                &barrier,
-            )
-            .map_err(vk_failure)?;
-            cmd.bind_pipeline(&fan2.pipeline).map_err(vk_failure)?;
-            cmd.bind_descriptor_sets(&fan2.layout, &[&set2]).map_err(vk_failure)?;
-            cmd.push_constants(&fan2.layout, 0, &push(n, t)).map_err(vk_failure)?;
-            let g = fan2_groups(n, t);
-            cmd.dispatch(g[0], g[1], g[2]).map_err(vk_failure)?;
-            cmd.pipeline_barrier(
-                PipelineStage::COMPUTE_SHADER,
-                PipelineStage::COMPUTE_SHADER,
-                &barrier,
-            )
-            .map_err(vk_failure)?;
-        }
-        cmd.end().map_err(vk_failure)?;
-
-        let compute_start = device.now();
-        env.queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
-            .map_err(vk_failure)?;
-        env.queue.wait_idle();
-        let compute_time = device.now().duration_since(compute_start);
-
-        let a_out: Vec<f32> =
-            vku::download_storage_buffer(device, &env.queue, &a).map_err(vk_failure)?;
-        let b_out: Vec<f32> =
-            vku::download_storage_buffer(device, &env.queue, &b).map_err(vk_failure)?;
-        let x = back_substitute(&a_out, &b_out, n);
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&x, e, 2e-2)),
-            compute_time,
-        })
-    })
-}
-
-fn cuda_body(
-    ctx: &CudaContext,
+/// The one host program behind all three APIs: `2(n-1)` dependent
+/// fan1/fan2 dispatches recorded as one sequence (one pre-recorded
+/// command buffer under Vulkan; `2(n-1)` launch round trips under the
+/// launch-based APIs), then host-side back substitution as in Rodinia.
+fn host_program(
+    b: &mut dyn ComputeBackend,
     n: usize,
     a_host: &[f32],
     b_host: &[f32],
     expected: Option<&Vec<f32>>,
-) -> Result<BodyOutcome, vcb_core::run::RunFailure> {
-    let a = ctx.malloc((n * n * 4) as u64).map_err(cuda_failure)?;
-    let b = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-    let m = ctx.malloc((n * n * 4) as u64).map_err(cuda_failure)?;
-    ctx.memcpy_htod(&a, a_host).map_err(cuda_failure)?;
-    ctx.memcpy_htod(&b, b_host).map_err(cuda_failure)?;
-    let fan1 = ctx.get_function(KERNEL_FAN1).map_err(cuda_failure)?;
-    let fan2 = ctx.get_function(KERNEL_FAN2).map_err(cuda_failure)?;
-    let compute_start = ctx.now();
+) -> Result<BodyOutcome, RunFailure> {
+    let a = b.upload(bytes_of(a_host), UsageHint::ReadWrite)?;
+    let bb = b.upload(bytes_of(b_host), UsageHint::ReadWrite)?;
+    let m = b.alloc((n * n * 4) as u64, UsageHint::ReadWrite)?;
+    b.load_program(CL_SOURCE)?;
+
+    // fan1 set: (a, m); fan2 set: (m, a, b).
+    let bind1 = b.bind_group(&[a, m])?;
+    let bind2 = b.bind_group(&[m, a, bb])?;
+    let fan1 = b.kernel(KERNEL_FAN1, bind1, 8)?;
+    let fan2 = b.kernel(KERNEL_FAN2, bind2, 8)?;
+
+    let seq = b.seq_begin()?;
     for t in 0..n - 1 {
-        ctx.launch_kernel(
-            &fan1,
-            [fan1_groups(n, t), 1, 1],
-            &[
-                KernelArg::Ptr(a),
-                KernelArg::Ptr(m),
-                KernelArg::U32(n as u32),
-                KernelArg::U32(t as u32),
-            ],
-            Stream::DEFAULT,
-        )
-        .map_err(cuda_failure)?;
-        ctx.device_synchronize();
-        ctx.launch_kernel(
-            &fan2,
-            fan2_groups(n, t),
-            &[
-                KernelArg::Ptr(m),
-                KernelArg::Ptr(a),
-                KernelArg::Ptr(b),
-                KernelArg::U32(n as u32),
-                KernelArg::U32(t as u32),
-            ],
-            Stream::DEFAULT,
-        )
-        .map_err(cuda_failure)?;
-        ctx.device_synchronize();
+        b.seq_kernel(seq, fan1)?;
+        b.seq_bind(seq, bind1)?;
+        b.seq_push(seq, &push(n, t))?;
+        b.seq_dispatch(seq, [fan1_groups(n, t), 1, 1])?;
+        b.seq_dependency(seq)?;
+        b.seq_kernel(seq, fan2)?;
+        b.seq_bind(seq, bind2)?;
+        b.seq_push(seq, &push(n, t))?;
+        b.seq_dispatch(seq, fan2_groups(n, t))?;
+        b.seq_dependency(seq)?;
     }
-    let compute_time = ctx.now().duration_since(compute_start);
-    let a_out: Vec<f32> = ctx.memcpy_dtoh(&a).map_err(cuda_failure)?;
-    let b_out: Vec<f32> = ctx.memcpy_dtoh(&b).map_err(cuda_failure)?;
+    b.seq_end(seq)?;
+
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
+
+    let a_out = to_f32(&b.download(a)?);
+    let b_out = to_f32(&b.download(bb)?);
     let x = back_substitute(&a_out, &b_out, n);
     Ok(BodyOutcome {
         validated: expected.is_none_or(|e| approx_eq_f32(&x, e, 2e-2)),
@@ -344,89 +257,19 @@ fn cuda_body(
     })
 }
 
-fn run_cuda(
+fn run(
+    api: Api,
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
     size: &SizeSpec,
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let ctx = cuda_env(profile, registry)?;
+    let mut b = vcb_backend::create(api, profile, registry)?;
     let (a_host, b_host) = data::linear_system(n, opts.seed);
     let expected = opts.validate.then(|| reference(&a_host, &b_host, n));
-    measure_cuda(NAME, &size.label, &ctx, |ctx| {
-        cuda_body(ctx, n, &a_host, &b_host, expected.as_ref())
-    })
-}
-
-fn run_opencl(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let env = cl_env(profile, registry)?;
-    let (a_host, b_host) = data::linear_system(n, opts.seed);
-    let expected = opts.validate.then(|| reference(&a_host, &b_host, n));
-    measure_cl(NAME, &size.label, &env, |env| {
-        let a = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, (n * n * 4) as u64)
-            .map_err(cl_failure)?;
-        let b = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, (n * 4) as u64)
-            .map_err(cl_failure)?;
-        let m = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, (n * n * 4) as u64)
-            .map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&a, &a_host).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&b, &b_host).map_err(cl_failure)?;
-        let program = Program::create_with_source(&env.context, CL_SOURCE);
-        program.build().map_err(cl_failure)?;
-        let fan1 = ClKernel::new(&program, KERNEL_FAN1).map_err(cl_failure)?;
-        let fan2 = ClKernel::new(&program, KERNEL_FAN2).map_err(cl_failure)?;
-        fan1.set_arg(0, ClArg::Buffer(a));
-        fan1.set_arg(1, ClArg::Buffer(m));
-        fan1.set_arg(2, ClArg::U32(n as u32));
-        fan2.set_arg(0, ClArg::Buffer(m));
-        fan2.set_arg(1, ClArg::Buffer(a));
-        fan2.set_arg(2, ClArg::Buffer(b));
-        fan2.set_arg(3, ClArg::U32(n as u32));
-        let compute_start = env.context.now();
-        for t in 0..n - 1 {
-            fan1.set_arg(3, ClArg::U32(t as u32));
-            env.queue
-                .enqueue_nd_range_kernel(
-                    &fan1,
-                    [u64::from(fan1_groups(n, t)) * u64::from(FAN1_LOCAL), 1, 1],
-                )
-                .map_err(cl_failure)?;
-            env.queue.finish();
-            fan2.set_arg(4, ClArg::U32(t as u32));
-            let g = fan2_groups(n, t);
-            env.queue
-                .enqueue_nd_range_kernel(
-                    &fan2,
-                    [
-                        u64::from(g[0]) * u64::from(FAN2_TILE),
-                        u64::from(g[1]) * u64::from(FAN2_TILE),
-                        1,
-                    ],
-                )
-                .map_err(cl_failure)?;
-            env.queue.finish();
-        }
-        let compute_time = env.context.now().duration_since(compute_start);
-        let a_out: Vec<f32> = env.queue.enqueue_read_buffer(&a).map_err(cl_failure)?;
-        let b_out: Vec<f32> = env.queue.enqueue_read_buffer(&b).map_err(cl_failure)?;
-        let x = back_substitute(&a_out, &b_out, n);
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&x, e, 2e-2)),
-            compute_time,
-        })
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, n, &a_host, &b_host, expected.as_ref())
     })
 }
 
@@ -460,11 +303,7 @@ impl Workload for Gaussian {
     }
 
     fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
-        match api {
-            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
-            Api::Cuda => run_cuda(device, &self.registry, size, opts),
-            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
-        }
+        run(api, device, &self.registry, size, opts)
     }
 }
 

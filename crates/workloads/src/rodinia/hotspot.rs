@@ -10,20 +10,16 @@
 
 use std::sync::Arc;
 
-use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_cuda::{KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
 use vcb_sim::exec::{GroupCtx, KernelInfo};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
-use vcb_vulkan::util as vku;
-use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo, WriteDescriptorSet};
 
 use crate::common::{
-    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
-    measure_vk, scaled_iterations, vk_env, vk_failure, vk_kernel, BodyOutcome,
+    approx_eq_f32, bytes_of, measure, scaled_iterations, to_f32, BodyOutcome, ComputeBackend,
+    UsageHint,
 };
 use crate::data;
 
@@ -187,82 +183,52 @@ fn grid_groups(n: usize) -> [u32; 3] {
     [g, g, 1]
 }
 
-fn run_vulkan(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let iterations = scaled_iterations(size.aux, opts);
-    let env = vk_env(profile, registry)?;
-    let (temp_host, power_host) = generate(n, opts.seed);
-    let expected = opts
-        .validate
-        .then(|| reference(&temp_host, &power_host, n, iterations));
-    measure_vk(NAME, &size.label, &env, |env| {
-        let device = &env.device;
-        let power = vku::upload_storage_buffer(device, &env.queue, &power_host).map_err(vk_failure)?;
-        let ping = vku::upload_storage_buffer(device, &env.queue, &temp_host).map_err(vk_failure)?;
-        let pong = vku::create_storage_buffer(device, (n * n * 4) as u64).map_err(vk_failure)?;
+/// The one host program behind all three APIs: the stencil's ping-pong
+/// loop as a recorded dependent-dispatch sequence with alternating bind
+/// groups.
+fn host_program(
+    b: &mut dyn ComputeBackend,
+    n: usize,
+    iterations: u64,
+    temp_host: &[f32],
+    power_host: &[f32],
+    expected: Option<&Vec<f32>>,
+) -> Result<BodyOutcome, RunFailure> {
+    let bytes = (n * n * 4) as u64;
+    let power = b.upload(bytes_of(power_host), UsageHint::ReadOnly)?;
+    let ping = b.upload(bytes_of(temp_host), UsageHint::ReadWrite)?;
+    let pong = b.alloc(bytes, UsageHint::ReadWrite)?;
+    b.load_program(CL_SOURCE)?;
 
-        let (set_layout, _pool, set_a) =
-            vku::storage_descriptor_set(device, &[&power.buffer, &ping.buffer, &pong.buffer])
-                .map_err(vk_failure)?;
-        let pool_b = device.create_descriptor_pool(1).map_err(vk_failure)?;
-        let set_b = pool_b.allocate_descriptor_set(&set_layout).map_err(vk_failure)?;
-        device
-            .update_descriptor_sets(&[
-                WriteDescriptorSet { dst_set: &set_b, dst_binding: 0, buffer: &power.buffer },
-                WriteDescriptorSet { dst_set: &set_b, dst_binding: 1, buffer: &pong.buffer },
-                WriteDescriptorSet { dst_set: &set_b, dst_binding: 2, buffer: &ping.buffer },
-            ])
-            .map_err(vk_failure)?;
+    let bind_a = b.bind_group(&[power, ping, pong])?;
+    let bind_b = b.bind_group_like(bind_a, &[power, pong, ping])?;
+    let kernel = b.kernel(KERNEL, bind_a, 4)?;
 
-        let kernel = vk_kernel(env, registry, KERNEL, &set_layout, 4)?;
-        let cmd_pool = device
-            .create_command_pool(env.queue.family_index())
-            .map_err(vk_failure)?;
-        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        let barrier = MemoryBarrier {
-            src_access: Access::SHADER_WRITE,
-            dst_access: Access::SHADER_READ,
-        };
-        cmd.begin().map_err(vk_failure)?;
-        cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
-        let groups = grid_groups(n);
-        for i in 0..iterations {
-            let set = if i % 2 == 0 { &set_a } else { &set_b };
-            cmd.bind_descriptor_sets(&kernel.layout, &[set]).map_err(vk_failure)?;
-            cmd.push_constants(&kernel.layout, 0, &(n as u32).to_le_bytes())
-                .map_err(vk_failure)?;
-            cmd.dispatch(groups[0], groups[1], groups[2]).map_err(vk_failure)?;
-            cmd.pipeline_barrier(
-                PipelineStage::COMPUTE_SHADER,
-                PipelineStage::COMPUTE_SHADER,
-                &barrier,
-            )
-            .map_err(vk_failure)?;
-        }
-        cmd.end().map_err(vk_failure)?;
-        let compute_start = device.now();
-        env.queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
-            .map_err(vk_failure)?;
-        env.queue.wait_idle();
-        let compute_time = device.now().duration_since(compute_start);
+    let groups = grid_groups(n);
+    let seq = b.seq_begin()?;
+    b.seq_kernel(seq, kernel)?;
+    for i in 0..iterations {
+        b.seq_bind(seq, if i % 2 == 0 { bind_a } else { bind_b })?;
+        b.seq_push(seq, &(n as u32).to_le_bytes())?;
+        b.seq_dispatch(seq, groups)?;
+        b.seq_dependency(seq)?;
+    }
+    b.seq_end(seq)?;
 
-        let result = if iterations % 2 == 1 { &pong } else { &ping };
-        let out: Vec<f32> =
-            vku::download_storage_buffer(device, &env.queue, result).map_err(vk_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-3)),
-            compute_time,
-        })
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
+
+    let result = if iterations % 2 == 1 { pong } else { ping };
+    let out = to_f32(&b.download(result)?);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| approx_eq_f32(&out, e, 1e-3)),
+        compute_time,
     })
 }
 
-fn run_cuda(
+fn run(
+    api: Api,
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
     size: &SizeSpec,
@@ -270,97 +236,13 @@ fn run_cuda(
 ) -> RunOutcome {
     let n = size.n as usize;
     let iterations = scaled_iterations(size.aux, opts);
-    let ctx = cuda_env(profile, registry)?;
+    let mut b = vcb_backend::create(api, profile, registry)?;
     let (temp_host, power_host) = generate(n, opts.seed);
     let expected = opts
         .validate
         .then(|| reference(&temp_host, &power_host, n, iterations));
-    measure_cuda(NAME, &size.label, &ctx, |ctx| {
-        let bytes = (n * n * 4) as u64;
-        let power = ctx.malloc(bytes).map_err(cuda_failure)?;
-        let mut src = ctx.malloc(bytes).map_err(cuda_failure)?;
-        let mut dst = ctx.malloc(bytes).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&power, &power_host).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&src, &temp_host).map_err(cuda_failure)?;
-        let kernel = ctx.get_function(KERNEL).map_err(cuda_failure)?;
-        let groups = grid_groups(n);
-        let compute_start = ctx.now();
-        for _ in 0..iterations {
-            ctx.launch_kernel(
-                &kernel,
-                groups,
-                &[
-                    KernelArg::Ptr(power),
-                    KernelArg::Ptr(src),
-                    KernelArg::Ptr(dst),
-                    KernelArg::U32(n as u32),
-                ],
-                Stream::DEFAULT,
-            )
-            .map_err(cuda_failure)?;
-            ctx.device_synchronize();
-            std::mem::swap(&mut src, &mut dst);
-        }
-        let compute_time = ctx.now().duration_since(compute_start);
-        let out: Vec<f32> = ctx.memcpy_dtoh(&src).map_err(cuda_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-3)),
-            compute_time,
-        })
-    })
-}
-
-fn run_opencl(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let iterations = scaled_iterations(size.aux, opts);
-    let env = cl_env(profile, registry)?;
-    let (temp_host, power_host) = generate(n, opts.seed);
-    let expected = opts
-        .validate
-        .then(|| reference(&temp_host, &power_host, n, iterations));
-    measure_cl(NAME, &size.label, &env, |env| {
-        let bytes = (n * n * 4) as u64;
-        let power = env
-            .context
-            .create_buffer(MemFlags::ReadOnly, bytes)
-            .map_err(cl_failure)?;
-        let mut src = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, bytes)
-            .map_err(cl_failure)?;
-        let mut dst = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, bytes)
-            .map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&power, &power_host).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&src, &temp_host).map_err(cl_failure)?;
-        let program = Program::create_with_source(&env.context, CL_SOURCE);
-        program.build().map_err(cl_failure)?;
-        let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
-        kernel.set_arg(0, ClArg::Buffer(power));
-        kernel.set_arg(3, ClArg::U32(n as u32));
-        let global = (n as u64).div_ceil(u64::from(TILE)) * u64::from(TILE);
-        let compute_start = env.context.now();
-        for _ in 0..iterations {
-            kernel.set_arg(1, ClArg::Buffer(src));
-            kernel.set_arg(2, ClArg::Buffer(dst));
-            env.queue
-                .enqueue_nd_range_kernel(&kernel, [global, global, 1])
-                .map_err(cl_failure)?;
-            env.queue.finish();
-            std::mem::swap(&mut src, &mut dst);
-        }
-        let compute_time = env.context.now().duration_since(compute_start);
-        let out: Vec<f32> = env.queue.enqueue_read_buffer(&src).map_err(cl_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-3)),
-            compute_time,
-        })
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, n, iterations, &temp_host, &power_host, expected.as_ref())
     })
 }
 
@@ -397,11 +279,7 @@ impl Workload for Hotspot {
     }
 
     fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
-        match api {
-            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
-            Api::Cuda => run_cuda(device, &self.registry, size, opts),
-            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
-        }
+        run(api, device, &self.registry, size, opts)
     }
 }
 
@@ -465,7 +343,9 @@ mod tests {
         let opts = RunOpts::default();
         let w = Hotspot::new(Arc::clone(&registry));
         let size = &w.sizes(DeviceClass::Mobile)[0];
-        let cl = w.run(Api::OpenCl, &devices::powervr_g6430(), size, &opts).unwrap();
+        let cl = w
+            .run(Api::OpenCl, &devices::powervr_g6430(), size, &opts)
+            .unwrap();
         assert!(cl.validated);
     }
 }

@@ -10,20 +10,15 @@
 
 use std::sync::Arc;
 
-use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_cuda::{KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
 use vcb_sim::exec::{GroupCtx, KernelInfo};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
-use vcb_vulkan::util as vku;
-use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo};
 
 use crate::common::{
-    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
-    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+    approx_eq_f32, bytes_of, measure, to_f32, BodyOutcome, ComputeBackend, UsageHint,
 };
 use crate::data;
 
@@ -398,185 +393,72 @@ fn validate(out: &[f32], original: &[f32], n: usize, expected: bool) -> bool {
     approx_eq_f32(&rebuilt, original, 5e-2)
 }
 
-fn run_vulkan(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
+/// The one host program behind all three APIs: `n/BS` steps of three
+/// dependent kernels (diagonal, perimeter, internal) over the in-place
+/// matrix, recorded as one sequence.
+fn host_program(
+    b: &mut dyn ComputeBackend,
+    n: usize,
+    a_host: &[f32],
+    check: bool,
+) -> Result<BodyOutcome, RunFailure> {
     let nb = n / BS;
-    let env = vk_env(profile, registry)?;
-    let a_host = generate(n, opts.seed);
-    let check = opts.validate;
-    measure_vk(NAME, &size.label, &env, |env| {
-        let device = &env.device;
-        let a = vku::upload_storage_buffer(device, &env.queue, &a_host).map_err(vk_failure)?;
-        let (layout, _pool, set) =
-            vku::storage_descriptor_set(device, &[&a.buffer]).map_err(vk_failure)?;
-        let diagonal = vk_kernel(env, registry, KERNEL_DIAGONAL, &layout, 8)?;
-        let perimeter = vk_kernel(env, registry, KERNEL_PERIMETER, &layout, 8)?;
-        let internal = vk_kernel(env, registry, KERNEL_INTERNAL, &layout, 8)?;
+    let a = b.upload(bytes_of(a_host), UsageHint::ReadWrite)?;
+    b.load_program(CL_SOURCE)?;
+    let bg = b.bind_group(&[a])?;
+    // The Snapdragon OpenCL JIT dies on lud (§V-B2): `load_program` /
+    // `kernel` is where the quirk fires.
+    let diagonal = b.kernel(KERNEL_DIAGONAL, bg, 8)?;
+    let perimeter = b.kernel(KERNEL_PERIMETER, bg, 8)?;
+    let internal = b.kernel(KERNEL_INTERNAL, bg, 8)?;
 
-        let cmd_pool = device
-            .create_command_pool(env.queue.family_index())
-            .map_err(vk_failure)?;
-        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        let barrier = MemoryBarrier {
-            src_access: Access::SHADER_WRITE,
-            dst_access: Access::SHADER_READ,
-        };
-        cmd.begin().map_err(vk_failure)?;
-        for t in 0..nb {
-            let rem = (nb - t - 1) as u32;
-            cmd.bind_pipeline(&diagonal.pipeline).map_err(vk_failure)?;
-            cmd.bind_descriptor_sets(&diagonal.layout, &[&set]).map_err(vk_failure)?;
-            cmd.push_constants(&diagonal.layout, 0, &push(n, t)).map_err(vk_failure)?;
-            cmd.dispatch(1, 1, 1).map_err(vk_failure)?;
-            cmd.pipeline_barrier(
-                PipelineStage::COMPUTE_SHADER,
-                PipelineStage::COMPUTE_SHADER,
-                &barrier,
-            )
-            .map_err(vk_failure)?;
-            if rem > 0 {
-                cmd.bind_pipeline(&perimeter.pipeline).map_err(vk_failure)?;
-                cmd.bind_descriptor_sets(&perimeter.layout, &[&set]).map_err(vk_failure)?;
-                cmd.push_constants(&perimeter.layout, 0, &push(n, t)).map_err(vk_failure)?;
-                cmd.dispatch(2 * rem, 1, 1).map_err(vk_failure)?;
-                cmd.pipeline_barrier(
-                    PipelineStage::COMPUTE_SHADER,
-                    PipelineStage::COMPUTE_SHADER,
-                    &barrier,
-                )
-                .map_err(vk_failure)?;
-                cmd.bind_pipeline(&internal.pipeline).map_err(vk_failure)?;
-                cmd.bind_descriptor_sets(&internal.layout, &[&set]).map_err(vk_failure)?;
-                cmd.push_constants(&internal.layout, 0, &push(n, t)).map_err(vk_failure)?;
-                cmd.dispatch(rem, rem, 1).map_err(vk_failure)?;
-                cmd.pipeline_barrier(
-                    PipelineStage::COMPUTE_SHADER,
-                    PipelineStage::COMPUTE_SHADER,
-                    &barrier,
-                )
-                .map_err(vk_failure)?;
-            }
+    let seq = b.seq_begin()?;
+    for t in 0..nb {
+        let rem = (nb - t - 1) as u32;
+        b.seq_kernel(seq, diagonal)?;
+        b.seq_bind(seq, bg)?;
+        b.seq_push(seq, &push(n, t))?;
+        b.seq_dispatch(seq, [1, 1, 1])?;
+        b.seq_dependency(seq)?;
+        if rem > 0 {
+            b.seq_kernel(seq, perimeter)?;
+            b.seq_bind(seq, bg)?;
+            b.seq_push(seq, &push(n, t))?;
+            b.seq_dispatch(seq, [2 * rem, 1, 1])?;
+            b.seq_dependency(seq)?;
+            b.seq_kernel(seq, internal)?;
+            b.seq_bind(seq, bg)?;
+            b.seq_push(seq, &push(n, t))?;
+            b.seq_dispatch(seq, [rem, rem, 1])?;
+            b.seq_dependency(seq)?;
         }
-        cmd.end().map_err(vk_failure)?;
-        let compute_start = device.now();
-        env.queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
-            .map_err(vk_failure)?;
-        env.queue.wait_idle();
-        let compute_time = device.now().duration_since(compute_start);
-        let out: Vec<f32> =
-            vku::download_storage_buffer(device, &env.queue, &a).map_err(vk_failure)?;
-        Ok(BodyOutcome {
-            validated: validate(&out, &a_host, n, check),
-            compute_time,
-        })
+    }
+    b.seq_end(seq)?;
+
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
+
+    let out = to_f32(&b.download(a)?);
+    Ok(BodyOutcome {
+        validated: validate(&out, a_host, n, check),
+        compute_time,
     })
 }
 
-fn run_cuda(
+fn run(
+    api: Api,
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
     size: &SizeSpec,
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let nb = n / BS;
-    let ctx = cuda_env(profile, registry)?;
+    let mut b = vcb_backend::create(api, profile, registry)?;
     let a_host = generate(n, opts.seed);
     let check = opts.validate;
-    measure_cuda(NAME, &size.label, &ctx, |ctx| {
-        let a = ctx.malloc((n * n * 4) as u64).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&a, &a_host).map_err(cuda_failure)?;
-        let diagonal = ctx.get_function(KERNEL_DIAGONAL).map_err(cuda_failure)?;
-        let perimeter = ctx.get_function(KERNEL_PERIMETER).map_err(cuda_failure)?;
-        let internal = ctx.get_function(KERNEL_INTERNAL).map_err(cuda_failure)?;
-        let compute_start = ctx.now();
-        for t in 0..nb {
-            let rem = (nb - t - 1) as u32;
-            let args = [
-                KernelArg::Ptr(a),
-                KernelArg::U32(n as u32),
-                KernelArg::U32(t as u32),
-            ];
-            ctx.launch_kernel(&diagonal, [1, 1, 1], &args, Stream::DEFAULT)
-                .map_err(cuda_failure)?;
-            ctx.device_synchronize();
-            if rem > 0 {
-                ctx.launch_kernel(&perimeter, [2 * rem, 1, 1], &args, Stream::DEFAULT)
-                    .map_err(cuda_failure)?;
-                ctx.device_synchronize();
-                ctx.launch_kernel(&internal, [rem, rem, 1], &args, Stream::DEFAULT)
-                    .map_err(cuda_failure)?;
-                ctx.device_synchronize();
-            }
-        }
-        let compute_time = ctx.now().duration_since(compute_start);
-        let out: Vec<f32> = ctx.memcpy_dtoh(&a).map_err(cuda_failure)?;
-        Ok(BodyOutcome {
-            validated: validate(&out, &a_host, n, check),
-            compute_time,
-        })
-    })
-}
-
-fn run_opencl(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let nb = n / BS;
-    let env = cl_env(profile, registry)?;
-    let a_host = generate(n, opts.seed);
-    let check = opts.validate;
-    measure_cl(NAME, &size.label, &env, |env| {
-        let a = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, (n * n * 4) as u64)
-            .map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&a, &a_host).map_err(cl_failure)?;
-        let program = Program::create_with_source(&env.context, CL_SOURCE);
-        program.build().map_err(cl_failure)?;
-        let diagonal = ClKernel::new(&program, KERNEL_DIAGONAL).map_err(cl_failure)?;
-        let perimeter = ClKernel::new(&program, KERNEL_PERIMETER).map_err(cl_failure)?;
-        let internal = ClKernel::new(&program, KERNEL_INTERNAL).map_err(cl_failure)?;
-        for k in [&diagonal, &perimeter, &internal] {
-            k.set_arg(0, ClArg::Buffer(a));
-            k.set_arg(1, ClArg::U32(n as u32));
-        }
-        let compute_start = env.context.now();
-        for t in 0..nb {
-            let rem = (nb - t - 1) as u64;
-            diagonal.set_arg(2, ClArg::U32(t as u32));
-            env.queue
-                .enqueue_nd_range_kernel(&diagonal, [BS as u64, 1, 1])
-                .map_err(cl_failure)?;
-            env.queue.finish();
-            if rem > 0 {
-                perimeter.set_arg(2, ClArg::U32(t as u32));
-                env.queue
-                    .enqueue_nd_range_kernel(&perimeter, [2 * rem * BS as u64, 1, 1])
-                    .map_err(cl_failure)?;
-                env.queue.finish();
-                internal.set_arg(2, ClArg::U32(t as u32));
-                env.queue
-                    .enqueue_nd_range_kernel(&internal, [rem * BS as u64, rem * BS as u64, 1])
-                    .map_err(cl_failure)?;
-                env.queue.finish();
-            }
-        }
-        let compute_time = env.context.now().duration_since(compute_start);
-        let out: Vec<f32> = env.queue.enqueue_read_buffer(&a).map_err(cl_failure)?;
-        Ok(BodyOutcome {
-            validated: validate(&out, &a_host, n, check),
-            compute_time,
-        })
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, n, &a_host, check)
     })
 }
 
@@ -610,11 +492,7 @@ impl Workload for Lud {
     }
 
     fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
-        match api {
-            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
-            Api::Cuda => run_cuda(device, &self.registry, size, opts),
-            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
-        }
+        run(api, device, &self.registry, size, opts)
     }
 }
 
@@ -676,7 +554,9 @@ mod tests {
             Err(vcb_core::run::RunFailure::DriverFailure)
         ));
         // Vulkan works there.
-        let vk = w.run(Api::Vulkan, &devices::adreno506(), &size, &opts).unwrap();
+        let vk = w
+            .run(Api::Vulkan, &devices::adreno506(), &size, &opts)
+            .unwrap();
         assert!(vk.validated);
     }
 }

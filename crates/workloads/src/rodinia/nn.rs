@@ -8,20 +8,15 @@
 
 use std::sync::Arc;
 
-use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_cuda::{KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
 use vcb_sim::exec::{GroupCtx, KernelInfo};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
-use vcb_vulkan::util as vku;
-use vcb_vulkan::SubmitInfo;
 
 use crate::common::{
-    approx_eq_f32, cl_env, cl_failure, cuda_env, cuda_failure, measure_cl, measure_cuda,
-    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+    approx_eq_f32, bytes_of, measure, to_f32, BodyOutcome, ComputeBackend, UsageHint,
 };
 use crate::data;
 
@@ -144,139 +139,54 @@ fn push() -> impl Fn(usize) -> Vec<u8> {
     }
 }
 
-fn run_vulkan(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let env = vk_env(profile, registry)?;
-    let locations_host = generate(n, opts.seed);
-    let expected = opts
-        .validate
-        .then(|| reference(&locations_host, QUERY.0, QUERY.1));
-    measure_vk(NAME, &size.label, &env, |env| {
-        let device = &env.device;
-        let locations =
-            vku::upload_storage_buffer(device, &env.queue, &locations_host).map_err(vk_failure)?;
-        let distances = vku::create_storage_buffer(device, (n * 4) as u64).map_err(vk_failure)?;
-        let (layout, _pool, set) =
-            vku::storage_descriptor_set(device, &[&locations.buffer, &distances.buffer])
-                .map_err(vk_failure)?;
-        let kernel = vk_kernel(env, registry, KERNEL, &layout, 12)?;
-        let cmd_pool = device
-            .create_command_pool(env.queue.family_index())
-            .map_err(vk_failure)?;
-        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        cmd.begin().map_err(vk_failure)?;
-        cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
-        cmd.bind_descriptor_sets(&kernel.layout, &[&set]).map_err(vk_failure)?;
-        cmd.push_constants(&kernel.layout, 0, &push()(n)).map_err(vk_failure)?;
-        cmd.dispatch((n as u32).div_ceil(LOCAL_SIZE), 1, 1).map_err(vk_failure)?;
-        cmd.end().map_err(vk_failure)?;
-        let compute_start = device.now();
-        env.queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
-            .map_err(vk_failure)?;
-        env.queue.wait_idle();
-        let compute_time = device.now().duration_since(compute_start);
-        let out: Vec<f32> =
-            vku::download_storage_buffer(device, &env.queue, &distances).map_err(vk_failure)?;
-        let _nearest = select_k_nearest(&out, K);
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-4)),
-            compute_time,
-        })
+/// The one host program behind all three APIs: one bulk-parallel
+/// distance kernel, then the host-side top-k selection.
+fn host_program(
+    b: &mut dyn ComputeBackend,
+    n: usize,
+    locations_host: &[f32],
+    expected: Option<&Vec<f32>>,
+) -> Result<BodyOutcome, RunFailure> {
+    let locations = b.upload(bytes_of(locations_host), UsageHint::ReadOnly)?;
+    let distances = b.alloc((n * 4) as u64, UsageHint::WriteOnly)?;
+    b.load_program(CL_SOURCE)?;
+    let bg = b.bind_group(&[locations, distances])?;
+    let kernel = b.kernel(KERNEL, bg, 12)?;
+
+    let seq = b.seq_begin()?;
+    b.seq_kernel(seq, kernel)?;
+    b.seq_bind(seq, bg)?;
+    b.seq_push(seq, &push()(n))?;
+    b.seq_dispatch(seq, [(n as u32).div_ceil(LOCAL_SIZE), 1, 1])?;
+    b.seq_end(seq)?;
+
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
+
+    let out = to_f32(&b.download(distances)?);
+    let _nearest = select_k_nearest(&out, K);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| approx_eq_f32(&out, e, 1e-4)),
+        compute_time,
     })
 }
 
-fn run_cuda(
+fn run(
+    api: Api,
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
     size: &SizeSpec,
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let ctx = cuda_env(profile, registry)?;
+    let mut b = vcb_backend::create(api, profile, registry)?;
     let locations_host = generate(n, opts.seed);
     let expected = opts
         .validate
         .then(|| reference(&locations_host, QUERY.0, QUERY.1));
-    measure_cuda(NAME, &size.label, &ctx, |ctx| {
-        let locations = ctx.malloc((2 * n * 4) as u64).map_err(cuda_failure)?;
-        let distances = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&locations, &locations_host).map_err(cuda_failure)?;
-        let kernel = ctx.get_function(KERNEL).map_err(cuda_failure)?;
-        let compute_start = ctx.now();
-        ctx.launch_kernel(
-            &kernel,
-            [(n as u32).div_ceil(LOCAL_SIZE), 1, 1],
-            &[
-                KernelArg::Ptr(locations),
-                KernelArg::Ptr(distances),
-                KernelArg::U32(n as u32),
-                KernelArg::F32(QUERY.0),
-                KernelArg::F32(QUERY.1),
-            ],
-            Stream::DEFAULT,
-        )
-        .map_err(cuda_failure)?;
-        ctx.device_synchronize();
-        let compute_time = ctx.now().duration_since(compute_start);
-        let out: Vec<f32> = ctx.memcpy_dtoh(&distances).map_err(cuda_failure)?;
-        let _nearest = select_k_nearest(&out, K);
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-4)),
-            compute_time,
-        })
-    })
-}
-
-fn run_opencl(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let env = cl_env(profile, registry)?;
-    let locations_host = generate(n, opts.seed);
-    let expected = opts
-        .validate
-        .then(|| reference(&locations_host, QUERY.0, QUERY.1));
-    measure_cl(NAME, &size.label, &env, |env| {
-        let locations = env
-            .context
-            .create_buffer(MemFlags::ReadOnly, (2 * n * 4) as u64)
-            .map_err(cl_failure)?;
-        let distances = env
-            .context
-            .create_buffer(MemFlags::WriteOnly, (n * 4) as u64)
-            .map_err(cl_failure)?;
-        env.queue
-            .enqueue_write_buffer(&locations, &locations_host)
-            .map_err(cl_failure)?;
-        let program = Program::create_with_source(&env.context, CL_SOURCE);
-        program.build().map_err(cl_failure)?;
-        let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
-        kernel.set_arg(0, ClArg::Buffer(locations));
-        kernel.set_arg(1, ClArg::Buffer(distances));
-        kernel.set_arg(2, ClArg::U32(n as u32));
-        kernel.set_arg(3, ClArg::F32(QUERY.0));
-        kernel.set_arg(4, ClArg::F32(QUERY.1));
-        let compute_start = env.context.now();
-        env.queue
-            .enqueue_nd_range_kernel(&kernel, [n as u64, 1, 1])
-            .map_err(cl_failure)?;
-        env.queue.finish();
-        let compute_time = env.context.now().duration_since(compute_start);
-        let out: Vec<f32> = env.queue.enqueue_read_buffer(&distances).map_err(cl_failure)?;
-        let _nearest = select_k_nearest(&out, K);
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| approx_eq_f32(&out, e, 1e-4)),
-            compute_time,
-        })
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, n, &locations_host, expected.as_ref())
     })
 }
 
@@ -313,11 +223,7 @@ impl Workload for Nn {
     }
 
     fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
-        match api {
-            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
-            Api::Cuda => run_cuda(device, &self.registry, size, opts),
-            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
-        }
+        run(api, device, &self.registry, size, opts)
     }
 }
 

@@ -17,20 +17,15 @@
 
 use std::sync::Arc;
 
-use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_cuda::{KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
 use vcb_sim::exec::{GroupCtx, KernelInfo};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
-use vcb_vulkan::util as vku;
-use vcb_vulkan::SubmitInfo;
 
 use crate::common::{
-    cl_env, cl_failure, cuda_env, cuda_failure, exact_eq_i32, measure_cl, measure_cuda,
-    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+    bytes_of, exact_eq_i32, measure, to_i32, BodyOutcome, ComputeBackend, UsageHint,
 };
 use crate::data;
 
@@ -219,168 +214,72 @@ fn push(n: usize, tile_base: u32) -> Vec<u8> {
     p
 }
 
-fn run_vulkan(
+/// The one host program behind all three APIs. The two grid halves
+/// record into two command-buffer segments submitted in a single
+/// `vkQueueSubmit` under Vulkan (`seq_split`); the launch-based APIs
+/// enqueue the same two kernels back-to-back — either way the APIs end
+/// up at parity, as §V-A2 reports.
+fn host_program(
+    b: &mut dyn ComputeBackend,
+    n: usize,
+    seq1_host: &[i32],
+    seq2_host: &[i32],
+    blosum_host: &[i32],
+    expected: Option<&Vec<i32>>,
+) -> Result<BodyOutcome, RunFailure> {
+    let seq1 = b.upload(bytes_of(seq1_host), UsageHint::ReadOnly)?;
+    let seq2 = b.upload(bytes_of(seq2_host), UsageHint::ReadOnly)?;
+    let blosum = b.upload(bytes_of(blosum_host), UsageHint::ReadOnly)?;
+    let score = b.upload(bytes_of(&initial_score(n)), UsageHint::ReadWrite)?;
+    b.load_program(CL_SOURCE)?;
+    let bg = b.bind_group(&[seq1, seq2, blosum, score])?;
+    let kernel = b.kernel(KERNEL, bg, 12)?;
+
+    let seq = b.seq_begin()?;
+    for (i, (base, count)) in halves(n).iter().enumerate() {
+        if i > 0 {
+            b.seq_split(seq)?;
+        }
+        b.seq_kernel(seq, kernel)?;
+        b.seq_bind(seq, bg)?;
+        b.seq_push(seq, &push(n, *base))?;
+        b.seq_dispatch(seq, [(*count).max(1), 1, 1])?;
+    }
+    b.seq_end(seq)?;
+
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
+
+    let out = to_i32(&b.download(score)?);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| exact_eq_i32(&out, e)),
+        compute_time,
+    })
+}
+
+fn run(
+    api: Api,
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
     size: &SizeSpec,
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let env = vk_env(profile, registry)?;
+    let mut b = vcb_backend::create(api, profile, registry)?;
     let (seq1_host, seq2_host, blosum_host) = generate(n, opts.seed);
     let expected = opts
         .validate
         .then(|| reference(&seq1_host, &seq2_host, &blosum_host, n));
-    measure_vk(NAME, &size.label, &env, |env| {
-        let device = &env.device;
-        let q = &env.queue;
-        let seq1 = vku::upload_storage_buffer(device, q, &seq1_host).map_err(vk_failure)?;
-        let seq2 = vku::upload_storage_buffer(device, q, &seq2_host).map_err(vk_failure)?;
-        let blosum = vku::upload_storage_buffer(device, q, &blosum_host).map_err(vk_failure)?;
-        let score = vku::upload_storage_buffer(device, q, &initial_score(n)).map_err(vk_failure)?;
-        let (layout, _pool, set) = vku::storage_descriptor_set(
-            device,
-            &[&seq1.buffer, &seq2.buffer, &blosum.buffer, &score.buffer],
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(
+            b,
+            n,
+            &seq1_host,
+            &seq2_host,
+            &blosum_host,
+            expected.as_ref(),
         )
-        .map_err(vk_failure)?;
-        let kernel = vk_kernel(env, registry, KERNEL, &layout, 12)?;
-        let cmd_pool = device.create_command_pool(q.family_index()).map_err(vk_failure)?;
-        // Two command buffers, one per half, submitted together.
-        let mut cmds = Vec::new();
-        for (base, count) in halves(n) {
-            let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-            cmd.begin().map_err(vk_failure)?;
-            cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
-            cmd.bind_descriptor_sets(&kernel.layout, &[&set]).map_err(vk_failure)?;
-            cmd.push_constants(&kernel.layout, 0, &push(n, base)).map_err(vk_failure)?;
-            cmd.dispatch(count.max(1), 1, 1).map_err(vk_failure)?;
-            cmd.end().map_err(vk_failure)?;
-            cmds.push(cmd);
-        }
-        let compute_start = device.now();
-        let refs: Vec<&vcb_vulkan::CommandBuffer> = cmds.iter().collect();
-        q.submit(&[SubmitInfo { command_buffers: &refs }], None)
-            .map_err(vk_failure)?;
-        q.wait_idle();
-        let compute_time = device.now().duration_since(compute_start);
-        let out: Vec<i32> = vku::download_storage_buffer(device, q, &score).map_err(vk_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
-            compute_time,
-        })
-    })
-}
-
-fn run_cuda(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let ctx = cuda_env(profile, registry)?;
-    let (seq1_host, seq2_host, blosum_host) = generate(n, opts.seed);
-    let expected = opts
-        .validate
-        .then(|| reference(&seq1_host, &seq2_host, &blosum_host, n));
-    measure_cuda(NAME, &size.label, &ctx, |ctx| {
-        let w = n + 1;
-        let seq1 = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-        let seq2 = ctx.malloc((n * 4) as u64).map_err(cuda_failure)?;
-        let blosum = ctx.malloc(64).map_err(cuda_failure)?;
-        let score = ctx.malloc((w * w * 4) as u64).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&seq1, &seq1_host).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&seq2, &seq2_host).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&blosum, &blosum_host).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&score, &initial_score(n)).map_err(cuda_failure)?;
-        let kernel = ctx.get_function(KERNEL).map_err(cuda_failure)?;
-        let compute_start = ctx.now();
-        for (base, count) in halves(n) {
-            ctx.launch_kernel(
-                &kernel,
-                [count.max(1), 1, 1],
-                &[
-                    KernelArg::Ptr(seq1),
-                    KernelArg::Ptr(seq2),
-                    KernelArg::Ptr(blosum),
-                    KernelArg::Ptr(score),
-                    KernelArg::U32(n as u32),
-                    KernelArg::U32(base),
-                    KernelArg::I32(PENALTY),
-                ],
-                Stream::DEFAULT,
-            )
-            .map_err(cuda_failure)?;
-        }
-        ctx.device_synchronize();
-        let compute_time = ctx.now().duration_since(compute_start);
-        let out: Vec<i32> = ctx.memcpy_dtoh(&score).map_err(cuda_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
-            compute_time,
-        })
-    })
-}
-
-fn run_opencl(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let n = size.n as usize;
-    let env = cl_env(profile, registry)?;
-    let (seq1_host, seq2_host, blosum_host) = generate(n, opts.seed);
-    let expected = opts
-        .validate
-        .then(|| reference(&seq1_host, &seq2_host, &blosum_host, n));
-    measure_cl(NAME, &size.label, &env, |env| {
-        let w = n + 1;
-        let seq1 = env
-            .context
-            .create_buffer(MemFlags::ReadOnly, (n * 4) as u64)
-            .map_err(cl_failure)?;
-        let seq2 = env
-            .context
-            .create_buffer(MemFlags::ReadOnly, (n * 4) as u64)
-            .map_err(cl_failure)?;
-        let blosum = env
-            .context
-            .create_buffer(MemFlags::ReadOnly, 64)
-            .map_err(cl_failure)?;
-        let score = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, (w * w * 4) as u64)
-            .map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&seq1, &seq1_host).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&seq2, &seq2_host).map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&blosum, &blosum_host).map_err(cl_failure)?;
-        env.queue
-            .enqueue_write_buffer(&score, &initial_score(n))
-            .map_err(cl_failure)?;
-        let program = Program::create_with_source(&env.context, CL_SOURCE);
-        program.build().map_err(cl_failure)?;
-        let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
-        kernel.set_arg(0, ClArg::Buffer(seq1));
-        kernel.set_arg(1, ClArg::Buffer(seq2));
-        kernel.set_arg(2, ClArg::Buffer(blosum));
-        kernel.set_arg(3, ClArg::Buffer(score));
-        kernel.set_arg(4, ClArg::U32(n as u32));
-        kernel.set_arg(6, ClArg::I32(PENALTY));
-        let compute_start = env.context.now();
-        for (base, count) in halves(n) {
-            kernel.set_arg(5, ClArg::U32(base));
-            env.queue
-                .enqueue_nd_range_kernel(&kernel, [u64::from(count.max(1)) * BS as u64, 1, 1])
-                .map_err(cl_failure)?;
-        }
-        env.queue.finish();
-        let compute_time = env.context.now().duration_since(compute_start);
-        let out: Vec<i32> = env.queue.enqueue_read_buffer(&score).map_err(cl_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
-            compute_time,
-        })
     })
 }
 
@@ -414,11 +313,7 @@ impl Workload for Nw {
     }
 
     fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
-        match api {
-            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
-            Api::Cuda => run_cuda(device, &self.registry, size, opts),
-            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
-        }
+        run(api, device, &self.registry, size, opts)
     }
 }
 
@@ -478,7 +373,9 @@ mod tests {
         let opts = RunOpts::default();
         let size = SizeSpec::new("512", 512);
         let w = Nw::new(Arc::clone(&registry));
-        let vk = w.run(Api::Vulkan, &devices::adreno506(), &size, &opts).unwrap();
+        let vk = w
+            .run(Api::Vulkan, &devices::adreno506(), &size, &opts)
+            .unwrap();
         assert!(vk.validated);
     }
 }

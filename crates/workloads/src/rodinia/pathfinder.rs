@@ -16,17 +16,12 @@ use std::sync::Arc;
 use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_cuda::{KernelArg, Stream};
-use vcb_opencl::{ClArg, Kernel as ClKernel, MemFlags, Program};
 use vcb_sim::exec::{GroupCtx, KernelInfo};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
-use vcb_vulkan::util as vku;
-use vcb_vulkan::{Access, MemoryBarrier, PipelineStage, SubmitInfo, WriteDescriptorSet};
 
 use crate::common::{
-    cl_env, cl_failure, cuda_env, cuda_failure, exact_eq_i32, measure_cl, measure_cuda,
-    measure_vk, vk_env, vk_failure, vk_kernel, BodyOutcome,
+    bytes_of, exact_eq_i32, measure, to_i32, BodyOutcome, ComputeBackend, UsageHint,
 };
 use crate::data;
 
@@ -166,7 +161,11 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
                     // edges (matching the reference recurrence) and by
                     // lane elsewhere (halo lanes may read stale block
                     // edges; their results are discarded below).
-                    let left_tx = if raw_col <= 0 { tx } else { tx.saturating_sub(1) };
+                    let left_tx = if raw_col <= 0 {
+                        tx
+                    } else {
+                        tx.saturating_sub(1)
+                    };
                     let right_tx = if raw_col >= cols - 1 {
                         tx
                     } else {
@@ -275,211 +274,66 @@ fn push_bytes(cols: usize, start_row: u32, height: u32) -> Vec<u8> {
     push
 }
 
-fn run_vulkan(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let d = dims(size);
-    let env = vk_env(profile, registry)?;
-    let wall_host = generate(d, opts.seed);
-    let expected = opts.validate.then(|| reference(&wall_host, d));
-    measure_vk(NAME, &size.label, &env, |env| {
-        let device = &env.device;
-        let wall = vku::upload_storage_buffer(device, &env.queue, &wall_host).map_err(vk_failure)?;
-        let first_row: Vec<i32> = wall_host[..d.cols].to_vec();
-        let ping = vku::upload_storage_buffer(device, &env.queue, &first_row).map_err(vk_failure)?;
-        let pong = vku::create_storage_buffer(device, (d.cols * 4) as u64).map_err(vk_failure)?;
+/// The one host program behind all three APIs: upload the wall and the
+/// first row, ping-pong the row buffers through `chunks()` dependent
+/// dispatches, and read the surviving row back. Under Vulkan the whole
+/// chain pre-records into one command buffer with barriers (§IV-C); the
+/// launch-based APIs replay it as launch + host-sync pairs — the
+/// multi-kernel method.
+fn host_program(
+    b: &mut dyn ComputeBackend,
+    d: Dims,
+    wall_host: &[i32],
+    expected: Option<&Vec<i32>>,
+) -> Result<BodyOutcome, RunFailure> {
+    let wall = b.upload(bytes_of(wall_host), UsageHint::ReadOnly)?;
+    let first_row = &wall_host[..d.cols];
+    let ping = b.upload(bytes_of(first_row), UsageHint::ReadWrite)?;
+    let pong = b.alloc((d.cols * 4) as u64, UsageHint::ReadWrite)?;
+    b.load_program(CL_SOURCE)?;
 
-        // Two descriptor sets: (wall, ping->pong) and (wall, pong->ping).
-        let (set_layout, pool, set_a) =
-            vku::storage_descriptor_set(device, &[&wall.buffer, &ping.buffer, &pong.buffer])
-                .map_err(vk_failure)?;
-        let set_b = pool.allocate_descriptor_set(&set_layout).map_err(|_| {
-            RunFailure::Error("descriptor pool exhausted".into())
-        });
-        // The helper's pool holds one set; allocate a second pool for the
-        // pong direction.
-        let set_b = match set_b {
-            Ok(s) => s,
-            Err(_) => {
-                let pool2 = device.create_descriptor_pool(1).map_err(vk_failure)?;
-                pool2.allocate_descriptor_set(&set_layout).map_err(vk_failure)?
-            }
-        };
-        device
-            .update_descriptor_sets(&[
-                WriteDescriptorSet {
-                    dst_set: &set_b,
-                    dst_binding: 0,
-                    buffer: &wall.buffer,
-                },
-                WriteDescriptorSet {
-                    dst_set: &set_b,
-                    dst_binding: 1,
-                    buffer: &pong.buffer,
-                },
-                WriteDescriptorSet {
-                    dst_set: &set_b,
-                    dst_binding: 2,
-                    buffer: &ping.buffer,
-                },
-            ])
-            .map_err(vk_failure)?;
+    // Two bind groups over one layout: (wall, ping->pong), (wall, pong->ping).
+    let bind_a = b.bind_group(&[wall, ping, pong])?;
+    let bind_b = b.bind_group_like(bind_a, &[wall, pong, ping])?;
+    let kernel = b.kernel(KERNEL, bind_a, 12)?;
 
-        let kernel = vk_kernel(env, registry, KERNEL, &set_layout, 12)?;
-        let cmd_pool = device
-            .create_command_pool(env.queue.family_index())
-            .map_err(vk_failure)?;
-        let cmd = cmd_pool.allocate_command_buffer().map_err(vk_failure)?;
-        let barrier = MemoryBarrier {
-            src_access: Access::SHADER_WRITE,
-            dst_access: Access::SHADER_READ,
-        };
+    let steps = chunks(d.rows);
+    let groups = groups_for(d.cols);
+    let seq = b.seq_begin()?;
+    b.seq_kernel(seq, kernel)?;
+    for (i, (start_row, height)) in steps.iter().enumerate() {
+        b.seq_bind(seq, if i % 2 == 0 { bind_a } else { bind_b })?;
+        b.seq_push(seq, &push_bytes(d.cols, *start_row, *height))?;
+        b.seq_dispatch(seq, [groups, 1, 1])?;
+        b.seq_dependency(seq)?;
+    }
+    b.seq_end(seq)?;
 
-        // All iterations in ONE command buffer with barriers (§IV-C).
-        cmd.begin().map_err(vk_failure)?;
-        cmd.bind_pipeline(&kernel.pipeline).map_err(vk_failure)?;
-        let steps = chunks(d.rows);
-        let groups = groups_for(d.cols);
-        for (i, (start_row, height)) in steps.iter().enumerate() {
-            let set = if i % 2 == 0 { &set_a } else { &set_b };
-            cmd.bind_descriptor_sets(&kernel.layout, &[set]).map_err(vk_failure)?;
-            cmd.push_constants(&kernel.layout, 0, &push_bytes(d.cols, *start_row, *height))
-                .map_err(vk_failure)?;
-            cmd.dispatch(groups, 1, 1).map_err(vk_failure)?;
-            cmd.pipeline_barrier(
-                PipelineStage::COMPUTE_SHADER,
-                PipelineStage::COMPUTE_SHADER,
-                &barrier,
-            )
-            .map_err(vk_failure)?;
-        }
-        cmd.end().map_err(vk_failure)?;
-        let compute_start = device.now();
-        env.queue
-            .submit(&[SubmitInfo { command_buffers: &[&cmd] }], None)
-            .map_err(vk_failure)?;
-        env.queue.wait_idle();
-        let compute_time = device.now().duration_since(compute_start);
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
 
-        let result_buf = if steps.len() % 2 == 1 { &pong } else { &ping };
-        let out: Vec<i32> =
-            vku::download_storage_buffer(device, &env.queue, result_buf).map_err(vk_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
-            compute_time,
-        })
+    let result = if steps.len() % 2 == 1 { pong } else { ping };
+    let out = to_i32(&b.download(result)?);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| exact_eq_i32(&out, e)),
+        compute_time,
     })
 }
 
-fn run_cuda(
+fn run(
+    api: Api,
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
     size: &SizeSpec,
     opts: &RunOpts,
 ) -> RunOutcome {
     let d = dims(size);
-    let ctx = cuda_env(profile, registry)?;
+    let mut b = vcb_backend::create(api, profile, registry)?;
     let wall_host = generate(d, opts.seed);
     let expected = opts.validate.then(|| reference(&wall_host, d));
-    measure_cuda(NAME, &size.label, &ctx, |ctx| {
-        let wall = ctx.malloc((d.rows * d.cols * 4) as u64).map_err(cuda_failure)?;
-        let ping = ctx.malloc((d.cols * 4) as u64).map_err(cuda_failure)?;
-        let pong = ctx.malloc((d.cols * 4) as u64).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&wall, &wall_host).map_err(cuda_failure)?;
-        ctx.memcpy_htod(&ping, &wall_host[..d.cols]).map_err(cuda_failure)?;
-        let kernel = ctx.get_function(KERNEL).map_err(cuda_failure)?;
-        let groups = groups_for(d.cols);
-        let steps = chunks(d.rows);
-        let mut src = ping;
-        let mut dst = pong;
-        let compute_start = ctx.now();
-        for (start_row, height) in &steps {
-            ctx.launch_kernel(
-                &kernel,
-                [groups, 1, 1],
-                &[
-                    KernelArg::Ptr(wall),
-                    KernelArg::Ptr(src),
-                    KernelArg::Ptr(dst),
-                    KernelArg::U32(d.cols as u32),
-                    KernelArg::U32(*start_row),
-                    KernelArg::U32(*height),
-                ],
-                Stream::DEFAULT,
-            )
-            .map_err(cuda_failure)?;
-            // Multi-kernel method: control returns to the host between
-            // dependent iterations (§IV-C).
-            ctx.device_synchronize();
-            std::mem::swap(&mut src, &mut dst);
-        }
-        let compute_time = ctx.now().duration_since(compute_start);
-        let out: Vec<i32> = ctx.memcpy_dtoh(&src).map_err(cuda_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
-            compute_time,
-        })
-    })
-}
-
-fn run_opencl(
-    profile: &DeviceProfile,
-    registry: &Arc<KernelRegistry>,
-    size: &SizeSpec,
-    opts: &RunOpts,
-) -> RunOutcome {
-    let d = dims(size);
-    let env = cl_env(profile, registry)?;
-    let wall_host = generate(d, opts.seed);
-    let expected = opts.validate.then(|| reference(&wall_host, d));
-    measure_cl(NAME, &size.label, &env, |env| {
-        let wall = env
-            .context
-            .create_buffer(MemFlags::ReadOnly, (d.rows * d.cols * 4) as u64)
-            .map_err(cl_failure)?;
-        let ping = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, (d.cols * 4) as u64)
-            .map_err(cl_failure)?;
-        let pong = env
-            .context
-            .create_buffer(MemFlags::ReadWrite, (d.cols * 4) as u64)
-            .map_err(cl_failure)?;
-        env.queue.enqueue_write_buffer(&wall, &wall_host).map_err(cl_failure)?;
-        env.queue
-            .enqueue_write_buffer(&ping, &wall_host[..d.cols])
-            .map_err(cl_failure)?;
-        let program = Program::create_with_source(&env.context, CL_SOURCE);
-        program.build().map_err(cl_failure)?;
-        let kernel = ClKernel::new(&program, KERNEL).map_err(cl_failure)?;
-        kernel.set_arg(0, ClArg::Buffer(wall));
-        kernel.set_arg(3, ClArg::U32(d.cols as u32));
-        let groups = groups_for(d.cols);
-        let global = u64::from(groups) * u64::from(BLOCK_SIZE);
-        let steps = chunks(d.rows);
-        let mut src = ping;
-        let mut dst = pong;
-        let compute_start = env.context.now();
-        for (start_row, height) in &steps {
-            kernel.set_arg(1, ClArg::Buffer(src));
-            kernel.set_arg(2, ClArg::Buffer(dst));
-            kernel.set_arg(4, ClArg::U32(*start_row));
-            kernel.set_arg(5, ClArg::U32(*height));
-            env.queue
-                .enqueue_nd_range_kernel(&kernel, [global, 1, 1])
-                .map_err(cl_failure)?;
-            env.queue.finish();
-            std::mem::swap(&mut src, &mut dst);
-        }
-        let compute_time = env.context.now().duration_since(compute_start);
-        let out: Vec<i32> = env.queue.enqueue_read_buffer(&src).map_err(cl_failure)?;
-        Ok(BodyOutcome {
-            validated: expected.as_ref().is_none_or(|e| exact_eq_i32(&out, e)),
-            compute_time,
-        })
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, d, &wall_host, expected.as_ref())
     })
 }
 
@@ -516,11 +370,7 @@ impl Workload for Pathfinder {
     }
 
     fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
-        match api {
-            Api::Vulkan => run_vulkan(device, &self.registry, size, opts),
-            Api::Cuda => run_cuda(device, &self.registry, size, opts),
-            Api::OpenCl => run_opencl(device, &self.registry, size, opts),
-        }
+        run(api, device, &self.registry, size, opts)
     }
 }
 
@@ -564,11 +414,7 @@ mod tests {
         let vk = w.run(Api::Vulkan, &profile, &size, &opts).unwrap();
         let cu = w.run(Api::Cuda, &profile, &size, &opts).unwrap();
         let cl = w.run(Api::OpenCl, &profile, &size, &opts).unwrap();
-        assert!(
-            speedup(&cu, &vk) > 1.3,
-            "vs CUDA: {}",
-            speedup(&cu, &vk)
-        );
+        assert!(speedup(&cu, &vk) > 1.3, "vs CUDA: {}", speedup(&cu, &vk));
         assert!(speedup(&cl, &vk) > 1.3, "vs OpenCL: {}", speedup(&cl, &vk));
     }
 

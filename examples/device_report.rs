@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!("  queue families:");
         for (i, family) in physical.queue_family_properties().iter().enumerate() {
-            println!(
-                "    [{i}] {} x{}",
-                family.queue_flags, family.queue_count
-            );
+            println!("    [{i}] {} x{}", family.queue_flags, family.queue_count);
         }
         println!("  memory heaps:");
         let mem = physical.memory_properties();
@@ -44,8 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "    [{i}] {:>6} MiB {}{}",
                 heap.size / (1024 * 1024),
-                if heap.device_local { "DEVICE_LOCAL " } else { "" },
-                if heap.host_visible { "HOST_VISIBLE" } else { "" },
+                if heap.device_local {
+                    "DEVICE_LOCAL "
+                } else {
+                    ""
+                },
+                if heap.host_visible {
+                    "HOST_VISIBLE"
+                } else {
+                    ""
+                },
             );
         }
         println!();
@@ -55,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // missing local-memory promotion explains the paper's bfs slowdown.
     let info = registry.lookup("bfs_kernel1")?.info().clone();
     let module = SpirvModule::assemble(&info);
-    println!("== SPIR-V disassembly: bfs_kernel1 ({} bytes) ==", module.byte_len());
+    println!(
+        "== SPIR-V disassembly: bfs_kernel1 ({} bytes) ==",
+        module.byte_len()
+    );
     println!("{}", disassemble(module.words())?);
     let gtx = devices::gtx1050ti();
     println!(

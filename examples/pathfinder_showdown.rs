@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             record.kernel_time.to_string(),
                             record.total_time.to_string(),
                             note,
-                            if record.validated { "" } else { " NOT VALIDATED" },
+                            if record.validated {
+                                ""
+                            } else {
+                                " NOT VALIDATED"
+                            },
                         );
                         if api == Api::OpenCl {
                             baseline = Some(record);

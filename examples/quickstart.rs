@@ -90,12 +90,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spirv = SpirvModule::assemble(&kernel_info); // readSpirvBinary("vectorAdd.spv")
     let module = device.create_shader_module(spirv.words())?;
     let set_layout = device.create_descriptor_set_layout(&[
-        DescriptorSetLayoutBinding { binding: 0, descriptor_type: DescriptorType::StorageBuffer },
-        DescriptorSetLayoutBinding { binding: 1, descriptor_type: DescriptorType::StorageBuffer },
-        DescriptorSetLayoutBinding { binding: 2, descriptor_type: DescriptorType::StorageBuffer },
+        DescriptorSetLayoutBinding {
+            binding: 0,
+            descriptor_type: DescriptorType::StorageBuffer,
+        },
+        DescriptorSetLayoutBinding {
+            binding: 1,
+            descriptor_type: DescriptorType::StorageBuffer,
+        },
+        DescriptorSetLayoutBinding {
+            binding: 2,
+            descriptor_type: DescriptorType::StorageBuffer,
+        },
     ])?;
-    let pipeline_layout =
-        device.create_pipeline_layout(&[&set_layout], &[PushConstantRange { offset: 0, size: 4 }])?;
+    let pipeline_layout = device
+        .create_pipeline_layout(&[&set_layout], &[PushConstantRange { offset: 0, size: 4 }])?;
     let pipeline = device.create_compute_pipeline(&ComputePipelineCreateInfo {
         module: &module,
         entry_point: "vectoradd_add",
@@ -106,9 +115,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let descriptor_pool = device.create_descriptor_pool(1)?;
     let descriptor_set = descriptor_pool.allocate_descriptor_set(&set_layout)?;
     device.update_descriptor_sets(&[
-        WriteDescriptorSet { dst_set: &descriptor_set, dst_binding: 0, buffer: &buffer_x },
-        WriteDescriptorSet { dst_set: &descriptor_set, dst_binding: 1, buffer: &buffer_y },
-        WriteDescriptorSet { dst_set: &descriptor_set, dst_binding: 2, buffer: &buffer_z },
+        WriteDescriptorSet {
+            dst_set: &descriptor_set,
+            dst_binding: 0,
+            buffer: &buffer_x,
+        },
+        WriteDescriptorSet {
+            dst_set: &descriptor_set,
+            dst_binding: 1,
+            buffer: &buffer_y,
+        },
+        WriteDescriptorSet {
+            dst_set: &descriptor_set,
+            dst_binding: 2,
+            buffer: &buffer_z,
+        },
     ])?;
 
     // Create command pool, allocate a command buffer, record commands.

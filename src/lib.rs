@@ -12,11 +12,14 @@
 //! * [`spirv`] — SPIR-V-like kernel modules and the driver compiler model.
 //! * [`vulkan`] / [`cuda`] / [`opencl`] — the three programming-model
 //!   frontends under comparison.
+//! * [`backend`] — the portable host-program layer: one
+//!   `ComputeBackend` trait behind all three frontends, preserving each
+//!   API's call counts and cost breakdowns.
 //! * [`core`] — the benchmark-suite core: workload model, run records,
 //!   statistics and report formatting.
 //! * [`workloads`] — the nine Rodinia ports plus the two microbenchmarks,
-//!   each with a data generator, a CPU reference and one host driver per
-//!   API.
+//!   each with a data generator, a CPU reference and one portable host
+//!   program driven through [`backend`].
 //! * [`harness`] — experiment drivers regenerating every table and
 //!   figure of the paper.
 //!
@@ -25,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub use vcb_backend as backend;
 pub use vcb_core as core;
 pub use vcb_cuda as cuda;
 pub use vcb_harness as harness;

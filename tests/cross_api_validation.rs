@@ -127,5 +127,8 @@ fn different_seeds_change_data_not_structure() {
     // Same amount of work, both validated.
     assert!(a.validated && b.validated);
     let ratio = a.kernel_time.ratio(b.kernel_time);
-    assert!((0.9..1.1).contains(&ratio), "seed changed timing shape: {ratio}");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "seed changed timing shape: {ratio}"
+    );
 }

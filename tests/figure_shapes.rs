@@ -86,8 +86,14 @@ fn fig3_snapdragon_push_constant_gap_closes_with_stride() {
     let rel_first = vk[0].bytes_per_sec / cl[0].bytes_per_sec;
     let rel_last = vk.last().unwrap().bytes_per_sec / cl.last().unwrap().bytes_per_sec;
     // §V-B1: Vulkan worse at small strides, converging at large ones.
-    assert!(rel_first < 0.92, "unit-stride Vulkan/OpenCL ratio {rel_first}");
-    assert!(rel_last > rel_first, "gap must close: {rel_first} -> {rel_last}");
+    assert!(
+        rel_first < 0.92,
+        "unit-stride Vulkan/OpenCL ratio {rel_first}"
+    );
+    assert!(
+        rel_last > rel_first,
+        "gap must close: {rel_first} -> {rel_last}"
+    );
 }
 
 #[test]
@@ -115,7 +121,10 @@ fn iterative_workloads_favor_vulkan_on_desktop() {
 fn pathfinder_speedup_grows_with_input() {
     let registry = vcomputebench::workloads::registry().unwrap();
     let workloads = vcomputebench::workloads::suite_workloads(&registry);
-    let w = workloads.iter().find(|w| w.meta().name == "pathfinder").unwrap();
+    let w = workloads
+        .iter()
+        .find(|w| w.meta().name == "pathfinder")
+        .unwrap();
     let profile = devices::gtx1050ti();
     let opts = RunOpts {
         validate: false,
@@ -157,7 +166,10 @@ fn cfd_gains_are_modest_and_flat() {
     }
     let spread = speedups.iter().cloned().fold(f64::MIN, f64::max)
         / speedups.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 1.35, "cfd speedups should be flat, spread {spread}");
+    assert!(
+        spread < 1.35,
+        "cfd speedups should be flat, spread {spread}"
+    );
 }
 
 #[test]
@@ -188,8 +200,14 @@ fn nexus_speeds_up_and_snapdragon_slows_down() {
     let registry = vcomputebench::workloads::registry().unwrap();
     let panels = experiments::fig4(&registry, &quick());
     let summary = experiments::summarize(&panels);
-    let nexus = summary.iter().find(|s| s.device.contains("PowerVR")).unwrap();
-    let sd = summary.iter().find(|s| s.device.contains("Adreno")).unwrap();
+    let nexus = summary
+        .iter()
+        .find(|s| s.device.contains("PowerVR"))
+        .unwrap();
+    let sd = summary
+        .iter()
+        .find(|s| s.device.contains("Adreno"))
+        .unwrap();
     let nexus_g = nexus.vulkan_vs_opencl.unwrap();
     let sd_g = sd.vulkan_vs_opencl.unwrap();
     assert!(

@@ -1,81 +1,103 @@
-//! Property-based tests over the simulator substrate's core invariants.
+//! Property-style tests over the simulator substrate's core invariants.
+//!
+//! The container builds offline (no `proptest`), so these run each
+//! property over a seeded deterministic sweep of randomized cases
+//! instead of a shrinking search. The invariants are unchanged.
 
-use proptest::prelude::*;
-use vcomputebench::sim::cache::CacheSim;
+use vcomputebench::sim::cache::{CacheOutcome, CacheSim};
 use vcomputebench::sim::coalesce::{strided_sectors, Coalescer};
-use vcomputebench::sim::mem::{HeapState, MemoryPool};
+use vcomputebench::sim::mem::{HeapAllocation, HeapState, MemoryPool};
 use vcomputebench::sim::profile::HeapProfile;
 use vcomputebench::sim::time::SimDuration;
+use vcomputebench::workloads::data::SmallRng;
 
-proptest! {
-    /// Coalesced transactions are bounded: at least the unique-bytes
-    /// lower bound, at most one-plus-straddle per access.
-    #[test]
-    fn coalescer_bounds(addrs in proptest::collection::vec(0u64..100_000, 1..64),
-                        size in prop_oneof![Just(1u32), Just(4), Just(8)]) {
+fn disjoint(a: &HeapAllocation, b: &HeapAllocation) -> bool {
+    a.offset + a.size <= b.offset || b.offset + b.size <= a.offset
+}
+
+/// Coalesced transactions are bounded: at least the unique-bytes lower
+/// bound, at most one-plus-straddle per access.
+#[test]
+fn coalescer_bounds() {
+    for case in 0..200u64 {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let len = rng.gen_range_u64(1, 64) as usize;
+        let size = [1u32, 4, 8][rng.gen_range_u64(0, 3) as usize];
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0, 100_000)).collect();
         let mut c = Coalescer::new(32, 128);
         let r = c.coalesce(&addrs, size);
         // Upper bound: every access straddles at most 2 sectors.
-        prop_assert!(r.sectors as usize <= 2 * addrs.len());
-        // Lower bound: all requested bytes must be covered.
-        let mut unique = addrs.clone();
-        unique.sort_unstable();
-        unique.dedup();
-        let min_sectors = (unique.len() as u64 * size as u64).div_ceil(32 * size as u64).max(1);
-        prop_assert!(u64::from(r.sectors) >= min_sectors.min(unique.len() as u64) / 8 + u64::from(min_sectors > 0) - 1 ||
-                     r.sectors > 0);
-        prop_assert_eq!(r.useful_bytes, addrs.len() as u64 * size as u64);
+        assert!(r.sectors as usize <= 2 * addrs.len(), "case {case}");
+        assert!(r.sectors > 0, "case {case}");
+        assert_eq!(
+            r.useful_bytes,
+            addrs.len() as u64 * size as u64,
+            "case {case}"
+        );
         // Lines never exceed sectors.
-        prop_assert!(r.lines <= r.sectors);
+        assert!(r.lines <= r.sectors, "case {case}");
     }
+}
 
-    /// The analytic strided-sector formula matches the traced coalescer
-    /// for aligned strided streams.
-    #[test]
-    fn analytic_strides_match_traced(n in 1u64..200, stride in 1u64..40) {
+/// The analytic strided-sector formula matches the traced coalescer for
+/// aligned strided streams.
+#[test]
+fn analytic_strides_match_traced() {
+    for case in 0..300u64 {
+        let mut rng = SmallRng::seed_from_u64(0x57f1de ^ case);
+        let n = rng.gen_range_u64(1, 200);
+        let stride = rng.gen_range_u64(1, 40);
         let mut c = Coalescer::new(32, 128);
         let addrs: Vec<u64> = (0..n).map(|i| i * stride * 4).collect();
         let traced = u64::from(c.coalesce(&addrs, 4).sectors);
         let analytic = strided_sectors(n, 4, stride * 4, 32);
-        prop_assert_eq!(traced, analytic);
+        assert_eq!(traced, analytic, "n={n} stride={stride}");
     }
+}
 
-    /// Cache accounting: hits + misses == accesses; contents are a
-    /// function of the access stream (determinism).
-    #[test]
-    fn cache_accounting(sectors in proptest::collection::vec(0u64..4096, 1..512)) {
+/// Cache accounting: hits + misses == accesses; contents are a function
+/// of the access stream (determinism).
+#[test]
+fn cache_accounting() {
+    for case in 0..100u64 {
+        let mut rng = SmallRng::seed_from_u64(0xcac4e ^ case);
+        let len = rng.gen_range_u64(1, 512) as usize;
+        let sectors: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0, 4096)).collect();
         let mut a = CacheSim::new(16 * 1024, 4, 32);
         let mut b = CacheSim::new(16 * 1024, 4, 32);
         for &s in &sectors {
             let ra = a.access_sector(s);
             let rb = b.access_sector(s);
-            prop_assert_eq!(ra, rb);
+            assert_eq!(ra, rb);
         }
-        prop_assert_eq!(a.stats().accesses(), sectors.len() as u64);
-        prop_assert!(a.stats().hit_rate() <= 1.0);
+        assert_eq!(a.stats().accesses(), sectors.len() as u64);
+        assert!(a.stats().hit_rate() <= 1.0);
     }
+}
 
-    /// A second pass over a small working set always hits.
-    #[test]
-    fn cache_small_working_set_hits(count in 1u64..64) {
+/// A second pass over a small working set always hits.
+#[test]
+fn cache_small_working_set_hits() {
+    for count in 1u64..64 {
         let mut c = CacheSim::new(64 * 1024, 8, 32); // 2048 sectors
         for s in 0..count {
             c.access_sector(s);
         }
         c.reset_stats();
         for s in 0..count {
-            prop_assert_eq!(c.access_sector(s), vcomputebench::sim::cache::CacheOutcome::Hit);
+            assert_eq!(c.access_sector(s), CacheOutcome::Hit, "count {count}");
         }
     }
+}
 
-    /// Heap allocator: every successful allocation is in-bounds, aligned
-    /// and disjoint; freeing everything restores a single free range.
-    #[test]
-    fn heap_alloc_free_invariants(
-        sizes in proptest::collection::vec(1u64..5000, 1..40),
-        align_pow in 0u32..8,
-    ) {
-        let align = 1u64 << align_pow;
+/// Heap allocator: every successful allocation is in-bounds, aligned and
+/// disjoint; freeing everything restores a single free range.
+#[test]
+fn heap_alloc_free_invariants() {
+    for case in 0..100u64 {
+        let mut rng = SmallRng::seed_from_u64(0x4ea9 ^ case);
+        let count = rng.gen_range_u64(1, 40) as usize;
+        let align = 1u64 << rng.gen_range_u64(0, 8);
         let capacity = 1 << 20;
         let mut heap = HeapState::new(HeapProfile {
             size: capacity,
@@ -83,29 +105,38 @@ proptest! {
             host_visible: false,
         });
         let mut live = Vec::new();
-        for &size in &sizes {
+        for _ in 0..count {
+            let size = rng.gen_range_u64(1, 5000);
             // Failures are legitimate (full/fragmented heap).
             if let Ok(block) = heap.alloc(0, size, align) {
-                prop_assert_eq!(block.offset % align, 0);
-                prop_assert!(block.offset + block.size <= capacity);
+                assert_eq!(block.offset % align, 0);
+                assert!(block.offset + block.size <= capacity);
                 for other in &live {
-                    prop_assert!(disjoint(&block, other));
+                    assert!(disjoint(&block, other));
                 }
                 live.push(block);
             }
         }
         let used: u64 = live.iter().map(|b| b.size).sum();
-        prop_assert_eq!(heap.used(), used);
+        assert_eq!(heap.used(), used);
         for block in live.drain(..) {
             heap.free(block);
         }
-        prop_assert_eq!(heap.used(), 0);
-        prop_assert_eq!(heap.fragments(), 1);
+        assert_eq!(heap.used(), 0);
+        assert_eq!(heap.fragments(), 1);
     }
+}
 
-    /// Buffer round trips preserve data for arbitrary float payloads.
-    #[test]
-    fn buffer_roundtrip(data in proptest::collection::vec(any::<f32>(), 1..512)) {
+/// Buffer round trips preserve data for arbitrary float payloads,
+/// including non-finite bit patterns.
+#[test]
+fn buffer_roundtrip() {
+    for case in 0..50u64 {
+        let mut rng = SmallRng::seed_from_u64(0xb0f ^ case);
+        let len = rng.gen_range_u64(1, 512) as usize;
+        let data: Vec<f32> = (0..len)
+            .map(|_| f32::from_bits(rng.next_u64() as u32))
+            .collect();
         let mut pool = MemoryPool::new(&[HeapProfile {
             size: 1 << 22,
             device_local: true,
@@ -115,38 +146,37 @@ proptest! {
         pool.buffer_mut(id).unwrap().write_slice(&data);
         let back: Vec<f32> = pool.buffer(id).unwrap().read_vec().unwrap();
         for (a, b) in data.iter().zip(&back) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
+}
 
-    /// Simulated durations form a commutative monoid under addition and
-    /// scale linearly.
-    #[test]
-    fn duration_algebra(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+/// Simulated durations form a commutative monoid under addition and
+/// scale linearly.
+#[test]
+fn duration_algebra() {
+    for case in 0..200u64 {
+        let mut rng = SmallRng::seed_from_u64(0xd47a ^ case);
+        let a = rng.gen_range_u64(0, 1 << 40);
+        let b = rng.gen_range_u64(0, 1 << 40);
         let (da, db) = (SimDuration::from_picos(a), SimDuration::from_picos(b));
-        prop_assert_eq!(da + db, db + da);
-        prop_assert_eq!(da + SimDuration::ZERO, da);
-        prop_assert_eq!((da + db).as_picos(), a + b);
+        assert_eq!(da + db, db + da);
+        assert_eq!(da + SimDuration::ZERO, da);
+        assert_eq!((da + db).as_picos(), a + b);
         let doubled = da.scale(2.0);
-        prop_assert_eq!(doubled.as_picos(), a * 2);
+        assert_eq!(doubled.as_picos(), a * 2);
     }
 }
 
-fn disjoint(
-    a: &vcomputebench::sim::mem::HeapAllocation,
-    b: &vcomputebench::sim::mem::HeapAllocation,
-) -> bool {
-    a.offset + a.size <= b.offset || b.offset + b.size <= a.offset
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Workload references are self-consistent: the nw DP recurrence
-    /// satisfies its defining property on random instances.
-    #[test]
-    fn nw_reference_recurrence(n in 1usize..24, seed in 0u64..500) {
-        use vcomputebench::workloads::rodinia::nw;
+/// Workload references are self-consistent: the nw DP recurrence
+/// satisfies its defining property on random instances.
+#[test]
+fn nw_reference_recurrence() {
+    use vcomputebench::workloads::rodinia::nw;
+    for case in 0..16u64 {
+        let mut rng = SmallRng::seed_from_u64(0x2b ^ case);
+        let n = rng.gen_range_u64(1, 24) as usize;
+        let seed = rng.gen_range_u64(0, 500);
         let (s1, s2, blosum) = nw::generate(n, seed);
         let score = nw::reference(&s1, &s2, &blosum, n);
         let w = n + 1;
@@ -156,35 +186,50 @@ proptest! {
                 let expect = (score[(i - 1) * w + j - 1] + sub)
                     .max(score[(i - 1) * w + j] - nw::PENALTY)
                     .max(score[i * w + j - 1] - nw::PENALTY);
-                prop_assert_eq!(score[i * w + j], expect);
+                assert_eq!(score[i * w + j], expect);
             }
         }
     }
+}
 
-    /// The pathfinder reference always picks a reachable minimal path:
-    /// its cost is bounded by any greedy straight-down path.
-    #[test]
-    fn pathfinder_reference_bounded(cols in 4usize..40, rows in 2usize..20, seed in 0u64..500) {
-        use vcomputebench::workloads::rodinia::pathfinder::{self, Dims};
+/// The pathfinder reference always picks a reachable minimal path: its
+/// cost is bounded by any greedy straight-down path.
+#[test]
+fn pathfinder_reference_bounded() {
+    use vcomputebench::workloads::rodinia::pathfinder::{self, Dims};
+    for case in 0..16u64 {
+        let mut rng = SmallRng::seed_from_u64(0x9a7 ^ case);
+        let cols = rng.gen_range_u64(4, 40) as usize;
+        let rows = rng.gen_range_u64(2, 20) as usize;
+        let seed = rng.gen_range_u64(0, 500);
         let d = Dims { cols, rows };
         let wall = pathfinder::generate(d, seed);
         let best = pathfinder::reference(&wall, d);
         for j in 0..cols {
             let straight: i32 = (0..rows).map(|t| wall[t * cols + j]).sum();
-            prop_assert!(best[j] <= straight, "col {j}: {} > straight {straight}", best[j]);
+            assert!(
+                best[j] <= straight,
+                "col {j}: {} > straight {straight}",
+                best[j]
+            );
         }
     }
+}
 
-    /// Gaussian elimination solves diagonally dominant systems to
-    /// tolerance for arbitrary seeds and sizes.
-    #[test]
-    fn gaussian_reference_solves(n in 2usize..32, seed in 0u64..500) {
-        use vcomputebench::workloads::rodinia::gaussian;
+/// Gaussian elimination solves diagonally dominant systems to tolerance
+/// for arbitrary seeds and sizes.
+#[test]
+fn gaussian_reference_solves() {
+    use vcomputebench::workloads::rodinia::gaussian;
+    for case in 0..16u64 {
+        let mut rng = SmallRng::seed_from_u64(0x6a55 ^ case);
+        let n = rng.gen_range_u64(2, 32) as usize;
+        let seed = rng.gen_range_u64(0, 500);
         let (a, b) = vcomputebench::workloads::data::linear_system(n, seed);
         let x = gaussian::reference(&a, &b, n);
         for i in 0..n {
             let dot: f32 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
-            prop_assert!((dot - b[i]).abs() < 1e-2 * b[i].abs().max(1.0));
+            assert!((dot - b[i]).abs() < 1e-2 * b[i].abs().max(1.0));
         }
     }
 }
