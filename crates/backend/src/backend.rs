@@ -89,6 +89,11 @@ pub trait ComputeBackend {
     /// Cost breakdown accumulated so far (§V-A2 decomposition).
     fn breakdown(&self) -> TimingBreakdown;
 
+    /// Digest of the simulated device's functional state (buffer
+    /// contents + cumulative traffic counters) — the oracle determinism
+    /// tests compare across worker-thread counts.
+    fn sim_fingerprint(&self) -> u64;
+
     /// Device-level synchronization: `vkDeviceWaitIdle`,
     /// `cudaDeviceSynchronize`, `clFinish`.
     fn sync(&mut self);
@@ -355,6 +360,7 @@ pub fn measure(
         breakdown,
         calls: backend.call_counts().since(&calls_before),
         validated: outcome.validated,
+        fingerprint: backend.sim_fingerprint(),
     })
 }
 

@@ -43,6 +43,11 @@ pub struct CudaBackend {
 }
 
 impl CudaBackend {
+    /// The underlying CUDA context (simulator configuration knobs).
+    pub fn context(&self) -> &CudaContext {
+        &self.ctx
+    }
+
     /// Initializes the CUDA runtime on `profile`.
     ///
     /// # Errors
@@ -123,6 +128,10 @@ impl ComputeBackend for CudaBackend {
 
     fn breakdown(&self) -> TimingBreakdown {
         self.ctx.breakdown()
+    }
+
+    fn sim_fingerprint(&self) -> u64 {
+        self.ctx.sim_fingerprint()
     }
 
     fn sync(&mut self) {

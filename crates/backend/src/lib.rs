@@ -41,8 +41,9 @@ pub mod vulkan;
 use std::sync::Arc;
 
 use vcb_core::run::RunFailure;
+use vcb_core::workload::RunOpts;
 use vcb_sim::profile::DeviceProfile;
-use vcb_sim::{Api, KernelRegistry};
+use vcb_sim::{Api, KernelRegistry, TraceMode};
 
 pub use backend::{
     bytes_of, measure, to_f32, to_i32, to_u32, BackendResult, BindGroupHandle, BodyOutcome,
@@ -56,6 +57,40 @@ pub use env::{
 pub use opencl::OpenClBackend;
 pub use vulkan::VulkanBackend;
 
+/// Simulator configuration a host program carries into backend
+/// creation: the tracing policy and the intra-dispatch worker-thread
+/// count, both plumbed down to the underlying `Gpu`.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Workgroup-tracing policy.
+    pub trace_mode: TraceMode,
+    /// Worker threads for intra-dispatch parallelism (1 = sequential).
+    pub worker_threads: usize,
+    /// Spawn exactly `worker_threads` workers even beyond the machine's
+    /// cores (determinism tests on small CI machines).
+    pub exact_threads: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            trace_mode: TraceMode::Auto,
+            worker_threads: 1,
+            exact_threads: false,
+        }
+    }
+}
+
+impl From<&RunOpts> for SimConfig {
+    fn from(opts: &RunOpts) -> Self {
+        SimConfig {
+            trace_mode: opts.trace_mode,
+            worker_threads: opts.sim_threads.max(1),
+            exact_threads: opts.sim_threads_exact,
+        }
+    }
+}
+
 /// Creates the backend for `api` on `profile` — the entire per-API half
 /// of the old `Workload::run` dispatch.
 ///
@@ -68,9 +103,43 @@ pub fn create(
     profile: &DeviceProfile,
     registry: &Arc<KernelRegistry>,
 ) -> Result<Box<dyn ComputeBackend>, RunFailure> {
-    Ok(match api {
-        Api::Vulkan => Box::new(VulkanBackend::new(profile, registry)?),
-        Api::Cuda => Box::new(CudaBackend::new(profile, registry)?),
-        Api::OpenCl => Box::new(OpenClBackend::new(profile, registry)?),
-    })
+    create_with(api, profile, registry, &SimConfig::default())
+}
+
+/// [`create`], with an explicit simulator configuration — how
+/// `RunOpts::trace_mode` and `RunOpts::sim_threads` reach the `Gpu`.
+///
+/// # Errors
+///
+/// As [`create`].
+pub fn create_with(
+    api: Api,
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    sim: &SimConfig,
+) -> Result<Box<dyn ComputeBackend>, RunFailure> {
+    let backend: Box<dyn ComputeBackend> = match api {
+        Api::Vulkan => {
+            let b = VulkanBackend::new(profile, registry)?;
+            b.env().device.set_trace_mode(sim.trace_mode);
+            b.env().device.set_worker_threads(sim.worker_threads);
+            b.env().device.set_worker_clamp(!sim.exact_threads);
+            Box::new(b)
+        }
+        Api::Cuda => {
+            let b = CudaBackend::new(profile, registry)?;
+            b.context().set_trace_mode(sim.trace_mode);
+            b.context().set_worker_threads(sim.worker_threads);
+            b.context().set_worker_clamp(!sim.exact_threads);
+            Box::new(b)
+        }
+        Api::OpenCl => {
+            let b = OpenClBackend::new(profile, registry)?;
+            b.env().context.set_trace_mode(sim.trace_mode);
+            b.env().context.set_worker_threads(sim.worker_threads);
+            b.env().context.set_worker_clamp(!sim.exact_threads);
+            Box::new(b)
+        }
+    };
+    Ok(backend)
 }

@@ -63,6 +63,11 @@ pub struct OpenClBackend {
 }
 
 impl OpenClBackend {
+    /// The underlying environment (simulator configuration knobs).
+    pub fn env(&self) -> &ClEnv {
+        &self.env
+    }
+
     /// Brings up platform/context/queue on `profile`.
     ///
     /// # Errors
@@ -210,6 +215,10 @@ impl ComputeBackend for OpenClBackend {
 
     fn breakdown(&self) -> TimingBreakdown {
         self.env.context.breakdown()
+    }
+
+    fn sim_fingerprint(&self) -> u64 {
+        self.env.context.sim_fingerprint()
     }
 
     fn sync(&mut self) {

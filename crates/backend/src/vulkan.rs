@@ -149,6 +149,10 @@ impl ComputeBackend for VulkanBackend {
         self.env.device.breakdown()
     }
 
+    fn sim_fingerprint(&self) -> u64 {
+        self.env.device.sim_fingerprint()
+    }
+
     fn sync(&mut self) {
         self.env.device.wait_idle();
     }

@@ -173,4 +173,5 @@ fn main() {
     fig4_mobile_speedup();
     table_effort();
     ablations();
+    vcb_bench::finish();
 }

@@ -38,6 +38,7 @@ fn vadd_kernel() -> CompiledKernel {
         .reads(0, "x")
         .reads(1, "y")
         .writes(2, "z")
+        .parallel_groups()
         .build();
     CompiledKernel::new(
         info,
@@ -62,39 +63,50 @@ fn bench_dispatch() {
     let profile = devices::gtx1050ti();
     let driver = profile.driver(Api::Cuda).unwrap().clone();
 
-    for (label, mode) in [
-        ("detailed", TraceMode::Detailed),
-        ("sampled_16", TraceMode::Sampled(16)),
-        ("auto", TraceMode::Auto),
-    ] {
-        let mut gpu = Gpu::new(profile.clone());
-        gpu.set_trace_mode(mode);
-        let (x, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
-        let (y, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
-        let (z, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
-        let dispatch = Dispatch {
-            kernel: vadd_kernel(),
-            groups: [(n as u32).div_ceil(256), 1, 1],
-            bindings: vec![
-                BoundBuffer {
-                    binding: 0,
-                    buffer: x,
-                },
-                BoundBuffer {
-                    binding: 1,
-                    buffer: y,
-                },
-                BoundBuffer {
-                    binding: 2,
-                    buffer: z,
-                },
-            ],
-            push_constants: vec![],
-        };
-        bench(&format!("dispatch/vadd_256k/{label}"), 20, || {
-            gpu.execute(std::hint::black_box(&dispatch), &driver)
-                .unwrap()
-        });
+    // threads = 1 is the sequential baseline; threads = 4 exercises the
+    // parallel workgroup path (bit-identical results; wall-time wins
+    // proportional to the cores actually available).
+    for threads in [1usize, 4] {
+        for (label, mode) in [
+            ("detailed", TraceMode::Detailed),
+            ("sampled_16", TraceMode::Sampled(16)),
+            ("auto", TraceMode::Auto),
+        ] {
+            let mut gpu = Gpu::new(profile.clone());
+            gpu.set_trace_mode(mode);
+            gpu.set_worker_threads(threads);
+            let (x, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+            let (y, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+            let (z, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+            let dispatch = Dispatch {
+                kernel: vadd_kernel(),
+                groups: [(n as u32).div_ceil(256), 1, 1],
+                bindings: vec![
+                    BoundBuffer {
+                        binding: 0,
+                        buffer: x,
+                    },
+                    BoundBuffer {
+                        binding: 1,
+                        buffer: y,
+                    },
+                    BoundBuffer {
+                        binding: 2,
+                        buffer: z,
+                    },
+                ],
+                push_constants: vec![],
+            };
+            let name = if threads == 1 {
+                format!("dispatch/vadd_256k/{label}")
+            } else {
+                format!("dispatch/vadd_256k/{label}/threads{threads}")
+            };
+            bench(&name, 20, || {
+                gpu.execute(std::hint::black_box(&dispatch), &driver)
+                    .unwrap()
+            });
+        }
     }
 }
 
@@ -116,4 +128,5 @@ fn main() {
     bench_cache();
     bench_dispatch();
     bench_spirv();
+    vcb_bench::finish();
 }

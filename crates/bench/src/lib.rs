@@ -9,16 +9,66 @@
 //! * `simulator` — engineering benchmarks of the simulator substrate
 //!   itself (coalescer, cache, dispatch execution, tracing modes).
 //!
-//! Run with `cargo bench`.
+//! Run with `cargo bench`. Both binaries understand two flags after
+//! `--`:
+//!
+//! * `--json PATH` — also write every timed row (name, iters,
+//!   ns-per-iter) to `PATH` as a JSON array, so the repo's perf
+//!   trajectory is machine-readable (`BENCH_simulator.json` is the
+//!   checked-in record; regenerate with
+//!   `cargo bench --bench simulator -- --json BENCH_simulator.json`).
+//! * `--quick` — run every benchmark for a single iteration, the CI
+//!   smoke mode that keeps the timers compiling and running without
+//!   paying for stable medians.
 
 #![warn(missing_docs)]
 
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+struct Config {
+    json_path: Option<String>,
+    quick: bool,
+}
+
+fn config() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let mut json_path = None;
+        let mut quick = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => json_path = args.next(),
+                "--quick" => quick = true,
+                // Cargo passes `--bench` to harness-less bench binaries;
+                // ignore it and anything else unrecognized.
+                _ => {}
+            }
+        }
+        Config { json_path, quick }
+    })
+}
+
+struct Row {
+    name: String,
+    iters: usize,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+fn rows() -> &'static Mutex<Vec<Row>> {
+    static ROWS: OnceLock<Mutex<Vec<Row>>> = OnceLock::new();
+    ROWS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
 /// Times `f` over `samples` timed runs (after one warm-up) and prints a
-/// Criterion-style one-liner with the median wall time per run.
+/// Criterion-style one-liner with the median wall time per run. Under
+/// `--quick` a single timed run replaces the sample loop; with `--json`
+/// the row is also recorded for [`finish`].
 pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
-    let samples = samples.max(1);
+    let samples = if config().quick { 1 } else { samples.max(1) };
     std::hint::black_box(f());
     let mut times: Vec<u128> = (0..samples)
         .map(|_| {
@@ -31,4 +81,36 @@ pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
     let median = times[times.len() / 2];
     let (lo, hi) = (times[0], times[times.len() - 1]);
     println!("bench: {name:<44} median {median:>12} ns/iter  (min {lo}, max {hi}, n={samples})");
+    rows().lock().expect("bench rows poisoned").push(Row {
+        name: name.to_owned(),
+        iters: samples,
+        median_ns: median,
+        min_ns: lo,
+        max_ns: hi,
+    });
+}
+
+/// Writes the recorded rows to the `--json` path, if one was given.
+/// Bench mains call this once at the end.
+///
+/// # Panics
+///
+/// Panics when the JSON file cannot be written — a bench run asked to
+/// record itself must not silently drop the record.
+pub fn finish() {
+    let Some(path) = config().json_path.as_deref() else {
+        return;
+    };
+    let rows = rows().lock().expect("bench rows poisoned");
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  {{\"name\":\"{}\",\"iters\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}{comma}\n",
+            r.name, r.iters, r.median_ns, r.min_ns, r.max_ns
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write bench JSON {path}: {e}"));
+    println!("bench: wrote {} rows to {path}", rows.len());
 }

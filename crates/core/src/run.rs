@@ -99,6 +99,11 @@ pub struct RunRecord {
     pub calls: CallCounter,
     /// Whether outputs matched the CPU reference.
     pub validated: bool,
+    /// Digest of the simulated device's functional state after the run
+    /// (buffer contents + cumulative traffic counters). Bit-identical
+    /// runs — e.g. the same program at different simulator worker-thread
+    /// counts — produce equal fingerprints.
+    pub fingerprint: u64,
 }
 
 impl RunRecord {
@@ -158,6 +163,7 @@ mod tests {
             breakdown: TimingBreakdown::new(),
             calls: CallCounter::new(),
             validated: true,
+            fingerprint: 0,
         }
     }
 

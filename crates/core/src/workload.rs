@@ -21,6 +21,16 @@ pub struct RunOpts {
     /// Scale factor on iteration-heavy parameters for quick runs
     /// (1.0 = paper scale).
     pub scale: f64,
+    /// Simulator worker threads for intra-dispatch parallelism
+    /// (1 = sequential). Kernels declared order-independent fan their
+    /// workgroups out across this many threads with bit-identical
+    /// results; the engine clamps to the machine's available
+    /// parallelism unless [`RunOpts::sim_threads_exact`] is set.
+    pub sim_threads: usize,
+    /// Spawn exactly `sim_threads` workers even beyond the machine's
+    /// cores. Determinism tests use this to exercise the parallel
+    /// execution path on single-core CI; leave `false` otherwise.
+    pub sim_threads_exact: bool,
 }
 
 impl Default for RunOpts {
@@ -30,6 +40,8 @@ impl Default for RunOpts {
             validate: true,
             seed: 0x5eed_cafe,
             scale: 1.0,
+            sim_threads: 1,
+            sim_threads_exact: false,
         }
     }
 }

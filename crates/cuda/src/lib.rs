@@ -539,6 +539,25 @@ impl CudaContext {
     pub fn set_trace_mode(&self, mode: TraceMode) {
         self.shared.borrow_mut().gpu.set_trace_mode(mode);
     }
+
+    /// Sets the simulator's worker-thread count for intra-dispatch
+    /// parallelism (order-independent kernels only; results stay
+    /// bit-identical).
+    pub fn set_worker_threads(&self, threads: usize) {
+        self.shared.borrow_mut().gpu.set_worker_threads(threads);
+    }
+
+    /// Disables (or re-enables) the engine's clamp of worker threads to
+    /// the machine's cores — see `Gpu::set_worker_clamp`.
+    pub fn set_worker_clamp(&self, clamp: bool) {
+        self.shared.borrow_mut().gpu.set_worker_clamp(clamp);
+    }
+
+    /// Digest of the simulated device's functional state (buffer
+    /// contents + cumulative traffic) — the determinism oracle.
+    pub fn sim_fingerprint(&self) -> u64 {
+        self.shared.borrow().gpu.fingerprint()
+    }
 }
 
 impl fmt::Debug for CudaContext {

@@ -32,6 +32,9 @@ OPTIONS:
     --quick         scaled-down inputs, no output validation (default)
     --paper-scale   full paper input sizes with validation (slow)
     --threads N     worker threads for the run matrix
+    --sim-threads N simulator worker threads inside one dispatch
+                    (order-independent kernels only; results are
+                    bit-identical at any value)
     --csv FILE      also write machine-readable results to FILE
     --seed N        input-generation seed
 ";
@@ -58,6 +61,14 @@ fn parse_args() -> Result<Cli, String> {
                     .parse::<usize>()
                     .map_err(|e| format!("bad --threads value: {e}"))?;
                 opts.threads = n.max(1);
+            }
+            "--sim-threads" => {
+                let n = args
+                    .next()
+                    .ok_or("--sim-threads needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --sim-threads value: {e}"))?;
+                opts.run.sim_threads = n.max(1);
             }
             "--seed" => {
                 opts.run.seed = args

@@ -138,18 +138,27 @@ impl CacheSim {
         self.tick += 1;
         let set = (sector as usize) & (self.sets - 1);
         let base = set * self.ways;
-        let slots = &mut self.tags[base..base + self.ways];
-        if let Some(way) = slots.iter().position(|&t| t == sector) {
-            self.stamps[base + way] = self.tick;
+        // Take the set's slices once so the way scans compile without
+        // per-step bounds checks (this is the hottest loop of traced
+        // execution).
+        let tags = &mut self.tags[base..base + self.ways];
+        let stamps = &mut self.stamps[base..base + self.ways];
+        if let Some(way) = tags.iter().position(|&t| t == sector) {
+            stamps[way] = self.tick;
             self.stats.hits += 1;
             return CacheOutcome::Hit;
         }
         // Miss: fill LRU way.
-        let lru = (0..self.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("ways > 0");
-        self.tags[base + lru] = sector;
-        self.stamps[base + lru] = self.tick;
+        let mut lru = 0usize;
+        let mut lru_stamp = u64::MAX;
+        for (w, &s) in stamps.iter().enumerate() {
+            if s < lru_stamp {
+                lru_stamp = s;
+                lru = w;
+            }
+        }
+        tags[lru] = sector;
+        stamps[lru] = self.tick;
         self.stats.misses += 1;
         CacheOutcome::Miss
     }

@@ -77,15 +77,12 @@ impl Coalescer {
             return CoalesceResult::default();
         }
         self.scratch.clear();
-        for &addr in addresses {
-            let first = addr / self.sector_bytes;
-            let last = (addr + access_bytes as u64 - 1) / self.sector_bytes;
-            for sector in first..=last {
-                self.scratch.push(sector);
-            }
-        }
-        self.scratch.sort_unstable();
-        self.scratch.dedup();
+        expand_sectors(
+            addresses,
+            u64::from(access_bytes),
+            self.sector_bytes,
+            &mut self.scratch,
+        );
         let sectors = self.scratch.len() as u32;
         let per_line = (self.line_bytes / self.sector_bytes).max(1);
         let mut lines = 0u32;
@@ -110,6 +107,35 @@ impl Coalescer {
     pub fn last_sectors(&self) -> &[u64] {
         &self.scratch
     }
+}
+
+/// Expands lane byte addresses into the sorted, deduplicated list of
+/// sector indices they touch, appended to `out` (callers clear it
+/// first). This is *the* definition of warp coalescing — both
+/// [`Coalescer::coalesce`] and the engine's traced-group flush route
+/// through it, so the two can never drift apart.
+///
+/// Lane addresses overwhelmingly arrive presorted (flush feeds them in
+/// ascending lane order, and unit-stride / strided patterns keep
+/// addresses monotonic), so a single monotonicity scan usually replaces
+/// the sort and the merge is a plain adjacent dedup.
+pub fn expand_sectors(addresses: &[u64], access_bytes: u64, sector_bytes: u64, out: &mut Vec<u64>) {
+    let mut sorted = true;
+    let mut prev = 0u64;
+    for &addr in addresses {
+        sorted &= addr >= prev;
+        prev = addr;
+        let mut s = addr / sector_bytes;
+        let last = (addr + access_bytes - 1) / sector_bytes;
+        while s <= last {
+            out.push(s);
+            s += 1;
+        }
+    }
+    if !sorted {
+        out.sort_unstable();
+    }
+    out.dedup();
 }
 
 /// Analytic transaction count for a strided access pattern, used by the

@@ -32,6 +32,39 @@ impl DramTraffic {
     }
 }
 
+/// Multiply-xor (splitmix64 finalizer) hasher for the tracker's `u64`
+/// row keys. The row map sits on the traced-execution hot path — one
+/// lookup per L2 miss — where std's DoS-resistant SipHash costs more
+/// than the rest of the model combined. Row indices are simulation
+/// state, not attacker input, so a fast deterministic mix is the right
+/// trade.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowHasher(u64);
+
+impl std::hash::Hasher for RowHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // splitmix64 finalizer.
+        let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15) ^ self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type RowMap = std::collections::HashMap<u64, u64, std::hash::BuildHasherDefault<RowHasher>>;
+
 /// Streaming row-buffer tracker.
 ///
 /// Tracks an approximate-LRU window of recently open rows. The window is
@@ -47,7 +80,7 @@ impl DramTraffic {
 pub struct RowTracker {
     row_bytes: u64,
     /// row -> last-use stamp.
-    open_rows: std::collections::HashMap<u64, u64>,
+    open_rows: RowMap,
     clock: u64,
 }
 
@@ -64,7 +97,10 @@ impl RowTracker {
         assert!(row_bytes > 0);
         RowTracker {
             row_bytes,
-            open_rows: std::collections::HashMap::with_capacity(2 * Self::WINDOW as usize),
+            open_rows: RowMap::with_capacity_and_hasher(
+                2 * Self::WINDOW as usize,
+                Default::default(),
+            ),
             clock: 0,
         }
     }

@@ -4,13 +4,20 @@
 //! Execution is two-layered:
 //!
 //! 1. **Functional**: every workgroup of the grid runs, so outputs are
-//!    always exact. Workgroups execute in linear grid order; workloads
-//!    whose intra-dispatch dependencies follow that order (nw's diagonal
-//!    blocks) remain correct by construction.
+//!    always exact. By default workgroups execute in linear grid order;
+//!    workloads whose intra-dispatch dependencies follow that order (nw's
+//!    diagonal blocks) remain correct by construction. Kernels declared
+//!    [`crate::exec::KernelInfo::parallel_groups`] may instead fan out
+//!    over worker threads ([`Gpu::set_worker_threads`]) with bit-identical
+//!    results.
 //! 2. **Timing**: a subset of workgroups is *traced* — their lane-level
 //!    addresses flow through the warp coalescer, the persistent L2 model
 //!    and the DRAM row tracker. Traced traffic is extrapolated to the full
-//!    grid, then converted to time against the device profile.
+//!    grid, then converted to time against the device profile. Under
+//!    parallel execution, traced groups record their coalesced sector
+//!    streams on the workers and the coordinator replays them through the
+//!    L2/row state in linear grid order, so the persistent memory-system
+//!    state never depends on thread count.
 //!
 //! Tracing every group is exact but slow for paper-scale inputs, so the
 //! engine supports deterministic sampling, mirroring how trace-driven GPU
@@ -19,9 +26,10 @@
 use crate::dram::{dram_time, l2_time};
 use crate::error::{SimError, SimResult};
 use crate::exec::{
-    BindingAccess, Dispatch, GroupCtx, MemSystem, ResolvedBinding, SharedArena, TrafficStats,
+    BindingAccess, Dispatch, GroupCtx, MemSystem, ResolvedBinding, SharedArena, TraceScratch,
+    TraceSink, TraceState, TrafficStats,
 };
-use crate::mem::MemoryPool;
+use crate::mem::{fnv1a, fnv1a_init, BufferId, MemoryPool};
 use crate::profile::{DeviceProfile, DriverProfile};
 use crate::time::SimDuration;
 
@@ -79,6 +87,36 @@ pub struct DispatchReport {
     pub alu_time: SimDuration,
 }
 
+/// Grids smaller than this never fan out: thread spawn/join would cost
+/// more than the groups themselves.
+const PARALLEL_MIN_GROUPS: u64 = 4;
+
+/// Parallel execution processes the grid in windows of this many linear
+/// groups, bounding the memory held by recorded sector streams (the
+/// traced-group traffic that is replayed through the L2 in linear order).
+const PARALLEL_WINDOW: u64 = 16384;
+
+/// Per-worker reusable state for parallel dispatches, persistent on the
+/// [`Gpu`] so repeated dispatches allocate nothing after warm-up.
+#[derive(Debug)]
+struct WorkerScratch {
+    arena: SharedArena,
+    scratch: TraceScratch,
+    /// Sector stream of the worker's traced groups within one window,
+    /// in linear group order (cleared after replay, capacity kept).
+    stream: Vec<u64>,
+}
+
+impl Default for WorkerScratch {
+    fn default() -> Self {
+        WorkerScratch {
+            arena: SharedArena::new(8),
+            scratch: TraceScratch::new(),
+            stream: Vec::new(),
+        }
+    }
+}
+
 /// The simulated GPU device: memory pool + memory system + profile.
 #[derive(Debug)]
 pub struct Gpu {
@@ -87,6 +125,18 @@ pub struct Gpu {
     mem_system: MemSystem,
     trace_mode: TraceMode,
     kernels_launched: u64,
+    worker_threads: usize,
+    clamp_threads: bool,
+    /// Shared-memory arena reused across groups and dispatches (grown on
+    /// demand), so the dispatch hot path allocates nothing per group.
+    arena: SharedArena,
+    /// Tracing scratch (warp buffers, coalescer, bank counters) with the
+    /// same lifetime.
+    scratch: TraceScratch,
+    /// Per-worker state for parallel dispatches, grown to the effective
+    /// worker count on first use.
+    worker_scratch: Vec<WorkerScratch>,
+    traffic_totals: TrafficStats,
 }
 
 impl Gpu {
@@ -100,6 +150,12 @@ impl Gpu {
             mem_system,
             trace_mode: TraceMode::Auto,
             kernels_launched: 0,
+            worker_threads: 1,
+            clamp_threads: true,
+            arena: SharedArena::new(8),
+            scratch: TraceScratch::new(),
+            worker_scratch: Vec::new(),
+            traffic_totals: TrafficStats::default(),
         }
     }
 
@@ -131,6 +187,63 @@ impl Gpu {
     /// Sets the tracing policy for subsequent dispatches.
     pub fn set_trace_mode(&mut self, mode: TraceMode) {
         self.trace_mode = mode;
+    }
+
+    /// Sets the worker-thread count for intra-dispatch parallelism
+    /// (1 = sequential, the default).
+    ///
+    /// Only kernels declared [`crate::exec::KernelInfo::parallel_groups`]
+    /// fan out; everything else keeps linear grid order. Results —
+    /// output buffers, [`TrafficStats`] and simulated times — are
+    /// bit-identical at every thread count.
+    pub fn set_worker_threads(&mut self, threads: usize) {
+        self.worker_threads = threads.max(1);
+    }
+
+    /// The configured worker-thread count.
+    pub fn worker_threads(&self) -> usize {
+        self.worker_threads
+    }
+
+    /// By default the engine never spawns more workers than the
+    /// machine's available parallelism (extra workers cannot run
+    /// concurrently, so they would only add spawn/join latency). Pass
+    /// `false` to spawn exactly the requested count anyway — determinism
+    /// tests use this to exercise the parallel path on single-core CI.
+    pub fn set_worker_clamp(&mut self, clamp: bool) {
+        self.clamp_threads = clamp;
+    }
+
+    /// Whole-grid traffic accumulated over every dispatch since creation.
+    pub fn traffic_totals(&self) -> TrafficStats {
+        self.traffic_totals
+    }
+
+    /// FNV-1a digest of the device's functional state: every live
+    /// buffer's contents plus the cumulative traffic counters and kernel
+    /// count. Two runs of the same program are bit-identical iff their
+    /// fingerprints match — the determinism oracle for the worker-thread
+    /// plumbing.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a_init();
+        fnv1a(&mut h, self.pool.content_digest());
+        fnv1a(&mut h, self.kernels_launched);
+        let s = &self.traffic_totals;
+        for v in [
+            s.alu_ops,
+            s.global_reads,
+            s.global_writes,
+            s.useful_bytes,
+            s.l2_hit_sectors,
+            s.dram.sectors,
+            s.dram.row_misses,
+            s.shared_accesses,
+            s.bank_conflict_cycles,
+            s.barriers,
+        ] {
+            fnv1a(&mut h, v);
+        }
+        h
     }
 
     /// Executes a dispatch: runs every workgroup functionally, traces a
@@ -166,37 +279,38 @@ impl Gpu {
             });
         }
 
-        // Resolve bindings into a dense, alias-checked table.
+        // Resolve bindings into a dense, alias-checked table. The bound
+        // buffers are first scattered into a slot-indexed table in one
+        // pass, so the per-declaration work below is O(1) lookups instead
+        // of the old O(bindings) `find` inside an O(bindings²) loop.
         let max_slot = info
             .bindings
             .iter()
             .map(|b| b.binding)
             .max()
             .map_or(0, |m| m as usize + 1);
+        let mut bound_by_slot: Vec<Option<BufferId>> = vec![None; max_slot];
+        for b in &dispatch.bindings {
+            if let Some(slot @ None) = bound_by_slot.get_mut(b.binding as usize) {
+                *slot = Some(b.buffer);
+            }
+        }
         let mut resolved: Vec<Option<ResolvedBinding<'_>>> = Vec::with_capacity(max_slot);
         for _ in 0..max_slot {
             resolved.push(None);
         }
         for decl in &info.bindings {
-            let bound = dispatch
-                .bindings
-                .iter()
-                .find(|b| b.binding == decl.binding)
-                .ok_or_else(|| SimError::MissingBinding {
+            let buffer =
+                bound_by_slot[decl.binding as usize].ok_or_else(|| SimError::MissingBinding {
                     kernel: info.name.clone(),
                     binding: decl.binding,
                 })?;
-            // Alias check against already resolved slots.
+            // Alias check against lower-numbered declarations.
             for other in &info.bindings {
                 if other.binding >= decl.binding {
                     continue;
                 }
-                let other_buf = dispatch
-                    .bindings
-                    .iter()
-                    .find(|b| b.binding == other.binding)
-                    .map(|b| b.buffer);
-                if other_buf == Some(bound.buffer)
+                if bound_by_slot[other.binding as usize] == Some(buffer)
                     && (decl.access == BindingAccess::ReadWrite
                         || other.access == BindingAccess::ReadWrite)
                 {
@@ -207,7 +321,7 @@ impl Gpu {
                     });
                 }
             }
-            let store = self.pool.buffer(bound.buffer)?;
+            let store = self.pool.buffer(buffer)?;
             resolved[decl.binding as usize] = Some(ResolvedBinding {
                 store,
                 writable: decl.access == BindingAccess::ReadWrite,
@@ -215,42 +329,84 @@ impl Gpu {
         }
 
         let sample_every = self.trace_mode.sample_every(groups);
-        let arena = SharedArena::new(info.shared_bytes.max(8));
         let mut traced_stats = TrafficStats::default();
         let mut untraced_stats = TrafficStats::default();
         let mut traced_groups = 0u64;
 
-        let [gx, gy, gz] = dispatch.groups;
-        let mut linear = 0u64;
-        for z in 0..gz {
-            for y in 0..gy {
-                for x in 0..gx {
-                    let traced = linear.is_multiple_of(sample_every);
-                    let mem = if traced {
-                        traced_groups += 1;
-                        Some(&mut self.mem_system)
-                    } else {
-                        None
-                    };
-                    let mut ctx = GroupCtx::new(
-                        [x, y, z],
-                        dispatch.groups,
-                        info,
-                        dispatch.kernel.opts(),
-                        self.profile.warp_width,
-                        &resolved,
-                        &dispatch.push_constants,
-                        &arena,
-                        mem,
-                    );
-                    dispatch.kernel.body().execute_group(&mut ctx)?;
-                    let stats = ctx.into_stats();
-                    if traced {
-                        traced_stats.add(&stats);
-                    } else {
-                        untraced_stats.add(&stats);
+        // Resolve the effective worker count lazily: the common
+        // sequential dispatch must not pay the available_parallelism
+        // syscall.
+        let threads =
+            if self.worker_threads > 1 && info.parallel_groups && groups >= PARALLEL_MIN_GROUPS {
+                let hw_cap = if self.clamp_threads {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                } else {
+                    usize::MAX
+                };
+                self.worker_threads.min(hw_cap).min(groups as usize).max(1)
+            } else {
+                1
+            };
+        if threads > 1 {
+            // Per-worker arenas/scratch persist on the Gpu across
+            // dispatches, mirroring the sequential path's reuse.
+            if self.worker_scratch.len() < threads {
+                self.worker_scratch
+                    .resize_with(threads, WorkerScratch::default);
+            }
+            let arena_bytes = info.shared_bytes.max(8);
+            for ws in &mut self.worker_scratch[..threads] {
+                ws.arena.ensure_capacity(arena_bytes);
+            }
+            execute_parallel(
+                &mut self.mem_system,
+                &mut self.worker_scratch[..threads],
+                self.profile.warp_width,
+                dispatch,
+                &resolved,
+                sample_every,
+                &mut traced_stats,
+                &mut untraced_stats,
+                &mut traced_groups,
+            )?;
+        } else {
+            self.arena.ensure_capacity(info.shared_bytes.max(8));
+            let [gx, gy, gz] = dispatch.groups;
+            let mut linear = 0u64;
+            for z in 0..gz {
+                for y in 0..gy {
+                    for x in 0..gx {
+                        let traced = linear.is_multiple_of(sample_every);
+                        let trace = if traced {
+                            traced_groups += 1;
+                            Some(TraceState {
+                                scratch: &mut self.scratch,
+                                sink: TraceSink::Direct(&mut self.mem_system),
+                            })
+                        } else {
+                            None
+                        };
+                        let mut ctx = GroupCtx::new(
+                            [x, y, z],
+                            dispatch.groups,
+                            info,
+                            dispatch.kernel.opts(),
+                            self.profile.warp_width,
+                            &resolved,
+                            &dispatch.push_constants,
+                            &self.arena,
+                            trace,
+                            false,
+                        );
+                        dispatch.kernel.body().execute_group(&mut ctx)?;
+                        let stats = ctx.into_stats();
+                        if traced {
+                            traced_stats.add(&stats);
+                        } else {
+                            untraced_stats.add(&stats);
+                        }
+                        linear += 1;
                     }
-                    linear += 1;
                 }
             }
         }
@@ -271,10 +427,176 @@ impl Gpu {
         let opts = dispatch.kernel.opts();
         let report =
             self.time_dispatch(&stats, info, groups, traced_groups, driver, has_push, opts);
+        self.traffic_totals.add(&stats);
         self.kernels_launched += 1;
         Ok(report)
     }
+}
 
+/// Fans one dispatch's grid out over `workers.len()` worker threads.
+///
+/// The grid is processed in contiguous windows; within a window each
+/// worker owns a contiguous linear range, executes its groups
+/// functionally (buffer views go through relaxed atomics), and
+/// records traced groups' coalesced sector streams. The coordinator
+/// then replays those streams through the persistent L2/row-tracker
+/// in linear grid order — so cache state, [`TrafficStats`] and
+/// simulated time are bit-identical to the sequential path for any
+/// kernel honouring the `parallel_groups` contract.
+///
+/// On a kernel-body error the merge stops at the erroring worker's
+/// chunk, so the persistent L2/row state and the accumulated stats
+/// match the sequential path (which executes exactly the groups before
+/// the error). Functional writes from later chunks of the same window
+/// may still have landed — after an error, buffer contents are only
+/// guaranteed deterministic per thread count, as on a real device that
+/// faulted mid-grid.
+#[allow(clippy::too_many_arguments)]
+fn execute_parallel(
+    mem_system: &mut MemSystem,
+    workers: &mut [WorkerScratch],
+    warp_width: u32,
+    dispatch: &Dispatch,
+    resolved: &[Option<ResolvedBinding<'_>>],
+    sample_every: u64,
+    traced_stats: &mut TrafficStats,
+    untraced_stats: &mut TrafficStats,
+    traced_groups: &mut u64,
+) -> SimResult<()> {
+    /// Per-window, per-worker results (the reusable arena/scratch/stream
+    /// live in [`WorkerScratch`] on the `Gpu`).
+    #[derive(Default)]
+    struct WorkerOut {
+        traced: TrafficStats,
+        untraced: TrafficStats,
+        traced_groups: u64,
+        /// First error, with the linear group index it occurred at.
+        err: Option<(u64, SimError)>,
+    }
+
+    let threads = workers.len();
+    let groups = dispatch.group_count();
+    let [gx, gy, _] = dispatch.groups;
+    let (gx, gy) = (u64::from(gx), u64::from(gy));
+    let info = dispatch.kernel.info();
+    let opts = dispatch.kernel.opts();
+    let body = dispatch.kernel.body();
+    let push = dispatch.push_constants.as_slice();
+    let sector_bytes = mem_system.sector_bytes;
+    let shared_banks = mem_system.shared_banks;
+
+    let mut outs: Vec<WorkerOut> = (0..threads).map(|_| WorkerOut::default()).collect();
+    let mut first_err: Option<(u64, SimError)> = None;
+    let mut window_start = 0u64;
+    while window_start < groups {
+        let window_end = (window_start + PARALLEL_WINDOW).min(groups);
+        let chunk = (window_end - window_start).div_ceil(threads as u64);
+        std::thread::scope(|scope| {
+            for (w, (out, ws)) in outs.iter_mut().zip(workers.iter_mut()).enumerate() {
+                let start = window_start + w as u64 * chunk;
+                let end = (start + chunk).min(window_end);
+                if start >= end {
+                    continue;
+                }
+                scope.spawn(move || {
+                    let WorkerScratch {
+                        arena,
+                        scratch,
+                        stream,
+                    } = ws;
+                    for linear in start..end {
+                        let gid = [
+                            (linear % gx) as u32,
+                            ((linear / gx) % gy) as u32,
+                            (linear / (gx * gy)) as u32,
+                        ];
+                        let is_traced = linear.is_multiple_of(sample_every);
+                        let trace = is_traced.then_some(TraceState {
+                            scratch: &mut *scratch,
+                            sink: TraceSink::Record {
+                                stream: &mut *stream,
+                                sector_bytes,
+                                shared_banks,
+                            },
+                        });
+                        let mut ctx = GroupCtx::new(
+                            gid,
+                            dispatch.groups,
+                            info,
+                            opts,
+                            warp_width,
+                            resolved,
+                            push,
+                            arena,
+                            trace,
+                            true,
+                        );
+                        match body.execute_group(&mut ctx) {
+                            Ok(()) => {
+                                let stats = ctx.into_stats();
+                                if is_traced {
+                                    out.traced_groups += 1;
+                                    out.traced.add(&stats);
+                                } else {
+                                    out.untraced.add(&stats);
+                                }
+                            }
+                            Err(e) => {
+                                out.err = Some((linear, e));
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Chunks ascend with worker index, so the lowest-linear error of
+        // the window sits in the lowest erroring worker.
+        let err_worker = outs
+            .iter()
+            .enumerate()
+            .find_map(|(w, o)| o.err.as_ref().map(|_| w));
+        // Merge in worker order: chunks are contiguous ascending, so
+        // concatenating the sector streams reproduces linear grid
+        // order for the L2/row-tracker replay, and the counter sums
+        // are order-insensitive u64 additions. Workers past an erroring
+        // one are dropped unmerged: the sequential path would never have
+        // reached their groups, and skipping them keeps the persistent
+        // L2/stats state identical to sequential-up-to-the-error.
+        for (w, (out, ws)) in outs.iter_mut().zip(workers.iter_mut()).enumerate() {
+            if err_worker.is_some_and(|ew| w > ew) {
+                ws.stream.clear();
+                *out = WorkerOut::default();
+                continue;
+            }
+            *traced_groups += out.traced_groups;
+            out.traced_groups = 0;
+            traced_stats.add(&out.traced);
+            out.traced = TrafficStats::default();
+            untraced_stats.add(&out.untraced);
+            out.untraced = TrafficStats::default();
+            mem_system.access_sectors(&ws.stream, traced_stats);
+            ws.stream.clear();
+            if let Some((linear, e)) = out.err.take() {
+                if first_err.as_ref().is_none_or(|(l, _)| linear < *l) {
+                    first_err = Some((linear, e));
+                }
+            }
+        }
+        // Abort remaining windows on the first error, mirroring the
+        // sequential path's early `?`.
+        if first_err.is_some() {
+            break;
+        }
+        window_start = window_end;
+    }
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+impl Gpu {
     /// Converts whole-grid traffic into execution time.
     #[allow(clippy::too_many_arguments)]
     fn time_dispatch(
@@ -383,6 +705,7 @@ mod tests {
             .reads(0, "x")
             .reads(1, "y")
             .writes(2, "z")
+            .parallel_groups()
             .build();
         let body = Arc::new(|ctx: &mut GroupCtx<'_>| {
             let x = ctx.global::<f32>(0)?;
@@ -708,6 +1031,213 @@ mod tests {
         let (mut gpu2, dispatch2) = setup(n);
         let baseline = gpu2.execute(&dispatch2, &healthy).unwrap();
         assert_eq!(no_push.mem_time, baseline.mem_time);
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_in_every_trace_mode() {
+        let n = 512 * 1024; // 2048 groups
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
+        for mode in [TraceMode::Detailed, TraceMode::Sampled(16), TraceMode::Auto] {
+            let (mut gpu_seq, d_seq) = setup(n);
+            gpu_seq.set_trace_mode(mode);
+            let seq = gpu_seq.execute(&d_seq, &driver).unwrap();
+
+            let (mut gpu_par, d_par) = setup(n);
+            gpu_par.set_trace_mode(mode);
+            gpu_par.set_worker_threads(4);
+            gpu_par.set_worker_clamp(false);
+            let par = gpu_par.execute(&d_par, &driver).unwrap();
+
+            assert_eq!(par.time, seq.time, "{mode:?}");
+            assert_eq!(par.stats, seq.stats, "{mode:?}");
+            assert_eq!(par.traced_groups, seq.traced_groups, "{mode:?}");
+            assert_eq!(par.mem_time, seq.mem_time, "{mode:?}");
+            let z_seq: Vec<f32> = gpu_seq
+                .pool()
+                .buffer(d_seq.bindings[2].buffer)
+                .unwrap()
+                .read_vec()
+                .unwrap();
+            let z_par: Vec<f32> = gpu_par
+                .pool()
+                .buffer(d_par.bindings[2].buffer)
+                .unwrap()
+                .read_vec()
+                .unwrap();
+            assert_eq!(z_seq, z_par, "{mode:?}");
+            assert_eq!(gpu_seq.fingerprint(), gpu_par.fingerprint(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_state_stays_identical_across_repeated_dispatches() {
+        // The L2 stays warm across dispatches; the linear-order replay
+        // must keep its state identical to the sequential path even when
+        // later dispatches see the earlier ones' cache contents.
+        let n = 256 * 1024;
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
+        let (mut gpu_seq, d) = setup(n);
+        let (mut gpu_par, d2) = setup(n);
+        gpu_par.set_worker_threads(3);
+        gpu_par.set_worker_clamp(false);
+        for round in 0..3 {
+            let a = gpu_seq.execute(&d, &driver).unwrap();
+            let b = gpu_par.execute(&d2, &driver).unwrap();
+            assert_eq!(a.time, b.time, "round {round}");
+            assert_eq!(a.stats, b.stats, "round {round}");
+        }
+        assert_eq!(gpu_seq.fingerprint(), gpu_par.fingerprint());
+    }
+
+    #[test]
+    fn sequential_kernels_keep_linear_grid_order_under_threads() {
+        // A deliberately order-dependent kernel: group g reads group
+        // g-1's output. Without `parallel_groups` it must run in linear
+        // grid order no matter how many worker threads are configured.
+        let groups = 512u32;
+        let info = KernelInfo::new("prefix", [1, 1, 1])
+            .writes(0, "out")
+            .build();
+        assert!(!info.parallel_groups);
+        let body = Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let out = ctx.global::<u32>(0)?;
+            let g = ctx.group_id(0) as usize;
+            ctx.for_lanes(|lane| {
+                let prev = if g == 0 { 0 } else { lane.ld(&out, g - 1) };
+                lane.st(&out, g, prev + 1);
+            });
+            Ok(())
+        });
+        let mut gpu = Gpu::new(devices::gtx1050ti());
+        gpu.set_worker_threads(8);
+        gpu.set_worker_clamp(false);
+        let (buf, _) = gpu
+            .pool_mut()
+            .create_buffer(0, u64::from(groups) * 4)
+            .unwrap();
+        let dispatch = Dispatch {
+            kernel: CompiledKernel::new(info, body, CompileOpts::default()),
+            groups: [groups, 1, 1],
+            bindings: vec![BoundBuffer {
+                binding: 0,
+                buffer: buf,
+            }],
+            push_constants: vec![],
+        };
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
+        gpu.execute(&dispatch, &driver).unwrap();
+        let out: Vec<u32> = gpu.pool().buffer(buf).unwrap().read_vec().unwrap();
+        for (g, v) in out.iter().enumerate() {
+            assert_eq!(*v, g as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn same_value_races_stay_deterministic_in_parallel() {
+        // The bfs pattern: many groups write the same value to the same
+        // location (a shared `over` flag). Legal under the
+        // `parallel_groups` contract and deterministic at any thread
+        // count.
+        let groups = 1024u32;
+        let info = KernelInfo::new("flag", [32, 1, 1])
+            .writes(0, "flag")
+            .parallel_groups()
+            .build();
+        let body = Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let flag = ctx.global::<u32>(0)?;
+            ctx.for_lanes(|lane| {
+                lane.st(&flag, 0, 7);
+            });
+            Ok(())
+        });
+        let mut gpu = Gpu::new(devices::gtx1050ti());
+        gpu.set_worker_threads(4);
+        gpu.set_worker_clamp(false);
+        let (buf, _) = gpu.pool_mut().create_buffer(0, 8).unwrap();
+        let dispatch = Dispatch {
+            kernel: CompiledKernel::new(info, body, CompileOpts::default()),
+            groups: [groups, 1, 1],
+            bindings: vec![BoundBuffer {
+                binding: 0,
+                buffer: buf,
+            }],
+            push_constants: vec![],
+        };
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
+        gpu.execute(&dispatch, &driver).unwrap();
+        let out: Vec<u32> = gpu.pool().buffer(buf).unwrap().read_vec().unwrap();
+        assert_eq!(out[0], 7);
+    }
+
+    #[test]
+    fn worker_errors_surface_from_parallel_dispatches() {
+        // A body-level error (resolving an unbound slot) must propagate
+        // out of the worker threads.
+        let info = KernelInfo::new("bad", [1, 1, 1])
+            .writes(0, "out")
+            .parallel_groups()
+            .build();
+        let body = Arc::new(|ctx: &mut GroupCtx<'_>| {
+            let _ = ctx.global::<f32>(9)?;
+            Ok(())
+        });
+        let mut gpu = Gpu::new(devices::gtx1050ti());
+        gpu.set_worker_threads(4);
+        gpu.set_worker_clamp(false);
+        let (buf, _) = gpu.pool_mut().create_buffer(0, 64).unwrap();
+        let dispatch = Dispatch {
+            kernel: CompiledKernel::new(info, body, CompileOpts::default()),
+            groups: [256, 1, 1],
+            bindings: vec![BoundBuffer {
+                binding: 0,
+                buffer: buf,
+            }],
+            push_constants: vec![],
+        };
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
+        assert!(matches!(
+            gpu.execute(&dispatch, &driver),
+            Err(SimError::MissingBinding { binding: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_tracks_functional_state() {
+        let n = 64 * 1024;
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
+        let (mut gpu_a, d_a) = setup(n);
+        let (mut gpu_b, d_b) = setup(n);
+        assert_eq!(gpu_a.fingerprint(), gpu_b.fingerprint());
+        gpu_a.execute(&d_a, &driver).unwrap();
+        assert_ne!(
+            gpu_a.fingerprint(),
+            gpu_b.fingerprint(),
+            "a dispatch must change the fingerprint"
+        );
+        gpu_b.execute(&d_b, &driver).unwrap();
+        assert_eq!(gpu_a.fingerprint(), gpu_b.fingerprint());
+        assert_eq!(
+            gpu_a.traffic_totals().global_reads,
+            2 * (n as u64) // two input reads per element
+        );
     }
 
     #[test]

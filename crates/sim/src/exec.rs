@@ -19,10 +19,10 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::cache::{CacheOutcome, CacheSim};
-use crate::coalesce::{strided_sectors, Coalescer};
+use crate::coalesce::strided_sectors;
 use crate::dram::{DramTraffic, RowTracker};
 use crate::error::{SimError, SimResult};
-use crate::mem::{BufferId, BufferStore, Scalar};
+use crate::mem::{BufferId, BufferStore, Scalar, SyncCell};
 
 /// How a kernel may touch a storage-buffer binding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,6 +66,17 @@ pub struct KernelInfo {
     /// Rough static source size in bytes, used by the OpenCL JIT cost
     /// model.
     pub source_bytes: u64,
+    /// Whether the grid's workgroups are order-independent, allowing the
+    /// engine to execute them across worker threads.
+    ///
+    /// The contract mirrors what real GPU hardware guarantees (nothing
+    /// about group order): a kernel may declare this only if, within one
+    /// dispatch, (a) no workgroup reads a global location another
+    /// workgroup writes, and (b) any concurrent writes to the same
+    /// location always carry the same value (bfs's frontier updates).
+    /// Kernels whose groups consume earlier groups' output in linear grid
+    /// order (nw's tile diagonals) must leave this `false`.
+    pub parallel_groups: bool,
 }
 
 impl KernelInfo {
@@ -81,6 +92,7 @@ impl KernelInfo {
                 shared_bytes: 0,
                 promotable: false,
                 source_bytes: 1024,
+                parallel_groups: false,
             },
         }
     }
@@ -138,6 +150,14 @@ impl KernelInfoBuilder {
     /// Marks the kernel as containing a promotable reuse pattern.
     pub fn promotable(mut self) -> Self {
         self.info.promotable = true;
+        self
+    }
+
+    /// Declares the grid's workgroups order-independent (see
+    /// [`KernelInfo::parallel_groups`] for the exact contract). Leave
+    /// unset for kernels whose groups depend on linear grid order.
+    pub fn parallel_groups(mut self) -> Self {
+        self.info.parallel_groups = true;
         self
     }
 
@@ -284,11 +304,14 @@ impl Dispatch {
 /// created once and used inside [`GroupCtx::for_lanes`] closures.
 #[derive(Clone, Copy)]
 pub struct GlobalView<'a, T: Scalar> {
-    cells: &'a [Cell<T>],
+    cells: &'a [SyncCell<T>],
     base_addr: u64,
     binding: u32,
     kernel: &'a str,
     writable: bool,
+    /// `true` when the dispatch runs groups across threads: accesses go
+    /// through relaxed atomics instead of plain loads/stores.
+    atomic: bool,
 }
 
 impl<'a, T: Scalar> GlobalView<'a, T> {
@@ -308,7 +331,7 @@ impl<'a, T: Scalar> GlobalView<'a, T> {
     }
 
     #[inline]
-    fn cell(&self, idx: usize) -> &Cell<T> {
+    fn cell(&self, idx: usize) -> &SyncCell<T> {
         match self.cells.get(idx) {
             Some(c) => c,
             None => panic!(
@@ -375,22 +398,36 @@ impl<T: Scalar + fmt::Debug> fmt::Debug for SharedArray<'_, T> {
 /// Backing storage for workgroup shared memory, reused across groups.
 #[derive(Debug)]
 pub struct SharedArena {
-    words: Vec<u64>,
+    /// `UnsafeCell`-backed words so deriving `Cell` views from a shared
+    /// reference is legal under Rust's aliasing rules.
+    words: Vec<std::cell::UnsafeCell<u64>>,
     cursor: Cell<usize>, // byte cursor
 }
 
 impl SharedArena {
     /// Creates an arena of `capacity_bytes`.
     pub fn new(capacity_bytes: u64) -> Self {
-        SharedArena {
-            words: vec![0; (capacity_bytes as usize).div_ceil(8)],
+        let mut arena = SharedArena {
+            words: Vec::new(),
             cursor: Cell::new(0),
-        }
+        };
+        arena.ensure_capacity(capacity_bytes);
+        arena
     }
 
     /// Capacity in bytes.
     pub fn capacity(&self) -> u64 {
         (self.words.len() * 8) as u64
+    }
+
+    /// Grows the arena to at least `capacity_bytes`, keeping it reusable
+    /// across dispatches instead of reallocating per dispatch.
+    pub fn ensure_capacity(&mut self, capacity_bytes: u64) {
+        let words = (capacity_bytes as usize).div_ceil(8);
+        if words > self.words.len() {
+            self.words
+                .resize_with(words, || std::cell::UnsafeCell::new(0));
+        }
     }
 
     fn reset(&self) {
@@ -408,8 +445,10 @@ impl SharedArena {
         let ptr = self.words.as_ptr() as *const u8;
         // SAFETY: range checked above; base is 8-byte aligned and `start`
         // is a multiple of size_of::<T>() (≤ 8, power of two), so the cast
-        // pointer is aligned; Cell<T> is layout-compatible with T; the
-        // arena is only accessed through Cells for the group's lifetime.
+        // pointer is aligned; the words are `UnsafeCell`s, so viewing them
+        // as the layout-compatible `Cell<T>` keeps interior mutability
+        // legal; the arena is only accessed through Cells for the group's
+        // lifetime.
         let slice = unsafe { std::slice::from_raw_parts(ptr.add(start) as *const Cell<T>, len) };
         Some((slice, start as u32))
     }
@@ -504,7 +543,7 @@ impl MemSystem {
         &self.l2
     }
 
-    fn access_sectors(&mut self, sectors: &[u64], stats: &mut TrafficStats) {
+    pub(crate) fn access_sectors(&mut self, sectors: &[u64], stats: &mut TrafficStats) {
         for &sector in sectors {
             match self.l2.access_sector(sector) {
                 CacheOutcome::Hit => stats.l2_hit_sectors += 1,
@@ -527,20 +566,109 @@ impl fmt::Debug for MemSystem {
     }
 }
 
+/// One warp's recorded accesses, bucketed by the lane-local sequence
+/// number of the issuing instruction.
+///
+/// Bucketing replaces the old sort-by-(seq, addr) pass: lanes run in
+/// order, so every bucket receives its addresses already in lane order,
+/// and the per-warp flush just walks the buckets — no sort, no tuple
+/// storage, no allocation after warm-up.
 #[derive(Debug, Default)]
 struct WarpBuf {
-    /// (sequence-within-lane, address, access bytes) for global accesses.
-    global: Vec<(u32, u64, u8)>,
-    /// (sequence-within-lane, shared byte offset) for shared accesses.
-    shared: Vec<(u32, u32)>,
+    /// Global-access buckets: per sequence slot, the access size and the
+    /// lanes' byte addresses in issue order.
+    global: Vec<(u8, Vec<u64>)>,
+    /// One past the highest global sequence slot used this warp.
+    global_hi: usize,
+    /// Shared-access buckets: per sequence slot, the lanes' byte offsets.
+    shared: Vec<Vec<u32>>,
+    /// One past the highest shared sequence slot used this warp.
+    shared_hi: usize,
+}
+
+impl WarpBuf {
+    #[inline]
+    fn push_global(&mut self, seq: u32, addr: u64, size: u8) {
+        let s = seq as usize;
+        if s >= self.global.len() {
+            self.global.resize_with(s + 1, Default::default);
+        }
+        let bucket = &mut self.global[s];
+        bucket.0 = size;
+        bucket.1.push(addr);
+        if s >= self.global_hi {
+            self.global_hi = s + 1;
+        }
+    }
+
+    #[inline]
+    fn push_shared(&mut self, seq: u32, offset: u32) {
+        let s = seq as usize;
+        if s >= self.shared.len() {
+            self.shared.resize_with(s + 1, Default::default);
+        }
+        self.shared[s].push(offset);
+        if s >= self.shared_hi {
+            self.shared_hi = s + 1;
+        }
+    }
+}
+
+/// Reusable tracing scratch: warp buffers plus sector and bank-count
+/// scratch vectors.
+///
+/// The engine keeps one instance alive across groups *and* dispatches
+/// (each parallel worker keeps its own), so the dispatch hot path
+/// performs no per-group allocation.
+#[derive(Debug, Default)]
+pub struct TraceScratch {
+    warp: WarpBuf,
+    scratch_sectors: Vec<u64>,
+    bank_counts: Vec<u32>,
+}
+
+impl TraceScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Where a traced group's memory traffic goes.
+pub(crate) enum TraceSink<'m> {
+    /// Feed the persistent L2/row-tracker state directly — the
+    /// sequential path, where groups execute in linear grid order.
+    Direct(&'m mut MemSystem),
+    /// Record the sector stream for a later linear-order replay through
+    /// the memory system — the parallel path, where the functional run
+    /// happens on a worker thread.
+    Record {
+        stream: &'m mut Vec<u64>,
+        sector_bytes: u64,
+        shared_banks: u32,
+    },
+}
+
+impl TraceSink<'_> {
+    fn sector_bytes(&self) -> u64 {
+        match self {
+            TraceSink::Direct(mem) => mem.sector_bytes,
+            TraceSink::Record { sector_bytes, .. } => *sector_bytes,
+        }
+    }
+
+    fn shared_banks(&self) -> u32 {
+        match self {
+            TraceSink::Direct(mem) => mem.shared_banks,
+            TraceSink::Record { shared_banks, .. } => *shared_banks,
+        }
+    }
 }
 
 /// Tracing state for one traced workgroup.
 pub(crate) struct TraceState<'m> {
-    warp: WarpBuf,
-    coalescer: Coalescer,
-    mem: &'m mut MemSystem,
-    scratch_addrs: Vec<u64>,
+    pub(crate) scratch: &'m mut TraceScratch,
+    pub(crate) sink: TraceSink<'m>,
 }
 
 /// Context for executing one workgroup.
@@ -555,6 +683,7 @@ pub struct GroupCtx<'a> {
     shared: &'a SharedArena,
     stats: TrafficStats,
     trace: Option<TraceState<'a>>,
+    atomic: bool,
 }
 
 impl<'a> GroupCtx<'a> {
@@ -568,7 +697,8 @@ impl<'a> GroupCtx<'a> {
         resolved: &'a [Option<ResolvedBinding<'a>>],
         push: &'a [u8],
         shared: &'a SharedArena,
-        mem: Option<&'a mut MemSystem>,
+        trace: Option<TraceState<'a>>,
+        atomic: bool,
     ) -> Self {
         shared.reset();
         GroupCtx {
@@ -581,12 +711,8 @@ impl<'a> GroupCtx<'a> {
             push,
             shared,
             stats: TrafficStats::default(),
-            trace: mem.map(|m| TraceState {
-                warp: WarpBuf::default(),
-                coalescer: Coalescer::new(m.sector_bytes, m.sector_bytes * 4),
-                mem: m,
-                scratch_addrs: Vec::with_capacity(64),
-            }),
+            trace,
+            atomic,
         }
     }
 
@@ -654,11 +780,12 @@ impl<'a> GroupCtx<'a> {
                 binding: slot,
             })?;
         Ok(GlobalView {
-            cells: resolved.store.cells::<T>()?,
+            cells: resolved.store.sync_cells::<T>()?,
             base_addr: resolved.store.device_addr(),
             binding: slot,
             kernel: name_of(self.info),
             writable: resolved.writable,
+            atomic: self.atomic,
         })
     }
 
@@ -698,7 +825,7 @@ impl<'a> GroupCtx<'a> {
                     writes: 0,
                     useful: 0,
                     shared_acc: 0,
-                    buf: self.trace.as_mut().map(|t| &mut t.warp),
+                    buf: self.trace.as_mut().map(|t| &mut t.scratch.warp),
                 };
                 f(&mut lane);
                 self.stats.alu_ops += lane.alu;
@@ -716,47 +843,52 @@ impl<'a> GroupCtx<'a> {
         let Some(trace) = self.trace.as_mut() else {
             return;
         };
-        if !trace.warp.global.is_empty() {
-            trace.warp.global.sort_unstable();
-            let mut i = 0;
-            let entries = std::mem::take(&mut trace.warp.global);
-            while i < entries.len() {
-                let seq = entries[i].0;
-                let size = entries[i].2;
-                trace.scratch_addrs.clear();
-                while i < entries.len() && entries[i].0 == seq {
-                    trace.scratch_addrs.push(entries[i].1);
-                    i += 1;
+        let TraceState { scratch, sink } = trace;
+        let TraceScratch {
+            warp,
+            scratch_sectors,
+            bank_counts,
+        } = &mut **scratch;
+        if warp.global_hi > 0 {
+            let sector_bytes = sink.sector_bytes();
+            for bucket in &mut warp.global[..warp.global_hi] {
+                let (size, addrs) = (u64::from(bucket.0), &mut bucket.1);
+                if addrs.is_empty() {
+                    continue;
                 }
-                let result = trace.coalescer.coalesce(&trace.scratch_addrs, size as u32);
-                let _ = result;
-                let sectors: Vec<u64> = trace.coalescer.last_sectors().to_vec();
-                trace.mem.access_sectors(&sectors, &mut self.stats);
+                scratch_sectors.clear();
+                crate::coalesce::expand_sectors(addrs, size, sector_bytes, scratch_sectors);
+                match sink {
+                    TraceSink::Direct(mem) => {
+                        mem.access_sectors(scratch_sectors, &mut self.stats);
+                    }
+                    TraceSink::Record { stream, .. } => {
+                        stream.extend_from_slice(scratch_sectors);
+                    }
+                }
+                addrs.clear();
             }
-            trace.warp.global = entries;
-            trace.warp.global.clear();
+            warp.global_hi = 0;
         }
-        if !trace.warp.shared.is_empty() {
-            trace.warp.shared.sort_unstable();
-            let banks = trace.mem.shared_banks.max(1);
-            let mut counts = vec![0u32; banks as usize];
-            let entries = std::mem::take(&mut trace.warp.shared);
-            let mut i = 0;
-            while i < entries.len() {
-                let seq = entries[i].0;
-                counts.fill(0);
-                while i < entries.len() && entries[i].0 == seq {
-                    let bank = (entries[i].1 / 4) % banks;
-                    counts[bank as usize] += 1;
-                    i += 1;
+        if warp.shared_hi > 0 {
+            let banks = sink.shared_banks().max(1);
+            bank_counts.resize(banks as usize, 0);
+            for bucket in &mut warp.shared[..warp.shared_hi] {
+                if bucket.is_empty() {
+                    continue;
                 }
-                let worst = *counts.iter().max().unwrap_or(&0);
+                bank_counts.fill(0);
+                for &offset in bucket.iter() {
+                    let bank = (offset / 4) % banks;
+                    bank_counts[bank as usize] += 1;
+                }
+                let worst = *bank_counts.iter().max().unwrap_or(&0);
                 if worst > 1 {
                     self.stats.bank_conflict_cycles += (worst - 1) as u64;
                 }
+                bucket.clear();
             }
-            trace.warp.shared = entries;
-            trace.warp.shared.clear();
+            warp.shared_hi = 0;
         }
     }
 
@@ -794,7 +926,7 @@ impl<'a> GroupCtx<'a> {
         let Some(trace) = self.trace.as_mut() else {
             return;
         };
-        let sector = trace.mem.sector_bytes;
+        let sector = trace.sink.sector_bytes();
         let base = view.addr_of(start);
         let n_sectors = strided_sectors(count, elem, stride_elems * elem, sector);
         let span = if count == 0 {
@@ -812,14 +944,17 @@ impl<'a> GroupCtx<'a> {
         let mut s = base / sector;
         let last = (base + span.max(1) - 1) / sector;
         while touched < n_sectors && s <= last {
-            match trace.mem.l2.access_sector(s) {
-                CacheOutcome::Hit => self.stats.l2_hit_sectors += 1,
-                CacheOutcome::Miss => {
-                    self.stats.dram.sectors += 1;
-                    if trace.mem.rows.observe(s * sector) {
-                        self.stats.dram.row_misses += 1;
+            match &mut trace.sink {
+                TraceSink::Direct(mem) => match mem.l2.access_sector(s) {
+                    CacheOutcome::Hit => self.stats.l2_hit_sectors += 1,
+                    CacheOutcome::Miss => {
+                        self.stats.dram.sectors += 1;
+                        if mem.rows.observe(s * sector) {
+                            self.stats.dram.row_misses += 1;
+                        }
                     }
-                }
+                },
+                TraceSink::Record { stream, .. } => stream.push(s),
             }
             s += step;
             touched += 1;
@@ -899,7 +1034,11 @@ impl Lane<'_> {
     pub fn ld<T: Scalar>(&mut self, view: &GlobalView<'_, T>, idx: usize) -> T {
         let c = view.cell(idx);
         self.record_global(view.addr_of(idx), std::mem::size_of::<T>() as u8, false);
-        c.get()
+        if view.atomic {
+            c.get()
+        } else {
+            c.get_plain()
+        }
     }
 
     /// Stores `value` to `view[idx]`, recording the access.
@@ -918,7 +1057,11 @@ impl Lane<'_> {
         );
         let c = view.cell(idx);
         self.record_global(view.addr_of(idx), std::mem::size_of::<T>() as u8, true);
-        c.set(value);
+        if view.atomic {
+            c.set(value);
+        } else {
+            c.set_plain(value);
+        }
     }
 
     /// Reads shared memory, recording the access for bank-conflict math.
@@ -949,20 +1092,20 @@ impl Lane<'_> {
             self.reads += 1;
         }
         self.useful += size as u64;
-        let seq = self.seq;
-        self.seq += 1;
         if let Some(buf) = self.buf.as_deref_mut() {
-            buf.global.push((seq, addr, size));
+            let seq = self.seq;
+            self.seq += 1;
+            buf.push_global(seq, addr, size);
         }
     }
 
     #[inline]
     fn record_shared(&mut self, offset: u32) {
         self.shared_acc += 1;
-        let seq = self.seq;
-        self.seq += 1;
         if let Some(buf) = self.buf.as_deref_mut() {
-            buf.shared.push((seq, offset));
+            let seq = self.seq;
+            self.seq += 1;
+            buf.push_shared(seq, offset);
         }
     }
 }
@@ -1009,6 +1152,11 @@ mod tests {
             })
             .collect();
         let arena = SharedArena::new(info.shared_bytes.max(1024));
+        let mut scratch = TraceScratch::new();
+        let trace = mem.map(|m| TraceState {
+            scratch: &mut scratch,
+            sink: TraceSink::Direct(m),
+        });
         let mut ctx = GroupCtx::new(
             [0, 0, 0],
             [1, 1, 1],
@@ -1018,7 +1166,8 @@ mod tests {
             &resolved,
             &[],
             &arena,
-            mem,
+            trace,
+            false,
         );
         f(&mut ctx).unwrap();
         ctx.into_stats()
@@ -1185,6 +1334,7 @@ mod tests {
             &[],
             &arena,
             None,
+            false,
         );
         let _ = &p;
         assert!(matches!(
@@ -1216,6 +1366,7 @@ mod tests {
             &[],
             &arena,
             None,
+            false,
         );
         assert!(ctx.shared_array::<f32>(8).is_ok());
         assert!(matches!(
@@ -1265,6 +1416,7 @@ mod tests {
             &push,
             &arena,
             None,
+            false,
         );
         assert_eq!(ctx.push_u32(0), 42);
         assert_eq!(ctx.push_f32(4), 1.5);
@@ -1287,6 +1439,7 @@ mod tests {
             &[],
             &arena,
             None,
+            false,
         );
         let seen = Cell::new(0u32);
         ctx.for_lanes(|lane| {

@@ -6,8 +6,9 @@
 //! cache model consume; addresses are deterministic given the allocation
 //! sequence.
 
-use std::cell::Cell;
+use std::cell::{Cell, UnsafeCell};
 use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 use crate::error::{SimError, SimResult};
 use crate::profile::HeapProfile;
@@ -164,19 +165,137 @@ impl HeapState {
     }
 }
 
+/// A `Sync` shared-mutability cell over a scalar — the cross-thread twin
+/// of [`Cell`] used by [`BufferStore::sync_cells`].
+///
+/// [`SyncCell::get`]/[`SyncCell::set`] are relaxed atomics, mirroring the
+/// real-GPU contract for the functional layer: concurrent non-atomic
+/// writes to the same location are races, and a kernel declared safe for
+/// parallel workgroups either never races or only races same-value
+/// writes, for which relaxed ordering is exact. On every supported
+/// target these compile to the same plain load/store a [`Cell`] access
+/// does; the non-atomic `*_plain` accessors exist so the sequential
+/// engine path keeps today's exact codegen.
+#[repr(transparent)]
+pub struct SyncCell<T: Scalar>(UnsafeCell<T>);
+
+// SAFETY: all cross-thread access goes through relaxed atomic loads and
+// stores sized exactly to T (the `get`/`set` below); the non-atomic
+// accessors are crate-internal and only used by the engine while it is
+// provably single-threaded.
+unsafe impl<T: Scalar> Sync for SyncCell<T> {}
+
+impl<T: Scalar> SyncCell<T> {
+    /// Relaxed atomic load.
+    #[inline]
+    pub fn get(&self) -> T {
+        let p = self.0.get();
+        // SAFETY: `Scalar` is sealed to 1-, 4- and 8-byte plain-old-data
+        // types; buffer/arena storage is 8-byte aligned with elements at
+        // multiples of their size, so `p` is valid for the matching
+        // atomic type, which has T's size and alignment. The size match
+        // makes `transmute_copy` exact; other arms are unreachable.
+        unsafe {
+            match std::mem::size_of::<T>() {
+                1 => {
+                    let v = (*p.cast::<AtomicU8>()).load(Ordering::Relaxed);
+                    std::mem::transmute_copy(&v)
+                }
+                4 => {
+                    let v = (*p.cast::<AtomicU32>()).load(Ordering::Relaxed);
+                    std::mem::transmute_copy(&v)
+                }
+                8 => {
+                    let v = (*p.cast::<AtomicU64>()).load(Ordering::Relaxed);
+                    std::mem::transmute_copy(&v)
+                }
+                _ => unreachable!("Scalar is sealed to 1/4/8-byte types"),
+            }
+        }
+    }
+
+    /// Relaxed atomic store.
+    #[inline]
+    pub fn set(&self, value: T) {
+        let p = self.0.get();
+        // SAFETY: as in `get`.
+        unsafe {
+            match std::mem::size_of::<T>() {
+                1 => (*p.cast::<AtomicU8>())
+                    .store(std::mem::transmute_copy(&value), Ordering::Relaxed),
+                4 => (*p.cast::<AtomicU32>())
+                    .store(std::mem::transmute_copy(&value), Ordering::Relaxed),
+                8 => (*p.cast::<AtomicU64>())
+                    .store(std::mem::transmute_copy(&value), Ordering::Relaxed),
+                _ => unreachable!("Scalar is sealed to 1/4/8-byte types"),
+            }
+        }
+    }
+
+    /// Non-atomic load for the single-threaded engine path.
+    ///
+    /// Callers must guarantee no thread is concurrently writing the cell.
+    #[inline]
+    pub(crate) fn get_plain(&self) -> T {
+        // SAFETY: single-threaded access guaranteed by the engine.
+        unsafe { *self.0.get() }
+    }
+
+    /// Non-atomic store for the single-threaded engine path.
+    #[inline]
+    pub(crate) fn set_plain(&self, value: T) {
+        // SAFETY: single-threaded access guaranteed by the engine.
+        unsafe { *self.0.get() = value }
+    }
+}
+
+impl<T: Scalar + fmt::Debug> fmt::Debug for SyncCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SyncCell").field(&self.get()).finish()
+    }
+}
+
+/// One 8-byte word of buffer storage. The `UnsafeCell` is what makes
+/// deriving `Cell`/[`SyncCell`] views from a shared reference legal
+/// under Rust's aliasing rules (plain `Vec<u64>` storage would make
+/// those views undefined behaviour).
+#[repr(transparent)]
+struct StoreWord(UnsafeCell<u64>);
+
+// SAFETY: cross-thread access to buffer contents only ever happens
+// through `SyncCell` views, whose loads/stores are atomic; everything
+// else (byte views, digests) runs while the engine is single-threaded.
+unsafe impl Sync for StoreWord {}
+
+impl StoreWord {
+    /// Plain read for single-threaded inspection paths (digest, Debug).
+    fn get(&self) -> u64 {
+        // SAFETY: callers hold `&self` outside any parallel dispatch.
+        unsafe { *self.0.get() }
+    }
+}
+
+impl fmt::Debug for StoreWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.get())
+    }
+}
+
 /// Storage of one buffer, 8-byte aligned.
 #[derive(Debug)]
 pub struct BufferStore {
     /// 8-byte-aligned backing storage; `len_bytes` may be smaller than
     /// `words.len() * 8`.
-    words: Vec<u64>,
+    words: Vec<StoreWord>,
     len_bytes: u64,
     device_addr: u64,
 }
 
 impl BufferStore {
     fn new(len_bytes: u64, device_addr: u64) -> Self {
-        let words = vec![0u64; len_bytes.div_ceil(8) as usize];
+        let words = (0..len_bytes.div_ceil(8))
+            .map(|_| StoreWord(UnsafeCell::new(0)))
+            .collect();
         BufferStore {
             words,
             len_bytes,
@@ -202,8 +321,11 @@ impl BufferStore {
     /// Read-only byte view.
     pub fn bytes(&self) -> &[u8] {
         let ptr = self.words.as_ptr() as *const u8;
-        // SAFETY: `words` owns at least `len_bytes` initialized bytes and
-        // u64 storage is valid to reinterpret as bytes.
+        // SAFETY: `words` owns at least `len_bytes` initialized bytes
+        // (StoreWord is repr(transparent) over u64), valid to
+        // reinterpret as bytes. Callers hold `&self` outside any
+        // executing dispatch, so nothing mutates through cell views
+        // while the slice lives.
         unsafe { std::slice::from_raw_parts(ptr, self.len_bytes as usize) }
     }
 
@@ -231,10 +353,33 @@ impl BufferStore {
         let n = (self.len_bytes / elem) as usize;
         let ptr = self.words.as_ptr() as *const Cell<T>;
         // SAFETY: storage is 8-byte aligned (T is at most 8 bytes, power of
-        // two, per the sealed Scalar trait), covers >= n elements, and
-        // `Cell<T>` has the same layout as `T`. Shared mutability through
-        // &self is the point of Cell; the pool hands out disjoint borrow
-        // scopes per dispatch.
+        // two, per the sealed Scalar trait), covers >= n elements, and the
+        // backing words are `UnsafeCell`s, so reinterpreting them as the
+        // repr(transparent) `Cell<T>` keeps interior mutability legal.
+        Ok(unsafe { std::slice::from_raw_parts(ptr, n) })
+    }
+
+    /// Like [`BufferStore::cells`], but the cells are [`Sync`] so a
+    /// parallel dispatch can share the view across worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MisalignedView`] if the buffer length is not a
+    /// multiple of `size_of::<T>()`.
+    pub fn sync_cells<T: Scalar>(&self) -> SimResult<&[SyncCell<T>]> {
+        let elem = std::mem::size_of::<T>() as u64;
+        if !self.len_bytes.is_multiple_of(elem) {
+            return Err(SimError::MisalignedView {
+                len: self.len_bytes,
+                elem_size: elem,
+            });
+        }
+        let n = (self.len_bytes / elem) as usize;
+        let ptr = self.words.as_ptr() as *const SyncCell<T>;
+        // SAFETY: as in `cells` — `SyncCell<T>` is repr(transparent) over
+        // `UnsafeCell<T>`, storage is `UnsafeCell`-backed, 8-byte aligned
+        // and covers >= n elements; cross-thread access goes through the
+        // cell's relaxed atomics.
         Ok(unsafe { std::slice::from_raw_parts(ptr, n) })
     }
 
@@ -444,6 +589,33 @@ impl MemoryPool {
     /// Number of live buffers.
     pub fn live_buffers(&self) -> usize {
         self.buffers.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// FNV-1a digest of every live buffer's identity and contents — the
+    /// bit-exact functional state of device memory, used by determinism
+    /// tests to compare runs at different worker-thread counts.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = fnv1a_init();
+        for (i, slot) in self.buffers.iter().enumerate() {
+            let Some(store) = slot else { continue };
+            fnv1a(&mut h, i as u64);
+            fnv1a(&mut h, store.len_bytes);
+            for w in &store.words {
+                fnv1a(&mut h, w.get());
+            }
+        }
+        h
+    }
+}
+
+pub(crate) fn fnv1a_init() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+pub(crate) fn fnv1a(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
 }
 

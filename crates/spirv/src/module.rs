@@ -62,6 +62,9 @@ pub enum Op {
     ReproPromotable = 0x7003,
     /// Vendor range: nominal source size in bytes (JIT cost model).
     ReproSourceBytes = 0x7004,
+    /// Vendor range: the grid's workgroups are order-independent
+    /// (the engine may execute them across worker threads).
+    ReproParallelGroups = 0x7005,
 }
 
 /// `OpEntryPoint` execution model for compute shaders.
@@ -235,6 +238,9 @@ impl SpirvModule {
         if info.promotable {
             push_inst(&mut w, Op::ReproPromotable, &[]);
         }
+        if info.parallel_groups {
+            push_inst(&mut w, Op::ReproParallelGroups, &[]);
+        }
         push_inst(&mut w, Op::ReproSourceBytes, &[info.source_bytes as u32]);
 
         SpirvModule {
@@ -266,6 +272,7 @@ impl SpirvModule {
         let mut shared_bytes = 0u64;
         let mut push_bytes = 0u32;
         let mut promotable = false;
+        let mut parallel_groups = false;
         let mut source_bytes = 1024u64;
         // id -> (binding, read_only, name)
         let mut vars: Vec<(u32, Option<u32>, bool, String)> = Vec::new();
@@ -337,6 +344,7 @@ impl SpirvModule {
                     push_bytes = *operands.first().unwrap_or(&0);
                 }
                 x if x == Op::ReproPromotable as u16 => promotable = true,
+                x if x == Op::ReproParallelGroups as u16 => parallel_groups = true,
                 x if x == Op::ReproSourceBytes as u16 => {
                     source_bytes = u64::from(*operands.first().unwrap_or(&1024));
                 }
@@ -396,6 +404,9 @@ impl SpirvModule {
         }
         if promotable {
             builder = builder.promotable();
+        }
+        if parallel_groups {
+            builder = builder.parallel_groups();
         }
         builder = builder.source_bytes(source_bytes);
 

@@ -62,10 +62,14 @@ __kernel void stride_read(__global const float* a,
 ///
 /// Fails on duplicate registration.
 pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    // parallel_groups audit: `a` is read-only; the sink store is guarded
+    // by a sentinel that never fires (and would store the same value from
+    // every lane if it did).
     let info = KernelInfo::new(KERNEL, [LOCAL_SIZE, 1, 1])
         .reads(0, "a")
         .writes(1, "sink")
         .push_constants(12)
+        .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64)
         .build();
     registry.register(
@@ -148,7 +152,7 @@ pub fn bandwidth_curve(
     opts: &RunOpts,
 ) -> Result<Vec<BandwidthSample>, RunFailure> {
     let n = scaled_accesses(profile.class, opts);
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     curve_host_program(b.as_mut(), profile.class, n, opts)
 }
 

@@ -65,11 +65,13 @@ __kernel void vectoradd_add(__global const float* x,
 ///
 /// Fails on duplicate registration.
 pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    // parallel_groups audit: one output cell per item, inputs read-only.
     let info = KernelInfo::new(KERNEL, [LOCAL_SIZE, 1, 1])
         .reads(0, "x")
         .reads(1, "y")
         .writes(2, "z")
         .push_constants(4)
+        .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64)
         .build();
     registry.register(
@@ -156,7 +158,7 @@ pub fn run(
     n: usize,
     opts: &RunOpts,
 ) -> Result<RunRecord, RunFailure> {
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     let (xv, yv) = generate(n, opts.seed);
     let expected = opts.validate.then(|| reference(&xv, &yv));
     measure(NAME, &n.to_string(), b.as_mut(), |b| {

@@ -111,6 +111,14 @@ __kernel void backprop_adjust_weights(__global const float* input,
 ///
 /// Fails on duplicate registration.
 pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    // parallel_groups audit: deliberately NOT declared. This is the
+    // suite's reduction stage — group g writes the partial-sum row
+    // partial[g*HID..] that the host then folds in g order. The rows are
+    // disjoint, but the kernel stays in linear grid order so the
+    // reduction replay pins the exact summation schedule the CPU
+    // reference mirrors (the conservative default of the
+    // `parallel_groups` contract: when a kernel feeds an
+    // order-sensitive consumer, do not opt in).
     let forward = KernelInfo::new(KERNEL_FORWARD, [HIDDEN as u32, 1, 1])
         .reads(0, "input")
         .reads(1, "w")
@@ -142,12 +150,15 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         }),
     )?;
 
+    // parallel_groups audit: item i touches only row i of w/oldw;
+    // input and delta are read-only — no cross-group dependence.
     let adjust = KernelInfo::new(KERNEL_ADJUST, [TILE as u32, 1, 1])
         .reads(0, "input")
         .reads(1, "delta")
         .writes(2, "w")
         .writes(3, "oldw")
         .push_constants(12)
+        .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64 / 2)
         .build();
     registry.register(
@@ -317,7 +328,7 @@ fn run(
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     let (input_host, w1_host, w2_host) = generate(n, opts.seed);
     let expected = opts
         .validate

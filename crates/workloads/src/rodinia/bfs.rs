@@ -117,6 +117,12 @@ __kernel void bfs_kernel2(__global int* frontier,
 ///
 /// Fails on duplicate registration.
 pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    // parallel_groups audit: frontier nodes all sit at the same BFS
+    // level, so concurrent writes to a shared neighbour store the same
+    // cost (level+1) and the same updating flag (1) — the same-value
+    // race the contract permits. cost[tid] of a frontier node is never
+    // written this dispatch (visited nodes are skipped), so every read
+    // is stable.
     let k1 = KernelInfo::new(KERNEL1, [LOCAL_SIZE, 1, 1])
         .reads(0, "nodes")
         .reads(1, "edges")
@@ -125,6 +131,7 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         .writes(4, "cost")
         .writes(5, "updating")
         .push_constants(4)
+        .parallel_groups()
         .promotable()
         .source_bytes(CL_SOURCE.len() as u64 / 2)
         .build();
@@ -175,12 +182,15 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         }),
     )?;
 
+    // parallel_groups audit: per-item writes are disjoint except
+    // over[0], which every writer sets to the same value (1).
     let k2 = KernelInfo::new(KERNEL2, [LOCAL_SIZE, 1, 1])
         .writes(0, "frontier")
         .writes(1, "updating")
         .writes(2, "visited")
         .writes(3, "over")
         .push_constants(4)
+        .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64 / 2)
         .build();
     registry.register(
@@ -330,7 +340,7 @@ fn run(
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     let g = host_graph(n, opts.seed);
     let expected = opts.validate.then(|| reference(&g.nodes, &g.edges, n));
     measure(NAME, &size.label, b.as_mut(), |b| {

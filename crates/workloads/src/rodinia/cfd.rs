@@ -161,11 +161,15 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
     const GAMMA: f32 = 1.4;
     let src_third = CL_SOURCE.len() as u64 / 3;
 
+    // parallel_groups audit (all three cfd kernels): classic ping-pong
+    // stages — each item writes only its own cells of the output plane
+    // and reads planes no group writes in the same dispatch.
     let step_factor = KernelInfo::new(KERNEL_STEP_FACTOR, [LOCAL_SIZE, 1, 1])
         .reads(0, "var")
         .reads(1, "areas")
         .writes(2, "step")
         .push_constants(8)
+        .parallel_groups()
         .source_bytes(src_third)
         .build();
     registry.register(
@@ -203,6 +207,7 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         .reads(2, "normals")
         .writes(3, "fluxes")
         .push_constants(4)
+        .parallel_groups()
         .source_bytes(src_third)
         .build();
     registry.register(
@@ -250,6 +255,7 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         .reads(1, "fluxes")
         .reads(2, "step")
         .push_constants(4)
+        .parallel_groups()
         .source_bytes(src_third)
         .build();
     registry.register(
@@ -438,7 +444,7 @@ fn run(
     check_fits(profile)?;
     let n = size.n as usize;
     let iterations = scaled_iterations(ITERATIONS, opts);
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     let input = generate(n, opts.seed);
     let expected = opts.validate.then(|| reference(&input, n, iterations));
     measure(NAME, &size.label, b.as_mut(), |b| {

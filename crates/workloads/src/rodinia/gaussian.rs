@@ -89,10 +89,13 @@ __kernel void gaussian_fan2(__global const float* m,
 ///
 /// Fails on duplicate registration.
 pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    // parallel_groups audit: item i writes only m[(t+1+i)*n+t]; `a`
+    // (including the shared pivot row) is read-only this dispatch.
     let fan1 = KernelInfo::new(KERNEL_FAN1, [FAN1_LOCAL, 1, 1])
         .reads(0, "a")
         .writes(1, "m")
         .push_constants(8)
+        .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64 / 2)
         .build();
     registry.register(
@@ -115,11 +118,15 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         }),
     )?;
 
+    // parallel_groups audit: writes go to rows >= t+1 of a/b while reads
+    // of shared state touch only row t (a) and b[t], never written here;
+    // per-item writes are disjoint.
     let fan2 = KernelInfo::new(KERNEL_FAN2, [FAN2_TILE, FAN2_TILE, 1])
         .reads(0, "m")
         .writes(1, "a")
         .writes(2, "b")
         .push_constants(8)
+        .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64 / 2)
         .build();
     registry.register(
@@ -265,7 +272,7 @@ fn run(
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     let (a_host, b_host) = data::linear_system(n, opts.seed);
     let expected = opts.validate.then(|| reference(&a_host, &b_host, n));
     measure(NAME, &size.label, b.as_mut(), |b| {

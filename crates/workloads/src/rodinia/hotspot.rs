@@ -106,11 +106,14 @@ __kernel void hotspot_step(__global const float* power,
 ///
 /// Fails on duplicate registration.
 pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    // parallel_groups audit: ping-pong stencil — reads src/power (both
+    // read-only this dispatch), writes each item's own dst cell.
     let info = KernelInfo::new(KERNEL, [TILE, TILE, 1])
         .reads(0, "power")
         .reads(1, "temp_src")
         .writes(2, "temp_dst")
         .push_constants(4)
+        .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64)
         .build();
     registry.register(
@@ -236,7 +239,7 @@ fn run(
 ) -> RunOutcome {
     let n = size.n as usize;
     let iterations = scaled_iterations(size.aux, opts);
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     let (temp_host, power_host) = generate(n, opts.seed);
     let expected = opts
         .validate

@@ -144,9 +144,12 @@ __kernel void lud_internal(__global float* a, uint n, uint t) {
 /// Fails on duplicate registration.
 pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
     let src_third = CL_SOURCE.len() as u64 / 3;
+    // parallel_groups audit: a single-group dispatch (trivially
+    // order-independent); factorization happens in shared memory.
     let diagonal = KernelInfo::new(KERNEL_DIAGONAL, [BS as u32, 1, 1])
         .writes(0, "a")
         .push_constants(8)
+        .parallel_groups()
         .shared_memory((BS * BS * 4) as u64)
         .source_bytes(src_third)
         .build();
@@ -195,9 +198,13 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         }),
     )?;
 
+    // parallel_groups audit: every group reads the step's diagonal
+    // block (written by the previous dispatch, untouched here) and
+    // writes its own perimeter block — disjoint per group.
     let perimeter = KernelInfo::new(KERNEL_PERIMETER, [BS as u32, 1, 1])
         .writes(0, "a")
         .push_constants(8)
+        .parallel_groups()
         .shared_memory((2 * BS * BS * 4) as u64)
         .source_bytes(src_third)
         .build();
@@ -289,9 +296,13 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         }),
     )?;
 
+    // parallel_groups audit: group (bi,bj) reads the L/U perimeter
+    // blocks (previous dispatch) and updates only its own interior
+    // block — disjoint per group.
     let internal = KernelInfo::new(KERNEL_INTERNAL, [BS as u32, BS as u32, 1])
         .writes(0, "a")
         .push_constants(8)
+        .parallel_groups()
         .shared_memory((2 * BS * BS * 4) as u64)
         .source_bytes(src_third)
         .build();
@@ -454,7 +465,7 @@ fn run(
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     let a_host = generate(n, opts.seed);
     let check = opts.validate;
     measure(NAME, &size.label, b.as_mut(), |b| {

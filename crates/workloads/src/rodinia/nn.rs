@@ -73,10 +73,13 @@ __kernel void nn_distance(__global const float2* locations,
 ///
 /// Fails on duplicate registration.
 pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    // parallel_groups audit: each work item writes only distances[i] and
+    // reads the read-only locations buffer — no cross-group dependence.
     let info = KernelInfo::new(KERNEL, [LOCAL_SIZE, 1, 1])
         .reads(0, "locations")
         .writes(1, "distances")
         .push_constants(12)
+        .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64)
         .build();
     registry.register(
@@ -180,7 +183,7 @@ fn run(
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     let locations_host = generate(n, opts.seed);
     let expected = opts
         .validate

@@ -115,6 +115,10 @@ __kernel void nw_fill(__global const int* seq1,
 ///
 /// Fails on duplicate registration.
 pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    // parallel_groups audit: deliberately NOT declared. A tile reads the
+    // score cells its left and top neighbour tiles wrote *within the
+    // same dispatch*; correctness relies on the engine's linear grid
+    // order (see the module docs), so nw must never fan out.
     let info = KernelInfo::new(KERNEL, [BS as u32, 1, 1])
         .reads(0, "seq1")
         .reads(1, "seq2")
@@ -266,7 +270,7 @@ fn run(
     opts: &RunOpts,
 ) -> RunOutcome {
     let n = size.n as usize;
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     let (seq1_host, seq2_host, blosum_host) = generate(n, opts.seed);
     let expected = opts
         .validate

@@ -128,6 +128,10 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         .reads(1, "src")
         .writes(2, "dst")
         .push_constants(12)
+        // parallel_groups audit: blocks read the previous row (src,
+        // read-only this dispatch) and write disjoint interior spans of
+        // dst; halo lanes only read.
+        .parallel_groups()
         .shared_memory(2 * BLOCK_SIZE as u64 * 4)
         .source_bytes(CL_SOURCE.len() as u64)
         .build();
@@ -329,7 +333,7 @@ fn run(
     opts: &RunOpts,
 ) -> RunOutcome {
     let d = dims(size);
-    let mut b = vcb_backend::create(api, profile, registry)?;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
     let wall_host = generate(d, opts.seed);
     let expected = opts.validate.then(|| reference(&wall_host, d));
     measure(NAME, &size.label, b.as_mut(), |b| {

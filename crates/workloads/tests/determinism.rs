@@ -1,0 +1,146 @@
+//! Cross-workload determinism suite for intra-dispatch parallelism.
+//!
+//! For every workload of the suite (plus both microbenchmarks) and every
+//! [`TraceMode`], running the simulator with `sim_threads = 4` must be
+//! **bit-identical** to the sequential run: same output buffers, same
+//! `TrafficStats`, same simulated `DispatchReport` times. The oracle is
+//! the device fingerprint captured into every [`RunRecord`] — an FNV
+//! digest of all live buffer contents plus the cumulative traffic
+//! counters — together with the kernel/total simulated times.
+//!
+//! `sim_threads_exact` forces real worker threads even on single-core CI
+//! machines, so the parallel execution path is genuinely exercised.
+
+use vcb_core::run::{RunRecord, SizeSpec};
+use vcb_core::workload::RunOpts;
+use vcb_sim::profile::devices;
+use vcb_sim::{Api, TraceMode};
+
+const MODES: [TraceMode; 3] = [TraceMode::Detailed, TraceMode::Sampled(16), TraceMode::Auto];
+
+fn opts(mode: TraceMode, threads: usize) -> RunOpts {
+    RunOpts {
+        trace_mode: mode,
+        sim_threads: threads,
+        sim_threads_exact: true,
+        // Scale down iteration-heavy workloads; validation stays on so
+        // outputs are also checked against the CPU references.
+        scale: 0.25,
+        ..RunOpts::default()
+    }
+}
+
+fn assert_identical(seq: &RunRecord, par: &RunRecord, context: &str) {
+    assert!(seq.validated, "{context}: sequential run failed validation");
+    assert!(par.validated, "{context}: threaded run failed validation");
+    assert_eq!(
+        seq.kernel_time, par.kernel_time,
+        "{context}: kernel time diverged"
+    );
+    assert_eq!(
+        seq.total_time, par.total_time,
+        "{context}: total time diverged"
+    );
+    assert_eq!(
+        seq.fingerprint, par.fingerprint,
+        "{context}: device state (buffers + traffic stats) diverged"
+    );
+}
+
+/// Quick-but-representative size per suite workload (the per-workload
+/// unit tests use the same scales).
+fn quick_size(workload: &str) -> SizeSpec {
+    match workload {
+        "vectoradd" => SizeSpec::new("64K", 64 * 1024),
+        "bfs" => SizeSpec::new("2k", 2048),
+        "gaussian" => SizeSpec::new("48", 48),
+        "hotspot" => SizeSpec::with_aux("64-4", 64, 4),
+        "lud" => SizeSpec::new("64", 64),
+        "nn" => SizeSpec::new("8k", 8192),
+        "nw" => SizeSpec::new("256", 256),
+        "backprop" => SizeSpec::new("4K", 4096),
+        "pathfinder" => SizeSpec::with_aux("tiny", 600, 60),
+        "cfd" => SizeSpec::new("2k", 2000),
+        "stride" => SizeSpec::new("1M", 1024 * 1024),
+        other => panic!("no quick size for workload `{other}`"),
+    }
+}
+
+#[test]
+fn suite_workloads_are_bit_identical_across_worker_threads() {
+    let registry = vcb_workloads::registry().unwrap();
+    let profile = devices::gtx1050ti();
+    for w in vcb_workloads::suite_workloads(&registry) {
+        let name = w.meta().name;
+        let size = quick_size(name);
+        for mode in MODES {
+            let context = format!("{name}/{mode:?}");
+            let seq = w
+                .run(Api::Vulkan, &profile, &size, &opts(mode, 1))
+                .unwrap_or_else(|e| panic!("{context}: sequential run failed: {e}"));
+            let par = w
+                .run(Api::Vulkan, &profile, &size, &opts(mode, 4))
+                .unwrap_or_else(|e| panic!("{context}: threaded run failed: {e}"));
+            assert_identical(&seq, &par, &context);
+        }
+    }
+}
+
+#[test]
+fn vectoradd_micro_is_bit_identical_across_worker_threads() {
+    let registry = vcb_workloads::registry().unwrap();
+    let profile = devices::gtx1050ti();
+    for mode in MODES {
+        for api in Api::ALL {
+            let context = format!("vectoradd/{api}/{mode:?}");
+            let n = 256 * 1024;
+            let seq =
+                vcb_workloads::micro::vectoradd::run(api, &profile, &registry, n, &opts(mode, 1))
+                    .unwrap();
+            let par =
+                vcb_workloads::micro::vectoradd::run(api, &profile, &registry, n, &opts(mode, 4))
+                    .unwrap();
+            assert_identical(&seq, &par, &context);
+        }
+    }
+}
+
+#[test]
+fn stride_micro_curves_are_bit_identical_across_worker_threads() {
+    let registry = vcb_workloads::registry().unwrap();
+    let profile = devices::gtx1050ti();
+    for mode in MODES {
+        let seq = vcb_workloads::micro::stride::bandwidth_curve(Api::Cuda, &profile, &registry, &{
+            opts(mode, 1)
+        })
+        .unwrap();
+        let par = vcb_workloads::micro::stride::bandwidth_curve(Api::Cuda, &profile, &registry, &{
+            opts(mode, 4)
+        })
+        .unwrap();
+        assert_eq!(seq, par, "bandwidth samples diverged under {mode:?}");
+    }
+}
+
+#[test]
+fn nw_stays_sequential_and_validates_on_every_api() {
+    // nw's tiles depend on linear grid order; it is declared
+    // `parallel_groups = false`, so even at sim_threads = 4 its
+    // cross-API validation output must be unchanged.
+    let registry = vcb_workloads::registry().unwrap();
+    let profile = devices::gtx1050ti();
+    let nw = vcb_workloads::suite_workloads(&registry)
+        .into_iter()
+        .find(|w| w.meta().name == "nw")
+        .expect("nw is in the suite");
+    let size = quick_size("nw");
+    for api in Api::ALL {
+        let seq = nw
+            .run(api, &profile, &size, &opts(TraceMode::Auto, 1))
+            .unwrap();
+        let par = nw
+            .run(api, &profile, &size, &opts(TraceMode::Auto, 4))
+            .unwrap();
+        assert_identical(&seq, &par, &format!("nw/{api}"));
+    }
+}
