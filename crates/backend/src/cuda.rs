@@ -23,6 +23,7 @@ use crate::backend::{
     UsageHint,
 };
 use crate::env::{cuda_env, cuda_failure};
+use crate::envcache::{CachedEnv, EnvReturn};
 
 #[derive(Clone)]
 enum Op {
@@ -40,6 +41,9 @@ pub struct CudaBackend {
     bind_groups: Vec<Vec<BufferHandle>>,
     kernels: Vec<CudaFunction>,
     seqs: Vec<Vec<Op>>,
+    /// When set, the context came from (or goes back to) a worker-local
+    /// cache.
+    env_return: Option<EnvReturn>,
 }
 
 impl CudaBackend {
@@ -57,13 +61,19 @@ impl CudaBackend {
         profile: &DeviceProfile,
         registry: &Arc<KernelRegistry>,
     ) -> Result<CudaBackend, RunFailure> {
-        Ok(CudaBackend {
-            ctx: cuda_env(profile, registry)?,
+        Ok(Self::from_env(cuda_env(profile, registry)?, None))
+    }
+
+    /// Wraps an existing (fresh or cache-reset) context.
+    pub(crate) fn from_env(ctx: CudaContext, env_return: Option<EnvReturn>) -> CudaBackend {
+        CudaBackend {
+            ctx,
             buffers: Vec::new(),
             bind_groups: Vec::new(),
             kernels: Vec::new(),
             seqs: Vec::new(),
-        })
+            env_return,
+        }
     }
 
     fn replay(&self, seq: SeqHandle, wait_tail: bool) -> BackendResult<()> {
@@ -257,6 +267,14 @@ impl ComputeBackend for CudaBackend {
 
     fn run_async(&mut self, seq: SeqHandle) -> BackendResult<()> {
         self.replay(seq, false)
+    }
+}
+
+impl Drop for CudaBackend {
+    fn drop(&mut self) {
+        if let Some(ticket) = &self.env_return {
+            ticket.give_back(CachedEnv::Cuda(self.ctx.clone()));
+        }
     }
 }
 

@@ -159,10 +159,24 @@ pub fn vk_kernel(
         .lookup(name)
         .map_err(|e| RunFailure::Error(e.to_string()))?;
     let spv = vcb_spirv::SpirvModule::assemble(info.info());
-    let module = env
-        .device
-        .create_shader_module(spv.words())
-        .map_err(vk_failure)?;
+    vk_kernel_with_words(env, name, spv.words(), set_layout, push_bytes)
+}
+
+/// [`vk_kernel`] with the SPIR-V words already assembled — the path the
+/// worker-local environment cache takes (assembly is deterministic, so
+/// cached words are the exact image a fresh assembly would produce).
+///
+/// # Errors
+///
+/// As [`vk_kernel`].
+pub fn vk_kernel_with_words(
+    env: &VkEnv,
+    name: &str,
+    words: &[u32],
+    set_layout: &vcb_vulkan::DescriptorSetLayout,
+    push_bytes: u32,
+) -> Result<VkKernelBundle, RunFailure> {
+    let module = env.device.create_shader_module(words).map_err(vk_failure)?;
     let ranges = if push_bytes > 0 {
         vec![vcb_vulkan::PushConstantRange {
             offset: 0,

@@ -1,0 +1,350 @@
+//! The worker-local environment cache.
+//!
+//! Each benchmark cell used to pay full environment bring-up (instance/
+//! context/queue construction, a fresh simulated device) and a full JIT
+//! build per run. When a matrix worker executes many cells of the same
+//! (API, device, [`SimConfig`]) back to back, all of that host-side work
+//! is identical — so a worker-local [`EnvCache`] reuses it:
+//!
+//! * **Environments.** A finished backend returns its environment to the
+//!   cache on drop; the next cell with the same key takes it and resets
+//!   the simulated device to cold (`reset_to_cold`), so buffers, caches
+//!   and traffic counters look exactly like a brand-new device. Per-cell
+//!   measurements are unchanged: call counts, cost breakdowns and wall
+//!   times are deltas, and the post-reset device reproduces the
+//!   fingerprint of a cold run bit for bit.
+//! * **JIT program builds (OpenCL).** The compiled kernels and the
+//!   modelled `clBuildProgram` time are cached per (device, source);
+//!   reuse skips the host-side compile but records the same API call and
+//!   charges the *recorded* cost — identical to a cold build, because
+//!   the compile model is deterministic.
+//! * **SPIR-V assemblies (Vulkan).** Kernel modules assemble to the same
+//!   words every time; the words are cached per kernel name.
+//!
+//! The cache is **thread-local** (worker-local in the run-matrix
+//! executor: each matrix worker owns one). It only engages inside
+//! [`with_worker_env_cache`]; plain [`crate::create`]/[`crate::create_with`]
+//! calls outside that scope stay fully cold, so existing call sites and
+//! tests are unaffected.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use vcb_cuda::CudaContext;
+use vcb_opencl::PreBuiltProgram;
+use vcb_sim::{Api, KernelRegistry, SimResult, TraceMode};
+
+use crate::env::{ClEnv, VkEnv};
+use crate::SimConfig;
+
+/// A cached, idle environment for one (API, device, sim-config) key.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedEnv {
+    /// A Vulkan instance/device/queue.
+    Vk(VkEnv),
+    /// An OpenCL context/queue.
+    Cl(ClEnv),
+    /// A CUDA context.
+    Cuda(CudaContext),
+}
+
+/// The exact identity an environment is cached under. Includes the
+/// kernel registry's identity: an environment embeds the registry it
+/// was built from, so a hit across different registries would silently
+/// resolve kernels from the wrong one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EnvKey {
+    api: Api,
+    device: String,
+    registry: RegistryId,
+    trace_tag: u8,
+    trace_param: u32,
+    worker_threads: usize,
+    exact_threads: bool,
+}
+
+/// Pointer identity of an `Arc<KernelRegistry>` (registries are
+/// immutable once built, so the allocation is the identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RegistryId(usize);
+
+impl RegistryId {
+    fn of(registry: &Arc<KernelRegistry>) -> RegistryId {
+        RegistryId(Arc::as_ptr(registry) as usize)
+    }
+}
+
+impl EnvKey {
+    /// Builds the key for `api` on the named device under `sim`,
+    /// resolving kernels from `registry`.
+    pub fn new(api: Api, device: &str, registry: &Arc<KernelRegistry>, sim: &SimConfig) -> EnvKey {
+        let (trace_tag, trace_param) = match sim.trace_mode {
+            TraceMode::Detailed => (0u8, 0u32),
+            TraceMode::Sampled(n) => (1, n),
+            TraceMode::Auto => (2, 0),
+        };
+        EnvKey {
+            api,
+            device: device.to_owned(),
+            registry: RegistryId::of(registry),
+            trace_tag,
+            trace_param,
+            worker_threads: sim.worker_threads,
+            exact_threads: sim.exact_threads,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JitKey {
+    env: EnvKey,
+    source: String,
+}
+
+/// Hit/miss counters of one worker's cache (observability + tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnvCacheStats {
+    /// Environments reused (reset to cold) instead of rebuilt.
+    pub env_hits: usize,
+    /// Environments built from scratch.
+    pub env_misses: usize,
+    /// JIT builds re-attached from cache.
+    pub jit_hits: usize,
+    /// JIT builds compiled host-side.
+    pub jit_misses: usize,
+    /// SPIR-V assemblies served from cache.
+    pub spirv_hits: usize,
+    /// SPIR-V assemblies performed.
+    pub spirv_misses: usize,
+}
+
+/// The worker-local cache of environments, JIT builds and SPIR-V
+/// assemblies. See the module docs for the reuse/fidelity contract.
+#[derive(Debug, Default)]
+pub struct EnvCache {
+    envs: HashMap<EnvKey, CachedEnv>,
+    jit: HashMap<JitKey, PreBuiltProgram>,
+    spirv: HashMap<(RegistryId, String), Arc<Vec<u32>>>,
+    stats: EnvCacheStats,
+}
+
+impl EnvCache {
+    /// An empty cache.
+    pub fn new() -> EnvCache {
+        EnvCache::default()
+    }
+
+    /// The cache's hit/miss counters.
+    pub fn stats(&self) -> EnvCacheStats {
+        self.stats
+    }
+
+    /// Takes the idle environment cached under `key`, if any, leaving
+    /// the slot empty until a backend returns it. The caller must reset
+    /// the contained device to cold before reuse.
+    pub(crate) fn take_env(&mut self, key: &EnvKey) -> Option<CachedEnv> {
+        let hit = self.envs.remove(key);
+        if hit.is_some() {
+            self.stats.env_hits += 1;
+        } else {
+            self.stats.env_misses += 1;
+        }
+        hit
+    }
+
+    /// Returns an environment to the cache (called from backend drops).
+    pub(crate) fn put_env(&mut self, key: EnvKey, env: CachedEnv) {
+        self.envs.insert(key, env);
+    }
+
+    /// The cached JIT artifact for `source` in `env`'s (device,
+    /// registry) scope, if any.
+    pub(crate) fn jit_get(&mut self, env: &EnvKey, source: &str) -> Option<PreBuiltProgram> {
+        let found = self
+            .jit
+            .get(&JitKey {
+                env: env.clone(),
+                source: source.to_owned(),
+            })
+            .cloned();
+        if found.is_some() {
+            self.stats.jit_hits += 1;
+        } else {
+            self.stats.jit_misses += 1;
+        }
+        found
+    }
+
+    /// Caches a successful JIT build.
+    pub(crate) fn jit_put(&mut self, env: &EnvKey, source: &str, built: PreBuiltProgram) {
+        self.jit.insert(
+            JitKey {
+                env: env.clone(),
+                source: source.to_owned(),
+            },
+            built,
+        );
+    }
+
+    /// The assembled SPIR-V words for the registered kernel `name`,
+    /// assembling (and caching) on first use. Assembly depends only on
+    /// the registered kernel metadata, so one entry per (registry,
+    /// name) serves every device.
+    ///
+    /// # Errors
+    ///
+    /// Unknown kernel names.
+    pub(crate) fn spirv_words(
+        &mut self,
+        registry: &Arc<KernelRegistry>,
+        name: &str,
+    ) -> SimResult<Arc<Vec<u32>>> {
+        let key = (RegistryId::of(registry), name.to_owned());
+        if let Some(words) = self.spirv.get(&key) {
+            self.stats.spirv_hits += 1;
+            return Ok(Arc::clone(words));
+        }
+        self.stats.spirv_misses += 1;
+        let info = registry.lookup(name)?;
+        let words = Arc::new(
+            vcb_spirv::SpirvModule::assemble(info.info())
+                .words()
+                .to_vec(),
+        );
+        self.spirv.insert(key, Arc::clone(&words));
+        Ok(words)
+    }
+}
+
+thread_local! {
+    /// This thread's cache, created lazily, living for the thread.
+    static WORKER_CACHE: Rc<RefCell<EnvCache>> = Rc::new(RefCell::new(EnvCache::new()));
+    /// Whether backend creation on this thread should use the cache.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with this thread's environment cache active: every backend
+/// created inside (directly or deep inside a `Workload::run`) reuses
+/// environments and JIT builds from earlier runs on the same thread.
+/// Nested scopes are no-ops; outside any scope, backend creation is
+/// fully cold.
+pub fn with_worker_env_cache<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ACTIVE.with(|a| a.set(self.0));
+        }
+    }
+    let previous = ACTIVE.with(|a| a.replace(true));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// This thread's cache counters (zeroes before the first scoped use).
+pub fn worker_env_cache_stats() -> EnvCacheStats {
+    WORKER_CACHE.with(|c| c.borrow().stats())
+}
+
+/// Drops this thread's cached environments and artifacts (test
+/// isolation; the counters reset too).
+pub fn clear_worker_env_cache() {
+    WORKER_CACHE.with(|c| *c.borrow_mut() = EnvCache::new());
+}
+
+/// The active cache handle for backend construction, if a
+/// [`with_worker_env_cache`] scope is open on this thread.
+pub(crate) fn active_handle() -> Option<Rc<RefCell<EnvCache>>> {
+    if ACTIVE.with(Cell::get) {
+        Some(WORKER_CACHE.with(Rc::clone))
+    } else {
+        None
+    }
+}
+
+/// A backend's ticket for returning its environment on drop.
+#[derive(Debug)]
+pub(crate) struct EnvReturn {
+    cache: Rc<RefCell<EnvCache>>,
+    key: EnvKey,
+}
+
+impl EnvReturn {
+    pub(crate) fn new(cache: Rc<RefCell<EnvCache>>, key: EnvKey) -> EnvReturn {
+        EnvReturn { cache, key }
+    }
+
+    /// Takes the cached environment for this ticket's key, if any.
+    pub(crate) fn take(&self) -> Option<CachedEnv> {
+        self.cache.borrow_mut().take_env(&self.key)
+    }
+
+    /// Hands `env` back to the cache slot this ticket was issued for.
+    pub(crate) fn give_back(&self, env: CachedEnv) {
+        self.cache.borrow_mut().put_env(self.key.clone(), env);
+    }
+
+    pub(crate) fn cache(&self) -> &Rc<RefCell<EnvCache>> {
+        &self.cache
+    }
+
+    /// The cache key this ticket was issued for.
+    pub(crate) fn key(&self) -> &EnvKey {
+        &self.key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_activates_and_restores() {
+        assert!(active_handle().is_none());
+        with_worker_env_cache(|| {
+            assert!(active_handle().is_some());
+            with_worker_env_cache(|| assert!(active_handle().is_some()));
+            assert!(active_handle().is_some());
+        });
+        assert!(active_handle().is_none());
+    }
+
+    #[test]
+    fn env_slots_take_and_return() {
+        let registry = Arc::new(KernelRegistry::new());
+        let profile = vcb_sim::profile::devices::gtx1050ti();
+        let env = crate::env::cl_env(&profile, &registry).unwrap();
+        let mut cache = EnvCache::new();
+        let key = EnvKey::new(Api::OpenCl, &profile.name, &registry, &SimConfig::default());
+        assert!(cache.take_env(&key).is_none());
+        cache.put_env(key.clone(), CachedEnv::Cl(env));
+        assert!(cache.take_env(&key).is_some());
+        assert!(cache.take_env(&key).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.env_hits, stats.env_misses), (1, 2));
+    }
+
+    #[test]
+    fn spirv_words_are_stable_across_hits() {
+        let registry = vcb_workloads_registry();
+        let mut cache = EnvCache::new();
+        let a = cache.spirv_words(&registry, "k").unwrap();
+        let b = cache.spirv_words(&registry, "k").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().spirv_hits, 1);
+        assert!(cache.spirv_words(&registry, "missing").is_err());
+    }
+
+    fn vcb_workloads_registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        r.register(
+            vcb_sim::exec::KernelInfo::new("k", [64, 1, 1])
+                .reads(0, "in")
+                .build(),
+            Arc::new(|_: &mut vcb_sim::exec::GroupCtx<'_>| Ok(())),
+        )
+        .unwrap();
+        Arc::new(r)
+    }
+}

@@ -35,6 +35,7 @@
 pub mod backend;
 pub mod cuda;
 pub mod env;
+pub mod envcache;
 pub mod opencl;
 pub mod vulkan;
 
@@ -51,8 +52,12 @@ pub use backend::{
 };
 pub use cuda::CudaBackend;
 pub use env::{
-    cl_env, cl_failure, cuda_env, cuda_failure, vk_env, vk_failure, vk_kernel, ClEnv, VkEnv,
-    VkKernelBundle,
+    cl_env, cl_failure, cuda_env, cuda_failure, vk_env, vk_failure, vk_kernel,
+    vk_kernel_with_words, ClEnv, VkEnv, VkKernelBundle,
+};
+pub use envcache::{
+    clear_worker_env_cache, with_worker_env_cache, worker_env_cache_stats, EnvCache, EnvCacheStats,
+    EnvKey,
 };
 pub use opencl::OpenClBackend;
 pub use vulkan::VulkanBackend;
@@ -109,6 +114,10 @@ pub fn create(
 /// [`create`], with an explicit simulator configuration — how
 /// `RunOpts::trace_mode` and `RunOpts::sim_threads` reach the `Gpu`.
 ///
+/// Inside a [`with_worker_env_cache`] scope, environments are reused
+/// across calls with the same (API, device, `sim`) key — reset to cold
+/// first, so results stay bit-identical to a cold bring-up.
+///
 /// # Errors
 ///
 /// As [`create`].
@@ -118,23 +127,47 @@ pub fn create_with(
     registry: &Arc<KernelRegistry>,
     sim: &SimConfig,
 ) -> Result<Box<dyn ComputeBackend>, RunFailure> {
+    use envcache::{CachedEnv, EnvReturn};
+    let ticket = envcache::active_handle()
+        .map(|cache| EnvReturn::new(cache, EnvKey::new(api, &profile.name, registry, sim)));
     let backend: Box<dyn ComputeBackend> = match api {
         Api::Vulkan => {
-            let b = VulkanBackend::new(profile, registry)?;
+            let env = match ticket.as_ref().and_then(|t| t.take()) {
+                Some(CachedEnv::Vk(env)) => {
+                    env.device.reset_to_cold();
+                    env
+                }
+                _ => env::vk_env(profile, registry)?,
+            };
+            let b = VulkanBackend::from_env(env, registry, ticket);
             b.env().device.set_trace_mode(sim.trace_mode);
             b.env().device.set_worker_threads(sim.worker_threads);
             b.env().device.set_worker_clamp(!sim.exact_threads);
             Box::new(b)
         }
         Api::Cuda => {
-            let b = CudaBackend::new(profile, registry)?;
+            let ctx = match ticket.as_ref().and_then(|t| t.take()) {
+                Some(CachedEnv::Cuda(ctx)) => {
+                    ctx.reset_to_cold();
+                    ctx
+                }
+                _ => env::cuda_env(profile, registry)?,
+            };
+            let b = CudaBackend::from_env(ctx, ticket);
             b.context().set_trace_mode(sim.trace_mode);
             b.context().set_worker_threads(sim.worker_threads);
             b.context().set_worker_clamp(!sim.exact_threads);
             Box::new(b)
         }
         Api::OpenCl => {
-            let b = OpenClBackend::new(profile, registry)?;
+            let env = match ticket.as_ref().and_then(|t| t.take()) {
+                Some(CachedEnv::Cl(env)) => {
+                    env.context.reset_to_cold();
+                    env
+                }
+                _ => env::cl_env(profile, registry)?,
+            };
+            let b = OpenClBackend::from_env(env, ticket);
             b.env().context.set_trace_mode(sim.trace_mode);
             b.env().context.set_worker_threads(sim.worker_threads);
             b.env().context.set_worker_clamp(!sim.exact_threads);

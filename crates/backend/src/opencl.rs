@@ -24,6 +24,7 @@ use crate::backend::{
     UsageHint,
 };
 use crate::env::{cl_env, cl_failure, ClEnv};
+use crate::envcache::{CachedEnv, EnvReturn};
 
 #[derive(Clone)]
 enum Op {
@@ -60,6 +61,9 @@ pub struct OpenClBackend {
     bind_groups: Vec<Vec<BufferHandle>>,
     kernels: Vec<ClKernelEntry>,
     seqs: Vec<Vec<Op>>,
+    /// When set, the environment came from (or goes back to) a worker-
+    /// local cache; also provides the JIT build cache.
+    env_return: Option<EnvReturn>,
 }
 
 impl OpenClBackend {
@@ -77,14 +81,20 @@ impl OpenClBackend {
         profile: &DeviceProfile,
         registry: &Arc<KernelRegistry>,
     ) -> Result<OpenClBackend, RunFailure> {
-        Ok(OpenClBackend {
-            env: cl_env(profile, registry)?,
+        Ok(Self::from_env(cl_env(profile, registry)?, None))
+    }
+
+    /// Wraps an existing (fresh or cache-reset) environment.
+    pub(crate) fn from_env(env: ClEnv, env_return: Option<EnvReturn>) -> OpenClBackend {
+        OpenClBackend {
+            env,
             program: None,
             buffers: Vec::new(),
             bind_groups: Vec::new(),
             kernels: Vec::new(),
             seqs: Vec::new(),
-        })
+            env_return,
+        }
     }
 
     fn flags(usage: UsageHint) -> MemFlags {
@@ -227,7 +237,23 @@ impl ComputeBackend for OpenClBackend {
 
     fn load_program(&mut self, cl_source: &str) -> BackendResult<()> {
         let program = Program::create_with_source(&self.env.context, cl_source);
-        program.build().map_err(cl_failure)?;
+        match &self.env_return {
+            // Re-attach the worker-local cache's build of this source:
+            // skips the host-side compile, charges the recorded cost.
+            Some(ticket) => {
+                let prebuilt = ticket.cache().borrow_mut().jit_get(ticket.key(), cl_source);
+                let built = program
+                    .build_cached(prebuilt.as_ref())
+                    .map_err(cl_failure)?;
+                if prebuilt.is_none() {
+                    ticket
+                        .cache()
+                        .borrow_mut()
+                        .jit_put(ticket.key(), cl_source, built);
+                }
+            }
+            None => program.build().map_err(cl_failure)?,
+        }
         self.program = Some(program);
         Ok(())
     }
@@ -363,6 +389,14 @@ impl ComputeBackend for OpenClBackend {
 
     fn run_async(&mut self, seq: SeqHandle) -> BackendResult<()> {
         self.replay(seq, false)
+    }
+}
+
+impl Drop for OpenClBackend {
+    fn drop(&mut self) {
+        if let Some(ticket) = &self.env_return {
+            ticket.give_back(CachedEnv::Cl(self.env.clone()));
+        }
     }
 }
 

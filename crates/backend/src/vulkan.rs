@@ -24,7 +24,8 @@ use crate::backend::{
     BackendResult, BindGroupHandle, BufferHandle, ComputeBackend, KernelHandle, SeqHandle,
     UsageHint,
 };
-use crate::env::{vk_env, vk_failure, vk_kernel, VkEnv, VkKernelBundle};
+use crate::env::{vk_env, vk_failure, vk_kernel, vk_kernel_with_words, VkEnv, VkKernelBundle};
+use crate::envcache::{CachedEnv, EnvReturn};
 
 struct VkBindGroup {
     layout: DescriptorSetLayout,
@@ -50,6 +51,9 @@ pub struct VulkanBackend {
     bind_groups: Vec<VkBindGroup>,
     kernels: Vec<VkKernelBundle>,
     seqs: Vec<VkSeq>,
+    /// When set, the environment came from (or goes back to) a worker-
+    /// local cache; also provides the SPIR-V assembly cache.
+    env_return: Option<EnvReturn>,
 }
 
 impl VulkanBackend {
@@ -62,15 +66,25 @@ impl VulkanBackend {
         profile: &DeviceProfile,
         registry: &Arc<KernelRegistry>,
     ) -> Result<VulkanBackend, RunFailure> {
-        Ok(VulkanBackend {
-            env: vk_env(profile, registry)?,
+        Ok(Self::from_env(vk_env(profile, registry)?, registry, None))
+    }
+
+    /// Wraps an existing (fresh or cache-reset) environment.
+    pub(crate) fn from_env(
+        env: VkEnv,
+        registry: &Arc<KernelRegistry>,
+        env_return: Option<EnvReturn>,
+    ) -> VulkanBackend {
+        VulkanBackend {
+            env,
             registry: Arc::clone(registry),
             cmd_pool: None,
             buffers: Vec::new(),
             bind_groups: Vec::new(),
             kernels: Vec::new(),
             seqs: Vec::new(),
-        })
+            env_return,
+        }
     }
 
     /// The underlying environment (for Vulkan-specific ablations).
@@ -288,7 +302,18 @@ impl ComputeBackend for VulkanBackend {
         push_bytes: u32,
     ) -> BackendResult<KernelHandle> {
         let layout = self.bind_groups[layout_of.0].layout.clone();
-        let bundle = vk_kernel(&self.env, &self.registry, name, &layout, push_bytes)?;
+        let bundle = match &self.env_return {
+            // Cached assembly: identical words, same pipeline path.
+            Some(ticket) => {
+                let words = ticket
+                    .cache()
+                    .borrow_mut()
+                    .spirv_words(&self.registry, name)
+                    .map_err(|e| RunFailure::Error(e.to_string()))?;
+                vk_kernel_with_words(&self.env, name, &words, &layout, push_bytes)?
+            }
+            None => vk_kernel(&self.env, &self.registry, name, &layout, push_bytes)?,
+        };
         self.kernels.push(bundle);
         Ok(KernelHandle(self.kernels.len() - 1))
     }
@@ -369,6 +394,16 @@ impl ComputeBackend for VulkanBackend {
 
     fn run_async(&mut self, seq: SeqHandle) -> BackendResult<()> {
         self.submit(seq)
+    }
+}
+
+impl Drop for VulkanBackend {
+    fn drop(&mut self) {
+        // Return the environment to the worker-local cache for the next
+        // cell with the same key (it resets the device before reuse).
+        if let Some(ticket) = &self.env_return {
+            ticket.give_back(CachedEnv::Vk(self.env.clone()));
+        }
     }
 }
 

@@ -25,6 +25,7 @@ fn bench_opts() -> ExperimentOpts {
             .map(|n| n.get())
             .unwrap_or(4),
         sizes_per_workload: 1,
+        ..ExperimentOpts::default()
     }
 }
 

@@ -110,6 +110,33 @@ fn bench_dispatch() {
     }
 }
 
+fn bench_matrix() {
+    // The run-matrix scheduler end to end: a full quick Fig. 2 panel
+    // set (both desktop devices, first size per workload, every API)
+    // through the plan executor, at one and four matrix threads. On a
+    // multi-core machine the four-thread row shows the shared worker
+    // pool's scaling; on a single core both rows track the scheduling
+    // overhead on top of the simulated cells.
+    use vcb_core::workload::RunOpts;
+    use vcb_harness::experiments::{self, ExperimentOpts};
+    let registry = vcb_workloads::registry().unwrap();
+    for threads in [1usize, 4] {
+        let opts = ExperimentOpts {
+            run: RunOpts {
+                scale: 0.1,
+                validate: false,
+                ..RunOpts::default()
+            },
+            threads,
+            sizes_per_workload: 1,
+            ..ExperimentOpts::default()
+        };
+        bench(&format!("matrix/fig2_quick/threads{threads}"), 3, || {
+            experiments::fig2(std::hint::black_box(&registry), &opts)
+        });
+    }
+}
+
 fn bench_spirv() {
     let registry = vcb_workloads::registry().unwrap();
     let info = registry.lookup("bfs_kernel1").unwrap().info().clone();
@@ -127,6 +154,7 @@ fn main() {
     bench_coalescer();
     bench_cache();
     bench_dispatch();
+    bench_matrix();
     bench_spirv();
     vcb_bench::finish();
 }

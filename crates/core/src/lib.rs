@@ -2,7 +2,8 @@
 //!
 //! Programming-model-agnostic pieces of the benchmark suite: the Table I
 //! metadata ([`suite`]), the workload abstraction ([`workload`]), run
-//! records and speedups ([`run`]), summary statistics ([`stats`]), report
+//! records and speedups ([`run`]), declarative run plans and the matrix
+//! scheduler ([`plan`]), summary statistics ([`stats`]), report
 //! rendering ([`report`]) and the programming-effort metrics ([`effort`]).
 //!
 //! ```
@@ -18,12 +19,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod effort;
+pub mod plan;
 pub mod report;
 pub mod run;
 pub mod stats;
 pub mod suite;
 pub mod workload;
 
+pub use plan::{
+    CellEvent, CellKey, CellRunner, CellSpec, EventSink, Executor, NullSink, PanelEntry, PanelSpec,
+    ResultCache, RunPlan,
+};
 pub use run::{speedup, total_speedup, RunFailure, RunOutcome, RunRecord, SizeSpec};
 pub use suite::{BenchmarkMeta, Dwarf, SUITE};
 pub use workload::{RunOpts, Workload};

@@ -1,0 +1,726 @@
+//! Declarative run plans: the paper's experiment matrix as data.
+//!
+//! The paper's results are one big (workload × size × API × device)
+//! matrix sliced into tables and figures. Instead of re-deriving and
+//! re-executing that matrix per figure, a [`RunPlan`] *describes* the
+//! cells an experiment needs, one [`Executor`] owns a single worker pool
+//! spanning every plan it is handed, and a [`ResultCache`] guarantees
+//! each unique cell is simulated at most once per process — `vcb all`
+//! shares gaussian cells between Fig. 2 and the §V-A2 overhead
+//! decomposition instead of re-simulating them.
+//!
+//! Cells carry their *plan index*: the order a builder emits cells is
+//! the order results come back, so no post-hoc re-sort (and none of the
+//! ordering fragility a reconstruction sort brings — see the harness'
+//! order-pinning regression test).
+//!
+//! The module is deliberately runner-agnostic: executing a cell is a
+//! [`CellRunner`] supplied by the harness, so `vcb-core` stays below the
+//! workload and backend layers.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use vcb_sim::{Api, TraceMode};
+
+use crate::run::SizeSpec;
+use crate::workload::RunOpts;
+
+/// One cell of the experiment matrix: everything needed to run (and to
+/// identify) a single (workload, size, API, device) measurement.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Workload short name (Table I identifier or a microbenchmark).
+    pub workload: String,
+    /// Input-size configuration (figure x-axis).
+    pub size: SizeSpec,
+    /// Programming model.
+    pub api: Api,
+    /// Device name (Table II/III row).
+    pub device: String,
+    /// Per-run options; part of the cell identity because they change
+    /// the measured result (seed, scale, validation).
+    pub opts: RunOpts,
+}
+
+impl CellSpec {
+    /// The cell's exact identity for caching: two cells with equal keys
+    /// produce bit-identical results (runs are deterministic).
+    pub fn key(&self) -> CellKey {
+        let (trace_tag, trace_param) = match self.opts.trace_mode {
+            TraceMode::Detailed => (0u8, 0u32),
+            TraceMode::Sampled(n) => (1, n),
+            TraceMode::Auto => (2, 0),
+        };
+        CellKey {
+            workload: self.workload.clone(),
+            label: self.size.label.clone(),
+            n: self.size.n,
+            aux: self.size.aux,
+            api: self.api,
+            device: self.device.clone(),
+            trace_tag,
+            trace_param,
+            validate: self.opts.validate,
+            seed: self.opts.seed,
+            scale_bits: self.opts.scale.to_bits(),
+            sim_threads: self.opts.sim_threads,
+            sim_threads_exact: self.opts.sim_threads_exact,
+        }
+    }
+
+    /// FNV-1a digest of the cell identity — a compact, process-stable
+    /// fingerprint for logs, event streams and (eventually) cross-
+    /// process shard/merge keys. Computed by feeding the [`CellKey`]'s
+    /// derived `Hash` through an FNV hasher, so it covers *exactly* the
+    /// fields the [`ResultCache`] keys on — a new identity field can
+    /// never be part of one but not the other.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash as _, Hasher as _};
+        let mut h = Fnv1a::default();
+        self.key().hash(&mut h);
+        h.finish()
+    }
+}
+
+/// A deterministic FNV-1a `Hasher` (the std `DefaultHasher` is not
+/// guaranteed stable across releases, and fingerprints should be
+/// comparable across processes).
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+impl fmt::Display for CellSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} {} [{}]",
+            self.workload, self.size.label, self.api, self.device
+        )
+    }
+}
+
+/// The exact identity of a cell — the [`ResultCache`] key. Field-for-
+/// field equality, so cache hits can never alias distinct cells.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    workload: String,
+    label: String,
+    n: u64,
+    aux: u64,
+    api: Api,
+    device: String,
+    trace_tag: u8,
+    trace_param: u32,
+    validate: bool,
+    seed: u64,
+    scale_bits: u64,
+    sim_threads: usize,
+    sim_threads_exact: bool,
+}
+
+/// One workload's row of a panel: its name and the sizes to sweep.
+#[derive(Debug, Clone)]
+pub struct PanelEntry {
+    /// Workload short name.
+    pub workload: String,
+    /// Sizes to run, in declaration order (the builder orders them by
+    /// axis label, matching the printed figures).
+    pub sizes: Vec<SizeSpec>,
+}
+
+/// A per-device speedup panel (one panel of Fig. 2 / Fig. 4): every
+/// listed workload at every size under every API.
+#[derive(Debug, Clone)]
+pub struct PanelSpec {
+    /// Device name.
+    pub device: String,
+    /// Programming models to run (baseline first).
+    pub apis: Vec<Api>,
+    /// Workload rows, in presentation order. The order given here is the
+    /// order cells are planned — workloads outside Table I (the
+    /// microbenchmarks) keep their position instead of colliding at a
+    /// sentinel sort key.
+    pub entries: Vec<PanelEntry>,
+}
+
+/// An ordered list of cells — the declarative description of an
+/// experiment. Builders compose: push panels, bandwidth sweeps or whole
+/// other plans, then hand the union to an [`Executor`].
+#[derive(Debug, Clone, Default)]
+pub struct RunPlan {
+    cells: Vec<CellSpec>,
+}
+
+impl RunPlan {
+    /// An empty plan.
+    pub fn new() -> RunPlan {
+        RunPlan::default()
+    }
+
+    /// The planned cells in execution/result order.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Number of planned cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the plan has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Appends one cell; returns its plan index.
+    pub fn push(&mut self, cell: CellSpec) -> usize {
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// Plans a per-device panel: for each workload in the given order,
+    /// its sizes ordered by axis label, each under every API (baseline
+    /// order). Returns the planned index range.
+    ///
+    /// Sizes are ordered by their printed label — the bar order of the
+    /// rendered figures (and of the pre-plan harness, which sorted cells
+    /// the same way after the fact).
+    pub fn panel(&mut self, spec: &PanelSpec, opts: &RunOpts) -> Range<usize> {
+        let start = self.cells.len();
+        for entry in &spec.entries {
+            let mut sizes = entry.sizes.clone();
+            sizes.sort_by(|a, b| a.label.cmp(&b.label));
+            for size in sizes {
+                for &api in &spec.apis {
+                    self.cells.push(CellSpec {
+                        workload: entry.workload.clone(),
+                        size: size.clone(),
+                        api,
+                        device: spec.device.clone(),
+                        opts: opts.clone(),
+                    });
+                }
+            }
+        }
+        start..self.cells.len()
+    }
+
+    /// Plans a bandwidth sweep (one Fig. 1 / Fig. 3 panel): one cell per
+    /// API on `device`, each covering the full stride curve. The sweep
+    /// workload and the curve's size label are the caller's convention
+    /// (the harness uses `stride` / `"sweep"`). Returns the planned
+    /// index range.
+    pub fn bandwidth_sweep(
+        &mut self,
+        device: &str,
+        apis: &[Api],
+        workload: &str,
+        label: &str,
+        opts: &RunOpts,
+    ) -> Range<usize> {
+        let start = self.cells.len();
+        for &api in apis {
+            self.cells.push(CellSpec {
+                workload: workload.to_owned(),
+                size: SizeSpec::new(label, 0),
+                api,
+                device: device.to_owned(),
+                opts: opts.clone(),
+            });
+        }
+        start..self.cells.len()
+    }
+
+    /// Appends every cell of `other` (whole-suite unions).
+    pub fn append(&mut self, other: RunPlan) {
+        self.cells.extend(other.cells);
+    }
+
+    /// Keeps only the cells matching `keep` — the engine behind the
+    /// CLI's `--filter` / `--device` selection.
+    pub fn retain(&mut self, keep: impl FnMut(&CellSpec) -> bool) {
+        self.cells.retain(keep);
+    }
+}
+
+/// Executes one cell. Implemented by the harness (where workloads and
+/// backends are in scope); the executor only schedules.
+pub trait CellRunner: Sync {
+    /// The measured result of one cell.
+    type Out: Send + Clone;
+
+    /// Runs `spec` to completion. Failures are part of the result space
+    /// and must be encoded in `Out`, not panicked.
+    fn run_cell(&self, spec: &CellSpec) -> Self::Out;
+}
+
+/// A streaming progress event. Events fire as cells resolve: cache hits
+/// in plan order up front, live executions as workers finish them
+/// (possibly out of plan order — sinks that need plan order buffer by
+/// `index`).
+#[derive(Debug)]
+pub enum CellEvent<'a, T> {
+    /// A worker began executing the cell at `index`.
+    Started {
+        /// Plan index of the cell.
+        index: usize,
+        /// The cell being executed.
+        spec: &'a CellSpec,
+    },
+    /// The cell at `index` has its result.
+    Finished {
+        /// Plan index of the cell.
+        index: usize,
+        /// The resolved cell.
+        spec: &'a CellSpec,
+        /// The result.
+        out: &'a T,
+        /// `true` when the result came from the [`ResultCache`] (or from
+        /// a duplicate cell earlier in the same plan) rather than a
+        /// fresh execution.
+        cached: bool,
+    },
+}
+
+// Events borrow their payload, so copying is free regardless of `T`
+// (the derive would wrongly demand `T: Clone`).
+impl<T> Clone for CellEvent<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for CellEvent<'_, T> {}
+
+/// Receives [`CellEvent`]s during execution (progress lines, incremental
+/// CSV). Default implementation ignores everything.
+pub trait EventSink<T> {
+    /// Called for every event. Events may arrive from worker threads but
+    /// are serialized — implementations never see concurrent calls.
+    fn event(&mut self, event: CellEvent<'_, T>) {
+        let _ = event;
+    }
+}
+
+/// The do-nothing sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl<T> EventSink<T> for NullSink {}
+
+/// Memoizes cell results by exact [`CellKey`] so each unique cell is
+/// executed at most once per cache lifetime, and counts executions for
+/// the dedup tests.
+#[derive(Debug, Clone)]
+pub struct ResultCache<T> {
+    map: HashMap<CellKey, T>,
+    executed: usize,
+    hits: usize,
+}
+
+impl<T> Default for ResultCache<T> {
+    fn default() -> Self {
+        ResultCache {
+            map: HashMap::new(),
+            executed: 0,
+            hits: 0,
+        }
+    }
+}
+
+impl<T> ResultCache<T> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// The cached result for `key`, if any.
+    pub fn get(&self, key: &CellKey) -> Option<&T> {
+        self.map.get(key)
+    }
+
+    /// Number of distinct cells actually executed through this cache.
+    pub fn executed(&self) -> usize {
+        self.executed
+    }
+
+    /// Number of cells resolved without execution (cache or duplicate).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of distinct results held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The one scheduler owning the whole experiment matrix: a shared-queue
+/// pool of matrix workers spanning every device and figure of the plans
+/// it executes, deduplicating against a [`ResultCache`] and streaming
+/// [`CellEvent`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with exactly `threads` matrix workers (≥ 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An executor whose matrix worker count is balanced against the
+    /// simulator's intra-dispatch `sim_threads` so that
+    /// `threads × sim_threads ≤ cores` — the machine's cores are one
+    /// budget shared by both parallelism levers.
+    pub fn balanced(requested_threads: usize, sim_threads: usize) -> Executor {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Executor::new(thread_budget(requested_threads, sim_threads, cores))
+    }
+
+    /// The matrix worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `plan`: resolves cache hits and intra-plan duplicates
+    /// without running them, fans the remaining unique cells out across
+    /// the worker pool, and returns results in plan order.
+    ///
+    /// Every resolved cell emits a [`CellEvent::Finished`]; every unique
+    /// execution also emits [`CellEvent::Started`].
+    pub fn execute<R: CellRunner>(
+        &self,
+        plan: &RunPlan,
+        runner: &R,
+        cache: &mut ResultCache<R::Out>,
+        sink: &mut (dyn EventSink<R::Out> + Send),
+    ) -> Vec<R::Out> {
+        let cells = plan.cells();
+        let mut slots: Vec<Option<R::Out>> = cells.iter().map(|_| None).collect();
+
+        // Resolve cache hits and collect the unique cells left to run.
+        // `tasks[i]` = every plan index sharing the i-th unique key.
+        let mut tasks: Vec<Vec<usize>> = Vec::new();
+        let mut seen: HashMap<CellKey, usize> = HashMap::new();
+        for (index, cell) in cells.iter().enumerate() {
+            let key = cell.key();
+            if let Some(out) = cache.map.get(&key) {
+                slots[index] = Some(out.clone());
+                cache.hits += 1;
+                continue;
+            }
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    tasks[*e.get()].push(index);
+                    cache.hits += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(tasks.len());
+                    tasks.push(vec![index]);
+                }
+            }
+        }
+
+        // Cache hits resolve immediately, in plan order.
+        for (index, slot) in slots.iter().enumerate() {
+            if let Some(out) = slot {
+                sink.event(CellEvent::Finished {
+                    index,
+                    spec: &cells[index],
+                    out,
+                    cached: true,
+                });
+            }
+        }
+
+        if !tasks.is_empty() {
+            let next = AtomicUsize::new(0);
+            let shared = Mutex::new(ExecShared {
+                slots: &mut slots,
+                cache,
+                sink,
+            });
+            let workers = self.threads.min(tasks.len());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(indexes) = tasks.get(t) else {
+                            break;
+                        };
+                        let first = indexes[0];
+                        let spec = &cells[first];
+                        shared
+                            .lock()
+                            .expect("executor state poisoned")
+                            .sink
+                            .event(CellEvent::Started { index: first, spec });
+                        let out = runner.run_cell(spec);
+                        let mut shared = shared.lock().expect("executor state poisoned");
+                        shared.cache.map.insert(spec.key(), out.clone());
+                        shared.cache.executed += 1;
+                        for (dup, &index) in indexes.iter().enumerate() {
+                            shared.sink.event(CellEvent::Finished {
+                                index,
+                                spec: &cells[index],
+                                out: &out,
+                                cached: dup > 0,
+                            });
+                            shared.slots[index] = Some(out.clone());
+                        }
+                    });
+                }
+            });
+        }
+
+        slots
+            .into_iter()
+            .map(|s| s.expect("every planned cell resolves"))
+            .collect()
+    }
+}
+
+struct ExecShared<'a, T> {
+    slots: &'a mut Vec<Option<T>>,
+    cache: &'a mut ResultCache<T>,
+    sink: &'a mut (dyn EventSink<T> + Send),
+}
+
+/// The matrix-thread budget: the largest worker count such that
+/// `workers × sim_threads` stays within `cores` (floor 1) without
+/// exceeding the request. Both parallelism levers draw from the same
+/// physical cores; giving the matrix more workers than `cores /
+/// sim_threads` would oversubscribe every dispatch's intra-run workers.
+pub fn thread_budget(requested: usize, sim_threads: usize, cores: usize) -> usize {
+    let per_cell = sim_threads.max(1);
+    let budget = (cores.max(1) / per_cell).max(1);
+    requested.max(1).min(budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> RunOpts {
+        RunOpts::default()
+    }
+
+    fn spec(workload: &str, label: &str, api: Api, device: &str) -> CellSpec {
+        CellSpec {
+            workload: workload.into(),
+            size: SizeSpec::new(label, label.len() as u64),
+            api,
+            device: device.into(),
+            opts: opts(),
+        }
+    }
+
+    struct EchoRunner;
+
+    impl CellRunner for EchoRunner {
+        type Out = String;
+
+        fn run_cell(&self, spec: &CellSpec) -> String {
+            format!("{}/{}/{}", spec.workload, spec.size.label, spec.api)
+        }
+    }
+
+    #[test]
+    fn panel_builder_orders_by_workload_then_label_then_api() {
+        let mut plan = RunPlan::new();
+        let range = plan.panel(
+            &PanelSpec {
+                device: "D".into(),
+                apis: vec![Api::OpenCl, Api::Vulkan],
+                entries: vec![
+                    PanelEntry {
+                        workload: "backprop".into(),
+                        // Declaration order differs from label order.
+                        sizes: vec![SizeSpec::new("4K", 4096), SizeSpec::new("256K", 262_144)],
+                    },
+                    PanelEntry {
+                        workload: "bfs".into(),
+                        sizes: vec![SizeSpec::new("4K", 4096)],
+                    },
+                ],
+            },
+            &opts(),
+        );
+        assert_eq!(range, 0..6);
+        let got: Vec<(String, String, Api)> = plan
+            .cells()
+            .iter()
+            .map(|c| (c.workload.clone(), c.size.label.clone(), c.api))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                // "256K" sorts before "4K" — the printed figures' label
+                // order, preserved from the pre-plan harness.
+                ("backprop".into(), "256K".into(), Api::OpenCl),
+                ("backprop".into(), "256K".into(), Api::Vulkan),
+                ("backprop".into(), "4K".into(), Api::OpenCl),
+                ("backprop".into(), "4K".into(), Api::Vulkan),
+                ("bfs".into(), "4K".into(), Api::OpenCl),
+                ("bfs".into(), "4K".into(), Api::Vulkan),
+            ]
+        );
+    }
+
+    #[test]
+    fn panel_builder_keeps_entry_order_for_non_suite_workloads() {
+        // The pre-plan harness sorted cells by Table I position with a
+        // shared sentinel for unknown names, so two microbenchmarks in
+        // one panel collided and their order depended on completion
+        // order. The plan order is the entry order — pinned.
+        let mut plan = RunPlan::new();
+        plan.panel(
+            &PanelSpec {
+                device: "D".into(),
+                apis: vec![Api::OpenCl],
+                entries: vec![
+                    PanelEntry {
+                        workload: "vectoradd".into(),
+                        sizes: vec![SizeSpec::new("1M", 1 << 20)],
+                    },
+                    PanelEntry {
+                        workload: "stride".into(),
+                        sizes: vec![SizeSpec::new("1M", 1 << 20)],
+                    },
+                ],
+            },
+            &opts(),
+        );
+        let names: Vec<&str> = plan.cells().iter().map(|c| c.workload.as_str()).collect();
+        assert_eq!(names, ["vectoradd", "stride"]);
+    }
+
+    #[test]
+    fn retain_filters_cells() {
+        let mut plan = RunPlan::new();
+        plan.push(spec("bfs", "4K", Api::Vulkan, "A"));
+        plan.push(spec("nw", "4K", Api::Vulkan, "B"));
+        plan.push(spec("bfs", "8K", Api::Cuda, "A"));
+        plan.retain(|c| c.workload == "bfs");
+        assert_eq!(plan.len(), 2);
+        plan.retain(|c| c.device == "B");
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn cell_keys_distinguish_every_field() {
+        let base = spec("bfs", "4K", Api::Vulkan, "A");
+        assert_eq!(base.key(), base.key());
+        let mut other = base.clone();
+        other.opts.seed ^= 1;
+        assert_ne!(base.key(), other.key());
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut scaled = base.clone();
+        scaled.opts.scale = 0.5;
+        assert_ne!(base.key(), scaled.key());
+    }
+
+    #[test]
+    fn executor_returns_results_in_plan_order_and_dedups() {
+        let mut plan = RunPlan::new();
+        plan.push(spec("bfs", "4K", Api::Vulkan, "A"));
+        plan.push(spec("nw", "4K", Api::Vulkan, "A"));
+        plan.push(spec("bfs", "4K", Api::Vulkan, "A")); // duplicate
+        let mut cache = ResultCache::new();
+        let exec = Executor::new(4);
+        let out = exec.execute(&plan, &EchoRunner, &mut cache, &mut NullSink);
+        assert_eq!(out, ["bfs/4K/Vulkan", "nw/4K/Vulkan", "bfs/4K/Vulkan"]);
+        assert_eq!(cache.executed(), 2);
+        assert_eq!(cache.hits(), 1);
+
+        // A second execution is all cache hits.
+        let out2 = exec.execute(&plan, &EchoRunner, &mut cache, &mut NullSink);
+        assert_eq!(out, out2);
+        assert_eq!(cache.executed(), 2);
+        assert_eq!(cache.hits(), 4);
+    }
+
+    #[test]
+    fn events_cover_every_cell_and_mark_cache_hits() {
+        struct Record(Vec<(usize, bool)>);
+        impl EventSink<String> for Record {
+            fn event(&mut self, event: CellEvent<'_, String>) {
+                if let CellEvent::Finished { index, cached, .. } = event {
+                    self.0.push((index, cached));
+                }
+            }
+        }
+        let mut plan = RunPlan::new();
+        plan.push(spec("bfs", "4K", Api::Vulkan, "A"));
+        plan.push(spec("bfs", "4K", Api::Vulkan, "A"));
+        let mut cache = ResultCache::new();
+        let mut sink = Record(Vec::new());
+        Executor::new(1).execute(&plan, &EchoRunner, &mut cache, &mut sink);
+        let mut finished = sink.0.clone();
+        finished.sort_unstable();
+        assert_eq!(finished, [(0, false), (1, true)]);
+
+        let mut sink2 = Record(Vec::new());
+        Executor::new(1).execute(&plan, &EchoRunner, &mut cache, &mut sink2);
+        assert_eq!(sink2.0, [(0, true), (1, true)]);
+    }
+
+    #[test]
+    fn thread_budget_balances_both_levers() {
+        assert_eq!(thread_budget(8, 1, 8), 8);
+        assert_eq!(thread_budget(8, 2, 8), 4);
+        assert_eq!(thread_budget(8, 4, 8), 2);
+        assert_eq!(thread_budget(2, 4, 8), 2);
+        // Floors: never zero workers, even oversubscribed.
+        assert_eq!(thread_budget(8, 16, 8), 1);
+        assert_eq!(thread_budget(1, 1, 1), 1);
+        assert_eq!(thread_budget(0, 0, 0), 1);
+    }
+
+    #[test]
+    fn bandwidth_sweep_plans_one_cell_per_api() {
+        let mut plan = RunPlan::new();
+        let range = plan.bandwidth_sweep(
+            "GTX",
+            &[Api::OpenCl, Api::Vulkan, Api::Cuda],
+            "stride",
+            "sweep",
+            &opts(),
+        );
+        assert_eq!(range, 0..3);
+        assert!(plan.cells().iter().all(|c| c.workload == "stride"));
+        assert_eq!(plan.cells()[2].api, Api::Cuda);
+    }
+}

@@ -83,27 +83,35 @@ impl Table {
     /// commas, quotes or newlines).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let write_row = |out: &mut String, cells: &[String]| {
-            for (i, cell) in cells.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
-                    out.push('"');
-                    out.push_str(&cell.replace('"', "\"\""));
-                    out.push('"');
-                } else {
-                    out.push_str(cell);
-                }
-            }
-            out.push('\n');
-        };
-        write_row(&mut out, &self.headers);
+        out.push_str(&csv_line(&self.headers));
         for row in &self.rows {
-            write_row(&mut out, row);
+            out.push_str(&csv_line(row));
         }
         out
     }
+}
+
+/// Formats one CSV record (RFC-4180-style quoting for cells containing
+/// commas, quotes or newlines), terminated by a newline — the exact row
+/// format [`Table::to_csv`] emits, exposed so streaming writers produce
+/// byte-identical files.
+pub fn csv_line<S: AsRef<str>>(cells: &[S]) -> String {
+    let mut out = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let cell = cell.as_ref();
+        if i > 0 {
+            out.push(',');
+        }
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            out.push('"');
+            out.push_str(&cell.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(cell);
+        }
+    }
+    out.push('\n');
+    out
 }
 
 /// One bar of a [`BarChart`].

@@ -558,6 +558,15 @@ impl CudaContext {
     pub fn sim_fingerprint(&self) -> u64 {
         self.shared.borrow().gpu.fingerprint()
     }
+
+    /// Restores the simulated device to its freshly-created state (see
+    /// `Gpu::reset_to_cold`) so an environment cache can reuse this
+    /// context across benchmark cells. Host-side counters (API calls,
+    /// cost breakdown, host clock) keep accumulating — per-cell
+    /// measurements are deltas, so they are unaffected.
+    pub fn reset_to_cold(&self) {
+        self.shared.borrow_mut().gpu.reset_to_cold();
+    }
 }
 
 impl fmt::Debug for CudaContext {

@@ -1,25 +1,59 @@
-//! The experiment drivers: one function per table/figure of the paper.
+//! The experiment drivers: every table/figure of the paper as a thin
+//! plan builder over one shared scheduler.
+//!
+//! A [`Session`] owns the run-matrix machinery — one
+//! [`Executor`](vcb_core::plan::Executor) whose worker pool spans every
+//! device and figure, a [`ResultCache`](vcb_core::plan::ResultCache)
+//! that executes each unique (workload, size, API, device, opts) cell at
+//! most once per process, and the [`SuiteRunner`] that maps cell specs
+//! onto workload host programs (with each worker reusing environments
+//! and JIT builds through `vcb_backend`'s worker-local cache). The
+//! figure functions merely *describe* their slice of the matrix as a
+//! [`RunPlan`] and assemble the returned cells; `vcb all` warms the
+//! union of every figure's plan first, so shared cells (gaussian/208
+//! appears in both Fig. 2 and the §V-A2 overhead decomposition)
+//! simulate once.
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
 
-use vcb_core::run::{RunOutcome, SizeSpec};
+use vcb_core::plan::{
+    CellRunner, CellSpec, EventSink, Executor, NullSink, PanelEntry, PanelSpec, ResultCache,
+    RunPlan,
+};
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::stats::geomean;
-use vcb_core::workload::RunOpts;
+use vcb_core::workload::{RunOpts, Workload};
 use vcb_sim::profile::{devices, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry};
 use vcb_workloads::micro::stride::{self, BandwidthSample};
+use vcb_workloads::micro::vectoradd;
+
+/// The size label marking a cell as a whole bandwidth-curve sweep (one
+/// line of Fig. 1 / Fig. 3) rather than a single workload run.
+pub const SWEEP_LABEL: &str = "sweep";
+
+/// Listing 1's N: the element count behind the §VI-A effort table.
+pub const EFFORT_N: u64 = 1_000_000;
 
 /// Global options for an experiment run.
 #[derive(Debug, Clone)]
 pub struct ExperimentOpts {
     /// Per-run options (seed, validation, scale).
     pub run: RunOpts,
-    /// Worker threads for the run matrix (1 = sequential).
+    /// Worker threads for the run matrix (1 = sequential). The executor
+    /// balances this against `run.sim_threads` so that
+    /// `threads × sim_threads` never exceeds the machine's cores.
     pub threads: usize,
     /// Limit on sizes per workload (0 = all of the figure's sizes).
     /// Benches use 1 to regenerate a representative column quickly.
     pub sizes_per_workload: usize,
+    /// Workload short names to run (empty = the full suite). Applied
+    /// when plans are built, so filtered cells are never scheduled.
+    pub filter: Vec<String>,
+    /// Device-name fragments to run on (case-insensitive substring
+    /// match; empty = all of the figure's devices).
+    pub devices: Vec<String>,
 }
 
 impl Default for ExperimentOpts {
@@ -30,6 +64,8 @@ impl Default for ExperimentOpts {
                 .map(|n| n.get().min(16))
                 .unwrap_or(4),
             sizes_per_workload: 0,
+            filter: Vec::new(),
+            devices: Vec::new(),
         }
     }
 }
@@ -52,6 +88,21 @@ impl ExperimentOpts {
     pub fn paper() -> Self {
         ExperimentOpts::default()
     }
+
+    /// Whether `workload` survives the `--filter` selection.
+    fn keeps_workload(&self, workload: &str) -> bool {
+        self.filter.is_empty() || self.filter.iter().any(|f| f == workload)
+    }
+
+    /// Whether `device` survives the `--device` selection.
+    fn keeps_device(&self, device: &str) -> bool {
+        let lower = device.to_lowercase();
+        self.devices.is_empty()
+            || self
+                .devices
+                .iter()
+                .any(|d| lower.contains(&d.to_lowercase()))
+    }
 }
 
 /// One cell of the benchmark matrix: a (workload, size, api, device) run.
@@ -65,6 +116,10 @@ pub struct MatrixCell {
     pub api: Api,
     /// Device name.
     pub device: String,
+    /// The cell's index in the plan that produced it — the position it
+    /// renders at, carried by the cell instead of being reconstructed by
+    /// a post-hoc sort (which collided for workloads outside Table I).
+    pub plan_index: usize,
     /// The run outcome (record or reported failure).
     pub outcome: RunOutcome,
 }
@@ -76,7 +131,7 @@ pub struct DevicePanel {
     pub device: String,
     /// Programming models that ran (baseline first).
     pub apis: Vec<Api>,
-    /// All cells, in (workload, size, api) order.
+    /// All cells, in plan order: (workload, size label, api).
     pub cells: Vec<MatrixCell>,
 }
 
@@ -124,91 +179,478 @@ impl DevicePanel {
     }
 }
 
-/// Runs the full benchmark matrix for one device.
+/// The measured result of one planned cell.
+#[derive(Debug, Clone)]
+pub enum CellOut {
+    /// A single (workload, size, api, device) run.
+    Run(RunOutcome),
+    /// A whole bandwidth-curve sweep (one Fig. 1 / Fig. 3 line).
+    Curve(Result<Vec<BandwidthSample>, RunFailure>),
+}
+
+impl CellOut {
+    /// The run outcome, if this cell was a workload run.
+    pub fn as_run(&self) -> Option<&RunOutcome> {
+        match self {
+            CellOut::Run(o) => Some(o),
+            CellOut::Curve(_) => None,
+        }
+    }
+
+    /// Short status text for progress lines.
+    pub fn status(&self) -> String {
+        match self {
+            CellOut::Run(Ok(_)) | CellOut::Curve(Ok(_)) => "ok".into(),
+            CellOut::Run(Err(e)) | CellOut::Curve(Err(e)) => e.to_string(),
+        }
+    }
+}
+
+/// Maps cell specs onto workload host programs — the one
+/// [`CellRunner`] behind every figure. Each worker thread runs its
+/// cells inside `vcb_backend::with_worker_env_cache`, reusing
+/// environments and JIT builds without perturbing per-cell results.
+pub struct SuiteRunner {
+    registry: Arc<KernelRegistry>,
+    /// The nine Table I workloads, in suite order.
+    suite: Vec<Box<dyn Workload>>,
+    /// Additional runnable workloads (the vectoradd microbenchmark).
+    extra: Vec<Box<dyn Workload>>,
+    profiles: HashMap<String, DeviceProfile>,
+}
+
+impl SuiteRunner {
+    /// Builds the runner over every known device and workload.
+    pub fn new(registry: &Arc<KernelRegistry>) -> SuiteRunner {
+        SuiteRunner {
+            registry: Arc::clone(registry),
+            suite: vcb_workloads::suite_workloads(registry),
+            extra: vec![Box::new(vectoradd::VectorAdd::new(Arc::clone(registry)))],
+            profiles: devices::all()
+                .into_iter()
+                .map(|p| (p.name.clone(), p))
+                .collect(),
+        }
+    }
+
+    fn workload(&self, name: &str) -> Option<&dyn Workload> {
+        self.suite
+            .iter()
+            .chain(self.extra.iter())
+            .find(|w| w.meta().name == name)
+            .map(Box::as_ref)
+    }
+}
+
+impl std::fmt::Debug for SuiteRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuiteRunner")
+            .field("workloads", &(self.suite.len() + self.extra.len()))
+            .field("devices", &self.profiles.len())
+            .finish()
+    }
+}
+
+impl CellRunner for SuiteRunner {
+    type Out = CellOut;
+
+    fn run_cell(&self, spec: &CellSpec) -> CellOut {
+        vcb_backend::with_worker_env_cache(|| {
+            let Some(profile) = self.profiles.get(&spec.device) else {
+                return CellOut::Run(Err(RunFailure::Error(format!(
+                    "unknown device `{}`",
+                    spec.device
+                ))));
+            };
+            if spec.workload == stride::NAME && spec.size.label == SWEEP_LABEL {
+                return CellOut::Curve(stride::bandwidth_curve(
+                    spec.api,
+                    profile,
+                    &self.registry,
+                    &spec.opts,
+                ));
+            }
+            match self.workload(&spec.workload) {
+                Some(w) => CellOut::Run(w.run(spec.api, profile, &spec.size, &spec.opts)),
+                None => CellOut::Run(Err(RunFailure::Error(format!(
+                    "unknown workload `{}`",
+                    spec.workload
+                )))),
+            }
+        })
+    }
+}
+
+/// One experiment process: the scheduler, its result cache, and the plan
+/// builders for every figure. Everything `vcb` runs goes through one
+/// session, so cells shared between figures execute once.
+#[derive(Debug)]
+pub struct Session {
+    opts: ExperimentOpts,
+    runner: SuiteRunner,
+    executor: Executor,
+    cache: ResultCache<CellOut>,
+}
+
+impl Session {
+    /// Creates a session: one executor (balanced against
+    /// `opts.run.sim_threads`), one cache, one runner.
+    pub fn new(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Session {
+        Session {
+            opts: opts.clone(),
+            runner: SuiteRunner::new(registry),
+            executor: Executor::balanced(opts.threads, opts.run.sim_threads),
+            cache: ResultCache::new(),
+        }
+    }
+
+    /// The session's options.
+    pub fn opts(&self) -> &ExperimentOpts {
+        &self.opts
+    }
+
+    /// Distinct cells actually simulated so far (the dedup oracle: a
+    /// second run of any already-planned figure adds zero).
+    pub fn executed_cells(&self) -> usize {
+        self.cache.executed()
+    }
+
+    /// The executor's matrix worker count after balancing against
+    /// `sim_threads` (see [`vcb_core::plan::thread_budget`]).
+    pub fn executor_threads(&self) -> usize {
+        self.executor.threads()
+    }
+
+    /// The desktop devices surviving `--device`.
+    pub fn desktop_devices(&self) -> Vec<DeviceProfile> {
+        devices::desktop()
+            .into_iter()
+            .filter(|d| self.opts.keeps_device(&d.name))
+            .collect()
+    }
+
+    /// The mobile devices surviving `--device`.
+    pub fn mobile_devices(&self) -> Vec<DeviceProfile> {
+        devices::mobile()
+            .into_iter()
+            .filter(|d| self.opts.keeps_device(&d.name))
+            .collect()
+    }
+
+    /// The speedup-panel spec for one device: suite workloads in Table I
+    /// order (filtered), per-class sizes (truncated to
+    /// `sizes_per_workload`), every supported API.
+    pub fn panel_spec(&self, profile: &DeviceProfile) -> PanelSpec {
+        let entries = self
+            .runner
+            .suite
+            .iter()
+            .filter(|w| self.opts.keeps_workload(w.meta().name))
+            .map(|w| {
+                let mut sizes = w.sizes(profile.class);
+                if self.opts.sizes_per_workload > 0 {
+                    sizes.truncate(self.opts.sizes_per_workload);
+                }
+                PanelEntry {
+                    workload: w.meta().name.to_owned(),
+                    sizes,
+                }
+            })
+            .collect();
+        PanelSpec {
+            device: profile.name.clone(),
+            apis: profile.supported_apis(),
+            entries,
+        }
+    }
+
+    /// Plans the speedup panels for `profiles` as one contiguous plan.
+    pub fn plan_panels(&self, profiles: &[DeviceProfile]) -> RunPlan {
+        let mut plan = RunPlan::new();
+        for profile in profiles {
+            plan.panel(&self.panel_spec(profile), &self.opts.run);
+        }
+        plan
+    }
+
+    /// Plans the bandwidth sweeps for `profiles` (skipped entirely when
+    /// `--filter` excludes the stride microbenchmark).
+    pub fn plan_bandwidth(&self, profiles: &[DeviceProfile]) -> RunPlan {
+        let mut plan = RunPlan::new();
+        if !self.opts.keeps_workload(stride::NAME) {
+            return plan;
+        }
+        for profile in profiles {
+            plan.bandwidth_sweep(
+                &profile.name,
+                &profile.supported_apis(),
+                stride::NAME,
+                SWEEP_LABEL,
+                &self.opts.run,
+            );
+        }
+        plan
+    }
+
+    /// Plans the §V-A2 overhead cells: gaussian at its smallest desktop
+    /// size under every API of `profile`.
+    pub fn plan_overheads(&self, profile: &DeviceProfile) -> RunPlan {
+        let mut plan = RunPlan::new();
+        if !self.opts.keeps_workload("gaussian") || !self.opts.keeps_device(&profile.name) {
+            return plan;
+        }
+        for api in profile.supported_apis() {
+            plan.push(CellSpec {
+                workload: "gaussian".into(),
+                size: SizeSpec::new("208", 208),
+                api,
+                device: profile.name.clone(),
+                opts: self.opts.run.clone(),
+            });
+        }
+        plan
+    }
+
+    /// Plans the §VI-A effort cells: vectoradd at Listing 1's N = 1M
+    /// under every API of `profile`.
+    pub fn plan_effort(&self, profile: &DeviceProfile) -> RunPlan {
+        let mut plan = RunPlan::new();
+        if !self.opts.keeps_workload(vectoradd::NAME) || !self.opts.keeps_device(&profile.name) {
+            return plan;
+        }
+        for api in profile.supported_apis() {
+            plan.push(CellSpec {
+                workload: vectoradd::NAME.into(),
+                size: SizeSpec::new("1M", EFFORT_N),
+                api,
+                device: profile.name.clone(),
+                opts: self.opts.run.clone(),
+            });
+        }
+        plan
+    }
+
+    /// The union of every figure's plan — what `vcb all` executes up
+    /// front on one pool spanning all devices and figures at once.
+    pub fn plan_all(&self) -> RunPlan {
+        let mut plan = RunPlan::new();
+        plan.append(self.plan_bandwidth(&self.desktop_devices()));
+        plan.append(self.plan_panels(&self.desktop_devices()));
+        plan.append(self.plan_bandwidth(&self.mobile_devices()));
+        plan.append(self.plan_panels(&self.mobile_devices()));
+        plan.append(self.plan_effort(&devices::gtx1050ti()));
+        plan.append(self.plan_overheads(&devices::gtx1050ti()));
+        plan
+    }
+
+    /// How many of `plan`'s cells would actually execute right now
+    /// (unique cells not yet in the cache) — the progress total.
+    pub fn pending_cells(&self, plan: &RunPlan) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        plan.cells()
+            .iter()
+            .filter(|c| {
+                let key = c.key();
+                self.cache.get(&key).is_none() && seen.insert(key)
+            })
+            .count()
+    }
+
+    /// The plan a `vcb` command would execute — the `plan` subcommand's
+    /// backing. `None` for commands without a matrix plan.
+    pub fn plan_for(&self, target: &str) -> Option<RunPlan> {
+        Some(match target {
+            "all" => self.plan_all(),
+            "fig1" => self.plan_bandwidth(&self.desktop_devices()),
+            "fig2" => self.plan_panels(&self.desktop_devices()),
+            "fig3" => self.plan_bandwidth(&self.mobile_devices()),
+            "fig4" => self.plan_panels(&self.mobile_devices()),
+            "summary" => {
+                let mut plan = self.plan_panels(&self.desktop_devices());
+                plan.append(self.plan_panels(&self.mobile_devices()));
+                plan
+            }
+            "effort" => self.plan_effort(&devices::gtx1050ti()),
+            "overheads" => self.plan_overheads(&devices::gtx1050ti()),
+            _ => return None,
+        })
+    }
+
+    /// Executes an arbitrary plan through the session's cache.
+    pub fn execute(
+        &mut self,
+        plan: &RunPlan,
+        sink: &mut (dyn EventSink<CellOut> + Send),
+    ) -> Vec<CellOut> {
+        self.executor
+            .execute(plan, &self.runner, &mut self.cache, sink)
+    }
+
+    /// Runs (or re-reads from cache) every cell of `vcb all` — the
+    /// warm-up pass sharing one worker pool across the whole matrix.
+    pub fn warm_all(&mut self, sink: &mut (dyn EventSink<CellOut> + Send)) {
+        let plan = self.plan_all();
+        self.execute(&plan, sink);
+    }
+
+    /// Runs the speedup panels for `profiles` as one plan and assembles
+    /// one [`DevicePanel`] per device, cells in plan order.
+    pub fn speedup_panels(
+        &mut self,
+        profiles: &[DeviceProfile],
+        sink: &mut (dyn EventSink<CellOut> + Send),
+    ) -> Vec<DevicePanel> {
+        let mut plan = RunPlan::new();
+        let mut ranges = Vec::new();
+        for profile in profiles {
+            let spec = self.panel_spec(profile);
+            let range = plan.panel(&spec, &self.opts.run);
+            ranges.push((profile.name.clone(), spec.apis, range));
+        }
+        let outs = self.execute(&plan, sink);
+        ranges
+            .into_iter()
+            .map(|(device, apis, range)| DevicePanel {
+                device,
+                apis,
+                cells: range
+                    .map(|i| {
+                        let spec = &plan.cells()[i];
+                        let outcome = match &outs[i] {
+                            CellOut::Run(o) => o.clone(),
+                            CellOut::Curve(_) => {
+                                Err(RunFailure::Error("curve cell in panel".into()))
+                            }
+                        };
+                        MatrixCell {
+                            workload: spec.workload.clone(),
+                            size: spec.size.label.clone(),
+                            api: spec.api,
+                            device: spec.device.clone(),
+                            plan_index: i,
+                            outcome,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Runs the bandwidth sweeps for `profiles`, one curve set per
+    /// device.
+    pub fn bandwidth_panels(
+        &mut self,
+        profiles: &[DeviceProfile],
+        sink: &mut (dyn EventSink<CellOut> + Send),
+    ) -> Vec<Vec<BandwidthCurve>> {
+        let plan = self.plan_bandwidth(profiles);
+        let outs = self.execute(&plan, sink);
+        let mut by_device: Vec<Vec<BandwidthCurve>> = Vec::new();
+        for (spec, out) in plan.cells().iter().zip(&outs) {
+            let samples = match out {
+                CellOut::Curve(c) => c.clone(),
+                CellOut::Run(_) => Err(RunFailure::Error("panel cell in sweep".into())),
+            };
+            let curve = BandwidthCurve {
+                device: spec.device.clone(),
+                api: spec.api,
+                samples,
+            };
+            match by_device.last_mut() {
+                Some(last) if last[0].device == spec.device => last.push(curve),
+                _ => by_device.push(vec![curve]),
+            }
+        }
+        by_device
+    }
+
+    /// Fig. 2: desktop speedup panels.
+    pub fn fig2(&mut self, sink: &mut (dyn EventSink<CellOut> + Send)) -> Vec<DevicePanel> {
+        let profiles = self.desktop_devices();
+        self.speedup_panels(&profiles, sink)
+    }
+
+    /// Fig. 4: mobile speedup panels.
+    pub fn fig4(&mut self, sink: &mut (dyn EventSink<CellOut> + Send)) -> Vec<DevicePanel> {
+        let profiles = self.mobile_devices();
+        self.speedup_panels(&profiles, sink)
+    }
+
+    /// Fig. 1: desktop bandwidth curves.
+    pub fn fig1(&mut self, sink: &mut (dyn EventSink<CellOut> + Send)) -> Vec<Vec<BandwidthCurve>> {
+        let profiles = self.desktop_devices();
+        self.bandwidth_panels(&profiles, sink)
+    }
+
+    /// Fig. 3: mobile bandwidth curves.
+    pub fn fig3(&mut self, sink: &mut (dyn EventSink<CellOut> + Send)) -> Vec<Vec<BandwidthCurve>> {
+        let profiles = self.mobile_devices();
+        self.bandwidth_panels(&profiles, sink)
+    }
+
+    /// §V-A2 overhead decomposition rows on `profile`.
+    pub fn overheads(&mut self, profile: &DeviceProfile) -> Vec<OverheadRow> {
+        use vcb_sim::timeline::CostKind;
+        let plan = self.plan_overheads(profile);
+        let outs = self.execute(&plan, &mut NullSink);
+        plan.cells()
+            .iter()
+            .zip(&outs)
+            .filter_map(|(spec, out)| {
+                let r = out.as_run()?.as_ref().ok()?;
+                Some(OverheadRow {
+                    api: spec.api,
+                    kernel: r.kernel_time,
+                    total: r.total_time,
+                    jit: r.breakdown.get(CostKind::JitCompile),
+                    pipeline: r.breakdown.get(CostKind::PipelineCreate),
+                    transfer: r.breakdown.get(CostKind::Transfer),
+                    host_api: r.breakdown.get(CostKind::HostApi),
+                })
+            })
+            .collect()
+    }
+
+    /// §VI-A programming-effort records on `profile`.
+    pub fn effort(&mut self, profile: &DeviceProfile) -> Vec<vcb_core::effort::EffortRecord> {
+        let plan = self.plan_effort(profile);
+        let outs = self.execute(&plan, &mut NullSink);
+        plan.cells()
+            .iter()
+            .zip(&outs)
+            .filter_map(|(spec, out)| {
+                let r = out.as_run()?.as_ref().ok()?;
+                Some(vcb_core::effort::EffortRecord::from_calls(
+                    "vectoradd",
+                    spec.api,
+                    &r.calls,
+                ))
+            })
+            .collect()
+    }
+}
+
+/// Runs the full benchmark matrix for one device (a one-shot
+/// [`Session`]; use a session directly to share cells across figures).
 pub fn run_device_panel(
     registry: &Arc<KernelRegistry>,
     profile: &DeviceProfile,
     opts: &ExperimentOpts,
 ) -> DevicePanel {
-    let apis: Vec<Api> = profile.supported_apis();
-    let workloads = vcb_workloads::suite_workloads(registry);
-
-    struct Task {
-        workload_index: usize,
-        size: SizeSpec,
-        api: Api,
-    }
-    let mut tasks = VecDeque::new();
-    for (workload_index, w) in workloads.iter().enumerate() {
-        let mut sizes = w.sizes(profile.class);
-        if opts.sizes_per_workload > 0 {
-            sizes.truncate(opts.sizes_per_workload);
-        }
-        for size in sizes {
-            for &api in &apis {
-                tasks.push_back(Task {
-                    workload_index,
-                    size: size.clone(),
-                    api,
-                });
-            }
-        }
-    }
-
-    let queue = Mutex::new(tasks);
-    let results: Mutex<Vec<MatrixCell>> = Mutex::new(Vec::new());
-    let threads = opts.threads.max(1);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let Some(task) = queue.lock().expect("queue poisoned").pop_front() else {
-                    break;
-                };
-                let w = &workloads[task.workload_index];
-                let outcome = w.run(task.api, profile, &task.size, &opts.run);
-                results.lock().expect("results poisoned").push(MatrixCell {
-                    workload: w.meta().name.to_owned(),
-                    size: task.size.label.clone(),
-                    api: task.api,
-                    device: profile.name.clone(),
-                    outcome,
-                });
-            });
-        }
-    });
-
-    let mut cells = results.into_inner().expect("results poisoned");
-    // Restore deterministic (workload, size, api) order.
-    let workload_order: Vec<&str> = vcb_core::suite::SUITE.iter().map(|m| m.name).collect();
-    cells.sort_by_key(|c| {
-        let w = workload_order
-            .iter()
-            .position(|n| *n == c.workload)
-            .unwrap_or(99);
-        let a = Api::ALL.iter().position(|x| *x == c.api).unwrap_or(9);
-        (w, c.size.clone(), a)
-    });
-    DevicePanel {
-        device: profile.name.clone(),
-        apis,
-        cells,
-    }
+    let mut session = Session::new(registry, opts);
+    session
+        .speedup_panels(std::slice::from_ref(profile), &mut NullSink)
+        .remove(0)
 }
 
 /// Fig. 2: desktop speedup panels (GTX 1050 Ti and RX 560).
 pub fn fig2(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Vec<DevicePanel> {
-    devices::desktop()
-        .iter()
-        .map(|d| run_device_panel(registry, d, opts))
-        .collect()
+    Session::new(registry, opts).fig2(&mut NullSink)
 }
 
 /// Fig. 4: mobile speedup panels (Nexus / Snapdragon).
 pub fn fig4(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Vec<DevicePanel> {
-    devices::mobile()
-        .iter()
-        .map(|d| run_device_panel(registry, d, opts))
-        .collect()
+    Session::new(registry, opts).fig4(&mut NullSink)
 }
 
 /// One API's bandwidth curve on one device (a line of Fig. 1/Fig. 3).
@@ -228,31 +670,21 @@ pub fn bandwidth_curves(
     profile: &DeviceProfile,
     opts: &ExperimentOpts,
 ) -> Vec<BandwidthCurve> {
-    profile
-        .supported_apis()
-        .into_iter()
-        .map(|api| BandwidthCurve {
-            device: profile.name.clone(),
-            api,
-            samples: stride::bandwidth_curve(api, profile, registry, &opts.run),
-        })
-        .collect()
+    let mut session = Session::new(registry, opts);
+    session
+        .bandwidth_panels(std::slice::from_ref(profile), &mut NullSink)
+        .pop()
+        .unwrap_or_default()
 }
 
 /// Fig. 1: desktop bandwidth-vs-stride curves.
 pub fn fig1(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Vec<Vec<BandwidthCurve>> {
-    devices::desktop()
-        .iter()
-        .map(|d| bandwidth_curves(registry, d, opts))
-        .collect()
+    Session::new(registry, opts).fig1(&mut NullSink)
 }
 
 /// Fig. 3: mobile bandwidth-vs-stride curves.
 pub fn fig3(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Vec<Vec<BandwidthCurve>> {
-    devices::mobile()
-        .iter()
-        .map(|d| bandwidth_curves(registry, d, opts))
-        .collect()
+    Session::new(registry, opts).fig3(&mut NullSink)
 }
 
 /// The paper's headline geomean numbers, derived from panels.
@@ -323,28 +755,7 @@ pub fn overheads(
     profile: &DeviceProfile,
     opts: &ExperimentOpts,
 ) -> Vec<OverheadRow> {
-    use vcb_sim::timeline::CostKind;
-    let workloads = vcb_workloads::suite_workloads(registry);
-    let gaussian = workloads
-        .iter()
-        .find(|w| w.meta().name == "gaussian")
-        .expect("gaussian is in the suite");
-    let size = SizeSpec::new("208", 208);
-    let mut rows = Vec::new();
-    for api in profile.supported_apis() {
-        if let Ok(r) = gaussian.run(api, profile, &size, &opts.run) {
-            rows.push(OverheadRow {
-                api,
-                kernel: r.kernel_time,
-                total: r.total_time,
-                jit: r.breakdown.get(CostKind::JitCompile),
-                pipeline: r.breakdown.get(CostKind::PipelineCreate),
-                transfer: r.breakdown.get(CostKind::Transfer),
-                host_api: r.breakdown.get(CostKind::HostApi),
-            });
-        }
-    }
-    rows
+    Session::new(registry, opts).overheads(profile)
 }
 
 /// Programming-effort records from running the vector-add micro under
@@ -354,21 +765,7 @@ pub fn effort(
     profile: &DeviceProfile,
     opts: &ExperimentOpts,
 ) -> Vec<vcb_core::effort::EffortRecord> {
-    use vcb_workloads::micro::vectoradd;
-    let n = 1_000_000; // Listing 1's N
-    let mut records = Vec::new();
-    for api in profile.supported_apis() {
-        // One host program, three backends: the portable layer preserves
-        // each API's call counts (see the backend fidelity tests).
-        if let Ok(record) = vectoradd::run(api, profile, registry, n, &opts.run) {
-            records.push(vcb_core::effort::EffortRecord::from_calls(
-                "vectoradd",
-                api,
-                &record.calls,
-            ));
-        }
-    }
-    records
+    Session::new(registry, opts).effort(profile)
 }
 
 #[cfg(test)]
@@ -384,6 +781,7 @@ mod tests {
             },
             threads: 8,
             sizes_per_workload: 0,
+            ..ExperimentOpts::default()
         }
     }
 
@@ -407,6 +805,9 @@ mod tests {
             .iter()
             .filter(|c| c.workload == "backprop")
             .all(|c| matches!(c.outcome, Err(vcb_core::run::RunFailure::DriverFailure))));
+        // Cells carry their plan index, in order.
+        let indexes: Vec<usize> = panel.cells.iter().map(|c| c.plan_index).collect();
+        assert_eq!(indexes, (0..panel.cells.len()).collect::<Vec<_>>());
     }
 
     #[test]
@@ -417,5 +818,46 @@ mod tests {
         let by_api = |api: Api| records.iter().find(|r| r.api == api).unwrap();
         assert!(by_api(Api::Vulkan).total_calls > 2 * by_api(Api::Cuda).total_calls);
         assert!(by_api(Api::Vulkan).distinct_calls > by_api(Api::OpenCl).distinct_calls);
+    }
+
+    #[test]
+    fn filters_prune_plans() {
+        let registry = vcb_workloads::registry().unwrap();
+        let mut opts = quick();
+        opts.filter = vec!["bfs".into()];
+        opts.devices = vec!["adreno".into()];
+        let session = Session::new(&registry, &opts);
+        assert!(session.desktop_devices().is_empty());
+        let mobile = session.mobile_devices();
+        assert_eq!(mobile.len(), 1);
+        let plan = session.plan_panels(&mobile);
+        assert!(!plan.is_empty());
+        assert!(plan.cells().iter().all(|c| c.workload == "bfs"));
+        // stride is filtered out, so no bandwidth cells are planned.
+        assert!(session.plan_bandwidth(&mobile).is_empty());
+    }
+
+    #[test]
+    fn all_plan_dedups_shared_cells() {
+        let registry = vcb_workloads::registry().unwrap();
+        let session = Session::new(&registry, &quick());
+        let plan = session.plan_all();
+        // gaussian/208 on the GTX appears in both the Fig. 2 panel and
+        // the overheads stage: the plan carries the duplicates, the
+        // executor runs them once.
+        let gaussian_208 = plan
+            .cells()
+            .iter()
+            .filter(|c| {
+                c.workload == "gaussian" && c.size.label == "208" && c.device.contains("1050")
+            })
+            .count();
+        assert!(gaussian_208 >= 6, "panel + overheads cells: {gaussian_208}");
+        let unique: std::collections::HashSet<_> = plan
+            .cells()
+            .iter()
+            .map(vcb_core::plan::CellSpec::key)
+            .collect();
+        assert!(unique.len() < plan.len());
     }
 }

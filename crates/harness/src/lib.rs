@@ -29,5 +29,6 @@
 pub mod ablate;
 pub mod experiments;
 pub mod render;
+pub mod stream;
 
-pub use experiments::{ExperimentOpts, GeomeanSummary};
+pub use experiments::{ExperimentOpts, GeomeanSummary, Session};

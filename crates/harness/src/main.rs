@@ -1,10 +1,16 @@
 //! The `vcb` experiment runner: regenerates every table and figure of
 //! the VComputeBench paper on the simulated platforms.
+//!
+//! All experiment commands run through one [`Session`]: a single
+//! shared worker pool spans every device and figure, and a result cache
+//! executes each unique (workload, size, API, device) cell at most once
+//! per invocation — `vcb all` warms the union of every figure's plan
+//! first, then each figure renders from shared cells.
 
-use std::io::Write as _;
 use std::process::ExitCode;
 
-use vcb_harness::experiments::{self, ExperimentOpts};
+use vcb_harness::experiments::{ExperimentOpts, Session};
+use vcb_harness::stream::{BandwidthCsvStream, PanelCsvStream, Progress, Tee};
 use vcb_harness::{ablate, render};
 use vcb_sim::profile::{devices, DeviceClass};
 
@@ -27,33 +33,66 @@ COMMANDS:
     overheads   §V-A2 total-vs-kernel time decomposition
     ablate      §VI-B recommendation ablations
     all         everything above, in paper order
+    plan [CMD]  print the run plan of CMD (default: all) without running
 
 OPTIONS:
     --quick         scaled-down inputs, no output validation (default)
     --paper-scale   full paper input sizes with validation (slow)
-    --threads N     worker threads for the run matrix
+    --scale F       override the iteration-scale factor (1.0 = paper)
+    --threads N     worker threads for the run matrix (balanced against
+                    --sim-threads so threads x sim-threads <= cores)
     --sim-threads N simulator worker threads inside one dispatch
                     (order-independent kernels only; results are
                     bit-identical at any value)
+    --filter W,...  run only the named workloads (suite short names)
+    --device D,...  run only devices whose name contains a fragment
     --csv FILE      also write machine-readable results to FILE
+                    (streamed incrementally as cells finish)
     --seed N        input-generation seed
 ";
 
 struct Cli {
     command: String,
+    plan_target: String,
     opts: ExperimentOpts,
     csv_path: Option<String>,
 }
 
 fn parse_args() -> Result<Cli, String> {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     let command = args.next().ok_or_else(|| USAGE.to_owned())?;
-    let mut opts = ExperimentOpts::quick();
+    let mut plan_target = "all".to_owned();
+    if command == "plan" {
+        if let Some(next) = args.peek() {
+            if !next.starts_with("--") {
+                plan_target = args.next().expect("peeked");
+            }
+        }
+    }
+    // The preset (--quick / --paper-scale, last one wins) is a *base*:
+    // resolve it first so every other flag is an override on top,
+    // regardless of argument order.
+    let args: Vec<String> = args.collect();
+    let mut opts = match args.iter().rev().find_map(|a| match a.as_str() {
+        "--quick" => Some(false),
+        "--paper-scale" => Some(true),
+        _ => None,
+    }) {
+        Some(true) => ExperimentOpts::paper(),
+        _ => ExperimentOpts::quick(),
+    };
     let mut csv_path = None;
+    let list = |v: Option<String>, what: &str| -> Result<Vec<String>, String> {
+        Ok(v.ok_or(format!("{what} needs a value"))?
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect())
+    };
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => opts = ExperimentOpts::quick(),
-            "--paper-scale" => opts = ExperimentOpts::paper(),
+            "--quick" | "--paper-scale" => {}
             "--threads" => {
                 let n = args
                     .next()
@@ -70,6 +109,17 @@ fn parse_args() -> Result<Cli, String> {
                     .map_err(|e| format!("bad --sim-threads value: {e}"))?;
                 opts.run.sim_threads = n.max(1);
             }
+            "--scale" => {
+                let f = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --scale value: {e}"))?;
+                if !f.is_finite() || f <= 0.0 {
+                    return Err("--scale must be a positive number".into());
+                }
+                opts.run.scale = f;
+            }
             "--seed" => {
                 opts.run.seed = args
                     .next()
@@ -77,6 +127,8 @@ fn parse_args() -> Result<Cli, String> {
                     .parse::<u64>()
                     .map_err(|e| format!("bad --seed value: {e}"))?;
             }
+            "--filter" => opts.filter = list(args.next(), "--filter")?,
+            "--device" => opts.devices = list(args.next(), "--device")?,
             "--csv" => {
                 csv_path = Some(args.next().ok_or("--csv needs a file path")?);
             }
@@ -85,19 +137,123 @@ fn parse_args() -> Result<Cli, String> {
     }
     Ok(Cli {
         command,
+        plan_target,
         opts,
         csv_path,
     })
 }
 
-fn write_csv(path: &Option<String>, content: &str) {
-    if let Some(path) = path {
-        match std::fs::File::create(path).and_then(|mut f| f.write_all(content.as_bytes())) {
-            Ok(()) => eprintln!("wrote {path}"),
-            Err(e) => eprintln!("failed to write {path}: {e}"),
-        }
+fn run_bandwidth_fig(session: &mut Session, csv_path: Option<&str>, title: &str, mobile: bool) {
+    let profiles = if mobile {
+        session.mobile_devices()
+    } else {
+        session.desktop_devices()
+    };
+    let plan = session.plan_bandwidth(&profiles);
+    let mut progress = Progress::new(session.pending_cells(&plan));
+    let mut csv = BandwidthCsvStream::create(csv_path);
+    let panels = session.bandwidth_panels(&profiles, &mut Tee(&mut progress, &mut csv));
+    println!("{title}");
+    for curves in &panels {
+        println!("{}", render::bandwidth_panel(curves));
     }
+    csv.finish();
 }
+
+fn run_speedup_fig(
+    session: &mut Session,
+    csv_path: Option<&str>,
+    title: &str,
+    mobile: bool,
+) -> Vec<vcb_harness::experiments::DevicePanel> {
+    let profiles = if mobile {
+        session.mobile_devices()
+    } else {
+        session.desktop_devices()
+    };
+    let plan = session.plan_panels(&profiles);
+    let mut progress = Progress::new(session.pending_cells(&plan));
+    let mut csv = PanelCsvStream::create(csv_path);
+    let panels = session.speedup_panels(&profiles, &mut Tee(&mut progress, &mut csv));
+    println!("{title}");
+    for p in &panels {
+        println!("{}", render::speedup_panel(p));
+    }
+    println!(
+        "{}",
+        render::summary_lines(&vcb_harness::experiments::summarize(&panels))
+    );
+    csv.finish();
+    panels
+}
+
+fn run_effort(session: &mut Session) {
+    println!("=== §VI-A: programming effort ===\n");
+    let records = session.effort(&devices::gtx1050ti());
+    println!("{}", vcb_core::effort::effort_table(&records).render());
+}
+
+fn run_overheads(session: &mut Session) {
+    println!("=== §V-A2: total-time overhead decomposition ===\n");
+    let rows = session.overheads(&devices::gtx1050ti());
+    println!("{}", render::overhead_table(&rows));
+}
+
+fn run_ablate(registry: &std::sync::Arc<vcb_sim::KernelRegistry>, opts: &ExperimentOpts) {
+    println!("=== §VI-B: recommended Vulkan optimizations, measured ===\n");
+    let gtx = devices::gtx1050ti();
+    let sd = devices::adreno506();
+    let report = |result: Result<ablate::Ablation, vcb_core::run::RunFailure>| match result {
+        Ok(a) => println!(
+            "{:<62} {:>10} vs {:>10}  ({:.2}x)",
+            a.name,
+            a.recommended.to_string(),
+            a.naive.to_string(),
+            a.factor()
+        ),
+        Err(e) => println!("(skipped: {e})"),
+    };
+    report(ablate::single_command_buffer(registry, &gtx, 32));
+    report(ablate::push_constants_vs_buffer(registry, &sd, &opts.run));
+    report(ablate::transfer_queue_copies(
+        registry,
+        &gtx,
+        128 * 1024 * 1024,
+    ));
+    report(ablate::multiple_compute_queues(registry, &gtx, 16));
+    report(ablate::compiler_maturity(registry, &gtx, &opts.run));
+    println!();
+}
+
+fn print_plan(session: &Session, target: &str) -> Result<(), String> {
+    let plan = session
+        .plan_for(target)
+        .ok_or_else(|| format!("unknown plan target `{target}`\n\n{USAGE}"))?;
+    let mut unique = std::collections::HashSet::new();
+    for (i, cell) in plan.cells().iter().enumerate() {
+        let fresh = unique.insert(cell.key());
+        let line = format!(
+            "{i:>4}  {:016x}  {:<24} {:<8} {:<20} {}",
+            cell.fingerprint(),
+            format!("{}/{}", cell.workload, cell.size.label),
+            cell.api.to_string(),
+            format!("[{}]", cell.device),
+            if fresh { "" } else { "(dedup)" }
+        );
+        println!("{}", line.trim_end());
+    }
+    println!(
+        "\n{} cells planned, {} unique to execute",
+        plan.len(),
+        unique.len()
+    );
+    Ok(())
+}
+
+const FIG1_TITLE: &str = "=== Fig. 1: Vulkan memory bandwidth vs CUDA and OpenCL (desktop) ===\n";
+const FIG2_TITLE: &str = "=== Fig. 2: Vulkan speedup vs CUDA and OpenCL (desktop) ===\n";
+const FIG3_TITLE: &str = "=== Fig. 3: Vulkan memory bandwidth vs OpenCL (mobile) ===\n";
+const FIG4_TITLE: &str = "=== Fig. 4: Vulkan speedup vs OpenCL (mobile) ===\n";
 
 fn main() -> ExitCode {
     let cli = match parse_args() {
@@ -114,132 +270,62 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-
-    let run_fig1 = || {
-        let panels = experiments::fig1(&registry, &cli.opts);
-        println!("=== Fig. 1: Vulkan memory bandwidth vs CUDA and OpenCL (desktop) ===\n");
-        for curves in &panels {
-            println!("{}", render::bandwidth_panel(curves));
-        }
-        write_csv(&cli.csv_path, &render::bandwidth_csv(&panels));
-    };
-    let run_fig3 = || {
-        let panels = experiments::fig3(&registry, &cli.opts);
-        println!("=== Fig. 3: Vulkan memory bandwidth vs OpenCL (mobile) ===\n");
-        for curves in &panels {
-            println!("{}", render::bandwidth_panel(curves));
-        }
-        write_csv(&cli.csv_path, &render::bandwidth_csv(&panels));
-    };
-    let run_fig2 = || {
-        let panels = experiments::fig2(&registry, &cli.opts);
-        println!("=== Fig. 2: Vulkan speedup vs CUDA and OpenCL (desktop) ===\n");
-        let mut csv = String::new();
-        for p in &panels {
-            println!("{}", render::speedup_panel(p));
-            csv.push_str(&render::panel_csv(p));
-        }
-        println!(
-            "{}",
-            render::summary_lines(&experiments::summarize(&panels))
-        );
-        write_csv(&cli.csv_path, &csv);
-        panels
-    };
-    let run_fig4 = || {
-        let panels = experiments::fig4(&registry, &cli.opts);
-        println!("=== Fig. 4: Vulkan speedup vs OpenCL (mobile) ===\n");
-        let mut csv = String::new();
-        for p in &panels {
-            println!("{}", render::speedup_panel(p));
-            csv.push_str(&render::panel_csv(p));
-        }
-        println!(
-            "{}",
-            render::summary_lines(&experiments::summarize(&panels))
-        );
-        write_csv(&cli.csv_path, &csv);
-        panels
-    };
-    let run_effort = || {
-        println!("=== §VI-A: programming effort ===\n");
-        let records = experiments::effort(&registry, &devices::gtx1050ti(), &cli.opts);
-        println!("{}", vcb_core::effort::effort_table(&records).render());
-    };
-    let run_overheads = || {
-        println!("=== §V-A2: total-time overhead decomposition ===\n");
-        let rows = experiments::overheads(&registry, &devices::gtx1050ti(), &cli.opts);
-        println!("{}", render::overhead_table(&rows));
-    };
-    let run_ablate = || {
-        println!("=== §VI-B: recommended Vulkan optimizations, measured ===\n");
-        let gtx = devices::gtx1050ti();
-        let sd = devices::adreno506();
-        let report = |result: Result<ablate::Ablation, vcb_core::run::RunFailure>| match result {
-            Ok(a) => println!(
-                "{:<62} {:>10} vs {:>10}  ({:.2}x)",
-                a.name,
-                a.recommended.to_string(),
-                a.naive.to_string(),
-                a.factor()
-            ),
-            Err(e) => println!("(skipped: {e})"),
-        };
-        report(ablate::single_command_buffer(&registry, &gtx, 32));
-        report(ablate::push_constants_vs_buffer(
-            &registry,
-            &sd,
-            &cli.opts.run,
-        ));
-        report(ablate::transfer_queue_copies(
-            &registry,
-            &gtx,
-            128 * 1024 * 1024,
-        ));
-        report(ablate::multiple_compute_queues(&registry, &gtx, 16));
-        report(ablate::compiler_maturity(&registry, &gtx, &cli.opts.run));
-        println!();
-    };
+    let mut session = Session::new(&registry, &cli.opts);
+    let csv = cli.csv_path.as_deref();
 
     match cli.command.as_str() {
         "table1" => println!("{}", render::table1()),
         "table2" => println!("{}", render::platform_table(DeviceClass::Desktop)),
         "table3" => println!("{}", render::platform_table(DeviceClass::Mobile)),
-        "fig1" => run_fig1(),
+        "fig1" => run_bandwidth_fig(&mut session, csv, FIG1_TITLE, false),
         "fig2" => {
-            run_fig2();
+            run_speedup_fig(&mut session, csv, FIG2_TITLE, false);
         }
-        "fig3" => run_fig3(),
+        "fig3" => run_bandwidth_fig(&mut session, csv, FIG3_TITLE, true),
         "fig4" => {
-            run_fig4();
+            run_speedup_fig(&mut session, csv, FIG4_TITLE, true);
         }
         "summary" => {
-            let desktop = experiments::fig2(&registry, &cli.opts);
-            let mobile = experiments::fig4(&registry, &cli.opts);
+            let plan = session.plan_for("summary").expect("summary has a plan");
+            let mut progress = Progress::new(session.pending_cells(&plan));
+            let desktop = session.fig2(&mut progress);
+            let mobile = session.fig4(&mut progress);
             println!("=== §V: geometric-mean speedups ===\n");
             println!(
                 "{}",
-                render::summary_lines(&experiments::summarize(&desktop))
+                render::summary_lines(&vcb_harness::experiments::summarize(&desktop))
             );
             println!(
                 "{}",
-                render::summary_lines(&experiments::summarize(&mobile))
+                render::summary_lines(&vcb_harness::experiments::summarize(&mobile))
             );
         }
-        "effort" => run_effort(),
-        "overheads" => run_overheads(),
-        "ablate" => run_ablate(),
+        "effort" => run_effort(&mut session),
+        "overheads" => run_overheads(&mut session),
+        "ablate" => run_ablate(&registry, &cli.opts),
         "all" => {
             println!("{}", render::table1());
             println!("{}", render::platform_table(DeviceClass::Desktop));
-            run_fig1();
-            run_fig2();
+            // Warm the union of every figure's plan on one pool spanning
+            // all devices and figures; shared cells simulate once, and
+            // the figure stages below render entirely from cache.
+            let plan = session.plan_all();
+            let mut progress = Progress::new(session.pending_cells(&plan));
+            session.execute(&plan, &mut progress);
+            run_bandwidth_fig(&mut session, csv, FIG1_TITLE, false);
+            run_speedup_fig(&mut session, csv, FIG2_TITLE, false);
             println!("{}", render::platform_table(DeviceClass::Mobile));
-            run_fig3();
-            run_fig4();
-            run_effort();
-            run_overheads();
-            run_ablate();
+            run_bandwidth_fig(&mut session, csv, FIG3_TITLE, true);
+            run_speedup_fig(&mut session, csv, FIG4_TITLE, true);
+            run_effort(&mut session);
+            run_overheads(&mut session);
+            run_ablate(&registry, &cli.opts);
+        }
+        "plan" => {
+            if let Err(msg) = print_plan(&session, &cli.plan_target) {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
         }
         "--help" | "-h" | "help" => println!("{USAGE}"),
         other => {

@@ -185,71 +185,90 @@ pub fn summary_lines(summaries: &[GeomeanSummary]) -> String {
     out
 }
 
-/// Renders a device panel as CSV rows
+/// The panel CSV schema
 /// (`device,workload,size,api,kernel_us,total_us,speedup_vs_opencl,status`).
+pub const PANEL_CSV_HEADERS: [&str; 8] = [
+    "device",
+    "workload",
+    "size",
+    "api",
+    "kernel_us",
+    "total_us",
+    "speedup_vs_opencl",
+    "status",
+];
+
+/// The bandwidth CSV schema (`device,api,stride,gbps`).
+pub const BANDWIDTH_CSV_HEADERS: [&str; 4] = ["device", "api", "stride", "gbps"];
+
+/// The CSV cells of one matrix cell's row — shared by the post-hoc
+/// [`panel_csv`] table and the incremental CSV sink, so both produce
+/// byte-identical rows. `speedup` is the bar's kernel-time speedup over
+/// the OpenCL baseline, when both ran.
+pub fn panel_csv_cells(cell: &crate::experiments::MatrixCell, speedup: Option<f64>) -> [String; 8] {
+    match &cell.outcome {
+        Ok(r) => [
+            cell.device.clone(),
+            cell.workload.clone(),
+            cell.size.clone(),
+            cell.api.ident().to_owned(),
+            format!("{:.3}", r.kernel_time.as_micros()),
+            format!("{:.3}", r.total_time.as_micros()),
+            speedup.map(|v| format!("{v:.4}")).unwrap_or_default(),
+            if r.validated {
+                "ok".into()
+            } else {
+                "NOT VALIDATED".into()
+            },
+        ],
+        Err(e) => [
+            cell.device.clone(),
+            cell.workload.clone(),
+            cell.size.clone(),
+            cell.api.ident().to_owned(),
+            String::new(),
+            String::new(),
+            String::new(),
+            e.to_string(),
+        ],
+    }
+}
+
+/// The CSV cells of one bandwidth sample's row (shared with the
+/// incremental CSV sink).
+pub fn bandwidth_csv_cells(
+    device: &str,
+    api: Api,
+    sample: &vcb_workloads::micro::stride::BandwidthSample,
+) -> [String; 4] {
+    [
+        device.to_owned(),
+        api.ident().to_owned(),
+        sample.stride.to_string(),
+        format!("{:.4}", sample.gbps()),
+    ]
+}
+
+/// Renders a device panel as CSV rows.
 pub fn panel_csv(panel: &DevicePanel) -> String {
-    let mut t = Table::new(&[
-        "device",
-        "workload",
-        "size",
-        "api",
-        "kernel_us",
-        "total_us",
-        "speedup_vs_opencl",
-        "status",
-    ]);
+    let mut t = Table::new(&PANEL_CSV_HEADERS);
     for c in &panel.cells {
-        match &c.outcome {
-            Ok(r) => {
-                let s = panel
-                    .speedup(&c.workload, &c.size, c.api)
-                    .map(|v| format!("{v:.4}"))
-                    .unwrap_or_default();
-                t.row(&[
-                    c.device.clone(),
-                    c.workload.clone(),
-                    c.size.clone(),
-                    c.api.ident().to_owned(),
-                    format!("{:.3}", r.kernel_time.as_micros()),
-                    format!("{:.3}", r.total_time.as_micros()),
-                    s,
-                    if r.validated {
-                        "ok".into()
-                    } else {
-                        "NOT VALIDATED".into()
-                    },
-                ]);
-            }
-            Err(e) => {
-                t.row(&[
-                    c.device.clone(),
-                    c.workload.clone(),
-                    c.size.clone(),
-                    c.api.ident().to_owned(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    e.to_string(),
-                ]);
-            }
-        }
+        t.row(&panel_csv_cells(
+            c,
+            panel.speedup(&c.workload, &c.size, c.api),
+        ));
     }
     t.to_csv()
 }
 
-/// Renders bandwidth curves as CSV (`device,api,stride,gbps`).
+/// Renders bandwidth curves as CSV.
 pub fn bandwidth_csv(panels: &[Vec<BandwidthCurve>]) -> String {
-    let mut t = Table::new(&["device", "api", "stride", "gbps"]);
+    let mut t = Table::new(&BANDWIDTH_CSV_HEADERS);
     for curves in panels {
         for c in curves {
             if let Ok(samples) = &c.samples {
                 for s in samples {
-                    t.row(&[
-                        c.device.clone(),
-                        c.api.ident().to_owned(),
-                        s.stride.to_string(),
-                        format!("{:.4}", s.gbps()),
-                    ]);
+                    t.row(&bandwidth_csv_cells(&c.device, c.api, s));
                 }
             }
         }
@@ -299,6 +318,7 @@ mod tests {
             },
             threads: 8,
             sizes_per_workload: 1,
+            ..ExperimentOpts::default()
         }
     }
 

@@ -1,0 +1,422 @@
+//! Streaming sinks for the matrix executor: progress lines on stderr
+//! and incremental CSV files that replace the old post-hoc `write_csv`.
+//!
+//! [`CellEvent`]s arrive in completion order; the CSV sinks buffer by
+//! plan index and flush the ready prefix, so the file grows in plan
+//! order while cells are still executing — and ends byte-identical to
+//! the old whole-figure render (same row builders, same quoting; see
+//! `render::panel_csv_cells` / `render::bandwidth_csv_cells`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use vcb_core::plan::{CellEvent, EventSink};
+use vcb_core::report::csv_line;
+use vcb_core::run::RunRecord;
+use vcb_sim::Api;
+
+use crate::experiments::{CellOut, MatrixCell};
+use crate::render;
+
+/// Progress lines on stderr: one line per *executed* cell (cache hits
+/// and intra-plan duplicates stay silent, so a fully-warmed stage prints
+/// nothing).
+#[derive(Debug)]
+pub struct Progress {
+    done: usize,
+    total: usize,
+}
+
+impl Progress {
+    /// A progress reporter expecting `total` fresh executions (see
+    /// `Session::pending_cells`).
+    pub fn new(total: usize) -> Progress {
+        Progress { done: 0, total }
+    }
+}
+
+impl EventSink<CellOut> for Progress {
+    fn event(&mut self, event: CellEvent<'_, CellOut>) {
+        if let CellEvent::Finished {
+            spec,
+            out,
+            cached: false,
+            ..
+        } = event
+        {
+            self.done += 1;
+            eprintln!(
+                "vcb: [{}/{}] {} {}",
+                self.done,
+                self.total,
+                spec,
+                out.status()
+            );
+        }
+    }
+}
+
+/// Fans one event stream out to two sinks.
+pub struct Tee<'a, T>(
+    /// First receiver.
+    pub &'a mut (dyn EventSink<T> + Send),
+    /// Second receiver.
+    pub &'a mut (dyn EventSink<T> + Send),
+);
+
+impl<T> EventSink<T> for Tee<'_, T> {
+    fn event(&mut self, event: CellEvent<'_, T>) {
+        self.0.event(event);
+        self.1.event(event);
+    }
+}
+
+impl<T> std::fmt::Debug for Tee<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Tee")
+    }
+}
+
+/// A line-oriented CSV file that reports `wrote {path}` (or the failure)
+/// once finished — the same stderr contract the post-hoc writer had.
+#[derive(Debug)]
+struct CsvFile {
+    path: String,
+    writer: Option<BufWriter<File>>,
+    error: Option<std::io::Error>,
+}
+
+impl CsvFile {
+    fn create(path: &str) -> CsvFile {
+        let (writer, error) = match File::create(path) {
+            Ok(f) => (Some(BufWriter::new(f)), None),
+            Err(e) => (None, Some(e)),
+        };
+        CsvFile {
+            path: path.to_owned(),
+            writer,
+            error,
+        }
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if let Some(w) = &mut self.writer {
+            if let Err(e) = w.write_all(line.as_bytes()) {
+                self.error = Some(e);
+                self.writer = None;
+            }
+        }
+    }
+
+    fn finish(mut self) {
+        if let Some(w) = &mut self.writer {
+            if let Err(e) = w.flush() {
+                self.error = Some(e);
+            }
+        }
+        match self.error {
+            None if self.writer.is_some() => eprintln!("wrote {}", self.path),
+            Some(e) => eprintln!("failed to write {}: {e}", self.path),
+            None => {}
+        }
+    }
+}
+
+/// Incremental CSV for speedup panels. Rows flush in plan order; a
+/// header precedes each device's block (one header per panel, as the
+/// concatenated per-panel tables had). The speedup column needs the
+/// bar's OpenCL baseline, which the plan orders first — so it is
+/// resolved at *flush* time, when every earlier-indexed cell (the
+/// baseline included) is guaranteed to have arrived, regardless of the
+/// completion order worker threads deliver events in.
+#[derive(Debug)]
+pub struct PanelCsvStream {
+    file: Option<CsvFile>,
+    /// `None` marks a non-run cell (e.g. a bandwidth sweep in a mixed
+    /// plan): it still occupies its index so the flush cursor advances.
+    pending: BTreeMap<usize, Option<MatrixCell>>,
+    next: usize,
+    current_device: Option<String>,
+    /// (device, workload, size) → the bar's OpenCL baseline record.
+    baselines: HashMap<(String, String, String), RunRecord>,
+}
+
+impl PanelCsvStream {
+    /// A panel CSV stream writing to `path`; `None` disables the sink.
+    pub fn create(path: Option<&str>) -> PanelCsvStream {
+        PanelCsvStream {
+            file: path.map(CsvFile::create),
+            pending: BTreeMap::new(),
+            next: 0,
+            current_device: None,
+            baselines: HashMap::new(),
+        }
+    }
+
+    /// Flushes the file and reports the `wrote`/failure line.
+    pub fn finish(self) {
+        if let Some(file) = self.file {
+            file.finish();
+        }
+    }
+
+    fn flush_ready(&mut self) {
+        while let Some(slot) = self.pending.remove(&self.next) {
+            self.next += 1;
+            let Some(cell) = slot else { continue };
+            let key = (
+                cell.device.clone(),
+                cell.workload.clone(),
+                cell.size.clone(),
+            );
+            if cell.api == Api::OpenCl {
+                if let Ok(r) = &cell.outcome {
+                    self.baselines.insert(key.clone(), r.clone());
+                }
+            }
+            let speedup = match (self.baselines.get(&key), &cell.outcome) {
+                (Some(base), Ok(r)) => Some(vcb_core::run::speedup(base, r)),
+                _ => None,
+            };
+            let Some(file) = &mut self.file else { continue };
+            if self.current_device.as_deref() != Some(cell.device.as_str()) {
+                file.write_line(&csv_line(&render::PANEL_CSV_HEADERS));
+                self.current_device = Some(cell.device.clone());
+            }
+            file.write_line(&csv_line(&render::panel_csv_cells(&cell, speedup)));
+        }
+    }
+}
+
+impl EventSink<CellOut> for PanelCsvStream {
+    fn event(&mut self, event: CellEvent<'_, CellOut>) {
+        let CellEvent::Finished {
+            index, spec, out, ..
+        } = event
+        else {
+            return;
+        };
+        let cell = out.as_run().map(|outcome| MatrixCell {
+            workload: spec.workload.clone(),
+            size: spec.size.label.clone(),
+            api: spec.api,
+            device: spec.device.clone(),
+            plan_index: index,
+            outcome: outcome.clone(),
+        });
+        self.pending.insert(index, cell);
+        self.flush_ready();
+    }
+}
+
+/// Incremental CSV for bandwidth sweeps: one header up front, then one
+/// row per stride sample of each successful curve, in plan order.
+#[derive(Debug)]
+pub struct BandwidthCsvStream {
+    file: Option<CsvFile>,
+    pending: BTreeMap<usize, (String, Api, CellOut)>,
+    next: usize,
+}
+
+impl BandwidthCsvStream {
+    /// A bandwidth CSV stream writing to `path`; `None` disables the
+    /// sink.
+    pub fn create(path: Option<&str>) -> BandwidthCsvStream {
+        let mut file = path.map(CsvFile::create);
+        if let Some(f) = &mut file {
+            f.write_line(&csv_line(&render::BANDWIDTH_CSV_HEADERS));
+        }
+        BandwidthCsvStream {
+            file,
+            pending: BTreeMap::new(),
+            next: 0,
+        }
+    }
+
+    /// Flushes the file and reports the `wrote`/failure line.
+    pub fn finish(self) {
+        if let Some(file) = self.file {
+            file.finish();
+        }
+    }
+
+    fn flush_ready(&mut self) {
+        while let Some((device, api, out)) = self.pending.remove(&self.next) {
+            self.next += 1;
+            let Some(file) = &mut self.file else { continue };
+            if let CellOut::Curve(Ok(samples)) = &out {
+                for s in samples {
+                    file.write_line(&csv_line(&render::bandwidth_csv_cells(&device, api, s)));
+                }
+            }
+        }
+    }
+}
+
+impl EventSink<CellOut> for BandwidthCsvStream {
+    fn event(&mut self, event: CellEvent<'_, CellOut>) {
+        let CellEvent::Finished {
+            index, spec, out, ..
+        } = event
+        else {
+            return;
+        };
+        self.pending
+            .insert(index, (spec.device.clone(), spec.api, out.clone()));
+        self.flush_ready();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_core::plan::CellSpec;
+    use vcb_core::run::{RunFailure, SizeSpec};
+    use vcb_core::workload::RunOpts;
+
+    fn spec(workload: &str, label: &str, api: Api, device: &str) -> CellSpec {
+        CellSpec {
+            workload: workload.into(),
+            size: SizeSpec::new(label, 1),
+            api,
+            device: device.into(),
+            opts: RunOpts::default(),
+        }
+    }
+
+    #[test]
+    fn progress_reports_only_fresh_executions() {
+        let mut p = Progress::new(2);
+        let s = spec("bfs", "4K", Api::Vulkan, "D");
+        let out = CellOut::Run(Err(RunFailure::Unsupported));
+        p.event(CellEvent::Finished {
+            index: 0,
+            spec: &s,
+            out: &out,
+            cached: false,
+        });
+        p.event(CellEvent::Finished {
+            index: 1,
+            spec: &s,
+            out: &out,
+            cached: true,
+        });
+        assert_eq!(p.done, 1);
+    }
+
+    #[test]
+    fn speedup_resolves_even_when_subject_finishes_before_baseline() {
+        // On a multi-core run a Vulkan cell can complete before its
+        // OpenCL baseline (planned one index earlier). The speedup
+        // column must still be filled: it is computed at flush time,
+        // in plan order, not at event-arrival time.
+        use vcb_sim::calls::CallCounter;
+        use vcb_sim::time::SimDuration;
+        use vcb_sim::timeline::TimingBreakdown;
+        let record = |api: Api, kernel_us: f64| {
+            CellOut::Run(Ok(vcb_core::run::RunRecord {
+                workload: "bfs".into(),
+                api,
+                device: "D".into(),
+                size: "4K".into(),
+                kernel_time: SimDuration::from_micros(kernel_us),
+                total_time: SimDuration::from_micros(2.0 * kernel_us),
+                breakdown: TimingBreakdown::new(),
+                calls: CallCounter::new(),
+                validated: true,
+                fingerprint: 0,
+            }))
+        };
+        let dir = std::env::temp_dir().join("vcb_stream_speedup_test.csv");
+        let path = dir.to_str().unwrap().to_owned();
+        let mut sink = PanelCsvStream::create(Some(&path));
+        let cl = spec("bfs", "4K", Api::OpenCl, "D");
+        let vk = spec("bfs", "4K", Api::Vulkan, "D");
+        let vk_out = record(Api::Vulkan, 50.0);
+        let cl_out = record(Api::OpenCl, 100.0);
+        // Subject first, baseline second — reversed completion order.
+        sink.event(CellEvent::Finished {
+            index: 1,
+            spec: &vk,
+            out: &vk_out,
+            cached: false,
+        });
+        sink.event(CellEvent::Finished {
+            index: 0,
+            spec: &cl,
+            out: &cl_out,
+            cached: false,
+        });
+        sink.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains(",1.0000,"), "baseline row: {}", lines[1]);
+        assert!(lines[2].contains(",2.0000,"), "subject row: {}", lines[2]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panel_stream_advances_past_non_run_cells() {
+        // A mixed plan (bandwidth sweeps + panel cells) must not stall
+        // the flush cursor at the first curve cell.
+        let dir = std::env::temp_dir().join("vcb_stream_mixed_test.csv");
+        let path = dir.to_str().unwrap().to_owned();
+        let mut sink = PanelCsvStream::create(Some(&path));
+        let curve_spec = spec("stride", "sweep", Api::OpenCl, "D");
+        let run_spec = spec("bfs", "4K", Api::OpenCl, "D");
+        let curve_out = CellOut::Curve(Err(RunFailure::Unsupported));
+        let run_out = CellOut::Run(Err(RunFailure::DriverFailure));
+        sink.event(CellEvent::Finished {
+            index: 0,
+            spec: &curve_spec,
+            out: &curve_out,
+            cached: false,
+        });
+        sink.event(CellEvent::Finished {
+            index: 1,
+            spec: &run_spec,
+            out: &run_out,
+            cached: false,
+        });
+        assert_eq!(sink.next, 2, "curve cell must not stall the cursor");
+        sink.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().count() == 2 && text.contains("bfs"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panel_stream_buffers_out_of_order_events() {
+        // Events for indexes 1 then 0 must still produce rows 0, 1.
+        let dir = std::env::temp_dir().join("vcb_stream_test.csv");
+        let path = dir.to_str().unwrap().to_owned();
+        let mut sink = PanelCsvStream::create(Some(&path));
+        let cl = spec("bfs", "4K", Api::OpenCl, "D");
+        let vk = spec("bfs", "4K", Api::Vulkan, "D");
+        let fail = CellOut::Run(Err(RunFailure::DriverFailure));
+        let fail2 = CellOut::Run(Err(RunFailure::OutOfMemory));
+        sink.event(CellEvent::Finished {
+            index: 1,
+            spec: &vk,
+            out: &fail2,
+            cached: false,
+        });
+        assert_eq!(sink.next, 0, "index 1 must wait for index 0");
+        sink.event(CellEvent::Finished {
+            index: 0,
+            spec: &cl,
+            out: &fail,
+            cached: false,
+        });
+        assert_eq!(sink.next, 2);
+        sink.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("device,workload"));
+        assert!(lines[1].contains("opencl"));
+        assert!(lines[2].contains("vulkan"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

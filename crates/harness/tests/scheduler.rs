@@ -1,0 +1,242 @@
+//! The declarative run-plan scheduler's contracts:
+//!
+//! * executor results are **bit-identical** to direct `Workload::run`
+//!   calls (fingerprint, call counts, timings) — environment/JIT reuse
+//!   in the workers must be invisible;
+//! * the result cache executes each unique cell **at most once** per
+//!   session, across figures (`vcb all`'s dedup guarantee);
+//! * the full matrix order is **pinned**: cells carry their plan index,
+//!   so the (workload, size-label, api) order below can never silently
+//!   change (the pre-plan harness re-sorted cells after the fact, with
+//!   a shared sentinel key for anything outside Table I — two
+//!   microbenchmarks in one panel collided and ran in whatever order
+//!   the worker threads finished).
+
+use vcb_core::plan::NullSink;
+use vcb_core::workload::RunOpts;
+use vcb_harness::experiments::{run_device_panel, ExperimentOpts, Session};
+use vcb_harness::render;
+use vcb_harness::stream::PanelCsvStream;
+use vcb_sim::profile::devices;
+use vcb_sim::Api;
+
+fn quick(scale: f64) -> ExperimentOpts {
+    ExperimentOpts {
+        run: RunOpts {
+            scale,
+            validate: false,
+            ..RunOpts::default()
+        },
+        threads: 4,
+        sizes_per_workload: 1,
+        ..ExperimentOpts::default()
+    }
+}
+
+#[test]
+fn executor_results_are_bit_identical_to_direct_runs() {
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = quick(0.1);
+    let profile = devices::powervr_g6430();
+    let panel = run_device_panel(&registry, &profile, &opts);
+    assert!(!panel.cells.is_empty());
+
+    let workloads = vcb_workloads::suite_workloads(&registry);
+    for cell in &panel.cells {
+        let w = workloads
+            .iter()
+            .find(|w| w.meta().name == cell.workload)
+            .unwrap();
+        let size = w
+            .sizes(profile.class)
+            .into_iter()
+            .find(|s| s.label == cell.size)
+            .unwrap();
+        let direct = w.run(cell.api, &profile, &size, &opts.run);
+        match (&cell.outcome, &direct) {
+            (Ok(executed), Ok(reference)) => {
+                assert_eq!(
+                    executed.fingerprint, reference.fingerprint,
+                    "{}/{} {} fingerprint",
+                    cell.workload, cell.size, cell.api
+                );
+                assert_eq!(
+                    executed.calls.total(),
+                    reference.calls.total(),
+                    "{}/{} {} call total",
+                    cell.workload,
+                    cell.size,
+                    cell.api
+                );
+                assert_eq!(
+                    executed.kernel_time.as_micros(),
+                    reference.kernel_time.as_micros(),
+                    "{}/{} {} kernel time",
+                    cell.workload,
+                    cell.size,
+                    cell.api
+                );
+                assert_eq!(
+                    executed.total_time.as_micros(),
+                    reference.total_time.as_micros(),
+                    "{}/{} {} total time",
+                    cell.workload,
+                    cell.size,
+                    cell.api
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(
+                format!("{a}"),
+                format!("{b}"),
+                "{}/{} {} failure",
+                cell.workload,
+                cell.size,
+                cell.api
+            ),
+            (a, b) => panic!(
+                "{}/{} {} diverged: executor {a:?} vs direct {b:?}",
+                cell.workload, cell.size, cell.api
+            ),
+        }
+    }
+}
+
+#[test]
+fn result_cache_executes_each_unique_cell_once_across_figures() {
+    let registry = vcb_workloads::registry().unwrap();
+    let mut session = Session::new(&registry, &quick(0.02));
+    let plan = session.plan_all();
+    let unique: std::collections::HashSet<_> = plan
+        .cells()
+        .iter()
+        .map(vcb_core::plan::CellSpec::key)
+        .collect();
+    assert!(
+        unique.len() < plan.len(),
+        "vcb all must share cells between figures (e.g. gaussian/208)"
+    );
+
+    session.warm_all(&mut NullSink);
+    assert_eq!(
+        session.executed_cells(),
+        unique.len(),
+        "the warm-up pass executes exactly the unique cells"
+    );
+
+    // Every figure now renders from cache: zero additional executions.
+    session.fig1(&mut NullSink);
+    session.fig2(&mut NullSink);
+    session.fig3(&mut NullSink);
+    session.fig4(&mut NullSink);
+    session.effort(&devices::gtx1050ti());
+    session.overheads(&devices::gtx1050ti());
+    assert_eq!(
+        session.executed_cells(),
+        unique.len(),
+        "figure stages after the warm-up must be pure cache hits"
+    );
+}
+
+/// The pinned (workload, size-label) bar order of a mobile panel — the
+/// order the figures print and the CSV lists. Sizes within a workload
+/// are ordered by axis label (lexicographic, matching the rendered
+/// figures since the first harness version).
+const MOBILE_BAR_ORDER: [(&str, &str); 17] = [
+    ("backprop", "256K"),
+    ("backprop", "64K"),
+    ("bfs", "16k"),
+    ("bfs", "4k"),
+    ("cfd", "97K"),
+    ("gaussian", "208"),
+    ("gaussian", "416"),
+    ("hotspot", "128-16"),
+    ("hotspot", "128-8"),
+    ("lud", "256"),
+    ("lud", "64"),
+    ("nn", "256K"),
+    ("nn", "8M"),
+    ("nw", "1K"),
+    ("nw", "2K"),
+    ("pathfinder", "1024"),
+    ("pathfinder", "512"),
+];
+
+#[test]
+fn full_matrix_order_is_pinned() {
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = ExperimentOpts {
+        run: RunOpts {
+            scale: 0.05,
+            validate: false,
+            ..RunOpts::default()
+        },
+        threads: 4,
+        sizes_per_workload: 0,
+        ..ExperimentOpts::default()
+    };
+    let panel = run_device_panel(&registry, &devices::powervr_g6430(), &opts);
+    let got: Vec<(String, String, Api)> = panel
+        .cells
+        .iter()
+        .map(|c| (c.workload.clone(), c.size.clone(), c.api))
+        .collect();
+    let expected: Vec<(String, String, Api)> = MOBILE_BAR_ORDER
+        .iter()
+        .flat_map(|(w, s)| {
+            [Api::OpenCl, Api::Vulkan]
+                .into_iter()
+                .map(|api| ((*w).to_owned(), (*s).to_owned(), api))
+        })
+        .collect();
+    assert_eq!(got, expected, "full matrix order must never drift");
+    // Plan indexes are the render order — carried, not reconstructed.
+    for (i, cell) in panel.cells.iter().enumerate() {
+        assert_eq!(cell.plan_index, i);
+    }
+}
+
+#[test]
+fn streamed_csv_matches_the_post_hoc_render() {
+    // The incremental CSV sink must produce byte-for-byte the file the
+    // old end-of-figure writer produced: same rows, same quoting, one
+    // header per device panel — even with cells finishing out of order
+    // on several worker threads.
+    let registry = vcb_workloads::registry().unwrap();
+    let mut session = Session::new(&registry, &quick(0.05));
+    let profiles = devices::mobile();
+    let path = std::env::temp_dir().join("vcb_scheduler_stream.csv");
+    let path_str = path.to_str().unwrap().to_owned();
+    let mut sink = PanelCsvStream::create(Some(&path_str));
+    let panels = session.speedup_panels(&profiles, &mut sink);
+    sink.finish();
+
+    let mut expected = String::new();
+    for p in &panels {
+        expected.push_str(&render::panel_csv(p));
+    }
+    let streamed = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(streamed, expected);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn executor_balances_matrix_threads_against_sim_threads() {
+    let registry = vcb_workloads::registry().unwrap();
+    let mut opts = quick(0.05);
+    opts.threads = 64;
+    opts.run.sim_threads = 64;
+    // 64 × 64 workers would oversubscribe any machine; the session's
+    // executor must clamp the matrix lever to cores / sim_threads.
+    let session = Session::new(&registry, &opts);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    assert_eq!(
+        session.executor_threads(),
+        vcb_core::plan::thread_budget(64, 64, cores)
+    );
+    assert_eq!(
+        vcb_core::plan::thread_budget(64, 64, cores),
+        1.max(cores / 64).max(1)
+    );
+}

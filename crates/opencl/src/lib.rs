@@ -39,5 +39,5 @@ pub mod queue;
 
 pub use error::{ClError, ClResult};
 pub use platform::{ClBuffer, ClDeviceId, Context, MemFlags, Platform};
-pub use program::{ClArg, Kernel, Program};
+pub use program::{ClArg, Kernel, PreBuiltProgram, Program};
 pub use queue::{ClEvent, CommandQueue, QueueProperties};

@@ -197,6 +197,15 @@ impl Context {
         self.shared.borrow().gpu.fingerprint()
     }
 
+    /// Restores the simulated device to its freshly-created state (see
+    /// `Gpu::reset_to_cold`) so an environment cache can reuse this
+    /// context across benchmark cells. Host-side counters (API calls,
+    /// cost breakdown, host clock) keep accumulating — per-cell
+    /// measurements are deltas, so they are unaffected.
+    pub fn reset_to_cold(&self) {
+        self.shared.borrow_mut().gpu.reset_to_cold();
+    }
+
     /// `clCreateBuffer`: one call allocates usable device memory — the
     /// paper's contrast to Vulkan's five-call dance (§VI-A).
     ///

@@ -49,14 +49,38 @@ impl Program {
     /// is unregistered, or the driver profile marks the workload broken
     /// (lud under Snapdragon OpenCL, §V-B2).
     pub fn build(&self) -> ClResult<()> {
+        self.build_cached(None).map(|_| ())
+    }
+
+    /// [`Program::build`], optionally re-attaching the artifact of an
+    /// earlier build of the *same source on the same device*.
+    ///
+    /// With `Some(prebuilt)` the host-side compile is skipped but every
+    /// observable stays identical to a cold build: the `clBuildProgram`
+    /// call is recorded, broken-kernel diagnostics fire the same way,
+    /// and the JIT cost charged is the recorded cost of the original
+    /// build (the compile model is deterministic, so recorded == what a
+    /// cold build would charge). Returns the artifact so callers can
+    /// cache it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Program::build`].
+    pub fn build_cached(&self, prebuilt: Option<&PreBuiltProgram>) -> ClResult<PreBuiltProgram> {
         let mut shared = self.context.shared.borrow_mut();
         shared.calls.record("clBuildProgram");
-        let names = extract_kernel_names(&self.source);
-        if names.is_empty() {
-            return Err(ClError::BuildFailure {
-                log: "source contains no __kernel declarations".into(),
-            });
-        }
+        let names = match prebuilt {
+            Some(p) => p.names.clone(),
+            None => {
+                let names = extract_kernel_names(&self.source);
+                if names.is_empty() {
+                    return Err(ClError::BuildFailure {
+                        log: "source contains no __kernel declarations".into(),
+                    });
+                }
+                names
+            }
+        };
         for name in &names {
             if shared.driver.is_kernel_broken(name) {
                 let device = shared.gpu.profile().name.clone();
@@ -65,19 +89,31 @@ impl Program {
                 });
             }
         }
-        let registry = std::sync::Arc::clone(&shared.registry);
-        let compiler = DriverCompiler::new(&registry);
-        let (kernels, build_time) = compiler
-            .compile_source(&self.source, &shared.driver)
-            .map_err(|e| ClError::BuildFailure { log: e.to_string() })?;
-        shared.host_now += build_time;
-        shared.breakdown.charge(CostKind::JitCompile, build_time);
-        let map = kernels
-            .into_iter()
-            .map(|k| (k.info().name.clone(), k))
-            .collect();
-        *self.built.borrow_mut() = Some(map);
-        Ok(())
+        let prepared = match prebuilt {
+            Some(p) => p.clone(),
+            None => {
+                let registry = std::sync::Arc::clone(&shared.registry);
+                let compiler = DriverCompiler::new(&registry);
+                let (kernels, build_time) =
+                    compiler
+                        .compile_source(&self.source, &shared.driver)
+                        .map_err(|e| ClError::BuildFailure { log: e.to_string() })?;
+                PreBuiltProgram {
+                    names,
+                    kernels: kernels
+                        .into_iter()
+                        .map(|k| (k.info().name.clone(), k))
+                        .collect(),
+                    build_time,
+                }
+            }
+        };
+        shared.host_now += prepared.build_time;
+        shared
+            .breakdown
+            .charge(CostKind::JitCompile, prepared.build_time);
+        *self.built.borrow_mut() = Some(prepared.kernels.clone());
+        Ok(prepared)
     }
 
     /// Kernel names the built program exposes.
@@ -111,6 +147,37 @@ impl fmt::Debug for Program {
         f.debug_struct("Program")
             .field("source_bytes", &self.source.len())
             .field("built", &self.built.borrow().is_some())
+            .finish()
+    }
+}
+
+/// The reusable artifact of one successful [`Program::build`]: the
+/// compiled kernels, the declared entry-point names (in source order,
+/// for faithful broken-kernel diagnostics) and the modelled build time.
+///
+/// An environment cache keyed by (device, source) hands this back to
+/// [`Program::build_cached`] to skip the host-side compile while keeping
+/// every per-run observable identical to a cold build.
+#[derive(Clone)]
+pub struct PreBuiltProgram {
+    names: Vec<String>,
+    kernels: BTreeMap<String, CompiledKernel>,
+    build_time: SimDuration,
+}
+
+impl PreBuiltProgram {
+    /// The modelled `clBuildProgram` duration charged on every
+    /// (re-)attach.
+    pub fn build_time(&self) -> SimDuration {
+        self.build_time
+    }
+}
+
+impl fmt::Debug for PreBuiltProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreBuiltProgram")
+            .field("names", &self.names)
+            .field("build_time", &self.build_time)
             .finish()
     }
 }
@@ -240,6 +307,48 @@ mod tests {
         assert!(kernel.compiled.opts().local_memory_promotion);
         // JIT time was charged.
         assert!(ctx.breakdown().get(CostKind::JitCompile) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cached_build_is_observably_identical_to_cold() {
+        // A cold build and a prebuilt re-attach must record the same
+        // calls, charge the same JIT cost, and expose the same kernels.
+        let cold_ctx = context_on(devices::gtx1050ti());
+        let cold = Program::create_with_source(&cold_ctx, SOURCE);
+        let prebuilt = cold.build_cached(None).unwrap();
+
+        let warm_ctx = context_on(devices::gtx1050ti());
+        let warm = Program::create_with_source(&warm_ctx, SOURCE);
+        let reattached = warm.build_cached(Some(&prebuilt)).unwrap();
+
+        assert_eq!(prebuilt.build_time(), reattached.build_time());
+        assert_eq!(
+            cold_ctx.breakdown().get(CostKind::JitCompile),
+            warm_ctx.breakdown().get(CostKind::JitCompile)
+        );
+        assert_eq!(
+            cold_ctx.call_counts().count("clBuildProgram"),
+            warm_ctx.call_counts().count("clBuildProgram")
+        );
+        assert_eq!(cold.kernel_names(), warm.kernel_names());
+        assert!(Kernel::new(&warm, "copy").is_ok());
+    }
+
+    #[test]
+    fn cached_build_still_fails_on_broken_drivers() {
+        // lud builds fine on desktop; re-attaching that artifact on the
+        // Snapdragon must still hit the §V-B2 compiler failure.
+        let desktop = context_on(devices::rx560());
+        let src = "__kernel void lud_diagonal(__global float* m) {}";
+        let ok = Program::create_with_source(&desktop, src);
+        let prebuilt = ok.build_cached(None).unwrap();
+
+        let sd = context_on(devices::adreno506());
+        let broken = Program::create_with_source(&sd, src);
+        match broken.build_cached(Some(&prebuilt)) {
+            Err(ClError::BuildFailure { log }) => assert!(log.contains("lud_diagonal")),
+            other => panic!("expected build failure, got {other:?}"),
+        }
     }
 
     #[test]

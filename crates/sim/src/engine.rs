@@ -219,6 +219,25 @@ impl Gpu {
         self.traffic_totals
     }
 
+    /// Restores the device to its freshly-created state: empty memory
+    /// pool (same buffer-id and address sequences as a new device), cold
+    /// caches and row state, zeroed traffic totals and kernel count. The
+    /// host-side scratch (arenas, warp buffers, worker state) is kept —
+    /// it carries no simulated state — as are the configured trace mode
+    /// and worker-thread settings.
+    ///
+    /// After a reset, any program run on this device produces the same
+    /// functional outputs, [`TrafficStats`], simulated times and
+    /// [`Gpu::fingerprint`] as on a brand-new device — the invariant
+    /// that lets an environment cache reuse devices across benchmark
+    /// cells without perturbing per-cell measurements.
+    pub fn reset_to_cold(&mut self) {
+        self.pool.reset();
+        self.mem_system.reset();
+        self.kernels_launched = 0;
+        self.traffic_totals = TrafficStats::default();
+    }
+
     /// FNV-1a digest of the device's functional state: every live
     /// buffer's contents plus the cumulative traffic counters and kernel
     /// count. Two runs of the same program are bit-identical iff their

@@ -543,6 +543,13 @@ impl MemSystem {
         &self.l2
     }
 
+    /// Flushes the caches and row state back to cold, keeping the
+    /// allocations — the memory system looks exactly as freshly built.
+    pub fn reset(&mut self) {
+        self.l2.flush();
+        self.rows.reset();
+    }
+
     pub(crate) fn access_sectors(&mut self, sectors: &[u64], stats: &mut TrafficStats) {
         for &sector in sectors {
             match self.l2.access_sector(sector) {

@@ -69,6 +69,13 @@ impl HeapState {
         &self.profile
     }
 
+    /// Frees everything: the heap looks exactly as freshly created.
+    pub fn reset(&mut self) {
+        self.free.clear();
+        self.free.push((0, self.profile.size));
+        self.used = 0;
+    }
+
     /// Bytes currently allocated.
     pub fn used(&self) -> u64 {
         self.used
@@ -445,19 +452,33 @@ pub struct MemoryPool {
 /// (beyond their size), keeping them on distinct DRAM rows.
 const ADDR_GUARD: u64 = 4096;
 
+/// First device address handed out by a fresh pool.
+const INITIAL_DEVICE_ADDR: u64 = 0x1000_0000;
+
 impl MemoryPool {
     /// Creates a pool with the given heaps.
     pub fn new(heaps: &[HeapProfile]) -> Self {
         MemoryPool {
             heaps: heaps.iter().map(|h| HeapState::new(*h)).collect(),
             buffers: Vec::new(),
-            next_addr: 0x1000_0000,
+            next_addr: INITIAL_DEVICE_ADDR,
         }
     }
 
     /// Heap states (read-only).
     pub fn heaps(&self) -> &[HeapState] {
         &self.heaps
+    }
+
+    /// Destroys every buffer and frees every heap, restoring the pool to
+    /// its freshly-created state — same buffer-id sequence, same device
+    /// addresses, same content digest as a brand-new pool.
+    pub fn reset(&mut self) {
+        for heap in &mut self.heaps {
+            heap.reset();
+        }
+        self.buffers.clear();
+        self.next_addr = INITIAL_DEVICE_ADDR;
     }
 
     /// Allocates backing storage on `heap` and creates a buffer of `size`

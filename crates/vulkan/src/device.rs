@@ -238,6 +238,15 @@ impl Device {
         self.shared.borrow().gpu.fingerprint()
     }
 
+    /// Restores the simulated device to its freshly-created state (see
+    /// `Gpu::reset_to_cold`) so an environment cache can reuse this
+    /// logical device across benchmark cells. Host-side counters (API
+    /// calls, cost breakdown, host clock) keep accumulating — per-cell
+    /// measurements are deltas, so they are unaffected.
+    pub fn reset_to_cold(&self) {
+        self.shared.borrow_mut().gpu.reset_to_cold();
+    }
+
     /// Kernels executed so far on this device.
     pub fn kernels_launched(&self) -> u64 {
         self.shared.borrow().gpu.kernels_launched()

@@ -162,6 +162,84 @@ fn effort_row_vectoradd_is_bit_identical() {
 }
 
 #[test]
+fn env_cache_reuse_is_invisible_to_per_cell_measurements() {
+    // The worker-local EnvCache reuses environments (reset to cold) and
+    // JIT builds (charged at recorded cost) across cells. Every per-cell
+    // observable — call totals, distinct entry points, kernel/total
+    // times, timing breakdown, validation, fingerprint — must be
+    // bit-identical to a cold run. Exercised on all three APIs, with the
+    // same (api, device) pair hit repeatedly so the second pass inside
+    // the scope runs entirely on cached environments and JIT artifacts.
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = RunOpts::default();
+    let profile = devices::gtx1050ti();
+    let size = SizeSpec::with_aux("tiny", 600, 60);
+    let workloads = vcb_workloads::suite_workloads(&registry);
+    let pathfinder = workloads
+        .iter()
+        .find(|w| w.meta().name == "pathfinder")
+        .unwrap();
+    let bfs = workloads.iter().find(|w| w.meta().name == "bfs").unwrap();
+    let bfs_size = SizeSpec::new("2k", 2048);
+
+    vcb_backend::clear_worker_env_cache();
+    for api in [Api::Vulkan, Api::Cuda, Api::OpenCl] {
+        let cold = pathfinder.run(api, &profile, &size, &opts).unwrap();
+        let cold_bfs = bfs.run(api, &profile, &bfs_size, &opts).unwrap();
+        let (warm1, warm2, warm_bfs) = vcb_backend::with_worker_env_cache(|| {
+            let first = pathfinder.run(api, &profile, &size, &opts).unwrap();
+            let second = pathfinder.run(api, &profile, &size, &opts).unwrap();
+            let other = bfs.run(api, &profile, &bfs_size, &opts).unwrap();
+            (first, second, other)
+        });
+        for (label, warm, reference) in [
+            ("first scoped run", &warm1, &cold),
+            ("cached-env run", &warm2, &cold),
+            ("different workload on reused env", &warm_bfs, &cold_bfs),
+        ] {
+            assert_eq!(
+                warm.calls.total(),
+                reference.calls.total(),
+                "{api} {label} call total"
+            );
+            assert_eq!(
+                warm.calls.distinct(),
+                reference.calls.distinct(),
+                "{api} {label} distinct calls"
+            );
+            assert_eq!(
+                warm.fingerprint, reference.fingerprint,
+                "{api} {label} fingerprint"
+            );
+            assert_eq!(
+                warm.kernel_time.as_micros(),
+                reference.kernel_time.as_micros(),
+                "{api} {label} kernel time"
+            );
+            assert_eq!(
+                warm.total_time.as_micros(),
+                reference.total_time.as_micros(),
+                "{api} {label} total time"
+            );
+            assert!(warm.validated, "{api} {label} validation");
+        }
+    }
+    let stats = vcb_backend::worker_env_cache_stats();
+    assert!(
+        stats.env_hits >= 6,
+        "environments should be reused across scoped runs: {stats:?}"
+    );
+    assert!(
+        stats.jit_hits >= 1,
+        "OpenCL JIT builds should be reused: {stats:?}"
+    );
+    assert!(
+        stats.spirv_hits >= 1,
+        "SPIR-V assemblies should be reused: {stats:?}"
+    );
+}
+
+#[test]
 fn sequences_replay_with_sticky_args() {
     // Re-running a cached sequence must not re-issue unchanged OpenCL
     // arguments (the bfs level loop relies on this: level 2+ issues only

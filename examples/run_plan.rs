@@ -1,0 +1,61 @@
+//! Declarative run plans: describe a slice of the experiment matrix,
+//! hand it to the scheduler, and let the result cache deduplicate.
+//!
+//! ```sh
+//! cargo run --release --example run_plan
+//! ```
+
+use vcomputebench::core::plan::{CellSpec, NullSink, RunPlan};
+use vcomputebench::core::run::SizeSpec;
+use vcomputebench::core::workload::RunOpts;
+use vcomputebench::harness::experiments::{ExperimentOpts, Session};
+use vcomputebench::sim::Api;
+
+fn main() {
+    let registry = vcomputebench::workloads::registry().expect("registry builds");
+    let opts = ExperimentOpts {
+        run: RunOpts {
+            scale: 0.1,
+            validate: true,
+            ..RunOpts::default()
+        },
+        ..ExperimentOpts::default()
+    };
+    let mut session = Session::new(&registry, &opts);
+
+    // A hand-rolled plan: vectoradd at two sizes under every API on the
+    // GTX — plus a duplicate cell the executor will not run twice.
+    let mut plan = RunPlan::new();
+    for label in ["64K", "256K"] {
+        let n = if label == "64K" {
+            64 * 1024
+        } else {
+            256 * 1024
+        };
+        for api in [Api::OpenCl, Api::Vulkan, Api::Cuda] {
+            plan.push(CellSpec {
+                workload: "vectoradd".into(),
+                size: SizeSpec::new(label, n),
+                api,
+                device: "NVIDIA GTX 1050 Ti".into(),
+                opts: opts.run.clone(),
+            });
+        }
+    }
+    let duplicate = plan.cells()[0].clone();
+    plan.push(duplicate);
+
+    let outs = session.execute(&plan, &mut NullSink);
+    for (spec, out) in plan.cells().iter().zip(&outs) {
+        match out.as_run() {
+            Some(Ok(r)) => println!("{spec}: kernel {} total {}", r.kernel_time, r.total_time),
+            Some(Err(e)) => println!("{spec}: {e}"),
+            None => println!("{spec}: (curve)"),
+        }
+    }
+    println!(
+        "\n{} cells planned, {} executed (the duplicate was served from cache)",
+        plan.len(),
+        session.executed_cells()
+    );
+}

@@ -18,6 +18,7 @@ fn quick() -> ExperimentOpts {
         },
         threads: 16,
         sizes_per_workload: 0,
+        ..ExperimentOpts::default()
     }
 }
 
@@ -32,6 +33,7 @@ fn fig1_bandwidth_shape() {
         },
         threads: 1,
         sizes_per_workload: 0,
+        ..ExperimentOpts::default()
     };
     let gtx = devices::gtx1050ti();
     let curves = experiments::bandwidth_curves(&registry, &gtx, &opts);
@@ -71,6 +73,7 @@ fn fig3_snapdragon_push_constant_gap_closes_with_stride() {
         },
         threads: 1,
         sizes_per_workload: 0,
+        ..ExperimentOpts::default()
     };
     let sd = devices::adreno506();
     let curves = experiments::bandwidth_curves(&registry, &sd, &opts);
@@ -261,6 +264,7 @@ fn vectoradd_effort_gap_matches_section_6a() {
         },
         threads: 1,
         sizes_per_workload: 0,
+        ..ExperimentOpts::default()
     };
     let records = experiments::effort(&registry, &devices::gtx1050ti(), &opts);
     let calls = |api: Api| records.iter().find(|r| r.api == api).unwrap().total_calls;
