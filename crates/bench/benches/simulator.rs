@@ -6,18 +6,30 @@ use std::sync::Arc;
 
 use vcb_bench::bench;
 use vcb_sim::cache::CacheSim;
-use vcb_sim::coalesce::Coalescer;
+use vcb_sim::coalesce::AddrPattern;
 use vcb_sim::engine::{Gpu, TraceMode};
 use vcb_sim::exec::{BoundBuffer, CompileOpts, CompiledKernel, Dispatch, GroupCtx, KernelInfo};
 use vcb_sim::profile::devices;
 use vcb_sim::Api;
 
 fn bench_coalescer() {
+    // The production coalescing path since the run-length pipeline:
+    // per-lane pushes through the affine detector, then run emission
+    // (the legacy `Coalescer::coalesce` round trip is a test oracle
+    // only — see the coalesce module docs).
     for stride in [1u64, 4, 32] {
         let addrs: Vec<u64> = (0..32).map(|i| i * stride * 4).collect();
-        let mut coalescer = Coalescer::new(32, 128);
+        let mut pattern = AddrPattern::default();
+        let mut scratch = Vec::new();
+        let mut runs = Vec::new();
         bench(&format!("coalescer/warp32/{stride}"), 100, || {
-            coalescer.coalesce(std::hint::black_box(&addrs), 4)
+            pattern.clear();
+            for &a in std::hint::black_box(&addrs) {
+                pattern.push(a);
+            }
+            runs.clear();
+            pattern.emit_runs(4, 32, &mut scratch, &mut runs);
+            runs.len()
         });
     }
 }
@@ -29,6 +41,19 @@ fn bench_cache() {
         for _ in 0..4096 {
             cache.access_sector(next);
             next = next.wrapping_add(1);
+        }
+    });
+    // The same streaming traffic consumed as coalesced runs (one model
+    // call per 4-sector warp) — the shape the hierarchy sees since the
+    // run-length pipeline.
+    let mut run_cache = CacheSim::new(1024 * 1024, 16, 32);
+    let mut misses = Vec::new();
+    let mut first = 0u64;
+    bench("l2_cache/streaming_4k_sectors_runs", 100, || {
+        for _ in 0..1024 {
+            misses.clear();
+            run_cache.access_run(first, 4, &mut misses);
+            first = first.wrapping_add(4);
         }
     });
 }

@@ -9,14 +9,21 @@
 //! * `simulator` — engineering benchmarks of the simulator substrate
 //!   itself (coalescer, cache, dispatch execution, tracing modes).
 //!
-//! Run with `cargo bench`. Both binaries understand two flags after
+//! Run with `cargo bench`. Both binaries understand three flags after
 //! `--`:
 //!
 //! * `--json PATH` — also write every timed row (name, iters,
-//!   ns-per-iter) to `PATH` as a JSON array, so the repo's perf
-//!   trajectory is machine-readable (`BENCH_simulator.json` is the
-//!   checked-in record; regenerate with
+//!   ns-per-iter) to `PATH` as JSON — a `meta` header (host core count,
+//!   build profile, quick flag) plus a `rows` array — so the repo's perf
+//!   trajectory is machine-readable *and* interpretable across machines
+//!   (`BENCH_simulator.json` is the checked-in record; regenerate with
 //!   `cargo bench --bench simulator -- --json BENCH_simulator.json`).
+//! * `--compare PATH` — after the run, print per-row median deltas
+//!   against a baseline JSON (either format: the bare legacy array or
+//!   the `meta`+`rows` object) and flag regressions over 25%. Purely
+//!   informational: the process still exits 0, so CI can run it
+//!   warn-only; rows whose host core count or build profile differ from
+//!   the baseline's are called out rather than trusted.
 //! * `--quick` — run every benchmark for a single iteration, the CI
 //!   smoke mode that keeps the timers compiling and running without
 //!   paying for stable medians.
@@ -26,8 +33,12 @@
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+/// Median regressions beyond this fraction get flagged by `--compare`.
+const REGRESSION_THRESHOLD: f64 = 0.25;
+
 struct Config {
     json_path: Option<String>,
+    compare_path: Option<String>,
     quick: bool,
 }
 
@@ -35,19 +46,37 @@ fn config() -> &'static Config {
     static CONFIG: OnceLock<Config> = OnceLock::new();
     CONFIG.get_or_init(|| {
         let mut json_path = None;
+        let mut compare_path = None;
         let mut quick = false;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--json" => json_path = args.next(),
+                "--compare" => compare_path = args.next(),
                 "--quick" => quick = true,
                 // Cargo passes `--bench` to harness-less bench binaries;
                 // ignore it and anything else unrecognized.
                 _ => {}
             }
         }
-        Config { json_path, quick }
+        Config {
+            json_path,
+            compare_path,
+            quick,
+        }
     })
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
 }
 
 struct Row {
@@ -90,27 +119,232 @@ pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) {
     });
 }
 
-/// Writes the recorded rows to the `--json` path, if one was given.
-/// Bench mains call this once at the end.
+/// Writes the recorded rows to the `--json` path (if one was given) and
+/// prints the `--compare` report (if a baseline was given). Bench mains
+/// call this once at the end.
 ///
 /// # Panics
 ///
 /// Panics when the JSON file cannot be written — a bench run asked to
-/// record itself must not silently drop the record.
+/// record itself must not silently drop the record. A missing or
+/// unparseable `--compare` baseline only warns (the comparison is
+/// informational by design).
 pub fn finish() {
-    let Some(path) = config().json_path.as_deref() else {
-        return;
-    };
+    let cfg = config();
     let rows = rows().lock().expect("bench rows poisoned");
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
+    if let Some(path) = cfg.json_path.as_deref() {
+        let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  {{\"name\":\"{}\",\"iters\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}{comma}\n",
+            "  \"meta\":{{\"host_cores\":{},\"profile\":\"{}\",\"quick\":{}}},\n",
+            host_cores(),
+            build_profile(),
+            cfg.quick
+        ));
+        out.push_str("  \"rows\":[\n");
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            out.push_str(&format!(
+            "    {{\"name\":\"{}\",\"iters\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}{comma}\n",
             r.name, r.iters, r.median_ns, r.min_ns, r.max_ns
         ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write bench JSON {path}: {e}"));
+        println!("bench: wrote {} rows to {path}", rows.len());
     }
-    out.push_str("]\n");
-    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write bench JSON {path}: {e}"));
-    println!("bench: wrote {} rows to {path}", rows.len());
+    if let Some(path) = cfg.compare_path.as_deref() {
+        match std::fs::read_to_string(path) {
+            Ok(json) => compare_report(path, &json, &rows),
+            Err(e) => println!("bench: cannot read baseline {path}: {e} (skipping compare)"),
+        }
+    }
+}
+
+/// A baseline file: optional metadata plus `(name, median_ns)` rows.
+#[derive(Debug, Default, PartialEq)]
+pub struct Baseline {
+    /// Host core count recorded in the baseline's `meta`, if any.
+    pub host_cores: Option<u64>,
+    /// Build profile recorded in the baseline's `meta`, if any.
+    pub profile: Option<String>,
+    /// Row name → median nanoseconds.
+    pub rows: Vec<(String, u128)>,
+}
+
+/// Parses a bench JSON record — either the legacy bare `[...]` row array
+/// or the current `{"meta":{...},"rows":[...]}` object. The format is
+/// this crate's own writer output, so a tiny scanner (no JSON dependency
+/// in the container) is sufficient; unrecognized content yields an empty
+/// baseline rather than an error.
+pub fn parse_baseline(json: &str) -> Baseline {
+    let mut base = Baseline::default();
+    if let Some(meta) = extract_object(json, "\"meta\"") {
+        base.host_cores = extract_u128(meta, "\"host_cores\"").map(|v| v as u64);
+        base.profile = extract_string(meta, "\"profile\"");
+    }
+    // Row objects are uniform in both formats: scan every `{...}` that
+    // carries a "name" and a "median_ns".
+    let body = match json.find("\"rows\"") {
+        Some(i) => &json[i..],
+        None => json,
+    };
+    let mut rest = body;
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let obj = &rest[open..open + close + 1];
+        if let (Some(name), Some(median)) = (
+            extract_string(obj, "\"name\""),
+            extract_u128(obj, "\"median_ns\""),
+        ) {
+            base.rows.push((name, median));
+        }
+        rest = &rest[open + close + 1..];
+    }
+    base
+}
+
+/// Returns the `{...}` object value following `key`, if present.
+fn extract_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let at = json.find(key)?;
+    let open = json[at..].find('{')? + at;
+    let close = json[open..].find('}')? + open;
+    Some(&json[open..=close])
+}
+
+/// Returns the string value following `key` (`"key":"value"`).
+fn extract_string(obj: &str, key: &str) -> Option<String> {
+    let at = obj.find(key)? + key.len();
+    let colon = obj[at..].find(':')? + at;
+    let open = obj[colon..].find('"')? + colon + 1;
+    let close = obj[open..].find('"')? + open;
+    Some(obj[open..close].to_string())
+}
+
+/// Returns the numeric value following `key` (`"key":123`).
+fn extract_u128(obj: &str, key: &str) -> Option<u128> {
+    let at = obj.find(key)? + key.len();
+    let colon = obj[at..].find(':')? + at;
+    let digits: String = obj[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Prints per-row median deltas of `rows` vs the baseline, flagging
+/// regressions beyond [`REGRESSION_THRESHOLD`]. Never exits non-zero:
+/// the step is warn-only by design (quick CI runs are single-iteration
+/// medians, and host differences are reported, not judged).
+fn compare_report(path: &str, json: &str, rows: &[Row]) {
+    let base = parse_baseline(json);
+    if base.rows.is_empty() {
+        println!("bench: baseline {path} has no parseable rows (skipping compare)");
+        return;
+    }
+    println!("\nbench: comparing against {path}");
+    let mut caveats = Vec::new();
+    if let Some(cores) = base.host_cores {
+        if cores != host_cores() as u64 {
+            caveats.push(format!(
+                "baseline ran on {cores} host cores, this run on {}",
+                host_cores()
+            ));
+        }
+    } else {
+        caveats.push("baseline has no meta header (pre-meta record)".to_string());
+    }
+    if let Some(profile) = base.profile.as_deref() {
+        if profile != build_profile() {
+            caveats.push(format!(
+                "baseline profile `{profile}`, this run `{}`",
+                build_profile()
+            ));
+        }
+    }
+    if config().quick {
+        caveats.push("this run is --quick (single-iteration medians)".to_string());
+    }
+    for c in &caveats {
+        println!("bench:   note: {c}");
+    }
+    let mut regressions = 0usize;
+    for row in rows {
+        let Some((_, base_median)) = base.rows.iter().find(|(n, _)| *n == row.name) else {
+            println!("bench:   {:<44} (new row, no baseline)", row.name);
+            continue;
+        };
+        let delta = row.median_ns as f64 / (*base_median).max(1) as f64 - 1.0;
+        let flag = if delta > REGRESSION_THRESHOLD {
+            regressions += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "bench:   {:<44} {:>12} ns vs {:>12} ns  {:>+7.1}%{flag}",
+            row.name,
+            row.median_ns,
+            base_median,
+            delta * 100.0
+        );
+    }
+    for (name, _) in &base.rows {
+        if !rows.iter().any(|r| r.name == *name) {
+            println!("bench:   {name:<44} (baseline row not run)");
+        }
+    }
+    if regressions > 0 {
+        // GitHub Actions surfaces `::warning::` lines as annotations;
+        // locally it is just a loud summary. Warn-only either way.
+        println!(
+            "::warning title=bench regression::{regressions} row(s) regressed >{:.0}% vs {path}",
+            REGRESSION_THRESHOLD * 100.0
+        );
+    } else {
+        println!(
+            "bench: no regressions >{:.0}%",
+            REGRESSION_THRESHOLD * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_legacy_array_format() {
+        let json = r#"[
+  {"name":"a/b/1","iters":100,"median_ns":183,"min_ns":181,"max_ns":365},
+  {"name":"c","iters":20,"median_ns":7446152,"min_ns":1,"max_ns":2}
+]"#;
+        let base = parse_baseline(json);
+        assert_eq!(base.host_cores, None);
+        assert_eq!(
+            base.rows,
+            vec![("a/b/1".to_string(), 183), ("c".to_string(), 7_446_152)]
+        );
+    }
+
+    #[test]
+    fn parses_meta_and_rows_format() {
+        let json = r#"{
+  "meta":{"host_cores":4,"profile":"release","quick":false},
+  "rows":[
+    {"name":"x","iters":3,"median_ns":42,"min_ns":40,"max_ns":44}
+  ]
+}"#;
+        let base = parse_baseline(json);
+        assert_eq!(base.host_cores, Some(4));
+        assert_eq!(base.profile.as_deref(), Some("release"));
+        assert_eq!(base.rows, vec![("x".to_string(), 42)]);
+    }
+
+    #[test]
+    fn garbage_yields_empty_baseline() {
+        assert_eq!(parse_baseline("not json at all"), Baseline::default());
+    }
 }

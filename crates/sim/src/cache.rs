@@ -6,6 +6,8 @@
 //! is sector-grained (the unit the coalescer emits), write-allocate,
 //! true-LRU per set.
 
+use crate::coalesce::SectorRun;
+
 /// Outcome of a single cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
@@ -161,6 +163,60 @@ impl CacheSim {
         stamps[lru] = self.tick;
         self.stats.misses += 1;
         CacheOutcome::Miss
+    }
+
+    /// Probes `len` consecutive sectors starting at `first` — one model
+    /// call for a whole coalesced run instead of one per sector.
+    ///
+    /// Exactly equivalent to calling [`CacheSim::access_sector`] for each
+    /// sector in order (same per-access tick/LRU updates, same
+    /// statistics); the missed sectors are appended to `misses` as
+    /// contiguity-merged runs, in access order, and the hit count is
+    /// returned. Consecutive sectors map to consecutive sets, so the
+    /// inner loop keeps the set cursor sliding instead of re-deriving it,
+    /// and a streaming (all-miss) run stays inside one tight loop with a
+    /// single trailing stats update.
+    pub fn access_run(&mut self, first: u64, len: u64, misses: &mut Vec<SectorRun>) -> u64 {
+        let mut hits = 0u64;
+        let mut miss_first = 0u64;
+        let mut miss_len = 0u64;
+        let mask = self.sets - 1;
+        for sector in first..first + len {
+            self.tick += 1;
+            let base = ((sector as usize) & mask) * self.ways;
+            let tags = &mut self.tags[base..base + self.ways];
+            if let Some(way) = tags.iter().position(|&t| t == sector) {
+                self.stamps[base + way] = self.tick;
+                hits += 1;
+                if miss_len > 0 {
+                    crate::coalesce::push_run(misses, miss_first, miss_len);
+                    miss_len = 0;
+                }
+                continue;
+            }
+            // Miss: fill LRU way.
+            let stamps = &self.stamps[base..base + self.ways];
+            let mut lru = 0usize;
+            let mut lru_stamp = u64::MAX;
+            for (w, &s) in stamps.iter().enumerate() {
+                if s < lru_stamp {
+                    lru_stamp = s;
+                    lru = w;
+                }
+            }
+            self.tags[base + lru] = sector;
+            self.stamps[base + lru] = self.tick;
+            if miss_len == 0 {
+                miss_first = sector;
+            }
+            miss_len += 1;
+        }
+        if miss_len > 0 {
+            crate::coalesce::push_run(misses, miss_first, miss_len);
+        }
+        self.stats.hits += hits;
+        self.stats.misses += len - hits;
+        hits
     }
 }
 

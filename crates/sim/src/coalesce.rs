@@ -18,10 +18,349 @@ pub struct CoalesceResult {
     pub useful_bytes: u64,
 }
 
+/// A run of `len` consecutive sector indices starting at `first` — the
+/// run-length-encoded form of a coalesced access stream.
+///
+/// A perfectly coalesced warp (the overwhelmingly common case behind the
+/// paper's Fig. 1/Fig. 3 workloads) compresses to a *single* run, so the
+/// memory hierarchy can consume one arithmetic descriptor instead of a
+/// per-sector list. A sequence of runs always stands for the exact
+/// concatenated sector sequence `first, first+1, ..., first+len-1` per
+/// run, in order — run boundaries carry no meaning beyond encoding, so
+/// re-segmenting a stream never changes what the L2 observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectorRun {
+    /// First sector index of the run.
+    pub first: u64,
+    /// Number of consecutive sectors (always ≥ 1).
+    pub len: u64,
+}
+
+impl SectorRun {
+    /// Last sector index of the run (inclusive).
+    pub fn last(&self) -> u64 {
+        self.first + self.len - 1
+    }
+
+    /// Appends the run's sector indices to `out` in order.
+    pub fn expand_into(&self, out: &mut Vec<u64>) {
+        out.extend(self.first..self.first + self.len);
+    }
+}
+
+/// Total sectors across a run slice.
+pub fn run_sectors(runs: &[SectorRun]) -> u64 {
+    runs.iter().map(|r| r.len).sum()
+}
+
+/// Expands a run slice back into its full sector sequence (tests and
+/// audits; the production pipeline never materializes this).
+pub fn expand_runs(runs: &[SectorRun]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(run_sectors(runs) as usize);
+    for r in runs {
+        r.expand_into(&mut out);
+    }
+    out
+}
+
+/// Appends `[first, first+len)` to `out`, extending the trailing run when
+/// exactly contiguous. Contiguity merging is the only rewrite that
+/// preserves the encoded sector *sequence*, so this is safe for building
+/// record streams as well as dedup'd expansions (the cache's miss-run
+/// emission uses it too).
+#[inline]
+pub(crate) fn push_run(out: &mut Vec<SectorRun>, first: u64, len: u64) {
+    if len == 0 {
+        return;
+    }
+    if let Some(tail) = out.last_mut() {
+        if first == tail.first + tail.len {
+            tail.len += len;
+            return;
+        }
+    }
+    out.push(SectorRun { first, len });
+}
+
+/// Appends the coverage interval `[first, last]` to an ascending *union*
+/// under construction: overlap with the trailing run is absorbed instead
+/// of re-emitted. Only valid while building the dedup'd expansion of a
+/// single access (ascending starts, non-decreasing ends) — never for
+/// concatenating independent streams, where a repeated sector must be
+/// re-observed by the cache.
+#[inline]
+fn cover_run(out: &mut Vec<SectorRun>, first: u64, last: u64) {
+    if let Some(tail) = out.last_mut() {
+        let tail_next = tail.first + tail.len;
+        if first <= tail_next {
+            if last >= tail_next {
+                tail.len = last - tail.first + 1;
+            }
+            return;
+        }
+    }
+    out.push(SectorRun {
+        first,
+        len: last - first + 1,
+    });
+}
+
+/// Streaming per-instruction lane-address collector with an affine
+/// (constant-stride) fast path — the production coalescer.
+///
+/// Addresses are classified *as they are pushed*: as long as the deltas
+/// stay constant the pattern is a `base/stride/count` descriptor and no
+/// address is stored; the first mismatch spills the reconstructed prefix
+/// into a plain address list and everything falls back to the generic
+/// per-address expansion. [`AddrPattern::emit_runs`] then produces the
+/// dedup'd ascending sector coverage as [`SectorRun`]s — arithmetically
+/// (O(1) for dense strides) on the affine path, via
+/// [`expand_sectors`] on the spilled path. Both paths emit the exact
+/// sector sequence [`expand_sectors`] defines, which the fuzz-equivalence
+/// suite pins.
+///
+/// ```
+/// use vcb_sim::coalesce::{expand_runs, AddrPattern};
+///
+/// let mut p = AddrPattern::default();
+/// for lane in 0..32u64 {
+///     p.push(lane * 4); // unit-stride f32
+/// }
+/// let mut scratch = Vec::new();
+/// let mut runs = Vec::new();
+/// p.emit_runs(4, 32, &mut scratch, &mut runs);
+/// assert_eq!(runs.len(), 1, "a coalesced warp is one run");
+/// assert_eq!(expand_runs(&runs), vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddrPattern {
+    /// First address pushed.
+    base: u64,
+    /// Constant delta (two's-complement, so descending lanes work),
+    /// valid once `count >= 2`.
+    stride: u64,
+    /// Next expected address while affine.
+    next: u64,
+    /// Addresses represented by the affine descriptor.
+    count: u64,
+    /// `false` once a delta mismatch spilled the pattern to `addrs`.
+    affine: bool,
+    /// Explicit address list after a spill (holds *all* addresses).
+    addrs: Vec<u64>,
+}
+
+impl AddrPattern {
+    /// Pushes the next lane's byte address.
+    #[inline]
+    pub fn push(&mut self, addr: u64) {
+        if self.affine {
+            match self.count {
+                0 => {
+                    self.base = addr;
+                    self.affine = true;
+                    self.count = 1;
+                }
+                1 => {
+                    self.stride = addr.wrapping_sub(self.base);
+                    self.next = addr.wrapping_add(self.stride);
+                    self.count = 2;
+                }
+                _ => {
+                    if addr == self.next {
+                        self.next = self.next.wrapping_add(self.stride);
+                        self.count += 1;
+                    } else {
+                        self.spill();
+                        self.addrs.push(addr);
+                    }
+                }
+            }
+        } else {
+            self.addrs.push(addr);
+        }
+    }
+
+    /// Materializes the affine prefix into the explicit list (first
+    /// stride mismatch).
+    #[cold]
+    fn spill(&mut self) {
+        self.addrs.clear();
+        let mut a = self.base;
+        for _ in 0..self.count {
+            self.addrs.push(a);
+            a = a.wrapping_add(self.stride);
+        }
+        self.affine = false;
+    }
+
+    /// Number of addresses pushed since the last [`AddrPattern::clear`].
+    pub fn len(&self) -> usize {
+        if self.affine {
+            self.count as usize
+        } else {
+            self.addrs.len()
+        }
+    }
+
+    /// `true` when no address has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forgets all addresses, keeping the spill capacity for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.count = 0;
+        self.affine = true;
+        self.addrs.clear();
+    }
+
+    /// Emits the dedup'd ascending sector coverage of the collected
+    /// addresses as runs appended to `out` — the run-producing
+    /// equivalent of [`expand_sectors`] (`scratch` backs the spilled
+    /// path; callers keep both vectors alive across calls so the hot
+    /// path never allocates).
+    ///
+    /// `out` must not already end with a run whose coverage overlaps or
+    /// touches this access's first sector: the emission merges into the
+    /// trailing run, which would silently dedup across *independent*
+    /// accesses (that must each re-observe their sectors). Clear `out`
+    /// per access, as the engine's flush does.
+    pub fn emit_runs(
+        &self,
+        access_bytes: u64,
+        sector_bytes: u64,
+        scratch: &mut Vec<u64>,
+        out: &mut Vec<SectorRun>,
+    ) {
+        if self.affine {
+            affine_sector_runs(
+                self.base,
+                self.stride,
+                self.count,
+                access_bytes,
+                sector_bytes,
+                out,
+            );
+        } else {
+            expand_sector_runs(&self.addrs, access_bytes, sector_bytes, scratch, out);
+        }
+    }
+}
+
+/// Emits the sector coverage of `count` accesses of `access_bytes` each
+/// starting at `base` with a constant (two's-complement) byte `stride`,
+/// as ascending dedup'd runs appended to `out`.
+///
+/// Produces exactly the sequence [`expand_sectors`] would for the same
+/// addresses: the sorted-dedup'd sector set only depends on the address
+/// *set*, so a descending stride is folded into its ascending mirror,
+/// and any stride not larger than a sector yields a single run (each
+/// address advances the covered sector index by at most one, so the
+/// coverage is gap-free).
+///
+/// As with [`AddrPattern::emit_runs`], `out` must not already end with
+/// a run overlapping or touching this coverage (one access per cleared
+/// buffer; the merge is a within-access dedup, not a stream append).
+pub fn affine_sector_runs(
+    base: u64,
+    stride: u64,
+    count: u64,
+    access_bytes: u64,
+    sector_bytes: u64,
+    out: &mut Vec<SectorRun>,
+) {
+    if count == 0 {
+        return;
+    }
+    let signed = stride as i64;
+    let (lo, step) = if count == 1 || signed == 0 {
+        (base, 0u64)
+    } else if signed > 0 {
+        (base, stride)
+    } else {
+        // Descending lanes: same address set as the ascending mirror.
+        (
+            base.wrapping_add(stride.wrapping_mul(count - 1)),
+            signed.unsigned_abs(),
+        )
+    };
+    if step == 0 {
+        // Broadcast: every lane reads the same spot.
+        let first = lo / sector_bytes;
+        let last = (lo + access_bytes - 1) / sector_bytes;
+        cover_run(out, first, last);
+    } else if step <= sector_bytes {
+        // Dense: gap-free coverage, one run for the whole warp.
+        let first = lo / sector_bytes;
+        let last = (lo + (count - 1) * step + access_bytes - 1) / sector_bytes;
+        cover_run(out, first, last);
+    } else {
+        // Sparse: per-address coverage windows, merged where adjacent
+        // (still pure arithmetic — no address list, no dedup pass).
+        let mut addr = lo;
+        for _ in 0..count {
+            let first = addr / sector_bytes;
+            let last = (addr + access_bytes - 1) / sector_bytes;
+            cover_run(out, first, last);
+            addr += step;
+        }
+    }
+}
+
+/// Run-producing twin of [`expand_sectors`] for arbitrary (spilled)
+/// address lists: expands into `scratch`, then compresses the sorted
+/// dedup'd sector list into contiguous runs appended to `out` (same
+/// `out`-tail precondition as [`AddrPattern::emit_runs`]).
+pub fn expand_sector_runs(
+    addresses: &[u64],
+    access_bytes: u64,
+    sector_bytes: u64,
+    scratch: &mut Vec<u64>,
+    out: &mut Vec<SectorRun>,
+) {
+    scratch.clear();
+    expand_sectors(addresses, access_bytes, sector_bytes, scratch);
+    for &sector in scratch.iter() {
+        push_run(out, sector, 1);
+    }
+}
+
+/// Computes the [`CoalesceResult`] of an already-expanded run coverage —
+/// the run-path equivalent of [`Coalescer::coalesce`]'s counting.
+pub fn runs_coalesce_result(
+    runs: &[SectorRun],
+    sector_bytes: u64,
+    line_bytes: u64,
+    useful_bytes: u64,
+) -> CoalesceResult {
+    let per_line = (line_bytes / sector_bytes).max(1);
+    let mut lines = 0u32;
+    let mut last_line = u64::MAX;
+    for r in runs {
+        let first_line = r.first / per_line;
+        let last_line_of_run = r.last() / per_line;
+        lines += (last_line_of_run - first_line + 1) as u32;
+        if first_line == last_line {
+            lines -= 1;
+        }
+        last_line = last_line_of_run;
+    }
+    CoalesceResult {
+        sectors: run_sectors(runs) as u32,
+        lines,
+        useful_bytes,
+    }
+}
+
 /// Coalesces lane addresses into sectors and lines.
 ///
-/// The unit is stateless apart from scratch storage; one instance per
-/// simulated warp scheduler is plenty.
+/// Since the run-length pipeline landed, this round-trip API is the
+/// *reference oracle*: the traced-execution hot path coalesces through
+/// [`AddrPattern`] + [`SectorRun`]s without materializing per-sector
+/// lists, and the fuzz-equivalence suite checks that path against this
+/// one. Keep using `Coalescer` in tests and analysis code; production
+/// code should not.
 ///
 /// ```
 /// use vcb_sim::coalesce::Coalescer;
@@ -118,15 +457,19 @@ impl Coalescer {
 /// Lane addresses overwhelmingly arrive presorted (flush feeds them in
 /// ascending lane order, and unit-stride / strided patterns keep
 /// addresses monotonic), so a single monotonicity scan usually replaces
-/// the sort and the merge is a plain adjacent dedup.
+/// the sort and the merge is a plain adjacent dedup. The scan tracks the
+/// *sector* sequence, not the addresses: an access window starting at or
+/// before the previous window's last sector (overlapping or straddling
+/// accesses closer together than their width) forces the sort so the
+/// output is genuinely sorted and unique.
 pub fn expand_sectors(addresses: &[u64], access_bytes: u64, sector_bytes: u64, out: &mut Vec<u64>) {
     let mut sorted = true;
     let mut prev = 0u64;
     for &addr in addresses {
-        sorted &= addr >= prev;
-        prev = addr;
         let mut s = addr / sector_bytes;
         let last = (addr + access_bytes - 1) / sector_bytes;
+        sorted &= s >= prev;
+        prev = last;
         while s <= last {
             out.push(s);
             s += 1;

@@ -135,6 +135,67 @@ impl RowTracker {
         !hit
     }
 
+    /// Observes `len` consecutive sectors of `sector_bytes` each starting
+    /// at sector index `first` — one model call per run of L2 misses
+    /// instead of one per sector. Returns the number of row misses
+    /// (activations).
+    ///
+    /// Exactly equivalent to calling [`RowTracker::observe`] for each
+    /// sector address in order: within a run, all sectors of one row are
+    /// consecutive, so only the first access of each row segment can miss
+    /// (the rest find the stamp they just refreshed), and the clock
+    /// simply advances by the segment length.
+    pub fn observe_run(&mut self, first: u64, len: u64, sector_bytes: u64) -> u64 {
+        let mut misses = 0u64;
+        let mut sector = first;
+        let end = first + len;
+        while sector < end {
+            let row = sector * sector_bytes / self.row_bytes;
+            // First sector of the next row, capped to the run.
+            let next = (((row + 1) * self.row_bytes).div_ceil(sector_bytes)).min(end);
+            let segment = next - sector;
+            self.clock += 1;
+            let clock = self.clock;
+            let hit = match self.open_rows.get_mut(&row) {
+                Some(stamp) if clock - *stamp <= Self::WINDOW => {
+                    *stamp = clock;
+                    true
+                }
+                Some(stamp) => {
+                    *stamp = clock;
+                    false
+                }
+                None => {
+                    self.open_rows.insert(row, clock);
+                    false
+                }
+            };
+            if !hit {
+                misses += 1;
+            }
+            // The remaining `segment - 1` accesses of this row segment
+            // always hit (they see the stamp set one tick earlier);
+            // advance the clock and the stamp past them in one step.
+            if segment > 1 {
+                self.clock += segment - 1;
+                let clock = self.clock;
+                if let Some(stamp) = self.open_rows.get_mut(&row) {
+                    *stamp = clock;
+                }
+            }
+            // Amortized cleanup, as in the per-sector path (the retain
+            // point only affects which *stale* entries linger, and a
+            // stale entry behaves exactly like an absent one).
+            if self.open_rows.len() > 4 * Self::WINDOW as usize {
+                let clock = self.clock;
+                self.open_rows
+                    .retain(|_, stamp| clock - *stamp <= Self::WINDOW);
+            }
+            sector = next;
+        }
+        misses
+    }
+
     /// Forgets all open rows (e.g. between dispatches of unrelated data).
     pub fn reset(&mut self) {
         self.open_rows.clear();

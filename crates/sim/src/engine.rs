@@ -23,6 +23,7 @@
 //! engine supports deterministic sampling, mirroring how trace-driven GPU
 //! simulators handle large grids.
 
+use crate::coalesce::SectorRun;
 use crate::dram::{dram_time, l2_time};
 use crate::error::{SimError, SimResult};
 use crate::exec::{
@@ -102,9 +103,12 @@ const PARALLEL_WINDOW: u64 = 16384;
 struct WorkerScratch {
     arena: SharedArena,
     scratch: TraceScratch,
-    /// Sector stream of the worker's traced groups within one window,
-    /// in linear group order (cleared after replay, capacity kept).
-    stream: Vec<u64>,
+    /// Run-length-encoded sector stream of the worker's traced groups
+    /// within one window, in linear group order (cleared after replay,
+    /// capacity kept). A coalesced warp access is one run, so the
+    /// buffer holds orders of magnitude fewer elements than the old
+    /// per-sector stream on regular workloads.
+    stream: Vec<SectorRun>,
 }
 
 impl Default for WorkerScratch {
@@ -217,6 +221,21 @@ impl Gpu {
     /// Whole-grid traffic accumulated over every dispatch since creation.
     pub fn traffic_totals(&self) -> TrafficStats {
         self.traffic_totals
+    }
+
+    /// Starts (`true`) or stops (`false`) capturing every sector run the
+    /// memory hierarchy consumes — the observability hook determinism
+    /// suites use to prove the parallel path's recorded runs replay the
+    /// exact Direct-sink sequence. Costs one branch per flush; leave off
+    /// outside tests.
+    pub fn set_trace_audit(&mut self, on: bool) {
+        self.mem_system.set_audit(on);
+    }
+
+    /// Takes the sector runs captured since [`Gpu::set_trace_audit`] was
+    /// enabled (or since the last take). Empty when auditing is off.
+    pub fn take_trace_audit(&mut self) -> Vec<SectorRun> {
+        self.mem_system.take_audit()
     }
 
     /// Restores the device to its freshly-created state: empty memory
@@ -594,7 +613,7 @@ fn execute_parallel(
             out.traced = TrafficStats::default();
             untraced_stats.add(&out.untraced);
             out.untraced = TrafficStats::default();
-            mem_system.access_sectors(&ws.stream, traced_stats);
+            mem_system.access_sector_runs(&ws.stream, traced_stats);
             ws.stream.clear();
             if let Some((linear, e)) = out.err.take() {
                 if first_err.as_ref().is_none_or(|(l, _)| linear < *l) {

@@ -18,11 +18,12 @@ use std::cell::Cell;
 use std::fmt;
 use std::sync::Arc;
 
-use crate::cache::{CacheOutcome, CacheSim};
-use crate::coalesce::strided_sectors;
-use crate::dram::{DramTraffic, RowTracker};
+use crate::coalesce::{strided_sectors, AddrPattern, SectorRun};
+use crate::dram::DramTraffic;
 use crate::error::{SimError, SimResult};
 use crate::mem::{BufferId, BufferStore, Scalar, SyncCell};
+
+pub use crate::mem::MemSystem;
 
 /// How a kernel may touch a storage-buffer binding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -518,73 +519,21 @@ impl TrafficStats {
     }
 }
 
-/// Memory-system state threaded through traced groups (owned by the
-/// engine, persistent across dispatches so caches stay warm).
-pub struct MemSystem {
-    pub(crate) l2: CacheSim,
-    pub(crate) rows: RowTracker,
-    pub(crate) sector_bytes: u64,
-    pub(crate) shared_banks: u32,
-}
-
-impl MemSystem {
-    /// Builds the memory system for a device's memory profile.
-    pub fn new(mem: &crate::profile::MemoryProfile, shared_banks: u32) -> Self {
-        MemSystem {
-            l2: CacheSim::new(mem.l2_bytes, mem.l2_ways, mem.sector_bytes),
-            rows: RowTracker::new(mem.row_bytes),
-            sector_bytes: mem.sector_bytes,
-            shared_banks,
-        }
-    }
-
-    /// The L2 model (exposed for inspection in tests and reports).
-    pub fn l2(&self) -> &CacheSim {
-        &self.l2
-    }
-
-    /// Flushes the caches and row state back to cold, keeping the
-    /// allocations — the memory system looks exactly as freshly built.
-    pub fn reset(&mut self) {
-        self.l2.flush();
-        self.rows.reset();
-    }
-
-    pub(crate) fn access_sectors(&mut self, sectors: &[u64], stats: &mut TrafficStats) {
-        for &sector in sectors {
-            match self.l2.access_sector(sector) {
-                CacheOutcome::Hit => stats.l2_hit_sectors += 1,
-                CacheOutcome::Miss => {
-                    stats.dram.sectors += 1;
-                    if self.rows.observe(sector * self.sector_bytes) {
-                        stats.dram.row_misses += 1;
-                    }
-                }
-            }
-        }
-    }
-}
-
-impl fmt::Debug for MemSystem {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MemSystem")
-            .field("l2_stats", &self.l2.stats())
-            .finish_non_exhaustive()
-    }
-}
-
 /// One warp's recorded accesses, bucketed by the lane-local sequence
 /// number of the issuing instruction.
 ///
 /// Bucketing replaces the old sort-by-(seq, addr) pass: lanes run in
 /// order, so every bucket receives its addresses already in lane order,
 /// and the per-warp flush just walks the buckets — no sort, no tuple
-/// storage, no allocation after warm-up.
+/// storage, no allocation after warm-up. Each bucket is an
+/// [`AddrPattern`]: constant-stride (coalesced) warps are detected as
+/// the addresses are pushed and later expand to sector runs
+/// arithmetically, without ever materializing a per-address list.
 #[derive(Debug, Default)]
 struct WarpBuf {
     /// Global-access buckets: per sequence slot, the access size and the
-    /// lanes' byte addresses in issue order.
-    global: Vec<(u8, Vec<u64>)>,
+    /// lanes' address pattern in issue order.
+    global: Vec<(u8, AddrPattern)>,
     /// One past the highest global sequence slot used this warp.
     global_hi: usize,
     /// Shared-access buckets: per sequence slot, the lanes' byte offsets.
@@ -621,8 +570,8 @@ impl WarpBuf {
     }
 }
 
-/// Reusable tracing scratch: warp buffers plus sector and bank-count
-/// scratch vectors.
+/// Reusable tracing scratch: warp buffers plus sector-run, sector and
+/// bank-count scratch vectors.
 ///
 /// The engine keeps one instance alive across groups *and* dispatches
 /// (each parallel worker keeps its own), so the dispatch hot path
@@ -630,6 +579,7 @@ impl WarpBuf {
 #[derive(Debug, Default)]
 pub struct TraceScratch {
     warp: WarpBuf,
+    scratch_runs: Vec<SectorRun>,
     scratch_sectors: Vec<u64>,
     bank_counts: Vec<u32>,
 }
@@ -646,11 +596,14 @@ pub(crate) enum TraceSink<'m> {
     /// Feed the persistent L2/row-tracker state directly — the
     /// sequential path, where groups execute in linear grid order.
     Direct(&'m mut MemSystem),
-    /// Record the sector stream for a later linear-order replay through
-    /// the memory system — the parallel path, where the functional run
-    /// happens on a worker thread.
+    /// Record the run-length-encoded sector stream for a later
+    /// linear-order replay through the memory system — the parallel
+    /// path, where the functional run happens on a worker thread. A
+    /// coalesced warp contributes one [`SectorRun`] instead of a sector
+    /// per lane-quad, shrinking replay buffers and the replay walk
+    /// alike.
     Record {
-        stream: &'m mut Vec<u64>,
+        stream: &'m mut Vec<SectorRun>,
         sector_bytes: u64,
         shared_banks: u32,
     },
@@ -853,27 +806,28 @@ impl<'a> GroupCtx<'a> {
         let TraceState { scratch, sink } = trace;
         let TraceScratch {
             warp,
+            scratch_runs,
             scratch_sectors,
             bank_counts,
         } = &mut **scratch;
         if warp.global_hi > 0 {
             let sector_bytes = sink.sector_bytes();
             for bucket in &mut warp.global[..warp.global_hi] {
-                let (size, addrs) = (u64::from(bucket.0), &mut bucket.1);
-                if addrs.is_empty() {
+                let (size, pattern) = (u64::from(bucket.0), &mut bucket.1);
+                if pattern.is_empty() {
                     continue;
                 }
-                scratch_sectors.clear();
-                crate::coalesce::expand_sectors(addrs, size, sector_bytes, scratch_sectors);
+                scratch_runs.clear();
+                pattern.emit_runs(size, sector_bytes, scratch_sectors, scratch_runs);
                 match sink {
                     TraceSink::Direct(mem) => {
-                        mem.access_sectors(scratch_sectors, &mut self.stats);
+                        mem.access_sector_runs(scratch_runs, &mut self.stats);
                     }
                     TraceSink::Record { stream, .. } => {
-                        stream.extend_from_slice(scratch_sectors);
+                        stream.extend_from_slice(scratch_runs);
                     }
                 }
-                addrs.clear();
+                pattern.clear();
             }
             warp.global_hi = 0;
         }
@@ -915,6 +869,13 @@ impl<'a> GroupCtx<'a> {
     /// `view`, with a stride of `stride_elems` elements. The functional
     /// reads/writes still go through the view; this call only accounts the
     /// traffic.
+    ///
+    /// Note the accounting is an *approximation*: it touches evenly
+    /// spaced representative sectors across the span, not the exact
+    /// per-lane coverage. Since the affine fast path made exact per-lane
+    /// tracing cheap for constant-stride loops, prefer plain
+    /// [`Lane::ld`]/[`Lane::st`] unless the inner loop is truly dense
+    /// (many accesses per lane per element of traced state).
     pub fn bulk_access<T: Scalar>(
         &mut self,
         view: &GlobalView<'_, T>,
@@ -941,30 +902,34 @@ impl<'a> GroupCtx<'a> {
         } else {
             (count - 1) * stride_elems * elem + elem
         };
-        // Touch evenly spaced representative sectors across the span.
+        // Touch evenly spaced representative sectors across the span,
+        // batched as runs (a dense span is a single run).
         let step = if n_sectors == 0 {
             1
         } else {
             (span.div_ceil(sector)).max(1).div_ceil(n_sectors).max(1)
         };
-        let mut touched = 0;
-        let mut s = base / sector;
+        let first = base / sector;
         let last = (base + span.max(1) - 1) / sector;
-        while touched < n_sectors && s <= last {
-            match &mut trace.sink {
-                TraceSink::Direct(mem) => match mem.l2.access_sector(s) {
-                    CacheOutcome::Hit => self.stats.l2_hit_sectors += 1,
-                    CacheOutcome::Miss => {
-                        self.stats.dram.sectors += 1;
-                        if mem.rows.observe(s * sector) {
-                            self.stats.dram.row_misses += 1;
-                        }
-                    }
-                },
-                TraceSink::Record { stream, .. } => stream.push(s),
+        let runs = &mut trace.scratch.scratch_runs;
+        runs.clear();
+        if step == 1 {
+            let len = n_sectors.min(last - first + 1);
+            if len > 0 {
+                runs.push(SectorRun { first, len });
             }
-            s += step;
-            touched += 1;
+        } else {
+            let mut touched = 0;
+            let mut s = first;
+            while touched < n_sectors && s <= last {
+                runs.push(SectorRun { first: s, len: 1 });
+                s += step;
+                touched += 1;
+            }
+        }
+        match &mut trace.sink {
+            TraceSink::Direct(mem) => mem.access_sector_runs(runs, &mut self.stats),
+            TraceSink::Record { stream, .. } => stream.extend_from_slice(runs),
         }
     }
 

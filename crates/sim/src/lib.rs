@@ -83,6 +83,7 @@ pub mod timeline;
 
 pub use api::Api;
 pub use calls::CallCounter;
+pub use coalesce::SectorRun;
 pub use engine::{DispatchReport, Gpu, TraceMode};
 pub use error::{SimError, SimResult};
 pub use exec::{CompileOpts, CompiledKernel, Dispatch, GroupCtx, KernelBody, KernelInfo, Lane};

@@ -10,7 +10,11 @@ use std::cell::{Cell, UnsafeCell};
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
+use crate::cache::CacheSim;
+use crate::coalesce::SectorRun;
+use crate::dram::RowTracker;
 use crate::error::{SimError, SimResult};
+use crate::exec::TrafficStats;
 use crate::profile::HeapProfile;
 
 /// Handle to a device buffer inside a [`MemoryPool`].
@@ -626,6 +630,106 @@ impl MemoryPool {
             }
         }
         h
+    }
+}
+
+/// Memory-system state threaded through traced groups (owned by the
+/// engine, persistent across dispatches so caches stay warm).
+///
+/// The entry point is [`MemSystem::access_sector_runs`]: the hierarchy
+/// consumes run-length-encoded sector streams — a coalesced warp access
+/// is one L2 probe call ([`CacheSim::access_run`]) whose miss runs feed
+/// the row tracker in batches ([`RowTracker::observe_run`]) — while
+/// remaining access-for-access identical to probing every sector
+/// individually.
+pub struct MemSystem {
+    pub(crate) l2: CacheSim,
+    pub(crate) rows: RowTracker,
+    pub(crate) sector_bytes: u64,
+    pub(crate) shared_banks: u32,
+    /// Reusable scratch for per-run L2 miss output.
+    miss_scratch: Vec<SectorRun>,
+    /// When enabled, every run consumed by the hierarchy is also
+    /// appended here — the observability hook determinism suites use to
+    /// compare the sequential Direct stream against the parallel
+    /// record/replay stream.
+    audit: Option<Vec<SectorRun>>,
+}
+
+impl MemSystem {
+    /// Builds the memory system for a device's memory profile.
+    pub fn new(mem: &crate::profile::MemoryProfile, shared_banks: u32) -> Self {
+        MemSystem {
+            l2: CacheSim::new(mem.l2_bytes, mem.l2_ways, mem.sector_bytes),
+            rows: RowTracker::new(mem.row_bytes),
+            sector_bytes: mem.sector_bytes,
+            shared_banks,
+            miss_scratch: Vec::new(),
+            audit: None,
+        }
+    }
+
+    /// The L2 model (exposed for inspection in tests and reports).
+    pub fn l2(&self) -> &CacheSim {
+        &self.l2
+    }
+
+    /// Flushes the caches and row state back to cold, keeping the
+    /// allocations — the memory system looks exactly as freshly built.
+    /// Any captured audit stream is dropped (the capture toggle stays).
+    pub fn reset(&mut self) {
+        self.l2.flush();
+        self.rows.reset();
+        if let Some(audit) = &mut self.audit {
+            audit.clear();
+        }
+    }
+
+    /// Starts (`true`) or stops (`false`) capturing the consumed run
+    /// stream for [`MemSystem::take_audit`].
+    pub fn set_audit(&mut self, on: bool) {
+        self.audit = on.then(Vec::new);
+    }
+
+    /// Takes the runs consumed since auditing was enabled (or last
+    /// taken). Empty when auditing is off.
+    pub fn take_audit(&mut self) -> Vec<SectorRun> {
+        self.audit.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Feeds a run-length-encoded sector stream through the L2 and (for
+    /// the misses) the DRAM row tracker, accumulating into `stats`.
+    ///
+    /// Equivalent, access for access, to probing each expanded sector in
+    /// sequence — run segmentation is encoding only and never changes the
+    /// model state (pinned by the fuzz-equivalence suite).
+    pub(crate) fn access_sector_runs(&mut self, runs: &[SectorRun], stats: &mut TrafficStats) {
+        if let Some(audit) = &mut self.audit {
+            audit.extend_from_slice(runs);
+        }
+        let MemSystem {
+            l2,
+            rows,
+            sector_bytes,
+            miss_scratch,
+            ..
+        } = self;
+        for run in runs {
+            stats.l2_hit_sectors += l2.access_run(run.first, run.len, miss_scratch);
+            for miss in miss_scratch.iter() {
+                stats.dram.sectors += miss.len;
+                stats.dram.row_misses += rows.observe_run(miss.first, miss.len, *sector_bytes);
+            }
+            miss_scratch.clear();
+        }
+    }
+}
+
+impl fmt::Debug for MemSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemSystem")
+            .field("l2_stats", &self.l2.stats())
+            .finish_non_exhaustive()
     }
 }
 

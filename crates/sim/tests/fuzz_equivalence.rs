@@ -1,0 +1,249 @@
+//! Seeded fuzz-equivalence suite for the run-length coalescing pipeline.
+//!
+//! The affine warp fast path ([`AddrPattern`]) and the run-consuming
+//! memory hierarchy ([`CacheSim::access_run`], [`RowTracker::observe_run`])
+//! are pure optimizations: every test here pins them byte-identical to
+//! the generic per-address / per-sector definitions they replace
+//! ([`expand_sectors`], [`CacheSim::access_sector`],
+//! [`RowTracker::observe`]). The container builds offline (no
+//! `proptest`), so each property runs over a seeded deterministic sweep
+//! of randomized warp patterns instead of a shrinking search.
+
+use vcb_sim::cache::{CacheOutcome, CacheSim};
+use vcb_sim::coalesce::{
+    expand_runs, expand_sector_runs, expand_sectors, run_sectors, runs_coalesce_result,
+    AddrPattern, Coalescer, SectorRun,
+};
+use vcb_sim::dram::RowTracker;
+use vcb_sim::rng::SmallRng;
+
+const SECTOR: u64 = 32;
+const LINE: u64 = 128;
+
+/// One randomized warp access: lane byte addresses plus an access width.
+fn gen_pattern(rng: &mut SmallRng, case: u64) -> (Vec<u64>, u64) {
+    let size = [1u64, 4, 8][rng.gen_range_u64(0, 3) as usize];
+    // Partial warps included: 1..=32 lanes.
+    let lanes = rng.gen_range_u64(1, 33);
+    let base = rng.gen_range_u64(0, 1 << 20);
+    let addrs: Vec<u64> = match case % 7 {
+        // Unit stride (the paper's common case).
+        0 => (0..lanes).map(|i| base + i * size).collect(),
+        // Constant stride, 2..64 bytes (spans the dense/sparse split).
+        1 => {
+            let stride = rng.gen_range_u64(2, 65);
+            (0..lanes).map(|i| base + i * stride).collect()
+        }
+        // Descending constant stride.
+        2 => {
+            let stride = rng.gen_range_u64(1, 65);
+            (0..lanes).rev().map(|i| base + i * stride).collect()
+        }
+        // Sector-straddling: offsets placed near sector boundaries.
+        3 => (0..lanes)
+            .map(|i| base / SECTOR * SECTOR + i * SECTOR + (SECTOR - size / 2).saturating_sub(1))
+            .collect(),
+        // Broadcast: every lane reads the same spot.
+        4 => vec![base; lanes as usize],
+        // Scattered: independent random addresses.
+        5 => (0..lanes).map(|_| rng.gen_range_u64(0, 1 << 20)).collect(),
+        // Affine prefix, then a mismatch (exercises the spill path).
+        _ => {
+            let stride = rng.gen_range_u64(1, 33);
+            let mut v: Vec<u64> = (0..lanes).map(|i| base + i * stride).collect();
+            let k = rng.gen_range_u64(0, lanes) as usize;
+            v[k] = rng.gen_range_u64(0, 1 << 20);
+            v
+        }
+    };
+    (addrs, size)
+}
+
+/// Pushes a warp's addresses through the production collector and emits
+/// its runs, as the traced-execution flush does.
+fn production_runs(addrs: &[u64], size: u64) -> Vec<SectorRun> {
+    let mut pattern = AddrPattern::default();
+    for &a in addrs {
+        pattern.push(a);
+    }
+    assert_eq!(pattern.len(), addrs.len());
+    let mut scratch = Vec::new();
+    let mut runs = Vec::new();
+    pattern.emit_runs(size, SECTOR, &mut scratch, &mut runs);
+    runs
+}
+
+#[test]
+fn affine_fast_path_matches_generic_expansion() {
+    for case in 0..2000u64 {
+        let mut rng = SmallRng::seed_from_u64(0x00af_f14e ^ case);
+        let (addrs, size) = gen_pattern(&mut rng, case);
+
+        let mut reference = Vec::new();
+        expand_sectors(&addrs, size, SECTOR, &mut reference);
+
+        let runs = production_runs(&addrs, size);
+        assert_eq!(
+            expand_runs(&runs),
+            reference,
+            "case {case}: sector sequence diverged (addrs {addrs:?}, size {size})"
+        );
+        // Runs are maximal: no zero-length or mergeable neighbours.
+        for (i, r) in runs.iter().enumerate() {
+            assert!(r.len > 0, "case {case}: empty run");
+            if i > 0 {
+                assert!(
+                    r.first > runs[i - 1].last() + 1,
+                    "case {case}: runs {i} and {} should have merged",
+                    i - 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_coalesce_results_match_legacy_coalescer() {
+    let mut coalescer = Coalescer::new(SECTOR, LINE);
+    for case in 0..2000u64 {
+        let mut rng = SmallRng::seed_from_u64(0xc0a1 ^ case);
+        let (addrs, size) = gen_pattern(&mut rng, case);
+        let legacy = coalescer.coalesce(&addrs, size as u32);
+        let runs = production_runs(&addrs, size);
+        let from_runs = runs_coalesce_result(&runs, SECTOR, LINE, legacy.useful_bytes);
+        assert_eq!(
+            from_runs, legacy,
+            "case {case}: CoalesceResult diverged (addrs {addrs:?}, size {size})"
+        );
+    }
+}
+
+#[test]
+fn spilled_expansion_matches_generic_for_arbitrary_addresses() {
+    for case in 0..500u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5b1 ^ case);
+        let len = rng.gen_range_u64(1, 64);
+        let size = [1u64, 4, 8][rng.gen_range_u64(0, 3) as usize];
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0, 200_000)).collect();
+        let mut reference = Vec::new();
+        expand_sectors(&addrs, size, SECTOR, &mut reference);
+        let mut scratch = Vec::new();
+        let mut runs = Vec::new();
+        expand_sector_runs(&addrs, size, SECTOR, &mut scratch, &mut runs);
+        assert_eq!(expand_runs(&runs), reference, "case {case}");
+        assert_eq!(run_sectors(&runs), reference.len() as u64, "case {case}");
+    }
+}
+
+/// Splits a sector sequence into runs with random segmentation —
+/// boundaries placed inside contiguous stretches as well as at them, to
+/// prove segmentation carries no meaning for the hierarchy.
+fn random_segmentation(sectors: &[u64], rng: &mut SmallRng) -> Vec<SectorRun> {
+    let mut runs: Vec<SectorRun> = Vec::new();
+    for &s in sectors {
+        let extend = runs
+            .last()
+            .is_some_and(|r| s == r.first + r.len && !rng.gen_ratio(1, 3));
+        if extend {
+            runs.last_mut().unwrap().len += 1;
+        } else {
+            runs.push(SectorRun { first: s, len: 1 });
+        }
+    }
+    runs
+}
+
+#[test]
+fn cache_access_run_is_per_sector_identical_under_any_segmentation() {
+    for case in 0..300u64 {
+        let mut rng = SmallRng::seed_from_u64(0xcac4e ^ case);
+        // Mix of streams and revisits so both hit and miss runs occur.
+        let len = rng.gen_range_u64(1, 512) as usize;
+        let mut sectors = Vec::with_capacity(len);
+        let mut cursor = rng.gen_range_u64(0, 256);
+        for _ in 0..len {
+            match rng.gen_range_u64(0, 4) {
+                0 => cursor = rng.gen_range_u64(0, 4096), // jump
+                _ => cursor += 1,                         // stream
+            }
+            sectors.push(cursor);
+        }
+        let runs = random_segmentation(&sectors, &mut rng);
+
+        let mut per_sector = CacheSim::new(16 * 1024, 4, SECTOR);
+        let mut outcomes = Vec::new();
+        for &s in &sectors {
+            outcomes.push(per_sector.access_sector(s));
+        }
+
+        let mut per_run = CacheSim::new(16 * 1024, 4, SECTOR);
+        let mut hits = 0u64;
+        let mut misses = Vec::new();
+        for r in &runs {
+            hits += per_run.access_run(r.first, r.len, &mut misses);
+        }
+        assert_eq!(per_run.stats(), per_sector.stats(), "case {case}");
+        assert_eq!(
+            hits,
+            outcomes.iter().filter(|&&o| o == CacheOutcome::Hit).count() as u64,
+            "case {case}"
+        );
+        let expected_misses: Vec<u64> = sectors
+            .iter()
+            .zip(&outcomes)
+            .filter(|&(_, &o)| o == CacheOutcome::Miss)
+            .map(|(&s, _)| s)
+            .collect();
+        assert_eq!(expand_runs(&misses), expected_misses, "case {case}");
+        // Contents identical too: replaying the stream hits in both.
+        for &s in &sectors {
+            assert_eq!(
+                per_run.access_sector(s),
+                per_sector.access_sector(s),
+                "case {case}: post-stream contents diverged at sector {s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn row_tracker_observe_run_is_per_sector_identical() {
+    for case in 0..300u64 {
+        let mut rng = SmallRng::seed_from_u64(0xd4a ^ case);
+        let len = rng.gen_range_u64(1, 600) as usize;
+        let mut sectors = Vec::with_capacity(len);
+        let mut cursor = rng.gen_range_u64(0, 512);
+        for _ in 0..len {
+            match rng.gen_range_u64(0, 5) {
+                0 => cursor = rng.gen_range_u64(0, 1 << 16), // jump
+                _ => cursor += 1,                            // stream
+            }
+            sectors.push(cursor);
+        }
+        let runs = random_segmentation(&sectors, &mut rng);
+
+        let mut per_sector = RowTracker::new(1024);
+        let mut expected = 0u64;
+        for &s in &sectors {
+            if per_sector.observe(s * SECTOR) {
+                expected += 1;
+            }
+        }
+        let mut per_run = RowTracker::new(1024);
+        let mut got = 0u64;
+        for r in &runs {
+            got += per_run.observe_run(r.first, r.len, SECTOR);
+        }
+        assert_eq!(got, expected, "case {case}");
+        // Follow-up observations agree (the trackers' open-row state is
+        // behaviourally identical).
+        for probe in 0..64u64 {
+            let s = rng.gen_range_u64(0, 1 << 16);
+            assert_eq!(
+                per_run.observe(s * SECTOR),
+                per_sector.observe(s * SECTOR),
+                "case {case}: follow-up {probe} diverged at sector {s}"
+            );
+        }
+    }
+}

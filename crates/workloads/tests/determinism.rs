@@ -122,6 +122,91 @@ fn stride_micro_curves_are_bit_identical_across_worker_threads() {
     }
 }
 
+/// Run-length recording parity: the parallel path records traced
+/// groups' sector streams as [`vcb_sim::SectorRun`]s and replays them on
+/// the coordinator; those recorded runs must expand to *exactly* the
+/// sector sequence the sequential Direct sink feeds the L2 — not merely
+/// produce the same aggregate stats. The `Gpu` trace-audit hook captures
+/// every run the hierarchy consumes on both paths.
+#[test]
+fn recorded_runs_expand_to_the_direct_sink_sector_sequence() {
+    use std::sync::Arc;
+    use vcb_sim::engine::Gpu;
+    use vcb_sim::exec::{BoundBuffer, CompileOpts, CompiledKernel, Dispatch, GroupCtx, KernelInfo};
+
+    let n = 128 * 1024usize; // 512 groups of 256
+    let make = || {
+        let mut gpu = Gpu::new(devices::gtx1050ti());
+        let (x, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let (z, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        gpu.pool_mut().buffer_mut(x).unwrap().write_slice(&data);
+        let info = KernelInfo::new("parity", [256, 1, 1])
+            .reads(0, "x")
+            .writes(1, "z")
+            .parallel_groups()
+            .build();
+        let body = Arc::new(move |ctx: &mut GroupCtx<'_>| {
+            let x = ctx.global::<f32>(0)?;
+            let z = ctx.global::<f32>(1)?;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear() as usize;
+                let v = lane.ld(&x, i);
+                // A strided re-read so the stream is not purely
+                // unit-stride (exercises multi-run warps too).
+                let j = (i * 8) % n;
+                let w = lane.ld(&x, j);
+                lane.st(&z, i, v + w);
+            });
+            Ok(())
+        });
+        let dispatch = Dispatch {
+            kernel: CompiledKernel::new(info, body, CompileOpts::default()),
+            groups: [(n as u32).div_ceil(256), 1, 1],
+            bindings: vec![
+                BoundBuffer {
+                    binding: 0,
+                    buffer: x,
+                },
+                BoundBuffer {
+                    binding: 1,
+                    buffer: z,
+                },
+            ],
+            push_constants: vec![],
+        };
+        (gpu, dispatch)
+    };
+    let driver = devices::gtx1050ti()
+        .driver(vcb_sim::Api::Cuda)
+        .unwrap()
+        .clone();
+    let expand = vcb_sim::coalesce::expand_runs;
+    for mode in MODES {
+        let (mut gpu_seq, d_seq) = make();
+        gpu_seq.set_trace_mode(mode);
+        gpu_seq.set_trace_audit(true);
+        gpu_seq.execute(&d_seq, &driver).unwrap();
+        let direct = gpu_seq.take_trace_audit();
+
+        let (mut gpu_par, d_par) = make();
+        gpu_par.set_trace_mode(mode);
+        gpu_par.set_worker_threads(4);
+        gpu_par.set_worker_clamp(false);
+        gpu_par.set_trace_audit(true);
+        gpu_par.execute(&d_par, &driver).unwrap();
+        let recorded = gpu_par.take_trace_audit();
+
+        assert!(!direct.is_empty(), "{mode:?}: no traced traffic captured");
+        assert_eq!(
+            expand(&direct),
+            expand(&recorded),
+            "{mode:?}: recorded runs do not replay the Direct sector sequence"
+        );
+        assert_eq!(gpu_seq.fingerprint(), gpu_par.fingerprint(), "{mode:?}");
+    }
+}
+
 #[test]
 fn nw_stays_sequential_and_validates_on_every_api() {
     // nw's tiles depend on linear grid order; it is declared

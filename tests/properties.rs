@@ -5,7 +5,9 @@
 //! instead of a shrinking search. The invariants are unchanged.
 
 use vcomputebench::sim::cache::{CacheOutcome, CacheSim};
-use vcomputebench::sim::coalesce::{strided_sectors, Coalescer};
+use vcomputebench::sim::coalesce::{
+    expand_runs, expand_sectors, strided_sectors, AddrPattern, Coalescer,
+};
 use vcomputebench::sim::mem::{HeapAllocation, HeapState, MemoryPool};
 use vcomputebench::sim::profile::HeapProfile;
 use vcomputebench::sim::time::SimDuration;
@@ -36,6 +38,36 @@ fn coalescer_bounds() {
         );
         // Lines never exceed sectors.
         assert!(r.lines <= r.sectors, "case {case}");
+    }
+}
+
+/// The production run-length coalescing path (affine detection + run
+/// emission) expands to exactly the generic per-address sector sequence
+/// for arbitrary address mixes — the top-level echo of the dedicated
+/// fuzz-equivalence suite in `crates/sim`.
+#[test]
+fn run_path_matches_generic_expansion() {
+    for case in 0..200u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5ec7 ^ case);
+        let len = rng.gen_range_u64(1, 48);
+        let size = [1u64, 4, 8][rng.gen_range_u64(0, 3) as usize];
+        let stride = rng.gen_range_u64(1, 64);
+        let base = rng.gen_range_u64(0, 1 << 16);
+        // Half the cases affine, half scattered.
+        let addrs: Vec<u64> = if case % 2 == 0 {
+            (0..len).map(|i| base + i * stride).collect()
+        } else {
+            (0..len).map(|_| rng.gen_range_u64(0, 1 << 16)).collect()
+        };
+        let mut reference = Vec::new();
+        expand_sectors(&addrs, size, 32, &mut reference);
+        let mut pattern = AddrPattern::default();
+        for &a in &addrs {
+            pattern.push(a);
+        }
+        let (mut scratch, mut runs) = (Vec::new(), Vec::new());
+        pattern.emit_runs(size, 32, &mut scratch, &mut runs);
+        assert_eq!(expand_runs(&runs), reference, "case {case}");
     }
 }
 
