@@ -3,8 +3,9 @@
 //! Programming-model-agnostic pieces of the benchmark suite: the Table I
 //! metadata ([`suite`]), the workload abstraction ([`workload`]), run
 //! records and speedups ([`run`]), declarative run plans and the matrix
-//! scheduler ([`plan`]), summary statistics ([`stats`]), report
-//! rendering ([`report`]) and the programming-effort metrics ([`effort`]).
+//! scheduler ([`plan`]), cross-process plan sharding and the event-stream
+//! codec ([`shard`]), summary statistics ([`stats`]), report rendering
+//! ([`report`]) and the programming-effort metrics ([`effort`]).
 //!
 //! ```
 //! use vcb_core::stats::geomean;
@@ -22,6 +23,7 @@ pub mod effort;
 pub mod plan;
 pub mod report;
 pub mod run;
+pub mod shard;
 pub mod stats;
 pub mod suite;
 pub mod workload;
@@ -31,5 +33,9 @@ pub use plan::{
     ResultCache, RunPlan,
 };
 pub use run::{speedup, total_speedup, RunFailure, RunOutcome, RunRecord, SizeSpec};
+pub use shard::{
+    merge_streams, CodecError, EventWriter, MergeError, PlanSlice, ShardCell, ShardSlice,
+    ShardStream, CODEC_VERSION,
+};
 pub use suite::{BenchmarkMeta, Dwarf, SUITE};
 pub use workload::{RunOpts, Workload};

@@ -108,6 +108,54 @@ impl std::hash::Hasher for Fnv1a {
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
+
+    // Canonicalize every multi-byte write to little-endian fixed
+    // widths (usize/isize as 64-bit): the default `Hasher` methods feed
+    // native-endian, pointer-width bytes into `write`, which would make
+    // fingerprints differ between 32-/64-bit or big-endian builds —
+    // and fingerprints are the cross-process shard/merge key (see
+    // `shard.rs`). On little-endian 64-bit hosts these overrides are
+    // byte-for-byte what the defaults produced, so existing pinned
+    // digests are unchanged.
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        self.write_u64(i as i64 as u64);
+    }
 }
 
 impl fmt::Display for CellSpec {
@@ -262,6 +310,15 @@ impl RunPlan {
     pub fn retain(&mut self, keep: impl FnMut(&CellSpec) -> bool) {
         self.cells.retain(keep);
     }
+
+    /// A new plan holding clones of the cells at `indices`, in the
+    /// given order — how a shard materializes its
+    /// [`partition`](RunPlan::partition) slice for execution.
+    pub fn subset(&self, indices: &[usize]) -> RunPlan {
+        RunPlan {
+            cells: indices.iter().map(|&i| self.cells[i].clone()).collect(),
+        }
+    }
 }
 
 /// Executes one cell. Implemented by the harness (where workloads and
@@ -378,6 +435,13 @@ impl<T> ResultCache<T> {
     /// `true` when nothing is cached yet.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Stores a result for `key` without counting an execution — how
+    /// merged cross-process event streams seed a cache so the render
+    /// stages resolve entirely from it (see [`crate::shard`]).
+    pub fn insert(&mut self, key: CellKey, value: T) {
+        self.map.insert(key, value);
     }
 }
 

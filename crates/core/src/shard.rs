@@ -1,0 +1,1347 @@
+//! Cross-process run-plan sharding: a versioned text codec for
+//! [`RunPlan`] slices and per-cell event streams, a deterministic
+//! cost-balanced partitioner, and the merge step that reassembles
+//! per-shard streams into the exact in-plan-order result sequence the
+//! single-process executor produces.
+//!
+//! The paper's experiment matrix is embarrassingly partitionable: every
+//! cell is an independent simulation keyed by its [`CellSpec`]
+//! fingerprint. PR 3's plan/executor split left exactly one layer
+//! missing for multi-process (or multi-machine) sweeps — a transport.
+//! This module is that transport, kept dependency-free (no serde in the
+//! workspace): line-oriented, tab-separated, escaped text with a
+//! version header, so streams are diffable in CI and greppable when a
+//! shard goes wrong.
+//!
+//! Invariants the format defends:
+//!
+//! * **Exactly-once execution** — [`RunPlan::partition`] keys shards on
+//!   the cell *identity* ([`CellSpec::key`]), so intra-plan duplicates
+//!   of one cell always land in the same shard and the per-process
+//!   [`ResultCache`](crate::plan::ResultCache) dedup keeps working.
+//! * **Lossless reassembly** — [`merge_streams`] rejects duplicate,
+//!   missing and fingerprint-mismatched cells instead of papering over
+//!   them; a successful merge is in plan order, indistinguishable from
+//!   a local run.
+//! * **Stability is versioned** — fingerprints are FNV-1a over the
+//!   [`CellKey`](crate::plan::CellKey) field set (see the hashing note
+//!   in `plan.rs`). Changing that field set, the hash, or any record
+//!   layout here requires bumping [`CODEC_VERSION`]; mixed versions are
+//!   rejected at decode time.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write};
+
+use vcb_sim::timeline::CostKind;
+use vcb_sim::TraceMode;
+
+use crate::plan::{CellSpec, RunPlan};
+use crate::run::{RunFailure, RunOutcome, RunRecord, SizeSpec};
+use crate::workload::RunOpts;
+
+/// Version of the shard/event text codec. Bump on any change to the
+/// record layout, the [`CellKey`](crate::plan::CellKey) field set, or
+/// the fingerprint hash; decoders reject every other version.
+pub const CODEC_VERSION: u32 = 1;
+
+const EVENTS_MAGIC: &str = "vcb-events";
+const PLAN_MAGIC: &str = "vcb-plan";
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// A shard stream or plan slice failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream has no recognizable header line.
+    Header(String),
+    /// The stream was written by a different codec version.
+    Version(u32),
+    /// The stream ends before its `end` trailer (truncated write).
+    Truncated,
+    /// A record failed to parse.
+    Malformed(String),
+    /// A cell's recorded fingerprint disagrees with the fingerprint
+    /// recomputed from its decoded spec — the writer hashed a different
+    /// [`CellKey`](crate::plan::CellKey) than this build does.
+    Fingerprint {
+        /// Plan index of the offending cell.
+        index: usize,
+    },
+}
+
+impl CodecError {
+    fn with_line(self, line: usize) -> CodecError {
+        match self {
+            CodecError::Malformed(reason) => {
+                CodecError::Malformed(format!("line {}: {reason}", line + 1))
+            }
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Header(what) => write!(f, "bad stream header: {what}"),
+            CodecError::Version(v) => write!(
+                f,
+                "codec version {v} is not supported (this build speaks version {CODEC_VERSION})"
+            ),
+            CodecError::Truncated => f.write_str("stream is truncated (no `end` trailer)"),
+            CodecError::Malformed(reason) => write!(f, "malformed record: {reason}"),
+            CodecError::Fingerprint { index } => write!(
+                f,
+                "cell {index}: recorded fingerprint does not match its spec \
+                 (stream written by an incompatible build?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Reassembling per-shard streams against a plan failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// A stream was produced from a plan of a different length.
+    PlanLen {
+        /// The merging plan's cell count.
+        expected: usize,
+        /// The stream header's cell count.
+        found: usize,
+    },
+    /// Two streams (or two records) both carry the cell at `index`.
+    Duplicate {
+        /// Plan index claimed twice.
+        index: usize,
+    },
+    /// No stream carries the cell at `index`.
+    Missing {
+        /// First uncovered plan index.
+        index: usize,
+        /// Total number of uncovered cells.
+        count: usize,
+    },
+    /// A stream's cell fingerprint disagrees with the plan's cell at
+    /// that index — the shard ran a different plan (options, filters,
+    /// seed or scale diverged).
+    Fingerprint {
+        /// Plan index of the mismatched cell.
+        index: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::PlanLen { expected, found } => write!(
+                f,
+                "stream was produced from a {found}-cell plan, but the merge plan has \
+                 {expected} cells (different options or filters?)"
+            ),
+            MergeError::Duplicate { index } => {
+                write!(f, "cell {index} appears in more than one stream")
+            }
+            MergeError::Missing { index, count } => write!(
+                f,
+                "{count} cell(s) missing from the merged streams (first: index {index})"
+            ),
+            MergeError::Fingerprint { index } => write!(
+                f,
+                "cell {index}: stream fingerprint does not match the merge plan \
+                 (shard ran with different options?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+// ---------------------------------------------------------------------
+// Field escaping and cursors
+// ---------------------------------------------------------------------
+
+/// Escapes one field for the tab-separated record format (`\\`, `\t`,
+/// `\n`, `\r`), so arbitrary strings — device names, failure messages,
+/// whole nested payloads — survive as single fields.
+pub fn escape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    for c in field.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`]. Rejects dangling or unknown escape sequences.
+pub fn unescape(field: &str) -> Result<String, CodecError> {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                let tail = other.map(String::from).unwrap_or_default();
+                return Err(CodecError::Malformed(format!("bad escape `\\{tail}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Joins fields into one record line (escaped, tab-separated, no
+/// terminator).
+pub fn join_fields<S: AsRef<str>>(fields: &[S]) -> String {
+    fields
+        .iter()
+        .map(|f| escape(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join("\t")
+}
+
+/// Splits one record line back into unescaped fields.
+pub fn split_fields(line: &str) -> Result<Vec<String>, CodecError> {
+    line.split('\t').map(unescape).collect()
+}
+
+/// A sequential reader over one record's fields with typed accessors —
+/// every decode helper here and in downstream payload codecs parses
+/// through one of these, so "record ends early" and "bad number" errors
+/// are uniform.
+#[derive(Debug)]
+pub struct FieldCursor<'a> {
+    fields: &'a [String],
+    pos: usize,
+}
+
+impl<'a> FieldCursor<'a> {
+    /// A cursor at the start of `fields`.
+    pub fn new(fields: &'a [String]) -> FieldCursor<'a> {
+        FieldCursor { fields, pos: 0 }
+    }
+
+    /// The next raw field.
+    pub fn next_field(&mut self) -> Result<&'a str, CodecError> {
+        let field = self
+            .fields
+            .get(self.pos)
+            .ok_or_else(|| CodecError::Malformed("record ends early".into()))?;
+        self.pos += 1;
+        Ok(field)
+    }
+
+    /// The next field parsed as decimal `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let f = self.next_field()?;
+        f.parse()
+            .map_err(|e| CodecError::Malformed(format!("bad number `{f}`: {e}")))
+    }
+
+    /// The next field parsed as decimal `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let f = self.next_field()?;
+        f.parse()
+            .map_err(|e| CodecError::Malformed(format!("bad number `{f}`: {e}")))
+    }
+
+    /// The next field parsed as decimal `usize`.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let f = self.next_field()?;
+        f.parse()
+            .map_err(|e| CodecError::Malformed(format!("bad number `{f}`: {e}")))
+    }
+
+    /// The next field parsed as a 16-digit hex `u64` (fingerprints and
+    /// float bit patterns).
+    pub fn hex64(&mut self) -> Result<u64, CodecError> {
+        let f = self.next_field()?;
+        u64::from_str_radix(f, 16).map_err(|e| CodecError::Malformed(format!("bad hex `{f}`: {e}")))
+    }
+
+    /// The next field parsed as a `0`/`1` boolean.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.next_field()? {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            other => Err(CodecError::Malformed(format!("bad bool `{other}`"))),
+        }
+    }
+
+    /// Succeeds only when every field has been consumed.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.pos == self.fields.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed(format!(
+                "{} trailing field(s)",
+                self.fields.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn bool01(b: bool) -> String {
+    if b {
+        "1".into()
+    } else {
+        "0".into()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cell spec codec
+// ---------------------------------------------------------------------
+
+/// Encodes a [`CellSpec`] as its 13 identity fields — exactly the
+/// [`CellKey`](crate::plan::CellKey) field set, in key order, so a
+/// decoded spec reproduces the original key and fingerprint bit for
+/// bit.
+pub fn spec_fields(spec: &CellSpec) -> Vec<String> {
+    let (trace_tag, trace_param) = match spec.opts.trace_mode {
+        TraceMode::Detailed => (0u8, 0u32),
+        TraceMode::Sampled(n) => (1, n),
+        TraceMode::Auto => (2, 0),
+    };
+    vec![
+        spec.workload.clone(),
+        spec.size.label.clone(),
+        spec.size.n.to_string(),
+        spec.size.aux.to_string(),
+        spec.api.ident().to_owned(),
+        spec.device.clone(),
+        trace_tag.to_string(),
+        trace_param.to_string(),
+        bool01(spec.opts.validate),
+        spec.opts.seed.to_string(),
+        format!("{:016x}", spec.opts.scale.to_bits()),
+        spec.opts.sim_threads.to_string(),
+        bool01(spec.opts.sim_threads_exact),
+    ]
+}
+
+/// Decodes the fields written by [`spec_fields`].
+pub fn decode_spec(cur: &mut FieldCursor<'_>) -> Result<CellSpec, CodecError> {
+    let workload = cur.next_field()?.to_owned();
+    let label = cur.next_field()?.to_owned();
+    let n = cur.u64()?;
+    let aux = cur.u64()?;
+    let api = cur.next_field()?;
+    let api = api
+        .parse()
+        .map_err(|e| CodecError::Malformed(format!("{e}")))?;
+    let device = cur.next_field()?.to_owned();
+    let trace_tag = cur.u32()?;
+    let trace_param = cur.u32()?;
+    let trace_mode = match trace_tag {
+        0 => TraceMode::Detailed,
+        1 => TraceMode::Sampled(trace_param),
+        2 => TraceMode::Auto,
+        other => {
+            return Err(CodecError::Malformed(format!("bad trace tag `{other}`")));
+        }
+    };
+    let validate = cur.bool()?;
+    let seed = cur.u64()?;
+    let scale = f64::from_bits(cur.hex64()?);
+    let sim_threads = cur.usize()?;
+    let sim_threads_exact = cur.bool()?;
+    Ok(CellSpec {
+        workload,
+        size: SizeSpec::with_aux(label, n, aux),
+        api,
+        device,
+        opts: RunOpts {
+            trace_mode,
+            validate,
+            seed,
+            scale,
+            sim_threads,
+            sim_threads_exact,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// Run outcome codec
+// ---------------------------------------------------------------------
+
+/// Encodes a [`RunFailure`] (failure cells are results in this suite —
+/// cfd's mobile OOM is a paper datum, not an error to drop).
+pub fn failure_fields(failure: &RunFailure) -> Vec<String> {
+    match failure {
+        RunFailure::OutOfMemory => vec!["oom".into()],
+        RunFailure::DriverFailure => vec!["driver".into()],
+        RunFailure::Unsupported => vec!["unsupported".into()],
+        RunFailure::Error(msg) => vec!["error".into(), msg.clone()],
+    }
+}
+
+/// Decodes the fields written by [`failure_fields`].
+pub fn decode_failure(cur: &mut FieldCursor<'_>) -> Result<RunFailure, CodecError> {
+    match cur.next_field()? {
+        "oom" => Ok(RunFailure::OutOfMemory),
+        "driver" => Ok(RunFailure::DriverFailure),
+        "unsupported" => Ok(RunFailure::Unsupported),
+        "error" => Ok(RunFailure::Error(cur.next_field()?.to_owned())),
+        other => Err(CodecError::Malformed(format!("bad failure kind `{other}`"))),
+    }
+}
+
+/// Encodes a full [`RunOutcome`]: every field a renderer downstream of
+/// the merge consumes — timings in exact picoseconds, the complete
+/// [`TimingBreakdown`](vcb_sim::timeline::TimingBreakdown) (the §V-A2
+/// overhead table), the per-entry-point call counts (the §VI-A effort
+/// table) and the determinism fingerprint.
+pub fn outcome_fields(out: &RunOutcome) -> Vec<String> {
+    match out {
+        Ok(r) => {
+            let mut f = vec![
+                "ok".to_owned(),
+                r.workload.clone(),
+                r.api.ident().to_owned(),
+                r.device.clone(),
+                r.size.clone(),
+                r.kernel_time.as_picos().to_string(),
+                r.total_time.as_picos().to_string(),
+                bool01(r.validated),
+                format!("{:016x}", r.fingerprint),
+            ];
+            for kind in CostKind::ALL {
+                f.push(r.breakdown.get(kind).as_picos().to_string());
+            }
+            let calls: Vec<(&str, u64)> = r.calls.iter().collect();
+            f.push(calls.len().to_string());
+            for (name, count) in calls {
+                f.push(name.to_owned());
+                f.push(count.to_string());
+            }
+            f
+        }
+        Err(e) => {
+            let mut f = vec!["err".to_owned()];
+            f.extend(failure_fields(e));
+            f
+        }
+    }
+}
+
+/// Decodes the fields written by [`outcome_fields`].
+pub fn decode_outcome(cur: &mut FieldCursor<'_>) -> Result<RunOutcome, CodecError> {
+    match cur.next_field()? {
+        "ok" => {
+            let workload = cur.next_field()?.to_owned();
+            let api = cur
+                .next_field()?
+                .parse()
+                .map_err(|e| CodecError::Malformed(format!("{e}")))?;
+            let device = cur.next_field()?.to_owned();
+            let size = cur.next_field()?.to_owned();
+            let kernel_time = vcb_sim::time::SimDuration::from_picos(cur.u64()?);
+            let total_time = vcb_sim::time::SimDuration::from_picos(cur.u64()?);
+            let validated = cur.bool()?;
+            let fingerprint = cur.hex64()?;
+            let mut breakdown = vcb_sim::timeline::TimingBreakdown::new();
+            for kind in CostKind::ALL {
+                breakdown.charge(kind, vcb_sim::time::SimDuration::from_picos(cur.u64()?));
+            }
+            let mut calls = vcb_sim::calls::CallCounter::new();
+            let entries = cur.usize()?;
+            for _ in 0..entries {
+                let name = intern(cur.next_field()?);
+                calls.record_many(name, cur.u64()?);
+            }
+            Ok(Ok(RunRecord {
+                workload,
+                api,
+                device,
+                size,
+                kernel_time,
+                total_time,
+                breakdown,
+                calls,
+                validated,
+                fingerprint,
+            }))
+        }
+        "err" => Ok(Err(decode_failure(cur)?)),
+        other => Err(CodecError::Malformed(format!("bad outcome tag `{other}`"))),
+    }
+}
+
+/// Interns a decoded API-call name: [`vcb_sim::calls::CallCounter`]
+/// keys on `&'static str` (frontends record string literals), so the
+/// decoder leaks each *distinct* name once. The name set is the fixed
+/// API surface of the three frontends — a few dozen entries, bounded.
+fn intern(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static NAMES: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = NAMES.lock().expect("intern table poisoned");
+    if let Some(existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------
+// Partitioning
+// ---------------------------------------------------------------------
+
+/// One shard's slice of a plan: the plan indices it executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSlice {
+    /// This slice's position in the partition (0-based).
+    pub shard_index: usize,
+    /// Total number of shards in the partition.
+    pub shard_count: usize,
+    /// Plan indices assigned to this shard, ascending. All duplicates
+    /// of one cell identity share a slice, so each unique cell executes
+    /// in exactly one process.
+    pub indices: Vec<usize>,
+}
+
+/// A relative execution-cost estimate for one cell, used to balance
+/// shards. Derived from the [`SizeSpec`] the same way workloads scale
+/// their inputs: primary × secondary size, scaled by the run's
+/// iteration-scale factor. Bandwidth sweeps (the `n = 0` convention)
+/// cover a whole stride curve and get a large flat estimate. Only
+/// *relative* magnitudes matter; the estimate is deterministic.
+pub fn cell_cost(spec: &CellSpec) -> u64 {
+    const SWEEP_COST: u128 = 64 * 1024 * 1024;
+    let work: u128 = if spec.size.n == 0 {
+        SWEEP_COST
+    } else {
+        u128::from(spec.size.n) * u128::from(spec.size.aux.max(1))
+    };
+    let scaled = (work as f64 * spec.opts.scale.clamp(1e-6, 1e6)).ceil();
+    (scaled as u128).clamp(1, u128::from(u64::MAX)) as u64
+}
+
+impl RunPlan {
+    /// Deterministically partitions the plan into `shards` slices,
+    /// balanced by [`cell_cost`].
+    ///
+    /// Cells are grouped by exact identity ([`CellSpec::key`]) so
+    /// duplicates — e.g. gaussian/208 shared between Fig. 2 and the
+    /// overhead decomposition — land in one shard and still execute
+    /// once. Groups are assigned largest-cost-first to the least-loaded
+    /// shard, with all ties broken by plan position, so the same plan
+    /// and shard count always produce the same slices in every process.
+    pub fn partition(&self, shards: usize) -> Vec<ShardSlice> {
+        let shards = shards.max(1);
+        // Group plan indices by cell identity, in first-occurrence order.
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        let mut by_key: HashMap<crate::plan::CellKey, usize> = HashMap::new();
+        for (index, cell) in self.cells().iter().enumerate() {
+            match by_key.entry(cell.key()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    groups[*e.get()].1.push(index);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push((cell_cost(cell), vec![index]));
+                }
+            }
+        }
+        // Longest-processing-time greedy assignment: heaviest group to
+        // the least-loaded shard. Ties (equal cost / equal load) break
+        // on first occurrence / lowest shard index for determinism.
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by(|&a, &b| {
+            groups[b]
+                .0
+                .cmp(&groups[a].0)
+                .then(groups[a].1[0].cmp(&groups[b].1[0]))
+        });
+        let mut loads = vec![0u128; shards];
+        let mut indices: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for g in order {
+            let (cost, members) = &groups[g];
+            let lightest = (0..shards)
+                .min_by_key(|&s| loads[s])
+                .expect("at least one shard");
+            loads[lightest] += u128::from(*cost);
+            indices[lightest].extend_from_slice(members);
+        }
+        indices
+            .into_iter()
+            .enumerate()
+            .map(|(shard_index, mut idx)| {
+                idx.sort_unstable();
+                ShardSlice {
+                    shard_index,
+                    shard_count: shards,
+                    indices: idx,
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event stream codec
+// ---------------------------------------------------------------------
+
+/// The header record shared by both stream formats (only the magic
+/// differs) — the encode-side counterpart of [`parse_header`].
+fn header_line(magic: &str, plan_len: usize, shard_index: usize, shard_count: usize) -> String {
+    join_fields(&[
+        magic.to_owned(),
+        CODEC_VERSION.to_string(),
+        plan_len.to_string(),
+        shard_index.to_string(),
+        shard_count.to_string(),
+    ])
+}
+
+/// The `cell` record prefix shared by both stream formats: tag, plan
+/// index, fingerprint, then the full spec identity — exactly what
+/// [`decode_records`] parses before the format-specific tail.
+fn cell_record_fields(index: usize, spec: &CellSpec) -> Vec<String> {
+    let mut fields = vec![
+        "cell".to_owned(),
+        index.to_string(),
+        format!("{:016x}", spec.fingerprint()),
+    ];
+    fields.extend(spec_fields(spec));
+    fields
+}
+
+/// The `end` trailer shared by both stream formats.
+fn end_line(cells: usize) -> String {
+    join_fields(&["end".to_owned(), cells.to_string()])
+}
+
+/// Incremental writer for one shard's cell-event stream: a version
+/// header, one `cell` record per resolved plan index (spec + payload),
+/// and an `end` trailer carrying the record count so truncated files
+/// can't pass for complete ones.
+pub struct EventWriter<W: Write> {
+    w: W,
+    cells: usize,
+}
+
+impl<W: Write> EventWriter<W> {
+    /// Starts a stream: writes the header for a shard of a
+    /// `plan_len`-cell plan.
+    pub fn new(
+        mut w: W,
+        plan_len: usize,
+        shard_index: usize,
+        shard_count: usize,
+    ) -> io::Result<EventWriter<W>> {
+        writeln!(
+            w,
+            "{}",
+            header_line(EVENTS_MAGIC, plan_len, shard_index, shard_count)
+        )?;
+        Ok(EventWriter { w, cells: 0 })
+    }
+
+    /// Appends one resolved cell: its plan index, spec (with
+    /// fingerprint) and the payload fields produced by the caller's
+    /// result codec. The payload is embedded as a single escaped field,
+    /// so payload codecs may use tabs and newlines freely.
+    pub fn cell<S: AsRef<str>>(
+        &mut self,
+        index: usize,
+        spec: &CellSpec,
+        payload: &[S],
+    ) -> io::Result<()> {
+        let mut fields = cell_record_fields(index, spec);
+        fields.push(join_fields(payload));
+        writeln!(self.w, "{}", join_fields(&fields))?;
+        self.cells += 1;
+        Ok(())
+    }
+
+    /// Writes the `end` trailer, flushes, and returns the writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        writeln!(self.w, "{}", end_line(self.cells))?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write> fmt::Debug for EventWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventWriter")
+            .field("cells", &self.cells)
+            .finish()
+    }
+}
+
+/// One decoded cell record of a shard stream.
+#[derive(Debug, Clone)]
+pub struct ShardCell<T> {
+    /// The cell's index in the originating plan.
+    pub index: usize,
+    /// The recorded (and decode-verified) cell fingerprint.
+    pub fingerprint: u64,
+    /// The decoded cell spec.
+    pub spec: CellSpec,
+    /// The decoded result payload.
+    pub out: T,
+}
+
+/// One shard's decoded event stream.
+#[derive(Debug, Clone)]
+pub struct ShardStream<T> {
+    /// Cell count of the plan the shard ran.
+    pub plan_len: usize,
+    /// The shard's index in its partition.
+    pub shard_index: usize,
+    /// Total shards in the partition.
+    pub shard_count: usize,
+    /// Decoded cells, in the order they were written.
+    pub cells: Vec<ShardCell<T>>,
+}
+
+fn parse_header(line: &str, magic: &str) -> Result<(usize, usize, usize), CodecError> {
+    let fields = split_fields(line).map_err(|_| CodecError::Header("unreadable".into()))?;
+    let mut cur = FieldCursor::new(&fields);
+    let found = cur
+        .next_field()
+        .map_err(|_| CodecError::Header("empty".into()))?;
+    if found != magic {
+        return Err(CodecError::Header(format!(
+            "expected `{magic}`, found `{found}`"
+        )));
+    }
+    let version = cur.u32()?;
+    if version != CODEC_VERSION {
+        return Err(CodecError::Version(version));
+    }
+    let plan_len = cur.usize()?;
+    let shard_index = cur.usize()?;
+    let shard_count = cur.usize()?;
+    cur.finish()?;
+    Ok((plan_len, shard_index, shard_count))
+}
+
+/// The one record-stream grammar shared by event streams and plan
+/// slices: a [`parse_header`] line, `cell` records (index bounds check,
+/// recorded fingerprint, spec decode, fingerprint re-verification, then
+/// a format-specific tail read by `parse_tail`), and an `end` trailer
+/// whose count must match — with truncation and data-after-end
+/// rejected. Both public decoders are thin wrappers, so the grammar
+/// cannot drift between the two formats.
+fn decode_records<T>(
+    text: &str,
+    magic: &str,
+    mut parse_tail: impl FnMut(&mut FieldCursor<'_>) -> Result<T, CodecError>,
+) -> Result<ShardStream<T>, CodecError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| CodecError::Header("empty stream".into()))?;
+    let (plan_len, shard_index, shard_count) = parse_header(header, magic)?;
+    let mut cells: Vec<ShardCell<T>> = Vec::new();
+    let mut ended = false;
+    for (line_no, line) in lines {
+        if ended {
+            return Err(CodecError::Malformed(format!(
+                "line {}: data after `end` trailer",
+                line_no + 1
+            )));
+        }
+        let fields = split_fields(line).map_err(|e| e.with_line(line_no))?;
+        let mut cur = FieldCursor::new(&fields);
+        match cur.next_field().map_err(|e| e.with_line(line_no))? {
+            "cell" => {
+                let parsed = (|| {
+                    let index = cur.usize()?;
+                    if index >= plan_len {
+                        return Err(CodecError::Malformed(format!(
+                            "cell index {index} outside the {plan_len}-cell plan"
+                        )));
+                    }
+                    let fingerprint = cur.hex64()?;
+                    let spec = decode_spec(&mut cur)?;
+                    if spec.fingerprint() != fingerprint {
+                        return Err(CodecError::Fingerprint { index });
+                    }
+                    let out = parse_tail(&mut cur)?;
+                    cur.finish()?;
+                    Ok(ShardCell {
+                        index,
+                        fingerprint,
+                        spec,
+                        out,
+                    })
+                })()
+                .map_err(|e| e.with_line(line_no))?;
+                cells.push(parsed);
+            }
+            "end" => {
+                let count = cur.usize().map_err(|e| e.with_line(line_no))?;
+                cur.finish().map_err(|e| e.with_line(line_no))?;
+                if count != cells.len() {
+                    return Err(CodecError::Malformed(format!(
+                        "trailer counts {count} cells, stream has {}",
+                        cells.len()
+                    )));
+                }
+                ended = true;
+            }
+            other => {
+                return Err(CodecError::Malformed(format!(
+                    "line {}: unknown record `{other}`",
+                    line_no + 1
+                )));
+            }
+        }
+    }
+    if !ended {
+        return Err(CodecError::Truncated);
+    }
+    Ok(ShardStream {
+        plan_len,
+        shard_index,
+        shard_count,
+        cells,
+    })
+}
+
+/// Decodes one shard's event stream. `decode_payload` turns each cell's
+/// payload fields back into the result type (the harness supplies the
+/// codec for its cell-result enum; [`decode_outcome`] covers plain
+/// [`RunOutcome`] payloads).
+///
+/// Every cell's fingerprint is recomputed from its decoded spec and
+/// checked against the recorded value, so a stream written by a build
+/// with a different cell identity cannot decode silently.
+pub fn decode_events<T>(
+    text: &str,
+    decode_payload: impl Fn(&[String]) -> Result<T, CodecError>,
+) -> Result<ShardStream<T>, CodecError> {
+    decode_records(text, EVENTS_MAGIC, |cur| {
+        decode_payload(&split_fields(cur.next_field()?)?)
+    })
+}
+
+/// Reassembles per-shard event streams into the exact in-plan-order
+/// result sequence a single-process execution of `plan` produces.
+///
+/// Rejects streams from a different plan length, cells whose
+/// fingerprint disagrees with the plan's cell at that index, duplicate
+/// coverage of an index, and uncovered indices — a successful merge is
+/// lossless by construction.
+pub fn merge_streams<T>(
+    plan: &RunPlan,
+    streams: Vec<ShardStream<T>>,
+) -> Result<Vec<T>, MergeError> {
+    let mut slots: Vec<Option<T>> = plan.cells().iter().map(|_| None).collect();
+    for stream in streams {
+        if stream.plan_len != plan.len() {
+            return Err(MergeError::PlanLen {
+                expected: plan.len(),
+                found: stream.plan_len,
+            });
+        }
+        for cell in stream.cells {
+            let expected = plan.cells()[cell.index].fingerprint();
+            if expected != cell.fingerprint {
+                return Err(MergeError::Fingerprint { index: cell.index });
+            }
+            if slots[cell.index].is_some() {
+                return Err(MergeError::Duplicate { index: cell.index });
+            }
+            slots[cell.index] = Some(cell.out);
+        }
+    }
+    let missing = slots.iter().filter(|s| s.is_none()).count();
+    if missing > 0 {
+        let index = slots
+            .iter()
+            .position(Option::is_none)
+            .expect("counted missing");
+        return Err(MergeError::Missing {
+            index,
+            count: missing,
+        });
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("checked complete"))
+        .collect())
+}
+
+// ---------------------------------------------------------------------
+// Plan slice codec
+// ---------------------------------------------------------------------
+
+/// A decoded plan slice: the cells one shard should execute, with
+/// their original plan indices.
+#[derive(Debug, Clone)]
+pub struct PlanSlice {
+    /// Cell count of the full originating plan.
+    pub plan_len: usize,
+    /// The slice's shard index.
+    pub shard_index: usize,
+    /// Total shards in the partition.
+    pub shard_count: usize,
+    /// `(plan index, spec)` pairs in slice order.
+    pub cells: Vec<(usize, CellSpec)>,
+}
+
+impl PlanSlice {
+    /// The slice as an executable [`RunPlan`] (cells in slice order).
+    pub fn to_plan(&self) -> RunPlan {
+        let mut plan = RunPlan::new();
+        for (_, spec) in &self.cells {
+            plan.push(spec.clone());
+        }
+        plan
+    }
+}
+
+/// Encodes one slice of `plan` for transport to another process or
+/// machine: the same record grammar as the event stream (shared
+/// header/cell/end builders), minus payloads.
+pub fn encode_plan_slice(plan: &RunPlan, slice: &ShardSlice) -> String {
+    let mut out = String::new();
+    out.push_str(&header_line(
+        PLAN_MAGIC,
+        plan.len(),
+        slice.shard_index,
+        slice.shard_count,
+    ));
+    out.push('\n');
+    for &index in &slice.indices {
+        out.push_str(&join_fields(&cell_record_fields(
+            index,
+            &plan.cells()[index],
+        )));
+        out.push('\n');
+    }
+    out.push_str(&end_line(slice.indices.len()));
+    out.push('\n');
+    out
+}
+
+/// Decodes a plan slice written by [`encode_plan_slice`], re-verifying
+/// every cell's fingerprint against its decoded spec. Same grammar as
+/// [`decode_events`] (one shared reader), with an empty cell tail.
+pub fn decode_plan_slice(text: &str) -> Result<PlanSlice, CodecError> {
+    let stream = decode_records(text, PLAN_MAGIC, |_| Ok(()))?;
+    Ok(PlanSlice {
+        plan_len: stream.plan_len,
+        shard_index: stream.shard_index,
+        shard_count: stream.shard_count,
+        cells: stream
+            .cells
+            .into_iter()
+            .map(|c| (c.index, c.spec))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_sim::time::SimDuration;
+    use vcb_sim::Api;
+
+    fn spec(workload: &str, label: &str, n: u64, api: Api, device: &str) -> CellSpec {
+        CellSpec {
+            workload: workload.into(),
+            size: SizeSpec::new(label, n),
+            api,
+            device: device.into(),
+            opts: RunOpts::default(),
+        }
+    }
+
+    fn sample_plan() -> RunPlan {
+        let mut plan = RunPlan::new();
+        plan.push(spec("stride", "sweep", 0, Api::OpenCl, "GTX 1050 Ti"));
+        plan.push(spec("bfs", "4K", 4096, Api::OpenCl, "GTX 1050 Ti"));
+        plan.push(spec("bfs", "4K", 4096, Api::Vulkan, "GTX 1050 Ti"));
+        plan.push(spec("gaussian", "208", 208, Api::OpenCl, "Mali T-880"));
+        plan.push(spec("gaussian", "208", 208, Api::Vulkan, "Mali T-880"));
+        // Intra-plan duplicate of cell 3 (e.g. fig2 + overheads).
+        plan.push(spec("gaussian", "208", 208, Api::OpenCl, "Mali T-880"));
+        plan
+    }
+
+    #[test]
+    fn escape_round_trips_control_characters() {
+        for s in [
+            "plain",
+            "tab\there",
+            "newline\nhere",
+            "cr\rhere",
+            "back\\slash",
+            "\\t literal",
+            "mixed\t\\\n\r end",
+            "",
+        ] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s, "{s:?}");
+        }
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\x").is_err());
+    }
+
+    #[test]
+    fn join_split_round_trips_fields() {
+        let fields = ["a", "with\ttab", "with\nnewline", "", "with\\backslash"];
+        let line = join_fields(&fields);
+        assert!(!line.contains('\n'), "record lines must stay single-line");
+        assert_eq!(split_fields(&line).unwrap(), fields);
+    }
+
+    #[test]
+    fn spec_round_trips_identity_exactly() {
+        let mut exotic = spec("nw", "2K", 2048, Api::Cuda, "Device with\ttab");
+        exotic.size.aux = 7;
+        exotic.opts.trace_mode = TraceMode::Sampled(16);
+        exotic.opts.scale = 0.017; // not exactly representable
+        exotic.opts.seed = u64::MAX;
+        exotic.opts.sim_threads = 4;
+        exotic.opts.sim_threads_exact = true;
+        exotic.opts.validate = false;
+        for original in [spec("bfs", "4K", 4096, Api::Vulkan, "GTX 1050 Ti"), exotic] {
+            let fields = spec_fields(&original);
+            let mut cur = FieldCursor::new(&fields);
+            let decoded = decode_spec(&mut cur).unwrap();
+            cur.finish().unwrap();
+            assert_eq!(decoded.key(), original.key());
+            assert_eq!(decoded.fingerprint(), original.fingerprint());
+        }
+    }
+
+    fn sample_record() -> RunRecord {
+        let mut breakdown = vcb_sim::timeline::TimingBreakdown::new();
+        breakdown.charge(CostKind::JitCompile, SimDuration::from_picos(123_456));
+        breakdown.charge(CostKind::KernelExec, SimDuration::from_picos(999_999_999));
+        let mut calls = vcb_sim::calls::CallCounter::new();
+        calls.record("clCreateBuffer");
+        calls.record("clCreateBuffer");
+        calls.record("clEnqueueNDRangeKernel");
+        RunRecord {
+            workload: "gaussian".into(),
+            api: Api::OpenCl,
+            device: "Mali T-880".into(),
+            size: "208".into(),
+            kernel_time: SimDuration::from_picos(42),
+            total_time: SimDuration::from_picos(4242),
+            breakdown,
+            calls,
+            validated: true,
+            fingerprint: 0xdead_beef_cafe_f00d,
+        }
+    }
+
+    #[test]
+    fn outcome_round_trips_records_and_failures() {
+        let record = sample_record();
+        let outcomes: Vec<RunOutcome> = vec![
+            Ok(record.clone()),
+            Err(RunFailure::OutOfMemory),
+            Err(RunFailure::DriverFailure),
+            Err(RunFailure::Unsupported),
+            Err(RunFailure::Error("boom\twith tab\nand newline".into())),
+        ];
+        for out in outcomes {
+            let fields = outcome_fields(&out);
+            let mut cur = FieldCursor::new(&fields);
+            let decoded = decode_outcome(&mut cur).unwrap();
+            cur.finish().unwrap();
+            match (&out, &decoded) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.workload, b.workload);
+                    assert_eq!(a.api, b.api);
+                    assert_eq!(a.device, b.device);
+                    assert_eq!(a.size, b.size);
+                    assert_eq!(a.kernel_time, b.kernel_time);
+                    assert_eq!(a.total_time, b.total_time);
+                    assert_eq!(a.validated, b.validated);
+                    assert_eq!(a.fingerprint, b.fingerprint);
+                    for kind in CostKind::ALL {
+                        assert_eq!(a.breakdown.get(kind), b.breakdown.get(kind), "{kind}");
+                    }
+                    let a_calls: Vec<_> = a.calls.iter().collect();
+                    let b_calls: Vec<_> = b.calls.iter().collect();
+                    assert_eq!(a_calls, b_calls);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("outcome diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_covers_every_index_once() {
+        let plan = sample_plan();
+        for shards in 1..=4 {
+            let a = plan.partition(shards);
+            let b = plan.partition(shards);
+            assert_eq!(a, b, "partition({shards}) must be deterministic");
+            assert_eq!(a.len(), shards);
+            let mut seen: Vec<usize> = a.iter().flat_map(|s| s.indices.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(
+                seen,
+                (0..plan.len()).collect::<Vec<_>>(),
+                "every plan index in exactly one shard ({shards} shards)"
+            );
+            for (i, slice) in a.iter().enumerate() {
+                assert_eq!(slice.shard_index, i);
+                assert_eq!(slice.shard_count, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_keeps_duplicate_cells_in_one_shard() {
+        let plan = sample_plan();
+        // Cells 3 and 5 are identical; whatever the shard count, they
+        // must land in the same slice so the cell executes exactly once.
+        for shards in 2..=4 {
+            let slices = plan.partition(shards);
+            let home = |index: usize| {
+                slices
+                    .iter()
+                    .position(|s| s.indices.contains(&index))
+                    .unwrap()
+            };
+            assert_eq!(home(3), home(5), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn partition_balances_equal_cost_groups() {
+        let mut plan = RunPlan::new();
+        for i in 0..8 {
+            plan.push(spec("bfs", "4K", 4096, Api::Vulkan, &format!("D{i}")));
+        }
+        let slices = plan.partition(2);
+        assert_eq!(slices[0].indices.len(), 4);
+        assert_eq!(slices[1].indices.len(), 4);
+    }
+
+    #[test]
+    fn partition_handles_degenerate_shapes() {
+        let empty = RunPlan::new();
+        let slices = empty.partition(3);
+        assert_eq!(slices.len(), 3);
+        assert!(slices.iter().all(|s| s.indices.is_empty()));
+        // More shards than unique cells: trailing slices stay empty.
+        let mut one = RunPlan::new();
+        one.push(spec("bfs", "4K", 4096, Api::Vulkan, "A"));
+        let slices = one.partition(4);
+        assert_eq!(slices[0].indices, [0]);
+        assert!(slices[1..].iter().all(|s| s.indices.is_empty()));
+        // partition(0) clamps to one shard.
+        assert_eq!(one.partition(0).len(), 1);
+    }
+
+    fn encode_stream(plan: &RunPlan, slice: &ShardSlice) -> String {
+        let mut w =
+            EventWriter::new(Vec::new(), plan.len(), slice.shard_index, slice.shard_count).unwrap();
+        for &index in &slice.indices {
+            let spec = &plan.cells()[index];
+            // Payload: an arbitrary per-cell string with hostile bytes.
+            let payload = vec![format!("out\t{index}\n"), spec.workload.clone()];
+            w.cell(index, spec, &payload).unwrap();
+        }
+        String::from_utf8(w.finish().unwrap()).unwrap()
+    }
+
+    fn decode_payload(fields: &[String]) -> Result<String, CodecError> {
+        Ok(fields.join("|"))
+    }
+
+    #[test]
+    fn event_streams_round_trip_and_merge_in_plan_order() {
+        let plan = sample_plan();
+        let slices = plan.partition(2);
+        let streams: Vec<ShardStream<String>> = slices
+            .iter()
+            .map(|s| decode_events(&encode_stream(&plan, s), decode_payload).unwrap())
+            .collect();
+        for (stream, slice) in streams.iter().zip(&slices) {
+            assert_eq!(stream.plan_len, plan.len());
+            assert_eq!(stream.shard_index, slice.shard_index);
+            assert_eq!(stream.shard_count, 2);
+            let indices: Vec<usize> = stream.cells.iter().map(|c| c.index).collect();
+            assert_eq!(indices, slice.indices);
+            for cell in &stream.cells {
+                assert_eq!(cell.spec.key(), plan.cells()[cell.index].key());
+            }
+        }
+        let merged = merge_streams(&plan, streams).unwrap();
+        let expected: Vec<String> = (0..plan.len())
+            .map(|i| format!("out\t{i}\n|{}", plan.cells()[i].workload))
+            .collect();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_cells() {
+        let plan = sample_plan();
+        let slices = plan.partition(2);
+        let text0 = encode_stream(&plan, &slices[0]);
+        let text1 = encode_stream(&plan, &slices[1]);
+        // The same shard stream twice: its first index is duplicated.
+        let streams = vec![
+            decode_events(&text0, decode_payload).unwrap(),
+            decode_events(&text0, decode_payload).unwrap(),
+            decode_events(&text1, decode_payload).unwrap(),
+        ];
+        let err = merge_streams(&plan, streams).unwrap_err();
+        assert!(matches!(err, MergeError::Duplicate { .. }), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_missing_cells() {
+        let plan = sample_plan();
+        let slices = plan.partition(2);
+        let streams =
+            vec![decode_events(&encode_stream(&plan, &slices[0]), decode_payload).unwrap()];
+        let err = merge_streams(&plan, streams).unwrap_err();
+        let MergeError::Missing { count, .. } = err else {
+            panic!("expected Missing, got {err}");
+        };
+        assert_eq!(count, slices[1].indices.len());
+    }
+
+    #[test]
+    fn merge_rejects_fingerprint_mismatches() {
+        let plan = sample_plan();
+        let slices = plan.partition(1);
+        let stream = decode_events(&encode_stream(&plan, &slices[0]), decode_payload).unwrap();
+        // The same cells merged against a plan with a different seed:
+        // every fingerprint disagrees.
+        let mut other = RunPlan::new();
+        for cell in plan.cells() {
+            let mut c = cell.clone();
+            c.opts.seed ^= 1;
+            other.push(c);
+        }
+        let err = merge_streams(&other, vec![stream]).unwrap_err();
+        assert!(matches!(err, MergeError::Fingerprint { .. }), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_plan_length_mismatches() {
+        let plan = sample_plan();
+        let stream =
+            decode_events(&encode_stream(&plan, &plan.partition(1)[0]), decode_payload).unwrap();
+        let mut longer = plan.clone();
+        longer.push(spec("nn", "8M", 8 << 20, Api::Vulkan, "B"));
+        let err = merge_streams(&longer, vec![stream]).unwrap_err();
+        assert!(matches!(err, MergeError::PlanLen { .. }), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_other_codec_versions() {
+        let plan = sample_plan();
+        let text = encode_stream(&plan, &plan.partition(1)[0]);
+        let bumped = text.replacen(
+            &format!("vcb-events\t{CODEC_VERSION}"),
+            &format!("vcb-events\t{}", CODEC_VERSION + 1),
+            1,
+        );
+        let err = decode_events(&bumped, decode_payload).unwrap_err();
+        assert_eq!(err, CodecError::Version(CODEC_VERSION + 1));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_tampered_streams() {
+        let plan = sample_plan();
+        let text = encode_stream(&plan, &plan.partition(1)[0]);
+        // Cut off the `end` trailer.
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(
+            decode_events(&truncated, decode_payload).unwrap_err(),
+            CodecError::Truncated
+        );
+        // Tamper with a recorded fingerprint: flip one hex digit of
+        // cell 0's fingerprint field.
+        let fp = format!("{:016x}", plan.cells()[0].fingerprint());
+        let mut flipped = fp.clone();
+        let last = flipped.pop().unwrap();
+        flipped.push(if last == '0' { '1' } else { '0' });
+        let tampered = text.replacen(&fp, &flipped, 1);
+        assert_ne!(tampered, text, "fingerprint must appear in the stream");
+        let err = decode_events(&tampered, decode_payload).unwrap_err();
+        assert_eq!(err, CodecError::Fingerprint { index: 0 });
+        // Garbage header.
+        assert!(matches!(
+            decode_events("nonsense\n", decode_payload).unwrap_err(),
+            CodecError::Header(_)
+        ));
+        assert!(matches!(
+            decode_events("", decode_payload).unwrap_err(),
+            CodecError::Header(_)
+        ));
+    }
+
+    #[test]
+    fn plan_slices_round_trip() {
+        let plan = sample_plan();
+        for slice in plan.partition(2) {
+            let text = encode_plan_slice(&plan, &slice);
+            let decoded = decode_plan_slice(&text).unwrap();
+            assert_eq!(decoded.plan_len, plan.len());
+            assert_eq!(decoded.shard_index, slice.shard_index);
+            assert_eq!(decoded.shard_count, slice.shard_count);
+            let indices: Vec<usize> = decoded.cells.iter().map(|(i, _)| *i).collect();
+            assert_eq!(indices, slice.indices);
+            for (index, spec) in &decoded.cells {
+                assert_eq!(spec.key(), plan.cells()[*index].key());
+            }
+            let sub = decoded.to_plan();
+            assert_eq!(sub.len(), slice.indices.len());
+        }
+        // Version drift is rejected for plan slices too.
+        let text = encode_plan_slice(&plan, &plan.partition(1)[0]);
+        let bumped = text.replacen(
+            &format!("vcb-plan\t{CODEC_VERSION}"),
+            &format!("vcb-plan\t{}", CODEC_VERSION + 99),
+            1,
+        );
+        assert_eq!(
+            decode_plan_slice(&bumped).unwrap_err(),
+            CodecError::Version(CODEC_VERSION + 99)
+        );
+    }
+
+    #[test]
+    fn cell_costs_rank_sweeps_and_sizes_sensibly() {
+        let small = spec("bfs", "4k", 4096, Api::Vulkan, "A");
+        let large = spec("nn", "8M", 8 << 20, Api::Vulkan, "A");
+        let sweep = spec("stride", "sweep", 0, Api::Vulkan, "A");
+        assert!(cell_cost(&large) > cell_cost(&small));
+        assert!(cell_cost(&sweep) > cell_cost(&small));
+        // Cost scales with the run's iteration-scale factor.
+        let mut scaled = large.clone();
+        scaled.opts.scale = 0.01;
+        assert!(cell_cost(&scaled) < cell_cost(&large));
+        assert!(cell_cost(&scaled) >= 1);
+    }
+}

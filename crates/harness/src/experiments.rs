@@ -476,6 +476,19 @@ impl Session {
         })
     }
 
+    /// Seeds the result cache with one result per cell of `plan`, in
+    /// plan order — how `vcb merge` injects cross-process shard results
+    /// so every render stage afterwards resolves purely from cache,
+    /// producing output byte-identical to a local run. `outs` must be
+    /// plan-ordered (the contract [`vcb_core::shard::merge_streams`]
+    /// guarantees).
+    pub fn seed_cache(&mut self, plan: &RunPlan, outs: Vec<CellOut>) {
+        assert_eq!(plan.len(), outs.len(), "one result per planned cell");
+        for (spec, out) in plan.cells().iter().zip(outs) {
+            self.cache.insert(spec.key(), out);
+        }
+    }
+
     /// Executes an arbitrary plan through the session's cache.
     pub fn execute(
         &mut self,

@@ -10,7 +10,7 @@
 use std::process::ExitCode;
 
 use vcb_harness::experiments::{ExperimentOpts, Session};
-use vcb_harness::stream::{BandwidthCsvStream, PanelCsvStream, Progress, Tee};
+use vcb_harness::stream::{BandwidthCsvStream, PanelCsvStream, Progress, ShardEventStream, Tee};
 use vcb_harness::{ablate, render};
 use vcb_sim::profile::{devices, DeviceClass};
 
@@ -33,6 +33,10 @@ COMMANDS:
     overheads   §V-A2 total-vs-kernel time decomposition
     ablate      §VI-B recommendation ablations
     all         everything above, in paper order
+    merge F...  reassemble shard event streams (see --shards) and
+                render `all` byte-identical to an unsharded run (the
+                §VI-B ablations, which are not matrix cells, re-run
+                locally in the merge process)
     plan [CMD]  print the run plan of CMD (default: all) without running
 
 OPTIONS:
@@ -49,6 +53,14 @@ OPTIONS:
     --csv FILE      also write machine-readable results to FILE
                     (streamed incrementally as cells finish)
     --seed N        input-generation seed
+
+SHARDING (`all` only; every process must use identical options):
+    --shards N        partition the run plan into N deterministic,
+                      cost-balanced slices instead of running them all
+    --shard-index I   execute only slice I (0-based; requires --shards)
+    --events FILE     write the slice's encoded cell-event stream to
+                      FILE (required with --shards); feed the files of
+                      all N shards to `vcb merge`
 ";
 
 struct Cli {
@@ -56,6 +68,11 @@ struct Cli {
     plan_target: String,
     opts: ExperimentOpts,
     csv_path: Option<String>,
+    shards: Option<usize>,
+    shard_index: Option<usize>,
+    events_path: Option<String>,
+    /// Positional event-stream paths of the `merge` command.
+    inputs: Vec<String>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -82,6 +99,10 @@ fn parse_args() -> Result<Cli, String> {
         _ => ExperimentOpts::quick(),
     };
     let mut csv_path = None;
+    let mut shards = None;
+    let mut shard_index = None;
+    let mut events_path = None;
+    let mut inputs = Vec::new();
     let list = |v: Option<String>, what: &str| -> Result<Vec<String>, String> {
         Ok(v.ok_or(format!("{what} needs a value"))?
             .split(',')
@@ -93,6 +114,28 @@ fn parse_args() -> Result<Cli, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "--paper-scale" => {}
+            "--shards" => {
+                let n = args
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --shards value: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                shards = Some(n);
+            }
+            "--shard-index" => {
+                let i = args
+                    .next()
+                    .ok_or("--shard-index needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --shard-index value: {e}"))?;
+                shard_index = Some(i);
+            }
+            "--events" => {
+                events_path = Some(args.next().ok_or("--events needs a file path")?);
+            }
             "--threads" => {
                 let n = args
                     .next()
@@ -132,14 +175,45 @@ fn parse_args() -> Result<Cli, String> {
             "--csv" => {
                 csv_path = Some(args.next().ok_or("--csv needs a file path")?);
             }
+            other if command == "merge" && !other.starts_with("--") => {
+                inputs.push(other.to_owned());
+            }
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
+    }
+    let sharding = shards.is_some() || shard_index.is_some() || events_path.is_some();
+    if sharding {
+        if command != "all" {
+            return Err("--shards/--shard-index/--events only apply to `vcb all`".into());
+        }
+        let (Some(n), Some(i), Some(_)) = (shards, shard_index, &events_path) else {
+            return Err(
+                "sharded runs need all three of --shards, --shard-index and --events".into(),
+            );
+        };
+        if i >= n {
+            return Err(format!("--shard-index {i} out of range for --shards {n}"));
+        }
+        if csv_path.is_some() {
+            return Err(
+                "--csv has no effect on a shard run (shards only emit event streams); \
+                 pass it to `vcb merge` instead"
+                    .into(),
+            );
+        }
+    }
+    if command == "merge" && inputs.is_empty() {
+        return Err("merge needs at least one event-stream file".into());
     }
     Ok(Cli {
         command,
         plan_target,
         opts,
         csv_path,
+        shards,
+        shard_index,
+        events_path,
+        inputs,
     })
 }
 
@@ -225,6 +299,98 @@ fn run_ablate(registry: &std::sync::Arc<vcb_sim::KernelRegistry>, opts: &Experim
     println!();
 }
 
+/// The full `vcb all` report sequence: warm the union plan on one
+/// shared pool, then render every table and figure from cache. Both the
+/// unsharded `all` command and `merge` (with a cache seeded from shard
+/// event streams instead of local execution) go through this one
+/// function, which is what makes their stdout and CSV byte-identical.
+fn run_all_reports(
+    session: &mut Session,
+    registry: &std::sync::Arc<vcb_sim::KernelRegistry>,
+    opts: &ExperimentOpts,
+    csv: Option<&str>,
+) {
+    println!("{}", render::table1());
+    println!("{}", render::platform_table(DeviceClass::Desktop));
+    // Warm the union of every figure's plan on one pool spanning
+    // all devices and figures; shared cells simulate once, and
+    // the figure stages below render entirely from cache.
+    let plan = session.plan_all();
+    let mut progress = Progress::new(session.pending_cells(&plan));
+    session.execute(&plan, &mut progress);
+    run_bandwidth_fig(session, csv, FIG1_TITLE, false);
+    run_speedup_fig(session, csv, FIG2_TITLE, false);
+    println!("{}", render::platform_table(DeviceClass::Mobile));
+    run_bandwidth_fig(session, csv, FIG3_TITLE, true);
+    run_speedup_fig(session, csv, FIG4_TITLE, true);
+    run_effort(session);
+    run_overheads(session);
+    run_ablate(registry, opts);
+}
+
+/// Executes one deterministic slice of the `vcb all` plan and writes
+/// its encoded cell-event stream — the per-process half of cross-
+/// process sharding. No rendering happens here; `vcb merge` does that
+/// once every shard's stream exists. (The §VI-B ablations are direct
+/// micro-studies outside the matrix plan, so shards skip them and the
+/// merge process re-runs them locally.)
+fn run_shard_slice(
+    session: &mut Session,
+    shards: usize,
+    index: usize,
+    events: &str,
+) -> Result<(), String> {
+    let plan = session.plan_all();
+    let slices = plan.partition(shards);
+    let slice = &slices[index];
+    let sub = plan.subset(&slice.indices);
+    eprintln!(
+        "vcb: shard {}/{}: {} of {} plan cells",
+        index,
+        shards,
+        slice.indices.len(),
+        plan.len()
+    );
+    let mut stream = ShardEventStream::create(events, plan.len(), slice)?;
+    let mut progress = Progress::new(session.pending_cells(&sub));
+    session.execute(&sub, &mut Tee(&mut progress, &mut stream));
+    stream.finish()
+}
+
+/// Decodes shard event streams, merges them against the locally
+/// re-derived plan (rejecting duplicate, missing and fingerprint-
+/// mismatched cells), seeds the session cache, and renders the full
+/// `all` report from it. Every matrix cell comes from the streams; the
+/// only simulations this process runs are the §VI-B ablations, which
+/// live outside the plan.
+fn run_merge(
+    session: &mut Session,
+    registry: &std::sync::Arc<vcb_sim::KernelRegistry>,
+    inputs: &[String],
+    opts: &ExperimentOpts,
+    csv: Option<&str>,
+) -> Result<(), String> {
+    let plan = session.plan_all();
+    let mut streams = Vec::new();
+    for path in inputs {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+        let stream = vcb_core::shard::decode_events(&text, vcb_harness::stream::decode_cell_out)
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "vcb: merge: {path}: shard {}/{}, {} cells",
+            stream.shard_index,
+            stream.shard_count,
+            stream.cells.len()
+        );
+        streams.push(stream);
+    }
+    let outs = vcb_core::shard::merge_streams(&plan, streams).map_err(|e| e.to_string())?;
+    session.seed_cache(&plan, outs);
+    run_all_reports(session, registry, opts, csv);
+    Ok(())
+}
+
 fn print_plan(session: &Session, target: &str) -> Result<(), String> {
     let plan = session
         .plan_for(target)
@@ -303,23 +469,20 @@ fn main() -> ExitCode {
         "effort" => run_effort(&mut session),
         "overheads" => run_overheads(&mut session),
         "ablate" => run_ablate(&registry, &cli.opts),
-        "all" => {
-            println!("{}", render::table1());
-            println!("{}", render::platform_table(DeviceClass::Desktop));
-            // Warm the union of every figure's plan on one pool spanning
-            // all devices and figures; shared cells simulate once, and
-            // the figure stages below render entirely from cache.
-            let plan = session.plan_all();
-            let mut progress = Progress::new(session.pending_cells(&plan));
-            session.execute(&plan, &mut progress);
-            run_bandwidth_fig(&mut session, csv, FIG1_TITLE, false);
-            run_speedup_fig(&mut session, csv, FIG2_TITLE, false);
-            println!("{}", render::platform_table(DeviceClass::Mobile));
-            run_bandwidth_fig(&mut session, csv, FIG3_TITLE, true);
-            run_speedup_fig(&mut session, csv, FIG4_TITLE, true);
-            run_effort(&mut session);
-            run_overheads(&mut session);
-            run_ablate(&registry, &cli.opts);
+        "all" => match (cli.shards, cli.shard_index, &cli.events_path) {
+            (Some(shards), Some(index), Some(events)) => {
+                if let Err(msg) = run_shard_slice(&mut session, shards, index, events) {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            _ => run_all_reports(&mut session, &registry, &cli.opts, csv),
+        },
+        "merge" => {
+            if let Err(msg) = run_merge(&mut session, &registry, &cli.inputs, &cli.opts, csv) {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
         }
         "plan" => {
             if let Err(msg) = print_plan(&session, &cli.plan_target) {

@@ -1,23 +1,31 @@
-//! Streaming sinks for the matrix executor: progress lines on stderr
-//! and incremental CSV files that replace the old post-hoc `write_csv`.
+//! Streaming sinks for the matrix executor: progress lines on stderr,
+//! incremental CSV files that replace the old post-hoc `write_csv`,
+//! and the shard event stream that carries one process's slice of the
+//! matrix to a later `vcb merge`.
 //!
 //! [`CellEvent`]s arrive in completion order; the CSV sinks buffer by
 //! plan index and flush the ready prefix, so the file grows in plan
 //! order while cells are still executing — and ends byte-identical to
 //! the old whole-figure render (same row builders, same quoting; see
-//! `render::panel_csv_cells` / `render::bandwidth_csv_cells`).
+//! `render::panel_csv_cells` / `render::bandwidth_csv_cells`). The
+//! shard sink buffers the same way, so event files are written in plan
+//! order and a partially-written file shows exactly how far the shard
+//! got.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 
-use vcb_core::plan::{CellEvent, EventSink};
+use vcb_core::plan::{CellEvent, CellSpec, EventSink};
 use vcb_core::report::csv_line;
 use vcb_core::run::RunRecord;
+use vcb_core::shard::{self, CodecError, EventWriter, FieldCursor, ShardSlice};
+use vcb_sim::time::SimDuration;
 use vcb_sim::Api;
 
 use crate::experiments::{CellOut, MatrixCell};
 use crate::render;
+use vcb_workloads::micro::stride::BandwidthSample;
 
 /// Progress lines on stderr: one line per *executed* cell (cache hits
 /// and intra-plan duplicates stay silent, so a fully-warmed stage prints
@@ -268,10 +276,173 @@ impl EventSink<CellOut> for BandwidthCsvStream {
     }
 }
 
+/// Encodes one [`CellOut`] as shard-event payload fields: a `run`
+/// outcome through the core codec, or a `curve` (one Fig. 1 / Fig. 3
+/// bandwidth sweep) with every sample's stride, exact byte-rate bit
+/// pattern and per-repetition time.
+pub fn cell_out_fields(out: &CellOut) -> Vec<String> {
+    match out {
+        CellOut::Run(outcome) => {
+            let mut f = vec!["run".to_owned()];
+            f.extend(shard::outcome_fields(outcome));
+            f
+        }
+        CellOut::Curve(Ok(samples)) => {
+            let mut f = vec![
+                "curve".to_owned(),
+                "ok".to_owned(),
+                samples.len().to_string(),
+            ];
+            for s in samples {
+                f.push(s.stride.to_string());
+                f.push(format!("{:016x}", s.bytes_per_sec.to_bits()));
+                f.push(s.time_per_rep.as_picos().to_string());
+            }
+            f
+        }
+        CellOut::Curve(Err(e)) => {
+            let mut f = vec!["curve".to_owned(), "err".to_owned()];
+            f.extend(shard::failure_fields(e));
+            f
+        }
+    }
+}
+
+/// Decodes the payload fields written by [`cell_out_fields`] — the
+/// closure `vcb merge` hands to [`vcb_core::shard::decode_events`].
+pub fn decode_cell_out(fields: &[String]) -> Result<CellOut, CodecError> {
+    let mut cur = FieldCursor::new(fields);
+    let out = match cur.next_field()? {
+        "run" => CellOut::Run(shard::decode_outcome(&mut cur)?),
+        "curve" => match cur.next_field()? {
+            "ok" => {
+                let count = cur.usize()?;
+                // Capacity is bounded by the record itself (3 fields per
+                // sample), not by the file-controlled count — a corrupt
+                // count must surface as a decode error, never an
+                // allocation abort.
+                let mut samples = Vec::with_capacity(count.min(fields.len() / 3 + 1));
+                for _ in 0..count {
+                    samples.push(BandwidthSample {
+                        stride: cur.u32()?,
+                        bytes_per_sec: f64::from_bits(cur.hex64()?),
+                        time_per_rep: SimDuration::from_picos(cur.u64()?),
+                    });
+                }
+                CellOut::Curve(Ok(samples))
+            }
+            "err" => CellOut::Curve(Err(shard::decode_failure(&mut cur)?)),
+            other => {
+                return Err(CodecError::Malformed(format!("bad curve tag `{other}`")));
+            }
+        },
+        other => {
+            return Err(CodecError::Malformed(format!("bad payload tag `{other}`")));
+        }
+    };
+    cur.finish()?;
+    Ok(out)
+}
+
+/// An [`EventSink`] that writes one shard's slice of the matrix as an
+/// encoded event stream. The executor delivers slice-local indices in
+/// completion order; the sink buffers them, translates back to the
+/// original plan indices, and flushes the ready prefix — so the file
+/// grows in plan order and a crash leaves a readable (if truncated)
+/// stream behind.
+#[derive(Debug)]
+pub struct ShardEventStream {
+    path: String,
+    writer: Option<EventWriter<BufWriter<File>>>,
+    error: Option<std::io::Error>,
+    /// Slice-local index → original plan index.
+    orig: Vec<usize>,
+    pending: BTreeMap<usize, (CellSpec, Vec<String>)>,
+    next: usize,
+}
+
+impl ShardEventStream {
+    /// Opens `path` and writes the stream header for one slice of a
+    /// `plan_len`-cell plan.
+    pub fn create(
+        path: &str,
+        plan_len: usize,
+        slice: &ShardSlice,
+    ) -> Result<ShardEventStream, String> {
+        let file = File::create(path).map_err(|e| format!("failed to create {path}: {e}"))?;
+        let writer = EventWriter::new(
+            BufWriter::new(file),
+            plan_len,
+            slice.shard_index,
+            slice.shard_count,
+        )
+        .map_err(|e| format!("failed to write {path}: {e}"))?;
+        Ok(ShardEventStream {
+            path: path.to_owned(),
+            writer: Some(writer),
+            error: None,
+            orig: slice.indices.clone(),
+            pending: BTreeMap::new(),
+            next: 0,
+        })
+    }
+
+    fn flush_ready(&mut self) {
+        while let Some((spec, payload)) = self.pending.remove(&self.next) {
+            let index = self.orig[self.next];
+            self.next += 1;
+            if let Some(w) = &mut self.writer {
+                if let Err(e) = w.cell(index, &spec, &payload) {
+                    self.error = Some(e);
+                    self.writer = None;
+                }
+            }
+        }
+    }
+
+    /// Writes the `end` trailer and reports the stream path on stderr;
+    /// fails if any write failed or cells are still pending.
+    pub fn finish(mut self) -> Result<(), String> {
+        self.flush_ready();
+        if self.next != self.orig.len() {
+            return Err(format!(
+                "shard stream incomplete: {}/{} cells resolved",
+                self.next,
+                self.orig.len()
+            ));
+        }
+        if let Some(w) = self.writer.take() {
+            if let Err(e) = w.finish() {
+                self.error = Some(e);
+            }
+        }
+        match self.error {
+            None => {
+                eprintln!("wrote {}", self.path);
+                Ok(())
+            }
+            Some(e) => Err(format!("failed to write {}: {e}", self.path)),
+        }
+    }
+}
+
+impl EventSink<CellOut> for ShardEventStream {
+    fn event(&mut self, event: CellEvent<'_, CellOut>) {
+        let CellEvent::Finished {
+            index, spec, out, ..
+        } = event
+        else {
+            return;
+        };
+        self.pending
+            .insert(index, (spec.clone(), cell_out_fields(out)));
+        self.flush_ready();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vcb_core::plan::CellSpec;
     use vcb_core::run::{RunFailure, SizeSpec};
     use vcb_core::workload::RunOpts;
 
@@ -383,6 +554,140 @@ mod tests {
         sink.finish();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.lines().count() == 2 && text.contains("bfs"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cell_out_payloads_round_trip() {
+        use vcb_sim::calls::CallCounter;
+        use vcb_sim::timeline::{CostKind, TimingBreakdown};
+        let mut breakdown = TimingBreakdown::new();
+        breakdown.charge(CostKind::Transfer, SimDuration::from_picos(777));
+        let mut calls = CallCounter::new();
+        calls.record("vkCreateBuffer");
+        calls.record("vkCreateBuffer");
+        let record = vcb_core::run::RunRecord {
+            workload: "bfs".into(),
+            api: Api::Vulkan,
+            device: "GTX 1050 Ti".into(),
+            size: "4K".into(),
+            kernel_time: SimDuration::from_picos(123),
+            total_time: SimDuration::from_picos(456),
+            breakdown,
+            calls,
+            validated: false,
+            fingerprint: 0x0123_4567_89ab_cdef,
+        };
+        let samples = vec![
+            BandwidthSample {
+                stride: 1,
+                bytes_per_sec: 94.08e9,
+                time_per_rep: SimDuration::from_picos(1_000_000),
+            },
+            BandwidthSample {
+                stride: 32,
+                bytes_per_sec: 0.1234567891234e9,
+                time_per_rep: SimDuration::from_picos(9),
+            },
+        ];
+        let outs = vec![
+            CellOut::Run(Ok(record.clone())),
+            CellOut::Run(Err(RunFailure::OutOfMemory)),
+            CellOut::Curve(Ok(samples.clone())),
+            CellOut::Curve(Err(RunFailure::Error("no sweep\there".into()))),
+        ];
+        for out in &outs {
+            let decoded = decode_cell_out(&cell_out_fields(out)).unwrap();
+            match (out, &decoded) {
+                (CellOut::Run(Ok(a)), CellOut::Run(Ok(b))) => {
+                    assert_eq!(a.kernel_time, b.kernel_time);
+                    assert_eq!(a.fingerprint, b.fingerprint);
+                    assert_eq!(a.validated, b.validated);
+                    assert_eq!(
+                        a.breakdown.get(CostKind::Transfer),
+                        b.breakdown.get(CostKind::Transfer)
+                    );
+                    assert_eq!(
+                        a.calls.count("vkCreateBuffer"),
+                        b.calls.count("vkCreateBuffer")
+                    );
+                    assert_eq!(a.calls.total(), b.calls.total());
+                }
+                (CellOut::Run(Err(a)), CellOut::Run(Err(b))) => assert_eq!(a, b),
+                (CellOut::Curve(Ok(a)), CellOut::Curve(Ok(b))) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.stride, y.stride);
+                        // Bit-exact float round trip, not approximate.
+                        assert_eq!(x.bytes_per_sec.to_bits(), y.bytes_per_sec.to_bits());
+                        assert_eq!(x.time_per_rep, y.time_per_rep);
+                    }
+                }
+                (CellOut::Curve(Err(a)), CellOut::Curve(Err(b))) => assert_eq!(a, b),
+                (a, b) => panic!("payload diverged: {a:?} vs {b:?}"),
+            }
+        }
+        // Unknown payload tags are rejected, not misread.
+        assert!(decode_cell_out(&["bogus".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn shard_event_stream_buffers_and_translates_indices() {
+        let plan_spec = |w: &str, api: Api| spec(w, "4K", api, "D");
+        let slice = ShardSlice {
+            shard_index: 0,
+            shard_count: 2,
+            indices: vec![2, 5, 7],
+        };
+        let dir = std::env::temp_dir().join("vcb_shard_event_stream_test.events");
+        let path = dir.to_str().unwrap().to_owned();
+        let mut sink = ShardEventStream::create(&path, 9, &slice).unwrap();
+        let cl = plan_spec("bfs", Api::OpenCl);
+        let vk = plan_spec("bfs", Api::Vulkan);
+        let nw = plan_spec("nw", Api::OpenCl);
+        let out = CellOut::Run(Err(RunFailure::DriverFailure));
+        // Slice-local completion order 1, 0, 2 must still produce the
+        // original plan indices 2, 5, 7 in file order.
+        for (local, s) in [(1usize, &vk), (0, &cl), (2, &nw)] {
+            sink.event(CellEvent::Finished {
+                index: local,
+                spec: s,
+                out: &out,
+                cached: false,
+            });
+        }
+        sink.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stream = vcb_core::shard::decode_events(&text, decode_cell_out).unwrap();
+        assert_eq!(stream.plan_len, 9);
+        assert_eq!(stream.shard_count, 2);
+        let indices: Vec<usize> = stream.cells.iter().map(|c| c.index).collect();
+        assert_eq!(indices, [2, 5, 7]);
+        assert_eq!(stream.cells[0].spec.key(), cl.key());
+        assert_eq!(stream.cells[1].spec.key(), vk.key());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_event_stream_rejects_incomplete_slices() {
+        let slice = ShardSlice {
+            shard_index: 1,
+            shard_count: 2,
+            indices: vec![0, 1],
+        };
+        let dir = std::env::temp_dir().join("vcb_shard_event_incomplete_test.events");
+        let path = dir.to_str().unwrap().to_owned();
+        let mut sink = ShardEventStream::create(&path, 2, &slice).unwrap();
+        let s = spec("bfs", "4K", Api::Vulkan, "D");
+        let out = CellOut::Run(Err(RunFailure::Unsupported));
+        sink.event(CellEvent::Finished {
+            index: 0,
+            spec: &s,
+            out: &out,
+            cached: false,
+        });
+        let err = sink.finish().unwrap_err();
+        assert!(err.contains("1/2"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 

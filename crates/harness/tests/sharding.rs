@@ -1,0 +1,229 @@
+//! Cross-process sharding contracts:
+//!
+//! * a partitioned `vcb all` — N shard processes writing event
+//!   streams, merged by `vcb merge` — produces stdout and CSV
+//!   **byte-identical** to the single-process run (the acceptance
+//!   criterion, asserted on the real binary);
+//! * partitioning is deterministic and covers every plan cell exactly
+//!   once, with each unique cell *executed* in exactly one shard;
+//! * merged results are bit-identical to locally executed ones
+//!   (fingerprints, timings, call counts, bandwidth sample bits);
+//! * the merge step rejects missing, duplicated and
+//!   option-mismatched streams instead of rendering from them.
+
+use std::process::Command;
+
+use vcb_core::plan::NullSink;
+use vcb_core::shard::{decode_events, merge_streams};
+use vcb_core::workload::RunOpts;
+use vcb_harness::experiments::{CellOut, ExperimentOpts, Session};
+use vcb_harness::stream::{decode_cell_out, ShardEventStream};
+
+fn quick() -> ExperimentOpts {
+    ExperimentOpts {
+        run: RunOpts {
+            scale: 0.05,
+            validate: false,
+            ..RunOpts::default()
+        },
+        threads: 4,
+        sizes_per_workload: 1,
+        // A fast but representative slice of `all`: panel cells on two
+        // workloads (including gaussian's overhead duplicates) plus the
+        // stride bandwidth sweeps, on the desktop NVIDIA device only.
+        filter: vec!["bfs".into(), "gaussian".into(), "stride".into()],
+        devices: vec!["1050".into()],
+    }
+}
+
+fn assert_cell_out_eq(a: &CellOut, b: &CellOut, what: &str) {
+    match (a, b) {
+        (CellOut::Run(Ok(x)), CellOut::Run(Ok(y))) => {
+            assert_eq!(x.fingerprint, y.fingerprint, "{what}: fingerprint");
+            assert_eq!(x.kernel_time, y.kernel_time, "{what}: kernel time");
+            assert_eq!(x.total_time, y.total_time, "{what}: total time");
+            assert_eq!(x.calls.total(), y.calls.total(), "{what}: call total");
+            assert_eq!(x.validated, y.validated, "{what}: validated");
+        }
+        (CellOut::Run(Err(x)), CellOut::Run(Err(y))) => {
+            assert_eq!(x, y, "{what}: failure");
+        }
+        (CellOut::Curve(Ok(x)), CellOut::Curve(Ok(y))) => {
+            assert_eq!(x.len(), y.len(), "{what}: sample count");
+            for (s, t) in x.iter().zip(y) {
+                assert_eq!(s.stride, t.stride, "{what}: stride");
+                assert_eq!(
+                    s.bytes_per_sec.to_bits(),
+                    t.bytes_per_sec.to_bits(),
+                    "{what}: bandwidth bits"
+                );
+                assert_eq!(s.time_per_rep, t.time_per_rep, "{what}: rep time");
+            }
+        }
+        (CellOut::Curve(Err(x)), CellOut::Curve(Err(y))) => {
+            assert_eq!(x, y, "{what}: curve failure");
+        }
+        (x, y) => panic!("{what}: diverged: {x:?} vs {y:?}"),
+    }
+}
+
+#[test]
+fn sharded_execution_merges_bit_identical_to_local() {
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = quick();
+
+    // Reference: one process runs the whole plan.
+    let mut single = Session::new(&registry, &opts);
+    let plan = single.plan_all();
+    assert!(plan.len() > 4, "plan too small to shard meaningfully");
+    let reference = single.execute(&plan, &mut NullSink);
+
+    // Two shard "processes": fresh sessions with fresh caches, each
+    // executing one deterministic slice and writing an event stream.
+    let slices = plan.partition(2);
+    assert_eq!(plan.partition(2), slices, "partition must be deterministic");
+    assert!(
+        !slices[0].indices.is_empty() && !slices[1].indices.is_empty(),
+        "both shards should get work: {slices:?}"
+    );
+    let dir = std::env::temp_dir().join(format!("vcb_sharding_inproc_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut executed = Vec::new();
+    let mut paths = Vec::new();
+    for slice in &slices {
+        let mut shard_session = Session::new(&registry, &opts);
+        let sub = plan.subset(&slice.indices);
+        let path = dir
+            .join(format!("shard{}.events", slice.shard_index))
+            .to_str()
+            .unwrap()
+            .to_owned();
+        let mut sink = ShardEventStream::create(&path, plan.len(), slice).unwrap();
+        shard_session.execute(&sub, &mut sink);
+        sink.finish().unwrap();
+        executed.push(shard_session.executed_cells());
+        paths.push(path);
+    }
+
+    // Exactly-once: the shards together execute precisely the unique
+    // cells the single process executed — no cell ran twice.
+    assert_eq!(
+        executed.iter().sum::<usize>(),
+        single.executed_cells(),
+        "unique cells must split exactly across shards"
+    );
+
+    // Decode + merge: plan-ordered results, bit-identical to local.
+    let streams = paths
+        .iter()
+        .map(|p| decode_events(&std::fs::read_to_string(p).unwrap(), decode_cell_out).unwrap())
+        .collect();
+    let merged = merge_streams(&plan, streams).unwrap();
+    assert_eq!(merged.len(), reference.len());
+    for (i, (m, r)) in merged.iter().zip(&reference).enumerate() {
+        let spec = &plan.cells()[i];
+        assert_cell_out_eq(m, r, &format!("cell {i} ({spec})"));
+    }
+
+    // Seeding a fresh session's cache from the merge leaves nothing to
+    // execute: every render stage is a pure cache hit.
+    let mut merged_session = Session::new(&registry, &opts);
+    merged_session.seed_cache(&plan, merged);
+    assert_eq!(merged_session.pending_cells(&plan), 0);
+    merged_session.execute(&plan, &mut NullSink);
+    assert_eq!(merged_session.executed_cells(), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn run_vcb(args: &[&str]) -> std::process::Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_vcb"))
+        .args(args)
+        .output()
+        .expect("spawn vcb");
+    assert!(
+        out.status.success(),
+        "vcb {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn run_vcb_expect_failure(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_vcb"))
+        .args(args)
+        .output()
+        .expect("spawn vcb");
+    assert!(
+        !out.status.success(),
+        "vcb {args:?} unexpectedly succeeded:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The acceptance criterion, end to end on the real binary: `vcb all
+/// --scale 0.02` split across 2 shard processes and merged produces
+/// stdout and CSV byte-identical to the unsharded run — then the merge
+/// safety rails, on the same event files.
+#[test]
+fn sharded_vcb_all_is_byte_identical_to_single_process() {
+    let dir = std::env::temp_dir().join(format!("vcb_sharding_bytes_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_owned();
+    let (single_csv, merged_csv) = (path("single.csv"), path("merged.csv"));
+    let (ev0, ev1) = (path("shard0.events"), path("shard1.events"));
+
+    let single = run_vcb(&["all", "--scale", "0.02", "--csv", &single_csv]);
+    run_vcb(&[
+        "all",
+        "--scale",
+        "0.02",
+        "--shards",
+        "2",
+        "--shard-index",
+        "0",
+        "--events",
+        &ev0,
+    ]);
+    run_vcb(&[
+        "all",
+        "--scale",
+        "0.02",
+        "--shards",
+        "2",
+        "--shard-index",
+        "1",
+        "--events",
+        &ev1,
+    ]);
+    let merged = run_vcb(&["merge", &ev0, &ev1, "--scale", "0.02", "--csv", &merged_csv]);
+
+    assert!(
+        single.stdout == merged.stdout,
+        "merged stdout differs from the single-process run"
+    );
+    assert_eq!(
+        std::fs::read(&single_csv).unwrap(),
+        std::fs::read(&merged_csv).unwrap(),
+        "merged CSV differs from the single-process run"
+    );
+    // Sanity: the comparison is not vacuous.
+    assert!(single.stdout.len() > 1000, "suspiciously small stdout");
+
+    // Merge rejects an incomplete shard set...
+    let err = run_vcb_expect_failure(&["merge", &ev0, "--scale", "0.02"]);
+    assert!(err.contains("missing"), "stderr: {err}");
+    // ...a duplicated stream...
+    let err = run_vcb_expect_failure(&["merge", &ev0, &ev0, &ev1, "--scale", "0.02"]);
+    assert!(err.contains("more than one stream"), "stderr: {err}");
+    // ...and streams produced under different options (the per-cell
+    // fingerprints disagree with the re-derived plan).
+    let err = run_vcb_expect_failure(&["merge", &ev0, &ev1, "--scale", "0.02", "--seed", "7"]);
+    assert!(
+        err.contains("does not match the merge plan"),
+        "stderr: {err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -25,6 +25,15 @@ impl CallCounter {
         *self.counts.entry(name).or_insert(0) += 1;
     }
 
+    /// Records `count` invocations of `name` at once — the bulk entry
+    /// point used when counters are reconstructed from serialized event
+    /// streams rather than recorded live.
+    pub fn record_many(&mut self, name: &'static str, count: u64) {
+        if count > 0 {
+            *self.counts.entry(name).or_insert(0) += count;
+        }
+    }
+
     /// Invocations of one entry point.
     pub fn count(&self, name: &str) -> u64 {
         self.counts.get(name).copied().unwrap_or(0)
