@@ -199,3 +199,72 @@ pub fn vk_kernel_with_words(
         .map_err(vk_failure)?;
     Ok(VkKernelBundle { pipeline, layout })
 }
+
+/// [`vk_kernel_with_words`] backed by the worker-local compile cache:
+/// the parsed module and the driver-compiled kernel are served from
+/// `cache` when the same words (and, for the kernel, the same
+/// environment key) were seen before. Every API call is still recorded
+/// and every modelled cost still charged — parse and driver compilation
+/// are deterministic, so the cached artifacts are bit-identical to a
+/// cold build and only redundant host-side work is skipped.
+///
+/// # Errors
+///
+/// As [`vk_kernel`].
+pub(crate) fn vk_kernel_memoized(
+    env: &VkEnv,
+    name: &str,
+    words: &[u32],
+    set_layout: &vcb_vulkan::DescriptorSetLayout,
+    push_bytes: u32,
+    cache: &std::rc::Rc<std::cell::RefCell<crate::envcache::EnvCache>>,
+    key: &crate::envcache::EnvKey,
+) -> Result<VkKernelBundle, RunFailure> {
+    let digest = crate::envcache::spirv_digest(words);
+    let cached_module = cache.borrow_mut().module_get(digest);
+    let module = match cached_module {
+        Some(parsed) => env.device.create_shader_module_prepared(parsed),
+        None => {
+            let module = env.device.create_shader_module(words).map_err(vk_failure)?;
+            cache
+                .borrow_mut()
+                .module_put(digest, std::rc::Rc::clone(module.parsed()));
+            module
+        }
+    };
+    let ranges = if push_bytes > 0 {
+        vec![vcb_vulkan::PushConstantRange {
+            offset: 0,
+            size: push_bytes,
+        }]
+    } else {
+        Vec::new()
+    };
+    let layout = env
+        .device
+        .create_pipeline_layout(&[set_layout], &ranges)
+        .map_err(vk_failure)?;
+    let create_info = vcb_vulkan::ComputePipelineCreateInfo {
+        module: &module,
+        entry_point: name,
+        layout: &layout,
+    };
+    let prebuilt = cache.borrow_mut().pipeline_get(key, digest);
+    let pipeline = match prebuilt {
+        Some(kernel) => env
+            .device
+            .create_compute_pipeline_prebuilt(&create_info, kernel)
+            .map_err(vk_failure)?,
+        None => {
+            let pipeline = env
+                .device
+                .create_compute_pipeline(&create_info)
+                .map_err(vk_failure)?;
+            cache
+                .borrow_mut()
+                .pipeline_put(key, digest, pipeline.kernel().clone());
+            pipeline
+        }
+    };
+    Ok(VkKernelBundle { pipeline, layout })
+}

@@ -84,6 +84,7 @@ impl EnvKey {
             TraceMode::Detailed => (0u8, 0u32),
             TraceMode::Sampled(n) => (1, n),
             TraceMode::Auto => (2, 0),
+            TraceMode::Off => (3, 0),
         };
         EnvKey {
             api,
@@ -118,6 +119,14 @@ pub struct EnvCacheStats {
     pub spirv_hits: usize,
     /// SPIR-V assemblies performed.
     pub spirv_misses: usize,
+    /// Parsed SPIR-V modules reused (skipping the host-side decode).
+    pub module_hits: usize,
+    /// SPIR-V modules parsed from words.
+    pub module_misses: usize,
+    /// Driver-compiled kernels reused (skipping the driver compiler).
+    pub pipeline_hits: usize,
+    /// Kernels run through the driver compiler.
+    pub pipeline_misses: usize,
 }
 
 /// The worker-local cache of environments, JIT builds and SPIR-V
@@ -127,7 +136,25 @@ pub struct EnvCache {
     envs: HashMap<EnvKey, CachedEnv>,
     jit: HashMap<JitKey, PreBuiltProgram>,
     spirv: HashMap<(RegistryId, String), Arc<Vec<u32>>>,
+    modules: HashMap<u64, Rc<vcb_spirv::SpirvModule>>,
+    pipelines: HashMap<(EnvKey, u64), vcb_sim::exec::CompiledKernel>,
     stats: EnvCacheStats,
+}
+
+/// FNV-1a over the module's words — the digest parsed modules and
+/// compiled pipelines are cached under. Parsing and driver compilation
+/// are both deterministic functions of the words (plus, for pipelines,
+/// the environment key's driver identity), so word equality is artifact
+/// identity.
+pub(crate) fn spirv_digest(words: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl EnvCache {
@@ -215,6 +242,49 @@ impl EnvCache {
         );
         self.spirv.insert(key, Arc::clone(&words));
         Ok(words)
+    }
+
+    /// The parsed module cached under `digest`, if any.
+    pub(crate) fn module_get(&mut self, digest: u64) -> Option<Rc<vcb_spirv::SpirvModule>> {
+        let found = self.modules.get(&digest).cloned();
+        if found.is_some() {
+            self.stats.module_hits += 1;
+        } else {
+            self.stats.module_misses += 1;
+        }
+        found
+    }
+
+    /// Caches a freshly parsed module under its word digest.
+    pub(crate) fn module_put(&mut self, digest: u64, module: Rc<vcb_spirv::SpirvModule>) {
+        self.modules.insert(digest, module);
+    }
+
+    /// The driver-compiled kernel cached under (`env`, `digest`), if
+    /// any. The environment key pins the driver profile the compile
+    /// depended on.
+    pub(crate) fn pipeline_get(
+        &mut self,
+        env: &EnvKey,
+        digest: u64,
+    ) -> Option<vcb_sim::exec::CompiledKernel> {
+        let found = self.pipelines.get(&(env.clone(), digest)).cloned();
+        if found.is_some() {
+            self.stats.pipeline_hits += 1;
+        } else {
+            self.stats.pipeline_misses += 1;
+        }
+        found
+    }
+
+    /// Caches a driver-compiled kernel.
+    pub(crate) fn pipeline_put(
+        &mut self,
+        env: &EnvKey,
+        digest: u64,
+        kernel: vcb_sim::exec::CompiledKernel,
+    ) {
+        self.pipelines.insert((env.clone(), digest), kernel);
     }
 }
 
@@ -334,6 +404,37 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(cache.stats().spirv_hits, 1);
         assert!(cache.spirv_words(&registry, "missing").is_err());
+    }
+
+    #[test]
+    fn module_and_pipeline_slots_hit_on_same_digest() {
+        let registry = vcb_workloads_registry();
+        let mut cache = EnvCache::new();
+        let words = cache.spirv_words(&registry, "k").unwrap();
+        let digest = spirv_digest(&words);
+        assert_ne!(digest, spirv_digest(&words[1..]), "digest varies by words");
+
+        assert!(cache.module_get(digest).is_none());
+        let parsed = Rc::new(vcb_spirv::SpirvModule::parse(&words).unwrap());
+        cache.module_put(digest, Rc::clone(&parsed));
+        let hit = cache.module_get(digest).expect("module cached");
+        assert!(Rc::ptr_eq(&hit, &parsed), "same parsed allocation");
+
+        let profile = vcb_sim::profile::devices::gtx1050ti();
+        let key = EnvKey::new(Api::Vulkan, &profile.name, &registry, &SimConfig::default());
+        assert!(cache.pipeline_get(&key, digest).is_none());
+        let kernel = vcb_sim::exec::CompiledKernel::new(
+            registry.lookup("k").unwrap().info().clone(),
+            Arc::clone(registry.lookup("k").unwrap().body()),
+            vcb_sim::exec::CompileOpts::default(),
+        );
+        cache.pipeline_put(&key, digest, kernel.clone());
+        let hit = cache.pipeline_get(&key, digest).expect("pipeline cached");
+        assert_eq!(hit.info().name, kernel.info().name);
+
+        let stats = cache.stats();
+        assert_eq!((stats.module_hits, stats.module_misses), (1, 1));
+        assert_eq!((stats.pipeline_hits, stats.pipeline_misses), (1, 1));
     }
 
     fn vcb_workloads_registry() -> Arc<KernelRegistry> {

@@ -24,7 +24,7 @@ use crate::backend::{
     BackendResult, BindGroupHandle, BufferHandle, ComputeBackend, KernelHandle, SeqHandle,
     UsageHint,
 };
-use crate::env::{vk_env, vk_failure, vk_kernel, vk_kernel_with_words, VkEnv, VkKernelBundle};
+use crate::env::{vk_env, vk_failure, vk_kernel, VkEnv, VkKernelBundle};
 use crate::envcache::{CachedEnv, EnvReturn};
 
 struct VkBindGroup {
@@ -303,14 +303,23 @@ impl ComputeBackend for VulkanBackend {
     ) -> BackendResult<KernelHandle> {
         let layout = self.bind_groups[layout_of.0].layout.clone();
         let bundle = match &self.env_return {
-            // Cached assembly: identical words, same pipeline path.
+            // Cached assembly, parse and driver compile: identical
+            // words through the memoized pipeline path.
             Some(ticket) => {
                 let words = ticket
                     .cache()
                     .borrow_mut()
                     .spirv_words(&self.registry, name)
                     .map_err(|e| RunFailure::Error(e.to_string()))?;
-                vk_kernel_with_words(&self.env, name, &words, &layout, push_bytes)?
+                crate::env::vk_kernel_memoized(
+                    &self.env,
+                    name,
+                    &words,
+                    &layout,
+                    push_bytes,
+                    ticket.cache(),
+                    ticket.key(),
+                )?
             }
             None => vk_kernel(&self.env, &self.registry, name, &layout, push_bytes)?,
         };

@@ -8,7 +8,9 @@ use vcb_bench::bench;
 use vcb_sim::cache::CacheSim;
 use vcb_sim::coalesce::AddrPattern;
 use vcb_sim::engine::{Gpu, TraceMode};
-use vcb_sim::exec::{BoundBuffer, CompileOpts, CompiledKernel, Dispatch, GroupCtx, KernelInfo};
+use vcb_sim::exec::{
+    BoundBuffer, CompileOpts, CompiledKernel, Dispatch, GroupCtx, KernelInfo, MAX_WARP_WIDTH,
+};
 use vcb_sim::profile::devices;
 use vcb_sim::Api;
 
@@ -71,11 +73,18 @@ fn vadd_kernel() -> CompiledKernel {
             let x = ctx.global::<f32>(0)?;
             let y = ctx.global::<f32>(1)?;
             let z = ctx.global::<f32>(2)?;
-            ctx.for_lanes(|lane| {
-                let i = lane.global_linear() as usize;
-                let v = lane.ld(&x, i) + lane.ld(&y, i);
-                lane.alu(1);
-                lane.st(&z, i, v);
+            ctx.for_warps(|w| {
+                let m = w.lanes();
+                let start = w.global_base() as usize;
+                let mut xs = [0f32; MAX_WARP_WIDTH];
+                let mut ys = [0f32; MAX_WARP_WIDTH];
+                w.ld_seq(&x, start, &mut xs[..m]);
+                w.ld_seq(&y, start, &mut ys[..m]);
+                for (a, b) in xs[..m].iter_mut().zip(&ys[..m]) {
+                    *a += *b;
+                }
+                w.alu(m as u64);
+                w.st_seq(&z, start, &xs[..m]);
             });
             Ok(())
         }),
@@ -135,6 +144,83 @@ fn bench_dispatch() {
     }
 }
 
+fn bench_functional_floor() {
+    // The untraced floor this PR's warp-columnar path attacks: pure
+    // functional dispatch under TraceMode::Off — no AddrPattern pushes,
+    // no hierarchy, just lane semantics plus exact op/byte counters.
+    let profile = devices::gtx1050ti();
+    let driver = profile.driver(Api::Cuda).unwrap().clone();
+
+    let n: usize = 256 * 1024;
+    let mut gpu = Gpu::new(profile.clone());
+    gpu.set_trace_mode(TraceMode::Off);
+    let (x, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+    let (y, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+    let (z, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+    let dispatch = Dispatch {
+        kernel: vadd_kernel(),
+        groups: [(n as u32).div_ceil(256), 1, 1],
+        bindings: vec![
+            BoundBuffer {
+                binding: 0,
+                buffer: x,
+            },
+            BoundBuffer {
+                binding: 1,
+                buffer: y,
+            },
+            BoundBuffer {
+                binding: 2,
+                buffer: z,
+            },
+        ],
+        push_constants: vec![],
+    };
+    bench("functional_floor/vadd_256k", 20, || {
+        gpu.execute(std::hint::black_box(&dispatch), &driver)
+            .unwrap()
+    });
+
+    // One stencil workload: the production (warp-columnar) hotspot step
+    // on a 512×512 grid — 256k items through the gather/scatter path.
+    let registry = vcb_workloads::registry().unwrap();
+    let hotspot = registry.lookup("hotspot_step").unwrap();
+    let grid: usize = 512;
+    let cells = grid * grid;
+    let mut gpu = Gpu::new(profile.clone());
+    gpu.set_trace_mode(TraceMode::Off);
+    let (power, _) = gpu.pool_mut().create_buffer(0, (cells * 4) as u64).unwrap();
+    let (src, _) = gpu.pool_mut().create_buffer(0, (cells * 4) as u64).unwrap();
+    let (dst, _) = gpu.pool_mut().create_buffer(0, (cells * 4) as u64).unwrap();
+    let dispatch = Dispatch {
+        kernel: CompiledKernel::new(
+            hotspot.info().clone(),
+            Arc::clone(hotspot.body()),
+            CompileOpts::default(),
+        ),
+        groups: [(grid as u32).div_ceil(16), (grid as u32).div_ceil(16), 1],
+        bindings: vec![
+            BoundBuffer {
+                binding: 0,
+                buffer: power,
+            },
+            BoundBuffer {
+                binding: 1,
+                buffer: src,
+            },
+            BoundBuffer {
+                binding: 2,
+                buffer: dst,
+            },
+        ],
+        push_constants: (grid as u32).to_le_bytes().to_vec(),
+    };
+    bench("functional_floor/hotspot_512", 20, || {
+        gpu.execute(std::hint::black_box(&dispatch), &driver)
+            .unwrap()
+    });
+}
+
 fn bench_matrix() {
     // The run-matrix scheduler end to end: a full quick Fig. 2 panel
     // set (both desktop devices, first size per workload, every API)
@@ -179,6 +265,7 @@ fn main() {
     bench_coalescer();
     bench_cache();
     bench_dispatch();
+    bench_functional_floor();
     bench_matrix();
     bench_spirv();
     vcb_bench::finish();

@@ -234,6 +234,15 @@ fn extract_u128(obj: &str, key: &str) -> Option<u128> {
     digits.parse().ok()
 }
 
+/// Whether a row's comparison against the baseline is informational
+/// only (shown, but never regression-eligible). `threads4` rows measure
+/// worker-pool scaling; a baseline recorded on a single-core host never
+/// saw real parallelism, so comparing a multi-threaded row against it
+/// judges scheduler noise, not a regression.
+pub fn row_is_informational(name: &str, baseline_host_cores: Option<u64>) -> bool {
+    baseline_host_cores == Some(1) && name.contains("threads4")
+}
+
 /// Prints per-row median deltas of `rows` vs the baseline, flagging
 /// regressions beyond [`REGRESSION_THRESHOLD`]. Never exits non-zero:
 /// the step is warn-only by design (quick CI runs are single-iteration
@@ -277,7 +286,9 @@ fn compare_report(path: &str, json: &str, rows: &[Row]) {
             continue;
         };
         let delta = row.median_ns as f64 / (*base_median).max(1) as f64 - 1.0;
-        let flag = if delta > REGRESSION_THRESHOLD {
+        let flag = if row_is_informational(&row.name, base.host_cores) {
+            "  (informational: single-core baseline)"
+        } else if delta > REGRESSION_THRESHOLD {
             regressions += 1;
             "  << REGRESSION"
         } else {
@@ -346,5 +357,29 @@ mod tests {
     #[test]
     fn garbage_yields_empty_baseline() {
         assert_eq!(parse_baseline("not json at all"), Baseline::default());
+    }
+
+    #[test]
+    fn threads4_rows_are_informational_against_single_core_baselines() {
+        // A 1-core baseline never exercised real parallelism, so its
+        // threads4 medians are scheduler noise — shown but exempt.
+        assert!(row_is_informational(
+            "dispatch/vadd_256k/detailed/threads4",
+            Some(1)
+        ));
+        assert!(row_is_informational("matrix/fig2_quick/threads4", Some(1)));
+        // Multi-core baselines judge threads4 rows normally.
+        assert!(!row_is_informational(
+            "dispatch/vadd_256k/detailed/threads4",
+            Some(4)
+        ));
+        // Single-threaded rows stay regression-eligible everywhere.
+        assert!(!row_is_informational(
+            "dispatch/vadd_256k/detailed",
+            Some(1)
+        ));
+        assert!(!row_is_informational("functional_floor/vadd_256k", Some(1)));
+        // Pre-meta baselines carry no core count: not exempt.
+        assert!(!row_is_informational("matrix/fig2_quick/threads4", None));
     }
 }

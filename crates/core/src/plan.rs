@@ -54,6 +54,7 @@ impl CellSpec {
             TraceMode::Detailed => (0u8, 0u32),
             TraceMode::Sampled(n) => (1, n),
             TraceMode::Auto => (2, 0),
+            TraceMode::Off => (3, 0),
         };
         CellKey {
             workload: self.workload.clone(),

@@ -317,6 +317,7 @@ pub fn spec_fields(spec: &CellSpec) -> Vec<String> {
         TraceMode::Detailed => (0u8, 0u32),
         TraceMode::Sampled(n) => (1, n),
         TraceMode::Auto => (2, 0),
+        TraceMode::Off => (3, 0),
     };
     vec![
         spec.workload.clone(),
@@ -352,6 +353,7 @@ pub fn decode_spec(cur: &mut FieldCursor<'_>) -> Result<CellSpec, CodecError> {
         0 => TraceMode::Detailed,
         1 => TraceMode::Sampled(trace_param),
         2 => TraceMode::Auto,
+        3 => TraceMode::Off,
         other => {
             return Err(CodecError::Malformed(format!("bad trace tag `{other}`")));
         }

@@ -180,6 +180,39 @@ impl AddrPattern {
         }
     }
 
+    /// Pushes `count` addresses `base, base+stride, base+2·stride, …` in
+    /// one step — the O(1) analytic twin of calling [`AddrPattern::push`]
+    /// once per lane for an affine (constant-stride) warp access.
+    ///
+    /// On a pristine pattern (nothing pushed since the last
+    /// [`AddrPattern::clear`]) this writes the `base/stride/next/count`
+    /// descriptor directly, leaving the pattern in *exactly* the state the
+    /// per-lane pushes would have produced: `next` is the address one past
+    /// the sequence, so later per-lane pushes (mixed columnar/lane
+    /// tracing in one bucket) continue or spill identically, and a
+    /// `count == 1` descriptor keeps the don't-care stride semantics of a
+    /// single push (emission ignores it; a following push recomputes it).
+    /// On a non-pristine pattern it falls back to the per-address loop,
+    /// which is the definition of the equivalence.
+    #[inline]
+    pub fn push_affine(&mut self, base: u64, stride: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if self.affine && self.count == 0 {
+            self.base = base;
+            self.stride = stride;
+            self.next = base.wrapping_add(stride.wrapping_mul(count));
+            self.count = count;
+            return;
+        }
+        let mut a = base;
+        for _ in 0..count {
+            self.push(a);
+            a = a.wrapping_add(stride);
+        }
+    }
+
     /// Materializes the affine prefix into the explicit list (first
     /// stride mismatch).
     #[cold]
@@ -572,6 +605,79 @@ mod tests {
     fn empty_access_is_free() {
         let mut c = Coalescer::new(32, 128);
         assert_eq!(c.coalesce(&[], 4), CoalesceResult::default());
+    }
+
+    #[test]
+    fn push_affine_matches_per_lane_pushes() {
+        // The analytic push must leave the pattern in a state
+        // emission-equivalent to per-lane pushes, for every stride shape
+        // (broadcast, dense, sparse, descending) and count (incl. 0/1).
+        for &(base, stride, count) in &[
+            (640u64, 4u64, 32u64), // unit-stride f32 warp
+            (640, 0, 32),          // broadcast
+            (640, 4, 1),           // single lane
+            (640, 4, 0),           // empty
+            (640, 4, 2),
+            (640, 128, 32),             // sparse
+            (1024, (-4i64) as u64, 32), // descending
+            (12345, 36, 7),             // misaligned, odd count
+        ] {
+            let mut lanes = AddrPattern::default();
+            let mut a = base;
+            for _ in 0..count {
+                lanes.push(a);
+                a = a.wrapping_add(stride);
+            }
+            let mut analytic = AddrPattern::default();
+            analytic.push_affine(base, stride, count);
+            let mut scratch = Vec::new();
+            let (mut r_lanes, mut r_analytic) = (Vec::new(), Vec::new());
+            lanes.emit_runs(4, 32, &mut scratch, &mut r_lanes);
+            analytic.emit_runs(4, 32, &mut scratch, &mut r_analytic);
+            assert_eq!(
+                r_lanes, r_analytic,
+                "base {base} stride {stride} count {count}"
+            );
+            // A later per-lane push continues both patterns identically
+            // (same spill-or-extend decision), pinning `next`.
+            if count > 0 {
+                let tail = base.wrapping_add(stride.wrapping_mul(count));
+                for follow in [tail, tail.wrapping_add(12)] {
+                    let mut l2 = AddrPattern::default();
+                    let mut a = base;
+                    for _ in 0..count {
+                        l2.push(a);
+                        a = a.wrapping_add(stride);
+                    }
+                    l2.push(follow);
+                    let mut a2 = AddrPattern::default();
+                    a2.push_affine(base, stride, count);
+                    a2.push(follow);
+                    let (mut e_l, mut e_a) = (Vec::new(), Vec::new());
+                    l2.emit_runs(4, 32, &mut scratch, &mut e_l);
+                    a2.emit_runs(4, 32, &mut scratch, &mut e_a);
+                    assert_eq!(e_l, e_a, "follow {follow} after {base}/{stride}/{count}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_affine_on_dirty_pattern_falls_back_per_address() {
+        // Mixing a lane push with an analytic push must behave as if the
+        // analytic addresses had been pushed one by one.
+        let mut mixed = AddrPattern::default();
+        mixed.push(100);
+        mixed.push_affine(200, 4, 8);
+        let mut lanes = AddrPattern::default();
+        for addr in std::iter::once(100).chain((0..8).map(|i| 200 + i * 4)) {
+            lanes.push(addr);
+        }
+        let mut scratch = Vec::new();
+        let (mut r_mixed, mut r_lanes) = (Vec::new(), Vec::new());
+        mixed.emit_runs(4, 32, &mut scratch, &mut r_mixed);
+        lanes.emit_runs(4, 32, &mut scratch, &mut r_lanes);
+        assert_eq!(r_mixed, r_lanes);
     }
 
     #[test]

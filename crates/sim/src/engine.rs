@@ -45,10 +45,17 @@ pub enum TraceMode {
     /// that keeps roughly `target` groups traced otherwise.
     #[default]
     Auto,
+    /// Trace nothing: functional execution plus instruction/byte
+    /// counters only, timed by the roofline path with zero measured
+    /// traffic. The floor the `functional_floor/*` bench rows track.
+    Off,
 }
 
 impl TraceMode {
-    /// Number of traced groups under this mode for a grid of `groups`.
+    /// Sampling period under this mode for a grid of `groups`; `0` is
+    /// the [`TraceMode::Off`] sentinel meaning *no* group is traced
+    /// (callers must guard the divisibility check — `is_multiple_of(0)`
+    /// would otherwise mark group 0 traced).
     fn sample_every(self, groups: u64) -> u64 {
         const AUTO_TARGET: u64 = 1024;
         match self {
@@ -61,6 +68,7 @@ impl TraceMode {
                     groups.div_ceil(AUTO_TARGET)
                 }
             }
+            TraceMode::Off => 0,
         }
     }
 }
@@ -414,7 +422,7 @@ impl Gpu {
             for z in 0..gz {
                 for y in 0..gy {
                     for x in 0..gx {
-                        let traced = linear.is_multiple_of(sample_every);
+                        let traced = sample_every != 0 && linear.is_multiple_of(sample_every);
                         let trace = if traced {
                             traced_groups += 1;
                             Some(TraceState {
@@ -452,7 +460,13 @@ impl Gpu {
 
         // Extrapolate traced traffic to the whole grid; ALU/shared counters
         // were measured on every group, so take them exactly.
-        let factor = groups as f64 / traced_groups as f64;
+        // Under TraceMode::Off no group is traced: the extrapolation
+        // factor is 0, leaving only the exactly-measured counters below.
+        let factor = if traced_groups == 0 {
+            0.0
+        } else {
+            groups as f64 / traced_groups as f64
+        };
         let mut stats = traced_stats.scaled(factor);
         stats.alu_ops = traced_stats.alu_ops + untraced_stats.alu_ops;
         stats.global_reads = traced_stats.global_reads + untraced_stats.global_reads;
@@ -548,7 +562,7 @@ fn execute_parallel(
                             ((linear / gx) % gy) as u32,
                             (linear / (gx * gy)) as u32,
                         ];
-                        let is_traced = linear.is_multiple_of(sample_every);
+                        let is_traced = sample_every != 0 && linear.is_multiple_of(sample_every);
                         let trace = is_traced.then_some(TraceState {
                             scratch: &mut *scratch,
                             sink: TraceSink::Record {
@@ -808,6 +822,51 @@ mod tests {
         for (i, v) in out.iter().enumerate().take(n) {
             assert_eq!(*v, 3.0 * i as f32);
         }
+    }
+
+    #[test]
+    fn trace_off_is_functional_only() {
+        // TraceMode::Off must produce the same output buffers and the
+        // same exactly-measured counters (reads/writes/ALU/useful bytes)
+        // as Detailed, with *zero* traced traffic — group 0 must not
+        // sneak through the `is_multiple_of(0)` edge case.
+        let n = 100_000;
+        let driver = devices::gtx1050ti()
+            .driver(crate::Api::Cuda)
+            .unwrap()
+            .clone();
+        let (mut gpu_det, d_det) = setup(n);
+        gpu_det.set_trace_mode(TraceMode::Detailed);
+        let det = gpu_det.execute(&d_det, &driver).unwrap();
+        let (mut gpu_off, d_off) = setup(n);
+        gpu_off.set_trace_mode(TraceMode::Off);
+        let off = gpu_off.execute(&d_off, &driver).unwrap();
+
+        let read = |gpu: &Gpu, d: &Dispatch| -> Vec<f32> {
+            gpu.pool()
+                .buffer(d.bindings[2].buffer)
+                .unwrap()
+                .read_vec()
+                .unwrap()
+        };
+        assert_eq!(read(&gpu_det, &d_det), read(&gpu_off, &d_off));
+        assert_eq!(off.stats.global_reads, det.stats.global_reads);
+        assert_eq!(off.stats.global_writes, det.stats.global_writes);
+        assert_eq!(off.stats.alu_ops, det.stats.alu_ops);
+        assert_eq!(off.stats.useful_bytes, det.stats.useful_bytes);
+        assert_eq!(off.stats.dram.sectors, 0, "Off must trace no traffic");
+        assert_eq!(off.stats.l2_hit_sectors, 0);
+        assert!(off.time > SimDuration::ZERO);
+
+        // Parallel Off runs stay bit-identical to sequential Off runs.
+        let (mut gpu_par, d_par) = setup(n);
+        gpu_par.set_trace_mode(TraceMode::Off);
+        gpu_par.set_worker_threads(4);
+        gpu_par.set_worker_clamp(false);
+        let par = gpu_par.execute(&d_par, &driver).unwrap();
+        assert_eq!(par.stats, off.stats);
+        assert_eq!(par.time, off.time);
+        assert_eq!(gpu_par.fingerprint(), gpu_off.fingerprint());
     }
 
     #[test]

@@ -543,18 +543,36 @@ struct WarpBuf {
 }
 
 impl WarpBuf {
+    /// Resolves the global-access bucket for sequence slot `seq`,
+    /// stamping the access size. Shared by the per-lane push, the warp
+    /// gather/scatter loop (one resolve per warp instead of per lane) and
+    /// the analytic affine push.
     #[inline]
-    fn push_global(&mut self, seq: u32, addr: u64, size: u8) {
+    fn global_bucket(&mut self, seq: u32, size: u8) -> &mut AddrPattern {
         let s = seq as usize;
         if s >= self.global.len() {
             self.global.resize_with(s + 1, Default::default);
         }
-        let bucket = &mut self.global[s];
-        bucket.0 = size;
-        bucket.1.push(addr);
         if s >= self.global_hi {
             self.global_hi = s + 1;
         }
+        let bucket = &mut self.global[s];
+        bucket.0 = size;
+        &mut bucket.1
+    }
+
+    #[inline]
+    fn push_global(&mut self, seq: u32, addr: u64, size: u8) {
+        self.global_bucket(seq, size).push(addr);
+    }
+
+    /// Records a whole warp's affine access (`count` lanes at constant
+    /// `stride` from `base`) into slot `seq` in O(1) — the columnar twin
+    /// of `count` ascending-lane [`WarpBuf::push_global`] calls.
+    #[inline]
+    fn push_global_affine(&mut self, seq: u32, base: u64, stride: u64, count: u64, size: u8) {
+        self.global_bucket(seq, size)
+            .push_affine(base, stride, count);
     }
 
     #[inline]
@@ -799,6 +817,56 @@ impl<'a> GroupCtx<'a> {
         }
     }
 
+    /// Executes `f` once per *warp* of the group, exposing a columnar
+    /// [`Warp`] context whose loads/stores operate on all (up to)
+    /// `warp_width` lanes at once.
+    ///
+    /// This is the vectorized twin of [`GroupCtx::for_lanes`]: affine
+    /// accesses ([`Warp::ld_seq`]/[`Warp::st_seq`]/[`Warp::ld_stride`])
+    /// run as one tight loop over the backing cells and record their
+    /// address pattern analytically in O(1); irregular accesses fall back
+    /// to per-address recording ([`Warp::ld_gather`]/[`Warp::st_scatter`]);
+    /// divergent guards run per lane under [`Warp::for_active`]. Both
+    /// paths share `flush_warp` and the [`SectorRun`] pipeline, so a body
+    /// whose columnar ops issue the same per-lane address sequences as its
+    /// lane-oracle form produces bit-identical traffic, stats and
+    /// fingerprints by construction. Tail warps arrive pre-masked:
+    /// [`Warp::lanes`] is the partial width on the last warp of a group
+    /// whose size is not a warp multiple.
+    pub fn for_warps<F: FnMut(&mut Warp<'_>)>(&mut self, mut f: F) {
+        let total = self.local_len();
+        let ww = self.warp_width;
+        assert!(
+            ww as usize <= MAX_WARP_WIDTH,
+            "warp width {ww} exceeds MAX_WARP_WIDTH ({MAX_WARP_WIDTH})"
+        );
+        let mut lid = 0u32;
+        while lid < total {
+            let warp_end = (lid + ww).min(total);
+            let mut warp = Warp {
+                base: lid,
+                lanes: warp_end - lid,
+                local_size: self.info.local_size,
+                group_id: self.group_id,
+                seq: 0,
+                alu: 0,
+                reads: 0,
+                writes: 0,
+                useful: 0,
+                shared_acc: 0,
+                buf: self.trace.as_mut().map(|t| &mut t.scratch.warp),
+            };
+            f(&mut warp);
+            self.stats.alu_ops += warp.alu;
+            self.stats.global_reads += warp.reads;
+            self.stats.global_writes += warp.writes;
+            self.stats.useful_bytes += warp.useful;
+            self.stats.shared_accesses += warp.shared_acc;
+            self.flush_warp();
+            lid = warp_end;
+        }
+    }
+
     fn flush_warp(&mut self) {
         let Some(trace) = self.trace.as_mut() else {
             return;
@@ -872,10 +940,15 @@ impl<'a> GroupCtx<'a> {
     ///
     /// Note the accounting is an *approximation*: it touches evenly
     /// spaced representative sectors across the span, not the exact
-    /// per-lane coverage. Since the affine fast path made exact per-lane
-    /// tracing cheap for constant-stride loops, prefer plain
-    /// [`Lane::ld`]/[`Lane::st`] unless the inner loop is truly dense
-    /// (many accesses per lane per element of traced state).
+    /// per-lane coverage — and it is a **last resort**. The columnar
+    /// [`Warp`] ops ([`Warp::ld_seq`]/[`Warp::st_seq`] and friends)
+    /// trace affine warp accesses exactly at O(1) cost per warp
+    /// instruction, so for constant-stride loops the approximation no
+    /// longer buys measurable time over the exact paths. Reach for it
+    /// only when an inner loop is truly dense (many accesses per lane
+    /// per element of traced state) *and* profiling shows the exact
+    /// `Warp` column ops or plain [`Lane::ld`]/[`Lane::st`] are the
+    /// bottleneck.
     pub fn bulk_access<T: Scalar>(
         &mut self,
         view: &GlobalView<'_, T>,
@@ -1086,6 +1159,379 @@ impl fmt::Debug for Lane<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Lane")
             .field("linear", &self.linear)
+            .finish()
+    }
+}
+
+/// Upper bound on [`crate::profile::DeviceProfile::warp_width`] across
+/// the modelled devices, so warp-columnar kernel bodies can stage lane
+/// values in fixed-size stack arrays (`[T; MAX_WARP_WIDTH]`).
+pub const MAX_WARP_WIDTH: usize = 64;
+
+/// One warp inside a [`GroupCtx::for_warps`] iteration: a columnar view
+/// of up to `warp_width` lanes executing in lockstep.
+///
+/// Loads and stores operate on all active lanes of the warp at once, in
+/// ascending lane order — the order [`GroupCtx::for_lanes`] issues them —
+/// so every columnar op records exactly the address sequence of its
+/// lane-oracle form and coalesces identically. Predication is explicit:
+/// a prefix guard (`if global < n`) becomes a shortened lane count
+/// ([`Warp::active_below`]); an irregular active set becomes a
+/// gather/scatter over the active lanes' indices; data-dependent
+/// divergence runs per lane under [`Warp::for_active`].
+///
+/// `for_active` must be the *trailing* traced section of a warp body:
+/// per-lane sequence counters advance only in lanes that execute, so a
+/// columnar op issued after a divergent section would land in different
+/// trace buckets than the lane oracle's. All migrated kernels keep their
+/// divergent tails last, which the differential suite pins.
+pub struct Warp<'w> {
+    /// Linear local id of lane 0 of this warp.
+    base: u32,
+    /// Active lanes (the tail warp of a non-multiple group is shorter).
+    lanes: u32,
+    local_size: [u32; 3],
+    group_id: [u32; 3],
+    seq: u32,
+    alu: u64,
+    reads: u64,
+    writes: u64,
+    useful: u64,
+    shared_acc: u64,
+    buf: Option<&'w mut WarpBuf>,
+}
+
+impl Warp<'_> {
+    /// Number of lanes in this warp (tail warps are pre-masked short).
+    pub fn lanes(&self) -> usize {
+        self.lanes as usize
+    }
+
+    /// Linear local invocation index of lane `lane`.
+    pub fn local_linear(&self, lane: usize) -> u32 {
+        self.base + lane as u32
+    }
+
+    /// Local invocation ID of lane `lane` along dimension `d`.
+    pub fn local_id(&self, lane: usize, d: usize) -> u32 {
+        let [lx, ly, _lz] = self.local_size;
+        let linear = self.local_linear(lane);
+        match d {
+            0 => linear % lx,
+            1 => (linear / lx) % ly,
+            _ => linear / (lx * ly),
+        }
+    }
+
+    /// Global invocation ID of lane `lane` along dimension `d`.
+    pub fn global_id(&self, lane: usize, d: usize) -> u32 {
+        self.group_id[d] * self.local_size[d] + self.local_id(lane, d)
+    }
+
+    /// Linear global invocation index of lane 0 (1-D dispatches); lane
+    /// `l` is `global_base() + l`.
+    pub fn global_base(&self) -> u64 {
+        self.group_id[0] as u64 * self.local_size[0] as u64 * self.local_size[1] as u64
+            + self.base as u64
+    }
+
+    /// Active lanes under the ubiquitous prefix guard
+    /// `global_linear < bound`: the count of leading lanes whose linear
+    /// global index is below `bound`, clamped to the warp width.
+    pub fn active_below(&self, bound: u64) -> usize {
+        let base = self.global_base();
+        bound.saturating_sub(base).min(u64::from(self.lanes)) as usize
+    }
+
+    /// Loads `out.len()` consecutive elements starting at `view[start]`
+    /// into `out`, lane `l` receiving `view[start + l]` — the columnar
+    /// form of a unit-stride warp load. The affine address pattern is
+    /// recorded analytically in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range runs out of bounds, like [`Lane::ld`].
+    #[inline]
+    pub fn ld_seq<T: Scalar>(&mut self, view: &GlobalView<'_, T>, start: usize, out: &mut [T]) {
+        let m = out.len();
+        if m == 0 {
+            return;
+        }
+        let Some(cells) = view.cells.get(start..start + m) else {
+            // Panic with the first out-of-bounds lane's index, exactly as
+            // the per-lane path would.
+            view.cell(start.max(view.cells.len()));
+            unreachable!()
+        };
+        if view.atomic {
+            for (o, c) in out.iter_mut().zip(cells) {
+                *o = c.get();
+            }
+        } else {
+            for (o, c) in out.iter_mut().zip(cells) {
+                *o = c.get_plain();
+            }
+        }
+        let elem = std::mem::size_of::<T>();
+        self.record_affine(
+            view.addr_of(start),
+            elem as u64,
+            m as u64,
+            elem as u8,
+            false,
+        );
+    }
+
+    /// Stores `vals` to consecutive elements starting at `view[start]`,
+    /// lane `l` writing `view[start + l]` — the columnar unit-stride
+    /// warp store, recorded analytically.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds or on a read-only binding, like [`Lane::st`].
+    #[inline]
+    pub fn st_seq<T: Scalar>(&mut self, view: &GlobalView<'_, T>, start: usize, vals: &[T]) {
+        let m = vals.len();
+        if m == 0 {
+            return;
+        }
+        assert!(
+            view.writable,
+            "kernel `{}` stored to read-only binding {}",
+            view.kernel, view.binding
+        );
+        let Some(cells) = view.cells.get(start..start + m) else {
+            view.cell(start.max(view.cells.len()));
+            unreachable!()
+        };
+        if view.atomic {
+            for (v, c) in vals.iter().zip(cells) {
+                c.set(*v);
+            }
+        } else {
+            for (v, c) in vals.iter().zip(cells) {
+                c.set_plain(*v);
+            }
+        }
+        let elem = std::mem::size_of::<T>();
+        self.record_affine(view.addr_of(start), elem as u64, m as u64, elem as u8, true);
+    }
+
+    /// Loads `out.len()` elements at a constant element stride, lane `l`
+    /// reading `view[start + l * stride_elems]` — the columnar strided
+    /// warp load (gaussian's column walks), recorded analytically.
+    pub fn ld_stride<T: Scalar>(
+        &mut self,
+        view: &GlobalView<'_, T>,
+        start: usize,
+        stride_elems: usize,
+        out: &mut [T],
+    ) {
+        let m = out.len();
+        if m == 0 {
+            return;
+        }
+        for (l, o) in out.iter_mut().enumerate() {
+            let c = view.cell(start + l * stride_elems);
+            *o = if view.atomic { c.get() } else { c.get_plain() };
+        }
+        let elem = std::mem::size_of::<T>();
+        self.record_affine(
+            view.addr_of(start),
+            (stride_elems * elem) as u64,
+            m as u64,
+            elem as u8,
+            false,
+        );
+    }
+
+    /// Stores `vals` at a constant element stride, lane `l` writing
+    /// `view[start + l * stride_elems]`, recorded analytically.
+    pub fn st_stride<T: Scalar>(
+        &mut self,
+        view: &GlobalView<'_, T>,
+        start: usize,
+        stride_elems: usize,
+        vals: &[T],
+    ) {
+        let m = vals.len();
+        if m == 0 {
+            return;
+        }
+        assert!(
+            view.writable,
+            "kernel `{}` stored to read-only binding {}",
+            view.kernel, view.binding
+        );
+        for (l, v) in vals.iter().enumerate() {
+            let c = view.cell(start + l * stride_elems);
+            if view.atomic {
+                c.set(*v);
+            } else {
+                c.set_plain(*v);
+            }
+        }
+        let elem = std::mem::size_of::<T>();
+        self.record_affine(
+            view.addr_of(start),
+            (stride_elems * elem) as u64,
+            m as u64,
+            elem as u8,
+            true,
+        );
+    }
+
+    /// Broadcast load: `count` active lanes all read `view[idx]` (the
+    /// pivot reads of gaussian). One functional read, `count` recorded
+    /// lane accesses — a stride-0 affine pattern.
+    #[inline]
+    pub fn ld_bcast<T: Scalar>(&mut self, view: &GlobalView<'_, T>, idx: usize, count: usize) -> T {
+        let c = view.cell(idx);
+        let v = if view.atomic { c.get() } else { c.get_plain() };
+        if count > 0 {
+            let elem = std::mem::size_of::<T>();
+            self.record_affine(view.addr_of(idx), 0, count as u64, elem as u8, false);
+        }
+        v
+    }
+
+    /// Gather load for irregular indices: lane `l` of the active set
+    /// reads `view[idxs[l]]` into `out[l]`. `idxs` must list the active
+    /// lanes' indices in ascending lane order; addresses are recorded
+    /// per lane through the same [`AddrPattern`] classifier the lane
+    /// path feeds, so spill behaviour is identical.
+    pub fn ld_gather<T: Scalar>(
+        &mut self,
+        view: &GlobalView<'_, T>,
+        idxs: &[usize],
+        out: &mut [T],
+    ) {
+        let m = idxs.len();
+        if m == 0 {
+            return;
+        }
+        assert_eq!(m, out.len(), "gather index/output length mismatch");
+        for (o, &idx) in out.iter_mut().zip(idxs) {
+            let c = view.cell(idx);
+            *o = if view.atomic { c.get() } else { c.get_plain() };
+        }
+        let elem = std::mem::size_of::<T>();
+        self.reads += m as u64;
+        self.useful += (m * elem) as u64;
+        if let Some(buf) = self.buf.as_deref_mut() {
+            let seq = self.seq;
+            self.seq += 1;
+            let pattern = buf.global_bucket(seq, elem as u8);
+            for &idx in idxs {
+                pattern.push(view.addr_of(idx));
+            }
+        }
+    }
+
+    /// Scatter store for irregular indices: lane `l` of the active set
+    /// writes `vals[l]` to `view[idxs[l]]` (same lane-order contract as
+    /// [`Warp::ld_gather`]).
+    pub fn st_scatter<T: Scalar>(&mut self, view: &GlobalView<'_, T>, idxs: &[usize], vals: &[T]) {
+        let m = idxs.len();
+        if m == 0 {
+            return;
+        }
+        assert_eq!(m, vals.len(), "scatter index/value length mismatch");
+        assert!(
+            view.writable,
+            "kernel `{}` stored to read-only binding {}",
+            view.kernel, view.binding
+        );
+        for (&idx, v) in idxs.iter().zip(vals) {
+            let c = view.cell(idx);
+            if view.atomic {
+                c.set(*v);
+            } else {
+                c.set_plain(*v);
+            }
+        }
+        let elem = std::mem::size_of::<T>();
+        self.writes += m as u64;
+        self.useful += (m * elem) as u64;
+        if let Some(buf) = self.buf.as_deref_mut() {
+            let seq = self.seq;
+            self.seq += 1;
+            let pattern = buf.global_bucket(seq, elem as u8);
+            for &idx in idxs {
+                pattern.push(view.addr_of(idx));
+            }
+        }
+    }
+
+    /// Accounts `ops` scalar ALU operations for the whole warp (callers
+    /// multiply per-lane ops by the active lane count).
+    #[inline]
+    pub fn alu(&mut self, ops: u64) {
+        self.alu += ops;
+    }
+
+    /// Runs `f` per lane for the lanes where `active(lane)` holds — the
+    /// explicit active-mask escape hatch for data-dependent divergence.
+    ///
+    /// Each active lane executes as a full [`Lane`] whose trace sequence
+    /// starts at the warp's current slot, so a uniform columnar prefix
+    /// followed by a divergent `for_active` tail buckets exactly like the
+    /// lane oracle. Must be the trailing traced section of the warp body
+    /// (see the type-level docs).
+    pub fn for_active<P, F>(&mut self, mut active: P, mut f: F)
+    where
+        P: FnMut(usize) -> bool,
+        F: FnMut(&mut Lane<'_>),
+    {
+        let mut max_seq = self.seq;
+        for l in 0..self.lanes {
+            if !active(l as usize) {
+                continue;
+            }
+            let mut lane = Lane {
+                linear: self.base + l,
+                local_size: self.local_size,
+                group_id: self.group_id,
+                seq: self.seq,
+                alu: 0,
+                reads: 0,
+                writes: 0,
+                useful: 0,
+                shared_acc: 0,
+                buf: self.buf.as_deref_mut(),
+            };
+            f(&mut lane);
+            max_seq = max_seq.max(lane.seq);
+            self.alu += lane.alu;
+            self.reads += lane.reads;
+            self.writes += lane.writes;
+            self.useful += lane.useful;
+            self.shared_acc += lane.shared_acc;
+        }
+        self.seq = max_seq;
+    }
+
+    #[inline]
+    fn record_affine(&mut self, base: u64, stride: u64, count: u64, size: u8, write: bool) {
+        if write {
+            self.writes += count;
+        } else {
+            self.reads += count;
+        }
+        self.useful += count * u64::from(size);
+        if let Some(buf) = self.buf.as_deref_mut() {
+            let seq = self.seq;
+            self.seq += 1;
+            buf.push_global_affine(seq, base, stride, count, size);
+        }
+    }
+}
+
+impl fmt::Debug for Warp<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Warp")
+            .field("base", &self.base)
+            .field("lanes", &self.lanes)
             .finish()
     }
 }
@@ -1423,6 +1869,269 @@ mod tests {
             seen.set(seen.get() + 1);
         });
         assert_eq!(seen.get(), 16);
+    }
+
+    /// Runs `body` through a fresh group + MemSystem and returns the
+    /// stats, the audited sector-run stream, and the contents of the
+    /// writable buffer — everything warp/lane equivalence must pin.
+    fn run_audited<F>(
+        p: &MemoryPool,
+        ids: &[(BufferId, bool)],
+        info: &KernelInfo,
+        out: BufferId,
+        f: F,
+    ) -> (TrafficStats, Vec<crate::coalesce::SectorRun>, Vec<f32>)
+    where
+        F: Fn(&mut GroupCtx<'_>) -> SimResult<()>,
+    {
+        let mut mem = MemSystem::new(&devices::gtx1050ti().memory, 32);
+        mem.set_audit(true);
+        let stats = run_one_group(p, ids, info, Some(&mut mem), f);
+        let audit = mem.take_audit();
+        let written = p.buffer(out).unwrap().read_vec().unwrap();
+        (stats, audit, written)
+    }
+
+    fn assert_warp_matches_lane(
+        lane: (TrafficStats, Vec<crate::coalesce::SectorRun>, Vec<f32>),
+        warp: (TrafficStats, Vec<crate::coalesce::SectorRun>, Vec<f32>),
+        context: &str,
+    ) {
+        assert_eq!(lane.0, warp.0, "{context}: TrafficStats diverged");
+        assert_eq!(lane.1, warp.1, "{context}: sector-run stream diverged");
+        assert_eq!(lane.2, warp.2, "{context}: output buffer diverged");
+        assert!(!lane.1.is_empty(), "{context}: no traffic audited");
+    }
+
+    #[test]
+    fn for_warps_seq_matches_for_lanes_bit_exactly() {
+        // Guarded vadd over a non-multiple-of-warp group (40 lanes, two
+        // warps: 32 + 8 tail) with the guard cutting in mid-tail (n=36),
+        // so both the tail mask and active_below are exercised.
+        let mut p = pool();
+        let n = 36usize;
+        let (a, _) = p.create_buffer(0, 64 * 4).unwrap();
+        let (b, _) = p.create_buffer(0, 64 * 4).unwrap();
+        let data: Vec<f32> = (0..64).map(|i| i as f32 * 1.5).collect();
+        p.buffer_mut(a).unwrap().write_slice(&data);
+        let info = KernelInfo::new("vadd_eq", [40, 1, 1])
+            .reads(0, "a")
+            .writes(1, "b")
+            .build();
+        let ids = [(a, false), (b, true)];
+
+        let lane = run_audited(&p, &ids, &info, b, |ctx| {
+            let x = ctx.global::<f32>(0)?;
+            let y = ctx.global::<f32>(1)?;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear() as usize;
+                if i < n {
+                    let v = lane.ld(&x, i);
+                    lane.alu(1);
+                    lane.st(&y, i, v * 2.0);
+                }
+            });
+            Ok(())
+        });
+        p.buffer_mut(b).unwrap().write_slice(&vec![0f32; 64]);
+        let warp = run_audited(&p, &ids, &info, b, |ctx| {
+            let x = ctx.global::<f32>(0)?;
+            let y = ctx.global::<f32>(1)?;
+            ctx.for_warps(|w| {
+                let m = w.active_below(n as u64);
+                let start = w.global_base() as usize;
+                let mut v = [0f32; MAX_WARP_WIDTH];
+                w.ld_seq(&x, start, &mut v[..m]);
+                for e in &mut v[..m] {
+                    *e *= 2.0;
+                }
+                w.alu(m as u64);
+                w.st_seq(&y, start, &v[..m]);
+            });
+            Ok(())
+        });
+        assert_eq!(lane.0.global_reads, n as u64);
+        assert_warp_matches_lane(lane, warp, "guarded vadd");
+    }
+
+    #[test]
+    fn warp_stride_and_broadcast_match_lane_oracle() {
+        let mut p = pool();
+        let n = 64usize;
+        let (a, _) = p.create_buffer(0, (n * n * 4) as u64).unwrap();
+        let (b, _) = p.create_buffer(0, (n * 4) as u64).unwrap();
+        let data: Vec<f32> = (0..n * n).map(|i| (i % 97) as f32 + 1.0).collect();
+        p.buffer_mut(a).unwrap().write_slice(&data);
+        let info = KernelInfo::new("col_eq", [64, 1, 1])
+            .reads(0, "a")
+            .writes(1, "b")
+            .build();
+        let ids = [(a, false), (b, true)];
+
+        // Column walk with a broadcast pivot, gaussian fan1 shape.
+        let lane = run_audited(&p, &ids, &info, b, |ctx| {
+            let x = ctx.global::<f32>(0)?;
+            let y = ctx.global::<f32>(1)?;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear() as usize;
+                let pivot = lane.ld(&x, 0);
+                let v = lane.ld(&x, i * n) / pivot;
+                lane.alu(1);
+                lane.st(&y, i, v);
+            });
+            Ok(())
+        });
+        p.buffer_mut(b).unwrap().write_slice(&vec![0f32; n]);
+        let warp = run_audited(&p, &ids, &info, b, |ctx| {
+            let x = ctx.global::<f32>(0)?;
+            let y = ctx.global::<f32>(1)?;
+            ctx.for_warps(|w| {
+                let m = w.lanes();
+                let start = w.global_base() as usize;
+                let pivot = w.ld_bcast(&x, 0, m);
+                let mut v = [0f32; MAX_WARP_WIDTH];
+                w.ld_stride(&x, start * n, n, &mut v[..m]);
+                for e in &mut v[..m] {
+                    *e /= pivot;
+                }
+                w.alu(m as u64);
+                w.st_seq(&y, start, &v[..m]);
+            });
+            Ok(())
+        });
+        assert_warp_matches_lane(lane, warp, "stride+broadcast");
+    }
+
+    #[test]
+    fn warp_gather_scatter_and_for_active_match_lane_oracle() {
+        let mut p = pool();
+        let n = 96usize;
+        let (a, _) = p.create_buffer(0, (n * 4) as u64).unwrap();
+        let (b, _) = p.create_buffer(0, (n * 4) as u64).unwrap();
+        let data: Vec<f32> = (0..n).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        p.buffer_mut(a).unwrap().write_slice(&data);
+        let info = KernelInfo::new("gather_eq", [96, 1, 1])
+            .reads(0, "a")
+            .writes(1, "b")
+            .build();
+        let ids = [(a, false), (b, true)];
+        let idx_of = |i: usize| (i * 17) % n;
+
+        // Irregular gather followed by a divergent (data-dependent) tail.
+        let lane = run_audited(&p, &ids, &info, b, |ctx| {
+            let x = ctx.global::<f32>(0)?;
+            let y = ctx.global::<f32>(1)?;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear() as usize;
+                let v = lane.ld(&x, idx_of(i));
+                lane.alu(1);
+                if v > 0.0 {
+                    lane.st(&y, i, v);
+                }
+            });
+            Ok(())
+        });
+        p.buffer_mut(b).unwrap().write_slice(&vec![0f32; n]);
+        let warp = run_audited(&p, &ids, &info, b, |ctx| {
+            let x = ctx.global::<f32>(0)?;
+            let y = ctx.global::<f32>(1)?;
+            ctx.for_warps(|w| {
+                let m = w.lanes();
+                let base = w.global_base() as usize;
+                let mut idxs = [0usize; MAX_WARP_WIDTH];
+                for (l, ix) in idxs[..m].iter_mut().enumerate() {
+                    *ix = idx_of(base + l);
+                }
+                let mut v = [0f32; MAX_WARP_WIDTH];
+                w.ld_gather(&x, &idxs[..m], &mut v[..m]);
+                w.alu(m as u64);
+                w.for_active(
+                    |l| v[l] > 0.0,
+                    |lane| {
+                        let i = lane.global_linear() as usize;
+                        lane.st(&y, i, v[i - base]);
+                    },
+                );
+            });
+            Ok(())
+        });
+        assert_warp_matches_lane(lane, warp, "gather + divergent tail");
+    }
+
+    #[test]
+    fn warp_scatter_matches_lane_store_order() {
+        let mut p = pool();
+        let n = 64usize;
+        let (b, _) = p.create_buffer(0, (n * 4) as u64).unwrap();
+        let info = KernelInfo::new("scatter_eq", [64, 1, 1])
+            .writes(0, "b")
+            .build();
+        let ids = [(b, true)];
+        let idx_of = |i: usize| (i * 5) % n;
+
+        let lane = run_audited(&p, &ids, &info, b, |ctx| {
+            let y = ctx.global::<f32>(0)?;
+            ctx.for_lanes(|lane| {
+                let i = lane.global_linear() as usize;
+                lane.st(&y, idx_of(i), i as f32);
+            });
+            Ok(())
+        });
+        p.buffer_mut(b).unwrap().write_slice(&vec![0f32; n]);
+        let warp = run_audited(&p, &ids, &info, b, |ctx| {
+            let y = ctx.global::<f32>(0)?;
+            ctx.for_warps(|w| {
+                let m = w.lanes();
+                let base = w.global_base() as usize;
+                let mut idxs = [0usize; MAX_WARP_WIDTH];
+                let mut v = [0f32; MAX_WARP_WIDTH];
+                for l in 0..m {
+                    idxs[l] = idx_of(base + l);
+                    v[l] = (base + l) as f32;
+                }
+                w.st_scatter(&y, &idxs[..m], &v[..m]);
+            });
+            Ok(())
+        });
+        assert_warp_matches_lane(lane, warp, "scatter");
+    }
+
+    #[test]
+    fn warp_seq_load_oob_panics_like_lane() {
+        let mut p = pool();
+        let (a, _) = p.create_buffer(0, 16).unwrap();
+        let info = KernelInfo::new("oobw", [32, 1, 1]).reads(0, "a").build();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one_group(&p, &[(a, false)], &info, None, |ctx| {
+                let x = ctx.global::<f32>(0)?;
+                ctx.for_warps(|w| {
+                    let mut v = [0f32; MAX_WARP_WIDTH];
+                    let m = w.lanes();
+                    w.ld_seq(&x, 0, &mut v[..m]);
+                });
+                Ok(())
+            });
+        }));
+        assert!(result.is_err(), "32-lane ld_seq on 4 elements must panic");
+    }
+
+    #[test]
+    fn warp_seq_store_to_readonly_binding_panics() {
+        let mut p = pool();
+        let (a, _) = p.create_buffer(0, 256).unwrap();
+        let info = KernelInfo::new("row", [32, 1, 1]).reads(0, "a").build();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_one_group(&p, &[(a, false)], &info, None, |ctx| {
+                let x = ctx.global::<f32>(0)?;
+                ctx.for_warps(|w| {
+                    let m = w.lanes();
+                    let v = [0f32; MAX_WARP_WIDTH];
+                    w.st_seq(&x, 0, &v[..m]);
+                });
+                Ok(())
+            });
+        }));
+        assert!(result.is_err());
     }
 
     #[test]

@@ -86,7 +86,10 @@ pub use calls::CallCounter;
 pub use coalesce::SectorRun;
 pub use engine::{DispatchReport, Gpu, TraceMode};
 pub use error::{SimError, SimResult};
-pub use exec::{CompileOpts, CompiledKernel, Dispatch, GroupCtx, KernelBody, KernelInfo, Lane};
+pub use exec::{
+    CompileOpts, CompiledKernel, Dispatch, GroupCtx, KernelBody, KernelInfo, Lane, Warp,
+    MAX_WARP_WIDTH,
+};
 pub use profile::{DeviceClass, DeviceProfile, DriverProfile, DriverQuirk, Vendor};
 pub use registry::KernelRegistry;
 pub use rng::SmallRng;

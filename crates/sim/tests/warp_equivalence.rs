@@ -1,0 +1,300 @@
+//! Warp-columnar ⇄ lane-at-a-time differential suite.
+//!
+//! Every kernel migrated to [`GroupCtx::for_warps`] keeps its original
+//! `for_lanes` body as a semantic oracle (`vcb_workloads`'s
+//! `lane_oracle_registry`). This suite runs both bodies over seeded
+//! inputs — at the raw dispatch level with the trace audit capturing
+//! every [`SectorRun`] the memory hierarchy consumes, and at the full
+//! workload level through the Vulkan backend — and asserts the
+//! warp-columnar path is **bit-identical**: same output buffers, same
+//! [`TrafficStats`], same sector sequence, same simulated times, across
+//! all trace modes and at one and four worker threads.
+//!
+//! [`GroupCtx::for_warps`]: vcb_sim::exec::GroupCtx::for_warps
+//! [`SectorRun`]: vcb_sim::coalesce::SectorRun
+//! [`TrafficStats`]: vcb_sim::exec::TrafficStats
+
+use std::sync::Arc;
+
+use vcb_core::run::SizeSpec;
+use vcb_core::workload::RunOpts;
+use vcb_sim::coalesce::expand_runs;
+use vcb_sim::engine::{Gpu, TraceMode};
+use vcb_sim::exec::{BoundBuffer, CompileOpts, CompiledKernel, Dispatch, TrafficStats};
+use vcb_sim::profile::devices;
+use vcb_sim::{Api, KernelRegistry, SectorRun};
+use vcb_workloads::data;
+
+const MODES: [TraceMode; 3] = [TraceMode::Detailed, TraceMode::Sampled(16), TraceMode::Auto];
+const SEED: u64 = 0x5eed_cafe;
+
+/// One migrated kernel as a raw dispatch: entry point, grid, buffer
+/// sizes in f32 elements with optional seeded contents, push constants.
+struct Case {
+    kernel: &'static str,
+    groups: [u32; 3],
+    buffers: Vec<(usize, bool)>, // (elements, seeded?)
+    push: Vec<u8>,
+}
+
+fn push_u32s(vals: &[u32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Every migrated kernel, sized so tail warps (partial `active_below`
+/// prefixes), 2-D guards and wrapped strides all occur.
+fn cases() -> Vec<Case> {
+    let vadd_n = 40_000u32; // not a multiple of 256: guarded tail group
+    let stride_n = 32 * 1024u32;
+    let gauss_n = 48u32;
+    let gauss_t = 3u32;
+    let hot_n = 64u32;
+    vec![
+        Case {
+            kernel: "vectoradd_add",
+            groups: [vadd_n.div_ceil(256), 1, 1],
+            buffers: vec![
+                (vadd_n as usize, true),
+                (vadd_n as usize, true),
+                (vadd_n as usize, false),
+            ],
+            push: push_u32s(&[vadd_n]),
+        },
+        // Unit-length wrap never hit: the pure ld_stride/st_stride path.
+        Case {
+            kernel: "stride_read",
+            groups: [stride_n.div_ceil(256), 1, 1],
+            buffers: vec![((stride_n * 8) as usize, true), (1, false)],
+            push: push_u32s(&[8, stride_n, stride_n * 8]),
+        },
+        // Array shorter than accesses * stride: some warps wrap modulo
+        // `len` mid-warp and take the gather fallback.
+        Case {
+            kernel: "stride_read",
+            groups: [stride_n.div_ceil(256), 1, 1],
+            buffers: vec![((stride_n * 4) as usize, true), (1, false)],
+            push: push_u32s(&[8, stride_n, stride_n * 4]),
+        },
+        Case {
+            kernel: "gaussian_fan1",
+            groups: [(gauss_n - 1 - gauss_t).div_ceil(256).max(1), 1, 1],
+            buffers: vec![
+                ((gauss_n * gauss_n) as usize, true),
+                ((gauss_n * gauss_n) as usize, true),
+            ],
+            push: push_u32s(&[gauss_n, gauss_t]),
+        },
+        Case {
+            kernel: "gaussian_fan2",
+            groups: [
+                (gauss_n - 1 - gauss_t).div_ceil(16).max(1),
+                (gauss_n - gauss_t).div_ceil(16).max(1),
+                1,
+            ],
+            buffers: vec![
+                ((gauss_n * gauss_n) as usize, true),
+                ((gauss_n * gauss_n) as usize, true),
+                (gauss_n as usize, true),
+            ],
+            push: push_u32s(&[gauss_n, gauss_t]),
+        },
+        Case {
+            kernel: "hotspot_step",
+            groups: [hot_n.div_ceil(16), hot_n.div_ceil(16), 1],
+            buffers: vec![
+                ((hot_n * hot_n) as usize, true),
+                ((hot_n * hot_n) as usize, true),
+                ((hot_n * hot_n) as usize, false),
+            ],
+            push: push_u32s(&[hot_n]),
+        },
+    ]
+}
+
+/// Executes `case` from `registry` on a fresh device and returns every
+/// per-dispatch observable: traffic stats, the audited sector stream,
+/// the simulated time and the device fingerprint (buffers + counters).
+fn run_case(
+    registry: &Arc<KernelRegistry>,
+    case: &Case,
+    mode: TraceMode,
+    threads: usize,
+) -> (
+    TrafficStats,
+    Vec<SectorRun>,
+    vcb_sim::time::SimDuration,
+    u64,
+) {
+    let profile = devices::gtx1050ti();
+    let driver = profile.driver(Api::Cuda).unwrap().clone();
+    let mut gpu = Gpu::new(profile);
+    gpu.set_trace_mode(mode);
+    if threads > 1 {
+        gpu.set_worker_threads(threads);
+        gpu.set_worker_clamp(false);
+    }
+    gpu.set_trace_audit(true);
+    let mut bindings = Vec::new();
+    for (slot, &(elems, seeded)) in case.buffers.iter().enumerate() {
+        let (buf, _) = gpu.pool_mut().create_buffer(0, (elems * 4) as u64).unwrap();
+        if seeded {
+            let init = data::uniform_f32(elems, SEED ^ slot as u64, -100.0, 100.0);
+            gpu.pool_mut().buffer_mut(buf).unwrap().write_slice(&init);
+        }
+        bindings.push(BoundBuffer {
+            binding: slot as u32,
+            buffer: buf,
+        });
+    }
+    let reg = registry.lookup(case.kernel).unwrap();
+    let dispatch = Dispatch {
+        kernel: CompiledKernel::new(
+            reg.info().clone(),
+            Arc::clone(reg.body()),
+            CompileOpts::default(),
+        ),
+        groups: case.groups,
+        bindings,
+        push_constants: case.push.clone(),
+    };
+    let report = gpu.execute(&dispatch, &driver).unwrap();
+    let audit = gpu.take_trace_audit();
+    (report.stats, audit, report.time, gpu.fingerprint())
+}
+
+#[test]
+fn migrated_dispatches_are_bit_identical_to_their_lane_oracles() {
+    let warp = vcb_workloads::registry().unwrap();
+    let lane = vcb_workloads::lane_oracle_registry().unwrap();
+    for case in cases() {
+        for mode in MODES {
+            for threads in [1usize, 4] {
+                let context = format!("{}/{mode:?}/threads{threads}", case.kernel);
+                let (w_stats, w_audit, w_time, w_fp) = run_case(&warp, &case, mode, threads);
+                let (l_stats, l_audit, l_time, l_fp) = run_case(&lane, &case, mode, threads);
+                assert_eq!(w_stats, l_stats, "{context}: traffic stats diverged");
+                assert!(
+                    !l_audit.is_empty(),
+                    "{context}: oracle traced no traffic (case too small?)"
+                );
+                assert_eq!(
+                    expand_runs(&w_audit),
+                    expand_runs(&l_audit),
+                    "{context}: sector stream diverged"
+                );
+                assert_eq!(w_time, l_time, "{context}: simulated time diverged");
+                assert_eq!(
+                    w_fp, l_fp,
+                    "{context}: device state (buffers + counters) diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn migrated_dispatches_match_their_oracles_under_trace_off() {
+    // TraceMode::Off has no sector stream, but the functional outputs
+    // and the exact instruction/byte counters must still agree.
+    let warp = vcb_workloads::registry().unwrap();
+    let lane = vcb_workloads::lane_oracle_registry().unwrap();
+    for case in cases() {
+        for threads in [1usize, 4] {
+            let context = format!("{}/Off/threads{threads}", case.kernel);
+            let (w_stats, w_audit, w_time, w_fp) = run_case(&warp, &case, TraceMode::Off, threads);
+            let (l_stats, l_audit, l_time, l_fp) = run_case(&lane, &case, TraceMode::Off, threads);
+            assert!(
+                w_audit.is_empty() && l_audit.is_empty(),
+                "{context}: Off traced traffic"
+            );
+            assert_eq!(w_stats, l_stats, "{context}: counters diverged");
+            assert_eq!(w_time, l_time, "{context}: simulated time diverged");
+            assert_eq!(w_fp, l_fp, "{context}: device state diverged");
+        }
+    }
+}
+
+fn opts(mode: TraceMode, threads: usize) -> RunOpts {
+    RunOpts {
+        trace_mode: mode,
+        sim_threads: threads,
+        sim_threads_exact: true,
+        scale: 0.25,
+        ..RunOpts::default()
+    }
+}
+
+#[test]
+fn migrated_workloads_are_bit_identical_end_to_end() {
+    // The full host programs (multi-dispatch iteration loops, Vulkan
+    // backend, validation against the CPU references) with the
+    // production registry vs the oracle registry.
+    let warp = vcb_workloads::registry().unwrap();
+    let lane = vcb_workloads::lane_oracle_registry().unwrap();
+    let profile = devices::gtx1050ti();
+    let pairs = [
+        ("gaussian", SizeSpec::new("48", 48)),
+        ("hotspot", SizeSpec::with_aux("64-4", 64, 4)),
+    ];
+    for (name, size) in pairs {
+        let w_impl = vcb_workloads::suite_workloads(&warp)
+            .into_iter()
+            .find(|w| w.meta().name == name)
+            .unwrap();
+        let l_impl = vcb_workloads::suite_workloads(&lane)
+            .into_iter()
+            .find(|w| w.meta().name == name)
+            .unwrap();
+        for mode in MODES {
+            for threads in [1usize, 4] {
+                let context = format!("{name}/{mode:?}/threads{threads}");
+                let o = opts(mode, threads);
+                let w = w_impl.run(Api::Vulkan, &profile, &size, &o).unwrap();
+                let l = l_impl.run(Api::Vulkan, &profile, &size, &o).unwrap();
+                assert!(w.validated && l.validated, "{context}: validation failed");
+                assert_eq!(w.kernel_time, l.kernel_time, "{context}: kernel time");
+                assert_eq!(w.total_time, l.total_time, "{context}: total time");
+                assert_eq!(w.fingerprint, l.fingerprint, "{context}: fingerprint");
+            }
+        }
+    }
+}
+
+#[test]
+fn vectoradd_micro_is_bit_identical_to_its_oracle() {
+    let warp = vcb_workloads::registry().unwrap();
+    let lane = vcb_workloads::lane_oracle_registry().unwrap();
+    let profile = devices::gtx1050ti();
+    let n = 64 * 1024;
+    for mode in MODES {
+        for threads in [1usize, 4] {
+            let context = format!("vectoradd/{mode:?}/threads{threads}");
+            let o = opts(mode, threads);
+            let w =
+                vcb_workloads::micro::vectoradd::run(Api::Vulkan, &profile, &warp, n, &o).unwrap();
+            let l =
+                vcb_workloads::micro::vectoradd::run(Api::Vulkan, &profile, &lane, n, &o).unwrap();
+            assert!(w.validated && l.validated, "{context}: validation failed");
+            assert_eq!(w.kernel_time, l.kernel_time, "{context}: kernel time");
+            assert_eq!(w.fingerprint, l.fingerprint, "{context}: fingerprint");
+        }
+    }
+}
+
+#[test]
+fn stride_bandwidth_curves_match_the_oracle() {
+    // The Fig. 1/Fig. 3 bandwidth samples are pure functions of the
+    // simulated times, so curve equality is timing equality across the
+    // whole stride sweep (ld_stride fast path and gather fallback).
+    let warp = vcb_workloads::registry().unwrap();
+    let lane = vcb_workloads::lane_oracle_registry().unwrap();
+    let profile = devices::gtx1050ti();
+    for threads in [1usize, 4] {
+        let o = opts(TraceMode::Auto, threads);
+        let w =
+            vcb_workloads::micro::stride::bandwidth_curve(Api::Cuda, &profile, &warp, &o).unwrap();
+        let l =
+            vcb_workloads::micro::stride::bandwidth_curve(Api::Cuda, &profile, &lane, &o).unwrap();
+        assert_eq!(w, l, "bandwidth curve diverged at threads={threads}");
+    }
+}

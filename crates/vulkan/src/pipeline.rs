@@ -32,6 +32,12 @@ impl ShaderModule {
     pub fn local_size(&self) -> [u32; 3] {
         self.module.local_size()
     }
+
+    /// The validated module, shareable with a decode cache so a later
+    /// [`Device::create_shader_module_prepared`] can skip the re-parse.
+    pub fn parsed(&self) -> &Rc<SpirvModule> {
+        &self.module
+    }
 }
 
 impl fmt::Debug for ShaderModule {
@@ -131,6 +137,19 @@ impl Device {
         })
     }
 
+    /// `vkCreateShaderModule` from an already-validated module (a decode
+    /// cache hit): records the same call and charges the same modelled
+    /// cost as [`Device::create_shader_module`] — parsing is
+    /// deterministic, so the shared module is bit-identical to what a
+    /// fresh parse of the same words would produce — but skips the
+    /// host-side re-decode.
+    pub fn create_shader_module_prepared(&self, module: Rc<SpirvModule>) -> ShaderModule {
+        let mut shared = self.shared.borrow_mut();
+        shared.api_call("vkCreateShaderModule", SimDuration::from_micros(15.0));
+        drop(shared);
+        ShaderModule { module }
+    }
+
     /// `vkCreatePipelineLayout`.
     ///
     /// # Errors
@@ -173,6 +192,32 @@ impl Device {
         &self,
         create_info: &ComputePipelineCreateInfo<'_>,
     ) -> VkResult<ComputePipeline> {
+        self.create_compute_pipeline_inner(create_info, None)
+    }
+
+    /// `vkCreateComputePipelines` with the driver-compiled kernel served
+    /// from a compile cache: identical call recording, cost charging and
+    /// validation (entry point, driver quirks, push-constant coverage) —
+    /// the compiler is deterministic per (module, driver), so the cached
+    /// kernel is exactly what a fresh compile would produce — without
+    /// re-running the compiler.
+    ///
+    /// # Errors
+    ///
+    /// As [`Device::create_compute_pipeline`].
+    pub fn create_compute_pipeline_prebuilt(
+        &self,
+        create_info: &ComputePipelineCreateInfo<'_>,
+        prebuilt: CompiledKernel,
+    ) -> VkResult<ComputePipeline> {
+        self.create_compute_pipeline_inner(create_info, Some(prebuilt))
+    }
+
+    fn create_compute_pipeline_inner(
+        &self,
+        create_info: &ComputePipelineCreateInfo<'_>,
+        prebuilt: Option<CompiledKernel>,
+    ) -> VkResult<ComputePipeline> {
         let mut shared = self.shared.borrow_mut();
         shared.calls.record("vkCreateComputePipelines");
         let cost = shared.driver.pipeline_create_cost;
@@ -206,9 +251,14 @@ impl Device {
                 ),
             ));
         }
-        let registry = std::sync::Arc::clone(&shared.registry);
-        let compiler = DriverCompiler::new(&registry);
-        let kernel = compiler.compile_module(&create_info.module.module, &shared.driver)?;
+        let kernel = match prebuilt {
+            Some(kernel) => kernel,
+            None => {
+                let registry = std::sync::Arc::clone(&shared.registry);
+                let compiler = DriverCompiler::new(&registry);
+                compiler.compile_module(&create_info.module.module, &shared.driver)?
+            }
+        };
         let id = shared.fresh_id();
         Ok(ComputePipeline { kernel, id })
     }

@@ -73,6 +73,32 @@ pub fn registry() -> SimResult<Arc<KernelRegistry>> {
     Ok(Arc::new(r))
 }
 
+/// Builds the registry with the lane-at-a-time **oracle** bodies in
+/// place of the warp-columnar production bodies for every migrated
+/// kernel (vectoradd, stride, gaussian, hotspot); all other kernels are
+/// identical to [`registry`]. The warp-equivalence differential suite
+/// runs workloads against both registries and asserts bit-identical
+/// results.
+///
+/// # Errors
+///
+/// Fails only if two workloads export the same entry-point symbol.
+pub fn lane_oracle_registry() -> SimResult<Arc<KernelRegistry>> {
+    let mut r = KernelRegistry::new();
+    micro::vectoradd::register_lane_oracle(&mut r)?;
+    micro::stride::register_lane_oracle(&mut r)?;
+    rodinia::backprop::register(&mut r)?;
+    rodinia::bfs::register(&mut r)?;
+    rodinia::cfd::register(&mut r)?;
+    rodinia::gaussian::register_lane_oracle(&mut r)?;
+    rodinia::hotspot::register_lane_oracle(&mut r)?;
+    rodinia::lud::register(&mut r)?;
+    rodinia::nn::register(&mut r)?;
+    rodinia::nw::register(&mut r)?;
+    rodinia::pathfinder::register(&mut r)?;
+    Ok(Arc::new(r))
+}
+
 /// The nine suite workloads in Table I order.
 pub fn suite_workloads(registry: &Arc<KernelRegistry>) -> Vec<Box<dyn Workload>> {
     vec![

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use vcb_core::run::RunFailure;
 use vcb_core::workload::RunOpts;
-use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::exec::{GroupCtx, KernelBody, KernelInfo, MAX_WARP_WIDTH};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::time::SimDuration;
 use vcb_sim::timeline::CostKind;
@@ -56,12 +56,71 @@ __kernel void stride_read(__global const float* a,
 }
 "#;
 
-/// Registers the kernel body.
-///
-/// # Errors
-///
-/// Fails on duplicate registration.
-pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+/// The production body: warp-columnar. A warp whose strided window does
+/// not wrap the array is one analytic strided load; wrapping warps fall
+/// back to a gather over the per-lane indices. The sentinel-guarded sink
+/// store is the divergent tail, predicated via `for_active`.
+fn warp_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let a = ctx.global::<f32>(0)?;
+        let sink = ctx.global::<f32>(1)?;
+        let stride = ctx.push_u32(0) as u64;
+        let n = ctx.push_u32(4) as u64;
+        let len = ctx.push_u32(8) as u64;
+        ctx.for_warps(|w| {
+            let m = w.active_below(n);
+            if m == 0 {
+                return;
+            }
+            let base = w.global_base();
+            let first = base * stride % len;
+            let mut v = [0f32; MAX_WARP_WIDTH];
+            if first + (m as u64 - 1) * stride < len {
+                w.ld_stride(&a, first as usize, stride as usize, &mut v[..m]);
+            } else {
+                let mut idxs = [0usize; MAX_WARP_WIDTH];
+                for (l, ix) in idxs[..m].iter_mut().enumerate() {
+                    *ix = ((base + l as u64) * stride % len) as usize;
+                }
+                w.ld_gather(&a, &idxs[..m], &mut v[..m]);
+            }
+            w.alu(m as u64);
+            w.for_active(
+                |l| v[l] == -12345.0,
+                |lane| {
+                    let l = (lane.global_linear() - base) as usize;
+                    lane.st(&sink, 0, v[l]);
+                },
+            );
+        });
+        Ok(())
+    })
+}
+
+/// The lane-at-a-time oracle body (see the warp-equivalence suite).
+pub fn lane_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let a = ctx.global::<f32>(0)?;
+        let sink = ctx.global::<f32>(1)?;
+        let stride = ctx.push_u32(0) as u64;
+        let n = ctx.push_u32(4) as u64;
+        let len = ctx.push_u32(8) as u64;
+        ctx.for_lanes(|lane| {
+            let i = lane.global_linear();
+            if i < n {
+                let idx = (i * stride) % len;
+                let v = lane.ld(&a, idx as usize);
+                lane.alu(1);
+                if v == -12345.0 {
+                    lane.st(&sink, 0, v);
+                }
+            }
+        });
+        Ok(())
+    })
+}
+
+fn register_body(registry: &mut KernelRegistry, body: Arc<dyn KernelBody>) -> SimResult<()> {
     // parallel_groups audit: `a` is read-only; the sink store is guarded
     // by a sentinel that never fires (and would store the same value from
     // every lane if it did).
@@ -72,28 +131,26 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64)
         .build();
-    registry.register(
-        info,
-        Arc::new(|ctx: &mut GroupCtx<'_>| {
-            let a = ctx.global::<f32>(0)?;
-            let sink = ctx.global::<f32>(1)?;
-            let stride = ctx.push_u32(0) as u64;
-            let n = ctx.push_u32(4) as u64;
-            let len = ctx.push_u32(8) as u64;
-            ctx.for_lanes(|lane| {
-                let i = lane.global_linear();
-                if i < n {
-                    let idx = (i * stride) % len;
-                    let v = lane.ld(&a, idx as usize);
-                    lane.alu(1);
-                    if v == -12345.0 {
-                        lane.st(&sink, 0, v);
-                    }
-                }
-            });
-            Ok(())
-        }),
-    )
+    registry.register(info, body)
+}
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, warp_body())
+}
+
+/// Registers the [`lane_body`] oracle instead of the warp-columnar
+/// production body (differential testing only).
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register_lane_oracle(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, lane_body())
 }
 
 /// One sample of the bandwidth curve.

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use vcb_core::run::{RunFailure, RunOutcome, RunRecord, SizeSpec};
 use vcb_core::suite::{BenchmarkMeta, Dwarf};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::exec::{GroupCtx, KernelBody, KernelInfo, MAX_WARP_WIDTH};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
 
@@ -59,12 +59,55 @@ __kernel void vectoradd_add(__global const float* x,
 }
 "#;
 
-/// Registers the kernel body.
-///
-/// # Errors
-///
-/// Fails on duplicate registration.
-pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+/// The production body: warp-columnar, unit-stride loads/stores over
+/// the guarded prefix of each warp (`active_below`).
+fn warp_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let x = ctx.global::<f32>(0)?;
+        let y = ctx.global::<f32>(1)?;
+        let z = ctx.global::<f32>(2)?;
+        let n = ctx.push_u32(0) as u64;
+        ctx.for_warps(|w| {
+            let m = w.active_below(n);
+            if m == 0 {
+                return;
+            }
+            let start = w.global_base() as usize;
+            let mut xs = [0f32; MAX_WARP_WIDTH];
+            let mut ys = [0f32; MAX_WARP_WIDTH];
+            w.ld_seq(&x, start, &mut xs[..m]);
+            w.ld_seq(&y, start, &mut ys[..m]);
+            for (a, b) in xs[..m].iter_mut().zip(&ys[..m]) {
+                *a += *b;
+            }
+            w.alu(m as u64);
+            w.st_seq(&z, start, &xs[..m]);
+        });
+        Ok(())
+    })
+}
+
+/// The lane-at-a-time oracle body: semantically and trace-wise identical
+/// to [`warp_body`], kept for the warp-equivalence differential suite.
+pub fn lane_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let x = ctx.global::<f32>(0)?;
+        let y = ctx.global::<f32>(1)?;
+        let z = ctx.global::<f32>(2)?;
+        let n = ctx.push_u32(0) as u64;
+        ctx.for_lanes(|lane| {
+            let i = lane.global_linear();
+            if i < n {
+                let v = lane.ld(&x, i as usize) + lane.ld(&y, i as usize);
+                lane.alu(1);
+                lane.st(&z, i as usize, v);
+            }
+        });
+        Ok(())
+    })
+}
+
+fn register_body(registry: &mut KernelRegistry, body: Arc<dyn KernelBody>) -> SimResult<()> {
     // parallel_groups audit: one output cell per item, inputs read-only.
     let info = KernelInfo::new(KERNEL, [LOCAL_SIZE, 1, 1])
         .reads(0, "x")
@@ -74,24 +117,26 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64)
         .build();
-    registry.register(
-        info,
-        Arc::new(|ctx: &mut GroupCtx<'_>| {
-            let x = ctx.global::<f32>(0)?;
-            let y = ctx.global::<f32>(1)?;
-            let z = ctx.global::<f32>(2)?;
-            let n = ctx.push_u32(0) as u64;
-            ctx.for_lanes(|lane| {
-                let i = lane.global_linear();
-                if i < n {
-                    let v = lane.ld(&x, i as usize) + lane.ld(&y, i as usize);
-                    lane.alu(1);
-                    lane.st(&z, i as usize, v);
-                }
-            });
-            Ok(())
-        }),
-    )
+    registry.register(info, body)
+}
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, warp_body())
+}
+
+/// Registers the [`lane_body`] oracle instead of the warp-columnar
+/// production body (differential testing only).
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register_lane_oracle(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, lane_body())
 }
 
 /// CPU reference.

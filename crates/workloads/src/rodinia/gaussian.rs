@@ -13,7 +13,7 @@ use std::sync::Arc;
 use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::exec::{GroupCtx, KernelBody, KernelInfo, MAX_WARP_WIDTH};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
 
@@ -83,12 +83,158 @@ __kernel void gaussian_fan2(__global const float* m,
 }
 "#;
 
-/// Registers both kernel bodies.
-///
-/// # Errors
-///
-/// Fails on duplicate registration.
-pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+/// fan1, warp-columnar: one broadcast pivot load, one stride-`n` column
+/// load, one stride-`n` column store per warp — all traced analytically.
+fn fan1_warp_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let a = ctx.global::<f32>(0)?;
+        let m = ctx.global::<f32>(1)?;
+        let n = ctx.push_u32(0) as usize;
+        let t = ctx.push_u32(4) as usize;
+        ctx.for_warps(|w| {
+            let cnt = w.active_below((n - 1 - t) as u64);
+            if cnt == 0 {
+                return;
+            }
+            let base = w.global_base() as usize;
+            let pivot = w.ld_bcast(&a, t * n + t, cnt);
+            let first = (t + 1 + base) * n + t;
+            let mut col = [0f32; MAX_WARP_WIDTH];
+            w.ld_stride(&a, first, n, &mut col[..cnt]);
+            for e in &mut col[..cnt] {
+                *e /= pivot;
+            }
+            w.alu(cnt as u64);
+            w.st_stride(&m, first, n, &col[..cnt]);
+        });
+        Ok(())
+    })
+}
+
+/// fan1, lane-at-a-time oracle.
+pub fn fan1_lane_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let a = ctx.global::<f32>(0)?;
+        let m = ctx.global::<f32>(1)?;
+        let n = ctx.push_u32(0) as usize;
+        let t = ctx.push_u32(4) as usize;
+        ctx.for_lanes(|lane| {
+            let i = lane.global_linear() as usize;
+            if i < n - 1 - t {
+                let pivot = lane.ld(&a, t * n + t);
+                let v = lane.ld(&a, (t + 1 + i) * n + t) / pivot;
+                lane.alu(1);
+                lane.st(&m, (t + 1 + i) * n + t, v);
+            }
+        });
+        Ok(())
+    })
+}
+
+/// fan2, warp-columnar: the 2-D guard leaves an irregular active set
+/// inside the 16×16 tile's warps, so the streaming part is a compacted
+/// gather/scatter over the active lanes; the `y == 0` right-hand-side
+/// update is the trailing divergent tail under `for_active`.
+fn fan2_warp_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let m = ctx.global::<f32>(0)?;
+        let a = ctx.global::<f32>(1)?;
+        let b = ctx.global::<f32>(2)?;
+        let n = ctx.push_u32(0) as usize;
+        let t = ctx.push_u32(4) as usize;
+        ctx.for_warps(|w| {
+            let lanes = w.lanes();
+            let base_local = w.local_linear(0);
+            let mut idx_m = [0usize; MAX_WARP_WIDTH];
+            let mut idx_p = [0usize; MAX_WARP_WIDTH];
+            let mut idx_a = [0usize; MAX_WARP_WIDTH];
+            let mut slot = [0usize; MAX_WARP_WIDTH];
+            let mut is_b = [false; MAX_WARP_WIDTH];
+            let mut rows = [0usize; MAX_WARP_WIDTH];
+            let mut k = 0usize;
+            for l in 0..lanes {
+                let x = w.global_id(l, 0) as usize;
+                let y = w.global_id(l, 1) as usize;
+                if x >= n - 1 - t || y >= n - t {
+                    continue;
+                }
+                let row = t + 1 + x;
+                let col = t + y;
+                idx_m[k] = row * n + t;
+                idx_p[k] = t * n + col;
+                idx_a[k] = row * n + col;
+                slot[l] = k;
+                is_b[l] = y == 0;
+                rows[l] = row;
+                k += 1;
+            }
+            if k == 0 {
+                return;
+            }
+            let mut mult = [0f32; MAX_WARP_WIDTH];
+            let mut piv = [0f32; MAX_WARP_WIDTH];
+            let mut cur = [0f32; MAX_WARP_WIDTH];
+            w.ld_gather(&m, &idx_m[..k], &mut mult[..k]);
+            w.ld_gather(&a, &idx_p[..k], &mut piv[..k]);
+            w.ld_gather(&a, &idx_a[..k], &mut cur[..k]);
+            for i in 0..k {
+                cur[i] -= mult[i] * piv[i];
+            }
+            w.alu(2 * k as u64);
+            w.st_scatter(&a, &idx_a[..k], &cur[..k]);
+            w.for_active(
+                |l| is_b[l],
+                |lane| {
+                    let l = (lane.local_linear() - base_local) as usize;
+                    let row = rows[l];
+                    let bt = lane.ld(&b, t);
+                    let br = lane.ld(&b, row);
+                    lane.alu(2);
+                    lane.st(&b, row, br - mult[slot[l]] * bt);
+                },
+            );
+        });
+        Ok(())
+    })
+}
+
+/// fan2, lane-at-a-time oracle.
+pub fn fan2_lane_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let m = ctx.global::<f32>(0)?;
+        let a = ctx.global::<f32>(1)?;
+        let b = ctx.global::<f32>(2)?;
+        let n = ctx.push_u32(0) as usize;
+        let t = ctx.push_u32(4) as usize;
+        ctx.for_lanes(|lane| {
+            let x = lane.global_id(0) as usize;
+            let y = lane.global_id(1) as usize;
+            if x >= n - 1 - t || y >= n - t {
+                return;
+            }
+            let row = t + 1 + x;
+            let col = t + y;
+            let mult = lane.ld(&m, row * n + t);
+            let pivot_row = lane.ld(&a, t * n + col);
+            let cur = lane.ld(&a, row * n + col);
+            lane.alu(2);
+            lane.st(&a, row * n + col, cur - mult * pivot_row);
+            if y == 0 {
+                let bt = lane.ld(&b, t);
+                let br = lane.ld(&b, row);
+                lane.alu(2);
+                lane.st(&b, row, br - mult * bt);
+            }
+        });
+        Ok(())
+    })
+}
+
+fn register_bodies(
+    registry: &mut KernelRegistry,
+    fan1_body: Arc<dyn KernelBody>,
+    fan2_body: Arc<dyn KernelBody>,
+) -> SimResult<()> {
     // parallel_groups audit: item i writes only m[(t+1+i)*n+t]; `a`
     // (including the shared pivot row) is read-only this dispatch.
     let fan1 = KernelInfo::new(KERNEL_FAN1, [FAN1_LOCAL, 1, 1])
@@ -98,25 +244,7 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64 / 2)
         .build();
-    registry.register(
-        fan1,
-        Arc::new(|ctx: &mut GroupCtx<'_>| {
-            let a = ctx.global::<f32>(0)?;
-            let m = ctx.global::<f32>(1)?;
-            let n = ctx.push_u32(0) as usize;
-            let t = ctx.push_u32(4) as usize;
-            ctx.for_lanes(|lane| {
-                let i = lane.global_linear() as usize;
-                if i < n - 1 - t {
-                    let pivot = lane.ld(&a, t * n + t);
-                    let v = lane.ld(&a, (t + 1 + i) * n + t) / pivot;
-                    lane.alu(1);
-                    lane.st(&m, (t + 1 + i) * n + t, v);
-                }
-            });
-            Ok(())
-        }),
-    )?;
+    registry.register(fan1, fan1_body)?;
 
     // parallel_groups audit: writes go to rows >= t+1 of a/b while reads
     // of shared state touch only row t (a) and b[t], never written here;
@@ -129,37 +257,26 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64 / 2)
         .build();
-    registry.register(
-        fan2,
-        Arc::new(|ctx: &mut GroupCtx<'_>| {
-            let m = ctx.global::<f32>(0)?;
-            let a = ctx.global::<f32>(1)?;
-            let b = ctx.global::<f32>(2)?;
-            let n = ctx.push_u32(0) as usize;
-            let t = ctx.push_u32(4) as usize;
-            ctx.for_lanes(|lane| {
-                let x = lane.global_id(0) as usize;
-                let y = lane.global_id(1) as usize;
-                if x >= n - 1 - t || y >= n - t {
-                    return;
-                }
-                let row = t + 1 + x;
-                let col = t + y;
-                let mult = lane.ld(&m, row * n + t);
-                let pivot_row = lane.ld(&a, t * n + col);
-                let cur = lane.ld(&a, row * n + col);
-                lane.alu(2);
-                lane.st(&a, row * n + col, cur - mult * pivot_row);
-                if y == 0 {
-                    let bt = lane.ld(&b, t);
-                    let br = lane.ld(&b, row);
-                    lane.alu(2);
-                    lane.st(&b, row, br - mult * bt);
-                }
-            });
-            Ok(())
-        }),
-    )
+    registry.register(fan2, fan2_body)
+}
+
+/// Registers both kernel bodies.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_bodies(registry, fan1_warp_body(), fan2_warp_body())
+}
+
+/// Registers the lane-at-a-time oracle bodies instead of the
+/// warp-columnar production bodies (differential testing only).
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register_lane_oracle(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_bodies(registry, fan1_lane_body(), fan2_lane_body())
 }
 
 /// CPU reference: forward elimination + back substitution, same

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::suite::{self, BenchmarkMeta};
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_sim::exec::{GroupCtx, KernelInfo};
+use vcb_sim::exec::{GroupCtx, KernelBody, KernelInfo, MAX_WARP_WIDTH};
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, SimResult};
 
@@ -100,12 +100,101 @@ __kernel void hotspot_step(__global const float* power,
 }
 "#;
 
-/// Registers the kernel body.
-///
-/// # Errors
-///
-/// Fails on duplicate registration.
-pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+/// The production body: warp-columnar. A 16×16 tile's warps span two
+/// grid rows each, so the stencil's five source loads are gathers over
+/// the active lanes' (clamped) neighbour indices — per-address traced,
+/// exactly like the lane oracle — while the arithmetic runs in tight
+/// columnar loops with one accounting call per warp.
+fn warp_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let power = ctx.global::<f32>(0)?;
+        let src = ctx.global::<f32>(1)?;
+        let dst = ctx.global::<f32>(2)?;
+        let n = ctx.push_u32(0) as usize;
+        ctx.for_warps(|w| {
+            let lanes = w.lanes();
+            let mut idx_c = [0usize; MAX_WARP_WIDTH];
+            let mut idx_n = [0usize; MAX_WARP_WIDTH];
+            let mut idx_s = [0usize; MAX_WARP_WIDTH];
+            let mut idx_w = [0usize; MAX_WARP_WIDTH];
+            let mut idx_e = [0usize; MAX_WARP_WIDTH];
+            let mut k = 0usize;
+            for l in 0..lanes {
+                let j = w.global_id(l, 0) as usize;
+                let i = w.global_id(l, 1) as usize;
+                if i >= n || j >= n {
+                    continue;
+                }
+                let idx = i * n + j;
+                idx_c[k] = idx;
+                idx_n[k] = if i == 0 { idx } else { idx - n };
+                idx_s[k] = if i == n - 1 { idx } else { idx + n };
+                idx_w[k] = if j == 0 { idx } else { idx - 1 };
+                idx_e[k] = if j == n - 1 { idx } else { idx + 1 };
+                k += 1;
+            }
+            if k == 0 {
+                return;
+            }
+            let mut t = [0f32; MAX_WARP_WIDTH];
+            let mut tn = [0f32; MAX_WARP_WIDTH];
+            let mut ts = [0f32; MAX_WARP_WIDTH];
+            let mut tw = [0f32; MAX_WARP_WIDTH];
+            let mut te = [0f32; MAX_WARP_WIDTH];
+            let mut p = [0f32; MAX_WARP_WIDTH];
+            w.ld_gather(&src, &idx_c[..k], &mut t[..k]);
+            w.ld_gather(&src, &idx_n[..k], &mut tn[..k]);
+            w.ld_gather(&src, &idx_s[..k], &mut ts[..k]);
+            w.ld_gather(&src, &idx_w[..k], &mut tw[..k]);
+            w.ld_gather(&src, &idx_e[..k], &mut te[..k]);
+            w.ld_gather(&power, &idx_c[..k], &mut p[..k]);
+            for i in 0..k {
+                let delta = (physics::STEP / physics::CAP)
+                    * (p[i]
+                        + (ts[i] + tn[i] - 2.0 * t[i]) / physics::RY
+                        + (te[i] + tw[i] - 2.0 * t[i]) / physics::RX
+                        + (physics::AMB - t[i]) / physics::RZ);
+                t[i] += delta;
+            }
+            w.alu(14 * k as u64);
+            w.st_scatter(&dst, &idx_c[..k], &t[..k]);
+        });
+        Ok(())
+    })
+}
+
+/// The lane-at-a-time oracle body (see the warp-equivalence suite).
+pub fn lane_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let power = ctx.global::<f32>(0)?;
+        let src = ctx.global::<f32>(1)?;
+        let dst = ctx.global::<f32>(2)?;
+        let n = ctx.push_u32(0) as usize;
+        ctx.for_lanes(|lane| {
+            let j = lane.global_id(0) as usize;
+            let i = lane.global_id(1) as usize;
+            if i >= n || j >= n {
+                return;
+            }
+            let idx = i * n + j;
+            let t = lane.ld(&src, idx);
+            let tn = lane.ld(&src, if i == 0 { idx } else { idx - n });
+            let ts = lane.ld(&src, if i == n - 1 { idx } else { idx + n });
+            let tw = lane.ld(&src, if j == 0 { idx } else { idx - 1 });
+            let te = lane.ld(&src, if j == n - 1 { idx } else { idx + 1 });
+            let p = lane.ld(&power, idx);
+            let delta = (physics::STEP / physics::CAP)
+                * (p + (ts + tn - 2.0 * t) / physics::RY
+                    + (te + tw - 2.0 * t) / physics::RX
+                    + (physics::AMB - t) / physics::RZ);
+            lane.alu(14);
+            lane.st(&dst, idx, t + delta);
+        });
+        Ok(())
+    })
+}
+
+fn register_body(registry: &mut KernelRegistry, body: Arc<dyn KernelBody>) -> SimResult<()> {
     // parallel_groups audit: ping-pong stencil — reads src/power (both
     // read-only this dispatch), writes each item's own dst cell.
     let info = KernelInfo::new(KERNEL, [TILE, TILE, 1])
@@ -116,36 +205,26 @@ pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
         .parallel_groups()
         .source_bytes(CL_SOURCE.len() as u64)
         .build();
-    registry.register(
-        info,
-        Arc::new(|ctx: &mut GroupCtx<'_>| {
-            let power = ctx.global::<f32>(0)?;
-            let src = ctx.global::<f32>(1)?;
-            let dst = ctx.global::<f32>(2)?;
-            let n = ctx.push_u32(0) as usize;
-            ctx.for_lanes(|lane| {
-                let j = lane.global_id(0) as usize;
-                let i = lane.global_id(1) as usize;
-                if i >= n || j >= n {
-                    return;
-                }
-                let idx = i * n + j;
-                let t = lane.ld(&src, idx);
-                let tn = lane.ld(&src, if i == 0 { idx } else { idx - n });
-                let ts = lane.ld(&src, if i == n - 1 { idx } else { idx + n });
-                let tw = lane.ld(&src, if j == 0 { idx } else { idx - 1 });
-                let te = lane.ld(&src, if j == n - 1 { idx } else { idx + 1 });
-                let p = lane.ld(&power, idx);
-                let delta = (physics::STEP / physics::CAP)
-                    * (p + (ts + tn - 2.0 * t) / physics::RY
-                        + (te + tw - 2.0 * t) / physics::RX
-                        + (physics::AMB - t) / physics::RZ);
-                lane.alu(14);
-                lane.st(&dst, idx, t + delta);
-            });
-            Ok(())
-        }),
-    )
+    registry.register(info, body)
+}
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, warp_body())
+}
+
+/// Registers the [`lane_body`] oracle instead of the warp-columnar
+/// production body (differential testing only).
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register_lane_oracle(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, lane_body())
 }
 
 /// Generates initial temperatures and the power map.

@@ -237,6 +237,14 @@ fn env_cache_reuse_is_invisible_to_per_cell_measurements() {
         stats.spirv_hits >= 1,
         "SPIR-V assemblies should be reused: {stats:?}"
     );
+    assert!(
+        stats.module_hits >= 1,
+        "parsed SPIR-V modules should be reused: {stats:?}"
+    );
+    assert!(
+        stats.pipeline_hits >= 1,
+        "driver-compiled kernels should be reused: {stats:?}"
+    );
 }
 
 #[test]
