@@ -246,6 +246,73 @@ fn bench_matrix() {
             experiments::fig2(std::hint::black_box(&registry), &opts)
         });
     }
+
+    // The same panel set fully warm: every cell seeds from a persistent
+    // result store, so each iteration is pure plan building + entry
+    // verification + cache resolution — the sweep-service steady state
+    // where "almost every request is a cache hit".
+    let dir = std::env::temp_dir().join(format!("vcb_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ExperimentOpts {
+        run: RunOpts {
+            scale: 0.1,
+            validate: false,
+            ..RunOpts::default()
+        },
+        threads: 1,
+        sizes_per_workload: 1,
+        store: Some(dir.to_str().unwrap().to_owned()),
+        ..ExperimentOpts::default()
+    };
+    experiments::fig2(&registry, &opts); // untimed: populate the store
+    bench("matrix/fig2_quick/warm", 3, || {
+        experiments::fig2(std::hint::black_box(&registry), &opts)
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_store() {
+    // One store entry round trip: serialize + atomic-rename publish,
+    // then load with full verification (header, fingerprint recompute,
+    // identity match, trailer). The payload is a 32-sample bandwidth
+    // curve — the largest payload shape the harness persists.
+    use vcb_core::plan::CellSpec;
+    use vcb_core::run::SizeSpec;
+    use vcb_core::store::Store;
+    use vcb_core::workload::RunOpts;
+    use vcb_harness::experiments::CellOut;
+    use vcb_harness::stream::{cell_out_fields, decode_cell_out};
+    use vcb_sim::time::SimDuration;
+    use vcb_workloads::micro::stride::BandwidthSample;
+
+    let dir = std::env::temp_dir().join(format!("vcb_bench_store_rt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    let spec = CellSpec {
+        workload: "stride".into(),
+        size: SizeSpec::new("sweep", 0),
+        api: Api::Vulkan,
+        device: "NVIDIA GTX 1050 Ti".into(),
+        opts: RunOpts::default(),
+    };
+    let samples: Vec<BandwidthSample> = (0..32u32)
+        .map(|i| BandwidthSample {
+            stride: 1 << (i % 8),
+            bytes_per_sec: 1.0e9 + f64::from(i),
+            time_per_rep: SimDuration::from_picos(100_000 + u64::from(i)),
+        })
+        .collect();
+    let payload = cell_out_fields(&CellOut::Curve(Ok(samples)));
+    bench("store/write_cell", 100, || {
+        store.write_cell(&spec, &payload, 123_456_789).unwrap()
+    });
+    bench("store/load_cell", 100, || {
+        store
+            .load_cell(std::hint::black_box(&spec), decode_cell_out)
+            .unwrap()
+            .is_some()
+    });
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn bench_spirv() {
@@ -267,6 +334,7 @@ fn main() {
     bench_dispatch();
     bench_functional_floor();
     bench_matrix();
+    bench_store();
     bench_spirv();
     vcb_bench::finish();
 }

@@ -4,7 +4,8 @@
 //! metadata ([`suite`]), the workload abstraction ([`workload`]), run
 //! records and speedups ([`run`]), declarative run plans and the matrix
 //! scheduler ([`plan`]), cross-process plan sharding and the event-stream
-//! codec ([`shard`]), summary statistics ([`stats`]), report rendering
+//! codec ([`shard`]), the persistent content-addressed result store
+//! ([`store`]), summary statistics ([`stats`]), report rendering
 //! ([`report`]) and the programming-effort metrics ([`effort`]).
 //!
 //! ```
@@ -25,6 +26,7 @@ pub mod report;
 pub mod run;
 pub mod shard;
 pub mod stats;
+pub mod store;
 pub mod suite;
 pub mod workload;
 
@@ -35,7 +37,8 @@ pub use plan::{
 pub use run::{speedup, total_speedup, RunFailure, RunOutcome, RunRecord, SizeSpec};
 pub use shard::{
     merge_streams, CodecError, EventWriter, MergeError, PlanSlice, ShardCell, ShardSlice,
-    ShardStream, CODEC_VERSION,
+    ShardStream, StreamMerger, CODEC_VERSION,
 };
+pub use store::{Store, StoreHit};
 pub use suite::{BenchmarkMeta, Dwarf, SUITE};
 pub use workload::{RunOpts, Workload};

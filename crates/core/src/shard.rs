@@ -104,7 +104,11 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Reassembling per-shard streams against a plan failed.
+/// Reassembling per-shard streams against a plan failed. Each variant
+/// names the offending stream (`source` is the caller's label — the
+/// shard file path for `vcb merge` — plus the shard index from the
+/// stream header), so a bad file in a pile of shards is identifiable
+/// without bisection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MergeError {
     /// A stream was produced from a plan of a different length.
@@ -113,11 +117,17 @@ pub enum MergeError {
         expected: usize,
         /// The stream header's cell count.
         found: usize,
+        /// The offending stream's label.
+        source: String,
     },
     /// Two streams (or two records) both carry the cell at `index`.
     Duplicate {
         /// Plan index claimed twice.
         index: usize,
+        /// Label of the stream whose record collided.
+        source: String,
+        /// Label of the stream that first claimed the index.
+        earlier: String,
     },
     /// No stream carries the cell at `index`.
     Missing {
@@ -125,6 +135,8 @@ pub enum MergeError {
         index: usize,
         /// Total number of uncovered cells.
         count: usize,
+        /// Labels of every stream that was merged.
+        merged: Vec<String>,
     },
     /// A stream's cell fingerprint disagrees with the plan's cell at
     /// that index — the shard ran a different plan (options, filters,
@@ -132,28 +144,52 @@ pub enum MergeError {
     Fingerprint {
         /// Plan index of the mismatched cell.
         index: usize,
+        /// The offending stream's label.
+        source: String,
     },
 }
 
 impl fmt::Display for MergeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MergeError::PlanLen { expected, found } => write!(
+            MergeError::PlanLen {
+                expected,
+                found,
+                source,
+            } => write!(
                 f,
-                "stream was produced from a {found}-cell plan, but the merge plan has \
-                 {expected} cells (different options or filters?)"
+                "{source}: stream was produced from a {found}-cell plan, but the merge \
+                 plan has {expected} cells (different options or filters?)"
             ),
-            MergeError::Duplicate { index } => {
-                write!(f, "cell {index} appears in more than one stream")
+            MergeError::Duplicate {
+                index,
+                source,
+                earlier,
+            } => {
+                write!(
+                    f,
+                    "cell {index} appears in more than one stream: {source} collides \
+                     with {earlier}"
+                )
             }
-            MergeError::Missing { index, count } => write!(
+            MergeError::Missing {
+                index,
+                count,
+                merged,
+            } => write!(
                 f,
-                "{count} cell(s) missing from the merged streams (first: index {index})"
+                "{count} cell(s) missing from the merged streams (first: index {index}; \
+                 merged: {})",
+                if merged.is_empty() {
+                    "none".to_owned()
+                } else {
+                    merged.join(", ")
+                }
             ),
-            MergeError::Fingerprint { index } => write!(
+            MergeError::Fingerprint { index, source } => write!(
                 f,
-                "cell {index}: stream fingerprint does not match the merge plan \
-                 (shard ran with different options?)"
+                "{source}: cell {index}: stream fingerprint does not match the merge \
+                 plan (shard ran with different options?)"
             ),
         }
     }
@@ -548,6 +584,28 @@ impl RunPlan {
     /// shard, with all ties broken by plan position, so the same plan
     /// and shard count always produce the same slices in every process.
     pub fn partition(&self, shards: usize) -> Vec<ShardSlice> {
+        let costs: Vec<u64> = self.cells().iter().map(cell_cost).collect();
+        self.partition_by_cost(shards, &costs)
+    }
+
+    /// [`partition`](RunPlan::partition) with caller-supplied per-cell
+    /// costs instead of the static [`cell_cost`] estimate — the hook
+    /// through which a result store feeds *measured* execution times
+    /// back into LPT balancing (see
+    /// [`Store::plan_costs`](crate::store::Store::plan_costs)).
+    ///
+    /// `costs` is indexed by plan position and must cover the plan; a
+    /// duplicate group's cost is its first occurrence's entry (the cell
+    /// executes once, so its cost counts once).
+    ///
+    /// # Panics
+    /// Panics if `costs.len() != self.len()`.
+    pub fn partition_by_cost(&self, shards: usize, costs: &[u64]) -> Vec<ShardSlice> {
+        assert_eq!(
+            costs.len(),
+            self.len(),
+            "one cost per plan cell is required"
+        );
         let shards = shards.max(1);
         // Group plan indices by cell identity, in first-occurrence order.
         let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
@@ -559,7 +617,7 @@ impl RunPlan {
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(groups.len());
-                    groups.push((cell_cost(cell), vec![index]));
+                    groups.push((costs[index], vec![index]));
                 }
             }
         }
@@ -840,8 +898,108 @@ pub fn decode_events<T>(
     })
 }
 
+/// Incrementally reassembles per-shard event streams into the exact
+/// in-plan-order result sequence a single-process execution of the plan
+/// produces.
+///
+/// Streams are validated as they arrive via
+/// [`add_stream`](StreamMerger::add_stream) — plan length, per-cell
+/// fingerprint against the plan, duplicate coverage — so a multi-process
+/// runner can fold each shard in the moment it completes instead of
+/// waiting for the straggler; [`finish`](StreamMerger::finish) then
+/// checks full coverage and yields the results. Each stream carries a
+/// caller-supplied label (e.g. its file path) so every rejection names
+/// the offending source.
+#[derive(Debug)]
+pub struct StreamMerger<'p, T> {
+    plan: &'p RunPlan,
+    slots: Vec<Option<(T, usize)>>,
+    sources: Vec<String>,
+}
+
+impl<'p, T> StreamMerger<'p, T> {
+    /// An empty merger for `plan`.
+    pub fn new(plan: &'p RunPlan) -> StreamMerger<'p, T> {
+        StreamMerger {
+            plan,
+            slots: plan.cells().iter().map(|_| None).collect(),
+            sources: Vec::new(),
+        }
+    }
+
+    /// Labels a stream for error messages: the stream header's shard
+    /// index plus the caller's source string.
+    fn label<U>(stream: &ShardStream<U>, source: &str) -> String {
+        format!("shard {} ({source})", stream.shard_index)
+    }
+
+    /// Folds one shard's stream into the merge. `source` names where
+    /// the stream came from — `vcb merge` passes the shard file path —
+    /// and is echoed in every rejection.
+    pub fn add_stream(&mut self, stream: ShardStream<T>, source: &str) -> Result<(), MergeError> {
+        let label = StreamMerger::<T>::label(&stream, source);
+        if stream.plan_len != self.plan.len() {
+            return Err(MergeError::PlanLen {
+                expected: self.plan.len(),
+                found: stream.plan_len,
+                source: label,
+            });
+        }
+        let source_id = self.sources.len();
+        for cell in stream.cells {
+            let expected = self.plan.cells()[cell.index].fingerprint();
+            if expected != cell.fingerprint {
+                return Err(MergeError::Fingerprint {
+                    index: cell.index,
+                    source: label,
+                });
+            }
+            if let Some((_, earlier)) = &self.slots[cell.index] {
+                let earlier = if *earlier == source_id {
+                    label.clone()
+                } else {
+                    self.sources[*earlier].clone()
+                };
+                return Err(MergeError::Duplicate {
+                    index: cell.index,
+                    source: label,
+                    earlier,
+                });
+            }
+            self.slots[cell.index] = Some((cell.out, source_id));
+        }
+        self.sources.push(label);
+        Ok(())
+    }
+
+    /// Checks that every plan index is covered and returns the results
+    /// in plan order.
+    pub fn finish(self) -> Result<Vec<T>, MergeError> {
+        let missing = self.slots.iter().filter(|s| s.is_none()).count();
+        if missing > 0 {
+            let index = self
+                .slots
+                .iter()
+                .position(Option::is_none)
+                .expect("counted missing");
+            return Err(MergeError::Missing {
+                index,
+                count: missing,
+                merged: self.sources,
+            });
+        }
+        Ok(self
+            .slots
+            .into_iter()
+            .map(|s| s.expect("checked complete").0)
+            .collect())
+    }
+}
+
 /// Reassembles per-shard event streams into the exact in-plan-order
-/// result sequence a single-process execution of `plan` produces.
+/// result sequence a single-process execution of `plan` produces — a
+/// one-shot wrapper over [`StreamMerger`] labeling sources by position
+/// (`stream 0`, `stream 1`, ...).
 ///
 /// Rejects streams from a different plan length, cells whose
 /// fingerprint disagrees with the plan's cell at that index, duplicate
@@ -851,40 +1009,11 @@ pub fn merge_streams<T>(
     plan: &RunPlan,
     streams: Vec<ShardStream<T>>,
 ) -> Result<Vec<T>, MergeError> {
-    let mut slots: Vec<Option<T>> = plan.cells().iter().map(|_| None).collect();
-    for stream in streams {
-        if stream.plan_len != plan.len() {
-            return Err(MergeError::PlanLen {
-                expected: plan.len(),
-                found: stream.plan_len,
-            });
-        }
-        for cell in stream.cells {
-            let expected = plan.cells()[cell.index].fingerprint();
-            if expected != cell.fingerprint {
-                return Err(MergeError::Fingerprint { index: cell.index });
-            }
-            if slots[cell.index].is_some() {
-                return Err(MergeError::Duplicate { index: cell.index });
-            }
-            slots[cell.index] = Some(cell.out);
-        }
+    let mut merger = StreamMerger::new(plan);
+    for (pos, stream) in streams.into_iter().enumerate() {
+        merger.add_stream(stream, &format!("stream {pos}"))?;
     }
-    let missing = slots.iter().filter(|s| s.is_none()).count();
-    if missing > 0 {
-        let index = slots
-            .iter()
-            .position(Option::is_none)
-            .expect("counted missing");
-        return Err(MergeError::Missing {
-            index,
-            count: missing,
-        });
-    }
-    Ok(slots
-        .into_iter()
-        .map(|s| s.expect("checked complete"))
-        .collect())
+    merger.finish()
 }
 
 // ---------------------------------------------------------------------
@@ -1139,6 +1268,79 @@ mod tests {
         let slices = plan.partition(2);
         assert_eq!(slices[0].indices.len(), 4);
         assert_eq!(slices[1].indices.len(), 4);
+    }
+
+    #[test]
+    fn partition_by_cost_balances_on_supplied_costs() {
+        // Eight identical-size cells whose *measured* costs are wildly
+        // uneven: one dominant cell plus seven cheap ones. Static
+        // cell_cost would split 4/4; measured-cost LPT must put the
+        // dominant cell alone and the seven cheap ones together.
+        let mut plan = RunPlan::new();
+        for i in 0..8 {
+            plan.push(spec("bfs", "4K", 4096, Api::Vulkan, &format!("D{i}")));
+        }
+        let mut costs = vec![1u64; 8];
+        costs[2] = 1_000;
+        let slices = plan.partition_by_cost(2, &costs);
+        let home = |index: usize| {
+            slices
+                .iter()
+                .position(|s| s.indices.contains(&index))
+                .unwrap()
+        };
+        let heavy = home(2);
+        assert_eq!(slices[heavy].indices, [2]);
+        assert_eq!(slices[1 - heavy].indices.len(), 7);
+        // Duplicate groups take their first occurrence's cost.
+        let mut dup = RunPlan::new();
+        dup.push(spec("bfs", "4K", 4096, Api::Vulkan, "A"));
+        dup.push(spec("nn", "8M", 8 << 20, Api::Vulkan, "A"));
+        dup.push(spec("bfs", "4K", 4096, Api::Vulkan, "A"));
+        let slices = dup.partition_by_cost(2, &[500, 400, 77]);
+        assert_eq!(home_of(&slices, 0), home_of(&slices, 2));
+    }
+
+    fn home_of(slices: &[ShardSlice], index: usize) -> usize {
+        slices
+            .iter()
+            .position(|s| s.indices.contains(&index))
+            .unwrap()
+    }
+
+    #[test]
+    fn merge_errors_name_their_sources() {
+        let plan = sample_plan();
+        let slices = plan.partition(2);
+        let text0 = encode_stream(&plan, &slices[0]);
+        let mut merger = StreamMerger::new(&plan);
+        merger
+            .add_stream(decode_events(&text0, decode_payload).unwrap(), "a.events")
+            .unwrap();
+        let err = merger
+            .add_stream(decode_events(&text0, decode_payload).unwrap(), "b.events")
+            .unwrap_err();
+        let MergeError::Duplicate {
+            source, earlier, ..
+        } = &err
+        else {
+            panic!("expected Duplicate, got {err}");
+        };
+        assert!(
+            source.contains("b.events") && source.contains("shard 0"),
+            "{err}"
+        );
+        assert!(earlier.contains("a.events"), "{err}");
+        // Missing lists what *was* merged.
+        let mut merger: StreamMerger<'_, String> = StreamMerger::new(&plan);
+        merger
+            .add_stream(decode_events(&text0, decode_payload).unwrap(), "a.events")
+            .unwrap();
+        let err = merger.finish().unwrap_err();
+        assert!(
+            matches!(&err, MergeError::Missing { merged, .. } if merged[0].contains("a.events")),
+            "{err}"
+        );
     }
 
     #[test]

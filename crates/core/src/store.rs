@@ -1,0 +1,544 @@
+//! Persistent, content-addressed result store: the on-disk counterpart
+//! of the in-memory [`ResultCache`](crate::plan::ResultCache).
+//!
+//! Every cell of the experiment matrix is already exactly identified by
+//! its [`CellKey`](crate::plan::CellKey) fingerprint (runs are
+//! deterministic: equal keys produce bit-identical results), so a sweep
+//! service only ever needs to *execute* a cell whose result is not on
+//! disk yet. A [`Store`] is a directory of one-entry files named by
+//! fingerprint, each serialized with the shard codec's record grammar —
+//! a versioned header, one `cell` record (recorded fingerprint, the
+//! full spec identity, an observed execution cost, and the payload),
+//! and an `end` trailer so a truncated write can never pass for a
+//! complete entry.
+//!
+//! Safety properties the format defends:
+//!
+//! * **Stale builds cannot decode silently.** The recorded fingerprint
+//!   is re-verified against the fingerprint recomputed from the decoded
+//!   spec, and the decoded identity is compared field-for-field against
+//!   the *requested* cell — an entry written by a build with a
+//!   different [`CellKey`](crate::plan::CellKey) field set, hash, or
+//!   codec version is rejected (and simply re-executed), never trusted.
+//! * **Concurrent writers cannot corrupt entries.** Writes go to a
+//!   uniquely-named temporary file in the store directory and are
+//!   published with an atomic rename, so readers only ever observe
+//!   complete entries; two processes finishing the same cell race to an
+//!   identical result.
+//! * **Costs feed back into scheduling.** Each entry records the
+//!   observed wall-clock cost of executing its cell, and
+//!   [`Store::plan_costs`] blends those measurements with the static
+//!   [`cell_cost`] estimate so LPT partitioning (`--jobs`) balances on
+//!   measured cost wherever a measurement exists.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::plan::{CellSpec, RunPlan};
+use crate::shard::{
+    cell_cost, decode_spec, join_fields, spec_fields, split_fields, CodecError, FieldCursor,
+    CODEC_VERSION,
+};
+
+/// Magic of a store-entry header line. Entries share [`CODEC_VERSION`]
+/// with the shard codec (the spec serialization is the same), so any
+/// identity or layout change invalidates both in one bump.
+pub const STORE_MAGIC: &str = "vcb-store";
+
+/// File extension of a store entry.
+const ENTRY_EXT: &str = "cell";
+
+/// A decoded store entry: the payload plus the recorded execution cost.
+#[derive(Debug, Clone)]
+pub struct StoreHit<T> {
+    /// The decoded result payload.
+    pub out: T,
+    /// Observed wall-clock cost of the original execution, in
+    /// nanoseconds (0 when the writer did not measure one).
+    pub cost_nanos: u64,
+}
+
+/// An on-disk, content-addressed result store: one file per unique cell
+/// identity, named by the cell's fingerprint.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+/// Per-process counter making concurrent temp-file names unique across
+/// threads (the pid alone distinguishes processes).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Store {
+    /// Opens (creating if necessary) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Store> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Store { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for `spec` — `<dir>/<fingerprint>.cell`.
+    pub fn entry_path(&self, spec: &CellSpec) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.{ENTRY_EXT}", spec.fingerprint()))
+    }
+
+    /// Serializes one store entry (the write side of [`parse_entry`]).
+    fn encode_entry<S: AsRef<str>>(spec: &CellSpec, payload: &[S], cost_nanos: u64) -> String {
+        let mut text = String::new();
+        text.push_str(&join_fields(&[
+            STORE_MAGIC.to_owned(),
+            CODEC_VERSION.to_string(),
+        ]));
+        text.push('\n');
+        let mut fields = vec![
+            "cell".to_owned(),
+            format!("{:016x}", spec.fingerprint()),
+            cost_nanos.to_string(),
+        ];
+        fields.extend(spec_fields(spec));
+        fields.push(join_fields(payload));
+        text.push_str(&join_fields(&fields));
+        text.push('\n');
+        text.push_str(&join_fields(&["end", "1"]));
+        text.push('\n');
+        text
+    }
+
+    /// Writes (or atomically replaces) the entry for `spec`. The
+    /// payload fields come from the caller's result codec (the harness
+    /// uses its `CellOut` codec); `cost_nanos` is the observed
+    /// execution cost recorded for scheduling feedback.
+    ///
+    /// The entry is staged in a uniquely-named temporary file and
+    /// published with a rename, so a concurrent reader (or a second
+    /// writer finishing the same cell) never observes a partial entry.
+    pub fn write_cell<S: AsRef<str>>(
+        &self,
+        spec: &CellSpec,
+        payload: &[S],
+        cost_nanos: u64,
+    ) -> io::Result<()> {
+        let text = Store::encode_entry(spec, payload, cost_nanos);
+        let tmp = self.dir.join(format!(
+            ".{:016x}.{}.{}.tmp",
+            spec.fingerprint(),
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.flush()?;
+        }
+        let result = fs::rename(&tmp, self.entry_path(spec));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Loads the entry for `spec`, decoding its payload with the
+    /// caller's codec.
+    ///
+    /// Returns `Ok(None)` when no entry exists, and `Err` when an entry
+    /// exists but is rejected — truncated, tampered with, written by a
+    /// different codec version or an incompatible build, or holding a
+    /// different cell than requested. Callers treat a rejection as a
+    /// miss (the cell re-executes and the entry is rewritten); the
+    /// error exists so rejections are observable, never silent.
+    pub fn load_cell<T>(
+        &self,
+        spec: &CellSpec,
+        decode_payload: impl FnOnce(&[String]) -> Result<T, CodecError>,
+    ) -> Result<Option<StoreHit<T>>, CodecError> {
+        let text = match fs::read_to_string(self.entry_path(spec)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CodecError::Malformed(format!("unreadable entry: {e}"))),
+        };
+        parse_entry(&text, spec, decode_payload).map(Some)
+    }
+
+    /// The recorded execution cost for `spec`, in nanoseconds — `None`
+    /// when no valid entry exists (missing and rejected entries alike:
+    /// a cost is only trusted together with the result it came with).
+    pub fn load_cost(&self, spec: &CellSpec) -> Option<u64> {
+        self.load_cell(spec, |_| Ok(()))
+            .ok()
+            .flatten()
+            .map(|hit| hit.cost_nanos)
+    }
+
+    /// Per-cell costs for partitioning `plan`: the recorded execution
+    /// cost wherever the store has one, and the static [`cell_cost`]
+    /// estimate — rescaled by the median observed nanoseconds-per-unit
+    /// over the measured cells, so the two magnitudes are comparable —
+    /// everywhere else. With no measurements at all this degrades to
+    /// plain [`cell_cost`], i.e. exactly what
+    /// [`RunPlan::partition`](crate::plan::RunPlan) uses.
+    pub fn plan_costs(&self, plan: &RunPlan) -> Vec<u64> {
+        // Probe each unique fingerprint once; duplicates share a file.
+        let mut by_print: HashMap<u64, Option<u64>> = HashMap::new();
+        let measured: Vec<Option<u64>> = plan
+            .cells()
+            .iter()
+            .map(|spec| {
+                *by_print
+                    .entry(spec.fingerprint())
+                    .or_insert_with(|| self.load_cost(spec))
+            })
+            .collect();
+        let mut ratios: Vec<f64> = plan
+            .cells()
+            .iter()
+            .zip(&measured)
+            .filter_map(|(spec, m)| m.map(|nanos| nanos as f64 / cell_cost(spec) as f64))
+            .collect();
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        let ratio = if ratios.is_empty() {
+            1.0
+        } else {
+            ratios[ratios.len() / 2].max(f64::MIN_POSITIVE)
+        };
+        plan.cells()
+            .iter()
+            .zip(&measured)
+            .map(|(spec, m)| {
+                m.unwrap_or_else(|| {
+                    let est = (cell_cost(spec) as f64 * ratio).ceil();
+                    est.clamp(1.0, u64::MAX as f64) as u64
+                })
+                .max(1)
+            })
+            .collect()
+    }
+}
+
+/// Decodes and fully verifies one store entry against the requested
+/// cell: header magic + version, recorded-vs-recomputed fingerprint,
+/// decoded identity vs the *requested* identity, and the `end` trailer.
+fn parse_entry<T>(
+    text: &str,
+    spec: &CellSpec,
+    decode_payload: impl FnOnce(&[String]) -> Result<T, CodecError>,
+) -> Result<StoreHit<T>, CodecError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CodecError::Header("empty entry".into()))?;
+    let fields = split_fields(header).map_err(|_| CodecError::Header("unreadable".into()))?;
+    let mut cur = FieldCursor::new(&fields);
+    let magic = cur
+        .next_field()
+        .map_err(|_| CodecError::Header("empty".into()))?;
+    if magic != STORE_MAGIC {
+        return Err(CodecError::Header(format!(
+            "expected `{STORE_MAGIC}`, found `{magic}`"
+        )));
+    }
+    let version = cur.u32()?;
+    if version != CODEC_VERSION {
+        return Err(CodecError::Version(version));
+    }
+    cur.finish()?;
+
+    let record = lines.next().ok_or(CodecError::Truncated)?;
+    let fields = split_fields(record)?;
+    let mut cur = FieldCursor::new(&fields);
+    match cur.next_field()? {
+        "cell" => {}
+        other => {
+            return Err(CodecError::Malformed(format!("bad record `{other}`")));
+        }
+    }
+    let fingerprint = cur.hex64()?;
+    let cost_nanos = cur.u64()?;
+    let decoded = decode_spec(&mut cur)?;
+    if decoded.fingerprint() != fingerprint {
+        return Err(CodecError::Fingerprint { index: 0 });
+    }
+    if decoded.key() != spec.key() {
+        return Err(CodecError::Malformed(
+            "entry holds a different cell than requested".into(),
+        ));
+    }
+    let payload = split_fields(cur.next_field()?)?;
+    cur.finish()?;
+
+    let trailer = lines.next().ok_or(CodecError::Truncated)?;
+    let fields = split_fields(trailer)?;
+    let mut cur = FieldCursor::new(&fields);
+    match cur.next_field()? {
+        "end" => {}
+        other => {
+            return Err(CodecError::Malformed(format!(
+                "expected `end` trailer, found `{other}`"
+            )));
+        }
+    }
+    let count = cur.usize()?;
+    cur.finish()?;
+    if count != 1 {
+        return Err(CodecError::Malformed(format!(
+            "trailer counts {count} cells, entries hold exactly 1"
+        )));
+    }
+    if lines.next().is_some() {
+        return Err(CodecError::Malformed("data after `end` trailer".into()));
+    }
+    let out = decode_payload(&payload)?;
+    Ok(StoreHit { out, cost_nanos })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::SizeSpec;
+    use crate::workload::RunOpts;
+    use vcb_sim::Api;
+
+    fn spec(workload: &str, label: &str, n: u64, device: &str) -> CellSpec {
+        CellSpec {
+            workload: workload.into(),
+            size: SizeSpec::new(label, n),
+            api: Api::Vulkan,
+            device: device.into(),
+            opts: RunOpts::default(),
+        }
+    }
+
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!(
+            "vcb_store_test_{tag}_{}_{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    fn cleanup(store: &Store) {
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    fn decode_payload(fields: &[String]) -> Result<Vec<String>, CodecError> {
+        Ok(fields.to_vec())
+    }
+
+    #[test]
+    fn entries_round_trip_payload_and_cost() {
+        let store = temp_store("roundtrip");
+        let cell = spec("bfs", "4K", 4096, "GTX 1050 Ti");
+        let payload = ["run".to_owned(), "hostile\tpayload\nbytes\\".to_owned()];
+        assert!(store.load_cell(&cell, decode_payload).unwrap().is_none());
+        store.write_cell(&cell, &payload, 123_456).unwrap();
+        let hit = store.load_cell(&cell, decode_payload).unwrap().unwrap();
+        assert_eq!(hit.out, payload);
+        assert_eq!(hit.cost_nanos, 123_456);
+        assert_eq!(store.load_cost(&cell), Some(123_456));
+        // Rewrites replace the entry.
+        store.write_cell(&cell, &payload, 99).unwrap();
+        assert_eq!(store.load_cost(&cell), Some(99));
+        // No stray temp files survive a completed write.
+        let stray: Vec<_> = fs::read_dir(store.dir())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .collect();
+        assert!(stray.is_empty(), "{stray:?}");
+        cleanup(&store);
+    }
+
+    #[test]
+    fn distinct_cells_have_distinct_entries() {
+        let store = temp_store("distinct");
+        let a = spec("bfs", "4K", 4096, "A");
+        let mut b = a.clone();
+        b.opts.seed ^= 1;
+        store.write_cell(&a, &["pa"], 1).unwrap();
+        store.write_cell(&b, &["pb"], 2).unwrap();
+        assert_ne!(store.entry_path(&a), store.entry_path(&b));
+        assert_eq!(
+            store.load_cell(&a, decode_payload).unwrap().unwrap().out,
+            ["pa"]
+        );
+        assert_eq!(
+            store.load_cell(&b, decode_payload).unwrap().unwrap().out,
+            ["pb"]
+        );
+        cleanup(&store);
+    }
+
+    #[test]
+    fn version_bumped_entries_are_rejected() {
+        let store = temp_store("version");
+        let cell = spec("bfs", "4K", 4096, "A");
+        store.write_cell(&cell, &["p"], 1).unwrap();
+        let path = store.entry_path(&cell);
+        let text = fs::read_to_string(&path).unwrap();
+        let bumped = text.replacen(
+            &format!("{STORE_MAGIC}\t{CODEC_VERSION}"),
+            &format!("{STORE_MAGIC}\t{}", CODEC_VERSION + 1),
+            1,
+        );
+        assert_ne!(bumped, text);
+        fs::write(&path, bumped).unwrap();
+        assert_eq!(
+            store.load_cell(&cell, decode_payload).unwrap_err(),
+            CodecError::Version(CODEC_VERSION + 1)
+        );
+        assert_eq!(store.load_cost(&cell), None);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn truncated_entries_are_rejected() {
+        let store = temp_store("truncated");
+        let cell = spec("bfs", "4K", 4096, "A");
+        store.write_cell(&cell, &["p"], 1).unwrap();
+        let path = store.entry_path(&cell);
+        let text = fs::read_to_string(&path).unwrap();
+        // Drop the `end` trailer.
+        let cut: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        fs::write(&path, cut).unwrap();
+        assert_eq!(
+            store.load_cell(&cell, decode_payload).unwrap_err(),
+            CodecError::Truncated
+        );
+        cleanup(&store);
+    }
+
+    #[test]
+    fn tampered_fingerprints_are_rejected() {
+        let store = temp_store("tampered");
+        let cell = spec("bfs", "4K", 4096, "A");
+        store.write_cell(&cell, &["p"], 1).unwrap();
+        let path = store.entry_path(&cell);
+        let text = fs::read_to_string(&path).unwrap();
+        let fp = format!("{:016x}", cell.fingerprint());
+        let mut flipped = fp.clone();
+        let last = flipped.pop().unwrap();
+        flipped.push(if last == '0' { '1' } else { '0' });
+        // Tamper only the record's fingerprint field (line 2), not the
+        // file name.
+        let tampered: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 1 {
+                    format!("{}\n", l.replacen(&fp, &flipped, 1))
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        assert_ne!(tampered, text);
+        fs::write(&path, tampered).unwrap();
+        assert_eq!(
+            store.load_cell(&cell, decode_payload).unwrap_err(),
+            CodecError::Fingerprint { index: 0 }
+        );
+        cleanup(&store);
+    }
+
+    #[test]
+    fn entries_for_a_different_cell_are_rejected() {
+        // A file renamed (or fingerprint-colliding) onto another cell's
+        // path must not decode as that cell.
+        let store = temp_store("wrongcell");
+        let a = spec("bfs", "4K", 4096, "A");
+        let mut b = a.clone();
+        b.opts.seed ^= 1;
+        store.write_cell(&a, &["pa"], 1).unwrap();
+        fs::rename(store.entry_path(&a), store.entry_path(&b)).unwrap();
+        let err = store.load_cell(&b, decode_payload).unwrap_err();
+        assert!(
+            matches!(&err, CodecError::Malformed(m) if m.contains("different cell")),
+            "{err}"
+        );
+        cleanup(&store);
+    }
+
+    #[test]
+    fn garbage_entries_are_rejected_not_trusted() {
+        let store = temp_store("garbage");
+        let cell = spec("bfs", "4K", 4096, "A");
+        for garbage in ["", "nonsense\n", "vcb-store\t1\nnot-a-record\nend\t1\n"] {
+            fs::write(store.entry_path(&cell), garbage).unwrap();
+            assert!(
+                store.load_cell(&cell, decode_payload).is_err(),
+                "{garbage:?}"
+            );
+        }
+        cleanup(&store);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_an_entry() {
+        // Two "jobs" finishing the same duplicate cell race their
+        // writes; every interleaving must leave a complete, loadable
+        // entry holding one of the two (identical-shaped) payloads.
+        let store = temp_store("concurrent");
+        let cell = spec("gaussian", "208", 208, "Mali T-880");
+        std::thread::scope(|scope| {
+            for writer in 0..2 {
+                let store = &store;
+                let cell = &cell;
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        store
+                            .write_cell(cell, &[format!("w{writer}r{round}")], writer + 1)
+                            .unwrap();
+                        let hit = store
+                            .load_cell(cell, |f| Ok(f.to_vec()))
+                            .expect("entry must always parse")
+                            .expect("entry must exist once written");
+                        assert_eq!(hit.out.len(), 1);
+                        assert!(hit.out[0].starts_with('w'), "{:?}", hit.out);
+                    }
+                });
+            }
+        });
+        let hit = store.load_cell(&cell, decode_payload).unwrap().unwrap();
+        assert!(hit.cost_nanos == 1 || hit.cost_nanos == 2);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn plan_costs_blend_measured_and_estimated() {
+        let store = temp_store("costs");
+        let mut plan = RunPlan::new();
+        plan.push(spec("bfs", "4K", 4096, "A"));
+        plan.push(spec("nn", "8M", 8 << 20, "A"));
+        plan.push(spec("bfs", "4K", 4096, "A")); // duplicate of cell 0
+                                                 // No measurements: pure static estimates.
+        let baseline: Vec<u64> = plan.cells().iter().map(cell_cost).collect();
+        assert_eq!(store.plan_costs(&plan), baseline);
+        // Measure cell 0 at 2× its static estimate: the measured cells
+        // use the measurement, the unmeasured cell rescales by the
+        // observed ratio (2 ns per unit).
+        let measured = cell_cost(&plan.cells()[0]) * 2;
+        store
+            .write_cell(&plan.cells()[0], &["p"], measured)
+            .unwrap();
+        let costs = store.plan_costs(&plan);
+        assert_eq!(costs[0], measured);
+        assert_eq!(costs[2], measured, "duplicates share the measurement");
+        assert_eq!(costs[1], cell_cost(&plan.cells()[1]) * 2);
+        cleanup(&store);
+    }
+}

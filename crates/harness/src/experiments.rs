@@ -23,6 +23,7 @@ use vcb_core::plan::{
 };
 use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::stats::geomean;
+use vcb_core::store::Store;
 use vcb_core::workload::{RunOpts, Workload};
 use vcb_sim::profile::{devices, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry};
@@ -54,6 +55,11 @@ pub struct ExperimentOpts {
     /// Device-name fragments to run on (case-insensitive substring
     /// match; empty = all of the figure's devices).
     pub devices: Vec<String>,
+    /// Directory of the persistent result store (`--store DIR`), `None`
+    /// to run fully in-process. When set, the session seeds its cache
+    /// from disk before executing and writes every fresh result back,
+    /// so repeated sweeps re-execute only changed cells.
+    pub store: Option<String>,
 }
 
 impl Default for ExperimentOpts {
@@ -66,6 +72,7 @@ impl Default for ExperimentOpts {
             sizes_per_workload: 0,
             filter: Vec::new(),
             devices: Vec::new(),
+            store: None,
         }
     }
 }
@@ -290,18 +297,35 @@ pub struct Session {
     runner: SuiteRunner,
     executor: Executor,
     cache: ResultCache<CellOut>,
+    store: Option<Store>,
 }
 
 impl Session {
     /// Creates a session: one executor (balanced against
-    /// `opts.run.sim_threads`), one cache, one runner.
+    /// `opts.run.sim_threads`), one cache, one runner — and, when
+    /// `opts.store` is set, the persistent result store backing the
+    /// cache across processes. A store that cannot be opened degrades
+    /// to an in-process run with a warning (never a failure).
     pub fn new(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Session {
+        let store = opts.store.as_ref().and_then(|dir| match Store::open(dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("vcb: store: cannot open {dir}: {e} (running without a store)");
+                None
+            }
+        });
         Session {
             opts: opts.clone(),
             runner: SuiteRunner::new(registry),
             executor: Executor::balanced(opts.threads, opts.run.sim_threads),
             cache: ResultCache::new(),
+            store,
         }
+    }
+
+    /// The persistent result store, when one is open.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
     }
 
     /// The session's options.
@@ -489,14 +513,64 @@ impl Session {
         }
     }
 
-    /// Executes an arbitrary plan through the session's cache.
+    /// Seeds the cache from the persistent store: every cell of `plan`
+    /// not already cached whose store entry loads (and verifies — see
+    /// [`Store::load_cell`]) resolves without execution. Rejected
+    /// entries warn on stderr and re-execute, after which the fresh
+    /// result overwrites the bad entry. Returns the number of cells
+    /// seeded; a no-op (returning 0) without a store. Idempotent —
+    /// seeded cells are cache hits on the next call.
+    pub fn seed_from_store(&mut self, plan: &RunPlan) -> usize {
+        let Some(store) = &self.store else { return 0 };
+        let mut seeded = 0;
+        let mut seen = std::collections::HashSet::new();
+        for spec in plan.cells() {
+            let key = spec.key();
+            if self.cache.get(&key).is_some() || !seen.insert(key.clone()) {
+                continue;
+            }
+            match store.load_cell(spec, crate::stream::decode_cell_out) {
+                Ok(Some(hit)) => {
+                    self.cache.insert(key, hit.out);
+                    seeded += 1;
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!(
+                    "vcb: store: rejecting {}: {e} (will re-execute)",
+                    store.entry_path(spec).display()
+                ),
+            }
+        }
+        if seeded > 0 {
+            eprintln!(
+                "vcb: store: seeded {seeded} cell(s) from {}",
+                store.dir().display()
+            );
+        }
+        seeded
+    }
+
+    /// Executes an arbitrary plan through the session's cache. With a
+    /// store open, the plan is first seeded from disk (so warm cells
+    /// never execute) and every fresh result is written back as it
+    /// finishes.
     pub fn execute(
         &mut self,
         plan: &RunPlan,
         sink: &mut (dyn EventSink<CellOut> + Send),
     ) -> Vec<CellOut> {
-        self.executor
-            .execute(plan, &self.runner, &mut self.cache, sink)
+        self.seed_from_store(plan);
+        match &self.store {
+            Some(store) => {
+                let mut persist = crate::stream::StoreSink::new(store);
+                let mut tee = crate::stream::Tee(sink, &mut persist);
+                self.executor
+                    .execute(plan, &self.runner, &mut self.cache, &mut tee)
+            }
+            None => self
+                .executor
+                .execute(plan, &self.runner, &mut self.cache, sink),
+        }
     }
 
     /// Runs (or re-reads from cache) every cell of `vcb all` — the

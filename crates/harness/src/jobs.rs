@@ -1,0 +1,184 @@
+//! The local multi-process sweep runner behind `vcb all --jobs N`.
+//!
+//! The parent partitions the `vcb all` plan into cost-balanced slices
+//! ([`RunPlan::partition_by_cost`]), preferring *measured* per-cell
+//! execution times from the session's result store over the static
+//! [`cell_cost`] estimate, then ships each slice to a child `vcb all
+//! --slice` process as an encoded [`PlanSlice`](vcb_core::shard::PlanSlice)
+//! file — children never re-derive the partition, so the parent's
+//! measured-cost balance can't diverge from what actually runs. Each
+//! child writes the same event stream a `--shards` run produces; the
+//! parent folds every stream into a [`StreamMerger`] *the moment its
+//! child exits*, so decoding finished shards overlaps with the
+//! straggler's execution and a successful run ends with plan-ordered
+//! results identical to a single-process execution.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use vcb_core::plan::RunPlan;
+use vcb_core::shard::{cell_cost, decode_events, encode_plan_slice, StreamMerger};
+
+use crate::experiments::{CellOut, Session};
+use crate::stream::decode_cell_out;
+
+/// Distinguishes scratch directories of multiple `run_jobs` calls in
+/// one process (integration tests run several).
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One spawned shard: the child process and where its outputs land.
+struct Job {
+    child: Child,
+    shard_index: usize,
+    events_path: PathBuf,
+}
+
+/// Per-cell partition costs for `plan`: measured store durations where
+/// available, the static [`cell_cost`] estimate otherwise.
+fn plan_costs(session: &Session, plan: &RunPlan) -> Vec<u64> {
+    match session.store() {
+        Some(store) => store.plan_costs(plan),
+        None => plan.cells().iter().map(cell_cost).collect(),
+    }
+}
+
+/// Executes the full `vcb all` plan across `jobs` local child
+/// processes and returns it with plan-ordered results, exactly as a
+/// single-process execution would produce them. The session is only
+/// consulted for the plan, thread budget and store; all simulation
+/// happens in the children.
+pub fn run_jobs(session: &Session, jobs: usize) -> Result<(RunPlan, Vec<CellOut>), String> {
+    let jobs = jobs.max(1);
+    let plan = session.plan_all();
+    let costs = plan_costs(session, &plan);
+    let slices: Vec<_> = plan
+        .partition_by_cost(jobs, &costs)
+        .into_iter()
+        .filter(|s| !s.indices.is_empty())
+        .collect();
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate the vcb binary: {e}"))?;
+    let scratch = std::env::temp_dir().join(format!(
+        "vcb_jobs_{}_{}",
+        std::process::id(),
+        RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&scratch).map_err(|e| format!("cannot create {scratch:?}: {e}"))?;
+    let result = run_in_scratch(session, &plan, &slices, &exe, &scratch, jobs);
+    let _ = fs::remove_dir_all(&scratch);
+    result.map(|outs| (plan, outs))
+}
+
+/// The body of [`run_jobs`] once the scratch directory exists, so the
+/// caller can clean up on every exit path.
+fn run_in_scratch(
+    session: &Session,
+    plan: &RunPlan,
+    slices: &[vcb_core::shard::ShardSlice],
+    exe: &Path,
+    scratch: &Path,
+    jobs: usize,
+) -> Result<Vec<CellOut>, String> {
+    // Each child gets an equal share of the parent's matrix-thread
+    // budget; the children balance it against sim_threads themselves.
+    let threads = (session.opts().threads / jobs).max(1);
+    let mut running: Vec<Job> = Vec::new();
+    for slice in slices {
+        let slice_path = scratch.join(format!("slice_{}.plan", slice.shard_index));
+        let events_path = scratch.join(format!("shard_{}.events", slice.shard_index));
+        fs::write(&slice_path, encode_plan_slice(plan, slice))
+            .map_err(|e| kill_all(&mut running, format!("cannot write {slice_path:?}: {e}")))?;
+        let mut cmd = Command::new(exe);
+        cmd.arg("all")
+            .arg("--slice")
+            .arg(&slice_path)
+            .arg("--events")
+            .arg(&events_path)
+            .arg("--threads")
+            .arg(threads.to_string());
+        if let Some(store) = session.store() {
+            cmd.arg("--store").arg(store.dir());
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| kill_all(&mut running, format!("cannot spawn {exe:?}: {e}")))?;
+        eprintln!(
+            "vcb: jobs: shard {}/{}: {} plan cell(s), pid {}",
+            slice.shard_index,
+            slice.shard_count,
+            slice.indices.len(),
+            child.id()
+        );
+        running.push(Job {
+            child,
+            shard_index: slice.shard_index,
+            events_path,
+        });
+    }
+
+    // Fold each shard's stream in as soon as its child exits — a slow
+    // shard never serializes decoding of the finished ones.
+    let mut merger = StreamMerger::new(plan);
+    let mut merged = 0usize;
+    while !running.is_empty() {
+        let mut progressed = false;
+        let mut slot = 0;
+        while slot < running.len() {
+            let status = running[slot]
+                .child
+                .try_wait()
+                .map_err(|e| kill_all(&mut running, format!("cannot poll a shard: {e}")))?;
+            let Some(status) = status else {
+                slot += 1;
+                continue;
+            };
+            progressed = true;
+            let job = running.swap_remove(slot);
+            if !status.success() {
+                return Err(kill_all(
+                    &mut running,
+                    format!("shard {} failed ({status})", job.shard_index),
+                ));
+            }
+            let path = job.events_path.display().to_string();
+            let mut fold = || -> Result<usize, String> {
+                let text = fs::read_to_string(&job.events_path)
+                    .map_err(|e| format!("failed to read {path}: {e}"))?;
+                let stream =
+                    decode_events(&text, decode_cell_out).map_err(|e| format!("{path}: {e}"))?;
+                let cells = stream.cells.len();
+                merger
+                    .add_stream(stream, &path)
+                    .map_err(|e| e.to_string())?;
+                Ok(cells)
+            };
+            let cells = fold().map_err(|e| kill_all(&mut running, e))?;
+            merged += cells;
+            eprintln!(
+                "vcb: jobs: shard {} done, {cells} cell(s) merged ({merged}/{} total)",
+                job.shard_index,
+                plan.len()
+            );
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    }
+    merger.finish().map_err(|e| e.to_string())
+}
+
+/// Terminates every still-running child (best effort) and passes the
+/// triggering error through — once one shard is lost the run cannot
+/// merge, so the rest should stop burning cores.
+fn kill_all(running: &mut Vec<Job>, error: String) -> String {
+    for job in running.iter_mut() {
+        let _ = job.child.kill();
+    }
+    for job in running.iter_mut() {
+        let _ = job.child.wait();
+    }
+    running.clear();
+    error
+}

@@ -53,6 +53,15 @@ OPTIONS:
     --csv FILE      also write machine-readable results to FILE
                     (streamed incrementally as cells finish)
     --seed N        input-generation seed
+    --store [DIR]   persist results in a content-addressed store at DIR
+                    (default: .vcb-store). Cells already on disk load
+                    and verify instead of executing; fresh results are
+                    written back — a fully warm `vcb all` executes 0
+                    cells and renders byte-identical output
+    --jobs N        (`all` only) execute the plan across N local child
+                    processes, merging each shard's event stream the
+                    moment it completes; with --store, partitioning
+                    balances on measured per-cell durations
 
 SHARDING (`all` only; every process must use identical options):
     --shards N        partition the run plan into N deterministic,
@@ -61,7 +70,13 @@ SHARDING (`all` only; every process must use identical options):
     --events FILE     write the slice's encoded cell-event stream to
                       FILE (required with --shards); feed the files of
                       all N shards to `vcb merge`
+    --slice FILE      execute the encoded plan slice in FILE instead of
+                      deriving one from --shards/--shard-index (how
+                      --jobs drives its children; requires --events)
 ";
+
+/// Where `--store` without a directory puts its entries (gitignored).
+const DEFAULT_STORE_DIR: &str = ".vcb-store";
 
 struct Cli {
     command: String,
@@ -71,6 +86,8 @@ struct Cli {
     shards: Option<usize>,
     shard_index: Option<usize>,
     events_path: Option<String>,
+    jobs: Option<usize>,
+    slice_path: Option<String>,
     /// Positional event-stream paths of the `merge` command.
     inputs: Vec<String>,
 }
@@ -102,6 +119,8 @@ fn parse_args() -> Result<Cli, String> {
     let mut shards = None;
     let mut shard_index = None;
     let mut events_path = None;
+    let mut jobs = None;
+    let mut slice_path = None;
     let mut inputs = Vec::new();
     let list = |v: Option<String>, what: &str| -> Result<Vec<String>, String> {
         Ok(v.ok_or(format!("{what} needs a value"))?
@@ -110,10 +129,32 @@ fn parse_args() -> Result<Cli, String> {
             .filter(|s| !s.is_empty())
             .collect())
     };
-    let mut args = args.into_iter();
+    let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "--paper-scale" => {}
+            "--store" => {
+                // The directory is optional: a following flag (or
+                // nothing) means the default store location.
+                opts.store = Some(match args.peek() {
+                    Some(next) if !next.starts_with("--") => args.next().expect("peeked"),
+                    _ => DEFAULT_STORE_DIR.to_owned(),
+                });
+            }
+            "--jobs" => {
+                let n = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --jobs value: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                jobs = Some(n);
+            }
+            "--slice" => {
+                slice_path = Some(args.next().ok_or("--slice needs a file path")?);
+            }
             "--shards" => {
                 let n = args
                     .next()
@@ -181,18 +222,46 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
     }
-    let sharding = shards.is_some() || shard_index.is_some() || events_path.is_some();
+    if jobs.is_some() {
+        if command != "all" {
+            return Err("--jobs only applies to `vcb all`".into());
+        }
+        if slice_path.is_some()
+            || shards.is_some()
+            || shard_index.is_some()
+            || events_path.is_some()
+        {
+            return Err(
+                "--jobs drives its own worker processes and cannot combine with \
+                 --slice/--shards/--shard-index/--events"
+                    .into(),
+            );
+        }
+    }
+    let sharding =
+        shards.is_some() || shard_index.is_some() || events_path.is_some() || slice_path.is_some();
     if sharding {
         if command != "all" {
-            return Err("--shards/--shard-index/--events only apply to `vcb all`".into());
+            return Err("--shards/--shard-index/--events/--slice only apply to `vcb all`".into());
         }
-        let (Some(n), Some(i), Some(_)) = (shards, shard_index, &events_path) else {
-            return Err(
-                "sharded runs need all three of --shards, --shard-index and --events".into(),
-            );
-        };
-        if i >= n {
-            return Err(format!("--shard-index {i} out of range for --shards {n}"));
+        if slice_path.is_some() {
+            if shards.is_some() || shard_index.is_some() {
+                return Err(
+                    "--slice carries its own shard identity; drop --shards/--shard-index".into(),
+                );
+            }
+            if events_path.is_none() {
+                return Err("--slice needs --events for its output stream".into());
+            }
+        } else {
+            let (Some(n), Some(i), Some(_)) = (shards, shard_index, &events_path) else {
+                return Err(
+                    "sharded runs need all three of --shards, --shard-index and --events".into(),
+                );
+            };
+            if i >= n {
+                return Err(format!("--shard-index {i} out of range for --shards {n}"));
+            }
         }
         if csv_path.is_some() {
             return Err(
@@ -213,6 +282,8 @@ fn parse_args() -> Result<Cli, String> {
         shards,
         shard_index,
         events_path,
+        jobs,
+        slice_path,
         inputs,
     })
 }
@@ -224,6 +295,7 @@ fn run_bandwidth_fig(session: &mut Session, csv_path: Option<&str>, title: &str,
         session.desktop_devices()
     };
     let plan = session.plan_bandwidth(&profiles);
+    session.seed_from_store(&plan);
     let mut progress = Progress::new(session.pending_cells(&plan));
     let mut csv = BandwidthCsvStream::create(csv_path);
     let panels = session.bandwidth_panels(&profiles, &mut Tee(&mut progress, &mut csv));
@@ -246,6 +318,7 @@ fn run_speedup_fig(
         session.desktop_devices()
     };
     let plan = session.plan_panels(&profiles);
+    session.seed_from_store(&plan);
     let mut progress = Progress::new(session.pending_cells(&plan));
     let mut csv = PanelCsvStream::create(csv_path);
     let panels = session.speedup_panels(&profiles, &mut Tee(&mut progress, &mut csv));
@@ -316,7 +389,10 @@ fn run_all_reports(
     // all devices and figures; shared cells simulate once, and
     // the figure stages below render entirely from cache.
     let plan = session.plan_all();
-    let mut progress = Progress::new(session.pending_cells(&plan));
+    session.seed_from_store(&plan);
+    let pending = session.pending_cells(&plan);
+    eprintln!("vcb: all: {pending} unique cell(s) to execute");
+    let mut progress = Progress::new(pending);
     session.execute(&plan, &mut progress);
     run_bandwidth_fig(session, csv, FIG1_TITLE, false);
     run_speedup_fig(session, csv, FIG2_TITLE, false);
@@ -352,6 +428,36 @@ fn run_shard_slice(
         plan.len()
     );
     let mut stream = ShardEventStream::create(events, plan.len(), slice)?;
+    session.seed_from_store(&sub);
+    let mut progress = Progress::new(session.pending_cells(&sub));
+    session.execute(&sub, &mut Tee(&mut progress, &mut stream));
+    stream.finish()
+}
+
+/// Executes the plan slice encoded in `slice_path` — the child half of
+/// `--jobs`. Identical to [`run_shard_slice`] except the slice arrives
+/// as a file written by the parent (which partitioned on measured
+/// costs) instead of being re-derived from `--shards`/`--shard-index`.
+fn run_slice_child(session: &mut Session, slice_path: &str, events: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(slice_path)
+        .map_err(|e| format!("failed to read {slice_path}: {e}"))?;
+    let slice =
+        vcb_core::shard::decode_plan_slice(&text).map_err(|e| format!("{slice_path}: {e}"))?;
+    let shard = vcb_core::shard::ShardSlice {
+        shard_index: slice.shard_index,
+        shard_count: slice.shard_count,
+        indices: slice.cells.iter().map(|(index, _)| *index).collect(),
+    };
+    let sub = slice.to_plan();
+    eprintln!(
+        "vcb: shard {}/{}: {} of {} plan cells",
+        shard.shard_index,
+        shard.shard_count,
+        shard.indices.len(),
+        slice.plan_len
+    );
+    let mut stream = ShardEventStream::create(events, slice.plan_len, &shard)?;
+    session.seed_from_store(&sub);
     let mut progress = Progress::new(session.pending_cells(&sub));
     session.execute(&sub, &mut Tee(&mut progress, &mut stream));
     stream.finish()
@@ -371,7 +477,7 @@ fn run_merge(
     csv: Option<&str>,
 ) -> Result<(), String> {
     let plan = session.plan_all();
-    let mut streams = Vec::new();
+    let mut merger = vcb_core::shard::StreamMerger::new(&plan);
     for path in inputs {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
@@ -383,9 +489,9 @@ fn run_merge(
             stream.shard_count,
             stream.cells.len()
         );
-        streams.push(stream);
+        merger.add_stream(stream, path).map_err(|e| e.to_string())?;
     }
-    let outs = vcb_core::shard::merge_streams(&plan, streams).map_err(|e| e.to_string())?;
+    let outs = merger.finish().map_err(|e| e.to_string())?;
     session.seed_cache(&plan, outs);
     run_all_reports(session, registry, opts, csv);
     Ok(())
@@ -453,6 +559,7 @@ fn main() -> ExitCode {
         }
         "summary" => {
             let plan = session.plan_for("summary").expect("summary has a plan");
+            session.seed_from_store(&plan);
             let mut progress = Progress::new(session.pending_cells(&plan));
             let desktop = session.fig2(&mut progress);
             let mobile = session.fig4(&mut progress);
@@ -469,15 +576,35 @@ fn main() -> ExitCode {
         "effort" => run_effort(&mut session),
         "overheads" => run_overheads(&mut session),
         "ablate" => run_ablate(&registry, &cli.opts),
-        "all" => match (cli.shards, cli.shard_index, &cli.events_path) {
-            (Some(shards), Some(index), Some(events)) => {
+        "all" => {
+            if let Some(slice) = &cli.slice_path {
+                let events = cli.events_path.as_deref().expect("validated with --slice");
+                if let Err(msg) = run_slice_child(&mut session, slice, events) {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            } else if let Some(jobs) = cli.jobs {
+                match vcb_harness::jobs::run_jobs(&session, jobs) {
+                    Ok((plan, outs)) => {
+                        session.seed_cache(&plan, outs);
+                        run_all_reports(&mut session, &registry, &cli.opts, csv);
+                    }
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else if let (Some(shards), Some(index), Some(events)) =
+                (cli.shards, cli.shard_index, &cli.events_path)
+            {
                 if let Err(msg) = run_shard_slice(&mut session, shards, index, events) {
                     eprintln!("{msg}");
                     return ExitCode::FAILURE;
                 }
+            } else {
+                run_all_reports(&mut session, &registry, &cli.opts, csv);
             }
-            _ => run_all_reports(&mut session, &registry, &cli.opts, csv),
-        },
+        }
         "merge" => {
             if let Err(msg) = run_merge(&mut session, &registry, &cli.inputs, &cli.opts, csv) {
                 eprintln!("{msg}");

@@ -20,6 +20,7 @@ use vcb_core::plan::{CellEvent, CellSpec, EventSink};
 use vcb_core::report::csv_line;
 use vcb_core::run::RunRecord;
 use vcb_core::shard::{self, CodecError, EventWriter, FieldCursor, ShardSlice};
+use vcb_core::store::Store;
 use vcb_sim::time::SimDuration;
 use vcb_sim::Api;
 
@@ -342,6 +343,62 @@ pub fn decode_cell_out(fields: &[String]) -> Result<CellOut, CodecError> {
     };
     cur.finish()?;
     Ok(out)
+}
+
+/// An [`EventSink`] that writes every freshly-executed cell back to a
+/// persistent [`Store`], with the observed wall-clock execution time as
+/// the entry's recorded cost. Cache hits and in-plan duplicates arrive
+/// with `cached: true` and are never rewritten, so a warm run leaves
+/// the store untouched. Write failures warn once on stderr and never
+/// fail the run — the store is an accelerator, not a dependency.
+#[derive(Debug)]
+pub struct StoreSink<'a> {
+    store: &'a Store,
+    started: HashMap<usize, std::time::Instant>,
+    warned: bool,
+}
+
+impl<'a> StoreSink<'a> {
+    /// A sink persisting fresh results into `store`.
+    pub fn new(store: &'a Store) -> StoreSink<'a> {
+        StoreSink {
+            store,
+            started: HashMap::new(),
+            warned: false,
+        }
+    }
+}
+
+impl EventSink<CellOut> for StoreSink<'_> {
+    fn event(&mut self, event: CellEvent<'_, CellOut>) {
+        match event {
+            CellEvent::Started { index, .. } => {
+                self.started.insert(index, std::time::Instant::now());
+            }
+            CellEvent::Finished {
+                index,
+                spec,
+                out,
+                cached: false,
+            } => {
+                let nanos = self
+                    .started
+                    .remove(&index)
+                    .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+                    .unwrap_or(0);
+                if let Err(e) = self.store.write_cell(spec, &cell_out_fields(out), nanos) {
+                    if !self.warned {
+                        eprintln!(
+                            "vcb: store: write to {} failed: {e} (results stay in-process)",
+                            self.store.dir().display()
+                        );
+                        self.warned = true;
+                    }
+                }
+            }
+            CellEvent::Finished { .. } => {}
+        }
+    }
 }
 
 /// An [`EventSink`] that writes one shard's slice of the matrix as an

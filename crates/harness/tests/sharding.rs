@@ -33,6 +33,7 @@ fn quick() -> ExperimentOpts {
         // stride bandwidth sweeps, on the desktop NVIDIA device only.
         filter: vec!["bfs".into(), "gaussian".into(), "stride".into()],
         devices: vec!["1050".into()],
+        store: None,
     }
 }
 

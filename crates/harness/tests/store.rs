@@ -1,0 +1,248 @@
+//! Persistent result-store contracts:
+//!
+//! * a second session over the same store executes **0 cells** and
+//!   resolves results bit-identical to the first (the warm-sweep
+//!   acceptance criterion, asserted in-process and on the real binary);
+//! * tampered / truncated / version-bumped entries are rejected,
+//!   re-executed, and rewritten — never trusted or left bad;
+//! * `vcb all --jobs N` merges its child processes into stdout/CSV
+//!   byte-identical to the single-process run, warm or cold, and its
+//!   children share one store without corrupting it.
+
+use std::process::Command;
+
+use vcb_core::plan::NullSink;
+use vcb_core::shard::CODEC_VERSION;
+use vcb_core::store::{Store, STORE_MAGIC};
+use vcb_core::workload::RunOpts;
+use vcb_harness::experiments::{ExperimentOpts, Session};
+use vcb_harness::stream::cell_out_fields;
+
+/// A small but representative slice of `all` — panel cells on two
+/// workloads (including gaussian's overhead duplicates) on one device —
+/// kept cheap so the store contracts are tested in-process.
+fn quick(store_dir: &std::path::Path) -> ExperimentOpts {
+    ExperimentOpts {
+        run: RunOpts {
+            scale: 0.05,
+            validate: false,
+            ..RunOpts::default()
+        },
+        threads: 4,
+        sizes_per_workload: 1,
+        filter: vec!["bfs".into(), "gaussian".into()],
+        devices: vec!["1050".into()],
+        store: Some(store_dir.to_str().unwrap().to_owned()),
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vcb_store_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Bit-exact comparison via the payload codec: equal encoded fields ⇔
+/// equal timings, fingerprints, call counts and bandwidth-sample bits.
+fn encoded(outs: &[vcb_harness::experiments::CellOut]) -> Vec<Vec<String>> {
+    outs.iter().map(cell_out_fields).collect()
+}
+
+#[test]
+fn warm_store_executes_nothing_and_is_bit_identical() {
+    let dir = temp_dir("warm");
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = quick(&dir);
+
+    // Cold: everything executes, every fresh cell lands on disk.
+    let mut cold = Session::new(&registry, &opts);
+    let plan = cold.plan_all();
+    let reference = cold.execute(&plan, &mut NullSink);
+    assert!(cold.executed_cells() > 0, "cold run must execute");
+    let store = Store::open(&dir).unwrap();
+    let entries = std::fs::read_dir(store.dir()).unwrap().count();
+    assert_eq!(
+        entries,
+        cold.executed_cells(),
+        "one store entry per unique executed cell"
+    );
+
+    // Warm: a fresh process-equivalent session seeds everything from
+    // disk and executes nothing, with bit-identical results.
+    let mut warm = Session::new(&registry, &opts);
+    assert_eq!(warm.seed_from_store(&plan), cold.executed_cells());
+    assert_eq!(warm.pending_cells(&plan), 0);
+    let replayed = warm.execute(&plan, &mut NullSink);
+    assert_eq!(warm.executed_cells(), 0, "warm run must execute 0 cells");
+    assert_eq!(encoded(&replayed), encoded(&reference));
+
+    // The recorded costs are real measurements, so `--jobs` can balance
+    // on them.
+    let costs = store.plan_costs(&plan);
+    assert_eq!(costs.len(), plan.len());
+    assert!(costs.iter().all(|&c| c > 0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_store_entries_reexecute_and_are_rewritten() {
+    let dir = temp_dir("tamper");
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = quick(&dir);
+
+    let mut cold = Session::new(&registry, &opts);
+    let plan = cold.plan_all();
+    let reference = cold.execute(&plan, &mut NullSink);
+    let store = Store::open(&dir).unwrap();
+
+    // Break three distinct entries three distinct ways: truncation,
+    // a codec-version bump, and plain garbage.
+    let mut unique: Vec<_> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for spec in plan.cells() {
+        if seen.insert(spec.key()) {
+            unique.push(spec.clone());
+        }
+    }
+    assert!(
+        unique.len() >= 3,
+        "need 3 unique cells, have {}",
+        unique.len()
+    );
+    let text = std::fs::read_to_string(store.entry_path(&unique[0])).unwrap();
+    std::fs::write(
+        store.entry_path(&unique[0]),
+        text.lines()
+            .take(2)
+            .map(|l| format!("{l}\n"))
+            .collect::<String>(),
+    )
+    .unwrap();
+    let text = std::fs::read_to_string(store.entry_path(&unique[1])).unwrap();
+    std::fs::write(
+        store.entry_path(&unique[1]),
+        text.replacen(
+            &format!("{STORE_MAGIC}\t{CODEC_VERSION}"),
+            &format!("{STORE_MAGIC}\t{}", CODEC_VERSION + 1),
+            1,
+        ),
+    )
+    .unwrap();
+    std::fs::write(store.entry_path(&unique[2]), "garbage\n").unwrap();
+
+    // The warm session rejects exactly those three, re-executes them,
+    // and produces results bit-identical to the cold run anyway.
+    let mut warm = Session::new(&registry, &opts);
+    assert_eq!(warm.seed_from_store(&plan), unique.len() - 3);
+    assert_eq!(warm.pending_cells(&plan), 3);
+    let replayed = warm.execute(&plan, &mut NullSink);
+    assert_eq!(warm.executed_cells(), 3, "only the broken entries re-run");
+    assert_eq!(encoded(&replayed), encoded(&reference));
+
+    // The re-execution healed the store: a third session is fully warm.
+    let mut healed = Session::new(&registry, &opts);
+    assert_eq!(healed.seed_from_store(&plan), unique.len());
+    assert_eq!(healed.pending_cells(&plan), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn run_vcb<S: AsRef<std::ffi::OsStr> + std::fmt::Debug>(args: &[S]) -> std::process::Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_vcb"))
+        .args(args)
+        .output()
+        .expect("spawn vcb");
+    assert!(
+        out.status.success(),
+        "vcb {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// The acceptance criteria, end to end on the real binary with a
+/// fast-but-representative subset (CI repeats this at full matrix
+/// scale): a warm `vcb all --store` executes 0 cells with byte-identical
+/// stdout/CSV, and `--jobs 2` — warm against the same store, then cold
+/// against a fresh one — is byte-identical to the single-process run.
+#[test]
+fn warm_store_and_jobs_runs_are_byte_identical() {
+    let dir = temp_dir("bytes");
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_owned();
+    let (store1, store2) = (path("store1"), path("store2"));
+    let base = [
+        "all",
+        "--scale",
+        "0.01",
+        "--filter",
+        "bfs,gaussian,stride",
+        "--device",
+        "1050",
+    ];
+    let with = |extra: &[&str]| -> Vec<String> {
+        base.iter()
+            .chain(extra.iter())
+            .map(|s| s.to_string())
+            .collect()
+    };
+
+    let single_csv = path("single.csv");
+    let cold = run_vcb(&with(&["--store", &store1, "--csv", &single_csv]));
+
+    // Warm single-process: 0 executions, byte-identical.
+    let warm_csv = path("warm.csv");
+    let warm = run_vcb(&with(&["--store", &store1, "--csv", &warm_csv]));
+    let stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        stderr.contains("0 unique cell(s) to execute"),
+        "warm run should execute nothing:\n{stderr}"
+    );
+    assert!(cold.stdout == warm.stdout, "warm stdout differs");
+    assert_eq!(
+        std::fs::read(&single_csv).unwrap(),
+        std::fs::read(&warm_csv).unwrap(),
+        "warm CSV differs"
+    );
+
+    // Warm --jobs 2: children resolve everything from the shared store.
+    let jw_csv = path("jobs_warm.csv");
+    let jw = run_vcb(&with(&[
+        "--store", &store1, "--jobs", "2", "--csv", &jw_csv,
+    ]));
+    assert!(cold.stdout == jw.stdout, "warm --jobs stdout differs");
+    assert_eq!(
+        std::fs::read(&single_csv).unwrap(),
+        std::fs::read(&jw_csv).unwrap(),
+        "warm --jobs CSV differs"
+    );
+
+    // Cold --jobs 2 into a fresh store: the children actually execute,
+    // two of them write the same duplicate cells' entries, and the
+    // merged render is still byte-identical.
+    let jc_csv = path("jobs_cold.csv");
+    let jc = run_vcb(&with(&[
+        "--store", &store2, "--jobs", "2", "--csv", &jc_csv,
+    ]));
+    assert!(cold.stdout == jc.stdout, "cold --jobs stdout differs");
+    assert_eq!(
+        std::fs::read(&single_csv).unwrap(),
+        std::fs::read(&jc_csv).unwrap(),
+        "cold --jobs CSV differs"
+    );
+    // Sanity: the comparison is not vacuous, and the fresh store now
+    // holds the same entry set as the single-process one.
+    assert!(cold.stdout.len() > 1000, "suspiciously small stdout");
+    let names = |dir: &str| {
+        let mut v: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(names(&store1), names(&store2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
