@@ -34,7 +34,7 @@ use std::sync::Arc;
 
 use vcb_cuda::CudaContext;
 use vcb_opencl::PreBuiltProgram;
-use vcb_sim::{Api, KernelRegistry, SimResult, TraceMode};
+use vcb_sim::{Api, KernelRegistry, MemMode, SimResult, TraceMode};
 
 use crate::env::{ClEnv, VkEnv};
 use crate::SimConfig;
@@ -63,6 +63,11 @@ pub struct EnvKey {
     trace_param: u32,
     worker_threads: usize,
     exact_threads: bool,
+    /// The `SimConfig` memory-mode override, when set. The profile's
+    /// own mode is already part of the device name (UVM variants carry
+    /// a `-uvm` suffix), but an override changes the built device
+    /// without changing the name — it must split the cache key.
+    mem_mode: Option<MemMode>,
 }
 
 /// Pointer identity of an `Arc<KernelRegistry>` (registries are
@@ -94,6 +99,7 @@ impl EnvKey {
             trace_param,
             worker_threads: sim.worker_threads,
             exact_threads: sim.exact_threads,
+            mem_mode: sim.mem_mode,
         }
     }
 }

@@ -44,7 +44,7 @@ use std::sync::Arc;
 use vcb_core::run::RunFailure;
 use vcb_core::workload::RunOpts;
 use vcb_sim::profile::DeviceProfile;
-use vcb_sim::{Api, KernelRegistry, TraceMode};
+use vcb_sim::{Api, KernelRegistry, MemMode, TraceMode};
 
 pub use backend::{
     bytes_of, measure, to_f32, to_i32, to_u32, BackendResult, BindGroupHandle, BodyOutcome,
@@ -74,6 +74,10 @@ pub struct SimConfig {
     /// Spawn exactly `worker_threads` workers even beyond the machine's
     /// cores (determinism tests on small CI machines).
     pub exact_threads: bool,
+    /// Overrides the device profile's memory mode when set — how a
+    /// caller runs an explicit-copy profile under unified memory (or
+    /// vice versa) without defining a new device.
+    pub mem_mode: Option<MemMode>,
 }
 
 impl Default for SimConfig {
@@ -82,6 +86,7 @@ impl Default for SimConfig {
             trace_mode: TraceMode::Auto,
             worker_threads: 1,
             exact_threads: false,
+            mem_mode: None,
         }
     }
 }
@@ -92,6 +97,7 @@ impl From<&RunOpts> for SimConfig {
             trace_mode: opts.trace_mode,
             worker_threads: opts.sim_threads.max(1),
             exact_threads: opts.sim_threads_exact,
+            mem_mode: None,
         }
     }
 }
@@ -128,6 +134,18 @@ pub fn create_with(
     sim: &SimConfig,
 ) -> Result<Box<dyn ComputeBackend>, RunFailure> {
     use envcache::{CachedEnv, EnvReturn};
+    // Apply the memory-mode override before any environment is built,
+    // so the Gpu inside a fresh env is created in the requested mode.
+    let overridden;
+    let profile = match sim.mem_mode {
+        Some(mode) if mode != profile.mem_mode => {
+            let mut p = profile.clone();
+            p.mem_mode = mode;
+            overridden = p;
+            &overridden
+        }
+        _ => profile,
+    };
     let ticket = envcache::active_handle()
         .map(|cache| EnvReturn::new(cache, EnvKey::new(api, &profile.name, registry, sim)));
     let backend: Box<dyn ComputeBackend> = match api {

@@ -221,6 +221,50 @@ fn bench_functional_floor() {
     });
 }
 
+fn bench_uvm() {
+    // Demand-paging overhead on the same dispatch as `dispatch/...`:
+    // resident (steady state after the first iteration is pure
+    // page-table walks, no faults) and 2x oversubscribed (every
+    // iteration faults and evicts through the LRU — the worst case the
+    // page table must sustain).
+    let n: usize = 256 * 1024;
+    let driver = devices::gtx1050ti().driver(Api::Cuda).unwrap().clone();
+    for (label, uvm) in [
+        ("resident", vcb_sim::UvmProfile::resident()),
+        ("oversub", vcb_sim::UvmProfile::oversubscribed()),
+    ] {
+        let profile = devices::uvm_variant(devices::gtx1050ti(), uvm);
+        let mut gpu = Gpu::new(profile);
+        gpu.set_trace_mode(TraceMode::Auto);
+        let (x, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let (y, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let (z, _) = gpu.pool_mut().create_buffer(0, (n * 4) as u64).unwrap();
+        let dispatch = Dispatch {
+            kernel: vadd_kernel(),
+            groups: [(n as u32).div_ceil(256), 1, 1],
+            bindings: vec![
+                BoundBuffer {
+                    binding: 0,
+                    buffer: x,
+                },
+                BoundBuffer {
+                    binding: 1,
+                    buffer: y,
+                },
+                BoundBuffer {
+                    binding: 2,
+                    buffer: z,
+                },
+            ],
+            push_constants: vec![],
+        };
+        bench(&format!("uvm/vadd_256k_{label}"), 20, || {
+            gpu.execute(std::hint::black_box(&dispatch), &driver)
+                .unwrap()
+        });
+    }
+}
+
 fn bench_matrix() {
     // The run-matrix scheduler end to end: a full quick Fig. 2 panel
     // set (both desktop devices, first size per workload, every API)
@@ -333,6 +377,7 @@ fn main() {
     bench_cache();
     bench_dispatch();
     bench_functional_floor();
+    bench_uvm();
     bench_matrix();
     bench_store();
     bench_spirv();

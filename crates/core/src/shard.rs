@@ -43,7 +43,10 @@ use crate::workload::RunOpts;
 /// Version of the shard/event text codec. Bump on any change to the
 /// record layout, the [`CellKey`](crate::plan::CellKey) field set, or
 /// the fingerprint hash; decoders reject every other version.
-pub const CODEC_VERSION: u32 = 1;
+///
+/// v2: outcome records gained a per-cell `uvm` cost bucket when the
+/// unified-memory subsystem added `CostKind::UvmFault`.
+pub const CODEC_VERSION: u32 = 2;
 
 const EVENTS_MAGIC: &str = "vcb-events";
 const PLAN_MAGIC: &str = "vcb-plan";

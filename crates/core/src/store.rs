@@ -541,4 +541,57 @@ mod tests {
         assert_eq!(costs[1], cell_cost(&plan.cells()[1]) * 2);
         cleanup(&store);
     }
+
+    #[test]
+    fn plan_costs_rescale_by_the_median_ratio_not_the_mean() {
+        // Three measured cells at 2, 3 and 100 ns per static unit: the
+        // unmeasured cell must rescale by the median (3), so one
+        // outlier measurement cannot skew every estimate.
+        let store = temp_store("median");
+        let mut plan = RunPlan::new();
+        plan.push(spec("bfs", "4K", 4096, "A"));
+        plan.push(spec("nn", "8M", 8 << 20, "A"));
+        plan.push(spec("gaussian", "208", 208, "A"));
+        plan.push(spec("hotspot", "1K", 1024, "A")); // unmeasured
+        for (i, per_unit) in [(0, 2), (1, 100), (2, 3)] {
+            let cell = &plan.cells()[i];
+            store
+                .write_cell(cell, &["p"], cell_cost(cell) * per_unit)
+                .unwrap();
+        }
+        let costs = store.plan_costs(&plan);
+        assert_eq!(costs[3], cell_cost(&plan.cells()[3]) * 3);
+        cleanup(&store);
+    }
+
+    #[test]
+    fn plan_costs_on_an_empty_store_degrade_to_static_estimates() {
+        let store = temp_store("unmeasured");
+        let mut plan = RunPlan::new();
+        plan.push(spec("bfs", "4K", 4096, "A"));
+        plan.push(spec("nn", "8M", 8 << 20, "B"));
+        let baseline: Vec<u64> = plan.cells().iter().map(cell_cost).collect();
+        assert_eq!(store.plan_costs(&plan), baseline);
+        // An empty plan is a no-op, not a panic.
+        assert!(store.plan_costs(&RunPlan::new()).is_empty());
+        cleanup(&store);
+    }
+
+    #[test]
+    fn plan_costs_single_cell_uses_its_own_measurement() {
+        // One measured cell: the median ratio is that cell's own, the
+        // measurement is returned verbatim, and nothing else exists to
+        // rescale.
+        let store = temp_store("single");
+        let mut plan = RunPlan::new();
+        plan.push(spec("bfs", "4K", 4096, "A"));
+        assert_eq!(
+            store.plan_costs(&plan),
+            vec![cell_cost(&plan.cells()[0])],
+            "unmeasured single cell falls back to the static estimate"
+        );
+        store.write_cell(&plan.cells()[0], &["p"], 7777).unwrap();
+        assert_eq!(store.plan_costs(&plan), vec![7777]);
+        cleanup(&store);
+    }
 }

@@ -466,7 +466,12 @@ impl CudaContext {
         };
         let driver = shared.driver.clone();
         let report = shared.gpu.execute(&dispatch, &driver)?;
-        shared.breakdown.charge(CostKind::KernelExec, report.time);
+        shared
+            .breakdown
+            .charge(CostKind::KernelExec, report.time - report.uvm_time);
+        if !report.uvm_time.is_zero() {
+            shared.breakdown.charge(CostKind::UvmFault, report.uvm_time);
+        }
         shared.streams[stream.0] = start + report.time;
         Ok(())
     }

@@ -26,7 +26,7 @@ use vcb_core::stats::geomean;
 use vcb_core::store::Store;
 use vcb_core::workload::{RunOpts, Workload};
 use vcb_sim::profile::{devices, DeviceProfile};
-use vcb_sim::{Api, KernelRegistry};
+use vcb_sim::{Api, KernelRegistry, UvmProfile};
 use vcb_workloads::micro::stride::{self, BandwidthSample};
 use vcb_workloads::micro::vectoradd;
 
@@ -235,6 +235,7 @@ impl SuiteRunner {
             extra: vec![Box::new(vectoradd::VectorAdd::new(Arc::clone(registry)))],
             profiles: devices::all()
                 .into_iter()
+                .chain(devices::uvm_all())
                 .map(|p| (p.name.clone(), p))
                 .collect(),
         }
@@ -454,6 +455,110 @@ impl Session {
         plan
     }
 
+    /// The GTX 1050 Ti in the three memory-mode configurations the UVM
+    /// comparison spans — explicit copies, fully resident unified
+    /// memory, and unified memory with an oversubscribed device budget
+    /// — filtered by `--device` like every other device list.
+    pub fn uvm_devices(&self) -> Vec<DeviceProfile> {
+        let base = devices::gtx1050ti();
+        [
+            base.clone(),
+            devices::uvm_variant(base.clone(), UvmProfile::resident()),
+            devices::uvm_variant(base, UvmProfile::oversubscribed()),
+        ]
+        .into_iter()
+        .filter(|d| self.opts.keeps_device(&d.name))
+        .collect()
+    }
+
+    /// The (workload, size) bars of the UVM comparison: the Table I
+    /// suite at its first size for `profile`'s class, vectoradd at the
+    /// §VI-A 1M elements, and the whole strided-bandwidth sweep — the
+    /// paper's 11 workloads, one bar each.
+    fn uvm_bars(&self, profile: &DeviceProfile) -> Vec<(String, SizeSpec)> {
+        let mut bars = Vec::new();
+        for w in &self.runner.suite {
+            if !self.opts.keeps_workload(w.meta().name) {
+                continue;
+            }
+            let Some(size) = w.sizes(profile.class).into_iter().next() else {
+                continue;
+            };
+            bars.push((w.meta().name.to_owned(), size));
+        }
+        if self.opts.keeps_workload(vectoradd::NAME) {
+            bars.push((vectoradd::NAME.into(), SizeSpec::new("1M", EFFORT_N)));
+        }
+        if self.opts.keeps_workload(stride::NAME) {
+            bars.push((stride::NAME.into(), SizeSpec::new(SWEEP_LABEL, 0)));
+        }
+        bars
+    }
+
+    /// Plans the unified-memory comparison: every UVM bar under Vulkan
+    /// on each configuration from [`Session::uvm_devices`]. The
+    /// explicit-copy column reuses the device name (and hence the
+    /// cells) of Fig. 1/Fig. 2/§VI-A, so under `vcb all` it dedups to
+    /// zero fresh work; only the `-uvm` variants execute.
+    pub fn plan_uvm(&self) -> RunPlan {
+        let mut plan = RunPlan::new();
+        for profile in self.uvm_devices() {
+            for (workload, size) in self.uvm_bars(&profile) {
+                plan.push(CellSpec {
+                    workload,
+                    size,
+                    api: Api::Vulkan,
+                    device: profile.name.clone(),
+                    opts: self.opts.run.clone(),
+                });
+            }
+        }
+        plan
+    }
+
+    /// Runs the UVM comparison and assembles it into per-bar rows with
+    /// one outcome per memory-mode column.
+    pub fn uvm_compare(&mut self, sink: &mut (dyn EventSink<CellOut> + Send)) -> UvmCompare {
+        let profiles = self.uvm_devices();
+        if profiles.is_empty() {
+            return UvmCompare {
+                devices: Vec::new(),
+                rows: Vec::new(),
+            };
+        }
+        let plan = self.plan_uvm();
+        let outs = self.execute(&plan, sink);
+        let by_key: HashMap<(String, String, String), CellOut> = plan
+            .cells()
+            .iter()
+            .zip(outs)
+            .map(|(s, o)| {
+                (
+                    (s.device.clone(), s.workload.clone(), s.size.label.clone()),
+                    o,
+                )
+            })
+            .collect();
+        let devices: Vec<String> = profiles.iter().map(|p| p.name.clone()).collect();
+        let rows = self
+            .uvm_bars(&profiles[0])
+            .into_iter()
+            .map(|(workload, size)| UvmCompareRow {
+                outs: devices
+                    .iter()
+                    .map(|d| {
+                        by_key
+                            .get(&(d.clone(), workload.clone(), size.label.clone()))
+                            .cloned()
+                    })
+                    .collect(),
+                workload,
+                size: size.label,
+            })
+            .collect();
+        UvmCompare { devices, rows }
+    }
+
     /// The union of every figure's plan — what `vcb all` executes up
     /// front on one pool spanning all devices and figures at once.
     pub fn plan_all(&self) -> RunPlan {
@@ -464,6 +569,7 @@ impl Session {
         plan.append(self.plan_panels(&self.mobile_devices()));
         plan.append(self.plan_effort(&devices::gtx1050ti()));
         plan.append(self.plan_overheads(&devices::gtx1050ti()));
+        plan.append(self.plan_uvm());
         plan
     }
 
@@ -496,6 +602,7 @@ impl Session {
             }
             "effort" => self.plan_effort(&devices::gtx1050ti()),
             "overheads" => self.plan_overheads(&devices::gtx1050ti()),
+            "uvm" => self.plan_uvm(),
             _ => return None,
         })
     }
@@ -740,6 +847,35 @@ pub fn fig4(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Vec<Device
     Session::new(registry, opts).fig4(&mut NullSink)
 }
 
+/// The unified-memory comparison: one column per memory-mode
+/// configuration of the same silicon, one row per workload bar.
+#[derive(Debug)]
+pub struct UvmCompare {
+    /// Device names in column order: explicit copy, resident UVM,
+    /// oversubscribed UVM (minus any pruned by `--device`).
+    pub devices: Vec<String>,
+    /// One row per (workload, size) bar, in suite order.
+    pub rows: Vec<UvmCompareRow>,
+}
+
+/// One bar of the UVM comparison.
+#[derive(Debug)]
+pub struct UvmCompareRow {
+    /// Workload short name (`stride` marks the bandwidth sweep).
+    pub workload: String,
+    /// Size label.
+    pub size: String,
+    /// One outcome per device column, `None` when the cell was not
+    /// planned (pruned device) or missing from the result set.
+    pub outs: Vec<Option<CellOut>>,
+}
+
+/// Runs the explicit-vs-UVM-vs-oversubscribed comparison (the UVM
+/// figure) as a one-shot session.
+pub fn uvm_compare(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> UvmCompare {
+    Session::new(registry, opts).uvm_compare(&mut NullSink)
+}
+
 /// One API's bandwidth curve on one device (a line of Fig. 1/Fig. 3).
 #[derive(Debug)]
 pub struct BandwidthCurve {
@@ -922,6 +1058,46 @@ mod tests {
         assert!(plan.cells().iter().all(|c| c.workload == "bfs"));
         // stride is filtered out, so no bandwidth cells are planned.
         assert!(session.plan_bandwidth(&mobile).is_empty());
+    }
+
+    #[test]
+    fn uvm_plan_spans_three_memory_modes_and_dedups_explicit_cells() {
+        let registry = vcb_workloads::registry().unwrap();
+        let session = Session::new(&registry, &quick());
+        let plan = session.plan_uvm();
+        // 3 memory modes x (9 suite workloads + vectoradd + stride).
+        assert_eq!(plan.len(), 3 * 11);
+        assert!(plan.cells().iter().all(|c| c.api == Api::Vulkan));
+        let device_names: std::collections::BTreeSet<&str> =
+            plan.cells().iter().map(|c| c.device.as_str()).collect();
+        assert_eq!(device_names.len(), 3);
+        assert!(device_names.iter().any(|d| d.ends_with("-uvm")));
+        assert!(device_names.iter().any(|d| d.ends_with("-uvm-oversub")));
+        // The explicit-copy column reuses cells the main figures
+        // already plan, so under `vcb all` it dedups to zero fresh
+        // work; only the `-uvm` variants are new.
+        let all = session.plan_all();
+        let earlier: std::collections::HashSet<_> = all.cells()[..all.len() - plan.len()]
+            .iter()
+            .map(vcb_core::plan::CellSpec::key)
+            .collect();
+        for cell in plan.cells().iter().filter(|c| !c.device.contains("-uvm")) {
+            assert!(
+                earlier.contains(&cell.key()),
+                "explicit cell {}/{} should be shared with the main figures",
+                cell.workload,
+                cell.size.label
+            );
+        }
+        // `--device` prunes memory modes like any other device list.
+        let mut opts = quick();
+        opts.devices = vec!["-uvm".into()];
+        let pruned = Session::new(&registry, &opts);
+        assert!(pruned
+            .plan_uvm()
+            .cells()
+            .iter()
+            .all(|c| c.device.contains("-uvm")));
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! results identical to a single-process execution.
 
 use std::fs;
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
-use std::process::{Child, Command};
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -34,11 +35,27 @@ struct Job {
     child: Child,
     shard_index: usize,
     events_path: PathBuf,
+    /// Thread relaying the child's stderr to ours, each line prefixed
+    /// with the shard index so interleaved progress is attributable.
+    relay: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Relays `pipe` to our stderr line by line, prefixing `[shard N]`.
+/// One `eprintln!` per line keeps lines whole under interleaving (the
+/// macro locks stderr per call).
+fn relay_stderr(index: usize, pipe: std::process::ChildStderr) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        for line in std::io::BufReader::new(pipe).lines() {
+            let Ok(line) = line else { break };
+            eprintln!("[shard {index}] {line}");
+        }
+    })
 }
 
 /// Per-cell partition costs for `plan`: measured store durations where
-/// available, the static [`cell_cost`] estimate otherwise.
-fn plan_costs(session: &Session, plan: &RunPlan) -> Vec<u64> {
+/// available, the static [`cell_cost`] estimate otherwise (rescaled so
+/// both magnitudes are comparable — see [`vcb_core::store::Store::plan_costs`]).
+pub fn plan_costs(session: &Session, plan: &RunPlan) -> Vec<u64> {
     match session.store() {
         Some(store) => store.plan_costs(plan),
         None => plan.cells().iter().map(cell_cost).collect(),
@@ -101,9 +118,14 @@ fn run_in_scratch(
         if let Some(store) = session.store() {
             cmd.arg("--store").arg(store.dir());
         }
-        let child = cmd
+        cmd.stderr(Stdio::piped());
+        let mut child = cmd
             .spawn()
             .map_err(|e| kill_all(&mut running, format!("cannot spawn {exe:?}: {e}")))?;
+        let relay = child
+            .stderr
+            .take()
+            .map(|pipe| relay_stderr(slice.shard_index, pipe));
         eprintln!(
             "vcb: jobs: shard {}/{}: {} plan cell(s), pid {}",
             slice.shard_index,
@@ -115,6 +137,7 @@ fn run_in_scratch(
             child,
             shard_index: slice.shard_index,
             events_path,
+            relay,
         });
     }
 
@@ -135,7 +158,10 @@ fn run_in_scratch(
                 continue;
             };
             progressed = true;
-            let job = running.swap_remove(slot);
+            let mut job = running.swap_remove(slot);
+            if let Some(relay) = job.relay.take() {
+                let _ = relay.join();
+            }
             if !status.success() {
                 return Err(kill_all(
                     &mut running,
@@ -178,6 +204,11 @@ fn kill_all(running: &mut Vec<Job>, error: String) -> String {
     }
     for job in running.iter_mut() {
         let _ = job.child.wait();
+        // The pipe is closed once the child is reaped, so the relay
+        // thread drains what was written and ends.
+        if let Some(relay) = job.relay.take() {
+            let _ = relay.join();
+        }
     }
     running.clear();
     error

@@ -32,12 +32,16 @@ COMMANDS:
     effort      §VI-A programming-effort comparison
     overheads   §V-A2 total-vs-kernel time decomposition
     ablate      §VI-B recommendation ablations
+    uvm         unified-memory comparison: explicit copies vs demand
+                paging vs an oversubscribed device budget (GTX 1050 Ti)
     all         everything above, in paper order
     merge F...  reassemble shard event streams (see --shards) and
                 render `all` byte-identical to an unsharded run (the
                 §VI-B ablations, which are not matrix cells, re-run
                 locally in the merge process)
-    plan [CMD]  print the run plan of CMD (default: all) without running
+    plan [CMD]  print the run plan of CMD (default: all) without
+                running, with a per-cell cost column (measured store
+                durations where present, static estimates otherwise)
 
 OPTIONS:
     --quick         scaled-down inputs, no output validation (default)
@@ -372,6 +376,23 @@ fn run_ablate(registry: &std::sync::Arc<vcb_sim::KernelRegistry>, opts: &Experim
     println!();
 }
 
+/// Runs the unified-memory comparison and renders its table (plus a
+/// standalone CSV when `vcb uvm --csv` asks for one — under `vcb all`
+/// the shared CSV path stays with the figure stages).
+fn run_uvm(session: &mut Session, csv_path: Option<&str>) {
+    let plan = session.plan_uvm();
+    session.seed_from_store(&plan);
+    let mut progress = Progress::new(session.pending_cells(&plan));
+    let cmp = session.uvm_compare(&mut progress);
+    println!("{UVM_TITLE}");
+    println!("{}", render::uvm_table(&cmp));
+    if let Some(path) = csv_path {
+        if let Err(e) = std::fs::write(path, render::uvm_csv(&cmp)) {
+            eprintln!("vcb: cannot write {path}: {e}");
+        }
+    }
+}
+
 /// The full `vcb all` report sequence: warm the union plan on one
 /// shared pool, then render every table and figure from cache. Both the
 /// unsharded `all` command and `merge` (with a cache seeded from shard
@@ -402,6 +423,7 @@ fn run_all_reports(
     run_effort(session);
     run_overheads(session);
     run_ablate(registry, opts);
+    run_uvm(session, None);
 }
 
 /// Executes one deterministic slice of the `vcb all` plan and writes
@@ -501,11 +523,20 @@ fn print_plan(session: &Session, target: &str) -> Result<(), String> {
     let plan = session
         .plan_for(target)
         .ok_or_else(|| format!("unknown plan target `{target}`\n\n{USAGE}"))?;
+    // The same per-cell costs `--jobs` partitions on: measured store
+    // durations where present, `cell_cost` estimates (median-rescaled
+    // against them) otherwise — so partition balance is inspectable
+    // before committing to a run.
+    let costs = vcb_harness::jobs::plan_costs(session, &plan);
     let mut unique = std::collections::HashSet::new();
-    for (i, cell) in plan.cells().iter().enumerate() {
+    let mut total_cost = 0u64;
+    for (i, (cell, &cost)) in plan.cells().iter().zip(&costs).enumerate() {
         let fresh = unique.insert(cell.key());
+        if fresh {
+            total_cost = total_cost.saturating_add(cost);
+        }
         let line = format!(
-            "{i:>4}  {:016x}  {:<24} {:<8} {:<20} {}",
+            "{i:>4}  {:016x}  {:<24} {:<8} {:<28} {cost:>12} {}",
             cell.fingerprint(),
             format!("{}/{}", cell.workload, cell.size.label),
             cell.api.to_string(),
@@ -515,9 +546,14 @@ fn print_plan(session: &Session, target: &str) -> Result<(), String> {
         println!("{}", line.trim_end());
     }
     println!(
-        "\n{} cells planned, {} unique to execute",
+        "\n{} cells planned, {} unique to execute, total cost {total_cost}{}",
         plan.len(),
-        unique.len()
+        unique.len(),
+        if session.store().is_some() {
+            " (ns where measured)"
+        } else {
+            " (static estimate)"
+        }
     );
     Ok(())
 }
@@ -526,6 +562,7 @@ const FIG1_TITLE: &str = "=== Fig. 1: Vulkan memory bandwidth vs CUDA and OpenCL
 const FIG2_TITLE: &str = "=== Fig. 2: Vulkan speedup vs CUDA and OpenCL (desktop) ===\n";
 const FIG3_TITLE: &str = "=== Fig. 3: Vulkan memory bandwidth vs OpenCL (mobile) ===\n";
 const FIG4_TITLE: &str = "=== Fig. 4: Vulkan speedup vs OpenCL (mobile) ===\n";
+const UVM_TITLE: &str = "=== Unified memory: explicit copies vs demand paging ===\n";
 
 fn main() -> ExitCode {
     let cli = match parse_args() {
@@ -576,6 +613,7 @@ fn main() -> ExitCode {
         "effort" => run_effort(&mut session),
         "overheads" => run_overheads(&mut session),
         "ablate" => run_ablate(&registry, &cli.opts),
+        "uvm" => run_uvm(&mut session, csv),
         "all" => {
             if let Some(slice) = &cli.slice_path {
                 let events = cli.events_path.as_deref().expect("validated with --slice");

@@ -7,7 +7,10 @@ use vcb_core::run::RunFailure;
 use vcb_sim::profile::{DeviceClass, DeviceProfile};
 use vcb_sim::Api;
 
-use crate::experiments::{BandwidthCurve, DevicePanel, GeomeanSummary};
+use vcb_sim::timeline::CostKind;
+use vcb_sim::SimDuration;
+
+use crate::experiments::{BandwidthCurve, CellOut, DevicePanel, GeomeanSummary, UvmCompare};
 
 /// Renders Table I (the benchmark list).
 pub fn table1() -> String {
@@ -163,6 +166,184 @@ pub fn overhead_table(rows: &[crate::experiments::OverheadRow]) -> String {
          compares kernel times only, §V-A2)\n\n{}",
         t.render()
     )
+}
+
+/// Short mode label of a UVM-comparison column, derived from the
+/// device-name suffix (see `vcb_sim::MemMode::suffix`).
+fn uvm_mode_label(device: &str) -> &'static str {
+    if device.ends_with("-uvm-oversub") {
+        "uvm-oversub"
+    } else if device.ends_with("-uvm") {
+        "uvm"
+    } else {
+        "explicit"
+    }
+}
+
+/// One UVM cell reduced to its headline numbers.
+enum UvmValue {
+    /// A workload run: end-to-end time plus the demand-paging share.
+    Run {
+        /// End-to-end time of the benchmark body.
+        total: SimDuration,
+        /// The `CostKind::UvmFault` bucket (fault + migration stalls).
+        stall: SimDuration,
+    },
+    /// The stride sweep: mean achieved bandwidth over the stride range
+    /// in GB/s. The mean (not the peak) is what separates the
+    /// oversubscribed mode: small strides touch a working set that
+    /// fits even a halved budget, while large strides sweep the whole
+    /// array and thrash the LRU — degradation lives in the tail.
+    Sweep(f64),
+    /// The run failed.
+    Failed(String),
+    /// The cell was not planned (pruned by a filter).
+    Missing,
+}
+
+fn uvm_value(out: Option<&CellOut>) -> UvmValue {
+    match out {
+        None => UvmValue::Missing,
+        Some(CellOut::Run(Ok(r))) => UvmValue::Run {
+            total: r.total_time,
+            stall: r.breakdown.get(CostKind::UvmFault),
+        },
+        Some(CellOut::Curve(Ok(samples))) if !samples.is_empty() => {
+            UvmValue::Sweep(samples.iter().map(|s| s.gbps()).sum::<f64>() / samples.len() as f64)
+        }
+        Some(CellOut::Curve(Ok(_))) => UvmValue::Missing,
+        Some(CellOut::Run(Err(e))) | Some(CellOut::Curve(Err(e))) => {
+            UvmValue::Failed(e.to_string())
+        }
+    }
+}
+
+/// The headline cell text: total time for runs, peak GB/s for the sweep.
+fn uvm_value_text(v: &UvmValue) -> String {
+    match v {
+        UvmValue::Run { total, .. } => total.to_string(),
+        UvmValue::Sweep(gbps) => format!("{gbps:.1} GB/s"),
+        UvmValue::Failed(e) => e.clone(),
+        UvmValue::Missing => "-".into(),
+    }
+}
+
+/// Slowdown of `v` against the explicit-copy `base` column: a time
+/// ratio for runs, an inverted bandwidth ratio for the sweep (both read
+/// "N x slower than explicit").
+fn uvm_slowdown(v: &UvmValue, base: &UvmValue) -> Option<f64> {
+    match (v, base) {
+        (UvmValue::Run { total, .. }, UvmValue::Run { total: b, .. }) => Some(total.ratio(*b)),
+        (UvmValue::Sweep(g), UvmValue::Sweep(b)) if *g > 0.0 => Some(b / g),
+        _ => None,
+    }
+}
+
+/// Renders the unified-memory comparison: one value column per memory
+/// mode, with demand-paging stall time and slowdown-vs-explicit columns
+/// for the UVM modes.
+pub fn uvm_table(cmp: &UvmCompare) -> String {
+    let base_device = cmp
+        .devices
+        .first()
+        .map(|d| {
+            d.trim_end_matches("-oversub")
+                .trim_end_matches("-uvm")
+                .to_owned()
+        })
+        .unwrap_or_else(|| "?".into());
+    let mut headers = vec!["Workload".to_owned()];
+    for (i, d) in cmp.devices.iter().enumerate() {
+        headers.push(uvm_mode_label(d).to_owned());
+        if i > 0 {
+            headers.push("fault stall".into());
+            headers.push("vs explicit".into());
+        }
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for row in &cmp.rows {
+        let values: Vec<UvmValue> = (0..cmp.devices.len())
+            .map(|i| uvm_value(row.outs.get(i).and_then(Option::as_ref)))
+            .collect();
+        let mut cells = vec![format!("{}/{}", row.workload, row.size)];
+        for (i, v) in values.iter().enumerate() {
+            cells.push(uvm_value_text(v));
+            if i > 0 {
+                cells.push(match v {
+                    UvmValue::Run { stall, .. } => stall.to_string(),
+                    _ => "-".into(),
+                });
+                cells.push(
+                    uvm_slowdown(v, &values[0])
+                        .map(|s| format!("{s:.2}x"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+        }
+        t.row(&cells);
+    }
+    format!(
+        "{base_device} (Vulkan): end-to-end time per memory mode\n\
+         (stride row: mean achieved bandwidth over the sweep; `fault\n\
+         stall` is the demand-paging share of total time)\n\n{}",
+        t.render()
+    )
+}
+
+/// The UVM comparison CSV schema
+/// (`workload,size,mode,total_us,uvm_us,gbps,vs_explicit,status`).
+pub const UVM_CSV_HEADERS: [&str; 8] = [
+    "workload",
+    "size",
+    "mode",
+    "total_us",
+    "uvm_us",
+    "gbps",
+    "vs_explicit",
+    "status",
+];
+
+/// Renders the UVM comparison as CSV, one row per (workload, mode).
+pub fn uvm_csv(cmp: &UvmCompare) -> String {
+    let mut t = Table::new(&UVM_CSV_HEADERS);
+    for row in &cmp.rows {
+        let values: Vec<UvmValue> = (0..cmp.devices.len())
+            .map(|i| uvm_value(row.outs.get(i).and_then(Option::as_ref)))
+            .collect();
+        for (i, (device, v)) in cmp.devices.iter().zip(&values).enumerate() {
+            let (total, stall, gbps, status) = match v {
+                UvmValue::Run { total, stall } => (
+                    format!("{:.3}", total.as_micros()),
+                    format!("{:.3}", stall.as_micros()),
+                    String::new(),
+                    "ok".to_owned(),
+                ),
+                UvmValue::Sweep(g) => {
+                    (String::new(), String::new(), format!("{g:.4}"), "ok".into())
+                }
+                UvmValue::Failed(e) => (String::new(), String::new(), String::new(), e.clone()),
+                UvmValue::Missing => continue,
+            };
+            t.row(&[
+                row.workload.clone(),
+                row.size.clone(),
+                uvm_mode_label(device).to_owned(),
+                total,
+                stall,
+                gbps,
+                if i > 0 {
+                    uvm_slowdown(v, &values[0])
+                        .map(|s| format!("{s:.4}"))
+                        .unwrap_or_default()
+                } else {
+                    String::new()
+                },
+                status,
+            ]);
+        }
+    }
+    t.to_csv()
 }
 
 /// Renders the geomean summary lines (the abstract's headline numbers).

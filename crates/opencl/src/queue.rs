@@ -215,7 +215,12 @@ impl CommandQueue {
         };
         let driver = shared.driver.clone();
         let report = shared.gpu.execute(&dispatch, &driver)?;
-        shared.breakdown.charge(CostKind::KernelExec, report.time);
+        shared
+            .breakdown
+            .charge(CostKind::KernelExec, report.time - report.uvm_time);
+        if !report.uvm_time.is_zero() {
+            shared.breakdown.charge(CostKind::UvmFault, report.uvm_time);
+        }
         let end = start + report.time;
         shared.queues[self.index] = end;
         Ok(ClEvent {

@@ -94,6 +94,11 @@ pub struct DispatchReport {
     pub mem_time: SimDuration,
     /// Component of `time` attributable to arithmetic.
     pub alu_time: SimDuration,
+    /// Component of `time` spent servicing unified-memory demand faults
+    /// and page migration, already scaled like `time` — backends charge
+    /// it to [`crate::timeline::CostKind::UvmFault`] and the remainder
+    /// to `KernelExec`. Zero under explicit-copy mode.
+    pub uvm_time: SimDuration,
 }
 
 /// Grids smaller than this never fan out: thread spawn/join would cost
@@ -155,7 +160,8 @@ impl Gpu {
     /// Creates a device from its profile.
     pub fn new(profile: DeviceProfile) -> Self {
         let pool = MemoryPool::new(&profile.heaps);
-        let mem_system = MemSystem::new(&profile.memory, profile.shared_banks);
+        let mut mem_system = MemSystem::new(&profile.memory, profile.shared_banks);
+        mem_system.set_uvm(profile.mem_mode.uvm_profile());
         Gpu {
             profile,
             pool,
@@ -289,6 +295,14 @@ impl Gpu {
         ] {
             fnv1a(&mut h, v);
         }
+        // UVM counters join the digest only when unified memory actually
+        // produced traffic, so explicit-copy fingerprints are unchanged
+        // from before the UVM subsystem existed.
+        if s.uvm_faults | s.uvm_migrated_sectors | s.uvm_evicted_sectors != 0 {
+            fnv1a(&mut h, s.uvm_faults);
+            fnv1a(&mut h, s.uvm_migrated_sectors);
+            fnv1a(&mut h, s.uvm_evicted_sectors);
+        }
         h
     }
 
@@ -308,6 +322,24 @@ impl Gpu {
         let groups = dispatch.group_count();
         if groups == 0 {
             return Err(SimError::invalid("dispatch with zero workgroups"));
+        }
+        if self.mem_system.uvm.is_some() {
+            // Re-resolve the page budget against the live allocation
+            // footprint, so FootprintPercent budgets oversubscribe at
+            // every --scale. Runs before any group executes, identically
+            // on the sequential and parallel paths.
+            let device_local: u64 = self
+                .profile
+                .heaps
+                .iter()
+                .filter(|h| h.device_local)
+                .map(|h| h.size)
+                .sum();
+            let footprint: u64 = self.pool.heaps().iter().map(|h| h.used()).sum();
+            if let Some(uvm) = self.mem_system.uvm.as_mut() {
+                let budget = uvm.resolve_budget(device_local, footprint);
+                uvm.set_budget_bytes(budget);
+            }
         }
         let info = dispatch.kernel.info();
         if info.local_len() > self.profile.max_workgroup_size {
@@ -703,7 +735,22 @@ impl Gpu {
         let quantized = exact_waves.ceil().max(1.0) / exact_waves.max(f64::MIN_POSITIVE);
         let quantization = quantized.clamp(1.0, groups as f64);
 
-        let busy = mem_time.max(alu_time).scale(quantization);
+        // Unified-memory fault servicing: a host round trip per fault
+        // plus page migration over the DMA link. Faults stall the grid
+        // (not hidden by occupancy), so this adds to busy time rather
+        // than racing the roofline max.
+        let uvm_time = match self.mem_system.uvm.as_ref() {
+            Some(uvm) if stats.uvm_faults > 0 || stats.uvm_evicted_sectors > 0 => {
+                let migrate_bytes = (stats.uvm_migrated_sectors + stats.uvm_evicted_sectors)
+                    * p.memory.sector_bytes;
+                let dma_secs = migrate_bytes as f64 / p.transfer.dma_bandwidth_bytes_per_sec;
+                uvm.profile().fault_latency.scale(stats.uvm_faults as f64)
+                    + SimDuration::from_secs(dma_secs)
+            }
+            _ => SimDuration::ZERO,
+        };
+
+        let busy = mem_time.max(alu_time).scale(quantization) + uvm_time;
         let time = (busy + p.kernel_ramp).scale(driver.kernel_time_scale);
 
         DispatchReport {
@@ -713,6 +760,7 @@ impl Gpu {
             traced_groups,
             mem_time,
             alu_time,
+            uvm_time: uvm_time.scale(driver.kernel_time_scale),
         }
     }
 
@@ -727,13 +775,24 @@ impl Gpu {
         by_limit.min(by_shared).min(by_lanes)
     }
 
-    /// Time to copy `bytes` between host and device over the default link.
+    /// Time to copy `bytes` between host and device over the default
+    /// link. Under unified memory explicit copies are no-ops on managed
+    /// allocations — data moves by demand paging at first device touch —
+    /// so only the fixed API overhead remains.
     pub fn host_copy_time(&self, bytes: u64) -> SimDuration {
+        if self.mem_system.uvm.is_some() {
+            return self.profile.transfer.fixed_overhead;
+        }
         self.profile.transfer.copy_time(bytes)
     }
 
-    /// Time to copy `bytes` using a dedicated transfer (DMA) queue.
+    /// Time to copy `bytes` using a dedicated transfer (DMA) queue
+    /// (fixed overhead only under unified memory, as
+    /// [`Gpu::host_copy_time`]).
     pub fn dma_copy_time(&self, bytes: u64) -> SimDuration {
+        if self.mem_system.uvm.is_some() {
+            return self.profile.transfer.fixed_overhead;
+        }
         self.profile.transfer.dma_copy_time(bytes)
     }
 

@@ -483,6 +483,13 @@ pub struct TrafficStats {
     pub bank_conflict_cycles: u64,
     /// Workgroup barriers executed.
     pub barriers: u64,
+    /// Unified-memory demand faults (first touch of a non-resident page;
+    /// zero under [`crate::uvm::MemMode::ExplicitCopy`]).
+    pub uvm_faults: u64,
+    /// Sectors migrated host→device by demand faults.
+    pub uvm_migrated_sectors: u64,
+    /// Sectors written back device→host by oversubscription evictions.
+    pub uvm_evicted_sectors: u64,
 }
 
 impl TrafficStats {
@@ -497,6 +504,9 @@ impl TrafficStats {
         self.shared_accesses += other.shared_accesses;
         self.bank_conflict_cycles += other.bank_conflict_cycles;
         self.barriers += other.barriers;
+        self.uvm_faults += other.uvm_faults;
+        self.uvm_migrated_sectors += other.uvm_migrated_sectors;
+        self.uvm_evicted_sectors += other.uvm_evicted_sectors;
     }
 
     /// Scales all counters by `factor` (sampling extrapolation).
@@ -515,6 +525,9 @@ impl TrafficStats {
             shared_accesses: s(self.shared_accesses),
             bank_conflict_cycles: s(self.bank_conflict_cycles),
             barriers: s(self.barriers),
+            uvm_faults: s(self.uvm_faults),
+            uvm_migrated_sectors: s(self.uvm_migrated_sectors),
+            uvm_evicted_sectors: s(self.uvm_evicted_sectors),
         }
     }
 }

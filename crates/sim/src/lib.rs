@@ -80,6 +80,7 @@ pub mod registry;
 pub mod rng;
 pub mod time;
 pub mod timeline;
+pub mod uvm;
 
 pub use api::Api;
 pub use calls::CallCounter;
@@ -95,3 +96,4 @@ pub use registry::KernelRegistry;
 pub use rng::SmallRng;
 pub use time::{SimDuration, SimInstant};
 pub use timeline::{CostKind, Timeline, TimingBreakdown};
+pub use uvm::{MemMode, UvmBudget, UvmProfile};

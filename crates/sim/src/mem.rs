@@ -647,6 +647,9 @@ pub struct MemSystem {
     pub(crate) rows: RowTracker,
     pub(crate) sector_bytes: u64,
     pub(crate) shared_banks: u32,
+    /// Unified-memory paging state; `None` under explicit-copy mode
+    /// (the default), keeping the hot path branch-cheap.
+    pub(crate) uvm: Option<crate::uvm::UvmState>,
     /// Reusable scratch for per-run L2 miss output.
     miss_scratch: Vec<SectorRun>,
     /// When enabled, every run consumed by the hierarchy is also
@@ -664,9 +667,16 @@ impl MemSystem {
             rows: RowTracker::new(mem.row_bytes),
             sector_bytes: mem.sector_bytes,
             shared_banks,
+            uvm: None,
             miss_scratch: Vec::new(),
             audit: None,
         }
+    }
+
+    /// Enables (or disables) the unified-memory model. Residency starts
+    /// cold; the budget is resolved by the engine before each dispatch.
+    pub(crate) fn set_uvm(&mut self, profile: Option<crate::uvm::UvmProfile>) {
+        self.uvm = profile.map(crate::uvm::UvmState::new);
     }
 
     /// The L2 model (exposed for inspection in tests and reports).
@@ -680,6 +690,9 @@ impl MemSystem {
     pub fn reset(&mut self) {
         self.l2.flush();
         self.rows.reset();
+        if let Some(uvm) = &mut self.uvm {
+            uvm.reset();
+        }
         if let Some(audit) = &mut self.audit {
             audit.clear();
         }
@@ -711,10 +724,19 @@ impl MemSystem {
             l2,
             rows,
             sector_bytes,
+            uvm,
             miss_scratch,
             ..
         } = self;
         for run in runs {
+            // Demand-page the run's pages before the L2 sees the access
+            // — the fault is serviced before the load that caused it.
+            // Interleaving per run keeps the row-tracker evolution a
+            // pure function of the run sequence, which the sequential
+            // path and the parallel replay produce identically.
+            if let Some(uvm) = uvm.as_mut() {
+                uvm.touch_run(run, *sector_bytes, rows, stats);
+            }
             stats.l2_hit_sectors += l2.access_run(run.first, run.len, miss_scratch);
             for miss in miss_scratch.iter() {
                 stats.dram.sectors += miss.len;

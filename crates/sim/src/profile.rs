@@ -16,6 +16,7 @@ use std::fmt;
 
 use crate::api::Api;
 use crate::time::SimDuration;
+use crate::uvm::{MemMode, UvmProfile};
 
 /// GPU vendor, as listed in the paper's platform tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -373,6 +374,9 @@ pub struct DeviceProfile {
     pub queue_families: Vec<QueueFamilyProfile>,
     /// Installed driver stacks.
     pub drivers: Vec<DriverProfile>,
+    /// How buffers move between host and device: the paper's explicit
+    /// copies (default) or the unified-memory model of [`crate::uvm`].
+    pub mem_mode: MemMode,
 }
 
 impl DeviceProfile {
@@ -463,6 +467,14 @@ impl DeviceProfile {
         if !self.heaps.iter().any(|h| h.host_visible) {
             problems.push("no host-visible heap".into());
         }
+        if let MemMode::Uvm(uvm) = self.mem_mode {
+            if uvm.page_bytes == 0 || !uvm.page_bytes.is_multiple_of(self.memory.sector_bytes) {
+                problems.push(format!(
+                    "uvm page_bytes {} must be a non-zero multiple of sector_bytes {}",
+                    uvm.page_bytes, self.memory.sector_bytes
+                ));
+            }
+        }
         problems
     }
 }
@@ -495,6 +507,7 @@ pub mod devices {
     pub fn gtx1050ti() -> DeviceProfile {
         DeviceProfile {
             name: "NVIDIA GTX 1050 Ti".into(),
+            mem_mode: MemMode::ExplicitCopy,
             vendor: Vendor::Nvidia,
             architecture: "Pascal".into(),
             class: DeviceClass::Desktop,
@@ -598,6 +611,7 @@ pub mod devices {
     pub fn rx560() -> DeviceProfile {
         DeviceProfile {
             name: "AMD RX 560".into(),
+            mem_mode: MemMode::ExplicitCopy,
             vendor: Vendor::Amd,
             architecture: "Polaris".into(),
             class: DeviceClass::Desktop,
@@ -689,6 +703,7 @@ pub mod devices {
     pub fn powervr_g6430() -> DeviceProfile {
         DeviceProfile {
             name: "Imagination PowerVR G6430".into(),
+            mem_mode: MemMode::ExplicitCopy,
             vendor: Vendor::Imagination,
             architecture: "Rogue".into(),
             class: DeviceClass::Mobile,
@@ -777,6 +792,7 @@ pub mod devices {
     pub fn adreno506() -> DeviceProfile {
         DeviceProfile {
             name: "Qualcomm Adreno 506".into(),
+            mem_mode: MemMode::ExplicitCopy,
             vendor: Vendor::Qualcomm,
             architecture: "Adreno 5xx".into(),
             class: DeviceClass::Mobile,
@@ -877,6 +893,30 @@ pub mod devices {
         v.extend(mobile());
         v
     }
+
+    /// Rebuilds a device as a unified-memory variant: same hardware,
+    /// managed allocations, the mode's suffix appended to the name so
+    /// the variant is a distinct plan/store identity.
+    pub fn uvm_variant(mut base: DeviceProfile, uvm: UvmProfile) -> DeviceProfile {
+        let mode = MemMode::Uvm(uvm);
+        base.name = format!("{}{}", base.name, mode.suffix());
+        base.mem_mode = mode;
+        base
+    }
+
+    /// Unified-memory variants of every paper device: a fully resident
+    /// `-uvm` config and an oversubscribed `-uvm-oversub` config each.
+    pub fn uvm_all() -> Vec<DeviceProfile> {
+        all()
+            .into_iter()
+            .flat_map(|base| {
+                [
+                    uvm_variant(base.clone(), UvmProfile::resident()),
+                    uvm_variant(base, UvmProfile::oversubscribed()),
+                ]
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -905,8 +945,24 @@ mod tests {
 
     #[test]
     fn all_profiles_lint_clean() {
-        for d in devices::all() {
+        for d in devices::all().into_iter().chain(devices::uvm_all()) {
             assert!(d.lint().is_empty(), "{}: {:?}", d.name, d.lint());
+        }
+    }
+
+    #[test]
+    fn uvm_variants_have_distinct_names_and_modes() {
+        let variants = devices::uvm_all();
+        assert_eq!(variants.len(), 2 * devices::all().len());
+        let mut names = BTreeSet::new();
+        for v in &variants {
+            assert!(names.insert(v.name.clone()), "duplicate {}", v.name);
+            assert!(matches!(v.mem_mode, MemMode::Uvm(_)));
+            assert!(v.name.ends_with("-uvm") || v.name.ends_with("-uvm-oversub"));
+        }
+        // Explicit paper devices are untouched.
+        for d in devices::all() {
+            assert_eq!(d.mem_mode, MemMode::ExplicitCopy);
         }
     }
 

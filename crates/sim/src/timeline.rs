@@ -27,13 +27,16 @@ pub enum CostKind {
     /// Command-buffer processing: recorded dispatch fetch, pipeline binds,
     /// descriptor binds, push-constant updates, barriers.
     CommandProcessing,
+    /// Unified-memory demand-fault servicing and page migration (zero
+    /// under explicit-copy mode, so pre-UVM reports are unchanged).
+    UvmFault,
     /// Kernel execution on the device.
     KernelExec,
 }
 
 impl CostKind {
     /// All categories, in report order.
-    pub const ALL: [CostKind; 8] = [
+    pub const ALL: [CostKind; 9] = [
         CostKind::HostApi,
         CostKind::JitCompile,
         CostKind::PipelineCreate,
@@ -41,6 +44,7 @@ impl CostKind {
         CostKind::LaunchOverhead,
         CostKind::SubmitOverhead,
         CostKind::CommandProcessing,
+        CostKind::UvmFault,
         CostKind::KernelExec,
     ];
 
@@ -54,6 +58,7 @@ impl CostKind {
             CostKind::LaunchOverhead => "launch",
             CostKind::SubmitOverhead => "submit",
             CostKind::CommandProcessing => "cmdproc",
+            CostKind::UvmFault => "uvm",
             CostKind::KernelExec => "kernel",
         }
     }
@@ -68,7 +73,7 @@ impl fmt::Display for CostKind {
 /// Accumulated time per [`CostKind`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TimingBreakdown {
-    buckets: [SimDuration; 8],
+    buckets: [SimDuration; 9],
 }
 
 impl TimingBreakdown {

@@ -1,0 +1,349 @@
+//! Page-granularity unified-memory model (demand paging, migration,
+//! oversubscription eviction).
+//!
+//! The paper's four GPUs all run explicit-copy GPGPU code, but the
+//! memory-model scenarios that stress a suite hardest today are
+//! unified-memory ones: UVMBench-style demand paging reshapes every
+//! kernel's traffic profile. This module layers that scenario under
+//! [`MemSystem`](crate::exec::MemSystem) without touching any kernel:
+//!
+//! * A **page table** tracks device residency per 4 KiB page of the
+//!   flat device address space. Buffers are allocated on 4 KiB-aligned
+//!   addresses with guard gaps, so a page never spans two buffers —
+//!   page residency *is* per-(buffer, page) residency.
+//! * The **first touch** of a non-resident page by traced traffic is a
+//!   demand fault: it costs a per-page fault latency (the host-driver
+//!   round trip) plus the page's migration over the DMA link, and the
+//!   migrated sectors are pushed through the DRAM row tracker so
+//!   migration traffic perturbs row locality exactly like any other
+//!   DRAM client.
+//! * When a configurable **device-memory budget** is oversubscribed,
+//!   the least-recently-touched pages are evicted (with a write-back
+//!   charged the same way); a later touch refaults them. Streaming
+//!   re-traversals under an undersized budget therefore thrash, which
+//!   is the behaviour oversubscription studies measure.
+//!
+//! All state mutation happens inside `MemSystem::access_sector_runs`,
+//! which both the sequential path and the parallel coordinator replay
+//! drive in linear grid order — so UVM runs are bit-deterministic at
+//! any worker-thread count, and `Gpu::reset_to_cold` restores a cold
+//! page table the same way it restores a cold L2.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::coalesce::SectorRun;
+use crate::dram::RowTracker;
+use crate::exec::TrafficStats;
+use crate::time::SimDuration;
+
+/// How a device's buffers move between host and device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemMode {
+    /// The paper's model: explicit host↔device copies, kernels touch
+    /// only resident device memory.
+    #[default]
+    ExplicitCopy,
+    /// Unified memory: allocations are managed, explicit copies cost
+    /// only their fixed API overhead, and the first device touch of
+    /// each page demand-faults it in under this profile.
+    Uvm(UvmProfile),
+}
+
+impl MemMode {
+    /// The UVM profile when unified memory is enabled.
+    pub fn uvm_profile(&self) -> Option<UvmProfile> {
+        match self {
+            MemMode::ExplicitCopy => None,
+            MemMode::Uvm(p) => Some(*p),
+        }
+    }
+
+    /// Short suffix used in device names and reports (`""` for the
+    /// explicit default).
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            MemMode::ExplicitCopy => "",
+            MemMode::Uvm(p) => match p.budget {
+                UvmBudget::DeviceLocal | UvmBudget::Bytes(_) => "-uvm",
+                UvmBudget::FootprintPercent(_) => "-uvm-oversub",
+            },
+        }
+    }
+}
+
+/// Device-memory budget available to resident pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UvmBudget {
+    /// Everything device-local: the sum of the device's device-local
+    /// heap capacities. Workloads that fit run fully resident after
+    /// their cold faults.
+    DeviceLocal,
+    /// A fixed byte budget.
+    Bytes(u64),
+    /// A fraction of the *live allocation footprint*, re-resolved
+    /// before every dispatch — `FootprintPercent(50)` oversubscribes
+    /// every workload by 2× regardless of `--scale`, which is what the
+    /// oversubscription figure sweeps.
+    FootprintPercent(u32),
+}
+
+/// Knobs of the unified-memory model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UvmProfile {
+    /// Migration granularity (must be a multiple of the DRAM sector
+    /// size; buffer addresses are 4 KiB-aligned so 4 KiB pages never
+    /// span buffers).
+    pub page_bytes: u64,
+    /// Host-driver latency charged per demand fault (the GPU fault +
+    /// host interrupt + page-table update round trip).
+    pub fault_latency: SimDuration,
+    /// Resident-page budget; exceeding it evicts LRU pages.
+    pub budget: UvmBudget,
+}
+
+impl UvmProfile {
+    /// The default managed-memory profile: 4 KiB pages, a 3 µs
+    /// per-page fault round trip (batched-fault territory for current
+    /// drivers), fully device-local budget.
+    pub fn resident() -> UvmProfile {
+        UvmProfile {
+            page_bytes: 4096,
+            fault_latency: SimDuration::from_micros(3.0),
+            budget: UvmBudget::DeviceLocal,
+        }
+    }
+
+    /// The oversubscribed variant: same paging model, but only half of
+    /// the live footprint fits, so every re-traversal thrashes.
+    pub fn oversubscribed() -> UvmProfile {
+        UvmProfile {
+            budget: UvmBudget::FootprintPercent(50),
+            ..UvmProfile::resident()
+        }
+    }
+}
+
+/// Runtime paging state layered under the memory system when the
+/// device runs in [`MemMode::Uvm`].
+#[derive(Debug)]
+pub(crate) struct UvmState {
+    profile: UvmProfile,
+    /// Resolved byte budget (see [`UvmState::set_budget_bytes`]).
+    budget_bytes: u64,
+    /// Device-resident pages → LRU stamp.
+    resident: HashMap<u64, u64>,
+    /// LRU stamp → page (stamps are unique, so this is the recency
+    /// order; the first entry is the coldest page).
+    lru: BTreeMap<u64, u64>,
+    next_stamp: u64,
+}
+
+impl UvmState {
+    pub(crate) fn new(profile: UvmProfile) -> UvmState {
+        UvmState {
+            profile,
+            budget_bytes: u64::MAX,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+        }
+    }
+
+    pub(crate) fn profile(&self) -> UvmProfile {
+        self.profile
+    }
+
+    /// Drops all residency state back to cold (budget and profile are
+    /// configuration, not simulated state, and are kept).
+    pub(crate) fn reset(&mut self) {
+        self.resident.clear();
+        self.lru.clear();
+        self.next_stamp = 0;
+    }
+
+    /// Installs the resolved byte budget for subsequent touches. The
+    /// engine re-resolves this before every dispatch so
+    /// [`UvmBudget::FootprintPercent`] tracks the live footprint.
+    pub(crate) fn set_budget_bytes(&mut self, bytes: u64) {
+        self.budget_bytes = bytes.max(self.profile.page_bytes);
+    }
+
+    /// Resolves the configured budget against the device's total
+    /// device-local heap capacity and the current allocation footprint.
+    pub(crate) fn resolve_budget(&self, device_local_bytes: u64, footprint_bytes: u64) -> u64 {
+        match self.profile.budget {
+            UvmBudget::DeviceLocal => device_local_bytes,
+            UvmBudget::Bytes(b) => b,
+            UvmBudget::FootprintPercent(p) => (footprint_bytes / 100).saturating_mul(u64::from(p)),
+        }
+    }
+
+    /// Touches every page a sector run covers: resident pages refresh
+    /// their LRU stamp, non-resident pages demand-fault (fault counter,
+    /// page-sized migration through the row tracker) and LRU pages are
+    /// evicted while the budget is exceeded. The faulting page itself
+    /// is never the eviction victim.
+    pub(crate) fn touch_run(
+        &mut self,
+        run: &SectorRun,
+        sector_bytes: u64,
+        rows: &mut RowTracker,
+        stats: &mut TrafficStats,
+    ) {
+        if run.len == 0 {
+            return;
+        }
+        let sectors_per_page = (self.profile.page_bytes / sector_bytes).max(1);
+        let first_page = run.first / sectors_per_page;
+        let last_page = (run.first + run.len - 1) / sectors_per_page;
+        for page in first_page..=last_page {
+            let stamp = self.next_stamp;
+            self.next_stamp += 1;
+            if let Some(old) = self.resident.insert(page, stamp) {
+                // Resident: refresh recency.
+                self.lru.remove(&old);
+                self.lru.insert(stamp, page);
+                continue;
+            }
+            // Demand fault: host round trip + page migration. The
+            // migrated sectors go through the row tracker so migration
+            // competes for row-buffer locality like any DRAM client.
+            self.lru.insert(stamp, page);
+            stats.uvm_faults += 1;
+            stats.uvm_migrated_sectors += sectors_per_page;
+            stats.dram.sectors += sectors_per_page;
+            stats.dram.row_misses +=
+                rows.observe_run(page * sectors_per_page, sectors_per_page, sector_bytes);
+            while self.resident.len() as u64 * self.profile.page_bytes > self.budget_bytes {
+                let Some((&victim_stamp, &victim)) = self.lru.iter().next() else {
+                    break;
+                };
+                if victim == page {
+                    // Never evict the page we just faulted in.
+                    break;
+                }
+                self.lru.remove(&victim_stamp);
+                self.resident.remove(&victim);
+                stats.uvm_evicted_sectors += sectors_per_page;
+                stats.dram.sectors += sectors_per_page;
+                stats.dram.row_misses +=
+                    rows.observe_run(victim * sectors_per_page, sectors_per_page, sector_bytes);
+            }
+        }
+    }
+
+    /// Pages currently resident on the device.
+    #[cfg(test)]
+    pub(crate) fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::RowTracker;
+
+    const SECTOR: u64 = 32;
+
+    fn state(budget_pages: u64) -> UvmState {
+        let mut s = UvmState::new(UvmProfile::resident());
+        s.set_budget_bytes(budget_pages * 4096);
+        s
+    }
+
+    fn touch(s: &mut UvmState, rows: &mut RowTracker, first: u64, len: u64) -> TrafficStats {
+        let mut stats = TrafficStats::default();
+        s.touch_run(&SectorRun { first, len }, SECTOR, rows, &mut stats);
+        stats
+    }
+
+    #[test]
+    fn first_touch_faults_and_second_touch_hits() {
+        let mut s = state(16);
+        let mut rows = RowTracker::new(2048);
+        let a = touch(&mut s, &mut rows, 0, 4);
+        assert_eq!(a.uvm_faults, 1);
+        assert_eq!(a.uvm_migrated_sectors, 4096 / SECTOR);
+        let b = touch(&mut s, &mut rows, 0, 4);
+        assert_eq!(b.uvm_faults, 0);
+        assert_eq!(b.uvm_migrated_sectors, 0);
+    }
+
+    #[test]
+    fn run_spanning_pages_faults_each_page_once() {
+        let mut s = state(16);
+        let mut rows = RowTracker::new(2048);
+        let sectors_per_page = 4096 / SECTOR;
+        let a = touch(&mut s, &mut rows, 0, 3 * sectors_per_page);
+        assert_eq!(a.uvm_faults, 3);
+        assert_eq!(s.resident_pages(), 3);
+    }
+
+    #[test]
+    fn oversubscription_evicts_lru_and_refaults() {
+        let mut s = state(2);
+        let mut rows = RowTracker::new(2048);
+        let spp = 4096 / SECTOR;
+        touch(&mut s, &mut rows, 0, 1); // page 0
+        touch(&mut s, &mut rows, spp, 1); // page 1
+        assert_eq!(s.resident_pages(), 2);
+        // Page 2 faults; page 0 is the LRU victim.
+        let c = touch(&mut s, &mut rows, 2 * spp, 1);
+        assert_eq!(c.uvm_faults, 1);
+        assert_eq!(c.uvm_evicted_sectors, spp);
+        assert_eq!(s.resident_pages(), 2);
+        // Page 0 was evicted: touching it refaults (and evicts page 1).
+        let d = touch(&mut s, &mut rows, 0, 1);
+        assert_eq!(d.uvm_faults, 1);
+    }
+
+    #[test]
+    fn touch_refreshes_recency() {
+        let mut s = state(2);
+        let mut rows = RowTracker::new(2048);
+        let spp = 4096 / SECTOR;
+        touch(&mut s, &mut rows, 0, 1); // page 0
+        touch(&mut s, &mut rows, spp, 1); // page 1
+        touch(&mut s, &mut rows, 0, 1); // page 0 again: now page 1 is LRU
+        let c = touch(&mut s, &mut rows, 2 * spp, 1);
+        assert_eq!(c.uvm_evicted_sectors, spp);
+        // Page 0 must have survived.
+        let d = touch(&mut s, &mut rows, 0, 1);
+        assert_eq!(d.uvm_faults, 0);
+    }
+
+    #[test]
+    fn reset_drops_residency_but_keeps_budget() {
+        let mut s = state(4);
+        let mut rows = RowTracker::new(2048);
+        touch(&mut s, &mut rows, 0, 1);
+        assert_eq!(s.resident_pages(), 1);
+        s.reset();
+        assert_eq!(s.resident_pages(), 0);
+        let a = touch(&mut s, &mut rows, 0, 1);
+        assert_eq!(a.uvm_faults, 1, "cold again after reset");
+    }
+
+    #[test]
+    fn single_page_budget_never_evicts_current_page() {
+        let mut s = state(1);
+        let mut rows = RowTracker::new(2048);
+        let spp = 4096 / SECTOR;
+        // A run covering two pages under a one-page budget: each page
+        // faults, the older one is evicted, the newest stays.
+        let a = touch(&mut s, &mut rows, 0, 2 * spp);
+        assert_eq!(a.uvm_faults, 2);
+        assert_eq!(s.resident_pages(), 1);
+    }
+
+    #[test]
+    fn mode_suffixes_distinguish_variants() {
+        assert_eq!(MemMode::ExplicitCopy.suffix(), "");
+        assert_eq!(MemMode::Uvm(UvmProfile::resident()).suffix(), "-uvm");
+        assert_eq!(
+            MemMode::Uvm(UvmProfile::oversubscribed()).suffix(),
+            "-uvm-oversub"
+        );
+    }
+}

@@ -226,7 +226,12 @@ impl Queue {
                             };
                             let driver = shared.driver.clone();
                             let report = shared.gpu.execute(&dispatch, &driver)?;
-                            shared.breakdown.charge(CostKind::KernelExec, report.time);
+                            shared
+                                .breakdown
+                                .charge(CostKind::KernelExec, report.time - report.uvm_time);
+                            if !report.uvm_time.is_zero() {
+                                shared.breakdown.charge(CostKind::UvmFault, report.uvm_time);
+                            }
                             device_time += report.time;
                         }
                         Cmd::PipelineBarrier => {

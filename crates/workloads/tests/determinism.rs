@@ -207,6 +207,45 @@ fn recorded_runs_expand_to_the_direct_sink_sector_sequence() {
     }
 }
 
+/// Unified-memory runs must keep the same bit-determinism contract as
+/// explicit copies: the demand-paging state (residency map, LRU order,
+/// fault/migration counters) evolves on the coordinator's replayed
+/// sector streams, so threads 1 vs 4 must produce identical
+/// fingerprints — on the fully resident variant and under an
+/// oversubscribed budget (where LRU evictions interleave with faults).
+#[test]
+fn uvm_suite_is_bit_identical_across_worker_threads() {
+    use vcb_sim::profile::devices::uvm_variant;
+    use vcb_sim::timeline::CostKind;
+    use vcb_sim::UvmProfile;
+
+    let registry = vcb_workloads::registry().unwrap();
+    let variants = [
+        uvm_variant(devices::gtx1050ti(), UvmProfile::resident()),
+        uvm_variant(devices::gtx1050ti(), UvmProfile::oversubscribed()),
+    ];
+    for profile in &variants {
+        for w in vcb_workloads::suite_workloads(&registry) {
+            let name = w.meta().name;
+            let size = quick_size(name);
+            let context = format!("{name} on {}", profile.name);
+            let seq = w
+                .run(Api::Vulkan, profile, &size, &opts(TraceMode::Auto, 1))
+                .unwrap_or_else(|e| panic!("{context}: sequential run failed: {e}"));
+            let par = w
+                .run(Api::Vulkan, profile, &size, &opts(TraceMode::Auto, 4))
+                .unwrap_or_else(|e| panic!("{context}: threaded run failed: {e}"));
+            assert_identical(&seq, &par, &context);
+            // The subsystem must actually engage: first-touch faults
+            // stall every workload at least once.
+            assert!(
+                !seq.breakdown.get(CostKind::UvmFault).is_zero(),
+                "{context}: no demand-paging time charged"
+            );
+        }
+    }
+}
+
 #[test]
 fn nw_stays_sequential_and_validates_on_every_api() {
     // nw's tiles depend on linear grid order; it is declared
