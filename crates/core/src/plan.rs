@@ -331,6 +331,28 @@ pub trait CellRunner: Sync {
     /// Runs `spec` to completion. Failures are part of the result space
     /// and must be encoded in `Out`, not panicked.
     fn run_cell(&self, spec: &CellSpec) -> Self::Out;
+
+    /// Converts a panic that escaped [`run_cell`](CellRunner::run_cell)
+    /// into an ordinary failure result, so one bad kernel cell degrades
+    /// to a failure cell instead of poisoning the whole process. The
+    /// default re-raises the panic — runners opt in by mapping `message`
+    /// into their failure encoding.
+    fn cell_panicked(&self, spec: &CellSpec, message: &str) -> Self::Out {
+        panic!("cell {spec} panicked: {message}");
+    }
+}
+
+/// Renders a `catch_unwind` payload as the human-readable panic message
+/// (the `&str`/`String` payloads `panic!` produces; anything exotic
+/// falls back to a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// A streaming progress event. Events fire as cells resolve: cache hits
@@ -552,7 +574,16 @@ impl Executor {
                             .expect("executor state poisoned")
                             .sink
                             .event(CellEvent::Started { index: first, spec });
-                        let out = runner.run_cell(spec);
+                        // The lock is NOT held across the run, so a
+                        // panicking kernel can't poison executor state:
+                        // catch it and let the runner encode it as an
+                        // ordinary failure cell.
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            runner.run_cell(spec)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            runner.cell_panicked(spec, &panic_message(&*payload))
+                        });
                         let mut shared = shared.lock().expect("executor state poisoned");
                         shared.cache.map.insert(spec.key(), out.clone());
                         shared.cache.executed += 1;
@@ -760,6 +791,71 @@ mod tests {
         let mut sink2 = Record(Vec::new());
         Executor::new(1).execute(&plan, &EchoRunner, &mut cache, &mut sink2);
         assert_eq!(sink2.0, [(0, true), (1, true)]);
+    }
+
+    /// Panics on the designated workload; encodes escaped panics as
+    /// `panic:<message>` results.
+    struct PanickyRunner {
+        poison: &'static str,
+    }
+
+    impl CellRunner for PanickyRunner {
+        type Out = String;
+
+        fn run_cell(&self, spec: &CellSpec) -> String {
+            assert!(spec.workload != self.poison, "poison cell {}", spec);
+            format!("ok/{}", spec.workload)
+        }
+
+        fn cell_panicked(&self, _spec: &CellSpec, message: &str) -> String {
+            format!("panic:{message}")
+        }
+    }
+
+    #[test]
+    fn panicking_cell_becomes_failure_result_others_complete() {
+        let mut plan = RunPlan::new();
+        plan.push(spec("bfs", "4K", Api::Vulkan, "A"));
+        plan.push(spec("bad", "4K", Api::Vulkan, "A"));
+        plan.push(spec("nw", "4K", Api::Vulkan, "A"));
+        let mut cache = ResultCache::new();
+        // Silence the panic backtrace noise from the caught unwind.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = Executor::new(2).execute(
+            &plan,
+            &PanickyRunner { poison: "bad" },
+            &mut cache,
+            &mut NullSink,
+        );
+        std::panic::set_hook(prev);
+        assert_eq!(out[0], "ok/bfs");
+        assert!(
+            out[1].starts_with("panic:") && out[1].contains("poison cell"),
+            "panic message should reach the failure payload, got {:?}",
+            out[1]
+        );
+        assert_eq!(out[2], "ok/nw");
+        // The failure result is cached like any other: re-execution
+        // resolves it as a hit instead of re-panicking.
+        let again = Executor::new(1).execute(
+            &plan,
+            &PanickyRunner { poison: "bad" },
+            &mut cache,
+            &mut NullSink,
+        );
+        assert_eq!(out, again);
+        assert_eq!(cache.executed(), 3);
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string_payloads() {
+        let p1 = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(&*p1), "plain str");
+        let p2 = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(&*p2), "formatted 7");
+        let p3 = std::panic::catch_unwind(|| std::panic::panic_any(42i32)).unwrap_err();
+        assert_eq!(panic_message(&*p3), "non-string panic payload");
     }
 
     #[test]

@@ -736,6 +736,14 @@ impl<W: Write> EventWriter<W> {
         Ok(())
     }
 
+    /// Flushes the underlying writer. Durable stream writers call this
+    /// after every [`cell`](EventWriter::cell) so a crashed process
+    /// loses at most the record being written — everything flushed
+    /// before the crash is salvageable via [`decode_events_partial`].
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+
     /// Writes the `end` trailer, flushes, and returns the writer.
     pub fn finish(mut self) -> io::Result<W> {
         writeln!(self.w, "{}", end_line(self.cells))?;
@@ -826,37 +834,9 @@ fn decode_records<T>(
                 line_no + 1
             )));
         }
-        let fields = split_fields(line).map_err(|e| e.with_line(line_no))?;
-        let mut cur = FieldCursor::new(&fields);
-        match cur.next_field().map_err(|e| e.with_line(line_no))? {
-            "cell" => {
-                let parsed = (|| {
-                    let index = cur.usize()?;
-                    if index >= plan_len {
-                        return Err(CodecError::Malformed(format!(
-                            "cell index {index} outside the {plan_len}-cell plan"
-                        )));
-                    }
-                    let fingerprint = cur.hex64()?;
-                    let spec = decode_spec(&mut cur)?;
-                    if spec.fingerprint() != fingerprint {
-                        return Err(CodecError::Fingerprint { index });
-                    }
-                    let out = parse_tail(&mut cur)?;
-                    cur.finish()?;
-                    Ok(ShardCell {
-                        index,
-                        fingerprint,
-                        spec,
-                        out,
-                    })
-                })()
-                .map_err(|e| e.with_line(line_no))?;
-                cells.push(parsed);
-            }
-            "end" => {
-                let count = cur.usize().map_err(|e| e.with_line(line_no))?;
-                cur.finish().map_err(|e| e.with_line(line_no))?;
+        match parse_record(line, plan_len, &mut parse_tail).map_err(|e| e.with_line(line_no))? {
+            Record::Cell(cell) => cells.push(cell),
+            Record::End(count) => {
                 if count != cells.len() {
                     return Err(CodecError::Malformed(format!(
                         "trailer counts {count} cells, stream has {}",
@@ -864,12 +844,6 @@ fn decode_records<T>(
                     )));
                 }
                 ended = true;
-            }
-            other => {
-                return Err(CodecError::Malformed(format!(
-                    "line {}: unknown record `{other}`",
-                    line_no + 1
-                )));
             }
         }
     }
@@ -881,6 +855,130 @@ fn decode_records<T>(
         shard_index,
         shard_count,
         cells,
+    })
+}
+
+/// One parsed record line of a shard stream — the unit both the strict
+/// and the salvaging decoder consume, so the record grammar cannot
+/// drift between them.
+enum Record<T> {
+    Cell(ShardCell<T>),
+    End(usize),
+}
+
+fn parse_record<T>(
+    line: &str,
+    plan_len: usize,
+    parse_tail: &mut impl FnMut(&mut FieldCursor<'_>) -> Result<T, CodecError>,
+) -> Result<Record<T>, CodecError> {
+    let fields = split_fields(line)?;
+    let mut cur = FieldCursor::new(&fields);
+    match cur.next_field()? {
+        "cell" => {
+            let index = cur.usize()?;
+            if index >= plan_len {
+                return Err(CodecError::Malformed(format!(
+                    "cell index {index} outside the {plan_len}-cell plan"
+                )));
+            }
+            let fingerprint = cur.hex64()?;
+            let spec = decode_spec(&mut cur)?;
+            if spec.fingerprint() != fingerprint {
+                return Err(CodecError::Fingerprint { index });
+            }
+            let out = parse_tail(&mut cur)?;
+            cur.finish()?;
+            Ok(Record::Cell(ShardCell {
+                index,
+                fingerprint,
+                spec,
+                out,
+            }))
+        }
+        "end" => {
+            let count = cur.usize()?;
+            cur.finish()?;
+            Ok(Record::End(count))
+        }
+        other => Err(CodecError::Malformed(format!("unknown record `{other}`"))),
+    }
+}
+
+/// What [`decode_events_partial`] recovered from a (possibly truncated)
+/// event stream.
+#[derive(Debug, Clone)]
+pub struct Salvage<T> {
+    /// The intact cells, exactly as a strict decode would return them.
+    pub stream: ShardStream<T>,
+    /// `true` when the stream ended with a matching `end` trailer — a
+    /// complete stream salvages losslessly.
+    pub complete: bool,
+    /// Number of non-empty lines that could not be decoded (the
+    /// truncated in-flight record of a crashed writer, plus anything
+    /// after it). A missing `end` trailer alone does not count.
+    pub lost_lines: usize,
+}
+
+/// Salvages every intact `cell` record from an event stream that may
+/// have been cut short by a crashed or killed writer.
+///
+/// The header must still decode (a stream whose header never made it to
+/// disk carries no usable provenance, and a version mismatch is a build
+/// problem, not a crash) — those errors stay fatal. Past the header,
+/// decoding is the same grammar as [`decode_events`] but stops at the
+/// first undecodable line instead of erroring: every cell before it is
+/// returned, fingerprint-verified exactly as the strict decoder would,
+/// and the undecodable tail is reported as [`lost_lines`](Salvage::lost_lines).
+/// A missing `end` trailer is downgraded from [`CodecError::Truncated`]
+/// to `complete: false`.
+///
+/// `vcb merge` keeps using the strict [`decode_events`]; this entry
+/// point exists for the supervised `--jobs` runner, which re-executes
+/// whatever it could not salvage.
+pub fn decode_events_partial<T>(
+    text: &str,
+    decode_payload: impl Fn(&[String]) -> Result<T, CodecError>,
+) -> Result<Salvage<T>, CodecError> {
+    let mut parse_tail =
+        |cur: &mut FieldCursor<'_>| decode_payload(&split_fields(cur.next_field()?)?);
+    let lines: Vec<&str> = text.lines().collect();
+    let header = lines
+        .first()
+        .ok_or_else(|| CodecError::Header("empty stream".into()))?;
+    let (plan_len, shard_index, shard_count) = parse_header(header, EVENTS_MAGIC)?;
+    let mut cells: Vec<ShardCell<T>> = Vec::new();
+    let mut complete = false;
+    let mut lost_lines = 0usize;
+    for (pos, line) in lines.iter().enumerate().skip(1) {
+        if line.is_empty() {
+            continue;
+        }
+        if complete {
+            // Data after a valid trailer is anomalous; count it as lost
+            // rather than un-completing an internally consistent stream.
+            lost_lines += 1;
+            continue;
+        }
+        match parse_record(line, plan_len, &mut parse_tail) {
+            Ok(Record::Cell(cell)) => cells.push(cell),
+            Ok(Record::End(count)) if count == cells.len() => complete = true,
+            // A bad record (torn write) or a miscounting trailer ends
+            // the salvageable prefix; everything from here on is lost.
+            Ok(Record::End(_)) | Err(_) => {
+                lost_lines += lines[pos..].iter().filter(|l| !l.is_empty()).count();
+                break;
+            }
+        }
+    }
+    Ok(Salvage {
+        stream: ShardStream {
+            plan_len,
+            shard_index,
+            shard_count,
+            cells,
+        },
+        complete,
+        lost_lines,
     })
 }
 
@@ -973,6 +1071,51 @@ impl<'p, T> StreamMerger<'p, T> {
         }
         self.sources.push(label);
         Ok(())
+    }
+
+    /// Folds one loose cell into the merge — how the supervised runner
+    /// seeds cells salvaged from a crashed shard's partial stream, and
+    /// how a poison cell's synthesized failure result is recorded.
+    /// `fingerprint` is checked against the plan (pass the plan cell's
+    /// own fingerprint for synthesized results); duplicate coverage is
+    /// rejected exactly as for stream cells.
+    ///
+    /// # Panics
+    /// Panics if `index` is outside the plan.
+    pub fn add_cell(
+        &mut self,
+        index: usize,
+        fingerprint: u64,
+        out: T,
+        source: &str,
+    ) -> Result<(), MergeError> {
+        assert!(index < self.plan.len(), "cell index outside the plan");
+        if self.plan.cells()[index].fingerprint() != fingerprint {
+            return Err(MergeError::Fingerprint {
+                index,
+                source: source.to_owned(),
+            });
+        }
+        if let Some((_, earlier)) = &self.slots[index] {
+            return Err(MergeError::Duplicate {
+                index,
+                source: source.to_owned(),
+                earlier: self.sources[*earlier].clone(),
+            });
+        }
+        // Consecutive cells from one salvage share a source entry.
+        if self.sources.last().map(String::as_str) != Some(source) {
+            self.sources.push(source.to_owned());
+        }
+        self.slots[index] = Some((out, self.sources.len() - 1));
+        Ok(())
+    }
+
+    /// `true` when the cell at `index` already has a merged result —
+    /// the supervisor's test for which cells of a dead shard's slice
+    /// still need re-execution.
+    pub fn is_covered(&self, index: usize) -> bool {
+        self.slots.get(index).is_some_and(Option::is_some)
     }
 
     /// Checks that every plan index is covered and returns the results
@@ -1506,6 +1649,167 @@ mod tests {
             decode_events("", decode_payload).unwrap_err(),
             CodecError::Header(_)
         ));
+    }
+
+    #[test]
+    fn salvage_recovers_full_streams_losslessly() {
+        let plan = sample_plan();
+        let slice = &plan.partition(1)[0];
+        let text = encode_stream(&plan, slice);
+        let salvage = decode_events_partial(&text, decode_payload).unwrap();
+        assert!(salvage.complete);
+        assert_eq!(salvage.lost_lines, 0);
+        let strict = decode_events(&text, decode_payload).unwrap();
+        assert_eq!(salvage.stream.cells.len(), strict.cells.len());
+        for (a, b) in salvage.stream.cells.iter().zip(&strict.cells) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.out, b.out);
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_intact_prefix_of_truncated_streams() {
+        let plan = sample_plan();
+        let slice = &plan.partition(1)[0];
+        let text = encode_stream(&plan, slice);
+        let lines: Vec<&str> = text.lines().collect();
+        let cells = lines.len() - 2; // header + cells + end
+
+        // Missing `end` trailer: every cell survives, stream incomplete.
+        let no_end: String = lines[..lines.len() - 1]
+            .iter()
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(
+            decode_events(&no_end, decode_payload).unwrap_err(),
+            CodecError::Truncated
+        );
+        let salvage = decode_events_partial(&no_end, decode_payload).unwrap();
+        assert!(!salvage.complete);
+        assert_eq!(salvage.lost_lines, 0);
+        assert_eq!(salvage.stream.cells.len(), cells);
+
+        // Torn mid-record write: the cut line is lost, its predecessors
+        // survive.
+        let mut torn: String = lines[..lines.len() - 2]
+            .iter()
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let last_cell = lines[lines.len() - 2];
+        torn.push_str(&last_cell[..last_cell.len() / 2]);
+        let salvage = decode_events_partial(&torn, decode_payload).unwrap();
+        assert!(!salvage.complete);
+        assert_eq!(salvage.lost_lines, 1);
+        assert_eq!(salvage.stream.cells.len(), cells - 1);
+
+        // Garbage tail after a torn record: everything after the tear
+        // is counted lost, nothing after it is trusted.
+        let garbage = format!("{torn}\ngarbage record\ncell\tnot-a-number\n");
+        let salvage = decode_events_partial(&garbage, decode_payload).unwrap();
+        assert!(!salvage.complete);
+        assert_eq!(salvage.lost_lines, 3);
+        assert_eq!(salvage.stream.cells.len(), cells - 1);
+
+        // Header damage stays fatal — there is nothing to salvage
+        // against.
+        assert!(matches!(
+            decode_events_partial("nonsense\n", decode_payload),
+            Err(CodecError::Header(_))
+        ));
+        assert!(matches!(
+            decode_events_partial("", decode_payload),
+            Err(CodecError::Header(_))
+        ));
+        let bumped = text.replacen(
+            &format!("vcb-events\t{CODEC_VERSION}"),
+            &format!("vcb-events\t{}", CODEC_VERSION + 1),
+            1,
+        );
+        assert_eq!(
+            decode_events_partial(&bumped, decode_payload).unwrap_err(),
+            CodecError::Version(CODEC_VERSION + 1)
+        );
+    }
+
+    #[test]
+    fn salvaged_cells_seed_a_merger_and_cover_indices() {
+        let plan = sample_plan();
+        let slices = plan.partition(2);
+        let text0 = encode_stream(&plan, &slices[0]);
+        // Drop shard 0's trailer, salvage it, and seed the merger with
+        // the recovered cells one by one.
+        let no_end: String = text0
+            .lines()
+            .take(text0.lines().count() - 1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let salvage = decode_events_partial(&no_end, decode_payload).unwrap();
+        let mut merger: StreamMerger<'_, String> = StreamMerger::new(&plan);
+        for cell in salvage.stream.cells {
+            merger
+                .add_cell(cell.index, cell.fingerprint, cell.out, "salvage shard 0")
+                .unwrap();
+            assert!(merger.is_covered(cell.index));
+        }
+        for &index in &slices[1].indices {
+            assert!(!merger.is_covered(index));
+        }
+        // Duplicate seeding is rejected like any stream duplicate.
+        let dup_index = slices[0].indices[0];
+        let err = merger
+            .add_cell(
+                dup_index,
+                plan.cells()[dup_index].fingerprint(),
+                "again".into(),
+                "retry",
+            )
+            .unwrap_err();
+        assert!(matches!(err, MergeError::Duplicate { .. }), "{err}");
+        // A fingerprint that disagrees with the plan is rejected.
+        let free = slices[1].indices[0];
+        let err = merger
+            .add_cell(free, !plan.cells()[free].fingerprint(), "x".into(), "bad")
+            .unwrap_err();
+        assert!(matches!(err, MergeError::Fingerprint { .. }), "{err}");
+        // The rest arrives as a normal stream; the merge completes.
+        let text1 = encode_stream(&plan, &slices[1]);
+        merger
+            .add_stream(decode_events(&text1, decode_payload).unwrap(), "s1.events")
+            .unwrap();
+        let merged = merger.finish().unwrap();
+        assert_eq!(merged.len(), plan.len());
+    }
+
+    #[test]
+    fn event_writer_flush_makes_cells_durable_mid_stream() {
+        // A shared buffer standing in for a file: the "disk" only sees
+        // what was flushed through the BufWriter.
+        #[derive(Clone, Default)]
+        struct Disk(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+        impl Write for Disk {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let plan = sample_plan();
+        let disk = Disk::default();
+        let buffered = io::BufWriter::with_capacity(64 * 1024, disk.clone());
+        let mut w = EventWriter::new(buffered, plan.len(), 0, 1).unwrap();
+        let spec = &plan.cells()[0];
+        w.cell(0, spec, &["payload"]).unwrap();
+        w.flush().unwrap();
+        let on_disk = String::from_utf8(disk.0.borrow().clone()).unwrap();
+        let salvage = decode_events_partial(&on_disk, |f| Ok(f.join("|"))).unwrap();
+        assert_eq!(salvage.stream.cells.len(), 1, "flushed cell is durable");
+        // Without the flush the second cell would still be buffered.
+        w.cell(1, &plan.cells()[1], &["payload"]).unwrap();
+        let on_disk = String::from_utf8(disk.0.borrow().clone()).unwrap();
+        let salvage = decode_events_partial(&on_disk, |f| Ok(f.join("|"))).unwrap();
+        assert_eq!(salvage.stream.cells.len(), 1, "unflushed cell is not");
     }
 
     #[test]

@@ -287,6 +287,19 @@ impl CellRunner for SuiteRunner {
             }
         })
     }
+
+    /// A kernel panic is a failure cell, not a process abort: the
+    /// executor catches the unwind and the cell joins the matrix through
+    /// the same failure path as an OOM or driver failure — every other
+    /// cell of the sweep still completes.
+    fn cell_panicked(&self, spec: &CellSpec, message: &str) -> CellOut {
+        let failure = RunFailure::Error(format!("kernel panicked: {message}"));
+        if spec.workload == stride::NAME && spec.size.label == SWEEP_LABEL {
+            CellOut::Curve(Err(failure))
+        } else {
+            CellOut::Run(Err(failure))
+        }
+    }
 }
 
 /// One experiment process: the scheduler, its result cache, and the plan

@@ -1,0 +1,132 @@
+//! Deterministic fault injection for the supervised `--jobs` runner.
+//!
+//! The supervisor's recovery paths (salvage, retry, bisection) are only
+//! trustworthy if tests can crash a shard at an exact, reproducible
+//! point. This module is that switch: the parent reads a fault spec
+//! from the `VCB_FAULT_INJECT` environment variable (see
+//! [`jobs`](crate::jobs)) and forwards it to the targeted child as a
+//! hidden `--fault-inject` flag; the child trips the fault through a
+//! [`FaultSink`] placed *after* the event-stream sink in the `Tee`
+//! chain, so every cell the fault interrupts has already been flushed
+//! to disk — the salvageable prefix is exact, not racy.
+//!
+//! Nothing here runs in ordinary operation: without the flag no sink is
+//! installed and the child's hot path is untouched.
+
+use vcb_core::plan::{CellEvent, EventSink};
+
+use crate::experiments::CellOut;
+
+/// A deterministic fault a child shard injects into itself, parsed
+/// from the hidden `--fault-inject` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Abort the process (as a crashed kernel would, no unwinding, no
+    /// stream trailer) once `K` cells have completed. `crash-after=0`
+    /// aborts before the first cell resolves.
+    CrashAfter(usize),
+    /// Stop making progress once `K` cells have completed — the shape a
+    /// deadlocked or livelocked shard presents to the watchdog.
+    HangAfter(usize),
+    /// Run to completion, then truncate the written events file and
+    /// exit nonzero — a torn write the salvage decoder must survive.
+    TruncateEvents,
+}
+
+impl FaultAction {
+    /// Parses the `--fault-inject` flag value:
+    /// `crash-after=K`, `hang-after=K` or `truncate-events`.
+    pub fn parse(s: &str) -> Result<FaultAction, String> {
+        if s == "truncate-events" {
+            return Ok(FaultAction::TruncateEvents);
+        }
+        if let Some(k) = s.strip_prefix("crash-after=") {
+            return k
+                .parse()
+                .map(FaultAction::CrashAfter)
+                .map_err(|e| format!("bad crash-after count `{k}`: {e}"));
+        }
+        if let Some(k) = s.strip_prefix("hang-after=") {
+            return k
+                .parse()
+                .map(FaultAction::HangAfter)
+                .map_err(|e| format!("bad hang-after count `{k}`: {e}"));
+        }
+        Err(format!(
+            "unknown fault `{s}` (expected crash-after=K, hang-after=K or truncate-events)"
+        ))
+    }
+}
+
+/// An [`EventSink`] that trips a [`FaultAction`] at its configured
+/// point. Must be the *last* sink in the `Tee` chain so the event that
+/// trips the fault has already reached the durable event stream.
+///
+/// [`FaultAction::TruncateEvents`] never fires here — it acts after the
+/// stream is finished (see the slice-child runner in `main.rs`).
+#[derive(Debug)]
+pub struct FaultSink {
+    action: FaultAction,
+    finished: usize,
+}
+
+impl FaultSink {
+    /// A sink tripping `action`.
+    pub fn new(action: FaultAction) -> FaultSink {
+        FaultSink {
+            action,
+            finished: 0,
+        }
+    }
+}
+
+impl EventSink<CellOut> for FaultSink {
+    fn event(&mut self, event: CellEvent<'_, CellOut>) {
+        if let CellEvent::Finished { .. } = event {
+            self.finished += 1;
+        }
+        match self.action {
+            FaultAction::CrashAfter(k) if self.finished >= k => {
+                eprintln!(
+                    "vcb: fault-inject: aborting after {} completed cell(s)",
+                    self.finished
+                );
+                std::process::abort();
+            }
+            FaultAction::HangAfter(k) if self.finished >= k => {
+                eprintln!(
+                    "vcb: fault-inject: hanging after {} completed cell(s)",
+                    self.finished
+                );
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_action_and_rejects_garbage() {
+        assert_eq!(
+            FaultAction::parse("crash-after=2").unwrap(),
+            FaultAction::CrashAfter(2)
+        );
+        assert_eq!(
+            FaultAction::parse("hang-after=0").unwrap(),
+            FaultAction::HangAfter(0)
+        );
+        assert_eq!(
+            FaultAction::parse("truncate-events").unwrap(),
+            FaultAction::TruncateEvents
+        );
+        assert!(FaultAction::parse("crash-after=x").is_err());
+        assert!(FaultAction::parse("explode").is_err());
+        assert!(FaultAction::parse("").is_err());
+    }
+}

@@ -1,4 +1,5 @@
-//! The local multi-process sweep runner behind `vcb all --jobs N`.
+//! The supervised local multi-process sweep runner behind
+//! `vcb all --jobs N`.
 //!
 //! The parent partitions the `vcb all` plan into cost-balanced slices
 //! ([`RunPlan::partition_by_cost`]), preferring *measured* per-cell
@@ -7,37 +8,207 @@
 //! --slice` process as an encoded [`PlanSlice`](vcb_core::shard::PlanSlice)
 //! file — children never re-derive the partition, so the parent's
 //! measured-cost balance can't diverge from what actually runs. Each
-//! child writes the same event stream a `--shards` run produces; the
-//! parent folds every stream into a [`StreamMerger`] *the moment its
-//! child exits*, so decoding finished shards overlaps with the
-//! straggler's execution and a successful run ends with plan-ordered
-//! results identical to a single-process execution.
+//! child writes the same event stream a `--shards` run produces,
+//! flushed after every completed cell; the parent folds every stream
+//! into a [`StreamMerger`] *the moment its child exits*, so decoding
+//! finished shards overlaps with the straggler's execution and a
+//! successful run ends with plan-ordered results identical to a
+//! single-process execution.
+//!
+//! # Supervision
+//!
+//! A shard dying does not abort the sweep. When a child crashes, stalls
+//! past `--shard-timeout`, or produces a stream the strict decoder
+//! rejects, the supervisor:
+//!
+//! 1. **salvages** every intact cell record from its (possibly
+//!    truncated) event stream via [`decode_events_partial`] and seeds
+//!    them into the merger — completed work is never re-executed;
+//! 2. **requeues** the still-uncovered cells as a fresh slice. A
+//!    salvage that recovered new cells resets the slice's strike count
+//!    (the shard was making progress); a zero-progress death is a
+//!    strike, and respawns back off exponentially (250 ms doubling,
+//!    capped at 4 s);
+//! 3. after `--retries` zero-progress strikes, **bisects** the slice to
+//!    isolate the poison cell, and once a single cell remains, records
+//!    a synthesized failure result for it (a *poison cell*) instead of
+//!    retrying forever — the sweep always completes, and the report
+//!    renders the cell as failed.
+//!
+//! Children run in their own process group; killing a shard (watchdog,
+//! fatal supervisor error, or the parent catching SIGINT/SIGTERM) kills
+//! the whole group so no orphaned grandchildren keep burning cores.
+//!
+//! # Deterministic fault injection
+//!
+//! Setting `VCB_FAULT_INJECT=TARGET:ACTION[:always]` (TARGET `all` or
+//! `shardN`; ACTION per [`FaultAction::parse`]) makes the parent pass
+//! the hidden `--fault-inject` flag to matching children — by default
+//! only on a slice's first attempt, so recovery is observable;
+//! `:always` keeps injecting so bisection and poison isolation can be
+//! exercised. Unset, no child sees the flag and nothing here costs
+//! anything.
 
 use std::fs;
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use vcb_core::plan::RunPlan;
-use vcb_core::shard::{cell_cost, decode_events, encode_plan_slice, StreamMerger};
+use vcb_core::plan::{CellSpec, RunPlan};
+use vcb_core::run::RunFailure;
+use vcb_core::shard::{
+    cell_cost, decode_events, decode_events_partial, encode_plan_slice, ShardSlice, StreamMerger,
+};
+use vcb_workloads::micro::stride;
 
-use crate::experiments::{CellOut, Session};
+use crate::experiments::{CellOut, Session, SWEEP_LABEL};
+use crate::fault::FaultAction;
 use crate::stream::decode_cell_out;
+
+/// Retry/timeout policy for the supervised runner, from `--retries` and
+/// `--shard-timeout`.
+#[derive(Debug, Clone)]
+pub struct Supervision {
+    /// Zero-progress deaths tolerated per slice before it is bisected
+    /// (and, at one cell, poisoned).
+    pub retries: usize,
+    /// Kill a shard whose event stream hasn't grown for this long.
+    /// `None` disables the watchdog.
+    pub shard_timeout: Option<Duration>,
+}
+
+impl Default for Supervision {
+    fn default() -> Supervision {
+        Supervision {
+            retries: 2,
+            shard_timeout: None,
+        }
+    }
+}
+
+/// What supervision had to do during a run — all zeros/empty on a
+/// fault-free sweep.
+#[derive(Debug, Clone, Default)]
+pub struct JobsReport {
+    /// Plan indices whose cells exhausted every retry and were recorded
+    /// as synthesized failure results. Non-empty means the rendered
+    /// report contains failed cells and the process should exit
+    /// nonzero.
+    pub poisoned: Vec<usize>,
+    /// Slices (re)spawned beyond the initial partition: retries plus
+    /// bisection halves.
+    pub respawns: usize,
+    /// Cells recovered from dead shards' partial event streams.
+    pub salvaged: usize,
+}
 
 /// Distinguishes scratch directories of multiple `run_jobs` calls in
 /// one process (integration tests run several).
 static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// A parsed `VCB_FAULT_INJECT` spec: which shard gets which fault.
+#[derive(Debug, Clone)]
+struct FaultPlan {
+    /// Display index of the targeted shard; `None` targets every shard.
+    shard: Option<usize>,
+    /// The validated `--fault-inject` flag value to forward.
+    action: String,
+    /// Inject on every attempt, not just a slice's first.
+    always: bool,
+}
+
+/// Parses `TARGET:ACTION[:always]` (TARGET `all` or `shardN`). The
+/// action is validated here so a typo fails the run instead of
+/// silently injecting nothing.
+fn parse_fault_spec(spec: &str) -> Result<FaultPlan, String> {
+    let bad = |why: &str| format!("VCB_FAULT_INJECT `{spec}`: {why}");
+    let mut parts = spec.split(':');
+    let target = parts.next().unwrap_or("");
+    let action = parts
+        .next()
+        .ok_or_else(|| bad("expected TARGET:ACTION[:always]"))?;
+    let always = match parts.next() {
+        None => false,
+        Some("always") => true,
+        Some(other) => return Err(bad(&format!("unknown modifier `{other}`"))),
+    };
+    if parts.next().is_some() {
+        return Err(bad("too many `:`-separated fields"));
+    }
+    FaultAction::parse(action).map_err(|e| bad(&e))?;
+    let shard = if target == "all" {
+        None
+    } else if let Some(i) = target.strip_prefix("shard") {
+        Some(
+            i.parse()
+                .map_err(|e| bad(&format!("bad shard index `{i}`: {e}")))?,
+        )
+    } else {
+        return Err(bad("target must be `all` or `shardN`"));
+    };
+    Ok(FaultPlan {
+        shard,
+        action: action.to_owned(),
+        always,
+    })
+}
+
+/// A slice waiting to be (re)spawned.
+struct Work {
+    /// Stable display index: initial slices use their partition index,
+    /// bisection halves get fresh indices past `jobs`.
+    display: usize,
+    /// Plan indices this slice still has to produce.
+    indices: Vec<usize>,
+    /// Consecutive zero-progress deaths of this slice.
+    strikes: usize,
+    /// Whether some attempt of this slice already had a fault injected
+    /// (a non-`always` fault injects once per slice).
+    injected: bool,
+    /// Backoff gate: don't spawn before this instant.
+    not_before: Instant,
+}
+
 /// One spawned shard: the child process and where its outputs land.
+///
+/// Dropping an unreaped `Job` kills the child's whole process group —
+/// every supervisor exit path (including `?`-style early returns)
+/// leaves no orphans behind.
 struct Job {
     child: Child,
-    shard_index: usize,
+    display: usize,
+    indices: Vec<usize>,
+    strikes: usize,
+    injected: bool,
     events_path: PathBuf,
     /// Thread relaying the child's stderr to ours, each line prefixed
     /// with the shard index so interleaved progress is attributable.
     relay: Option<std::thread::JoinHandle<()>>,
+    /// Watchdog state: last observed events-file size and when it last
+    /// grew. Any growth counts as progress — children flush after every
+    /// completed cell.
+    last_len: u64,
+    last_progress: Instant,
+    /// Set once the child has been waited on; suppresses the kill in
+    /// `Drop`.
+    reaped: bool,
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        if !self.reaped {
+            pgroup::kill_group(&mut self.child);
+            let _ = self.child.wait();
+        }
+        // The pipe closes once the child is reaped, so the relay thread
+        // drains what was written and ends.
+        if let Some(relay) = self.relay.take() {
+            let _ = relay.join();
+        }
+        pgroup::unregister(self.child.id());
+    }
 }
 
 /// Relays `pipe` to our stderr line by line, prefixing `[shard N]`.
@@ -64,17 +235,33 @@ pub fn plan_costs(session: &Session, plan: &RunPlan) -> Vec<u64> {
 
 /// Executes the full `vcb all` plan across `jobs` local child
 /// processes and returns it with plan-ordered results, exactly as a
-/// single-process execution would produce them. The session is only
-/// consulted for the plan, thread budget and store; all simulation
-/// happens in the children.
-pub fn run_jobs(session: &Session, jobs: usize) -> Result<(RunPlan, Vec<CellOut>), String> {
+/// single-process execution would produce them (up to poison cells,
+/// reported in the [`JobsReport`]). The session is only consulted for
+/// the plan, thread budget and store; all simulation happens in the
+/// children.
+pub fn run_jobs(
+    session: &Session,
+    jobs: usize,
+    sup: &Supervision,
+) -> Result<(RunPlan, Vec<CellOut>, JobsReport), String> {
     let jobs = jobs.max(1);
+    let fault = match std::env::var("VCB_FAULT_INJECT") {
+        Ok(spec) => Some(parse_fault_spec(&spec)?),
+        Err(_) => None,
+    };
     let plan = session.plan_all();
     let costs = plan_costs(session, &plan);
-    let slices: Vec<_> = plan
+    let queue: Vec<Work> = plan
         .partition_by_cost(jobs, &costs)
         .into_iter()
         .filter(|s| !s.indices.is_empty())
+        .map(|s| Work {
+            display: s.shard_index,
+            indices: s.indices,
+            strikes: 0,
+            injected: false,
+            not_before: Instant::now(),
+        })
         .collect();
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate the vcb binary: {e}"))?;
     let scratch = std::env::temp_dir().join(format!(
@@ -83,133 +270,579 @@ pub fn run_jobs(session: &Session, jobs: usize) -> Result<(RunPlan, Vec<CellOut>
         RUN_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     fs::create_dir_all(&scratch).map_err(|e| format!("cannot create {scratch:?}: {e}"))?;
-    let result = run_in_scratch(session, &plan, &slices, &exe, &scratch, jobs);
+    pgroup::install_handlers();
+    let ctx = Ctx {
+        plan: &plan,
+        exe: &exe,
+        scratch: &scratch,
+        jobs,
+        // Each child gets an equal share of the parent's matrix-thread
+        // budget; the children balance it against sim_threads
+        // themselves.
+        threads: (session.opts().threads / jobs).max(1),
+        store_dir: session.store().map(|s| s.dir().to_owned()),
+        sup,
+        fault,
+    };
+    let result = supervise(&ctx, queue);
     let _ = fs::remove_dir_all(&scratch);
-    result.map(|outs| (plan, outs))
+    result.map(|(outs, report)| (plan, outs, report))
 }
 
-/// The body of [`run_jobs`] once the scratch directory exists, so the
-/// caller can clean up on every exit path.
-fn run_in_scratch(
-    session: &Session,
-    plan: &RunPlan,
-    slices: &[vcb_core::shard::ShardSlice],
-    exe: &Path,
-    scratch: &Path,
+/// Immutable per-run configuration shared by the supervisor's helpers.
+struct Ctx<'a> {
+    plan: &'a RunPlan,
+    exe: &'a Path,
+    scratch: &'a Path,
     jobs: usize,
-) -> Result<Vec<CellOut>, String> {
-    // Each child gets an equal share of the parent's matrix-thread
-    // budget; the children balance it against sim_threads themselves.
-    let threads = (session.opts().threads / jobs).max(1);
-    let mut running: Vec<Job> = Vec::new();
-    for slice in slices {
-        let slice_path = scratch.join(format!("slice_{}.plan", slice.shard_index));
-        let events_path = scratch.join(format!("shard_{}.events", slice.shard_index));
-        fs::write(&slice_path, encode_plan_slice(plan, slice))
-            .map_err(|e| kill_all(&mut running, format!("cannot write {slice_path:?}: {e}")))?;
-        let mut cmd = Command::new(exe);
-        cmd.arg("all")
-            .arg("--slice")
-            .arg(&slice_path)
-            .arg("--events")
-            .arg(&events_path)
-            .arg("--threads")
-            .arg(threads.to_string());
-        if let Some(store) = session.store() {
-            cmd.arg("--store").arg(store.dir());
-        }
-        cmd.stderr(Stdio::piped());
-        let mut child = cmd
-            .spawn()
-            .map_err(|e| kill_all(&mut running, format!("cannot spawn {exe:?}: {e}")))?;
-        let relay = child
-            .stderr
-            .take()
-            .map(|pipe| relay_stderr(slice.shard_index, pipe));
-        eprintln!(
-            "vcb: jobs: shard {}/{}: {} plan cell(s), pid {}",
-            slice.shard_index,
-            slice.shard_count,
-            slice.indices.len(),
-            child.id()
-        );
-        running.push(Job {
-            child,
-            shard_index: slice.shard_index,
-            events_path,
-            relay,
-        });
-    }
+    threads: usize,
+    store_dir: Option<PathBuf>,
+    sup: &'a Supervision,
+    fault: Option<FaultPlan>,
+}
 
-    // Fold each shard's stream in as soon as its child exits — a slow
-    // shard never serializes decoding of the finished ones.
-    let mut merger = StreamMerger::new(plan);
-    let mut merged = 0usize;
-    while !running.is_empty() {
+/// Mutable supervisor state threaded through the helpers.
+struct State {
+    queue: Vec<Work>,
+    /// Next display index for a bisection half.
+    next_display: usize,
+    /// Per-attempt file-name counter, so a respawn never collides with
+    /// the files of a killed-but-lingering predecessor.
+    attempt_seq: usize,
+    report: JobsReport,
+    merged: usize,
+}
+
+/// Exponential backoff before respawning a slice with `strikes`
+/// zero-progress deaths: nothing for the first spawn, then 250 ms
+/// doubling per strike, capped at 4 s.
+fn backoff(strikes: usize) -> Duration {
+    if strikes == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_millis(250) * (1u32 << (strikes - 1).min(4))
+    }
+}
+
+/// The supervisor loop: spawn ready work while slots are free, poll the
+/// running shards, fold exited shards' streams, and route every failure
+/// through salvage + retry. Returns once the queue is drained and every
+/// plan cell is covered.
+fn supervise(ctx: &Ctx<'_>, queue: Vec<Work>) -> Result<(Vec<CellOut>, JobsReport), String> {
+    let mut state = State {
+        queue,
+        next_display: ctx.jobs,
+        attempt_seq: 0,
+        report: JobsReport::default(),
+        merged: 0,
+    };
+    let mut merger = StreamMerger::new(ctx.plan);
+    let mut running: Vec<Job> = Vec::new();
+    while !running.is_empty() || !state.queue.is_empty() {
+        // Spawn whatever is ready while worker slots are free. Items
+        // still backing off stay queued; `Job`'s `Drop` cleans up the
+        // running shards if a spawn fails fatally.
+        let now = Instant::now();
+        let mut i = 0;
+        while running.len() < ctx.jobs && i < state.queue.len() {
+            if state.queue[i].not_before <= now {
+                let work = state.queue.remove(i);
+                running.push(spawn(ctx, &mut state, work)?);
+            } else {
+                i += 1;
+            }
+        }
         let mut progressed = false;
         let mut slot = 0;
         while slot < running.len() {
             let status = running[slot]
                 .child
                 .try_wait()
-                .map_err(|e| kill_all(&mut running, format!("cannot poll a shard: {e}")))?;
+                .map_err(|e| format!("cannot poll a shard: {e}"))?;
             let Some(status) = status else {
-                slot += 1;
+                if watchdog_fires(ctx, &mut running[slot]) {
+                    progressed = true;
+                    let mut job = running.swap_remove(slot);
+                    pgroup::kill_group(&mut job.child);
+                    let _ = job.child.wait();
+                    job.reaped = true;
+                    eprintln!(
+                        "vcb: jobs: shard {}: no stream progress for {:.1}s, killed",
+                        job.display,
+                        ctx.sup.shard_timeout.unwrap_or_default().as_secs_f64()
+                    );
+                    handle_failure(ctx, &mut state, &mut merger, job, "stalled");
+                } else {
+                    slot += 1;
+                }
                 continue;
             };
             progressed = true;
             let mut job = running.swap_remove(slot);
+            job.reaped = true;
             if let Some(relay) = job.relay.take() {
                 let _ = relay.join();
             }
             if !status.success() {
-                return Err(kill_all(
-                    &mut running,
-                    format!("shard {} failed ({status})", job.shard_index),
-                ));
+                eprintln!("vcb: jobs: shard {} died ({status})", job.display);
+                handle_failure(ctx, &mut state, &mut merger, job, "crashed");
+                continue;
             }
-            let path = job.events_path.display().to_string();
-            let mut fold = || -> Result<usize, String> {
-                let text = fs::read_to_string(&job.events_path)
-                    .map_err(|e| format!("failed to read {path}: {e}"))?;
-                let stream =
-                    decode_events(&text, decode_cell_out).map_err(|e| format!("{path}: {e}"))?;
-                let cells = stream.cells.len();
-                merger
-                    .add_stream(stream, &path)
-                    .map_err(|e| e.to_string())?;
-                Ok(cells)
-            };
-            let cells = fold().map_err(|e| kill_all(&mut running, e))?;
-            merged += cells;
-            eprintln!(
-                "vcb: jobs: shard {} done, {cells} cell(s) merged ({merged}/{} total)",
-                job.shard_index,
-                plan.len()
-            );
+            match fold_stream(&mut merger, &job) {
+                Ok(cells) => {
+                    state.merged += cells;
+                    eprintln!(
+                        "vcb: jobs: shard {} done, {cells} cell(s) merged ({}/{} total)",
+                        job.display,
+                        state.merged,
+                        ctx.plan.len()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("vcb: jobs: shard {}: {e}", job.display);
+                    handle_failure(
+                        ctx,
+                        &mut state,
+                        &mut merger,
+                        job,
+                        "produced a broken stream",
+                    );
+                }
+            }
         }
-        if !progressed {
+        if !progressed && !running.is_empty() {
             std::thread::sleep(Duration::from_millis(15));
+        } else if running.is_empty() && !state.queue.is_empty() {
+            // Everything alive is backing off; sleep until the nearest
+            // gate instead of spinning.
+            let now = Instant::now();
+            let wait = state
+                .queue
+                .iter()
+                .map(|w| w.not_before.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_millis(15));
+            std::thread::sleep(wait.min(Duration::from_millis(250)));
         }
     }
-    merger.finish().map_err(|e| e.to_string())
+    let outs = merger.finish().map_err(|e| e.to_string())?;
+    let r = &state.report;
+    if r.salvaged > 0 || r.respawns > 0 || !r.poisoned.is_empty() {
+        eprintln!(
+            "vcb: jobs: recovered from failures: {} cell(s) salvaged, {} respawn(s), {} poisoned cell(s)",
+            r.salvaged,
+            r.respawns,
+            r.poisoned.len()
+        );
+    }
+    Ok((outs, state.report))
 }
 
-/// Terminates every still-running child (best effort) and passes the
-/// triggering error through — once one shard is lost the run cannot
-/// merge, so the rest should stop burning cores.
-fn kill_all(running: &mut Vec<Job>, error: String) -> String {
-    for job in running.iter_mut() {
-        let _ = job.child.kill();
+/// Watchdog: `true` when the shard's event stream hasn't grown for
+/// longer than `--shard-timeout`. File growth is the progress signal —
+/// children flush their stream after every completed cell.
+fn watchdog_fires(ctx: &Ctx<'_>, job: &mut Job) -> bool {
+    let Some(timeout) = ctx.sup.shard_timeout else {
+        return false;
+    };
+    let len = fs::metadata(&job.events_path).map(|m| m.len()).unwrap_or(0);
+    if len > job.last_len {
+        job.last_len = len;
+        job.last_progress = Instant::now();
+        return false;
     }
-    for job in running.iter_mut() {
-        let _ = job.child.wait();
-        // The pipe is closed once the child is reaped, so the relay
-        // thread drains what was written and ends.
-        if let Some(relay) = job.relay.take() {
-            let _ = relay.join();
+    // Until the stream's first byte appears the clock also covers child
+    // startup (spawn, registry build, plan decode), so give it double.
+    let effective = if job.last_len == 0 {
+        timeout * 2
+    } else {
+        timeout
+    };
+    job.last_progress.elapsed() > effective
+}
+
+/// Spawns one slice attempt: writes the encoded slice file, applies
+/// fault injection if the `VCB_FAULT_INJECT` plan targets this shard,
+/// and starts the child in its own process group.
+fn spawn(ctx: &Ctx<'_>, state: &mut State, work: Work) -> Result<Job, String> {
+    let seq = state.attempt_seq;
+    state.attempt_seq += 1;
+    let slice_path = ctx
+        .scratch
+        .join(format!("slice_{}_a{seq}.plan", work.display));
+    let events_path = ctx
+        .scratch
+        .join(format!("shard_{}_a{seq}.events", work.display));
+    let slice = ShardSlice {
+        shard_index: work.display,
+        shard_count: ctx.jobs,
+        indices: work.indices.clone(),
+    };
+    fs::write(&slice_path, encode_plan_slice(ctx.plan, &slice))
+        .map_err(|e| format!("cannot write {slice_path:?}: {e}"))?;
+    let inject = ctx
+        .fault
+        .as_ref()
+        .filter(|f| f.shard.is_none_or(|s| s == work.display) && (f.always || !work.injected));
+    let mut cmd = Command::new(ctx.exe);
+    cmd.arg("all")
+        .arg("--slice")
+        .arg(&slice_path)
+        .arg("--events")
+        .arg(&events_path)
+        .arg("--threads")
+        .arg(ctx.threads.to_string());
+    if let Some(dir) = &ctx.store_dir {
+        cmd.arg("--store").arg(dir);
+    }
+    if let Some(f) = inject {
+        cmd.arg("--fault-inject").arg(&f.action);
+    }
+    cmd.stderr(Stdio::piped());
+    pgroup::configure(&mut cmd);
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("cannot spawn {:?}: {e}", ctx.exe))?;
+    pgroup::register(child.id());
+    let relay = child
+        .stderr
+        .take()
+        .map(|pipe| relay_stderr(work.display, pipe));
+    eprintln!(
+        "vcb: jobs: shard {}: {} plan cell(s), pid {}{}{}",
+        work.display,
+        work.indices.len(),
+        child.id(),
+        if work.strikes > 0 { " (retry)" } else { "" },
+        if inject.is_some() {
+            " [fault injected]"
+        } else {
+            ""
+        }
+    );
+    Ok(Job {
+        child,
+        display: work.display,
+        indices: work.indices,
+        strikes: work.strikes,
+        injected: work.injected || inject.is_some(),
+        events_path,
+        relay,
+        last_len: 0,
+        last_progress: Instant::now(),
+        reaped: false,
+    })
+}
+
+/// Strictly decodes a cleanly-exited shard's stream and folds it into
+/// the merger. Returns the number of cells merged.
+fn fold_stream(merger: &mut StreamMerger<'_, CellOut>, job: &Job) -> Result<usize, String> {
+    let path = job.events_path.display().to_string();
+    let text =
+        fs::read_to_string(&job.events_path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    let stream = decode_events(&text, decode_cell_out).map_err(|e| format!("{path}: {e}"))?;
+    let cells = stream.cells.len();
+    merger
+        .add_stream(stream, &path)
+        .map_err(|e| e.to_string())?;
+    Ok(cells)
+}
+
+/// The recovery path for a dead shard (crash, watchdog kill, or a
+/// stream the strict decoder rejected): salvage the intact prefix of
+/// its event stream, then requeue / bisect / poison the uncovered
+/// remainder. Never fails — a slice that cannot make progress ends as
+/// poison cells, not as an aborted sweep.
+fn handle_failure(
+    ctx: &Ctx<'_>,
+    state: &mut State,
+    merger: &mut StreamMerger<'_, CellOut>,
+    job: Job,
+    why: &str,
+) {
+    let fresh = salvage_into(merger, &job);
+    if fresh > 0 {
+        state.report.salvaged += fresh;
+        state.merged += fresh;
+        eprintln!(
+            "vcb: jobs: shard {}: salvaged {fresh} completed cell(s) ({}/{} total)",
+            job.display,
+            state.merged,
+            ctx.plan.len()
+        );
+    }
+    let remaining: Vec<usize> = job
+        .indices
+        .iter()
+        .copied()
+        .filter(|&i| !merger.is_covered(i))
+        .collect();
+    if remaining.is_empty() {
+        eprintln!(
+            "vcb: jobs: shard {}: every cell salvaged; nothing to retry",
+            job.display
+        );
+        return;
+    }
+    // Salvaging new cells proves the shard was making progress, so the
+    // slice starts over with a clean record; a zero-progress death is a
+    // strike against it.
+    let strikes = if fresh > 0 { 0 } else { job.strikes + 1 };
+    if strikes <= ctx.sup.retries {
+        let delay = backoff(strikes);
+        state.report.respawns += 1;
+        eprintln!(
+            "vcb: jobs: shard {}: retrying {} cell(s) (strike {strikes}/{}, backoff {} ms)",
+            job.display,
+            remaining.len(),
+            ctx.sup.retries,
+            delay.as_millis()
+        );
+        state.queue.push(Work {
+            display: job.display,
+            indices: remaining,
+            strikes,
+            injected: job.injected,
+            not_before: Instant::now() + delay,
+        });
+        return;
+    }
+    if remaining.len() > 1 {
+        // Out of retries with multiple suspects: bisect to isolate the
+        // poison cell. Halves start with clean strike counts.
+        let mid = remaining.len() / 2;
+        eprintln!(
+            "vcb: jobs: shard {}: exhausted retries; bisecting {} cell(s) into shards {} and {}",
+            job.display,
+            remaining.len(),
+            state.next_display,
+            state.next_display + 1
+        );
+        for half in [&remaining[..mid], &remaining[mid..]] {
+            state.report.respawns += 1;
+            state.queue.push(Work {
+                display: state.next_display,
+                indices: half.to_vec(),
+                strikes: 0,
+                injected: job.injected,
+                not_before: Instant::now(),
+            });
+            state.next_display += 1;
+        }
+        return;
+    }
+    // A single repeatedly-failing cell: record a synthesized failure
+    // result so the sweep completes and the report shows the cell as
+    // failed.
+    let index = remaining[0];
+    let spec = &ctx.plan.cells()[index];
+    eprintln!(
+        "vcb: jobs: cell {index} ({spec}): shard {why} on every attempt; recording it as a failed cell"
+    );
+    if let Err(e) = merger.add_cell(index, spec.fingerprint(), poison_out(spec, why), "poison") {
+        eprintln!("vcb: jobs: cannot record poison cell {index}: {e}");
+    } else {
+        state.merged += 1;
+    }
+    state.report.poisoned.push(index);
+}
+
+/// Salvages every intact cell of a dead shard's stream into the merger,
+/// skipping cells already covered (e.g. by an earlier attempt's
+/// salvage). Returns how many fresh cells were recovered; salvage
+/// problems are logged, never fatal.
+fn salvage_into(merger: &mut StreamMerger<'_, CellOut>, job: &Job) -> usize {
+    let text = match fs::read_to_string(&job.events_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "vcb: jobs: shard {}: no salvageable stream ({e})",
+                job.display
+            );
+            return 0;
+        }
+    };
+    let salvage = match decode_events_partial(&text, decode_cell_out) {
+        Ok(salvage) => salvage,
+        Err(e) => {
+            eprintln!(
+                "vcb: jobs: shard {}: stream unsalvageable ({e})",
+                job.display
+            );
+            return 0;
+        }
+    };
+    if salvage.lost_lines > 0 {
+        eprintln!(
+            "vcb: jobs: shard {}: dropped {} torn line(s) from its stream",
+            job.display, salvage.lost_lines
+        );
+    }
+    let source = format!("salvage of shard {}", job.display);
+    let mut fresh = 0;
+    for cell in salvage.stream.cells {
+        if merger.is_covered(cell.index) {
+            continue;
+        }
+        match merger.add_cell(cell.index, cell.fingerprint, cell.out, &source) {
+            Ok(()) => fresh += 1,
+            Err(e) => {
+                eprintln!("vcb: jobs: shard {}: salvage rejected: {e}", job.display);
+                break;
+            }
         }
     }
-    running.clear();
-    error
+    fresh
+}
+
+/// The synthesized failure result recorded for a poison cell, typed to
+/// match what the cell would have produced (stride sweeps are curve
+/// cells, everything else a run cell).
+fn poison_out(spec: &CellSpec, why: &str) -> CellOut {
+    let failure = RunFailure::Error(format!(
+        "shard {why} repeatedly while executing this cell; gave up after exhausting retries"
+    ));
+    if spec.workload == stride::NAME && spec.size.label == SWEEP_LABEL {
+        CellOut::Curve(Err(failure))
+    } else {
+        CellOut::Run(Err(failure))
+    }
+}
+
+/// Process-group management for the spawned shards, so killing a shard
+/// takes its grandchildren with it and an interrupted parent leaves no
+/// orphans. Uses raw `kill(2)`/`signal(2)` declarations (the workspace
+/// has no libc dependency); everything degrades to plain `Child::kill`
+/// off Unix.
+#[cfg(unix)]
+mod pgroup {
+    use std::process::{Child, Command};
+    use std::sync::atomic::{AtomicI32, Ordering};
+    use std::sync::Once;
+
+    const SIGINT: i32 = 2;
+    const SIGKILL: i32 = 9;
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn raise(signum: i32) -> i32;
+    }
+
+    /// Live child process-group leaders, readable from a signal
+    /// handler. A fixed atomic array keeps the handler async-signal-
+    /// safe (no locks, no allocation); 64 slots comfortably exceeds any
+    /// realistic `--jobs` width.
+    static GROUPS: [AtomicI32; 64] = [const { AtomicI32::new(0) }; 64];
+    static HANDLERS: Once = Once::new();
+
+    /// Makes the child the leader of a fresh process group.
+    pub fn configure(cmd: &mut Command) {
+        use std::os::unix::process::CommandExt;
+        cmd.process_group(0);
+    }
+
+    /// Installs SIGINT/SIGTERM handlers that kill every registered
+    /// child group before re-raising the signal with default
+    /// disposition — Ctrl-C on the parent never strands shard
+    /// grandchildren.
+    pub fn install_handlers() {
+        HANDLERS.call_once(|| unsafe {
+            signal(SIGINT, handle as *const () as usize);
+            signal(SIGTERM, handle as *const () as usize);
+        });
+    }
+
+    /// Async-signal-safe: atomics and `kill(2)` only.
+    extern "C" fn handle(sig: i32) {
+        for slot in &GROUPS {
+            let pid = slot.swap(0, Ordering::SeqCst);
+            if pid > 0 {
+                unsafe { kill(-pid, SIGKILL) };
+            }
+        }
+        unsafe {
+            signal(sig, SIG_DFL);
+            raise(sig);
+        }
+    }
+
+    /// Records a spawned group leader for the signal handler.
+    pub fn register(pid: u32) {
+        let pid = pid as i32;
+        for slot in &GROUPS {
+            if slot
+                .compare_exchange(0, pid, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Forgets a reaped group leader (its pid may be reused).
+    pub fn unregister(pid: u32) {
+        let pid = pid as i32;
+        for slot in &GROUPS {
+            let _ = slot.compare_exchange(pid, 0, Ordering::SeqCst, Ordering::SeqCst);
+        }
+    }
+
+    /// Kills the child's entire process group (grandchildren included),
+    /// falling back to a plain kill of the leader.
+    pub fn kill_group(child: &mut Child) {
+        let pid = child.id() as i32;
+        if pid > 0 {
+            unsafe { kill(-pid, SIGKILL) };
+        }
+        let _ = child.kill();
+    }
+}
+
+#[cfg(not(unix))]
+mod pgroup {
+    use std::process::{Child, Command};
+
+    pub fn configure(_cmd: &mut Command) {}
+    pub fn install_handlers() {}
+    pub fn register(_pid: u32) {}
+    pub fn unregister(_pid: u32) {}
+    pub fn kill_group(child: &mut Child) {
+        let _ = child.kill();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_spec_parses_targets_and_modifiers() {
+        let p = parse_fault_spec("all:crash-after=2").unwrap();
+        assert_eq!(p.shard, None);
+        assert_eq!(p.action, "crash-after=2");
+        assert!(!p.always);
+
+        let p = parse_fault_spec("shard1:truncate-events:always").unwrap();
+        assert_eq!(p.shard, Some(1));
+        assert!(p.always);
+
+        assert!(parse_fault_spec("shard1").is_err());
+        assert!(parse_fault_spec("worker1:crash-after=1").is_err());
+        assert!(parse_fault_spec("all:explode").is_err());
+        assert!(parse_fault_spec("all:crash-after=1:sometimes").is_err());
+        assert!(parse_fault_spec("all:crash-after=1:always:x").is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff(0), Duration::ZERO);
+        assert_eq!(backoff(1), Duration::from_millis(250));
+        assert_eq!(backoff(2), Duration::from_millis(500));
+        assert_eq!(backoff(3), Duration::from_millis(1000));
+        assert_eq!(backoff(5), Duration::from_millis(4000));
+        assert_eq!(backoff(50), Duration::from_millis(4000));
+    }
 }

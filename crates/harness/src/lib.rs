@@ -28,6 +28,7 @@
 
 pub mod ablate;
 pub mod experiments;
+pub mod fault;
 pub mod jobs;
 pub mod render;
 pub mod stream;

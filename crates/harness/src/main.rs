@@ -8,8 +8,11 @@
 //! first, then each figure renders from shared cells.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use vcb_harness::experiments::{ExperimentOpts, Session};
+use vcb_harness::fault::{FaultAction, FaultSink};
+use vcb_harness::jobs::Supervision;
 use vcb_harness::stream::{BandwidthCsvStream, PanelCsvStream, Progress, ShardEventStream, Tee};
 use vcb_harness::{ablate, render};
 use vcb_sim::profile::{devices, DeviceClass};
@@ -65,7 +68,25 @@ OPTIONS:
     --jobs N        (`all` only) execute the plan across N local child
                     processes, merging each shard's event stream the
                     moment it completes; with --store, partitioning
-                    balances on measured per-cell durations
+                    balances on measured per-cell durations. Dead
+                    shards are salvaged and retried, never aborting
+                    the sweep (see --retries)
+    --retries N     (--jobs only) zero-progress deaths tolerated per
+                    shard slice before it is bisected to isolate the
+                    failing cell, which is then recorded as a failed
+                    cell instead of retried forever (default: 2)
+    --shard-timeout S
+                    (--jobs only) kill and retry a shard whose event
+                    stream has not grown for S seconds (default: no
+                    watchdog)
+
+EXIT CODES:
+    0   success
+    1   execution failure (I/O, spawn, or internal errors)
+    2   usage error (unknown command or bad flags)
+    3   `vcb merge` rejected or could not decode an event stream
+    4   the sweep completed, but some cells exhausted every retry and
+        are rendered as failures
 
 SHARDING (`all` only; every process must use identical options):
     --shards N        partition the run plan into N deterministic,
@@ -82,6 +103,14 @@ SHARDING (`all` only; every process must use identical options):
 /// Where `--store` without a directory puts its entries (gitignored).
 const DEFAULT_STORE_DIR: &str = ".vcb-store";
 
+/// Exit code for usage errors: unknown command or bad flags.
+const EXIT_USAGE: u8 = 2;
+/// Exit code when `vcb merge` rejects or cannot decode a stream.
+const EXIT_MERGE: u8 = 3;
+/// Exit code when a supervised sweep completed but some cells
+/// exhausted every retry and render as failures.
+const EXIT_SWEEP_FAILURES: u8 = 4;
+
 struct Cli {
     command: String,
     plan_target: String,
@@ -92,6 +121,11 @@ struct Cli {
     events_path: Option<String>,
     jobs: Option<usize>,
     slice_path: Option<String>,
+    retries: Option<usize>,
+    shard_timeout: Option<Duration>,
+    /// Hidden flag for the fault-injection harness: a fault this slice
+    /// child inflicts on itself (see `vcb_harness::fault`).
+    fault_inject: Option<FaultAction>,
     /// Positional event-stream paths of the `merge` command.
     inputs: Vec<String>,
 }
@@ -125,6 +159,9 @@ fn parse_args() -> Result<Cli, String> {
     let mut events_path = None;
     let mut jobs = None;
     let mut slice_path = None;
+    let mut retries = None;
+    let mut shard_timeout = None;
+    let mut fault_inject = None;
     let mut inputs = Vec::new();
     let list = |v: Option<String>, what: &str| -> Result<Vec<String>, String> {
         Ok(v.ok_or(format!("{what} needs a value"))?
@@ -158,6 +195,32 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--slice" => {
                 slice_path = Some(args.next().ok_or("--slice needs a file path")?);
+            }
+            "--retries" => {
+                retries = Some(
+                    args.next()
+                        .ok_or("--retries needs a value")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --retries value: {e}"))?,
+                );
+            }
+            "--shard-timeout" => {
+                let s = args
+                    .next()
+                    .ok_or("--shard-timeout needs a value in seconds")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --shard-timeout value: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err("--shard-timeout must be a positive number of seconds".into());
+                }
+                shard_timeout = Some(Duration::from_secs_f64(s));
+            }
+            "--fault-inject" => {
+                // Hidden: how --jobs tells a child to inflict a
+                // deterministic fault on itself (tests and CI only).
+                let spec = args.next().ok_or("--fault-inject needs a value")?;
+                fault_inject =
+                    Some(FaultAction::parse(&spec).map_err(|e| format!("--fault-inject: {e}"))?);
             }
             "--shards" => {
                 let n = args
@@ -226,6 +289,12 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
     }
+    if (retries.is_some() || shard_timeout.is_some()) && jobs.is_none() {
+        return Err("--retries/--shard-timeout only apply to `vcb all --jobs`".into());
+    }
+    if fault_inject.is_some() && slice_path.is_none() {
+        return Err("--fault-inject only applies to a --slice child process".into());
+    }
     if jobs.is_some() {
         if command != "all" {
             return Err("--jobs only applies to `vcb all`".into());
@@ -288,6 +357,9 @@ fn parse_args() -> Result<Cli, String> {
         events_path,
         jobs,
         slice_path,
+        retries,
+        shard_timeout,
+        fault_inject,
         inputs,
     })
 }
@@ -460,7 +532,19 @@ fn run_shard_slice(
 /// `--jobs`. Identical to [`run_shard_slice`] except the slice arrives
 /// as a file written by the parent (which partitioned on measured
 /// costs) instead of being re-derived from `--shards`/`--shard-index`.
-fn run_slice_child(session: &mut Session, slice_path: &str, events: &str) -> Result<(), String> {
+///
+/// `fault` is the hidden `--fault-inject` action the supervisor's test
+/// harness asks this child to inflict on itself. Crash/hang faults trip
+/// through a [`FaultSink`] placed *after* the event stream in the sink
+/// chain, so everything up to the fault is durably flushed; the
+/// truncation fault fires after a clean finish, tearing the written
+/// stream and exiting nonzero so the parent must salvage.
+fn run_slice_child(
+    session: &mut Session,
+    slice_path: &str,
+    events: &str,
+    fault: Option<FaultAction>,
+) -> Result<(), String> {
     let text = std::fs::read_to_string(slice_path)
         .map_err(|e| format!("failed to read {slice_path}: {e}"))?;
     let slice =
@@ -481,8 +565,33 @@ fn run_slice_child(session: &mut Session, slice_path: &str, events: &str) -> Res
     let mut stream = ShardEventStream::create(events, slice.plan_len, &shard)?;
     session.seed_from_store(&sub);
     let mut progress = Progress::new(session.pending_cells(&sub));
-    session.execute(&sub, &mut Tee(&mut progress, &mut stream));
-    stream.finish()
+    match fault {
+        Some(action @ (FaultAction::CrashAfter(_) | FaultAction::HangAfter(_))) => {
+            let mut fault_sink = FaultSink::new(action);
+            let mut inner = Tee(&mut progress, &mut stream);
+            session.execute(&sub, &mut Tee(&mut inner, &mut fault_sink));
+        }
+        _ => {
+            session.execute(&sub, &mut Tee(&mut progress, &mut stream));
+        }
+    }
+    stream.finish()?;
+    if let Some(FaultAction::TruncateEvents) = fault {
+        let len = std::fs::metadata(events)
+            .map_err(|e| format!("fault-inject: cannot stat {events}: {e}"))?
+            .len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(events)
+            .map_err(|e| format!("fault-inject: cannot open {events}: {e}"))?;
+        file.set_len(len * 2 / 3)
+            .map_err(|e| format!("fault-inject: cannot truncate {events}: {e}"))?;
+        return Err(format!(
+            "fault-inject: truncated {events} to {} of {len} bytes",
+            len * 2 / 3
+        ));
+    }
+    Ok(())
 }
 
 /// Decodes shard event streams, merges them against the locally
@@ -569,7 +678,7 @@ fn main() -> ExitCode {
         Ok(cli) => cli,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let registry = match vcb_workloads::registry() {
@@ -617,15 +726,29 @@ fn main() -> ExitCode {
         "all" => {
             if let Some(slice) = &cli.slice_path {
                 let events = cli.events_path.as_deref().expect("validated with --slice");
-                if let Err(msg) = run_slice_child(&mut session, slice, events) {
+                if let Err(msg) = run_slice_child(&mut session, slice, events, cli.fault_inject) {
                     eprintln!("{msg}");
                     return ExitCode::FAILURE;
                 }
             } else if let Some(jobs) = cli.jobs {
-                match vcb_harness::jobs::run_jobs(&session, jobs) {
-                    Ok((plan, outs)) => {
+                let sup = Supervision {
+                    retries: cli
+                        .retries
+                        .unwrap_or_else(|| Supervision::default().retries),
+                    shard_timeout: cli.shard_timeout,
+                };
+                match vcb_harness::jobs::run_jobs(&session, jobs, &sup) {
+                    Ok((plan, outs, report)) => {
                         session.seed_cache(&plan, outs);
                         run_all_reports(&mut session, &registry, &cli.opts, csv);
+                        if !report.poisoned.is_empty() {
+                            eprintln!(
+                                "vcb: jobs: {} cell(s) exhausted every retry and are reported \
+                                 as failures (see the tables above)",
+                                report.poisoned.len()
+                            );
+                            return ExitCode::from(EXIT_SWEEP_FAILURES);
+                        }
                     }
                     Err(msg) => {
                         eprintln!("{msg}");
@@ -646,7 +769,7 @@ fn main() -> ExitCode {
         "merge" => {
             if let Err(msg) = run_merge(&mut session, &registry, &cli.inputs, &cli.opts, csv) {
                 eprintln!("{msg}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_MERGE);
             }
         }
         "plan" => {
@@ -658,7 +781,7 @@ fn main() -> ExitCode {
         "--help" | "-h" | "help" => println!("{USAGE}"),
         other => {
             eprintln!("unknown command `{other}`\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     }
     ExitCode::SUCCESS

@@ -445,11 +445,25 @@ impl ShardEventStream {
     }
 
     fn flush_ready(&mut self) {
+        let mut wrote = false;
         while let Some((spec, payload)) = self.pending.remove(&self.next) {
             let index = self.orig[self.next];
             self.next += 1;
             if let Some(w) = &mut self.writer {
                 if let Err(e) = w.cell(index, &spec, &payload) {
+                    self.error = Some(e);
+                    self.writer = None;
+                }
+                wrote = true;
+            }
+        }
+        // Durability: push every completed record through to the file so
+        // a crashed (or killed) shard loses at most the cell in flight —
+        // the supervisor salvages the flushed prefix and the watchdog
+        // reads file growth as proof of progress.
+        if wrote {
+            if let Some(w) = &mut self.writer {
+                if let Err(e) = w.flush() {
                     self.error = Some(e);
                     self.writer = None;
                 }

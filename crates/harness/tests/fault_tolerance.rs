@@ -1,0 +1,197 @@
+//! Fault-tolerance contracts of the supervised `--jobs` runner, on the
+//! real binary with deterministic fault injection (`VCB_FAULT_INJECT`):
+//!
+//! * a shard **crashing** mid-sweep is salvaged from its flushed event
+//!   stream and the remainder retried — final stdout and CSV are
+//!   **byte-identical** to a single-process run;
+//! * a shard **hanging** trips the `--shard-timeout` watchdog, is
+//!   killed (whole process group), salvaged, and retried — same
+//!   byte-identity;
+//! * a **torn event stream** (truncated mid-record) salvages its intact
+//!   prefix — same byte-identity;
+//! * a slice that fails on *every* attempt is bisected down to the
+//!   poison cell, which is recorded as a failed cell while the sweep
+//!   completes and exits with the dedicated code 4;
+//! * the documented exit codes (2 usage, 3 merge, 4 exhausted retries)
+//!   are pinned.
+
+use std::process::{Command, Output};
+use std::sync::OnceLock;
+
+/// A fast but representative slice of `vcb all`: bfs panel cells plus
+/// the stride bandwidth sweeps, desktop NVIDIA device only.
+const ARGS: &[&str] = &[
+    "all",
+    "--scale",
+    "0.005",
+    "--filter",
+    "bfs,stride",
+    "--device",
+    "1050",
+    "--threads",
+    "4",
+];
+
+fn vcb(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_vcb"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn vcb")
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("vcb_fault_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_owned()
+}
+
+/// The single-process reference (stdout bytes, CSV bytes), computed
+/// once and shared by the byte-identity tests.
+fn reference() -> &'static (Vec<u8>, Vec<u8>) {
+    static REF: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let csv = tmp("ref.csv");
+        let out = vcb(&[ARGS, &["--csv", &csv]].concat(), &[]);
+        assert!(
+            out.status.success(),
+            "reference run failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(out.stdout.len() > 1000, "suspiciously small stdout");
+        (out.stdout, std::fs::read(&csv).unwrap())
+    })
+}
+
+/// Runs a supervised `--jobs 2` sweep with `fault` injected and asserts
+/// it still succeeds with stdout (and CSV) byte-identical to the
+/// single-process run. Returns the run's stderr for marker checks.
+fn assert_recovers_byte_identical(name: &str, fault: &str, extra: &[&str]) -> String {
+    let (ref_stdout, ref_csv) = reference();
+    let csv = tmp(&format!("{name}.csv"));
+    let args = [
+        ARGS,
+        &["--jobs", "2", "--retries", "2", "--csv", &csv],
+        extra,
+    ]
+    .concat();
+    let out = vcb(&args, &[("VCB_FAULT_INJECT", fault)]);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "jobs run with {fault} failed:\n{stderr}"
+    );
+    assert!(
+        out.stdout == *ref_stdout,
+        "stdout under {fault} differs from the single-process run"
+    );
+    assert_eq!(
+        std::fs::read(&csv).unwrap(),
+        *ref_csv,
+        "CSV under {fault} differs from the single-process run"
+    );
+    stderr
+}
+
+#[test]
+fn crashed_shard_is_salvaged_and_byte_identical() {
+    let stderr = assert_recovers_byte_identical("crash", "shard0:crash-after=2", &[]);
+    assert!(
+        stderr.contains("salvaged 2 completed cell(s)"),
+        "expected a 2-cell salvage in stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("retrying"), "expected a retry:\n{stderr}");
+}
+
+#[test]
+fn hung_shard_is_killed_salvaged_and_byte_identical() {
+    let stderr =
+        assert_recovers_byte_identical("hang", "shard0:hang-after=1", &["--shard-timeout", "8"]);
+    assert!(
+        stderr.contains("no stream progress") && stderr.contains("killed"),
+        "expected a watchdog kill in stderr:\n{stderr}"
+    );
+    assert!(stderr.contains("salvaged"), "expected a salvage:\n{stderr}");
+}
+
+#[test]
+fn truncated_stream_salvages_intact_prefix_and_is_byte_identical() {
+    let stderr = assert_recovers_byte_identical("truncate", "shard1:truncate-events", &[]);
+    assert!(
+        stderr.contains("torn line"),
+        "expected the torn trailing record to be dropped:\n{stderr}"
+    );
+    assert!(stderr.contains("salvaged"), "expected a salvage:\n{stderr}");
+}
+
+/// A slice that dies on every attempt (crash injected on *all* shards,
+/// *always*, with no retries) must bisect down to single cells, record
+/// them as failed, still complete the sweep, and exit with code 4.
+#[test]
+fn repeatedly_failing_cells_are_poisoned_not_fatal() {
+    let args = [
+        "all",
+        "--scale",
+        "0.005",
+        "--filter",
+        "bfs",
+        "--device",
+        "1050",
+        "--threads",
+        "4",
+        "--jobs",
+        "2",
+        "--retries",
+        "0",
+    ];
+    let out = vcb(&args, &[("VCB_FAULT_INJECT", "all:crash-after=0:always")]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "a poisoned sweep must exit 4:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("bisecting"),
+        "expected bisection to isolate poison cells:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("exhausted every retry"),
+        "expected the poison summary:\n{stderr}"
+    );
+    // The sweep still rendered its report, with the poison cells shown
+    // as ordinary failures.
+    assert!(
+        stdout.contains("gave up after exhausting retries"),
+        "expected poisoned cells rendered as failures:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("Fig. 2"),
+        "expected the full report despite poisoned cells"
+    );
+}
+
+/// The documented exit codes, pinned: 2 for usage errors, 3 for merge
+/// failures (4 is covered by the poison test above).
+#[test]
+fn exit_codes_are_pinned() {
+    let out = vcb(&["all", "--bogus-flag"], &[]);
+    assert_eq!(out.status.code(), Some(2), "usage error must exit 2");
+
+    let out = vcb(&["bogus-command"], &[]);
+    assert_eq!(out.status.code(), Some(2), "unknown command must exit 2");
+
+    let missing = tmp("does_not_exist.events");
+    let out = vcb(&["merge", &missing], &[]);
+    assert_eq!(out.status.code(), Some(3), "merge failure must exit 3");
+
+    // Supervision flags outside --jobs are usage errors too.
+    let out = vcb(&["all", "--retries", "2"], &[]);
+    assert_eq!(out.status.code(), Some(2), "--retries without --jobs");
+    let out = vcb(&["fig1", "--shard-timeout", "5"], &[]);
+    assert_eq!(out.status.code(), Some(2), "--shard-timeout without --jobs");
+    let out = vcb(&["all", "--fault-inject", "crash-after=1"], &[]);
+    assert_eq!(out.status.code(), Some(2), "--fault-inject without --slice");
+}
