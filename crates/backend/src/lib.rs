@@ -11,7 +11,7 @@
 //!   issues exactly the API calls the hand-written drivers issued, so
 //!   call-count (§VI-A) and timing-breakdown (§V-A2) fidelity survive
 //!   the refactor.
-//! * [`env`] — per-API environment bring-up and error translation
+//! * [`env`](mod@env) — per-API environment bring-up and error translation
 //!   (also used directly by the Vulkan-specific §VI-B ablations).
 //!
 //! ```

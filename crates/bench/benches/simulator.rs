@@ -265,6 +265,97 @@ fn bench_uvm() {
     }
 }
 
+fn bench_dnn() {
+    // The DNN tile kernels: shared-memory staging through the columnar
+    // lds/sts recording path (gathers, scatters, warp-uniform
+    // broadcasts, bank-conflict buckets) — a cost profile the Rodinia
+    // dispatch rows above never exercise.
+    let profile = devices::gtx1050ti();
+    let driver = profile.driver(Api::Cuda).unwrap().clone();
+    let registry = vcb_workloads::registry().unwrap();
+
+    let n: usize = 256;
+    let gemm = registry.lookup("dnn_gemm_tile").unwrap();
+    let mut gpu = Gpu::new(profile.clone());
+    gpu.set_trace_mode(TraceMode::Auto);
+    let (a, _) = gpu.pool_mut().create_buffer(0, (n * n * 4) as u64).unwrap();
+    let (b, _) = gpu.pool_mut().create_buffer(0, (n * n * 4) as u64).unwrap();
+    let (c, _) = gpu.pool_mut().create_buffer(0, (n * n * 4) as u64).unwrap();
+    let dispatch = Dispatch {
+        kernel: CompiledKernel::new(
+            gemm.info().clone(),
+            Arc::clone(gemm.body()),
+            CompileOpts::default(),
+        ),
+        groups: [(n / 16) as u32, (n / 16) as u32, 1],
+        bindings: vec![
+            BoundBuffer {
+                binding: 0,
+                buffer: a,
+            },
+            BoundBuffer {
+                binding: 1,
+                buffer: b,
+            },
+            BoundBuffer {
+                binding: 2,
+                buffer: c,
+            },
+        ],
+        push_constants: (n as u32).to_le_bytes().to_vec(),
+    };
+    bench("dnn/gemm_256", 20, || {
+        gpu.execute(std::hint::black_box(&dispatch), &driver)
+            .unwrap()
+    });
+
+    let m: usize = 128;
+    let nd = m + 4; // input plane edge: outputs plus the 5x5 halo
+    let conv = registry.lookup("dnn_conv2d_tile").unwrap();
+    let mut gpu = Gpu::new(profile);
+    gpu.set_trace_mode(TraceMode::Auto);
+    let (inp, _) = gpu
+        .pool_mut()
+        .create_buffer(0, (3 * nd * nd * 4) as u64)
+        .unwrap();
+    let (filt, _) = gpu
+        .pool_mut()
+        .create_buffer(0, (3 * 25 * 4) as u64)
+        .unwrap();
+    let (outp, _) = gpu.pool_mut().create_buffer(0, (m * m * 4) as u64).unwrap();
+    let mut push = Vec::new();
+    push.extend_from_slice(&(m as u32).to_le_bytes());
+    push.extend_from_slice(&(nd as u32).to_le_bytes());
+    push.extend_from_slice(&0u32.to_le_bytes());
+    let dispatch = Dispatch {
+        kernel: CompiledKernel::new(
+            conv.info().clone(),
+            Arc::clone(conv.body()),
+            CompileOpts::default(),
+        ),
+        groups: [(m / 16) as u32, (m / 16) as u32, 1],
+        bindings: vec![
+            BoundBuffer {
+                binding: 0,
+                buffer: inp,
+            },
+            BoundBuffer {
+                binding: 1,
+                buffer: filt,
+            },
+            BoundBuffer {
+                binding: 2,
+                buffer: outp,
+            },
+        ],
+        push_constants: push,
+    };
+    bench("dnn/conv2d_128", 20, || {
+        gpu.execute(std::hint::black_box(&dispatch), &driver)
+            .unwrap()
+    });
+}
+
 fn bench_matrix() {
     // The run-matrix scheduler end to end: a full quick Fig. 2 panel
     // set (both desktop devices, first size per workload, every API)
@@ -378,6 +469,7 @@ fn main() {
     bench_dispatch();
     bench_functional_floor();
     bench_uvm();
+    bench_dnn();
     bench_matrix();
     bench_store();
     bench_spirv();

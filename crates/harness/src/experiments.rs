@@ -2,8 +2,8 @@
 //! plan builder over one shared scheduler.
 //!
 //! A [`Session`] owns the run-matrix machinery — one
-//! [`Executor`](vcb_core::plan::Executor) whose worker pool spans every
-//! device and figure, a [`ResultCache`](vcb_core::plan::ResultCache)
+//! [`Executor`] whose worker pool spans every
+//! device and figure, a [`ResultCache`]
 //! that executes each unique (workload, size, API, device, opts) cell at
 //! most once per process, and the [`SuiteRunner`] that maps cell specs
 //! onto workload host programs (with each worker reusing environments
@@ -25,7 +25,7 @@ use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
 use vcb_core::stats::geomean;
 use vcb_core::store::Store;
 use vcb_core::workload::{RunOpts, Workload};
-use vcb_sim::profile::{devices, DeviceProfile};
+use vcb_sim::profile::{devices, DeviceClass, DeviceProfile};
 use vcb_sim::{Api, KernelRegistry, UvmProfile};
 use vcb_workloads::micro::stride::{self, BandwidthSample};
 use vcb_workloads::micro::vectoradd;
@@ -223,6 +223,8 @@ pub struct SuiteRunner {
     suite: Vec<Box<dyn Workload>>,
     /// Additional runnable workloads (the vectoradd microbenchmark).
     extra: Vec<Box<dyn Workload>>,
+    /// The DNN inference family (conv2d, gemm, maxpool2d) in panel order.
+    dnn: Vec<Box<dyn Workload>>,
     profiles: HashMap<String, DeviceProfile>,
 }
 
@@ -233,6 +235,7 @@ impl SuiteRunner {
             registry: Arc::clone(registry),
             suite: vcb_workloads::suite_workloads(registry),
             extra: vec![Box::new(vectoradd::VectorAdd::new(Arc::clone(registry)))],
+            dnn: vcb_workloads::dnn_workloads(registry),
             profiles: devices::all()
                 .into_iter()
                 .chain(devices::uvm_all())
@@ -245,6 +248,7 @@ impl SuiteRunner {
         self.suite
             .iter()
             .chain(self.extra.iter())
+            .chain(self.dnn.iter())
             .find(|w| w.meta().name == name)
             .map(Box::as_ref)
     }
@@ -253,7 +257,10 @@ impl SuiteRunner {
 impl std::fmt::Debug for SuiteRunner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SuiteRunner")
-            .field("workloads", &(self.suite.len() + self.extra.len()))
+            .field(
+                "workloads",
+                &(self.suite.len() + self.extra.len() + self.dnn.len()),
+            )
             .field("devices", &self.profiles.len())
             .finish()
     }
@@ -572,8 +579,111 @@ impl Session {
         UvmCompare { devices, rows }
     }
 
+    /// Every device column of the DNN panel: each base device grouped
+    /// with its resident and oversubscribed unified-memory variants,
+    /// filtered by `--device` like every other device list.
+    pub fn dnn_devices(&self) -> Vec<DeviceProfile> {
+        devices::all()
+            .into_iter()
+            .flat_map(|base| {
+                [
+                    base.clone(),
+                    devices::uvm_variant(base.clone(), UvmProfile::resident()),
+                    devices::uvm_variant(base, UvmProfile::oversubscribed()),
+                ]
+            })
+            .filter(|d| self.opts.keeps_device(&d.name))
+            .collect()
+    }
+
+    /// The (workload, size) rows of the DNN panel: the three inference
+    /// kernels at every configured size. The dnn workloads use one size
+    /// list across device classes, so the panel stays rectangular over
+    /// desktop and mobile silicon.
+    fn dnn_bars(&self) -> Vec<(String, SizeSpec)> {
+        let mut bars = Vec::new();
+        for w in &self.runner.dnn {
+            if !self.opts.keeps_workload(w.meta().name) {
+                continue;
+            }
+            let mut sizes = w.sizes(DeviceClass::Desktop);
+            if self.opts.sizes_per_workload > 0 {
+                sizes.truncate(self.opts.sizes_per_workload);
+            }
+            for size in sizes {
+                bars.push((w.meta().name.to_owned(), size));
+            }
+        }
+        bars
+    }
+
+    /// Plans the DNN inference panel: every dnn bar under Vulkan on
+    /// each device variant from [`Session::dnn_devices`]. All cells are
+    /// fresh (no other figure runs the dnn family), and they ride the
+    /// shard/store/jobs machinery like any other plan cells.
+    pub fn plan_dnn(&self) -> RunPlan {
+        let mut plan = RunPlan::new();
+        for profile in self.dnn_devices() {
+            for (workload, size) in self.dnn_bars() {
+                plan.push(CellSpec {
+                    workload,
+                    size,
+                    api: Api::Vulkan,
+                    device: profile.name.clone(),
+                    opts: self.opts.run.clone(),
+                });
+            }
+        }
+        plan
+    }
+
+    /// Runs the DNN panel and assembles it into per-bar rows with one
+    /// outcome per device column.
+    pub fn dnn_compare(&mut self, sink: &mut (dyn EventSink<CellOut> + Send)) -> DnnCompare {
+        let profiles = self.dnn_devices();
+        if profiles.is_empty() {
+            return DnnCompare {
+                devices: Vec::new(),
+                rows: Vec::new(),
+            };
+        }
+        let plan = self.plan_dnn();
+        let outs = self.execute(&plan, sink);
+        let by_key: HashMap<(String, String, String), CellOut> = plan
+            .cells()
+            .iter()
+            .zip(outs)
+            .map(|(s, o)| {
+                (
+                    (s.device.clone(), s.workload.clone(), s.size.label.clone()),
+                    o,
+                )
+            })
+            .collect();
+        let devices: Vec<String> = profiles.iter().map(|p| p.name.clone()).collect();
+        let rows = self
+            .dnn_bars()
+            .into_iter()
+            .map(|(workload, size)| DnnCompareRow {
+                outs: devices
+                    .iter()
+                    .map(|d| {
+                        by_key
+                            .get(&(d.clone(), workload.clone(), size.label.clone()))
+                            .cloned()
+                    })
+                    .collect(),
+                workload,
+                size: size.label,
+            })
+            .collect();
+        DnnCompare { devices, rows }
+    }
+
     /// The union of every figure's plan — what `vcb all` executes up
     /// front on one pool spanning all devices and figures at once.
+    /// (`plan_uvm` stays last: its explicit-copy cells dedup against
+    /// everything planned before them.)
     pub fn plan_all(&self) -> RunPlan {
         let mut plan = RunPlan::new();
         plan.append(self.plan_bandwidth(&self.desktop_devices()));
@@ -582,6 +692,7 @@ impl Session {
         plan.append(self.plan_panels(&self.mobile_devices()));
         plan.append(self.plan_effort(&devices::gtx1050ti()));
         plan.append(self.plan_overheads(&devices::gtx1050ti()));
+        plan.append(self.plan_dnn());
         plan.append(self.plan_uvm());
         plan
     }
@@ -616,6 +727,7 @@ impl Session {
             "effort" => self.plan_effort(&devices::gtx1050ti()),
             "overheads" => self.plan_overheads(&devices::gtx1050ti()),
             "uvm" => self.plan_uvm(),
+            "dnn" => self.plan_dnn(),
             _ => return None,
         })
     }
@@ -889,6 +1001,34 @@ pub fn uvm_compare(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> Uvm
     Session::new(registry, opts).uvm_compare(&mut NullSink)
 }
 
+/// The DNN inference panel: one column per device variant (each base
+/// device grouped with its `-uvm`/`-uvm-oversub` profiles), one row per
+/// (kernel, size) bar.
+#[derive(Debug)]
+pub struct DnnCompare {
+    /// Device names in column order.
+    pub devices: Vec<String>,
+    /// One row per (workload, size) bar, in conv → gemm → pool order.
+    pub rows: Vec<DnnCompareRow>,
+}
+
+/// One bar of the DNN panel.
+#[derive(Debug)]
+pub struct DnnCompareRow {
+    /// Workload short name (`dnn_conv2d`, `dnn_gemm`, `dnn_maxpool2d`).
+    pub workload: String,
+    /// Size label.
+    pub size: String,
+    /// One outcome per device column, `None` when the cell was not
+    /// planned (pruned device) or missing from the result set.
+    pub outs: Vec<Option<CellOut>>,
+}
+
+/// Runs the DNN inference panel as a one-shot session.
+pub fn dnn_compare(registry: &Arc<KernelRegistry>, opts: &ExperimentOpts) -> DnnCompare {
+    Session::new(registry, opts).dnn_compare(&mut NullSink)
+}
+
 /// One API's bandwidth curve on one device (a line of Fig. 1/Fig. 3).
 #[derive(Debug)]
 pub struct BandwidthCurve {
@@ -1111,6 +1251,51 @@ mod tests {
             .cells()
             .iter()
             .all(|c| c.device.contains("-uvm")));
+    }
+
+    #[test]
+    fn dnn_plan_spans_every_device_variant() {
+        let registry = vcb_workloads::registry().unwrap();
+        let session = Session::new(&registry, &quick());
+        let plan = session.plan_dnn();
+        // 12 device variants (4 base x {explicit, -uvm, -uvm-oversub})
+        // x 3 workloads x 2 sizes.
+        assert_eq!(plan.len(), 12 * 3 * 2);
+        assert!(plan.cells().iter().all(|c| c.api == Api::Vulkan));
+        let device_names: std::collections::BTreeSet<&str> =
+            plan.cells().iter().map(|c| c.device.as_str()).collect();
+        assert_eq!(device_names.len(), 12);
+        assert_eq!(
+            device_names.iter().filter(|d| d.ends_with("-uvm")).count(),
+            4
+        );
+        assert_eq!(
+            device_names
+                .iter()
+                .filter(|d| d.ends_with("-uvm-oversub"))
+                .count(),
+            4
+        );
+        // The dnn cells ride `vcb all` (planned before the uvm stage).
+        let all = session.plan_all();
+        let keys: std::collections::HashSet<_> = all
+            .cells()
+            .iter()
+            .map(vcb_core::plan::CellSpec::key)
+            .collect();
+        for cell in plan.cells() {
+            assert!(keys.contains(&cell.key()), "{} missing", cell.workload);
+        }
+        // Filters prune workloads and devices like every other figure.
+        let mut opts = quick();
+        opts.filter = vec!["dnn_gemm".into()];
+        opts.devices = vec!["-uvm-oversub".into()];
+        let pruned = Session::new(&registry, &opts).plan_dnn();
+        assert_eq!(pruned.len(), 4 * 2);
+        assert!(pruned
+            .cells()
+            .iter()
+            .all(|c| c.workload == "dnn_gemm" && c.device.ends_with("-uvm-oversub")));
     }
 
     #[test]

@@ -37,6 +37,8 @@ COMMANDS:
     ablate      §VI-B recommendation ablations
     uvm         unified-memory comparison: explicit copies vs demand
                 paging vs an oversubscribed device budget (GTX 1050 Ti)
+    dnn         DNN inference panel: conv2d / gemm / maxpool2d on every
+                device variant, including -uvm and -uvm-oversub
     all         everything above, in paper order
     merge F...  reassemble shard event streams (see --shards) and
                 render `all` byte-identical to an unsharded run (the
@@ -465,6 +467,24 @@ fn run_uvm(session: &mut Session, csv_path: Option<&str>) {
     }
 }
 
+/// Runs the DNN inference panel across every device variant (all four
+/// silicon profiles plus their `-uvm`/`-uvm-oversub` twins) and renders
+/// its table. Under `vcb all` this stage runs last and owns the shared
+/// `--csv` path.
+fn run_dnn(session: &mut Session, csv_path: Option<&str>) {
+    let plan = session.plan_dnn();
+    session.seed_from_store(&plan);
+    let mut progress = Progress::new(session.pending_cells(&plan));
+    let cmp = session.dnn_compare(&mut progress);
+    println!("{DNN_TITLE}");
+    println!("{}", render::dnn_table(&cmp));
+    if let Some(path) = csv_path {
+        if let Err(e) = std::fs::write(path, render::dnn_csv(&cmp)) {
+            eprintln!("vcb: cannot write {path}: {e}");
+        }
+    }
+}
+
 /// The full `vcb all` report sequence: warm the union plan on one
 /// shared pool, then render every table and figure from cache. Both the
 /// unsharded `all` command and `merge` (with a cache seeded from shard
@@ -496,6 +516,7 @@ fn run_all_reports(
     run_overheads(session);
     run_ablate(registry, opts);
     run_uvm(session, None);
+    run_dnn(session, csv);
 }
 
 /// Executes one deterministic slice of the `vcb all` plan and writes
@@ -672,6 +693,7 @@ const FIG2_TITLE: &str = "=== Fig. 2: Vulkan speedup vs CUDA and OpenCL (desktop
 const FIG3_TITLE: &str = "=== Fig. 3: Vulkan memory bandwidth vs OpenCL (mobile) ===\n";
 const FIG4_TITLE: &str = "=== Fig. 4: Vulkan speedup vs OpenCL (mobile) ===\n";
 const UVM_TITLE: &str = "=== Unified memory: explicit copies vs demand paging ===\n";
+const DNN_TITLE: &str = "=== DNN inference: conv2d / gemm / maxpool2d across device variants ===\n";
 
 fn main() -> ExitCode {
     let cli = match parse_args() {
@@ -723,6 +745,7 @@ fn main() -> ExitCode {
         "overheads" => run_overheads(&mut session),
         "ablate" => run_ablate(&registry, &cli.opts),
         "uvm" => run_uvm(&mut session, csv),
+        "dnn" => run_dnn(&mut session, csv),
         "all" => {
             if let Some(slice) = &cli.slice_path {
                 let events = cli.events_path.as_deref().expect("validated with --slice");

@@ -10,7 +10,9 @@ use vcb_sim::Api;
 use vcb_sim::timeline::CostKind;
 use vcb_sim::SimDuration;
 
-use crate::experiments::{BandwidthCurve, CellOut, DevicePanel, GeomeanSummary, UvmCompare};
+use crate::experiments::{
+    BandwidthCurve, CellOut, DevicePanel, DnnCompare, GeomeanSummary, UvmCompare,
+};
 
 /// Renders Table I (the benchmark list).
 pub fn table1() -> String {
@@ -341,6 +343,149 @@ pub fn uvm_csv(cmp: &UvmCompare) -> String {
                 },
                 status,
             ]);
+        }
+    }
+    t.to_csv()
+}
+
+/// Groups the DNN panel's device columns by base silicon: one entry per
+/// base device in column order, with the column index of each memory
+/// mode (`None` when `--device` pruned that variant).
+fn dnn_device_groups(devices: &[String]) -> Vec<(String, [Option<usize>; 3])> {
+    let mut groups: Vec<(String, [Option<usize>; 3])> = Vec::new();
+    for (i, d) in devices.iter().enumerate() {
+        let base = d
+            .trim_end_matches("-oversub")
+            .trim_end_matches("-uvm")
+            .to_owned();
+        let mode = match uvm_mode_label(d) {
+            "explicit" => 0,
+            "uvm" => 1,
+            _ => 2,
+        };
+        match groups.iter_mut().find(|(b, _)| *b == base) {
+            Some((_, slots)) => slots[mode] = Some(i),
+            None => {
+                let mut slots = [None; 3];
+                slots[mode] = Some(i);
+                groups.push((base, slots));
+            }
+        }
+    }
+    groups
+}
+
+fn dnn_cell_text(out: Option<&CellOut>) -> String {
+    match out {
+        Some(CellOut::Run(Ok(r))) => r.total_time.to_string(),
+        Some(CellOut::Run(Err(e))) | Some(CellOut::Curve(Err(e))) => e.to_string(),
+        Some(CellOut::Curve(Ok(_))) | None => "-".into(),
+    }
+}
+
+fn dnn_ratio_text(out: Option<&CellOut>, base: Option<&CellOut>) -> String {
+    match (out, base) {
+        (Some(CellOut::Run(Ok(r))), Some(CellOut::Run(Ok(b)))) => {
+            format!("{:.2}x", r.total_time.ratio(b.total_time))
+        }
+        _ => "-".into(),
+    }
+}
+
+/// Renders the DNN inference panel: one row per (kernel, size) bar and
+/// base device, with the explicit / resident-UVM / oversubscribed
+/// end-to-end times and the UVM slowdowns side by side.
+pub fn dnn_table(cmp: &DnnCompare) -> String {
+    let mut t = Table::new(&[
+        "Workload",
+        "Device",
+        "explicit",
+        "uvm",
+        "vs expl",
+        "uvm-oversub",
+        "vs expl",
+    ]);
+    for row in &cmp.rows {
+        for (base, slots) in dnn_device_groups(&cmp.devices) {
+            let out =
+                |slot: Option<usize>| slot.and_then(|i| row.outs.get(i).and_then(Option::as_ref));
+            let (e, u, ov) = (out(slots[0]), out(slots[1]), out(slots[2]));
+            t.row(&[
+                format!("{}/{}", row.workload, row.size),
+                base,
+                dnn_cell_text(e),
+                dnn_cell_text(u),
+                dnn_ratio_text(u, e),
+                dnn_cell_text(ov),
+                dnn_ratio_text(ov, e),
+            ]);
+        }
+    }
+    format!(
+        "DNN inference family (Vulkan): end-to-end time per device and\n\
+         memory mode (conv2d: 5x5 valid, 3 channels; gemm: two-layer MLP;\n\
+         maxpool2d: two chained 2x2 stages)\n\n{}",
+        t.render()
+    )
+}
+
+/// The DNN panel CSV schema
+/// (`workload,size,device,mode,kernel_us,total_us,fault_us,vs_explicit,status`).
+pub const DNN_CSV_HEADERS: [&str; 9] = [
+    "workload",
+    "size",
+    "device",
+    "mode",
+    "kernel_us",
+    "total_us",
+    "fault_us",
+    "vs_explicit",
+    "status",
+];
+
+/// Renders the DNN panel as CSV, one row per (workload, size, device
+/// variant).
+pub fn dnn_csv(cmp: &DnnCompare) -> String {
+    let mut t = Table::new(&DNN_CSV_HEADERS);
+    for row in &cmp.rows {
+        for (base, slots) in dnn_device_groups(&cmp.devices) {
+            let explicit = slots[0].and_then(|i| row.outs.get(i).and_then(Option::as_ref));
+            for (mode_idx, slot) in slots.iter().enumerate() {
+                let Some(i) = slot else { continue };
+                let Some(out) = row.outs.get(*i).and_then(Option::as_ref) else {
+                    continue;
+                };
+                let (kernel, total, fault, status) = match out {
+                    CellOut::Run(Ok(r)) => (
+                        format!("{:.3}", r.kernel_time.as_micros()),
+                        format!("{:.3}", r.total_time.as_micros()),
+                        format!("{:.3}", r.breakdown.get(CostKind::UvmFault).as_micros()),
+                        "ok".to_owned(),
+                    ),
+                    CellOut::Run(Err(e)) | CellOut::Curve(Err(e)) => {
+                        (String::new(), String::new(), String::new(), e.to_string())
+                    }
+                    CellOut::Curve(Ok(_)) => continue,
+                };
+                let vs = match (mode_idx, out, explicit) {
+                    (0, ..) => String::new(),
+                    (_, CellOut::Run(Ok(r)), Some(CellOut::Run(Ok(b)))) => {
+                        format!("{:.4}", r.total_time.ratio(b.total_time))
+                    }
+                    _ => String::new(),
+                };
+                t.row(&[
+                    row.workload.clone(),
+                    row.size.clone(),
+                    base.clone(),
+                    ["explicit", "uvm", "uvm-oversub"][mode_idx].to_owned(),
+                    kernel,
+                    total,
+                    fault,
+                    vs,
+                    status,
+                ]);
+            }
         }
     }
     t.to_csv()

@@ -588,16 +588,24 @@ impl WarpBuf {
             .push_affine(base, stride, count);
     }
 
+    /// Resolves the shared-access bucket for sequence slot `seq` —
+    /// shared by the per-lane push and the warp-columnar shared ops
+    /// (which resolve once per warp instruction instead of per lane).
     #[inline]
-    fn push_shared(&mut self, seq: u32, offset: u32) {
+    fn shared_bucket(&mut self, seq: u32) -> &mut Vec<u32> {
         let s = seq as usize;
         if s >= self.shared.len() {
             self.shared.resize_with(s + 1, Default::default);
         }
-        self.shared[s].push(offset);
         if s >= self.shared_hi {
             self.shared_hi = s + 1;
         }
+        &mut self.shared[s]
+    }
+
+    #[inline]
+    fn push_shared(&mut self, seq: u32, offset: u32) {
+        self.shared_bucket(seq).push(offset);
     }
 }
 
@@ -1472,6 +1480,110 @@ impl Warp<'_> {
             let pattern = buf.global_bucket(seq, elem as u8);
             for &idx in idxs {
                 pattern.push(view.addr_of(idx));
+            }
+        }
+    }
+
+    /// Columnar shared-memory gather: lane `l` of the active set reads
+    /// `arr[idxs[l]]` into `out[l]` (ascending lane order, like
+    /// [`Warp::ld_gather`]). Shared buckets have no analytic form — the
+    /// per-lane byte offsets feed the bank-conflict model exactly as the
+    /// lane oracle's [`Lane::lds`] calls would — but the bucket is
+    /// resolved once per warp instruction instead of once per lane.
+    pub fn lds_gather<T: Scalar>(
+        &mut self,
+        arr: &SharedArray<'_, T>,
+        idxs: &[usize],
+        out: &mut [T],
+    ) {
+        let m = idxs.len();
+        if m == 0 {
+            return;
+        }
+        assert_eq!(m, out.len(), "shared gather index/output length mismatch");
+        for (o, &idx) in out.iter_mut().zip(idxs) {
+            *o = arr.cells[idx].get();
+        }
+        self.record_shared_cols(arr, idxs);
+    }
+
+    /// Columnar shared-memory scatter: lane `l` writes `vals[l]` to
+    /// `arr[idxs[l]]` (same lane-order contract as [`Warp::lds_gather`]).
+    /// Duplicate indices are written in lane order, so a redundant
+    /// cooperative fill (several lanes storing the same value to the same
+    /// cell) stays deterministic.
+    pub fn sts_scatter<T: Scalar>(&mut self, arr: &SharedArray<'_, T>, idxs: &[usize], vals: &[T]) {
+        let m = idxs.len();
+        if m == 0 {
+            return;
+        }
+        assert_eq!(m, vals.len(), "shared scatter index/value length mismatch");
+        for (&idx, v) in idxs.iter().zip(vals) {
+            arr.cells[idx].set(*v);
+        }
+        self.record_shared_cols(arr, idxs);
+    }
+
+    /// Columnar unit-stride shared store: lane `l` writes `vals[l]` to
+    /// `arr[start + l]` — the cooperative tile-fill idiom where the shared
+    /// index is the local linear id.
+    pub fn sts_seq<T: Scalar>(&mut self, arr: &SharedArray<'_, T>, start: usize, vals: &[T]) {
+        let m = vals.len();
+        if m == 0 {
+            return;
+        }
+        for (l, v) in vals.iter().enumerate() {
+            arr.cells[start + l].set(*v);
+        }
+        let elem = std::mem::size_of::<T>() as u32;
+        self.shared_acc += m as u64;
+        if let Some(buf) = self.buf.as_deref_mut() {
+            let seq = self.seq;
+            self.seq += 1;
+            let bucket = buf.shared_bucket(seq);
+            for l in 0..m as u32 {
+                bucket.push(arr.base_offset + (start as u32 + l) * elem);
+            }
+        }
+    }
+
+    /// Broadcast shared load: `count` active lanes all read `arr[idx]`
+    /// (the warp-uniform filter taps of the conv kernels). One functional
+    /// read, `count` recorded same-offset accesses — the bank model sees
+    /// the identical offset list the lane oracle would produce.
+    #[inline]
+    pub fn lds_bcast<T: Scalar>(
+        &mut self,
+        arr: &SharedArray<'_, T>,
+        idx: usize,
+        count: usize,
+    ) -> T {
+        let v = arr.cells[idx].get();
+        if count > 0 {
+            let offset = arr.base_offset + (idx * std::mem::size_of::<T>()) as u32;
+            self.shared_acc += count as u64;
+            if let Some(buf) = self.buf.as_deref_mut() {
+                let seq = self.seq;
+                self.seq += 1;
+                let bucket = buf.shared_bucket(seq);
+                for _ in 0..count {
+                    bucket.push(offset);
+                }
+            }
+        }
+        v
+    }
+
+    #[inline]
+    fn record_shared_cols<T: Scalar>(&mut self, arr: &SharedArray<'_, T>, idxs: &[usize]) {
+        let elem = std::mem::size_of::<T>() as u32;
+        self.shared_acc += idxs.len() as u64;
+        if let Some(buf) = self.buf.as_deref_mut() {
+            let seq = self.seq;
+            self.seq += 1;
+            let bucket = buf.shared_bucket(seq);
+            for &idx in idxs {
+                bucket.push(arr.base_offset + idx as u32 * elem);
             }
         }
     }

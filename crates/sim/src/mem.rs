@@ -636,7 +636,7 @@ impl MemoryPool {
 /// Memory-system state threaded through traced groups (owned by the
 /// engine, persistent across dispatches so caches stay warm).
 ///
-/// The entry point is [`MemSystem::access_sector_runs`]: the hierarchy
+/// The entry point is `MemSystem::access_sector_runs`: the hierarchy
 /// consumes run-length-encoded sector streams — a coalesced warp access
 /// is one L2 probe call ([`CacheSim::access_run`]) whose miss runs feed
 /// the row tracker in batches ([`RowTracker::observe_run`]) — while

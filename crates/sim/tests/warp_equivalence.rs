@@ -108,6 +108,31 @@ fn cases() -> Vec<Case> {
             ],
             push: push_u32s(&[hot_n]),
         },
+        // The DNN family: shared-memory tiles staged through lds/sts
+        // columns (gathers, scatters, warp-uniform broadcasts), so the
+        // audited streams include bank-conflict-modelled shared traffic.
+        Case {
+            // 32×32 GEMM, one 16-wide k-block per tile round.
+            kernel: "dnn_gemm_tile",
+            groups: [2, 2, 1],
+            buffers: vec![(32 * 32, true), (32 * 32, true), (32 * 32, false)],
+            push: push_u32s(&[32]),
+        },
+        Case {
+            // 32×32 output plane, channel 1 of 3 (exercises the channel
+            // offset), seeded output so the += accumulation is visible.
+            kernel: "dnn_conv2d_tile",
+            groups: [2, 2, 1],
+            buffers: vec![(3 * 36 * 36, true), (3 * 25, true), (32 * 32, true)],
+            push: push_u32s(&[32, 36, 1]),
+        },
+        Case {
+            // One 128 → 64 pooling stage: pure affine stride-2 columns.
+            kernel: "dnn_maxpool2d_win",
+            groups: [16, 1, 1],
+            buffers: vec![(128 * 128, true), (64 * 64, false)],
+            push: push_u32s(&[128]),
+        },
     ]
 }
 
@@ -242,6 +267,44 @@ fn migrated_workloads_are_bit_identical_end_to_end() {
             .find(|w| w.meta().name == name)
             .unwrap();
         let l_impl = vcb_workloads::suite_workloads(&lane)
+            .into_iter()
+            .find(|w| w.meta().name == name)
+            .unwrap();
+        for mode in MODES {
+            for threads in [1usize, 4] {
+                let context = format!("{name}/{mode:?}/threads{threads}");
+                let o = opts(mode, threads);
+                let w = w_impl.run(Api::Vulkan, &profile, &size, &o).unwrap();
+                let l = l_impl.run(Api::Vulkan, &profile, &size, &o).unwrap();
+                assert!(w.validated && l.validated, "{context}: validation failed");
+                assert_eq!(w.kernel_time, l.kernel_time, "{context}: kernel time");
+                assert_eq!(w.total_time, l.total_time, "{context}: total time");
+                assert_eq!(w.fingerprint, l.fingerprint, "{context}: fingerprint");
+            }
+        }
+    }
+}
+
+#[test]
+fn dnn_workloads_are_bit_identical_end_to_end() {
+    // The DNN host programs (multi-dispatch layer chains with
+    // seq_dependency boundaries) with the production registry vs the
+    // oracle registry, like `migrated_workloads_are_bit_identical_...`
+    // above but over the off-suite dnn family.
+    let warp = vcb_workloads::registry().unwrap();
+    let lane = vcb_workloads::lane_oracle_registry().unwrap();
+    let profile = devices::gtx1050ti();
+    let pairs = [
+        ("dnn_conv2d", SizeSpec::new("32", 32)),
+        ("dnn_gemm", SizeSpec::new("64", 64)),
+        ("dnn_maxpool2d", SizeSpec::new("256", 256)),
+    ];
+    for (name, size) in pairs {
+        let w_impl = vcb_workloads::dnn_workloads(&warp)
+            .into_iter()
+            .find(|w| w.meta().name == name)
+            .unwrap();
+        let l_impl = vcb_workloads::dnn_workloads(&lane)
             .into_iter()
             .find(|w| w.meta().name == name)
             .unwrap();

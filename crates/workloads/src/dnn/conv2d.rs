@@ -1,0 +1,463 @@
+//! dnn_conv2d — tiled 2-D convolution (5×5 valid, 3 input channels).
+//!
+//! Each workgroup stages a 20×20 input tile (16×16 outputs plus a
+//! 4-wide halo) and the channel's 5×5 filter into shared memory with
+//! cooperative halo loads, barriers, then accumulates 25 taps per output
+//! element out of the staged tile. The host dispatches the kernel once
+//! per input channel, accumulating into the output plane, with a
+//! `seq_dependency` between channel layers (float accumulation order is
+//! part of the contract).
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
+use vcb_core::suite::{BenchmarkMeta, Dwarf};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_sim::exec::{GroupCtx, KernelBody, KernelInfo, MAX_WARP_WIDTH};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
+
+use crate::common::{
+    approx_eq_f32, bytes_of, measure, to_f32, BodyOutcome, ComputeBackend, UsageHint,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "dnn_conv2d";
+/// Kernel entry point (dispatched once per input channel).
+pub const KERNEL: &str = "dnn_conv2d_tile";
+/// Output tile edge (workgroup is 16×16).
+pub const BS: usize = 16;
+/// Filter edge (5×5 taps).
+pub const K: usize = 5;
+/// Input channels.
+pub const C: usize = 3;
+/// Staged input tile edge: outputs plus the halo.
+pub const TILE: usize = BS + K - 1;
+
+/// The GLSL compute shader the SPIR-V binary is built from.
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+#define BS 16
+#define K 5
+#define TILE (BS + K - 1)
+layout(local_size_x = BS, local_size_y = BS) in;
+layout(set = 0, binding = 0) readonly buffer In { float inp[]; };
+layout(set = 0, binding = 1) readonly buffer Filt { float filt[]; };
+layout(set = 0, binding = 2) buffer Out { float outp[]; };
+layout(push_constant) uniform Params { uint m; uint n; uint chan; };
+
+shared float tile[TILE * TILE];
+shared float ftile[K * K];
+
+void main() {
+    uint tx = gl_LocalInvocationID.x;
+    uint ty = gl_LocalInvocationID.y;
+    uint gx = gl_WorkGroupID.x;
+    uint gy = gl_WorkGroupID.y;
+    uint lid = ty * BS + tx;
+    uint in_base = chan * n * n;
+    for (uint r = 0u; r < 2u; ++r) {
+        uint j = (r * BS * BS + lid) % (TILE * TILE);
+        tile[j] = inp[in_base + (gy * BS + j / TILE) * n + gx * BS + j % TILE];
+    }
+    ftile[lid % (K * K)] = filt[chan * K * K + lid % (K * K)];
+    barrier();
+    float sum = 0.0;
+    for (uint i = 0u; i < K; ++i) {
+        for (uint j = 0u; j < K; ++j) {
+            sum += tile[(ty + i) * TILE + tx + j] * ftile[i * K + j];
+        }
+    }
+    uint oi = (gy * BS + ty) * m + gx * BS + tx;
+    outp[oi] += sum;
+}
+"#;
+
+/// The OpenCL C twin of the kernel.
+pub const CL_SOURCE: &str = r#"
+#define BS 16
+#define K 5
+#define TILE (BS + K - 1)
+
+__kernel void dnn_conv2d_tile(__global const float* inp,
+                              __global const float* filt,
+                              __global float* outp,
+                              uint m, uint n, uint chan) {
+    __local float tile[TILE * TILE];
+    __local float ftile[K * K];
+    uint tx = get_local_id(0);
+    uint ty = get_local_id(1);
+    uint gx = get_group_id(0);
+    uint gy = get_group_id(1);
+    uint lid = ty * BS + tx;
+    uint in_base = chan * n * n;
+    for (uint r = 0; r < 2; ++r) {
+        uint j = (r * BS * BS + lid) % (TILE * TILE);
+        tile[j] = inp[in_base + (gy * BS + j / TILE) * n + gx * BS + j % TILE];
+    }
+    ftile[lid % (K * K)] = filt[chan * K * K + lid % (K * K)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float sum = 0.0f;
+    for (uint i = 0; i < K; ++i) {
+        for (uint j = 0; j < K; ++j) {
+            sum += tile[(ty + i) * TILE + tx + j] * ftile[i * K + j];
+        }
+    }
+    uint oi = (gy * BS + ty) * m + gx * BS + tx;
+    outp[oi] += sum;
+}
+"#;
+
+/// The production body: warp-columnar. The 400-cell tile fill runs as
+/// two modulo-wrapped rounds so every lane participates in every round
+/// (the wrap re-writes cells 0..112 with identical values — benign and
+/// deterministic); the filter taps are warp-uniform shared broadcasts.
+fn warp_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let input = ctx.global::<f32>(0)?;
+        let filt = ctx.global::<f32>(1)?;
+        let out = ctx.global::<f32>(2)?;
+        let m_dim = ctx.push_u32(0) as usize;
+        let n_dim = ctx.push_u32(4) as usize;
+        let chan = ctx.push_u32(8) as usize;
+        let tile = ctx.shared_array::<f32>(TILE * TILE)?;
+        let ftile = ctx.shared_array::<f32>(K * K)?;
+        let gx = ctx.group_id(0) as usize;
+        let gy = ctx.group_id(1) as usize;
+        let in_base = chan * n_dim * n_dim;
+        ctx.for_warps(|w| {
+            let m = w.lanes();
+            let mut ig = [0usize; MAX_WARP_WIDTH];
+            let mut is = [0usize; MAX_WARP_WIDTH];
+            let mut vals = [0f32; MAX_WARP_WIDTH];
+            for r in 0..2 {
+                for l in 0..m {
+                    let j = (r * BS * BS + w.local_linear(l) as usize) % (TILE * TILE);
+                    is[l] = j;
+                    ig[l] = in_base + (gy * BS + j / TILE) * n_dim + gx * BS + j % TILE;
+                }
+                w.ld_gather(&input, &ig[..m], &mut vals[..m]);
+                if r == 0 {
+                    // Round 0 indices are exactly the local linear ids.
+                    w.sts_seq(&tile, w.local_linear(0) as usize, &vals[..m]);
+                } else {
+                    w.sts_scatter(&tile, &is[..m], &vals[..m]);
+                }
+            }
+            for l in 0..m {
+                let j = w.local_linear(l) as usize % (K * K);
+                is[l] = j;
+                ig[l] = chan * K * K + j;
+            }
+            w.ld_gather(&filt, &ig[..m], &mut vals[..m]);
+            w.sts_scatter(&ftile, &is[..m], &vals[..m]);
+        });
+        ctx.barrier();
+        ctx.for_warps(|w| {
+            let m = w.lanes();
+            let mut is = [0usize; MAX_WARP_WIDTH];
+            let mut oi = [0usize; MAX_WARP_WIDTH];
+            let mut taps = [0f32; MAX_WARP_WIDTH];
+            let mut sum = [0f32; MAX_WARP_WIDTH];
+            for l in 0..m {
+                let tx = w.local_id(l, 0) as usize;
+                let ty = w.local_id(l, 1) as usize;
+                oi[l] = (gy * BS + ty) * m_dim + gx * BS + tx;
+            }
+            for i in 0..K {
+                for j in 0..K {
+                    for l in 0..m {
+                        let tx = w.local_id(l, 0) as usize;
+                        let ty = w.local_id(l, 1) as usize;
+                        is[l] = (ty + i) * TILE + tx + j;
+                    }
+                    w.lds_gather(&tile, &is[..m], &mut taps[..m]);
+                    let fv = w.lds_bcast(&ftile, i * K + j, m);
+                    for (s, t) in sum[..m].iter_mut().zip(&taps[..m]) {
+                        *s += *t * fv;
+                    }
+                }
+            }
+            w.alu((2 * K * K * m) as u64);
+            let mut cur = [0f32; MAX_WARP_WIDTH];
+            w.ld_gather(&out, &oi[..m], &mut cur[..m]);
+            for (c, s) in cur[..m].iter_mut().zip(&sum[..m]) {
+                *c += *s;
+            }
+            w.alu(m as u64);
+            w.st_scatter(&out, &oi[..m], &cur[..m]);
+        });
+        Ok(())
+    })
+}
+
+/// The lane-at-a-time oracle body, trace-identical to `warp_body`
+/// phase by phase (warp-equivalence suite).
+pub fn lane_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let input = ctx.global::<f32>(0)?;
+        let filt = ctx.global::<f32>(1)?;
+        let out = ctx.global::<f32>(2)?;
+        let m_dim = ctx.push_u32(0) as usize;
+        let n_dim = ctx.push_u32(4) as usize;
+        let chan = ctx.push_u32(8) as usize;
+        let tile = ctx.shared_array::<f32>(TILE * TILE)?;
+        let ftile = ctx.shared_array::<f32>(K * K)?;
+        let gx = ctx.group_id(0) as usize;
+        let gy = ctx.group_id(1) as usize;
+        let in_base = chan * n_dim * n_dim;
+        ctx.for_lanes(|lane| {
+            let lid = lane.local_linear() as usize;
+            for r in 0..2 {
+                let j = (r * BS * BS + lid) % (TILE * TILE);
+                let v = lane.ld(
+                    &input,
+                    in_base + (gy * BS + j / TILE) * n_dim + gx * BS + j % TILE,
+                );
+                lane.sts(&tile, j, v);
+            }
+            let j = lid % (K * K);
+            let v = lane.ld(&filt, chan * K * K + j);
+            lane.sts(&ftile, j, v);
+        });
+        ctx.barrier();
+        ctx.for_lanes(|lane| {
+            let tx = lane.local_id(0) as usize;
+            let ty = lane.local_id(1) as usize;
+            let mut sum = 0f32;
+            for i in 0..K {
+                for j in 0..K {
+                    sum += lane.lds(&tile, (ty + i) * TILE + tx + j) * lane.lds(&ftile, i * K + j);
+                }
+            }
+            lane.alu(2 * (K * K) as u32);
+            let oi = (gy * BS + ty) * m_dim + gx * BS + tx;
+            let cur = lane.ld(&out, oi);
+            lane.alu(1);
+            lane.st(&out, oi, cur + sum);
+        });
+        Ok(())
+    })
+}
+
+fn register_body(registry: &mut KernelRegistry, body: Arc<dyn KernelBody>) -> SimResult<()> {
+    // parallel_groups audit: within one dispatch each group reads the
+    // read-only input/filter planes and read-modify-writes only its own
+    // 16×16 output tile; cross-channel accumulation is ordered by the
+    // host's seq_dependency between dispatches.
+    let info = KernelInfo::new(KERNEL, [BS as u32, BS as u32, 1])
+        .reads(0, "inp")
+        .reads(1, "filt")
+        .writes(2, "outp")
+        .push_constants(12)
+        .parallel_groups()
+        .shared_memory(((TILE * TILE + K * K) * 4) as u64)
+        .source_bytes(CL_SOURCE.len() as u64)
+        .build();
+    registry.register(info, body)
+}
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, warp_body())
+}
+
+/// Registers the [`lane_body`] oracle instead of the warp-columnar
+/// production body (differential testing only).
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register_lane_oracle(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, lane_body())
+}
+
+/// CPU reference: `C`-channel valid convolution accumulated in the same
+/// channel/tap order as the dispatch sequence.
+pub fn reference(input: &[f32], filt: &[f32], m_dim: usize) -> Vec<f32> {
+    let n_dim = m_dim + K - 1;
+    let mut out = vec![0f32; m_dim * m_dim];
+    for c in 0..C {
+        for y in 0..m_dim {
+            for x in 0..m_dim {
+                let mut sum = 0f32;
+                for i in 0..K {
+                    for j in 0..K {
+                        sum += input[c * n_dim * n_dim + (y + i) * n_dim + x + j]
+                            * filt[c * K * K + i * K + j];
+                    }
+                }
+                out[y * m_dim + x] += sum;
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic inputs: `C` input planes of `(m+K-1)²` and `C` filters.
+pub fn generate(m_dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let n_dim = m_dim + K - 1;
+    let input = data::uniform_f32(C * n_dim * n_dim, seed, -1.0, 1.0);
+    let filt = data::uniform_f32(C * K * K, seed ^ 0x33, -1.0, 1.0);
+    (input, filt)
+}
+
+/// The host program: zero the output plane, then one tiled-conv dispatch
+/// per input channel with `seq_dependency` boundaries between channels.
+///
+/// # Errors
+///
+/// Reported as [`RunFailure`].
+pub fn host_program(
+    b: &mut dyn ComputeBackend,
+    m_dim: usize,
+    in_host: &[f32],
+    f_host: &[f32],
+    expected: Option<&Vec<f32>>,
+) -> Result<BodyOutcome, RunFailure> {
+    let n_dim = m_dim + K - 1;
+    let zeros = vec![0f32; m_dim * m_dim];
+    let input = b.upload(bytes_of(in_host), UsageHint::ReadOnly)?;
+    let filt = b.upload(bytes_of(f_host), UsageHint::ReadOnly)?;
+    let out = b.upload(bytes_of(&zeros), UsageHint::ReadWrite)?;
+    b.load_program(CL_SOURCE)?;
+    let bg = b.bind_group(&[input, filt, out])?;
+    let kernel = b.kernel(KERNEL, bg, 12)?;
+
+    let groups = (m_dim / BS) as u32;
+    let seq = b.seq_begin()?;
+    for c in 0..C {
+        b.seq_kernel(seq, kernel)?;
+        b.seq_bind(seq, bg)?;
+        b.seq_push(seq, &push(m_dim, n_dim, c))?;
+        b.seq_dispatch(seq, [groups, groups, 1])?;
+        b.seq_dependency(seq)?;
+    }
+    b.seq_end(seq)?;
+
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
+
+    let result = to_f32(&b.download(out)?);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| approx_eq_f32(&result, e, 1e-4)),
+        compute_time,
+    })
+}
+
+fn push(m_dim: usize, n_dim: usize, chan: usize) -> Vec<u8> {
+    let mut p = Vec::with_capacity(12);
+    p.extend_from_slice(&(m_dim as u32).to_le_bytes());
+    p.extend_from_slice(&(n_dim as u32).to_le_bytes());
+    p.extend_from_slice(&(chan as u32).to_le_bytes());
+    p
+}
+
+fn run(
+    api: Api,
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let m_dim = size.n as usize;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
+    let (in_host, f_host) = generate(m_dim, opts.seed);
+    let expected = opts.validate.then(|| reference(&in_host, &f_host, m_dim));
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, m_dim, &in_host, &f_host, expected.as_ref())
+    })
+}
+
+/// The tiled convolution as a suite workload (synthetic Table I row).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    registry: Arc<KernelRegistry>,
+}
+
+impl Conv2d {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        Conv2d { registry }
+    }
+}
+
+impl Workload for Conv2d {
+    fn meta(&self) -> BenchmarkMeta {
+        BenchmarkMeta {
+            name: NAME,
+            application: "Tiled 2-D Convolution (5x5, 3 channels)",
+            dwarf: Dwarf::StructuredGrid,
+            domain: "DNN Inference",
+        }
+    }
+
+    fn sizes(&self, _class: DeviceClass) -> Vec<SizeSpec> {
+        // One size list for both device classes (see dnn_gemm): the
+        // 1.7 KiB of shared tiles fit every modelled device.
+        vec![SizeSpec::new("128", 128), SizeSpec::new("224", 224)]
+    }
+
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        run(api, device, &self.registry, size, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    #[test]
+    fn all_apis_validate_the_convolution() {
+        let registry = registry();
+        let opts = RunOpts {
+            validate: true,
+            ..RunOpts::default()
+        };
+        let size = SizeSpec::new("32", 32);
+        let w = Conv2d::new(Arc::clone(&registry));
+        for api in Api::ALL {
+            let record = w.run(api, &devices::gtx1050ti(), &size, &opts).unwrap();
+            assert!(record.validated, "{api} failed validation");
+        }
+    }
+
+    #[test]
+    fn validates_on_mobile_with_64_wide_warps() {
+        let registry = registry();
+        let opts = RunOpts {
+            validate: true,
+            ..RunOpts::default()
+        };
+        let size = SizeSpec::new("32", 32);
+        let w = Conv2d::new(registry);
+        let record = w
+            .run(Api::Vulkan, &devices::adreno506(), &size, &opts)
+            .unwrap();
+        assert!(record.validated);
+    }
+
+    #[test]
+    fn reference_matches_a_hand_conv() {
+        // 1-channel-style spot check: constant filter sums a window.
+        let m_dim = BS;
+        let n_dim = m_dim + K - 1;
+        let input = vec![1.0f32; C * n_dim * n_dim];
+        let filt = vec![1.0f32; C * K * K];
+        let out = reference(&input, &filt, m_dim);
+        assert!(out.iter().all(|&v| (v - (C * K * K) as f32).abs() < 1e-5));
+    }
+}

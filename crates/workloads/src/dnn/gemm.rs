@@ -1,0 +1,424 @@
+//! dnn_gemm — the classic 16×16 shared-memory blocked GEMM, driven as a
+//! two-layer MLP (`H = X·W1`, `Y = H·W2`) with a `seq_dependency`
+//! boundary between the layers.
+//!
+//! Each workgroup computes one 16×16 tile of `C`: per k-tile it
+//! cooperatively stages a 16×16 block of `A` and of `B` into shared
+//! memory, barriers, and accumulates 16 fused multiply-adds per lane out
+//! of the staged tiles — the canonical shared-memory-bandwidth-bound
+//! kernel every DNN inference stack bottoms out in (Tango, PAPERS.md).
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
+use vcb_core::suite::{BenchmarkMeta, Dwarf};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_sim::exec::{GroupCtx, KernelBody, KernelInfo, MAX_WARP_WIDTH};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
+
+use crate::common::{
+    approx_eq_f32, bytes_of, measure, to_f32, BodyOutcome, ComputeBackend, UsageHint,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "dnn_gemm";
+/// Kernel entry point (one kernel, dispatched once per MLP layer).
+pub const KERNEL: &str = "dnn_gemm_tile";
+/// Tile edge — 16×16 workgroups, 16-wide k-blocking.
+pub const BS: usize = 16;
+
+/// The GLSL compute shader the SPIR-V binary is built from.
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+#define BS 16
+layout(local_size_x = BS, local_size_y = BS) in;
+layout(set = 0, binding = 0) readonly buffer A { float a[]; };
+layout(set = 0, binding = 1) readonly buffer B { float b[]; };
+layout(set = 0, binding = 2) writeonly buffer C { float c[]; };
+layout(push_constant) uniform Params { uint n; };
+
+shared float asub[BS * BS];
+shared float bsub[BS * BS];
+
+void main() {
+    uint tx = gl_LocalInvocationID.x;
+    uint ty = gl_LocalInvocationID.y;
+    uint bx = gl_WorkGroupID.x;
+    uint by = gl_WorkGroupID.y;
+    float acc = 0.0;
+    for (uint t = 0u; t < n / BS; ++t) {
+        asub[ty * BS + tx] = a[(by * BS + ty) * n + t * BS + tx];
+        bsub[ty * BS + tx] = b[(t * BS + ty) * n + bx * BS + tx];
+        barrier();
+        for (uint k = 0u; k < BS; ++k) {
+            acc += asub[ty * BS + k] * bsub[k * BS + tx];
+        }
+        barrier();
+    }
+    c[(by * BS + ty) * n + bx * BS + tx] = acc;
+}
+"#;
+
+/// The OpenCL C twin of the kernel.
+pub const CL_SOURCE: &str = r#"
+#define BS 16
+
+__kernel void dnn_gemm_tile(__global const float* a,
+                            __global const float* b,
+                            __global float* c,
+                            uint n) {
+    __local float asub[BS * BS];
+    __local float bsub[BS * BS];
+    uint tx = get_local_id(0);
+    uint ty = get_local_id(1);
+    uint bx = get_group_id(0);
+    uint by = get_group_id(1);
+    float acc = 0.0f;
+    for (uint t = 0; t < n / BS; ++t) {
+        asub[ty * BS + tx] = a[(by * BS + ty) * n + t * BS + tx];
+        bsub[ty * BS + tx] = b[(t * BS + ty) * n + bx * BS + tx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (uint k = 0; k < BS; ++k) {
+            acc += asub[ty * BS + k] * bsub[k * BS + tx];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    c[(by * BS + ty) * n + bx * BS + tx] = acc;
+}
+"#;
+
+/// The production body: warp-columnar. Global tile loads are gathers
+/// (a warp spans two or four matrix rows), the shared stages are
+/// unit-stride columnar stores at the local linear id, and the k-loop
+/// reads both tiles through columnar shared gathers.
+fn warp_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let a = ctx.global::<f32>(0)?;
+        let b = ctx.global::<f32>(1)?;
+        let c = ctx.global::<f32>(2)?;
+        let n = ctx.push_u32(0) as usize;
+        let asub = ctx.shared_array::<f32>(BS * BS)?;
+        let bsub = ctx.shared_array::<f32>(BS * BS)?;
+        let bx = ctx.group_id(0) as usize;
+        let by = ctx.group_id(1) as usize;
+        let mut acc = [0f32; BS * BS];
+        let mut ia = [0usize; MAX_WARP_WIDTH];
+        let mut ib = [0usize; MAX_WARP_WIDTH];
+        let mut va = [0f32; MAX_WARP_WIDTH];
+        let mut vb = [0f32; MAX_WARP_WIDTH];
+        for t in 0..n / BS {
+            ctx.for_warps(|w| {
+                let m = w.lanes();
+                let lid0 = w.local_linear(0) as usize;
+                for l in 0..m {
+                    let tx = w.local_id(l, 0) as usize;
+                    let ty = w.local_id(l, 1) as usize;
+                    ia[l] = (by * BS + ty) * n + t * BS + tx;
+                    ib[l] = (t * BS + ty) * n + bx * BS + tx;
+                }
+                w.ld_gather(&a, &ia[..m], &mut va[..m]);
+                w.sts_seq(&asub, lid0, &va[..m]);
+                w.ld_gather(&b, &ib[..m], &mut vb[..m]);
+                w.sts_seq(&bsub, lid0, &vb[..m]);
+            });
+            ctx.barrier();
+            ctx.for_warps(|w| {
+                let m = w.lanes();
+                let lid0 = w.local_linear(0) as usize;
+                for k in 0..BS {
+                    for l in 0..m {
+                        let tx = w.local_id(l, 0) as usize;
+                        let ty = w.local_id(l, 1) as usize;
+                        ia[l] = ty * BS + k;
+                        ib[l] = k * BS + tx;
+                    }
+                    w.lds_gather(&asub, &ia[..m], &mut va[..m]);
+                    w.lds_gather(&bsub, &ib[..m], &mut vb[..m]);
+                    for l in 0..m {
+                        acc[lid0 + l] += va[l] * vb[l];
+                    }
+                }
+                w.alu((2 * BS * m) as u64);
+            });
+            ctx.barrier();
+        }
+        ctx.for_warps(|w| {
+            let m = w.lanes();
+            let lid0 = w.local_linear(0) as usize;
+            for l in 0..m {
+                let tx = w.local_id(l, 0) as usize;
+                let ty = w.local_id(l, 1) as usize;
+                ia[l] = (by * BS + ty) * n + bx * BS + tx;
+            }
+            w.st_scatter(&c, &ia[..m], &acc[lid0..lid0 + m]);
+        });
+        Ok(())
+    })
+}
+
+/// The lane-at-a-time oracle body, trace-identical to `warp_body`
+/// phase by phase (warp-equivalence suite).
+pub fn lane_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let a = ctx.global::<f32>(0)?;
+        let b = ctx.global::<f32>(1)?;
+        let c = ctx.global::<f32>(2)?;
+        let n = ctx.push_u32(0) as usize;
+        let asub = ctx.shared_array::<f32>(BS * BS)?;
+        let bsub = ctx.shared_array::<f32>(BS * BS)?;
+        let bx = ctx.group_id(0) as usize;
+        let by = ctx.group_id(1) as usize;
+        let mut acc = [0f32; BS * BS];
+        for t in 0..n / BS {
+            ctx.for_lanes(|lane| {
+                let tx = lane.local_id(0) as usize;
+                let ty = lane.local_id(1) as usize;
+                let lid = lane.local_linear() as usize;
+                let av = lane.ld(&a, (by * BS + ty) * n + t * BS + tx);
+                lane.sts(&asub, lid, av);
+                let bv = lane.ld(&b, (t * BS + ty) * n + bx * BS + tx);
+                lane.sts(&bsub, lid, bv);
+            });
+            ctx.barrier();
+            ctx.for_lanes(|lane| {
+                let tx = lane.local_id(0) as usize;
+                let ty = lane.local_id(1) as usize;
+                let lid = lane.local_linear() as usize;
+                let mut sum = acc[lid];
+                for k in 0..BS {
+                    sum += lane.lds(&asub, ty * BS + k) * lane.lds(&bsub, k * BS + tx);
+                }
+                lane.alu(2 * BS as u32);
+                acc[lid] = sum;
+            });
+            ctx.barrier();
+        }
+        ctx.for_lanes(|lane| {
+            let tx = lane.local_id(0) as usize;
+            let ty = lane.local_id(1) as usize;
+            let lid = lane.local_linear() as usize;
+            lane.st(&c, (by * BS + ty) * n + bx * BS + tx, acc[lid]);
+        });
+        Ok(())
+    })
+}
+
+fn register_body(registry: &mut KernelRegistry, body: Arc<dyn KernelBody>) -> SimResult<()> {
+    // parallel_groups audit: each group writes only its own 16×16 output
+    // tile; A and B are read-only.
+    let info = KernelInfo::new(KERNEL, [BS as u32, BS as u32, 1])
+        .reads(0, "a")
+        .reads(1, "b")
+        .writes(2, "c")
+        .push_constants(4)
+        .parallel_groups()
+        .shared_memory((2 * BS * BS * 4) as u64)
+        .source_bytes(CL_SOURCE.len() as u64)
+        .build();
+    registry.register(info, body)
+}
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, warp_body())
+}
+
+/// Registers the [`lane_body`] oracle instead of the warp-columnar
+/// production body (differential testing only).
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register_lane_oracle(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, lane_body())
+}
+
+/// CPU reference for one `n×n` GEMM, accumulating in the same ascending
+/// `k` order the blocked kernel uses so validation stays tight.
+pub fn reference(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut c = vec![0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut sum = 0f32;
+            for k in 0..n {
+                sum += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = sum;
+        }
+    }
+    c
+}
+
+/// Deterministic inputs: activations plus the two weight matrices.
+pub fn generate(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let x = data::uniform_f32(n * n, seed, -1.0, 1.0);
+    let w1 = data::uniform_f32(n * n, seed ^ 0x11, -1.0, 1.0);
+    let w2 = data::uniform_f32(n * n, seed ^ 0x22, -1.0, 1.0);
+    (x, w1, w2)
+}
+
+/// The host program: a two-layer MLP as two dependent GEMM dispatches
+/// over the same kernel — `H = X·W1` then `Y = H·W2`, with a
+/// `seq_dependency` at the layer boundary (Y's tile loads read H).
+///
+/// # Errors
+///
+/// Reported as [`RunFailure`].
+pub fn host_program(
+    b: &mut dyn ComputeBackend,
+    n: usize,
+    xv: &[f32],
+    w1v: &[f32],
+    w2v: &[f32],
+    expected: Option<&Vec<f32>>,
+) -> Result<BodyOutcome, RunFailure> {
+    let x = b.upload(bytes_of(xv), UsageHint::ReadOnly)?;
+    let w1 = b.upload(bytes_of(w1v), UsageHint::ReadOnly)?;
+    let w2 = b.upload(bytes_of(w2v), UsageHint::ReadOnly)?;
+    let h = b.alloc((n * n * 4) as u64, UsageHint::ReadWrite)?;
+    let y = b.alloc((n * n * 4) as u64, UsageHint::WriteOnly)?;
+    b.load_program(CL_SOURCE)?;
+    let bg1 = b.bind_group(&[x, w1, h])?;
+    let bg2 = b.bind_group(&[h, w2, y])?;
+    let k1 = b.kernel(KERNEL, bg1, 4)?;
+    let k2 = b.kernel(KERNEL, bg2, 4)?;
+
+    let groups = (n / BS) as u32;
+    let seq = b.seq_begin()?;
+    b.seq_kernel(seq, k1)?;
+    b.seq_bind(seq, bg1)?;
+    b.seq_push(seq, &(n as u32).to_le_bytes())?;
+    b.seq_dispatch(seq, [groups, groups, 1])?;
+    b.seq_dependency(seq)?;
+    b.seq_kernel(seq, k2)?;
+    b.seq_bind(seq, bg2)?;
+    b.seq_push(seq, &(n as u32).to_le_bytes())?;
+    b.seq_dispatch(seq, [groups, groups, 1])?;
+    b.seq_end(seq)?;
+
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
+
+    let out = to_f32(&b.download(y)?);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| approx_eq_f32(&out, e, 1e-3)),
+        compute_time,
+    })
+}
+
+fn run(
+    api: Api,
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
+    let (xv, w1v, w2v) = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&reference(&xv, &w1v, n), &w2v, n));
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, n, &xv, &w1v, &w2v, expected.as_ref())
+    })
+}
+
+/// The blocked-GEMM MLP as a suite workload (synthetic Table I row).
+#[derive(Debug, Clone)]
+pub struct Gemm {
+    registry: Arc<KernelRegistry>,
+}
+
+impl Gemm {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        Gemm { registry }
+    }
+}
+
+impl Workload for Gemm {
+    fn meta(&self) -> BenchmarkMeta {
+        BenchmarkMeta {
+            name: NAME,
+            application: "Tiled GEMM (two-layer MLP)",
+            dwarf: Dwarf::DenseLinearAlgebra,
+            domain: "DNN Inference",
+        }
+    }
+
+    fn sizes(&self, _class: DeviceClass) -> Vec<SizeSpec> {
+        // One size list for both device classes: the dnn panel spans
+        // desktop and mobile silicon in one rectangular table, and the
+        // 2 KiB of shared tiles fit the smallest device (PowerVR, 16 KiB).
+        vec![SizeSpec::new("128", 128), SizeSpec::new("256", 256)]
+    }
+
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        run(api, device, &self.registry, size, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    #[test]
+    fn all_apis_validate_the_mlp() {
+        let registry = registry();
+        let opts = RunOpts {
+            validate: true,
+            ..RunOpts::default()
+        };
+        let size = SizeSpec::new("64", 64);
+        let w = Gemm::new(Arc::clone(&registry));
+        for api in Api::ALL {
+            let record = w.run(api, &devices::gtx1050ti(), &size, &opts).unwrap();
+            assert!(record.validated, "{api} failed validation");
+        }
+    }
+
+    #[test]
+    fn validates_on_mobile_with_64_wide_warps() {
+        let registry = registry();
+        let opts = RunOpts {
+            validate: true,
+            ..RunOpts::default()
+        };
+        let size = SizeSpec::new("64", 64);
+        let w = Gemm::new(registry);
+        let record = w
+            .run(Api::Vulkan, &devices::adreno506(), &size, &opts)
+            .unwrap();
+        assert!(record.validated);
+    }
+
+    #[test]
+    fn shared_traffic_dominates_global() {
+        // 2 shared stores + 32 shared loads vs 2 global loads per lane
+        // per k-tile: the kernel must be visibly shared-memory-bound.
+        let registry = registry();
+        let opts = RunOpts::default();
+        let size = SizeSpec::new("64", 64);
+        let w = Gemm::new(registry);
+        let record = w
+            .run(Api::Vulkan, &devices::gtx1050ti(), &size, &opts)
+            .unwrap();
+        assert!(record.validated);
+        assert!(record.kernel_time.as_micros() > 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! dnn_maxpool2d — 2×2 max pooling at stride 2, two chained stages.
+//!
+//! The downsampling workhorse between convolution layers: each lane
+//! reduces one 2×2 input window to its maximum. The four window corners
+//! are stride-2 warp loads (pure affine traffic, recorded in O(1)) and
+//! the output is a unit-stride store — the whole kernel is the
+//! best-case pattern for the analytic address pipeline, deliberately the
+//! opposite extreme from the gather-heavy tiled kernels. The host chains
+//! two pooling stages (`N → N/2 → N/4`) with a `seq_dependency` at the
+//! stage boundary.
+
+use std::sync::Arc;
+
+use vcb_core::run::{RunFailure, RunOutcome, SizeSpec};
+use vcb_core::suite::{BenchmarkMeta, Dwarf};
+use vcb_core::workload::{RunOpts, Workload};
+use vcb_sim::exec::{GroupCtx, KernelBody, KernelInfo, MAX_WARP_WIDTH};
+use vcb_sim::profile::{DeviceClass, DeviceProfile};
+use vcb_sim::{Api, KernelRegistry, SimResult};
+
+use crate::common::{
+    approx_eq_f32, bytes_of, measure, to_f32, BodyOutcome, ComputeBackend, UsageHint,
+};
+use crate::data;
+
+/// Workload name.
+pub const NAME: &str = "dnn_maxpool2d";
+/// Kernel entry point (dispatched once per pooling stage).
+pub const KERNEL: &str = "dnn_maxpool2d_win";
+/// Workgroup size (1-D).
+pub const LOCAL_SIZE: u32 = 256;
+
+/// The GLSL compute shader the SPIR-V binary is built from.
+pub const GLSL_SOURCE: &str = r#"
+#version 450
+layout(local_size_x = 256) in;
+layout(set = 0, binding = 0) readonly buffer In { float inp[]; };
+layout(set = 0, binding = 1) writeonly buffer Out { float outp[]; };
+layout(push_constant) uniform Params { uint n; };
+
+void main() {
+    uint g = gl_GlobalInvocationID.x;
+    uint half_n = n / 2u;
+    uint r = g / half_n;
+    uint c = g % half_n;
+    uint base = 2u * r * n + 2u * c;
+    float v = max(max(inp[base], inp[base + 1u]),
+                  max(inp[base + n], inp[base + n + 1u]));
+    outp[g] = v;
+}
+"#;
+
+/// The OpenCL C twin of the kernel.
+pub const CL_SOURCE: &str = r#"
+__kernel void dnn_maxpool2d_win(__global const float* inp,
+                                __global float* outp,
+                                uint n) {
+    uint g = get_global_id(0);
+    uint half_n = n / 2;
+    uint r = g / half_n;
+    uint c = g % half_n;
+    uint base = 2 * r * n + 2 * c;
+    float v = fmax(fmax(inp[base], inp[base + 1]),
+                   fmax(inp[base + n], inp[base + n + 1]));
+    outp[g] = v;
+}
+"#;
+
+/// The production body: four stride-2 columnar loads (the window
+/// corners), a 3-comparison max tree, one unit-stride store. Output rows
+/// are multiples of the warp width at every supported size, so a warp
+/// never straddles a row and the strided pattern stays exact.
+fn warp_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let input = ctx.global::<f32>(0)?;
+        let out = ctx.global::<f32>(1)?;
+        let n = ctx.push_u32(0) as usize;
+        let half = n / 2;
+        ctx.for_warps(|w| {
+            let m = w.lanes();
+            let g0 = w.global_base() as usize;
+            let base = 2 * (g0 / half) * n + 2 * (g0 % half);
+            let mut tl = [0f32; MAX_WARP_WIDTH];
+            let mut tr = [0f32; MAX_WARP_WIDTH];
+            let mut bl = [0f32; MAX_WARP_WIDTH];
+            let mut br = [0f32; MAX_WARP_WIDTH];
+            w.ld_stride(&input, base, 2, &mut tl[..m]);
+            w.ld_stride(&input, base + 1, 2, &mut tr[..m]);
+            w.ld_stride(&input, base + n, 2, &mut bl[..m]);
+            w.ld_stride(&input, base + n + 1, 2, &mut br[..m]);
+            for l in 0..m {
+                tl[l] = tl[l].max(tr[l]).max(bl[l].max(br[l]));
+            }
+            w.alu((3 * m) as u64);
+            w.st_seq(&out, g0, &tl[..m]);
+        });
+        Ok(())
+    })
+}
+
+/// The lane-at-a-time oracle body, trace-identical to `warp_body`
+/// (warp-equivalence suite).
+pub fn lane_body() -> Arc<dyn KernelBody> {
+    Arc::new(|ctx: &mut GroupCtx<'_>| {
+        let input = ctx.global::<f32>(0)?;
+        let out = ctx.global::<f32>(1)?;
+        let n = ctx.push_u32(0) as usize;
+        let half = n / 2;
+        ctx.for_lanes(|lane| {
+            let g = lane.global_linear() as usize;
+            let base = 2 * (g / half) * n + 2 * (g % half);
+            let tl = lane.ld(&input, base);
+            let tr = lane.ld(&input, base + 1);
+            let bl = lane.ld(&input, base + n);
+            let br = lane.ld(&input, base + n + 1);
+            lane.alu(3);
+            lane.st(&out, g, tl.max(tr).max(bl.max(br)));
+        });
+        Ok(())
+    })
+}
+
+fn register_body(registry: &mut KernelRegistry, body: Arc<dyn KernelBody>) -> SimResult<()> {
+    // parallel_groups audit: each lane writes its own output element,
+    // input read-only — groups are fully independent.
+    let info = KernelInfo::new(KERNEL, [LOCAL_SIZE, 1, 1])
+        .reads(0, "inp")
+        .writes(1, "outp")
+        .push_constants(4)
+        .parallel_groups()
+        .source_bytes(CL_SOURCE.len() as u64)
+        .build();
+    registry.register(info, body)
+}
+
+/// Registers the kernel body.
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, warp_body())
+}
+
+/// Registers the [`lane_body`] oracle instead of the warp-columnar
+/// production body (differential testing only).
+///
+/// # Errors
+///
+/// Fails on duplicate registration.
+pub fn register_lane_oracle(registry: &mut KernelRegistry) -> SimResult<()> {
+    register_body(registry, lane_body())
+}
+
+/// CPU reference for one pooling stage.
+pub fn reference(input: &[f32], n: usize) -> Vec<f32> {
+    let half = n / 2;
+    let mut out = vec![0f32; half * half];
+    for r in 0..half {
+        for c in 0..half {
+            let base = 2 * r * n + 2 * c;
+            out[r * half + c] = input[base]
+                .max(input[base + 1])
+                .max(input[base + n].max(input[base + n + 1]));
+        }
+    }
+    out
+}
+
+/// Deterministic input plane.
+pub fn generate(n: usize, seed: u64) -> Vec<f32> {
+    data::uniform_f32(n * n, seed, -100.0, 100.0)
+}
+
+/// The host program: two chained pooling stages over ping-ponged
+/// buffers (`in → mid → out`) with a `seq_dependency` at the boundary.
+///
+/// # Errors
+///
+/// Reported as [`RunFailure`].
+pub fn host_program(
+    b: &mut dyn ComputeBackend,
+    n: usize,
+    in_host: &[f32],
+    expected: Option<&Vec<f32>>,
+) -> Result<BodyOutcome, RunFailure> {
+    let half = n / 2;
+    let quarter = n / 4;
+    let input = b.upload(bytes_of(in_host), UsageHint::ReadOnly)?;
+    let mid = b.alloc((half * half * 4) as u64, UsageHint::ReadWrite)?;
+    let out = b.alloc((quarter * quarter * 4) as u64, UsageHint::WriteOnly)?;
+    b.load_program(CL_SOURCE)?;
+    let bg1 = b.bind_group(&[input, mid])?;
+    let bg2 = b.bind_group(&[mid, out])?;
+    let k1 = b.kernel(KERNEL, bg1, 4)?;
+    let k2 = b.kernel(KERNEL, bg2, 4)?;
+
+    let seq = b.seq_begin()?;
+    b.seq_kernel(seq, k1)?;
+    b.seq_bind(seq, bg1)?;
+    b.seq_push(seq, &(n as u32).to_le_bytes())?;
+    b.seq_dispatch(seq, [(half * half) as u32 / LOCAL_SIZE, 1, 1])?;
+    b.seq_dependency(seq)?;
+    b.seq_kernel(seq, k2)?;
+    b.seq_bind(seq, bg2)?;
+    b.seq_push(seq, &(half as u32).to_le_bytes())?;
+    b.seq_dispatch(seq, [(quarter * quarter) as u32 / LOCAL_SIZE, 1, 1])?;
+    b.seq_end(seq)?;
+
+    let compute_start = b.now();
+    b.run(seq)?;
+    let compute_time = b.now().duration_since(compute_start);
+
+    let result = to_f32(&b.download(out)?);
+    Ok(BodyOutcome {
+        validated: expected.is_none_or(|e| approx_eq_f32(&result, e, 1e-6)),
+        compute_time,
+    })
+}
+
+fn run(
+    api: Api,
+    profile: &DeviceProfile,
+    registry: &Arc<KernelRegistry>,
+    size: &SizeSpec,
+    opts: &RunOpts,
+) -> RunOutcome {
+    let n = size.n as usize;
+    let mut b = vcb_backend::create_with(api, profile, registry, &opts.into())?;
+    let in_host = generate(n, opts.seed);
+    let expected = opts
+        .validate
+        .then(|| reference(&reference(&in_host, n), n / 2));
+    measure(NAME, &size.label, b.as_mut(), |b| {
+        host_program(b, n, &in_host, expected.as_ref())
+    })
+}
+
+/// The pooling stage pair as a suite workload (synthetic Table I row).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    registry: Arc<KernelRegistry>,
+}
+
+impl MaxPool2d {
+    /// Creates the workload against a kernel registry.
+    pub fn new(registry: Arc<KernelRegistry>) -> Self {
+        MaxPool2d { registry }
+    }
+}
+
+impl Workload for MaxPool2d {
+    fn meta(&self) -> BenchmarkMeta {
+        BenchmarkMeta {
+            name: NAME,
+            application: "2x2 Max Pooling (two chained stages)",
+            dwarf: Dwarf::StructuredGrid,
+            domain: "DNN Inference",
+        }
+    }
+
+    fn sizes(&self, _class: DeviceClass) -> Vec<SizeSpec> {
+        // One size list for both device classes (see dnn_gemm). N/4 must
+        // stay a multiple of 64 so warps never straddle an output row.
+        vec![SizeSpec::new("512", 512), SizeSpec::new("1024", 1024)]
+    }
+
+    fn run(&self, api: Api, device: &DeviceProfile, size: &SizeSpec, opts: &RunOpts) -> RunOutcome {
+        run(api, device, &self.registry, size, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcb_sim::profile::devices;
+
+    fn registry() -> Arc<KernelRegistry> {
+        let mut r = KernelRegistry::new();
+        register(&mut r).unwrap();
+        Arc::new(r)
+    }
+
+    #[test]
+    fn all_apis_validate_the_pool_chain() {
+        let registry = registry();
+        let opts = RunOpts {
+            validate: true,
+            ..RunOpts::default()
+        };
+        let size = SizeSpec::new("256", 256);
+        let w = MaxPool2d::new(Arc::clone(&registry));
+        for api in Api::ALL {
+            let record = w.run(api, &devices::gtx1050ti(), &size, &opts).unwrap();
+            assert!(record.validated, "{api} failed validation");
+        }
+    }
+
+    #[test]
+    fn validates_on_mobile_with_64_wide_warps() {
+        let registry = registry();
+        let opts = RunOpts {
+            validate: true,
+            ..RunOpts::default()
+        };
+        let size = SizeSpec::new("256", 256);
+        let w = MaxPool2d::new(registry);
+        let record = w
+            .run(Api::Vulkan, &devices::adreno506(), &size, &opts)
+            .unwrap();
+        assert!(record.validated);
+    }
+
+    #[test]
+    fn reference_pools_a_known_plane() {
+        let n = 4;
+        let input: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        // Windows: rows {0,1}×cols{0,1} → max 5, etc.
+        assert_eq!(reference(&input, n), vec![5.0, 7.0, 13.0, 15.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! The DNN inference workload family (Tango-style, PAPERS.md).
+//!
+//! Three layer kernels that stress shared memory and the L2 far harder
+//! than the Rodinia ports (the ALTIS modernization argument): a tiled
+//! [`conv2d`] with halo loads, the classic 16×16 blocked [`gemm`]
+//! driven as a two-layer MLP, and a strided-window [`maxpool2d`]. Each
+//! module ships a warp-columnar production body, a lane-at-a-time
+//! oracle for the warp-equivalence suite, and one host program whose
+//! layer boundaries are `seq_dependency` barriers — the idiom every
+//! inference graph lowers to.
+//!
+//! The family rides the existing plan/shard/store machinery as the
+//! `vcb dnn` figure: a panel across all device variants, including the
+//! `-uvm`/`-uvm-oversub` unified-memory profiles.
+
+pub mod conv2d;
+pub mod gemm;
+pub mod maxpool2d;
+
+use std::sync::Arc;
+
+use vcb_core::workload::Workload;
+use vcb_sim::KernelRegistry;
+
+/// The three DNN workloads in panel order (conv → gemm → pool, the
+/// order layers appear in an inference graph).
+pub fn workloads(registry: &Arc<KernelRegistry>) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(conv2d::Conv2d::new(Arc::clone(registry))),
+        Box::new(gemm::Gemm::new(Arc::clone(registry))),
+        Box::new(maxpool2d::MaxPool2d::new(Arc::clone(registry))),
+    ]
+}

@@ -43,6 +43,7 @@
 
 pub mod common;
 pub mod data;
+pub mod dnn;
 pub mod micro;
 pub mod rodinia;
 
@@ -70,15 +71,18 @@ pub fn registry() -> SimResult<Arc<KernelRegistry>> {
     rodinia::nn::register(&mut r)?;
     rodinia::nw::register(&mut r)?;
     rodinia::pathfinder::register(&mut r)?;
+    dnn::conv2d::register(&mut r)?;
+    dnn::gemm::register(&mut r)?;
+    dnn::maxpool2d::register(&mut r)?;
     Ok(Arc::new(r))
 }
 
 /// Builds the registry with the lane-at-a-time **oracle** bodies in
 /// place of the warp-columnar production bodies for every migrated
-/// kernel (vectoradd, stride, gaussian, hotspot); all other kernels are
-/// identical to [`registry`]. The warp-equivalence differential suite
-/// runs workloads against both registries and asserts bit-identical
-/// results.
+/// kernel (vectoradd, stride, gaussian, hotspot, and the dnn family);
+/// all other kernels are identical to [`registry`]. The
+/// warp-equivalence differential suite runs workloads against both
+/// registries and asserts bit-identical results.
 ///
 /// # Errors
 ///
@@ -96,6 +100,9 @@ pub fn lane_oracle_registry() -> SimResult<Arc<KernelRegistry>> {
     rodinia::nn::register(&mut r)?;
     rodinia::nw::register(&mut r)?;
     rodinia::pathfinder::register(&mut r)?;
+    dnn::conv2d::register_lane_oracle(&mut r)?;
+    dnn::gemm::register_lane_oracle(&mut r)?;
+    dnn::maxpool2d::register_lane_oracle(&mut r)?;
     Ok(Arc::new(r))
 }
 
@@ -112,6 +119,12 @@ pub fn suite_workloads(registry: &Arc<KernelRegistry>) -> Vec<Box<dyn Workload>>
         Box::new(rodinia::nw::Nw::new(Arc::clone(registry))),
         Box::new(rodinia::pathfinder::Pathfinder::new(Arc::clone(registry))),
     ]
+}
+
+/// The three DNN inference workloads (conv2d, gemm, maxpool2d) — the
+/// off-suite family behind the `vcb dnn` panel.
+pub fn dnn_workloads(registry: &Arc<KernelRegistry>) -> Vec<Box<dyn Workload>> {
+    dnn::workloads(registry)
 }
 
 #[cfg(test)]
@@ -142,8 +155,27 @@ mod tests {
             "nn_distance",
             "nw_fill",
             "pathfinder_dynproc",
+            "dnn_conv2d_tile",
+            "dnn_gemm_tile",
+            "dnn_maxpool2d_win",
         ] {
             assert!(r.contains(name), "missing kernel {name}");
+        }
+    }
+
+    #[test]
+    fn dnn_workloads_share_one_size_list_across_classes() {
+        let r = registry().unwrap();
+        let dnn = dnn_workloads(&r);
+        assert_eq!(dnn.len(), 3);
+        for w in &dnn {
+            assert_eq!(
+                w.sizes(DeviceClass::Desktop).len(),
+                w.sizes(DeviceClass::Mobile).len(),
+                "{} class sizes differ",
+                w.meta().name
+            );
+            assert_eq!(w.meta().domain, "DNN Inference");
         }
     }
 

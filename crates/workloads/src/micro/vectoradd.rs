@@ -88,7 +88,7 @@ fn warp_body() -> Arc<dyn KernelBody> {
 }
 
 /// The lane-at-a-time oracle body: semantically and trace-wise identical
-/// to [`warp_body`], kept for the warp-equivalence differential suite.
+/// to `warp_body`, kept for the warp-equivalence differential suite.
 pub fn lane_body() -> Arc<dyn KernelBody> {
     Arc::new(|ctx: &mut GroupCtx<'_>| {
         let x = ctx.global::<f32>(0)?;

@@ -141,6 +141,50 @@ fn suite_call_totals_match_the_pre_refactor_drivers() {
 }
 
 #[test]
+fn dnn_call_totals_are_pinned() {
+    // The DNN hosts are post-refactor code with no legacy per-API
+    // driver to diff against; their call totals are pinned at their
+    // introduction instead, so backend-layer changes cannot silently
+    // shift the family's API-verbosity comparison. Sizes match the
+    // per-workload unit tests (conv/gemm one layer chain each, maxpool
+    // two chained stages).
+    use Api::{Cuda, OpenCl, Vulkan};
+    let registry = vcb_workloads::registry().unwrap();
+    let opts = RunOpts::default();
+    let profile = devices::gtx1050ti();
+    let expected = [
+        (
+            "dnn_conv2d",
+            SizeSpec::new("32", 32),
+            [(Vulkan, 101, 28), (Cuda, 15, 5), (OpenCl, 25, 9)],
+        ),
+        (
+            "dnn_gemm",
+            SizeSpec::new("64", 64),
+            [(Vulkan, 110, 28), (Cuda, 16, 5), (OpenCl, 26, 9)],
+        ),
+        (
+            "dnn_maxpool2d",
+            SizeSpec::new("256", 256),
+            [(Vulkan, 72, 28), (Cuda, 12, 5), (OpenCl, 20, 9)],
+        ),
+    ];
+    let workloads = vcb_workloads::dnn_workloads(&registry);
+    for (name, size, rows) in expected {
+        let w = workloads
+            .iter()
+            .find(|w| w.meta().name == name)
+            .unwrap_or_else(|| panic!("{name} missing from the dnn family"));
+        for (api, total, distinct) in rows {
+            let r = w.run(api, &profile, &size, &opts).unwrap();
+            assert_eq!(r.calls.total(), total, "{name}/{api} call total");
+            assert_eq!(r.calls.distinct(), distinct, "{name}/{api} distinct calls");
+            assert!(r.validated, "{name}/{api} validation");
+        }
+    }
+}
+
+#[test]
 fn effort_row_vectoradd_is_bit_identical() {
     // The §VI-A effort table is computed from this exact configuration:
     // vectoradd at Listing 1's N = 1M on the GTX 1050 Ti. All three

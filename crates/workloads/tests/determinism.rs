@@ -87,6 +87,43 @@ fn suite_workloads_are_bit_identical_across_worker_threads() {
 }
 
 #[test]
+fn dnn_workloads_are_bit_identical_across_worker_threads() {
+    // The DNN family's shared-memory tiles run through the columnar
+    // lds/sts recording path; their bank-conflict streams must replay
+    // deterministically under the parallel group scheduler, explicit and
+    // demand-paged alike.
+    let registry = vcb_workloads::registry().unwrap();
+    let sizes = [
+        ("dnn_conv2d", SizeSpec::new("32", 32)),
+        ("dnn_gemm", SizeSpec::new("64", 64)),
+        ("dnn_maxpool2d", SizeSpec::new("256", 256)),
+    ];
+    let profiles = [
+        devices::gtx1050ti(),
+        vcb_sim::profile::devices::uvm_variant(
+            devices::gtx1050ti(),
+            vcb_sim::UvmProfile::oversubscribed(),
+        ),
+    ];
+    for profile in &profiles {
+        for w in vcb_workloads::dnn_workloads(&registry) {
+            let name = w.meta().name;
+            let (_, size) = sizes.iter().find(|(n, _)| *n == name).unwrap();
+            for mode in MODES {
+                let context = format!("{name}/{mode:?} on {}", profile.name);
+                let seq = w
+                    .run(Api::Vulkan, profile, size, &opts(mode, 1))
+                    .unwrap_or_else(|e| panic!("{context}: sequential run failed: {e}"));
+                let par = w
+                    .run(Api::Vulkan, profile, size, &opts(mode, 4))
+                    .unwrap_or_else(|e| panic!("{context}: threaded run failed: {e}"));
+                assert_identical(&seq, &par, &context);
+            }
+        }
+    }
+}
+
+#[test]
 fn vectoradd_micro_is_bit_identical_across_worker_threads() {
     let registry = vcb_workloads::registry().unwrap();
     let profile = devices::gtx1050ti();
